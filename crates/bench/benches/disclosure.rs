@@ -1,0 +1,87 @@
+//! Criterion benches for the fingerprint store and Algorithm 1: observe
+//! throughput, query latency vs database size, and the authoritative
+//! overlap computation.
+
+use browserflow_corpus::TextGen;
+use browserflow_fingerprint::Fingerprinter;
+use browserflow_store::{FingerprintStore, SegmentId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn paragraphs(count: usize, seed: u64) -> Vec<String> {
+    let mut gen = TextGen::new(seed);
+    (0..count).map(|_| gen.paragraph(7)).collect()
+}
+
+fn filled_store(fp: &Fingerprinter, texts: &[String]) -> FingerprintStore {
+    let mut store = FingerprintStore::new();
+    for (i, text) in texts.iter().enumerate() {
+        store.observe(SegmentId::new(i as u64), &fp.fingerprint(text), 0.5);
+    }
+    store
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let fp = Fingerprinter::default();
+    let texts = paragraphs(512, 7);
+    let prints: Vec<_> = texts.iter().map(|t| fp.fingerprint(t)).collect();
+    c.bench_function("store-observe-512-paragraphs", |b| {
+        b.iter(|| {
+            let mut store = FingerprintStore::new();
+            for (i, print) in prints.iter().enumerate() {
+                store.observe(SegmentId::new(i as u64), print, 0.5);
+            }
+            store.hash_count()
+        })
+    });
+}
+
+fn bench_query_vs_db_size(c: &mut Criterion) {
+    let fp = Fingerprinter::default();
+    let mut group = c.benchmark_group("algorithm1-query");
+    for size in [100usize, 1_000, 10_000] {
+        let texts = paragraphs(size, 11);
+        let store = filled_store(&fp, &texts);
+        // Query: a paste of a known paragraph (worst case: overlap).
+        let query = fp.fingerprint(&texts[size / 2]);
+        let target = SegmentId::new(u64::MAX);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{size}-paragraphs-hit")),
+            &store,
+            |b, store| b.iter(|| store.disclosing_sources(target, &query)),
+        );
+        // Query: novel text (no candidates survive the hash lookup).
+        let miss = fp.fingerprint(&paragraphs(1, 999_999)[0]);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{size}-paragraphs-miss")),
+            &store,
+            |b, store| b.iter(|| store.disclosing_sources(target, &miss)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_authoritative_fingerprint(c: &mut Criterion) {
+    let fp = Fingerprinter::default();
+    let texts = paragraphs(1_000, 13);
+    let store = filled_store(&fp, &texts);
+    c.bench_function("authoritative-fingerprint", |b| {
+        b.iter(|| store.authoritative_fingerprint(SegmentId::new(500)))
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets =
+    bench_observe,
+    bench_query_vs_db_size,
+    bench_authoritative_fingerprint
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benches for the fingerprinting pipeline, including the
+//! ablations over the n-gram length and window size called out in
+//! DESIGN.md (fingerprint cost is the per-keystroke cost of BrowserFlow,
+//! so it must stay in the microsecond range for paragraph-sized inputs).
+
+use browserflow_corpus::TextGen;
+use browserflow_fingerprint::{ngram, normalize, winnow, FingerprintConfig, Fingerprinter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn text_of(bytes: usize) -> String {
+    let mut gen = TextGen::new(42);
+    let mut out = String::new();
+    while out.len() < bytes {
+        out.push_str(&gen.sentence());
+        out.push(' ');
+    }
+    out.truncate(bytes);
+    out
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let text = text_of(2_000); // a large paragraph
+    let mut group = c.benchmark_group("pipeline-stages");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("normalize", |b| {
+        b.iter(|| normalize::normalize(std::hint::black_box(&text)))
+    });
+    let normalized = normalize::normalize(&text);
+    group.bench_function("ngram-hashes", |b| {
+        b.iter(|| ngram::ngram_hashes(std::hint::black_box(normalized.text()), 15))
+    });
+    let hashes = ngram::ngram_hashes(normalized.text(), 15);
+    group.bench_function("winnow", |b| {
+        b.iter(|| winnow::winnow(std::hint::black_box(&hashes), 30))
+    });
+    let fp = Fingerprinter::default();
+    group.bench_function("full-fingerprint", |b| {
+        b.iter(|| fp.fingerprint(std::hint::black_box(&text)))
+    });
+    group.finish();
+}
+
+fn bench_input_sizes(c: &mut Criterion) {
+    let fp = Fingerprinter::default();
+    let mut group = c.benchmark_group("fingerprint-by-size");
+    for kib in [1usize, 4, 16, 64, 256] {
+        let text = text_of(kib * 1024);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kib}KiB")),
+            &text,
+            |b, t| b.iter(|| fp.fingerprint(std::hint::black_box(t))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ablation_ngram_window(c: &mut Criterion) {
+    let text = text_of(8_192);
+    let mut group = c.benchmark_group("ablation");
+    for (n, w) in [(5, 10), (15, 30), (15, 60), (30, 30), (50, 100)] {
+        let fp = Fingerprinter::new(
+            FingerprintConfig::builder()
+                .ngram_len(n)
+                .window(w)
+                .build()
+                .expect("valid config"),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}-w{w}")),
+            &text,
+            |b, t| b.iter(|| fp.fingerprint(std::hint::black_box(t))),
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets =
+    bench_pipeline_stages,
+    bench_input_sizes,
+    bench_ablation_ngram_window
+);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Ablation over the fingerprinting parameters (beyond the paper).
+//!
+//! The paper fixes 32-bit hashes over 15-character n-grams with window 30
+//! (§6.1) without exploring alternatives. This experiment sweeps the
+//! n-gram length and window size and reports, on the Manuals dataset:
+//!
+//! - detection agreement with the ground truth at `Tpar = 0.5`,
+//! - the measured fingerprint density vs the theoretical `2/(w+1)`,
+//! - the total number of stored hashes (memory proxy), and
+//! - the guarantee threshold `t = w + n - 1` (the shortest match that is
+//!   always reflected in the fingerprints).
+//!
+//! The sweep makes the paper's choice legible: short n-grams inflate the
+//! database and produce cross-paragraph false positives, long n-grams and
+//! wide windows miss edited copies; (15, 30) sits on the plateau.
+
+use browserflow_bench::print_header;
+use browserflow_corpus::datasets::ManualsDataset;
+use browserflow_fingerprint::{Fingerprint, FingerprintConfig, Fingerprinter};
+use browserflow_store::disclosure_between;
+
+const TPAR: f64 = 0.5;
+const GROUND_TRUTH_CUTOFF: f64 = 0.5;
+
+struct SweepResult {
+    agreement: f64,
+    detected: usize,
+    truth: usize,
+    total_hashes: usize,
+    density: f64,
+}
+
+fn evaluate(fingerprinter: &Fingerprinter, manuals: &ManualsDataset) -> SweepResult {
+    let mut agree = 0usize;
+    let mut considered = 0usize;
+    let mut detected_total = 0usize;
+    let mut truth_total = 0usize;
+    let mut total_hashes = 0usize;
+    let mut total_grams = 0usize;
+    let n = fingerprinter.config().ngram_len();
+
+    for chapter in manuals.chapters() {
+        let base: Vec<Fingerprint> = chapter
+            .chain
+            .base()
+            .paragraphs()
+            .iter()
+            .map(|p| {
+                let text = p.text();
+                let normalized = browserflow_fingerprint::normalize::normalize(&text);
+                if normalized.len() >= n {
+                    total_grams += normalized.len() - n + 1;
+                }
+                let print = fingerprinter.fingerprint(&text);
+                total_hashes += print.len();
+                print
+            })
+            .collect();
+        for version in 1..chapter.chain.len() {
+            let truth = chapter.ground_truth(version, GROUND_TRUTH_CUTOFF);
+            let revision_hashes = fingerprinter
+                .fingerprint(&chapter.chain.revision(version).text())
+                .hash_set();
+            for (index, paragraph) in base.iter().enumerate() {
+                let hashes = paragraph.hash_set();
+                if hashes.is_empty() {
+                    continue;
+                }
+                considered += 1;
+                let d = disclosure_between(&hashes, &revision_hashes);
+                let found = d >= TPAR;
+                let truly = truth.is_disclosed(index);
+                if found {
+                    detected_total += 1;
+                }
+                if truly {
+                    truth_total += 1;
+                }
+                if found == truly {
+                    agree += 1;
+                }
+            }
+        }
+    }
+    SweepResult {
+        agreement: agree as f64 / considered.max(1) as f64,
+        detected: detected_total,
+        truth: truth_total,
+        total_hashes,
+        density: total_hashes as f64 / total_grams.max(1) as f64,
+    }
+}
+
+fn main() {
+    print_header(
+        "Ablation: fingerprint parameters (n-gram length x window size)",
+        "Manuals dataset; detection agreement with ground truth at Tpar = 0.5",
+    );
+    let manuals = ManualsDataset::generate(2);
+    println!(
+        "{:>6} {:>6} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "ngram", "window", "guarantee", "agreement", "detected", "truth", "hashes", "density", "2/(w+1)"
+    );
+    for &(n, w) in &[
+        (5usize, 10usize),
+        (10, 20),
+        (15, 30), // the paper's configuration
+        (15, 60),
+        (25, 30),
+        (30, 60),
+        (50, 100),
+    ] {
+        let config = FingerprintConfig::builder()
+            .ngram_len(n)
+            .window(w)
+            .build()
+            .expect("valid sweep parameters");
+        let fingerprinter = Fingerprinter::new(config);
+        let result = evaluate(&fingerprinter, &manuals);
+        println!(
+            "{:>6} {:>6} {:>10} {:>9.1}% {:>9} {:>9} {:>9} {:>10.4} {:>9.4}",
+            n,
+            w,
+            config.guarantee_threshold(),
+            result.agreement * 100.0,
+            result.detected,
+            result.truth,
+            result.total_hashes,
+            result.density,
+            config.expected_density()
+        );
+    }
+    println!();
+    println!(
+        "(expected: agreement peaks on a plateau that includes the paper's (15, 30); \
+         small n-grams inflate the hash database, large parameters under-detect)"
+    );
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Figure 8**: cumulative distribution of the relative
+//! difference of article content sizes between the oldest and most recent
+//! Wikipedia revision.
+//!
+//! The paper uses this heuristic to split articles into low- and
+//! high-length-variation groups for Figure 9.
+
+use browserflow_bench::{print_header, Scale};
+use browserflow_corpus::datasets::{ChurnLevel, WikipediaCheckpoints};
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "Figure 8: Changes in article length (CDF)",
+        &format!("scale = {scale:?}; x = |len(newest) - len(base)| / len(base)"),
+    );
+
+    // Only the base and newest revision matter for the length heuristic;
+    // snapshot-only storage keeps the paper scale within memory.
+    let revisions = scale.wikipedia().revisions;
+    let wikipedia = WikipediaCheckpoints::generate(1, &scale.wikipedia(), &[0, revisions]);
+    let mut changes: Vec<(f64, &str, ChurnLevel)> = wikipedia
+        .articles()
+        .iter()
+        .map(|a| (a.chain.relative_length_change(), a.name.as_str(), a.churn))
+        .collect();
+    changes.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+    println!(
+        "{:>24} {:>14} {:>12}  churn-group",
+        "article", "rel-change(%)", "CDF"
+    );
+    let n = changes.len() as f64;
+    for (i, (change, name, churn)) in changes.iter().enumerate() {
+        println!(
+            "{:>24} {:>14.1} {:>12.3}  {:?}",
+            name,
+            change * 100.0,
+            (i + 1) as f64 / n,
+            churn
+        );
+    }
+
+    let mean = |level: ChurnLevel| {
+        let vals: Vec<f64> = changes
+            .iter()
+            .filter(|(_, _, c)| *c == level)
+            .map(|(v, _, _)| *v)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    println!();
+    println!(
+        "mean relative change: low-churn {:.1}%  high-churn {:.1}%",
+        mean(ChurnLevel::Low) * 100.0,
+        mean(ChurnLevel::High) * 100.0
+    );
+    println!("(paper shape: low-variation articles cluster near zero; high-variation tail is long)");
+}

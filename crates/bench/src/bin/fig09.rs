@@ -1,0 +1,82 @@
+//! Regenerates **Figures 9a/9b**: the percentage of paragraphs from the
+//! oldest article revision that BrowserFlow detects to be disclosed by
+//! newer revisions, for articles with low (9a) and high (9b) length
+//! variation.
+//!
+//! Configuration per §6.1: 32-bit hashes, 15-char n-grams, window 30,
+//! `Tpar = 0.5`, paragraph granularity.
+
+use browserflow_bench::{disclosed_fraction, paper_fingerprinter, print_header, Scale};
+use browserflow_corpus::datasets::{ChurnLevel, WikiArticleCheckpoints, WikipediaCheckpoints};
+use browserflow_fingerprint::Fingerprint;
+
+const TPAR: f64 = 0.5;
+
+fn series(article: &WikiArticleCheckpoints) -> Vec<f64> {
+    let fp = paper_fingerprinter();
+    let base: Vec<Fingerprint> = article
+        .chain
+        .base()
+        .paragraphs()
+        .iter()
+        .map(|p| fp.fingerprint(&p.text()))
+        .collect();
+    article
+        .chain
+        .snapshots()
+        .iter()
+        .map(|(_, document)| {
+            let revision = fp.fingerprint(&document.text());
+            disclosed_fraction(&base, &revision, TPAR) * 100.0
+        })
+        .collect()
+}
+
+fn print_group(title: &str, articles: Vec<&WikiArticleCheckpoints>, checkpoints: &[usize]) {
+    println!();
+    println!("{title}");
+    print!("{:>24}", "revisions-from-base:");
+    for c in checkpoints {
+        print!(" {c:>7}");
+    }
+    println!();
+    for article in articles {
+        let values = series(article);
+        print!("{:>24}", article.name);
+        for v in values {
+            print!(" {v:>6.1}%");
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let config = scale.wikipedia();
+    print_header(
+        "Figure 9: Paragraph disclosure across Wikipedia revisions (Tpar = 0.5)",
+        &format!(
+            "scale = {scale:?}; {} articles x {} revisions",
+            config.articles, config.revisions
+        ),
+    );
+    // Checkpoints spread across the revision range (the paper samples the
+    // full 0..1000 x-axis); snapshot-only storage keeps the paper scale
+    // within memory.
+    let steps = 6usize;
+    let checkpoints: Vec<usize> = (0..=steps)
+        .map(|i| i * config.revisions / steps)
+        .collect();
+    let wikipedia = WikipediaCheckpoints::generate(1, &config, &checkpoints);
+
+    print_group(
+        "(a) Articles with low length variations — expected: stays near 100%",
+        wikipedia.by_churn(ChurnLevel::Low).collect(),
+        &checkpoints,
+    );
+    print_group(
+        "(b) Articles with high length variations — expected: decays with revision distance",
+        wikipedia.by_churn(ChurnLevel::High).collect(),
+        &checkpoints,
+    );
+}

@@ -1,0 +1,89 @@
+//! Regenerates **Figure 13**: response time when varying the size of the
+//! hashes database.
+//!
+//! For each database size, a new empty document is created and a
+//! 500-character paragraph from an existing book is pasted, triggering the
+//! disclosure calculation; the 95th percentile of the response time is
+//! reported. The paper sweeps 1 M – 10 M distinct hashes (90 MB of
+//! e-books); `BF_SCALE=paper` reproduces that range, the default a scaled
+//! version. Run with `--release`.
+
+use browserflow::{AsyncDecider, BrowserFlow, EnforcementMode, ResponseTimes};
+use browserflow_bench::{print_header, Scale};
+use browserflow_corpus::datasets::EbooksDataset;
+use browserflow_tdm::{Service, ServiceId, Tag, TagSet};
+
+/// Paste repetitions per database size (the p95 is taken over these).
+const REPETITIONS: usize = 40;
+/// Number of database sizes swept.
+const STEPS: usize = 10;
+
+fn fresh_flow() -> BrowserFlow {
+    let lib = Tag::new("library").expect("valid tag");
+    BrowserFlow::builder()
+        .mode(EnforcementMode::Advisory)
+        .service(
+            Service::new("library", "Corporate Library")
+                .with_privilege(TagSet::from_iter([lib.clone()]))
+                .with_confidentiality(TagSet::from_iter([lib])),
+        )
+        .service(Service::new("gdocs", "Google Docs"))
+        .build()
+        .expect("policy builds")
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "Figure 13: Response time when varying the size of the hashes database",
+        &format!("scale = {scale:?}; paste of a 500-char paragraph; p95 over {REPETITIONS} pastes"),
+    );
+    let ebooks = EbooksDataset::generate(3, &scale.ebooks());
+    let library: ServiceId = "library".into();
+    let gdocs: ServiceId = "gdocs".into();
+    let books = ebooks.books();
+
+    println!(
+        "{:>8} {:>14} {:>12} {:>12} {:>12}",
+        "books", "hashes", "p50", "p95", "max"
+    );
+    for step in 1..=STEPS {
+        let count = (books.len() * step).div_ceil(STEPS).max(1);
+        let mut flow = fresh_flow();
+        for (book_index, book) in books.iter().take(count).enumerate() {
+            let doc = format!("book-{book_index}");
+            for (par_index, paragraph) in book.paragraphs().iter().enumerate() {
+                flow.index_paragraph(&library, &doc, par_index, &paragraph.text())
+                    .expect("library registered");
+            }
+        }
+        let hash_count = flow.engine().paragraph_hash_count();
+        let decider = AsyncDecider::spawn(flow);
+
+        // Paste paragraphs drawn from loaded books into fresh documents.
+        let mut times = ResponseTimes::new();
+        for repetition in 0..REPETITIONS {
+            let book = &books[repetition % count];
+            let paragraph = &book.paragraphs()[repetition % book.paragraphs().len()];
+            let text: String = paragraph.text().chars().take(500).collect();
+            let document = format!("paste-target-{repetition}");
+            let timed = decider.check(&gdocs, &document, 0, &text);
+            timed.decision.expect("gdocs registered");
+            times.record(timed.latency);
+        }
+        println!(
+            "{:>8} {:>14} {:>12.3?} {:>12.3?} {:>12.3?}",
+            count,
+            hash_count,
+            times.percentile(0.50),
+            times.percentile(0.95),
+            times.max().unwrap_or_default()
+        );
+        drop(decider);
+    }
+    println!();
+    println!(
+        "(paper shape: p95 grows sub-linearly with the hash count and stays below \
+         ~200 ms even at 10 M hashes, thanks to the hashtable indexes)"
+    );
+}

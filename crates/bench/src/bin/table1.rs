@@ -1,0 +1,62 @@
+//! Regenerates **Table 1**: the dataset inventory used for the
+//! information-disclosure evaluation.
+
+use browserflow_bench::{print_header, Scale};
+use browserflow_corpus::datasets::{
+    table1_rows, EbooksDataset, ManualsDataset, NewsDataset, WikipediaCheckpoints,
+    WikipediaDataset,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "Table 1: Datasets used for information disclosure evaluation",
+        &format!("scale = {scale:?} (set BF_SCALE=paper for the paper's sizes)"),
+    );
+
+    // The Wikipedia row is computed from revision snapshots so the paper's
+    // 1000-revision chains fit in memory; averages are over the snapshots.
+    let config = scale.wikipedia();
+    let checkpoints: Vec<usize> = (0..=4).map(|i| i * config.revisions / 4).collect();
+    let wikipedia = WikipediaCheckpoints::generate(1, &config, &checkpoints);
+    let manuals = ManualsDataset::generate(2);
+    let news = NewsDataset::generate(4);
+    let ebooks = EbooksDataset::generate(3, &scale.ebooks());
+
+    println!(
+        "{:<12} {:<22} {:>9} {:>9} {:>11} {:>10}",
+        "Dataset", "Item", "Documents", "Versions", "Paragraphs", "Size(KiB)"
+    );
+    let mut paragraphs = 0usize;
+    let mut bytes = 0usize;
+    let mut snapshots = 0usize;
+    for article in wikipedia.articles() {
+        for (_, document) in article.chain.snapshots() {
+            paragraphs += document.paragraphs().len();
+            bytes += document.byte_len();
+            snapshots += 1;
+        }
+    }
+    println!(
+        "{:<12} {:<22} {:>9} {:>9} {:>11.1} {:>10.1}",
+        "Wikipedia",
+        "Articles",
+        wikipedia.articles().len(),
+        config.revisions + 1,
+        paragraphs as f64 / snapshots.max(1) as f64,
+        bytes as f64 / snapshots.max(1) as f64 / 1024.0
+    );
+    let empty_wiki = WikipediaDataset::generate(
+        1,
+        &browserflow_corpus::datasets::WikipediaConfig {
+            articles: 0,
+            ..config
+        },
+    );
+    for row in table1_rows(&empty_wiki, &manuals, &news, &ebooks) {
+        println!(
+            "{:<12} {:<22} {:>9} {:>9} {:>11.1} {:>10.1}",
+            row.dataset, row.item, row.documents, row.versions, row.paragraphs, row.size_kib
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Shared helpers for the experiment binaries and criterion benches.
+//!
+//! Every table and figure of the paper's evaluation (§6) has a binary in
+//! `src/bin` that regenerates it:
+//!
+//! | binary   | reproduces |
+//! |----------|------------|
+//! | `table1` | Table 1 (dataset inventory) |
+//! | `fig08`  | Figure 8 (CDF of article-length change) |
+//! | `fig09`  | Figure 9a/9b (paragraph disclosure across Wikipedia revisions) |
+//! | `fig10`  | Figure 10a–d (manual chapters vs ground truth) |
+//! | `fig11`  | Figure 11 (impact of the paragraph disclosure threshold) |
+//! | `fig12`  | Figure 12 (response-time CDF for three editing workflows) |
+//! | `fig13`  | Figure 13 (response time vs hash-database size) |
+//!
+//! Each binary prints a self-describing table to stdout. Scale is
+//! controlled by the `BF_SCALE` environment variable: `small` (default,
+//! laptop-friendly) or `paper` (the sizes reported in the paper — the
+//! e-book corpus then reaches ~10 M distinct hashes and takes several
+//! minutes to load).
+
+use browserflow_corpus::datasets::{EbooksConfig, WikipediaConfig};
+use browserflow_fingerprint::{Fingerprint, Fingerprinter};
+use browserflow_store::disclosure_between;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-friendly sizes; shapes match the paper, absolute counts are
+    /// smaller.
+    Small,
+    /// The paper's dataset sizes.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `BF_SCALE` from the environment (`paper` or `small`).
+    pub fn from_env() -> Self {
+        match std::env::var("BF_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Small,
+        }
+    }
+
+    /// The Wikipedia dataset configuration at this scale.
+    pub fn wikipedia(&self) -> WikipediaConfig {
+        match self {
+            Scale::Small => WikipediaConfig {
+                articles: 8,
+                revisions: 100,
+                paragraphs: 20,
+                sentences: 4,
+                high_churn_fraction: 0.5,
+            },
+            Scale::Paper => WikipediaConfig::paper_scale(),
+        }
+    }
+
+    /// The e-books dataset configuration at this scale.
+    pub fn ebooks(&self) -> EbooksConfig {
+        match self {
+            Scale::Small => EbooksConfig {
+                books: 12,
+                min_bytes: 30_000,
+                max_bytes: 120_000,
+                size_skew: 1,
+            },
+            Scale::Paper => EbooksConfig::paper_scale(),
+        }
+    }
+}
+
+/// The evaluation's fingerprint configuration (§6.1): 32-bit hashes over
+/// 15-character n-grams, window 30.
+pub fn paper_fingerprinter() -> Fingerprinter {
+    Fingerprinter::default()
+}
+
+/// Fraction of `base_paragraphs` that `revision_print` discloses at
+/// threshold `tpar`, ignoring paragraphs whose fingerprint is empty
+/// (§6.1 excludes them as systematic errors).
+///
+/// This is the per-revision quantity plotted in Figures 9 and 10: for a
+/// base paragraph `Ap` and revision document `B`, disclosure is
+/// `Dpar(Ap, B) = |F(Ap) ∩ F(B)| / |F(Ap)| ≥ Tpar`.
+pub fn disclosed_fraction(
+    base_paragraphs: &[Fingerprint],
+    revision_print: &Fingerprint,
+    tpar: f64,
+) -> f64 {
+    let revision_hashes = revision_print.hash_set();
+    let mut considered = 0usize;
+    let mut disclosed = 0usize;
+    for paragraph in base_paragraphs {
+        let hashes = paragraph.hash_set();
+        if hashes.is_empty() {
+            continue;
+        }
+        considered += 1;
+        let d = disclosure_between(&hashes, &revision_hashes);
+        if d >= tpar && d > 0.0 {
+            disclosed += 1;
+        }
+    }
+    if considered == 0 {
+        return 0.0;
+    }
+    disclosed as f64 / considered as f64
+}
+
+/// Indices of base paragraphs disclosed by `revision_print` at `tpar`
+/// (same rules as [`disclosed_fraction`]; empty-fingerprint paragraphs are
+/// never reported).
+pub fn disclosed_indices(
+    base_paragraphs: &[Fingerprint],
+    revision_print: &Fingerprint,
+    tpar: f64,
+) -> Vec<usize> {
+    let revision_hashes = revision_print.hash_set();
+    base_paragraphs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| {
+            let hashes = p.hash_set();
+            if hashes.is_empty() {
+                return false;
+            }
+            let d = disclosure_between(&hashes, &revision_hashes);
+            d >= tpar && d > 0.0
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Prints a horizontal rule and a titled header for experiment output.
+pub fn print_header(title: &str, detail: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    if !detail.is_empty() {
+        println!("{detail}");
+    }
+    println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_defaults_to_small() {
+        // Note: avoid mutating the environment in tests; just check the
+        // default path when BF_SCALE is unset or unrecognised.
+        if std::env::var("BF_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Small);
+        }
+        assert!(Scale::Small.wikipedia().articles <= Scale::Paper.wikipedia().articles);
+        assert!(Scale::Small.ebooks().books <= Scale::Paper.ebooks().books);
+    }
+
+    #[test]
+    fn disclosed_fraction_full_and_none() {
+        let fp = paper_fingerprinter();
+        let text = "a reasonably long paragraph with enough characters to fingerprint well \
+                    and then some more text to be safe";
+        let base = vec![fp.fingerprint(text)];
+        let same = fp.fingerprint(text);
+        assert_eq!(disclosed_fraction(&base, &same, 0.5), 1.0);
+        let other = fp.fingerprint(
+            "totally different content about completely unrelated topics and words \
+             that share nothing with the base paragraph at all",
+        );
+        assert_eq!(disclosed_fraction(&base, &other, 0.5), 0.0);
+        assert_eq!(disclosed_indices(&base, &same, 0.5), vec![0]);
+    }
+
+    #[test]
+    fn empty_fingerprints_are_ignored() {
+        let fp = paper_fingerprinter();
+        let base = vec![fp.fingerprint("tiny"), fp.fingerprint("also tiny")];
+        let revision = fp.fingerprint("tiny");
+        // All base paragraphs have empty fingerprints -> fraction 0, not NaN.
+        assert_eq!(disclosed_fraction(&base, &revision, 0.0), 0.0);
+    }
+}

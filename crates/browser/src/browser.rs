@@ -1,0 +1,357 @@
+//! The browser: tabs, clipboard, service backends, and the global
+//! interception points.
+
+use crate::dom::Document;
+use crate::forms::{Form, SubmitEvent, SubmitListener};
+use crate::mutation::ObserverRegistry;
+use crate::services::Backend;
+use crate::xhr::{SendResult, XhrPrototype, XhrRequest};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies an open tab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TabId(usize);
+
+/// One browser tab: an origin plus its DOM document and observers.
+#[derive(Debug)]
+pub struct Tab {
+    origin: String,
+    document: Document,
+    observers: ObserverRegistry,
+}
+
+impl Tab {
+    /// The tab's origin (e.g. `https://docs.example.com`).
+    pub fn origin(&self) -> &str {
+        &self.origin
+    }
+
+    /// The tab's document.
+    pub fn document(&self) -> &Document {
+        &self.document
+    }
+
+    /// Mutable access to the document.
+    pub fn document_mut(&mut self) -> &mut Document {
+        &mut self.document
+    }
+
+    /// The tab's mutation observer registry.
+    pub fn observers_mut(&mut self) -> &mut ObserverRegistry {
+        &mut self.observers
+    }
+
+    /// Delivers any queued mutations to this tab's observers.
+    pub fn flush_mutations(&mut self) {
+        self.observers.deliver(&mut self.document);
+    }
+}
+
+/// The simulated browser instance that BrowserFlow plugs into.
+///
+/// Owns the open [`Tab`]s, the clipboard, the per-origin service
+/// [`Backend`]s (the "remote servers"), the global [`XhrPrototype`]
+/// interception point and the form submit-listener chain.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_browser::Browser;
+///
+/// let mut browser = Browser::new();
+/// let tab = browser.open_tab("https://wiki.internal");
+/// browser.copy("some paragraph text");
+/// assert_eq!(browser.paste(), Some("some paragraph text".to_string()));
+/// assert_eq!(browser.tab(tab).origin(), "https://wiki.internal");
+/// ```
+#[derive(Default)]
+pub struct Browser {
+    tabs: Vec<Tab>,
+    clipboard: Option<String>,
+    backends: HashMap<String, Arc<Backend>>,
+    xhr: XhrPrototype,
+    submit_listeners: Vec<SubmitListener>,
+}
+
+impl std::fmt::Debug for Browser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Browser")
+            .field("tabs", &self.tabs.len())
+            .field("backends", &self.backends.len())
+            .field("xhr", &self.xhr)
+            .field("submit_listeners", &self.submit_listeners.len())
+            .finish()
+    }
+}
+
+impl Browser {
+    /// Creates a browser with no tabs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a tab on `origin` with an empty document, creating the
+    /// origin's backend if it does not exist yet.
+    pub fn open_tab(&mut self, origin: impl Into<String>) -> TabId {
+        let origin = origin.into();
+        self.backend(&origin); // ensure the backend exists
+        let id = TabId(self.tabs.len());
+        self.tabs.push(Tab {
+            origin,
+            document: Document::new(),
+            observers: ObserverRegistry::new(),
+        });
+        id
+    }
+
+    /// Opens a tab and loads `html` into its document.
+    pub fn open_tab_with_html(&mut self, origin: impl Into<String>, html: &str) -> TabId {
+        let id = self.open_tab(origin);
+        let tab = &mut self.tabs[id.0];
+        let root = tab.document.root();
+        crate::html::parse_into(&mut tab.document, root, html);
+        tab.document.take_mutations(); // page load is not a user mutation
+        id
+    }
+
+    /// Navigates a tab to a new origin, replacing its document with the
+    /// parsed `html`. As in a real browser, navigation tears down the
+    /// page's mutation observers — plug-ins must re-attach.
+    pub fn navigate(&mut self, tab: TabId, origin: impl Into<String>, html: &str) {
+        let origin = origin.into();
+        self.backend(&origin); // ensure the backend exists
+        let entry = &mut self.tabs[tab.0];
+        entry.origin = origin;
+        entry.document = Document::new();
+        entry.observers = ObserverRegistry::new();
+        let root = entry.document.root();
+        crate::html::parse_into(&mut entry.document, root, html);
+        entry.document.take_mutations();
+    }
+
+    /// Number of open tabs.
+    pub fn tab_count(&self) -> usize {
+        self.tabs.len()
+    }
+
+    /// Read access to a tab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale.
+    pub fn tab(&self, id: TabId) -> &Tab {
+        &self.tabs[id.0]
+    }
+
+    /// Mutable access to a tab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale.
+    pub fn tab_mut(&mut self, id: TabId) -> &mut Tab {
+        &mut self.tabs[id.0]
+    }
+
+    /// The backend ("remote server") for `origin`, created on first use.
+    pub fn backend(&mut self, origin: &str) -> Arc<Backend> {
+        Arc::clone(
+            self.backends
+                .entry(origin.to_string())
+                .or_insert_with(|| Arc::new(Backend::new(origin))),
+        )
+    }
+
+    /// Copies text to the clipboard.
+    pub fn copy(&mut self, text: impl Into<String>) {
+        self.clipboard = Some(text.into());
+    }
+
+    /// Reads the clipboard.
+    pub fn paste(&self) -> Option<String> {
+        self.clipboard.clone()
+    }
+
+    /// Installs a hook in the `XMLHttpRequest.prototype.send` slot.
+    pub fn install_xhr_hook(&mut self, hook: crate::xhr::SendHook) {
+        self.xhr.install_hook(hook);
+    }
+
+    /// Registers a global form submit listener.
+    pub fn add_submit_listener(&mut self, listener: SubmitListener) {
+        self.submit_listeners.push(listener);
+    }
+
+    /// Sends an XHR through the hook chain; if allowed, the final body is
+    /// recorded by the destination origin's backend.
+    pub fn xhr_send(&mut self, request: XhrRequest) -> SendResult {
+        let url = request.url.clone();
+        let result = self.xhr.dispatch(request);
+        if let SendResult::Delivered { body } = &result {
+            self.backend(&url).record_xhr(body.clone());
+        }
+        result
+    }
+
+    /// Submits a form snapshot: listeners run first (and may cancel or
+    /// rewrite); if not cancelled, the encoded form is recorded by the
+    /// action origin's backend.
+    pub fn submit_form(&mut self, form: Form) -> SendResult {
+        let mut event = SubmitEvent::new(form);
+        for listener in &mut self.submit_listeners {
+            listener(&mut event);
+            if event.is_cancelled() {
+                return SendResult::Blocked {
+                    reason: event
+                        .cancel_reason()
+                        .unwrap_or("submission suppressed")
+                        .to_string(),
+                };
+            }
+        }
+        let form = event.into_form();
+        let body = form.encode();
+        self.backend(&form.action).record_form(body.clone());
+        SendResult::Delivered { body }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forms::FormField;
+    use crate::xhr::XhrDisposition;
+
+    #[test]
+    fn open_tabs_and_backends() {
+        let mut browser = Browser::new();
+        let a = browser.open_tab("https://a");
+        let b = browser.open_tab("https://b");
+        assert_ne!(a, b);
+        assert_eq!(browser.tab_count(), 2);
+        assert_eq!(browser.tab(a).origin(), "https://a");
+        // Backends are shared per origin.
+        let backend_1 = browser.backend("https://a");
+        let backend_2 = browser.backend("https://a");
+        assert!(Arc::ptr_eq(&backend_1, &backend_2));
+    }
+
+    #[test]
+    fn xhr_delivery_reaches_backend() {
+        let mut browser = Browser::new();
+        browser.xhr_send(XhrRequest::post("https://svc", "payload one"));
+        let backend = browser.backend("https://svc");
+        assert_eq!(backend.upload_count(), 1);
+        assert!(backend.saw_text("payload one"));
+    }
+
+    #[test]
+    fn blocked_xhr_never_reaches_backend() {
+        let mut browser = Browser::new();
+        browser.install_xhr_hook(Box::new(|r| {
+            if r.body.contains("secret") {
+                XhrDisposition::Block {
+                    reason: "leak".into(),
+                }
+            } else {
+                XhrDisposition::Allow
+            }
+        }));
+        let result = browser.xhr_send(XhrRequest::post("https://svc", "a secret thing"));
+        assert!(!result.is_delivered());
+        assert_eq!(browser.backend("https://svc").upload_count(), 0);
+    }
+
+    #[test]
+    fn rewritten_xhr_records_rewritten_body() {
+        let mut browser = Browser::new();
+        browser.install_xhr_hook(Box::new(|r| XhrDisposition::Rewrite {
+            body: format!("enc({})", r.body),
+        }));
+        browser.xhr_send(XhrRequest::post("https://svc", "plain"));
+        let backend = browser.backend("https://svc");
+        assert!(backend.saw_text("enc(plain)"));
+        assert!(!backend.saw_text_exactly("plain"));
+    }
+
+    #[test]
+    fn submit_listener_can_cancel() {
+        let mut browser = Browser::new();
+        browser.add_submit_listener(Box::new(|event| {
+            let leaky = event
+                .form()
+                .visible_fields()
+                .any(|f| f.value.contains("confidential"));
+            if leaky {
+                event.prevent_default("policy violation");
+            }
+        }));
+        let form = Form {
+            action: "https://wiki".into(),
+            fields: vec![FormField {
+                name: "content".into(),
+                value: "confidential rubric".into(),
+                hidden: false,
+            }],
+        };
+        let result = browser.submit_form(form);
+        assert_eq!(
+            result,
+            SendResult::Blocked {
+                reason: "policy violation".into()
+            }
+        );
+        assert_eq!(browser.backend("https://wiki").upload_count(), 0);
+    }
+
+    #[test]
+    fn clean_submission_is_recorded() {
+        let mut browser = Browser::new();
+        let form = Form {
+            action: "https://wiki".into(),
+            fields: vec![FormField {
+                name: "content".into(),
+                value: "public notes".into(),
+                hidden: false,
+            }],
+        };
+        assert!(browser.submit_form(form).is_delivered());
+        assert!(browser.backend("https://wiki").saw_text("public notes"));
+    }
+
+    #[test]
+    fn navigation_resets_document_and_observers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut browser = Browser::new();
+        let tab = browser.open_tab_with_html("https://a", "<p>old page</p>");
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired_cb = Arc::clone(&fired);
+        let root = browser.tab(tab).document().root();
+        browser.tab_mut(tab).observers_mut().observe(
+            root,
+            Box::new(move |_, records| {
+                fired_cb.fetch_add(records.len(), Ordering::SeqCst);
+            }),
+        );
+        browser.navigate(tab, "https://b", "<p>new page</p>");
+        assert_eq!(browser.tab(tab).origin(), "https://b");
+        assert_eq!(
+            browser.tab(tab).document().text_content(browser.tab(tab).document().root()),
+            "new page"
+        );
+        // The old observer is gone; mutations on the new page fire nothing.
+        let new_root = browser.tab(tab).document().root();
+        let p = browser.tab_mut(tab).document_mut().create_element("p");
+        browser.tab_mut(tab).document_mut().append_child(new_root, p);
+        browser.tab_mut(tab).flush_mutations();
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn clipboard_roundtrip() {
+        let mut browser = Browser::new();
+        assert_eq!(browser.paste(), None);
+        browser.copy("x");
+        assert_eq!(browser.paste(), Some("x".into()));
+    }
+}

@@ -1,0 +1,471 @@
+//! An arena-based DOM tree with queued mutation records.
+//!
+//! Mutations performed through [`Document`] methods are appended to a
+//! mutation queue; observers ([`crate::mutation::ObserverRegistry`]) drain that queue
+//! asynchronously, exactly like the microtask-based delivery of real DOM
+//! mutation observers. This is the property the BrowserFlow plug-in relies
+//! on: "since interception occurs in the browser, every modification to
+//! the DOM tree is visible" (§5.2).
+
+use std::collections::HashMap;
+
+/// Identifies a node within one [`Document`]'s arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The raw arena index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// What kind of node this is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element like `<p>` or `<div>`, with attributes.
+    Element {
+        /// Lowercase tag name.
+        tag: String,
+        /// Attribute map (`id`, `class`, ...).
+        attrs: HashMap<String, String>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    kind: NodeKind,
+    detached: bool,
+}
+
+/// A queued DOM mutation, in document order of occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationRecord {
+    /// A child was appended or inserted under `parent`.
+    ChildAdded {
+        /// The parent element.
+        parent: NodeId,
+        /// The node that was added.
+        child: NodeId,
+    },
+    /// A child was removed from `parent`.
+    ChildRemoved {
+        /// The parent element.
+        parent: NodeId,
+        /// The node that was removed (now detached).
+        child: NodeId,
+    },
+    /// A text node's content changed.
+    TextChanged {
+        /// The text node.
+        node: NodeId,
+    },
+}
+
+impl MutationRecord {
+    /// The node whose ancestors determine which observers see this record.
+    pub fn anchor(&self) -> NodeId {
+        match self {
+            MutationRecord::ChildAdded { parent, .. } => *parent,
+            MutationRecord::ChildRemoved { parent, .. } => *parent,
+            MutationRecord::TextChanged { node } => *node,
+        }
+    }
+}
+
+/// A DOM document: an arena of nodes rooted at [`Document::root`].
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_browser::dom::Document;
+///
+/// let mut doc = Document::new();
+/// let root = doc.root();
+/// let p = doc.create_element("p");
+/// let text = doc.create_text("Hello");
+/// doc.append_child(p, text);
+/// doc.append_child(root, p);
+/// assert_eq!(doc.text_content(root), "Hello");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+    pending_mutations: Vec<MutationRecord>,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Document {
+    /// Creates a document with an empty `<html>` root element.
+    pub fn new() -> Self {
+        let root_node = Node {
+            parent: None,
+            children: Vec::new(),
+            kind: NodeKind::Element {
+                tag: "html".into(),
+                attrs: HashMap::new(),
+            },
+            detached: false,
+        };
+        Self {
+            nodes: vec![root_node],
+            root: NodeId(0),
+            pending_mutations: Vec::new(),
+        }
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Creates a detached element node.
+    pub fn create_element(&mut self, tag: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Element {
+            tag: tag.into().to_ascii_lowercase(),
+            attrs: HashMap::new(),
+        })
+    }
+
+    /// Creates a detached text node.
+    pub fn create_text(&mut self, text: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Text(text.into()))
+    }
+
+    fn push_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            parent: None,
+            children: Vec::new(),
+            kind,
+            detached: true,
+        });
+        id
+    }
+
+    /// Appends `child` as the last child of `parent` and queues a
+    /// mutation record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` already has a parent, if `parent` is a text node,
+    /// or if either id is stale.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        self.insert_child(parent, child, usize::MAX);
+    }
+
+    /// Inserts `child` under `parent` at `index` (clamped to the child
+    /// count) and queues a mutation record.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Document::append_child`].
+    pub fn insert_child(&mut self, parent: NodeId, child: NodeId, index: usize) {
+        assert!(
+            matches!(self.node(parent).kind, NodeKind::Element { .. }),
+            "parent must be an element"
+        );
+        assert!(
+            self.node(child).parent.is_none(),
+            "child already has a parent"
+        );
+        let index = index.min(self.node(parent).children.len());
+        self.nodes[parent.0].children.insert(index, child);
+        self.nodes[child.0].parent = Some(parent);
+        self.nodes[child.0].detached = false;
+        self.pending_mutations
+            .push(MutationRecord::ChildAdded { parent, child });
+    }
+
+    /// Removes `child` from its parent, detaching its whole subtree, and
+    /// queues a mutation record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` has no parent.
+    pub fn remove_child(&mut self, child: NodeId) {
+        let parent = self.node(child).parent.expect("node has no parent");
+        self.nodes[parent.0].children.retain(|&c| c != child);
+        self.nodes[child.0].parent = None;
+        self.mark_detached(child);
+        self.pending_mutations
+            .push(MutationRecord::ChildRemoved { parent, child });
+    }
+
+    fn mark_detached(&mut self, node: NodeId) {
+        self.nodes[node.0].detached = true;
+        let children = self.nodes[node.0].children.clone();
+        for child in children {
+            self.mark_detached(child);
+        }
+    }
+
+    /// Replaces the content of a text node and queues a mutation record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a text node.
+    pub fn set_text(&mut self, node: NodeId, text: impl Into<String>) {
+        match &mut self.nodes[node.0].kind {
+            NodeKind::Text(content) => *content = text.into(),
+            NodeKind::Element { .. } => panic!("set_text on an element node"),
+        }
+        self.pending_mutations
+            .push(MutationRecord::TextChanged { node });
+    }
+
+    /// Sets an attribute on an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is a text node.
+    pub fn set_attr(&mut self, node: NodeId, name: impl Into<String>, value: impl Into<String>) {
+        match &mut self.nodes[node.0].kind {
+            NodeKind::Element { attrs, .. } => {
+                attrs.insert(name.into().to_ascii_lowercase(), value.into());
+            }
+            NodeKind::Text(_) => panic!("set_attr on a text node"),
+        }
+    }
+
+    /// Reads an attribute.
+    pub fn attr(&self, node: NodeId, name: &str) -> Option<&str> {
+        match &self.node(node).kind {
+            NodeKind::Element { attrs, .. } => attrs.get(name).map(String::as_str),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// The element's tag name, or `None` for text nodes.
+    pub fn tag(&self, node: NodeId) -> Option<&str> {
+        match &self.node(node).kind {
+            NodeKind::Element { tag, .. } => Some(tag),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// The node's kind.
+    pub fn kind(&self, node: NodeId) -> &NodeKind {
+        &self.node(node).kind
+    }
+
+    /// The node's parent.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.node(node).parent
+    }
+
+    /// The node's children, in order.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.node(node).children
+    }
+
+    /// Whether the node is detached from the tree.
+    pub fn is_detached(&self, node: NodeId) -> bool {
+        self.node(node).detached
+    }
+
+    /// Whether `ancestor` is `node` or one of its ancestors.
+    pub fn is_ancestor_or_self(&self, ancestor: NodeId, node: NodeId) -> bool {
+        let mut current = Some(node);
+        while let Some(id) = current {
+            if id == ancestor {
+                return true;
+            }
+            current = self.node(id).parent;
+        }
+        false
+    }
+
+    /// Depth-first iteration over the subtree rooted at `node`.
+    pub fn descendants(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            for &child in self.node(id).children.iter().rev() {
+                stack.push(child);
+            }
+        }
+        out
+    }
+
+    /// Concatenated text of all text nodes under `node`, joined with
+    /// single spaces where element boundaries separate them.
+    pub fn text_content(&self, node: NodeId) -> String {
+        let mut parts = Vec::new();
+        for id in self.descendants(node) {
+            if let NodeKind::Text(text) = &self.node(id).kind {
+                if !text.trim().is_empty() {
+                    parts.push(text.trim().to_string());
+                }
+            }
+        }
+        parts.join(" ")
+    }
+
+    /// All elements with the given tag under `node` (inclusive).
+    pub fn elements_by_tag(&self, node: NodeId, tag: &str) -> Vec<NodeId> {
+        self.descendants(node)
+            .into_iter()
+            .filter(|&id| self.tag(id) == Some(tag))
+            .collect()
+    }
+
+    /// First element (if any) whose `id` attribute equals `value`.
+    pub fn element_by_id(&self, value: &str) -> Option<NodeId> {
+        self.descendants(self.root)
+            .into_iter()
+            .find(|&id| self.attr(id, "id") == Some(value))
+    }
+
+    /// Drains the queued mutation records.
+    ///
+    /// Observers are expected to call this through
+    /// [`crate::mutation::ObserverRegistry::deliver`], which routes each
+    /// record to the observers watching an ancestor of its anchor.
+    pub fn take_mutations(&mut self) -> Vec<MutationRecord> {
+        std::mem::take(&mut self.pending_mutations)
+    }
+
+    /// Number of queued, undelivered mutation records.
+    pub fn pending_mutation_count(&self) -> usize {
+        self.pending_mutations.len()
+    }
+
+    /// Number of nodes ever created (the arena never shrinks).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId) {
+        let mut doc = Document::new();
+        let p = doc.create_element("p");
+        let text = doc.create_text("hello");
+        doc.append_child(p, text);
+        let root = doc.root();
+        doc.append_child(root, p);
+        (doc, p, text)
+    }
+
+    #[test]
+    fn build_and_read_tree() {
+        let (doc, p, text) = sample();
+        assert_eq!(doc.tag(p), Some("p"));
+        assert_eq!(doc.parent(text), Some(p));
+        assert_eq!(doc.children(p), &[text]);
+        assert_eq!(doc.text_content(doc.root()), "hello");
+        assert!(!doc.is_detached(p));
+    }
+
+    #[test]
+    fn text_content_joins_across_elements() {
+        let mut doc = Document::new();
+        let root = doc.root();
+        for word in ["alpha", "beta"] {
+            let span = doc.create_element("span");
+            let t = doc.create_text(word);
+            doc.append_child(span, t);
+            doc.append_child(root, span);
+        }
+        assert_eq!(doc.text_content(root), "alpha beta");
+    }
+
+    #[test]
+    fn mutations_are_queued_in_order() {
+        let (mut doc, p, text) = sample();
+        doc.take_mutations();
+        doc.set_text(text, "edited");
+        doc.remove_child(p);
+        let records = doc.take_mutations();
+        assert_eq!(
+            records,
+            vec![
+                MutationRecord::TextChanged { node: text },
+                MutationRecord::ChildRemoved {
+                    parent: doc.root(),
+                    child: p
+                },
+            ]
+        );
+        assert_eq!(doc.pending_mutation_count(), 0);
+    }
+
+    #[test]
+    fn removal_detaches_whole_subtree() {
+        let (mut doc, p, text) = sample();
+        doc.remove_child(p);
+        assert!(doc.is_detached(p));
+        assert!(doc.is_detached(text));
+        assert_eq!(doc.text_content(doc.root()), "");
+    }
+
+    #[test]
+    fn insert_child_at_index() {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let a = doc.create_element("a");
+        let b = doc.create_element("b");
+        let c = doc.create_element("c");
+        doc.append_child(root, a);
+        doc.append_child(root, c);
+        doc.insert_child(root, b, 1);
+        let tags: Vec<&str> = doc
+            .children(root)
+            .iter()
+            .map(|&id| doc.tag(id).unwrap())
+            .collect();
+        assert_eq!(tags, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ancestor_checks() {
+        let (doc, p, text) = sample();
+        assert!(doc.is_ancestor_or_self(doc.root(), text));
+        assert!(doc.is_ancestor_or_self(p, text));
+        assert!(doc.is_ancestor_or_self(text, text));
+        assert!(!doc.is_ancestor_or_self(text, p));
+    }
+
+    #[test]
+    fn attributes_and_id_lookup() {
+        let (mut doc, p, _) = sample();
+        doc.set_attr(p, "ID", "main");
+        assert_eq!(doc.attr(p, "id"), Some("main"));
+        assert_eq!(doc.element_by_id("main"), Some(p));
+        assert_eq!(doc.element_by_id("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "child already has a parent")]
+    fn double_append_panics() {
+        let (mut doc, p, _) = sample();
+        let root = doc.root();
+        doc.append_child(root, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_text on an element")]
+    fn set_text_on_element_panics() {
+        let (mut doc, p, _) = sample();
+        doc.set_text(p, "nope");
+    }
+}

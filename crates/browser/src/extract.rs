@@ -1,0 +1,191 @@
+//! Readability-style main-text extraction (§5.1).
+//!
+//! "The BrowserFlow plug-in inspects the DOM tree of each page after
+//! loading, searching for HTML elements with significant text. We apply a
+//! set of heuristics to rank elements according to how much 'interesting'
+//! text they contain and select the element with the highest score. These
+//! heuristics reward the existence of `<p>` tags, text that contains
+//! commas, and id attributes which have known representative values such
+//! as `article`. Similarly, they penalise bad class attribute names such
+//! as `footer` or `meta` and high number of links over text length."
+
+use crate::dom::{Document, NodeId, NodeKind};
+
+/// id/class substrings that suggest main content.
+const POSITIVE_HINTS: &[&str] = &[
+    "article", "content", "main", "post", "body", "entry", "text", "story",
+];
+
+/// id/class substrings that suggest boilerplate.
+const NEGATIVE_HINTS: &[&str] = &[
+    "footer", "meta", "nav", "sidebar", "comment", "banner", "ad", "menu", "header", "promo",
+];
+
+/// Container tags eligible to be "the" content element.
+const CANDIDATE_TAGS: &[&str] = &["div", "article", "section", "main", "td", "body"];
+
+/// The scored extraction result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extraction {
+    /// The winning element.
+    pub element: NodeId,
+    /// Its heuristic score.
+    pub score: f64,
+    /// The extracted text (all HTML structure removed).
+    pub text: String,
+    /// One entry per `<p>` under the winning element, for paragraph-level
+    /// tracking.
+    pub paragraphs: Vec<String>,
+}
+
+/// Scores one candidate element.
+pub fn score_element(doc: &Document, element: NodeId) -> f64 {
+    let text = doc.text_content(element);
+    if text.len() < 25 {
+        return 0.0;
+    }
+    let mut score = 0.0;
+
+    // Reward <p> descendants.
+    let paragraph_count = doc.elements_by_tag(element, "p").len();
+    score += paragraph_count as f64 * 25.0;
+
+    // Reward commas (prose marker).
+    score += text.matches(',').count() as f64 * 3.0;
+
+    // Reward text mass, capped so one huge blob cannot dominate hints.
+    score += (text.len() as f64 / 100.0).min(30.0);
+
+    // id/class hints.
+    for attr_name in ["id", "class"] {
+        if let Some(value) = doc.attr(element, attr_name) {
+            let value = value.to_ascii_lowercase();
+            if POSITIVE_HINTS.iter().any(|h| value.contains(h)) {
+                score += 40.0;
+            }
+            if NEGATIVE_HINTS.iter().any(|h| value.contains(h)) {
+                score -= 60.0;
+            }
+        }
+    }
+
+    // Penalise link-heavy elements.
+    let link_text: usize = doc
+        .elements_by_tag(element, "a")
+        .iter()
+        .map(|&a| doc.text_content(a).len())
+        .sum();
+    let link_density = link_text as f64 / text.len() as f64;
+    score *= 1.0 - link_density.min(1.0);
+
+    score.max(0.0)
+}
+
+/// Extracts the most interesting text element of the page, or `None` when
+/// no candidate scores above zero.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_browser::{extract, html};
+///
+/// let doc = html::parse(
+///     "<div class='nav'><a href='/'>Home</a> <a href='/x'>More</a></div>\
+///      <div id='article'><p>Interesting prose, with commas, and length enough to matter.</p>\
+///      <p>Another thoughtful paragraph, also with a comma.</p></div>\
+///      <div class='footer'>(c) 2016</div>",
+/// );
+/// let extraction = extract::extract_main_text(&doc).unwrap();
+/// assert!(extraction.text.contains("Interesting prose"));
+/// assert_eq!(extraction.paragraphs.len(), 2);
+/// ```
+pub fn extract_main_text(doc: &Document) -> Option<Extraction> {
+    let mut best: Option<(NodeId, f64)> = None;
+    for id in doc.descendants(doc.root()) {
+        let NodeKind::Element { tag, .. } = doc.kind(id) else {
+            continue;
+        };
+        if !CANDIDATE_TAGS.contains(&tag.as_str()) {
+            continue;
+        }
+        let score = score_element(doc, id);
+        if score > 0.0 && best.map(|(_, s)| score > s).unwrap_or(true) {
+            best = Some((id, score));
+        }
+    }
+    let (element, score) = best?;
+    let paragraphs: Vec<String> = doc
+        .elements_by_tag(element, "p")
+        .iter()
+        .map(|&p| doc.text_content(p))
+        .filter(|t| !t.is_empty())
+        .collect();
+    Some(Extraction {
+        element,
+        score,
+        text: doc.text_content(element),
+        paragraphs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::parse;
+
+    const PROSE: &str = "This paragraph discusses, at considerable length, the internal \
+                         interview guidelines, the evaluation criteria, and the scoring rubric.";
+
+    #[test]
+    fn prefers_content_div_over_nav_and_footer() {
+        let doc = parse(&format!(
+            "<div id='nav'><a href='/a'>A</a><a href='/b'>B</a><a href='/c'>C</a></div>\
+             <div id='content'><p>{PROSE}</p><p>{PROSE}</p></div>\
+             <div class='footer'>Copyright, legal, address, phone, imprint, notices.</div>"
+        ));
+        let extraction = extract_main_text(&doc).unwrap();
+        assert_eq!(doc.attr(extraction.element, "id"), Some("content"));
+        assert_eq!(extraction.paragraphs.len(), 2);
+    }
+
+    #[test]
+    fn link_density_penalises_menus() {
+        let doc = parse(&format!(
+            "<div id='menu'><a href='/1'>{PROSE}</a><a href='/2'>{PROSE}</a></div>\
+             <div id='story'><p>{PROSE}</p></div>"
+        ));
+        let extraction = extract_main_text(&doc).unwrap();
+        assert_eq!(doc.attr(extraction.element, "id"), Some("story"));
+    }
+
+    #[test]
+    fn returns_none_for_empty_pages() {
+        assert!(extract_main_text(&parse("")).is_none());
+        assert!(extract_main_text(&parse("<div>tiny</div>")).is_none());
+    }
+
+    #[test]
+    fn positive_id_hint_beats_plain_div() {
+        let doc = parse(&format!(
+            "<div><p>{PROSE}</p></div><div id='article-main'><p>{PROSE}</p></div>"
+        ));
+        let extraction = extract_main_text(&doc).unwrap();
+        assert_eq!(doc.attr(extraction.element, "id"), Some("article-main"));
+    }
+
+    #[test]
+    fn paragraphs_exclude_empty_ps() {
+        let doc = parse(&format!(
+            "<div id='content'><p>{PROSE}</p><p>  </p><p>{PROSE}</p></div>"
+        ));
+        let extraction = extract_main_text(&doc).unwrap();
+        assert_eq!(extraction.paragraphs.len(), 2);
+    }
+
+    #[test]
+    fn score_is_zero_for_short_text() {
+        let doc = parse("<div id='content'><p>short</p></div>");
+        let div = doc.element_by_id("content").unwrap();
+        assert_eq!(score_element(&doc, div), 0.0);
+    }
+}

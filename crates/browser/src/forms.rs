@@ -1,0 +1,209 @@
+//! HTML forms with interceptable submit events (§5.1).
+//!
+//! "BrowserFlow intercepts outgoing data transfers via HTML forms. It adds
+//! an event listener for the submit event of the `<form>` elements of web
+//! pages. When a user submits a form, the listener suppresses the outgoing
+//! web request, inspects all non-hidden `<input>` elements in the form and
+//! extracts their value attributes. If the action is not found to leak
+//! sensitive data according to the TDM, the listener allows the submit
+//! event to trigger the form submission."
+
+use crate::dom::{Document, NodeId};
+
+/// One field of a form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormField {
+    /// The input's `name` attribute.
+    pub name: String,
+    /// The input's current `value`.
+    pub value: String,
+    /// Whether the input is `type="hidden"`. Plug-in listeners only
+    /// inspect *non-hidden* inputs, per the paper.
+    pub hidden: bool,
+}
+
+/// A form snapshot extracted from the DOM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Form {
+    /// Destination origin (the form's `action`).
+    pub action: String,
+    /// The form's fields in document order.
+    pub fields: Vec<FormField>,
+}
+
+impl Form {
+    /// Extracts a form from a `<form>` element: its `action` attribute and
+    /// all descendant `<input>` and `<textarea>` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `form` is not a `<form>` element.
+    pub fn from_dom(doc: &Document, form: NodeId) -> Self {
+        assert_eq!(doc.tag(form), Some("form"), "node is not a <form>");
+        let action = doc.attr(form, "action").unwrap_or("").to_string();
+        let mut fields = Vec::new();
+        for id in doc.descendants(form) {
+            match doc.tag(id) {
+                Some("input") => fields.push(FormField {
+                    name: doc.attr(id, "name").unwrap_or("").to_string(),
+                    value: doc.attr(id, "value").unwrap_or("").to_string(),
+                    hidden: doc.attr(id, "type") == Some("hidden"),
+                }),
+                Some("textarea") => fields.push(FormField {
+                    name: doc.attr(id, "name").unwrap_or("").to_string(),
+                    value: doc.text_content(id),
+                    hidden: false,
+                }),
+                _ => {}
+            }
+        }
+        Self { action, fields }
+    }
+
+    /// The visible (non-hidden) fields — what plug-in listeners inspect.
+    pub fn visible_fields(&self) -> impl Iterator<Item = &FormField> {
+        self.fields.iter().filter(|f| !f.hidden)
+    }
+
+    /// Encodes the form as an `application/x-www-form-urlencoded`-style
+    /// body (without percent-escaping; the simulated transport carries
+    /// plain strings).
+    pub fn encode(&self) -> String {
+        self.fields
+            .iter()
+            .map(|f| format!("{}={}", f.name, f.value))
+            .collect::<Vec<_>>()
+            .join("&")
+    }
+}
+
+/// A cancellable submit event handed to listeners.
+#[derive(Debug)]
+pub struct SubmitEvent {
+    form: Form,
+    cancelled: bool,
+    cancel_reason: Option<String>,
+}
+
+impl SubmitEvent {
+    /// Wraps a form snapshot in an event.
+    pub fn new(form: Form) -> Self {
+        Self {
+            form,
+            cancelled: false,
+            cancel_reason: None,
+        }
+    }
+
+    /// The form being submitted.
+    pub fn form(&self) -> &Form {
+        &self.form
+    }
+
+    /// Mutable access — listeners may rewrite field values (e.g. encrypt
+    /// them) before the submission proceeds.
+    pub fn form_mut(&mut self) -> &mut Form {
+        &mut self.form
+    }
+
+    /// Suppresses the outgoing request.
+    pub fn prevent_default(&mut self, reason: impl Into<String>) {
+        self.cancelled = true;
+        self.cancel_reason = Some(reason.into());
+    }
+
+    /// Whether a listener suppressed the submission.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    /// The suppression reason, if cancelled.
+    pub fn cancel_reason(&self) -> Option<&str> {
+        self.cancel_reason.as_deref()
+    }
+
+    /// Consumes the event, returning the (possibly rewritten) form.
+    pub fn into_form(self) -> Form {
+        self.form
+    }
+}
+
+/// A listener for form submissions.
+pub type SubmitListener = Box<dyn FnMut(&mut SubmitEvent) + Send>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::parse;
+
+    fn wiki_form() -> (Document, NodeId) {
+        let doc = parse(
+            "<form action='https://wiki.internal/save'>\
+             <input type='hidden' name='csrf' value='token123'>\
+             <input name='title' value='Interview guidelines'>\
+             <textarea name='content'>The rubric awards points for clarity.</textarea>\
+             </form>",
+        );
+        let form = doc.elements_by_tag(doc.root(), "form")[0];
+        (doc, form)
+    }
+
+    #[test]
+    fn extracts_action_and_fields() {
+        let (doc, node) = wiki_form();
+        let form = Form::from_dom(&doc, node);
+        assert_eq!(form.action, "https://wiki.internal/save");
+        assert_eq!(form.fields.len(), 3);
+        assert_eq!(form.fields[0].name, "csrf");
+        assert!(form.fields[0].hidden);
+        assert_eq!(form.fields[2].value, "The rubric awards points for clarity.");
+    }
+
+    #[test]
+    fn visible_fields_exclude_hidden() {
+        let (doc, node) = wiki_form();
+        let form = Form::from_dom(&doc, node);
+        let names: Vec<&str> = form.visible_fields().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["title", "content"]);
+    }
+
+    #[test]
+    fn encode_joins_all_fields() {
+        let (doc, node) = wiki_form();
+        let encoded = Form::from_dom(&doc, node).encode();
+        assert!(encoded.starts_with("csrf=token123&title="));
+        assert!(encoded.contains("content=The rubric"));
+    }
+
+    #[test]
+    fn prevent_default_cancels() {
+        let (doc, node) = wiki_form();
+        let mut event = SubmitEvent::new(Form::from_dom(&doc, node));
+        assert!(!event.is_cancelled());
+        event.prevent_default("would leak interview data");
+        assert!(event.is_cancelled());
+        assert_eq!(event.cancel_reason(), Some("would leak interview data"));
+    }
+
+    #[test]
+    fn listeners_can_rewrite_values() {
+        let (doc, node) = wiki_form();
+        let mut event = SubmitEvent::new(Form::from_dom(&doc, node));
+        for field in &mut event.form_mut().fields {
+            if !field.hidden {
+                field.value = format!("enc({})", field.value);
+            }
+        }
+        let form = event.into_form();
+        assert!(form.fields[1].value.starts_with("enc("));
+        assert_eq!(form.fields[0].value, "token123");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a <form>")]
+    fn from_dom_rejects_non_forms() {
+        let doc = parse("<div></div>");
+        let div = doc.elements_by_tag(doc.root(), "div")[0];
+        Form::from_dom(&doc, div);
+    }
+}

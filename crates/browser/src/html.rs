@@ -1,0 +1,276 @@
+//! A small HTML parser and serialiser.
+//!
+//! Supports the subset of HTML the simulated services emit: nested
+//! elements with quoted attributes, text, comments, doctype, and void
+//! elements. Mis-nested closing tags are handled by closing up to the
+//! nearest matching open element (a simplification of the HTML5 adoption
+//! agency algorithm that is adequate for machine-generated pages).
+
+use crate::dom::{Document, NodeId, NodeKind};
+
+const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "source",
+    "track", "wbr",
+];
+
+/// Parses `html` into a fresh [`Document`] (content appended under the
+/// synthetic `<html>` root).
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_browser::html::parse;
+///
+/// let doc = parse("<div id='main'><p>Hello <b>world</b></p></div>");
+/// let main = doc.element_by_id("main").unwrap();
+/// assert_eq!(doc.text_content(main), "Hello world");
+/// ```
+pub fn parse(html: &str) -> Document {
+    let mut doc = Document::new();
+    let root = doc.root();
+    parse_into(&mut doc, root, html);
+    // Parsing is construction, not user-visible mutation.
+    doc.take_mutations();
+    doc
+}
+
+/// Parses `html` and appends the resulting nodes under `parent`.
+pub fn parse_into(doc: &mut Document, parent: NodeId, html: &str) {
+    let mut stack: Vec<NodeId> = vec![parent];
+    let bytes = html.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            if html[i..].starts_with("<!--") {
+                // Comment.
+                i = html[i..].find("-->").map(|j| i + j + 3).unwrap_or(bytes.len());
+                continue;
+            }
+            if html[i..].starts_with("<!") {
+                // Doctype or similar declaration.
+                i = html[i..].find('>').map(|j| i + j + 1).unwrap_or(bytes.len());
+                continue;
+            }
+            if html[i..].starts_with("</") {
+                let end = html[i..].find('>').map(|j| i + j).unwrap_or(bytes.len());
+                let name = html[i + 2..end].trim().to_ascii_lowercase();
+                // Close up to the nearest matching open element.
+                if let Some(pos) = stack.iter().rposition(|&id| doc.tag(id) == Some(&name)) {
+                    if pos > 0 {
+                        stack.truncate(pos);
+                    }
+                }
+                i = end + 1;
+                continue;
+            }
+            // Opening tag.
+            let end = html[i..].find('>').map(|j| i + j).unwrap_or(bytes.len());
+            let inner = &html[i + 1..end];
+            let self_closing = inner.ends_with('/');
+            let inner = inner.trim_end_matches('/').trim();
+            let (name, attr_text) = match inner.find(char::is_whitespace) {
+                Some(j) => (&inner[..j], &inner[j..]),
+                None => (inner, ""),
+            };
+            let name = name.to_ascii_lowercase();
+            if name.is_empty() {
+                i = end + 1;
+                continue;
+            }
+            let element = doc.create_element(&name);
+            for (attr_name, attr_value) in parse_attrs(attr_text) {
+                doc.set_attr(element, attr_name, attr_value);
+            }
+            let top = *stack.last().expect("stack never empty");
+            doc.append_child(top, element);
+            if !self_closing && !VOID_ELEMENTS.contains(&name.as_str()) {
+                stack.push(element);
+            }
+            i = if end < bytes.len() { end + 1 } else { bytes.len() };
+        } else {
+            let next_tag = html[i..].find('<').map(|j| i + j).unwrap_or(bytes.len());
+            let text = &html[i..next_tag];
+            if !text.trim().is_empty() {
+                let node = doc.create_text(decode_entities(text));
+                let top = *stack.last().expect("stack never empty");
+                doc.append_child(top, node);
+            }
+            i = next_tag;
+        }
+    }
+}
+
+fn parse_attrs(text: &str) -> Vec<(String, String)> {
+    let mut attrs = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < bytes.len() && bytes[i] != b'=' && !bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if name_start == i {
+            break;
+        }
+        let name = text[name_start..i].to_ascii_lowercase();
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let value = if i < bytes.len() && bytes[i] == b'=' {
+            i += 1;
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'\'') {
+                let quote = bytes[i];
+                i += 1;
+                let value_start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    i += 1;
+                }
+                let value = text[value_start..i].to_string();
+                i = (i + 1).min(bytes.len());
+                value
+            } else {
+                let value_start = i;
+                while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                text[value_start..i].to_string()
+            }
+        } else {
+            String::new()
+        };
+        attrs.push((name, decode_entities(&value)));
+    }
+    attrs
+}
+
+fn decode_entities(text: &str) -> String {
+    text.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&#39;", "'")
+        .replace("&amp;", "&")
+}
+
+fn encode_entities(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Serialises the subtree rooted at `node` back to HTML.
+pub fn serialize(doc: &Document, node: NodeId) -> String {
+    let mut out = String::new();
+    serialize_into(doc, node, &mut out);
+    out
+}
+
+fn serialize_into(doc: &Document, node: NodeId, out: &mut String) {
+    match doc.kind(node) {
+        NodeKind::Text(text) => out.push_str(&encode_entities(text)),
+        NodeKind::Element { tag, attrs } => {
+            out.push('<');
+            out.push_str(tag);
+            let mut names: Vec<&String> = attrs.keys().collect();
+            names.sort();
+            for name in names {
+                out.push(' ');
+                out.push_str(name);
+                out.push_str("=\"");
+                out.push_str(&attrs[name].replace('"', "&quot;"));
+                out.push('"');
+            }
+            out.push('>');
+            if VOID_ELEMENTS.contains(&tag.as_str()) {
+                return;
+            }
+            for &child in doc.children(node) {
+                serialize_into(doc, child, out);
+            }
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let doc = parse("<div><p>Hello <b>bold</b> world</p></div>");
+        let ps = doc.elements_by_tag(doc.root(), "p");
+        assert_eq!(ps.len(), 1);
+        assert_eq!(doc.text_content(ps[0]), "Hello bold world");
+    }
+
+    #[test]
+    fn parses_attributes_in_all_quote_styles() {
+        let doc = parse(r#"<a href="x" class='link main' id=plain data-empty>t</a>"#);
+        let a = doc.elements_by_tag(doc.root(), "a")[0];
+        assert_eq!(doc.attr(a, "href"), Some("x"));
+        assert_eq!(doc.attr(a, "class"), Some("link main"));
+        assert_eq!(doc.attr(a, "id"), Some("plain"));
+        assert_eq!(doc.attr(a, "data-empty"), Some(""));
+    }
+
+    #[test]
+    fn void_and_self_closing_elements_take_no_children() {
+        let doc = parse("<p>before<br>after</p><div><img src='x'/>text</div>");
+        let br = doc.elements_by_tag(doc.root(), "br")[0];
+        assert!(doc.children(br).is_empty());
+        let p = doc.elements_by_tag(doc.root(), "p")[0];
+        assert_eq!(doc.text_content(p), "before after");
+        let div = doc.elements_by_tag(doc.root(), "div")[0];
+        assert_eq!(doc.text_content(div), "text");
+    }
+
+    #[test]
+    fn skips_comments_and_doctype() {
+        let doc = parse("<!DOCTYPE html><!-- a comment --><p>real</p>");
+        assert_eq!(doc.text_content(doc.root()), "real");
+    }
+
+    #[test]
+    fn entities_roundtrip() {
+        let doc = parse("<p>a &lt;tag&gt; &amp; more</p>");
+        let p = doc.elements_by_tag(doc.root(), "p")[0];
+        assert_eq!(doc.text_content(p), "a <tag> & more");
+        let html = serialize(&doc, p);
+        assert_eq!(html, "<p>a &lt;tag&gt; &amp; more</p>");
+    }
+
+    #[test]
+    fn serialize_then_reparse_preserves_text() {
+        let original = "<div id=\"main\"><p>One.</p><p>Two, three.</p></div>";
+        let doc = parse(original);
+        let main = doc.element_by_id("main").unwrap();
+        let html = serialize(&doc, main);
+        let reparsed = parse(&html);
+        assert_eq!(
+            reparsed.text_content(reparsed.root()),
+            doc.text_content(main)
+        );
+    }
+
+    #[test]
+    fn mismatched_close_tags_do_not_panic() {
+        let doc = parse("<div><p>text</div></p><span>tail</span>");
+        assert!(doc.text_content(doc.root()).contains("text"));
+        assert!(doc.text_content(doc.root()).contains("tail"));
+    }
+
+    #[test]
+    fn truncated_input_does_not_panic() {
+        for html in ["<div", "<div attr=\"x", "<p>text</p", "</", "<"] {
+            let _ = parse(html);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! A simulated web-browser substrate for BrowserFlow.
+//!
+//! The paper implements BrowserFlow as a Google Chrome plug-in (§5). This
+//! crate provides an in-process model of exactly the interception surface
+//! that plug-in relies on, so the middleware's code paths can be exercised
+//! end-to-end without a real browser (see DESIGN.md §4 for the
+//! substitution rationale):
+//!
+//! - a [`dom`] tree whose mutations are observable through
+//!   mutation observers ([`mutation::ObserverRegistry`], §5.2),
+//! - [`forms`] whose `submit` events can be intercepted and suppressed
+//!   (§5.1 "Form-based interception"),
+//! - an [`xhr`] object whose `send` is dispatched through a replaceable
+//!   prototype slot, exposing a global interception point for all outgoing
+//!   requests (§5.2 "JavaScript prototypes"),
+//! - a Readability-style main-text [`extract`]or (§5.1 "Text extraction"),
+//! - [`services`]: a Google-Docs-like collaborative editor that syncs
+//!   every edit via XHR, a form-based wiki, and a static CMS page, each
+//!   with a backend that records exactly what reached the "server",
+//! - a [`Browser`] tying tabs, a clipboard and the service backends
+//!   together.
+//!
+//! # Example
+//!
+//! ```rust
+//! use browserflow_browser::{Browser, services::DocsApp};
+//!
+//! let mut browser = Browser::new();
+//! let tab = browser.open_tab("https://docs.example.com");
+//! let mut docs = DocsApp::attach(&mut browser, tab);
+//! docs.create_paragraph(&mut browser);
+//! docs.type_text(&mut browser, 0, "hello world");
+//! // Every edit was synced to the backend via an (interceptable) XHR.
+//! assert!(browser.backend("https://docs.example.com").upload_count() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod browser;
+pub mod dom;
+pub mod extract;
+pub mod forms;
+pub mod html;
+pub mod mutation;
+pub mod services;
+pub mod xhr;
+
+pub use browser::{Browser, Tab, TabId};
+pub use dom::{Document, NodeId};
+pub use xhr::{XhrDisposition, XhrRequest};

@@ -1,0 +1,234 @@
+//! Mutation observers (§5.2).
+//!
+//! "A mutation observer is an object that can be attached to an element in
+//! the DOM tree and receives notifications when any change occurs in the
+//! subtree rooted at that element." BrowserFlow attaches a *document
+//! observer* that watches paragraph creation/deletion and a *paragraph
+//! observer* that watches paragraph content.
+//!
+//! Delivery is explicit and batched, mirroring the microtask semantics of
+//! the real API: mutations accumulate in the [`crate::dom::Document`]'s
+//! queue until [`ObserverRegistry::deliver`] routes them to the observers
+//! watching an ancestor of each record's anchor node.
+
+use crate::dom::{Document, MutationRecord, NodeId};
+
+/// Identifies a registered observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObserverId(usize);
+
+/// A callback invoked with batched mutation records.
+///
+/// The callback receives mutable document access, as real observers may
+/// mutate the DOM in response (e.g. BrowserFlow recolours a paragraph).
+/// Mutations made inside a callback are queued and delivered on the
+/// *next* flush, which rules out same-flush reentrancy loops.
+pub type ObserverCallback = Box<dyn FnMut(&mut Document, &[MutationRecord]) + Send>;
+
+struct Registration {
+    id: ObserverId,
+    root: NodeId,
+    callback: ObserverCallback,
+}
+
+/// The registry of mutation observers attached to one document.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_browser::dom::Document;
+/// use browserflow_browser::mutation::ObserverRegistry;
+/// use std::sync::{Arc, Mutex};
+///
+/// let mut doc = Document::new();
+/// let mut observers = ObserverRegistry::new();
+/// let seen = Arc::new(Mutex::new(0usize));
+/// let seen_in_callback = Arc::clone(&seen);
+/// let root = doc.root();
+/// observers.observe(root, Box::new(move |_, records| {
+///     *seen_in_callback.lock().unwrap() += records.len();
+/// }));
+///
+/// let p = doc.create_element("p");
+/// doc.append_child(root, p);
+/// observers.deliver(&mut doc);
+/// assert_eq!(*seen.lock().unwrap(), 1);
+/// ```
+#[derive(Default)]
+pub struct ObserverRegistry {
+    registrations: Vec<Registration>,
+    next_id: usize,
+}
+
+impl std::fmt::Debug for ObserverRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverRegistry")
+            .field("observers", &self.registrations.len())
+            .finish()
+    }
+}
+
+impl ObserverRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches an observer to the subtree rooted at `root`.
+    pub fn observe(&mut self, root: NodeId, callback: ObserverCallback) -> ObserverId {
+        let id = ObserverId(self.next_id);
+        self.next_id += 1;
+        self.registrations.push(Registration {
+            id,
+            root,
+            callback,
+        });
+        id
+    }
+
+    /// Detaches an observer. Returns whether it was registered.
+    pub fn disconnect(&mut self, id: ObserverId) -> bool {
+        let before = self.registrations.len();
+        self.registrations.retain(|r| r.id != id);
+        self.registrations.len() != before
+    }
+
+    /// Number of attached observers.
+    pub fn len(&self) -> usize {
+        self.registrations.len()
+    }
+
+    /// Whether no observers are attached.
+    pub fn is_empty(&self) -> bool {
+        self.registrations.is_empty()
+    }
+
+    /// Drains the document's queued mutations and delivers each batch to
+    /// every observer whose root is an ancestor-or-self of the record's
+    /// anchor. Each observer receives one batched callback per delivery
+    /// (like one microtask flush).
+    pub fn deliver(&mut self, document: &mut Document) {
+        let records = document.take_mutations();
+        if records.is_empty() {
+            return;
+        }
+        for registration in &mut self.registrations {
+            let relevant: Vec<MutationRecord> = records
+                .iter()
+                .filter(|record| {
+                    let anchor = record.anchor();
+                    // Removed subtrees are detached but their ancestors at
+                    // removal time are captured through the record's parent
+                    // anchor, so ancestor checks still work.
+                    document.is_ancestor_or_self(registration.root, anchor)
+                })
+                .cloned()
+                .collect();
+            if !relevant.is_empty() {
+                (registration.callback)(document, &relevant);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn counter_callback(counter: Arc<AtomicUsize>) -> ObserverCallback {
+        Box::new(move |_, records| {
+            counter.fetch_add(records.len(), Ordering::SeqCst);
+        })
+    }
+
+    #[test]
+    fn observer_sees_subtree_mutations_only() {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let section_a = doc.create_element("div");
+        let section_b = doc.create_element("div");
+        doc.append_child(root, section_a);
+        doc.append_child(root, section_b);
+        doc.take_mutations(); // discard setup mutations
+
+        let mut observers = ObserverRegistry::new();
+        let count_a = Arc::new(AtomicUsize::new(0));
+        observers.observe(section_a, counter_callback(Arc::clone(&count_a)));
+
+        // Mutate inside section_b only.
+        let t = doc.create_text("x");
+        doc.append_child(section_b, t);
+        observers.deliver(&mut doc);
+        assert_eq!(count_a.load(Ordering::SeqCst), 0);
+
+        // Mutate inside section_a.
+        let t2 = doc.create_text("y");
+        doc.append_child(section_a, t2);
+        observers.deliver(&mut doc);
+        assert_eq!(count_a.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn batched_delivery() {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let mut observers = ObserverRegistry::new();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls_cb = Arc::clone(&calls);
+        observers.observe(
+            root,
+            Box::new(move |_, _| {
+                calls_cb.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        for _ in 0..5 {
+            let p = doc.create_element("p");
+            doc.append_child(root, p);
+        }
+        observers.deliver(&mut doc);
+        // Five records, one batched callback.
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        // Nothing pending afterwards; idempotent deliver.
+        observers.deliver(&mut doc);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn disconnect_stops_delivery() {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let mut observers = ObserverRegistry::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let id = observers.observe(root, counter_callback(Arc::clone(&count)));
+        assert!(observers.disconnect(id));
+        assert!(!observers.disconnect(id));
+        let p = doc.create_element("p");
+        doc.append_child(root, p);
+        observers.deliver(&mut doc);
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+        assert!(observers.is_empty());
+    }
+
+    #[test]
+    fn multiple_observers_each_get_relevant_records() {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let inner = doc.create_element("div");
+        doc.append_child(root, inner);
+        doc.take_mutations();
+
+        let mut observers = ObserverRegistry::new();
+        let root_count = Arc::new(AtomicUsize::new(0));
+        let inner_count = Arc::new(AtomicUsize::new(0));
+        observers.observe(root, counter_callback(Arc::clone(&root_count)));
+        observers.observe(inner, counter_callback(Arc::clone(&inner_count)));
+
+        let t = doc.create_text("x");
+        doc.append_child(inner, t);
+        observers.deliver(&mut doc);
+        assert_eq!(root_count.load(Ordering::SeqCst), 1);
+        assert_eq!(inner_count.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Service backends: the simulated "remote servers".
+
+use parking_lot::Mutex;
+
+/// How an upload reached the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UploadKind {
+    /// Via an asynchronous request (`XMLHttpRequest`).
+    Xhr,
+    /// Via an HTML form submission.
+    Form,
+}
+
+/// One recorded upload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Upload {
+    /// Transport used.
+    pub kind: UploadKind,
+    /// The body exactly as transmitted.
+    pub body: String,
+}
+
+/// A cloud service's backend: records every body that was actually
+/// transmitted to it.
+///
+/// Thread-safe; shared as `Arc<Backend>` between the browser and tests.
+#[derive(Debug)]
+pub struct Backend {
+    origin: String,
+    uploads: Mutex<Vec<Upload>>,
+}
+
+impl Backend {
+    /// Creates a backend for `origin`.
+    pub fn new(origin: impl Into<String>) -> Self {
+        Self {
+            origin: origin.into(),
+            uploads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The backend's origin.
+    pub fn origin(&self) -> &str {
+        &self.origin
+    }
+
+    /// Records an XHR body.
+    pub fn record_xhr(&self, body: String) {
+        self.uploads.lock().push(Upload {
+            kind: UploadKind::Xhr,
+            body,
+        });
+    }
+
+    /// Records a form submission body.
+    pub fn record_form(&self, body: String) {
+        self.uploads.lock().push(Upload {
+            kind: UploadKind::Form,
+            body,
+        });
+    }
+
+    /// Number of recorded uploads.
+    pub fn upload_count(&self) -> usize {
+        self.uploads.lock().len()
+    }
+
+    /// A snapshot of all uploads.
+    pub fn uploads(&self) -> Vec<Upload> {
+        self.uploads.lock().clone()
+    }
+
+    /// Whether any transmitted body *contains* `needle`.
+    ///
+    /// This is the evaluation's leak check: after a block decision, the
+    /// sensitive text must not appear in any upload.
+    pub fn saw_text(&self, needle: &str) -> bool {
+        self.uploads.lock().iter().any(|u| u.body.contains(needle))
+    }
+
+    /// Whether any transmitted body *equals* `needle`.
+    pub fn saw_text_exactly(&self, needle: &str) -> bool {
+        self.uploads.lock().iter().any(|u| u.body == needle)
+    }
+
+    /// Clears the recorded uploads (test helper).
+    pub fn clear(&self) {
+        self.uploads.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_kinds() {
+        let backend = Backend::new("https://svc");
+        backend.record_xhr("one".into());
+        backend.record_form("two".into());
+        let uploads = backend.uploads();
+        assert_eq!(uploads.len(), 2);
+        assert_eq!(uploads[0].kind, UploadKind::Xhr);
+        assert_eq!(uploads[1].kind, UploadKind::Form);
+        assert_eq!(backend.origin(), "https://svc");
+    }
+
+    #[test]
+    fn saw_text_is_substring_match() {
+        let backend = Backend::new("https://svc");
+        backend.record_xhr("the full body text".into());
+        assert!(backend.saw_text("full body"));
+        assert!(!backend.saw_text_exactly("full body"));
+        assert!(backend.saw_text_exactly("the full body text"));
+        assert!(!backend.saw_text("absent"));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let backend = Backend::new("https://svc");
+        backend.record_xhr("x".into());
+        backend.clear();
+        assert_eq!(backend.upload_count(), 0);
+    }
+}

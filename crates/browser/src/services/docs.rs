@@ -1,0 +1,229 @@
+//! A Google-Docs-like collaborative editor (§5.2).
+//!
+//! Like the real service, the editor "embeds directly into the DOM tree,
+//! uses custom formatting to make elements form paragraphs and pages, and
+//! communicates document mutations via AJAX requests each time a character
+//! is added or deleted". Paragraphs are `<div class="doc-paragraph">`
+//! elements inside `<div id="doc-editor">`; every editing operation
+//! queues DOM mutation records (visible to observers) and then syncs the
+//! changed paragraph to the backend via an interceptable XHR.
+
+use crate::browser::{Browser, TabId};
+use crate::dom::NodeId;
+use crate::xhr::{SendResult, XhrRequest};
+
+/// Handle to a docs editor living in one browser tab.
+#[derive(Debug, Clone)]
+pub struct DocsApp {
+    tab: TabId,
+    origin: String,
+    editor: NodeId,
+}
+
+impl DocsApp {
+    /// Builds the editor DOM inside `tab` and returns a handle.
+    pub fn attach(browser: &mut Browser, tab: TabId) -> Self {
+        let origin = browser.tab(tab).origin().to_string();
+        let document = browser.tab_mut(tab).document_mut();
+        let root = document.root();
+        let editor = document.create_element("div");
+        document.set_attr(editor, "id", "doc-editor");
+        document.append_child(root, editor);
+        // Building the editor shell is page setup, not user content.
+        document.take_mutations();
+        Self { tab, origin, editor }
+    }
+
+    /// The tab this editor lives in.
+    pub fn tab(&self) -> TabId {
+        self.tab
+    }
+
+    /// The editor's root element.
+    pub fn editor(&self) -> NodeId {
+        self.editor
+    }
+
+    /// The service origin.
+    pub fn origin(&self) -> &str {
+        &self.origin
+    }
+
+    /// Appends an empty paragraph; returns its index. Syncs the structural
+    /// change to the backend.
+    pub fn create_paragraph(&mut self, browser: &mut Browser) -> usize {
+        let document = browser.tab_mut(self.tab).document_mut();
+        let paragraph = document.create_element("div");
+        document.set_attr(paragraph, "class", "doc-paragraph");
+        let text = document.create_text("");
+        document.append_child(paragraph, text);
+        document.append_child(self.editor, paragraph);
+        let index = document.children(self.editor).len() - 1;
+        browser.tab_mut(self.tab).flush_mutations();
+        self.sync(browser, index, String::new());
+        index
+    }
+
+    /// Number of paragraphs.
+    pub fn paragraph_count(&self, browser: &Browser) -> usize {
+        browser
+            .tab(self.tab)
+            .document()
+            .children(self.editor)
+            .len()
+    }
+
+    /// The DOM node of paragraph `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn paragraph_node(&self, browser: &Browser, index: usize) -> NodeId {
+        browser.tab(self.tab).document().children(self.editor)[index]
+    }
+
+    /// The text of paragraph `index`.
+    pub fn paragraph_text(&self, browser: &Browser, index: usize) -> String {
+        let node = self.paragraph_node(browser, index);
+        browser.tab(self.tab).document().text_content(node)
+    }
+
+    /// Appends `text` to paragraph `index` (as a user typing or pasting
+    /// at the end), delivers mutation records to observers, then syncs
+    /// the paragraph via XHR. Returns the transport outcome.
+    pub fn type_text(
+        &mut self,
+        browser: &mut Browser,
+        index: usize,
+        text: &str,
+    ) -> SendResult {
+        let current = self.paragraph_text(browser, index);
+        let updated = if current.is_empty() {
+            text.to_string()
+        } else {
+            format!("{current}{text}")
+        };
+        self.set_paragraph_text(browser, index, &updated)
+    }
+
+    /// Replaces the text of paragraph `index`, delivers mutation records,
+    /// and syncs via XHR.
+    pub fn set_paragraph_text(
+        &mut self,
+        browser: &mut Browser,
+        index: usize,
+        text: &str,
+    ) -> SendResult {
+        let paragraph = self.paragraph_node(browser, index);
+        let document = browser.tab_mut(self.tab).document_mut();
+        let text_node = document.children(paragraph)[0];
+        document.set_text(text_node, text);
+        browser.tab_mut(self.tab).flush_mutations();
+        self.sync(browser, index, text.to_string())
+    }
+
+    /// Deletes paragraph `index` and syncs the structural change.
+    pub fn delete_paragraph(&mut self, browser: &mut Browser, index: usize) -> SendResult {
+        let paragraph = self.paragraph_node(browser, index);
+        browser
+            .tab_mut(self.tab)
+            .document_mut()
+            .remove_child(paragraph);
+        browser.tab_mut(self.tab).flush_mutations();
+        self.sync(browser, index, String::new())
+    }
+
+    /// Issues the mutation-sync XHR for paragraph `index` carrying `text`.
+    fn sync(&self, browser: &mut Browser, index: usize, text: String) -> SendResult {
+        let body = format!("mutate p{index}: {text}");
+        browser.xhr_send(XhrRequest::post(self.origin.clone(), body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xhr::XhrDisposition;
+
+    const ORIGIN: &str = "https://docs.example.com";
+
+    fn setup() -> (Browser, DocsApp) {
+        let mut browser = Browser::new();
+        let tab = browser.open_tab(ORIGIN);
+        let docs = DocsApp::attach(&mut browser, tab);
+        (browser, docs)
+    }
+
+    #[test]
+    fn typing_builds_paragraph_text() {
+        let (mut browser, mut docs) = setup();
+        let p = docs.create_paragraph(&mut browser);
+        docs.type_text(&mut browser, p, "hello");
+        docs.type_text(&mut browser, p, " world");
+        assert_eq!(docs.paragraph_text(&browser, p), "hello world");
+        assert_eq!(docs.paragraph_count(&browser), 1);
+    }
+
+    #[test]
+    fn every_edit_syncs_to_backend() {
+        let (mut browser, mut docs) = setup();
+        let p = docs.create_paragraph(&mut browser);
+        docs.type_text(&mut browser, p, "alpha");
+        docs.type_text(&mut browser, p, " beta");
+        let backend = browser.backend(ORIGIN);
+        // create + 2 edits
+        assert_eq!(backend.upload_count(), 3);
+        assert!(backend.saw_text("alpha beta"));
+    }
+
+    #[test]
+    fn mutations_are_visible_to_observers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let (mut browser, mut docs) = setup();
+        let count = Arc::new(AtomicUsize::new(0));
+        let count_cb = Arc::clone(&count);
+        let editor = docs.editor();
+        browser.tab_mut(docs.tab()).observers_mut().observe(
+            editor,
+            Box::new(move |_, records| {
+                count_cb.fetch_add(records.len(), Ordering::SeqCst);
+            }),
+        );
+        let p = docs.create_paragraph(&mut browser);
+        docs.type_text(&mut browser, p, "observed");
+        assert!(count.load(Ordering::SeqCst) >= 2); // paragraph added + text changed
+    }
+
+    #[test]
+    fn blocked_sync_leaves_dom_changed_but_backend_clean() {
+        let (mut browser, mut docs) = setup();
+        browser.install_xhr_hook(Box::new(|r| {
+            if r.body.contains("classified") {
+                XhrDisposition::Block {
+                    reason: "leak".into(),
+                }
+            } else {
+                XhrDisposition::Allow
+            }
+        }));
+        let p = docs.create_paragraph(&mut browser);
+        let result = docs.type_text(&mut browser, p, "classified memo");
+        assert!(!result.is_delivered());
+        // Local DOM reflects the edit...
+        assert_eq!(docs.paragraph_text(&browser, p), "classified memo");
+        // ...but the backend never saw it.
+        assert!(!browser.backend(ORIGIN).saw_text("classified"));
+    }
+
+    #[test]
+    fn delete_paragraph_removes_node() {
+        let (mut browser, mut docs) = setup();
+        let p0 = docs.create_paragraph(&mut browser);
+        docs.create_paragraph(&mut browser);
+        docs.type_text(&mut browser, p0, "first");
+        docs.delete_paragraph(&mut browser, 0);
+        assert_eq!(docs.paragraph_count(&browser), 1);
+        assert_eq!(docs.paragraph_text(&browser, 0), "");
+    }
+}

@@ -1,0 +1,30 @@
+//! Simulated cloud services.
+//!
+//! Four service archetypes, matching §5 of the paper:
+//!
+//! - [`DocsApp`]: a Google-Docs-like collaborative editor that embeds
+//!   user text directly into the DOM and syncs every edit to its backend
+//!   via an asynchronous request (§5.2 "dynamic web pages").
+//! - [`NotesApp`]: an Evernote-like notes editor with its own sync wire
+//!   format, showing that supporting further services needs only a
+//!   service-specific body parser (§5.2, §4.4).
+//! - [`WikiApp`]: a form-based internal wiki in the style of WordPress /
+//!   vBulletin, submitting content through an interceptable `<form>`
+//!   (§5.1 "static web pages").
+//! - [`static_site`]: a static CMS article page generator used to test
+//!   Readability-style text extraction.
+//!
+//! Every service records what actually reached its "remote server" in a
+//! [`Backend`], which is what the evaluation asserts against: a blocked
+//! upload must leave no trace in the backend.
+
+mod backend;
+mod docs;
+mod notes;
+pub mod static_site;
+mod wiki;
+
+pub use backend::{Backend, Upload, UploadKind};
+pub use docs::DocsApp;
+pub use notes::{parse_notes_sync, NotesApp};
+pub use wiki::WikiApp;

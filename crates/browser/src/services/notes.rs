@@ -1,0 +1,194 @@
+//! An Evernote-like notes service (§5.2).
+//!
+//! Demonstrates that the interception mechanisms generalise "with minimal
+//! effort" beyond Google Docs: the note editor keeps a title field and
+//! body blocks directly in the DOM, and syncs every change via XHR — but
+//! with its **own wire format** (`note-sync <field>=<text>`), so the
+//! middleware needs a service-specific transformation of the service's
+//! data to text segments (§4.4).
+
+use crate::browser::{Browser, TabId};
+use crate::dom::NodeId;
+use crate::xhr::{SendResult, XhrRequest};
+
+/// Handle to a notes editor living in one browser tab.
+#[derive(Debug, Clone)]
+pub struct NotesApp {
+    tab: TabId,
+    origin: String,
+    editor: NodeId,
+    title: NodeId,
+}
+
+impl NotesApp {
+    /// Builds the note-editor DOM inside `tab`.
+    pub fn attach(browser: &mut Browser, tab: TabId) -> Self {
+        let origin = browser.tab(tab).origin().to_string();
+        let document = browser.tab_mut(tab).document_mut();
+        let root = document.root();
+        let editor = document.create_element("div");
+        document.set_attr(editor, "id", "note-editor");
+        let title = document.create_element("div");
+        document.set_attr(title, "class", "note-title");
+        let title_text = document.create_text("");
+        document.append_child(title, title_text);
+        document.append_child(editor, title);
+        document.append_child(root, editor);
+        document.take_mutations(); // page setup
+        Self {
+            tab,
+            origin,
+            editor,
+            title,
+        }
+    }
+
+    /// The tab this editor lives in.
+    pub fn tab(&self) -> TabId {
+        self.tab
+    }
+
+    /// The editor's root element.
+    pub fn editor(&self) -> NodeId {
+        self.editor
+    }
+
+    /// The service origin.
+    pub fn origin(&self) -> &str {
+        &self.origin
+    }
+
+    /// Sets the note title and syncs it.
+    pub fn set_title(&mut self, browser: &mut Browser, text: &str) -> SendResult {
+        let document = browser.tab_mut(self.tab).document_mut();
+        let text_node = document.children(self.title)[0];
+        document.set_text(text_node, text);
+        browser.tab_mut(self.tab).flush_mutations();
+        self.sync(browser, "title", text)
+    }
+
+    /// Appends a body block; returns its index (0-based among blocks).
+    pub fn add_block(&mut self, browser: &mut Browser, text: &str) -> (usize, SendResult) {
+        let document = browser.tab_mut(self.tab).document_mut();
+        let block = document.create_element("div");
+        document.set_attr(block, "class", "note-block");
+        let text_node = document.create_text(text);
+        document.append_child(block, text_node);
+        document.append_child(self.editor, block);
+        let index = document.children(self.editor).len() - 2; // title excluded
+        browser.tab_mut(self.tab).flush_mutations();
+        let result = self.sync(browser, &format!("block{index}"), text);
+        (index, result)
+    }
+
+    /// Replaces the text of body block `index` and syncs it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_block(&mut self, browser: &mut Browser, index: usize, text: &str) -> SendResult {
+        let block = self.block_node(browser, index);
+        let document = browser.tab_mut(self.tab).document_mut();
+        let text_node = document.children(block)[0];
+        document.set_text(text_node, text);
+        browser.tab_mut(self.tab).flush_mutations();
+        self.sync(browser, &format!("block{index}"), text)
+    }
+
+    /// The DOM node of body block `index`.
+    pub fn block_node(&self, browser: &Browser, index: usize) -> NodeId {
+        browser.tab(self.tab).document().children(self.editor)[index + 1]
+    }
+
+    /// The text of body block `index`.
+    pub fn block_text(&self, browser: &Browser, index: usize) -> String {
+        let node = self.block_node(browser, index);
+        browser.tab(self.tab).document().text_content(node)
+    }
+
+    /// Number of body blocks.
+    pub fn block_count(&self, browser: &Browser) -> usize {
+        browser.tab(self.tab).document().children(self.editor).len() - 1
+    }
+
+    fn sync(&self, browser: &mut Browser, field: &str, text: &str) -> SendResult {
+        // The notes service's own wire format — different from the docs
+        // editor's `mutate pN: ...`.
+        let body = format!("note-sync {field}={text}");
+        browser.xhr_send(XhrRequest::post(self.origin.clone(), body))
+    }
+}
+
+/// Parses the notes wire format into a (segment index, text) pair:
+/// `title` maps to segment 0, `block<i>` to segment `i + 1`.
+///
+/// Plug-ins register this as the origin's service-specific transformation.
+pub fn parse_notes_sync(body: &str) -> Option<(usize, String)> {
+    let rest = body.strip_prefix("note-sync ")?;
+    let equals = rest.find('=')?;
+    let (field, text) = rest.split_at(equals);
+    let text = &text[1..];
+    let index = if field == "title" {
+        0
+    } else {
+        field.strip_prefix("block")?.parse::<usize>().ok()? + 1
+    };
+    Some((index, text.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xhr::XhrDisposition;
+
+    const ORIGIN: &str = "https://notes.example.com";
+
+    fn setup() -> (Browser, NotesApp) {
+        let mut browser = Browser::new();
+        let tab = browser.open_tab(ORIGIN);
+        let notes = NotesApp::attach(&mut browser, tab);
+        (browser, notes)
+    }
+
+    #[test]
+    fn title_and_blocks_roundtrip() {
+        let (mut browser, mut notes) = setup();
+        notes.set_title(&mut browser, "Meeting notes");
+        let (index, result) = notes.add_block(&mut browser, "first block");
+        assert_eq!(index, 0);
+        assert!(result.is_delivered());
+        notes.set_block(&mut browser, 0, "edited block");
+        assert_eq!(notes.block_text(&browser, 0), "edited block");
+        assert_eq!(notes.block_count(&browser), 1);
+        let backend = browser.backend(ORIGIN);
+        assert!(backend.saw_text("note-sync title=Meeting notes"));
+        assert!(backend.saw_text("note-sync block0=edited block"));
+    }
+
+    #[test]
+    fn wire_format_parses() {
+        assert_eq!(parse_notes_sync("note-sync title=Hi"), Some((0, "Hi".into())));
+        assert_eq!(
+            parse_notes_sync("note-sync block3=body text = with equals"),
+            Some((4, "body text = with equals".into()))
+        );
+        assert_eq!(parse_notes_sync("mutate p0: x"), None);
+        assert_eq!(parse_notes_sync("note-sync blockX=x"), None);
+        assert_eq!(parse_notes_sync("note-sync notafield"), None);
+    }
+
+    #[test]
+    fn blocked_sync_leaves_backend_clean() {
+        let (mut browser, mut notes) = setup();
+        browser.install_xhr_hook(Box::new(|r| {
+            if r.body.contains("classified") {
+                XhrDisposition::Block { reason: "leak".into() }
+            } else {
+                XhrDisposition::Allow
+            }
+        }));
+        let (_, result) = notes.add_block(&mut browser, "classified material");
+        assert!(!result.is_delivered());
+        assert!(!browser.backend(ORIGIN).saw_text("classified"));
+    }
+}

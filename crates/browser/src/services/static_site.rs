@@ -1,0 +1,93 @@
+//! Static CMS page generation (§5.1 "static web pages").
+//!
+//! Produces article pages in the shape emitted by Drupal or WordPress:
+//! navigation, an article body with `<p>` paragraphs, a comments block and
+//! a footer. Used to exercise the Readability-style extraction heuristics
+//! on realistic boilerplate.
+
+/// Renders a full article page.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_browser::services::static_site;
+/// use browserflow_browser::{extract, html};
+///
+/// let page = static_site::article_page(
+///     "Quarterly update",
+///     &["First paragraph, with a comma and enough length to be prose.".to_string(),
+///       "Second paragraph, also comma-rich, also long enough to matter.".to_string()],
+/// );
+/// let doc = html::parse(&page);
+/// let extraction = extract::extract_main_text(&doc).unwrap();
+/// assert_eq!(extraction.paragraphs.len(), 2);
+/// ```
+pub fn article_page(title: &str, paragraphs: &[String]) -> String {
+    let mut body = String::new();
+    for paragraph in paragraphs {
+        body.push_str("<p>");
+        body.push_str(paragraph);
+        body.push_str("</p>\n");
+    }
+    format!(
+        "<!DOCTYPE html>\n\
+         <html>\n\
+         <div class=\"site-header\"><a href=\"/\">Home</a> <a href=\"/about\">About</a> \
+         <a href=\"/archive\">Archive</a> <a href=\"/contact\">Contact</a></div>\n\
+         <div class=\"nav-menu\"><a href=\"/t/1\">Tag one</a><a href=\"/t/2\">Tag two</a>\
+         <a href=\"/t/3\">Tag three</a></div>\n\
+         <div id=\"article\" class=\"post-content\">\n<h1>{title}</h1>\n{body}</div>\n\
+         <div class=\"comment-section\"><p>Nice post!</p><p>Thanks for sharing.</p></div>\n\
+         <div class=\"footer\">Copyright. All rights reserved. Imprint. Privacy policy. \
+         Terms of service.</div>\n\
+         </html>"
+    )
+}
+
+/// Renders a bare fragment with just paragraphs (no boilerplate), for
+/// tests that need a minimal page.
+pub fn bare_page(paragraphs: &[String]) -> String {
+    let mut body = String::from("<div id=\"content\">");
+    for paragraph in paragraphs {
+        body.push_str("<p>");
+        body.push_str(paragraph);
+        body.push_str("</p>");
+    }
+    body.push_str("</div>");
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{extract, html};
+
+    fn prose(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "Paragraph number {i}, which contains commas, clauses, and plenty of \
+                     words so that the extraction heuristics score it as prose."
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extraction_finds_article_not_boilerplate() {
+        let page = article_page("Title", &prose(3));
+        let doc = html::parse(&page);
+        let extraction = extract::extract_main_text(&doc).unwrap();
+        assert_eq!(doc.attr(extraction.element, "id"), Some("article"));
+        assert_eq!(extraction.paragraphs.len(), 3);
+        assert!(!extraction.text.contains("Copyright"));
+        assert!(!extraction.text.contains("Nice post"));
+    }
+
+    #[test]
+    fn bare_page_parses() {
+        let doc = html::parse(&bare_page(&prose(2)));
+        let content = doc.element_by_id("content").unwrap();
+        assert_eq!(doc.elements_by_tag(content, "p").len(), 2);
+    }
+}

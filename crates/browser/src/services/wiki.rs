@@ -1,0 +1,168 @@
+//! A form-based internal wiki (§5.1).
+//!
+//! The edit page carries a `<form>` with a hidden CSRF token, a title
+//! input and a content textarea — the shape of WordPress comments or
+//! vBulletin posts. Saving goes through [`Browser::submit_form`], so
+//! plug-in submit listeners can inspect and suppress it.
+
+use crate::browser::{Browser, TabId};
+use crate::dom::NodeId;
+use crate::forms::Form;
+use crate::xhr::SendResult;
+
+/// Handle to a wiki edit page living in one browser tab.
+#[derive(Debug, Clone)]
+pub struct WikiApp {
+    tab: TabId,
+    origin: String,
+    form: NodeId,
+    title_input: NodeId,
+    content_area: NodeId,
+}
+
+impl WikiApp {
+    /// Builds the edit-page DOM inside `tab` and returns a handle.
+    pub fn attach(browser: &mut Browser, tab: TabId) -> Self {
+        let origin = browser.tab(tab).origin().to_string();
+        let document = browser.tab_mut(tab).document_mut();
+        let root = document.root();
+
+        let form = document.create_element("form");
+        document.set_attr(form, "action", origin.clone());
+        document.set_attr(form, "id", "wiki-edit");
+
+        let csrf = document.create_element("input");
+        document.set_attr(csrf, "type", "hidden");
+        document.set_attr(csrf, "name", "csrf");
+        document.set_attr(csrf, "value", "token-0000");
+        document.append_child(form, csrf);
+
+        let title_input = document.create_element("input");
+        document.set_attr(title_input, "name", "title");
+        document.set_attr(title_input, "value", "");
+        document.append_child(form, title_input);
+
+        let content_area = document.create_element("textarea");
+        document.set_attr(content_area, "name", "content");
+        let text = document.create_text("");
+        document.append_child(content_area, text);
+        document.append_child(form, content_area);
+
+        document.append_child(root, form);
+        document.take_mutations(); // page setup
+
+        Self {
+            tab,
+            origin,
+            form,
+            title_input,
+            content_area,
+        }
+    }
+
+    /// The tab this wiki page lives in.
+    pub fn tab(&self) -> TabId {
+        self.tab
+    }
+
+    /// The service origin.
+    pub fn origin(&self) -> &str {
+        &self.origin
+    }
+
+    /// Sets the title field.
+    pub fn set_title(&self, browser: &mut Browser, title: &str) {
+        let document = browser.tab_mut(self.tab).document_mut();
+        document.set_attr(self.title_input, "value", title);
+    }
+
+    /// Replaces the content textarea's text.
+    pub fn set_content(&self, browser: &mut Browser, content: &str) {
+        let document = browser.tab_mut(self.tab).document_mut();
+        let text_node = document.children(self.content_area)[0];
+        document.set_text(text_node, content);
+        browser.tab_mut(self.tab).flush_mutations();
+    }
+
+    /// The current content text.
+    pub fn content(&self, browser: &Browser) -> String {
+        browser
+            .tab(self.tab)
+            .document()
+            .text_content(self.content_area)
+    }
+
+    /// Snapshots the form as it would be submitted.
+    pub fn form_snapshot(&self, browser: &Browser) -> Form {
+        Form::from_dom(browser.tab(self.tab).document(), self.form)
+    }
+
+    /// Saves the page: extracts the form from the DOM and submits it
+    /// through the browser's (interceptable) submit path.
+    pub fn save(&self, browser: &mut Browser) -> SendResult {
+        let form = self.form_snapshot(browser);
+        browser.submit_form(form)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORIGIN: &str = "https://wiki.internal";
+
+    fn setup() -> (Browser, WikiApp) {
+        let mut browser = Browser::new();
+        let tab = browser.open_tab(ORIGIN);
+        let wiki = WikiApp::attach(&mut browser, tab);
+        (browser, wiki)
+    }
+
+    #[test]
+    fn edit_and_save_records_form_upload() {
+        let (mut browser, wiki) = setup();
+        wiki.set_title(&mut browser, "Guidelines");
+        wiki.set_content(&mut browser, "Interview rubric details.");
+        let result = wiki.save(&mut browser);
+        assert!(result.is_delivered());
+        let backend = browser.backend(ORIGIN);
+        assert_eq!(backend.upload_count(), 1);
+        assert!(backend.saw_text("content=Interview rubric details."));
+        assert!(backend.saw_text("csrf=token-0000"));
+    }
+
+    #[test]
+    fn listener_sees_visible_fields_only() {
+        let (mut browser, wiki) = setup();
+        wiki.set_content(&mut browser, "secret rubric");
+        browser.add_submit_listener(Box::new(|event| {
+            let names: Vec<String> = event
+                .form()
+                .visible_fields()
+                .map(|f| f.name.clone())
+                .collect();
+            assert_eq!(names, vec!["title", "content"]);
+            if event
+                .form()
+                .visible_fields()
+                .any(|f| f.value.contains("secret"))
+            {
+                event.prevent_default("leaks secret");
+            }
+        }));
+        let result = wiki.save(&mut browser);
+        assert!(!result.is_delivered());
+        assert_eq!(browser.backend(ORIGIN).upload_count(), 0);
+    }
+
+    #[test]
+    fn content_roundtrip() {
+        let (mut browser, wiki) = setup();
+        assert_eq!(wiki.content(&browser), "");
+        wiki.set_content(&mut browser, "draft text");
+        assert_eq!(wiki.content(&browser), "draft text");
+        // Overwrite.
+        wiki.set_content(&mut browser, "final text");
+        assert_eq!(wiki.content(&browser), "final text");
+    }
+}

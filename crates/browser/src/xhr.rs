@@ -1,0 +1,216 @@
+//! `XMLHttpRequest` with a replaceable `send` prototype slot (§5.2).
+//!
+//! "BrowserFlow intercepts communication to the remote back-end servers by
+//! redefining the `send` method in JavaScript's `XMLHttpRequest` object.
+//! [...] This permits BrowserFlow to inspect all data that gets
+//! transmitted, allowing or preventing the request."
+//!
+//! The [`XhrPrototype`] models that interception point: middleware
+//! installs hooks; every outgoing request is passed through the hook chain
+//! before it is delivered to the service backend.
+
+/// An outgoing asynchronous request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XhrRequest {
+    /// HTTP method (`POST` for all simulated service syncs).
+    pub method: String,
+    /// Destination origin, e.g. `https://docs.example.com`.
+    pub url: String,
+    /// The request body (already decoded; the middleware sees plain text
+    /// because interception happens inside the browser, before TLS).
+    pub body: String,
+}
+
+impl XhrRequest {
+    /// Creates a POST request.
+    pub fn post(url: impl Into<String>, body: impl Into<String>) -> Self {
+        Self {
+            method: "POST".into(),
+            url: url.into(),
+            body: body.into(),
+        }
+    }
+}
+
+/// What a send hook decides to do with a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XhrDisposition {
+    /// Let the request through unchanged.
+    Allow,
+    /// Suppress the request entirely.
+    Block {
+        /// Human-readable reason surfaced to the user.
+        reason: String,
+    },
+    /// Replace the body before transmission (the "encrypt confidential
+    /// data before upload" path).
+    Rewrite {
+        /// The replacement body.
+        body: String,
+    },
+}
+
+/// A hook installed in the `send` prototype slot.
+pub type SendHook = Box<dyn FnMut(&XhrRequest) -> XhrDisposition + Send>;
+
+/// The outcome of sending a request through the prototype chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendResult {
+    /// The request reached the backend with this final body.
+    Delivered {
+        /// The body as transmitted (possibly rewritten).
+        body: String,
+    },
+    /// A hook suppressed the request.
+    Blocked {
+        /// The blocking hook's reason.
+        reason: String,
+    },
+}
+
+impl SendResult {
+    /// Whether the request was delivered.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, SendResult::Delivered { .. })
+    }
+}
+
+/// The shared `XMLHttpRequest.prototype.send` slot.
+///
+/// Hooks run in installation order; the first [`XhrDisposition::Block`]
+/// wins, and [`XhrDisposition::Rewrite`]s compose (each later hook sees
+/// the rewritten body).
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_browser::xhr::{SendResult, XhrDisposition, XhrPrototype, XhrRequest};
+///
+/// let mut proto = XhrPrototype::new();
+/// proto.install_hook(Box::new(|request: &XhrRequest| {
+///     if request.body.contains("secret") {
+///         XhrDisposition::Block { reason: "policy violation".into() }
+///     } else {
+///         XhrDisposition::Allow
+///     }
+/// }));
+/// let blocked = proto.dispatch(XhrRequest::post("https://x", "a secret"));
+/// assert_eq!(blocked, SendResult::Blocked { reason: "policy violation".into() });
+/// ```
+#[derive(Default)]
+pub struct XhrPrototype {
+    hooks: Vec<SendHook>,
+}
+
+impl std::fmt::Debug for XhrPrototype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("XhrPrototype")
+            .field("hooks", &self.hooks.len())
+            .finish()
+    }
+}
+
+impl XhrPrototype {
+    /// Creates a prototype with the native (hook-free) `send`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a hook at the end of the chain.
+    pub fn install_hook(&mut self, hook: SendHook) {
+        self.hooks.push(hook);
+    }
+
+    /// Number of installed hooks.
+    pub fn hook_count(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// Runs the hook chain over `request` and returns the final outcome.
+    /// Does not itself deliver anywhere — the [`crate::Browser`] owns
+    /// delivery to backends.
+    pub fn dispatch(&mut self, mut request: XhrRequest) -> SendResult {
+        for hook in &mut self.hooks {
+            match hook(&request) {
+                XhrDisposition::Allow => {}
+                XhrDisposition::Block { reason } => return SendResult::Blocked { reason },
+                XhrDisposition::Rewrite { body } => request.body = body,
+            }
+        }
+        SendResult::Delivered { body: request.body }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_hooks_delivers_unchanged() {
+        let mut proto = XhrPrototype::new();
+        let result = proto.dispatch(XhrRequest::post("https://x", "payload"));
+        assert_eq!(
+            result,
+            SendResult::Delivered {
+                body: "payload".into()
+            }
+        );
+    }
+
+    #[test]
+    fn first_block_wins() {
+        let mut proto = XhrPrototype::new();
+        proto.install_hook(Box::new(|_| XhrDisposition::Block {
+            reason: "first".into(),
+        }));
+        proto.install_hook(Box::new(|_| XhrDisposition::Block {
+            reason: "second".into(),
+        }));
+        assert_eq!(
+            proto.dispatch(XhrRequest::post("https://x", "p")),
+            SendResult::Blocked {
+                reason: "first".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rewrites_compose_and_later_hooks_see_rewritten_body() {
+        let mut proto = XhrPrototype::new();
+        proto.install_hook(Box::new(|r| XhrDisposition::Rewrite {
+            body: format!("enc({})", r.body),
+        }));
+        proto.install_hook(Box::new(|r| {
+            assert!(r.body.starts_with("enc("));
+            XhrDisposition::Rewrite {
+                body: format!("signed({})", r.body),
+            }
+        }));
+        assert_eq!(
+            proto.dispatch(XhrRequest::post("https://x", "p")),
+            SendResult::Delivered {
+                body: "signed(enc(p))".into()
+            }
+        );
+    }
+
+    #[test]
+    fn hooks_can_filter_by_url() {
+        let mut proto = XhrPrototype::new();
+        proto.install_hook(Box::new(|r| {
+            if r.url.contains("untrusted") {
+                XhrDisposition::Block {
+                    reason: "untrusted destination".into(),
+                }
+            } else {
+                XhrDisposition::Allow
+            }
+        }));
+        assert!(proto
+            .dispatch(XhrRequest::post("https://trusted", "p"))
+            .is_delivered());
+        assert!(!proto
+            .dispatch(XhrRequest::post("https://untrusted", "p"))
+            .is_delivered());
+    }
+}

@@ -1,0 +1,148 @@
+//! Browser-level integration across all four service archetypes in one
+//! session: backend isolation, clipboard flows, and interception-surface
+//! composition (hooks + listeners together).
+
+use browserflow_browser::services::{static_site, DocsApp, NotesApp, WikiApp};
+use browserflow_browser::{extract, Browser, XhrDisposition};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const DOCS: &str = "https://docs.example.com";
+const NOTES: &str = "https://notes.example.com";
+const WIKI: &str = "https://wiki.internal";
+const CMS: &str = "https://cms.internal";
+
+#[test]
+fn four_service_session_keeps_backends_isolated() {
+    let mut browser = Browser::new();
+
+    // Static CMS page.
+    let page = static_site::article_page(
+        "Weekly update",
+        &["The weekly update covers, among other things, roadmap and staffing.".to_string()],
+    );
+    let cms_tab = browser.open_tab_with_html(CMS, &page);
+    let extraction =
+        extract::extract_main_text(browser.tab(cms_tab).document()).expect("page has content");
+    assert_eq!(extraction.paragraphs.len(), 1);
+
+    // Docs editor.
+    let docs_tab = browser.open_tab(DOCS);
+    let mut docs = DocsApp::attach(&mut browser, docs_tab);
+    docs.create_paragraph(&mut browser);
+    docs.type_text(&mut browser, 0, "doc content");
+
+    // Notes editor.
+    let notes_tab = browser.open_tab(NOTES);
+    let mut notes = NotesApp::attach(&mut browser, notes_tab);
+    notes.set_title(&mut browser, "note title");
+    notes.add_block(&mut browser, "note body");
+
+    // Form wiki.
+    let wiki_tab = browser.open_tab(WIKI);
+    let wiki = WikiApp::attach(&mut browser, wiki_tab);
+    wiki.set_content(&mut browser, "wiki content");
+    assert!(wiki.save(&mut browser).is_delivered());
+
+    // Each backend saw exactly its own traffic.
+    assert!(browser.backend(DOCS).saw_text("doc content"));
+    assert!(!browser.backend(DOCS).saw_text("note body"));
+    assert!(browser.backend(NOTES).saw_text("note body"));
+    assert!(!browser.backend(NOTES).saw_text("wiki content"));
+    assert!(browser.backend(WIKI).saw_text("wiki content"));
+    assert!(!browser.backend(WIKI).saw_text("doc content"));
+    assert_eq!(browser.backend(CMS).upload_count(), 0);
+    assert_eq!(browser.tab_count(), 4);
+}
+
+#[test]
+fn clipboard_carries_text_between_service_types() {
+    let mut browser = Browser::new();
+    let page = static_site::article_page(
+        "Source",
+        &["A paragraph worth copying, with commas, and enough length to matter.".to_string()],
+    );
+    let cms_tab = browser.open_tab_with_html(CMS, &page);
+    let extraction = extract::extract_main_text(browser.tab(cms_tab).document()).unwrap();
+    browser.copy(extraction.paragraphs[0].clone());
+
+    // Paste into the docs editor...
+    let docs_tab = browser.open_tab(DOCS);
+    let mut docs = DocsApp::attach(&mut browser, docs_tab);
+    docs.create_paragraph(&mut browser);
+    let pasted = browser.paste().unwrap();
+    docs.type_text(&mut browser, 0, &pasted);
+    assert!(browser.backend(DOCS).saw_text("worth copying"));
+
+    // ...and into a note, from the same clipboard.
+    let notes_tab = browser.open_tab(NOTES);
+    let mut notes = NotesApp::attach(&mut browser, notes_tab);
+    let pasted = browser.paste().unwrap();
+    notes.add_block(&mut browser, &pasted);
+    assert!(browser.backend(NOTES).saw_text("worth copying"));
+}
+
+#[test]
+fn one_xhr_hook_sees_traffic_from_every_dynamic_service() {
+    let mut browser = Browser::new();
+    let seen = Arc::new(AtomicUsize::new(0));
+    let seen_hook = Arc::clone(&seen);
+    browser.install_xhr_hook(Box::new(move |_| {
+        seen_hook.fetch_add(1, Ordering::SeqCst);
+        XhrDisposition::Allow
+    }));
+
+    let docs_tab = browser.open_tab(DOCS);
+    let mut docs = DocsApp::attach(&mut browser, docs_tab);
+    docs.create_paragraph(&mut browser); // 1 sync
+    docs.type_text(&mut browser, 0, "x"); // 1 sync
+    let notes_tab = browser.open_tab(NOTES);
+    let mut notes = NotesApp::attach(&mut browser, notes_tab);
+    notes.set_title(&mut browser, "t"); // 1 sync
+    notes.add_block(&mut browser, "b"); // 1 sync
+    assert_eq!(seen.load(Ordering::SeqCst), 4);
+
+    // Form submissions do not go through the XHR prototype.
+    let wiki_tab = browser.open_tab(WIKI);
+    let wiki = WikiApp::attach(&mut browser, wiki_tab);
+    wiki.set_content(&mut browser, "c");
+    wiki.save(&mut browser);
+    assert_eq!(seen.load(Ordering::SeqCst), 4);
+}
+
+#[test]
+fn hooks_and_listeners_compose_without_interfering() {
+    let mut browser = Browser::new();
+    // Hook blocks XHR bodies containing "alpha"; listener blocks form
+    // fields containing "beta". Each mechanism is scoped to its transport.
+    browser.install_xhr_hook(Box::new(|request| {
+        if request.body.contains("alpha") {
+            XhrDisposition::Block {
+                reason: "alpha".into(),
+            }
+        } else {
+            XhrDisposition::Allow
+        }
+    }));
+    browser.add_submit_listener(Box::new(|event| {
+        if event.form().visible_fields().any(|f| f.value.contains("beta")) {
+            event.prevent_default("beta");
+        }
+    }));
+
+    let docs_tab = browser.open_tab(DOCS);
+    let mut docs = DocsApp::attach(&mut browser, docs_tab);
+    docs.create_paragraph(&mut browser);
+    assert!(!docs.type_text(&mut browser, 0, "alpha leak").is_delivered());
+    // "beta" in an XHR is NOT blocked (the listener only guards forms).
+    assert!(docs
+        .set_paragraph_text(&mut browser, 0, "beta is fine here")
+        .is_delivered());
+
+    let wiki_tab = browser.open_tab(WIKI);
+    let wiki = WikiApp::attach(&mut browser, wiki_tab);
+    wiki.set_content(&mut browser, "beta leak");
+    assert!(!wiki.save(&mut browser).is_delivered());
+    wiki.set_content(&mut browser, "alpha is fine in a form");
+    assert!(wiki.save(&mut browser).is_delivered());
+}

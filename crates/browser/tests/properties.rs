@@ -1,0 +1,125 @@
+//! Property-based tests for the browser substrate: the HTML parser must
+//! never panic on arbitrary input, serialisation must round-trip, and the
+//! DOM must preserve its tree invariants under random operations.
+
+use browserflow_browser::dom::{Document, NodeId, NodeKind};
+use browserflow_browser::html;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary byte soup never panics the parser.
+    #[test]
+    fn parse_never_panics(input in ".{0,400}") {
+        let _ = html::parse(&input);
+    }
+
+    /// HTML-shaped noise never panics either.
+    #[test]
+    fn parse_tag_soup_never_panics(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("<div>".to_string()),
+            Just("</div>".to_string()),
+            Just("<p class='x'>".to_string()),
+            Just("</p>".to_string()),
+            Just("<br>".to_string()),
+            Just("<!-- c -->".to_string()),
+            Just("<".to_string()),
+            Just(">".to_string()),
+            "[a-z ]{0,12}",
+        ],
+        0..40,
+    )) {
+        let soup: String = parts.concat();
+        let doc = html::parse(&soup);
+        // Whatever was parsed, the tree is well-formed.
+        assert_tree_invariants(&doc);
+    }
+
+    /// serialize ∘ parse preserves text content.
+    #[test]
+    fn serialize_parse_preserves_text(words in proptest::collection::vec("[a-zA-Z0-9]{1,10}", 1..20)) {
+        let original = format!(
+            "<div id='content'><p>{}</p><p>{}</p></div>",
+            words.join(" "),
+            words.iter().rev().cloned().collect::<Vec<_>>().join(" ")
+        );
+        let doc = html::parse(&original);
+        let rendered = html::serialize(&doc, doc.root());
+        let reparsed = html::parse(&rendered);
+        prop_assert_eq!(
+            doc.text_content(doc.root()),
+            reparsed.text_content(reparsed.root())
+        );
+    }
+
+    /// Random append/remove/set_text sequences keep the tree consistent.
+    #[test]
+    fn dom_operations_preserve_invariants(ops in proptest::collection::vec(0u8..4, 0..60)) {
+        let mut doc = Document::new();
+        let mut live: Vec<NodeId> = vec![doc.root()];
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    // Append a new element under a random live node.
+                    let parent = live[step % live.len()];
+                    if matches!(doc.kind(parent), NodeKind::Element { .. }) {
+                        let child = doc.create_element("div");
+                        doc.append_child(parent, child);
+                        live.push(child);
+                    }
+                }
+                1 => {
+                    // Append a text node.
+                    let parent = live[step % live.len()];
+                    if matches!(doc.kind(parent), NodeKind::Element { .. }) {
+                        let text = doc.create_text(format!("t{step}"));
+                        doc.append_child(parent, text);
+                    }
+                }
+                2 => {
+                    // Remove a random non-root live node.
+                    if live.len() > 1 {
+                        let index = 1 + step % (live.len() - 1);
+                        let victim = live[index];
+                        if !doc.is_detached(victim) && doc.parent(victim).is_some() {
+                            doc.remove_child(victim);
+                        }
+                        live.remove(index);
+                    }
+                }
+                _ => {
+                    // Mutate text of a random text child, if any.
+                    let parent = live[step % live.len()];
+                    let text_child = doc
+                        .children(parent)
+                        .iter()
+                        .copied()
+                        .find(|&c| matches!(doc.kind(c), NodeKind::Text(_)));
+                    if let Some(node) = text_child {
+                        doc.set_text(node, format!("edited{step}"));
+                    }
+                }
+            }
+        }
+        assert_tree_invariants(&doc);
+        // Every queued mutation record anchors at a known node.
+        for record in doc.take_mutations() {
+            let _ = record.anchor();
+        }
+    }
+}
+
+/// Structural invariants: children's parent pointers match; no node is its
+/// own ancestor; detached flags are consistent for reachable nodes.
+fn assert_tree_invariants(doc: &Document) {
+    for id in doc.descendants(doc.root()) {
+        assert!(!doc.is_detached(id), "reachable node {id:?} marked detached");
+        for &child in doc.children(id) {
+            assert_eq!(doc.parent(child), Some(id));
+        }
+        assert!(doc.is_ancestor_or_self(doc.root(), id));
+        if let Some(parent) = doc.parent(id) {
+            assert!(doc.children(parent).contains(&id));
+        }
+    }
+}

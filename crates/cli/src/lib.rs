@@ -1,0 +1,170 @@
+//! `bfctl` — command-line tooling for BrowserFlow deployments.
+//!
+//! Administrators author the enterprise data disclosure policy as a JSON
+//! file (§3: "policies are set by enterprise-wide administrators once");
+//! `bfctl` validates and inspects those files, exports audit logs, and
+//! offers fingerprint utilities for tuning thresholds on real documents:
+//!
+//! ```text
+//! bfctl policy init                       print a template policy
+//! bfctl policy validate <policy.json>     parse + sanity-check a policy
+//! bfctl policy show <policy.json>         tabulate services and labels
+//! bfctl audit <policy.json>               print the suppression audit log
+//! bfctl fingerprint <file> [options]      fingerprint statistics for a text
+//! bfctl compare <a> <b> [options]         pairwise disclosure of two texts
+//! ```
+//!
+//! Options: `--ngram N` (default 15), `--window W` (default 30),
+//! `--threshold T` (default 0.5, `compare` only).
+//!
+//! The library entry point [`run`] returns the rendered output, which is
+//! what the test suite exercises; the `bfctl` binary prints it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod commands;
+mod options;
+
+pub use commands::run;
+pub use options::{CliError, FingerprintOptions};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_strs(args: &[&str]) -> Result<String, CliError> {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let output = run_strs(&["help"]).unwrap();
+        for command in ["policy init", "policy validate", "policy show", "audit", "fingerprint", "compare"] {
+            assert!(output.contains(command), "help lacks {command}");
+        }
+        // No args behaves like help.
+        assert_eq!(run_strs(&[]).unwrap(), output);
+    }
+
+    #[test]
+    fn unknown_command_is_a_usage_error() {
+        assert!(matches!(
+            run_strs(&["frobnicate"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_strs(&["policy", "bogus"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn policy_init_output_is_a_valid_policy() {
+        let template = run_strs(&["policy", "init"]).unwrap();
+        let policy: browserflow_tdm::Policy = serde_json::from_str(&template).unwrap();
+        assert!(policy.services().count() >= 2);
+    }
+
+    #[test]
+    fn policy_validate_roundtrip_via_tempfile() {
+        let template = run_strs(&["policy", "init"]).unwrap();
+        let path = std::env::temp_dir().join("bfctl-test-policy.json");
+        std::fs::write(&path, &template).unwrap();
+        let report = run_strs(&["policy", "validate", path.to_str().unwrap()]).unwrap();
+        assert!(report.contains("policy is valid"));
+        let shown = run_strs(&["policy", "show", path.to_str().unwrap()]).unwrap();
+        assert!(shown.contains("Lp"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn policy_validate_rejects_garbage() {
+        let path = std::env::temp_dir().join("bfctl-test-garbage.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(matches!(
+            run_strs(&["policy", "validate", path.to_str().unwrap()]),
+            Err(CliError::Json(_))
+        ));
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            run_strs(&["policy", "validate", "/definitely/missing.json"]),
+            Err(CliError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_reports_statistics() {
+        let path = std::env::temp_dir().join("bfctl-test-text.txt");
+        std::fs::write(
+            &path,
+            "A reasonably long paragraph of text, with commas and enough \
+             content to produce a handful of winnowed fingerprint hashes.",
+        )
+        .unwrap();
+        let output = run_strs(&["fingerprint", path.to_str().unwrap()]).unwrap();
+        assert!(output.contains("distinct hashes"));
+        assert!(output.contains("n-gram length:  15"));
+        // Custom parameters are honoured.
+        let output = run_strs(&[
+            "fingerprint",
+            path.to_str().unwrap(),
+            "--ngram",
+            "6",
+            "--window",
+            "4",
+        ])
+        .unwrap();
+        assert!(output.contains("n-gram length:  6"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compare_detects_disclosure_between_files() {
+        let dir = std::env::temp_dir();
+        let a = dir.join("bfctl-test-a.txt");
+        let b = dir.join("bfctl-test-b.txt");
+        let secret = "the quarterly revenue figures exceeded the forecast by \
+                      twelve percent according to the final consolidated report";
+        std::fs::write(&a, secret).unwrap();
+        std::fs::write(&b, format!("as discussed: {secret} -- please keep quiet")).unwrap();
+        let output = run_strs(&[
+            "compare",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--ngram",
+            "8",
+            "--window",
+            "6",
+        ])
+        .unwrap();
+        assert!(output.contains("DISCLOSURE"), "{output}");
+        // Unrelated text: no disclosure.
+        std::fs::write(&b, "gardening club minutes: tulips along the east fence").unwrap();
+        let output = run_strs(&[
+            "compare",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(output.contains("no disclosure"), "{output}");
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn bad_option_values_are_usage_errors() {
+        assert!(matches!(
+            run_strs(&["fingerprint", "x.txt", "--ngram", "zero"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_strs(&["fingerprint", "x.txt", "--ngram"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_strs(&["compare", "only-one.txt"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -1,0 +1,12 @@
+//! The `bfctl` binary.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match browserflow_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(error) => {
+            eprintln!("bfctl: {error}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Option parsing and error types for `bfctl`.
+
+use std::fmt;
+
+/// Errors surfaced to the `bfctl` user.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The command line was malformed; the message explains usage.
+    Usage(String),
+    /// A file could not be read.
+    Io(std::io::Error),
+    /// A policy file was not valid JSON / not a valid policy.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(message) => write!(f, "{message}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Json(e) => write!(f, "invalid policy file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+
+/// Fingerprint options shared by `fingerprint` and `compare`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FingerprintOptions {
+    /// n-gram length (`--ngram`, default 15).
+    pub ngram: usize,
+    /// Winnowing window (`--window`, default 30).
+    pub window: usize,
+    /// Disclosure threshold (`--threshold`, default 0.5).
+    pub threshold: f64,
+}
+
+impl Default for FingerprintOptions {
+    fn default() -> Self {
+        Self {
+            ngram: 15,
+            window: 30,
+            threshold: 0.5,
+        }
+    }
+}
+
+/// Splits positional arguments from `--flag value` options.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown flags, missing values, or
+/// unparsable numbers.
+pub(crate) fn parse_options(
+    args: &[String],
+) -> Result<(Vec<&str>, FingerprintOptions), CliError> {
+    let mut positional = Vec::new();
+    let mut options = FingerprintOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--ngram" => options.ngram = take_number(&mut iter, "--ngram")?,
+            "--window" => options.window = take_number(&mut iter, "--window")?,
+            "--threshold" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--threshold requires a value".into()))?;
+                options.threshold = raw.parse::<f64>().map_err(|_| {
+                    CliError::Usage(format!("--threshold requires a number, got {raw:?}"))
+                })?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option {flag}")));
+            }
+            _ => positional.push(arg.as_str()),
+        }
+    }
+    Ok((positional, options))
+}
+
+fn take_number(
+    iter: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<usize, CliError> {
+    let raw = iter
+        .next()
+        .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))?;
+    raw.parse::<usize>()
+        .map_err(|_| CliError::Usage(format!("{flag} requires a positive integer, got {raw:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_match_paper_configuration() {
+        let options = FingerprintOptions::default();
+        assert_eq!(options.ngram, 15);
+        assert_eq!(options.window, 30);
+        assert_eq!(options.threshold, 0.5);
+    }
+
+    #[test]
+    fn parses_mixed_positionals_and_flags() {
+        let args = strings(&["a.txt", "--ngram", "8", "b.txt", "--threshold", "0.3"]);
+        let (positional, options) = parse_options(&args).unwrap();
+        assert_eq!(positional, vec!["a.txt", "b.txt"]);
+        assert_eq!(options.ngram, 8);
+        assert_eq!(options.threshold, 0.3);
+        assert_eq!(options.window, 30);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse_options(&strings(&["--wat"])).is_err());
+        assert!(parse_options(&strings(&["--ngram", "-3"])).is_err());
+        assert!(parse_options(&strings(&["--window"])).is_err());
+        assert!(parse_options(&strings(&["--threshold", "much"])).is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! Asynchronous disclosure decisions (§6.2).
+//!
+//! "When a user modifies a document in Google Docs, BrowserFlow is
+//! triggered asynchronously on each key press. This means that users do
+//! not perceive any additional delay when typing — independently of
+//! BrowserFlow's response time — because the disclosure calculation
+//! occurs in a different process."
+//!
+//! [`AsyncDecider`] runs the middleware on a dedicated worker thread.
+//! Callers submit observe/check requests over a channel; each response
+//! carries the end-to-end latency (submission to decision), which is the
+//! quantity Figures 12 and 13 report.
+
+use crate::middleware::{BrowserFlow, MiddlewareError, UploadDecision};
+use browserflow_tdm::ServiceId;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A decision with its end-to-end latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedDecision {
+    /// The middleware's decision.
+    pub decision: Result<UploadDecision, MiddlewareError>,
+    /// Time from request submission to decision availability.
+    pub latency: Duration,
+}
+
+enum Request {
+    Observe {
+        service: ServiceId,
+        document: String,
+        index: usize,
+        text: String,
+        reply: Sender<Result<(), MiddlewareError>>,
+    },
+    Check {
+        service: ServiceId,
+        document: String,
+        index: usize,
+        text: String,
+        submitted: Instant,
+        reply: Sender<TimedDecision>,
+    },
+}
+
+/// Handle to a middleware instance running on a worker thread.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow::{AsyncDecider, BrowserFlow};
+/// use browserflow_tdm::Service;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let flow = BrowserFlow::builder()
+///     .service(Service::new("gdocs", "Google Docs"))
+///     .build()?;
+/// let decider = AsyncDecider::spawn(flow);
+/// let timed = decider.check(&"gdocs".into(), "draft", 0, "harmless text");
+/// assert!(timed.decision.is_ok());
+/// let _flow = decider.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AsyncDecider {
+    requests: Sender<Request>,
+    worker: Option<JoinHandle<BrowserFlow>>,
+}
+
+impl AsyncDecider {
+    /// Moves `flow` onto a worker thread and returns the handle.
+    pub fn spawn(mut flow: BrowserFlow) -> Self {
+        let (requests, inbox): (Sender<Request>, Receiver<Request>) = unbounded();
+        let worker = std::thread::Builder::new()
+            .name("browserflow-decider".into())
+            .spawn(move || {
+                for request in inbox {
+                    match request {
+                        Request::Observe {
+                            service,
+                            document,
+                            index,
+                            text,
+                            reply,
+                        } => {
+                            let result = flow
+                                .observe_paragraph(&service, &document, index, &text)
+                                .map(|_| ());
+                            let _ = reply.send(result);
+                        }
+                        Request::Check {
+                            service,
+                            document,
+                            index,
+                            text,
+                            submitted,
+                            reply,
+                        } => {
+                            let decision =
+                                flow.check_upload(&service, &document, index, &text);
+                            let _ = reply.send(TimedDecision {
+                                decision,
+                                latency: submitted.elapsed(),
+                            });
+                        }
+                    }
+                }
+                flow
+            })
+            .expect("worker thread spawns");
+        Self {
+            requests,
+            worker: Some(worker),
+        }
+    }
+
+    /// Observes a paragraph on the worker and waits for completion.
+    pub fn observe(
+        &self,
+        service: &ServiceId,
+        document: &str,
+        index: usize,
+        text: &str,
+    ) -> Result<(), MiddlewareError> {
+        let (reply, response) = bounded(1);
+        self.requests
+            .send(Request::Observe {
+                service: service.clone(),
+                document: document.to_string(),
+                index,
+                text: text.to_string(),
+                reply,
+            })
+            .expect("worker alive");
+        response.recv().expect("worker replies")
+    }
+
+    /// Submits a disclosure check and blocks until the timed decision
+    /// arrives.
+    pub fn check(
+        &self,
+        service: &ServiceId,
+        document: &str,
+        index: usize,
+        text: &str,
+    ) -> TimedDecision {
+        let (reply, response) = bounded(1);
+        self.requests
+            .send(Request::Check {
+                service: service.clone(),
+                document: document.to_string(),
+                index,
+                text: text.to_string(),
+                submitted: Instant::now(),
+                reply,
+            })
+            .expect("worker alive");
+        response.recv().expect("worker replies")
+    }
+
+    /// Submits a check without waiting; the reply arrives on the returned
+    /// channel. This is the fire-and-forget path a keystroke handler uses.
+    pub fn check_nonblocking(
+        &self,
+        service: &ServiceId,
+        document: &str,
+        index: usize,
+        text: &str,
+    ) -> Receiver<TimedDecision> {
+        let (reply, response) = bounded(1);
+        self.requests
+            .send(Request::Check {
+                service: service.clone(),
+                document: document.to_string(),
+                index,
+                text: text.to_string(),
+                submitted: Instant::now(),
+                reply,
+            })
+            .expect("worker alive");
+        response
+    }
+
+    /// Stops the worker and returns the middleware (with all its state).
+    pub fn shutdown(mut self) -> BrowserFlow {
+        drop(std::mem::replace(&mut self.requests, unbounded().0));
+        self.worker
+            .take()
+            .expect("worker not yet joined")
+            .join()
+            .expect("worker exits cleanly")
+    }
+}
+
+impl Drop for AsyncDecider {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            drop(std::mem::replace(&mut self.requests, unbounded().0));
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::middleware::UploadAction;
+    use browserflow_tdm::{Service, Tag, TagSet};
+
+    fn flow() -> BrowserFlow {
+        let ti = Tag::new("ti").unwrap();
+        BrowserFlow::builder()
+            .mode(crate::EnforcementMode::Block)
+            .service(
+                Service::new("itool", "Interview Tool")
+                    .with_privilege(TagSet::from_iter([ti.clone()]))
+                    .with_confidentiality(TagSet::from_iter([ti])),
+            )
+            .service(Service::new("gdocs", "Google Docs"))
+            .build()
+            .unwrap()
+    }
+
+    const SECRET: &str = "a long enough confidential paragraph about interview scoring \
+                          criteria to produce a solid fingerprint for matching";
+
+    #[test]
+    fn async_observe_then_check() {
+        let decider = AsyncDecider::spawn(flow());
+        decider
+            .observe(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+        let timed = decider.check(&"gdocs".into(), "draft", 0, SECRET);
+        let decision = timed.decision.unwrap();
+        assert_eq!(decision.action, UploadAction::Block);
+        assert!(timed.latency > Duration::ZERO);
+        let flow = decider.shutdown();
+        assert_eq!(flow.warnings().len(), 1);
+    }
+
+    #[test]
+    fn nonblocking_check_delivers_later() {
+        let decider = AsyncDecider::spawn(flow());
+        let response = decider.check_nonblocking(&"gdocs".into(), "draft", 0, "public text");
+        let timed = response.recv().unwrap();
+        assert_eq!(timed.decision.unwrap().action, UploadAction::Allow);
+    }
+
+    #[test]
+    fn requests_are_processed_in_order() {
+        let decider = AsyncDecider::spawn(flow());
+        // Observe must complete before the dependent check even when both
+        // are queued back to back.
+        decider
+            .observe(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+        let pending: Vec<_> = (0..8)
+            .map(|i| decider.check_nonblocking(&"gdocs".into(), "draft", i, SECRET))
+            .collect();
+        for response in pending {
+            assert_eq!(
+                response.recv().unwrap().decision.unwrap().action,
+                UploadAction::Block
+            );
+        }
+    }
+
+    #[test]
+    fn drop_without_shutdown_does_not_hang() {
+        let decider = AsyncDecider::spawn(flow());
+        drop(decider);
+    }
+}

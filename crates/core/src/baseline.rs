@@ -1,0 +1,109 @@
+//! An exact-match DLP baseline.
+//!
+//! Commercial data-leakage-prevention tools commonly match outgoing
+//! traffic against exact hashes of registered confidential content
+//! (§2.2). This baseline registers the hash of each *whole normalised
+//! segment* and flags an upload only when it equals a registered segment
+//! verbatim (after normalisation).
+//!
+//! The comparison benches use it to demonstrate the paper's core claim:
+//! exact matching collapses as soon as text is edited, reordered or
+//! partially quoted, while imprecise tracking degrades gracefully.
+
+use browserflow_fingerprint::normalize;
+use std::collections::HashSet;
+
+/// The exact-match baseline detector.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow::baseline::ExactMatchDlp;
+///
+/// let mut dlp = ExactMatchDlp::new();
+/// dlp.register("The launch date is March 1st.");
+/// // Verbatim copies (modulo case/punctuation) are caught...
+/// assert!(dlp.is_registered("the launch date is march 1st"));
+/// // ...but the slightest edit evades it.
+/// assert!(!dlp.is_registered("The launch date is now March 1st."));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExactMatchDlp {
+    segments: HashSet<u64>,
+}
+
+impl ExactMatchDlp {
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a confidential segment.
+    pub fn register(&mut self, text: &str) {
+        self.segments.insert(Self::digest(text));
+    }
+
+    /// Whether `text` equals a registered segment after normalisation.
+    pub fn is_registered(&self, text: &str) -> bool {
+        self.segments.contains(&Self::digest(text))
+    }
+
+    /// Number of registered segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    fn digest(text: &str) -> u64 {
+        // FNV-1a over the normalised text.
+        let normalized = normalize::normalize(text);
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in normalized.text().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECRET: &str = "The quarterly revenue figures exceed forecasts by twelve percent.";
+
+    #[test]
+    fn verbatim_and_cosmetic_copies_match() {
+        let mut dlp = ExactMatchDlp::new();
+        dlp.register(SECRET);
+        assert!(dlp.is_registered(SECRET));
+        assert!(dlp.is_registered(&SECRET.to_uppercase()));
+        assert!(dlp.is_registered("the quarterly revenue figures exceed forecasts by twelve percent"));
+    }
+
+    #[test]
+    fn any_content_edit_evades() {
+        let mut dlp = ExactMatchDlp::new();
+        dlp.register(SECRET);
+        assert!(!dlp.is_registered(
+            "The quarterly revenue figures exceed forecasts by thirteen percent."
+        ));
+        // Partial quote evades.
+        assert!(!dlp.is_registered("revenue figures exceed forecasts"));
+        // Embedding evades.
+        assert!(!dlp.is_registered(&format!("FYI: {SECRET}")));
+    }
+
+    #[test]
+    fn counts() {
+        let mut dlp = ExactMatchDlp::new();
+        assert!(dlp.is_empty());
+        dlp.register("a b c d");
+        dlp.register("A, b! C? d."); // same normalised content
+        assert_eq!(dlp.len(), 1);
+    }
+}

@@ -1,0 +1,520 @@
+//! The disclosure engine: fingerprinting + the two-granularity stores +
+//! decision caching, keyed by human-meaningful segment keys.
+
+use browserflow_fingerprint::{Fingerprint, FingerprintConfig, Fingerprinter};
+use browserflow_store::{DecisionCache, FingerprintDigest, FingerprintStore, SegmentId};
+use browserflow_tdm::ServiceId;
+use std::collections::HashMap;
+
+/// Identifies a document within a service.
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct DocKey {
+    /// The service hosting the document.
+    pub service: ServiceId,
+    /// Service-local document name.
+    pub document: String,
+}
+
+impl DocKey {
+    /// Creates a document key.
+    pub fn new(service: impl Into<ServiceId>, document: impl Into<String>) -> Self {
+        Self {
+            service: service.into(),
+            document: document.into(),
+        }
+    }
+}
+
+/// Which granularity a tracked segment belongs to (§4.1: paragraphs and
+/// entire documents are tracked independently).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum SegmentScope {
+    /// The `index`-th paragraph of the document.
+    Paragraph(usize),
+    /// The document as a whole.
+    Document,
+}
+
+/// A fully-qualified segment key: (service, document, scope).
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct SegmentKey {
+    /// The document the segment belongs to.
+    pub doc: DocKey,
+    /// Paragraph index or whole-document scope.
+    pub scope: SegmentScope,
+}
+
+impl SegmentKey {
+    /// Key for a paragraph.
+    pub fn paragraph(doc: DocKey, index: usize) -> Self {
+        Self {
+            doc,
+            scope: SegmentScope::Paragraph(index),
+        }
+    }
+
+    /// Key for a whole document.
+    pub fn document(doc: DocKey) -> Self {
+        Self {
+            doc,
+            scope: SegmentScope::Document,
+        }
+    }
+}
+
+impl std::fmt::Display for SegmentKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.scope {
+            SegmentScope::Paragraph(index) => write!(
+                f,
+                "{}/{}#p{}",
+                self.doc.service, self.doc.document, index
+            ),
+            SegmentScope::Document => {
+                write!(f, "{}/{}", self.doc.service, self.doc.document)
+            }
+        }
+    }
+}
+
+/// A disclosure detected by the engine: a stored source segment whose
+/// disclosure requirement the checked text violates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisclosureMatch {
+    /// The source segment.
+    pub source: SegmentKey,
+    /// Measured disclosure `D(source, text) ∈ (0, 1]`.
+    pub disclosure: f64,
+    /// The source's threshold.
+    pub threshold: f64,
+    /// Byte ranges of the checked text whose n-grams match the source's
+    /// stored fingerprint — what the UI highlights (paper Figure 2).
+    ///
+    /// Advisory: when a cached decision is reused after a cosmetic edit
+    /// (same winnowed hash set, different punctuation), offsets refer to
+    /// the text the decision was computed for.
+    pub matching_spans: Vec<std::ops::Range<usize>>,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EngineConfig {
+    /// Fingerprinting parameters (paper default: 15-char n-grams,
+    /// window 30, 32-bit hashes).
+    pub fingerprint: FingerprintConfig,
+    /// Default paragraph disclosure threshold `Tpar` (paper default 0.5).
+    pub default_tpar: f64,
+    /// Default document disclosure threshold `Tdoc`.
+    pub default_tdoc: f64,
+    /// Whether to cache disclosure decisions per segment fingerprint.
+    pub cache_decisions: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            fingerprint: FingerprintConfig::default(),
+            default_tpar: 0.5,
+            default_tdoc: 0.5,
+            cache_decisions: true,
+        }
+    }
+}
+
+/// The disclosure engine: owns the fingerprinter, the paragraph-granularity
+/// and document-granularity stores, the segment-key registry, and the
+/// decision cache.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow::{DisclosureEngine, DocKey, EngineConfig};
+///
+/// let mut engine = DisclosureEngine::new(EngineConfig::default());
+/// let source = DocKey::new("wiki", "guidelines");
+/// let text = "score candidates on communication, coding fluency, systems design \
+///             depth and the quality of their clarifying questions";
+/// engine.observe_paragraph(&source, 0, text, None);
+///
+/// let target = DocKey::new("gdocs", "draft");
+/// let matches = engine.check_paragraph(&target, 0, text);
+/// assert_eq!(matches.len(), 1);
+/// assert!(matches[0].disclosure > 0.99);
+/// ```
+#[derive(Debug)]
+pub struct DisclosureEngine {
+    config: EngineConfig,
+    fingerprinter: Fingerprinter,
+    paragraphs: FingerprintStore,
+    documents: FingerprintStore,
+    ids: HashMap<SegmentKey, SegmentId>,
+    keys: HashMap<SegmentId, SegmentKey>,
+    next_id: u64,
+    cache: DecisionCache<Vec<DisclosureMatch>>,
+}
+
+impl DisclosureEngine {
+    /// Creates an engine.
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            config,
+            fingerprinter: Fingerprinter::new(config.fingerprint),
+            paragraphs: FingerprintStore::new(),
+            documents: FingerprintStore::new(),
+            ids: HashMap::new(),
+            keys: HashMap::new(),
+            next_id: 0,
+            cache: DecisionCache::new(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The fingerprinter in use.
+    pub fn fingerprinter(&self) -> &Fingerprinter {
+        &self.fingerprinter
+    }
+
+    /// Resolves (or allocates) the [`SegmentId`] for a key.
+    pub fn segment_id(&mut self, key: &SegmentKey) -> SegmentId {
+        if let Some(&id) = self.ids.get(key) {
+            return id;
+        }
+        let id = SegmentId::new(self.next_id);
+        self.next_id += 1;
+        self.ids.insert(key.clone(), id);
+        self.keys.insert(id, key.clone());
+        id
+    }
+
+    /// The key for a known segment id.
+    pub fn segment_key(&self, id: SegmentId) -> Option<&SegmentKey> {
+        self.keys.get(&id)
+    }
+
+    /// Read-only id lookup: `None` if the key was never observed or
+    /// checked (unlike [`DisclosureEngine::segment_id`], never allocates).
+    pub fn segment_id_readonly(&self, key: &SegmentKey) -> Option<SegmentId> {
+        self.ids.get(key).copied()
+    }
+
+    /// Records (or re-records) a paragraph's fingerprint. `threshold`
+    /// falls back to the configured `Tpar` default. Returns the segment id.
+    pub fn observe_paragraph(
+        &mut self,
+        doc: &DocKey,
+        index: usize,
+        text: &str,
+        threshold: Option<f64>,
+    ) -> SegmentId {
+        let key = SegmentKey::paragraph(doc.clone(), index);
+        let id = self.segment_id(&key);
+        let print = self.fingerprinter.fingerprint(text);
+        self.paragraphs
+            .observe(id, &print, threshold.unwrap_or(self.config.default_tpar));
+        self.cache.invalidate(id);
+        id
+    }
+
+    /// Records (or re-records) a whole document's fingerprint.
+    pub fn observe_document(
+        &mut self,
+        doc: &DocKey,
+        text: &str,
+        threshold: Option<f64>,
+    ) -> SegmentId {
+        let key = SegmentKey::document(doc.clone());
+        let id = self.segment_id(&key);
+        let print = self.fingerprinter.fingerprint(text);
+        self.documents
+            .observe(id, &print, threshold.unwrap_or(self.config.default_tdoc));
+        self.cache.invalidate(id);
+        id
+    }
+
+    /// Updates a stored paragraph's disclosure threshold.
+    pub fn set_paragraph_threshold(&mut self, doc: &DocKey, index: usize, threshold: f64) -> bool {
+        let key = SegmentKey::paragraph(doc.clone(), index);
+        match self.ids.get(&key) {
+            Some(&id) => self.paragraphs.set_threshold(id, threshold),
+            None => false,
+        }
+    }
+
+    /// Updates a stored document's disclosure threshold `Tdoc`.
+    pub fn set_document_threshold(&mut self, doc: &DocKey, threshold: f64) -> bool {
+        let key = SegmentKey::document(doc.clone());
+        match self.ids.get(&key) {
+            Some(&id) => self.documents.set_threshold(id, threshold),
+            None => false,
+        }
+    }
+
+    /// Paragraph-granularity disclosure check: which stored paragraphs does
+    /// `text` (about to live at `doc`/`index`) disclose?
+    ///
+    /// The segment itself is never reported. Results are cached per
+    /// segment until its fingerprint changes (§6.2: one keystroke usually
+    /// leaves the winnowed fingerprint unchanged, so the previous response
+    /// is reused).
+    pub fn check_paragraph(
+        &mut self,
+        doc: &DocKey,
+        index: usize,
+        text: &str,
+    ) -> Vec<DisclosureMatch> {
+        let key = SegmentKey::paragraph(doc.clone(), index);
+        let id = self.segment_id(&key);
+        let print = self.fingerprinter.fingerprint(text);
+        let hashes = print.hash_set();
+        if self.config.cache_decisions {
+            let digest = FingerprintDigest::of(&hashes);
+            if let Some(cached) = self.cache.get(id, digest) {
+                return cached.clone();
+            }
+            let reports = self.paragraphs.disclosing_sources_of_hashes(id, &hashes);
+            let result = self.resolve_matches(reports, &print, &self.paragraphs);
+            self.cache.put(id, digest, result.clone());
+            result
+        } else {
+            let reports = self.paragraphs.disclosing_sources_of_hashes(id, &hashes);
+            self.resolve_matches(reports, &print, &self.paragraphs)
+        }
+    }
+
+    /// Document-granularity disclosure check (uncached; document checks are
+    /// issued per upload, not per keystroke).
+    pub fn check_document(&mut self, doc: &DocKey, text: &str) -> Vec<DisclosureMatch> {
+        let key = SegmentKey::document(doc.clone());
+        let id = self.segment_id(&key);
+        let print = self.fingerprinter.fingerprint(text);
+        let hashes = print.hash_set();
+        let reports = self.documents.disclosing_sources_of_hashes(id, &hashes);
+        self.resolve_matches(reports, &print, &self.documents)
+    }
+
+    fn resolve_matches(
+        &self,
+        reports: Vec<browserflow_store::DisclosureReport>,
+        target: &Fingerprint,
+        store: &FingerprintStore,
+    ) -> Vec<DisclosureMatch> {
+        reports
+            .into_iter()
+            .filter_map(|r| {
+                let key = self.keys.get(&r.source)?;
+                let matching_spans = match store.segment(r.source) {
+                    Some(stored) => target
+                        .iter()
+                        .filter(|entry| stored.contains(entry.hash()))
+                        .map(|entry| entry.span())
+                        .collect(),
+                    None => Vec::new(),
+                };
+                Some(DisclosureMatch {
+                    source: key.clone(),
+                    disclosure: r.disclosure,
+                    threshold: r.threshold,
+                    matching_spans,
+                })
+            })
+            .collect()
+    }
+
+    /// Number of distinct hashes across the paragraph store (used by the
+    /// Figure 13 scalability experiment).
+    pub fn paragraph_hash_count(&self) -> usize {
+        self.paragraphs.hash_count()
+    }
+
+    /// Number of tracked paragraph segments.
+    pub fn paragraph_count(&self) -> usize {
+        self.paragraphs.segment_count()
+    }
+
+    /// Number of tracked document segments.
+    pub fn document_count(&self) -> usize {
+        self.documents.segment_count()
+    }
+
+    /// Cache (hits, misses) counters.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// The paragraph-granularity store (read access, for persistence).
+    pub fn paragraph_store(&self) -> &FingerprintStore {
+        &self.paragraphs
+    }
+
+    /// The document-granularity store (read access, for persistence).
+    pub fn document_store(&self) -> &FingerprintStore {
+        &self.documents
+    }
+
+    /// A snapshot of the key↔id registry (for persistence).
+    pub fn key_map(&self) -> Vec<(SegmentKey, SegmentId)> {
+        let mut entries: Vec<(SegmentKey, SegmentId)> =
+            self.ids.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        entries.sort_by_key(|entry| entry.1);
+        entries
+    }
+
+    /// Reassembles an engine from persisted parts (see
+    /// [`crate::BrowserFlow::export_sealed`]). The decision cache starts
+    /// cold.
+    pub fn from_parts(
+        config: EngineConfig,
+        paragraphs: FingerprintStore,
+        documents: FingerprintStore,
+        key_map: Vec<(SegmentKey, SegmentId)>,
+    ) -> Self {
+        let mut ids = HashMap::new();
+        let mut keys = HashMap::new();
+        let mut next_id = 0u64;
+        for (key, id) in key_map {
+            next_id = next_id.max(id.get() + 1);
+            ids.insert(key.clone(), id);
+            keys.insert(id, key);
+        }
+        Self {
+            config,
+            fingerprinter: Fingerprinter::new(config.fingerprint),
+            paragraphs,
+            documents,
+            ids,
+            keys,
+            next_id,
+            cache: DecisionCache::new(),
+        }
+    }
+
+    /// Evicts every paragraph fingerprint stored before this call (the
+    /// periodic old-fingerprint removal of §4.4). Evicted segments are no
+    /// longer reported as sources; re-observing re-establishes tracking.
+    /// Returns how many segments were evicted.
+    pub fn evict_paragraphs_older_than_now(&mut self) -> usize {
+        let cutoff = self.paragraphs.now();
+        let evicted = self.paragraphs.evict_older_than(cutoff);
+        if evicted > 0 {
+            self.cache.clear();
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browserflow_fingerprint::FingerprintConfig;
+
+    fn engine() -> DisclosureEngine {
+        DisclosureEngine::new(EngineConfig {
+            fingerprint: FingerprintConfig::builder()
+                .ngram_len(6)
+                .window(4)
+                .build()
+                .unwrap(),
+            ..EngineConfig::default()
+        })
+    }
+
+    const SECRET: &str = "the confidential interview rubric awards extra points for \
+                          candidates who ask incisive clarifying questions early";
+
+    #[test]
+    fn observe_then_check_roundtrip() {
+        let mut engine = engine();
+        let wiki = DocKey::new("wiki", "rubric");
+        engine.observe_paragraph(&wiki, 0, SECRET, None);
+        let gdocs = DocKey::new("gdocs", "draft");
+        let matches = engine.check_paragraph(&gdocs, 0, SECRET);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].source, SegmentKey::paragraph(wiki, 0));
+        assert!(matches[0].disclosure > 0.99);
+    }
+
+    #[test]
+    fn self_check_reports_nothing() {
+        let mut engine = engine();
+        let wiki = DocKey::new("wiki", "rubric");
+        engine.observe_paragraph(&wiki, 0, SECRET, None);
+        assert!(engine.check_paragraph(&wiki, 0, SECRET).is_empty());
+    }
+
+    #[test]
+    fn cache_hits_on_unchanged_fingerprint() {
+        let mut engine = engine();
+        let wiki = DocKey::new("wiki", "rubric");
+        engine.observe_paragraph(&wiki, 0, SECRET, None);
+        let gdocs = DocKey::new("gdocs", "draft");
+        engine.check_paragraph(&gdocs, 0, SECRET);
+        let (hits_before, _) = engine.cache_stats();
+        engine.check_paragraph(&gdocs, 0, SECRET);
+        let (hits_after, _) = engine.cache_stats();
+        assert_eq!(hits_after, hits_before + 1);
+    }
+
+    #[test]
+    fn observation_invalidates_cache() {
+        let mut engine = engine();
+        let wiki = DocKey::new("wiki", "rubric");
+        engine.observe_paragraph(&wiki, 0, SECRET, None);
+        let gdocs = DocKey::new("gdocs", "draft");
+        assert_eq!(engine.check_paragraph(&gdocs, 0, SECRET).len(), 1);
+        // The gdocs paragraph is observed (stored); its cached decision must
+        // be invalidated so the next check is recomputed.
+        engine.observe_paragraph(&gdocs, 0, SECRET, None);
+        let matches = engine.check_paragraph(&gdocs, 0, SECRET);
+        assert_eq!(matches.len(), 1, "still discloses the wiki source");
+    }
+
+    #[test]
+    fn document_and_paragraph_granularities_are_independent() {
+        let mut engine = engine();
+        let wiki = DocKey::new("wiki", "rubric");
+        engine.observe_document(&wiki, SECRET, None);
+        // Only the document store knows the text.
+        let gdocs = DocKey::new("gdocs", "draft");
+        assert!(engine.check_paragraph(&gdocs, 0, SECRET).is_empty());
+        assert_eq!(engine.check_document(&gdocs, SECRET).len(), 1);
+        // Checks allocate ids but only observations store fingerprints.
+        assert_eq!(engine.document_count(), 1);
+        assert_eq!(engine.paragraph_count(), 0);
+    }
+
+    #[test]
+    fn segment_keys_display() {
+        let doc = DocKey::new("wiki", "rubric");
+        assert_eq!(
+            SegmentKey::paragraph(doc.clone(), 3).to_string(),
+            "wiki/rubric#p3"
+        );
+        assert_eq!(SegmentKey::document(doc).to_string(), "wiki/rubric");
+    }
+
+    #[test]
+    fn threshold_override() {
+        let mut engine = engine();
+        let wiki = DocKey::new("wiki", "rubric");
+        engine.observe_paragraph(&wiki, 0, SECRET, Some(1.0));
+        let gdocs = DocKey::new("gdocs", "draft");
+        // Half the text does not meet a 1.0 threshold.
+        let half = &SECRET[..SECRET.len() / 2];
+        assert!(engine.check_paragraph(&gdocs, 0, half).is_empty());
+        assert!(engine.set_paragraph_threshold(&wiki, 0, 0.1));
+        // Invalidate the cached decision by changing the checked text
+        // (different digest) — then the lower threshold fires.
+        let half_edited = format!("{half} trailing words");
+        assert_eq!(engine.check_paragraph(&gdocs, 0, &half_edited).len(), 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Response-time instrumentation for the performance evaluation (§6.2).
+
+use std::time::Duration;
+
+/// A collection of response-time samples with percentile and CDF helpers.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow::ResponseTimes;
+/// use std::time::Duration;
+///
+/// let mut times = ResponseTimes::new();
+/// for ms in [10u64, 20, 30, 40, 50] {
+///     times.record(Duration::from_millis(ms));
+/// }
+/// assert_eq!(times.percentile(0.5), Duration::from_millis(30));
+/// assert_eq!(times.max(), Some(Duration::from_millis(50)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResponseTimes {
+    samples: Vec<Duration>,
+}
+
+impl ResponseTimes {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples in recording order.
+    pub fn samples(&self) -> &[Duration] {
+        &self.samples
+    }
+
+    /// The `p`-th percentile (`p ∈ [0, 1]`, nearest-rank method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn percentile(&self, p: f64) -> Duration {
+        assert!(!self.samples.is_empty(), "no samples recorded");
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: Duration = self.samples.iter().sum();
+        Some(total / self.samples.len() as u32)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<Duration> {
+        self.samples.iter().max().copied()
+    }
+
+    /// Fraction of samples at or below `bound`.
+    pub fn fraction_within(&self, bound: Duration) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|&&s| s <= bound).count() as f64 / self.samples.len() as f64
+    }
+
+    /// `(duration, cumulative_fraction)` points of the empirical CDF, one
+    /// per sample, sorted — the series plotted in Figure 12.
+    pub fn cdf(&self) -> Vec<(Duration, f64)> {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as f64;
+        sorted
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (d, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+impl Extend<Duration> for ResponseTimes {
+    fn extend<I: IntoIterator<Item = Duration>>(&mut self, iter: I) {
+        self.samples.extend(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(ms: &[u64]) -> ResponseTimes {
+        let mut t = ResponseTimes::new();
+        t.extend(ms.iter().map(|&m| Duration::from_millis(m)));
+        t
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let t = times(&[100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]);
+        assert_eq!(t.percentile(0.95), Duration::from_millis(1000));
+        assert_eq!(t.percentile(0.9), Duration::from_millis(900));
+        assert_eq!(t.percentile(0.0), Duration::from_millis(100));
+        assert_eq!(t.percentile(1.0), Duration::from_millis(1000));
+    }
+
+    #[test]
+    fn percentile_is_order_independent() {
+        let a = times(&[300, 100, 200]);
+        let b = times(&[100, 200, 300]);
+        assert_eq!(a.percentile(0.5), b.percentile(0.5));
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let t = times(&[10, 20, 30]);
+        assert_eq!(t.mean(), Some(Duration::from_millis(20)));
+        assert_eq!(t.max(), Some(Duration::from_millis(30)));
+        assert_eq!(ResponseTimes::new().mean(), None);
+    }
+
+    #[test]
+    fn fraction_within() {
+        let t = times(&[10, 20, 30, 40]);
+        assert_eq!(t.fraction_within(Duration::from_millis(20)), 0.5);
+        assert_eq!(t.fraction_within(Duration::from_millis(5)), 0.0);
+        assert_eq!(t.fraction_within(Duration::from_millis(100)), 1.0);
+    }
+
+    #[test]
+    fn cdf_reaches_one() {
+        let t = times(&[30, 10, 20]);
+        let cdf = t.cdf();
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0].0, Duration::from_millis(10));
+        assert!((cdf[2].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn percentile_of_empty_panics() {
+        ResponseTimes::new().percentile(0.5);
+    }
+}

@@ -1,0 +1,1102 @@
+//! The BrowserFlow middleware: policy lookup + policy enforcement.
+//!
+//! Figure 1 of the paper: the plug-in intercepts data from browser tabs
+//! before it is sent to the remote servers. A *policy lookup* module
+//! extracts the security label associated with the text being uploaded
+//! (via imprecise data flow tracking), and a *policy enforcement* module
+//! compares that label with the destination service's privilege label and
+//! takes the appropriate action — permit, warn, block, or encrypt.
+
+use crate::engine::{DisclosureEngine, DisclosureMatch, DocKey, EngineConfig, SegmentKey};
+use crate::short_secret::ShortSecret;
+use browserflow_store::{SegmentId, StoreKey};
+use browserflow_tdm::{
+    Policy, PolicyError, SegmentLabel, Service, ServiceId, Tag, TagSet, UserId,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What the enforcement module does when an upload violates the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnforcementMode {
+    /// Advisory (the paper's default posture): record a warning — shown as
+    /// a red paragraph background — but let the upload proceed; the user
+    /// makes the final disclosure decision.
+    #[default]
+    Advisory,
+    /// Suppress violating uploads.
+    Block,
+    /// Encrypt violating uploads before transmission (§5: "can also
+    /// encrypt confidential data before upload").
+    Encrypt,
+}
+
+/// The action BrowserFlow takes for one upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UploadAction {
+    /// No violation: release in plain text.
+    Allow,
+    /// Violation under [`EnforcementMode::Advisory`]: warn but release.
+    Warn,
+    /// Violation under [`EnforcementMode::Block`]: suppress.
+    Block,
+    /// Violation under [`EnforcementMode::Encrypt`]: encrypt before upload.
+    Encrypt,
+}
+
+/// One policy violation behind a non-allow decision.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Violation {
+    /// The source segment whose data the upload would disclose.
+    pub source: SegmentKey,
+    /// Measured disclosure of that source by the uploaded text.
+    pub disclosure: f64,
+    /// The tags the destination service lacks.
+    pub missing_tags: TagSet,
+    /// Byte ranges of the uploaded text that match the source — what the
+    /// UI highlights when warning the user (paper Figure 2).
+    pub matching_spans: Vec<std::ops::Range<usize>>,
+}
+
+/// The outcome of [`BrowserFlow::check_upload`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct UploadDecision {
+    /// What to do with the upload.
+    pub action: UploadAction,
+    /// The violations (empty when `action` is [`UploadAction::Allow`]).
+    pub violations: Vec<Violation>,
+}
+
+impl UploadDecision {
+    /// Whether the upload may reach the service in plain text.
+    pub fn releases_plaintext(&self) -> bool {
+        matches!(self.action, UploadAction::Allow | UploadAction::Warn)
+    }
+}
+
+/// A recorded warning (the advisory UI trail: which paragraph went red,
+/// when, and why).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Warning {
+    /// The segment the user was editing.
+    pub segment: SegmentKey,
+    /// The destination service of the intercepted upload.
+    pub destination: ServiceId,
+    /// The violations that triggered the warning.
+    pub violations: Vec<Violation>,
+}
+
+/// The status of a paragraph after [`BrowserFlow::observe_paragraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParagraphStatus {
+    /// The paragraph's segment id.
+    pub segment: SegmentId,
+    /// The label the lookup module computed for it.
+    pub label: SegmentLabel,
+    /// Sources it currently discloses.
+    pub matches: Vec<DisclosureMatch>,
+    /// Whether the paragraph should be flagged in the UI (it discloses
+    /// data its own service is not privileged to hold).
+    pub flagged: bool,
+}
+
+/// Errors from middleware operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MiddlewareError {
+    /// The policy rejected the operation.
+    Policy(PolicyError),
+    /// The referenced segment has never been observed.
+    UnknownSegment {
+        /// The key that failed to resolve.
+        key: String,
+    },
+}
+
+impl fmt::Display for MiddlewareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiddlewareError::Policy(e) => write!(f, "policy error: {e}"),
+            MiddlewareError::UnknownSegment { key } => {
+                write!(f, "segment {key} has never been observed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MiddlewareError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MiddlewareError::Policy(e) => Some(e),
+            MiddlewareError::UnknownSegment { .. } => None,
+        }
+    }
+}
+
+impl From<PolicyError> for MiddlewareError {
+    fn from(e: PolicyError) -> Self {
+        MiddlewareError::Policy(e)
+    }
+}
+
+/// Error building a [`BrowserFlow`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A service was registered twice.
+    Policy(PolicyError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Policy(e) => write!(f, "invalid policy: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for [`BrowserFlow`].
+#[derive(Debug, Default)]
+pub struct BrowserFlowBuilder {
+    policy: Option<Policy>,
+    services: Vec<Service>,
+    engine: EngineConfig,
+    mode: EnforcementMode,
+    store_key: Option<StoreKey>,
+}
+
+impl BrowserFlowBuilder {
+    /// Starts from a complete policy (e.g. loaded from a `bfctl`-authored
+    /// JSON file). Services added with [`BrowserFlowBuilder::service`] are
+    /// registered on top.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Registers a service with its labels.
+    pub fn service(mut self, service: Service) -> Self {
+        self.services.push(service);
+        self
+    }
+
+    /// Sets the engine configuration (fingerprinting + thresholds).
+    pub fn engine(mut self, config: EngineConfig) -> Self {
+        self.engine = config;
+        self
+    }
+
+    /// Sets the enforcement mode for violations.
+    pub fn mode(mut self, mode: EnforcementMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the key used to encrypt uploads under
+    /// [`EnforcementMode::Encrypt`] and fingerprint data at rest.
+    pub fn store_key(mut self, key: StoreKey) -> Self {
+        self.store_key = Some(key);
+        self
+    }
+
+    /// Builds the middleware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Policy`] if two services share an id.
+    pub fn build(self) -> Result<BrowserFlow, BuildError> {
+        let mut policy = self.policy.unwrap_or_default();
+        for service in self.services {
+            policy.register(service).map_err(BuildError::Policy)?;
+        }
+        Ok(BrowserFlow {
+            engine: DisclosureEngine::new(self.engine),
+            policy,
+            labels: HashMap::new(),
+            mode: self.mode,
+            warnings: Vec::new(),
+            store_key: self.store_key,
+            seal_nonce: 0,
+            short_secrets: Vec::new(),
+        })
+    }
+}
+
+/// The BrowserFlow middleware.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct BrowserFlow {
+    engine: DisclosureEngine,
+    policy: Policy,
+    labels: HashMap<SegmentId, SegmentLabel>,
+    mode: EnforcementMode,
+    warnings: Vec<Warning>,
+    store_key: Option<StoreKey>,
+    seal_nonce: u64,
+    short_secrets: Vec<ShortSecret>,
+}
+
+impl BrowserFlow {
+    /// Starts building a middleware instance.
+    pub fn builder() -> BrowserFlowBuilder {
+        BrowserFlowBuilder::default()
+    }
+
+    /// The data disclosure policy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Mutable policy access (admin operations).
+    pub fn policy_mut(&mut self) -> &mut Policy {
+        &mut self.policy
+    }
+
+    /// The disclosure engine.
+    pub fn engine(&self) -> &DisclosureEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access.
+    pub fn engine_mut(&mut self) -> &mut DisclosureEngine {
+        &mut self.engine
+    }
+
+    /// The enforcement mode.
+    pub fn mode(&self) -> EnforcementMode {
+        self.mode
+    }
+
+    /// Changes the enforcement mode.
+    pub fn set_mode(&mut self, mode: EnforcementMode) {
+        self.mode = mode;
+    }
+
+    /// The recorded warnings, oldest first.
+    pub fn warnings(&self) -> &[Warning] {
+        &self.warnings
+    }
+
+    /// Warnings whose intercepted upload targeted `service`.
+    pub fn warnings_for<'a>(
+        &'a self,
+        service: &'a ServiceId,
+    ) -> impl Iterator<Item = &'a Warning> + 'a {
+        self.warnings.iter().filter(move |w| &w.destination == service)
+    }
+
+    /// Clears the warning trail (e.g. after the user reviewed it).
+    pub fn clear_warnings(&mut self) {
+        self.warnings.clear();
+    }
+
+    /// **Policy lookup** (Figure 1, §3): text appeared (or changed) in a
+    /// paragraph of `document` in `service`.
+    ///
+    /// Computes the paragraph's label — the service's confidentiality
+    /// label as explicit tags, plus the explicit tags of every source it
+    /// currently discloses as implicit tags (§3.2) — stores its
+    /// fingerprint, and reports whether the paragraph should be flagged in
+    /// the UI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
+    pub fn observe_paragraph(
+        &mut self,
+        service: &ServiceId,
+        document: &str,
+        index: usize,
+        text: &str,
+    ) -> Result<ParagraphStatus, MiddlewareError> {
+        let doc = DocKey::new(service.clone(), document);
+        // Lookup must run before observation so the segment does not
+        // shadow its own sources' hashes.
+        let matches = self.engine.check_paragraph(&doc, index, text);
+        let mut label = self.policy.initial_label(service)?;
+        for m in &matches {
+            if let Some(source_id) = self.lookup_segment_id(&m.source) {
+                if let Some(source_label) = self.labels.get(&source_id) {
+                    label.absorb_source(source_label);
+                }
+            }
+        }
+        let segment = self.engine.observe_paragraph(&doc, index, text, None);
+        self.labels.insert(segment, label.clone());
+        // Flag when the paragraph's own service lacks privilege for it.
+        let flagged = !self
+            .policy
+            .check_release(&label, service)?
+            .is_permitted();
+        Ok(ParagraphStatus {
+            segment,
+            label,
+            matches,
+            flagged,
+        })
+    }
+
+    /// Indexes a whole plain-text document: splits it into
+    /// blank-line-separated paragraphs, observes each at paragraph
+    /// granularity and the full text at document granularity (§4.1's two
+    /// independent granularities, for callers without a DOM — clipboard
+    /// payloads, file uploads, `bfctl` inputs).
+    ///
+    /// Returns the number of paragraphs indexed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
+    pub fn index_text_document(
+        &mut self,
+        service: &ServiceId,
+        document: &str,
+        text: &str,
+    ) -> Result<usize, MiddlewareError> {
+        self.policy.service(service)?;
+        let segments = browserflow_fingerprint::segment::split_paragraphs(text);
+        for (index, segment) in segments.iter().enumerate() {
+            self.index_paragraph(service, document, index, segment.text)?;
+        }
+        self.observe_document(service, document, text)?;
+        Ok(segments.len())
+    }
+
+    /// Fast-path observation for indexing an existing corpus: assigns the
+    /// service's confidentiality label and stores the fingerprint
+    /// *without* running the disclosure lookup first.
+    ///
+    /// Use this when provisioning BrowserFlow with a large body of
+    /// already-trusted content (the paper loads 90 MB of e-books); use
+    /// [`BrowserFlow::observe_paragraph`] for interactive edits, where the
+    /// lookup derives implicit tags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
+    pub fn index_paragraph(
+        &mut self,
+        service: &ServiceId,
+        document: &str,
+        index: usize,
+        text: &str,
+    ) -> Result<SegmentId, MiddlewareError> {
+        let label = self.policy.initial_label(service)?;
+        let doc = DocKey::new(service.clone(), document);
+        let segment = self.engine.observe_paragraph(&doc, index, text, None);
+        self.labels.insert(segment, label);
+        Ok(segment)
+    }
+
+    /// Observes a whole document (document-granularity tracking, §4.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
+    pub fn observe_document(
+        &mut self,
+        service: &ServiceId,
+        document: &str,
+        text: &str,
+    ) -> Result<SegmentId, MiddlewareError> {
+        self.policy.service(service)?; // validate
+        let doc = DocKey::new(service.clone(), document);
+        let segment = self.engine.observe_document(&doc, text, None);
+        let label = self.policy.initial_label(service)?;
+        self.labels.insert(segment, label);
+        Ok(segment)
+    }
+
+    /// **Policy enforcement** (Figure 1, §3): text is about to be uploaded
+    /// to paragraph `index` of `document` in `service`. Returns the
+    /// decision; under [`EnforcementMode::Advisory`] a violation is
+    /// recorded in [`BrowserFlow::warnings`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
+    pub fn check_upload(
+        &mut self,
+        service: &ServiceId,
+        document: &str,
+        index: usize,
+        text: &str,
+    ) -> Result<UploadDecision, MiddlewareError> {
+        self.policy.service(service)?; // validate the destination exists
+        let doc = DocKey::new(service.clone(), document);
+        let matches = self.engine.check_paragraph(&doc, index, text);
+        let mut decision = self.decide(service, &matches)?;
+        let secret_violations = self.short_secret_violations(service, text)?;
+        if !secret_violations.is_empty() {
+            decision.violations.extend(secret_violations);
+            decision.action = self.violation_action();
+        }
+        if !decision.violations.is_empty() {
+            self.warnings.push(Warning {
+                segment: SegmentKey::paragraph(doc, index),
+                destination: service.clone(),
+                violations: decision.violations.clone(),
+            });
+        }
+        Ok(decision)
+    }
+
+    /// Document-granularity enforcement: an entire document is about to be
+    /// uploaded to `service`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
+    pub fn check_document_upload(
+        &mut self,
+        service: &ServiceId,
+        document: &str,
+        text: &str,
+    ) -> Result<UploadDecision, MiddlewareError> {
+        self.policy.service(service)?; // validate the destination exists
+        let doc = DocKey::new(service.clone(), document);
+        let matches = self.engine.check_document(&doc, text);
+        let mut decision = self.decide(service, &matches)?;
+        let secret_violations = self.short_secret_violations(service, text)?;
+        if !secret_violations.is_empty() {
+            decision.violations.extend(secret_violations);
+            decision.action = self.violation_action();
+        }
+        if !decision.violations.is_empty() {
+            self.warnings.push(Warning {
+                segment: SegmentKey::document(doc),
+                destination: service.clone(),
+                violations: decision.violations.clone(),
+            });
+        }
+        Ok(decision)
+    }
+
+    fn decide(
+        &self,
+        service: &ServiceId,
+        matches: &[DisclosureMatch],
+    ) -> Result<UploadDecision, MiddlewareError> {
+        let mut violations = Vec::new();
+        for m in matches {
+            let Some(source_id) = self.lookup_segment_id(&m.source) else {
+                continue;
+            };
+            let Some(source_label) = self.labels.get(&source_id) else {
+                continue;
+            };
+            let release = self.policy.check_release(source_label, service)?;
+            let missing = release.missing_tags();
+            if !missing.is_empty() {
+                violations.push(Violation {
+                    source: m.source.clone(),
+                    disclosure: m.disclosure,
+                    missing_tags: missing,
+                    matching_spans: m.matching_spans.clone(),
+                });
+            }
+        }
+        let action = if violations.is_empty() {
+            UploadAction::Allow
+        } else {
+            self.violation_action()
+        };
+        Ok(UploadDecision { action, violations })
+    }
+
+    /// Sets a tracked paragraph's disclosure threshold `Tpar` (§4.2:
+    /// "users should adjust the paragraph and document disclosure
+    /// thresholds of the text that they generate according to [...] the
+    /// confidentiality of the text"). Returns `false` if the paragraph
+    /// was never observed.
+    pub fn set_paragraph_threshold(
+        &mut self,
+        service: &ServiceId,
+        document: &str,
+        index: usize,
+        threshold: f64,
+    ) -> bool {
+        let doc = DocKey::new(service.clone(), document);
+        self.engine.set_paragraph_threshold(&doc, index, threshold)
+    }
+
+    /// Sets a tracked document's disclosure threshold `Tdoc`. Returns
+    /// `false` if the document was never observed.
+    pub fn set_document_threshold(
+        &mut self,
+        service: &ServiceId,
+        document: &str,
+        threshold: f64,
+    ) -> bool {
+        let doc = DocKey::new(service.clone(), document);
+        self.engine.set_document_threshold(&doc, threshold)
+    }
+
+    /// Registers a short secret (password, API key, ...) belonging to
+    /// `service`, enforced by normalised exact matching — the specialised
+    /// companion to fingerprinting for text below the winnowing guarantee
+    /// threshold (§4.4).
+    ///
+    /// `name` identifies the secret in violation reports; the secret value
+    /// itself is never echoed back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
+    pub fn register_short_secret(
+        &mut self,
+        service: &ServiceId,
+        name: &str,
+        secret: &str,
+    ) -> Result<(), MiddlewareError> {
+        let label = self.policy.initial_label(service)?;
+        let entry = ShortSecret::new(name, service.clone(), label, secret);
+        if entry.is_usable() {
+            self.short_secrets.push(entry);
+        }
+        Ok(())
+    }
+
+    /// Number of registered (usable) short secrets.
+    pub fn short_secret_count(&self) -> usize {
+        self.short_secrets.len()
+    }
+
+    /// Violations from short secrets appearing in `text` bound for
+    /// `service`.
+    fn short_secret_violations(
+        &self,
+        service: &ServiceId,
+        text: &str,
+    ) -> Result<Vec<Violation>, MiddlewareError> {
+        let mut violations = Vec::new();
+        for secret in &self.short_secrets {
+            let spans = secret.find_in(text);
+            if spans.is_empty() {
+                continue;
+            }
+            let release = self.policy.check_release(&secret.label, service)?;
+            let missing = release.missing_tags();
+            if !missing.is_empty() {
+                violations.push(Violation {
+                    source: SegmentKey::document(DocKey::new(
+                        secret.service.clone(),
+                        format!("secret:{}", secret.name),
+                    )),
+                    disclosure: 1.0,
+                    missing_tags: missing,
+                    matching_spans: spans,
+                });
+            }
+        }
+        Ok(violations)
+    }
+
+    /// The stored label of a segment, if it has been observed.
+    pub fn segment_label(&self, key: &SegmentKey) -> Option<&SegmentLabel> {
+        let id = self.lookup_segment_id(key)?;
+        self.labels.get(&id)
+    }
+
+    /// Suppresses `tag` on an observed paragraph's label on behalf of
+    /// `user` (declassification with an audit trail, §3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::UnknownSegment`] if the paragraph has
+    /// never been observed.
+    pub fn suppress_tag(
+        &mut self,
+        key: &SegmentKey,
+        tag: &Tag,
+        user: &UserId,
+        justification: impl Into<String>,
+    ) -> Result<bool, MiddlewareError> {
+        let id = self
+            .lookup_segment_id(key)
+            .ok_or_else(|| MiddlewareError::UnknownSegment {
+                key: key.to_string(),
+            })?;
+        let mut label = self
+            .labels
+            .remove(&id)
+            .ok_or_else(|| MiddlewareError::UnknownSegment {
+                key: key.to_string(),
+            })?;
+        let suppressed = self.policy.suppress_tag(&mut label, tag, user, justification);
+        self.labels.insert(id, label);
+        Ok(suppressed)
+    }
+
+    /// Allocates a custom tag for `user` and attaches it (explicit) to an
+    /// observed paragraph. The hosting service automatically receives the
+    /// tag in its privilege label, so re-observing the same text never
+    /// violates (Figure 5 step 2/4).
+    ///
+    /// # Errors
+    ///
+    /// Returns a policy error for duplicate tags or unknown services, and
+    /// [`MiddlewareError::UnknownSegment`] for unobserved paragraphs.
+    pub fn protect_with_custom_tag(
+        &mut self,
+        key: &SegmentKey,
+        tag: Tag,
+        user: &UserId,
+    ) -> Result<(), MiddlewareError> {
+        let id = self
+            .lookup_segment_id(key)
+            .ok_or_else(|| MiddlewareError::UnknownSegment {
+                key: key.to_string(),
+            })?;
+        self.policy.allocate_custom_tag(tag.clone(), user)?;
+        self.policy
+            .grant_privilege_unchecked(&key.doc.service, &tag)?;
+        let label = self
+            .labels
+            .get_mut(&id)
+            .ok_or_else(|| MiddlewareError::UnknownSegment {
+                key: key.to_string(),
+            })?;
+        label.add_explicit(tag);
+        Ok(())
+    }
+
+    /// Encrypts an upload body under the configured store key (the
+    /// [`EnforcementMode::Encrypt`] path). Returns a printable
+    /// `bf-sealed:`-prefixed hex payload.
+    ///
+    /// Falls back to a zero key if none was configured (tests); production
+    /// deployments set one via [`BrowserFlowBuilder::store_key`].
+    pub fn seal_body(&mut self, body: &str) -> String {
+        let key = self
+            .store_key
+            .get_or_insert_with(|| StoreKey::from_bytes([0u8; 32]));
+        let nonce = self.seal_nonce;
+        self.seal_nonce += 1;
+        let sealed = key.seal(nonce, body.as_bytes());
+        let mut hex = String::with_capacity(sealed.len() * 2);
+        for byte in sealed.ciphertext() {
+            use std::fmt::Write as _;
+            let _ = write!(hex, "{byte:02x}");
+        }
+        format!("bf-sealed:{nonce}:{hex}")
+    }
+
+    /// The action taken for any violation under the current mode.
+    fn violation_action(&self) -> UploadAction {
+        match self.mode {
+            EnforcementMode::Advisory => UploadAction::Warn,
+            EnforcementMode::Block => UploadAction::Block,
+            EnforcementMode::Encrypt => UploadAction::Encrypt,
+        }
+    }
+
+    fn lookup_segment_id(&self, key: &SegmentKey) -> Option<SegmentId> {
+        // Read-only lookup: never allocates ids for unobserved keys.
+        self.engine.segment_id_readonly(key)
+    }
+
+    /// A snapshot of all segment labels (persistence path).
+    pub(crate) fn labels_snapshot(&self) -> Vec<(SegmentId, SegmentLabel)> {
+        let mut entries: Vec<(SegmentId, SegmentLabel)> = self
+            .labels
+            .iter()
+            .map(|(&id, label)| (id, label.clone()))
+            .collect();
+        entries.sort_by_key(|entry| entry.0);
+        entries
+    }
+
+    /// The next seal nonce (persistence path).
+    pub(crate) fn seal_nonce_value(&self) -> u64 {
+        self.seal_nonce
+    }
+
+    /// The store key, materialising the zero-key default (persistence
+    /// path; mirrors [`BrowserFlow::seal_body`]).
+    pub(crate) fn store_key_or_default(&mut self) -> &StoreKey {
+        self.store_key
+            .get_or_insert_with(|| StoreKey::from_bytes([0u8; 32]))
+    }
+
+    /// Reassembles a middleware instance from persisted parts.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_restored(
+        engine: DisclosureEngine,
+        policy: Policy,
+        labels: HashMap<SegmentId, SegmentLabel>,
+        mode: EnforcementMode,
+        store_key: StoreKey,
+        seal_nonce: u64,
+        short_secrets: Vec<ShortSecret>,
+    ) -> Self {
+        Self {
+            engine,
+            policy,
+            labels,
+            mode,
+            warnings: Vec::new(),
+            store_key: Some(store_key),
+            seal_nonce,
+            short_secrets,
+        }
+    }
+
+    /// A snapshot of the registered short secrets (persistence path).
+    pub(crate) fn short_secrets_snapshot(&self) -> Vec<ShortSecret> {
+        self.short_secrets.clone()
+    }
+
+    /// Restores the warning trail (persistence path).
+    pub(crate) fn restore_warnings(&mut self, warnings: Vec<Warning>) {
+        self.warnings = warnings;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browserflow_fingerprint::FingerprintConfig;
+
+    const SECRET: &str = "the confidential interview rubric awards extra points for \
+                          candidates who ask incisive clarifying questions early";
+
+    fn tag(name: &str) -> Tag {
+        Tag::new(name).unwrap()
+    }
+
+    fn flow(mode: EnforcementMode) -> BrowserFlow {
+        BrowserFlow::builder()
+            .mode(mode)
+            .engine(EngineConfig {
+                fingerprint: FingerprintConfig::builder()
+                    .ngram_len(6)
+                    .window(4)
+                    .build()
+                    .unwrap(),
+                ..EngineConfig::default()
+            })
+            .service(
+                Service::new("itool", "Interview Tool")
+                    .with_privilege(TagSet::from_iter([tag("ti")]))
+                    .with_confidentiality(TagSet::from_iter([tag("ti")])),
+            )
+            .service(
+                Service::new("wiki", "Internal Wiki")
+                    .with_privilege(TagSet::from_iter([tag("tw")]))
+                    .with_confidentiality(TagSet::from_iter([tag("tw")])),
+            )
+            .service(Service::new("gdocs", "Google Docs"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_upload_is_allowed() {
+        let mut flow = flow(EnforcementMode::Block);
+        let decision = flow
+            .check_upload(&"gdocs".into(), "draft", 0, "totally public prose")
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Allow);
+        assert!(decision.violations.is_empty());
+        assert!(flow.warnings().is_empty());
+    }
+
+    #[test]
+    fn paste_to_untrusted_service_blocks() {
+        let mut flow = flow(EnforcementMode::Block);
+        flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+        let decision = flow
+            .check_upload(&"gdocs".into(), "draft", 0, SECRET)
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Block);
+        assert_eq!(decision.violations.len(), 1);
+        assert!(decision.violations[0].missing_tags.contains(&tag("ti")));
+        assert_eq!(flow.warnings().len(), 1);
+    }
+
+    #[test]
+    fn advisory_mode_warns_but_releases() {
+        let mut flow = flow(EnforcementMode::Advisory);
+        flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+        let decision = flow
+            .check_upload(&"gdocs".into(), "draft", 0, SECRET)
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Warn);
+        assert!(decision.releases_plaintext());
+        assert_eq!(flow.warnings().len(), 1);
+    }
+
+    #[test]
+    fn privileged_destination_is_allowed() {
+        let mut flow = flow(EnforcementMode::Block);
+        flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+        // itool itself is privileged for ti.
+        let decision = flow
+            .check_upload(&"itool".into(), "eval-copy", 0, SECRET)
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Allow);
+    }
+
+    #[test]
+    fn observe_flags_paragraph_disclosing_foreign_data() {
+        let mut flow = flow(EnforcementMode::Advisory);
+        flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+        // The user pastes itool text into a Google Docs paragraph: the
+        // paragraph label picks up ti (implicit) and gdocs lacks it.
+        let status = flow
+            .observe_paragraph(&"gdocs".into(), "draft", 0, SECRET)
+            .unwrap();
+        assert!(status.flagged);
+        assert!(status.label.implicit_tags().contains(&tag("ti")));
+        assert_eq!(status.matches.len(), 1);
+    }
+
+    #[test]
+    fn suppression_declassifies_for_future_checks() {
+        let mut flow = flow(EnforcementMode::Block);
+        flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+        let source_key =
+            SegmentKey::paragraph(DocKey::new("itool", "eval"), 0);
+        let suppressed = flow
+            .suppress_tag(&source_key, &tag("ti"), &"alice".into(), "approved by legal")
+            .unwrap();
+        assert!(suppressed);
+        let decision = flow
+            .check_upload(&"gdocs".into(), "draft", 0, SECRET)
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Allow);
+        // Audit trail exists.
+        assert_eq!(flow.policy().audit_log().len(), 1);
+    }
+
+    #[test]
+    fn custom_tag_restricts_privileged_flows() {
+        let mut flow = flow(EnforcementMode::Block);
+        // Admin lets itool receive wiki data.
+        flow.policy_mut()
+            .grant_privilege_unchecked(&"itool".into(), &tag("tw"))
+            .unwrap();
+        flow.observe_paragraph(&"wiki".into(), "memo", 0, SECRET)
+            .unwrap();
+        // Without a custom tag the flow is permitted.
+        let decision = flow
+            .check_upload(&"itool".into(), "copy", 0, SECRET)
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Allow);
+        // The author protects the paragraph with tn.
+        let key = SegmentKey::paragraph(DocKey::new("wiki", "memo"), 0);
+        flow.protect_with_custom_tag(&key, tag("tn"), &"bob".into())
+            .unwrap();
+        // Now itool (no tn in Lp) is refused; wiki still works.
+        let decision = flow
+            .check_upload(&"itool".into(), "copy2", 0, SECRET)
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Block);
+        let decision = flow
+            .check_upload(&"wiki".into(), "another", 0, SECRET)
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Allow);
+    }
+
+    #[test]
+    fn outdated_tags_do_not_propagate_transitively() {
+        // Figure 6: gdocs paragraph copies wiki text that itself once
+        // disclosed itool data but is no longer similar to it.
+        let mut flow = flow(EnforcementMode::Block);
+        // Admin lets wiki hold itool data.
+        flow.policy_mut()
+            .grant_privilege_unchecked(&"wiki".into(), &tag("ti"))
+            .unwrap();
+        let itool_text = SECRET;
+        let wiki_own = "the wiki howto explains deployment runbooks and paging rotations \
+                        for the storage team in ample detail";
+        flow.observe_paragraph(&"itool".into(), "eval", 0, itool_text)
+            .unwrap();
+        // Wiki paragraph B starts as a copy of A (absorbs ti implicitly).
+        let combined = format!("{itool_text} {wiki_own}");
+        let status = flow
+            .observe_paragraph(&"wiki".into(), "memo", 0, &combined)
+            .unwrap();
+        assert!(status.label.implicit_tags().contains(&tag("ti")));
+        // B is edited to pure wiki content (loses resemblance to A).
+        let status = flow
+            .observe_paragraph(&"wiki".into(), "memo", 0, wiki_own)
+            .unwrap();
+        assert!(!status.label.implicit_tags().contains(&tag("ti")));
+        // Copying B's current text to gdocs violates only tw, not ti.
+        let decision = flow
+            .check_upload(&"gdocs".into(), "draft", 0, wiki_own)
+            .unwrap();
+        assert_eq!(decision.violations.len(), 1);
+        let missing = &decision.violations[0].missing_tags;
+        assert!(missing.contains(&tag("tw")));
+        assert!(!missing.contains(&tag("ti")));
+    }
+
+    #[test]
+    fn unknown_service_errors() {
+        let mut flow = flow(EnforcementMode::Block);
+        assert!(matches!(
+            flow.observe_paragraph(&"nope".into(), "d", 0, "text"),
+            Err(MiddlewareError::Policy(_))
+        ));
+        assert!(matches!(
+            flow.check_upload(&"nope".into(), "d", 0, "text"),
+            Err(MiddlewareError::Policy(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_segment_errors() {
+        let mut flow = flow(EnforcementMode::Block);
+        let key = SegmentKey::paragraph(DocKey::new("wiki", "never"), 0);
+        assert!(matches!(
+            flow.suppress_tag(&key, &tag("tw"), &"u".into(), "r"),
+            Err(MiddlewareError::UnknownSegment { .. })
+        ));
+    }
+
+    #[test]
+    fn seal_body_produces_printable_payload() {
+        let mut flow = flow(EnforcementMode::Encrypt);
+        let sealed = flow.seal_body("secret text");
+        assert!(sealed.starts_with("bf-sealed:0:"));
+        assert!(!sealed.contains("secret"));
+        // Nonces advance.
+        let sealed2 = flow.seal_body("secret text");
+        assert!(sealed2.starts_with("bf-sealed:1:"));
+    }
+
+    #[test]
+    fn builder_accepts_a_preassembled_policy() {
+        let mut policy = Policy::new();
+        policy
+            .register(
+                Service::new("itool", "Interview Tool")
+                    .with_privilege(TagSet::from_iter([tag("ti")]))
+                    .with_confidentiality(TagSet::from_iter([tag("ti")])),
+            )
+            .unwrap();
+        let mut flow = BrowserFlow::builder()
+            .policy(policy)
+            .service(Service::new("gdocs", "Google Docs"))
+            .mode(EnforcementMode::Block)
+            .build()
+            .unwrap();
+        assert_eq!(flow.policy().services().count(), 2);
+        flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+        assert_eq!(
+            flow.check_upload(&"gdocs".into(), "d", 0, SECRET)
+                .unwrap()
+                .action,
+            UploadAction::Block
+        );
+    }
+
+    #[test]
+    fn index_text_document_tracks_both_granularities() {
+        let mut flow = flow(EnforcementMode::Block);
+        let text = format!("{SECRET}
+
+second paragraph about travel reimbursements and the                             approval chain for expenses over five hundred euros");
+        let count = flow
+            .index_text_document(&"itool".into(), "handbook", &text)
+            .unwrap();
+        assert_eq!(count, 2);
+        // Paragraph granularity: the second paragraph alone violates.
+        let second = text.split("
+
+").nth(1).unwrap();
+        assert_eq!(
+            flow.check_upload(&"gdocs".into(), "d", 0, second).unwrap().action,
+            UploadAction::Block
+        );
+        // Document granularity: the whole text violates too.
+        assert_eq!(
+            flow.check_document_upload(&"gdocs".into(), "d", &text)
+                .unwrap()
+                .action,
+            UploadAction::Block
+        );
+    }
+
+    #[test]
+    fn per_segment_thresholds_are_settable_through_the_middleware() {
+        let mut flow = flow(EnforcementMode::Block);
+        flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+        assert!(flow.set_paragraph_threshold(&"itool".into(), "eval", 0, 0.1));
+        assert!(!flow.set_paragraph_threshold(&"itool".into(), "never", 0, 0.1));
+        // A small quote now violates at the lowered threshold.
+        let quote = &SECRET[..SECRET.len() / 4];
+        let decision = flow.check_upload(&"gdocs".into(), "d", 0, quote).unwrap();
+        assert_eq!(decision.action, UploadAction::Block);
+
+        flow.observe_document(&"itool".into(), "eval", SECRET).unwrap();
+        assert!(flow.set_document_threshold(&"itool".into(), "eval", 0.2));
+        assert!(!flow.set_document_threshold(&"itool".into(), "never", 0.2));
+    }
+
+    #[test]
+    fn short_secrets_are_caught_regardless_of_length() {
+        let mut flow = flow(EnforcementMode::Block);
+        flow.register_short_secret(&"itool".into(), "ats-api-key", "Kx9#q2!z")
+            .unwrap();
+        assert_eq!(flow.short_secret_count(), 1);
+        // The secret is far below the fingerprint guarantee threshold, yet
+        // embedding it anywhere in an upload is caught.
+        let decision = flow
+            .check_upload(&"gdocs".into(), "draft", 0, "token is kx9 q2 z ok?")
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Block);
+        let violation = &decision.violations[0];
+        assert!(violation.source.to_string().contains("secret:ats-api-key"));
+        assert_eq!(violation.disclosure, 1.0);
+        assert!(!violation.matching_spans.is_empty());
+        // Uploading it to the owning service is fine.
+        let decision = flow
+            .check_upload(&"itool".into(), "notes", 0, "key Kx9#q2!z rotated")
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Allow);
+        // Unrelated short text is untouched.
+        let decision = flow
+            .check_upload(&"gdocs".into(), "draft", 1, "nothing secret here")
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Allow);
+    }
+
+    #[test]
+    fn short_secret_for_unknown_service_errors() {
+        let mut flow = flow(EnforcementMode::Block);
+        assert!(matches!(
+            flow.register_short_secret(&"nope".into(), "x", "value"),
+            Err(MiddlewareError::Policy(_))
+        ));
+        // Unusable (normalises to empty) secrets are dropped.
+        flow.register_short_secret(&"itool".into(), "noise", "!!!")
+            .unwrap();
+        assert_eq!(flow.short_secret_count(), 0);
+    }
+
+    #[test]
+    fn document_granularity_upload_check() {
+        let mut flow = flow(EnforcementMode::Block);
+        let doc_text = format!("{SECRET}\n\nmore interview material follows here with details");
+        flow.observe_document(&"itool".into(), "eval", &doc_text)
+            .unwrap();
+        let decision = flow
+            .check_document_upload(&"gdocs".into(), "draft", &doc_text)
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Block);
+    }
+}

@@ -1,0 +1,559 @@
+//! The browser plug-in: wiring BrowserFlow into the (simulated) browser.
+//!
+//! Mirrors §5 of the paper:
+//!
+//! - **Dynamic services** (Google Docs): [`Plugin::watch_docs`] attaches
+//!   mutation observers to the editor. A document observer notices
+//!   paragraph creation/deletion, a paragraph observer notices content
+//!   changes; both feed the policy lookup module
+//!   ([`BrowserFlow::observe_paragraph`]), which also recolours flagged
+//!   paragraphs (the `data-bf-flagged` attribute stands in for the red
+//!   background of Figure 2).
+//! - **Outgoing traffic**: [`Plugin::install`] replaces the
+//!   `XMLHttpRequest.prototype.send` slot with a hook that runs the policy
+//!   enforcement module over every sync request, and registers a form
+//!   submit listener that inspects all non-hidden fields.
+//! - **Static services**: [`Plugin::observe_page`] extracts the main text
+//!   of a loaded page Readability-style and registers its paragraphs.
+
+use crate::middleware::{BrowserFlow, UploadAction};
+use browserflow_browser::dom::NodeId;
+use browserflow_browser::services::{DocsApp, NotesApp};
+use browserflow_browser::{extract, Browser, TabId, XhrDisposition};
+use browserflow_tdm::ServiceId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A service-specific transformation of an outgoing sync body into a
+/// (segment index, text) pair (§4.4: services without the docs wire
+/// format "may be supported by BrowserFlow if there is a service-specific
+/// transformation of the service's data to text segments").
+pub type SyncBodyParser = fn(&str) -> Option<(usize, String)>;
+
+/// Maps a browser origin to the TDM service and document name BrowserFlow
+/// tracks it under.
+#[derive(Debug, Clone)]
+struct OriginBinding {
+    service: ServiceId,
+    document: String,
+    parser: Option<SyncBodyParser>,
+}
+
+/// The BrowserFlow browser plug-in.
+///
+/// Clone-cheap: all clones share the same middleware state.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow::plugin::Plugin;
+/// use browserflow::{BrowserFlow, EnforcementMode};
+/// use browserflow_browser::{services::DocsApp, Browser};
+/// use browserflow_tdm::{Service, Tag, TagSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tw = Tag::new("wiki-data")?;
+/// let flow = BrowserFlow::builder()
+///     .mode(EnforcementMode::Block)
+///     .service(Service::new("wiki", "Internal Wiki")
+///         .with_privilege(TagSet::from_iter([tw.clone()]))
+///         .with_confidentiality(TagSet::from_iter([tw])))
+///     .service(Service::new("gdocs", "Google Docs"))
+///     .build()?;
+///
+/// let plugin = Plugin::new(flow);
+/// let mut browser = Browser::new();
+/// plugin.bind_origin("https://docs.example.com", "gdocs", "draft");
+/// plugin.install(&mut browser);
+///
+/// let tab = browser.open_tab("https://docs.example.com");
+/// let mut docs = DocsApp::attach(&mut browser, tab);
+/// plugin.watch_docs(&mut browser, &docs);
+/// docs.create_paragraph(&mut browser);
+/// let result = docs.type_text(&mut browser, 0, "harmless text");
+/// assert!(result.is_delivered());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Plugin {
+    state: Arc<Mutex<BrowserFlow>>,
+    origins: Arc<Mutex<HashMap<String, OriginBinding>>>,
+}
+
+impl std::fmt::Debug for Plugin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plugin")
+            .field("origins", &self.origins.lock().len())
+            .finish()
+    }
+}
+
+impl Plugin {
+    /// Wraps a middleware instance for browser installation.
+    pub fn new(flow: BrowserFlow) -> Self {
+        Self {
+            state: Arc::new(Mutex::new(flow)),
+            origins: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Shared access to the middleware (e.g. to read warnings, suppress
+    /// tags, or change the enforcement mode at runtime).
+    pub fn state(&self) -> Arc<Mutex<BrowserFlow>> {
+        Arc::clone(&self.state)
+    }
+
+    /// Declares that traffic to `origin` belongs to `service`, tracked
+    /// under document name `document`.
+    pub fn bind_origin(
+        &self,
+        origin: impl Into<String>,
+        service: impl Into<ServiceId>,
+        document: impl Into<String>,
+    ) {
+        self.origins.lock().insert(
+            origin.into(),
+            OriginBinding {
+                service: service.into(),
+                document: document.into(),
+                parser: None,
+            },
+        );
+    }
+
+    /// Like [`Plugin::bind_origin`], with a service-specific sync-body
+    /// parser for services that do not speak the docs wire format (e.g.
+    /// [`browserflow_browser::services::parse_notes_sync`] for the notes
+    /// service).
+    pub fn bind_origin_with_parser(
+        &self,
+        origin: impl Into<String>,
+        service: impl Into<ServiceId>,
+        document: impl Into<String>,
+        parser: SyncBodyParser,
+    ) {
+        self.origins.lock().insert(
+            origin.into(),
+            OriginBinding {
+                service: service.into(),
+                document: document.into(),
+                parser: Some(parser),
+            },
+        );
+    }
+
+    /// Installs the XHR send hook and the form submit listener into
+    /// `browser`.
+    pub fn install(&self, browser: &mut Browser) {
+        // XMLHttpRequest.prototype.send replacement (§5.2).
+        let state = Arc::clone(&self.state);
+        let origins = Arc::clone(&self.origins);
+        browser.install_xhr_hook(Box::new(move |request| {
+            let binding = match origins.lock().get(&request.url) {
+                Some(b) => b.clone(),
+                None => return XhrDisposition::Allow, // unmanaged origin
+            };
+            let parsed = match binding.parser {
+                Some(parser) => parser(&request.body),
+                None => parse_sync_body(&request.body).map(|(i, t)| (i, t.to_string())),
+            };
+            let Some((index, text)) = parsed else {
+                return XhrDisposition::Allow; // not a content mutation
+            };
+            let mut flow = state.lock();
+            let decision =
+                match flow.check_upload(&binding.service, &binding.document, index, &text) {
+                    Ok(decision) => decision,
+                    // Unregistered service: fail open but do not loop.
+                    Err(_) => return XhrDisposition::Allow,
+                };
+            match decision.action {
+                UploadAction::Allow | UploadAction::Warn => XhrDisposition::Allow,
+                UploadAction::Block => XhrDisposition::Block {
+                    reason: block_reason(&decision),
+                },
+                UploadAction::Encrypt => {
+                    let sealed = flow.seal_body(&text);
+                    // Preserve each service's wire shape around the sealed
+                    // payload.
+                    let body = match binding.parser {
+                        Some(_) => request.body.replace(&text, &sealed),
+                        None => format!("mutate p{index}: {sealed}"),
+                    };
+                    XhrDisposition::Rewrite { body }
+                }
+            }
+        }));
+
+        // Form submit listener (§5.1).
+        let state = Arc::clone(&self.state);
+        let origins = Arc::clone(&self.origins);
+        browser.add_submit_listener(Box::new(move |event| {
+            let binding = match origins.lock().get(&event.form().action) {
+                Some(b) => b.clone(),
+                None => return,
+            };
+            let mut flow = state.lock();
+            let mut sealed: Vec<(usize, String)> = Vec::new();
+            for (index, field) in event
+                .form()
+                .fields
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.hidden)
+            {
+                let Ok(decision) =
+                    flow.check_upload(&binding.service, &binding.document, index, &field.value)
+                else {
+                    continue;
+                };
+                match decision.action {
+                    UploadAction::Allow | UploadAction::Warn => {}
+                    UploadAction::Block => {
+                        let reason = block_reason(&decision);
+                        drop(flow);
+                        event.prevent_default(reason);
+                        return;
+                    }
+                    UploadAction::Encrypt => {
+                        sealed.push((index, flow.seal_body(&field.value)));
+                    }
+                }
+            }
+            for (index, body) in sealed {
+                event.form_mut().fields[index].value = body;
+            }
+        }));
+    }
+
+    /// Attaches the document and paragraph observers to a docs editor.
+    /// The editor's origin must have been bound with
+    /// [`Plugin::bind_origin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the origin is unbound.
+    pub fn watch_docs(&self, browser: &mut Browser, docs: &DocsApp) {
+        self.watch_editor(browser, docs.tab(), docs.editor(), docs.origin());
+    }
+
+    /// Attaches observers to a notes editor (title = segment 0, block `i`
+    /// = segment `i + 1`, matching
+    /// [`browserflow_browser::services::parse_notes_sync`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the origin is unbound.
+    pub fn watch_notes(&self, browser: &mut Browser, notes: &NotesApp) {
+        self.watch_editor(browser, notes.tab(), notes.editor(), notes.origin());
+    }
+
+    /// Shared observer wiring: every child of `editor` is one tracked
+    /// segment, indexed by DOM position.
+    fn watch_editor(&self, browser: &mut Browser, tab: TabId, editor: NodeId, origin: &str) {
+        let binding = self
+            .origins
+            .lock()
+            .get(origin)
+            .cloned()
+            .expect("origin must be bound before watching");
+        let state = Arc::clone(&self.state);
+        browser.tab_mut(tab).observers_mut().observe(
+            editor,
+            Box::new(move |document, records| {
+                use browserflow_browser::dom::MutationRecord;
+                // Figure out which paragraphs changed; a structural
+                // removal shifts indices, so re-observe everything then.
+                let mut affected: Vec<usize> = Vec::new();
+                let mut reobserve_all = false;
+                for record in records {
+                    match record {
+                        MutationRecord::ChildRemoved { parent, .. } if *parent == editor => {
+                            reobserve_all = true;
+                        }
+                        MutationRecord::ChildAdded { parent, child } if *parent == editor => {
+                            if let Some(index) =
+                                document.children(editor).iter().position(|c| c == child)
+                            {
+                                affected.push(index);
+                            }
+                        }
+                        MutationRecord::TextChanged { node } => {
+                            // Walk up to the paragraph (child of editor).
+                            let mut current = *node;
+                            while let Some(parent) = document.parent(current) {
+                                if parent == editor {
+                                    if let Some(index) = document
+                                        .children(editor)
+                                        .iter()
+                                        .position(|&c| c == current)
+                                    {
+                                        affected.push(index);
+                                    }
+                                    break;
+                                }
+                                current = parent;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if reobserve_all {
+                    affected = (0..document.children(editor).len()).collect();
+                }
+                affected.sort_unstable();
+                affected.dedup();
+                let mut flow = state.lock();
+                for index in affected {
+                    let paragraph = document.children(editor)[index];
+                    let text = document.text_content(paragraph);
+                    if let Ok(status) = flow.observe_paragraph(
+                        &binding.service,
+                        &binding.document,
+                        index,
+                        &text,
+                    ) {
+                        // Figure 2: recolour flagged paragraphs.
+                        document.set_attr(
+                            paragraph,
+                            "data-bf-flagged",
+                            if status.flagged { "true" } else { "false" },
+                        );
+                    }
+                }
+                // Document-granularity tracking (§4.1): the whole editor
+                // content is checked and observed as one segment, so that
+                // copying one sentence from each of many paragraphs — each
+                // below Tpar — still trips the document disclosure
+                // requirement Tdoc.
+                let full_text = document.text_content(editor);
+                let doc_flagged = match flow.check_document_upload(
+                    &binding.service,
+                    &binding.document,
+                    &full_text,
+                ) {
+                    Ok(decision) => !decision.violations.is_empty(),
+                    Err(_) => false,
+                };
+                let _ = flow.observe_document(&binding.service, &binding.document, &full_text);
+                document.set_attr(
+                    editor,
+                    "data-bf-doc-flagged",
+                    if doc_flagged { "true" } else { "false" },
+                );
+            }),
+        );
+    }
+
+    /// Registers the main text of a loaded static page (§5.1): extracts
+    /// it Readability-style, observes the whole text at document
+    /// granularity and each extracted paragraph at paragraph granularity.
+    ///
+    /// Returns the number of paragraphs observed (0 when extraction finds
+    /// no content element). The tab's origin must be bound.
+    pub fn observe_page(&self, browser: &Browser, tab: TabId) -> usize {
+        let origin = browser.tab(tab).origin().to_string();
+        let binding = match self.origins.lock().get(&origin) {
+            Some(b) => b.clone(),
+            None => return 0,
+        };
+        let document = browser.tab(tab).document();
+        let Some(extraction) = extract::extract_main_text(document) else {
+            return 0;
+        };
+        let mut flow = self.state.lock();
+        let _ = flow.observe_document(&binding.service, &binding.document, &extraction.text);
+        let mut observed = 0;
+        for (index, paragraph) in extraction.paragraphs.iter().enumerate() {
+            if flow
+                .observe_paragraph(&binding.service, &binding.document, index, paragraph)
+                .is_ok()
+            {
+                observed += 1;
+            }
+        }
+        observed
+    }
+}
+
+/// Parses a docs sync body of the form `mutate p<index>: <text>`.
+fn parse_sync_body(body: &str) -> Option<(usize, &str)> {
+    let rest = body.strip_prefix("mutate p")?;
+    let colon = rest.find(": ")?;
+    let index: usize = rest[..colon].parse().ok()?;
+    Some((index, &rest[colon + 2..]))
+}
+
+fn block_reason(decision: &crate::middleware::UploadDecision) -> String {
+    let sources: Vec<String> = decision
+        .violations
+        .iter()
+        .map(|v| format!("{} (missing {})", v.source, v.missing_tags))
+        .collect();
+    format!("policy violation: discloses {}", sources.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EnforcementMode, EngineConfig};
+    use browserflow_browser::services::{static_site, WikiApp};
+    use browserflow_fingerprint::FingerprintConfig;
+    use browserflow_tdm::{Service, Tag, TagSet};
+
+    const WIKI_ORIGIN: &str = "https://wiki.internal";
+    const DOCS_ORIGIN: &str = "https://docs.example.com";
+    const SECRET: &str = "the interview rubric awards extra points for candidates who ask \
+                          incisive clarifying questions early in the conversation";
+
+    fn tag(name: &str) -> Tag {
+        Tag::new(name).unwrap()
+    }
+
+    fn plugin(mode: EnforcementMode) -> Plugin {
+        let flow = BrowserFlow::builder()
+            .mode(mode)
+            .engine(EngineConfig {
+                fingerprint: FingerprintConfig::builder()
+                    .ngram_len(6)
+                    .window(4)
+                    .build()
+                    .unwrap(),
+                ..EngineConfig::default()
+            })
+            .service(
+                Service::new("wiki", "Internal Wiki")
+                    .with_privilege(TagSet::from_iter([tag("tw")]))
+                    .with_confidentiality(TagSet::from_iter([tag("tw")])),
+            )
+            .service(Service::new("gdocs", "Google Docs"))
+            .build()
+            .unwrap();
+        let plugin = Plugin::new(flow);
+        plugin.bind_origin(WIKI_ORIGIN, "wiki", "wiki-page");
+        plugin.bind_origin(DOCS_ORIGIN, "gdocs", "draft");
+        plugin
+    }
+
+    #[test]
+    fn parse_sync_body_roundtrip() {
+        assert_eq!(parse_sync_body("mutate p3: hello"), Some((3, "hello")));
+        assert_eq!(parse_sync_body("mutate p0: "), Some((0, "")));
+        assert_eq!(parse_sync_body("unrelated"), None);
+        assert_eq!(parse_sync_body("mutate px: y"), None);
+    }
+
+    #[test]
+    fn end_to_end_paste_from_wiki_to_docs_is_blocked() {
+        let plugin = plugin(EnforcementMode::Block);
+        let mut browser = Browser::new();
+        plugin.install(&mut browser);
+
+        // The secret lives on a static wiki page; the plug-in extracts and
+        // registers it on page load.
+        let page = static_site::article_page("Rubric", &[SECRET.to_string()]);
+        let wiki_tab = browser.open_tab_with_html(WIKI_ORIGIN, &page);
+        assert_eq!(plugin.observe_page(&browser, wiki_tab), 1);
+
+        // The user copies it into Google Docs.
+        let docs_tab = browser.open_tab(DOCS_ORIGIN);
+        let mut docs = DocsApp::attach(&mut browser, docs_tab);
+        plugin.watch_docs(&mut browser, &docs);
+        docs.create_paragraph(&mut browser);
+        browser.copy(SECRET);
+        let pasted = browser.paste().unwrap();
+        let result = docs.type_text(&mut browser, 0, &pasted);
+
+        // The sync XHR was suppressed; the backend never saw the text.
+        assert!(!result.is_delivered());
+        assert!(!browser.backend(DOCS_ORIGIN).saw_text("rubric"));
+        // And the paragraph is flagged red in the UI.
+        let paragraph = docs.paragraph_node(&browser, 0);
+        assert_eq!(
+            browser.tab(docs_tab).document().attr(paragraph, "data-bf-flagged"),
+            Some("true")
+        );
+    }
+
+    #[test]
+    fn harmless_typing_is_delivered_and_unflagged() {
+        let plugin = plugin(EnforcementMode::Block);
+        let mut browser = Browser::new();
+        plugin.install(&mut browser);
+        let docs_tab = browser.open_tab(DOCS_ORIGIN);
+        let mut docs = DocsApp::attach(&mut browser, docs_tab);
+        plugin.watch_docs(&mut browser, &docs);
+        docs.create_paragraph(&mut browser);
+        let result = docs.type_text(&mut browser, 0, "my own grocery list and notes");
+        assert!(result.is_delivered());
+        let paragraph = docs.paragraph_node(&browser, 0);
+        assert_eq!(
+            browser.tab(docs_tab).document().attr(paragraph, "data-bf-flagged"),
+            Some("false")
+        );
+    }
+
+    #[test]
+    fn encrypt_mode_rewrites_instead_of_blocking() {
+        let plugin = plugin(EnforcementMode::Encrypt);
+        let mut browser = Browser::new();
+        plugin.install(&mut browser);
+        let page = static_site::article_page("Rubric", &[SECRET.to_string()]);
+        let wiki_tab = browser.open_tab_with_html(WIKI_ORIGIN, &page);
+        plugin.observe_page(&browser, wiki_tab);
+
+        let docs_tab = browser.open_tab(DOCS_ORIGIN);
+        let mut docs = DocsApp::attach(&mut browser, docs_tab);
+        plugin.watch_docs(&mut browser, &docs);
+        docs.create_paragraph(&mut browser);
+        let result = docs.type_text(&mut browser, 0, SECRET);
+        assert!(result.is_delivered());
+        let backend = browser.backend(DOCS_ORIGIN);
+        assert!(backend.saw_text("bf-sealed:"));
+        assert!(!backend.saw_text("rubric"));
+    }
+
+    #[test]
+    fn form_submission_with_secret_is_blocked() {
+        let plugin = plugin(EnforcementMode::Block);
+        let mut browser = Browser::new();
+        plugin.install(&mut browser);
+
+        // Secret first observed in gdocs? No — make gdocs text flow INTO
+        // wiki: gdocs is public, so that is fine. Instead, observe the
+        // secret in a second managed service that wiki lacks privilege
+        // for: reuse the docs origin bound to gdocs (Lc = {}) would be
+        // public, so bind the secret to the wiki itself and submit it to
+        // an *unmanaged* external form — which the plug-in lets through —
+        // then to a managed one.
+        let state = plugin.state();
+        state
+            .lock()
+            .observe_paragraph(&"wiki".into(), "wiki-page", 0, SECRET)
+            .unwrap();
+
+        // An external form-based service bound to gdocs (untrusted).
+        plugin.bind_origin("https://forum.external", "gdocs", "forum-post");
+        let forum_tab = browser.open_tab("https://forum.external");
+        let wiki = WikiApp::attach(&mut browser, forum_tab);
+        // WikiApp's form action is its origin.
+        wiki.set_content(&mut browser, SECRET);
+        let result = wiki.save(&mut browser);
+        assert!(!result.is_delivered());
+        assert_eq!(browser.backend("https://forum.external").upload_count(), 0);
+    }
+
+    #[test]
+    fn unmanaged_origins_pass_through() {
+        let plugin = plugin(EnforcementMode::Block);
+        let mut browser = Browser::new();
+        plugin.install(&mut browser);
+        let result = browser.xhr_send(browserflow_browser::XhrRequest::post(
+            "https://unmanaged.example",
+            "mutate p0: anything at all",
+        ));
+        assert!(result.is_delivered());
+    }
+}

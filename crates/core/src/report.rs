@@ -1,0 +1,140 @@
+//! Human-readable reports over the middleware state.
+//!
+//! The advisory deployment model (§1: "inform employees of potential
+//! policy violations but give them the freedom to make final disclosure
+//! decisions") needs the warning trail to be reviewable — by the user in
+//! the browser and by the IT department during audits. This module renders
+//! the trail and the policy posture as plain text; `bfctl state` prints it
+//! for persisted state files.
+
+use crate::middleware::BrowserFlow;
+use std::fmt::Write as _;
+
+/// Renders the recorded warnings, oldest first.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow::{report, BrowserFlow};
+/// use browserflow_tdm::Service;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let flow = BrowserFlow::builder()
+///     .service(Service::new("gdocs", "Google Docs"))
+///     .build()?;
+/// assert!(report::warning_report(&flow).contains("no warnings recorded"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn warning_report(flow: &BrowserFlow) -> String {
+    let mut out = String::new();
+    if flow.warnings().is_empty() {
+        out.push_str("no warnings recorded\n");
+        return out;
+    }
+    writeln!(out, "{} warning(s) recorded:", flow.warnings().len()).unwrap();
+    for (index, warning) in flow.warnings().iter().enumerate() {
+        writeln!(
+            out,
+            "[{index}] editing {} towards {}",
+            warning.segment, warning.destination
+        )
+        .unwrap();
+        for violation in &warning.violations {
+            writeln!(
+                out,
+                "      discloses {:>5.1}% of {} (missing {}; {} matching passage(s))",
+                violation.disclosure * 100.0,
+                violation.source,
+                violation.missing_tags,
+                violation.matching_spans.len()
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Renders the policy posture: services with labels, custom-tag count and
+/// audit summary.
+pub fn policy_report(flow: &BrowserFlow) -> String {
+    let mut out = String::new();
+    writeln!(out, "enforcement mode: {:?}", flow.mode()).unwrap();
+    writeln!(out, "services:").unwrap();
+    for service in flow.policy().services() {
+        writeln!(
+            out,
+            "  {:<14} {:<22} Lp={:<20} Lc={}",
+            service.id().to_string(),
+            service.name(),
+            service.privilege().to_string(),
+            service.confidentiality()
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "audit records: {}; tracked paragraphs: {}; tracked documents: {}",
+        flow.policy().audit_log().len(),
+        flow.engine().paragraph_count(),
+        flow.engine().document_count()
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EnforcementMode, EngineConfig};
+    use browserflow_fingerprint::FingerprintConfig;
+    use browserflow_tdm::{Service, Tag, TagSet};
+
+    fn flow_with_warning() -> BrowserFlow {
+        let ti = Tag::new("ti").unwrap();
+        let mut flow = BrowserFlow::builder()
+            .mode(EnforcementMode::Block)
+            .engine(EngineConfig {
+                fingerprint: FingerprintConfig::builder()
+                    .ngram_len(6)
+                    .window(4)
+                    .build()
+                    .unwrap(),
+                ..EngineConfig::default()
+            })
+            .service(
+                Service::new("itool", "Interview Tool")
+                    .with_privilege(TagSet::from_iter([ti.clone()]))
+                    .with_confidentiality(TagSet::from_iter([ti])),
+            )
+            .service(Service::new("gdocs", "Google Docs"))
+            .build()
+            .unwrap();
+        let secret = "a paragraph long enough to fingerprint about interview scores";
+        flow.observe_paragraph(&"itool".into(), "eval", 0, secret)
+            .unwrap();
+        flow.check_upload(&"gdocs".into(), "draft", 0, secret)
+            .unwrap();
+        flow
+    }
+
+    #[test]
+    fn warning_report_lists_violations() {
+        let flow = flow_with_warning();
+        let report = warning_report(&flow);
+        assert!(report.contains("1 warning(s) recorded"));
+        assert!(report.contains("towards gdocs"));
+        assert!(report.contains("itool/eval#p0"));
+        assert!(report.contains("#ti"));
+        assert!(report.contains("matching passage(s)"));
+    }
+
+    #[test]
+    fn policy_report_shows_services_and_counts() {
+        let flow = flow_with_warning();
+        let report = policy_report(&flow);
+        assert!(report.contains("enforcement mode: Block"));
+        assert!(report.contains("Interview Tool"));
+        assert!(report.contains("tracked paragraphs: 1"));
+    }
+}

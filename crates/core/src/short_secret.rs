@@ -1,0 +1,148 @@
+//! Exact-match protection for short secrets.
+//!
+//! §4.4: "imprecise data flow tracking is not effective at a finer
+//! granularity than paragraphs [...] Short but sensitive text, however, is
+//! typically only relevant from a confidentiality perspective in specific
+//! scenarios, e.g. when the text is used as a password. For such specific
+//! use cases [...] specialised systems which rely on data equality only
+//! are more effective."
+//!
+//! This module is that specialised companion system: administrators
+//! register short secrets (passwords, API keys, licence numbers) and the
+//! enforcement module scans every upload for them by *normalised substring
+//! equality* — robust to casing and punctuation tricks, and immune to the
+//! empty-fingerprint blind spot for text shorter than one n-gram.
+
+use browserflow_fingerprint::normalize;
+use browserflow_tdm::{SegmentLabel, ServiceId};
+use std::ops::Range;
+
+/// One registered short secret.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct ShortSecret {
+    /// Administrative name (never the secret itself) used in reports.
+    pub name: String,
+    /// The service the secret belongs to.
+    pub service: ServiceId,
+    /// The label enforced for the secret (the owning service's `Lc`).
+    pub label: SegmentLabel,
+    /// The secret's normalised form.
+    normalized: String,
+}
+
+impl ShortSecret {
+    pub(crate) fn new(
+        name: impl Into<String>,
+        service: ServiceId,
+        label: SegmentLabel,
+        secret: &str,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            service,
+            label,
+            normalized: normalize::normalize(secret).text().to_string(),
+        }
+    }
+
+    /// Whether the secret is non-trivial (empty secrets would match
+    /// everything).
+    pub(crate) fn is_usable(&self) -> bool {
+        !self.normalized.is_empty()
+    }
+
+    /// Byte ranges of `text` where the secret appears (after
+    /// normalisation). Empty when it does not appear.
+    pub(crate) fn find_in(&self, text: &str) -> Vec<Range<usize>> {
+        if self.normalized.is_empty() {
+            return Vec::new();
+        }
+        let normalized = normalize::normalize(text);
+        let haystack = normalized.text();
+        let needle = &self.normalized;
+        let needle_chars = needle.chars().count();
+        let mut spans = Vec::new();
+        let mut search_from = 0usize;
+        // Positions are character indices into the normalised text.
+        let haystack_chars: Vec<char> = haystack.chars().collect();
+        let needle_vec: Vec<char> = needle.chars().collect();
+        while search_from + needle_chars <= haystack_chars.len() {
+            if haystack_chars[search_from..search_from + needle_chars] == needle_vec[..] {
+                let start = normalized
+                    .original_offset(search_from)
+                    .expect("start in range");
+                let end = normalized
+                    .span_of_ngram(search_from, needle_chars)
+                    .end;
+                spans.push(start..end);
+                search_from += needle_chars;
+            } else {
+                search_from += 1;
+            }
+        }
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browserflow_tdm::{SegmentLabel, Tag, TagSet};
+
+    fn secret(value: &str) -> ShortSecret {
+        let label = SegmentLabel::from_confidentiality(&TagSet::from_iter([
+            Tag::new("vault").unwrap()
+        ]));
+        ShortSecret::new("db-password", ServiceId::new("vault"), label, value)
+    }
+
+    #[test]
+    fn finds_exact_and_normalised_occurrences() {
+        let s = secret("Tr0ub4dor&3");
+        assert_eq!(s.find_in("Tr0ub4dor&3").len(), 1);
+        // Case and punctuation noise do not help the leaker.
+        assert_eq!(s.find_in("the password is tr0ub4dor 3!").len(), 1);
+        assert_eq!(s.find_in("TR0UB4DOR-3").len(), 1);
+    }
+
+    #[test]
+    fn spans_point_at_the_leak() {
+        let s = secret("hunter2");
+        let text = "my password is hunter2, don't tell";
+        let spans = s.find_in(text);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(&text[spans[0].clone()], "hunter2");
+    }
+
+    #[test]
+    fn multiple_occurrences_are_all_found() {
+        let s = secret("abc123");
+        let spans = s.find_in("abc123 and again abc123");
+        assert_eq!(spans.len(), 2);
+    }
+
+    #[test]
+    fn absent_and_partial_secrets_do_not_match() {
+        let s = secret("hunter2");
+        assert!(s.find_in("nothing to see here").is_empty());
+        assert!(s.find_in("hunter").is_empty());
+        // Different secret of same length.
+        assert!(s.find_in("hunter3").is_empty());
+    }
+
+    #[test]
+    fn empty_secret_is_unusable() {
+        let s = secret("!!!"); // normalises to empty
+        assert!(!s.is_usable());
+        assert!(s.find_in("anything").is_empty());
+    }
+
+    #[test]
+    fn unicode_secrets_work() {
+        let s = secret("pässwörd");
+        let text = "leaking PÄSSWÖRD now";
+        let spans = s.find_in(text);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(&text[spans[0].clone()], "PÄSSWÖRD");
+    }
+}

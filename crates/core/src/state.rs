@@ -1,0 +1,331 @@
+//! Persistence of the full middleware state.
+//!
+//! §4.4 requires that long-term fingerprint storage be encrypted at rest.
+//! [`BrowserFlow::export_sealed`] serialises the complete middleware state
+//! — policy (including the audit log), segment labels, the key registry
+//! and both fingerprint stores — and seals it under the store key, so a
+//! deployment survives browser restarts without ever writing plaintext
+//! fingerprints to disk.
+//!
+//! Wire layout (inside the sealed envelope):
+//!
+//! ```text
+//! u32 json_len | json metadata (policy, labels, keys, config)
+//! u32 par_len  | paragraph-store codec bytes
+//! u32 doc_len  | document-store codec bytes
+//! ```
+
+use crate::engine::{DisclosureEngine, EngineConfig, SegmentKey};
+use crate::middleware::{BrowserFlow, EnforcementMode, Warning};
+use crate::short_secret::ShortSecret;
+use browserflow_store::{codec, CodecError, SealedBytes, SegmentId, StoreKey};
+use browserflow_tdm::{Policy, SegmentLabel};
+use std::fmt;
+
+/// Error restoring persisted middleware state.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StateError {
+    /// The sealed envelope or a store blob was rejected.
+    Codec(CodecError),
+    /// The JSON metadata was malformed.
+    Metadata(serde_json::Error),
+    /// The payload structure was invalid (lengths out of range).
+    Malformed,
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::Codec(e) => write!(f, "store payload rejected: {e}"),
+            StateError::Metadata(e) => write!(f, "metadata rejected: {e}"),
+            StateError::Malformed => write!(f, "state payload is malformed"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl From<CodecError> for StateError {
+    fn from(e: CodecError) -> Self {
+        StateError::Codec(e)
+    }
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Metadata {
+    engine: EngineConfig,
+    mode: ModeRepr,
+    policy: Policy,
+    keys: Vec<(SegmentKey, u64)>,
+    labels: Vec<(u64, SegmentLabel)>,
+    seal_nonce: u64,
+    #[serde(default)]
+    short_secrets: Vec<ShortSecret>,
+    #[serde(default)]
+    warnings: Vec<Warning>,
+}
+
+/// Serde-friendly enforcement-mode representation.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+enum ModeRepr {
+    Advisory,
+    Block,
+    Encrypt,
+}
+
+impl From<EnforcementMode> for ModeRepr {
+    fn from(mode: EnforcementMode) -> Self {
+        match mode {
+            EnforcementMode::Advisory => ModeRepr::Advisory,
+            EnforcementMode::Block => ModeRepr::Block,
+            EnforcementMode::Encrypt => ModeRepr::Encrypt,
+        }
+    }
+}
+
+impl From<ModeRepr> for EnforcementMode {
+    fn from(mode: ModeRepr) -> Self {
+        match mode {
+            ModeRepr::Advisory => EnforcementMode::Advisory,
+            ModeRepr::Block => EnforcementMode::Block,
+            ModeRepr::Encrypt => EnforcementMode::Encrypt,
+        }
+    }
+}
+
+fn push_chunk(out: &mut Vec<u8>, chunk: &[u8]) {
+    out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+    out.extend_from_slice(chunk);
+}
+
+fn read_chunk<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], StateError> {
+    if *pos + 4 > bytes.len() {
+        return Err(StateError::Malformed);
+    }
+    let len = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().unwrap()) as usize;
+    *pos += 4;
+    if *pos + len > bytes.len() {
+        return Err(StateError::Malformed);
+    }
+    let chunk = &bytes[*pos..*pos + len];
+    *pos += len;
+    Ok(chunk)
+}
+
+impl BrowserFlow {
+    /// Serialises the complete middleware state and seals it under the
+    /// configured store key (a zero key is used if none was configured —
+    /// set one via [`crate::BrowserFlowBuilder::store_key`] in production).
+    pub fn export_sealed(&mut self, nonce: u64) -> SealedBytes {
+        let metadata = Metadata {
+            engine: *self.engine().config(),
+            mode: self.mode().into(),
+            policy: self.policy().clone(),
+            keys: self
+                .engine()
+                .key_map()
+                .into_iter()
+                .map(|(k, id)| (k, id.get()))
+                .collect(),
+            labels: self
+                .labels_snapshot()
+                .into_iter()
+                .map(|(id, label)| (id.get(), label))
+                .collect(),
+            seal_nonce: self.seal_nonce_value(),
+            short_secrets: self.short_secrets_snapshot(),
+            warnings: self.warnings().to_vec(),
+        };
+        let json = serde_json::to_vec(&metadata).expect("state always serialises");
+        let mut payload = Vec::new();
+        push_chunk(&mut payload, &json);
+        push_chunk(&mut payload, &codec::encode(self.engine().paragraph_store()));
+        push_chunk(&mut payload, &codec::encode(self.engine().document_store()));
+        self.store_key_or_default().seal(nonce, &payload)
+    }
+
+    /// Restores a middleware instance exported with
+    /// [`BrowserFlow::export_sealed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on key mismatch, tampering, or a malformed
+    /// payload.
+    pub fn import_sealed(key: StoreKey, sealed: &SealedBytes) -> Result<Self, StateError> {
+        let payload = key
+            .unseal(sealed)
+            .map_err(|e| StateError::Codec(CodecError::Sealed(e)))?;
+        let mut pos = 0usize;
+        let json = read_chunk(&payload, &mut pos)?;
+        let par_bytes = read_chunk(&payload, &mut pos)?;
+        let doc_bytes = read_chunk(&payload, &mut pos)?;
+        if pos != payload.len() {
+            return Err(StateError::Malformed);
+        }
+        let metadata: Metadata =
+            serde_json::from_slice(json).map_err(StateError::Metadata)?;
+        let paragraphs = codec::decode(par_bytes)?;
+        let documents = codec::decode(doc_bytes)?;
+        let engine = DisclosureEngine::from_parts(
+            metadata.engine,
+            paragraphs,
+            documents,
+            metadata
+                .keys
+                .into_iter()
+                .map(|(k, id)| (k, SegmentId::new(id)))
+                .collect(),
+        );
+        let mut flow = BrowserFlow::from_restored(
+            engine,
+            metadata.policy,
+            metadata
+                .labels
+                .into_iter()
+                .map(|(id, label)| (SegmentId::new(id), label))
+                .collect(),
+            metadata.mode.into(),
+            key,
+            metadata.seal_nonce,
+            metadata.short_secrets,
+        );
+        flow.restore_warnings(metadata.warnings);
+        Ok(flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DocKey, SegmentKey, UploadAction};
+    use browserflow_tdm::{Service, Tag, TagSet, UserId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SECRET: &str = "the confidential interview rubric awards extra points for \
+                          candidates who ask incisive clarifying questions early";
+
+    fn sample_flow() -> BrowserFlow {
+        let ti = Tag::new("ti").unwrap();
+        let mut flow = BrowserFlow::builder()
+            .mode(EnforcementMode::Block)
+            .store_key(StoreKey::from_bytes([3u8; 32]))
+            .service(
+                Service::new("itool", "Interview Tool")
+                    .with_privilege(TagSet::from_iter([ti.clone()]))
+                    .with_confidentiality(TagSet::from_iter([ti])),
+            )
+            .service(Service::new("gdocs", "Google Docs"))
+            .build()
+            .unwrap();
+        flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+        flow
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_decisions() {
+        let mut flow = sample_flow();
+        let before = flow.check_upload(&"gdocs".into(), "d", 0, SECRET).unwrap();
+        assert_eq!(before.action, UploadAction::Block);
+
+        let sealed = flow.export_sealed(1);
+        let mut restored =
+            BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
+        let after = restored
+            .check_upload(&"gdocs".into(), "d2", 0, SECRET)
+            .unwrap();
+        assert_eq!(after.action, UploadAction::Block);
+        assert_eq!(after.violations[0].source, before.violations[0].source);
+        assert_eq!(restored.mode(), EnforcementMode::Block);
+    }
+
+    #[test]
+    fn roundtrip_preserves_suppressions_and_audit() {
+        let mut flow = sample_flow();
+        let key = SegmentKey::paragraph(DocKey::new("itool", "eval"), 0);
+        flow.suppress_tag(&key, &Tag::new("ti").unwrap(), &UserId::new("alice"), "ok")
+            .unwrap();
+        let sealed = flow.export_sealed(2);
+        let mut restored =
+            BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
+        // The suppression survives: the upload is now allowed.
+        assert_eq!(
+            restored
+                .check_upload(&"gdocs".into(), "d", 0, SECRET)
+                .unwrap()
+                .action,
+            UploadAction::Allow
+        );
+        assert_eq!(restored.policy().audit_log().len(), 1);
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let mut flow = sample_flow();
+        let sealed = flow.export_sealed(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            BrowserFlow::import_sealed(StoreKey::generate(&mut rng), &sealed),
+            Err(StateError::Codec(CodecError::Sealed(_)))
+        ));
+    }
+
+    #[test]
+    fn restored_flow_keeps_allocating_fresh_segment_ids() {
+        let mut flow = sample_flow();
+        let sealed = flow.export_sealed(4);
+        let mut restored =
+            BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
+        // New observations must not collide with restored ids.
+        let status = restored
+            .observe_paragraph(&"gdocs".into(), "new-doc", 0, "fresh text here")
+            .unwrap();
+        let existing = restored
+            .engine()
+            .segment_id_readonly(&SegmentKey::paragraph(DocKey::new("itool", "eval"), 0))
+            .unwrap();
+        assert_ne!(status.segment, existing);
+    }
+
+    #[test]
+    fn short_secrets_survive_restore() {
+        let mut flow = sample_flow();
+        flow.register_short_secret(&"itool".into(), "api-key", "Kx9#q2!z")
+            .unwrap();
+        let sealed = flow.export_sealed(6);
+        let mut restored =
+            BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
+        assert_eq!(restored.short_secret_count(), 1);
+        let decision = restored
+            .check_upload(&"gdocs".into(), "d", 0, "leaking kx9q2z now")
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Block);
+    }
+
+    #[test]
+    fn warning_trail_survives_restore() {
+        let mut flow = sample_flow();
+        flow.check_upload(&"gdocs".into(), "d", 0, SECRET).unwrap();
+        assert_eq!(flow.warnings().len(), 1);
+        let sealed = flow.export_sealed(7);
+        let restored =
+            BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
+        assert_eq!(restored.warnings().len(), 1);
+        assert_eq!(restored.warnings()[0].destination.as_str(), "gdocs");
+    }
+
+    #[test]
+    fn seal_nonce_continues_after_restore() {
+        let mut flow = sample_flow();
+        let first = flow.seal_body("x");
+        assert!(first.starts_with("bf-sealed:0:"));
+        let sealed = flow.export_sealed(5);
+        let mut restored =
+            BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
+        // Nonce must not be reused after the restart.
+        let next = restored.seal_body("y");
+        assert!(next.starts_with("bf-sealed:1:"), "{next}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Plug-in lifecycle edge cases: multiple tabs on one origin, navigation
+//! tearing observers down, origin rebinding, and mixed service types in
+//! one browser session.
+
+use browserflow::plugin::Plugin;
+use browserflow::{BrowserFlow, EnforcementMode, EngineConfig};
+use browserflow_browser::services::{parse_notes_sync, static_site, DocsApp, NotesApp};
+use browserflow_browser::Browser;
+use browserflow_fingerprint::FingerprintConfig;
+use browserflow_tdm::{Service, Tag, TagSet};
+
+const WIKI: &str = "https://wiki.internal";
+const DOCS: &str = "https://docs.example.com";
+const NOTES: &str = "https://notes.example.com";
+
+const SECRET: &str = "the migration runbook lists the production database credentials \
+                      rotation order and the rollback procedure step by step";
+
+fn plugin() -> Plugin {
+    let tw = Tag::new("tw").unwrap();
+    let flow = BrowserFlow::builder()
+        .mode(EnforcementMode::Block)
+        .engine(EngineConfig {
+            fingerprint: FingerprintConfig::builder()
+                .ngram_len(8)
+                .window(6)
+                .build()
+                .unwrap(),
+            ..EngineConfig::default()
+        })
+        .service(
+            Service::new("wiki", "Internal Wiki")
+                .with_privilege(TagSet::from_iter([tw.clone()]))
+                .with_confidentiality(TagSet::from_iter([tw])),
+        )
+        .service(Service::new("gdocs", "Google Docs"))
+        .service(Service::new("notes", "External Notes"))
+        .build()
+        .unwrap();
+    let plugin = Plugin::new(flow);
+    plugin.bind_origin(WIKI, "wiki", "kb");
+    plugin.bind_origin(DOCS, "gdocs", "draft");
+    plugin.bind_origin_with_parser(NOTES, "notes", "note", parse_notes_sync);
+    plugin
+}
+
+fn seed_secret(plugin: &Plugin, browser: &mut Browser) {
+    let page = static_site::article_page("Runbook", &[SECRET.to_string()]);
+    let tab = browser.open_tab_with_html(WIKI, &page);
+    assert_eq!(plugin.observe_page(browser, tab), 1);
+}
+
+#[test]
+fn two_tabs_on_the_same_origin_are_both_enforced() {
+    let plugin = plugin();
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+    seed_secret(&plugin, &mut browser);
+
+    let tab_a = browser.open_tab(DOCS);
+    let mut docs_a = DocsApp::attach(&mut browser, tab_a);
+    plugin.watch_docs(&mut browser, &docs_a);
+    let tab_b = browser.open_tab(DOCS);
+    let mut docs_b = DocsApp::attach(&mut browser, tab_b);
+    plugin.watch_docs(&mut browser, &docs_b);
+
+    docs_a.create_paragraph(&mut browser);
+    docs_b.create_paragraph(&mut browser);
+    assert!(!docs_a.type_text(&mut browser, 0, SECRET).is_delivered());
+    assert!(!docs_b.type_text(&mut browser, 0, SECRET).is_delivered());
+    assert!(docs_b
+        .set_paragraph_text(&mut browser, 0, "harmless content instead")
+        .is_delivered());
+    assert!(!browser.backend(DOCS).saw_text("runbook"));
+}
+
+#[test]
+fn docs_and_notes_coexist_with_different_wire_formats() {
+    let plugin = plugin();
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+    seed_secret(&plugin, &mut browser);
+
+    let docs_tab = browser.open_tab(DOCS);
+    let mut docs = DocsApp::attach(&mut browser, docs_tab);
+    plugin.watch_docs(&mut browser, &docs);
+    let notes_tab = browser.open_tab(NOTES);
+    let mut notes = NotesApp::attach(&mut browser, notes_tab);
+    plugin.watch_notes(&mut browser, &notes);
+
+    docs.create_paragraph(&mut browser);
+    assert!(!docs.type_text(&mut browser, 0, SECRET).is_delivered());
+    let (_, result) = notes.add_block(&mut browser, SECRET);
+    assert!(!result.is_delivered());
+    assert!(notes.set_title(&mut browser, "harmless title").is_delivered());
+    for origin in [DOCS, NOTES] {
+        assert!(!browser.backend(origin).saw_text("runbook"), "{origin}");
+    }
+}
+
+#[test]
+fn navigation_requires_reattaching_the_watcher() {
+    let plugin = plugin();
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+    seed_secret(&plugin, &mut browser);
+
+    let tab = browser.open_tab(DOCS);
+    let mut docs = DocsApp::attach(&mut browser, tab);
+    plugin.watch_docs(&mut browser, &docs);
+    docs.create_paragraph(&mut browser);
+    assert!(!docs.type_text(&mut browser, 0, SECRET).is_delivered());
+
+    // The user navigates the tab; observers are torn down with the page.
+    browser.navigate(tab, DOCS, "");
+    let mut docs = DocsApp::attach(&mut browser, tab);
+    // Even without the (lookup) observer, the XHR enforcement hook is
+    // global and still blocks outgoing leaks.
+    docs.create_paragraph(&mut browser);
+    assert!(!docs.type_text(&mut browser, 0, SECRET).is_delivered());
+    // Re-attaching restores the UI flagging too.
+    plugin.watch_docs(&mut browser, &docs);
+    docs.set_paragraph_text(&mut browser, 0, SECRET);
+    let node = docs.paragraph_node(&browser, 0);
+    assert_eq!(
+        browser.tab(tab).document().attr(node, "data-bf-flagged"),
+        Some("true")
+    );
+}
+
+#[test]
+fn rebinding_an_origin_changes_its_service_identity() {
+    let plugin = plugin();
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+    seed_secret(&plugin, &mut browser);
+
+    // Initially DOCS is untrusted gdocs: the paste is blocked.
+    let tab = browser.open_tab(DOCS);
+    let mut docs = DocsApp::attach(&mut browser, tab);
+    docs.create_paragraph(&mut browser);
+    assert!(!docs.type_text(&mut browser, 0, SECRET).is_delivered());
+
+    // The organisation onboards the origin as a trusted wiki frontend.
+    plugin.bind_origin(DOCS, "wiki", "trusted-editor");
+    assert!(docs
+        .set_paragraph_text(&mut browser, 0, SECRET)
+        .is_delivered());
+}
+
+#[test]
+fn shared_middleware_state_is_visible_across_plugin_clones() {
+    let plugin = plugin();
+    let clone = plugin.clone();
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+    seed_secret(&plugin, &mut browser);
+
+    // The clone sees the same engine state.
+    let state = clone.state();
+    assert_eq!(state.lock().engine().paragraph_count(), 1);
+    // Binding through the clone is visible to the original's hook chain.
+    clone.bind_origin("https://late.example", "gdocs", "late-doc");
+    let tab = browser.open_tab("https://late.example");
+    let mut docs = DocsApp::attach(&mut browser, tab);
+    docs.create_paragraph(&mut browser);
+    assert!(!docs.type_text(&mut browser, 0, SECRET).is_delivered());
+}

@@ -1,0 +1,730 @@
+//! The Table 1 dataset equivalents.
+//!
+//! Each builder takes a seed and (where relevant) a scale configuration;
+//! `Default` configurations are laptop-friendly, while `paper_scale()`
+//! matches the sizes reported in the paper's Table 1.
+
+use crate::document::Document;
+use crate::edits::EditProfile;
+use crate::revisions::{CheckpointChain, RevisionChain};
+use crate::textgen::TextGen;
+
+/// Churn level of a Wikipedia article (drives Figures 8 and 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChurnLevel {
+    /// Mature article with stable length ("Chicago", "C++", ...).
+    Low,
+    /// Controversial or immature article ("Dow Jones", "Dementia", ...).
+    High,
+}
+
+/// Configuration for the Wikipedia-equivalent dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WikipediaConfig {
+    /// Number of articles.
+    pub articles: usize,
+    /// Revisions per article (the paper keeps the last 1000).
+    pub revisions: usize,
+    /// Paragraphs per base article (Table 1 reports ~60 on average).
+    pub paragraphs: usize,
+    /// Sentences per paragraph.
+    pub sentences: usize,
+    /// Fraction of articles with [`ChurnLevel::High`].
+    pub high_churn_fraction: f64,
+}
+
+impl Default for WikipediaConfig {
+    /// A scaled-down configuration suitable for tests: 8 articles with 50
+    /// revisions each.
+    fn default() -> Self {
+        Self {
+            articles: 8,
+            revisions: 50,
+            paragraphs: 20,
+            sentences: 4,
+            high_churn_fraction: 0.5,
+        }
+    }
+}
+
+impl WikipediaConfig {
+    /// The paper's scale: 100 articles, 1000 revisions, ~60 paragraphs.
+    pub fn paper_scale() -> Self {
+        Self {
+            articles: 100,
+            revisions: 1000,
+            paragraphs: 60,
+            sentences: 4,
+            high_churn_fraction: 0.5,
+        }
+    }
+}
+
+/// One article of the Wikipedia-equivalent dataset.
+#[derive(Debug, Clone)]
+pub struct WikiArticle {
+    /// Article name.
+    pub name: String,
+    /// Assigned churn level.
+    pub churn: ChurnLevel,
+    /// The revision history.
+    pub chain: RevisionChain,
+}
+
+/// The Wikipedia-equivalent dataset: articles with long revision chains at
+/// two churn levels.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_corpus::datasets::{WikipediaConfig, WikipediaDataset};
+///
+/// let config = WikipediaConfig { articles: 2, revisions: 5, ..WikipediaConfig::default() };
+/// let wiki = WikipediaDataset::generate(1, &config);
+/// assert_eq!(wiki.articles().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WikipediaDataset {
+    articles: Vec<WikiArticle>,
+}
+
+/// Names borrowed from the articles the paper cites as examples.
+const LOW_CHURN_NAMES: &[&str] = &["Chicago", "C++", "IP address", "Liverpool FC"];
+const HIGH_CHURN_NAMES: &[&str] = &["Chemotherapy", "Dementia", "Dow Jones", "Radiotherapy"];
+
+/// The per-article plan shared by the full and checkpointed generators:
+/// name, churn level, and the per-revision profile (calibrated to the
+/// chain length so the decay spreads across the whole x-axis — the
+/// profiles are tuned for ~100-revision chains).
+fn wikipedia_article_plan(config: &WikipediaConfig) -> Vec<(String, ChurnLevel, EditProfile)> {
+    let high_count = (config.articles as f64 * config.high_churn_fraction).round() as usize;
+    let time_scale = (100.0 / config.revisions.max(1) as f64).min(1.0);
+    (0..config.articles)
+        .map(|index| {
+            let churn = if index < high_count {
+                ChurnLevel::High
+            } else {
+                ChurnLevel::Low
+            };
+            let name = match churn {
+                ChurnLevel::High if index < HIGH_CHURN_NAMES.len() => {
+                    HIGH_CHURN_NAMES[index].to_string()
+                }
+                ChurnLevel::Low if index - high_count < LOW_CHURN_NAMES.len() => {
+                    LOW_CHURN_NAMES[index - high_count].to_string()
+                }
+                _ => format!("Article {index}"),
+            };
+            let profile = match churn {
+                ChurnLevel::Low => EditProfile::stable().scale_frequency(time_scale),
+                ChurnLevel::High => EditProfile::churning().scale_frequency(time_scale),
+            };
+            (name, churn, profile)
+        })
+        .collect()
+}
+
+impl WikipediaDataset {
+    /// Generates the dataset deterministically from `seed`, keeping every
+    /// revision in memory. Suitable for test-scale configurations; use
+    /// [`WikipediaCheckpoints`] for the paper's 1000-revision chains.
+    pub fn generate(seed: u64, config: &WikipediaConfig) -> Self {
+        let mut gen = TextGen::new(seed);
+        let articles = wikipedia_article_plan(config)
+            .into_iter()
+            .map(|(name, churn, profile)| {
+                let chain = RevisionChain::generate(
+                    &mut gen,
+                    &name,
+                    config.paragraphs,
+                    config.sentences,
+                    config.revisions,
+                    &profile,
+                );
+                WikiArticle { name, churn, chain }
+            })
+            .collect();
+        Self { articles }
+    }
+
+    /// All articles.
+    pub fn articles(&self) -> &[WikiArticle] {
+        &self.articles
+    }
+
+    /// Articles of the given churn level.
+    pub fn by_churn(&self, churn: ChurnLevel) -> impl Iterator<Item = &WikiArticle> {
+        self.articles.iter().filter(move |a| a.churn == churn)
+    }
+}
+
+/// One article of the checkpointed Wikipedia dataset.
+#[derive(Debug, Clone)]
+pub struct WikiArticleCheckpoints {
+    /// Article name.
+    pub name: String,
+    /// Assigned churn level.
+    pub churn: ChurnLevel,
+    /// Base + snapshots at the requested revisions.
+    pub chain: CheckpointChain,
+}
+
+/// The Wikipedia dataset with snapshot-only revision storage — the
+/// memory-feasible form of the paper's 100 × 1000-revision corpus.
+///
+/// Deterministically identical (same seed, same config) to the documents
+/// [`WikipediaDataset`] would produce at the same revision numbers.
+#[derive(Debug, Clone)]
+pub struct WikipediaCheckpoints {
+    articles: Vec<WikiArticleCheckpoints>,
+}
+
+impl WikipediaCheckpoints {
+    /// Generates the dataset, snapshotting each article at `checkpoints`
+    /// (revision numbers; 0 = base).
+    pub fn generate(seed: u64, config: &WikipediaConfig, checkpoints: &[usize]) -> Self {
+        let mut gen = TextGen::new(seed);
+        let articles = wikipedia_article_plan(config)
+            .into_iter()
+            .map(|(name, churn, profile)| {
+                let chain = CheckpointChain::generate(
+                    &mut gen,
+                    &name,
+                    config.paragraphs,
+                    config.sentences,
+                    &profile,
+                    checkpoints,
+                );
+                WikiArticleCheckpoints { name, churn, chain }
+            })
+            .collect();
+        Self { articles }
+    }
+
+    /// All articles.
+    pub fn articles(&self) -> &[WikiArticleCheckpoints] {
+        &self.articles
+    }
+
+    /// Articles of the given churn level.
+    pub fn by_churn(&self, churn: ChurnLevel) -> impl Iterator<Item = &WikiArticleCheckpoints> {
+        self.articles.iter().filter(move |a| a.churn == churn)
+    }
+}
+
+/// The four manual chapters of Table 1 / Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ManualChapterKind {
+    /// iPhone manual, "Camera" chapter — rewritten substantially each
+    /// major iOS version (Figure 10a).
+    IphoneCamera,
+    /// iPhone manual, "Message" chapter — rewritten even more heavily
+    /// (Figure 10b).
+    IphoneMessage,
+    /// MySQL manual, "New Features" chapter — reduced disclosure after
+    /// version 4.1 (Figure 10c).
+    MySqlNewFeatures,
+    /// MySQL manual, "What's MySQL" chapter — essentially unchanged across
+    /// versions (Figure 10d).
+    MySqlWhatsMySql,
+}
+
+impl ManualChapterKind {
+    /// All four chapters in Table 1 order.
+    pub const ALL: [ManualChapterKind; 4] = [
+        ManualChapterKind::IphoneCamera,
+        ManualChapterKind::IphoneMessage,
+        ManualChapterKind::MySqlNewFeatures,
+        ManualChapterKind::MySqlWhatsMySql,
+    ];
+
+    /// Human-readable chapter name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ManualChapterKind::IphoneCamera => "IPhone Camera",
+            ManualChapterKind::IphoneMessage => "IPhone Message",
+            ManualChapterKind::MySqlNewFeatures => "MySQL New Features",
+            ManualChapterKind::MySqlWhatsMySql => "MySQL What's MySQL",
+        }
+    }
+
+    /// Version labels for the chapter's four versions.
+    pub fn version_labels(&self) -> [&'static str; 4] {
+        match self {
+            ManualChapterKind::IphoneCamera | ManualChapterKind::IphoneMessage => {
+                ["iOS3", "iOS4", "iOS5", "iOS7"]
+            }
+            _ => ["4.0", "4.1", "5.0", "5.1"],
+        }
+    }
+
+    /// Base size (paragraph count) per Table 1: iPhone Camera 40, iPhone
+    /// Message 20, MySQL New Features 28, What's MySQL 8.
+    pub fn paragraph_count(&self) -> usize {
+        match self {
+            ManualChapterKind::IphoneCamera => 40,
+            ManualChapterKind::IphoneMessage => 20,
+            ManualChapterKind::MySqlNewFeatures => 28,
+            ManualChapterKind::MySqlWhatsMySql => 8,
+        }
+    }
+
+    /// The per-version churn schedule (3 transitions for 4 versions).
+    ///
+    /// Version transitions rewrite a *fraction of paragraphs wholesale*
+    /// (see [`EditProfile::rewrite_with_touch`]): documentation revisions
+    /// are bimodal, which is what gives the paper's Figure 11 its wide
+    /// threshold-insensitive plateau.
+    fn schedule(&self) -> Vec<EditProfile> {
+        let frozen = EditProfile::frozen();
+        match self {
+            // Steady heavy rewriting across iOS versions.
+            ManualChapterKind::IphoneCamera => vec![
+                EditProfile::rewrite_with_touch(0.35),
+                EditProfile::rewrite_with_touch(0.45),
+                EditProfile::rewrite_with_touch(0.6),
+            ],
+            ManualChapterKind::IphoneMessage => vec![
+                EditProfile::rewrite_with_touch(0.5),
+                EditProfile::rewrite_with_touch(0.6),
+                EditProfile::rewrite_with_touch(0.7),
+            ],
+            // Mostly intact until 4.1, then substantial rework.
+            ManualChapterKind::MySqlNewFeatures => vec![
+                EditProfile::rewrite_with_touch(0.05),
+                EditProfile::rewrite_with_touch(0.5),
+                EditProfile::rewrite_with_touch(0.25),
+            ],
+            // Frozen throughout.
+            ManualChapterKind::MySqlWhatsMySql => vec![frozen, frozen, frozen],
+        }
+    }
+}
+
+/// One manual chapter with its four versions.
+#[derive(Debug, Clone)]
+pub struct ManualChapter {
+    /// Which chapter this is.
+    pub kind: ManualChapterKind,
+    /// The version chain (4 versions: base + 3 transitions).
+    pub chain: RevisionChain,
+}
+
+impl ManualChapter {
+    /// Ground truth for version `version` (0–3) at survival `cutoff`.
+    pub fn ground_truth(&self, version: usize, cutoff: f64) -> crate::revisions::GroundTruth {
+        self.chain.ground_truth(version, cutoff)
+    }
+}
+
+/// The Manuals dataset: two chapters from each of two technical manuals,
+/// four versions each (Table 1).
+#[derive(Debug, Clone)]
+pub struct ManualsDataset {
+    chapters: Vec<ManualChapter>,
+}
+
+impl ManualsDataset {
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(seed: u64) -> Self {
+        let mut gen = TextGen::new(seed);
+        let chapters = ManualChapterKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mut base = Document::generate(
+                    &mut gen,
+                    kind.name(),
+                    kind.paragraph_count(),
+                    4,
+                );
+                // Manual rewrites are systematic (every section is revised
+                // for a new product version), not popularity-driven like
+                // wiki edits: flatten the edit affinity.
+                for paragraph in base.paragraphs_mut() {
+                    *paragraph = paragraph.clone().with_edit_affinity(1.0);
+                }
+                let chain =
+                    RevisionChain::evolve_with_schedule(&mut gen, base, &kind.schedule());
+                ManualChapter { kind, chain }
+            })
+            .collect();
+        Self { chapters }
+    }
+
+    /// All chapters in Table 1 order.
+    pub fn chapters(&self) -> &[ManualChapter] {
+        &self.chapters
+    }
+
+    /// A specific chapter.
+    pub fn chapter(&self, kind: ManualChapterKind) -> &ManualChapter {
+        self.chapters
+            .iter()
+            .find(|c| c.kind == kind)
+            .expect("all chapter kinds are generated")
+    }
+}
+
+/// The News dataset of Table 1: a small set of standalone articles
+/// (2 documents, ~27 paragraphs each in the paper).
+#[derive(Debug, Clone)]
+pub struct NewsDataset {
+    articles: Vec<Document>,
+}
+
+impl NewsDataset {
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(seed: u64) -> Self {
+        let mut gen = TextGen::new(seed);
+        let articles = (0..2)
+            .map(|i| Document::generate(&mut gen, format!("News article {i}"), 27, 3))
+            .collect();
+        Self { articles }
+    }
+
+    /// The articles.
+    pub fn articles(&self) -> &[Document] {
+        &self.articles
+    }
+}
+
+/// Configuration for the e-books dataset (drives Figures 12 and 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EbooksConfig {
+    /// Number of books (the paper loads 180).
+    pub books: usize,
+    /// Smallest target book size in bytes (paper: 300 KB).
+    pub min_bytes: usize,
+    /// Largest target book size in bytes (paper: 5.5 MB).
+    pub max_bytes: usize,
+    /// Skew exponent for the size distribution: sizes follow
+    /// `min + (max-min)·t^skew`. 1 spreads sizes evenly; larger values
+    /// concentrate books near `min_bytes` with a long tail, matching the
+    /// paper's corpus (300 KB – 5.5 MB range but ~470 KB average, ~90 MB
+    /// total).
+    pub size_skew: u32,
+}
+
+impl Default for EbooksConfig {
+    /// A scaled-down configuration: 12 books of 20–80 KB.
+    fn default() -> Self {
+        Self {
+            books: 12,
+            min_bytes: 20_000,
+            max_bytes: 80_000,
+            size_skew: 1,
+        }
+    }
+}
+
+impl EbooksConfig {
+    /// The paper's scale: 180 books of 300 KB – 5.5 MB (~90 MB total,
+    /// ~10 M distinct hashes).
+    pub fn paper_scale() -> Self {
+        Self {
+            books: 180,
+            min_bytes: 300_000,
+            max_bytes: 5_500_000,
+            size_skew: 20,
+        }
+    }
+}
+
+/// The e-books dataset: large fresh documents used to fill the hash
+/// database for the performance experiments.
+#[derive(Debug, Clone)]
+pub struct EbooksDataset {
+    books: Vec<Document>,
+}
+
+impl EbooksDataset {
+    /// Generates the dataset deterministically from `seed`.
+    ///
+    /// Book sizes are spread evenly across `[min_bytes, max_bytes]`.
+    /// Paragraphs average ~500 characters, matching the paste size used in
+    /// the paper's scalability experiment.
+    pub fn generate(seed: u64, config: &EbooksConfig) -> Self {
+        let mut gen = TextGen::new(seed);
+        let mut books = Vec::with_capacity(config.books);
+        for index in 0..config.books {
+            let t = if config.books <= 1 {
+                0.0
+            } else {
+                index as f64 / (config.books - 1) as f64
+            };
+            let t = t.powi(config.size_skew.max(1) as i32);
+            let target =
+                config.min_bytes as f64 + t * (config.max_bytes - config.min_bytes) as f64;
+            books.push(Self::generate_book(&mut gen, index, target as usize));
+        }
+        Self { books }
+    }
+
+    fn generate_book(gen: &mut TextGen, index: usize, target_bytes: usize) -> Document {
+        // ~500 characters per paragraph => ~7 sentences of ~10 words of
+        // ~6.5 chars.
+        let approx_paragraph_bytes = 500;
+        let paragraphs = (target_bytes / approx_paragraph_bytes).max(1);
+        Document::generate(gen, format!("Book {index}"), paragraphs, 7)
+    }
+
+    /// All books.
+    pub fn books(&self) -> &[Document] {
+        &self.books
+    }
+
+    /// Total rendered size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.books.iter().map(Document::byte_len).sum()
+    }
+}
+
+/// One row of the Table 1 summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Dataset group ("Wikipedia", "Manuals", ...).
+    pub dataset: String,
+    /// Item name within the group.
+    pub item: String,
+    /// Number of documents.
+    pub documents: usize,
+    /// Number of versions per document (0 when not versioned).
+    pub versions: usize,
+    /// Average paragraph count across versions.
+    pub paragraphs: f64,
+    /// Average rendered size in KiB across versions.
+    pub size_kib: f64,
+}
+
+/// Builds the Table 1 summary rows for already-generated datasets.
+pub fn table1_rows(
+    wikipedia: &WikipediaDataset,
+    manuals: &ManualsDataset,
+    news: &NewsDataset,
+    ebooks: &EbooksDataset,
+) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+
+    let wiki_articles = wikipedia.articles();
+    if !wiki_articles.is_empty() {
+        let mut paragraphs = 0usize;
+        let mut bytes = 0usize;
+        let mut versions = 0usize;
+        for article in wiki_articles {
+            for revision in article.chain.revisions() {
+                paragraphs += revision.paragraphs().len();
+                bytes += revision.byte_len();
+                versions += 1;
+            }
+        }
+        rows.push(Table1Row {
+            dataset: "Wikipedia".into(),
+            item: "Articles".into(),
+            documents: wiki_articles.len(),
+            versions: wiki_articles[0].chain.len(),
+            paragraphs: paragraphs as f64 / versions as f64,
+            size_kib: bytes as f64 / versions as f64 / 1024.0,
+        });
+    }
+
+    for chapter in manuals.chapters() {
+        let revisions = chapter.chain.revisions();
+        let paragraphs: usize = revisions.iter().map(|r| r.paragraphs().len()).sum();
+        let bytes: usize = revisions.iter().map(Document::byte_len).sum();
+        rows.push(Table1Row {
+            dataset: "Manuals".into(),
+            item: chapter.kind.name().into(),
+            documents: 1,
+            versions: revisions.len(),
+            paragraphs: paragraphs as f64 / revisions.len() as f64,
+            size_kib: bytes as f64 / revisions.len() as f64 / 1024.0,
+        });
+    }
+
+    let articles = news.articles();
+    if !articles.is_empty() {
+        let paragraphs: usize = articles.iter().map(|a| a.paragraphs().len()).sum();
+        let bytes: usize = articles.iter().map(Document::byte_len).sum();
+        rows.push(Table1Row {
+            dataset: "News".into(),
+            item: "Articles".into(),
+            documents: articles.len(),
+            versions: 1,
+            paragraphs: paragraphs as f64 / articles.len() as f64,
+            size_kib: bytes as f64 / articles.len() as f64 / 1024.0,
+        });
+    }
+
+    let books = ebooks.books();
+    if !books.is_empty() {
+        let paragraphs: usize = books.iter().map(|b| b.paragraphs().len()).sum();
+        rows.push(Table1Row {
+            dataset: "Ebooks".into(),
+            item: "Books".into(),
+            documents: books.len(),
+            versions: 1,
+            paragraphs: paragraphs as f64 / books.len() as f64,
+            size_kib: ebooks.total_bytes() as f64 / books.len() as f64 / 1024.0,
+        });
+    }
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wikipedia_dataset_shape() {
+        let config = WikipediaConfig {
+            articles: 6,
+            revisions: 10,
+            paragraphs: 8,
+            sentences: 3,
+            high_churn_fraction: 0.5,
+        };
+        let wiki = WikipediaDataset::generate(1, &config);
+        assert_eq!(wiki.articles().len(), 6);
+        assert_eq!(wiki.by_churn(ChurnLevel::High).count(), 3);
+        assert_eq!(wiki.by_churn(ChurnLevel::Low).count(), 3);
+        for article in wiki.articles() {
+            assert_eq!(article.chain.len(), 11);
+        }
+        // The paper's example names are used.
+        assert!(wiki.articles().iter().any(|a| a.name == "Chemotherapy"));
+        assert!(wiki.articles().iter().any(|a| a.name == "Chicago"));
+    }
+
+    #[test]
+    fn high_churn_articles_change_length_more() {
+        let config = WikipediaConfig {
+            articles: 6,
+            revisions: 40,
+            paragraphs: 10,
+            sentences: 3,
+            high_churn_fraction: 0.5,
+        };
+        let wiki = WikipediaDataset::generate(2, &config);
+        let mean = |level| {
+            let values: Vec<f64> = wiki
+                .by_churn(level)
+                .map(|a| a.chain.relative_length_change())
+                .collect();
+            values.iter().sum::<f64>() / values.len() as f64
+        };
+        assert!(mean(ChurnLevel::High) > mean(ChurnLevel::Low));
+    }
+
+    #[test]
+    fn manuals_dataset_matches_table1_structure() {
+        let manuals = ManualsDataset::generate(3);
+        assert_eq!(manuals.chapters().len(), 4);
+        for chapter in manuals.chapters() {
+            assert_eq!(chapter.chain.len(), 4, "{}", chapter.kind.name());
+            assert_eq!(
+                chapter.chain.base().paragraphs().len(),
+                chapter.kind.paragraph_count()
+            );
+        }
+    }
+
+    #[test]
+    fn whats_mysql_is_frozen_and_iphone_chapters_churn() {
+        let manuals = ManualsDataset::generate(4);
+        let frozen = manuals.chapter(ManualChapterKind::MySqlWhatsMySql);
+        assert_eq!(
+            frozen.ground_truth(3, 0.9).disclosed_fraction(),
+            1.0,
+            "What's MySQL must stay fully disclosed"
+        );
+        let message = manuals.chapter(ManualChapterKind::IphoneMessage);
+        assert!(
+            message.ground_truth(3, 0.5).disclosed_fraction() < 0.3,
+            "iPhone Message must lose most disclosure by iOS7"
+        );
+    }
+
+    #[test]
+    fn ebooks_sizes_scale_with_config() {
+        let small = EbooksDataset::generate(5, &EbooksConfig {
+            books: 3,
+            min_bytes: 5_000,
+            max_bytes: 15_000,
+            size_skew: 1,
+        });
+        assert_eq!(small.books().len(), 3);
+        for book in small.books() {
+            let bytes = book.byte_len();
+            assert!(bytes > 2_000, "{bytes}");
+            assert!(bytes < 40_000, "{bytes}");
+        }
+        // Sizes increase across the range.
+        assert!(small.books()[2].byte_len() > small.books()[0].byte_len());
+    }
+
+    #[test]
+    fn table1_rows_cover_all_groups() {
+        let wiki = WikipediaDataset::generate(6, &WikipediaConfig {
+            articles: 2,
+            revisions: 3,
+            paragraphs: 4,
+            sentences: 3,
+            high_churn_fraction: 0.5,
+        });
+        let manuals = ManualsDataset::generate(6);
+        let ebooks = EbooksDataset::generate(6, &EbooksConfig {
+            books: 2,
+            min_bytes: 5_000,
+            max_bytes: 8_000,
+            size_skew: 1,
+        });
+        let news = NewsDataset::generate(6);
+        let rows = table1_rows(&wiki, &manuals, &news, &ebooks);
+        assert_eq!(rows.len(), 1 + 4 + 1 + 1);
+        assert_eq!(rows[0].dataset, "Wikipedia");
+        assert_eq!(rows[5].dataset, "News");
+        assert_eq!(rows[6].dataset, "Ebooks");
+        for row in &rows {
+            assert!(row.paragraphs > 0.0);
+            assert!(row.size_kib > 0.0);
+        }
+    }
+
+    #[test]
+    fn checkpointed_wikipedia_matches_full_generation() {
+        let config = WikipediaConfig {
+            articles: 3,
+            revisions: 12,
+            paragraphs: 5,
+            sentences: 3,
+            high_churn_fraction: 0.4,
+        };
+        let checkpoints = [0usize, 6, 12];
+        let full = WikipediaDataset::generate(9, &config);
+        let sparse = WikipediaCheckpoints::generate(9, &config, &checkpoints);
+        assert_eq!(full.articles().len(), sparse.articles().len());
+        for (a, b) in full.articles().iter().zip(sparse.articles()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.churn, b.churn);
+            for (revision, document) in b.chain.snapshots() {
+                assert_eq!(a.chain.revision(*revision).text(), document.text());
+            }
+            assert!(
+                (a.chain.relative_length_change() - b.chain.relative_length_change()).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = ManualsDataset::generate(7);
+        let b = ManualsDataset::generate(7);
+        for (ca, cb) in a.chapters().iter().zip(b.chapters()) {
+            for (ra, rb) in ca.chain.revisions().iter().zip(cb.chain.revisions()) {
+                assert_eq!(ra.text(), rb.text());
+            }
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Revision-style edit operations over documents.
+//!
+//! An [`EditProfile`] describes how aggressively one revision differs from
+//! the previous one. Profiles are the knob behind the evaluation's
+//! low-churn vs high-churn Wikipedia articles (Figure 9) and the
+//! rewritten vs stable manual chapters (Figure 10).
+
+use crate::document::{Document, Paragraph, Token};
+use crate::textgen::TextGen;
+use rand::Rng;
+
+/// Per-revision edit rates. All probabilities/fractions are in `[0, 1]`.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_corpus::EditProfile;
+///
+/// let stable = EditProfile::stable();
+/// let churn = EditProfile::churning();
+/// assert!(churn.word_replace_rate > stable.word_replace_rate);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EditProfile {
+    /// Fraction of each touched paragraph's words replaced with fresh ones.
+    pub word_replace_rate: f64,
+    /// Probability that a given paragraph is touched at all this revision.
+    pub paragraph_touch_prob: f64,
+    /// Probability that a touched paragraph loses a run of ~one sentence.
+    pub sentence_delete_prob: f64,
+    /// Probability that a touched paragraph gains a fresh sentence.
+    pub sentence_insert_prob: f64,
+    /// Probability that the revision appends a fresh paragraph.
+    pub paragraph_insert_prob: f64,
+    /// Probability that the revision deletes one existing paragraph.
+    pub paragraph_delete_prob: f64,
+    /// Probability that the revision swaps two paragraphs (reordering does
+    /// not change content, and winnowing is robust to it).
+    pub reorder_prob: f64,
+    /// Probability that a paragraph receives a light touch-up (typo fixes,
+    /// small clarifications) independent of the main edit pass.
+    pub minor_touch_prob: f64,
+    /// Fraction of words replaced by a light touch-up.
+    pub minor_replace_rate: f64,
+    /// Probability that the revision splits one paragraph in two.
+    pub split_prob: f64,
+    /// Probability that the revision merges two adjacent paragraphs.
+    pub merge_prob: f64,
+}
+
+impl EditProfile {
+    /// A mature, stable article: occasional small touch-ups
+    /// (the "Chicago" / "C++" articles of Figure 9a).
+    pub fn stable() -> Self {
+        Self {
+            word_replace_rate: 0.015,
+            paragraph_touch_prob: 0.08,
+            sentence_delete_prob: 0.005,
+            sentence_insert_prob: 0.02,
+            paragraph_insert_prob: 0.02,
+            paragraph_delete_prob: 0.0,
+            reorder_prob: 0.02,
+            minor_touch_prob: 0.0,
+            minor_replace_rate: 0.0,
+            split_prob: 0.01,
+            merge_prob: 0.01,
+        }
+    }
+
+    /// A controversial or immature article: steady rewriting that erodes
+    /// the base content over tens of revisions (the "Dow Jones" /
+    /// "Dementia" articles of Figure 9b). Calibrated so base-paragraph
+    /// content decays gradually across a ~100-revision chain; scale the
+    /// profile with [`EditProfile::lerp`] for longer chains.
+    pub fn churning() -> Self {
+        Self {
+            word_replace_rate: 0.05,
+            paragraph_touch_prob: 0.45,
+            sentence_delete_prob: 0.05,
+            sentence_insert_prob: 0.1,
+            paragraph_insert_prob: 0.1,
+            paragraph_delete_prob: 0.02,
+            reorder_prob: 0.1,
+            minor_touch_prob: 0.0,
+            minor_replace_rate: 0.0,
+            split_prob: 0.05,
+            merge_prob: 0.05,
+        }
+    }
+
+    /// A chapter rewritten heavily between major versions (the iPhone
+    /// manual chapters of Figure 10a–b). Rewriting is *bimodal*: a touched
+    /// paragraph is rewritten almost entirely (90% of its words), an
+    /// untouched one stays verbatim — which is how documentation is
+    /// actually revised, and what makes detection insensitive to the exact
+    /// threshold within [0.2, 0.8] (Figure 11).
+    pub fn rewrite() -> Self {
+        Self::rewrite_with_touch(0.55)
+    }
+
+    /// A [`EditProfile::rewrite`]-style profile with a custom fraction of
+    /// paragraphs rewritten per version.
+    pub fn rewrite_with_touch(paragraph_touch_prob: f64) -> Self {
+        Self {
+            word_replace_rate: 0.9,
+            paragraph_touch_prob,
+            sentence_delete_prob: 0.15,
+            sentence_insert_prob: 0.2,
+            paragraph_insert_prob: 0.2,
+            paragraph_delete_prob: 0.05,
+            reorder_prob: 0.1,
+            // Untouched chapters still get light copy-editing between
+            // product versions; these touch-ups are what make very high
+            // thresholds (Tpar > 0.8) miss truly-disclosed paragraphs
+            // (the false-negative tail of Figure 11).
+            minor_touch_prob: 0.4,
+            minor_replace_rate: 0.06,
+            split_prob: 0.05,
+            merge_prob: 0.05,
+        }
+    }
+
+    /// A frozen chapter: no edits at all (the "What's MySQL" chapter of
+    /// Figure 10d).
+    pub fn frozen() -> Self {
+        Self {
+            word_replace_rate: 0.0,
+            paragraph_touch_prob: 0.0,
+            sentence_delete_prob: 0.0,
+            sentence_insert_prob: 0.0,
+            paragraph_insert_prob: 0.0,
+            paragraph_delete_prob: 0.0,
+            reorder_prob: 0.0,
+            minor_touch_prob: 0.0,
+            minor_replace_rate: 0.0,
+            split_prob: 0.0,
+            merge_prob: 0.0,
+        }
+    }
+
+    /// Scales how *often* edits happen without changing how *big* each
+    /// edit is: per-revision event probabilities are multiplied by
+    /// `factor`, per-touch intensities (word replacement fraction) stay
+    /// fixed.
+    ///
+    /// This is the correct way to stretch a churn profile over a longer
+    /// revision chain — expected total content loss scales linearly with
+    /// `factor × revisions`, so `profile.scale_frequency(100.0 / n)` over
+    /// `n` revisions decays like the original over 100.
+    pub fn scale_frequency(&self, factor: f64) -> EditProfile {
+        let scale = |p: f64| (p * factor).clamp(0.0, 1.0);
+        EditProfile {
+            word_replace_rate: self.word_replace_rate,
+            paragraph_touch_prob: scale(self.paragraph_touch_prob),
+            sentence_delete_prob: self.sentence_delete_prob,
+            sentence_insert_prob: self.sentence_insert_prob,
+            paragraph_insert_prob: scale(self.paragraph_insert_prob),
+            paragraph_delete_prob: scale(self.paragraph_delete_prob),
+            reorder_prob: scale(self.reorder_prob),
+            minor_touch_prob: scale(self.minor_touch_prob),
+            minor_replace_rate: self.minor_replace_rate,
+            split_prob: scale(self.split_prob),
+            merge_prob: scale(self.merge_prob),
+        }
+    }
+
+    /// Linear interpolation between two profiles (`t = 0` gives `self`,
+    /// `t = 1` gives `other`). Used to build per-version churn schedules.
+    pub fn lerp(&self, other: &EditProfile, t: f64) -> EditProfile {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: f64, b: f64| a + (b - a) * t;
+        EditProfile {
+            word_replace_rate: mix(self.word_replace_rate, other.word_replace_rate),
+            paragraph_touch_prob: mix(self.paragraph_touch_prob, other.paragraph_touch_prob),
+            sentence_delete_prob: mix(self.sentence_delete_prob, other.sentence_delete_prob),
+            sentence_insert_prob: mix(self.sentence_insert_prob, other.sentence_insert_prob),
+            paragraph_insert_prob: mix(self.paragraph_insert_prob, other.paragraph_insert_prob),
+            paragraph_delete_prob: mix(self.paragraph_delete_prob, other.paragraph_delete_prob),
+            reorder_prob: mix(self.reorder_prob, other.reorder_prob),
+            minor_touch_prob: mix(self.minor_touch_prob, other.minor_touch_prob),
+            minor_replace_rate: mix(self.minor_replace_rate, other.minor_replace_rate),
+            split_prob: mix(self.split_prob, other.split_prob),
+            merge_prob: mix(self.merge_prob, other.merge_prob),
+        }
+    }
+}
+
+/// Applies one revision's worth of edits to `document` in place, using the
+/// deterministic stream of `gen`.
+pub fn apply_revision(document: &mut Document, profile: &EditProfile, gen: &mut TextGen) {
+    // Touch paragraphs: replace words, delete/insert sentence-sized runs.
+    let paragraph_count = document.paragraphs().len();
+    for index in 0..paragraph_count {
+        let affinity = document.paragraphs()[index].edit_affinity();
+        let touch_prob = (profile.paragraph_touch_prob * affinity).clamp(0.0, 1.0);
+        if touch_prob == 0.0 || !gen.rng().gen_bool(touch_prob) {
+            continue;
+        }
+        let replace_rate = profile.word_replace_rate;
+        let delete = gen.rng().gen_bool(profile.sentence_delete_prob);
+        let insert = gen.rng().gen_bool(profile.sentence_insert_prob);
+        let paragraph = &mut document.paragraphs_mut()[index];
+        replace_words(paragraph, replace_rate, gen);
+        if delete {
+            delete_run(paragraph, gen);
+        }
+        if insert {
+            insert_run(paragraph, gen);
+        }
+    }
+
+    // Light copy-editing pass (independent of edit affinity: typo fixes
+    // land anywhere).
+    if profile.minor_touch_prob > 0.0 {
+        for index in 0..document.paragraphs().len() {
+            if gen.rng().gen_bool(profile.minor_touch_prob.min(1.0)) {
+                let rate = profile.minor_replace_rate;
+                replace_words(&mut document.paragraphs_mut()[index], rate, gen);
+            }
+        }
+    }
+
+    // Structural edits.
+    if gen.rng().gen_bool(profile.paragraph_delete_prob) && document.paragraphs().len() > 1 {
+        let victim = gen.rng().gen_range(0..document.paragraphs().len());
+        document.paragraphs_mut().remove(victim);
+    }
+    if gen.rng().gen_bool(profile.paragraph_insert_prob) {
+        let sentences = gen.rng().gen_range(3..=8);
+        let fresh = Paragraph::generate(gen, sentences);
+        let at = gen.rng().gen_range(0..=document.paragraphs().len());
+        document.paragraphs_mut().insert(at, fresh);
+    }
+    if gen.rng().gen_bool(profile.reorder_prob) && document.paragraphs().len() >= 2 {
+        let len = document.paragraphs().len();
+        let a = gen.rng().gen_range(0..len);
+        let b = gen.rng().gen_range(0..len);
+        document.paragraphs_mut().swap(a, b);
+    }
+    if gen.rng().gen_bool(profile.split_prob) && !document.paragraphs().is_empty() {
+        let index = gen.rng().gen_range(0..document.paragraphs().len());
+        split_paragraph(document, index, gen);
+    }
+    if gen.rng().gen_bool(profile.merge_prob) && document.paragraphs().len() >= 2 {
+        let index = gen.rng().gen_range(0..document.paragraphs().len() - 1);
+        merge_paragraphs(document, index);
+    }
+}
+
+/// Splits paragraph `index` at a random token boundary into two
+/// paragraphs. Both halves keep the original's base lineage, so the
+/// ground-truth oracle credits a base paragraph with its best-surviving
+/// descendant (split content still counts as disclosed where it survives).
+pub fn split_paragraph(document: &mut Document, index: usize, gen: &mut TextGen) {
+    let paragraph = &document.paragraphs()[index];
+    if paragraph.len() < 8 {
+        return;
+    }
+    let at = gen.rng().gen_range(4..paragraph.len() - 3);
+    let (head, tail) = document.paragraphs()[index].split_at_token(at);
+    document.paragraphs_mut()[index] = head;
+    document.paragraphs_mut().insert(index + 1, tail);
+}
+
+/// Merges paragraph `index + 1` into paragraph `index`. The merged
+/// paragraph keeps the lineage of the half with more base tokens.
+pub fn merge_paragraphs(document: &mut Document, index: usize) {
+    if index + 1 >= document.paragraphs().len() {
+        return;
+    }
+    let tail = document.paragraphs_mut().remove(index + 1);
+    let head = &mut document.paragraphs_mut()[index];
+    head.absorb(tail);
+}
+
+/// Replaces roughly `rate` of the paragraph's words with fresh ones, in
+/// contiguous sentence-sized runs.
+///
+/// Run-based (rather than scattered single-word) replacement models how
+/// people actually revise text — whole clauses and sentences are
+/// rewritten — and it keeps token-level ground truth aligned with
+/// fingerprint-level similarity: a rewritten *run* destroys about as many
+/// n-grams as tokens, whereas scattered replacements would destroy every
+/// n-gram spanning them.
+pub fn replace_words(paragraph: &mut Paragraph, rate: f64, gen: &mut TextGen) {
+    if rate <= 0.0 {
+        return;
+    }
+    let len = paragraph.len();
+    if len == 0 {
+        return;
+    }
+    let target = (len as f64 * rate.min(1.0)).round() as usize;
+    let mut replaced = 0usize;
+    let mut visited = vec![false; len];
+    // Bounded attempts: overlapping runs re-hit visited positions, which
+    // do not count towards the target.
+    let mut attempts = 0usize;
+    while replaced < target && attempts < 8 * len {
+        attempts += 1;
+        let run = gen.rng().gen_range(6..=12).min(len);
+        let start = gen.rng().gen_range(0..=len - run);
+        for (i, seen) in visited.iter_mut().enumerate().skip(start).take(run) {
+            if replaced >= target {
+                break;
+            }
+            if !*seen {
+                *seen = true;
+                let word = gen.word();
+                paragraph.tokens_mut()[i] = Token::fresh(word);
+                replaced += 1;
+            }
+        }
+    }
+}
+
+/// Deletes a sentence-sized run (8–14 tokens) at a random position.
+pub fn delete_run(paragraph: &mut Paragraph, gen: &mut TextGen) {
+    let len = paragraph.len();
+    if len < 4 {
+        return;
+    }
+    let run = gen.rng().gen_range(8..=14).min(len - 1);
+    let start = gen.rng().gen_range(0..=len - run);
+    paragraph.tokens_mut().drain(start..start + run);
+}
+
+/// Inserts a fresh sentence at a random position.
+pub fn insert_run(paragraph: &mut Paragraph, gen: &mut TextGen) {
+    let words = gen.sentence_words();
+    let at = gen.rng().gen_range(0..=paragraph.len());
+    let fresh: Vec<Token> = words.into_iter().map(Token::fresh).collect();
+    paragraph.tokens_mut().splice(at..at, fresh);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+
+    fn base_doc(gen: &mut TextGen) -> Document {
+        Document::generate(gen, "base", 10, 5)
+    }
+
+    #[test]
+    fn frozen_profile_changes_nothing() {
+        let mut gen = TextGen::new(11);
+        let mut doc = base_doc(&mut gen);
+        let before = doc.clone();
+        apply_revision(&mut doc, &EditProfile::frozen(), &mut gen);
+        assert_eq!(doc, before);
+    }
+
+    #[test]
+    fn replace_words_reduces_survival_proportionally() {
+        let mut gen = TextGen::new(12);
+        let mut p = Paragraph::from_base_words(0, (0..1000).map(|i| format!("w{i}")));
+        replace_words(&mut p, 0.3, &mut gen);
+        let survival = p.base_survival();
+        assert!((survival - 0.7).abs() < 0.06, "survival {survival}");
+        assert_eq!(p.len(), 1000);
+    }
+
+    #[test]
+    fn delete_run_shrinks_paragraph() {
+        let mut gen = TextGen::new(13);
+        let mut p = Paragraph::from_base_words(0, (0..100).map(|i| format!("w{i}")));
+        delete_run(&mut p, &mut gen);
+        assert!(p.len() < 100);
+        assert!(p.base_survival() < 1.0);
+    }
+
+    #[test]
+    fn insert_run_adds_fresh_tokens_only() {
+        let mut gen = TextGen::new(14);
+        let mut p = Paragraph::from_base_words(0, (0..20).map(|i| format!("w{i}")));
+        insert_run(&mut p, &mut gen);
+        assert!(p.len() > 20);
+        // Inserting never destroys base tokens.
+        assert_eq!(p.surviving_base_tokens(), 20);
+    }
+
+    #[test]
+    fn churning_profile_erodes_survival_faster_than_stable() {
+        let mut gen_a = TextGen::new(15);
+        let mut stable = base_doc(&mut gen_a);
+        let mut gen_b = TextGen::new(15);
+        let mut churning = base_doc(&mut gen_b);
+        for _ in 0..30 {
+            apply_revision(&mut stable, &EditProfile::stable(), &mut gen_a);
+            apply_revision(&mut churning, &EditProfile::churning(), &mut gen_b);
+        }
+        let mean_survival = |doc: &Document| {
+            let descendants: Vec<f64> = doc
+                .paragraphs()
+                .iter()
+                .filter(|p| p.base_index().is_some())
+                .map(|p| p.base_survival())
+                .collect();
+            descendants.iter().sum::<f64>() / descendants.len().max(1) as f64
+        };
+        assert!(
+            mean_survival(&stable) > mean_survival(&churning),
+            "stable {} vs churning {}",
+            mean_survival(&stable),
+            mean_survival(&churning)
+        );
+    }
+
+    #[test]
+    fn scale_frequency_scales_probabilities_not_intensities() {
+        let base = EditProfile::churning();
+        let scaled = base.scale_frequency(0.1);
+        assert!((scaled.paragraph_touch_prob - base.paragraph_touch_prob * 0.1).abs() < 1e-12);
+        assert_eq!(scaled.word_replace_rate, base.word_replace_rate);
+        assert_eq!(scaled.sentence_delete_prob, base.sentence_delete_prob);
+        // Factor 1 is the identity; large factors clamp at 1.
+        assert_eq!(base.scale_frequency(1.0), base);
+        assert!(base.scale_frequency(1e9).paragraph_touch_prob <= 1.0);
+    }
+
+    #[test]
+    fn split_preserves_tokens_and_lineage() {
+        let mut gen = TextGen::new(41);
+        let doc_words: Vec<String> = (0..40).map(|i| format!("w{i}")).collect();
+        let mut doc = Document::new(
+            "d",
+            vec![Paragraph::from_base_words(0, doc_words.clone())],
+        );
+        split_paragraph(&mut doc, 0, &mut gen);
+        assert_eq!(doc.paragraphs().len(), 2);
+        assert_eq!(doc.token_count(), 40);
+        assert_eq!(doc.paragraphs()[0].base_index(), Some(0));
+        assert_eq!(doc.paragraphs()[1].base_index(), Some(0));
+        // Survival of the base is split between the halves; the oracle's
+        // max() picks the better half.
+        let s0 = doc.paragraphs()[0].base_survival();
+        let s1 = doc.paragraphs()[1].base_survival();
+        assert!((s0 + s1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_tokens_and_keeps_majority_lineage() {
+        let a = Paragraph::from_base_words(0, (0..30).map(|i| format!("a{i}")));
+        let b = Paragraph::from_base_words(1, (0..10).map(|i| format!("b{i}")));
+        let mut doc = Document::new("d", vec![a, b]);
+        merge_paragraphs(&mut doc, 0);
+        assert_eq!(doc.paragraphs().len(), 1);
+        assert_eq!(doc.paragraphs()[0].len(), 40);
+        // The bigger contributor (paragraph 0) keeps the lineage.
+        assert_eq!(doc.paragraphs()[0].base_index(), Some(0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = EditProfile::frozen();
+        let b = EditProfile::rewrite();
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.word_replace_rate - b.word_replace_rate / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn revisions_are_deterministic() {
+        let run = || {
+            let mut gen = TextGen::new(16);
+            let mut doc = base_doc(&mut gen);
+            for _ in 0..10 {
+                apply_revision(&mut doc, &EditProfile::churning(), &mut gen);
+            }
+            doc.text()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,49 @@
+//! Deterministic synthetic corpora for the BrowserFlow evaluation.
+//!
+//! The paper evaluates imprecise data flow tracking on datasets that are
+//! not redistributable (Wikipedia revision dumps, iPhone and MySQL manual
+//! versions, Project Gutenberg e-books — Table 1). This crate provides
+//! *seeded, reproducible* substitutes that preserve the property the
+//! evaluation measures: **how detected disclosure decays as text is
+//! edited across revisions**, with an exact, mechanical ground truth.
+//!
+//! - [`textgen`] generates prose-like text from a seeded RNG: a closed
+//!   function-word lexicon plus an unbounded syllable-built content
+//!   vocabulary, so corpora can range from kilobytes to hundreds of
+//!   megabytes of high-entropy text.
+//! - [`document`] models documents as paragraphs of *tokens*, where every
+//!   token remembers whether it survives unmodified from the base
+//!   revision. That per-token provenance is the ground truth.
+//! - [`edits`] applies revision-style edit operations (word replacement,
+//!   sentence deletion/insertion, paragraph insertion/removal, reordering)
+//!   according to an [`edits::EditProfile`].
+//! - [`revisions`] chains edits into revision histories mimicking stable
+//!   and churning Wikipedia articles or manual chapters.
+//! - [`datasets`] assembles the Table 1 dataset equivalents.
+//!
+//! # Example
+//!
+//! ```rust
+//! use browserflow_corpus::datasets::{ManualChapterKind, ManualsDataset};
+//!
+//! let manuals = ManualsDataset::generate(42);
+//! let chapter = manuals.chapter(ManualChapterKind::MySqlWhatsMySql);
+//! // The "What's MySQL" chapter barely changes across versions: the last
+//! // version still discloses almost all base paragraphs.
+//! let truth = chapter.ground_truth(3, 0.5);
+//! assert!(truth.disclosed_fraction() > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod datasets;
+pub mod document;
+pub mod edits;
+pub mod revisions;
+pub mod textgen;
+
+pub use document::{Document, Paragraph, Token};
+pub use edits::EditProfile;
+pub use revisions::{ground_truth_of, CheckpointChain, GroundTruth, RevisionChain};
+pub use textgen::TextGen;

@@ -1,0 +1,180 @@
+//! Seeded prose-like text generation.
+//!
+//! Sentences are built from a small closed set of English function words
+//! interleaved with content words drawn from an unbounded syllable-built
+//! vocabulary. The result is not English, but it has English-like
+//! statistics where fingerprinting is concerned: word lengths of 2–12
+//! characters, whitespace and punctuation to be normalised away, and an
+//! effectively unbounded vocabulary so that large corpora produce tens of
+//! millions of *distinct* n-gram hashes (needed for the Figure 13
+//! scalability experiment).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FUNCTION_WORDS: &[&str] = &[
+    "the", "a", "an", "of", "to", "in", "for", "with", "on", "at", "from", "by", "about",
+    "into", "over", "after", "under", "between", "and", "or", "but", "so", "because", "while",
+    "although", "however", "therefore", "moreover", "is", "are", "was", "were", "be", "been",
+    "has", "have", "had", "will", "would", "can", "could", "should", "may", "might", "must",
+    "this", "that", "these", "those", "it", "its", "they", "their", "we", "our", "you", "your",
+    "which", "when", "where", "who", "whose", "what", "how", "not", "no", "only", "also",
+    "more", "most", "some", "any", "each", "every", "other", "such", "than", "then", "very",
+];
+
+const ONSETS: &[&str] = &[
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
+    "br", "cr", "dr", "fr", "gr", "pr", "tr", "bl", "cl", "fl", "gl", "pl", "sl", "sh", "ch",
+    "th", "st", "sp", "sc", "sk", "sm", "sn", "sw",
+];
+
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ee", "io", "ou", "oa"];
+
+const CODAS: &[&str] = &[
+    "", "", "", "n", "r", "s", "t", "l", "m", "d", "k", "p", "g", "nd", "nt", "st", "rs",
+    "ck", "ng", "rt", "ll", "ss",
+];
+
+/// A deterministic prose generator.
+///
+/// Two generators created with the same seed produce identical text.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_corpus::TextGen;
+///
+/// let mut a = TextGen::new(7);
+/// let mut b = TextGen::new(7);
+/// assert_eq!(a.sentence(), b.sentence());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextGen {
+    rng: StdRng,
+}
+
+impl TextGen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a generator that continues from an existing RNG state.
+    pub fn from_rng(rng: StdRng) -> Self {
+        Self { rng }
+    }
+
+    /// Generates one word: mostly novel content words, with function words
+    /// mixed in at roughly English frequency.
+    pub fn word(&mut self) -> String {
+        if self.rng.gen_bool(0.4) {
+            FUNCTION_WORDS[self.rng.gen_range(0..FUNCTION_WORDS.len())].to_string()
+        } else {
+            self.content_word()
+        }
+    }
+
+    /// Generates a syllable-built content word (2–4 syllables).
+    pub fn content_word(&mut self) -> String {
+        let syllables = self.rng.gen_range(2..=4);
+        let mut word = String::new();
+        for _ in 0..syllables {
+            word.push_str(ONSETS[self.rng.gen_range(0..ONSETS.len())]);
+            word.push_str(NUCLEI[self.rng.gen_range(0..NUCLEI.len())]);
+            word.push_str(CODAS[self.rng.gen_range(0..CODAS.len())]);
+        }
+        word
+    }
+
+    /// Generates a sentence of 6–18 words as a vector (no punctuation).
+    pub fn sentence_words(&mut self) -> Vec<String> {
+        let len = self.rng.gen_range(6..=18);
+        (0..len).map(|_| self.word()).collect()
+    }
+
+    /// Generates a sentence as text, capitalised and terminated.
+    pub fn sentence(&mut self) -> String {
+        let words = self.sentence_words();
+        let mut text = words.join(" ");
+        if let Some(first) = text.get_mut(0..1) {
+            first.make_ascii_uppercase();
+        }
+        text.push('.');
+        text
+    }
+
+    /// Generates a paragraph of `sentences` sentences as text.
+    pub fn paragraph(&mut self, sentences: usize) -> String {
+        (0..sentences)
+            .map(|_| self.sentence())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Generates a title of 2–5 content words.
+    pub fn title(&mut self) -> String {
+        let len = self.rng.gen_range(2..=5);
+        let words: Vec<String> = (0..len).map(|_| self.content_word()).collect();
+        words.join(" ")
+    }
+
+    /// Access to the underlying RNG for callers that need coin flips with
+    /// the same deterministic stream.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = TextGen::new(1);
+        let mut b = TextGen::new(1);
+        for _ in 0..20 {
+            assert_eq!(a.word(), b.word());
+        }
+        assert_eq!(TextGen::new(2).paragraph(3), TextGen::new(2).paragraph(3));
+        assert_ne!(TextGen::new(1).paragraph(3), TextGen::new(2).paragraph(3));
+    }
+
+    #[test]
+    fn words_are_lowercase_ascii() {
+        let mut gen = TextGen::new(3);
+        for _ in 0..200 {
+            let word = gen.word();
+            assert!(!word.is_empty());
+            assert!(word.chars().all(|c| c.is_ascii_lowercase()), "{word}");
+        }
+    }
+
+    #[test]
+    fn vocabulary_is_large() {
+        let mut gen = TextGen::new(4);
+        let distinct: HashSet<String> = (0..5000).map(|_| gen.content_word()).collect();
+        // Syllable construction yields a huge vocabulary; collisions are rare.
+        assert!(distinct.len() > 4000, "only {} distinct words", distinct.len());
+    }
+
+    #[test]
+    fn sentences_are_capitalised_and_terminated() {
+        let mut gen = TextGen::new(5);
+        for _ in 0..20 {
+            let s = gen.sentence();
+            assert!(s.starts_with(char::is_uppercase), "{s}");
+            assert!(s.ends_with('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn paragraph_has_requested_sentence_count() {
+        let mut gen = TextGen::new(6);
+        let p = gen.paragraph(7);
+        assert_eq!(p.matches(". ").count() + 1, 7);
+    }
+}

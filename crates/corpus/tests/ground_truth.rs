@@ -1,0 +1,151 @@
+//! Integration tests of the provenance ground-truth oracle across edit
+//! types, and the checkpoint/full chain equivalence under every profile.
+
+use browserflow_corpus::datasets::{WikipediaConfig, WikipediaDataset};
+use browserflow_corpus::{
+    edits, CheckpointChain, Document, EditProfile, Paragraph, RevisionChain, TextGen,
+};
+
+#[test]
+fn oracle_tracks_survival_through_split_then_edit() {
+    let mut gen = TextGen::new(7001);
+    let words: Vec<String> = (0..60).map(|i| format!("w{i}")).collect();
+    let mut doc = Document::new("d", vec![Paragraph::from_base_words(0, words)]);
+    // Split the paragraph; the base is still fully disclosed (its best
+    // descendant has all its half, and max() over descendants covers it
+    // only partially — survival is per-descendant).
+    edits::split_paragraph(&mut doc, 0, &mut gen);
+    assert_eq!(doc.paragraphs().len(), 2);
+    let best = doc
+        .paragraphs()
+        .iter()
+        .map(|p| p.base_survival())
+        .fold(0.0f64, f64::max);
+    assert!(best < 1.0, "split halves each hold part of the base");
+    assert!(best > 0.0);
+
+    // Merging back restores full survival in a single descendant.
+    edits::merge_paragraphs(&mut doc, 0);
+    assert_eq!(doc.paragraphs().len(), 1);
+    assert_eq!(doc.paragraphs()[0].base_survival(), 1.0);
+}
+
+#[test]
+fn oracle_counts_replacements_exactly() {
+    let mut gen = TextGen::new(7002);
+    let mut paragraph = Paragraph::from_base_words(0, (0..200).map(|i| format!("w{i}")));
+    edits::replace_words(&mut paragraph, 0.25, &mut gen);
+    // Run-based replacement with a visited mask replaces exactly the
+    // target count of distinct positions.
+    assert_eq!(paragraph.surviving_base_tokens(), 150);
+    assert_eq!(paragraph.base_survival(), 0.75);
+    // A second pass replaces a quarter of the *length* again, but may hit
+    // already-fresh positions; survival can only go down.
+    edits::replace_words(&mut paragraph, 0.25, &mut gen);
+    assert!(paragraph.base_survival() <= 0.75);
+    assert!(paragraph.base_survival() >= 0.45);
+}
+
+#[test]
+fn frozen_checkpoints_equal_their_base_under_every_builtin_profile() {
+    // For every built-in profile, checkpoint generation is deterministic
+    // and agrees with the full chain.
+    for (name, profile) in [
+        ("stable", EditProfile::stable()),
+        ("churning", EditProfile::churning()),
+        ("rewrite", EditProfile::rewrite()),
+        ("frozen", EditProfile::frozen()),
+    ] {
+        let full = {
+            let mut gen = TextGen::new(7003);
+            RevisionChain::generate(&mut gen, name, 6, 4, 15, &profile)
+        };
+        let sparse = {
+            let mut gen = TextGen::new(7003);
+            CheckpointChain::generate(&mut gen, name, 6, 4, &profile, &[0, 5, 10, 15])
+        };
+        for (revision, document) in sparse.snapshots() {
+            assert_eq!(
+                document.text(),
+                full.revision(*revision).text(),
+                "{name} revision {revision}"
+            );
+            assert_eq!(
+                sparse.ground_truth(*revision, 0.5),
+                full.ground_truth(*revision, 0.5),
+                "{name} ground truth at {revision}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ground_truth_is_monotone_in_the_cutoff() {
+    let mut gen = TextGen::new(7004);
+    let chain = RevisionChain::generate(&mut gen, "a", 10, 4, 20, &EditProfile::churning());
+    for revision in [5usize, 10, 20] {
+        let mut previous = usize::MAX;
+        for cutoff in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let disclosed = chain.ground_truth(revision, cutoff).disclosed_count();
+            assert!(
+                disclosed <= previous,
+                "raising the cutoff must not increase disclosures (rev {revision})"
+            );
+            previous = disclosed;
+        }
+    }
+}
+
+#[test]
+fn ground_truth_is_weakly_decreasing_along_a_chain_without_reinsertion() {
+    // Profiles without sentence/paragraph insertion can only destroy base
+    // content, so per-paragraph survival never increases over revisions.
+    let profile = EditProfile {
+        sentence_insert_prob: 0.0,
+        paragraph_insert_prob: 0.0,
+        ..EditProfile::churning()
+    };
+    let mut gen = TextGen::new(7005);
+    let chain = RevisionChain::generate(&mut gen, "a", 8, 4, 25, &profile);
+    let base_count = chain.base().paragraphs().len();
+    for index in 0..base_count {
+        let mut previous = f64::INFINITY;
+        for revision in 0..chain.len() {
+            let survival = chain.ground_truth(revision, 0.5).survival(index);
+            assert!(
+                survival <= previous + 1e-12,
+                "paragraph {index} survival rose at revision {revision}"
+            );
+            previous = survival;
+        }
+    }
+}
+
+#[test]
+fn wikipedia_dataset_ground_truth_matches_detection_direction() {
+    // Sanity link between the oracle and the churn levels: low-churn
+    // articles end with higher mean survival than high-churn ones.
+    let config = WikipediaConfig {
+        articles: 6,
+        revisions: 40,
+        paragraphs: 10,
+        sentences: 4,
+        high_churn_fraction: 0.5,
+    };
+    let wiki = WikipediaDataset::generate(7006, &config);
+    let mean_final_survival = |churn| {
+        let mut total = 0.0;
+        let mut count = 0;
+        for article in wiki.by_churn(churn) {
+            let truth = article.chain.ground_truth(config.revisions, 0.0);
+            for i in 0..truth.len() {
+                total += truth.survival(i);
+                count += 1;
+            }
+        }
+        total / count as f64
+    };
+    let low = mean_final_survival(browserflow_corpus::datasets::ChurnLevel::Low);
+    let high = mean_final_survival(browserflow_corpus::datasets::ChurnLevel::High);
+    assert!(low > high, "low-churn survival {low:.2} must exceed high-churn {high:.2}");
+}

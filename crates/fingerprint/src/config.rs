@@ -1,0 +1,178 @@
+//! Fingerprinting configuration.
+
+use std::fmt;
+
+/// Default n-gram length in normalised characters.
+///
+/// The paper's evaluation uses 15-character n-grams (§6.1).
+pub const DEFAULT_NGRAM_LEN: usize = 15;
+
+/// Default winnowing window size, in consecutive n-gram hashes.
+///
+/// The paper's evaluation uses a window of 30 (§6.1).
+pub const DEFAULT_WINDOW: usize = 30;
+
+/// Configuration of the fingerprinting pipeline.
+///
+/// Use [`FingerprintConfig::builder`] to construct values with non-default
+/// parameters; [`FingerprintConfig::default`] mirrors the paper's
+/// evaluation settings (32-bit hashes over 15-character n-grams, window
+/// size 30).
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_fingerprint::FingerprintConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = FingerprintConfig::builder().ngram_len(8).window(4).build()?;
+/// assert_eq!(config.ngram_len(), 8);
+/// assert_eq!(config.guarantee_threshold(), 11); // w + n - 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct FingerprintConfig {
+    ngram_len: usize,
+    window: usize,
+}
+
+impl Default for FingerprintConfig {
+    fn default() -> Self {
+        Self {
+            ngram_len: DEFAULT_NGRAM_LEN,
+            window: DEFAULT_WINDOW,
+        }
+    }
+}
+
+impl FingerprintConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> FingerprintConfigBuilder {
+        FingerprintConfigBuilder::default()
+    }
+
+    /// n-gram length in normalised characters.
+    pub fn ngram_len(&self) -> usize {
+        self.ngram_len
+    }
+
+    /// Winnowing window size in consecutive hashes.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The winnowing guarantee threshold `t = w + n - 1`.
+    ///
+    /// Any match between two normalised texts at least this long is
+    /// guaranteed to be reflected by at least one shared fingerprint hash.
+    pub fn guarantee_threshold(&self) -> usize {
+        self.window + self.ngram_len - 1
+    }
+
+    /// Expected fingerprint density `2 / (w + 1)`.
+    ///
+    /// Winnowing selects on average this fraction of n-gram hashes from
+    /// random input, so fingerprints stay linear in (and much smaller than)
+    /// the segment size.
+    pub fn expected_density(&self) -> f64 {
+        2.0 / (self.window as f64 + 1.0)
+    }
+}
+
+/// Builder for [`FingerprintConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct FingerprintConfigBuilder {
+    ngram_len: Option<usize>,
+    window: Option<usize>,
+}
+
+impl FingerprintConfigBuilder {
+    /// Sets the n-gram length (normalised characters per hashed gram).
+    pub fn ngram_len(mut self, ngram_len: usize) -> Self {
+        self.ngram_len = Some(ngram_len);
+        self
+    }
+
+    /// Sets the winnowing window size (consecutive hashes per window).
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the n-gram length or window size is zero.
+    pub fn build(self) -> Result<FingerprintConfig, ConfigError> {
+        let ngram_len = self.ngram_len.unwrap_or(DEFAULT_NGRAM_LEN);
+        let window = self.window.unwrap_or(DEFAULT_WINDOW);
+        if ngram_len == 0 {
+            return Err(ConfigError::ZeroNgramLen);
+        }
+        if window == 0 {
+            return Err(ConfigError::ZeroWindow);
+        }
+        Ok(FingerprintConfig { ngram_len, window })
+    }
+}
+
+/// Error building a [`FingerprintConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The n-gram length was zero.
+    ZeroNgramLen,
+    /// The window size was zero.
+    ZeroWindow,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroNgramLen => write!(f, "n-gram length must be at least 1"),
+            ConfigError::ZeroWindow => write!(f, "window size must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_evaluation() {
+        let config = FingerprintConfig::default();
+        assert_eq!(config.ngram_len(), 15);
+        assert_eq!(config.window(), 30);
+        assert_eq!(config.guarantee_threshold(), 44);
+    }
+
+    #[test]
+    fn builder_rejects_zero_parameters() {
+        assert_eq!(
+            FingerprintConfig::builder().ngram_len(0).build(),
+            Err(ConfigError::ZeroNgramLen)
+        );
+        assert_eq!(
+            FingerprintConfig::builder().window(0).build(),
+            Err(ConfigError::ZeroWindow)
+        );
+    }
+
+    #[test]
+    fn density_is_two_over_w_plus_one() {
+        let config = FingerprintConfig::builder().window(3).build().unwrap();
+        assert!((config.expected_density() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_without_period() {
+        let message = ConfigError::ZeroWindow.to_string();
+        assert!(message.starts_with(char::is_lowercase));
+        assert!(!message.ends_with('.'));
+    }
+}

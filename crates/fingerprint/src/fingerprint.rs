@@ -1,0 +1,233 @@
+//! The [`Fingerprint`] type and similarity measures.
+
+use std::collections::HashSet;
+use std::ops::Range;
+
+/// One hash selected into a fingerprint, with attribution back to the
+/// source text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SelectedHash {
+    hash: u32,
+    position: usize,
+    span: Range<usize>,
+}
+
+impl SelectedHash {
+    /// Creates a selected hash.
+    ///
+    /// `position` is the n-gram start in normalised characters; `span` is
+    /// the byte range of the n-gram in the *original* text.
+    pub fn new(hash: u32, position: usize, span: Range<usize>) -> Self {
+        Self {
+            hash,
+            position,
+            span,
+        }
+    }
+
+    /// The 32-bit hash value.
+    pub fn hash(&self) -> u32 {
+        self.hash
+    }
+
+    /// n-gram start position in normalised characters.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Byte range of the contributing n-gram in the original text.
+    ///
+    /// BrowserFlow uses this to highlight the passage that caused a
+    /// disclosure report.
+    pub fn span(&self) -> Range<usize> {
+        self.span.clone()
+    }
+}
+
+/// A text segment's fingerprint: the winnowed set of n-gram hashes, each
+/// with its source location.
+///
+/// Two segments that share a sufficiently long passage share at least one
+/// fingerprint hash (the winnowing guarantee), so set overlap between
+/// fingerprints is a robust, imprecise signal of text propagation.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_fingerprint::{FingerprintConfig, Fingerprinter};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fp = Fingerprinter::new(FingerprintConfig::builder().ngram_len(6).window(3).build()?);
+/// let original = fp.fingerprint("confidential interview notes about the candidate evaluation");
+/// let copied = fp.fingerprint("PREFIX confidential interview notes about the candidate evaluation SUFFIX");
+/// // Most of the original's hashes survive inside the copy.
+/// assert!(original.containment_in(&copied) > 0.7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Fingerprint {
+    entries: Vec<SelectedHash>,
+}
+
+impl Fingerprint {
+    /// Creates an empty fingerprint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a fingerprint from selected hashes (kept in given order).
+    pub fn from_entries(entries: Vec<SelectedHash>) -> Self {
+        Self { entries }
+    }
+
+    /// Number of selected hashes (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no hashes were selected.
+    ///
+    /// Segments shorter than the n-gram length always fingerprint to empty;
+    /// the evaluation (§6.1) excludes such paragraphs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the selected hashes in position order.
+    pub fn iter(&self) -> std::slice::Iter<'_, SelectedHash> {
+        self.entries.iter()
+    }
+
+    /// The set of distinct hash values.
+    pub fn hash_set(&self) -> HashSet<u32> {
+        self.entries.iter().map(|e| e.hash).collect()
+    }
+
+    /// Number of distinct hash values.
+    pub fn distinct_len(&self) -> usize {
+        self.hash_set().len()
+    }
+
+    /// Size of the intersection of distinct hash values with `other`.
+    pub fn intersection_size(&self, other: &Fingerprint) -> usize {
+        let mine = self.hash_set();
+        let theirs = other.hash_set();
+        mine.intersection(&theirs).count()
+    }
+
+    /// Containment of `self` in `other`:
+    /// `|F(self) ∩ F(other)| / |F(self)|` over distinct hashes.
+    ///
+    /// This is the paper's disclosure metric `D(A, B)` (§4.2): how much of
+    /// `self`'s content is found in `other`. Returns 0.0 when `self` is
+    /// empty.
+    pub fn containment_in(&self, other: &Fingerprint) -> f64 {
+        let mine = self.hash_set();
+        if mine.is_empty() {
+            return 0.0;
+        }
+        let theirs = other.hash_set();
+        mine.intersection(&theirs).count() as f64 / mine.len() as f64
+    }
+
+    /// Broder resemblance (Jaccard index) of the two hash sets.
+    pub fn resemblance(&self, other: &Fingerprint) -> f64 {
+        let mine = self.hash_set();
+        let theirs = other.hash_set();
+        let union = mine.union(&theirs).count();
+        if union == 0 {
+            return 0.0;
+        }
+        mine.intersection(&theirs).count() as f64 / union as f64
+    }
+
+    /// Byte spans (in the original text of `self`'s segment) of the n-grams
+    /// whose hashes also occur in `other`.
+    ///
+    /// Used to highlight which passages of a paragraph disclose content
+    /// from another segment.
+    pub fn matching_spans(&self, other: &Fingerprint) -> Vec<Range<usize>> {
+        let theirs = other.hash_set();
+        self.entries
+            .iter()
+            .filter(|e| theirs.contains(&e.hash))
+            .map(|e| e.span())
+            .collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a Fingerprint {
+    type Item = &'a SelectedHash;
+    type IntoIter = std::slice::Iter<'a, SelectedHash>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl FromIterator<SelectedHash> for Fingerprint {
+    fn from_iter<I: IntoIterator<Item = SelectedHash>>(iter: I) -> Self {
+        Self {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(values: &[u32]) -> Fingerprint {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| SelectedHash::new(h, i, i..i + 1))
+            .collect()
+    }
+
+    #[test]
+    fn containment_full_and_empty() {
+        let a = fp(&[1, 2, 3]);
+        let b = fp(&[1, 2, 3, 4, 5]);
+        assert_eq!(a.containment_in(&b), 1.0);
+        assert_eq!(b.containment_in(&a), 0.6);
+        let empty = fp(&[]);
+        assert_eq!(empty.containment_in(&a), 0.0);
+        assert_eq!(a.containment_in(&empty), 0.0);
+    }
+
+    #[test]
+    fn containment_uses_distinct_hashes() {
+        // Duplicate hash values count once.
+        let a = fp(&[1, 1, 2]);
+        let b = fp(&[1]);
+        assert_eq!(a.containment_in(&b), 0.5);
+        assert_eq!(a.distinct_len(), 2);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn resemblance_is_symmetric() {
+        let a = fp(&[1, 2, 3, 4]);
+        let b = fp(&[3, 4, 5, 6]);
+        assert_eq!(a.resemblance(&b), b.resemblance(&a));
+        assert!((a.resemblance(&b) - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(fp(&[]).resemblance(&fp(&[])), 0.0);
+    }
+
+    #[test]
+    fn matching_spans_filters_to_shared_hashes() {
+        let a = fp(&[10, 20, 30]);
+        let b = fp(&[20, 40]);
+        let spans = a.matching_spans(&b);
+        assert_eq!(spans, vec![1..2]);
+    }
+
+    #[test]
+    fn from_iterator_and_into_iterator_roundtrip() {
+        let a = fp(&[7, 8]);
+        let collected: Fingerprint = a.iter().cloned().collect();
+        assert_eq!(a, collected);
+    }
+}

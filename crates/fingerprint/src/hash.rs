@@ -1,0 +1,212 @@
+//! Karp–Rabin rolling hash (step S2 of the fingerprinting pipeline).
+//!
+//! The paper computes 32-bit hashes over character n-grams using the
+//! efficient randomised pattern-matching hash of Karp and Rabin (IBM JRD
+//! 1987): the hash of a window is a polynomial in a fixed base evaluated
+//! over the window's characters, and sliding the window by one character is
+//! O(1) — subtract the outgoing character's contribution, multiply by the
+//! base, add the incoming character.
+//!
+//! Arithmetic is carried out modulo 2³² via wrapping `u32` operations, with
+//! an odd base so that the map stays well-mixed.
+
+/// The polynomial base. Odd and large enough to mix 21-bit `char` values.
+pub const BASE: u32 = 1_000_003;
+
+/// A Karp–Rabin rolling hash over a window of `n` characters.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_fingerprint::hash::RollingHash;
+///
+/// let text: Vec<char> = "abcdef".chars().collect();
+/// let mut rh = RollingHash::new(3);
+/// // Prime with the first window "abc".
+/// for &c in &text[..3] {
+///     rh.push(c);
+/// }
+/// let h_abc = rh.value();
+/// // Roll to "bcd".
+/// rh.roll(text[0], text[3]);
+/// let h_bcd = rh.value();
+/// assert_ne!(h_abc, h_bcd);
+///
+/// // Rolling is equivalent to hashing from scratch.
+/// let mut fresh = RollingHash::new(3);
+/// for &c in &text[1..4] {
+///     fresh.push(c);
+/// }
+/// assert_eq!(h_bcd, fresh.value());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollingHash {
+    value: u32,
+    /// BASE^(n-1) mod 2^32: the multiplier of the outgoing character.
+    high_power: u32,
+    window_len: usize,
+    filled: usize,
+}
+
+impl RollingHash {
+    /// Creates a rolling hash over windows of `window_len` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len` is zero.
+    pub fn new(window_len: usize) -> Self {
+        assert!(window_len > 0, "window_len must be positive");
+        let mut high_power = 1u32;
+        for _ in 0..window_len - 1 {
+            high_power = high_power.wrapping_mul(BASE);
+        }
+        Self {
+            value: 0,
+            high_power,
+            window_len,
+            filled: 0,
+        }
+    }
+
+    /// Appends a character while the first window is being primed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `window_len` characters are pushed; use
+    /// [`RollingHash::roll`] once the window is full.
+    pub fn push(&mut self, incoming: char) {
+        assert!(
+            self.filled < self.window_len,
+            "window already full; use roll()"
+        );
+        self.value = self
+            .value
+            .wrapping_mul(BASE)
+            .wrapping_add(incoming as u32);
+        self.filled += 1;
+    }
+
+    /// Slides the full window by one character.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window has not been fully primed with
+    /// [`RollingHash::push`] yet.
+    pub fn roll(&mut self, outgoing: char, incoming: char) {
+        assert!(self.filled == self.window_len, "window not primed yet");
+        let out_contrib = (outgoing as u32).wrapping_mul(self.high_power);
+        self.value = self
+            .value
+            .wrapping_sub(out_contrib)
+            .wrapping_mul(BASE)
+            .wrapping_add(incoming as u32);
+    }
+
+    /// Whether the first window has been fully primed.
+    pub fn is_primed(&self) -> bool {
+        self.filled == self.window_len
+    }
+
+    /// The hash of the current window.
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+}
+
+/// Hashes one n-gram from scratch (non-rolling reference implementation).
+pub fn hash_ngram(chars: &[char]) -> u32 {
+    let mut value = 0u32;
+    for &c in chars {
+        value = value.wrapping_mul(BASE).wrapping_add(c as u32);
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_matches_from_scratch_on_ascii() {
+        let text: Vec<char> = "the quick brown fox jumps".chars().collect();
+        let n = 5;
+        let mut rh = RollingHash::new(n);
+        for &c in &text[..n] {
+            rh.push(c);
+        }
+        assert_eq!(rh.value(), hash_ngram(&text[..n]));
+        for start in 1..=text.len() - n {
+            rh.roll(text[start - 1], text[start + n - 1]);
+            assert_eq!(
+                rh.value(),
+                hash_ngram(&text[start..start + n]),
+                "mismatch at window {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn rolling_matches_from_scratch_on_unicode() {
+        let text: Vec<char> = "ζeta συϲtems ωith ünïcode".chars().collect();
+        let n = 4;
+        let mut rh = RollingHash::new(n);
+        for &c in &text[..n] {
+            rh.push(c);
+        }
+        for start in 1..=text.len() - n {
+            rh.roll(text[start - 1], text[start + n - 1]);
+            assert_eq!(rh.value(), hash_ngram(&text[start..start + n]));
+        }
+    }
+
+    #[test]
+    fn different_ngrams_rarely_collide() {
+        // All 3-grams of a pangram should hash distinctly.
+        let text: Vec<char> = "sphinx of black quartz judge my vow"
+            .chars()
+            .filter(|c| c.is_alphanumeric())
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for w in text.windows(3) {
+            seen.insert(hash_ngram(w));
+        }
+        assert_eq!(seen.len(), {
+            let mut grams = std::collections::HashSet::new();
+            for w in text.windows(3) {
+                grams.insert(w.to_vec());
+            }
+            grams.len()
+        });
+    }
+
+    #[test]
+    fn window_of_one_hashes_single_chars() {
+        let mut rh = RollingHash::new(1);
+        rh.push('a');
+        assert_eq!(rh.value(), 'a' as u32);
+        rh.roll('a', 'b');
+        assert_eq!(rh.value(), 'b' as u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "window not primed")]
+    fn roll_before_priming_panics() {
+        RollingHash::new(3).roll('a', 'b');
+    }
+
+    #[test]
+    #[should_panic(expected = "window already full")]
+    fn overfilling_panics() {
+        let mut rh = RollingHash::new(1);
+        rh.push('a');
+        rh.push('b');
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(
+            hash_ngram(&['a', 'b', 'c']),
+            hash_ngram(&['c', 'b', 'a'])
+        );
+    }
+}

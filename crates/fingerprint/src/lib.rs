@@ -1,0 +1,193 @@
+//! Text fingerprinting for imprecise data flow tracking.
+//!
+//! This crate implements the fingerprinting pipeline described in §4.1 of
+//! *BrowserFlow: Imprecise Data Flow Tracking to Prevent Accidental Data
+//! Disclosure* (Middleware 2016), which itself extends the winnowing
+//! algorithm of Schleimer, Wilkerson and Aiken (SIGMOD 2003):
+//!
+//! 1. **Normalisation** ([`normalize`]): punctuation, whitespace and
+//!    character case are removed, e.g. `"Hello World!"` becomes
+//!    `"helloworld"`. A mapping back to byte offsets in the original text
+//!    is retained so that matches can be attributed to source passages.
+//! 2. **n-gram hashing** ([`ngram`]): a 32-bit Karp–Rabin rolling hash is
+//!    computed for every n-gram of the normalised text.
+//! 3. **Winnowing** ([`winnow`]): overlapping windows of `w` consecutive
+//!    hashes are formed and the minimum hash of each window is selected
+//!    (rightmost occurrence on ties — "robust winnowing").
+//! 4. The selected hashes form the segment's [`Fingerprint`].
+//!
+//! The guarantee inherited from winnowing: if two normalised texts share a
+//! substring of at least `w + n - 1` characters, their fingerprints share
+//! at least one hash.
+//!
+//! # Example
+//!
+//! ```rust
+//! use browserflow_fingerprint::{FingerprintConfig, Fingerprinter};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = FingerprintConfig::builder().ngram_len(6).window(3).build()?;
+//! let fp = Fingerprinter::new(config);
+//!
+//! let a = fp.fingerprint("The quick brown fox jumps over the lazy dog.");
+//! let b = fp.fingerprint("THE QUICK BROWN FOX jumps over the lazy dog!!!");
+//! // Normalisation makes the fingerprints identical.
+//! assert_eq!(a.containment_in(&b), 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod fingerprint;
+pub mod hash;
+pub mod ngram;
+pub mod normalize;
+pub mod segment;
+pub mod winnow;
+
+pub use config::{ConfigError, FingerprintConfig, FingerprintConfigBuilder};
+pub use fingerprint::{Fingerprint, SelectedHash};
+pub use normalize::NormalizedText;
+
+/// Computes [`Fingerprint`]s of text segments under a fixed
+/// [`FingerprintConfig`].
+///
+/// A `Fingerprinter` is cheap to clone and is the main entry point of this
+/// crate: construct one per deployment-wide configuration and reuse it for
+/// every paragraph and document.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_fingerprint::Fingerprinter;
+///
+/// let fp = Fingerprinter::default();
+/// let print = fp.fingerprint("a paragraph of sensitive interview notes, long enough to fingerprint");
+/// assert!(!print.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Fingerprinter {
+    config: FingerprintConfig,
+}
+
+impl Fingerprinter {
+    /// Creates a fingerprinter with the given configuration.
+    pub fn new(config: FingerprintConfig) -> Self {
+        Self { config }
+    }
+
+    /// Returns the configuration this fingerprinter uses.
+    pub fn config(&self) -> &FingerprintConfig {
+        &self.config
+    }
+
+    /// Computes the fingerprint of `text`.
+    ///
+    /// Texts whose normalised form is shorter than the configured n-gram
+    /// length produce an *empty* fingerprint; the paper accepts this as a
+    /// systematic source of false negatives for very short paragraphs
+    /// (§4.4, §6.1).
+    pub fn fingerprint(&self, text: &str) -> Fingerprint {
+        let normalized = normalize::normalize(text);
+        self.fingerprint_normalized(&normalized)
+    }
+
+    /// Computes the fingerprint of already-normalised text.
+    ///
+    /// Useful when the caller needs the [`NormalizedText`] for other
+    /// purposes (e.g. span attribution) and wants to avoid normalising
+    /// twice.
+    pub fn fingerprint_normalized(&self, normalized: &NormalizedText) -> Fingerprint {
+        let n = self.config.ngram_len();
+        let hashes = ngram::ngram_hashes(normalized.text(), n);
+        let selected = winnow::winnow(&hashes, self.config.window());
+        let entries = selected
+            .into_iter()
+            .map(|sel| {
+                let span = normalized.span_of_ngram(sel.position, n);
+                SelectedHash::new(sel.hash, sel.position, span)
+            })
+            .collect();
+        Fingerprint::from_entries(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp6_3() -> Fingerprinter {
+        Fingerprinter::new(
+            FingerprintConfig::builder()
+                .ngram_len(6)
+                .window(3)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn identical_text_identical_fingerprint() {
+        let fp = fp6_3();
+        let a = fp.fingerprint("some reasonably long piece of text for testing");
+        let b = fp.fingerprint("some reasonably long piece of text for testing");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normalisation_invariance() {
+        let fp = fp6_3();
+        let a = fp.fingerprint("Hello, World! This Is A Test Sentence.");
+        let b = fp.fingerprint("helloworldthisisatestsentence");
+        assert_eq!(a.hash_set(), b.hash_set());
+    }
+
+    #[test]
+    fn short_text_yields_empty_fingerprint() {
+        let fp = fp6_3();
+        assert!(fp.fingerprint("tiny").is_empty());
+        assert!(fp.fingerprint("").is_empty());
+        // Exactly one n-gram is enough to produce one hash.
+        assert_eq!(fp.fingerprint("sixsix").len(), 1);
+    }
+
+    #[test]
+    fn disjoint_text_low_overlap() {
+        let fp = fp6_3();
+        let a = fp.fingerprint("alpha bravo charlie delta echo foxtrot golf");
+        let b = fp.fingerprint("zulu yankee xray whiskey victor uniform tango");
+        assert_eq!(a.intersection_size(&b), 0);
+    }
+
+    #[test]
+    fn paper_example_pipeline() {
+        // §4.1 walks "Hello World!" -> "helloworld" -> five 6-grams ->
+        // windows of 3 -> two selected hashes. We can't match the paper's
+        // example hash values but the structural counts must hold.
+        let normalized = normalize::normalize("Hello World!");
+        assert_eq!(normalized.text(), "helloworld");
+        let hashes = ngram::ngram_hashes(normalized.text(), 6);
+        assert_eq!(hashes.len(), 5);
+        let picked = winnow::winnow(&hashes, 3);
+        // 3 windows, each contributes at most one distinct position.
+        assert!((1..=3).contains(&picked.len()));
+    }
+
+    #[test]
+    fn fingerprint_spans_point_into_original_text() {
+        let fp = fp6_3();
+        let text = "The Quick, Brown Fox! Jumps over the lazy dog again and again.";
+        let print = fp.fingerprint(text);
+        for entry in print.iter() {
+            let span = entry.span();
+            assert!(span.start < span.end);
+            assert!(span.end <= text.len());
+            // The span must cover at least ngram_len normalised characters,
+            // i.e. at least 6 original bytes here (ASCII).
+            assert!(span.end - span.start >= 6);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! n-gram hash sequences (step S2 of the fingerprinting pipeline).
+
+use crate::hash::RollingHash;
+
+/// A hash of one n-gram, tagged with the normalised character index at
+/// which the n-gram starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NgramHash {
+    /// 32-bit Karp–Rabin hash of the n-gram.
+    pub hash: u32,
+    /// Index (in normalised characters) of the n-gram's first character.
+    pub position: usize,
+}
+
+/// Computes the Karp–Rabin hash of every n-gram of `text`.
+///
+/// `text` is expected to be *normalised* text (see
+/// [`crate::normalize::normalize`]); positions are indices into its
+/// characters. Returns an empty vector when the text is shorter than
+/// `ngram_len`.
+///
+/// # Panics
+///
+/// Panics if `ngram_len` is zero.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_fingerprint::ngram::ngram_hashes;
+///
+/// let hashes = ngram_hashes("helloworld", 6);
+/// // "hellow", "ellowo", "llowor", "loworl", "oworld"
+/// assert_eq!(hashes.len(), 5);
+/// assert_eq!(hashes[0].position, 0);
+/// assert_eq!(hashes[4].position, 4);
+/// ```
+pub fn ngram_hashes(text: &str, ngram_len: usize) -> Vec<NgramHash> {
+    assert!(ngram_len > 0, "ngram_len must be positive");
+    // Stream the characters through a ring buffer of the current n-gram
+    // instead of materialising a Vec<char> of the whole text — corpora in
+    // the megabyte range are fingerprinted in one call.
+    let mut out = Vec::with_capacity(text.len().saturating_sub(ngram_len - 1));
+    let mut rolling = RollingHash::new(ngram_len);
+    let mut window: std::collections::VecDeque<char> =
+        std::collections::VecDeque::with_capacity(ngram_len);
+    let mut position = 0usize;
+    for c in text.chars() {
+        if window.len() < ngram_len {
+            window.push_back(c);
+            rolling.push(c);
+            if window.len() == ngram_len {
+                out.push(NgramHash {
+                    hash: rolling.value(),
+                    position: 0,
+                });
+            }
+        } else {
+            let outgoing = window.pop_front().expect("window is full");
+            window.push_back(c);
+            rolling.roll(outgoing, c);
+            position += 1;
+            out.push(NgramHash {
+                hash: rolling.value(),
+                position,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_ngram;
+
+    #[test]
+    fn count_is_len_minus_n_plus_one() {
+        assert_eq!(ngram_hashes("abcdef", 3).len(), 4);
+        assert_eq!(ngram_hashes("abcdef", 6).len(), 1);
+        assert_eq!(ngram_hashes("abcdef", 7).len(), 0);
+        assert_eq!(ngram_hashes("", 3).len(), 0);
+    }
+
+    #[test]
+    fn positions_are_sequential() {
+        let hashes = ngram_hashes("abcdefgh", 3);
+        for (i, h) in hashes.iter().enumerate() {
+            assert_eq!(h.position, i);
+        }
+    }
+
+    #[test]
+    fn hashes_match_reference_implementation() {
+        let text = "imprecisedataflowtracking";
+        let chars: Vec<char> = text.chars().collect();
+        for (i, h) in ngram_hashes(text, 7).iter().enumerate() {
+            assert_eq!(h.hash, hash_ngram(&chars[i..i + 7]));
+        }
+    }
+
+    #[test]
+    fn repeated_ngrams_share_hashes() {
+        // "abcabc" -> "abc" appears at positions 0 and 3.
+        let hashes = ngram_hashes("abcabc", 3);
+        assert_eq!(hashes[0].hash, hashes[3].hash);
+    }
+}

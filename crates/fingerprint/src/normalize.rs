@@ -1,0 +1,184 @@
+//! Text normalisation (step S1 of the fingerprinting pipeline).
+//!
+//! Normalisation removes punctuation, whitespace and character case so that
+//! cosmetic edits do not perturb fingerprints: `"Hello World!"` normalises
+//! to `"helloworld"`. A mapping from every normalised character back to its
+//! byte range in the original text is kept, so that a fingerprint hash can
+//! be attributed to the exact source passage (the paper relies on this to
+//! highlight the offending paragraph text in the browser).
+
+/// The result of normalising a text segment.
+///
+/// Holds the normalised string and, for each normalised character, the byte
+/// offset of the original character it was derived from.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_fingerprint::normalize::normalize;
+///
+/// let n = normalize("Hello World!");
+/// assert_eq!(n.text(), "helloworld");
+/// // The 'w' of "world" sits at byte 6 of the original.
+/// assert_eq!(n.original_offset(5), Some(6));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalizedText {
+    text: String,
+    /// Byte offset in the original text of each normalised character.
+    offsets: Vec<usize>,
+    /// Byte length in the original text of each normalised character.
+    char_lens: Vec<usize>,
+}
+
+impl NormalizedText {
+    /// The normalised text: lowercase alphanumeric characters only.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Number of normalised characters.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the normalised text is empty.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Byte offset in the original text of the `index`-th normalised
+    /// character, or `None` if out of range.
+    pub fn original_offset(&self, index: usize) -> Option<usize> {
+        self.offsets.get(index).copied()
+    }
+
+    /// Byte range in the *original* text spanned by the n-gram that starts
+    /// at normalised character `start` and covers `ngram_len` normalised
+    /// characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the n-gram does not fit in the normalised text.
+    pub fn span_of_ngram(&self, start: usize, ngram_len: usize) -> std::ops::Range<usize> {
+        assert!(ngram_len > 0, "ngram_len must be positive");
+        let last = start + ngram_len - 1;
+        assert!(
+            last < self.offsets.len(),
+            "n-gram [{start}, {last}] out of range for {} normalised chars",
+            self.offsets.len()
+        );
+        self.offsets[start]..self.offsets[last] + self.char_lens[last]
+    }
+}
+
+/// Normalises `text` by dropping every character that is not alphanumeric
+/// and lower-casing the rest.
+///
+/// Unicode alphanumerics are preserved (lower-cased via
+/// [`char::to_lowercase`]); everything else — punctuation, whitespace,
+/// symbols, control characters — is removed.
+pub fn normalize(text: &str) -> NormalizedText {
+    let mut out = String::with_capacity(text.len());
+    let mut offsets = Vec::with_capacity(text.len());
+    let mut char_lens = Vec::with_capacity(text.len());
+    for (byte_offset, ch) in text.char_indices() {
+        if ch.is_alphanumeric() {
+            for lower in ch.to_lowercase() {
+                out.push(lower);
+                offsets.push(byte_offset);
+                char_lens.push(ch.len_utf8());
+            }
+        }
+    }
+    NormalizedText {
+        text: out,
+        offsets,
+        char_lens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        assert_eq!(normalize("Hello World!").text(), "helloworld");
+    }
+
+    #[test]
+    fn strips_all_punctuation_and_whitespace() {
+        let n = normalize("  a-b_c d,e.f;g:h!i?j\t(k)[l]{m}\n");
+        assert_eq!(n.text(), "abcdefghijklm");
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(normalize("AbCdEF").text(), "abcdef");
+    }
+
+    #[test]
+    fn digits_are_kept() {
+        assert_eq!(normalize("MySQL 5.6!").text(), "mysql56");
+    }
+
+    #[test]
+    fn empty_and_punctuation_only_inputs() {
+        assert!(normalize("").is_empty());
+        assert!(normalize("!!! ... ???").is_empty());
+    }
+
+    #[test]
+    fn unicode_alphanumerics_preserved() {
+        let n = normalize("Zürich Straße");
+        assert_eq!(n.text(), "zürichstraße");
+    }
+
+    #[test]
+    fn offsets_map_back_to_original_bytes() {
+        let original = "Ab, cd!";
+        let n = normalize(original);
+        assert_eq!(n.text(), "abcd");
+        assert_eq!(n.original_offset(0), Some(0)); // 'A'
+        assert_eq!(n.original_offset(1), Some(1)); // 'b'
+        assert_eq!(n.original_offset(2), Some(4)); // 'c'
+        assert_eq!(n.original_offset(3), Some(5)); // 'd'
+        assert_eq!(n.original_offset(4), None);
+    }
+
+    #[test]
+    fn span_of_ngram_covers_original_range() {
+        let original = "Hello, World!";
+        let n = normalize(original);
+        // "hellow" spans from 'H' (byte 0) through 'W' (byte 7, len 1).
+        assert_eq!(n.span_of_ngram(0, 6), 0..8);
+        // "oworld" spans from byte 4 ('o') through byte 11 ('d').
+        assert_eq!(n.span_of_ngram(4, 6), 4..12);
+        assert_eq!(&original[n.span_of_ngram(4, 6)], "o, World");
+    }
+
+    #[test]
+    fn span_handles_multibyte_characters() {
+        let original = "é é é é"; // 2-byte chars separated by spaces
+        let n = normalize(original);
+        assert_eq!(n.text(), "éééé");
+        let span = n.span_of_ngram(0, 4);
+        assert_eq!(span, 0..original.len());
+        // Slicing at these boundaries must not panic.
+        let _ = &original[span];
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn span_of_ngram_out_of_range_panics() {
+        normalize("abc").span_of_ngram(1, 5);
+    }
+
+    #[test]
+    fn normalisation_is_idempotent() {
+        let once = normalize("Some Mixed, Case Input 123!");
+        let twice = normalize(once.text());
+        assert_eq!(once.text(), twice.text());
+    }
+}

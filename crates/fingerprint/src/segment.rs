@@ -1,0 +1,119 @@
+//! Splitting plain text into paragraphs.
+//!
+//! BrowserFlow tracks text at paragraph and document granularity (§4.1).
+//! Services with a DOM expose paragraphs structurally; for plain text
+//! (clipboard content, file uploads, `bfctl` inputs) this module provides
+//! the equivalent segmentation: blank-line-separated blocks, with byte
+//! ranges into the original text for attribution.
+
+use std::ops::Range;
+
+/// One paragraph of a plain text, with its byte range in the original.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextSegment<'a> {
+    /// Byte range of the paragraph in the input text.
+    pub span: Range<usize>,
+    /// The paragraph text (trimmed of surrounding whitespace).
+    pub text: &'a str,
+}
+
+/// Splits `text` into paragraphs at blank lines (one or more lines that
+/// are empty after trimming). Single newlines within a paragraph are kept.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_fingerprint::segment::split_paragraphs;
+///
+/// let text = "First paragraph,\nstill first.\n\nSecond paragraph.\n\n\nThird.";
+/// let paragraphs = split_paragraphs(text);
+/// assert_eq!(paragraphs.len(), 3);
+/// assert_eq!(paragraphs[0].text, "First paragraph,\nstill first.");
+/// assert_eq!(&text[paragraphs[1].span.clone()], "Second paragraph.");
+/// ```
+pub fn split_paragraphs(text: &str) -> Vec<TextSegment<'_>> {
+    let mut segments = Vec::new();
+    let mut start: Option<usize> = None;
+    let mut end = 0usize;
+    let mut offset = 0usize;
+    for line in text.split_inclusive('\n') {
+        let line_start = offset;
+        offset += line.len();
+        let content = line.trim_end_matches(['\n', '\r']);
+        if content.trim().is_empty() {
+            if let Some(s) = start.take() {
+                segments.push((s, end));
+            }
+        } else {
+            if start.is_none() {
+                // Skip leading whitespace within the line.
+                let lead = content.len() - content.trim_start().len();
+                start = Some(line_start + lead);
+            }
+            end = line_start + content.trim_end().len();
+        }
+    }
+    if let Some(s) = start {
+        segments.push((s, end));
+    }
+    segments
+        .into_iter()
+        .filter(|(s, e)| e > s)
+        .map(|(s, e)| TextSegment {
+            span: s..e,
+            text: &text[s..e],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_blank_inputs() {
+        assert!(split_paragraphs("").is_empty());
+        assert!(split_paragraphs("\n\n\n").is_empty());
+        assert!(split_paragraphs("   \n \t \n").is_empty());
+    }
+
+    #[test]
+    fn single_paragraph_without_trailing_newline() {
+        let segments = split_paragraphs("just one block");
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].text, "just one block");
+        assert_eq!(segments[0].span, 0..14);
+    }
+
+    #[test]
+    fn multiple_blank_lines_collapse() {
+        let segments = split_paragraphs("a\n\n\n\nb\n\nc\n");
+        let texts: Vec<&str> = segments.iter().map(|s| s.text).collect();
+        assert_eq!(texts, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn internal_newlines_are_preserved() {
+        let segments = split_paragraphs("line one\nline two\n\nnext");
+        assert_eq!(segments[0].text, "line one\nline two");
+    }
+
+    #[test]
+    fn spans_index_into_the_original() {
+        let text = "  padded start\n\n\tindented second  \n";
+        let segments = split_paragraphs(text);
+        assert_eq!(segments.len(), 2);
+        for segment in &segments {
+            assert_eq!(&text[segment.span.clone()], segment.text);
+        }
+        assert_eq!(segments[0].text, "padded start");
+        assert_eq!(segments[1].text, "indented second");
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let segments = split_paragraphs("one\r\n\r\ntwo\r\n");
+        let texts: Vec<&str> = segments.iter().map(|s| s.text).collect();
+        assert_eq!(texts, vec!["one", "two"]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Winnowing hash selection (steps S3–S4 of the fingerprinting pipeline).
+//!
+//! Winnowing (Schleimer, Wilkerson, Aiken — SIGMOD 2003) slides a window of
+//! `w` consecutive n-gram hashes over the hash sequence and selects the
+//! minimum hash of each window. Because the same minimum tends to be
+//! selected by many consecutive windows, the output is sparse — expected
+//! density `2/(w+1)` — yet the selection is *local*: whether a hash is
+//! picked depends only on the `w` hashes around it, so edits far away in
+//! the text cannot change it. This yields the guarantee that any shared
+//! substring of at least `w + n - 1` characters contributes at least one
+//! shared fingerprint hash.
+//!
+//! We implement *robust* winnowing: ties are broken by selecting the
+//! rightmost minimal hash, which minimises fingerprint churn on
+//! self-repetitive text.
+
+use crate::ngram::NgramHash;
+use std::collections::VecDeque;
+
+/// Selects the winnowed subset of `hashes` using windows of `window` hashes.
+///
+/// Returns the selected hashes with their positions, in position order and
+/// with no duplicate positions. If the sequence is shorter than the window,
+/// the single overall minimum is returned (so that no non-empty hash
+/// sequence winnows to nothing).
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_fingerprint::ngram::NgramHash;
+/// use browserflow_fingerprint::winnow::winnow;
+///
+/// let hashes: Vec<NgramHash> = [52u32, 40, 53, 13, 22]
+///     .iter()
+///     .enumerate()
+///     .map(|(position, &hash)| NgramHash { hash, position })
+///     .collect();
+/// // Windows {52,40,53}, {40,53,13}, {53,13,22}; minima 40 and 13.
+/// let picked = winnow(&hashes, 3);
+/// let values: Vec<u32> = picked.iter().map(|p| p.hash).collect();
+/// assert_eq!(values, vec![40, 13]);
+/// ```
+pub fn winnow(hashes: &[NgramHash], window: usize) -> Vec<NgramHash> {
+    assert!(window > 0, "window must be positive");
+    if hashes.is_empty() {
+        return Vec::new();
+    }
+    if hashes.len() <= window {
+        // Degenerate case: a single window covering everything. Pick the
+        // rightmost minimum so short texts still fingerprint.
+        let mut best = hashes[0];
+        for &h in &hashes[1..] {
+            if h.hash <= best.hash {
+                best = h;
+            }
+        }
+        return vec![best];
+    }
+
+    // Sliding-window minimum via a monotone deque of indices. The deque
+    // holds candidate indices with strictly increasing hash values front to
+    // back; for robust winnowing ties evict earlier candidates (<=), so the
+    // rightmost minimal element wins.
+    let mut selected: Vec<NgramHash> = Vec::new();
+    let mut deque: VecDeque<usize> = VecDeque::new();
+    for i in 0..hashes.len() {
+        while let Some(&back) = deque.back() {
+            if hashes[back].hash >= hashes[i].hash {
+                deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        deque.push_back(i);
+        // Window covering positions [i + 1 - window, i].
+        if i + 1 >= window {
+            let window_start = i + 1 - window;
+            while let Some(&front) = deque.front() {
+                if front < window_start {
+                    deque.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let min_index = *deque.front().expect("deque holds current element");
+            if selected.last().map(|s| s.position) != Some(hashes[min_index].position) {
+                selected.push(hashes[min_index]);
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(values: &[u32]) -> Vec<NgramHash> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(position, &hash)| NgramHash { hash, position })
+            .collect()
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // §4.1: hashes {52, 40, 53, 13, 22}, window 3 -> fingerprint {40, 13}.
+        let picked = winnow(&mk(&[52, 40, 53, 13, 22]), 3);
+        assert_eq!(
+            picked.iter().map(|p| (p.hash, p.position)).collect::<Vec<_>>(),
+            vec![(40, 1), (13, 3)]
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(winnow(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn input_shorter_than_window_selects_global_min() {
+        let picked = winnow(&mk(&[9, 2, 7]), 10);
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].hash, 2);
+    }
+
+    #[test]
+    fn window_of_one_selects_everything() {
+        let values = [5u32, 3, 8, 1];
+        let picked = winnow(&mk(&values), 1);
+        assert_eq!(picked.len(), values.len());
+    }
+
+    #[test]
+    fn ties_select_rightmost() {
+        // Window 3 over [7, 7, 7, 7]: robust winnowing picks the rightmost
+        // minimum of each window, deduplicating consecutive repeats.
+        let picked = winnow(&mk(&[7, 7, 7, 7]), 3);
+        let positions: Vec<usize> = picked.iter().map(|p| p.position).collect();
+        assert_eq!(positions, vec![2, 3]);
+    }
+
+    #[test]
+    fn no_duplicate_positions_and_sorted() {
+        let values: Vec<u32> = (0..200).map(|i| (i * 2654435761u64 % 97) as u32).collect();
+        let picked = winnow(&mk(&values), 5);
+        for pair in picked.windows(2) {
+            assert!(pair[0].position < pair[1].position);
+        }
+    }
+
+    #[test]
+    fn every_window_is_covered() {
+        // Validity: every window of w consecutive hashes must contain at
+        // least one selected position.
+        let values: Vec<u32> = (0..500)
+            .map(|i| ((i as u64 * 1103515245 + 12345) % 65536) as u32)
+            .collect();
+        let w = 8;
+        let picked = winnow(&mk(&values), w);
+        let positions: std::collections::HashSet<usize> =
+            picked.iter().map(|p| p.position).collect();
+        for start in 0..=values.len() - w {
+            assert!(
+                (start..start + w).any(|p| positions.contains(&p)),
+                "window starting at {start} has no selected hash"
+            );
+        }
+    }
+
+    #[test]
+    fn density_close_to_two_over_w_plus_one() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let values: Vec<u32> = (0..20_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u32
+            })
+            .collect();
+        let w = 9;
+        let picked = winnow(&mk(&values), w);
+        let density = picked.len() as f64 / values.len() as f64;
+        let expected = 2.0 / (w as f64 + 1.0);
+        assert!(
+            (density - expected).abs() < expected * 0.2,
+            "density {density} too far from expected {expected}"
+        );
+    }
+}

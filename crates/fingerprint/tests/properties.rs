@@ -1,0 +1,193 @@
+//! Property-based tests of the fingerprinting pipeline invariants.
+
+use browserflow_fingerprint::{normalize, winnow, FingerprintConfig, Fingerprinter};
+use proptest::prelude::*;
+
+fn fingerprinter(n: usize, w: usize) -> Fingerprinter {
+    Fingerprinter::new(
+        FingerprintConfig::builder()
+            .ngram_len(n)
+            .window(w)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// Arbitrary "prose-like" text: words of lowercase letters with occasional
+/// punctuation and casing noise.
+fn prose() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-zA-Z]{1,10}[ ,.!?]{0,2}", 0..60).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #[test]
+    fn normalisation_is_idempotent(text in ".{0,200}") {
+        let once = normalize::normalize(&text);
+        let twice = normalize::normalize(once.text());
+        prop_assert_eq!(once.text(), twice.text());
+    }
+
+    #[test]
+    fn normalised_output_is_lowercase_alphanumeric(text in ".{0,200}") {
+        let n = normalize::normalize(&text);
+        for c in n.text().chars() {
+            prop_assert!(c.is_alphanumeric());
+            // Fixed under lowercasing (some uppercase code points, e.g.
+            // U+1D400, have no lowercase mapping and stay as they are).
+            prop_assert_eq!(c.to_lowercase().to_string(), c.to_string());
+        }
+    }
+
+    #[test]
+    fn spans_are_valid_char_boundaries(text in ".{0,200}") {
+        let fp = fingerprinter(4, 3);
+        for entry in fp.fingerprint(&text).iter() {
+            let span = entry.span();
+            prop_assert!(span.end <= text.len());
+            prop_assert!(text.is_char_boundary(span.start));
+            prop_assert!(text.is_char_boundary(span.end));
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic(text in prose()) {
+        let fp = fingerprinter(5, 4);
+        prop_assert_eq!(fp.fingerprint(&text), fp.fingerprint(&text));
+    }
+
+    #[test]
+    fn fingerprint_ignores_case_whitespace_punctuation(words in proptest::collection::vec("[a-z]{2,8}", 1..30)) {
+        let fp = fingerprinter(5, 4);
+        let plain = words.join("");
+        let decorated = words
+            .iter()
+            .map(|w| {
+                let mut chars = w.chars();
+                let first = chars.next().unwrap().to_uppercase().to_string();
+                format!("{first}{}", chars.as_str())
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        prop_assert_eq!(
+            fp.fingerprint(&plain).hash_set(),
+            fp.fingerprint(&decorated).hash_set()
+        );
+    }
+
+    /// The winnowing guarantee: if two texts share a normalised substring of
+    /// at least `w + n - 1` characters, their fingerprints intersect.
+    #[test]
+    fn shared_long_substring_implies_shared_hash(
+        prefix_a in "[a-z ]{0,40}",
+        prefix_b in "[A-Z,.]{0,20}",
+        shared in "[a-z]{30,60}",
+        suffix_a in "[a-z ]{0,40}",
+        suffix_b in "[0-9 ]{0,20}",
+    ) {
+        // n = 6, w = 4 -> guarantee threshold 9; `shared` is >= 30 chars of
+        // pure normalised content, far beyond the threshold.
+        let fp = fingerprinter(6, 4);
+        let a = fp.fingerprint(&format!("{prefix_a}{shared}{suffix_a}"));
+        let b = fp.fingerprint(&format!("{prefix_b}{shared}{suffix_b}"));
+        prop_assert!(a.intersection_size(&b) >= 1);
+    }
+
+    /// Winnowing coverage: every window of `w` consecutive n-gram hashes
+    /// contains a selected hash.
+    #[test]
+    fn winnow_covers_every_window(values in proptest::collection::vec(any::<u32>(), 0..300), w in 1usize..12) {
+        let hashes: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(position, &hash)| browserflow_fingerprint::ngram::NgramHash { hash, position })
+            .collect();
+        let picked = winnow::winnow(&hashes, w);
+        let positions: std::collections::HashSet<usize> =
+            picked.iter().map(|p| p.position).collect();
+        if hashes.len() >= w {
+            for start in 0..=hashes.len() - w {
+                prop_assert!((start..start + w).any(|p| positions.contains(&p)));
+            }
+        } else if !hashes.is_empty() {
+            prop_assert_eq!(picked.len(), 1);
+        }
+    }
+
+    /// Selected hashes are a subset of the input hashes at the right positions.
+    #[test]
+    fn winnow_selects_existing_hashes(values in proptest::collection::vec(any::<u32>(), 0..300), w in 1usize..12) {
+        let hashes: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(position, &hash)| browserflow_fingerprint::ngram::NgramHash { hash, position })
+            .collect();
+        for picked in winnow::winnow(&hashes, w) {
+            prop_assert_eq!(values[picked.position], picked.hash);
+        }
+    }
+
+    /// The monotone-deque winnowing implementation agrees with a naive
+    /// per-window reference implementation on arbitrary input.
+    #[test]
+    fn winnow_matches_naive_reference(values in proptest::collection::vec(any::<u32>(), 0..200), w in 1usize..10) {
+        let hashes: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(position, &hash)| browserflow_fingerprint::ngram::NgramHash { hash, position })
+            .collect();
+        let fast = winnow::winnow(&hashes, w);
+        // Reference: scan each window, select the rightmost minimum,
+        // dedupe consecutive repeats.
+        let mut reference: Vec<browserflow_fingerprint::ngram::NgramHash> = Vec::new();
+        if !hashes.is_empty() && hashes.len() <= w {
+            let mut best = hashes[0];
+            for &h in &hashes[1..] {
+                if h.hash <= best.hash {
+                    best = h;
+                }
+            }
+            reference.push(best);
+        } else if hashes.len() > w {
+            for window in hashes.windows(w) {
+                let mut best = window[0];
+                for &h in &window[1..] {
+                    if h.hash <= best.hash {
+                        best = h;
+                    }
+                }
+                if reference.last().map(|s| s.position) != Some(best.position) {
+                    reference.push(best);
+                }
+            }
+        }
+        prop_assert_eq!(fast, reference);
+    }
+
+    /// Containment is monotone under concatenation: embedding A inside a
+    /// larger document keeps containment high.
+    #[test]
+    fn containment_survives_embedding(core in "[a-z]{60,120}", extra in "[a-z]{0,60}") {
+        let fp = fingerprinter(6, 4);
+        let a = fp.fingerprint(&core);
+        let b = fp.fingerprint(&format!("{extra}{core}{extra}"));
+        // All interior n-grams of `core` also occur in the embedding; only
+        // hashes winnowed near the seams can differ.
+        prop_assert!(a.containment_in(&b) > 0.5);
+    }
+
+    #[test]
+    fn containment_bounds(a in prose(), b in prose()) {
+        let fp = fingerprinter(5, 4);
+        let fa = fp.fingerprint(&a);
+        let fb = fp.fingerprint(&b);
+        let c = fa.containment_in(&fb);
+        prop_assert!((0.0..=1.0).contains(&c));
+        let r = fa.resemblance(&fb);
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!(r <= 1.0);
+        // Self-containment of a non-empty fingerprint is exactly 1.
+        if !fa.is_empty() {
+            prop_assert_eq!(fa.containment_in(&fa), 1.0);
+        }
+    }
+}

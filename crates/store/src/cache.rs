@@ -1,0 +1,162 @@
+//! Decision caching.
+//!
+//! §6.2 observes that "one keystroke typically does not alter the winnowing
+//! fingerprint of a paragraph, permitting BrowserFlow to reuse its previous
+//! response". The cache keys each segment's last disclosure decision by an
+//! order-independent digest of its fingerprint; as long as edits do not
+//! change the winnowed hash set, the cached decision is reused and the
+//! full Algorithm 1 run is skipped.
+
+use crate::SegmentId;
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// An order-independent digest of a fingerprint's distinct hash set.
+///
+/// Combines each 32-bit hash through a commutative mix so that insertion
+/// order is irrelevant, and folds in the set size to distinguish e.g.
+/// `{h}` from `{h, h'}` where the mixes cancel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FingerprintDigest(u64);
+
+impl FingerprintDigest {
+    /// Digests a set of distinct hashes.
+    pub fn of(hashes: &HashSet<u32>) -> Self {
+        let mut acc: u64 = 0;
+        for &h in hashes {
+            // SplitMix64-style scramble of each element, combined with a
+            // commutative wrapping add.
+            let mut x = h as u64;
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            acc = acc.wrapping_add(x);
+        }
+        Self(acc.wrapping_add((hashes.len() as u64).wrapping_mul(0xA24B_AED4_963E_E407)))
+    }
+}
+
+/// A per-segment cache of the last disclosure decision, keyed by
+/// fingerprint digest.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_store::{DecisionCache, FingerprintDigest, SegmentId};
+/// use std::collections::HashSet;
+///
+/// let mut cache: DecisionCache<bool> = DecisionCache::new();
+/// let hashes: HashSet<u32> = [1, 2, 3].into_iter().collect();
+/// let digest = FingerprintDigest::of(&hashes);
+/// assert_eq!(cache.get(SegmentId::new(1), digest), None);
+/// cache.put(SegmentId::new(1), digest, true);
+/// assert_eq!(cache.get(SegmentId::new(1), digest), Some(&true));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DecisionCache<T> {
+    entries: HashMap<SegmentId, (FingerprintDigest, T)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<T> DecisionCache<T> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the cached decision for `segment`, valid only if the
+    /// fingerprint digest still matches.
+    pub fn get(&mut self, segment: SegmentId, digest: FingerprintDigest) -> Option<&T> {
+        match self.entries.get(&segment) {
+            Some((cached_digest, value)) if *cached_digest == digest => {
+                self.hits += 1;
+                Some(value)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the decision for `segment` under `digest`, replacing any
+    /// previous entry for the segment.
+    pub fn put(&mut self, segment: SegmentId, digest: FingerprintDigest, value: T) {
+        self.entries.insert(segment, (digest, value));
+    }
+
+    /// Drops the cached entry for `segment`.
+    pub fn invalidate(&mut self, segment: SegmentId) {
+        self.entries.remove(&segment);
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of cached segments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest_of(values: &[u32]) -> FingerprintDigest {
+        FingerprintDigest::of(&values.iter().copied().collect())
+    }
+
+    #[test]
+    fn digest_is_order_independent() {
+        assert_eq!(digest_of(&[1, 2, 3]), digest_of(&[3, 1, 2]));
+    }
+
+    #[test]
+    fn digest_distinguishes_different_sets() {
+        assert_ne!(digest_of(&[1, 2, 3]), digest_of(&[1, 2, 4]));
+        assert_ne!(digest_of(&[1, 2, 3]), digest_of(&[1, 2]));
+        assert_ne!(digest_of(&[]), digest_of(&[0]));
+    }
+
+    #[test]
+    fn cache_hit_only_on_matching_digest() {
+        let mut cache: DecisionCache<u32> = DecisionCache::new();
+        let id = SegmentId::new(1);
+        cache.put(id, digest_of(&[1, 2]), 99);
+        assert_eq!(cache.get(id, digest_of(&[1, 2])), Some(&99));
+        // Fingerprint changed -> miss.
+        assert_eq!(cache.get(id, digest_of(&[1, 2, 3])), None);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut cache: DecisionCache<u32> = DecisionCache::new();
+        cache.put(SegmentId::new(1), digest_of(&[1]), 1);
+        cache.put(SegmentId::new(2), digest_of(&[2]), 2);
+        cache.invalidate(SegmentId::new(1));
+        assert_eq!(cache.get(SegmentId::new(1), digest_of(&[1])), None);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Logical time.
+//!
+//! Algorithm 1 only needs a total order on first sightings of hashes
+//! ("oldest paragraph with h"), so BrowserFlow uses a logical counter
+//! instead of wall-clock time. This also makes every experiment in the
+//! evaluation deterministic and replayable.
+
+/// A point in logical time. Ordered, dense enough for one tick per store
+/// observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The earliest representable time.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from a raw counter value.
+    pub const fn new(value: u64) -> Self {
+        Self(value)
+    }
+
+    /// The raw counter value.
+    pub const fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A monotonically increasing logical clock.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_store::LogicalClock;
+///
+/// let mut clock = LogicalClock::new();
+/// let a = clock.tick();
+/// let b = clock.tick();
+/// assert!(a < b);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogicalClock {
+    next: u64,
+}
+
+impl LogicalClock {
+    /// Creates a clock starting at [`Timestamp::ZERO`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the current time and advances the clock.
+    pub fn tick(&mut self) -> Timestamp {
+        let now = Timestamp(self.next);
+        self.next += 1;
+        now
+    }
+
+    /// The timestamp the next [`LogicalClock::tick`] will return, without
+    /// advancing.
+    pub fn peek(&self) -> Timestamp {
+        Timestamp(self.next)
+    }
+
+    /// Advances the clock so the next tick is at least `at_least`. Never
+    /// moves backwards. Used when restoring persisted state.
+    pub fn advance_to(&mut self, at_least: Timestamp) {
+        self.next = self.next.max(at_least.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_strictly_increasing() {
+        let mut clock = LogicalClock::new();
+        let mut previous = clock.tick();
+        for _ in 0..100 {
+            let current = clock.tick();
+            assert!(current > previous);
+            previous = current;
+        }
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut clock = LogicalClock::new();
+        assert_eq!(clock.peek(), clock.peek());
+        let ticked = clock.tick();
+        assert_eq!(ticked, Timestamp::ZERO);
+        assert_eq!(clock.peek(), Timestamp::new(1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Timestamp::new(42).to_string(), "t42");
+    }
+}

@@ -1,0 +1,360 @@
+//! Binary serialisation of the fingerprint store, with sealed (encrypted)
+//! export for at-rest protection (§4.4).
+//!
+//! The format is a little-endian, versioned binary layout:
+//!
+//! ```text
+//! magic "BFST" | u16 version | u64 clock
+//! u64 segment_count | per segment: u64 id, f64 threshold, u64 updated,
+//!                                   u32 hash_count, [u32 hashes...]
+//! u64 sighting_count | per sighting: u32 hash, u64 segment, u64 time
+//! ```
+
+use crate::{FingerprintStore, SegmentId, StoreKey, Timestamp};
+use std::collections::HashSet;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"BFST";
+const VERSION: u16 = 1;
+
+/// Error decoding a serialised store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The payload does not start with the store magic bytes.
+    BadMagic,
+    /// The payload's format version is not supported.
+    UnsupportedVersion {
+        /// The version found in the payload.
+        found: u16,
+    },
+    /// The payload ended prematurely or contains trailing garbage.
+    Truncated,
+    /// The sealed payload failed to decrypt.
+    Sealed(crate::EncryptionError),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "payload is not a serialised fingerprint store"),
+            CodecError::UnsupportedVersion { found } => {
+                write!(f, "unsupported store format version {found}")
+            }
+            CodecError::Truncated => write!(f, "payload is truncated or malformed"),
+            CodecError::Sealed(e) => write!(f, "sealed payload rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CodecError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Validates that `count` records of at least `min_record_bytes` each
+    /// can still fit in the remaining payload, so corrupted counts cannot
+    /// trigger huge up-front allocations.
+    fn check_count(&self, count: u64, min_record_bytes: usize) -> Result<usize, CodecError> {
+        let count = usize::try_from(count).map_err(|_| CodecError::Truncated)?;
+        if count
+            .checked_mul(min_record_bytes)
+            .is_none_or(|needed| needed > self.remaining())
+        {
+            return Err(CodecError::Truncated);
+        }
+        Ok(count)
+    }
+}
+
+/// Serialises the store to plain bytes.
+pub fn encode(store: &FingerprintStore) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&store.now().get().to_le_bytes());
+
+    let segment_ids: Vec<SegmentId> = {
+        let mut ids: Vec<SegmentId> = store.segment_ids().collect();
+        ids.sort_unstable();
+        ids
+    };
+    out.extend_from_slice(&(segment_ids.len() as u64).to_le_bytes());
+    for id in &segment_ids {
+        let stored = store.segment(*id).expect("listed segment exists");
+        out.extend_from_slice(&id.get().to_le_bytes());
+        out.extend_from_slice(&stored.threshold().to_le_bytes());
+        out.extend_from_slice(&stored.updated().get().to_le_bytes());
+        out.extend_from_slice(&(stored.hashes().len() as u32).to_le_bytes());
+        for &hash in stored.hashes() {
+            out.extend_from_slice(&hash.to_le_bytes());
+        }
+    }
+
+    let mut sightings = store.sightings();
+    sightings.sort_unstable_by_key(|(hash, s)| (*hash, s.time));
+    out.extend_from_slice(&(sightings.len() as u64).to_le_bytes());
+    for (hash, sighting) in sightings {
+        out.extend_from_slice(&hash.to_le_bytes());
+        out.extend_from_slice(&sighting.segment.get().to_le_bytes());
+        out.extend_from_slice(&sighting.time.get().to_le_bytes());
+    }
+    out
+}
+
+/// Reconstructs a store from [`encode`]d bytes.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if the payload is not a well-formed store.
+pub fn decode(bytes: &[u8]) -> Result<FingerprintStore, CodecError> {
+    let mut reader = Reader::new(bytes);
+    if reader.take(4)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = reader.u16()?;
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion { found: version });
+    }
+    let clock = reader.u64()?;
+    let mut store = FingerprintStore::new();
+
+    let segment_count = reader.u64()?;
+    // Each segment record is at least 28 bytes (id, threshold, updated,
+    // hash count); a corrupted count must fail instead of allocating.
+    let segment_count = reader.check_count(segment_count, 28)?;
+    for _ in 0..segment_count {
+        let id = SegmentId::new(reader.u64()?);
+        let threshold = reader.f64()?;
+        let updated = Timestamp::new(reader.u64()?);
+        let hash_count = reader.u32()? as u64;
+        let hash_count = reader.check_count(hash_count, 4)?;
+        let mut hashes = HashSet::with_capacity(hash_count);
+        for _ in 0..hash_count {
+            hashes.insert(reader.u32()?);
+        }
+        store.restore_segment(id, hashes, threshold, updated);
+    }
+
+    let sighting_count = reader.u64()?;
+    let sighting_count = reader.check_count(sighting_count, 20)?;
+    for _ in 0..sighting_count {
+        let hash = reader.u32()?;
+        let segment = SegmentId::new(reader.u64()?);
+        let time = Timestamp::new(reader.u64()?);
+        store.restore_sighting(hash, segment, time);
+    }
+    store.restore_clock(Timestamp::new(clock));
+    if !reader.finished() {
+        return Err(CodecError::Truncated);
+    }
+    Ok(store)
+}
+
+impl FingerprintStore {
+    /// Serialises and seals the store under `key` (the recommended at-rest
+    /// form, §4.4).
+    pub fn export_sealed(&self, key: &StoreKey, nonce: u64) -> crate::SealedBytes {
+        key.seal(nonce, &encode(self))
+    }
+
+    /// Unseals and reconstructs a store exported with
+    /// [`FingerprintStore::export_sealed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Sealed`] on key mismatch/tampering, or any
+    /// other [`CodecError`] if the decrypted payload is malformed.
+    pub fn import_sealed(
+        key: &StoreKey,
+        sealed: &crate::SealedBytes,
+    ) -> Result<FingerprintStore, CodecError> {
+        let bytes = key.unseal(sealed).map_err(CodecError::Sealed)?;
+        decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browserflow_fingerprint::Fingerprinter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_store() -> FingerprintStore {
+        let fp = Fingerprinter::default();
+        let mut store = FingerprintStore::new();
+        store.observe(
+            SegmentId::new(1),
+            &fp.fingerprint("the first confidential paragraph about quarterly earnings and margins"),
+            0.5,
+        );
+        store.observe(
+            SegmentId::new(2),
+            &fp.fingerprint("the second paragraph describing the reorganisation plan in detail"),
+            0.3,
+        );
+        // Overlap: segment 3 repeats segment 1 (non-authoritative hashes).
+        store.observe(
+            SegmentId::new(3),
+            &fp.fingerprint("the first confidential paragraph about quarterly earnings and margins plus extra"),
+            0.7,
+        );
+        store
+    }
+
+    fn assert_equivalent(a: &FingerprintStore, b: &FingerprintStore) {
+        assert_eq!(a.segment_count(), b.segment_count());
+        assert_eq!(a.hash_count(), b.hash_count());
+        assert_eq!(a.now(), b.now());
+        let mut ids: Vec<SegmentId> = a.segment_ids().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let sa = a.segment(id).unwrap();
+            let sb = b.segment(id).unwrap();
+            assert_eq!(sa.hashes(), sb.hashes());
+            assert_eq!(sa.threshold(), sb.threshold());
+            assert_eq!(sa.updated(), sb.updated());
+            assert_eq!(
+                a.authoritative_fingerprint(id),
+                b.authoritative_fingerprint(id),
+                "authoritative fingerprints differ for {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let store = sample_store();
+        let decoded = decode(&encode(&store)).unwrap();
+        assert_equivalent(&store, &decoded);
+    }
+
+    #[test]
+    fn roundtrip_preserves_disclosure_behaviour() {
+        let fp = Fingerprinter::default();
+        let store = sample_store();
+        let decoded = decode(&encode(&store)).unwrap();
+        let probe =
+            fp.fingerprint("the first confidential paragraph about quarterly earnings and margins");
+        assert_eq!(
+            store.disclosing_sources(SegmentId::new(99), &probe),
+            decoded.disclosing_sources(SegmentId::new(99), &probe)
+        );
+    }
+
+    #[test]
+    fn clock_continues_after_restore() {
+        let fp = Fingerprinter::default();
+        let store = sample_store();
+        let mut decoded = decode(&encode(&store)).unwrap();
+        // New observations get timestamps after every restored one.
+        decoded.observe(
+            SegmentId::new(50),
+            &fp.fingerprint("a brand new paragraph observed after the restore completed"),
+            0.5,
+        );
+        let updated = decoded.segment(SegmentId::new(50)).unwrap().updated();
+        assert!(updated >= store.now());
+    }
+
+    #[test]
+    fn sealed_roundtrip_and_tamper_detection() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let key = StoreKey::generate(&mut rng);
+        let store = sample_store();
+        let sealed = store.export_sealed(&key, 42);
+        let restored = FingerprintStore::import_sealed(&key, &sealed).unwrap();
+        assert_equivalent(&store, &restored);
+
+        let wrong_key = StoreKey::generate(&mut rng);
+        assert!(matches!(
+            FingerprintStore::import_sealed(&wrong_key, &sealed),
+            Err(CodecError::Sealed(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(matches!(decode(b"nope"), Err(CodecError::BadMagic)));
+        assert!(matches!(decode(b"BFS"), Err(CodecError::Truncated)));
+        let mut bad_version = encode(&sample_store());
+        bad_version[4] = 0xFF;
+        assert!(matches!(
+            decode(&bad_version),
+            Err(CodecError::UnsupportedVersion { .. })
+        ));
+        let mut truncated = encode(&sample_store());
+        truncated.truncate(truncated.len() - 3);
+        assert!(matches!(decode(&truncated), Err(CodecError::Truncated)));
+        let mut trailing = encode(&sample_store());
+        trailing.push(0);
+        assert!(matches!(decode(&trailing), Err(CodecError::Truncated)));
+    }
+
+    #[test]
+    fn corrupted_counts_fail_without_allocating() {
+        // Flip the segment-count field to a huge value: decode must return
+        // Truncated instead of attempting a multi-gigabyte allocation.
+        let mut bytes = encode(&sample_store());
+        for byte in &mut bytes[14..22] {
+            *byte = 0xFF; // segment_count field (after magic+ver+clock)
+        }
+        assert!(matches!(decode(&bytes), Err(CodecError::Truncated)));
+        // Same for a per-segment hash count.
+        let mut bytes = encode(&sample_store());
+        let hash_count_offset = 14 + 8 + 8 + 8 + 8; // first segment's count
+        for byte in &mut bytes[hash_count_offset..hash_count_offset + 4] {
+            *byte = 0xFF;
+        }
+        assert!(matches!(decode(&bytes), Err(CodecError::Truncated)));
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let store = FingerprintStore::new();
+        let decoded = decode(&encode(&store)).unwrap();
+        assert_eq!(decoded.segment_count(), 0);
+        assert_eq!(decoded.hash_count(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Disclosure metrics and Algorithm 1.
+//!
+//! §4.2 defines the pairwise disclosure of a source segment `A` towards a
+//! target `B` as `D(A, B) = |F(A) ∩ F(B)| / |F(A)|`; §4.3 refines the
+//! numerator to the *authoritative* fingerprint of `A` (hashes first seen
+//! in `A`) so that overlapping stored segments do not multiply-report the
+//! same leaked text (Figure 7).
+
+use crate::{FingerprintStore, SegmentId};
+use std::collections::{HashMap, HashSet};
+
+/// One source segment reported by Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisclosureReport {
+    /// The origin segment whose disclosure requirement is violated.
+    pub source: SegmentId,
+    /// The measured disclosure `D(source, target) ∈ [0, 1]`, computed with
+    /// the authoritative numerator of §4.3.
+    pub disclosure: f64,
+    /// The source's configured threshold at the time of the check.
+    pub threshold: f64,
+    /// Number of authoritative hashes of `source` found in the target.
+    pub shared_hashes: usize,
+}
+
+/// Pairwise disclosure between two plain hash sets, without the
+/// authoritative adjustment: `|a ∩ b| / |a|`.
+///
+/// This is the unadjusted `D` of §4.2, exposed for baselines and for the
+/// corpus-level experiments that do not maintain a store.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_store::disclosure_between;
+/// use std::collections::HashSet;
+///
+/// let a: HashSet<u32> = [1, 2, 3, 4].into_iter().collect();
+/// let b: HashSet<u32> = [3, 4, 5].into_iter().collect();
+/// assert_eq!(disclosure_between(&a, &b), 0.5);
+/// ```
+pub fn disclosure_between(a: &HashSet<u32>, b: &HashSet<u32>) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.intersection(b).count() as f64 / a.len() as f64
+}
+
+/// Runs Algorithm 1 of the paper over the store.
+///
+/// For each hash `h` of the target fingerprint, the candidate source is
+/// `oldestParagraphWith(h)` — only the authoritative owner of a hash can
+/// be reported for it, which is precisely the overlap compensation of
+/// §4.3. Candidates are then deduplicated and their pairwise disclosure
+/// computed over their authoritative fingerprints.
+///
+/// A source `p` with threshold `t` is reported when its authoritative
+/// overlap with the target is at least `t · |F(p)|` and at least one hash
+/// (see the discussion on [`FingerprintStore::disclosing_sources`]).
+///
+/// The paper notes the algorithm "quickly discards candidate paragraphs
+/// based on fingerprint length": if `|F(p)| · t > |F(target)|` even a full
+/// overlap could not reach the threshold, so the candidate is skipped
+/// before its authoritative fingerprint is computed.
+pub(crate) fn run_algorithm_1(
+    store: &FingerprintStore,
+    target: SegmentId,
+    target_hashes: &HashSet<u32>,
+) -> Vec<DisclosureReport> {
+    // Candidate set: authoritative owners of the target's hashes.
+    let mut candidates: HashMap<SegmentId, ()> = HashMap::new();
+    for &hash in target_hashes {
+        if let Some(owner) = store.oldest_segment_with(hash) {
+            if owner != target {
+                candidates.insert(owner, ());
+            }
+        }
+    }
+
+    let mut reports: Vec<DisclosureReport> = Vec::new();
+    for (&candidate, ()) in &candidates {
+        let Some(stored) = store.segment(candidate) else {
+            // The owner of a historical first sighting may no longer store
+            // a fingerprint (removed/evicted); it cannot be a source.
+            continue;
+        };
+        let total = stored.hashes().len();
+        if total == 0 {
+            continue;
+        }
+        let threshold = stored.threshold();
+        // Early discard on fingerprint length.
+        if total as f64 * threshold > target_hashes.len() as f64 {
+            continue;
+        }
+        let overlap = stored
+            .hashes()
+            .iter()
+            .filter(|&&h| {
+                store.oldest_segment_with(h) == Some(candidate) && target_hashes.contains(&h)
+            })
+            .count();
+        let required = threshold * total as f64;
+        if overlap >= 1 && overlap as f64 >= required {
+            reports.push(DisclosureReport {
+                source: candidate,
+                disclosure: overlap as f64 / total as f64,
+                threshold,
+                shared_hashes: overlap,
+            });
+        }
+    }
+    // Deterministic output order: strongest disclosure first, ties by id.
+    reports.sort_by(|a, b| {
+        b.disclosure
+            .partial_cmp(&a.disclosure)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.source.cmp(&b.source))
+    });
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disclosure_between_bounds_and_empty() {
+        let empty: HashSet<u32> = HashSet::new();
+        let a: HashSet<u32> = [1, 2].into_iter().collect();
+        assert_eq!(disclosure_between(&empty, &a), 0.0);
+        assert_eq!(disclosure_between(&a, &empty), 0.0);
+        assert_eq!(disclosure_between(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn early_discard_respects_threshold_zero() {
+        // With t = 0 the early-discard condition |F(p)|·t > |F(target)| is
+        // never true, so even large sources are considered.
+        use browserflow_fingerprint::{FingerprintConfig, Fingerprinter};
+        let fp = Fingerprinter::new(
+            FingerprintConfig::builder()
+                .ngram_len(6)
+                .window(4)
+                .build()
+                .unwrap(),
+        );
+        let mut store = FingerprintStore::new();
+        let long = "a very long source paragraph with plenty of content that goes on \
+                    and on and keeps going for a while to build a big fingerprint";
+        store.observe(SegmentId::new(1), &fp.fingerprint(long), 0.0);
+        let snippet = &long[..40];
+        let reports = store.disclosing_sources(SegmentId::new(2), &fp.fingerprint(snippet));
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].disclosure > 0.0);
+        assert!(reports[0].shared_hashes >= 1);
+    }
+
+    #[test]
+    fn reports_sorted_by_disclosure() {
+        use browserflow_fingerprint::{FingerprintConfig, Fingerprinter};
+        let fp = Fingerprinter::new(
+            FingerprintConfig::builder()
+                .ngram_len(6)
+                .window(4)
+                .build()
+                .unwrap(),
+        );
+        let mut store = FingerprintStore::new();
+        let a = "first secret paragraph about the merger timeline and the announcement plan";
+        let b = "second secret paragraph listing the entire engineering compensation budget";
+        store.observe(SegmentId::new(1), &fp.fingerprint(a), 0.1);
+        store.observe(SegmentId::new(2), &fp.fingerprint(b), 0.1);
+        // Target contains all of `a` but only part of `b`.
+        let target = format!("{a} {}", &b[..45]);
+        let reports = store.disclosing_sources(SegmentId::new(3), &fp.fingerprint(&target));
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].disclosure >= reports[1].disclosure);
+        assert_eq!(reports[0].source, SegmentId::new(1));
+    }
+}

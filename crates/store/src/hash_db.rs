@@ -1,0 +1,136 @@
+//! `DBhash`: fingerprint-hash → first-sighting associations.
+//!
+//! Algorithm 1 resolves each hash of an incoming fingerprint to
+//! `oldestParagraphWith(h)` — the segment in which the hash was first
+//! observed. Storing only the *first* sighting per hash is sufficient:
+//! later sightings can never become the oldest, and it keeps the database
+//! at one entry per distinct hash, which matters at the 10-million-hash
+//! scale of the paper's Figure 13.
+
+use crate::{SegmentId, Timestamp};
+use std::collections::HashMap;
+
+/// A hash's first sighting: where and when it was first observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sighting {
+    /// The segment the hash was first observed in.
+    pub segment: SegmentId,
+    /// Logical time of that observation.
+    pub time: Timestamp,
+}
+
+/// The hash database (`DBhash` of Algorithm 1).
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_store::{HashDb, SegmentId, Timestamp};
+///
+/// let mut db = HashDb::new();
+/// db.record_first_sighting(42, SegmentId::new(1), Timestamp::new(0));
+/// // Later observations of the same hash do not displace the first.
+/// db.record_first_sighting(42, SegmentId::new(2), Timestamp::new(1));
+/// assert_eq!(db.oldest_with(42).unwrap().segment, SegmentId::new(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HashDb {
+    first_seen: HashMap<u32, Sighting>,
+}
+
+impl HashDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `hash` was observed in `segment` at `time`, unless an
+    /// earlier sighting already exists. Returns `true` if this became the
+    /// hash's first sighting.
+    pub fn record_first_sighting(
+        &mut self,
+        hash: u32,
+        segment: SegmentId,
+        time: Timestamp,
+    ) -> bool {
+        match self.first_seen.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(Sighting { segment, time });
+                true
+            }
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                // Out-of-order inserts (possible after eviction replay)
+                // keep the earliest.
+                if time < entry.get().time {
+                    entry.insert(Sighting { segment, time });
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// `oldestParagraphWith(h)`: the first sighting of `hash`, if any.
+    pub fn oldest_with(&self, hash: u32) -> Option<Sighting> {
+        self.first_seen.get(&hash).copied()
+    }
+
+    /// Number of distinct hashes on record.
+    pub fn len(&self) -> usize {
+        self.first_seen.len()
+    }
+
+    /// Whether no hashes are on record.
+    pub fn is_empty(&self) -> bool {
+        self.first_seen.is_empty()
+    }
+
+    /// A snapshot of all (hash, sighting) entries in arbitrary order.
+    pub fn entries(&self) -> Vec<(u32, Sighting)> {
+        self.first_seen.iter().map(|(&h, &s)| (h, s)).collect()
+    }
+
+    /// Drops every first-sighting record owned by `segment` (used when the
+    /// segment is removed or evicted). The next observer of each dropped
+    /// hash becomes its new first sighting.
+    pub fn remove_sightings_of(&mut self, segment: SegmentId) {
+        self.first_seen.retain(|_, s| s.segment != segment);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sighting_wins() {
+        let mut db = HashDb::new();
+        assert!(db.record_first_sighting(7, SegmentId::new(1), Timestamp::new(5)));
+        assert!(!db.record_first_sighting(7, SegmentId::new(2), Timestamp::new(9)));
+        assert_eq!(db.oldest_with(7).unwrap().segment, SegmentId::new(1));
+    }
+
+    #[test]
+    fn earlier_out_of_order_insert_replaces() {
+        let mut db = HashDb::new();
+        db.record_first_sighting(7, SegmentId::new(2), Timestamp::new(9));
+        assert!(db.record_first_sighting(7, SegmentId::new(1), Timestamp::new(5)));
+        assert_eq!(db.oldest_with(7).unwrap().segment, SegmentId::new(1));
+    }
+
+    #[test]
+    fn unknown_hash_is_none() {
+        assert_eq!(HashDb::new().oldest_with(1), None);
+    }
+
+    #[test]
+    fn remove_sightings_of_segment() {
+        let mut db = HashDb::new();
+        db.record_first_sighting(1, SegmentId::new(1), Timestamp::new(0));
+        db.record_first_sighting(2, SegmentId::new(2), Timestamp::new(1));
+        db.remove_sightings_of(SegmentId::new(1));
+        assert_eq!(db.oldest_with(1), None);
+        assert!(db.oldest_with(2).is_some());
+        assert_eq!(db.len(), 1);
+    }
+}

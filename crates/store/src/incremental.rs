@@ -1,0 +1,208 @@
+//! Incremental disclosure checking.
+//!
+//! Algorithm 1 "can operate in an incremental fashion: if a user edits
+//! paragraph P by adding one hash h, the algorithm's main loop only needs
+//! to inspect h" (§4.3). An [`IncrementalChecker`] holds the evolving hash
+//! set of the paragraph being edited together with its accumulated
+//! candidate set; each [`IncrementalChecker::update`] resolves only the
+//! *newly added* hashes to their authoritative owners instead of
+//! re-resolving the whole fingerprint.
+//!
+//! Correctness relies on the candidate set only ever growing: a candidate
+//! whose overlap with the current hash set drops to zero simply produces
+//! no report, and any candidate the full algorithm would consider owns at
+//! least one current hash — which was added at some point, so the
+//! incremental checker saw it too (this equivalence is property-tested).
+
+use crate::{DisclosureReport, FingerprintStore, SegmentId};
+use std::collections::HashSet;
+
+/// An incremental evaluation of Algorithm 1 for one segment being edited.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_fingerprint::Fingerprinter;
+/// use browserflow_store::{FingerprintStore, IncrementalChecker, SegmentId};
+///
+/// let fp = Fingerprinter::default();
+/// let mut store = FingerprintStore::new();
+/// let secret = "the acquisition will be announced on the first of march at a \
+///               press event in zurich by the chief executive";
+/// store.observe(SegmentId::new(1), &fp.fingerprint(secret), 0.3);
+///
+/// let mut checker = IncrementalChecker::new(SegmentId::new(2));
+/// // The user pastes the secret: all of its hashes arrive at once.
+/// let added: Vec<u32> = fp.fingerprint(secret).hash_set().into_iter().collect();
+/// let reports = checker.update(&store, &added, &[]);
+/// assert_eq!(reports.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalChecker {
+    target: SegmentId,
+    hashes: HashSet<u32>,
+    candidates: HashSet<SegmentId>,
+}
+
+impl IncrementalChecker {
+    /// Starts an incremental check for `target` with an empty hash set.
+    pub fn new(target: SegmentId) -> Self {
+        Self {
+            target,
+            hashes: HashSet::new(),
+            candidates: HashSet::new(),
+        }
+    }
+
+    /// The segment being edited.
+    pub fn target(&self) -> SegmentId {
+        self.target
+    }
+
+    /// The current hash set.
+    pub fn hashes(&self) -> &HashSet<u32> {
+        &self.hashes
+    }
+
+    /// Number of accumulated candidate sources.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Applies a fingerprint delta and returns the sources whose
+    /// disclosure requirement the *current* hash set violates.
+    ///
+    /// Only `added` hashes are resolved against `DBhash`; removal never
+    /// introduces candidates. The result is identical to running
+    /// [`FingerprintStore::disclosing_sources_of_hashes`] on the full
+    /// current set.
+    pub fn update(
+        &mut self,
+        store: &FingerprintStore,
+        added: &[u32],
+        removed: &[u32],
+    ) -> Vec<DisclosureReport> {
+        for &hash in removed {
+            self.hashes.remove(&hash);
+        }
+        for &hash in added {
+            if self.hashes.insert(hash) {
+                // The incremental step: only new hashes hit DBhash.
+                if let Some(owner) = store.oldest_segment_with(hash) {
+                    if owner != self.target {
+                        self.candidates.insert(owner);
+                    }
+                }
+            }
+        }
+        let mut reports: Vec<DisclosureReport> = Vec::new();
+        for &candidate in &self.candidates {
+            let Some(stored) = store.segment(candidate) else {
+                continue;
+            };
+            let total = stored.hashes().len();
+            if total == 0 {
+                continue;
+            }
+            let threshold = stored.threshold();
+            if total as f64 * threshold > self.hashes.len() as f64 {
+                continue;
+            }
+            let overlap = stored
+                .hashes()
+                .iter()
+                .filter(|&&h| {
+                    store.oldest_segment_with(h) == Some(candidate) && self.hashes.contains(&h)
+                })
+                .count();
+            if overlap >= 1 && overlap as f64 >= threshold * total as f64 {
+                reports.push(DisclosureReport {
+                    source: candidate,
+                    disclosure: overlap as f64 / total as f64,
+                    threshold,
+                    shared_hashes: overlap,
+                });
+            }
+        }
+        reports.sort_by(|a, b| {
+            b.disclosure
+                .partial_cmp(&a.disclosure)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.source.cmp(&b.source))
+        });
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browserflow_fingerprint::Fingerprinter;
+
+    const SECRET: &str = "the acquisition of initech will be announced on the first of \
+                          march at a press event in zurich by the chief executive";
+
+    fn store_with_secret() -> (FingerprintStore, Vec<u32>) {
+        let fp = Fingerprinter::default();
+        let mut store = FingerprintStore::new();
+        let print = fp.fingerprint(SECRET);
+        store.observe(SegmentId::new(1), &print, 0.4);
+        let hashes: Vec<u32> = print.hash_set().into_iter().collect();
+        (store, hashes)
+    }
+
+    #[test]
+    fn hash_by_hash_arrival_eventually_reports() {
+        let (store, hashes) = store_with_secret();
+        let mut checker = IncrementalChecker::new(SegmentId::new(2));
+        let mut fired_at = None;
+        for (i, &hash) in hashes.iter().enumerate() {
+            let reports = checker.update(&store, &[hash], &[]);
+            if !reports.is_empty() && fired_at.is_none() {
+                fired_at = Some(i);
+            }
+        }
+        let fired_at = fired_at.expect("threshold 0.4 must fire eventually");
+        // Fires once ~40% of the hashes arrived, not only at the end.
+        assert!(fired_at < hashes.len() - 1);
+        assert!(fired_at + 1 >= (hashes.len() as f64 * 0.4) as usize);
+    }
+
+    #[test]
+    fn removal_can_clear_a_report() {
+        let (store, hashes) = store_with_secret();
+        let mut checker = IncrementalChecker::new(SegmentId::new(2));
+        assert_eq!(checker.update(&store, &hashes, &[]).len(), 1);
+        // Remove most hashes again (the user deletes the paste).
+        let keep = hashes.len() / 10;
+        let removed: Vec<u32> = hashes[keep..].to_vec();
+        let reports = checker.update(&store, &[], &removed);
+        assert!(reports.is_empty());
+        // Candidates are retained (cheap) but produce no report.
+        assert_eq!(checker.candidate_count(), 1);
+    }
+
+    #[test]
+    fn matches_full_recomputation() {
+        let (store, hashes) = store_with_secret();
+        let mut checker = IncrementalChecker::new(SegmentId::new(2));
+        let mut reports = Vec::new();
+        for chunk in hashes.chunks(3) {
+            reports = checker.update(&store, chunk, &[]);
+            let full = store
+                .disclosing_sources_of_hashes(SegmentId::new(2), checker.hashes());
+            assert_eq!(reports, full);
+        }
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_adds_are_idempotent() {
+        let (store, hashes) = store_with_secret();
+        let mut checker = IncrementalChecker::new(SegmentId::new(2));
+        checker.update(&store, &hashes, &[]);
+        let size = checker.hashes().len();
+        checker.update(&store, &hashes, &[]);
+        assert_eq!(checker.hashes().len(), size);
+    }
+}

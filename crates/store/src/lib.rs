@@ -1,0 +1,468 @@
+//! Fingerprint databases and the information disclosure computation of
+//! BrowserFlow (§4.2–§4.4 of the paper).
+//!
+//! The central type is [`FingerprintStore`], which combines the two data
+//! structures of Algorithm 1:
+//!
+//! - **`DBhash`** ([`hash_db`]): associations from fingerprint hashes to
+//!   the segment in which each hash was *first* observed, with a logical
+//!   timestamp. This answers `oldestParagraphWith(h)` and underpins
+//!   *authoritative fingerprints* — the overlap-compensation mechanism of
+//!   §4.3 (Figure 7).
+//! - **`DBpar`** ([`segment_db`]): associations from segments to the last
+//!   fingerprint calculated for each, plus the segment's disclosure
+//!   threshold.
+//!
+//! On top of these, [`FingerprintStore::disclosing_sources`] implements the
+//! paper's Algorithm 1: given a segment's fingerprint, find every stored
+//! source segment whose *authoritative* content it discloses beyond that
+//! source's threshold. The same machinery serves both tracking
+//! granularities (paragraphs and whole documents, §4.1) — BrowserFlow
+//! instantiates one store per granularity.
+//!
+//! # Example
+//!
+//! ```rust
+//! use browserflow_fingerprint::Fingerprinter;
+//! use browserflow_store::{FingerprintStore, SegmentId};
+//!
+//! let fp = Fingerprinter::default();
+//! let mut store = FingerprintStore::new();
+//!
+//! let secret = "the acquisition of initech will be announced on the first of march \
+//!               at a press event in zurich";
+//! store.observe(SegmentId::new(1), &fp.fingerprint(secret), 0.5);
+//!
+//! // A user pastes the text (lightly edited) into another document.
+//! let pasted = format!("meeting notes: {secret} -- please keep this quiet");
+//! let reports = store.disclosing_sources(SegmentId::new(2), &fp.fingerprint(&pasted));
+//! assert_eq!(reports.len(), 1);
+//! assert_eq!(reports[0].source, SegmentId::new(1));
+//! assert!(reports[0].disclosure >= 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod clock;
+pub mod codec;
+mod disclosure;
+mod encryption;
+mod incremental;
+pub mod hash_db;
+pub mod segment_db;
+
+pub use cache::{DecisionCache, FingerprintDigest};
+pub use codec::CodecError;
+pub use clock::{LogicalClock, Timestamp};
+pub use disclosure::{disclosure_between, DisclosureReport};
+pub use encryption::{EncryptionError, SealedBytes, StoreKey};
+pub use incremental::IncrementalChecker;
+pub use hash_db::{HashDb, Sighting};
+pub use segment_db::{SegmentDb, StoredSegment};
+
+use browserflow_fingerprint::Fingerprint;
+use std::collections::HashSet;
+
+/// Identifies a tracked text segment (a paragraph or a whole document,
+/// depending on which granularity the store serves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(u64);
+
+impl SegmentId {
+    /// Creates a segment id from a raw value.
+    pub const fn new(id: u64) -> Self {
+        Self(id)
+    }
+
+    /// The raw value.
+    pub const fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "segment-{}", self.0)
+    }
+}
+
+impl From<u64> for SegmentId {
+    fn from(id: u64) -> Self {
+        Self(id)
+    }
+}
+
+/// The combined fingerprint store: `DBhash` + `DBpar` + a logical clock.
+///
+/// All operations are deterministic; time is a logical counter advanced on
+/// every observation, which is all `oldestParagraphWith` needs (a total
+/// order on first sightings).
+#[derive(Debug, Default)]
+pub struct FingerprintStore {
+    clock: LogicalClock,
+    hashes: HashDb,
+    segments: SegmentDb,
+}
+
+impl FingerprintStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records (or re-records after an edit) the fingerprint of `segment`.
+    ///
+    /// Hashes never seen before anywhere are credited to `segment` as
+    /// their authoritative first sighting, timestamped now. The segment's
+    /// previous fingerprint, if any, is replaced — `DBpar` stores only the
+    /// *last* fingerprint per segment — but historical first-sighting
+    /// records in `DBhash` are retained, as §4.3 requires.
+    ///
+    /// `threshold` is the segment's disclosure threshold `T ∈ [0, 1]`
+    /// (clamped).
+    pub fn observe(&mut self, segment: SegmentId, fingerprint: &Fingerprint, threshold: f64) {
+        let now = self.clock.tick();
+        let distinct: HashSet<u32> = fingerprint.hash_set();
+        for &hash in &distinct {
+            self.hashes.record_first_sighting(hash, segment, now);
+        }
+        self.segments
+            .upsert(segment, distinct, threshold.clamp(0.0, 1.0), now);
+    }
+
+    /// Updates just the disclosure threshold of an already-observed
+    /// segment. Returns `false` if the segment is unknown.
+    pub fn set_threshold(&mut self, segment: SegmentId, threshold: f64) -> bool {
+        self.segments
+            .set_threshold(segment, threshold.clamp(0.0, 1.0))
+    }
+
+    /// The segment in which `hash` was first observed, if any
+    /// (`oldestParagraphWith` of Algorithm 1).
+    pub fn oldest_segment_with(&self, hash: u32) -> Option<SegmentId> {
+        self.hashes.oldest_with(hash).map(|s| s.segment)
+    }
+
+    /// The *authoritative* part of a stored segment's fingerprint: the
+    /// hashes of its current fingerprint whose first sighting anywhere was
+    /// this segment (§4.3).
+    pub fn authoritative_fingerprint(&self, segment: SegmentId) -> HashSet<u32> {
+        let Some(stored) = self.segments.get(segment) else {
+            return HashSet::new();
+        };
+        stored
+            .hashes()
+            .iter()
+            .copied()
+            .filter(|&h| self.oldest_segment_with(h) == Some(segment))
+            .collect()
+    }
+
+    /// The disclosure `D(source, target)` of stored segment `source`
+    /// towards a fingerprint `target`:
+    ///
+    /// `|F_authoritative(source) ∩ target| / |F(source)|`
+    ///
+    /// Returns 0.0 if the source is unknown or has an empty fingerprint.
+    pub fn disclosure_from(&self, source: SegmentId, target: &HashSet<u32>) -> f64 {
+        let Some(stored) = self.segments.get(source) else {
+            return 0.0;
+        };
+        let total = stored.hashes().len();
+        if total == 0 {
+            return 0.0;
+        }
+        let overlap = stored
+            .hashes()
+            .iter()
+            .filter(|&&h| self.oldest_segment_with(h) == Some(source) && target.contains(&h))
+            .count();
+        overlap as f64 / total as f64
+    }
+
+    /// Algorithm 1: the stored source segments whose disclosure
+    /// requirement the fingerprint of `target` violates.
+    ///
+    /// A source `p` with threshold `t` is reported when
+    /// `|F_authoritative(p) ∩ F(target)| ≥ max(1, t · |F(p)|)`, i.e. the
+    /// paper's "at least `t` of the original is found elsewhere" reading of
+    /// §4.2/§6.1 (`Dpar ≥ Tpar`), with the extra requirement of at least
+    /// one shared hash so that `t = 0` means "any leaked hash" rather than
+    /// "everything always".
+    ///
+    /// `target` itself is never reported, even if stored.
+    pub fn disclosing_sources(
+        &self,
+        target: SegmentId,
+        fingerprint: &Fingerprint,
+    ) -> Vec<DisclosureReport> {
+        self.disclosing_sources_of_hashes(target, &fingerprint.hash_set())
+    }
+
+    /// [`FingerprintStore::disclosing_sources`] over a pre-computed set of
+    /// distinct hashes.
+    pub fn disclosing_sources_of_hashes(
+        &self,
+        target: SegmentId,
+        target_hashes: &HashSet<u32>,
+    ) -> Vec<DisclosureReport> {
+        disclosure::run_algorithm_1(self, target, target_hashes)
+    }
+
+    /// Removes a segment's stored fingerprint and every first-sighting
+    /// record it owns.
+    ///
+    /// Subsequent observations of those hashes establish fresh ownership.
+    /// This backs the periodic removal of old fingerprints recommended in
+    /// §4.4. Returns `true` if the segment was stored.
+    pub fn remove_segment(&mut self, segment: SegmentId) -> bool {
+        let existed = self.segments.remove(segment);
+        if existed {
+            self.hashes.remove_sightings_of(segment);
+        }
+        existed
+    }
+
+    /// Evicts every segment last updated strictly before `cutoff`,
+    /// returning how many were removed.
+    pub fn evict_older_than(&mut self, cutoff: Timestamp) -> usize {
+        let victims = self.segments.segments_older_than(cutoff);
+        for &segment in &victims {
+            self.remove_segment(segment);
+        }
+        victims.len()
+    }
+
+    /// Number of stored segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of distinct hashes with a first-sighting record.
+    pub fn hash_count(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Read access to a stored segment.
+    pub fn segment(&self, segment: SegmentId) -> Option<&StoredSegment> {
+        self.segments.get(segment)
+    }
+
+    /// Iterates over all stored segment ids.
+    pub fn segment_ids(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        self.segments.ids()
+    }
+
+    /// The current logical time (the timestamp the *next* observation will
+    /// receive).
+    pub fn now(&self) -> Timestamp {
+        self.clock.peek()
+    }
+
+    /// A snapshot of every first-sighting record (for serialisation).
+    pub fn sightings(&self) -> Vec<(u32, Sighting)> {
+        self.hashes.entries()
+    }
+
+    /// Restores a segment with an explicit timestamp, bypassing the clock
+    /// (deserialisation path; see [`codec`]).
+    pub(crate) fn restore_segment(
+        &mut self,
+        segment: SegmentId,
+        hashes: HashSet<u32>,
+        threshold: f64,
+        updated: Timestamp,
+    ) {
+        self.segments.upsert(segment, hashes, threshold, updated);
+    }
+
+    /// Restores a first-sighting record (deserialisation path).
+    pub(crate) fn restore_sighting(&mut self, hash: u32, segment: SegmentId, time: Timestamp) {
+        self.hashes.record_first_sighting(hash, segment, time);
+    }
+
+    /// Restores the clock so future observations are timestamped after
+    /// every restored record (deserialisation path).
+    pub(crate) fn restore_clock(&mut self, at_least: Timestamp) {
+        self.clock.advance_to(at_least);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browserflow_fingerprint::{FingerprintConfig, Fingerprinter};
+
+    fn fp() -> Fingerprinter {
+        Fingerprinter::new(
+            FingerprintConfig::builder()
+                .ngram_len(6)
+                .window(4)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    const SECRET: &str = "the acquisition of initech will be announced on the first of march \
+                          at a press event in zurich by the chief executive";
+
+    #[test]
+    fn copy_paste_is_detected() {
+        let fp = fp();
+        let mut store = FingerprintStore::new();
+        store.observe(SegmentId::new(1), &fp.fingerprint(SECRET), 0.5);
+        let pasted = format!("notes from the meeting follow {SECRET} end of notes");
+        let reports = store.disclosing_sources(SegmentId::new(2), &fp.fingerprint(&pasted));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].source, SegmentId::new(1));
+        assert!(reports[0].disclosure > 0.8);
+    }
+
+    #[test]
+    fn unrelated_text_is_not_reported() {
+        let fp = fp();
+        let mut store = FingerprintStore::new();
+        store.observe(SegmentId::new(1), &fp.fingerprint(SECRET), 0.5);
+        let other = "completely unrelated prose about gardening tulips and daffodils in spring";
+        assert!(store
+            .disclosing_sources(SegmentId::new(2), &fp.fingerprint(other))
+            .is_empty());
+    }
+
+    #[test]
+    fn target_never_reports_itself() {
+        let fp = fp();
+        let mut store = FingerprintStore::new();
+        let print = fp.fingerprint(SECRET);
+        store.observe(SegmentId::new(1), &print, 0.5);
+        assert!(store.disclosing_sources(SegmentId::new(1), &print).is_empty());
+    }
+
+    #[test]
+    fn authoritative_fingerprint_excludes_borrowed_hashes() {
+        // Figure 7: B is a superset of A; B's authoritative fingerprint
+        // contains only B's new text.
+        let fp = fp();
+        let mut store = FingerprintStore::new();
+        let a_text = SECRET;
+        let b_text = format!("{SECRET} additionally the deal includes all overseas subsidiaries and patents");
+        let a_print = fp.fingerprint(a_text);
+        let b_print = fp.fingerprint(&b_text);
+        store.observe(SegmentId::new(1), &a_print, 0.5);
+        store.observe(SegmentId::new(2), &b_print, 0.5);
+
+        let b_auth = store.authoritative_fingerprint(SegmentId::new(2));
+        let a_hashes = a_print.hash_set();
+        // No hash of A's fingerprint is authoritative for B.
+        assert!(b_auth.is_disjoint(&a_hashes));
+        // A's own fingerprint stays fully authoritative.
+        assert_eq!(
+            store.authoritative_fingerprint(SegmentId::new(1)),
+            a_hashes
+        );
+    }
+
+    #[test]
+    fn overlap_compensation_reports_only_true_source() {
+        // Figure 7 end-to-end: paste A's text into C after B (a superset of
+        // A) was stored. Only A must be reported.
+        let fp = fp();
+        let mut store = FingerprintStore::new();
+        let b_text = format!("{SECRET} additionally the deal includes all overseas subsidiaries");
+        store.observe(SegmentId::new(1), &fp.fingerprint(SECRET), 0.5);
+        store.observe(SegmentId::new(2), &fp.fingerprint(&b_text), 0.5);
+
+        let c_print = fp.fingerprint(SECRET);
+        let reports = store.disclosing_sources(SegmentId::new(3), &c_print);
+        let sources: Vec<SegmentId> = reports.iter().map(|r| r.source).collect();
+        assert_eq!(sources, vec![SegmentId::new(1)]);
+    }
+
+    #[test]
+    fn editing_a_segment_replaces_its_fingerprint() {
+        let fp = fp();
+        let mut store = FingerprintStore::new();
+        let id = SegmentId::new(1);
+        store.observe(id, &fp.fingerprint(SECRET), 0.5);
+        let before = store.segment(id).unwrap().hashes().len();
+        assert!(before > 0);
+        let rewritten = "entirely different content now lives here with nothing in common";
+        store.observe(id, &fp.fingerprint(rewritten), 0.5);
+        let stored: HashSet<u32> = store.segment(id).unwrap().hashes().iter().copied().collect();
+        assert_eq!(stored, fp.fingerprint(rewritten).hash_set());
+        // The old hashes still have first-sighting records (DBhash keeps
+        // history) but the segment's current fingerprint changed.
+        assert!(store.hash_count() >= stored.len());
+    }
+
+    #[test]
+    fn threshold_zero_fires_on_any_shared_hash() {
+        let fp = fp();
+        let mut store = FingerprintStore::new();
+        store.observe(SegmentId::new(1), &fp.fingerprint(SECRET), 0.0);
+        // Take a fragment long enough to guarantee one shared hash.
+        let fragment = &SECRET[..60];
+        let reports = store.disclosing_sources(SegmentId::new(2), &fp.fingerprint(fragment));
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn threshold_one_requires_full_disclosure() {
+        let fp = fp();
+        let mut store = FingerprintStore::new();
+        store.observe(SegmentId::new(1), &fp.fingerprint(SECRET), 1.0);
+        // A fragment does not fully disclose.
+        let fragment = &SECRET[..SECRET.len() / 2];
+        assert!(store
+            .disclosing_sources(SegmentId::new(2), &fp.fingerprint(fragment))
+            .is_empty());
+        // The full text does.
+        let reports = store.disclosing_sources(SegmentId::new(2), &fp.fingerprint(SECRET));
+        assert_eq!(reports.len(), 1);
+        assert!((reports[0].disclosure - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_segment_releases_hash_ownership() {
+        let fp = fp();
+        let mut store = FingerprintStore::new();
+        let print = fp.fingerprint(SECRET);
+        store.observe(SegmentId::new(1), &print, 0.5);
+        assert!(store.remove_segment(SegmentId::new(1)));
+        assert!(!store.remove_segment(SegmentId::new(1)));
+        assert_eq!(store.segment_count(), 0);
+        // Ownership is re-established by the next observer.
+        store.observe(SegmentId::new(2), &print, 0.5);
+        let some_hash = *print.hash_set().iter().next().unwrap();
+        assert_eq!(store.oldest_segment_with(some_hash), Some(SegmentId::new(2)));
+    }
+
+    #[test]
+    fn eviction_by_age() {
+        let fp = fp();
+        let mut store = FingerprintStore::new();
+        store.observe(SegmentId::new(1), &fp.fingerprint(SECRET), 0.5);
+        let cutoff = store.now();
+        store.observe(
+            SegmentId::new(2),
+            &fp.fingerprint("some other long enough text to produce a fingerprint"),
+            0.5,
+        );
+        assert_eq!(store.evict_older_than(cutoff), 1);
+        assert!(store.segment(SegmentId::new(1)).is_none());
+        assert!(store.segment(SegmentId::new(2)).is_some());
+    }
+
+    #[test]
+    fn empty_fingerprints_never_report() {
+        let fp = fp();
+        let mut store = FingerprintStore::new();
+        store.observe(SegmentId::new(1), &fp.fingerprint("tiny"), 0.0);
+        assert!(store
+            .disclosing_sources(SegmentId::new(2), &fp.fingerprint("tiny"))
+            .is_empty());
+        assert_eq!(store.disclosure_from(SegmentId::new(1), &HashSet::new()), 0.0);
+    }
+}

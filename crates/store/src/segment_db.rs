@@ -1,0 +1,170 @@
+//! `DBpar`: segment → last-calculated-fingerprint associations.
+
+use crate::{SegmentId, Timestamp};
+use std::collections::{HashMap, HashSet};
+
+/// A stored segment: its current (distinct) fingerprint hashes, its
+/// disclosure threshold, and when it was last updated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredSegment {
+    hashes: Box<[u32]>,
+    threshold: f64,
+    updated: Timestamp,
+}
+
+impl StoredSegment {
+    /// The distinct hashes of the segment's last fingerprint, sorted.
+    pub fn hashes(&self) -> &[u32] {
+        &self.hashes
+    }
+
+    /// Whether `hash` is in the segment's current fingerprint.
+    pub fn contains(&self, hash: u32) -> bool {
+        self.hashes.binary_search(&hash).is_ok()
+    }
+
+    /// The segment's disclosure threshold `T ∈ [0, 1]`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Logical time of the last fingerprint update.
+    pub fn updated(&self) -> Timestamp {
+        self.updated
+    }
+}
+
+/// The segment database (`DBpar` of Algorithm 1): stores, per segment, the
+/// last fingerprint that has been calculated for it.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_store::{SegmentDb, SegmentId, Timestamp};
+/// use std::collections::HashSet;
+///
+/// let mut db = SegmentDb::new();
+/// db.upsert(SegmentId::new(1), HashSet::from([1, 2, 3]), 0.5, Timestamp::new(0));
+/// assert_eq!(db.get(SegmentId::new(1)).unwrap().hashes(), &[1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SegmentDb {
+    segments: HashMap<SegmentId, StoredSegment>,
+}
+
+impl SegmentDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces the stored fingerprint of `segment`.
+    pub fn upsert(
+        &mut self,
+        segment: SegmentId,
+        hashes: HashSet<u32>,
+        threshold: f64,
+        now: Timestamp,
+    ) {
+        let mut sorted: Vec<u32> = hashes.into_iter().collect();
+        sorted.sort_unstable();
+        self.segments.insert(
+            segment,
+            StoredSegment {
+                hashes: sorted.into_boxed_slice(),
+                threshold,
+                updated: now,
+            },
+        );
+    }
+
+    /// Updates a segment's threshold; `false` if unknown.
+    pub fn set_threshold(&mut self, segment: SegmentId, threshold: f64) -> bool {
+        match self.segments.get_mut(&segment) {
+            Some(stored) => {
+                stored.threshold = threshold;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fetches a stored segment.
+    pub fn get(&self, segment: SegmentId) -> Option<&StoredSegment> {
+        self.segments.get(&segment)
+    }
+
+    /// Removes a segment; `true` if it was stored.
+    pub fn remove(&mut self, segment: SegmentId) -> bool {
+        self.segments.remove(&segment).is_some()
+    }
+
+    /// Number of stored segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether no segments are stored.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Iterates over all stored segment ids (arbitrary order).
+    pub fn ids(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        self.segments.keys().copied()
+    }
+
+    /// Ids of segments last updated strictly before `cutoff`.
+    pub fn segments_older_than(&self, cutoff: Timestamp) -> Vec<SegmentId> {
+        self.segments
+            .iter()
+            .filter(|(_, s)| s.updated < cutoff)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_replaces() {
+        let mut db = SegmentDb::new();
+        let id = SegmentId::new(1);
+        db.upsert(id, HashSet::from([3, 1, 2]), 0.5, Timestamp::new(0));
+        assert_eq!(db.get(id).unwrap().hashes(), &[1, 2, 3]);
+        db.upsert(id, HashSet::from([9]), 0.7, Timestamp::new(1));
+        let stored = db.get(id).unwrap();
+        assert_eq!(stored.hashes(), &[9]);
+        assert_eq!(stored.threshold(), 0.7);
+        assert_eq!(stored.updated(), Timestamp::new(1));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let mut db = SegmentDb::new();
+        let id = SegmentId::new(1);
+        db.upsert(id, (0..100).map(|i| i * 7).collect(), 0.5, Timestamp::ZERO);
+        let stored = db.get(id).unwrap();
+        assert!(stored.contains(21));
+        assert!(!stored.contains(22));
+    }
+
+    #[test]
+    fn set_threshold_on_unknown_segment_fails() {
+        let mut db = SegmentDb::new();
+        assert!(!db.set_threshold(SegmentId::new(404), 0.3));
+    }
+
+    #[test]
+    fn segments_older_than_filters_strictly() {
+        let mut db = SegmentDb::new();
+        db.upsert(SegmentId::new(1), HashSet::new(), 0.5, Timestamp::new(0));
+        db.upsert(SegmentId::new(2), HashSet::new(), 0.5, Timestamp::new(5));
+        let old = db.segments_older_than(Timestamp::new(5));
+        assert_eq!(old, vec![SegmentId::new(1)]);
+        assert!(db.segments_older_than(Timestamp::new(0)).is_empty());
+    }
+}

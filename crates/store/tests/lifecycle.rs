@@ -1,0 +1,98 @@
+//! Store lifecycle tests: eviction and re-observation cycles, and codec
+//! robustness against arbitrary input.
+
+use browserflow_fingerprint::Fingerprinter;
+use browserflow_store::{codec, FingerprintStore, SegmentId};
+use proptest::prelude::*;
+
+const TEXTS: [&str; 3] = [
+    "the first confidential paragraph about quarterly earnings and the margin outlook",
+    "the second paragraph describing the reorganisation plan and its timeline in detail",
+    "the third paragraph covering the incident postmortem and the remediation steps",
+];
+
+fn filled() -> FingerprintStore {
+    let fp = Fingerprinter::default();
+    let mut store = FingerprintStore::new();
+    for (i, text) in TEXTS.iter().enumerate() {
+        store.observe(SegmentId::new(i as u64), &fp.fingerprint(text), 0.3);
+    }
+    store
+}
+
+#[test]
+fn eviction_and_reobservation_cycles_preserve_correctness() {
+    let fp = Fingerprinter::default();
+    let mut store = filled();
+    for cycle in 0..5 {
+        // Evict everything...
+        let cutoff = store.now();
+        let evicted = store.evict_older_than(cutoff);
+        assert_eq!(evicted, 3, "cycle {cycle}");
+        assert_eq!(store.segment_count(), 0);
+        assert!(store
+            .disclosing_sources(SegmentId::new(99), &fp.fingerprint(TEXTS[0]))
+            .is_empty());
+        // ...re-observe, and detection works again with fresh ownership.
+        for (i, text) in TEXTS.iter().enumerate() {
+            store.observe(SegmentId::new(i as u64), &fp.fingerprint(text), 0.3);
+        }
+        let reports = store.disclosing_sources(SegmentId::new(99), &fp.fingerprint(TEXTS[1]));
+        assert_eq!(reports.len(), 1, "cycle {cycle}");
+        assert_eq!(reports[0].source, SegmentId::new(1));
+    }
+}
+
+#[test]
+fn partial_eviction_transfers_nothing_but_forgets_the_victim() {
+    let fp = Fingerprinter::default();
+    let mut store = FingerprintStore::new();
+    store.observe(SegmentId::new(0), &fp.fingerprint(TEXTS[0]), 0.3);
+    let cutoff = store.now();
+    store.observe(SegmentId::new(1), &fp.fingerprint(TEXTS[1]), 0.3);
+    assert_eq!(store.evict_older_than(cutoff), 1);
+    // The survivor still reports; the victim never does.
+    let reports = store.disclosing_sources(SegmentId::new(99), &fp.fingerprint(TEXTS[1]));
+    assert_eq!(reports.len(), 1);
+    assert!(store
+        .disclosing_sources(SegmentId::new(99), &fp.fingerprint(TEXTS[0]))
+        .is_empty());
+}
+
+#[test]
+fn encode_is_stable_across_identical_stores() {
+    // Deterministic serialisation: same construction -> same bytes.
+    assert_eq!(codec::encode(&filled()), codec::encode(&filled()));
+}
+
+proptest! {
+    /// Decoding arbitrary bytes never panics — it either produces a store
+    /// or a structured error.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = codec::decode(&bytes);
+    }
+
+    /// Decoding a corrupted valid payload never panics either.
+    #[test]
+    fn decode_survives_bit_flips(index in 0usize..1000, flip in any::<u8>()) {
+        let mut bytes = codec::encode(&filled());
+        if !bytes.is_empty() {
+            let at = index % bytes.len();
+            bytes[at] ^= flip;
+            let _ = codec::decode(&bytes);
+        }
+    }
+
+    /// Truncating a valid payload at any point yields an error, never a
+    /// silently-partial store (except truncating nothing).
+    #[test]
+    fn decode_rejects_truncations(cut in 0usize..1000) {
+        let bytes = codec::encode(&filled());
+        let cut = cut % bytes.len();
+        if cut < bytes.len() {
+            let result = codec::decode(&bytes[..cut]);
+            prop_assert!(result.is_err(), "truncation at {cut} decoded successfully");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests of fingerprint-store invariants.
+
+use browserflow_fingerprint::{Fingerprint, SelectedHash};
+use browserflow_store::{disclosure_between, FingerprintStore, SegmentId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn fingerprint_of(hashes: &[u32]) -> Fingerprint {
+    hashes
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| SelectedHash::new(h, i, i..i + 1))
+        .collect()
+}
+
+fn hash_vec() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..500, 0..40)
+}
+
+proptest! {
+    /// The first observer of a hash stays its authoritative owner no
+    /// matter how many later segments also contain it.
+    #[test]
+    fn first_observer_owns_hashes(first in hash_vec(), later in proptest::collection::vec(hash_vec(), 0..5)) {
+        let mut store = FingerprintStore::new();
+        store.observe(SegmentId::new(0), &fingerprint_of(&first), 0.5);
+        for (i, hashes) in later.iter().enumerate() {
+            store.observe(SegmentId::new(i as u64 + 1), &fingerprint_of(hashes), 0.5);
+        }
+        for &h in &first {
+            prop_assert_eq!(store.oldest_segment_with(h), Some(SegmentId::new(0)));
+        }
+    }
+
+    /// Authoritative fingerprints of distinct segments are disjoint.
+    #[test]
+    fn authoritative_fingerprints_are_disjoint(sets in proptest::collection::vec(hash_vec(), 1..6)) {
+        let mut store = FingerprintStore::new();
+        for (i, hashes) in sets.iter().enumerate() {
+            store.observe(SegmentId::new(i as u64), &fingerprint_of(hashes), 0.5);
+        }
+        let auth: Vec<HashSet<u32>> = (0..sets.len())
+            .map(|i| store.authoritative_fingerprint(SegmentId::new(i as u64)))
+            .collect();
+        for i in 0..auth.len() {
+            for j in i + 1..auth.len() {
+                prop_assert!(auth[i].is_disjoint(&auth[j]),
+                    "segments {i} and {j} share authoritative hashes");
+            }
+        }
+        // And each authoritative fingerprint is a subset of the stored one.
+        for (i, hashes) in sets.iter().enumerate() {
+            let full: HashSet<u32> = hashes.iter().copied().collect();
+            prop_assert!(auth[i].is_subset(&full));
+        }
+    }
+
+    /// Reported disclosures always lie in (0, 1], meet the source's
+    /// threshold, and never include the target itself.
+    #[test]
+    fn reports_respect_threshold_and_bounds(
+        stored in proptest::collection::vec(hash_vec(), 0..6),
+        target in hash_vec(),
+        threshold in 0.0f64..=1.0,
+    ) {
+        let mut store = FingerprintStore::new();
+        for (i, hashes) in stored.iter().enumerate() {
+            store.observe(SegmentId::new(i as u64), &fingerprint_of(hashes), threshold);
+        }
+        let target_id = SegmentId::new(999);
+        let reports = store.disclosing_sources(target_id, &fingerprint_of(&target));
+        for report in &reports {
+            prop_assert!(report.source != target_id);
+            prop_assert!(report.disclosure > 0.0 && report.disclosure <= 1.0);
+            prop_assert!(report.shared_hashes >= 1);
+            prop_assert!(report.disclosure >= report.threshold - 1e-12);
+        }
+        // Output is sorted by decreasing disclosure.
+        for pair in reports.windows(2) {
+            prop_assert!(pair[0].disclosure >= pair[1].disclosure);
+        }
+    }
+
+    /// With a single stored segment there is no overlap compensation, so
+    /// Algorithm 1 agrees with the plain pairwise metric of §4.2.
+    #[test]
+    fn single_source_matches_plain_containment(source in hash_vec(), target in hash_vec()) {
+        let mut store = FingerprintStore::new();
+        store.observe(SegmentId::new(1), &fingerprint_of(&source), 0.0);
+        let reports = store.disclosing_sources(SegmentId::new(2), &fingerprint_of(&target));
+        let source_set: HashSet<u32> = source.iter().copied().collect();
+        let target_set: HashSet<u32> = target.iter().copied().collect();
+        let plain = disclosure_between(&source_set, &target_set);
+        if plain > 0.0 {
+            prop_assert_eq!(reports.len(), 1);
+            prop_assert!((reports[0].disclosure - plain).abs() < 1e-12);
+        } else {
+            prop_assert!(reports.is_empty());
+        }
+    }
+
+    /// Removing a segment means it is never reported again, and its hashes
+    /// become ownable by others.
+    #[test]
+    fn removed_segments_do_not_report(hashes in hash_vec()) {
+        prop_assume!(!hashes.is_empty());
+        let mut store = FingerprintStore::new();
+        store.observe(SegmentId::new(1), &fingerprint_of(&hashes), 0.0);
+        store.remove_segment(SegmentId::new(1));
+        let reports = store.disclosing_sources(SegmentId::new(2), &fingerprint_of(&hashes));
+        prop_assert!(reports.is_empty());
+        store.observe(SegmentId::new(3), &fingerprint_of(&hashes), 0.0);
+        prop_assert_eq!(store.oldest_segment_with(hashes[0]), Some(SegmentId::new(3)));
+    }
+
+    /// Re-observing the same fingerprint for the same segment is
+    /// idempotent with respect to disclosure results.
+    #[test]
+    fn observation_is_idempotent(source in hash_vec(), target in hash_vec()) {
+        let mut store_once = FingerprintStore::new();
+        store_once.observe(SegmentId::new(1), &fingerprint_of(&source), 0.3);
+        let mut store_twice = FingerprintStore::new();
+        store_twice.observe(SegmentId::new(1), &fingerprint_of(&source), 0.3);
+        store_twice.observe(SegmentId::new(1), &fingerprint_of(&source), 0.3);
+        let target_fp = fingerprint_of(&target);
+        prop_assert_eq!(
+            store_once.disclosing_sources(SegmentId::new(2), &target_fp),
+            store_twice.disclosing_sources(SegmentId::new(2), &target_fp)
+        );
+    }
+}
+
+mod incremental_equivalence {
+    use browserflow_fingerprint::{Fingerprint, SelectedHash};
+    use browserflow_store::{FingerprintStore, IncrementalChecker, SegmentId};
+    use proptest::prelude::*;
+
+    fn fingerprint_of(hashes: &[u32]) -> Fingerprint {
+        hashes
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| SelectedHash::new(h, i, i..i + 1))
+            .collect()
+    }
+
+    proptest! {
+        /// After any interleaving of adds and removes, the incremental
+        /// checker reports exactly what a full Algorithm 1 run over the
+        /// current hash set reports (§4.3's incrementality claim).
+        #[test]
+        fn incremental_equals_full_recompute(
+            stored in proptest::collection::vec(proptest::collection::vec(0u32..300, 0..30), 0..5),
+            deltas in proptest::collection::vec(
+                (proptest::collection::vec(0u32..300, 0..10),
+                 proptest::collection::vec(0u32..300, 0..10)),
+                1..12,
+            ),
+        ) {
+            let mut store = FingerprintStore::new();
+            for (i, hashes) in stored.iter().enumerate() {
+                store.observe(SegmentId::new(i as u64), &fingerprint_of(hashes), 0.3);
+            }
+            let target = SegmentId::new(999);
+            let mut checker = IncrementalChecker::new(target);
+            for (added, removed) in &deltas {
+                let incremental = checker.update(&store, added, removed);
+                let full = store.disclosing_sources_of_hashes(target, checker.hashes());
+                prop_assert_eq!(incremental, full);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Audit trail of tag suppressions.
+//!
+//! Tag suppression declassifies data, so every suppression is recorded:
+//! which tag, which user, their justification, and a monotonically
+//! increasing sequence number (§3.1). The log is append-only.
+
+use crate::{Tag, UserId};
+
+/// One recorded tag suppression.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SuppressionRecord {
+    sequence: u64,
+    tag: Tag,
+    user: UserId,
+    justification: String,
+}
+
+impl SuppressionRecord {
+    /// Position in the append-only log (0-based, strictly increasing).
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// The suppressed tag.
+    pub fn tag(&self) -> &Tag {
+        &self.tag
+    }
+
+    /// The user who performed the suppression.
+    pub fn user(&self) -> &UserId {
+        &self.user
+    }
+
+    /// The justification the user supplied.
+    pub fn justification(&self) -> &str {
+        &self.justification
+    }
+}
+
+/// Append-only log of [`SuppressionRecord`]s.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_tdm::{AuditLog, Tag};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut log = AuditLog::new();
+/// log.record_suppression(Tag::new("interview-data")?, "alice".into(), "approved by legal".into());
+/// assert_eq!(log.len(), 1);
+/// assert_eq!(log.by_user(&"alice".into()).count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct AuditLog {
+    records: Vec<SuppressionRecord>,
+}
+
+impl AuditLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a suppression record and returns its sequence number.
+    pub fn record_suppression(
+        &mut self,
+        tag: Tag,
+        user: UserId,
+        justification: String,
+    ) -> u64 {
+        let sequence = self.records.len() as u64;
+        self.records.push(SuppressionRecord {
+            sequence,
+            tag,
+            user,
+            justification,
+        });
+        sequence
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over all records in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, SuppressionRecord> {
+        self.records.iter()
+    }
+
+    /// Records created by `user`.
+    pub fn by_user<'a>(
+        &'a self,
+        user: &'a UserId,
+    ) -> impl Iterator<Item = &'a SuppressionRecord> + 'a {
+        self.records.iter().filter(move |r| &r.user == user)
+    }
+
+    /// Records suppressing `tag`.
+    pub fn by_tag<'a>(&'a self, tag: &'a Tag) -> impl Iterator<Item = &'a SuppressionRecord> + 'a {
+        self.records.iter().filter(move |r| &r.tag == tag)
+    }
+
+    /// Serialises the log to pretty JSON for export to external audit
+    /// tooling.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.records).expect("audit records always serialise")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(name: &str) -> Tag {
+        Tag::new(name).unwrap()
+    }
+
+    #[test]
+    fn sequences_are_strictly_increasing() {
+        let mut log = AuditLog::new();
+        for i in 0..5 {
+            let seq = log.record_suppression(tag("t"), "u".into(), format!("reason {i}"));
+            assert_eq!(seq, i);
+        }
+        let seqs: Vec<u64> = log.iter().map(|r| r.sequence()).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn filters_by_user_and_tag() {
+        let mut log = AuditLog::new();
+        log.record_suppression(tag("a"), "alice".into(), "r1".into());
+        log.record_suppression(tag("b"), "bob".into(), "r2".into());
+        log.record_suppression(tag("a"), "bob".into(), "r3".into());
+        assert_eq!(log.by_user(&"bob".into()).count(), 2);
+        assert_eq!(log.by_tag(&tag("a")).count(), 2);
+        assert_eq!(log.by_tag(&tag("c")).count(), 0);
+    }
+
+    #[test]
+    fn json_export_contains_justifications() {
+        let mut log = AuditLog::new();
+        log.record_suppression(tag("a"), "alice".into(), "approved by legal".into());
+        let json = log.to_json();
+        assert!(json.contains("approved by legal"));
+        let parsed: Vec<SuppressionRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+}

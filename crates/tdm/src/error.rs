@@ -1,0 +1,107 @@
+//! Error types of the TDM crate.
+
+use crate::{ServiceId, Tag};
+use std::fmt;
+
+/// Error creating a [`Tag`](crate::Tag).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TagError {
+    /// The tag name was empty.
+    Empty,
+    /// The tag name contained characters other than lowercase
+    /// alphanumerics, `-` and `_`.
+    InvalidCharacter {
+        /// The offending character.
+        character: char,
+    },
+}
+
+impl fmt::Display for TagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagError::Empty => write!(f, "tag name must not be empty"),
+            TagError::InvalidCharacter { character } => write!(
+                f,
+                "tag name may only contain lowercase alphanumerics, '-' and '_' (found {character:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TagError {}
+
+/// Error manipulating a [`Policy`](crate::Policy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PolicyError {
+    /// No service with the given id is registered.
+    UnknownService {
+        /// The id that failed to resolve.
+        id: ServiceId,
+    },
+    /// A service with the given id is already registered.
+    DuplicateService {
+        /// The id that collided.
+        id: ServiceId,
+    },
+    /// A custom tag with this name was already allocated.
+    DuplicateTag {
+        /// The tag that collided.
+        tag: Tag,
+    },
+    /// The acting user does not own the custom tag they tried to manage.
+    NotTagOwner {
+        /// The tag in question.
+        tag: Tag,
+    },
+    /// The tag is not a custom tag (e.g. an administrator-assigned default
+    /// tag), so users cannot manage its service privileges.
+    NotCustomTag {
+        /// The tag in question.
+        tag: Tag,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::UnknownService { id } => write!(f, "unknown service {id}"),
+            PolicyError::DuplicateService { id } => {
+                write!(f, "service {id} is already registered")
+            }
+            PolicyError::DuplicateTag { tag } => {
+                write!(f, "custom tag {tag} is already allocated")
+            }
+            PolicyError::NotTagOwner { tag } => {
+                write!(f, "acting user does not own custom tag {tag}")
+            }
+            PolicyError::NotCustomTag { tag } => {
+                write!(f, "tag {tag} is not a user-allocated custom tag")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_without_period() {
+        let errors: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(TagError::Empty),
+            Box::new(TagError::InvalidCharacter { character: '!' }),
+            Box::new(PolicyError::UnknownService {
+                id: ServiceId::from("x"),
+            }),
+        ];
+        for e in errors {
+            let message = e.to_string();
+            assert!(message.starts_with(char::is_lowercase), "{message}");
+            assert!(!message.ends_with('.'), "{message}");
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Labels: tag sets and text segment labels.
+
+use crate::{Tag, UserId};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An immutable-ish set of tags, used for service privilege (`Lp`) and
+/// confidentiality (`Lc`) labels.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_tdm::{Tag, TagSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ti = Tag::new("interview-data")?;
+/// let tw = Tag::new("wiki-data")?;
+/// let lp = TagSet::from_iter([ti.clone(), tw.clone()]);
+/// assert!(TagSet::from_iter([ti]).is_subset(&lp));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(
+    Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct TagSet(BTreeSet<Tag>);
+
+impl TagSet {
+    /// Creates an empty tag set (the label of untrusted external services).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tags.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty (public data / fully untrusted service).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether `tag` is a member.
+    pub fn contains(&self, tag: &Tag) -> bool {
+        self.0.contains(tag)
+    }
+
+    /// Inserts a tag; returns whether it was newly added.
+    pub fn insert(&mut self, tag: Tag) -> bool {
+        self.0.insert(tag)
+    }
+
+    /// Removes a tag; returns whether it was present.
+    pub fn remove(&mut self, tag: &Tag) -> bool {
+        self.0.remove(tag)
+    }
+
+    /// Whether every tag of `self` is in `other` (`self ⊆ other`).
+    pub fn is_subset(&self, other: &TagSet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// Tags of `self` that are missing from `other`.
+    pub fn difference(&self, other: &TagSet) -> TagSet {
+        TagSet(self.0.difference(&other.0).cloned().collect())
+    }
+
+    /// The union of the two sets.
+    pub fn union(&self, other: &TagSet) -> TagSet {
+        TagSet(self.0.union(&other.0).cloned().collect())
+    }
+
+    /// Iterates over the tags in order.
+    pub fn iter(&self) -> std::collections::btree_set::Iter<'_, Tag> {
+        self.0.iter()
+    }
+}
+
+impl FromIterator<Tag> for TagSet {
+    fn from_iter<I: IntoIterator<Item = Tag>>(iter: I) -> Self {
+        Self(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Tag> for TagSet {
+    fn extend<I: IntoIterator<Item = Tag>>(&mut self, iter: I) {
+        self.0.extend(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a TagSet {
+    type Item = &'a Tag;
+    type IntoIter = std::collections::btree_set::Iter<'a, Tag>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl IntoIterator for TagSet {
+    type Item = Tag;
+    type IntoIter = std::collections::btree_set::IntoIter<Tag>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl fmt::Display for TagSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, tag) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{tag}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// How a tag came to be part of a segment label (§3.2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum TagOrigin {
+    /// Assigned from a service's confidentiality label `Lc`, or added
+    /// explicitly by a user. Explicit tags are the ones that propagate to
+    /// other segments when disclosure is detected.
+    Explicit,
+    /// Copied from a source segment's explicit tags after the segment was
+    /// found to disclose that source. Implicit tags mark the segment as
+    /// *not* the authoritative source of the sensitive information and do
+    /// **not** propagate further, preventing outdated-tag build-up
+    /// (Figure 6).
+    Implicit,
+}
+
+/// Per-tag state inside a [`SegmentLabel`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+struct TagState {
+    origin: TagOrigin,
+    /// Present when a user suppressed the tag. The tag remains attached
+    /// for auditability but is ignored in subset comparisons.
+    suppressed_by: Option<UserId>,
+}
+
+/// The label of a text segment: a set of tags with per-tag origin
+/// (explicit/implicit) and suppression state.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_tdm::{SegmentLabel, Tag, TagSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ti = Tag::new("interview-data")?;
+/// let mut label = SegmentLabel::from_confidentiality(&TagSet::from_iter([ti.clone()]));
+/// assert!(label.effective_tags().contains(&ti));
+///
+/// // A user may suppress the tag to declassify the text (audited).
+/// label.suppress(&ti, &"alice".into());
+/// assert!(label.effective_tags().is_empty());
+/// assert!(label.suppressed_tags().contains(&ti));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SegmentLabel {
+    tags: BTreeMap<Tag, TagState>,
+}
+
+impl SegmentLabel {
+    /// Creates an empty label (public text).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the label of a segment first observed in a service with
+    /// confidentiality label `lc`: every tag of `lc` becomes an explicit
+    /// tag (§3.1, step 1 of Figure 3).
+    pub fn from_confidentiality(lc: &TagSet) -> Self {
+        let mut label = Self::new();
+        for tag in lc {
+            label.add_explicit(tag.clone());
+        }
+        label
+    }
+
+    /// Whether the label carries no tags at all.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Adds an explicit tag (user-assigned or from `Lc`). Upgrades an
+    /// implicit tag of the same name to explicit; clears any suppression.
+    pub fn add_explicit(&mut self, tag: Tag) {
+        self.tags.insert(
+            tag,
+            TagState {
+                origin: TagOrigin::Explicit,
+                suppressed_by: None,
+            },
+        );
+    }
+
+    /// Adds an implicit tag (copied from a disclosure source). Never
+    /// downgrades an existing explicit tag and never un-suppresses.
+    pub fn add_implicit(&mut self, tag: Tag) {
+        if let Entry::Vacant(entry) = self.tags.entry(tag) {
+            entry.insert(TagState {
+                origin: TagOrigin::Implicit,
+                suppressed_by: None,
+            });
+        }
+    }
+
+    /// Suppresses `tag`: it stays attached (with the suppressing user
+    /// recorded) but is ignored by [`SegmentLabel::effective_tags`].
+    ///
+    /// Returns `true` if the tag was present and not already suppressed.
+    /// Suppression is case-by-case: it applies to this label value only, so
+    /// a fresh copy of the original source text starts unsuppressed again
+    /// (§3.1 "User tag suppression").
+    pub fn suppress(&mut self, tag: &Tag, user: &UserId) -> bool {
+        match self.tags.get_mut(tag) {
+            Some(state) if state.suppressed_by.is_none() => {
+                state.suppressed_by = Some(user.clone());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The tags that count for policy decisions: all attached tags that are
+    /// not suppressed.
+    pub fn effective_tags(&self) -> TagSet {
+        self.tags
+            .iter()
+            .filter(|(_, state)| state.suppressed_by.is_none())
+            .map(|(tag, _)| tag.clone())
+            .collect()
+    }
+
+    /// The explicit, unsuppressed tags — the ones that propagate to other
+    /// segments as implicit tags when disclosure is detected (§3.2).
+    pub fn explicit_tags(&self) -> TagSet {
+        self.tags
+            .iter()
+            .filter(|(_, state)| {
+                state.origin == TagOrigin::Explicit && state.suppressed_by.is_none()
+            })
+            .map(|(tag, _)| tag.clone())
+            .collect()
+    }
+
+    /// The implicit, unsuppressed tags.
+    pub fn implicit_tags(&self) -> TagSet {
+        self.tags
+            .iter()
+            .filter(|(_, state)| {
+                state.origin == TagOrigin::Implicit && state.suppressed_by.is_none()
+            })
+            .map(|(tag, _)| tag.clone())
+            .collect()
+    }
+
+    /// Tags currently suppressed on this label.
+    pub fn suppressed_tags(&self) -> TagSet {
+        self.tags
+            .iter()
+            .filter(|(_, state)| state.suppressed_by.is_some())
+            .map(|(tag, _)| tag.clone())
+            .collect()
+    }
+
+    /// Who suppressed `tag`, if anyone.
+    pub fn suppressor(&self, tag: &Tag) -> Option<&UserId> {
+        self.tags.get(tag).and_then(|s| s.suppressed_by.as_ref())
+    }
+
+    /// The origin of `tag` on this label, if attached.
+    pub fn origin(&self, tag: &Tag) -> Option<TagOrigin> {
+        self.tags.get(tag).map(|s| s.origin)
+    }
+
+    /// Absorbs a disclosure source's label: the *explicit* tags of
+    /// `source` are added to `self` as *implicit* tags (§3.2).
+    ///
+    /// Implicit tags of the source do not propagate — the source is not the
+    /// authoritative origin of that information, which is exactly what
+    /// prevents the outdated-tag false positive of Figure 6.
+    pub fn absorb_source(&mut self, source: &SegmentLabel) {
+        for tag in source.explicit_tags() {
+            self.add_implicit(tag);
+        }
+    }
+
+    /// Whether this label permits release to a service with privilege
+    /// label `lp` (`effective_tags ⊆ Lp`).
+    pub fn permits_release_to(&self, lp: &TagSet) -> bool {
+        self.effective_tags().is_subset(lp)
+    }
+}
+
+impl fmt::Display for SegmentLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (tag, state)) in self.tags.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{tag}")?;
+            if state.origin == TagOrigin::Implicit {
+                write!(f, "(implicit)")?;
+            }
+            if state.suppressed_by.is_some() {
+                write!(f, "(suppressed)")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(name: &str) -> Tag {
+        Tag::new(name).unwrap()
+    }
+
+    #[test]
+    fn from_confidentiality_assigns_explicit_tags() {
+        let lc = TagSet::from_iter([tag("ti"), tag("tw")]);
+        let label = SegmentLabel::from_confidentiality(&lc);
+        assert_eq!(label.explicit_tags(), lc);
+        assert!(label.implicit_tags().is_empty());
+    }
+
+    #[test]
+    fn subset_release_check() {
+        let label = SegmentLabel::from_confidentiality(&TagSet::from_iter([tag("ti")]));
+        assert!(label.permits_release_to(&TagSet::from_iter([tag("ti"), tag("tw")])));
+        assert!(!label.permits_release_to(&TagSet::from_iter([tag("tw")])));
+        assert!(!label.permits_release_to(&TagSet::new()));
+        assert!(SegmentLabel::new().permits_release_to(&TagSet::new()));
+    }
+
+    #[test]
+    fn suppression_ignored_in_subset_comparison() {
+        // Figure 4: suppressing ti permits upload to the Wiki.
+        let mut label = SegmentLabel::from_confidentiality(&TagSet::from_iter([tag("ti")]));
+        let wiki_lp = TagSet::from_iter([tag("tw")]);
+        assert!(!label.permits_release_to(&wiki_lp));
+        assert!(label.suppress(&tag("ti"), &"alice".into()));
+        assert!(label.permits_release_to(&wiki_lp));
+        // The suppressed tag remains attached for auditing.
+        assert!(label.suppressed_tags().contains(&tag("ti")));
+        assert_eq!(label.suppressor(&tag("ti")), Some(&"alice".into()));
+    }
+
+    #[test]
+    fn suppressing_absent_or_already_suppressed_tag_is_noop() {
+        let mut label = SegmentLabel::from_confidentiality(&TagSet::from_iter([tag("ti")]));
+        assert!(!label.suppress(&tag("missing"), &"alice".into()));
+        assert!(label.suppress(&tag("ti"), &"alice".into()));
+        assert!(!label.suppress(&tag("ti"), &"bob".into()));
+        // First suppressor is kept.
+        assert_eq!(label.suppressor(&tag("ti")), Some(&"alice".into()));
+    }
+
+    #[test]
+    fn absorb_source_copies_explicit_as_implicit() {
+        // Figure 6 step 1: B absorbs A's {ti} as implicit.
+        let source = SegmentLabel::from_confidentiality(&TagSet::from_iter([tag("ti")]));
+        let mut dest = SegmentLabel::from_confidentiality(&TagSet::from_iter([tag("tw")]));
+        dest.absorb_source(&source);
+        assert_eq!(dest.explicit_tags(), TagSet::from_iter([tag("tw")]));
+        assert_eq!(dest.implicit_tags(), TagSet::from_iter([tag("ti")]));
+        assert_eq!(
+            dest.effective_tags(),
+            TagSet::from_iter([tag("ti"), tag("tw")])
+        );
+    }
+
+    #[test]
+    fn implicit_tags_do_not_propagate_further() {
+        // Figure 6 step 3: C absorbs B (which has implicit ti); C must only
+        // receive B's explicit tw, not the outdated ti.
+        let source_a = SegmentLabel::from_confidentiality(&TagSet::from_iter([tag("ti")]));
+        let mut b = SegmentLabel::from_confidentiality(&TagSet::from_iter([tag("tw")]));
+        b.absorb_source(&source_a);
+        let mut c = SegmentLabel::new();
+        c.absorb_source(&b);
+        assert_eq!(c.effective_tags(), TagSet::from_iter([tag("tw")]));
+        assert!(!c.effective_tags().contains(&tag("ti")));
+    }
+
+    #[test]
+    fn explicit_wins_over_implicit() {
+        let mut label = SegmentLabel::new();
+        label.add_implicit(tag("t"));
+        assert_eq!(label.origin(&tag("t")), Some(TagOrigin::Implicit));
+        label.add_explicit(tag("t"));
+        assert_eq!(label.origin(&tag("t")), Some(TagOrigin::Explicit));
+        // add_implicit never downgrades.
+        label.add_implicit(tag("t"));
+        assert_eq!(label.origin(&tag("t")), Some(TagOrigin::Explicit));
+    }
+
+    #[test]
+    fn display_marks_states() {
+        let mut label = SegmentLabel::from_confidentiality(&TagSet::from_iter([tag("ti")]));
+        label.add_implicit(tag("tw"));
+        label.suppress(&tag("ti"), &"alice".into());
+        let text = label.to_string();
+        assert!(text.contains("#ti(suppressed)"));
+        assert!(text.contains("#tw(implicit)"));
+    }
+
+    #[test]
+    fn tagset_display() {
+        let set = TagSet::from_iter([tag("a"), tag("b")]);
+        assert_eq!(set.to_string(), "{#a, #b}");
+        assert_eq!(TagSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut label = SegmentLabel::from_confidentiality(&TagSet::from_iter([tag("ti")]));
+        label.add_implicit(tag("tw"));
+        label.suppress(&tag("ti"), &"alice".into());
+        let json = serde_json::to_string(&label).unwrap();
+        let back: SegmentLabel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, label);
+    }
+}

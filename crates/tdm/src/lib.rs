@@ -1,0 +1,96 @@
+//! The **Text Disclosure Model** (TDM) of BrowserFlow (§3 of the paper).
+//!
+//! The TDM is a decentralised label model for reasoning about text
+//! disclosure between cloud services:
+//!
+//! - A **tag** ([`Tag`]) is a unique human-readable string expressing one
+//!   concern about data disclosure (e.g. `interview-data`).
+//! - A **label** is a set of tags. Each cloud service carries two labels: a
+//!   *privilege* label `Lp` (the highest level of confidential data the
+//!   service may receive) and a *confidentiality* label `Lc` (the default
+//!   confidentiality of data created within it). See [`Service`].
+//! - **Text segments** carry a [`SegmentLabel`] whose tags are *explicit*
+//!   (assigned from `Lc` or by users) or *implicit* (copied from a source
+//!   segment after disclosure was detected), and may be *suppressed*
+//!   (declassified by a user, leaving an audit trail).
+//! - A segment with effective tag set `Li` may be released in plain text to
+//!   a service with privilege label `Lp` only if `Li ⊆ Lp`
+//!   ([`Policy::check_release`]).
+//!
+//! # Example: the paper's interview scenario (Figure 3)
+//!
+//! ```rust
+//! use browserflow_tdm::{Policy, SegmentLabel, Service, Tag, TagSet};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ti = Tag::new("interview-data")?;
+//! let tw = Tag::new("wiki-data")?;
+//!
+//! let mut policy = Policy::new();
+//! policy.register(Service::new("itool", "Interview Tool")
+//!     .with_privilege(TagSet::from_iter([ti.clone()]))
+//!     .with_confidentiality(TagSet::from_iter([ti.clone()])))?;
+//! policy.register(Service::new("wiki", "Internal Wiki")
+//!     .with_privilege(TagSet::from_iter([tw.clone()]))
+//!     .with_confidentiality(TagSet::from_iter([tw.clone()])))?;
+//! policy.register(Service::new("gdocs", "Google Docs"))?; // Lp = Lc = {}
+//!
+//! // Text created in the Interview Tool gets its Lc as explicit tags.
+//! let label = policy.initial_label(&"itool".into())?;
+//! assert!(label.effective_tags().contains(&ti));
+//!
+//! // Releasing it to the Wiki violates the policy ({ti} ⊄ {tw})...
+//! assert!(!policy.check_release(&label, &"wiki".into())?.is_permitted());
+//! // ...and so does releasing it to Google Docs ({ti} ⊄ {}).
+//! assert!(!policy.check_release(&label, &"gdocs".into())?.is_permitted());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod audit;
+mod error;
+mod label;
+mod policy;
+mod service;
+mod tag;
+
+pub use audit::{AuditLog, SuppressionRecord};
+pub use error::{PolicyError, TagError};
+pub use label::{SegmentLabel, TagOrigin, TagSet};
+pub use policy::{Policy, ReleaseDecision};
+pub use service::{Service, ServiceId};
+pub use tag::Tag;
+
+/// Identifies the user performing an auditable action (tag suppression,
+/// custom tag allocation).
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct UserId(String);
+
+impl UserId {
+    /// Creates a user id.
+    pub fn new(id: impl Into<String>) -> Self {
+        Self(id.into())
+    }
+
+    /// The identifier as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for UserId {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}

@@ -1,0 +1,546 @@
+//! The enterprise-wide data disclosure policy.
+
+use crate::{
+    AuditLog, PolicyError, SegmentLabel, Service, ServiceId, Tag, TagSet, UserId,
+};
+use std::collections::BTreeMap;
+
+/// The outcome of checking whether a text segment may be released to a
+/// service ([`Policy::check_release`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReleaseDecision {
+    /// `Li ⊆ Lp`: the upload may proceed in plain text.
+    Permitted,
+    /// The segment carries tags the service is not privileged to receive.
+    /// BrowserFlow warns the user, who may suppress tags or let the
+    /// middleware block/encrypt the transfer.
+    Violation {
+        /// The effective tags missing from the service's privilege label.
+        missing: TagSet,
+    },
+}
+
+impl ReleaseDecision {
+    /// Whether the release is permitted.
+    pub fn is_permitted(&self) -> bool {
+        matches!(self, ReleaseDecision::Permitted)
+    }
+
+    /// The missing tags of a violation (empty set when permitted).
+    pub fn missing_tags(&self) -> TagSet {
+        match self {
+            ReleaseDecision::Permitted => TagSet::new(),
+            ReleaseDecision::Violation { missing } => missing.clone(),
+        }
+    }
+}
+
+/// Record of who allocated a custom tag (§3.1 "Custom tag allocation").
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+struct CustomTag {
+    owner: UserId,
+}
+
+/// An enterprise-wide data disclosure policy: the registry of services with
+/// their labels, user-allocated custom tags, and the audit log of
+/// declassifications.
+///
+/// Administrators set the policy once ([`Policy::register`]); users refine
+/// it by allocating custom tags ([`Policy::allocate_custom_tag`]) and
+/// granting/revoking service privileges for tags they own.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_tdm::{Policy, Service, Tag, TagSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tw = Tag::new("wiki-data")?;
+/// let mut policy = Policy::new();
+/// policy.register(Service::new("wiki", "Internal Wiki")
+///     .with_privilege(TagSet::from_iter([tw.clone()]))
+///     .with_confidentiality(TagSet::from_iter([tw.clone()])))?;
+///
+/// let label = policy.initial_label(&"wiki".into())?;
+/// assert!(policy.check_release(&label, &"wiki".into())?.is_permitted());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct Policy {
+    services: BTreeMap<ServiceId, Service>,
+    custom_tags: BTreeMap<Tag, CustomTag>,
+    #[serde(default)]
+    audit: AuditLog,
+}
+
+impl Policy {
+    /// Creates an empty policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::DuplicateService`] if a service with the same
+    /// id is already registered.
+    pub fn register(&mut self, service: Service) -> Result<(), PolicyError> {
+        if self.services.contains_key(service.id()) {
+            return Err(PolicyError::DuplicateService {
+                id: service.id().clone(),
+            });
+        }
+        self.services.insert(service.id().clone(), service);
+        Ok(())
+    }
+
+    /// Looks up a service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::UnknownService`] if no service with this id
+    /// is registered.
+    pub fn service(&self, id: &ServiceId) -> Result<&Service, PolicyError> {
+        self.services
+            .get(id)
+            .ok_or_else(|| PolicyError::UnknownService { id: id.clone() })
+    }
+
+    /// Iterates over all registered services in id order.
+    pub fn services(&self) -> impl Iterator<Item = &Service> {
+        self.services.values()
+    }
+
+    /// The label assigned to a text segment first observed in `service`:
+    /// the service's confidentiality label as explicit tags (§3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::UnknownService`] for unregistered services.
+    pub fn initial_label(&self, service: &ServiceId) -> Result<SegmentLabel, PolicyError> {
+        Ok(SegmentLabel::from_confidentiality(
+            self.service(service)?.confidentiality(),
+        ))
+    }
+
+    /// Checks whether a segment with `label` may be released in plain text
+    /// to `service`: `effective_tags(label) ⊆ Lp(service)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::UnknownService`] for unregistered services.
+    pub fn check_release(
+        &self,
+        label: &SegmentLabel,
+        service: &ServiceId,
+    ) -> Result<ReleaseDecision, PolicyError> {
+        let lp = self.service(service)?.privilege();
+        let effective = label.effective_tags();
+        if effective.is_subset(lp) {
+            Ok(ReleaseDecision::Permitted)
+        } else {
+            Ok(ReleaseDecision::Violation {
+                missing: effective.difference(lp),
+            })
+        }
+    }
+
+    /// Suppresses `tag` on `label` on behalf of `user`, recording the
+    /// declassification in the audit log with its `justification` (§3.1
+    /// "User tag suppression").
+    ///
+    /// Returns whether the tag was present and newly suppressed. The
+    /// suppressed tag remains attached to the label so that future audits
+    /// can reconstruct what was declassified, by whom, and why.
+    pub fn suppress_tag(
+        &mut self,
+        label: &mut SegmentLabel,
+        tag: &Tag,
+        user: &UserId,
+        justification: impl Into<String>,
+    ) -> bool {
+        let suppressed = label.suppress(tag, user);
+        if suppressed {
+            self.audit.record_suppression(
+                tag.clone(),
+                user.clone(),
+                justification.into(),
+            );
+        }
+        suppressed
+    }
+
+    /// Allocates a new custom tag owned by `user` (§3.1 "Custom tag
+    /// allocation").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::DuplicateTag`] if the tag was already
+    /// allocated.
+    pub fn allocate_custom_tag(&mut self, tag: Tag, user: &UserId) -> Result<(), PolicyError> {
+        if self.custom_tags.contains_key(&tag) {
+            return Err(PolicyError::DuplicateTag { tag });
+        }
+        self.custom_tags
+            .insert(tag, CustomTag { owner: user.clone() });
+        Ok(())
+    }
+
+    /// Whether `tag` is a user-allocated custom tag.
+    pub fn is_custom_tag(&self, tag: &Tag) -> bool {
+        self.custom_tags.contains_key(tag)
+    }
+
+    /// The owner of a custom tag, if it exists.
+    pub fn custom_tag_owner(&self, tag: &Tag) -> Option<&UserId> {
+        self.custom_tags.get(tag).map(|c| &c.owner)
+    }
+
+    /// Grants `service` the privilege to receive data tagged with the
+    /// custom tag `tag`, on behalf of the tag's owner.
+    ///
+    /// The TDM also calls this automatically for every service that already
+    /// stores a copy of a segment newly protected with `tag` (Figure 5
+    /// step 4); that path is driven by the engine, which knows which
+    /// services store the segment.
+    ///
+    /// # Errors
+    ///
+    /// - [`PolicyError::NotCustomTag`] if `tag` was never allocated;
+    /// - [`PolicyError::NotTagOwner`] if `user` does not own it;
+    /// - [`PolicyError::UnknownService`] if the service is unknown.
+    pub fn grant_custom_privilege(
+        &mut self,
+        service: &ServiceId,
+        tag: &Tag,
+        user: &UserId,
+    ) -> Result<bool, PolicyError> {
+        self.check_tag_owner(tag, user)?;
+        self.grant_privilege_unchecked(service, tag)
+    }
+
+    /// Revokes a custom-tag privilege from a service, on behalf of the
+    /// tag's owner.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Policy::grant_custom_privilege`].
+    pub fn revoke_custom_privilege(
+        &mut self,
+        service: &ServiceId,
+        tag: &Tag,
+        user: &UserId,
+    ) -> Result<bool, PolicyError> {
+        self.check_tag_owner(tag, user)?;
+        let service = self
+            .services
+            .get_mut(service)
+            .ok_or_else(|| PolicyError::UnknownService {
+                id: service.clone(),
+            })?;
+        Ok(service.revoke_privilege(tag))
+    }
+
+    /// Grants a privilege without ownership checks.
+    ///
+    /// Used by the TDM enforcement of Figure 5 step 4: any service that
+    /// already stores a segment labelled with a new custom tag must receive
+    /// that tag in its privilege label, so re-observing the same text never
+    /// becomes a violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::UnknownService`] if the service is unknown.
+    pub fn grant_privilege_unchecked(
+        &mut self,
+        service: &ServiceId,
+        tag: &Tag,
+    ) -> Result<bool, PolicyError> {
+        let service = self
+            .services
+            .get_mut(service)
+            .ok_or_else(|| PolicyError::UnknownService {
+                id: service.clone(),
+            })?;
+        Ok(service.grant_privilege(tag.clone()))
+    }
+
+    /// Replaces a registered service's privilege label `Lp`
+    /// (administrator operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::UnknownService`] if no such service exists.
+    pub fn set_service_privilege(
+        &mut self,
+        id: &ServiceId,
+        lp: TagSet,
+    ) -> Result<(), PolicyError> {
+        let service = self
+            .services
+            .get_mut(id)
+            .ok_or_else(|| PolicyError::UnknownService { id: id.clone() })?;
+        *service = service.clone().with_privilege(lp);
+        Ok(())
+    }
+
+    /// Replaces a registered service's confidentiality label `Lc`
+    /// (administrator operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::UnknownService`] if no such service exists.
+    pub fn set_service_confidentiality(
+        &mut self,
+        id: &ServiceId,
+        lc: TagSet,
+    ) -> Result<(), PolicyError> {
+        let service = self
+            .services
+            .get_mut(id)
+            .ok_or_else(|| PolicyError::UnknownService { id: id.clone() })?;
+        *service = service.clone().with_confidentiality(lc);
+        Ok(())
+    }
+
+    /// Unregisters a service (administrator operation). Existing segment
+    /// labels are unaffected — text that originated in the service keeps
+    /// its tags. Returns the removed service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::UnknownService`] if no such service exists.
+    pub fn unregister(&mut self, id: &ServiceId) -> Result<Service, PolicyError> {
+        self.services
+            .remove(id)
+            .ok_or_else(|| PolicyError::UnknownService { id: id.clone() })
+    }
+
+    /// The audit log of tag suppressions.
+    pub fn audit_log(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    fn check_tag_owner(&self, tag: &Tag, user: &UserId) -> Result<(), PolicyError> {
+        match self.custom_tags.get(tag) {
+            None => Err(PolicyError::NotCustomTag { tag: tag.clone() }),
+            Some(custom) if &custom.owner != user => {
+                Err(PolicyError::NotTagOwner { tag: tag.clone() })
+            }
+            Some(_) => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(name: &str) -> Tag {
+        Tag::new(name).unwrap()
+    }
+
+    /// Builds the three-service policy of Figures 1 and 3.
+    fn figure3_policy() -> Policy {
+        let mut policy = Policy::new();
+        policy
+            .register(
+                Service::new("itool", "Interview Tool")
+                    .with_privilege(TagSet::from_iter([tag("ti")]))
+                    .with_confidentiality(TagSet::from_iter([tag("ti")])),
+            )
+            .unwrap();
+        policy
+            .register(
+                Service::new("wiki", "Internal Wiki")
+                    .with_privilege(TagSet::from_iter([tag("tw")]))
+                    .with_confidentiality(TagSet::from_iter([tag("tw")])),
+            )
+            .unwrap();
+        policy
+            .register(Service::new("gdocs", "Google Docs"))
+            .unwrap();
+        policy
+    }
+
+    #[test]
+    fn figure3_flow() {
+        let policy = figure3_policy();
+        // Step 1: text created in the Interview Tool gets {ti}.
+        let l1 = policy.initial_label(&"itool".into()).unwrap();
+        assert_eq!(l1.effective_tags(), TagSet::from_iter([tag("ti")]));
+        // Step 2: {ti} ⊄ {tw} — the Wiki must not receive it.
+        let decision = policy.check_release(&l1, &"wiki".into()).unwrap();
+        assert_eq!(
+            decision,
+            ReleaseDecision::Violation {
+                missing: TagSet::from_iter([tag("ti")])
+            }
+        );
+        // Step 3: text created in Google Docs is public and flows anywhere.
+        let l3 = policy.initial_label(&"gdocs".into()).unwrap();
+        assert!(policy.check_release(&l3, &"wiki".into()).unwrap().is_permitted());
+        assert!(policy.check_release(&l3, &"itool".into()).unwrap().is_permitted());
+    }
+
+    #[test]
+    fn figure4_suppression_permits_upload_and_audits() {
+        let mut policy = figure3_policy();
+        let mut label = policy.initial_label(&"itool".into()).unwrap();
+        assert!(!policy.check_release(&label, &"wiki".into()).unwrap().is_permitted());
+        assert!(policy.suppress_tag(
+            &mut label,
+            &tag("ti"),
+            &"alice".into(),
+            "sharing sanitised interview guidelines"
+        ));
+        assert!(policy.check_release(&label, &"wiki".into()).unwrap().is_permitted());
+        // Audit trail captured user and justification.
+        let records: Vec<_> = policy.audit_log().iter().collect();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].user(), &UserId::new("alice"));
+        assert_eq!(records[0].tag(), &tag("ti"));
+        assert!(records[0].justification().contains("sanitised"));
+    }
+
+    #[test]
+    fn suppression_is_case_by_case() {
+        // A fresh label derived from the same source is NOT suppressed.
+        let mut policy = figure3_policy();
+        let mut first = policy.initial_label(&"itool".into()).unwrap();
+        policy.suppress_tag(&mut first, &tag("ti"), &"alice".into(), "one-off");
+        let second = policy.initial_label(&"itool".into()).unwrap();
+        assert!(!policy
+            .check_release(&second, &"wiki".into())
+            .unwrap()
+            .is_permitted());
+    }
+
+    #[test]
+    fn figure5_custom_tags_restrict_propagation() {
+        let mut policy = figure3_policy();
+        // Admin extends the Interview Tool to accept wiki data.
+        policy
+            .grant_privilege_unchecked(&"itool".into(), &tag("tw"))
+            .unwrap();
+        let label = policy.initial_label(&"wiki".into()).unwrap();
+        assert!(policy.check_release(&label, &"itool".into()).unwrap().is_permitted());
+
+        // Step 1: a user allocates tn and adds it to the segment label.
+        let user = UserId::new("bob");
+        policy.allocate_custom_tag(tag("tn"), &user).unwrap();
+        let mut label = label;
+        label.add_explicit(tag("tn"));
+        // Step 2: the Wiki's Lp is updated to reflect it can process tn.
+        policy
+            .grant_custom_privilege(&"wiki".into(), &tag("tn"), &user)
+            .unwrap();
+        // Step 3: the Interview Tool did not receive tn, so the text may
+        // not propagate there any more.
+        assert!(!policy.check_release(&label, &"itool".into()).unwrap().is_permitted());
+        assert!(policy.check_release(&label, &"wiki".into()).unwrap().is_permitted());
+    }
+
+    #[test]
+    fn custom_tag_ownership_is_enforced() {
+        let mut policy = figure3_policy();
+        let owner = UserId::new("bob");
+        let other = UserId::new("mallory");
+        policy.allocate_custom_tag(tag("tn"), &owner).unwrap();
+        assert_eq!(
+            policy.allocate_custom_tag(tag("tn"), &other),
+            Err(PolicyError::DuplicateTag { tag: tag("tn") })
+        );
+        assert_eq!(
+            policy.grant_custom_privilege(&"wiki".into(), &tag("tn"), &other),
+            Err(PolicyError::NotTagOwner { tag: tag("tn") })
+        );
+        assert_eq!(
+            policy.grant_custom_privilege(&"wiki".into(), &tag("ti"), &owner),
+            Err(PolicyError::NotCustomTag { tag: tag("ti") })
+        );
+        assert!(policy
+            .grant_custom_privilege(&"wiki".into(), &tag("tn"), &owner)
+            .unwrap());
+        assert!(policy
+            .revoke_custom_privilege(&"wiki".into(), &tag("tn"), &owner)
+            .unwrap());
+    }
+
+    #[test]
+    fn unknown_and_duplicate_services() {
+        let mut policy = figure3_policy();
+        assert!(matches!(
+            policy.service(&"nope".into()),
+            Err(PolicyError::UnknownService { .. })
+        ));
+        assert!(matches!(
+            policy.initial_label(&"nope".into()),
+            Err(PolicyError::UnknownService { .. })
+        ));
+        assert!(matches!(
+            policy.register(Service::new("wiki", "Shadow Wiki")),
+            Err(PolicyError::DuplicateService { .. })
+        ));
+    }
+
+    #[test]
+    fn admin_label_updates_change_decisions() {
+        let mut policy = figure3_policy();
+        let label = policy.initial_label(&"itool".into()).unwrap();
+        assert!(!policy.check_release(&label, &"wiki".into()).unwrap().is_permitted());
+        // Admin widens the Wiki's privilege label.
+        policy
+            .set_service_privilege(
+                &"wiki".into(),
+                TagSet::from_iter([tag("tw"), tag("ti")]),
+            )
+            .unwrap();
+        assert!(policy.check_release(&label, &"wiki".into()).unwrap().is_permitted());
+        // Admin changes the Interview Tool's Lc; new text gets the new tag.
+        policy
+            .set_service_confidentiality(&"itool".into(), TagSet::from_iter([tag("ti2")]))
+            .unwrap();
+        let fresh = policy.initial_label(&"itool".into()).unwrap();
+        assert!(fresh.effective_tags().contains(&tag("ti2")));
+        assert!(matches!(
+            policy.set_service_privilege(&"nope".into(), TagSet::new()),
+            Err(PolicyError::UnknownService { .. })
+        ));
+    }
+
+    #[test]
+    fn unregister_removes_the_service_only() {
+        let mut policy = figure3_policy();
+        let label = policy.initial_label(&"itool".into()).unwrap();
+        let removed = policy.unregister(&"itool".into()).unwrap();
+        assert_eq!(removed.name(), "Interview Tool");
+        assert!(matches!(
+            policy.initial_label(&"itool".into()),
+            Err(PolicyError::UnknownService { .. })
+        ));
+        // Existing labels keep enforcing against remaining services.
+        assert!(!policy.check_release(&label, &"wiki".into()).unwrap().is_permitted());
+        assert!(matches!(
+            policy.unregister(&"itool".into()),
+            Err(PolicyError::UnknownService { .. })
+        ));
+    }
+
+    #[test]
+    fn policy_serde_roundtrip() {
+        let mut policy = figure3_policy();
+        let mut label = policy.initial_label(&"itool".into()).unwrap();
+        policy.suppress_tag(&mut label, &tag("ti"), &"alice".into(), "why");
+        let json = serde_json::to_string(&policy).unwrap();
+        let back: Policy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.services().count(), 3);
+        assert_eq!(back.audit_log().len(), 1);
+        assert!(back
+            .check_release(&label, &"wiki".into())
+            .unwrap()
+            .is_permitted());
+    }
+}

@@ -1,0 +1,189 @@
+//! Cloud services and their labels.
+
+use crate::{Tag, TagSet};
+use std::fmt;
+
+/// Identifies a cloud service, typically by web origin
+/// (e.g. `https://docs.google.com`) or a short administrative name.
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct ServiceId(String);
+
+impl ServiceId {
+    /// Creates a service id.
+    pub fn new(id: impl Into<String>) -> Self {
+        Self(id.into())
+    }
+
+    /// The identifier as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ServiceId {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}
+
+impl From<String> for ServiceId {
+    fn from(s: String) -> Self {
+        Self::new(s)
+    }
+}
+
+/// A cloud service with its two administrator-assigned labels (§3.1):
+///
+/// - the **privilege label** `Lp`: the highest level of confidential data
+///   the service is trusted to receive, and
+/// - the **confidentiality label** `Lc`: the default confidentiality of
+///   data created within the service.
+///
+/// An untrusted external service (e.g. Google Docs) carries empty labels:
+/// it may receive only public data, and data created in it is public.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_tdm::{Service, Tag, TagSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ti = Tag::new("interview-data")?;
+/// let itool = Service::new("itool", "Interview Tool")
+///     .with_privilege(TagSet::from_iter([ti.clone()]))
+///     .with_confidentiality(TagSet::from_iter([ti.clone()]));
+/// assert!(itool.privilege().contains(&ti));
+///
+/// let gdocs = Service::new("gdocs", "Google Docs");
+/// assert!(gdocs.privilege().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Service {
+    id: ServiceId,
+    name: String,
+    privilege: TagSet,
+    confidentiality: TagSet,
+}
+
+impl Service {
+    /// Creates a service with empty labels (fully untrusted defaults).
+    pub fn new(id: impl Into<ServiceId>, name: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            name: name.into(),
+            privilege: TagSet::new(),
+            confidentiality: TagSet::new(),
+        }
+    }
+
+    /// Sets the privilege label `Lp` (builder style).
+    pub fn with_privilege(mut self, lp: TagSet) -> Self {
+        self.privilege = lp;
+        self
+    }
+
+    /// Sets the confidentiality label `Lc` (builder style).
+    pub fn with_confidentiality(mut self, lc: TagSet) -> Self {
+        self.confidentiality = lc;
+        self
+    }
+
+    /// The service id.
+    pub fn id(&self) -> &ServiceId {
+        &self.id
+    }
+
+    /// The human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The privilege label `Lp`.
+    pub fn privilege(&self) -> &TagSet {
+        &self.privilege
+    }
+
+    /// The confidentiality label `Lc`.
+    pub fn confidentiality(&self) -> &TagSet {
+        &self.confidentiality
+    }
+
+    /// Grants the service the privilege to receive data tagged `tag`
+    /// (adds `tag` to `Lp`). Returns whether it was newly added.
+    pub fn grant_privilege(&mut self, tag: Tag) -> bool {
+        self.privilege.insert(tag)
+    }
+
+    /// Revokes the privilege to receive data tagged `tag` (removes it
+    /// from `Lp`). Returns whether it was present.
+    pub fn revoke_privilege(&mut self, tag: &Tag) -> bool {
+        self.privilege.remove(tag)
+    }
+}
+
+impl fmt::Display for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] Lp={} Lc={}",
+            self.name, self.id, self.privilege, self.confidentiality
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(name: &str) -> Tag {
+        Tag::new(name).unwrap()
+    }
+
+    #[test]
+    fn new_service_is_untrusted() {
+        let service = Service::new("gdocs", "Google Docs");
+        assert!(service.privilege().is_empty());
+        assert!(service.confidentiality().is_empty());
+    }
+
+    #[test]
+    fn grant_and_revoke_privilege() {
+        let mut service = Service::new("wiki", "Internal Wiki");
+        assert!(service.grant_privilege(tag("tn")));
+        assert!(!service.grant_privilege(tag("tn")));
+        assert!(service.privilege().contains(&tag("tn")));
+        assert!(service.revoke_privilege(&tag("tn")));
+        assert!(!service.revoke_privilege(&tag("tn")));
+    }
+
+    #[test]
+    fn display_shows_both_labels() {
+        let service = Service::new("itool", "Interview Tool")
+            .with_privilege(TagSet::from_iter([tag("ti")]))
+            .with_confidentiality(TagSet::from_iter([tag("ti")]));
+        let text = service.to_string();
+        assert!(text.contains("Interview Tool"));
+        assert!(text.contains("Lp={#ti}"));
+        assert!(text.contains("Lc={#ti}"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let service = Service::new("itool", "Interview Tool")
+            .with_privilege(TagSet::from_iter([tag("ti")]));
+        let json = serde_json::to_string(&service).unwrap();
+        let back: Service = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, service);
+    }
+}

@@ -1,0 +1,133 @@
+//! Security tags.
+
+use crate::TagError;
+use std::fmt;
+use std::sync::Arc;
+
+/// A security tag: a unique, human-readable string expressing a separate
+/// concern about data disclosure to cloud services (§3.1).
+///
+/// Tags may name broad categories of sensitive data (`interview-data`) or
+/// be created for specific data (`product-announcement-x`). Tags are cheap
+/// to clone (reference-counted) and ordered, so they can live in
+/// [`TagSet`](crate::TagSet)s.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_tdm::Tag;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tag = Tag::new("interview-data")?;
+/// assert_eq!(tag.name(), "interview-data");
+/// assert!(Tag::new("No Spaces Allowed").is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tag(Arc<str>);
+
+impl Tag {
+    /// Creates a tag from its name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TagError::Empty`] for an empty name and
+    /// [`TagError::InvalidCharacter`] if the name contains anything other
+    /// than lowercase ASCII alphanumerics, `-` and `_`.
+    pub fn new(name: impl AsRef<str>) -> Result<Self, TagError> {
+        let name = name.as_ref();
+        if name.is_empty() {
+            return Err(TagError::Empty);
+        }
+        for character in name.chars() {
+            let ok = character.is_ascii_lowercase()
+                || character.is_ascii_digit()
+                || character == '-'
+                || character == '_';
+            if !ok {
+                return Err(TagError::InvalidCharacter { character });
+            }
+        }
+        Ok(Self(Arc::from(name)))
+    }
+
+    /// The tag's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl AsRef<str> for Tag {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl serde::Serialize for Tag {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Tag {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let name = String::deserialize(deserializer)?;
+        Tag::new(&name).map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_names() {
+        for name in ["interview-data", "tag_1", "a", "product-announcement-x"] {
+            assert!(Tag::new(name).is_ok(), "{name} should be valid");
+        }
+    }
+
+    #[test]
+    fn invalid_names() {
+        assert_eq!(Tag::new(""), Err(TagError::Empty));
+        assert_eq!(
+            Tag::new("Has Space"),
+            Err(TagError::InvalidCharacter { character: 'H' })
+        );
+        assert_eq!(
+            Tag::new("uppercase-X"),
+            Err(TagError::InvalidCharacter { character: 'X' })
+        );
+        assert!(Tag::new("emoji-🔒").is_err());
+    }
+
+    #[test]
+    fn display_prefixes_hash() {
+        assert_eq!(Tag::new("wiki").unwrap().to_string(), "#wiki");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Tag::new("alpha").unwrap();
+        let b = Tag::new("beta").unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn serde_roundtrip_validates() {
+        let tag = Tag::new("interview-data").unwrap();
+        let json = serde_json::to_string(&tag).unwrap();
+        assert_eq!(json, "\"interview-data\"");
+        let back: Tag = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tag);
+        // Deserialising an invalid name fails.
+        assert!(serde_json::from_str::<Tag>("\"BAD NAME\"").is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of TDM label-model invariants.
+
+use browserflow_tdm::{SegmentLabel, Tag, TagSet, UserId};
+use proptest::prelude::*;
+
+fn tag_strategy() -> impl Strategy<Value = Tag> {
+    "[a-z][a-z0-9-]{0,8}".prop_map(|s| Tag::new(&s).unwrap())
+}
+
+fn tagset_strategy() -> impl Strategy<Value = TagSet> {
+    proptest::collection::vec(tag_strategy(), 0..6).prop_map(TagSet::from_iter)
+}
+
+proptest! {
+    #[test]
+    fn subset_is_reflexive_and_union_is_upper_bound(a in tagset_strategy(), b in tagset_strategy()) {
+        prop_assert!(a.is_subset(&a));
+        let u = a.union(&b);
+        prop_assert!(a.is_subset(&u));
+        prop_assert!(b.is_subset(&u));
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn difference_and_subset_agree(a in tagset_strategy(), b in tagset_strategy()) {
+        prop_assert_eq!(a.is_subset(&b), a.difference(&b).is_empty());
+    }
+
+    #[test]
+    fn release_decision_matches_subset_semantics(li in tagset_strategy(), lp in tagset_strategy()) {
+        let label = SegmentLabel::from_confidentiality(&li);
+        prop_assert_eq!(label.permits_release_to(&lp), li.is_subset(&lp));
+    }
+
+    /// Suppressing every tag always permits release anywhere (full
+    /// declassification), regardless of the privilege label.
+    #[test]
+    fn suppressing_all_tags_declassifies(li in tagset_strategy(), lp in tagset_strategy()) {
+        let mut label = SegmentLabel::from_confidentiality(&li);
+        let user = UserId::new("u");
+        for tag in li.iter() {
+            label.suppress(tag, &user);
+        }
+        prop_assert!(label.permits_release_to(&lp));
+        // All original tags are still attached (audit requirement).
+        prop_assert_eq!(label.suppressed_tags(), li);
+    }
+
+    /// absorb_source only ever *adds* restrictions to the destination:
+    /// anything that was forbidden stays forbidden.
+    #[test]
+    fn absorb_source_is_monotone(
+        src in tagset_strategy(),
+        dst in tagset_strategy(),
+        lp in tagset_strategy(),
+    ) {
+        let source = SegmentLabel::from_confidentiality(&src);
+        let mut dest = SegmentLabel::from_confidentiality(&dst);
+        let before = dest.permits_release_to(&lp);
+        dest.absorb_source(&source);
+        let after = dest.permits_release_to(&lp);
+        if !before {
+            prop_assert!(!after);
+        }
+        // And the effective tags are exactly dst ∪ src.
+        prop_assert_eq!(dest.effective_tags(), dst.union(&src));
+    }
+
+    /// Two-hop propagation never resurrects tags the middle segment holds
+    /// only implicitly (the Figure 6 guarantee).
+    #[test]
+    fn implicit_tags_never_propagate_two_hops(
+        a in tagset_strategy(),
+        b in tagset_strategy(),
+    ) {
+        let label_a = SegmentLabel::from_confidentiality(&a);
+        let mut label_b = SegmentLabel::from_confidentiality(&b);
+        label_b.absorb_source(&label_a);
+        let mut label_c = SegmentLabel::new();
+        label_c.absorb_source(&label_b);
+        // C receives only B's explicit tags.
+        prop_assert_eq!(label_c.effective_tags(), b.clone());
+        for tag in a.difference(&b).iter() {
+            prop_assert!(!label_c.effective_tags().contains(tag));
+        }
+    }
+
+    /// Serde roundtrips preserve label semantics.
+    #[test]
+    fn label_serde_roundtrip(li in tagset_strategy(), sup in tagset_strategy()) {
+        let mut label = SegmentLabel::from_confidentiality(&li);
+        let user = UserId::new("u");
+        for tag in sup.iter() {
+            label.suppress(tag, &user);
+        }
+        let json = serde_json::to_string(&label).unwrap();
+        let back: SegmentLabel = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.effective_tags(), label.effective_tags());
+        prop_assert_eq!(back.suppressed_tags(), label.suppressed_tags());
+    }
+}

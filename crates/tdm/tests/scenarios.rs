@@ -1,0 +1,145 @@
+//! Multi-hop TDM scenario tests at the pure label-model level: long
+//! propagation chains, suppression interacting with custom tags, and the
+//! lattice behaviour of effective labels.
+
+use browserflow_tdm::{Policy, SegmentLabel, Service, Tag, TagSet, UserId};
+
+fn tag(name: &str) -> Tag {
+    Tag::new(name).unwrap()
+}
+
+/// A five-service enterprise: three internal tiers and two external.
+fn enterprise() -> Policy {
+    let mut policy = Policy::new();
+    for (id, name, tags) in [
+        ("hr", "HR Portal", vec!["hr"]),
+        ("fin", "Finance ERP", vec!["fin"]),
+        ("wiki", "Internal Wiki", vec!["wiki"]),
+        ("gdocs", "Google Docs", vec![]),
+        ("forum", "External Forum", vec![]),
+    ] {
+        let set: TagSet = tags.into_iter().map(tag).collect();
+        policy
+            .register(
+                Service::new(id, name)
+                    .with_privilege(set.clone())
+                    .with_confidentiality(set),
+            )
+            .unwrap();
+    }
+    policy
+}
+
+#[test]
+fn three_hop_chain_keeps_only_the_previous_hops_explicit_tags() {
+    let policy = enterprise();
+    // hr -> wiki -> gdocs: a chain of disclosures.
+    let hr_label = policy.initial_label(&"hr".into()).unwrap();
+    let mut wiki_label = policy.initial_label(&"wiki".into()).unwrap();
+    wiki_label.absorb_source(&hr_label);
+    // Hop 1: the wiki segment carries hr implicitly.
+    assert_eq!(
+        wiki_label.effective_tags(),
+        TagSet::from_iter([tag("hr"), tag("wiki")])
+    );
+    let mut gdocs_label = policy.initial_label(&"gdocs".into()).unwrap();
+    gdocs_label.absorb_source(&wiki_label);
+    // Hop 2: only the wiki's EXPLICIT tag travels; hr has aged out.
+    assert_eq!(gdocs_label.effective_tags(), TagSet::from_iter([tag("wiki")]));
+    let mut forum_label = policy.initial_label(&"forum".into()).unwrap();
+    forum_label.absorb_source(&gdocs_label);
+    // Hop 3: gdocs has no explicit tags of its own -> nothing travels.
+    assert!(forum_label.effective_tags().is_empty());
+}
+
+#[test]
+fn absorbing_multiple_sources_unions_their_explicit_tags() {
+    let policy = enterprise();
+    let hr = policy.initial_label(&"hr".into()).unwrap();
+    let fin = policy.initial_label(&"fin".into()).unwrap();
+    let mut merged = policy.initial_label(&"wiki".into()).unwrap();
+    merged.absorb_source(&hr);
+    merged.absorb_source(&fin);
+    assert_eq!(
+        merged.effective_tags(),
+        TagSet::from_iter([tag("hr"), tag("fin"), tag("wiki")])
+    );
+    // Release requires the union of privileges.
+    for (dest, ok) in [("hr", false), ("fin", false), ("wiki", false)] {
+        assert_eq!(
+            policy.check_release(&merged, &dest.into()).unwrap().is_permitted(),
+            ok,
+            "{dest}"
+        );
+    }
+    // A service privileged for all three may receive it.
+    let mut policy = policy;
+    policy
+        .register(Service::new("vault", "Records Vault").with_privilege(TagSet::from_iter([
+            tag("hr"),
+            tag("fin"),
+            tag("wiki"),
+        ])))
+        .unwrap();
+    assert!(policy.check_release(&merged, &"vault".into()).unwrap().is_permitted());
+}
+
+#[test]
+fn suppression_of_implicit_tags_is_audited_like_explicit_ones() {
+    let mut policy = enterprise();
+    let hr = policy.initial_label(&"hr".into()).unwrap();
+    let mut wiki_label = policy.initial_label(&"wiki".into()).unwrap();
+    wiki_label.absorb_source(&hr);
+    // The implicit hr tag can be suppressed just like an explicit one.
+    assert!(policy.suppress_tag(&mut wiki_label, &tag("hr"), &UserId::new("dana"), "cleared"));
+    assert_eq!(wiki_label.effective_tags(), TagSet::from_iter([tag("wiki")]));
+    assert_eq!(policy.audit_log().len(), 1);
+    assert_eq!(policy.audit_log().iter().next().unwrap().tag(), &tag("hr"));
+    // Suppressing it twice is a no-op and not double-audited.
+    assert!(!policy.suppress_tag(&mut wiki_label, &tag("hr"), &UserId::new("erin"), "again"));
+    assert_eq!(policy.audit_log().len(), 1);
+}
+
+#[test]
+fn custom_tags_survive_absorption_as_implicit() {
+    let mut policy = enterprise();
+    let owner = UserId::new("carol");
+    policy.allocate_custom_tag(tag("project-q"), &owner).unwrap();
+    let mut source = policy.initial_label(&"wiki".into()).unwrap();
+    source.add_explicit(tag("project-q"));
+    // A segment disclosing the protected source picks up the custom tag.
+    let mut derived = policy.initial_label(&"gdocs".into()).unwrap();
+    derived.absorb_source(&source);
+    assert!(derived.effective_tags().contains(&tag("project-q")));
+    // But it does not propagate a second hop.
+    let mut second = policy.initial_label(&"forum".into()).unwrap();
+    second.absorb_source(&derived);
+    assert!(!second.effective_tags().contains(&tag("project-q")));
+}
+
+#[test]
+fn suppressed_tags_are_revived_by_re_adding_explicitly() {
+    let policy = enterprise();
+    let mut label = policy.initial_label(&"hr".into()).unwrap();
+    label.suppress(&tag("hr"), &UserId::new("dana"));
+    assert!(label.effective_tags().is_empty());
+    // A user (or the lookup module) re-asserting the tag clears the
+    // suppression: classification wins over an old declassification.
+    label.add_explicit(tag("hr"));
+    assert_eq!(label.effective_tags(), TagSet::from_iter([tag("hr")]));
+    assert!(label.suppressed_tags().is_empty());
+}
+
+#[test]
+fn release_monotonicity_wider_privilege_never_blocks_more() {
+    let policy = enterprise();
+    let mut label = policy.initial_label(&"hr".into()).unwrap();
+    label.add_explicit(tag("extra"));
+    let narrow = TagSet::from_iter([tag("hr")]);
+    let wide = TagSet::from_iter([tag("hr"), tag("extra"), tag("unrelated")]);
+    assert!(!label.permits_release_to(&narrow));
+    assert!(label.permits_release_to(&wide));
+    // And the empty label flows anywhere.
+    assert!(SegmentLabel::new().permits_release_to(&TagSet::new()));
+    assert!(SegmentLabel::new().permits_release_to(&narrow));
+}

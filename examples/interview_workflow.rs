@@ -1,0 +1,123 @@
+//! The paper's running example (Figures 1 and 3–6): an interviewer works
+//! with the Interview Tool, the internal Wiki and Google Docs, and the
+//! Text Disclosure Model governs every flow — including user tag
+//! suppression with an audit trail, custom tags, and the implicit-tag rule
+//! that stops outdated tags from propagating.
+//!
+//! ```sh
+//! cargo run -p browserflow-examples --bin interview_workflow
+//! ```
+
+use browserflow::{BrowserFlow, DocKey, EnforcementMode, SegmentKey, UploadAction};
+use browserflow_tdm::{Service, Tag, TagSet, UserId};
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ti = Tag::new("interview-data")?;
+    let tw = Tag::new("wiki-data")?;
+
+    let mut flow = BrowserFlow::builder()
+        .mode(EnforcementMode::Block)
+        .service(
+            Service::new("itool", "Interview Tool")
+                .with_privilege(TagSet::from_iter([ti.clone(), tw.clone()]))
+                .with_confidentiality(TagSet::from_iter([ti.clone()])),
+        )
+        .service(
+            Service::new("wiki", "Internal Wiki")
+                .with_privilege(TagSet::from_iter([tw.clone(), ti.clone()]))
+                .with_confidentiality(TagSet::from_iter([tw.clone()])),
+        )
+        .service(Service::new("gdocs", "Google Docs"))
+        .build()?;
+    let alice = UserId::new("alice");
+
+    // ------------------------------------------------------------------
+    banner("Figure 3: default tag assignment");
+    let evaluation = "Candidate 4711 communicated clearly, solved the systems design \
+                      problem with a clean sharded architecture, but struggled with \
+                      the consensus follow-ups; recommend a second technical round.";
+    flow.observe_paragraph(&"itool".into(), "eval-4711", 0, evaluation)?;
+    println!("evaluation written in Interview Tool; label = {}",
+        flow.segment_label(&SegmentKey::paragraph(DocKey::new("itool", "eval-4711"), 0)).unwrap());
+
+    let to_gdocs = flow.check_upload(&"gdocs".into(), "notes", 0, evaluation)?;
+    println!("copy evaluation -> Google Docs: {:?}", to_gdocs.action);
+    assert_eq!(to_gdocs.action, UploadAction::Block);
+
+    // ------------------------------------------------------------------
+    banner("Figure 4: tag suppression declassifies, with an audit trail");
+    let guidelines = "Our interviewing guidelines: always start with a warm-up \
+                      question, calibrate scores against the rubric, and write the \
+                      feedback within twenty-four hours of the interview.";
+    flow.observe_paragraph(&"wiki".into(), "guidelines", 0, guidelines)?;
+    let blocked = flow.check_upload(&"gdocs".into(), "shared-doc", 0, guidelines)?;
+    println!("copy guidelines -> Google Docs: {:?}", blocked.action);
+
+    let key = SegmentKey::paragraph(DocKey::new("wiki", "guidelines"), 0);
+    flow.suppress_tag(&key, &tw, &alice, "sanitised guidelines approved for candidates")?;
+    let allowed = flow.check_upload(&"gdocs".into(), "shared-doc", 0, guidelines)?;
+    println!("after alice suppresses {tw}: {:?}", allowed.action);
+    assert_eq!(allowed.action, UploadAction::Allow);
+    for record in flow.policy().audit_log().iter() {
+        println!(
+            "  audit[{}]: {} suppressed {} — \"{}\"",
+            record.sequence(),
+            record.user(),
+            record.tag(),
+            record.justification()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    banner("Figure 5: custom tags make propagation more restrictive");
+    let reorg = "Draft plan for the platform team reorganisation, to be shared \
+                 with directors only after the all-hands announcement.";
+    flow.observe_paragraph(&"wiki".into(), "reorg", 0, reorg)?;
+    // Without a custom tag, the Interview Tool may receive wiki data.
+    let before = flow.check_upload(&"itool".into(), "scratch", 0, reorg)?;
+    println!("copy reorg plan -> Interview Tool (before tn): {:?}", before.action);
+
+    let tn = Tag::new("reorg-plan")?;
+    flow.protect_with_custom_tag(
+        &SegmentKey::paragraph(DocKey::new("wiki", "reorg"), 0),
+        tn.clone(),
+        &alice,
+    )?;
+    let after = flow.check_upload(&"itool".into(), "scratch", 1, reorg)?;
+    println!("copy reorg plan -> Interview Tool (after tn):  {:?}", after.action);
+    assert_eq!(after.action, UploadAction::Block);
+    let wiki_again = flow.check_upload(&"wiki".into(), "reorg-copy", 0, reorg)?;
+    println!("copy reorg plan -> Wiki (Lp auto-updated):     {:?}", wiki_again.action);
+    assert_eq!(wiki_again.action, UploadAction::Allow);
+
+    // ------------------------------------------------------------------
+    banner("Figure 6: implicit tags stop outdated-tag propagation");
+    let own_wiki_text = "The wiki howto explains the deployment runbooks, paging \
+                         rotations and escalation policies for the storage team.";
+    // Wiki paragraph B starts as evaluation + wiki text: it absorbs ti
+    // implicitly because it discloses the Interview Tool evaluation.
+    let combined = format!("{evaluation} {own_wiki_text}");
+    let status = flow.observe_paragraph(&"wiki".into(), "memo", 0, &combined)?;
+    println!("B = evaluation + wiki text; label = {}", status.label);
+
+    // B is edited until it no longer resembles the evaluation.
+    let status = flow.observe_paragraph(&"wiki".into(), "memo", 0, own_wiki_text)?;
+    println!("B after rewrite; label = {}", status.label);
+
+    // Copying B to Google Docs now only violates tw — ti has aged out.
+    let decision = flow.check_upload(&"gdocs".into(), "draft2", 0, own_wiki_text)?;
+    println!("copy rewritten B -> Google Docs: {:?}", decision.action);
+    for violation in &decision.violations {
+        println!(
+            "  violates: {} (missing {})",
+            violation.source, violation.missing_tags
+        );
+        assert!(!violation.missing_tags.contains(&ti));
+    }
+    println!("\nwarnings recorded this session: {}", flow.warnings().len());
+    Ok(())
+}

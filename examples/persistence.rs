@@ -1,0 +1,89 @@
+//! Persistence: BrowserFlow state survives a browser restart, always
+//! encrypted at rest (§4.4).
+//!
+//! The middleware's full state — policy with its audit log, segment
+//! labels, both fingerprint stores, registered short secrets — is sealed
+//! under the store key, written to disk, and reloaded into a fresh
+//! instance that makes identical decisions. The written file can also be
+//! inspected with `bfctl state <file> --key <hex>`.
+//!
+//! ```sh
+//! cargo run -p browserflow-examples --bin persistence
+//! ```
+
+use browserflow::{BrowserFlow, EnforcementMode, UploadAction};
+use browserflow_store::{SealedBytes, StoreKey};
+use browserflow_tdm::{Service, Tag, TagSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let key_bytes = [0x42u8; 32];
+    let handbook = "Expense claims above five hundred euros require written approval \
+                    from a director before booking; below that, manager approval in \
+                    the travel tool suffices.\n\nSeverance terms for the reorganisation \
+                    are strictly confidential until the works council has been heard.";
+
+    // --- Session 1: set up, index content, register a secret, save -------
+    let state_path = std::env::temp_dir().join("browserflow-state.bin");
+    {
+        let th = Tag::new("hr-internal")?;
+        let mut flow = BrowserFlow::builder()
+            .mode(EnforcementMode::Block)
+            .store_key(StoreKey::from_bytes(key_bytes))
+            .service(
+                Service::new("hr", "HR Portal")
+                    .with_privilege(TagSet::from_iter([th.clone()]))
+                    .with_confidentiality(TagSet::from_iter([th])),
+            )
+            .service(Service::new("gdocs", "Google Docs"))
+            .build()?;
+
+        let indexed = flow.index_text_document(&"hr".into(), "handbook", handbook)?;
+        flow.register_short_secret(&"hr".into(), "payroll-api-key", "Pk#77!x2")?;
+        println!("session 1: indexed {indexed} paragraphs + 1 short secret");
+
+        let decision = flow.check_upload(&"gdocs".into(), "draft", 0, handbook)?;
+        println!("session 1: pasting the handbook into Google Docs -> {:?}", decision.action);
+
+        let sealed = flow.export_sealed(1);
+        std::fs::write(&state_path, sealed.to_bytes())?;
+        println!(
+            "session 1: state sealed to {} ({} bytes, ciphertext only)",
+            state_path.display(),
+            sealed.len()
+        );
+    }
+
+    // --- Session 2 (after a "restart"): reload and keep enforcing --------
+    {
+        let bytes = std::fs::read(&state_path)?;
+        let sealed = SealedBytes::from_bytes(&bytes)?;
+        let mut flow = BrowserFlow::import_sealed(StoreKey::from_bytes(key_bytes), &sealed)?;
+        println!(
+            "\nsession 2: restored {} paragraphs, {} documents, {} hashes, {} secret(s)",
+            flow.engine().paragraph_count(),
+            flow.engine().document_count(),
+            flow.engine().paragraph_hash_count(),
+            flow.short_secret_count()
+        );
+
+        // The restored instance blocks the same leak...
+        let severance = handbook.split("\n\n").nth(1).unwrap();
+        let decision = flow.check_upload(&"gdocs".into(), "new-draft", 0, severance)?;
+        println!("session 2: pasting the severance paragraph -> {:?}", decision.action);
+        assert_eq!(decision.action, UploadAction::Block);
+
+        // ...including the short secret.
+        let decision =
+            flow.check_upload(&"gdocs".into(), "new-draft", 1, "token pk 77 x2 works")?;
+        println!("session 2: leaking the payroll key -> {:?}", decision.action);
+        assert_eq!(decision.action, UploadAction::Block);
+
+        // And a wrong key cannot open the file at all.
+        let wrong = BrowserFlow::import_sealed(StoreKey::from_bytes([0u8; 32]), &sealed);
+        println!("session 2: opening with the wrong key -> {}", wrong.is_err());
+    }
+
+    std::fs::remove_file(&state_path).ok();
+    println!("\ninspect saved states offline with: bfctl state <file> --key {}", "42".repeat(32));
+    Ok(())
+}

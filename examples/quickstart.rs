@@ -1,0 +1,70 @@
+//! Quickstart: fingerprint two texts, measure disclosure, and run one
+//! policy check through the middleware.
+//!
+//! ```sh
+//! cargo run -p browserflow-examples --bin quickstart
+//! ```
+
+use browserflow::{BrowserFlow, EnforcementMode, UploadAction};
+use browserflow_fingerprint::Fingerprinter;
+use browserflow_tdm::{Service, Tag, TagSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Imprecise tracking: fingerprints and containment ------------
+    let fp = Fingerprinter::default(); // 15-char n-grams, window 30
+
+    let memo = "The acquisition of Initech will be announced on March 1st at a \
+                press event in Zurich; until then this information is strictly \
+                need-to-know within the corporate development team.";
+    let leaked = format!(
+        "hey! fyi — {} (don't tell anyone)",
+        memo.to_lowercase()
+    );
+    let unrelated = "Minutes of the gardening club: we will plant tulips along \
+                     the east fence and daffodils around the pond in April.";
+
+    let memo_print = fp.fingerprint(memo);
+    println!("memo fingerprint: {} hashes", memo_print.len());
+    println!(
+        "disclosure towards the leak:     {:.2}",
+        memo_print.containment_in(&fp.fingerprint(&leaked))
+    );
+    println!(
+        "disclosure towards unrelated:    {:.2}",
+        memo_print.containment_in(&fp.fingerprint(unrelated))
+    );
+
+    // --- 2. The Text Disclosure Model ------------------------------------
+    let tc = Tag::new("corp-dev")?;
+    let mut flow = BrowserFlow::builder()
+        .mode(EnforcementMode::Block)
+        .service(
+            Service::new("intranet", "Corp-Dev Intranet")
+                .with_privilege(TagSet::from_iter([tc.clone()]))
+                .with_confidentiality(TagSet::from_iter([tc])),
+        )
+        .service(Service::new("gdocs", "Google Docs"))
+        .build()?;
+
+    // The memo is first observed on the intranet -> labelled {corp-dev}.
+    flow.observe_paragraph(&"intranet".into(), "m-and-a", 0, memo)?;
+
+    // Pasting the (edited!) memo into Google Docs is caught and blocked.
+    let decision = flow.check_upload(&"gdocs".into(), "draft", 0, &leaked)?;
+    println!("\npaste edited memo into Google Docs -> {:?}", decision.action);
+    for violation in &decision.violations {
+        println!(
+            "  discloses {:.0}% of {} (missing tags {})",
+            violation.disclosure * 100.0,
+            violation.source,
+            violation.missing_tags
+        );
+    }
+    assert_eq!(decision.action, UploadAction::Block);
+
+    // Unrelated text flows freely.
+    let decision = flow.check_upload(&"gdocs".into(), "draft", 1, unrelated)?;
+    println!("paste unrelated text into Google Docs -> {:?}", decision.action);
+    assert_eq!(decision.action, UploadAction::Allow);
+    Ok(())
+}

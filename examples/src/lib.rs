@@ -1,0 +1,1 @@
+//! Example host crate; see the binaries under `src/bin` paths declared in Cargo.toml.

@@ -1,0 +1,213 @@
+//! Detection accuracy against the corpus ground truth — the integration
+//! test equivalent of the paper's §6.1 evaluation.
+
+use browserflow_bench_helpers::*;
+use browserflow_corpus::datasets::{
+    ChurnLevel, ManualChapterKind, ManualsDataset, WikipediaConfig, WikipediaDataset,
+};
+use browserflow_fingerprint::Fingerprint;
+
+/// Local copy of the experiment-harness helpers (the bench crate is not a
+/// dependency of the test crate; the logic is 20 lines and kept in sync by
+/// these very tests).
+mod browserflow_bench_helpers {
+    use browserflow_fingerprint::{Fingerprint, Fingerprinter};
+    use browserflow_store::disclosure_between;
+
+    pub fn paper_fingerprinter() -> Fingerprinter {
+        Fingerprinter::default()
+    }
+
+    pub fn disclosed_fraction(
+        base_paragraphs: &[Fingerprint],
+        revision_print: &Fingerprint,
+        tpar: f64,
+    ) -> f64 {
+        let revision_hashes = revision_print.hash_set();
+        let mut considered = 0usize;
+        let mut disclosed = 0usize;
+        for paragraph in base_paragraphs {
+            let hashes = paragraph.hash_set();
+            if hashes.is_empty() {
+                continue;
+            }
+            considered += 1;
+            let d = disclosure_between(&hashes, &revision_hashes);
+            if d >= tpar && d > 0.0 {
+                disclosed += 1;
+            }
+        }
+        if considered == 0 {
+            0.0
+        } else {
+            disclosed as f64 / considered as f64
+        }
+    }
+}
+
+fn base_fingerprints(doc: &browserflow_corpus::Document) -> Vec<Fingerprint> {
+    let fp = paper_fingerprinter();
+    doc.paragraphs()
+        .iter()
+        .map(|p| fp.fingerprint(&p.text()))
+        .collect()
+}
+
+#[test]
+fn base_revision_is_fully_disclosed_by_itself() {
+    let manuals = ManualsDataset::generate(2);
+    let fp = paper_fingerprinter();
+    for chapter in manuals.chapters() {
+        let base = base_fingerprints(chapter.chain.base());
+        let self_print = fp.fingerprint(&chapter.chain.base().text());
+        assert_eq!(
+            disclosed_fraction(&base, &self_print, 0.5),
+            1.0,
+            "{}",
+            chapter.kind.name()
+        );
+    }
+}
+
+#[test]
+fn frozen_chapter_stays_fully_disclosed() {
+    let manuals = ManualsDataset::generate(2);
+    let fp = paper_fingerprinter();
+    let chapter = manuals.chapter(ManualChapterKind::MySqlWhatsMySql);
+    let base = base_fingerprints(chapter.chain.base());
+    for version in 0..4 {
+        let print = fp.fingerprint(&chapter.chain.revision(version).text());
+        assert_eq!(disclosed_fraction(&base, &print, 0.5), 1.0);
+    }
+}
+
+#[test]
+fn detection_tracks_ground_truth_within_ten_percent_at_default_threshold() {
+    // The Figure 10 claim: BrowserFlow's decisions match the ground truth.
+    let manuals = ManualsDataset::generate(2);
+    let fp = paper_fingerprinter();
+    for chapter in manuals.chapters() {
+        let base = base_fingerprints(chapter.chain.base());
+        for version in 0..chapter.chain.len() {
+            let truth = chapter.ground_truth(version, 0.5).disclosed_fraction();
+            let print = fp.fingerprint(&chapter.chain.revision(version).text());
+            let detected = disclosed_fraction(&base, &print, 0.5);
+            assert!(
+                (truth - detected).abs() <= 0.10,
+                "{} v{}: truth {:.2} vs detected {:.2}",
+                chapter.kind.name(),
+                version,
+                truth,
+                detected
+            );
+        }
+    }
+}
+
+#[test]
+fn iphone_chapters_decay_and_monotonically_lose_disclosure() {
+    let manuals = ManualsDataset::generate(2);
+    let fp = paper_fingerprinter();
+    for kind in [ManualChapterKind::IphoneCamera, ManualChapterKind::IphoneMessage] {
+        let chapter = manuals.chapter(kind);
+        let base = base_fingerprints(chapter.chain.base());
+        let series: Vec<f64> = (0..4)
+            .map(|v| {
+                let print = fp.fingerprint(&chapter.chain.revision(v).text());
+                disclosed_fraction(&base, &print, 0.5)
+            })
+            .collect();
+        for window in series.windows(2) {
+            assert!(window[1] <= window[0] + 1e-9, "{kind:?}: {series:?}");
+        }
+        assert!(series[3] <= 0.25, "{kind:?} must decay below 25%: {series:?}");
+    }
+}
+
+#[test]
+fn threshold_sweep_agreement_exceeds_ninety_percent_in_plateau() {
+    // The Figure 11 claim: >90% agreement for Tpar in [0.2, 0.8].
+    let manuals = ManualsDataset::generate(2);
+    let fp = paper_fingerprinter();
+    for tpar in [0.2, 0.35, 0.5, 0.65, 0.8] {
+        let mut agree = 0usize;
+        let mut considered = 0usize;
+        for chapter in manuals.chapters() {
+            let base = base_fingerprints(chapter.chain.base());
+            for version in 1..chapter.chain.len() {
+                let truth = chapter.ground_truth(version, 0.5);
+                let revision_hashes =
+                    fp.fingerprint(&chapter.chain.revision(version).text()).hash_set();
+                for (index, paragraph) in base.iter().enumerate() {
+                    let hashes = paragraph.hash_set();
+                    if hashes.is_empty() {
+                        continue;
+                    }
+                    considered += 1;
+                    let d = browserflow_store::disclosure_between(&hashes, &revision_hashes);
+                    let found = d >= tpar && d > 0.0;
+                    if found == truth.is_disclosed(index) {
+                        agree += 1;
+                    }
+                }
+            }
+        }
+        let agreement = agree as f64 / considered as f64;
+        assert!(
+            agreement > 0.9,
+            "agreement {agreement:.3} at Tpar {tpar} below the paper's 90%"
+        );
+    }
+}
+
+#[test]
+fn wikipedia_low_churn_keeps_high_disclosure_high_churn_decays() {
+    let config = WikipediaConfig {
+        articles: 6,
+        revisions: 60,
+        paragraphs: 15,
+        sentences: 4,
+        high_churn_fraction: 0.5,
+    };
+    let wikipedia = WikipediaDataset::generate(1, &config);
+    let fp = paper_fingerprinter();
+
+    let final_disclosure = |level: ChurnLevel| -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for article in wikipedia.by_churn(level) {
+            let base = base_fingerprints(article.chain.base());
+            let last = fp.fingerprint(&article.chain.revision(config.revisions).text());
+            total += disclosed_fraction(&base, &last, 0.5);
+            count += 1;
+        }
+        total / count as f64
+    };
+
+    let low = final_disclosure(ChurnLevel::Low);
+    let high = final_disclosure(ChurnLevel::High);
+    assert!(low > 0.5, "low-churn articles should stay mostly disclosed, got {low:.2}");
+    assert!(high < low, "high-churn must decay below low-churn ({high:.2} vs {low:.2})");
+    assert!(high < 0.5, "high-churn should fall below 50% by the last revision, got {high:.2}");
+}
+
+#[test]
+fn length_change_heuristic_separates_churn_groups() {
+    // Figure 8's premise: relative length change correlates with churn.
+    let config = WikipediaConfig {
+        articles: 8,
+        revisions: 60,
+        paragraphs: 12,
+        sentences: 4,
+        high_churn_fraction: 0.5,
+    };
+    let wikipedia = WikipediaDataset::generate(7, &config);
+    let mean = |level: ChurnLevel| {
+        let v: Vec<f64> = wikipedia
+            .by_churn(level)
+            .map(|a| a.chain.relative_length_change())
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    assert!(mean(ChurnLevel::High) > 2.0 * mean(ChurnLevel::Low));
+}

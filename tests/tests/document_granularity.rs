@@ -1,0 +1,197 @@
+//! Document-granularity tracking (§4.1): "for some documents, a
+//! significant number of individual paragraphs can be revealed without
+//! disclosing the document's content, but revealing one sentence from each
+//! paragraph would disclose the document."
+
+use browserflow::plugin::Plugin;
+use browserflow::{BrowserFlow, DocKey, EnforcementMode, UploadAction};
+use browserflow_browser::services::DocsApp;
+use browserflow_browser::Browser;
+use browserflow_corpus::TextGen;
+use browserflow_tdm::{Service, ServiceId, Tag, TagSet};
+
+fn source_document() -> Vec<String> {
+    let mut gen = TextGen::new(2026);
+    (0..6).map(|_| gen.paragraph(4)).collect()
+}
+
+/// One sentence (roughly the first quarter) of each paragraph.
+fn one_sentence_each(paragraphs: &[String]) -> String {
+    paragraphs
+        .iter()
+        .map(|p| p.split(". ").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join(". ")
+}
+
+fn flow() -> BrowserFlow {
+    let ts = Tag::new("spec").unwrap();
+    BrowserFlow::builder()
+        .mode(EnforcementMode::Block)
+        .service(
+            Service::new("internal", "Internal Specs")
+                .with_privilege(TagSet::from_iter([ts.clone()]))
+                .with_confidentiality(TagSet::from_iter([ts])),
+        )
+        .service(Service::new("gdocs", "Google Docs"))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn one_sentence_per_paragraph_evades_tpar_but_trips_tdoc() {
+    let mut flow = flow();
+    let paragraphs = source_document();
+    let internal: ServiceId = "internal".into();
+    let full_text = paragraphs.join("\n\n");
+
+    for (i, p) in paragraphs.iter().enumerate() {
+        flow.observe_paragraph(&internal, "spec", i, p).unwrap();
+    }
+    flow.observe_document(&internal, "spec", &full_text).unwrap();
+    // The document's author sets a low Tdoc: even partial cross-paragraph
+    // leakage matters (§4.2: thresholds are per-document).
+    assert!(flow
+        .engine_mut()
+        .set_document_threshold(&DocKey::new("internal", "spec"), 0.1));
+
+    let gdocs: ServiceId = "gdocs".into();
+    let leak = one_sentence_each(&paragraphs);
+
+    // Paragraph granularity: each source paragraph is disclosed well below
+    // Tpar = 0.5, so the per-paragraph check stays silent.
+    let decision = flow.check_upload(&gdocs, "draft", 0, &leak).unwrap();
+    assert_eq!(
+        decision.action,
+        UploadAction::Allow,
+        "one sentence per paragraph must stay below Tpar"
+    );
+
+    // Document granularity: the same text trips the Tdoc requirement.
+    let decision = flow.check_document_upload(&gdocs, "draft", &leak).unwrap();
+    assert_eq!(decision.action, UploadAction::Block);
+    assert_eq!(decision.violations.len(), 1);
+    assert!(decision.violations[0].disclosure >= 0.1);
+}
+
+#[test]
+fn full_copy_trips_both_granularities() {
+    let mut flow = flow();
+    let paragraphs = source_document();
+    let internal: ServiceId = "internal".into();
+    for (i, p) in paragraphs.iter().enumerate() {
+        flow.observe_paragraph(&internal, "spec", i, p).unwrap();
+    }
+    flow.observe_document(&internal, "spec", &paragraphs.join("\n\n"))
+        .unwrap();
+
+    let gdocs: ServiceId = "gdocs".into();
+    let copied = paragraphs[2].clone();
+    assert_eq!(
+        flow.check_upload(&gdocs, "draft", 0, &copied).unwrap().action,
+        UploadAction::Block
+    );
+    let full = paragraphs.join("\n\n");
+    assert_eq!(
+        flow.check_document_upload(&gdocs, "draft", &full)
+            .unwrap()
+            .action,
+        UploadAction::Block
+    );
+}
+
+#[test]
+fn plugin_flags_the_editor_on_document_level_disclosure() {
+    let ts = Tag::new("spec").unwrap();
+    let flow = BrowserFlow::builder()
+        .mode(EnforcementMode::Advisory)
+        .service(
+            Service::new("internal", "Internal Specs")
+                .with_privilege(TagSet::from_iter([ts.clone()]))
+                .with_confidentiality(TagSet::from_iter([ts])),
+        )
+        .service(Service::new("gdocs", "Google Docs"))
+        .build()
+        .unwrap();
+    let plugin = Plugin::new(flow);
+    plugin.bind_origin("https://docs.example.com", "gdocs", "draft");
+
+    let paragraphs = source_document();
+    let internal: ServiceId = "internal".into();
+    {
+        let state = plugin.state();
+        let mut flow = state.lock();
+        for (i, p) in paragraphs.iter().enumerate() {
+            flow.observe_paragraph(&internal, "spec", i, p).unwrap();
+        }
+        flow.observe_document(&internal, "spec", &paragraphs.join("\n\n"))
+            .unwrap();
+        flow.engine_mut()
+            .set_document_threshold(&DocKey::new("internal", "spec"), 0.1);
+    }
+
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+    let tab = browser.open_tab("https://docs.example.com");
+    let mut docs = DocsApp::attach(&mut browser, tab);
+    plugin.watch_docs(&mut browser, &docs);
+
+    // Type one sentence from each source paragraph into separate editor
+    // paragraphs: every per-paragraph check passes...
+    for (i, p) in paragraphs.iter().enumerate() {
+        docs.create_paragraph(&mut browser);
+        let sentence = p.split(". ").next().unwrap().to_string();
+        assert!(docs.type_text(&mut browser, i, &sentence).is_delivered());
+    }
+    // ...but the editor as a whole is flagged for document-level
+    // disclosure.
+    let editor = docs.editor();
+    assert_eq!(
+        browser.tab(tab).document().attr(editor, "data-bf-doc-flagged"),
+        Some("true")
+    );
+}
+
+#[test]
+fn violations_carry_matching_spans() {
+    let mut flow = flow();
+    let paragraphs = source_document();
+    let internal: ServiceId = "internal".into();
+    flow.observe_paragraph(&internal, "spec", 0, &paragraphs[0])
+        .unwrap();
+
+    let gdocs: ServiceId = "gdocs".into();
+    let framed = format!("totally new framing text before the leak {} and after", paragraphs[0]);
+    let decision = flow.check_upload(&gdocs, "draft", 0, &framed).unwrap();
+    assert_eq!(decision.action, UploadAction::Block);
+    let spans = &decision.violations[0].matching_spans;
+    assert!(!spans.is_empty());
+    let leak_start = framed.find(&paragraphs[0]).unwrap();
+    for span in spans {
+        assert!(span.start < span.end && span.end <= framed.len());
+        // Every highlighted passage overlaps the actual leaked region
+        // (n-grams may straddle its boundary by a few characters).
+        assert!(
+            span.end > leak_start,
+            "span {span:?} entirely before the leaked region at {leak_start}"
+        );
+    }
+    // The highlighted region covers most of the leaked text.
+    let covered: usize = {
+        let mut covered = vec![false; framed.len()];
+        for span in spans {
+            for flag in &mut covered[span.clone()] {
+                *flag = true;
+            }
+        }
+        covered[leak_start..leak_start + paragraphs[0].len()]
+            .iter()
+            .filter(|&&c| c)
+            .count()
+    };
+    assert!(
+        covered as f64 / paragraphs[0].len() as f64 > 0.5,
+        "spans cover only {covered} of {} leaked bytes",
+        paragraphs[0].len()
+    );
+}

@@ -1,0 +1,242 @@
+//! End-to-end reproduction of the paper's running example (Figures 1–6)
+//! through the full stack: simulated browser, plug-in, middleware, TDM.
+
+use browserflow::plugin::Plugin;
+use browserflow::{BrowserFlow, DocKey, EnforcementMode, EngineConfig, SegmentKey};
+use browserflow_browser::services::{static_site, DocsApp, WikiApp};
+use browserflow_browser::Browser;
+use browserflow_fingerprint::FingerprintConfig;
+use browserflow_tdm::{Service, Tag, TagSet, UserId};
+
+const ITOOL: &str = "https://itool.internal";
+const WIKI: &str = "https://wiki.internal";
+const GDOCS: &str = "https://docs.google.example";
+
+const EVALUATION: &str =
+    "Candidate 4711 communicated clearly, solved the systems design problem with a \
+     clean sharded architecture, but struggled with the consensus follow-ups.";
+const GUIDELINES: &str =
+    "Interviewing guidelines: start with a warm-up question, calibrate against the \
+     rubric, and write the feedback within twenty-four hours of the interview.";
+
+fn tag(name: &str) -> Tag {
+    Tag::new(name).unwrap()
+}
+
+/// Small-n fingerprinting so short test paragraphs fingerprint robustly.
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        fingerprint: FingerprintConfig::builder()
+            .ngram_len(8)
+            .window(6)
+            .build()
+            .unwrap(),
+        ..EngineConfig::default()
+    }
+}
+
+fn figure1_plugin(mode: EnforcementMode) -> Plugin {
+    let flow = BrowserFlow::builder()
+        .mode(mode)
+        .engine(engine_config())
+        .service(
+            Service::new("itool", "Interview Tool")
+                .with_privilege(TagSet::from_iter([tag("ti")]))
+                .with_confidentiality(TagSet::from_iter([tag("ti")])),
+        )
+        .service(
+            Service::new("wiki", "Internal Wiki")
+                .with_privilege(TagSet::from_iter([tag("tw")]))
+                .with_confidentiality(TagSet::from_iter([tag("tw")])),
+        )
+        .service(Service::new("gdocs", "Google Docs"))
+        .build()
+        .unwrap();
+    let plugin = Plugin::new(flow);
+    plugin.bind_origin(ITOOL, "itool", "itool-page");
+    plugin.bind_origin(WIKI, "wiki", "wiki-page");
+    plugin.bind_origin(GDOCS, "gdocs", "gdocs-doc");
+    plugin
+}
+
+#[test]
+fn paste_between_internal_services_is_blocked() {
+    // Figure 3 step 2: Interview Tool -> Wiki violates {ti} ⊄ {tw}.
+    let plugin = figure1_plugin(EnforcementMode::Block);
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+
+    let page = static_site::article_page("Evaluation", &[EVALUATION.to_string()]);
+    let itool_tab = browser.open_tab_with_html(ITOOL, &page);
+    assert_eq!(plugin.observe_page(&browser, itool_tab), 1);
+
+    // The wiki is form-based: paste into its edit form and save.
+    let wiki_tab = browser.open_tab(WIKI);
+    let wiki = WikiApp::attach(&mut browser, wiki_tab);
+    browser.copy(EVALUATION);
+    let pasted = browser.paste().unwrap();
+    wiki.set_content(&mut browser, &pasted);
+    let result = wiki.save(&mut browser);
+    assert!(!result.is_delivered());
+    assert_eq!(browser.backend(WIKI).upload_count(), 0);
+}
+
+#[test]
+fn public_gdocs_text_flows_to_internal_services() {
+    // Figure 3 step 3: Google Docs text is public (Lc = {}).
+    let plugin = figure1_plugin(EnforcementMode::Block);
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+
+    let public = "A public blog post about rust borrow checking and lifetimes.";
+    let docs_tab = browser.open_tab(GDOCS);
+    let mut docs = DocsApp::attach(&mut browser, docs_tab);
+    plugin.watch_docs(&mut browser, &docs);
+    docs.create_paragraph(&mut browser);
+    assert!(docs.type_text(&mut browser, 0, public).is_delivered());
+
+    // Copy to the wiki: permitted.
+    let wiki_tab = browser.open_tab(WIKI);
+    let wiki = WikiApp::attach(&mut browser, wiki_tab);
+    wiki.set_content(&mut browser, public);
+    assert!(wiki.save(&mut browser).is_delivered());
+    assert!(browser.backend(WIKI).saw_text("borrow checking"));
+}
+
+#[test]
+fn docs_editor_blocks_and_flags_only_the_sensitive_paragraph() {
+    let plugin = figure1_plugin(EnforcementMode::Block);
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+
+    let wiki_page = static_site::article_page("Guidelines", &[GUIDELINES.to_string()]);
+    let wiki_tab = browser.open_tab_with_html(WIKI, &wiki_page);
+    plugin.observe_page(&browser, wiki_tab);
+
+    let docs_tab = browser.open_tab(GDOCS);
+    let mut docs = DocsApp::attach(&mut browser, docs_tab);
+    plugin.watch_docs(&mut browser, &docs);
+    docs.create_paragraph(&mut browser);
+    docs.create_paragraph(&mut browser);
+
+    assert!(docs
+        .type_text(&mut browser, 0, "harmless meeting agenda for thursday")
+        .is_delivered());
+    assert!(!docs.type_text(&mut browser, 1, GUIDELINES).is_delivered());
+
+    let document = browser.tab(docs_tab).document();
+    let p0 = docs.paragraph_node(&browser, 0);
+    let p1 = docs.paragraph_node(&browser, 1);
+    assert_eq!(document.attr(p0, "data-bf-flagged"), Some("false"));
+    assert_eq!(document.attr(p1, "data-bf-flagged"), Some("true"));
+    assert!(!browser.backend(GDOCS).saw_text("rubric"));
+}
+
+#[test]
+fn suppression_then_upload_succeeds_and_is_audited() {
+    // Figure 4 through the full stack.
+    let plugin = figure1_plugin(EnforcementMode::Block);
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+
+    let wiki_page = static_site::article_page("Guidelines", &[GUIDELINES.to_string()]);
+    let wiki_tab = browser.open_tab_with_html(WIKI, &wiki_page);
+    plugin.observe_page(&browser, wiki_tab);
+
+    let docs_tab = browser.open_tab(GDOCS);
+    let mut docs = DocsApp::attach(&mut browser, docs_tab);
+    plugin.watch_docs(&mut browser, &docs);
+    docs.create_paragraph(&mut browser);
+    assert!(!docs.type_text(&mut browser, 0, GUIDELINES).is_delivered());
+
+    // Alice suppresses tw on the wiki source paragraph.
+    {
+        let state = plugin.state();
+        let mut flow = state.lock();
+        let key = SegmentKey::paragraph(DocKey::new("wiki", "wiki-page"), 0);
+        assert!(flow
+            .suppress_tag(&key, &tag("tw"), &UserId::new("alice"), "approved for sharing")
+            .unwrap());
+        assert_eq!(flow.policy().audit_log().len(), 1);
+    }
+
+    // Re-typing the same content now syncs successfully.
+    assert!(docs
+        .set_paragraph_text(&mut browser, 0, GUIDELINES)
+        .is_delivered());
+    assert!(browser.backend(GDOCS).saw_text("warm-up question"));
+}
+
+#[test]
+fn advisory_mode_releases_but_records_warnings() {
+    let plugin = figure1_plugin(EnforcementMode::Advisory);
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+
+    let wiki_page = static_site::article_page("Guidelines", &[GUIDELINES.to_string()]);
+    let wiki_tab = browser.open_tab_with_html(WIKI, &wiki_page);
+    plugin.observe_page(&browser, wiki_tab);
+
+    let docs_tab = browser.open_tab(GDOCS);
+    let mut docs = DocsApp::attach(&mut browser, docs_tab);
+    plugin.watch_docs(&mut browser, &docs);
+    docs.create_paragraph(&mut browser);
+    // Advisory: delivered despite the violation...
+    assert!(docs.type_text(&mut browser, 0, GUIDELINES).is_delivered());
+    // ...the paragraph is flagged...
+    let p0 = docs.paragraph_node(&browser, 0);
+    assert_eq!(
+        browser.tab(docs_tab).document().attr(p0, "data-bf-flagged"),
+        Some("true")
+    );
+    // ...and warnings were recorded for the audit trail.
+    let state = plugin.state();
+    assert!(!state.lock().warnings().is_empty());
+}
+
+#[test]
+fn encrypt_mode_seals_form_fields_but_not_clean_ones() {
+    let plugin = figure1_plugin(EnforcementMode::Encrypt);
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+
+    let itool_page = static_site::article_page("Evaluation", &[EVALUATION.to_string()]);
+    let itool_tab = browser.open_tab_with_html(ITOOL, &itool_page);
+    plugin.observe_page(&browser, itool_tab);
+
+    let wiki_tab = browser.open_tab(WIKI);
+    let wiki = WikiApp::attach(&mut browser, wiki_tab);
+    wiki.set_title(&mut browser, "status");
+    wiki.set_content(&mut browser, EVALUATION);
+    assert!(wiki.save(&mut browser).is_delivered());
+
+    let backend = browser.backend(WIKI);
+    assert!(backend.saw_text("bf-sealed:"));
+    assert!(!backend.saw_text("sharded architecture"));
+    // The clean title field stays plaintext.
+    assert!(backend.saw_text("title=status"));
+}
+
+#[test]
+fn transitive_flow_is_tracked_via_similarity_not_provenance() {
+    // itool -> (user retypes by hand into) gdocs: there is no explicit
+    // copy event anywhere, yet the similarity match still catches it.
+    let plugin = figure1_plugin(EnforcementMode::Block);
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+
+    let itool_page = static_site::article_page("Evaluation", &[EVALUATION.to_string()]);
+    let itool_tab = browser.open_tab_with_html(ITOOL, &itool_page);
+    plugin.observe_page(&browser, itool_tab);
+
+    let docs_tab = browser.open_tab(GDOCS);
+    let mut docs = DocsApp::attach(&mut browser, docs_tab);
+    plugin.watch_docs(&mut browser, &docs);
+    docs.create_paragraph(&mut browser);
+    // Retyped with different casing and punctuation, plus framing.
+    let retyped = format!(
+        "Notes to self: {} Will follow up tomorrow.",
+        EVALUATION.to_uppercase()
+    );
+    assert!(!docs.type_text(&mut browser, 0, &retyped).is_delivered());
+}

@@ -1,0 +1,125 @@
+//! End-to-end coverage of the Evernote-like notes service: a service with
+//! its own wire format is supported through a service-specific sync-body
+//! parser (§5.2 / §4.4).
+
+use browserflow::plugin::Plugin;
+use browserflow::{BrowserFlow, EnforcementMode, EngineConfig};
+use browserflow_browser::services::{parse_notes_sync, static_site, NotesApp};
+use browserflow_browser::Browser;
+use browserflow_fingerprint::FingerprintConfig;
+use browserflow_tdm::{Service, Tag, TagSet};
+
+const WIKI: &str = "https://wiki.internal";
+const NOTES: &str = "https://notes.example.com";
+
+const SECRET: &str = "the incident postmortem names the exact customer accounts that \
+                      were exposed during the march outage and the remediation owed";
+
+fn plugin(mode: EnforcementMode) -> Plugin {
+    let tw = Tag::new("tw").unwrap();
+    let flow = BrowserFlow::builder()
+        .mode(mode)
+        .engine(EngineConfig {
+            fingerprint: FingerprintConfig::builder()
+                .ngram_len(8)
+                .window(6)
+                .build()
+                .unwrap(),
+            ..EngineConfig::default()
+        })
+        .service(
+            Service::new("wiki", "Internal Wiki")
+                .with_privilege(TagSet::from_iter([tw.clone()]))
+                .with_confidentiality(TagSet::from_iter([tw])),
+        )
+        .service(Service::new("notes", "External Notes"))
+        .build()
+        .unwrap();
+    let plugin = Plugin::new(flow);
+    plugin.bind_origin(WIKI, "wiki", "wiki-page");
+    plugin.bind_origin_with_parser(NOTES, "notes", "scratch-note", parse_notes_sync);
+    plugin
+}
+
+fn browser_with_secret(plugin: &Plugin) -> Browser {
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+    let page = static_site::article_page("Postmortem", &[SECRET.to_string()]);
+    let wiki_tab = browser.open_tab_with_html(WIKI, &page);
+    assert_eq!(plugin.observe_page(&browser, wiki_tab), 1);
+    browser
+}
+
+#[test]
+fn pasting_into_a_note_block_is_blocked() {
+    let plugin = plugin(EnforcementMode::Block);
+    let mut browser = browser_with_secret(&plugin);
+
+    let tab = browser.open_tab(NOTES);
+    let mut notes = NotesApp::attach(&mut browser, tab);
+    plugin.watch_notes(&mut browser, &notes);
+
+    // Harmless title goes through.
+    assert!(notes.set_title(&mut browser, "scratch").is_delivered());
+    // The pasted secret is suppressed; the backend never sees it.
+    let (_, result) = notes.add_block(&mut browser, SECRET);
+    assert!(!result.is_delivered());
+    assert!(!browser.backend(NOTES).saw_text("postmortem"));
+    // The note block is flagged in the UI.
+    let block = notes.block_node(&browser, 0);
+    assert_eq!(
+        browser.tab(tab).document().attr(block, "data-bf-flagged"),
+        Some("true")
+    );
+}
+
+#[test]
+fn secret_in_the_title_is_also_caught() {
+    // The title is segment 0 under the notes parser — a different index
+    // mapping than the docs editor, exercised here.
+    let plugin = plugin(EnforcementMode::Block);
+    let mut browser = browser_with_secret(&plugin);
+    let tab = browser.open_tab(NOTES);
+    let mut notes = NotesApp::attach(&mut browser, tab);
+    plugin.watch_notes(&mut browser, &notes);
+    let result = notes.set_title(&mut browser, SECRET);
+    assert!(!result.is_delivered());
+    assert!(!browser.backend(NOTES).saw_text("postmortem"));
+}
+
+#[test]
+fn encrypt_mode_preserves_the_notes_wire_shape() {
+    let plugin = plugin(EnforcementMode::Encrypt);
+    let mut browser = browser_with_secret(&plugin);
+    let tab = browser.open_tab(NOTES);
+    let mut notes = NotesApp::attach(&mut browser, tab);
+    plugin.watch_notes(&mut browser, &notes);
+    let (_, result) = notes.add_block(&mut browser, SECRET);
+    assert!(result.is_delivered());
+    let backend = browser.backend(NOTES);
+    let uploads = backend.uploads();
+    let sealed = uploads
+        .iter()
+        .find(|u| u.body.contains("bf-sealed:"))
+        .expect("a sealed upload exists");
+    // The wire shape survives: still a note-sync for block0.
+    assert!(sealed.body.starts_with("note-sync block0="), "{}", sealed.body);
+    assert!(!backend.saw_text("postmortem"));
+}
+
+#[test]
+fn editing_the_secret_away_releases_the_block() {
+    let plugin = plugin(EnforcementMode::Block);
+    let mut browser = browser_with_secret(&plugin);
+    let tab = browser.open_tab(NOTES);
+    let mut notes = NotesApp::attach(&mut browser, tab);
+    plugin.watch_notes(&mut browser, &notes);
+    let (index, result) = notes.add_block(&mut browser, SECRET);
+    assert!(!result.is_delivered());
+    // The user rewrites the block entirely.
+    let rewritten = "our team will publish a public summary after legal review is done \
+                     and customers have been individually informed of next steps";
+    let result = notes.set_block(&mut browser, index, rewritten);
+    assert!(result.is_delivered());
+    assert!(browser.backend(NOTES).saw_text("public summary"));
+}

@@ -1,0 +1,169 @@
+//! Integration tests for the performance machinery (§6.2) — asynchronous
+//! decisions, decision caching — and the fingerprint-at-rest protections
+//! of §4.4 (encryption, eviction).
+
+use browserflow::{AsyncDecider, BrowserFlow, EnforcementMode, EngineConfig, UploadAction};
+use browserflow_corpus::TextGen;
+use browserflow_store::{EncryptionError, StoreKey};
+use browserflow_tdm::{Service, ServiceId, Tag, TagSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn corpus_flow(paragraphs: usize, cache: bool) -> BrowserFlow {
+    let lib = Tag::new("library").unwrap();
+    let mut flow = BrowserFlow::builder()
+        .mode(EnforcementMode::Advisory)
+        .engine(EngineConfig {
+            cache_decisions: cache,
+            ..EngineConfig::default()
+        })
+        .service(
+            Service::new("library", "Library")
+                .with_privilege(TagSet::from_iter([lib.clone()]))
+                .with_confidentiality(TagSet::from_iter([lib])),
+        )
+        .service(Service::new("gdocs", "Google Docs"))
+        .build()
+        .unwrap();
+    let mut gen = TextGen::new(77);
+    let library: ServiceId = "library".into();
+    for i in 0..paragraphs {
+        let text = gen.paragraph(7);
+        flow.index_paragraph(&library, "corpus", i, &text).unwrap();
+    }
+    flow
+}
+
+#[test]
+fn async_decisions_complete_quickly_against_a_loaded_store() {
+    let flow = corpus_flow(500, true);
+    let decider = AsyncDecider::spawn(flow);
+    let gdocs: ServiceId = "gdocs".into();
+    let mut gen = TextGen::new(88);
+    for i in 0..50 {
+        let text = gen.paragraph(6);
+        let timed = decider.check(&gdocs, "draft", i, &text);
+        assert!(timed.decision.is_ok());
+        // Very generous bound — the paper's is 200 ms on 2014 hardware in
+        // a browser; a debug-build Rust check on 500 paragraphs must be
+        // well under a second.
+        assert!(
+            timed.latency < Duration::from_secs(1),
+            "decision took {:?}",
+            timed.latency
+        );
+    }
+    decider.shutdown();
+}
+
+#[test]
+fn cache_serves_repeated_checks_and_counts_hits() {
+    let mut flow = corpus_flow(200, true);
+    let gdocs: ServiceId = "gdocs".into();
+    let mut gen = TextGen::new(99);
+    let text = gen.paragraph(7);
+    flow.check_upload(&gdocs, "draft", 0, &text).unwrap();
+    let (hits_before, misses_before) = flow.engine().cache_stats();
+    for _ in 0..10 {
+        flow.check_upload(&gdocs, "draft", 0, &text).unwrap();
+    }
+    let (hits_after, misses_after) = flow.engine().cache_stats();
+    assert_eq!(hits_after - hits_before, 10);
+    assert_eq!(misses_after, misses_before);
+}
+
+#[test]
+fn cache_and_nocache_agree_on_decisions() {
+    let mut cached = corpus_flow(300, true);
+    let mut uncached = corpus_flow(300, false);
+    let gdocs: ServiceId = "gdocs".into();
+    // One known paragraph (re-derive the same generator stream).
+    let mut gen = TextGen::new(77);
+    let known = gen.paragraph(7);
+    let mut probe_gen = TextGen::new(111);
+    for (i, text) in [known, probe_gen.paragraph(7), probe_gen.paragraph(5)]
+        .iter()
+        .enumerate()
+    {
+        let a = cached.check_upload(&gdocs, "draft", i, text).unwrap();
+        let b = uncached.check_upload(&gdocs, "draft", i, text).unwrap();
+        assert_eq!(a.action, b.action, "probe {i}");
+        assert_eq!(a.violations.len(), b.violations.len(), "probe {i}");
+    }
+}
+
+#[test]
+fn keystroke_cadence_mostly_hits_the_cache() {
+    // §6.2: "one keystroke typically does not alter the winnowing
+    // fingerprint of a paragraph, permitting BrowserFlow to reuse its
+    // previous response".
+    let mut flow = corpus_flow(100, true);
+    let gdocs: ServiceId = "gdocs".into();
+    let mut gen = TextGen::new(123);
+    let full = gen.paragraph(8);
+    let chars: Vec<char> = full.chars().collect();
+    let mut typed = String::new();
+    for &c in &chars {
+        typed.push(c);
+        flow.check_upload(&gdocs, "draft", 0, &typed).unwrap();
+    }
+    let (hits, misses) = flow.engine().cache_stats();
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    assert!(
+        hit_rate > 0.5,
+        "expected most keystrokes to reuse the cached decision, hit rate {hit_rate:.2}"
+    );
+}
+
+#[test]
+fn upload_action_depends_only_on_mode_for_same_state() {
+    for (mode, expected) in [
+        (EnforcementMode::Advisory, UploadAction::Warn),
+        (EnforcementMode::Block, UploadAction::Block),
+        (EnforcementMode::Encrypt, UploadAction::Encrypt),
+    ] {
+        let mut flow = corpus_flow(50, true);
+        flow.set_mode(mode);
+        let gdocs: ServiceId = "gdocs".into();
+        let mut gen = TextGen::new(77);
+        let known = gen.paragraph(7); // the first indexed paragraph
+        let decision = flow.check_upload(&gdocs, "draft", 0, &known).unwrap();
+        assert_eq!(decision.action, expected, "{mode:?}");
+    }
+}
+
+#[test]
+fn sealed_fingerprint_data_roundtrips_and_detects_tampering() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let key = StoreKey::generate(&mut rng);
+    let payload = b"serialised DBpar contents".to_vec();
+    let sealed = key.seal(1, &payload);
+    assert_eq!(key.unseal(&sealed).unwrap(), payload);
+
+    let other = StoreKey::generate(&mut rng);
+    assert_eq!(other.unseal(&sealed), Err(EncryptionError::IntegrityFailure));
+}
+
+#[test]
+fn eviction_forgets_old_fingerprints() {
+    // §4.4: periodic removal of old fingerprints limits the at-rest
+    // attack surface; evicted sources are no longer reported.
+    let mut flow = corpus_flow(20, true);
+    let gdocs: ServiceId = "gdocs".into();
+    let mut gen = TextGen::new(77);
+    let known = gen.paragraph(7);
+    assert_eq!(
+        flow.check_upload(&gdocs, "draft", 0, &known).unwrap().action,
+        UploadAction::Warn
+    );
+    // Evict everything indexed so far.
+    let now = flow.engine().paragraph_count(); // proxy: all were indexed before "now"
+    assert!(now > 0);
+    let evicted = flow
+        .engine_mut()
+        .evict_paragraphs_older_than_now();
+    assert!(evicted > 0);
+    let decision = flow.check_upload(&gdocs, "draft2", 0, &known).unwrap();
+    assert_eq!(decision.action, UploadAction::Allow);
+}

@@ -1,0 +1,214 @@
+//! Robustness of imprecise tracking against the edit patterns of §2.1:
+//! removing sentences, rephrasing, reordering — and the comparison against
+//! the exact-match DLP baseline.
+
+use browserflow::baseline::ExactMatchDlp;
+use browserflow::{BrowserFlow, EnforcementMode, UploadAction};
+use browserflow_corpus::TextGen;
+use browserflow_tdm::{Service, ServiceId, Tag, TagSet};
+
+fn flow() -> BrowserFlow {
+    let ts = Tag::new("secret").unwrap();
+    BrowserFlow::builder()
+        .mode(EnforcementMode::Block)
+        .service(
+            Service::new("internal", "Internal")
+                .with_privilege(TagSet::from_iter([ts.clone()]))
+                .with_confidentiality(TagSet::from_iter([ts])),
+        )
+        .service(Service::new("external", "External"))
+        .build()
+        .unwrap()
+}
+
+/// A multi-sentence confidential paragraph (long enough to survive edits
+/// at the default 15-char/30-window configuration).
+fn secret_paragraph() -> String {
+    let mut gen = TextGen::new(4242);
+    gen.paragraph(10)
+}
+
+fn check(flow: &mut BrowserFlow, text: &str) -> UploadAction {
+    static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    let external: ServiceId = "external".into();
+    flow.check_upload(&external, &format!("probe-{n}"), 0, text)
+        .unwrap()
+        .action
+}
+
+#[test]
+fn verbatim_and_cosmetic_copies_are_blocked() {
+    let mut flow = flow();
+    let secret = secret_paragraph();
+    flow.observe_paragraph(&"internal".into(), "doc", 0, &secret)
+        .unwrap();
+
+    assert_eq!(check(&mut flow, &secret), UploadAction::Block);
+    assert_eq!(check(&mut flow, &secret.to_uppercase()), UploadAction::Block);
+    let punctuated: String = secret
+        .split(' ')
+        .collect::<Vec<_>>()
+        .join(",  ");
+    assert_eq!(check(&mut flow, &punctuated), UploadAction::Block);
+}
+
+#[test]
+fn embedded_and_partially_quoted_copies_are_blocked() {
+    let mut flow = flow();
+    let secret = secret_paragraph();
+    // Track with a lower threshold so a half-quote still violates.
+    flow.observe_paragraph(&"internal".into(), "doc", 0, &secret)
+        .unwrap();
+    flow.engine_mut()
+        .set_paragraph_threshold(&browserflow::DocKey::new("internal", "doc"), 0, 0.3);
+
+    let embedded = format!("as promised, here is the full text: {secret} -- regards");
+    assert_eq!(check(&mut flow, &embedded), UploadAction::Block);
+
+    let half = &secret[..secret.len() / 2];
+    assert_eq!(check(&mut flow, half), UploadAction::Block);
+}
+
+#[test]
+fn sentence_reordering_is_blocked() {
+    let mut flow = flow();
+    let secret = secret_paragraph();
+    flow.observe_paragraph(&"internal".into(), "doc", 0, &secret)
+        .unwrap();
+    let mut sentences: Vec<&str> = secret.split(". ").collect();
+    sentences.reverse();
+    let reordered = sentences.join(". ");
+    assert_eq!(check(&mut flow, &reordered), UploadAction::Block);
+}
+
+#[test]
+fn thorough_rephrasing_is_allowed() {
+    // §4.4: once a paragraph is rephrased entirely, it is no longer the
+    // same information as far as imprecise tracking is concerned.
+    let mut flow = flow();
+    let secret = secret_paragraph();
+    flow.observe_paragraph(&"internal".into(), "doc", 0, &secret)
+        .unwrap();
+    let mut gen = TextGen::new(777);
+    let rephrased = gen.paragraph(10); // entirely new words
+    assert_eq!(check(&mut flow, &rephrased), UploadAction::Allow);
+}
+
+#[test]
+fn imprecise_tracking_beats_exact_match_on_every_edit_pattern() {
+    let mut flow = flow();
+    let secret = secret_paragraph();
+    flow.observe_paragraph(&"internal".into(), "doc", 0, &secret)
+        .unwrap();
+    let mut exact = ExactMatchDlp::new();
+    exact.register(&secret);
+
+    let embedded = format!("prefix {secret} suffix");
+    let mut sentences: Vec<&str> = secret.split(". ").collect();
+    sentences.swap(0, 1);
+    let reordered = sentences.join(". ");
+    // Drop one sentence.
+    let dropped: String = secret
+        .split(". ")
+        .skip(1)
+        .collect::<Vec<_>>()
+        .join(". ");
+
+    for (name, variant) in [
+        ("embedded", embedded.as_str()),
+        ("reordered", reordered.as_str()),
+        ("sentence-dropped", dropped.as_str()),
+    ] {
+        assert_eq!(
+            check(&mut flow, variant),
+            UploadAction::Block,
+            "BrowserFlow must catch the {name} variant"
+        );
+        assert!(
+            !exact.is_registered(variant),
+            "exact matching is expected to miss the {name} variant"
+        );
+    }
+    // Both catch the verbatim copy.
+    assert!(exact.is_registered(&secret));
+    assert_eq!(check(&mut flow, &secret), UploadAction::Block);
+}
+
+#[test]
+fn progressive_edits_eventually_release_the_text() {
+    // §4.2's core property: detection degrades gracefully as the text is
+    // edited; once resemblance is gone the text is releasable.
+    let mut flow = flow();
+    let secret = secret_paragraph();
+    flow.observe_paragraph(&"internal".into(), "doc", 0, &secret)
+        .unwrap();
+
+    let words: Vec<String> = secret.split(' ').map(String::from).collect();
+    let mut gen = TextGen::new(31337);
+    let mut current = words.clone();
+    let mut blocked_early = false;
+    let mut allowed_late = false;
+    let steps = 10;
+    for step in 0..=steps {
+        // Replace a contiguous prefix of words: after `steps` rounds the
+        // paragraph is fully rewritten.
+        let upto = words.len() * step / steps;
+        for slot in current.iter_mut().take(upto) {
+            *slot = gen.content_word();
+        }
+        let action = check(&mut flow, &current.join(" "));
+        if step <= 1 && action == UploadAction::Block {
+            blocked_early = true;
+        }
+        if step == steps && action == UploadAction::Allow {
+            allowed_late = true;
+        }
+    }
+    assert!(blocked_early, "nearly-verbatim text must be blocked");
+    assert!(allowed_late, "fully rewritten text must be released");
+}
+
+#[test]
+fn figure7_overlap_reports_only_the_authoritative_source() {
+    // Figure 7 end-to-end through the middleware: B (in a second service)
+    // is a superset of A; pasting A's text elsewhere must violate only A's
+    // tags, not B's.
+    let ta = Tag::new("ta").unwrap();
+    let tb = Tag::new("tb").unwrap();
+    let mut flow = BrowserFlow::builder()
+        .mode(EnforcementMode::Block)
+        .service(
+            Service::new("svc-a", "Service A")
+                .with_privilege(TagSet::from_iter([ta.clone(), tb.clone()]))
+                .with_confidentiality(TagSet::from_iter([ta.clone()])),
+        )
+        .service(
+            Service::new("svc-b", "Service B")
+                .with_privilege(TagSet::from_iter([ta.clone(), tb.clone()]))
+                .with_confidentiality(TagSet::from_iter([tb.clone()])),
+        )
+        .service(Service::new("external", "External"))
+        .build()
+        .unwrap();
+
+    let mut gen = TextGen::new(9090);
+    let a_text = gen.paragraph(8);
+    let b_text = format!("{a_text} {}", gen.paragraph(4));
+    flow.observe_paragraph(&"svc-a".into(), "doc-a", 0, &a_text)
+        .unwrap();
+    flow.observe_paragraph(&"svc-b".into(), "doc-b", 0, &b_text)
+        .unwrap();
+
+    let decision = flow
+        .check_upload(&"external".into(), "out", 0, &a_text)
+        .unwrap();
+    assert_eq!(decision.action, UploadAction::Block);
+    assert_eq!(decision.violations.len(), 1, "{:?}", decision.violations);
+    let violation = &decision.violations[0];
+    assert!(violation.source.to_string().contains("svc-a/doc-a"));
+    assert!(violation.missing_tags.contains(&ta));
+    // B is not reported: its authoritative fingerprint holds only B's own
+    // new text, none of which appears in the paste.
+    assert!(!violation.missing_tags.contains(&tb));
+}

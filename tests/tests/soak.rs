@@ -1,0 +1,223 @@
+//! Randomised soak test: simulate a workday of mixed user activity across
+//! services and assert the global safety invariant — under blocking
+//! enforcement, no tracked sensitive text ever reaches an untrusted
+//! backend — plus the liveness invariant that public text always flows.
+
+use browserflow::plugin::Plugin;
+use browserflow::{AsyncDecider, BrowserFlow, EnforcementMode, EngineConfig, UploadAction};
+use browserflow_browser::services::{static_site, DocsApp, WikiApp};
+use browserflow_browser::Browser;
+use browserflow_corpus::TextGen;
+use browserflow_fingerprint::FingerprintConfig;
+use browserflow_tdm::{Service, ServiceId, Tag, TagSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const WIKI: &str = "https://wiki.internal";
+const GDOCS: &str = "https://docs.external";
+const FORUM: &str = "https://forum.external";
+
+fn build_plugin() -> Plugin {
+    let tw = Tag::new("tw").unwrap();
+    let flow = BrowserFlow::builder()
+        .mode(EnforcementMode::Block)
+        .engine(EngineConfig {
+            fingerprint: FingerprintConfig::builder()
+                .ngram_len(8)
+                .window(6)
+                .build()
+                .unwrap(),
+            ..EngineConfig::default()
+        })
+        .service(
+            Service::new("wiki", "Internal Wiki")
+                .with_privilege(TagSet::from_iter([tw.clone()]))
+                .with_confidentiality(TagSet::from_iter([tw])),
+        )
+        .service(Service::new("gdocs", "Google Docs"))
+        .service(Service::new("forum", "External Forum"))
+        .build()
+        .unwrap();
+    let plugin = Plugin::new(flow);
+    plugin.bind_origin(WIKI, "wiki", "wiki-kb");
+    plugin.bind_origin(GDOCS, "gdocs", "draft");
+    plugin.bind_origin(FORUM, "forum", "post");
+    plugin
+}
+
+#[test]
+fn random_workday_never_leaks_tracked_text() {
+    let plugin = build_plugin();
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+
+    // Seed the wiki knowledge base with sensitive paragraphs.
+    let mut gen = TextGen::new(20260707);
+    let secrets: Vec<String> = (0..8).map(|_| gen.paragraph(6)).collect();
+    let page = static_site::article_page("KB", &secrets);
+    let wiki_tab = browser.open_tab_with_html(WIKI, &page);
+    assert_eq!(plugin.observe_page(&browser, wiki_tab), secrets.len());
+
+    // The user's editing surfaces.
+    let docs_tab = browser.open_tab(GDOCS);
+    let mut docs = DocsApp::attach(&mut browser, docs_tab);
+    plugin.watch_docs(&mut browser, &docs);
+    let forum_tab = browser.open_tab(FORUM);
+    let forum = WikiApp::attach(&mut browser, forum_tab);
+
+    let mut rng = StdRng::seed_from_u64(777);
+    let mut public_deliveries = 0usize;
+    for step in 0..200 {
+        // Halfway through the workday the browser "restarts": the
+        // middleware state is sealed, dropped and restored — enforcement
+        // must continue seamlessly (persistence under load).
+        if step == 100 {
+            let state = plugin.state();
+            let mut flow = state.lock();
+            let sealed = flow.export_sealed(step as u64);
+            let restored = browserflow::BrowserFlow::import_sealed(
+                browserflow_store::StoreKey::from_bytes([0u8; 32]),
+                &sealed,
+            )
+            .expect("state restores");
+            *flow = restored;
+        }
+        match rng.gen_range(0..6) {
+            // Type fresh public prose into the docs draft.
+            0 | 1 => {
+                if docs.paragraph_count(&browser) == 0 {
+                    docs.create_paragraph(&mut browser);
+                }
+                let index = rng.gen_range(0..docs.paragraph_count(&browser));
+                let text = gen.paragraph(3);
+                if docs.set_paragraph_text(&mut browser, index, &text).is_delivered() {
+                    public_deliveries += 1;
+                }
+            }
+            // Paste a random wiki secret (possibly framed) into the draft.
+            2 | 3 => {
+                docs.create_paragraph(&mut browser);
+                let index = docs.paragraph_count(&browser) - 1;
+                let secret = &secrets[rng.gen_range(0..secrets.len())];
+                let framed = match rng.gen_range(0..3) {
+                    0 => secret.clone(),
+                    1 => format!("fyi: {secret}"),
+                    _ => secret.to_uppercase(),
+                };
+                let _ = docs.set_paragraph_text(&mut browser, index, &framed);
+            }
+            // Post something to the external forum.
+            4 => {
+                let leak = rng.gen_bool(0.5);
+                let content = if leak {
+                    secrets[rng.gen_range(0..secrets.len())].clone()
+                } else {
+                    gen.paragraph(2)
+                };
+                forum.set_content(&mut browser, &content);
+                let result = forum.save(&mut browser);
+                if !leak && result.is_delivered() {
+                    public_deliveries += 1;
+                }
+            }
+            // Occasionally delete a docs paragraph (index churn).
+            _ => {
+                if docs.paragraph_count(&browser) > 1 && step % 3 == 0 {
+                    docs.delete_paragraph(&mut browser, 0);
+                }
+            }
+        }
+    }
+
+    // Safety: no secret text, under any framing, reached an external
+    // backend. (Substring check on a distinctive infix of each secret.)
+    for backend in [browser.backend(GDOCS), browser.backend(FORUM)] {
+        for secret in &secrets {
+            let infix: String = secret
+                .chars()
+                .skip(20)
+                .take(30)
+                .collect::<String>()
+                .to_lowercase();
+            for upload in backend.uploads() {
+                assert!(
+                    !upload.body.to_lowercase().contains(&infix),
+                    "secret infix {infix:?} leaked to {}",
+                    backend.origin()
+                );
+            }
+        }
+    }
+    // Liveness: plenty of legitimate traffic flowed.
+    assert!(
+        public_deliveries > 30,
+        "only {public_deliveries} public deliveries — enforcement is over-blocking"
+    );
+    // And the middleware recorded the attempted violations.
+    let state = plugin.state();
+    assert!(!state.lock().warnings().is_empty());
+}
+
+#[test]
+fn async_decider_is_safe_under_concurrent_load() {
+    let ts = Tag::new("s").unwrap();
+    let mut flow = BrowserFlow::builder()
+        .mode(EnforcementMode::Block)
+        .engine(EngineConfig {
+            fingerprint: FingerprintConfig::builder()
+                .ngram_len(8)
+                .window(6)
+                .build()
+                .unwrap(),
+            ..EngineConfig::default()
+        })
+        .service(
+            Service::new("internal", "Internal")
+                .with_privilege(TagSet::from_iter([ts.clone()]))
+                .with_confidentiality(TagSet::from_iter([ts])),
+        )
+        .service(Service::new("external", "External"))
+        .build()
+        .unwrap();
+    let mut gen = TextGen::new(11);
+    let secrets: Vec<String> = (0..4).map(|_| gen.paragraph(5)).collect();
+    let internal: ServiceId = "internal".into();
+    for (i, secret) in secrets.iter().enumerate() {
+        flow.observe_paragraph(&internal, "kb", i, secret).unwrap();
+    }
+    let decider = Arc::new(AsyncDecider::spawn(flow));
+
+    let mut handles = Vec::new();
+    for worker in 0..8 {
+        let decider = Arc::clone(&decider);
+        let secrets = secrets.clone();
+        handles.push(std::thread::spawn(move || {
+            let external: ServiceId = "external".into();
+            let mut gen = TextGen::new(1000 + worker);
+            for round in 0..25 {
+                let leak = round % 2 == 0;
+                let text = if leak {
+                    secrets[round % secrets.len()].clone()
+                } else {
+                    gen.paragraph(4)
+                };
+                let timed = decider.check(
+                    &external,
+                    &format!("doc-{worker}"),
+                    round,
+                    &text,
+                );
+                let decision = timed.decision.expect("service registered");
+                if leak {
+                    assert_eq!(decision.action, UploadAction::Block);
+                } else {
+                    assert_eq!(decision.action, UploadAction::Allow);
+                }
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("worker thread panicked");
+    }
+}

@@ -1,0 +1,254 @@
+//! Exhaustive TDM decision-matrix tests: every (source service,
+//! destination service) pair under every enforcement mode, plus the
+//! custom-tag and suppression lifecycles driven through the middleware.
+
+use browserflow::{BrowserFlow, DocKey, EnforcementMode, EngineConfig, SegmentKey, UploadAction};
+use browserflow_corpus::TextGen;
+use browserflow_fingerprint::FingerprintConfig;
+use browserflow_tdm::{Service, ServiceId, Tag, TagSet, UserId};
+
+fn tag(name: &str) -> Tag {
+    Tag::new(name).unwrap()
+}
+
+/// The paper's three-service policy: itool {ti}, wiki {tw}, gdocs {}.
+fn figure3_flow(mode: EnforcementMode) -> BrowserFlow {
+    BrowserFlow::builder()
+        .mode(mode)
+        .engine(EngineConfig {
+            fingerprint: FingerprintConfig::builder()
+                .ngram_len(8)
+                .window(6)
+                .build()
+                .unwrap(),
+            ..EngineConfig::default()
+        })
+        .service(
+            Service::new("itool", "Interview Tool")
+                .with_privilege(TagSet::from_iter([tag("ti")]))
+                .with_confidentiality(TagSet::from_iter([tag("ti")])),
+        )
+        .service(
+            Service::new("wiki", "Internal Wiki")
+                .with_privilege(TagSet::from_iter([tag("tw")]))
+                .with_confidentiality(TagSet::from_iter([tag("tw")])),
+        )
+        .service(Service::new("gdocs", "Google Docs"))
+        .build()
+        .unwrap()
+}
+
+fn paragraph(seed: u64) -> String {
+    TextGen::new(seed).paragraph(7)
+}
+
+/// Every (source, destination) ordered pair behaves per the subset rule:
+/// text may return to its own service; it may reach gdocs only from
+/// gdocs; itool and wiki are mutually isolated.
+#[test]
+fn full_source_destination_matrix() {
+    let services = ["itool", "wiki", "gdocs"];
+    for (i, &source) in services.iter().enumerate() {
+        for &destination in &services {
+            let mut flow = figure3_flow(EnforcementMode::Block);
+            let text = paragraph(100 + i as u64);
+            let source_id: ServiceId = source.into();
+            flow.observe_paragraph(&source_id, "doc", 0, &text).unwrap();
+            let decision = flow
+                .check_upload(&destination.into(), "target", 0, &text)
+                .unwrap();
+            let expected = if source == destination || source == "gdocs" {
+                UploadAction::Allow
+            } else {
+                UploadAction::Block
+            };
+            assert_eq!(
+                decision.action, expected,
+                "flow {source} -> {destination}"
+            );
+        }
+    }
+}
+
+/// The violation action is exactly the configured mode for every
+/// violating pair, and Allow decisions never carry violations.
+#[test]
+fn enforcement_modes_map_uniformly_across_the_matrix() {
+    for (mode, expected) in [
+        (EnforcementMode::Advisory, UploadAction::Warn),
+        (EnforcementMode::Block, UploadAction::Block),
+        (EnforcementMode::Encrypt, UploadAction::Encrypt),
+    ] {
+        let mut flow = figure3_flow(mode);
+        let text = paragraph(7);
+        flow.observe_paragraph(&"itool".into(), "doc", 0, &text)
+            .unwrap();
+        let violating = flow.check_upload(&"wiki".into(), "t", 0, &text).unwrap();
+        assert_eq!(violating.action, expected, "{mode:?}");
+        assert!(!violating.violations.is_empty());
+        let clean = flow
+            .check_upload(&"wiki".into(), "t", 1, &paragraph(8))
+            .unwrap();
+        assert_eq!(clean.action, UploadAction::Allow);
+        assert!(clean.violations.is_empty());
+    }
+}
+
+/// Suppressing one tag of a multi-tag label releases only flows that
+/// lacked exactly that tag.
+#[test]
+fn partial_suppression_of_multi_tag_labels() {
+    let mut flow = figure3_flow(EnforcementMode::Block);
+    let itool_text = paragraph(21);
+    let wiki_text = paragraph(22);
+    flow.observe_paragraph(&"itool".into(), "a", 0, &itool_text)
+        .unwrap();
+    // A wiki paragraph that pastes the itool text: explicit tw, implicit ti.
+    let combined = format!("{itool_text} {wiki_text}");
+    let status = flow
+        .observe_paragraph(&"wiki".into(), "b", 0, &combined)
+        .unwrap();
+    assert!(status.label.implicit_tags().contains(&tag("ti")));
+    assert!(status.label.explicit_tags().contains(&tag("tw")));
+
+    // Uploading the combined text to gdocs violates both tags (two
+    // sources: the itool original and the wiki paragraph).
+    let decision = flow
+        .check_upload(&"gdocs".into(), "c", 0, &combined)
+        .unwrap();
+    let mut missing = TagSet::new();
+    for violation in &decision.violations {
+        missing = missing.union(&violation.missing_tags);
+    }
+    assert!(missing.contains(&tag("ti")));
+    assert!(missing.contains(&tag("tw")));
+
+    // Suppress ti on the itool source alone: ti STILL blocks, because the
+    // wiki paragraph's label carries ti implicitly (it resembles the itool
+    // text) — suppression is per-segment, so one declassified copy does
+    // not declassify every similar segment.
+    let itool_key = SegmentKey::paragraph(DocKey::new("itool", "a"), 0);
+    flow.suppress_tag(&itool_key, &tag("ti"), &UserId::new("alice"), "ok")
+        .unwrap();
+    let decision = flow
+        .check_upload(&"gdocs".into(), "c2", 0, &combined)
+        .unwrap();
+    let mut missing = TagSet::new();
+    for violation in &decision.violations {
+        missing = missing.union(&violation.missing_tags);
+    }
+    assert!(missing.contains(&tag("ti")), "{missing}");
+
+    // Suppressing ti on the wiki paragraph as well finally clears ti;
+    // the wiki's own tw still blocks.
+    let wiki_key = SegmentKey::paragraph(DocKey::new("wiki", "b"), 0);
+    flow.suppress_tag(&wiki_key, &tag("ti"), &UserId::new("alice"), "ok")
+        .unwrap();
+    let decision = flow
+        .check_upload(&"gdocs".into(), "c3", 0, &combined)
+        .unwrap();
+    assert_eq!(decision.action, UploadAction::Block);
+    let mut missing = TagSet::new();
+    for violation in &decision.violations {
+        missing = missing.union(&violation.missing_tags);
+    }
+    assert!(!missing.contains(&tag("ti")), "{missing}");
+    assert!(missing.contains(&tag("tw")));
+    // Two audited suppressions were recorded.
+    assert_eq!(flow.policy().audit_log().len(), 2);
+}
+
+/// Custom-tag lifecycle through the middleware: allocate, auto-grant to
+/// the hosting service, restrict a previously-allowed flow, and verify
+/// ownership is enforced at the policy layer.
+#[test]
+fn custom_tag_lifecycle() {
+    let mut flow = figure3_flow(EnforcementMode::Block);
+    // Admin: the wiki may receive itool data.
+    flow.policy_mut()
+        .grant_privilege_unchecked(&"wiki".into(), &tag("ti"))
+        .unwrap();
+    let text = paragraph(31);
+    flow.observe_paragraph(&"itool".into(), "plan", 0, &text)
+        .unwrap();
+    assert_eq!(
+        flow.check_upload(&"wiki".into(), "t", 0, &text).unwrap().action,
+        UploadAction::Allow
+    );
+
+    let owner = UserId::new("carol");
+    let key = SegmentKey::paragraph(DocKey::new("itool", "plan"), 0);
+    flow.protect_with_custom_tag(&key, tag("plan-x"), &owner)
+        .unwrap();
+    // The wiki lacks plan-x -> now blocked.
+    assert_eq!(
+        flow.check_upload(&"wiki".into(), "t2", 0, &text).unwrap().action,
+        UploadAction::Block
+    );
+    // The owner grants the wiki the privilege -> allowed again.
+    flow.policy_mut()
+        .grant_custom_privilege(&"wiki".into(), &tag("plan-x"), &owner)
+        .unwrap();
+    assert_eq!(
+        flow.check_upload(&"wiki".into(), "t3", 0, &text).unwrap().action,
+        UploadAction::Allow
+    );
+    // A non-owner cannot revoke it.
+    assert!(flow
+        .policy_mut()
+        .revoke_custom_privilege(&"wiki".into(), &tag("plan-x"), &UserId::new("mallory"))
+        .is_err());
+    // The owner can.
+    assert!(flow
+        .policy_mut()
+        .revoke_custom_privilege(&"wiki".into(), &tag("plan-x"), &owner)
+        .unwrap());
+    assert_eq!(
+        flow.check_upload(&"wiki".into(), "t4", 0, &text).unwrap().action,
+        UploadAction::Block
+    );
+}
+
+/// Warnings accumulate per destination and are queryable.
+#[test]
+fn warning_trail_is_queryable_by_destination() {
+    let mut flow = figure3_flow(EnforcementMode::Advisory);
+    let text = paragraph(41);
+    flow.observe_paragraph(&"itool".into(), "doc", 0, &text)
+        .unwrap();
+    flow.check_upload(&"wiki".into(), "w", 0, &text).unwrap();
+    flow.check_upload(&"gdocs".into(), "g", 0, &text).unwrap();
+    flow.check_upload(&"gdocs".into(), "g", 1, &text).unwrap();
+    assert_eq!(flow.warnings().len(), 3);
+    assert_eq!(flow.warnings_for(&"gdocs".into()).count(), 2);
+    assert_eq!(flow.warnings_for(&"wiki".into()).count(), 1);
+    assert_eq!(flow.warnings_for(&"itool".into()).count(), 0);
+    flow.clear_warnings();
+    assert!(flow.warnings().is_empty());
+}
+
+/// Admin relabelling through the middleware policy handle changes
+/// decisions for subsequently observed text.
+#[test]
+fn admin_relabelling_applies_to_new_observations() {
+    let mut flow = figure3_flow(EnforcementMode::Block);
+    let text = paragraph(51);
+    flow.observe_paragraph(&"itool".into(), "old", 0, &text)
+        .unwrap();
+    // Admin retires the ti classification for newly created itool text.
+    flow.policy_mut()
+        .set_service_confidentiality(&"itool".into(), TagSet::new())
+        .unwrap();
+    let fresh = paragraph(52);
+    flow.observe_paragraph(&"itool".into(), "new", 0, &fresh)
+        .unwrap();
+    // Old text keeps its label; new text is public.
+    assert_eq!(
+        flow.check_upload(&"gdocs".into(), "t", 0, &text).unwrap().action,
+        UploadAction::Block
+    );
+    assert_eq!(
+        flow.check_upload(&"gdocs".into(), "t", 1, &fresh).unwrap().action,
+        UploadAction::Allow
+    );
+}
