@@ -1,0 +1,201 @@
+//! Concurrency benches for the sharded store: multi-threaded check
+//! throughput at 1/2/4/8 checker threads against the single-threaded
+//! baseline, and the parallel Algorithm 1 fan-out at 1/2/4/8 workers.
+//!
+//! Besides the criterion timings, the harness writes the scaling series to
+//! `BENCH_concurrent.json` at the repository root, together with the
+//! machine's core count — on a single-core host the series is flat (there
+//! is no parallel speedup to harvest), so the JSON records the hardware
+//! context needed to interpret it.
+
+use browserflow_corpus::TextGen;
+use browserflow_fingerprint::Fingerprinter;
+use browserflow_store::{FingerprintStore, SegmentId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+const STORE_PARAGRAPHS: usize = 1_500;
+const CHECKS_PER_THREAD: usize = 40;
+
+fn paragraphs(count: usize, seed: u64) -> Vec<String> {
+    let mut gen = TextGen::new(seed);
+    (0..count).map(|_| gen.paragraph(7)).collect()
+}
+
+fn filled_store(fp: &Fingerprinter, texts: &[String]) -> FingerprintStore {
+    let store = FingerprintStore::new();
+    for (i, text) in texts.iter().enumerate() {
+        store.observe(SegmentId::new(i as u64), &fp.fingerprint(text), 0.5);
+    }
+    store
+}
+
+/// Runs `threads` checker threads, each performing `CHECKS_PER_THREAD`
+/// sequential Algorithm 1 checks against the shared store, and returns the
+/// wall-clock seconds for the whole batch.
+fn run_checker_batch(
+    store: &Arc<FingerprintStore>,
+    queries: &Arc<Vec<HashSet<u32>>>,
+    threads: usize,
+) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let store = Arc::clone(store);
+            let queries = Arc::clone(queries);
+            s.spawn(move || {
+                for i in 0..CHECKS_PER_THREAD {
+                    let query = &queries[(t * CHECKS_PER_THREAD + i) % queries.len()];
+                    // One worker per check: this axis measures how well
+                    // independent checkers share the striped store.
+                    std::hint::black_box(store.disclosing_sources_with_workers(
+                        SegmentId::new(1_000_000 + t as u64),
+                        query,
+                        1,
+                    ));
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+fn write_report(
+    checker_series: &[(usize, f64)],
+    fanout_series: &[(usize, f64)],
+    baseline_checks_per_sec: f64,
+) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let checker_json: Vec<String> = checker_series
+        .iter()
+        .map(|(threads, secs)| {
+            let total = (threads * CHECKS_PER_THREAD) as f64;
+            format!(
+                "    {{\"threads\": {threads}, \"total_checks\": {}, \"wall_s\": {secs:.6}, \
+                 \"checks_per_sec\": {:.1}, \"speedup_vs_1_thread\": {:.3}}}",
+                total as u64,
+                total / secs,
+                (total / secs) / baseline_checks_per_sec
+            )
+        })
+        .collect();
+    let fanout_json: Vec<String> = fanout_series
+        .iter()
+        .map(|(workers, secs)| {
+            format!(
+                "    {{\"workers\": {workers}, \"mean_check_ms\": {:.4}}}",
+                secs * 1e3
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"concurrent\",\n  \"host_cores\": {cores},\n  \
+         \"store_paragraphs\": {STORE_PARAGRAPHS},\n  \
+         \"note\": \"speedups are bounded by host_cores; a flat series on a \
+         single-core host reflects the hardware, not the implementation\",\n  \
+         \"checker_thread_scaling\": [\n{}\n  ],\n  \
+         \"algorithm1_fanout\": [\n{}\n  ]\n}}\n",
+        checker_json.join(",\n"),
+        fanout_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_concurrent.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn bench_concurrent_checkers(c: &mut Criterion) {
+    let fp = Fingerprinter::default();
+    let texts = paragraphs(STORE_PARAGRAPHS, 17);
+    let store = Arc::new(filled_store(&fp, &texts));
+    // Half the queries hit stored content, half are novel.
+    let queries: Arc<Vec<HashSet<u32>>> = Arc::new(
+        texts
+            .iter()
+            .step_by(10)
+            .map(|t| fp.fingerprint(t).hash_set())
+            .chain(
+                paragraphs(16, 900_000)
+                    .iter()
+                    .map(|t| fp.fingerprint(t).hash_set()),
+            )
+            .collect(),
+    );
+
+    let mut checker_series = Vec::new();
+    let mut group = c.benchmark_group("concurrent-checkers");
+    for threads in [1usize, 2, 4, 8] {
+        // Warm-up pass, then three measured passes; keep the best.
+        run_checker_batch(&store, &queries, threads);
+        let secs = (0..3)
+            .map(|_| run_checker_batch(&store, &queries, threads))
+            .fold(f64::INFINITY, f64::min);
+        checker_series.push((threads, secs));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}-threads")),
+            &threads,
+            |b, &threads| b.iter(|| run_checker_batch(&store, &queries, threads)),
+        );
+    }
+    group.finish();
+
+    // Parallel Algorithm 1 fan-out: one broad check with many candidates.
+    let broad: HashSet<u32> = texts
+        .iter()
+        .take(200)
+        .flat_map(|t| fp.fingerprint(t).hash_set())
+        .collect();
+    let mut fanout_series = Vec::new();
+    let mut group = c.benchmark_group("algorithm1-fanout");
+    for workers in [1usize, 2, 4, 8] {
+        store.disclosing_sources_with_workers(SegmentId::new(2_000_000), &broad, workers);
+        let start = Instant::now();
+        const ROUNDS: usize = 5;
+        for _ in 0..ROUNDS {
+            std::hint::black_box(store.disclosing_sources_with_workers(
+                SegmentId::new(2_000_000),
+                &broad,
+                workers,
+            ));
+        }
+        fanout_series.push((workers, start.elapsed().as_secs_f64() / ROUNDS as f64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{workers}-workers")),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    store.disclosing_sources_with_workers(
+                        SegmentId::new(2_000_000),
+                        &broad,
+                        workers,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let (_, base_secs) = checker_series[0];
+    let baseline = CHECKS_PER_THREAD as f64 / base_secs;
+    write_report(&checker_series, &fanout_series, baseline);
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_concurrent_checkers
+);
+criterion_main!(benches);

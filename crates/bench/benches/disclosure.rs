@@ -13,7 +13,7 @@ fn paragraphs(count: usize, seed: u64) -> Vec<String> {
 }
 
 fn filled_store(fp: &Fingerprinter, texts: &[String]) -> FingerprintStore {
-    let mut store = FingerprintStore::new();
+    let store = FingerprintStore::new();
     for (i, text) in texts.iter().enumerate() {
         store.observe(SegmentId::new(i as u64), &fp.fingerprint(text), 0.5);
     }
@@ -26,7 +26,7 @@ fn bench_observe(c: &mut Criterion) {
     let prints: Vec<_> = texts.iter().map(|t| fp.fingerprint(t)).collect();
     c.bench_function("store-observe-512-paragraphs", |b| {
         b.iter(|| {
-            let mut store = FingerprintStore::new();
+            let store = FingerprintStore::new();
             for (i, print) in prints.iter().enumerate() {
                 store.observe(SegmentId::new(i as u64), print, 0.5);
             }

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn flow_with_corpus(paragraphs: usize, cache: bool) -> (BrowserFlow, Vec<String>) {
     let lib = Tag::new("library").expect("valid tag");
-    let mut flow = BrowserFlow::builder()
+    let flow = BrowserFlow::builder()
         .engine(EngineConfig {
             cache_decisions: cache,
             ..EngineConfig::default()
@@ -36,7 +36,7 @@ fn bench_check_upload(c: &mut Criterion) {
     let mut group = c.benchmark_group("check-upload");
     let gdocs: ServiceId = "gdocs".into();
     for &cache in &[false, true] {
-        let (mut flow, texts) = flow_with_corpus(2_000, cache);
+        let (flow, texts) = flow_with_corpus(2_000, cache);
         let secret = texts[1_000].clone();
         let label = if cache { "cached" } else { "uncached" };
         group.bench_function(BenchmarkId::from_parameter(format!("hit-{label}")), |b| {

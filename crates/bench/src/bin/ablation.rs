@@ -99,7 +99,15 @@ fn main() {
     let manuals = ManualsDataset::generate(2);
     println!(
         "{:>6} {:>6} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10} {:>9}",
-        "ngram", "window", "guarantee", "agreement", "detected", "truth", "hashes", "density", "2/(w+1)"
+        "ngram",
+        "window",
+        "guarantee",
+        "agreement",
+        "detected",
+        "truth",
+        "hashes",
+        "density",
+        "2/(w+1)"
     );
     for &(n, w) in &[
         (5usize, 10usize),

@@ -55,5 +55,7 @@ fn main() {
         mean(ChurnLevel::Low) * 100.0,
         mean(ChurnLevel::High) * 100.0
     );
-    println!("(paper shape: low-variation articles cluster near zero; high-variation tail is long)");
+    println!(
+        "(paper shape: low-variation articles cluster near zero; high-variation tail is long)"
+    );
 }

@@ -64,9 +64,7 @@ fn main() {
     // full 0..1000 x-axis); snapshot-only storage keeps the paper scale
     // within memory.
     let steps = 6usize;
-    let checkpoints: Vec<usize> = (0..=steps)
-        .map(|i| i * config.revisions / steps)
-        .collect();
+    let checkpoints: Vec<usize> = (0..=steps).map(|i| i * config.revisions / steps).collect();
     let wikipedia = WikipediaCheckpoints::generate(1, &config, &checkpoints);
 
     print_group(

@@ -21,7 +21,10 @@ fn main() {
     let fp = paper_fingerprinter();
     let manuals = ManualsDataset::generate(2);
 
-    println!("{:>6} {:>10} {:>14} {:>10} {:>12}", "Tpar", "detected", "ground-truth", "ratio", "agreement");
+    println!(
+        "{:>6} {:>10} {:>14} {:>10} {:>12}",
+        "Tpar", "detected", "ground-truth", "ratio", "agreement"
+    );
     for step in 0..=10 {
         let tpar = step as f64 / 10.0;
         let mut detected_total = 0usize;

@@ -26,7 +26,7 @@ const KEYSTROKES: usize = 600;
 
 fn load_corpus(scale: Scale) -> (BrowserFlow, EbooksDataset) {
     let lib = Tag::new("library").expect("valid tag");
-    let mut flow = BrowserFlow::builder()
+    let flow = BrowserFlow::builder()
         .mode(EnforcementMode::Advisory)
         .service(
             Service::new("library", "Corporate Library")
@@ -50,12 +50,7 @@ fn load_corpus(scale: Scale) -> (BrowserFlow, EbooksDataset) {
 
 /// Types `text` into paragraph 0 of a fresh document, checking after every
 /// keystroke chunk, and returns the latency samples.
-fn type_and_measure(
-    decider: &AsyncDecider,
-    document: &str,
-    text: &str,
-    times: &mut ResponseTimes,
-) {
+fn type_and_measure(decider: &AsyncDecider, document: &str, text: &str, times: &mut ResponseTimes) {
     let gdocs: ServiceId = "gdocs".into();
     let chars: Vec<char> = text.chars().collect();
     let step = (chars.len() / KEYSTROKES).max(1);
@@ -172,10 +167,7 @@ fn main() {
 
     println!();
     println!("response-time CDF (ms at cumulative fraction):");
-    println!(
-        "{:>10} {:>12} {:>12} {:>12}",
-        "fraction", "W1", "W2", "W3"
-    );
+    println!("{:>10} {:>12} {:>12} {:>12}", "fraction", "W1", "W2", "W3");
     for p in [0.1, 0.25, 0.5, 0.75, 0.85, 0.95, 0.99, 1.0] {
         println!(
             "{:>10.2} {:>12.3?} {:>12.3?} {:>12.3?}",

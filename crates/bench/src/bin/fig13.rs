@@ -49,7 +49,7 @@ fn main() {
     );
     for step in 1..=STEPS {
         let count = (books.len() * step).div_ceil(STEPS).max(1);
-        let mut flow = fresh_flow();
+        let flow = fresh_flow();
         for (book_index, book) in books.iter().take(count).enumerate() {
             let doc = format!("book-{book_index}");
             for (par_index, paragraph) in book.paragraphs().iter().enumerate() {

@@ -3,8 +3,7 @@
 
 use browserflow_bench::{print_header, Scale};
 use browserflow_corpus::datasets::{
-    table1_rows, EbooksDataset, ManualsDataset, NewsDataset, WikipediaCheckpoints,
-    WikipediaDataset,
+    table1_rows, EbooksDataset, ManualsDataset, NewsDataset, WikipediaCheckpoints, WikipediaDataset,
 };
 
 fn main() {

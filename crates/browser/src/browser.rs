@@ -336,13 +336,19 @@ mod tests {
         browser.navigate(tab, "https://b", "<p>new page</p>");
         assert_eq!(browser.tab(tab).origin(), "https://b");
         assert_eq!(
-            browser.tab(tab).document().text_content(browser.tab(tab).document().root()),
+            browser
+                .tab(tab)
+                .document()
+                .text_content(browser.tab(tab).document().root()),
             "new page"
         );
         // The old observer is gone; mutations on the new page fire nothing.
         let new_root = browser.tab(tab).document().root();
         let p = browser.tab_mut(tab).document_mut().create_element("p");
-        browser.tab_mut(tab).document_mut().append_child(new_root, p);
+        browser
+            .tab_mut(tab)
+            .document_mut()
+            .append_child(new_root, p);
         browser.tab_mut(tab).flush_mutations();
         assert_eq!(fired.load(Ordering::SeqCst), 0);
     }

@@ -156,7 +156,10 @@ mod tests {
         assert_eq!(form.fields.len(), 3);
         assert_eq!(form.fields[0].name, "csrf");
         assert!(form.fields[0].hidden);
-        assert_eq!(form.fields[2].value, "The rubric awards points for clarity.");
+        assert_eq!(
+            form.fields[2].value,
+            "The rubric awards points for clarity."
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@
 use crate::dom::{Document, NodeId, NodeKind};
 
 const VOID_ELEMENTS: &[&str] = &[
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "source",
-    "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "source", "track",
+    "wbr",
 ];
 
 /// Parses `html` into a fresh [`Document`] (content appended under the
@@ -43,12 +43,18 @@ pub fn parse_into(doc: &mut Document, parent: NodeId, html: &str) {
         if bytes[i] == b'<' {
             if html[i..].starts_with("<!--") {
                 // Comment.
-                i = html[i..].find("-->").map(|j| i + j + 3).unwrap_or(bytes.len());
+                i = html[i..]
+                    .find("-->")
+                    .map(|j| i + j + 3)
+                    .unwrap_or(bytes.len());
                 continue;
             }
             if html[i..].starts_with("<!") {
                 // Doctype or similar declaration.
-                i = html[i..].find('>').map(|j| i + j + 1).unwrap_or(bytes.len());
+                i = html[i..]
+                    .find('>')
+                    .map(|j| i + j + 1)
+                    .unwrap_or(bytes.len());
                 continue;
             }
             if html[i..].starts_with("</") {
@@ -86,7 +92,11 @@ pub fn parse_into(doc: &mut Document, parent: NodeId, html: &str) {
             if !self_closing && !VOID_ELEMENTS.contains(&name.as_str()) {
                 stack.push(element);
             }
-            i = if end < bytes.len() { end + 1 } else { bytes.len() };
+            i = if end < bytes.len() {
+                end + 1
+            } else {
+                bytes.len()
+            };
         } else {
             let next_tag = html[i..].find('<').map(|j| i + j).unwrap_or(bytes.len());
             let text = &html[i..next_tag];

@@ -78,11 +78,7 @@ impl ObserverRegistry {
     pub fn observe(&mut self, root: NodeId, callback: ObserverCallback) -> ObserverId {
         let id = ObserverId(self.next_id);
         self.next_id += 1;
-        self.registrations.push(Registration {
-            id,
-            root,
-            callback,
-        });
+        self.registrations.push(Registration { id, root, callback });
         id
     }
 

@@ -31,7 +31,11 @@ impl DocsApp {
         document.append_child(root, editor);
         // Building the editor shell is page setup, not user content.
         document.take_mutations();
-        Self { tab, origin, editor }
+        Self {
+            tab,
+            origin,
+            editor,
+        }
     }
 
     /// The tab this editor lives in.
@@ -66,11 +70,7 @@ impl DocsApp {
 
     /// Number of paragraphs.
     pub fn paragraph_count(&self, browser: &Browser) -> usize {
-        browser
-            .tab(self.tab)
-            .document()
-            .children(self.editor)
-            .len()
+        browser.tab(self.tab).document().children(self.editor).len()
     }
 
     /// The DOM node of paragraph `index`.
@@ -91,12 +91,7 @@ impl DocsApp {
     /// Appends `text` to paragraph `index` (as a user typing or pasting
     /// at the end), delivers mutation records to observers, then syncs
     /// the paragraph via XHR. Returns the transport outcome.
-    pub fn type_text(
-        &mut self,
-        browser: &mut Browser,
-        index: usize,
-        text: &str,
-    ) -> SendResult {
+    pub fn type_text(&mut self, browser: &mut Browser, index: usize, text: &str) -> SendResult {
         let current = self.paragraph_text(browser, index);
         let updated = if current.is_empty() {
             text.to_string()

@@ -167,7 +167,10 @@ mod tests {
 
     #[test]
     fn wire_format_parses() {
-        assert_eq!(parse_notes_sync("note-sync title=Hi"), Some((0, "Hi".into())));
+        assert_eq!(
+            parse_notes_sync("note-sync title=Hi"),
+            Some((0, "Hi".into()))
+        );
         assert_eq!(
             parse_notes_sync("note-sync block3=body text = with equals"),
             Some((4, "body text = with equals".into()))
@@ -182,7 +185,9 @@ mod tests {
         let (mut browser, mut notes) = setup();
         browser.install_xhr_hook(Box::new(|r| {
             if r.body.contains("classified") {
-                XhrDisposition::Block { reason: "leak".into() }
+                XhrDisposition::Block {
+                    reason: "leak".into(),
+                }
             } else {
                 XhrDisposition::Allow
             }

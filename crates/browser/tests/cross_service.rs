@@ -125,7 +125,11 @@ fn hooks_and_listeners_compose_without_interfering() {
         }
     }));
     browser.add_submit_listener(Box::new(|event| {
-        if event.form().visible_fields().any(|f| f.value.contains("beta")) {
+        if event
+            .form()
+            .visible_fields()
+            .any(|f| f.value.contains("beta"))
+        {
             event.prevent_default("beta");
         }
     }));

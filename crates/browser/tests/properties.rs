@@ -113,7 +113,10 @@ proptest! {
 /// own ancestor; detached flags are consistent for reachable nodes.
 fn assert_tree_invariants(doc: &Document) {
     for id in doc.descendants(doc.root()) {
-        assert!(!doc.is_detached(id), "reachable node {id:?} marked detached");
+        assert!(
+            !doc.is_detached(id),
+            "reachable node {id:?} marked detached"
+        );
         for &child in doc.children(id) {
             assert_eq!(doc.parent(child), Some(id));
         }

@@ -149,7 +149,12 @@ fn audit_command(args: &[String]) -> Result<String, CliError> {
         writeln!(out, "audit log is empty (after filters)").unwrap();
         return Ok(out);
     }
-    writeln!(out, "{:<6} {:<20} {:<16} justification", "seq", "tag", "user").unwrap();
+    writeln!(
+        out,
+        "{:<6} {:<20} {:<16} justification",
+        "seq", "tag", "user"
+    )
+    .unwrap();
     for record in records {
         writeln!(
             out,
@@ -219,7 +224,12 @@ fn compare_command(args: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
     writeln!(out, "D({path_a} -> {path_b}) = {a_in_b:.3}").unwrap();
     writeln!(out, "D({path_b} -> {path_a}) = {b_in_a:.3}").unwrap();
-    writeln!(out, "resemblance         = {:.3}", print_a.resemblance(&print_b)).unwrap();
+    writeln!(
+        out,
+        "resemblance         = {:.3}",
+        print_a.resemblance(&print_b)
+    )
+    .unwrap();
     writeln!(out, "threshold           = {:.2}", options.threshold).unwrap();
     if a_in_b >= options.threshold && a_in_b > 0.0 {
         writeln!(
@@ -285,7 +295,7 @@ fn check_command(args: &[String]) -> Result<String, CliError> {
     }
 
     let policy: Policy = serde_json::from_str(&std::fs::read_to_string(policy_path)?)?;
-    let mut flow = BrowserFlow::builder()
+    let flow = BrowserFlow::builder()
         .policy(policy)
         .build()
         .map_err(|e| CliError::Usage(e.to_string()))?;
@@ -329,9 +339,17 @@ fn check_command(args: &[String]) -> Result<String, CliError> {
         .unwrap();
     }
     if any_violation {
-        writeln!(out, "verdict: VIOLATION — uploading {target} to {dest} leaks tracked text").unwrap();
+        writeln!(
+            out,
+            "verdict: VIOLATION — uploading {target} to {dest} leaks tracked text"
+        )
+        .unwrap();
     } else {
-        writeln!(out, "verdict: clean — no tracked text from the sources detected").unwrap();
+        writeln!(
+            out,
+            "verdict: clean — no tracked text from the sources detected"
+        )
+        .unwrap();
     }
     Ok(out)
 }
@@ -365,12 +383,32 @@ fn state_command(args: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
     writeln!(out, "state file:        {path}").unwrap();
     writeln!(out, "enforcement mode:  {:?}", flow.mode()).unwrap();
-    writeln!(out, "services:          {}", flow.policy().services().count()).unwrap();
-    writeln!(out, "tracked paragraphs: {}", flow.engine().paragraph_count()).unwrap();
+    writeln!(
+        out,
+        "services:          {}",
+        flow.policy().services().count()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "tracked paragraphs: {}",
+        flow.engine().paragraph_count()
+    )
+    .unwrap();
     writeln!(out, "tracked documents: {}", flow.engine().document_count()).unwrap();
-    writeln!(out, "distinct hashes:   {}", flow.engine().paragraph_hash_count()).unwrap();
+    writeln!(
+        out,
+        "distinct hashes:   {}",
+        flow.engine().paragraph_hash_count()
+    )
+    .unwrap();
     writeln!(out, "short secrets:     {}", flow.short_secret_count()).unwrap();
-    writeln!(out, "audit records:     {}", flow.policy().audit_log().len()).unwrap();
+    writeln!(
+        out,
+        "audit records:     {}",
+        flow.policy().audit_log().len()
+    )
+    .unwrap();
     out.push('\n');
     out.push_str(&browserflow::report::warning_report(&flow));
     Ok(out)
@@ -448,7 +486,7 @@ mod tests {
     fn state_command_inspects_a_sealed_file() {
         use browserflow::EnforcementMode;
         let ti = Tag::new("ti").unwrap();
-        let mut flow = BrowserFlow::builder()
+        let flow = BrowserFlow::builder()
             .mode(EnforcementMode::Block)
             .store_key(StoreKey::from_bytes([0xAB; 32]))
             .service(
@@ -501,10 +539,15 @@ mod tests {
         let secret = "the interview rubric awards extra points for candidates who ask                       incisive clarifying questions early in the conversation";
         std::fs::write(&source_path, secret).unwrap();
         let target_path = dir.join("bfctl-check-target.txt");
-        std::fs::write(&target_path, format!("notes for the blog post
+        std::fs::write(
+            &target_path,
+            format!(
+                "notes for the blog post
 
-fyi {secret} ok"))
-            .unwrap();
+fyi {secret} ok"
+            ),
+        )
+        .unwrap();
 
         let run_check = |target: &std::path::Path| {
             run(&[
@@ -526,8 +569,11 @@ fyi {secret} ok"))
 
         // A clean file passes.
         let clean_path = dir.join("bfctl-check-clean.txt");
-        std::fs::write(&clean_path, "gardening club minutes about tulips and daffodils")
-            .unwrap();
+        std::fs::write(
+            &clean_path,
+            "gardening club minutes about tulips and daffodils",
+        )
+        .unwrap();
         let output = run_check(&clean_path);
         assert!(output.contains("verdict: clean"), "{output}");
 
@@ -577,7 +623,11 @@ fyi {secret} ok"))
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            run(&["check".to_string(), "--source".to_string(), "nocolon".to_string()]),
+            run(&[
+                "check".to_string(),
+                "--source".to_string(),
+                "nocolon".to_string()
+            ]),
             Err(CliError::Usage(_))
         ));
     }
@@ -596,8 +646,7 @@ fyi {secret} ok"))
         let mut policy = Policy::new();
         policy
             .register(
-                Service::new("odd", "Odd Service")
-                    .with_confidentiality(TagSet::from_iter([tx])),
+                Service::new("odd", "Odd Service").with_confidentiality(TagSet::from_iter([tx])),
             )
             .unwrap();
         let path = std::env::temp_dir().join("bfctl-odd-policy.json");

@@ -40,7 +40,14 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let output = run_strs(&["help"]).unwrap();
-        for command in ["policy init", "policy validate", "policy show", "audit", "fingerprint", "compare"] {
+        for command in [
+            "policy init",
+            "policy validate",
+            "policy show",
+            "audit",
+            "fingerprint",
+            "compare",
+        ] {
             assert!(output.contains(command), "help lacks {command}");
         }
         // No args behaves like help.
@@ -49,10 +56,7 @@ mod tests {
 
     #[test]
     fn unknown_command_is_a_usage_error() {
-        assert!(matches!(
-            run_strs(&["frobnicate"]),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run_strs(&["frobnicate"]), Err(CliError::Usage(_))));
         assert!(matches!(
             run_strs(&["policy", "bogus"]),
             Err(CliError::Usage(_))
@@ -141,12 +145,7 @@ mod tests {
         assert!(output.contains("DISCLOSURE"), "{output}");
         // Unrelated text: no disclosure.
         std::fs::write(&b, "gardening club minutes: tulips along the east fence").unwrap();
-        let output = run_strs(&[
-            "compare",
-            a.to_str().unwrap(),
-            b.to_str().unwrap(),
-        ])
-        .unwrap();
+        let output = run_strs(&["compare", a.to_str().unwrap(), b.to_str().unwrap()]).unwrap();
         assert!(output.contains("no disclosure"), "{output}");
         std::fs::remove_file(&a).ok();
         std::fs::remove_file(&b).ok();

@@ -65,9 +65,7 @@ impl Default for FingerprintOptions {
 ///
 /// Returns [`CliError::Usage`] for unknown flags, missing values, or
 /// unparsable numbers.
-pub(crate) fn parse_options(
-    args: &[String],
-) -> Result<(Vec<&str>, FingerprintOptions), CliError> {
+pub(crate) fn parse_options(args: &[String]) -> Result<(Vec<&str>, FingerprintOptions), CliError> {
     let mut positional = Vec::new();
     let mut options = FingerprintOptions::default();
     let mut iter = args.iter();
@@ -92,10 +90,7 @@ pub(crate) fn parse_options(
     Ok((positional, options))
 }
 
-fn take_number(
-    iter: &mut std::slice::Iter<'_, String>,
-    flag: &str,
-) -> Result<usize, CliError> {
+fn take_number(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, CliError> {
     let raw = iter
         .next()
         .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))?;

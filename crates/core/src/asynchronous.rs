@@ -71,7 +71,7 @@ pub struct AsyncDecider {
 
 impl AsyncDecider {
     /// Moves `flow` onto a worker thread and returns the handle.
-    pub fn spawn(mut flow: BrowserFlow) -> Self {
+    pub fn spawn(flow: BrowserFlow) -> Self {
         let (requests, inbox): (Sender<Request>, Receiver<Request>) = unbounded();
         let worker = std::thread::Builder::new()
             .name("browserflow-decider".into())
@@ -98,8 +98,7 @@ impl AsyncDecider {
                             submitted,
                             reply,
                         } => {
-                            let decision =
-                                flow.check_upload(&service, &document, index, &text);
+                            let decision = flow.check_upload(&service, &document, index, &text);
                             let _ = reply.send(TimedDecision {
                                 decision,
                                 latency: submitted.elapsed(),
@@ -229,9 +228,7 @@ mod tests {
     #[test]
     fn async_observe_then_check() {
         let decider = AsyncDecider::spawn(flow());
-        decider
-            .observe(&"itool".into(), "eval", 0, SECRET)
-            .unwrap();
+        decider.observe(&"itool".into(), "eval", 0, SECRET).unwrap();
         let timed = decider.check(&"gdocs".into(), "draft", 0, SECRET);
         let decision = timed.decision.unwrap();
         assert_eq!(decision.action, UploadAction::Block);
@@ -253,9 +250,7 @@ mod tests {
         let decider = AsyncDecider::spawn(flow());
         // Observe must complete before the dependent check even when both
         // are queued back to back.
-        decider
-            .observe(&"itool".into(), "eval", 0, SECRET)
-            .unwrap();
+        decider.observe(&"itool".into(), "eval", 0, SECRET).unwrap();
         let pending: Vec<_> = (0..8)
             .map(|i| decider.check_nonblocking(&"gdocs".into(), "draft", i, SECRET))
             .collect();

@@ -82,16 +82,17 @@ mod tests {
         dlp.register(SECRET);
         assert!(dlp.is_registered(SECRET));
         assert!(dlp.is_registered(&SECRET.to_uppercase()));
-        assert!(dlp.is_registered("the quarterly revenue figures exceed forecasts by twelve percent"));
+        assert!(
+            dlp.is_registered("the quarterly revenue figures exceed forecasts by twelve percent")
+        );
     }
 
     #[test]
     fn any_content_edit_evades() {
         let mut dlp = ExactMatchDlp::new();
         dlp.register(SECRET);
-        assert!(!dlp.is_registered(
-            "The quarterly revenue figures exceed forecasts by thirteen percent."
-        ));
+        assert!(!dlp
+            .is_registered("The quarterly revenue figures exceed forecasts by thirteen percent."));
         // Partial quote evades.
         assert!(!dlp.is_registered("revenue figures exceed forecasts"));
         // Embedding evades.

@@ -4,6 +4,7 @@
 use browserflow_fingerprint::{Fingerprint, FingerprintConfig, Fingerprinter};
 use browserflow_store::{DecisionCache, FingerprintDigest, FingerprintStore, SegmentId};
 use browserflow_tdm::ServiceId;
+use parking_lot::RwLock;
 use std::collections::HashMap;
 
 /// Identifies a document within a service.
@@ -71,11 +72,9 @@ impl SegmentKey {
 impl std::fmt::Display for SegmentKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.scope {
-            SegmentScope::Paragraph(index) => write!(
-                f,
-                "{}/{}#p{}",
-                self.doc.service, self.doc.document, index
-            ),
+            SegmentScope::Paragraph(index) => {
+                write!(f, "{}/{}#p{}", self.doc.service, self.doc.document, index)
+            }
             SegmentScope::Document => {
                 write!(f, "{}/{}", self.doc.service, self.doc.document)
             }
@@ -136,7 +135,7 @@ impl Default for EngineConfig {
 /// ```rust
 /// use browserflow::{DisclosureEngine, DocKey, EngineConfig};
 ///
-/// let mut engine = DisclosureEngine::new(EngineConfig::default());
+/// let engine = DisclosureEngine::new(EngineConfig::default());
 /// let source = DocKey::new("wiki", "guidelines");
 /// let text = "score candidates on communication, coding fluency, systems design \
 ///             depth and the quality of their clarifying questions";
@@ -153,10 +152,17 @@ pub struct DisclosureEngine {
     fingerprinter: Fingerprinter,
     paragraphs: FingerprintStore,
     documents: FingerprintStore,
+    registry: RwLock<SegmentRegistry>,
+    cache: DecisionCache<Vec<DisclosureMatch>>,
+}
+
+/// The key↔id registry, kept under one lock so both directions stay
+/// consistent when concurrent callers allocate ids.
+#[derive(Debug, Default)]
+struct SegmentRegistry {
     ids: HashMap<SegmentKey, SegmentId>,
     keys: HashMap<SegmentId, SegmentKey>,
     next_id: u64,
-    cache: DecisionCache<Vec<DisclosureMatch>>,
 }
 
 impl DisclosureEngine {
@@ -167,9 +173,7 @@ impl DisclosureEngine {
             fingerprinter: Fingerprinter::new(config.fingerprint),
             paragraphs: FingerprintStore::new(),
             documents: FingerprintStore::new(),
-            ids: HashMap::new(),
-            keys: HashMap::new(),
-            next_id: 0,
+            registry: RwLock::new(SegmentRegistry::default()),
             cache: DecisionCache::new(),
         }
     }
@@ -185,32 +189,37 @@ impl DisclosureEngine {
     }
 
     /// Resolves (or allocates) the [`SegmentId`] for a key.
-    pub fn segment_id(&mut self, key: &SegmentKey) -> SegmentId {
-        if let Some(&id) = self.ids.get(key) {
+    pub fn segment_id(&self, key: &SegmentKey) -> SegmentId {
+        if let Some(&id) = self.registry.read().ids.get(key) {
             return id;
         }
-        let id = SegmentId::new(self.next_id);
-        self.next_id += 1;
-        self.ids.insert(key.clone(), id);
-        self.keys.insert(id, key.clone());
+        let mut registry = self.registry.write();
+        // A concurrent caller may have allocated between the two locks.
+        if let Some(&id) = registry.ids.get(key) {
+            return id;
+        }
+        let id = SegmentId::new(registry.next_id);
+        registry.next_id += 1;
+        registry.ids.insert(key.clone(), id);
+        registry.keys.insert(id, key.clone());
         id
     }
 
     /// The key for a known segment id.
-    pub fn segment_key(&self, id: SegmentId) -> Option<&SegmentKey> {
-        self.keys.get(&id)
+    pub fn segment_key(&self, id: SegmentId) -> Option<SegmentKey> {
+        self.registry.read().keys.get(&id).cloned()
     }
 
     /// Read-only id lookup: `None` if the key was never observed or
     /// checked (unlike [`DisclosureEngine::segment_id`], never allocates).
     pub fn segment_id_readonly(&self, key: &SegmentKey) -> Option<SegmentId> {
-        self.ids.get(key).copied()
+        self.registry.read().ids.get(key).copied()
     }
 
     /// Records (or re-records) a paragraph's fingerprint. `threshold`
     /// falls back to the configured `Tpar` default. Returns the segment id.
     pub fn observe_paragraph(
-        &mut self,
+        &self,
         doc: &DocKey,
         index: usize,
         text: &str,
@@ -226,12 +235,7 @@ impl DisclosureEngine {
     }
 
     /// Records (or re-records) a whole document's fingerprint.
-    pub fn observe_document(
-        &mut self,
-        doc: &DocKey,
-        text: &str,
-        threshold: Option<f64>,
-    ) -> SegmentId {
+    pub fn observe_document(&self, doc: &DocKey, text: &str, threshold: Option<f64>) -> SegmentId {
         let key = SegmentKey::document(doc.clone());
         let id = self.segment_id(&key);
         let print = self.fingerprinter.fingerprint(text);
@@ -242,19 +246,19 @@ impl DisclosureEngine {
     }
 
     /// Updates a stored paragraph's disclosure threshold.
-    pub fn set_paragraph_threshold(&mut self, doc: &DocKey, index: usize, threshold: f64) -> bool {
+    pub fn set_paragraph_threshold(&self, doc: &DocKey, index: usize, threshold: f64) -> bool {
         let key = SegmentKey::paragraph(doc.clone(), index);
-        match self.ids.get(&key) {
-            Some(&id) => self.paragraphs.set_threshold(id, threshold),
+        match self.segment_id_readonly(&key) {
+            Some(id) => self.paragraphs.set_threshold(id, threshold),
             None => false,
         }
     }
 
     /// Updates a stored document's disclosure threshold `Tdoc`.
-    pub fn set_document_threshold(&mut self, doc: &DocKey, threshold: f64) -> bool {
+    pub fn set_document_threshold(&self, doc: &DocKey, threshold: f64) -> bool {
         let key = SegmentKey::document(doc.clone());
-        match self.ids.get(&key) {
-            Some(&id) => self.documents.set_threshold(id, threshold),
+        match self.segment_id_readonly(&key) {
+            Some(id) => self.documents.set_threshold(id, threshold),
             None => false,
         }
     }
@@ -266,20 +270,20 @@ impl DisclosureEngine {
     /// segment until its fingerprint changes (§6.2: one keystroke usually
     /// leaves the winnowed fingerprint unchanged, so the previous response
     /// is reused).
-    pub fn check_paragraph(
-        &mut self,
-        doc: &DocKey,
-        index: usize,
-        text: &str,
-    ) -> Vec<DisclosureMatch> {
+    pub fn check_paragraph(&self, doc: &DocKey, index: usize, text: &str) -> Vec<DisclosureMatch> {
         let key = SegmentKey::paragraph(doc.clone(), index);
         let id = self.segment_id(&key);
+        self.check_paragraph_by_id(id, text)
+    }
+
+    /// [`DisclosureEngine::check_paragraph`] once the id is resolved.
+    fn check_paragraph_by_id(&self, id: SegmentId, text: &str) -> Vec<DisclosureMatch> {
         let print = self.fingerprinter.fingerprint(text);
         let hashes = print.hash_set();
         if self.config.cache_decisions {
             let digest = FingerprintDigest::of(&hashes);
             if let Some(cached) = self.cache.get(id, digest) {
-                return cached.clone();
+                return cached;
             }
             let reports = self.paragraphs.disclosing_sources_of_hashes(id, &hashes);
             let result = self.resolve_matches(reports, &print, &self.paragraphs);
@@ -291,9 +295,58 @@ impl DisclosureEngine {
         }
     }
 
+    /// Batched paragraph-granularity check: fingerprints and checks every
+    /// paragraph of a document, fanning the per-paragraph work over worker
+    /// threads (the stores are lock-striped, so checkers proceed in
+    /// parallel). Results are returned in input order, identical to calling
+    /// [`DisclosureEngine::check_paragraph`] per paragraph.
+    ///
+    /// `workers <= 1`, or fewer than two paragraphs, runs on the calling
+    /// thread.
+    pub fn check_paragraphs(
+        &self,
+        doc: &DocKey,
+        paragraphs: &[&str],
+        workers: usize,
+    ) -> Vec<Vec<DisclosureMatch>> {
+        // Allocate every id up front so worker threads never race on the
+        // registry write lock in allocation order.
+        let ids: Vec<SegmentId> = (0..paragraphs.len())
+            .map(|index| self.segment_id(&SegmentKey::paragraph(doc.clone(), index)))
+            .collect();
+        if workers <= 1 || paragraphs.len() < 2 {
+            return ids
+                .iter()
+                .zip(paragraphs)
+                .map(|(&id, text)| self.check_paragraph_by_id(id, text))
+                .collect();
+        }
+        let jobs: Vec<(SegmentId, &str)> =
+            ids.into_iter().zip(paragraphs.iter().copied()).collect();
+        let chunk_len = jobs.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|&(id, text)| self.check_paragraph_by_id(id, text))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("paragraph check must not panic"))
+                .collect()
+        })
+        .expect("scoped check threads join cleanly")
+    }
+
     /// Document-granularity disclosure check (uncached; document checks are
     /// issued per upload, not per keystroke).
-    pub fn check_document(&mut self, doc: &DocKey, text: &str) -> Vec<DisclosureMatch> {
+    pub fn check_document(&self, doc: &DocKey, text: &str) -> Vec<DisclosureMatch> {
         let key = SegmentKey::document(doc.clone());
         let id = self.segment_id(&key);
         let print = self.fingerprinter.fingerprint(text);
@@ -308,10 +361,11 @@ impl DisclosureEngine {
         target: &Fingerprint,
         store: &FingerprintStore,
     ) -> Vec<DisclosureMatch> {
+        let registry = self.registry.read();
         reports
             .into_iter()
             .filter_map(|r| {
-                let key = self.keys.get(&r.source)?;
+                let key = registry.keys.get(&r.source)?;
                 let matching_spans = match store.segment(r.source) {
                     Some(stored) => target
                         .iter()
@@ -363,8 +417,9 @@ impl DisclosureEngine {
 
     /// A snapshot of the key↔id registry (for persistence).
     pub fn key_map(&self) -> Vec<(SegmentKey, SegmentId)> {
+        let registry = self.registry.read();
         let mut entries: Vec<(SegmentKey, SegmentId)> =
-            self.ids.iter().map(|(k, &v)| (k.clone(), v)).collect();
+            registry.ids.iter().map(|(k, &v)| (k.clone(), v)).collect();
         entries.sort_by_key(|entry| entry.1);
         entries
     }
@@ -378,22 +433,18 @@ impl DisclosureEngine {
         documents: FingerprintStore,
         key_map: Vec<(SegmentKey, SegmentId)>,
     ) -> Self {
-        let mut ids = HashMap::new();
-        let mut keys = HashMap::new();
-        let mut next_id = 0u64;
+        let mut registry = SegmentRegistry::default();
         for (key, id) in key_map {
-            next_id = next_id.max(id.get() + 1);
-            ids.insert(key.clone(), id);
-            keys.insert(id, key);
+            registry.next_id = registry.next_id.max(id.get() + 1);
+            registry.ids.insert(key.clone(), id);
+            registry.keys.insert(id, key);
         }
         Self {
             config,
             fingerprinter: Fingerprinter::new(config.fingerprint),
             paragraphs,
             documents,
-            ids,
-            keys,
-            next_id,
+            registry: RwLock::new(registry),
             cache: DecisionCache::new(),
         }
     }
@@ -402,7 +453,7 @@ impl DisclosureEngine {
     /// periodic old-fingerprint removal of §4.4). Evicted segments are no
     /// longer reported as sources; re-observing re-establishes tracking.
     /// Returns how many segments were evicted.
-    pub fn evict_paragraphs_older_than_now(&mut self) -> usize {
+    pub fn evict_paragraphs_older_than_now(&self) -> usize {
         let cutoff = self.paragraphs.now();
         let evicted = self.paragraphs.evict_older_than(cutoff);
         if evicted > 0 {
@@ -433,7 +484,7 @@ mod tests {
 
     #[test]
     fn observe_then_check_roundtrip() {
-        let mut engine = engine();
+        let engine = engine();
         let wiki = DocKey::new("wiki", "rubric");
         engine.observe_paragraph(&wiki, 0, SECRET, None);
         let gdocs = DocKey::new("gdocs", "draft");
@@ -445,7 +496,7 @@ mod tests {
 
     #[test]
     fn self_check_reports_nothing() {
-        let mut engine = engine();
+        let engine = engine();
         let wiki = DocKey::new("wiki", "rubric");
         engine.observe_paragraph(&wiki, 0, SECRET, None);
         assert!(engine.check_paragraph(&wiki, 0, SECRET).is_empty());
@@ -453,7 +504,7 @@ mod tests {
 
     #[test]
     fn cache_hits_on_unchanged_fingerprint() {
-        let mut engine = engine();
+        let engine = engine();
         let wiki = DocKey::new("wiki", "rubric");
         engine.observe_paragraph(&wiki, 0, SECRET, None);
         let gdocs = DocKey::new("gdocs", "draft");
@@ -466,7 +517,7 @@ mod tests {
 
     #[test]
     fn observation_invalidates_cache() {
-        let mut engine = engine();
+        let engine = engine();
         let wiki = DocKey::new("wiki", "rubric");
         engine.observe_paragraph(&wiki, 0, SECRET, None);
         let gdocs = DocKey::new("gdocs", "draft");
@@ -480,7 +531,7 @@ mod tests {
 
     #[test]
     fn document_and_paragraph_granularities_are_independent() {
-        let mut engine = engine();
+        let engine = engine();
         let wiki = DocKey::new("wiki", "rubric");
         engine.observe_document(&wiki, SECRET, None);
         // Only the document store knows the text.
@@ -504,7 +555,7 @@ mod tests {
 
     #[test]
     fn threshold_override() {
-        let mut engine = engine();
+        let engine = engine();
         let wiki = DocKey::new("wiki", "rubric");
         engine.observe_paragraph(&wiki, 0, SECRET, Some(1.0));
         let gdocs = DocKey::new("gdocs", "draft");

@@ -62,10 +62,12 @@ mod short_secret;
 mod state;
 
 pub use asynchronous::{AsyncDecider, TimedDecision};
-pub use engine::{DisclosureEngine, DisclosureMatch, DocKey, EngineConfig, SegmentKey, SegmentScope};
-pub use metrics::ResponseTimes;
-pub use state::StateError;
-pub use middleware::{
-    BrowserFlow, BrowserFlowBuilder, BuildError, EnforcementMode, MiddlewareError,
-    ParagraphStatus, UploadAction, UploadDecision, Violation, Warning,
+pub use engine::{
+    DisclosureEngine, DisclosureMatch, DocKey, EngineConfig, SegmentKey, SegmentScope,
 };
+pub use metrics::{ConcurrencyMetrics, ResponseTimes};
+pub use middleware::{
+    BrowserFlow, BrowserFlowBuilder, BuildError, EnforcementMode, MiddlewareError, ParagraphStatus,
+    UploadAction, UploadDecision, Violation, Warning,
+};
+pub use state::StateError;

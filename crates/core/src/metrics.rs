@@ -1,5 +1,8 @@
-//! Response-time instrumentation for the performance evaluation (§6.2).
+//! Response-time and concurrency instrumentation for the performance
+//! evaluation (§6.2).
 
+use crate::engine::DisclosureEngine;
+use browserflow_store::StoreStats;
 use std::time::Duration;
 
 /// A collection of response-time samples with percentile and CDF helpers.
@@ -101,6 +104,64 @@ impl ResponseTimes {
 impl Extend<Duration> for ResponseTimes {
     fn extend<I: IntoIterator<Item = Duration>>(&mut self, iter: I) {
         self.samples.extend(iter)
+    }
+}
+
+/// A point-in-time snapshot of an engine's concurrency behaviour: per-shard
+/// occupancy, lock contention and the parallel/sequential check split of
+/// both granularity stores.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow::{ConcurrencyMetrics, DisclosureEngine, DocKey, EngineConfig};
+///
+/// let engine = DisclosureEngine::new(EngineConfig::default());
+/// engine.observe_paragraph(&DocKey::new("wiki", "memo"), 0, "some tracked text here", None);
+/// let metrics = ConcurrencyMetrics::of(&engine);
+/// assert!(metrics.paragraphs.shard_count >= 1);
+/// assert_eq!(metrics.total_fingerprints(), metrics.paragraphs.total_entries());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConcurrencyMetrics {
+    /// Stats of the paragraph-granularity store.
+    pub paragraphs: StoreStats,
+    /// Stats of the document-granularity store.
+    pub documents: StoreStats,
+}
+
+impl ConcurrencyMetrics {
+    /// Snapshots both stores of `engine`.
+    pub fn of(engine: &DisclosureEngine) -> Self {
+        Self {
+            paragraphs: engine.paragraph_store().stats(),
+            documents: engine.document_store().stats(),
+        }
+    }
+
+    /// Stored segment fingerprints across both granularities.
+    pub fn total_fingerprints(&self) -> usize {
+        self.paragraphs.total_entries() + self.documents.total_entries()
+    }
+
+    /// Lock acquisitions (across both stores) that found their shard
+    /// already held and had to block.
+    pub fn total_lock_contention(&self) -> u64 {
+        self.paragraphs.hash_lock_contention
+            + self.paragraphs.segment_lock_contention
+            + self.documents.hash_lock_contention
+            + self.documents.segment_lock_contention
+    }
+
+    /// Fraction of Algorithm 1 runs that took the parallel fan-out path,
+    /// or `None` when no checks ran yet.
+    pub fn parallel_check_fraction(&self) -> Option<f64> {
+        let parallel = self.paragraphs.parallel_checks + self.documents.parallel_checks;
+        let total = parallel + self.paragraphs.sequential_checks + self.documents.sequential_checks;
+        if total == 0 {
+            return None;
+        }
+        Some(parallel as f64 / total as f64)
     }
 }
 

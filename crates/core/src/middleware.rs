@@ -10,11 +10,11 @@
 use crate::engine::{DisclosureEngine, DisclosureMatch, DocKey, EngineConfig, SegmentKey};
 use crate::short_secret::ShortSecret;
 use browserflow_store::{SegmentId, StoreKey};
-use browserflow_tdm::{
-    Policy, PolicyError, SegmentLabel, Service, ServiceId, Tag, TagSet, UserId,
-};
+use browserflow_tdm::{Policy, PolicyError, SegmentLabel, Service, ServiceId, Tag, TagSet, UserId};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What the enforcement module does when an upload violates the policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -214,11 +214,13 @@ impl BrowserFlowBuilder {
         Ok(BrowserFlow {
             engine: DisclosureEngine::new(self.engine),
             policy,
-            labels: HashMap::new(),
+            labels: RwLock::new(HashMap::new()),
             mode: self.mode,
-            warnings: Vec::new(),
-            store_key: self.store_key,
-            seal_nonce: 0,
+            warnings: Mutex::new(Vec::new()),
+            store_key: self
+                .store_key
+                .unwrap_or_else(|| StoreKey::from_bytes([0u8; 32])),
+            seal_nonce: AtomicU64::new(0),
             short_secrets: Vec::new(),
         })
     }
@@ -226,16 +228,23 @@ impl BrowserFlowBuilder {
 
 /// The BrowserFlow middleware.
 ///
+/// Observation and enforcement (`observe_*`, `check_*`, `seal_body`) take
+/// `&self`: the label map sits behind an [`RwLock`], the warning trail
+/// behind a [`Mutex`], the seal nonce is atomic, and the engine's stores
+/// are internally sharded — so concurrent interception hooks share one
+/// instance without an external lock. Administrative operations
+/// (policy edits, tag suppression, mode changes) still take `&mut self`.
+///
 /// See the [crate-level documentation](crate) for an end-to-end example.
 #[derive(Debug)]
 pub struct BrowserFlow {
     engine: DisclosureEngine,
     policy: Policy,
-    labels: HashMap<SegmentId, SegmentLabel>,
+    labels: RwLock<HashMap<SegmentId, SegmentLabel>>,
     mode: EnforcementMode,
-    warnings: Vec<Warning>,
-    store_key: Option<StoreKey>,
-    seal_nonce: u64,
+    warnings: Mutex<Vec<Warning>>,
+    store_key: StoreKey,
+    seal_nonce: AtomicU64,
     short_secrets: Vec<ShortSecret>,
 }
 
@@ -275,22 +284,24 @@ impl BrowserFlow {
         self.mode = mode;
     }
 
-    /// The recorded warnings, oldest first.
-    pub fn warnings(&self) -> &[Warning] {
-        &self.warnings
+    /// A snapshot of the recorded warnings, oldest first.
+    pub fn warnings(&self) -> Vec<Warning> {
+        self.warnings.lock().clone()
     }
 
     /// Warnings whose intercepted upload targeted `service`.
-    pub fn warnings_for<'a>(
-        &'a self,
-        service: &'a ServiceId,
-    ) -> impl Iterator<Item = &'a Warning> + 'a {
-        self.warnings.iter().filter(move |w| &w.destination == service)
+    pub fn warnings_for(&self, service: &ServiceId) -> Vec<Warning> {
+        self.warnings
+            .lock()
+            .iter()
+            .filter(|w| &w.destination == service)
+            .cloned()
+            .collect()
     }
 
     /// Clears the warning trail (e.g. after the user reviewed it).
     pub fn clear_warnings(&mut self) {
-        self.warnings.clear();
+        self.warnings.lock().clear();
     }
 
     /// **Policy lookup** (Figure 1, §3): text appeared (or changed) in a
@@ -306,7 +317,7 @@ impl BrowserFlow {
     ///
     /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
     pub fn observe_paragraph(
-        &mut self,
+        &self,
         service: &ServiceId,
         document: &str,
         index: usize,
@@ -317,20 +328,20 @@ impl BrowserFlow {
         // shadow its own sources' hashes.
         let matches = self.engine.check_paragraph(&doc, index, text);
         let mut label = self.policy.initial_label(service)?;
-        for m in &matches {
-            if let Some(source_id) = self.lookup_segment_id(&m.source) {
-                if let Some(source_label) = self.labels.get(&source_id) {
-                    label.absorb_source(source_label);
+        {
+            let labels = self.labels.read();
+            for m in &matches {
+                if let Some(source_id) = self.lookup_segment_id(&m.source) {
+                    if let Some(source_label) = labels.get(&source_id) {
+                        label.absorb_source(source_label);
+                    }
                 }
             }
         }
         let segment = self.engine.observe_paragraph(&doc, index, text, None);
-        self.labels.insert(segment, label.clone());
+        self.labels.write().insert(segment, label.clone());
         // Flag when the paragraph's own service lacks privilege for it.
-        let flagged = !self
-            .policy
-            .check_release(&label, service)?
-            .is_permitted();
+        let flagged = !self.policy.check_release(&label, service)?.is_permitted();
         Ok(ParagraphStatus {
             segment,
             label,
@@ -351,7 +362,7 @@ impl BrowserFlow {
     ///
     /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
     pub fn index_text_document(
-        &mut self,
+        &self,
         service: &ServiceId,
         document: &str,
         text: &str,
@@ -378,7 +389,7 @@ impl BrowserFlow {
     ///
     /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
     pub fn index_paragraph(
-        &mut self,
+        &self,
         service: &ServiceId,
         document: &str,
         index: usize,
@@ -387,7 +398,7 @@ impl BrowserFlow {
         let label = self.policy.initial_label(service)?;
         let doc = DocKey::new(service.clone(), document);
         let segment = self.engine.observe_paragraph(&doc, index, text, None);
-        self.labels.insert(segment, label);
+        self.labels.write().insert(segment, label);
         Ok(segment)
     }
 
@@ -397,7 +408,7 @@ impl BrowserFlow {
     ///
     /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
     pub fn observe_document(
-        &mut self,
+        &self,
         service: &ServiceId,
         document: &str,
         text: &str,
@@ -406,7 +417,7 @@ impl BrowserFlow {
         let doc = DocKey::new(service.clone(), document);
         let segment = self.engine.observe_document(&doc, text, None);
         let label = self.policy.initial_label(service)?;
-        self.labels.insert(segment, label);
+        self.labels.write().insert(segment, label);
         Ok(segment)
     }
 
@@ -419,7 +430,7 @@ impl BrowserFlow {
     ///
     /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
     pub fn check_upload(
-        &mut self,
+        &self,
         service: &ServiceId,
         document: &str,
         index: usize,
@@ -435,13 +446,54 @@ impl BrowserFlow {
             decision.action = self.violation_action();
         }
         if !decision.violations.is_empty() {
-            self.warnings.push(Warning {
+            self.warnings.lock().push(Warning {
                 segment: SegmentKey::paragraph(doc, index),
                 destination: service.clone(),
                 violations: decision.violations.clone(),
             });
         }
         Ok(decision)
+    }
+
+    /// Batched paragraph-granularity enforcement: checks every paragraph
+    /// of a pending upload in one call, fanning the disclosure checks out
+    /// over up to `workers` threads (see
+    /// [`DisclosureEngine::check_paragraphs`]). Decisions come back in
+    /// paragraph order, and warnings are recorded in paragraph order too,
+    /// exactly as the equivalent sequence of
+    /// [`BrowserFlow::check_upload`] calls would produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
+    pub fn check_upload_batch(
+        &self,
+        service: &ServiceId,
+        document: &str,
+        paragraphs: &[&str],
+        workers: usize,
+    ) -> Result<Vec<UploadDecision>, MiddlewareError> {
+        self.policy.service(service)?; // validate the destination exists
+        let doc = DocKey::new(service.clone(), document);
+        let all_matches = self.engine.check_paragraphs(&doc, paragraphs, workers);
+        let mut decisions = Vec::with_capacity(paragraphs.len());
+        for (index, (text, matches)) in paragraphs.iter().zip(all_matches.iter()).enumerate() {
+            let mut decision = self.decide(service, matches)?;
+            let secret_violations = self.short_secret_violations(service, text)?;
+            if !secret_violations.is_empty() {
+                decision.violations.extend(secret_violations);
+                decision.action = self.violation_action();
+            }
+            if !decision.violations.is_empty() {
+                self.warnings.lock().push(Warning {
+                    segment: SegmentKey::paragraph(doc.clone(), index),
+                    destination: service.clone(),
+                    violations: decision.violations.clone(),
+                });
+            }
+            decisions.push(decision);
+        }
+        Ok(decisions)
     }
 
     /// Document-granularity enforcement: an entire document is about to be
@@ -451,7 +503,7 @@ impl BrowserFlow {
     ///
     /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
     pub fn check_document_upload(
-        &mut self,
+        &self,
         service: &ServiceId,
         document: &str,
         text: &str,
@@ -466,7 +518,7 @@ impl BrowserFlow {
             decision.action = self.violation_action();
         }
         if !decision.violations.is_empty() {
-            self.warnings.push(Warning {
+            self.warnings.lock().push(Warning {
                 segment: SegmentKey::document(doc),
                 destination: service.clone(),
                 violations: decision.violations.clone(),
@@ -481,11 +533,12 @@ impl BrowserFlow {
         matches: &[DisclosureMatch],
     ) -> Result<UploadDecision, MiddlewareError> {
         let mut violations = Vec::new();
+        let labels = self.labels.read();
         for m in matches {
             let Some(source_id) = self.lookup_segment_id(&m.source) else {
                 continue;
             };
-            let Some(source_label) = self.labels.get(&source_id) else {
+            let Some(source_label) = labels.get(&source_id) else {
                 continue;
             };
             let release = self.policy.check_release(source_label, service)?;
@@ -513,7 +566,7 @@ impl BrowserFlow {
     /// confidentiality of the text"). Returns `false` if the paragraph
     /// was never observed.
     pub fn set_paragraph_threshold(
-        &mut self,
+        &self,
         service: &ServiceId,
         document: &str,
         index: usize,
@@ -526,7 +579,7 @@ impl BrowserFlow {
     /// Sets a tracked document's disclosure threshold `Tdoc`. Returns
     /// `false` if the document was never observed.
     pub fn set_document_threshold(
-        &mut self,
+        &self,
         service: &ServiceId,
         document: &str,
         threshold: f64,
@@ -596,9 +649,9 @@ impl BrowserFlow {
     }
 
     /// The stored label of a segment, if it has been observed.
-    pub fn segment_label(&self, key: &SegmentKey) -> Option<&SegmentLabel> {
+    pub fn segment_label(&self, key: &SegmentKey) -> Option<SegmentLabel> {
         let id = self.lookup_segment_id(key)?;
-        self.labels.get(&id)
+        self.labels.read().get(&id).cloned()
     }
 
     /// Suppresses `tag` on an observed paragraph's label on behalf of
@@ -620,14 +673,13 @@ impl BrowserFlow {
             .ok_or_else(|| MiddlewareError::UnknownSegment {
                 key: key.to_string(),
             })?;
-        let mut label = self
-            .labels
-            .remove(&id)
+        let mut labels = self.labels.write();
+        let label = labels
+            .get_mut(&id)
             .ok_or_else(|| MiddlewareError::UnknownSegment {
                 key: key.to_string(),
             })?;
-        let suppressed = self.policy.suppress_tag(&mut label, tag, user, justification);
-        self.labels.insert(id, label);
+        let suppressed = self.policy.suppress_tag(label, tag, user, justification);
         Ok(suppressed)
     }
 
@@ -654,8 +706,8 @@ impl BrowserFlow {
         self.policy.allocate_custom_tag(tag.clone(), user)?;
         self.policy
             .grant_privilege_unchecked(&key.doc.service, &tag)?;
-        let label = self
-            .labels
+        let mut labels = self.labels.write();
+        let label = labels
             .get_mut(&id)
             .ok_or_else(|| MiddlewareError::UnknownSegment {
                 key: key.to_string(),
@@ -668,15 +720,13 @@ impl BrowserFlow {
     /// [`EnforcementMode::Encrypt`] path). Returns a printable
     /// `bf-sealed:`-prefixed hex payload.
     ///
-    /// Falls back to a zero key if none was configured (tests); production
-    /// deployments set one via [`BrowserFlowBuilder::store_key`].
-    pub fn seal_body(&mut self, body: &str) -> String {
-        let key = self
-            .store_key
-            .get_or_insert_with(|| StoreKey::from_bytes([0u8; 32]));
-        let nonce = self.seal_nonce;
-        self.seal_nonce += 1;
-        let sealed = key.seal(nonce, body.as_bytes());
+    /// The key defaults to a zero key if none was configured (tests);
+    /// production deployments set one via
+    /// [`BrowserFlowBuilder::store_key`]. The nonce counter is atomic, so
+    /// concurrent sealers never reuse a nonce.
+    pub fn seal_body(&self, body: &str) -> String {
+        let nonce = self.seal_nonce.fetch_add(1, Ordering::Relaxed);
+        let sealed = self.store_key.seal(nonce, body.as_bytes());
         let mut hex = String::with_capacity(sealed.len() * 2);
         for byte in sealed.ciphertext() {
             use std::fmt::Write as _;
@@ -703,6 +753,7 @@ impl BrowserFlow {
     pub(crate) fn labels_snapshot(&self) -> Vec<(SegmentId, SegmentLabel)> {
         let mut entries: Vec<(SegmentId, SegmentLabel)> = self
             .labels
+            .read()
             .iter()
             .map(|(&id, label)| (id, label.clone()))
             .collect();
@@ -712,14 +763,13 @@ impl BrowserFlow {
 
     /// The next seal nonce (persistence path).
     pub(crate) fn seal_nonce_value(&self) -> u64 {
-        self.seal_nonce
+        self.seal_nonce.load(Ordering::Relaxed)
     }
 
-    /// The store key, materialising the zero-key default (persistence
-    /// path; mirrors [`BrowserFlow::seal_body`]).
-    pub(crate) fn store_key_or_default(&mut self) -> &StoreKey {
-        self.store_key
-            .get_or_insert_with(|| StoreKey::from_bytes([0u8; 32]))
+    /// The store key (persistence path; the zero-key default is
+    /// materialised at build time).
+    pub(crate) fn store_key_ref(&self) -> &StoreKey {
+        &self.store_key
     }
 
     /// Reassembles a middleware instance from persisted parts.
@@ -736,11 +786,11 @@ impl BrowserFlow {
         Self {
             engine,
             policy,
-            labels,
+            labels: RwLock::new(labels),
             mode,
-            warnings: Vec::new(),
-            store_key: Some(store_key),
-            seal_nonce,
+            warnings: Mutex::new(Vec::new()),
+            store_key,
+            seal_nonce: AtomicU64::new(seal_nonce),
             short_secrets,
         }
     }
@@ -752,7 +802,7 @@ impl BrowserFlow {
 
     /// Restores the warning trail (persistence path).
     pub(crate) fn restore_warnings(&mut self, warnings: Vec<Warning>) {
-        self.warnings = warnings;
+        *self.warnings.lock() = warnings;
     }
 }
 
@@ -796,7 +846,7 @@ mod tests {
 
     #[test]
     fn clean_upload_is_allowed() {
-        let mut flow = flow(EnforcementMode::Block);
+        let flow = flow(EnforcementMode::Block);
         let decision = flow
             .check_upload(&"gdocs".into(), "draft", 0, "totally public prose")
             .unwrap();
@@ -807,7 +857,7 @@ mod tests {
 
     #[test]
     fn paste_to_untrusted_service_blocks() {
-        let mut flow = flow(EnforcementMode::Block);
+        let flow = flow(EnforcementMode::Block);
         flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
             .unwrap();
         let decision = flow
@@ -821,7 +871,7 @@ mod tests {
 
     #[test]
     fn advisory_mode_warns_but_releases() {
-        let mut flow = flow(EnforcementMode::Advisory);
+        let flow = flow(EnforcementMode::Advisory);
         flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
             .unwrap();
         let decision = flow
@@ -834,7 +884,7 @@ mod tests {
 
     #[test]
     fn privileged_destination_is_allowed() {
-        let mut flow = flow(EnforcementMode::Block);
+        let flow = flow(EnforcementMode::Block);
         flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
             .unwrap();
         // itool itself is privileged for ti.
@@ -846,7 +896,7 @@ mod tests {
 
     #[test]
     fn observe_flags_paragraph_disclosing_foreign_data() {
-        let mut flow = flow(EnforcementMode::Advisory);
+        let flow = flow(EnforcementMode::Advisory);
         flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
             .unwrap();
         // The user pastes itool text into a Google Docs paragraph: the
@@ -864,10 +914,14 @@ mod tests {
         let mut flow = flow(EnforcementMode::Block);
         flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
             .unwrap();
-        let source_key =
-            SegmentKey::paragraph(DocKey::new("itool", "eval"), 0);
+        let source_key = SegmentKey::paragraph(DocKey::new("itool", "eval"), 0);
         let suppressed = flow
-            .suppress_tag(&source_key, &tag("ti"), &"alice".into(), "approved by legal")
+            .suppress_tag(
+                &source_key,
+                &tag("ti"),
+                &"alice".into(),
+                "approved by legal",
+            )
             .unwrap();
         assert!(suppressed);
         let decision = flow
@@ -944,7 +998,7 @@ mod tests {
 
     #[test]
     fn unknown_service_errors() {
-        let mut flow = flow(EnforcementMode::Block);
+        let flow = flow(EnforcementMode::Block);
         assert!(matches!(
             flow.observe_paragraph(&"nope".into(), "d", 0, "text"),
             Err(MiddlewareError::Policy(_))
@@ -967,7 +1021,7 @@ mod tests {
 
     #[test]
     fn seal_body_produces_printable_payload() {
-        let mut flow = flow(EnforcementMode::Encrypt);
+        let flow = flow(EnforcementMode::Encrypt);
         let sealed = flow.seal_body("secret text");
         assert!(sealed.starts_with("bf-sealed:0:"));
         assert!(!sealed.contains("secret"));
@@ -986,7 +1040,7 @@ mod tests {
                     .with_confidentiality(TagSet::from_iter([tag("ti")])),
             )
             .unwrap();
-        let mut flow = BrowserFlow::builder()
+        let flow = BrowserFlow::builder()
             .policy(policy)
             .service(Service::new("gdocs", "Google Docs"))
             .mode(EnforcementMode::Block)
@@ -1005,7 +1059,7 @@ mod tests {
 
     #[test]
     fn index_text_document_tracks_both_granularities() {
-        let mut flow = flow(EnforcementMode::Block);
+        let flow = flow(EnforcementMode::Block);
         let text = format!("{SECRET}
 
 second paragraph about travel reimbursements and the                             approval chain for expenses over five hundred euros");
@@ -1014,11 +1068,18 @@ second paragraph about travel reimbursements and the                            
             .unwrap();
         assert_eq!(count, 2);
         // Paragraph granularity: the second paragraph alone violates.
-        let second = text.split("
+        let second = text
+            .split(
+                "
 
-").nth(1).unwrap();
+",
+            )
+            .nth(1)
+            .unwrap();
         assert_eq!(
-            flow.check_upload(&"gdocs".into(), "d", 0, second).unwrap().action,
+            flow.check_upload(&"gdocs".into(), "d", 0, second)
+                .unwrap()
+                .action,
             UploadAction::Block
         );
         // Document granularity: the whole text violates too.
@@ -1032,7 +1093,7 @@ second paragraph about travel reimbursements and the                            
 
     #[test]
     fn per_segment_thresholds_are_settable_through_the_middleware() {
-        let mut flow = flow(EnforcementMode::Block);
+        let flow = flow(EnforcementMode::Block);
         flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
             .unwrap();
         assert!(flow.set_paragraph_threshold(&"itool".into(), "eval", 0, 0.1));
@@ -1042,7 +1103,8 @@ second paragraph about travel reimbursements and the                            
         let decision = flow.check_upload(&"gdocs".into(), "d", 0, quote).unwrap();
         assert_eq!(decision.action, UploadAction::Block);
 
-        flow.observe_document(&"itool".into(), "eval", SECRET).unwrap();
+        flow.observe_document(&"itool".into(), "eval", SECRET)
+            .unwrap();
         assert!(flow.set_document_threshold(&"itool".into(), "eval", 0.2));
         assert!(!flow.set_document_threshold(&"itool".into(), "never", 0.2));
     }
@@ -1089,8 +1151,67 @@ second paragraph about travel reimbursements and the                            
     }
 
     #[test]
+    fn batched_upload_check_matches_sequential_checks() {
+        let sequential = flow(EnforcementMode::Block);
+        let batched = flow(EnforcementMode::Block);
+        for flow in [&sequential, &batched] {
+            flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+                .unwrap();
+        }
+        let own = "a harmless paragraph about the office coffee machine rota";
+        let paragraphs = [SECRET, own, SECRET];
+        let expected: Vec<UploadDecision> = paragraphs
+            .iter()
+            .enumerate()
+            .map(|(i, text)| {
+                sequential
+                    .check_upload(&"gdocs".into(), "draft", i, text)
+                    .unwrap()
+            })
+            .collect();
+        for workers in [1usize, 4] {
+            let decisions = batched
+                .check_upload_batch(&"gdocs".into(), "draft", &paragraphs, workers)
+                .unwrap();
+            assert_eq!(decisions, expected);
+        }
+        assert_eq!(
+            expected.iter().map(|d| d.action).collect::<Vec<_>>(),
+            [
+                UploadAction::Block,
+                UploadAction::Allow,
+                UploadAction::Block
+            ]
+        );
+        // Warning trail: 2 violations per batch run × 2 worker settings.
+        assert_eq!(batched.warnings().len(), 4);
+        assert_eq!(batched.warnings()[0].segment.to_string(), "gdocs/draft#p0");
+    }
+
+    #[test]
+    fn concurrent_checkers_share_one_middleware() {
+        let flow = flow(EnforcementMode::Advisory);
+        flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let flow = &flow;
+                s.spawn(move || {
+                    for i in 0..10 {
+                        let decision = flow
+                            .check_upload(&"gdocs".into(), "draft", t * 10 + i, SECRET)
+                            .unwrap();
+                        assert_eq!(decision.action, UploadAction::Warn);
+                    }
+                });
+            }
+        });
+        assert_eq!(flow.warnings().len(), 40);
+    }
+
+    #[test]
     fn document_granularity_upload_check() {
-        let mut flow = flow(EnforcementMode::Block);
+        let flow = flow(EnforcementMode::Block);
         let doc_text = format!("{SECRET}\n\nmore interview material follows here with details");
         flow.observe_document(&"itool".into(), "eval", &doc_text)
             .unwrap();

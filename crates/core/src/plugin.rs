@@ -21,7 +21,7 @@ use browserflow_browser::dom::NodeId;
 use browserflow_browser::services::{DocsApp, NotesApp};
 use browserflow_browser::{extract, Browser, TabId, XhrDisposition};
 use browserflow_tdm::ServiceId;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -42,7 +42,13 @@ struct OriginBinding {
 
 /// The BrowserFlow browser plug-in.
 ///
-/// Clone-cheap: all clones share the same middleware state.
+/// Clone-cheap: all clones share the same middleware state. Interception
+/// hooks take the state's read lock only — observation, enforcement and
+/// sealing are `&self` on [`BrowserFlow`], with contention handled inside
+/// the engine's sharded stores — so concurrent tabs never serialise on a
+/// plug-in-wide mutex. The write lock is reserved for administrative
+/// operations (mode changes, tag suppression, policy edits) through
+/// [`Plugin::state`].
 ///
 /// # Example
 ///
@@ -78,7 +84,7 @@ struct OriginBinding {
 /// ```
 #[derive(Clone)]
 pub struct Plugin {
-    state: Arc<Mutex<BrowserFlow>>,
+    state: Arc<RwLock<BrowserFlow>>,
     origins: Arc<Mutex<HashMap<String, OriginBinding>>>,
 }
 
@@ -94,14 +100,15 @@ impl Plugin {
     /// Wraps a middleware instance for browser installation.
     pub fn new(flow: BrowserFlow) -> Self {
         Self {
-            state: Arc::new(Mutex::new(flow)),
+            state: Arc::new(RwLock::new(flow)),
             origins: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
-    /// Shared access to the middleware (e.g. to read warnings, suppress
-    /// tags, or change the enforcement mode at runtime).
-    pub fn state(&self) -> Arc<Mutex<BrowserFlow>> {
+    /// Shared access to the middleware: `read()` for checks, warnings and
+    /// observations; `write()` to suppress tags or change the enforcement
+    /// mode at runtime.
+    pub fn state(&self) -> Arc<RwLock<BrowserFlow>> {
         Arc::clone(&self.state)
     }
 
@@ -162,7 +169,7 @@ impl Plugin {
             let Some((index, text)) = parsed else {
                 return XhrDisposition::Allow; // not a content mutation
             };
-            let mut flow = state.lock();
+            let flow = state.read();
             let decision =
                 match flow.check_upload(&binding.service, &binding.document, index, &text) {
                     Ok(decision) => decision,
@@ -195,7 +202,7 @@ impl Plugin {
                 Some(b) => b.clone(),
                 None => return,
             };
-            let mut flow = state.lock();
+            let flow = state.read();
             let mut sealed: Vec<(usize, String)> = Vec::new();
             for (index, field) in event
                 .form()
@@ -285,10 +292,8 @@ impl Plugin {
                             let mut current = *node;
                             while let Some(parent) = document.parent(current) {
                                 if parent == editor {
-                                    if let Some(index) = document
-                                        .children(editor)
-                                        .iter()
-                                        .position(|&c| c == current)
+                                    if let Some(index) =
+                                        document.children(editor).iter().position(|&c| c == current)
                                     {
                                         affected.push(index);
                                     }
@@ -305,16 +310,13 @@ impl Plugin {
                 }
                 affected.sort_unstable();
                 affected.dedup();
-                let mut flow = state.lock();
+                let flow = state.read();
                 for index in affected {
                     let paragraph = document.children(editor)[index];
                     let text = document.text_content(paragraph);
-                    if let Ok(status) = flow.observe_paragraph(
-                        &binding.service,
-                        &binding.document,
-                        index,
-                        &text,
-                    ) {
+                    if let Ok(status) =
+                        flow.observe_paragraph(&binding.service, &binding.document, index, &text)
+                    {
                         // Figure 2: recolour flagged paragraphs.
                         document.set_attr(
                             paragraph,
@@ -363,7 +365,7 @@ impl Plugin {
         let Some(extraction) = extract::extract_main_text(document) else {
             return 0;
         };
-        let mut flow = self.state.lock();
+        let flow = self.state.read();
         let _ = flow.observe_document(&binding.service, &binding.document, &extraction.text);
         let mut observed = 0;
         for (index, paragraph) in extraction.paragraphs.iter().enumerate() {
@@ -472,7 +474,10 @@ mod tests {
         // And the paragraph is flagged red in the UI.
         let paragraph = docs.paragraph_node(&browser, 0);
         assert_eq!(
-            browser.tab(docs_tab).document().attr(paragraph, "data-bf-flagged"),
+            browser
+                .tab(docs_tab)
+                .document()
+                .attr(paragraph, "data-bf-flagged"),
             Some("true")
         );
     }
@@ -490,7 +495,10 @@ mod tests {
         assert!(result.is_delivered());
         let paragraph = docs.paragraph_node(&browser, 0);
         assert_eq!(
-            browser.tab(docs_tab).document().attr(paragraph, "data-bf-flagged"),
+            browser
+                .tab(docs_tab)
+                .document()
+                .attr(paragraph, "data-bf-flagged"),
             Some("false")
         );
     }
@@ -530,7 +538,7 @@ mod tests {
         // then to a managed one.
         let state = plugin.state();
         state
-            .lock()
+            .read()
             .observe_paragraph(&"wiki".into(), "wiki-page", 0, SECRET)
             .unwrap();
 

@@ -92,7 +92,7 @@ mod tests {
 
     fn flow_with_warning() -> BrowserFlow {
         let ti = Tag::new("ti").unwrap();
-        let mut flow = BrowserFlow::builder()
+        let flow = BrowserFlow::builder()
             .mode(EnforcementMode::Block)
             .engine(EngineConfig {
                 fingerprint: FingerprintConfig::builder()

@@ -71,9 +71,7 @@ impl ShortSecret {
                 let start = normalized
                     .original_offset(search_from)
                     .expect("start in range");
-                let end = normalized
-                    .span_of_ngram(search_from, needle_chars)
-                    .end;
+                let end = normalized.span_of_ngram(search_from, needle_chars).end;
                 spans.push(start..end);
                 search_from += needle_chars;
             } else {
@@ -90,9 +88,8 @@ mod tests {
     use browserflow_tdm::{SegmentLabel, Tag, TagSet};
 
     fn secret(value: &str) -> ShortSecret {
-        let label = SegmentLabel::from_confidentiality(&TagSet::from_iter([
-            Tag::new("vault").unwrap()
-        ]));
+        let label =
+            SegmentLabel::from_confidentiality(&TagSet::from_iter([Tag::new("vault").unwrap()]));
         ShortSecret::new("db-password", ServiceId::new("vault"), label, value)
     }
 

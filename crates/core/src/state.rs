@@ -117,7 +117,7 @@ impl BrowserFlow {
     /// Serialises the complete middleware state and seals it under the
     /// configured store key (a zero key is used if none was configured —
     /// set one via [`crate::BrowserFlowBuilder::store_key`] in production).
-    pub fn export_sealed(&mut self, nonce: u64) -> SealedBytes {
+    pub fn export_sealed(&self, nonce: u64) -> SealedBytes {
         let metadata = Metadata {
             engine: *self.engine().config(),
             mode: self.mode().into(),
@@ -135,14 +135,17 @@ impl BrowserFlow {
                 .collect(),
             seal_nonce: self.seal_nonce_value(),
             short_secrets: self.short_secrets_snapshot(),
-            warnings: self.warnings().to_vec(),
+            warnings: self.warnings(),
         };
         let json = serde_json::to_vec(&metadata).expect("state always serialises");
         let mut payload = Vec::new();
         push_chunk(&mut payload, &json);
-        push_chunk(&mut payload, &codec::encode(self.engine().paragraph_store()));
+        push_chunk(
+            &mut payload,
+            &codec::encode(self.engine().paragraph_store()),
+        );
         push_chunk(&mut payload, &codec::encode(self.engine().document_store()));
-        self.store_key_or_default().seal(nonce, &payload)
+        self.store_key_ref().seal(nonce, &payload)
     }
 
     /// Restores a middleware instance exported with
@@ -163,8 +166,7 @@ impl BrowserFlow {
         if pos != payload.len() {
             return Err(StateError::Malformed);
         }
-        let metadata: Metadata =
-            serde_json::from_slice(json).map_err(StateError::Metadata)?;
+        let metadata: Metadata = serde_json::from_slice(json).map_err(StateError::Metadata)?;
         let paragraphs = codec::decode(par_bytes)?;
         let documents = codec::decode(doc_bytes)?;
         let engine = DisclosureEngine::from_parts(
@@ -208,7 +210,7 @@ mod tests {
 
     fn sample_flow() -> BrowserFlow {
         let ti = Tag::new("ti").unwrap();
-        let mut flow = BrowserFlow::builder()
+        let flow = BrowserFlow::builder()
             .mode(EnforcementMode::Block)
             .store_key(StoreKey::from_bytes([3u8; 32]))
             .service(
@@ -226,12 +228,12 @@ mod tests {
 
     #[test]
     fn export_import_roundtrip_preserves_decisions() {
-        let mut flow = sample_flow();
+        let flow = sample_flow();
         let before = flow.check_upload(&"gdocs".into(), "d", 0, SECRET).unwrap();
         assert_eq!(before.action, UploadAction::Block);
 
         let sealed = flow.export_sealed(1);
-        let mut restored =
+        let restored =
             BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
         let after = restored
             .check_upload(&"gdocs".into(), "d2", 0, SECRET)
@@ -248,7 +250,7 @@ mod tests {
         flow.suppress_tag(&key, &Tag::new("ti").unwrap(), &UserId::new("alice"), "ok")
             .unwrap();
         let sealed = flow.export_sealed(2);
-        let mut restored =
+        let restored =
             BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
         // The suppression survives: the upload is now allowed.
         assert_eq!(
@@ -263,7 +265,7 @@ mod tests {
 
     #[test]
     fn wrong_key_is_rejected() {
-        let mut flow = sample_flow();
+        let flow = sample_flow();
         let sealed = flow.export_sealed(3);
         let mut rng = StdRng::seed_from_u64(1);
         assert!(matches!(
@@ -274,9 +276,9 @@ mod tests {
 
     #[test]
     fn restored_flow_keeps_allocating_fresh_segment_ids() {
-        let mut flow = sample_flow();
+        let flow = sample_flow();
         let sealed = flow.export_sealed(4);
-        let mut restored =
+        let restored =
             BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
         // New observations must not collide with restored ids.
         let status = restored
@@ -295,7 +297,7 @@ mod tests {
         flow.register_short_secret(&"itool".into(), "api-key", "Kx9#q2!z")
             .unwrap();
         let sealed = flow.export_sealed(6);
-        let mut restored =
+        let restored =
             BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
         assert_eq!(restored.short_secret_count(), 1);
         let decision = restored
@@ -306,7 +308,7 @@ mod tests {
 
     #[test]
     fn warning_trail_survives_restore() {
-        let mut flow = sample_flow();
+        let flow = sample_flow();
         flow.check_upload(&"gdocs".into(), "d", 0, SECRET).unwrap();
         assert_eq!(flow.warnings().len(), 1);
         let sealed = flow.export_sealed(7);
@@ -318,11 +320,11 @@ mod tests {
 
     #[test]
     fn seal_nonce_continues_after_restore() {
-        let mut flow = sample_flow();
+        let flow = sample_flow();
         let first = flow.seal_body("x");
         assert!(first.starts_with("bf-sealed:0:"));
         let sealed = flow.export_sealed(5);
-        let mut restored =
+        let restored =
             BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
         // Nonce must not be reused after the restart.
         let next = restored.seal_body("y");

@@ -1,6 +1,6 @@
 //! Property-based tests of the disclosure engine and middleware.
 
-use browserflow::{BrowserFlow, DocKey, DisclosureEngine, EnforcementMode, EngineConfig};
+use browserflow::{BrowserFlow, DisclosureEngine, DocKey, EnforcementMode, EngineConfig};
 use browserflow_fingerprint::FingerprintConfig;
 use browserflow_tdm::{Service, Tag, TagSet};
 use proptest::prelude::*;
@@ -26,7 +26,7 @@ proptest! {
     /// source, no matter what is stored.
     #[test]
     fn never_reports_self(texts in proptest::collection::vec(prose(), 1..6)) {
-        let mut engine = DisclosureEngine::new(config(true));
+        let engine = DisclosureEngine::new(config(true));
         let doc = DocKey::new("svc", "doc");
         for (i, text) in texts.iter().enumerate() {
             engine.observe_paragraph(&doc, i, text, None);
@@ -46,8 +46,8 @@ proptest! {
         stored in proptest::collection::vec(prose(), 0..5),
         probes in proptest::collection::vec(prose(), 1..5),
     ) {
-        let mut cached = DisclosureEngine::new(config(true));
-        let mut uncached = DisclosureEngine::new(config(false));
+        let cached = DisclosureEngine::new(config(true));
+        let uncached = DisclosureEngine::new(config(false));
         let source = DocKey::new("src", "doc");
         for (i, text) in stored.iter().enumerate() {
             cached.observe_paragraph(&source, i, text, None);
@@ -68,7 +68,7 @@ proptest! {
     /// probe text shrinks (monotonicity under prefix truncation).
     #[test]
     fn disclosure_monotone_under_truncation(text in prose()) {
-        let mut engine = DisclosureEngine::new(config(false));
+        let engine = DisclosureEngine::new(config(false));
         let source = DocKey::new("src", "doc");
         engine.observe_paragraph(&source, 0, &text, Some(0.0));
         let target = DocKey::new("dst", "doc");
@@ -89,7 +89,7 @@ proptest! {
     ) {
         let build = || {
             let ts = Tag::new("s").unwrap();
-            let mut flow = BrowserFlow::builder()
+            let flow = BrowserFlow::builder()
                 .mode(EnforcementMode::Block)
                 .engine(config(true))
                 .service(
@@ -114,7 +114,7 @@ proptest! {
     fn persistence_preserves_decisions(stored in prose(), probe in prose()) {
         use browserflow_store::StoreKey;
         let ts = Tag::new("s").unwrap();
-        let mut flow = BrowserFlow::builder()
+        let flow = BrowserFlow::builder()
             .mode(EnforcementMode::Block)
             .store_key(StoreKey::from_bytes([9u8; 32]))
             .engine(config(true))
@@ -129,7 +129,7 @@ proptest! {
         flow.observe_paragraph(&"internal".into(), "doc", 0, &stored).unwrap();
         let before = flow.check_upload(&"external".into(), "out", 0, &probe).unwrap();
         let sealed = flow.export_sealed(0);
-        let mut restored = BrowserFlow::import_sealed(
+        let restored = BrowserFlow::import_sealed(
             StoreKey::from_bytes([9u8; 32]),
             &sealed,
         ).unwrap();

@@ -92,7 +92,9 @@ fn docs_and_notes_coexist_with_different_wire_formats() {
     assert!(!docs.type_text(&mut browser, 0, SECRET).is_delivered());
     let (_, result) = notes.add_block(&mut browser, SECRET);
     assert!(!result.is_delivered());
-    assert!(notes.set_title(&mut browser, "harmless title").is_delivered());
+    assert!(notes
+        .set_title(&mut browser, "harmless title")
+        .is_delivered());
     for origin in [DOCS, NOTES] {
         assert!(!browser.backend(origin).saw_text("runbook"), "{origin}");
     }
@@ -158,7 +160,7 @@ fn shared_middleware_state_is_visible_across_plugin_clones() {
 
     // The clone sees the same engine state.
     let state = clone.state();
-    assert_eq!(state.lock().engine().paragraph_count(), 1);
+    assert_eq!(state.read().engine().paragraph_count(), 1);
     // Binding through the clone is visible to the original's hook chain.
     clone.bind_origin("https://late.example", "gdocs", "late-doc");
     let tab = browser.open_tab("https://late.example");

@@ -331,20 +331,14 @@ impl ManualsDataset {
         let chapters = ManualChapterKind::ALL
             .iter()
             .map(|&kind| {
-                let mut base = Document::generate(
-                    &mut gen,
-                    kind.name(),
-                    kind.paragraph_count(),
-                    4,
-                );
+                let mut base = Document::generate(&mut gen, kind.name(), kind.paragraph_count(), 4);
                 // Manual rewrites are systematic (every section is revised
                 // for a new product version), not popularity-driven like
                 // wiki edits: flatten the edit affinity.
                 for paragraph in base.paragraphs_mut() {
                     *paragraph = paragraph.clone().with_edit_affinity(1.0);
                 }
-                let chain =
-                    RevisionChain::evolve_with_schedule(&mut gen, base, &kind.schedule());
+                let chain = RevisionChain::evolve_with_schedule(&mut gen, base, &kind.schedule());
                 ManualChapter { kind, chain }
             })
             .collect();
@@ -453,8 +447,7 @@ impl EbooksDataset {
                 index as f64 / (config.books - 1) as f64
             };
             let t = t.powi(config.size_skew.max(1) as i32);
-            let target =
-                config.min_bytes as f64 + t * (config.max_bytes - config.min_bytes) as f64;
+            let target = config.min_bytes as f64 + t * (config.max_bytes - config.min_bytes) as f64;
             books.push(Self::generate_book(&mut gen, index, target as usize));
         }
         Self { books }
@@ -647,12 +640,15 @@ mod tests {
 
     #[test]
     fn ebooks_sizes_scale_with_config() {
-        let small = EbooksDataset::generate(5, &EbooksConfig {
-            books: 3,
-            min_bytes: 5_000,
-            max_bytes: 15_000,
-            size_skew: 1,
-        });
+        let small = EbooksDataset::generate(
+            5,
+            &EbooksConfig {
+                books: 3,
+                min_bytes: 5_000,
+                max_bytes: 15_000,
+                size_skew: 1,
+            },
+        );
         assert_eq!(small.books().len(), 3);
         for book in small.books() {
             let bytes = book.byte_len();
@@ -665,20 +661,26 @@ mod tests {
 
     #[test]
     fn table1_rows_cover_all_groups() {
-        let wiki = WikipediaDataset::generate(6, &WikipediaConfig {
-            articles: 2,
-            revisions: 3,
-            paragraphs: 4,
-            sentences: 3,
-            high_churn_fraction: 0.5,
-        });
+        let wiki = WikipediaDataset::generate(
+            6,
+            &WikipediaConfig {
+                articles: 2,
+                revisions: 3,
+                paragraphs: 4,
+                sentences: 3,
+                high_churn_fraction: 0.5,
+            },
+        );
         let manuals = ManualsDataset::generate(6);
-        let ebooks = EbooksDataset::generate(6, &EbooksConfig {
-            books: 2,
-            min_bytes: 5_000,
-            max_bytes: 8_000,
-            size_skew: 1,
-        });
+        let ebooks = EbooksDataset::generate(
+            6,
+            &EbooksConfig {
+                books: 2,
+                min_bytes: 5_000,
+                max_bytes: 8_000,
+                size_skew: 1,
+            },
+        );
         let news = NewsDataset::generate(6);
         let rows = table1_rows(&wiki, &manuals, &news, &ebooks);
         assert_eq!(rows.len(), 1 + 4 + 1 + 1);
@@ -711,8 +713,7 @@ mod tests {
                 assert_eq!(a.chain.revision(*revision).text(), document.text());
             }
             assert!(
-                (a.chain.relative_length_change() - b.chain.relative_length_change()).abs()
-                    < 1e-12
+                (a.chain.relative_length_change() - b.chain.relative_length_change()).abs() < 1e-12
             );
         }
     }

@@ -13,16 +13,21 @@ use crate::textgen::TextGen;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     word: String,
-    /// `true` while the word is unchanged from the base revision.
-    from_base: bool,
+    /// Index of the base paragraph the word is unchanged from, if any.
+    ///
+    /// Tracking the *index* (not just a boolean) matters once paragraphs
+    /// merge: a paragraph descending from base paragraph 0 that absorbs a
+    /// neighbour descending from base paragraph 1 must not count the
+    /// neighbour's surviving tokens towards base paragraph 0's survival.
+    origin: Option<usize>,
 }
 
 impl Token {
-    /// Creates a token that belongs to the base revision.
-    pub fn base(word: impl Into<String>) -> Self {
+    /// Creates a token that belongs to base paragraph `origin`.
+    pub fn base(word: impl Into<String>, origin: usize) -> Self {
         Self {
             word: word.into(),
-            from_base: true,
+            origin: Some(origin),
         }
     }
 
@@ -30,7 +35,7 @@ impl Token {
     pub fn fresh(word: impl Into<String>) -> Self {
         Self {
             word: word.into(),
-            from_base: false,
+            origin: None,
         }
     }
 
@@ -41,7 +46,12 @@ impl Token {
 
     /// Whether the token survives from the base revision.
     pub fn is_from_base(&self) -> bool {
-        self.from_base
+        self.origin.is_some()
+    }
+
+    /// The base paragraph this token survives from, if any.
+    pub fn origin(&self) -> Option<usize> {
+        self.origin
     }
 }
 
@@ -69,7 +79,10 @@ impl Paragraph {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let tokens: Vec<Token> = words.into_iter().map(Token::base).collect();
+        let tokens: Vec<Token> = words
+            .into_iter()
+            .map(|word| Token::base(word, base_index))
+            .collect();
         let base_len = tokens.len();
         Self {
             base_index: Some(base_index),
@@ -138,9 +151,18 @@ impl Paragraph {
         &mut self.tokens
     }
 
-    /// How many tokens of the base paragraph are still present.
+    /// How many tokens of *this paragraph's own* base paragraph are still
+    /// present. Tokens absorbed from a paragraph with a different lineage
+    /// do not count (see [`Token::origin`]).
     pub fn surviving_base_tokens(&self) -> usize {
-        self.tokens.iter().filter(|t| t.from_base).count()
+        match self.base_index {
+            Some(base) => self
+                .tokens
+                .iter()
+                .filter(|t| t.origin == Some(base))
+                .count(),
+            None => 0,
+        }
     }
 
     /// Fraction of the base paragraph's original tokens still present

@@ -248,9 +248,10 @@ pub fn apply_revision(document: &mut Document, profile: &EditProfile, gen: &mut 
 }
 
 /// Splits paragraph `index` at a random token boundary into two
-/// paragraphs. Both halves keep the original's base lineage, so the
-/// ground-truth oracle credits a base paragraph with its best-surviving
-/// descendant (split content still counts as disclosed where it survives).
+/// paragraphs. Both halves keep the original's base lineage, and token
+/// origins are preserved, so the ground-truth oracle still counts every
+/// surviving token towards its base paragraph (split content still counts
+/// as disclosed where it survives).
 pub fn split_paragraph(document: &mut Document, index: usize, gen: &mut TextGen) {
     let paragraph = &document.paragraphs()[index];
     if paragraph.len() < 8 {
@@ -423,17 +424,14 @@ mod tests {
     fn split_preserves_tokens_and_lineage() {
         let mut gen = TextGen::new(41);
         let doc_words: Vec<String> = (0..40).map(|i| format!("w{i}")).collect();
-        let mut doc = Document::new(
-            "d",
-            vec![Paragraph::from_base_words(0, doc_words.clone())],
-        );
+        let mut doc = Document::new("d", vec![Paragraph::from_base_words(0, doc_words.clone())]);
         split_paragraph(&mut doc, 0, &mut gen);
         assert_eq!(doc.paragraphs().len(), 2);
         assert_eq!(doc.token_count(), 40);
         assert_eq!(doc.paragraphs()[0].base_index(), Some(0));
         assert_eq!(doc.paragraphs()[1].base_index(), Some(0));
-        // Survival of the base is split between the halves; the oracle's
-        // max() picks the better half.
+        // Survival of the base is split between the halves; the oracle
+        // sums token origins, so no content is lost to the split.
         let s0 = doc.paragraphs()[0].base_survival();
         let s1 = doc.paragraphs()[1].base_survival();
         assert!((s0 + s1 - 1.0).abs() < 1e-12);

@@ -4,7 +4,6 @@ use crate::document::Document;
 use crate::edits::{apply_revision, EditProfile};
 use crate::textgen::TextGen;
 
-
 /// A document together with its full revision history.
 ///
 /// Revision 0 is the base document; revision `i+1` is revision `i` with
@@ -129,28 +128,41 @@ impl RevisionChain {
     ///
     /// Panics if `revision >= len()`.
     pub fn ground_truth(&self, revision: usize, cutoff: f64) -> GroundTruth {
-        ground_truth_of(
-            self.base().paragraphs().len(),
-            &self.revisions[revision],
-            cutoff,
-        )
+        ground_truth_of(self.base(), &self.revisions[revision], cutoff)
     }
 }
 
-/// Ground truth of `revision` against a base of `base_count` paragraphs,
-/// read off the token provenance (see [`RevisionChain::ground_truth`]).
-pub fn ground_truth_of(base_count: usize, revision: &Document, cutoff: f64) -> GroundTruth {
-    let mut survival = vec![0.0f64; base_count];
+/// Ground truth of `revision` against `base`, read off the token
+/// provenance (see [`RevisionChain::ground_truth`]).
+///
+/// A base paragraph's surviving fraction counts its tokens wherever they
+/// ended up — splits scatter them across descendants and merges gather
+/// them back, neither creating nor destroying content — so survival is
+/// invariant under structural edits and only word replacement and
+/// deletion lower it.
+pub fn ground_truth_of(base: &Document, revision: &Document, cutoff: f64) -> GroundTruth {
+    let base_count = base.paragraphs().len();
+    let mut surviving = vec![0usize; base_count];
     for paragraph in revision.paragraphs() {
-        if let Some(base_index) = paragraph.base_index() {
-            if base_index < base_count {
-                // A base paragraph's content may be split across several
-                // descendants after edits; take the max surviving fraction
-                // (the strongest single disclosure).
-                survival[base_index] = survival[base_index].max(paragraph.base_survival());
+        for token in paragraph.tokens() {
+            if let Some(origin) = token.origin() {
+                if origin < base_count {
+                    surviving[origin] += 1;
+                }
             }
         }
     }
+    let survival = surviving
+        .iter()
+        .zip(base.paragraphs())
+        .map(|(&count, base_paragraph)| {
+            if base_paragraph.is_empty() {
+                0.0
+            } else {
+                (count as f64 / base_paragraph.len() as f64).min(1.0)
+            }
+        })
+        .collect();
     GroundTruth { survival, cutoff }
 }
 
@@ -219,7 +231,7 @@ impl CheckpointChain {
             .iter()
             .find(|(r, _)| *r == revision)
             .expect("revision was snapshotted");
-        ground_truth_of(self.base.paragraphs().len(), document, cutoff)
+        ground_truth_of(&self.base, document, cutoff)
     }
 
     /// Relative length change between the base and the newest snapshot
@@ -300,8 +312,7 @@ mod tests {
     #[test]
     fn base_revision_discloses_everything() {
         let mut gen = TextGen::new(21);
-        let chain =
-            RevisionChain::generate(&mut gen, "a", 6, 4, 5, &EditProfile::stable());
+        let chain = RevisionChain::generate(&mut gen, "a", 6, 4, 5, &EditProfile::stable());
         let truth = chain.ground_truth(0, 0.5);
         assert_eq!(truth.disclosed_count(), 6);
         assert_eq!(truth.disclosed_fraction(), 1.0);
@@ -313,8 +324,7 @@ mod tests {
     #[test]
     fn frozen_chain_never_loses_disclosure() {
         let mut gen = TextGen::new(22);
-        let chain =
-            RevisionChain::generate(&mut gen, "a", 6, 4, 10, &EditProfile::frozen());
+        let chain = RevisionChain::generate(&mut gen, "a", 6, 4, 10, &EditProfile::frozen());
         for r in 0..chain.len() {
             assert_eq!(chain.ground_truth(r, 0.99).disclosed_fraction(), 1.0);
         }
@@ -324,12 +334,14 @@ mod tests {
     #[test]
     fn rewrite_chain_loses_disclosure() {
         let mut gen = TextGen::new(23);
-        let chain =
-            RevisionChain::generate(&mut gen, "a", 8, 5, 12, &EditProfile::rewrite());
+        let chain = RevisionChain::generate(&mut gen, "a", 8, 5, 12, &EditProfile::rewrite());
         let early = chain.ground_truth(1, 0.5).disclosed_fraction();
         let late = chain.ground_truth(12, 0.5).disclosed_fraction();
         assert!(late < early, "late {late} not below early {early}");
-        assert!(late < 0.4, "heavy rewriting should erase most paragraphs, got {late}");
+        assert!(
+            late < 0.4,
+            "heavy rewriting should erase most paragraphs, got {late}"
+        );
     }
 
     #[test]
@@ -386,14 +398,7 @@ mod tests {
     #[should_panic(expected = "snapshotted")]
     fn checkpoint_ground_truth_requires_a_snapshot() {
         let mut gen = TextGen::new(78);
-        let chain = CheckpointChain::generate(
-            &mut gen,
-            "a",
-            3,
-            3,
-            &EditProfile::stable(),
-            &[0, 5],
-        );
+        let chain = CheckpointChain::generate(&mut gen, "a", 3, 3, &EditProfile::stable(), &[0, 5]);
         chain.ground_truth(3, 0.5);
     }
 

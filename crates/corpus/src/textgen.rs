@@ -13,26 +13,98 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const FUNCTION_WORDS: &[&str] = &[
-    "the", "a", "an", "of", "to", "in", "for", "with", "on", "at", "from", "by", "about",
-    "into", "over", "after", "under", "between", "and", "or", "but", "so", "because", "while",
-    "although", "however", "therefore", "moreover", "is", "are", "was", "were", "be", "been",
-    "has", "have", "had", "will", "would", "can", "could", "should", "may", "might", "must",
-    "this", "that", "these", "those", "it", "its", "they", "their", "we", "our", "you", "your",
-    "which", "when", "where", "who", "whose", "what", "how", "not", "no", "only", "also",
-    "more", "most", "some", "any", "each", "every", "other", "such", "than", "then", "very",
+    "the",
+    "a",
+    "an",
+    "of",
+    "to",
+    "in",
+    "for",
+    "with",
+    "on",
+    "at",
+    "from",
+    "by",
+    "about",
+    "into",
+    "over",
+    "after",
+    "under",
+    "between",
+    "and",
+    "or",
+    "but",
+    "so",
+    "because",
+    "while",
+    "although",
+    "however",
+    "therefore",
+    "moreover",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "has",
+    "have",
+    "had",
+    "will",
+    "would",
+    "can",
+    "could",
+    "should",
+    "may",
+    "might",
+    "must",
+    "this",
+    "that",
+    "these",
+    "those",
+    "it",
+    "its",
+    "they",
+    "their",
+    "we",
+    "our",
+    "you",
+    "your",
+    "which",
+    "when",
+    "where",
+    "who",
+    "whose",
+    "what",
+    "how",
+    "not",
+    "no",
+    "only",
+    "also",
+    "more",
+    "most",
+    "some",
+    "any",
+    "each",
+    "every",
+    "other",
+    "such",
+    "than",
+    "then",
+    "very",
 ];
 
 const ONSETS: &[&str] = &[
-    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
-    "br", "cr", "dr", "fr", "gr", "pr", "tr", "bl", "cl", "fl", "gl", "pl", "sl", "sh", "ch",
-    "th", "st", "sp", "sc", "sk", "sm", "sn", "sw",
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "br",
+    "cr", "dr", "fr", "gr", "pr", "tr", "bl", "cl", "fl", "gl", "pl", "sl", "sh", "ch", "th", "st",
+    "sp", "sc", "sk", "sm", "sn", "sw",
 ];
 
 const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ee", "io", "ou", "oa"];
 
 const CODAS: &[&str] = &[
-    "", "", "", "n", "r", "s", "t", "l", "m", "d", "k", "p", "g", "nd", "nt", "st", "rs",
-    "ck", "ng", "rt", "ll", "ss",
+    "", "", "", "n", "r", "s", "t", "l", "m", "d", "k", "p", "g", "nd", "nt", "st", "rs", "ck",
+    "ng", "rt", "ll", "ss",
 ];
 
 /// A deterministic prose generator.
@@ -158,7 +230,11 @@ mod tests {
         let mut gen = TextGen::new(4);
         let distinct: HashSet<String> = (0..5000).map(|_| gen.content_word()).collect();
         // Syllable construction yields a huge vocabulary; collisions are rare.
-        assert!(distinct.len() > 4000, "only {} distinct words", distinct.len());
+        assert!(
+            distinct.len() > 4000,
+            "only {} distinct words",
+            distinct.len()
+        );
     }
 
     #[test]

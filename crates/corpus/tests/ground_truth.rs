@@ -147,5 +147,8 @@ fn wikipedia_dataset_ground_truth_matches_detection_direction() {
     };
     let low = mean_final_survival(browserflow_corpus::datasets::ChurnLevel::Low);
     let high = mean_final_survival(browserflow_corpus::datasets::ChurnLevel::High);
-    assert!(low > high, "low-churn survival {low:.2} must exceed high-churn {high:.2}");
+    assert!(
+        low > high,
+        "low-churn survival {low:.2} must exceed high-churn {high:.2}"
+    );
 }

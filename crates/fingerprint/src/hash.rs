@@ -79,10 +79,7 @@ impl RollingHash {
             self.filled < self.window_len,
             "window already full; use roll()"
         );
-        self.value = self
-            .value
-            .wrapping_mul(BASE)
-            .wrapping_add(incoming as u32);
+        self.value = self.value.wrapping_mul(BASE).wrapping_add(incoming as u32);
         self.filled += 1;
     }
 
@@ -204,9 +201,6 @@ mod tests {
 
     #[test]
     fn order_sensitive() {
-        assert_ne!(
-            hash_ngram(&['a', 'b', 'c']),
-            hash_ngram(&['c', 'b', 'a'])
-        );
+        assert_ne!(hash_ngram(&['a', 'b', 'c']), hash_ngram(&['c', 'b', 'a']));
     }
 }

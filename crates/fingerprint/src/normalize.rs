@@ -84,7 +84,12 @@ pub fn normalize(text: &str) -> NormalizedText {
     let mut char_lens = Vec::with_capacity(text.len());
     for (byte_offset, ch) in text.char_indices() {
         if ch.is_alphanumeric() {
-            for lower in ch.to_lowercase() {
+            // A one-to-many lowercase expansion (e.g. 'İ' → 'i' + U+0307)
+            // can emit non-alphanumeric code points such as combining
+            // marks. Keeping those would make normalisation
+            // non-idempotent — a second pass would strip them — so only
+            // the alphanumeric part of the expansion is retained.
+            for lower in ch.to_lowercase().filter(|c| c.is_alphanumeric()) {
                 out.push(lower);
                 offsets.push(byte_offset);
                 char_lens.push(ch.len_utf8());
@@ -180,5 +185,16 @@ mod tests {
         let once = normalize("Some Mixed, Case Input 123!");
         let twice = normalize(once.text());
         assert_eq!(once.text(), twice.text());
+    }
+
+    #[test]
+    fn expanding_lowercase_stays_idempotent() {
+        // 'İ' lowercases to "i\u{307}"; the combining dot must be dropped
+        // or a second normalisation pass would produce different output.
+        let once = normalize("İstanbul");
+        assert_eq!(once.text(), "istanbul");
+        assert_eq!(normalize(once.text()).text(), once.text());
+        // Every emitted char must itself survive normalisation.
+        assert!(once.text().chars().all(|c| c.is_alphanumeric()));
     }
 }

@@ -112,7 +112,10 @@ mod tests {
         // §4.1: hashes {52, 40, 53, 13, 22}, window 3 -> fingerprint {40, 13}.
         let picked = winnow(&mk(&[52, 40, 53, 13, 22]), 3);
         assert_eq!(
-            picked.iter().map(|p| (p.hash, p.position)).collect::<Vec<_>>(),
+            picked
+                .iter()
+                .map(|p| (p.hash, p.position))
+                .collect::<Vec<_>>(),
             vec![(40, 1), (13, 3)]
         );
     }

@@ -8,8 +8,10 @@
 //! full Algorithm 1 run is skipped.
 
 use crate::SegmentId;
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An order-independent digest of a fingerprint's distinct hash set.
 ///
@@ -40,46 +42,50 @@ impl FingerprintDigest {
 /// A per-segment cache of the last disclosure decision, keyed by
 /// fingerprint digest.
 ///
+/// Every operation takes `&self`: the entry map sits behind an [`RwLock`]
+/// and the hit/miss counters are atomics, so concurrent checkers share the
+/// cache without external locking. Lookups return the decision by value.
+///
 /// # Example
 ///
 /// ```rust
 /// use browserflow_store::{DecisionCache, FingerprintDigest, SegmentId};
 /// use std::collections::HashSet;
 ///
-/// let mut cache: DecisionCache<bool> = DecisionCache::new();
+/// let cache: DecisionCache<bool> = DecisionCache::new();
 /// let hashes: HashSet<u32> = [1, 2, 3].into_iter().collect();
 /// let digest = FingerprintDigest::of(&hashes);
 /// assert_eq!(cache.get(SegmentId::new(1), digest), None);
 /// cache.put(SegmentId::new(1), digest, true);
-/// assert_eq!(cache.get(SegmentId::new(1), digest), Some(&true));
+/// assert_eq!(cache.get(SegmentId::new(1), digest), Some(true));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct DecisionCache<T> {
-    entries: HashMap<SegmentId, (FingerprintDigest, T)>,
-    hits: u64,
-    misses: u64,
+    entries: RwLock<HashMap<SegmentId, (FingerprintDigest, T)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
-impl<T> DecisionCache<T> {
+impl<T: Clone> DecisionCache<T> {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self {
-            entries: HashMap::new(),
-            hits: 0,
-            misses: 0,
+            entries: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
     /// Looks up the cached decision for `segment`, valid only if the
     /// fingerprint digest still matches.
-    pub fn get(&mut self, segment: SegmentId, digest: FingerprintDigest) -> Option<&T> {
-        match self.entries.get(&segment) {
+    pub fn get(&self, segment: SegmentId, digest: FingerprintDigest) -> Option<T> {
+        match self.entries.read().get(&segment) {
             Some((cached_digest, value)) if *cached_digest == digest => {
-                self.hits += 1;
-                Some(value)
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value.clone())
             }
             _ => {
-                self.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -87,33 +93,36 @@ impl<T> DecisionCache<T> {
 
     /// Stores the decision for `segment` under `digest`, replacing any
     /// previous entry for the segment.
-    pub fn put(&mut self, segment: SegmentId, digest: FingerprintDigest, value: T) {
-        self.entries.insert(segment, (digest, value));
+    pub fn put(&self, segment: SegmentId, digest: FingerprintDigest, value: T) {
+        self.entries.write().insert(segment, (digest, value));
     }
 
     /// Drops the cached entry for `segment`.
-    pub fn invalidate(&mut self, segment: SegmentId) {
-        self.entries.remove(&segment);
+    pub fn invalidate(&self, segment: SegmentId) {
+        self.entries.write().remove(&segment);
     }
 
     /// Drops everything.
-    pub fn clear(&mut self) {
-        self.entries.clear();
+    pub fn clear(&self) {
+        self.entries.write().clear();
     }
 
     /// Number of cached segments.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.read().len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.read().is_empty()
     }
 
     /// Lifetime (hits, misses) counters.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -139,10 +148,10 @@ mod tests {
 
     #[test]
     fn cache_hit_only_on_matching_digest() {
-        let mut cache: DecisionCache<u32> = DecisionCache::new();
+        let cache: DecisionCache<u32> = DecisionCache::new();
         let id = SegmentId::new(1);
         cache.put(id, digest_of(&[1, 2]), 99);
-        assert_eq!(cache.get(id, digest_of(&[1, 2])), Some(&99));
+        assert_eq!(cache.get(id, digest_of(&[1, 2])), Some(99));
         // Fingerprint changed -> miss.
         assert_eq!(cache.get(id, digest_of(&[1, 2, 3])), None);
         assert_eq!(cache.stats(), (1, 1));
@@ -150,7 +159,7 @@ mod tests {
 
     #[test]
     fn invalidate_and_clear() {
-        let mut cache: DecisionCache<u32> = DecisionCache::new();
+        let cache: DecisionCache<u32> = DecisionCache::new();
         cache.put(SegmentId::new(1), digest_of(&[1]), 1);
         cache.put(SegmentId::new(2), digest_of(&[2]), 2);
         cache.invalidate(SegmentId::new(1));
@@ -158,5 +167,22 @@ mod tests {
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_lookups_count_atomically() {
+        let cache: DecisionCache<u32> = DecisionCache::new();
+        let digest = digest_of(&[7]);
+        cache.put(SegmentId::new(1), digest, 7);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        assert_eq!(cache.get(SegmentId::new(1), digest), Some(7));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats(), (400, 0));
     }
 }

@@ -5,6 +5,8 @@
 //! instead of wall-clock time. This also makes every experiment in the
 //! evaluation deterministic and replayable.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// A point in logical time. Ordered, dense enough for one tick per store
 /// observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -33,19 +35,22 @@ impl std::fmt::Display for Timestamp {
 
 /// A monotonically increasing logical clock.
 ///
+/// Backed by an atomic counter so concurrent observers each draw a unique
+/// timestamp without external synchronisation; every method takes `&self`.
+///
 /// # Example
 ///
 /// ```rust
 /// use browserflow_store::LogicalClock;
 ///
-/// let mut clock = LogicalClock::new();
+/// let clock = LogicalClock::new();
 /// let a = clock.tick();
 /// let b = clock.tick();
 /// assert!(a < b);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Default)]
 pub struct LogicalClock {
-    next: u64,
+    next: AtomicU64,
 }
 
 impl LogicalClock {
@@ -54,23 +59,30 @@ impl LogicalClock {
         Self::default()
     }
 
-    /// Returns the current time and advances the clock.
-    pub fn tick(&mut self) -> Timestamp {
-        let now = Timestamp(self.next);
-        self.next += 1;
-        now
+    /// Returns the current time and advances the clock. Concurrent callers
+    /// receive distinct, totally ordered timestamps.
+    pub fn tick(&self) -> Timestamp {
+        Timestamp(self.next.fetch_add(1, Ordering::Relaxed))
     }
 
     /// The timestamp the next [`LogicalClock::tick`] will return, without
     /// advancing.
     pub fn peek(&self) -> Timestamp {
-        Timestamp(self.next)
+        Timestamp(self.next.load(Ordering::Relaxed))
     }
 
     /// Advances the clock so the next tick is at least `at_least`. Never
     /// moves backwards. Used when restoring persisted state.
-    pub fn advance_to(&mut self, at_least: Timestamp) {
-        self.next = self.next.max(at_least.0);
+    pub fn advance_to(&self, at_least: Timestamp) {
+        self.next.fetch_max(at_least.0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for LogicalClock {
+    fn clone(&self) -> Self {
+        Self {
+            next: AtomicU64::new(self.next.load(Ordering::Relaxed)),
+        }
     }
 }
 
@@ -80,7 +92,7 @@ mod tests {
 
     #[test]
     fn ticks_are_strictly_increasing() {
-        let mut clock = LogicalClock::new();
+        let clock = LogicalClock::new();
         let mut previous = clock.tick();
         for _ in 0..100 {
             let current = clock.tick();
@@ -91,11 +103,38 @@ mod tests {
 
     #[test]
     fn peek_does_not_advance() {
-        let mut clock = LogicalClock::new();
+        let clock = LogicalClock::new();
         assert_eq!(clock.peek(), clock.peek());
         let ticked = clock.tick();
         assert_eq!(ticked, Timestamp::ZERO);
         assert_eq!(clock.peek(), Timestamp::new(1));
+    }
+
+    #[test]
+    fn concurrent_ticks_are_unique() {
+        let clock = LogicalClock::new();
+        let ticks: Vec<Timestamp> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| (0..250).map(|_| clock.tick()).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut raw: Vec<u64> = ticks.iter().map(|t| t.get()).collect();
+        raw.sort_unstable();
+        raw.dedup();
+        assert_eq!(raw.len(), 1000);
+        assert_eq!(clock.peek(), Timestamp::new(1000));
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let clock = LogicalClock::new();
+        clock.advance_to(Timestamp::new(10));
+        clock.advance_to(Timestamp::new(3));
+        assert_eq!(clock.peek(), Timestamp::new(10));
     }
 
     #[test]

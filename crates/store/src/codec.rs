@@ -157,7 +157,7 @@ pub fn decode(bytes: &[u8]) -> Result<FingerprintStore, CodecError> {
         return Err(CodecError::UnsupportedVersion { found: version });
     }
     let clock = reader.u64()?;
-    let mut store = FingerprintStore::new();
+    let store = FingerprintStore::new();
 
     let segment_count = reader.u64()?;
     // Each segment record is at least 28 bytes (id, threshold, updated,
@@ -223,10 +223,12 @@ mod tests {
 
     fn sample_store() -> FingerprintStore {
         let fp = Fingerprinter::default();
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         store.observe(
             SegmentId::new(1),
-            &fp.fingerprint("the first confidential paragraph about quarterly earnings and margins"),
+            &fp.fingerprint(
+                "the first confidential paragraph about quarterly earnings and margins",
+            ),
             0.5,
         );
         store.observe(
@@ -237,7 +239,9 @@ mod tests {
         // Overlap: segment 3 repeats segment 1 (non-authoritative hashes).
         store.observe(
             SegmentId::new(3),
-            &fp.fingerprint("the first confidential paragraph about quarterly earnings and margins plus extra"),
+            &fp.fingerprint(
+                "the first confidential paragraph about quarterly earnings and margins plus extra",
+            ),
             0.7,
         );
         store
@@ -287,7 +291,7 @@ mod tests {
     fn clock_continues_after_restore() {
         let fp = Fingerprinter::default();
         let store = sample_store();
-        let mut decoded = decode(&encode(&store)).unwrap();
+        let decoded = decode(&encode(&store)).unwrap();
         // New observations get timestamps after every restored one.
         decoded.observe(
             SegmentId::new(50),

@@ -7,7 +7,18 @@
 //! same leaked text (Figure 7).
 
 use crate::{FingerprintStore, SegmentId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+
+/// Below this many candidate sources the fan-out is not worth the thread
+/// startup cost and Algorithm 1 stays on the calling thread.
+pub(crate) const PARALLEL_CUTOFF: usize = 32;
+
+/// Default worker budget for the candidate fan-out: one per core.
+pub(crate) fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// One source segment reported by Algorithm 1.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,77 +57,123 @@ pub fn disclosure_between(a: &HashSet<u32>, b: &HashSet<u32>) -> f64 {
     a.intersection(b).count() as f64 / a.len() as f64
 }
 
-/// Runs Algorithm 1 of the paper over the store.
+/// Evaluates one candidate source against a target hash set, returning a
+/// report when the candidate's disclosure requirement is violated.
 ///
-/// For each hash `h` of the target fingerprint, the candidate source is
-/// `oldestParagraphWith(h)` — only the authoritative owner of a hash can
-/// be reported for it, which is precisely the overlap compensation of
-/// §4.3. Candidates are then deduplicated and their pairwise disclosure
-/// computed over their authoritative fingerprints.
+/// As in the paper's `computeDisclosure(F_A(p), F(parag))`, both the
+/// numerator and the denominator use the *authoritative* fingerprint
+/// `F_A(p)` — the hashes of `p`'s current fingerprint first seen in `p`.
+/// Dividing by the full `|F(p)|` instead would make a verbatim copy of a
+/// paragraph that borrows half its content from an older segment
+/// undetectable at `t = 0.5` (its score could never exceed ~0.5), while
+/// the borrowed half is still correctly attributed to the older owner.
 ///
-/// A source `p` with threshold `t` is reported when its authoritative
-/// overlap with the target is at least `t · |F(p)|` and at least one hash
-/// (see the discussion on [`FingerprintStore::disclosing_sources`]).
-///
-/// The paper notes the algorithm "quickly discards candidate paragraphs
-/// based on fingerprint length": if `|F(p)| · t > |F(target)|` even a full
-/// overlap could not reach the threshold, so the candidate is skipped
-/// before its authoritative fingerprint is computed.
-pub(crate) fn run_algorithm_1(
+/// A source `p` with threshold `t` is reported when
+/// `|F_A(p) ∩ F(target)| ≥ max(1, t · |F_A(p)|)`. Both counts come out of
+/// a single pass over the stored fingerprint; the paper's quick
+/// length-based discard is subsumed by that pass (a discard on the *full*
+/// fingerprint length would be unsound here, since `|F_A(p)| ≤ |F(p)|`).
+pub(crate) fn evaluate_candidate(
     store: &FingerprintStore,
-    target: SegmentId,
+    candidate: SegmentId,
     target_hashes: &HashSet<u32>,
-) -> Vec<DisclosureReport> {
-    // Candidate set: authoritative owners of the target's hashes.
-    let mut candidates: HashMap<SegmentId, ()> = HashMap::new();
-    for &hash in target_hashes {
-        if let Some(owner) = store.oldest_segment_with(hash) {
-            if owner != target {
-                candidates.insert(owner, ());
+) -> Option<DisclosureReport> {
+    // The owner of a historical first sighting may no longer store a
+    // fingerprint (removed/evicted); it cannot be a source.
+    let stored = store.segment(candidate)?;
+    let threshold = stored.threshold();
+    let mut authoritative = 0usize;
+    let mut overlap = 0usize;
+    for &hash in stored.hashes() {
+        if store.oldest_segment_with(hash) == Some(candidate) {
+            authoritative += 1;
+            if target_hashes.contains(&hash) {
+                overlap += 1;
             }
         }
     }
-
-    let mut reports: Vec<DisclosureReport> = Vec::new();
-    for (&candidate, ()) in &candidates {
-        let Some(stored) = store.segment(candidate) else {
-            // The owner of a historical first sighting may no longer store
-            // a fingerprint (removed/evicted); it cannot be a source.
-            continue;
-        };
-        let total = stored.hashes().len();
-        if total == 0 {
-            continue;
-        }
-        let threshold = stored.threshold();
-        // Early discard on fingerprint length.
-        if total as f64 * threshold > target_hashes.len() as f64 {
-            continue;
-        }
-        let overlap = stored
-            .hashes()
-            .iter()
-            .filter(|&&h| {
-                store.oldest_segment_with(h) == Some(candidate) && target_hashes.contains(&h)
-            })
-            .count();
-        let required = threshold * total as f64;
-        if overlap >= 1 && overlap as f64 >= required {
-            reports.push(DisclosureReport {
-                source: candidate,
-                disclosure: overlap as f64 / total as f64,
-                threshold,
-                shared_hashes: overlap,
-            });
-        }
+    if overlap == 0 || (overlap as f64) < threshold * authoritative as f64 {
+        return None;
     }
-    // Deterministic output order: strongest disclosure first, ties by id.
+    Some(DisclosureReport {
+        source: candidate,
+        disclosure: overlap as f64 / authoritative as f64,
+        threshold,
+        shared_hashes: overlap,
+    })
+}
+
+/// Sorts reports into the deterministic output order: strongest
+/// disclosure first, ties by segment id.
+pub(crate) fn sort_reports(reports: &mut [DisclosureReport]) {
     reports.sort_by(|a, b| {
         b.disclosure
             .partial_cmp(&a.disclosure)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.source.cmp(&b.source))
     });
+}
+
+/// Runs Algorithm 1 of the paper over the store.
+///
+/// For each hash `h` of the target fingerprint, the candidate source is
+/// `oldestParagraphWith(h)` — only the authoritative owner of a hash can
+/// be reported for it, which is precisely the overlap compensation of
+/// §4.3. Candidates are then deduplicated and evaluated with
+/// [`evaluate_candidate`] (see the discussion on
+/// [`FingerprintStore::disclosing_sources`]).
+/// Candidates are evaluated independently, so with enough of them the loop
+/// fans out over `workers` scoped threads, each taking a contiguous slice
+/// of the (sorted, deduplicated) candidate list. Per-candidate results are
+/// concatenated in slice order and sorted with [`sort_reports`] — a total
+/// order on `(disclosure desc, source asc)` — so the output is
+/// byte-identical to the sequential path regardless of worker count or
+/// scheduling (property-tested in `tests/concurrent.rs`).
+pub(crate) fn run_algorithm_1(
+    store: &FingerprintStore,
+    target: SegmentId,
+    target_hashes: &HashSet<u32>,
+    workers: usize,
+) -> Vec<DisclosureReport> {
+    // Candidate set: authoritative owners of the target's hashes, sorted
+    // so chunk assignment is deterministic.
+    let mut candidates: Vec<SegmentId> = target_hashes
+        .iter()
+        .filter_map(|&hash| store.oldest_segment_with(hash))
+        .filter(|&owner| owner != target)
+        .collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    let parallel = workers > 1 && candidates.len() >= PARALLEL_CUTOFF;
+    store.count_check(parallel);
+    let mut reports: Vec<DisclosureReport> = if parallel {
+        let chunk_len = candidates.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .filter_map(|&c| evaluate_candidate(store, c, target_hashes))
+                            .collect::<Vec<DisclosureReport>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("candidate evaluation must not panic"))
+                .collect()
+        })
+        .expect("scoped evaluation threads join cleanly")
+    } else {
+        candidates
+            .iter()
+            .filter_map(|&candidate| evaluate_candidate(store, candidate, target_hashes))
+            .collect()
+    };
+    sort_reports(&mut reports);
     reports
 }
 
@@ -145,7 +202,7 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         let long = "a very long source paragraph with plenty of content that goes on \
                     and on and keeps going for a while to build a big fingerprint";
         store.observe(SegmentId::new(1), &fp.fingerprint(long), 0.0);
@@ -166,7 +223,7 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         let a = "first secret paragraph about the merger timeline and the announcement plan";
         let b = "second secret paragraph listing the entire engineering compensation budget";
         store.observe(SegmentId::new(1), &fp.fingerprint(a), 0.1);

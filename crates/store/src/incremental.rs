@@ -95,41 +95,14 @@ impl IncrementalChecker {
                 }
             }
         }
-        let mut reports: Vec<DisclosureReport> = Vec::new();
-        for &candidate in &self.candidates {
-            let Some(stored) = store.segment(candidate) else {
-                continue;
-            };
-            let total = stored.hashes().len();
-            if total == 0 {
-                continue;
-            }
-            let threshold = stored.threshold();
-            if total as f64 * threshold > self.hashes.len() as f64 {
-                continue;
-            }
-            let overlap = stored
-                .hashes()
-                .iter()
-                .filter(|&&h| {
-                    store.oldest_segment_with(h) == Some(candidate) && self.hashes.contains(&h)
-                })
-                .count();
-            if overlap >= 1 && overlap as f64 >= threshold * total as f64 {
-                reports.push(DisclosureReport {
-                    source: candidate,
-                    disclosure: overlap as f64 / total as f64,
-                    threshold,
-                    shared_hashes: overlap,
-                });
-            }
-        }
-        reports.sort_by(|a, b| {
-            b.disclosure
-                .partial_cmp(&a.disclosure)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.source.cmp(&b.source))
-        });
+        let mut reports: Vec<DisclosureReport> = self
+            .candidates
+            .iter()
+            .filter_map(|&candidate| {
+                crate::disclosure::evaluate_candidate(store, candidate, &self.hashes)
+            })
+            .collect();
+        crate::disclosure::sort_reports(&mut reports);
         reports
     }
 }
@@ -144,7 +117,7 @@ mod tests {
 
     fn store_with_secret() -> (FingerprintStore, Vec<u32>) {
         let fp = Fingerprinter::default();
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         let print = fp.fingerprint(SECRET);
         store.observe(SegmentId::new(1), &print, 0.4);
         let hashes: Vec<u32> = print.hash_set().into_iter().collect();
@@ -189,8 +162,7 @@ mod tests {
         let mut reports = Vec::new();
         for chunk in hashes.chunks(3) {
             reports = checker.update(&store, chunk, &[]);
-            let full = store
-                .disclosing_sources_of_hashes(SegmentId::new(2), checker.hashes());
+            let full = store.disclosing_sources_of_hashes(SegmentId::new(2), checker.hashes());
             assert_eq!(reports, full);
         }
         assert_eq!(reports.len(), 1);

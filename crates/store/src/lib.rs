@@ -49,21 +49,25 @@ mod clock;
 pub mod codec;
 mod disclosure;
 mod encryption;
-mod incremental;
 pub mod hash_db;
+mod incremental;
 pub mod segment_db;
+pub mod sharded;
 
 pub use cache::{DecisionCache, FingerprintDigest};
-pub use codec::CodecError;
 pub use clock::{LogicalClock, Timestamp};
+pub use codec::CodecError;
 pub use disclosure::{disclosure_between, DisclosureReport};
 pub use encryption::{EncryptionError, SealedBytes, StoreKey};
-pub use incremental::IncrementalChecker;
 pub use hash_db::{HashDb, Sighting};
+pub use incremental::IncrementalChecker;
 pub use segment_db::{SegmentDb, StoredSegment};
+pub use sharded::{ShardedHashDb, ShardedSegmentDb};
 
 use browserflow_fingerprint::Fingerprint;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identifies a tracked text segment (a paragraph or a whole document,
 /// depending on which granularity the store serves).
@@ -94,16 +98,58 @@ impl From<u64> for SegmentId {
     }
 }
 
+/// A point-in-time snapshot of the store's concurrency counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of stripes in each sharded database.
+    pub shard_count: usize,
+    /// Per-shard entry counts of `DBhash`.
+    pub hash_shard_sizes: Vec<usize>,
+    /// Per-shard entry counts of `DBpar`.
+    pub segment_shard_sizes: Vec<usize>,
+    /// `DBhash` lock acquisitions that had to wait for another holder.
+    pub hash_lock_contention: u64,
+    /// `DBpar` lock acquisitions that had to wait for another holder.
+    pub segment_lock_contention: u64,
+    /// Algorithm 1 runs that fanned candidates out over worker threads.
+    pub parallel_checks: u64,
+    /// Algorithm 1 runs evaluated on the calling thread.
+    pub sequential_checks: u64,
+}
+
+impl StoreStats {
+    /// Total stored segment fingerprints (sum over `DBpar` shards).
+    pub fn total_entries(&self) -> usize {
+        self.segment_shard_sizes.iter().sum()
+    }
+
+    /// Total distinct first-sighting hashes (sum over `DBhash` shards).
+    pub fn total_hashes(&self) -> usize {
+        self.hash_shard_sizes.iter().sum()
+    }
+}
+
 /// The combined fingerprint store: `DBhash` + `DBpar` + a logical clock.
 ///
 /// All operations are deterministic; time is a logical counter advanced on
 /// every observation, which is all `oldestParagraphWith` needs (a total
 /// order on first sightings).
+///
+/// The store is internally lock-striped ([`sharded`]): every method takes
+/// `&self` and the store is [`Sync`], so concurrent checkers and observers
+/// need no external lock. An individual [`FingerprintStore::observe`] is
+/// atomic per shard, not globally: a concurrent checker may see some of an
+/// in-flight observation's first sightings before its `DBpar` entry lands.
+/// First-sighting ownership stays deterministic regardless, because each
+/// observation draws a unique logical timestamp and `DBhash` keeps the
+/// earliest per hash.
 #[derive(Debug, Default)]
 pub struct FingerprintStore {
     clock: LogicalClock,
-    hashes: HashDb,
-    segments: SegmentDb,
+    hashes: ShardedHashDb,
+    segments: ShardedSegmentDb,
+    parallel_checks: AtomicU64,
+    sequential_checks: AtomicU64,
 }
 
 impl FingerprintStore {
@@ -122,7 +168,7 @@ impl FingerprintStore {
     ///
     /// `threshold` is the segment's disclosure threshold `T ∈ [0, 1]`
     /// (clamped).
-    pub fn observe(&mut self, segment: SegmentId, fingerprint: &Fingerprint, threshold: f64) {
+    pub fn observe(&self, segment: SegmentId, fingerprint: &Fingerprint, threshold: f64) {
         let now = self.clock.tick();
         let distinct: HashSet<u32> = fingerprint.hash_set();
         for &hash in &distinct {
@@ -134,7 +180,7 @@ impl FingerprintStore {
 
     /// Updates just the disclosure threshold of an already-observed
     /// segment. Returns `false` if the segment is unknown.
-    pub fn set_threshold(&mut self, segment: SegmentId, threshold: f64) -> bool {
+    pub fn set_threshold(&self, segment: SegmentId, threshold: f64) -> bool {
         self.segments
             .set_threshold(segment, threshold.clamp(0.0, 1.0))
     }
@@ -149,7 +195,7 @@ impl FingerprintStore {
     /// hashes of its current fingerprint whose first sighting anywhere was
     /// this segment (§4.3).
     pub fn authoritative_fingerprint(&self, segment: SegmentId) -> HashSet<u32> {
-        let Some(stored) = self.segments.get(segment) else {
+        let Some(stored) = self.segment(segment) else {
             return HashSet::new();
         };
         stored
@@ -163,30 +209,39 @@ impl FingerprintStore {
     /// The disclosure `D(source, target)` of stored segment `source`
     /// towards a fingerprint `target`:
     ///
-    /// `|F_authoritative(source) ∩ target| / |F(source)|`
+    /// `|F_authoritative(source) ∩ target| / |F_authoritative(source)|`
     ///
-    /// Returns 0.0 if the source is unknown or has an empty fingerprint.
+    /// Both sides of the ratio use the authoritative fingerprint, as in
+    /// the paper's `computeDisclosure(F_A(p), ·)` — a source is judged on
+    /// how much of *its own* content leaked, not on content it borrowed
+    /// from older segments (which those segments report themselves).
+    ///
+    /// Returns 0.0 if the source is unknown or owns no hashes.
     pub fn disclosure_from(&self, source: SegmentId, target: &HashSet<u32>) -> f64 {
-        let Some(stored) = self.segments.get(source) else {
+        let Some(stored) = self.segment(source) else {
             return 0.0;
         };
-        let total = stored.hashes().len();
-        if total == 0 {
+        let mut authoritative = 0usize;
+        let mut overlap = 0usize;
+        for &hash in stored.hashes() {
+            if self.oldest_segment_with(hash) == Some(source) {
+                authoritative += 1;
+                if target.contains(&hash) {
+                    overlap += 1;
+                }
+            }
+        }
+        if authoritative == 0 {
             return 0.0;
         }
-        let overlap = stored
-            .hashes()
-            .iter()
-            .filter(|&&h| self.oldest_segment_with(h) == Some(source) && target.contains(&h))
-            .count();
-        overlap as f64 / total as f64
+        overlap as f64 / authoritative as f64
     }
 
     /// Algorithm 1: the stored source segments whose disclosure
     /// requirement the fingerprint of `target` violates.
     ///
     /// A source `p` with threshold `t` is reported when
-    /// `|F_authoritative(p) ∩ F(target)| ≥ max(1, t · |F(p)|)`, i.e. the
+    /// `|F_authoritative(p) ∩ F(target)| ≥ max(1, t · |F_authoritative(p)|)`, i.e. the
     /// paper's "at least `t` of the original is found elsewhere" reading of
     /// §4.2/§6.1 (`Dpar ≥ Tpar`), with the extra requirement of at least
     /// one shared hash so that `t = 0` means "any leaked hash" rather than
@@ -208,7 +263,23 @@ impl FingerprintStore {
         target: SegmentId,
         target_hashes: &HashSet<u32>,
     ) -> Vec<DisclosureReport> {
-        disclosure::run_algorithm_1(self, target, target_hashes)
+        disclosure::run_algorithm_1(self, target, target_hashes, disclosure::default_workers())
+    }
+
+    /// [`FingerprintStore::disclosing_sources_of_hashes`] with an explicit
+    /// worker-thread budget for the candidate-evaluation fan-out.
+    ///
+    /// `workers <= 1` forces the sequential path; larger values fan the
+    /// candidates over that many scoped threads once there are enough
+    /// candidates to amortise thread startup. The output is byte-identical
+    /// across worker counts (property-tested).
+    pub fn disclosing_sources_with_workers(
+        &self,
+        target: SegmentId,
+        target_hashes: &HashSet<u32>,
+        workers: usize,
+    ) -> Vec<DisclosureReport> {
+        disclosure::run_algorithm_1(self, target, target_hashes, workers)
     }
 
     /// Removes a segment's stored fingerprint and every first-sighting
@@ -217,7 +288,7 @@ impl FingerprintStore {
     /// Subsequent observations of those hashes establish fresh ownership.
     /// This backs the periodic removal of old fingerprints recommended in
     /// §4.4. Returns `true` if the segment was stored.
-    pub fn remove_segment(&mut self, segment: SegmentId) -> bool {
+    pub fn remove_segment(&self, segment: SegmentId) -> bool {
         let existed = self.segments.remove(segment);
         if existed {
             self.hashes.remove_sightings_of(segment);
@@ -227,7 +298,7 @@ impl FingerprintStore {
 
     /// Evicts every segment last updated strictly before `cutoff`,
     /// returning how many were removed.
-    pub fn evict_older_than(&mut self, cutoff: Timestamp) -> usize {
+    pub fn evict_older_than(&self, cutoff: Timestamp) -> usize {
         let victims = self.segments.segments_older_than(cutoff);
         for &segment in &victims {
             self.remove_segment(segment);
@@ -245,14 +316,39 @@ impl FingerprintStore {
         self.hashes.len()
     }
 
-    /// Read access to a stored segment.
-    pub fn segment(&self, segment: SegmentId) -> Option<&StoredSegment> {
+    /// Read access to a stored segment, as an owned handle: no shard lock
+    /// is held while the caller inspects it.
+    pub fn segment(&self, segment: SegmentId) -> Option<Arc<StoredSegment>> {
         self.segments.get(segment)
     }
 
     /// Iterates over all stored segment ids.
-    pub fn segment_ids(&self) -> impl Iterator<Item = SegmentId> + '_ {
-        self.segments.ids()
+    pub fn segment_ids(&self) -> impl Iterator<Item = SegmentId> + 'static {
+        self.segments.ids().into_iter()
+    }
+
+    /// A snapshot of the shard-occupancy, lock-contention and
+    /// parallel-vs-sequential check counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            shard_count: self.hashes.shard_count(),
+            hash_shard_sizes: self.hashes.shard_sizes(),
+            segment_shard_sizes: self.segments.shard_sizes(),
+            hash_lock_contention: self.hashes.contention_count(),
+            segment_lock_contention: self.segments.contention_count(),
+            parallel_checks: self.parallel_checks.load(Ordering::Relaxed),
+            sequential_checks: self.sequential_checks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counts one Algorithm 1 run against the parallel or sequential path
+    /// (called by the disclosure module).
+    pub(crate) fn count_check(&self, parallel: bool) {
+        if parallel {
+            self.parallel_checks.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.sequential_checks.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// The current logical time (the timestamp the *next* observation will
@@ -269,7 +365,7 @@ impl FingerprintStore {
     /// Restores a segment with an explicit timestamp, bypassing the clock
     /// (deserialisation path; see [`codec`]).
     pub(crate) fn restore_segment(
-        &mut self,
+        &self,
         segment: SegmentId,
         hashes: HashSet<u32>,
         threshold: f64,
@@ -279,13 +375,13 @@ impl FingerprintStore {
     }
 
     /// Restores a first-sighting record (deserialisation path).
-    pub(crate) fn restore_sighting(&mut self, hash: u32, segment: SegmentId, time: Timestamp) {
+    pub(crate) fn restore_sighting(&self, hash: u32, segment: SegmentId, time: Timestamp) {
         self.hashes.record_first_sighting(hash, segment, time);
     }
 
     /// Restores the clock so future observations are timestamped after
     /// every restored record (deserialisation path).
-    pub(crate) fn restore_clock(&mut self, at_least: Timestamp) {
+    pub(crate) fn restore_clock(&self, at_least: Timestamp) {
         self.clock.advance_to(at_least);
     }
 }
@@ -311,7 +407,7 @@ mod tests {
     #[test]
     fn copy_paste_is_detected() {
         let fp = fp();
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         store.observe(SegmentId::new(1), &fp.fingerprint(SECRET), 0.5);
         let pasted = format!("notes from the meeting follow {SECRET} end of notes");
         let reports = store.disclosing_sources(SegmentId::new(2), &fp.fingerprint(&pasted));
@@ -323,7 +419,7 @@ mod tests {
     #[test]
     fn unrelated_text_is_not_reported() {
         let fp = fp();
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         store.observe(SegmentId::new(1), &fp.fingerprint(SECRET), 0.5);
         let other = "completely unrelated prose about gardening tulips and daffodils in spring";
         assert!(store
@@ -334,10 +430,12 @@ mod tests {
     #[test]
     fn target_never_reports_itself() {
         let fp = fp();
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         let print = fp.fingerprint(SECRET);
         store.observe(SegmentId::new(1), &print, 0.5);
-        assert!(store.disclosing_sources(SegmentId::new(1), &print).is_empty());
+        assert!(store
+            .disclosing_sources(SegmentId::new(1), &print)
+            .is_empty());
     }
 
     #[test]
@@ -345,9 +443,11 @@ mod tests {
         // Figure 7: B is a superset of A; B's authoritative fingerprint
         // contains only B's new text.
         let fp = fp();
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         let a_text = SECRET;
-        let b_text = format!("{SECRET} additionally the deal includes all overseas subsidiaries and patents");
+        let b_text = format!(
+            "{SECRET} additionally the deal includes all overseas subsidiaries and patents"
+        );
         let a_print = fp.fingerprint(a_text);
         let b_print = fp.fingerprint(&b_text);
         store.observe(SegmentId::new(1), &a_print, 0.5);
@@ -358,10 +458,7 @@ mod tests {
         // No hash of A's fingerprint is authoritative for B.
         assert!(b_auth.is_disjoint(&a_hashes));
         // A's own fingerprint stays fully authoritative.
-        assert_eq!(
-            store.authoritative_fingerprint(SegmentId::new(1)),
-            a_hashes
-        );
+        assert_eq!(store.authoritative_fingerprint(SegmentId::new(1)), a_hashes);
     }
 
     #[test]
@@ -369,7 +466,7 @@ mod tests {
         // Figure 7 end-to-end: paste A's text into C after B (a superset of
         // A) was stored. Only A must be reported.
         let fp = fp();
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         let b_text = format!("{SECRET} additionally the deal includes all overseas subsidiaries");
         store.observe(SegmentId::new(1), &fp.fingerprint(SECRET), 0.5);
         store.observe(SegmentId::new(2), &fp.fingerprint(&b_text), 0.5);
@@ -383,14 +480,20 @@ mod tests {
     #[test]
     fn editing_a_segment_replaces_its_fingerprint() {
         let fp = fp();
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         let id = SegmentId::new(1);
         store.observe(id, &fp.fingerprint(SECRET), 0.5);
         let before = store.segment(id).unwrap().hashes().len();
         assert!(before > 0);
         let rewritten = "entirely different content now lives here with nothing in common";
         store.observe(id, &fp.fingerprint(rewritten), 0.5);
-        let stored: HashSet<u32> = store.segment(id).unwrap().hashes().iter().copied().collect();
+        let stored: HashSet<u32> = store
+            .segment(id)
+            .unwrap()
+            .hashes()
+            .iter()
+            .copied()
+            .collect();
         assert_eq!(stored, fp.fingerprint(rewritten).hash_set());
         // The old hashes still have first-sighting records (DBhash keeps
         // history) but the segment's current fingerprint changed.
@@ -400,7 +503,7 @@ mod tests {
     #[test]
     fn threshold_zero_fires_on_any_shared_hash() {
         let fp = fp();
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         store.observe(SegmentId::new(1), &fp.fingerprint(SECRET), 0.0);
         // Take a fragment long enough to guarantee one shared hash.
         let fragment = &SECRET[..60];
@@ -411,7 +514,7 @@ mod tests {
     #[test]
     fn threshold_one_requires_full_disclosure() {
         let fp = fp();
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         store.observe(SegmentId::new(1), &fp.fingerprint(SECRET), 1.0);
         // A fragment does not fully disclose.
         let fragment = &SECRET[..SECRET.len() / 2];
@@ -427,7 +530,7 @@ mod tests {
     #[test]
     fn remove_segment_releases_hash_ownership() {
         let fp = fp();
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         let print = fp.fingerprint(SECRET);
         store.observe(SegmentId::new(1), &print, 0.5);
         assert!(store.remove_segment(SegmentId::new(1)));
@@ -436,13 +539,16 @@ mod tests {
         // Ownership is re-established by the next observer.
         store.observe(SegmentId::new(2), &print, 0.5);
         let some_hash = *print.hash_set().iter().next().unwrap();
-        assert_eq!(store.oldest_segment_with(some_hash), Some(SegmentId::new(2)));
+        assert_eq!(
+            store.oldest_segment_with(some_hash),
+            Some(SegmentId::new(2))
+        );
     }
 
     #[test]
     fn eviction_by_age() {
         let fp = fp();
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         store.observe(SegmentId::new(1), &fp.fingerprint(SECRET), 0.5);
         let cutoff = store.now();
         store.observe(
@@ -458,11 +564,14 @@ mod tests {
     #[test]
     fn empty_fingerprints_never_report() {
         let fp = fp();
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         store.observe(SegmentId::new(1), &fp.fingerprint("tiny"), 0.0);
         assert!(store
             .disclosing_sources(SegmentId::new(2), &fp.fingerprint("tiny"))
             .is_empty());
-        assert_eq!(store.disclosure_from(SegmentId::new(1), &HashSet::new()), 0.0);
+        assert_eq!(
+            store.disclosure_from(SegmentId::new(1), &HashSet::new()),
+            0.0
+        );
     }
 }

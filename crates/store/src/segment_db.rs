@@ -2,6 +2,7 @@
 
 use crate::{SegmentId, Timestamp};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A stored segment: its current (distinct) fingerprint hashes, its
 /// disclosure threshold, and when it was last updated.
@@ -49,7 +50,9 @@ impl StoredSegment {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SegmentDb {
-    segments: HashMap<SegmentId, StoredSegment>,
+    // Segments are reference-counted so a sharded store can hand out owned
+    // handles without holding its shard lock across the caller's use.
+    segments: HashMap<SegmentId, Arc<StoredSegment>>,
 }
 
 impl SegmentDb {
@@ -70,11 +73,11 @@ impl SegmentDb {
         sorted.sort_unstable();
         self.segments.insert(
             segment,
-            StoredSegment {
+            Arc::new(StoredSegment {
                 hashes: sorted.into_boxed_slice(),
                 threshold,
                 updated: now,
-            },
+            }),
         );
     }
 
@@ -82,7 +85,9 @@ impl SegmentDb {
     pub fn set_threshold(&mut self, segment: SegmentId, threshold: f64) -> bool {
         match self.segments.get_mut(&segment) {
             Some(stored) => {
-                stored.threshold = threshold;
+                // Copy-on-write: concurrent readers holding the old handle
+                // keep a consistent (if momentarily stale) view.
+                Arc::make_mut(stored).threshold = threshold;
                 true
             }
             None => false,
@@ -91,7 +96,12 @@ impl SegmentDb {
 
     /// Fetches a stored segment.
     pub fn get(&self, segment: SegmentId) -> Option<&StoredSegment> {
-        self.segments.get(&segment)
+        self.segments.get(&segment).map(Arc::as_ref)
+    }
+
+    /// Fetches a stored segment as an owned, shareable handle.
+    pub fn get_shared(&self, segment: SegmentId) -> Option<Arc<StoredSegment>> {
+        self.segments.get(&segment).cloned()
     }
 
     /// Removes a segment; `true` if it was stored.

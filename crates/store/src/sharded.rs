@@ -1,0 +1,353 @@
+//! Lock-striped, sharded variants of `DBhash` and `DBpar`.
+//!
+//! §6.2 of the paper measures BrowserFlow against stores holding tens of
+//! millions of hashes; a single engine-wide lock serialises every check
+//! against every observation. [`ShardedHashDb`] and [`ShardedSegmentDb`]
+//! stripe the two databases over `N = next_pow2(cores)` independent
+//! [`RwLock`]-protected shards (clamped to `[8, 64]` so even a one-core
+//! container exercises real striping), keyed by `hash % N` and
+//! `segment % N` respectively. Checks — which are read-dominated — take
+//! shared locks on exactly the shards their hashes live in, so concurrent
+//! checkers proceed in parallel and writers block only one stripe at a
+//! time.
+//!
+//! Each striped database also counts lock contention: every acquisition
+//! first tries the lock without blocking and bumps a counter when it has to
+//! wait. The counters feed the concurrency metrics in `browserflow-core`.
+
+use crate::hash_db::{HashDb, Sighting};
+use crate::segment_db::{SegmentDb, StoredSegment};
+use crate::{SegmentId, Timestamp};
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of stripes: the next power of two at or above the core count,
+/// clamped to `[8, 64]`.
+pub(crate) fn default_shard_count() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.next_power_of_two().clamp(8, 64)
+}
+
+/// Acquires a read guard, counting the acquisition as contended if it
+/// could not be taken without blocking.
+macro_rules! read_shard {
+    ($self:expr, $index:expr) => {{
+        let shard = &$self.shards[$index];
+        match shard.try_read() {
+            Some(guard) => guard,
+            None => {
+                $self.contended.fetch_add(1, Ordering::Relaxed);
+                shard.read()
+            }
+        }
+    }};
+}
+
+/// Acquires a write guard, counting the acquisition as contended if it
+/// could not be taken without blocking.
+macro_rules! write_shard {
+    ($self:expr, $index:expr) => {{
+        let shard = &$self.shards[$index];
+        match shard.try_write() {
+            Some(guard) => guard,
+            None => {
+                $self.contended.fetch_add(1, Ordering::Relaxed);
+                shard.write()
+            }
+        }
+    }};
+}
+
+/// `DBhash` striped over `N` lock-protected shards, keyed by `hash % N`.
+///
+/// All operations take `&self`; per-shard exclusion preserves the
+/// earliest-sighting-wins invariant of [`HashDb`] because each hash lives
+/// in exactly one shard.
+#[derive(Debug)]
+pub struct ShardedHashDb {
+    shards: Box<[RwLock<HashDb>]>,
+    mask: usize,
+    contended: AtomicU64,
+}
+
+impl Default for ShardedHashDb {
+    fn default() -> Self {
+        Self::with_shards(default_shard_count())
+    }
+}
+
+impl ShardedHashDb {
+    /// Creates an empty database with the default shard count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty database with `shards` stripes (rounded up to a
+    /// power of two, minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        let shards: Vec<RwLock<HashDb>> = (0..count).map(|_| RwLock::new(HashDb::new())).collect();
+        Self {
+            shards: shards.into_boxed_slice(),
+            mask: count - 1,
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, hash: u32) -> usize {
+        hash as usize & self.mask
+    }
+
+    /// Records that `hash` was observed in `segment` at `time`, unless an
+    /// earlier sighting already exists. Returns `true` if this became the
+    /// hash's first sighting.
+    pub fn record_first_sighting(&self, hash: u32, segment: SegmentId, time: Timestamp) -> bool {
+        write_shard!(self, self.shard_of(hash)).record_first_sighting(hash, segment, time)
+    }
+
+    /// `oldestParagraphWith(h)`: the first sighting of `hash`, if any.
+    pub fn oldest_with(&self, hash: u32) -> Option<Sighting> {
+        read_shard!(self, self.shard_of(hash)).oldest_with(hash)
+    }
+
+    /// Number of distinct hashes on record.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| read_shard!(self, i).len())
+            .sum()
+    }
+
+    /// Whether no hashes are on record.
+    pub fn is_empty(&self) -> bool {
+        (0..self.shards.len()).all(|i| read_shard!(self, i).is_empty())
+    }
+
+    /// A snapshot of all (hash, sighting) entries in arbitrary order. The
+    /// snapshot is per-shard consistent, not globally atomic.
+    pub fn entries(&self) -> Vec<(u32, Sighting)> {
+        let mut all = Vec::new();
+        for i in 0..self.shards.len() {
+            all.extend(read_shard!(self, i).entries());
+        }
+        all
+    }
+
+    /// Drops every first-sighting record owned by `segment`.
+    pub fn remove_sightings_of(&self, segment: SegmentId) {
+        for i in 0..self.shards.len() {
+            write_shard!(self, i).remove_sightings_of(segment);
+        }
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard entry counts (occupancy).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .map(|i| read_shard!(self, i).len())
+            .collect()
+    }
+
+    /// Number of lock acquisitions that had to wait for another holder.
+    pub fn contention_count(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+}
+
+/// `DBpar` striped over `N` lock-protected shards, keyed by `segment % N`.
+#[derive(Debug)]
+pub struct ShardedSegmentDb {
+    shards: Box<[RwLock<SegmentDb>]>,
+    mask: usize,
+    contended: AtomicU64,
+}
+
+impl Default for ShardedSegmentDb {
+    fn default() -> Self {
+        Self::with_shards(default_shard_count())
+    }
+}
+
+impl ShardedSegmentDb {
+    /// Creates an empty database with the default shard count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty database with `shards` stripes (rounded up to a
+    /// power of two, minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        let shards: Vec<RwLock<SegmentDb>> =
+            (0..count).map(|_| RwLock::new(SegmentDb::new())).collect();
+        Self {
+            shards: shards.into_boxed_slice(),
+            mask: count - 1,
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, segment: SegmentId) -> usize {
+        segment.get() as usize & self.mask
+    }
+
+    /// Inserts or replaces the stored fingerprint of `segment`.
+    pub fn upsert(&self, segment: SegmentId, hashes: HashSet<u32>, threshold: f64, now: Timestamp) {
+        write_shard!(self, self.shard_of(segment)).upsert(segment, hashes, threshold, now);
+    }
+
+    /// Updates a segment's threshold; `false` if unknown.
+    pub fn set_threshold(&self, segment: SegmentId, threshold: f64) -> bool {
+        write_shard!(self, self.shard_of(segment)).set_threshold(segment, threshold)
+    }
+
+    /// Fetches a stored segment as an owned handle, so no shard lock is
+    /// held while the caller inspects it.
+    pub fn get(&self, segment: SegmentId) -> Option<Arc<StoredSegment>> {
+        read_shard!(self, self.shard_of(segment)).get_shared(segment)
+    }
+
+    /// Removes a segment; `true` if it was stored.
+    pub fn remove(&self, segment: SegmentId) -> bool {
+        write_shard!(self, self.shard_of(segment)).remove(segment)
+    }
+
+    /// Number of stored segments.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| read_shard!(self, i).len())
+            .sum()
+    }
+
+    /// Whether no segments are stored.
+    pub fn is_empty(&self) -> bool {
+        (0..self.shards.len()).all(|i| read_shard!(self, i).is_empty())
+    }
+
+    /// All stored segment ids (arbitrary order; per-shard consistent).
+    pub fn ids(&self) -> Vec<SegmentId> {
+        let mut all = Vec::new();
+        for i in 0..self.shards.len() {
+            all.extend(read_shard!(self, i).ids());
+        }
+        all
+    }
+
+    /// Ids of segments last updated strictly before `cutoff`.
+    pub fn segments_older_than(&self, cutoff: Timestamp) -> Vec<SegmentId> {
+        let mut all = Vec::new();
+        for i in 0..self.shards.len() {
+            all.extend(read_shard!(self, i).segments_older_than(cutoff));
+        }
+        all
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard entry counts (occupancy).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .map(|i| read_shard!(self, i).len())
+            .collect()
+    }
+
+    /// Number of lock acquisitions that had to wait for another holder.
+    pub fn contention_count(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_is_power_of_two_and_clamped() {
+        let n = default_shard_count();
+        assert!(n.is_power_of_two());
+        assert!((8..=64).contains(&n));
+        assert_eq!(ShardedHashDb::with_shards(3).shard_count(), 4);
+        assert_eq!(ShardedSegmentDb::with_shards(0).shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_hash_db_behaves_like_plain() {
+        let sharded = ShardedHashDb::with_shards(8);
+        let mut plain = HashDb::new();
+        for i in 0..200u32 {
+            let seg = SegmentId::new(u64::from(i % 7));
+            let t = Timestamp::new(u64::from(i / 3));
+            assert_eq!(
+                sharded.record_first_sighting(i % 50, seg, t),
+                plain.record_first_sighting(i % 50, seg, t),
+                "insert {i} diverged"
+            );
+        }
+        assert_eq!(sharded.len(), plain.len());
+        for h in 0..50 {
+            assert_eq!(sharded.oldest_with(h), plain.oldest_with(h));
+        }
+        sharded.remove_sightings_of(SegmentId::new(3));
+        plain.remove_sightings_of(SegmentId::new(3));
+        assert_eq!(sharded.len(), plain.len());
+        let total: usize = sharded.shard_sizes().iter().sum();
+        assert_eq!(total, sharded.len());
+    }
+
+    #[test]
+    fn sharded_segment_db_round_trips() {
+        let db = ShardedSegmentDb::with_shards(8);
+        for i in 0..32u64 {
+            db.upsert(
+                SegmentId::new(i),
+                HashSet::from([i as u32, i as u32 + 1]),
+                0.5,
+                Timestamp::new(i),
+            );
+        }
+        assert_eq!(db.len(), 32);
+        let stored = db.get(SegmentId::new(5)).unwrap();
+        assert_eq!(stored.hashes(), &[5, 6]);
+        assert!(db.set_threshold(SegmentId::new(5), 0.9));
+        assert_eq!(db.get(SegmentId::new(5)).unwrap().threshold(), 0.9);
+        // The handle taken before the update still reads consistently.
+        assert_eq!(stored.threshold(), 0.5);
+        assert!(db.remove(SegmentId::new(5)));
+        assert!(db.get(SegmentId::new(5)).is_none());
+        assert_eq!(db.segments_older_than(Timestamp::new(2)).len(), 2);
+        let mut ids = db.ids();
+        ids.sort_unstable();
+        assert_eq!(ids.len(), 31);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_entries() {
+        let db = Arc::new(ShardedHashDb::with_shards(8));
+        std::thread::scope(|s| {
+            for worker in 0..4u32 {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    for i in 0..500u32 {
+                        let hash = worker * 500 + i;
+                        db.record_first_sighting(
+                            hash,
+                            SegmentId::new(u64::from(worker)),
+                            Timestamp::new(u64::from(hash)),
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(db.len(), 2000);
+    }
+}

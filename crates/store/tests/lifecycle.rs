@@ -13,7 +13,7 @@ const TEXTS: [&str; 3] = [
 
 fn filled() -> FingerprintStore {
     let fp = Fingerprinter::default();
-    let mut store = FingerprintStore::new();
+    let store = FingerprintStore::new();
     for (i, text) in TEXTS.iter().enumerate() {
         store.observe(SegmentId::new(i as u64), &fp.fingerprint(text), 0.3);
     }
@@ -23,7 +23,7 @@ fn filled() -> FingerprintStore {
 #[test]
 fn eviction_and_reobservation_cycles_preserve_correctness() {
     let fp = Fingerprinter::default();
-    let mut store = filled();
+    let store = filled();
     for cycle in 0..5 {
         // Evict everything...
         let cutoff = store.now();
@@ -46,7 +46,7 @@ fn eviction_and_reobservation_cycles_preserve_correctness() {
 #[test]
 fn partial_eviction_transfers_nothing_but_forgets_the_victim() {
     let fp = Fingerprinter::default();
-    let mut store = FingerprintStore::new();
+    let store = FingerprintStore::new();
     store.observe(SegmentId::new(0), &fp.fingerprint(TEXTS[0]), 0.3);
     let cutoff = store.now();
     store.observe(SegmentId::new(1), &fp.fingerprint(TEXTS[1]), 0.3);

@@ -22,7 +22,7 @@ proptest! {
     /// matter how many later segments also contain it.
     #[test]
     fn first_observer_owns_hashes(first in hash_vec(), later in proptest::collection::vec(hash_vec(), 0..5)) {
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         store.observe(SegmentId::new(0), &fingerprint_of(&first), 0.5);
         for (i, hashes) in later.iter().enumerate() {
             store.observe(SegmentId::new(i as u64 + 1), &fingerprint_of(hashes), 0.5);
@@ -35,7 +35,7 @@ proptest! {
     /// Authoritative fingerprints of distinct segments are disjoint.
     #[test]
     fn authoritative_fingerprints_are_disjoint(sets in proptest::collection::vec(hash_vec(), 1..6)) {
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         for (i, hashes) in sets.iter().enumerate() {
             store.observe(SegmentId::new(i as u64), &fingerprint_of(hashes), 0.5);
         }
@@ -63,7 +63,7 @@ proptest! {
         target in hash_vec(),
         threshold in 0.0f64..=1.0,
     ) {
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         for (i, hashes) in stored.iter().enumerate() {
             store.observe(SegmentId::new(i as u64), &fingerprint_of(hashes), threshold);
         }
@@ -85,7 +85,7 @@ proptest! {
     /// Algorithm 1 agrees with the plain pairwise metric of §4.2.
     #[test]
     fn single_source_matches_plain_containment(source in hash_vec(), target in hash_vec()) {
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         store.observe(SegmentId::new(1), &fingerprint_of(&source), 0.0);
         let reports = store.disclosing_sources(SegmentId::new(2), &fingerprint_of(&target));
         let source_set: HashSet<u32> = source.iter().copied().collect();
@@ -104,7 +104,7 @@ proptest! {
     #[test]
     fn removed_segments_do_not_report(hashes in hash_vec()) {
         prop_assume!(!hashes.is_empty());
-        let mut store = FingerprintStore::new();
+        let store = FingerprintStore::new();
         store.observe(SegmentId::new(1), &fingerprint_of(&hashes), 0.0);
         store.remove_segment(SegmentId::new(1));
         let reports = store.disclosing_sources(SegmentId::new(2), &fingerprint_of(&hashes));
@@ -117,9 +117,9 @@ proptest! {
     /// idempotent with respect to disclosure results.
     #[test]
     fn observation_is_idempotent(source in hash_vec(), target in hash_vec()) {
-        let mut store_once = FingerprintStore::new();
+        let store_once = FingerprintStore::new();
         store_once.observe(SegmentId::new(1), &fingerprint_of(&source), 0.3);
-        let mut store_twice = FingerprintStore::new();
+        let store_twice = FingerprintStore::new();
         store_twice.observe(SegmentId::new(1), &fingerprint_of(&source), 0.3);
         store_twice.observe(SegmentId::new(1), &fingerprint_of(&source), 0.3);
         let target_fp = fingerprint_of(&target);
@@ -156,7 +156,7 @@ mod incremental_equivalence {
                 1..12,
             ),
         ) {
-            let mut store = FingerprintStore::new();
+            let store = FingerprintStore::new();
             for (i, hashes) in stored.iter().enumerate() {
                 store.observe(SegmentId::new(i as u64), &fingerprint_of(hashes), 0.3);
             }

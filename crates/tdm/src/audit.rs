@@ -64,12 +64,7 @@ impl AuditLog {
     }
 
     /// Appends a suppression record and returns its sequence number.
-    pub fn record_suppression(
-        &mut self,
-        tag: Tag,
-        user: UserId,
-        justification: String,
-    ) -> u64 {
+    pub fn record_suppression(&mut self, tag: Tag, user: UserId, justification: String) -> u64 {
         let sequence = self.records.len() as u64;
         self.records.push(SuppressionRecord {
             sequence,

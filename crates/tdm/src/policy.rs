@@ -1,8 +1,6 @@
 //! The enterprise-wide data disclosure policy.
 
-use crate::{
-    AuditLog, PolicyError, SegmentLabel, Service, ServiceId, Tag, TagSet, UserId,
-};
+use crate::{AuditLog, PolicyError, SegmentLabel, Service, ServiceId, Tag, TagSet, UserId};
 use std::collections::BTreeMap;
 
 /// The outcome of checking whether a text segment may be released to a
@@ -163,11 +161,8 @@ impl Policy {
     ) -> bool {
         let suppressed = label.suppress(tag, user);
         if suppressed {
-            self.audit.record_suppression(
-                tag.clone(),
-                user.clone(),
-                justification.into(),
-            );
+            self.audit
+                .record_suppression(tag.clone(), user.clone(), justification.into());
         }
         suppressed
     }
@@ -183,8 +178,12 @@ impl Policy {
         if self.custom_tags.contains_key(&tag) {
             return Err(PolicyError::DuplicateTag { tag });
         }
-        self.custom_tags
-            .insert(tag, CustomTag { owner: user.clone() });
+        self.custom_tags.insert(
+            tag,
+            CustomTag {
+                owner: user.clone(),
+            },
+        );
         Ok(())
     }
 
@@ -234,12 +233,12 @@ impl Policy {
         user: &UserId,
     ) -> Result<bool, PolicyError> {
         self.check_tag_owner(tag, user)?;
-        let service = self
-            .services
-            .get_mut(service)
-            .ok_or_else(|| PolicyError::UnknownService {
-                id: service.clone(),
-            })?;
+        let service =
+            self.services
+                .get_mut(service)
+                .ok_or_else(|| PolicyError::UnknownService {
+                    id: service.clone(),
+                })?;
         Ok(service.revoke_privilege(tag))
     }
 
@@ -258,12 +257,12 @@ impl Policy {
         service: &ServiceId,
         tag: &Tag,
     ) -> Result<bool, PolicyError> {
-        let service = self
-            .services
-            .get_mut(service)
-            .ok_or_else(|| PolicyError::UnknownService {
-                id: service.clone(),
-            })?;
+        let service =
+            self.services
+                .get_mut(service)
+                .ok_or_else(|| PolicyError::UnknownService {
+                    id: service.clone(),
+                })?;
         Ok(service.grant_privilege(tag.clone()))
     }
 
@@ -273,11 +272,7 @@ impl Policy {
     /// # Errors
     ///
     /// Returns [`PolicyError::UnknownService`] if no such service exists.
-    pub fn set_service_privilege(
-        &mut self,
-        id: &ServiceId,
-        lp: TagSet,
-    ) -> Result<(), PolicyError> {
+    pub fn set_service_privilege(&mut self, id: &ServiceId, lp: TagSet) -> Result<(), PolicyError> {
         let service = self
             .services
             .get_mut(id)
@@ -381,22 +376,34 @@ mod tests {
         );
         // Step 3: text created in Google Docs is public and flows anywhere.
         let l3 = policy.initial_label(&"gdocs".into()).unwrap();
-        assert!(policy.check_release(&l3, &"wiki".into()).unwrap().is_permitted());
-        assert!(policy.check_release(&l3, &"itool".into()).unwrap().is_permitted());
+        assert!(policy
+            .check_release(&l3, &"wiki".into())
+            .unwrap()
+            .is_permitted());
+        assert!(policy
+            .check_release(&l3, &"itool".into())
+            .unwrap()
+            .is_permitted());
     }
 
     #[test]
     fn figure4_suppression_permits_upload_and_audits() {
         let mut policy = figure3_policy();
         let mut label = policy.initial_label(&"itool".into()).unwrap();
-        assert!(!policy.check_release(&label, &"wiki".into()).unwrap().is_permitted());
+        assert!(!policy
+            .check_release(&label, &"wiki".into())
+            .unwrap()
+            .is_permitted());
         assert!(policy.suppress_tag(
             &mut label,
             &tag("ti"),
             &"alice".into(),
             "sharing sanitised interview guidelines"
         ));
-        assert!(policy.check_release(&label, &"wiki".into()).unwrap().is_permitted());
+        assert!(policy
+            .check_release(&label, &"wiki".into())
+            .unwrap()
+            .is_permitted());
         // Audit trail captured user and justification.
         let records: Vec<_> = policy.audit_log().iter().collect();
         assert_eq!(records.len(), 1);
@@ -426,7 +433,10 @@ mod tests {
             .grant_privilege_unchecked(&"itool".into(), &tag("tw"))
             .unwrap();
         let label = policy.initial_label(&"wiki".into()).unwrap();
-        assert!(policy.check_release(&label, &"itool".into()).unwrap().is_permitted());
+        assert!(policy
+            .check_release(&label, &"itool".into())
+            .unwrap()
+            .is_permitted());
 
         // Step 1: a user allocates tn and adds it to the segment label.
         let user = UserId::new("bob");
@@ -439,8 +449,14 @@ mod tests {
             .unwrap();
         // Step 3: the Interview Tool did not receive tn, so the text may
         // not propagate there any more.
-        assert!(!policy.check_release(&label, &"itool".into()).unwrap().is_permitted());
-        assert!(policy.check_release(&label, &"wiki".into()).unwrap().is_permitted());
+        assert!(!policy
+            .check_release(&label, &"itool".into())
+            .unwrap()
+            .is_permitted());
+        assert!(policy
+            .check_release(&label, &"wiki".into())
+            .unwrap()
+            .is_permitted());
     }
 
     #[test]
@@ -490,15 +506,18 @@ mod tests {
     fn admin_label_updates_change_decisions() {
         let mut policy = figure3_policy();
         let label = policy.initial_label(&"itool".into()).unwrap();
-        assert!(!policy.check_release(&label, &"wiki".into()).unwrap().is_permitted());
+        assert!(!policy
+            .check_release(&label, &"wiki".into())
+            .unwrap()
+            .is_permitted());
         // Admin widens the Wiki's privilege label.
         policy
-            .set_service_privilege(
-                &"wiki".into(),
-                TagSet::from_iter([tag("tw"), tag("ti")]),
-            )
+            .set_service_privilege(&"wiki".into(), TagSet::from_iter([tag("tw"), tag("ti")]))
             .unwrap();
-        assert!(policy.check_release(&label, &"wiki".into()).unwrap().is_permitted());
+        assert!(policy
+            .check_release(&label, &"wiki".into())
+            .unwrap()
+            .is_permitted());
         // Admin changes the Interview Tool's Lc; new text gets the new tag.
         policy
             .set_service_confidentiality(&"itool".into(), TagSet::from_iter([tag("ti2")]))
@@ -522,7 +541,10 @@ mod tests {
             Err(PolicyError::UnknownService { .. })
         ));
         // Existing labels keep enforcing against remaining services.
-        assert!(!policy.check_release(&label, &"wiki".into()).unwrap().is_permitted());
+        assert!(!policy
+            .check_release(&label, &"wiki".into())
+            .unwrap()
+            .is_permitted());
         assert!(matches!(
             policy.unregister(&"itool".into()),
             Err(PolicyError::UnknownService { .. })

@@ -180,8 +180,8 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let service = Service::new("itool", "Interview Tool")
-            .with_privilege(TagSet::from_iter([tag("ti")]));
+        let service =
+            Service::new("itool", "Interview Tool").with_privilege(TagSet::from_iter([tag("ti")]));
         let json = serde_json::to_string(&service).unwrap();
         let back: Service = serde_json::from_str(&json).unwrap();
         assert_eq!(back, service);

@@ -45,7 +45,10 @@ fn three_hop_chain_keeps_only_the_previous_hops_explicit_tags() {
     let mut gdocs_label = policy.initial_label(&"gdocs".into()).unwrap();
     gdocs_label.absorb_source(&wiki_label);
     // Hop 2: only the wiki's EXPLICIT tag travels; hr has aged out.
-    assert_eq!(gdocs_label.effective_tags(), TagSet::from_iter([tag("wiki")]));
+    assert_eq!(
+        gdocs_label.effective_tags(),
+        TagSet::from_iter([tag("wiki")])
+    );
     let mut forum_label = policy.initial_label(&"forum".into()).unwrap();
     forum_label.absorb_source(&gdocs_label);
     // Hop 3: gdocs has no explicit tags of its own -> nothing travels.
@@ -67,7 +70,10 @@ fn absorbing_multiple_sources_unions_their_explicit_tags() {
     // Release requires the union of privileges.
     for (dest, ok) in [("hr", false), ("fin", false), ("wiki", false)] {
         assert_eq!(
-            policy.check_release(&merged, &dest.into()).unwrap().is_permitted(),
+            policy
+                .check_release(&merged, &dest.into())
+                .unwrap()
+                .is_permitted(),
             ok,
             "{dest}"
         );
@@ -75,13 +81,18 @@ fn absorbing_multiple_sources_unions_their_explicit_tags() {
     // A service privileged for all three may receive it.
     let mut policy = policy;
     policy
-        .register(Service::new("vault", "Records Vault").with_privilege(TagSet::from_iter([
-            tag("hr"),
-            tag("fin"),
-            tag("wiki"),
-        ])))
+        .register(
+            Service::new("vault", "Records Vault").with_privilege(TagSet::from_iter([
+                tag("hr"),
+                tag("fin"),
+                tag("wiki"),
+            ])),
+        )
         .unwrap();
-    assert!(policy.check_release(&merged, &"vault".into()).unwrap().is_permitted());
+    assert!(policy
+        .check_release(&merged, &"vault".into())
+        .unwrap()
+        .is_permitted());
 }
 
 #[test]
@@ -92,7 +103,10 @@ fn suppression_of_implicit_tags_is_audited_like_explicit_ones() {
     wiki_label.absorb_source(&hr);
     // The implicit hr tag can be suppressed just like an explicit one.
     assert!(policy.suppress_tag(&mut wiki_label, &tag("hr"), &UserId::new("dana"), "cleared"));
-    assert_eq!(wiki_label.effective_tags(), TagSet::from_iter([tag("wiki")]));
+    assert_eq!(
+        wiki_label.effective_tags(),
+        TagSet::from_iter([tag("wiki")])
+    );
     assert_eq!(policy.audit_log().len(), 1);
     assert_eq!(policy.audit_log().iter().next().unwrap().tag(), &tag("hr"));
     // Suppressing it twice is a no-op and not double-audited.
@@ -104,7 +118,9 @@ fn suppression_of_implicit_tags_is_audited_like_explicit_ones() {
 fn custom_tags_survive_absorption_as_implicit() {
     let mut policy = enterprise();
     let owner = UserId::new("carol");
-    policy.allocate_custom_tag(tag("project-q"), &owner).unwrap();
+    policy
+        .allocate_custom_tag(tag("project-q"), &owner)
+        .unwrap();
     let mut source = policy.initial_label(&"wiki".into()).unwrap();
     source.add_explicit(tag("project-q"));
     // A segment disclosing the protected source picks up the custom tag.

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     plugin.bind_origin(FORUM, "forum", "post");
     plugin
         .state()
-        .lock()
+        .read()
         .index_paragraph(&"erp".into(), "q3-report", 0, secret)?;
 
     let mut browser = Browser::new();
@@ -63,14 +63,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("body as transmitted:\n  {}", truncate(&upload.body, 96));
     assert!(backend.saw_text("bf-sealed:"));
     assert!(!backend.saw_text("forty-two million"));
-    println!("plaintext leaked: {}", backend.saw_text("forty-two million"));
+    println!(
+        "plaintext leaked: {}",
+        backend.saw_text("forty-two million")
+    );
 
     // Why imprecise tracking? An exact-match DLP registers the report but
     // misses the edited quote entirely.
     let mut exact = ExactMatchDlp::new();
     exact.register(secret);
-    println!("\nexact-match DLP catches verbatim copy:  {}", exact.is_registered(secret));
-    println!("exact-match DLP catches edited quote:   {}", exact.is_registered(&quoted));
+    println!(
+        "\nexact-match DLP catches verbatim copy:  {}",
+        exact.is_registered(secret)
+    );
+    println!(
+        "exact-match DLP catches edited quote:   {}",
+        exact.is_registered(&quoted)
+    );
     println!("BrowserFlow caught the edited quote:    true (see sealed upload above)");
     Ok(())
 }

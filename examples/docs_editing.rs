@@ -64,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let node = docs.paragraph_node(&browser, 1);
     println!(
         "paragraph flagged red: {}",
-        browser.tab(docs_tab).document().attr(node, "data-bf-flagged") == Some("true")
+        browser
+            .tab(docs_tab)
+            .document()
+            .attr(node, "data-bf-flagged")
+            == Some("true")
     );
 
     // Figure 2: render the editor as the user sees it — flagged
@@ -79,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(!browser.backend(DOCS).saw_text("rubric"));
 
     let state = plugin.state();
-    let state = state.lock();
+    let state = state.read();
     println!("\nwarnings: {}", state.warnings().len());
     for warning in state.warnings() {
         println!(
@@ -94,11 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
 /// Renders the docs editor as a terminal mock-up of Figure 2: flagged
 /// paragraphs on a red background (ANSI), clean ones plain.
-fn render_editor(
-    browser: &Browser,
-    tab: browserflow_browser::TabId,
-    docs: &DocsApp,
-) -> String {
+fn render_editor(browser: &Browser, tab: browserflow_browser::TabId, docs: &DocsApp) -> String {
     let document = browser.tab(tab).document();
     let mut out = String::new();
     out.push_str("  ┌──────────────────────────────────────────────────┐\n");
@@ -107,7 +107,9 @@ fn render_editor(
         let flagged = document.attr(node, "data-bf-flagged") == Some("true");
         let text = truncate(&document.text_content(node), 44);
         if flagged {
-            out.push_str(&format!("  │ \x1b[41;97m{text:<48}\x1b[0m │  ⚠ discloses tracked text\n"));
+            out.push_str(&format!(
+                "  │ \x1b[41;97m{text:<48}\x1b[0m │  ⚠ discloses tracked text\n"
+            ));
         } else {
             out.push_str(&format!("  │ {text:<48} │\n"));
         }

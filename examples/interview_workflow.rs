@@ -41,8 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                       problem with a clean sharded architecture, but struggled with \
                       the consensus follow-ups; recommend a second technical round.";
     flow.observe_paragraph(&"itool".into(), "eval-4711", 0, evaluation)?;
-    println!("evaluation written in Interview Tool; label = {}",
-        flow.segment_label(&SegmentKey::paragraph(DocKey::new("itool", "eval-4711"), 0)).unwrap());
+    println!(
+        "evaluation written in Interview Tool; label = {}",
+        flow.segment_label(&SegmentKey::paragraph(DocKey::new("itool", "eval-4711"), 0))
+            .unwrap()
+    );
 
     let to_gdocs = flow.check_upload(&"gdocs".into(), "notes", 0, evaluation)?;
     println!("copy evaluation -> Google Docs: {:?}", to_gdocs.action);
@@ -58,7 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("copy guidelines -> Google Docs: {:?}", blocked.action);
 
     let key = SegmentKey::paragraph(DocKey::new("wiki", "guidelines"), 0);
-    flow.suppress_tag(&key, &tw, &alice, "sanitised guidelines approved for candidates")?;
+    flow.suppress_tag(
+        &key,
+        &tw,
+        &alice,
+        "sanitised guidelines approved for candidates",
+    )?;
     let allowed = flow.check_upload(&"gdocs".into(), "shared-doc", 0, guidelines)?;
     println!("after alice suppresses {tw}: {:?}", allowed.action);
     assert_eq!(allowed.action, UploadAction::Allow);
@@ -79,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     flow.observe_paragraph(&"wiki".into(), "reorg", 0, reorg)?;
     // Without a custom tag, the Interview Tool may receive wiki data.
     let before = flow.check_upload(&"itool".into(), "scratch", 0, reorg)?;
-    println!("copy reorg plan -> Interview Tool (before tn): {:?}", before.action);
+    println!(
+        "copy reorg plan -> Interview Tool (before tn): {:?}",
+        before.action
+    );
 
     let tn = Tag::new("reorg-plan")?;
     flow.protect_with_custom_tag(
@@ -88,10 +99,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &alice,
     )?;
     let after = flow.check_upload(&"itool".into(), "scratch", 1, reorg)?;
-    println!("copy reorg plan -> Interview Tool (after tn):  {:?}", after.action);
+    println!(
+        "copy reorg plan -> Interview Tool (after tn):  {:?}",
+        after.action
+    );
     assert_eq!(after.action, UploadAction::Block);
     let wiki_again = flow.check_upload(&"wiki".into(), "reorg-copy", 0, reorg)?;
-    println!("copy reorg plan -> Wiki (Lp auto-updated):     {:?}", wiki_again.action);
+    println!(
+        "copy reorg plan -> Wiki (Lp auto-updated):     {:?}",
+        wiki_again.action
+    );
     assert_eq!(wiki_again.action, UploadAction::Allow);
 
     // ------------------------------------------------------------------
@@ -118,6 +135,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert!(!violation.missing_tags.contains(&ti));
     }
-    println!("\nwarnings recorded this session: {}", flow.warnings().len());
+    println!(
+        "\nwarnings recorded this session: {}",
+        flow.warnings().len()
+    );
     Ok(())
 }

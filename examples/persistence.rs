@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("session 1: indexed {indexed} paragraphs + 1 short secret");
 
         let decision = flow.check_upload(&"gdocs".into(), "draft", 0, handbook)?;
-        println!("session 1: pasting the handbook into Google Docs -> {:?}", decision.action);
+        println!(
+            "session 1: pasting the handbook into Google Docs -> {:?}",
+            decision.action
+        );
 
         let sealed = flow.export_sealed(1);
         std::fs::write(&state_path, sealed.to_bytes())?;
@@ -57,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         let bytes = std::fs::read(&state_path)?;
         let sealed = SealedBytes::from_bytes(&bytes)?;
-        let mut flow = BrowserFlow::import_sealed(StoreKey::from_bytes(key_bytes), &sealed)?;
+        let flow = BrowserFlow::import_sealed(StoreKey::from_bytes(key_bytes), &sealed)?;
         println!(
             "\nsession 2: restored {} paragraphs, {} documents, {} hashes, {} secret(s)",
             flow.engine().paragraph_count(),
@@ -69,21 +72,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The restored instance blocks the same leak...
         let severance = handbook.split("\n\n").nth(1).unwrap();
         let decision = flow.check_upload(&"gdocs".into(), "new-draft", 0, severance)?;
-        println!("session 2: pasting the severance paragraph -> {:?}", decision.action);
+        println!(
+            "session 2: pasting the severance paragraph -> {:?}",
+            decision.action
+        );
         assert_eq!(decision.action, UploadAction::Block);
 
         // ...including the short secret.
         let decision =
             flow.check_upload(&"gdocs".into(), "new-draft", 1, "token pk 77 x2 works")?;
-        println!("session 2: leaking the payroll key -> {:?}", decision.action);
+        println!(
+            "session 2: leaking the payroll key -> {:?}",
+            decision.action
+        );
         assert_eq!(decision.action, UploadAction::Block);
 
         // And a wrong key cannot open the file at all.
         let wrong = BrowserFlow::import_sealed(StoreKey::from_bytes([0u8; 32]), &sealed);
-        println!("session 2: opening with the wrong key -> {}", wrong.is_err());
+        println!(
+            "session 2: opening with the wrong key -> {}",
+            wrong.is_err()
+        );
     }
 
     std::fs::remove_file(&state_path).ok();
-    println!("\ninspect saved states offline with: bfctl state <file> --key {}", "42".repeat(32));
+    println!(
+        "\ninspect saved states offline with: bfctl state <file> --key {}",
+        "42".repeat(32)
+    );
     Ok(())
 }

@@ -16,10 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let memo = "The acquisition of Initech will be announced on March 1st at a \
                 press event in Zurich; until then this information is strictly \
                 need-to-know within the corporate development team.";
-    let leaked = format!(
-        "hey! fyi — {} (don't tell anyone)",
-        memo.to_lowercase()
-    );
+    let leaked = format!("hey! fyi — {} (don't tell anyone)", memo.to_lowercase());
     let unrelated = "Minutes of the gardening club: we will plant tulips along \
                      the east fence and daffodils around the pond in April.";
 
@@ -36,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 2. The Text Disclosure Model ------------------------------------
     let tc = Tag::new("corp-dev")?;
-    let mut flow = BrowserFlow::builder()
+    let flow = BrowserFlow::builder()
         .mode(EnforcementMode::Block)
         .service(
             Service::new("intranet", "Corp-Dev Intranet")
@@ -51,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Pasting the (edited!) memo into Google Docs is caught and blocked.
     let decision = flow.check_upload(&"gdocs".into(), "draft", 0, &leaked)?;
-    println!("\npaste edited memo into Google Docs -> {:?}", decision.action);
+    println!(
+        "\npaste edited memo into Google Docs -> {:?}",
+        decision.action
+    );
     for violation in &decision.violations {
         println!(
             "  discloses {:.0}% of {} (missing tags {})",
@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Unrelated text flows freely.
     let decision = flow.check_upload(&"gdocs".into(), "draft", 1, unrelated)?;
-    println!("paste unrelated text into Google Docs -> {:?}", decision.action);
+    println!(
+        "paste unrelated text into Google Docs -> {:?}",
+        decision.action
+    );
     assert_eq!(decision.action, UploadAction::Allow);
     Ok(())
 }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CI gate for the BrowserFlow workspace.
+#
+# Runs, in order:
+#   1. rustfmt check over the first-party packages
+#   2. clippy with warnings denied over the first-party packages
+#   3. the tier-1 gate: release build + full test suite
+#
+# The vendored shims under third_party/ are intentionally excluded from
+# the fmt/clippy gates: they mirror upstream crate APIs and are not held
+# to this repo's style.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIRST_PARTY=(
+    browserflow-fingerprint
+    browserflow-tdm
+    browserflow-store
+    browserflow-corpus
+    browserflow-browser
+    browserflow
+    browserflow-cli
+    browserflow-bench
+    browserflow-examples
+    browserflow-integration
+)
+
+pkg_flags=()
+for pkg in "${FIRST_PARTY[@]}"; do
+    pkg_flags+=(-p "$pkg")
+done
+
+echo "==> cargo fmt --check (first-party)"
+cargo fmt "${pkg_flags[@]}" -- --check
+
+echo "==> cargo clippy -D warnings (first-party)"
+cargo clippy "${pkg_flags[@]}" --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "CI gate passed."

@@ -108,7 +108,10 @@ fn detection_tracks_ground_truth_within_ten_percent_at_default_threshold() {
 fn iphone_chapters_decay_and_monotonically_lose_disclosure() {
     let manuals = ManualsDataset::generate(2);
     let fp = paper_fingerprinter();
-    for kind in [ManualChapterKind::IphoneCamera, ManualChapterKind::IphoneMessage] {
+    for kind in [
+        ManualChapterKind::IphoneCamera,
+        ManualChapterKind::IphoneMessage,
+    ] {
         let chapter = manuals.chapter(kind);
         let base = base_fingerprints(chapter.chain.base());
         let series: Vec<f64> = (0..4)
@@ -120,7 +123,10 @@ fn iphone_chapters_decay_and_monotonically_lose_disclosure() {
         for window in series.windows(2) {
             assert!(window[1] <= window[0] + 1e-9, "{kind:?}: {series:?}");
         }
-        assert!(series[3] <= 0.25, "{kind:?} must decay below 25%: {series:?}");
+        assert!(
+            series[3] <= 0.25,
+            "{kind:?} must decay below 25%: {series:?}"
+        );
     }
 }
 
@@ -136,8 +142,9 @@ fn threshold_sweep_agreement_exceeds_ninety_percent_in_plateau() {
             let base = base_fingerprints(chapter.chain.base());
             for version in 1..chapter.chain.len() {
                 let truth = chapter.ground_truth(version, 0.5);
-                let revision_hashes =
-                    fp.fingerprint(&chapter.chain.revision(version).text()).hash_set();
+                let revision_hashes = fp
+                    .fingerprint(&chapter.chain.revision(version).text())
+                    .hash_set();
                 for (index, paragraph) in base.iter().enumerate() {
                     let hashes = paragraph.hash_set();
                     if hashes.is_empty() {
@@ -186,9 +193,18 @@ fn wikipedia_low_churn_keeps_high_disclosure_high_churn_decays() {
 
     let low = final_disclosure(ChurnLevel::Low);
     let high = final_disclosure(ChurnLevel::High);
-    assert!(low > 0.5, "low-churn articles should stay mostly disclosed, got {low:.2}");
-    assert!(high < low, "high-churn must decay below low-churn ({high:.2} vs {low:.2})");
-    assert!(high < 0.5, "high-churn should fall below 50% by the last revision, got {high:.2}");
+    assert!(
+        low > 0.5,
+        "low-churn articles should stay mostly disclosed, got {low:.2}"
+    );
+    assert!(
+        high < low,
+        "high-churn must decay below low-churn ({high:.2} vs {low:.2})"
+    );
+    assert!(
+        high < 0.5,
+        "high-churn should fall below 50% by the last revision, got {high:.2}"
+    );
 }
 
 #[test]

@@ -40,7 +40,7 @@ fn flow() -> BrowserFlow {
 
 #[test]
 fn one_sentence_per_paragraph_evades_tpar_but_trips_tdoc() {
-    let mut flow = flow();
+    let flow = flow();
     let paragraphs = source_document();
     let internal: ServiceId = "internal".into();
     let full_text = paragraphs.join("\n\n");
@@ -48,11 +48,12 @@ fn one_sentence_per_paragraph_evades_tpar_but_trips_tdoc() {
     for (i, p) in paragraphs.iter().enumerate() {
         flow.observe_paragraph(&internal, "spec", i, p).unwrap();
     }
-    flow.observe_document(&internal, "spec", &full_text).unwrap();
+    flow.observe_document(&internal, "spec", &full_text)
+        .unwrap();
     // The document's author sets a low Tdoc: even partial cross-paragraph
     // leakage matters (§4.2: thresholds are per-document).
     assert!(flow
-        .engine_mut()
+        .engine()
         .set_document_threshold(&DocKey::new("internal", "spec"), 0.1));
 
     let gdocs: ServiceId = "gdocs".into();
@@ -76,7 +77,7 @@ fn one_sentence_per_paragraph_evades_tpar_but_trips_tdoc() {
 
 #[test]
 fn full_copy_trips_both_granularities() {
-    let mut flow = flow();
+    let flow = flow();
     let paragraphs = source_document();
     let internal: ServiceId = "internal".into();
     for (i, p) in paragraphs.iter().enumerate() {
@@ -88,7 +89,9 @@ fn full_copy_trips_both_granularities() {
     let gdocs: ServiceId = "gdocs".into();
     let copied = paragraphs[2].clone();
     assert_eq!(
-        flow.check_upload(&gdocs, "draft", 0, &copied).unwrap().action,
+        flow.check_upload(&gdocs, "draft", 0, &copied)
+            .unwrap()
+            .action,
         UploadAction::Block
     );
     let full = paragraphs.join("\n\n");
@@ -120,13 +123,13 @@ fn plugin_flags_the_editor_on_document_level_disclosure() {
     let internal: ServiceId = "internal".into();
     {
         let state = plugin.state();
-        let mut flow = state.lock();
+        let flow = state.read();
         for (i, p) in paragraphs.iter().enumerate() {
             flow.observe_paragraph(&internal, "spec", i, p).unwrap();
         }
         flow.observe_document(&internal, "spec", &paragraphs.join("\n\n"))
             .unwrap();
-        flow.engine_mut()
+        flow.engine()
             .set_document_threshold(&DocKey::new("internal", "spec"), 0.1);
     }
 
@@ -147,21 +150,27 @@ fn plugin_flags_the_editor_on_document_level_disclosure() {
     // disclosure.
     let editor = docs.editor();
     assert_eq!(
-        browser.tab(tab).document().attr(editor, "data-bf-doc-flagged"),
+        browser
+            .tab(tab)
+            .document()
+            .attr(editor, "data-bf-doc-flagged"),
         Some("true")
     );
 }
 
 #[test]
 fn violations_carry_matching_spans() {
-    let mut flow = flow();
+    let flow = flow();
     let paragraphs = source_document();
     let internal: ServiceId = "internal".into();
     flow.observe_paragraph(&internal, "spec", 0, &paragraphs[0])
         .unwrap();
 
     let gdocs: ServiceId = "gdocs".into();
-    let framed = format!("totally new framing text before the leak {} and after", paragraphs[0]);
+    let framed = format!(
+        "totally new framing text before the leak {} and after",
+        paragraphs[0]
+    );
     let decision = flow.check_upload(&gdocs, "draft", 0, &framed).unwrap();
     assert_eq!(decision.action, UploadAction::Block);
     let spans = &decision.violations[0].matching_spans;

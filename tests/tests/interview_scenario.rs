@@ -152,10 +152,15 @@ fn suppression_then_upload_succeeds_and_is_audited() {
     // Alice suppresses tw on the wiki source paragraph.
     {
         let state = plugin.state();
-        let mut flow = state.lock();
+        let mut flow = state.write();
         let key = SegmentKey::paragraph(DocKey::new("wiki", "wiki-page"), 0);
         assert!(flow
-            .suppress_tag(&key, &tag("tw"), &UserId::new("alice"), "approved for sharing")
+            .suppress_tag(
+                &key,
+                &tag("tw"),
+                &UserId::new("alice"),
+                "approved for sharing"
+            )
             .unwrap());
         assert_eq!(flow.policy().audit_log().len(), 1);
     }
@@ -191,7 +196,7 @@ fn advisory_mode_releases_but_records_warnings() {
     );
     // ...and warnings were recorded for the audit trail.
     let state = plugin.state();
-    assert!(!state.lock().warnings().is_empty());
+    assert!(!state.read().warnings().is_empty());
 }
 
 #[test]

@@ -103,7 +103,11 @@ fn encrypt_mode_preserves_the_notes_wire_shape() {
         .find(|u| u.body.contains("bf-sealed:"))
         .expect("a sealed upload exists");
     // The wire shape survives: still a note-sync for block0.
-    assert!(sealed.body.starts_with("note-sync block0="), "{}", sealed.body);
+    assert!(
+        sealed.body.starts_with("note-sync block0="),
+        "{}",
+        sealed.body
+    );
     assert!(!backend.saw_text("postmortem"));
 }
 

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 fn corpus_flow(paragraphs: usize, cache: bool) -> BrowserFlow {
     let lib = Tag::new("library").unwrap();
-    let mut flow = BrowserFlow::builder()
+    let flow = BrowserFlow::builder()
         .mode(EnforcementMode::Advisory)
         .engine(EngineConfig {
             cache_decisions: cache,
@@ -59,7 +59,7 @@ fn async_decisions_complete_quickly_against_a_loaded_store() {
 
 #[test]
 fn cache_serves_repeated_checks_and_counts_hits() {
-    let mut flow = corpus_flow(200, true);
+    let flow = corpus_flow(200, true);
     let gdocs: ServiceId = "gdocs".into();
     let mut gen = TextGen::new(99);
     let text = gen.paragraph(7);
@@ -75,8 +75,8 @@ fn cache_serves_repeated_checks_and_counts_hits() {
 
 #[test]
 fn cache_and_nocache_agree_on_decisions() {
-    let mut cached = corpus_flow(300, true);
-    let mut uncached = corpus_flow(300, false);
+    let cached = corpus_flow(300, true);
+    let uncached = corpus_flow(300, false);
     let gdocs: ServiceId = "gdocs".into();
     // One known paragraph (re-derive the same generator stream).
     let mut gen = TextGen::new(77);
@@ -98,7 +98,7 @@ fn keystroke_cadence_mostly_hits_the_cache() {
     // §6.2: "one keystroke typically does not alter the winnowing
     // fingerprint of a paragraph, permitting BrowserFlow to reuse its
     // previous response".
-    let mut flow = corpus_flow(100, true);
+    let flow = corpus_flow(100, true);
     let gdocs: ServiceId = "gdocs".into();
     let mut gen = TextGen::new(123);
     let full = gen.paragraph(8);
@@ -142,27 +142,30 @@ fn sealed_fingerprint_data_roundtrips_and_detects_tampering() {
     assert_eq!(key.unseal(&sealed).unwrap(), payload);
 
     let other = StoreKey::generate(&mut rng);
-    assert_eq!(other.unseal(&sealed), Err(EncryptionError::IntegrityFailure));
+    assert_eq!(
+        other.unseal(&sealed),
+        Err(EncryptionError::IntegrityFailure)
+    );
 }
 
 #[test]
 fn eviction_forgets_old_fingerprints() {
     // §4.4: periodic removal of old fingerprints limits the at-rest
     // attack surface; evicted sources are no longer reported.
-    let mut flow = corpus_flow(20, true);
+    let flow = corpus_flow(20, true);
     let gdocs: ServiceId = "gdocs".into();
     let mut gen = TextGen::new(77);
     let known = gen.paragraph(7);
     assert_eq!(
-        flow.check_upload(&gdocs, "draft", 0, &known).unwrap().action,
+        flow.check_upload(&gdocs, "draft", 0, &known)
+            .unwrap()
+            .action,
         UploadAction::Warn
     );
     // Evict everything indexed so far.
     let now = flow.engine().paragraph_count(); // proxy: all were indexed before "now"
     assert!(now > 0);
-    let evicted = flow
-        .engine_mut()
-        .evict_paragraphs_older_than_now();
+    let evicted = flow.engine().evict_paragraphs_older_than_now();
     assert!(evicted > 0);
     let decision = flow.check_upload(&gdocs, "draft2", 0, &known).unwrap();
     assert_eq!(decision.action, UploadAction::Allow);

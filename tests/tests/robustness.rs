@@ -45,11 +45,11 @@ fn verbatim_and_cosmetic_copies_are_blocked() {
         .unwrap();
 
     assert_eq!(check(&mut flow, &secret), UploadAction::Block);
-    assert_eq!(check(&mut flow, &secret.to_uppercase()), UploadAction::Block);
-    let punctuated: String = secret
-        .split(' ')
-        .collect::<Vec<_>>()
-        .join(",  ");
+    assert_eq!(
+        check(&mut flow, &secret.to_uppercase()),
+        UploadAction::Block
+    );
+    let punctuated: String = secret.split(' ').collect::<Vec<_>>().join(",  ");
     assert_eq!(check(&mut flow, &punctuated), UploadAction::Block);
 }
 
@@ -60,7 +60,7 @@ fn embedded_and_partially_quoted_copies_are_blocked() {
     // Track with a lower threshold so a half-quote still violates.
     flow.observe_paragraph(&"internal".into(), "doc", 0, &secret)
         .unwrap();
-    flow.engine_mut()
+    flow.engine()
         .set_paragraph_threshold(&browserflow::DocKey::new("internal", "doc"), 0, 0.3);
 
     let embedded = format!("as promised, here is the full text: {secret} -- regards");
@@ -109,11 +109,7 @@ fn imprecise_tracking_beats_exact_match_on_every_edit_pattern() {
     sentences.swap(0, 1);
     let reordered = sentences.join(". ");
     // Drop one sentence.
-    let dropped: String = secret
-        .split(". ")
-        .skip(1)
-        .collect::<Vec<_>>()
-        .join(". ");
+    let dropped: String = secret.split(". ").skip(1).collect::<Vec<_>>().join(". ");
 
     for (name, variant) in [
         ("embedded", embedded.as_str()),
@@ -176,7 +172,7 @@ fn figure7_overlap_reports_only_the_authoritative_source() {
     // tags, not B's.
     let ta = Tag::new("ta").unwrap();
     let tb = Tag::new("tb").unwrap();
-    let mut flow = BrowserFlow::builder()
+    let flow = BrowserFlow::builder()
         .mode(EnforcementMode::Block)
         .service(
             Service::new("svc-a", "Service A")

@@ -74,7 +74,7 @@ fn random_workday_never_leaks_tracked_text() {
         // must continue seamlessly (persistence under load).
         if step == 100 {
             let state = plugin.state();
-            let mut flow = state.lock();
+            let mut flow = state.write();
             let sealed = flow.export_sealed(step as u64);
             let restored = browserflow::BrowserFlow::import_sealed(
                 browserflow_store::StoreKey::from_bytes([0u8; 32]),
@@ -91,7 +91,10 @@ fn random_workday_never_leaks_tracked_text() {
                 }
                 let index = rng.gen_range(0..docs.paragraph_count(&browser));
                 let text = gen.paragraph(3);
-                if docs.set_paragraph_text(&mut browser, index, &text).is_delivered() {
+                if docs
+                    .set_paragraph_text(&mut browser, index, &text)
+                    .is_delivered()
+                {
                     public_deliveries += 1;
                 }
             }
@@ -156,13 +159,13 @@ fn random_workday_never_leaks_tracked_text() {
     );
     // And the middleware recorded the attempted violations.
     let state = plugin.state();
-    assert!(!state.lock().warnings().is_empty());
+    assert!(!state.read().warnings().is_empty());
 }
 
 #[test]
 fn async_decider_is_safe_under_concurrent_load() {
     let ts = Tag::new("s").unwrap();
-    let mut flow = BrowserFlow::builder()
+    let flow = BrowserFlow::builder()
         .mode(EnforcementMode::Block)
         .engine(EngineConfig {
             fingerprint: FingerprintConfig::builder()
@@ -202,12 +205,7 @@ fn async_decider_is_safe_under_concurrent_load() {
                 } else {
                     gen.paragraph(4)
                 };
-                let timed = decider.check(
-                    &external,
-                    &format!("doc-{worker}"),
-                    round,
-                    &text,
-                );
+                let timed = decider.check(&external, &format!("doc-{worker}"), round, &text);
                 let decision = timed.decision.expect("service registered");
                 if leak {
                     assert_eq!(decision.action, UploadAction::Block);

@@ -50,7 +50,7 @@ fn full_source_destination_matrix() {
     let services = ["itool", "wiki", "gdocs"];
     for (i, &source) in services.iter().enumerate() {
         for &destination in &services {
-            let mut flow = figure3_flow(EnforcementMode::Block);
+            let flow = figure3_flow(EnforcementMode::Block);
             let text = paragraph(100 + i as u64);
             let source_id: ServiceId = source.into();
             flow.observe_paragraph(&source_id, "doc", 0, &text).unwrap();
@@ -62,10 +62,7 @@ fn full_source_destination_matrix() {
             } else {
                 UploadAction::Block
             };
-            assert_eq!(
-                decision.action, expected,
-                "flow {source} -> {destination}"
-            );
+            assert_eq!(decision.action, expected, "flow {source} -> {destination}");
         }
     }
 }
@@ -79,7 +76,7 @@ fn enforcement_modes_map_uniformly_across_the_matrix() {
         (EnforcementMode::Block, UploadAction::Block),
         (EnforcementMode::Encrypt, UploadAction::Encrypt),
     ] {
-        let mut flow = figure3_flow(mode);
+        let flow = figure3_flow(mode);
         let text = paragraph(7);
         flow.observe_paragraph(&"itool".into(), "doc", 0, &text)
             .unwrap();
@@ -172,7 +169,9 @@ fn custom_tag_lifecycle() {
     flow.observe_paragraph(&"itool".into(), "plan", 0, &text)
         .unwrap();
     assert_eq!(
-        flow.check_upload(&"wiki".into(), "t", 0, &text).unwrap().action,
+        flow.check_upload(&"wiki".into(), "t", 0, &text)
+            .unwrap()
+            .action,
         UploadAction::Allow
     );
 
@@ -182,7 +181,9 @@ fn custom_tag_lifecycle() {
         .unwrap();
     // The wiki lacks plan-x -> now blocked.
     assert_eq!(
-        flow.check_upload(&"wiki".into(), "t2", 0, &text).unwrap().action,
+        flow.check_upload(&"wiki".into(), "t2", 0, &text)
+            .unwrap()
+            .action,
         UploadAction::Block
     );
     // The owner grants the wiki the privilege -> allowed again.
@@ -190,7 +191,9 @@ fn custom_tag_lifecycle() {
         .grant_custom_privilege(&"wiki".into(), &tag("plan-x"), &owner)
         .unwrap();
     assert_eq!(
-        flow.check_upload(&"wiki".into(), "t3", 0, &text).unwrap().action,
+        flow.check_upload(&"wiki".into(), "t3", 0, &text)
+            .unwrap()
+            .action,
         UploadAction::Allow
     );
     // A non-owner cannot revoke it.
@@ -204,7 +207,9 @@ fn custom_tag_lifecycle() {
         .revoke_custom_privilege(&"wiki".into(), &tag("plan-x"), &owner)
         .unwrap());
     assert_eq!(
-        flow.check_upload(&"wiki".into(), "t4", 0, &text).unwrap().action,
+        flow.check_upload(&"wiki".into(), "t4", 0, &text)
+            .unwrap()
+            .action,
         UploadAction::Block
     );
 }
@@ -220,9 +225,9 @@ fn warning_trail_is_queryable_by_destination() {
     flow.check_upload(&"gdocs".into(), "g", 0, &text).unwrap();
     flow.check_upload(&"gdocs".into(), "g", 1, &text).unwrap();
     assert_eq!(flow.warnings().len(), 3);
-    assert_eq!(flow.warnings_for(&"gdocs".into()).count(), 2);
-    assert_eq!(flow.warnings_for(&"wiki".into()).count(), 1);
-    assert_eq!(flow.warnings_for(&"itool".into()).count(), 0);
+    assert_eq!(flow.warnings_for(&"gdocs".into()).len(), 2);
+    assert_eq!(flow.warnings_for(&"wiki".into()).len(), 1);
+    assert_eq!(flow.warnings_for(&"itool".into()).len(), 0);
     flow.clear_warnings();
     assert!(flow.warnings().is_empty());
 }
@@ -244,11 +249,15 @@ fn admin_relabelling_applies_to_new_observations() {
         .unwrap();
     // Old text keeps its label; new text is public.
     assert_eq!(
-        flow.check_upload(&"gdocs".into(), "t", 0, &text).unwrap().action,
+        flow.check_upload(&"gdocs".into(), "t", 0, &text)
+            .unwrap()
+            .action,
         UploadAction::Block
     );
     assert_eq!(
-        flow.check_upload(&"gdocs".into(), "t", 1, &fresh).unwrap().action,
+        flow.check_upload(&"gdocs".into(), "t", 1, &fresh)
+            .unwrap()
+            .action,
         UploadAction::Allow
     );
 }

@@ -1,0 +1,347 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal, API-compatible subset of every external dependency under
+//! `third_party/`. This harness keeps criterion's API shape (`Criterion`,
+//! `benchmark_group`, `bench_with_input`, `Throughput`, the
+//! `criterion_group!`/`criterion_main!` macros) over a simple wall-clock
+//! measurement loop: warm up for `warm_up_time`, then run timed batches
+//! until `measurement_time` elapses, collecting `sample_size` samples, and
+//! report median/mean/min/max ns-per-iteration (plus throughput when set)
+//! on stdout. There is no statistical regression analysis, HTML report, or
+//! CLI filtering — numbers are indicative, not criterion-grade.
+
+// Vendored stand-in: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver: holds measurement configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// No-op for CLI compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, None, self, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// No-op for `criterion_main!` compatibility.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversions accepted where an id is expected.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&id, self.throughput, self.criterion, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.0);
+        run_benchmark(&id, self.throughput, self.criterion, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(id: &str, throughput: Option<Throughput>, config: &Criterion, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: also calibrates iterations-per-sample.
+    let mut iters: u64 = 1;
+    let warm_up_start = Instant::now();
+    let per_iter;
+    loop {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if warm_up_start.elapsed() >= config.warm_up_time {
+            per_iter = bencher.elapsed.max(Duration::from_nanos(1)) / iters as u32;
+            break;
+        }
+        iters = iters.saturating_mul(2).min(1 << 24);
+    }
+
+    // Choose iterations per sample so all samples fit the measurement time.
+    let budget_per_sample = config.measurement_time / config.sample_size as u32;
+    let iters_per_sample = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, 1 << 24) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut bencher = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples_ns[samples_ns.len() / 2];
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let min = samples_ns[0];
+    let max = *samples_ns.last().unwrap();
+
+    print!(
+        "bench {id:<50} median {:>12} mean {:>12} min {:>12} max {:>12}",
+        format_ns(median),
+        format_ns(mean),
+        format_ns(min),
+        format_ns(max)
+    );
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mib_per_s = bytes as f64 / (median * 1e-9) / (1024.0 * 1024.0);
+            println!("  ({mib_per_s:.1} MiB/s)");
+        }
+        Some(Throughput::Elements(elements)) => {
+            let elems_per_s = elements as f64 / (median * 1e-9);
+            println!("  ({elems_per_s:.0} elem/s)");
+        }
+        None => println!(),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut counter = 0u64;
+        c.bench_function("shim-smoke", |b| {
+            b.iter(|| {
+                counter = counter.wrapping_add(1);
+                counter
+            })
+        });
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim-group");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &41u64, |b, &i| {
+            b.iter(|| i + 1)
+        });
+        group.finish();
+    }
+}

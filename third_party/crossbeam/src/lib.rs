@@ -1,0 +1,269 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal, API-compatible subset of every external dependency under
+//! `third_party/`. This crate provides:
+//!
+//! - [`channel`]: `unbounded`/`bounded` MPSC channels over
+//!   `std::sync::mpsc` (`bounded` maps to `sync_channel`, preserving the
+//!   blocking-send semantics the workspace relies on);
+//! - [`thread`]: `scope`/`Scope::spawn` over `std::thread::scope`, with
+//!   crossbeam's closure-takes-scope signature.
+
+// Vendored stand-in: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+pub mod channel {
+    //! Multi-producer channels with the `crossbeam-channel` API subset the
+    //! workspace uses.
+
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: Send> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders have disconnected and the channel is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("channel empty"),
+                TryRecvError::Disconnected => f.write_str("channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    enum SenderKind<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for SenderKind<T> {
+        fn clone(&self) -> Self {
+            match self {
+                SenderKind::Unbounded(s) => SenderKind::Unbounded(s.clone()),
+                SenderKind::Bounded(s) => SenderKind::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(SenderKind<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking if the channel is bounded and full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderKind::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                SenderKind::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Iterates over received values, blocking between them, until all
+        /// senders disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+
+    /// Creates a channel of unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(SenderKind::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a channel of capacity `cap` (0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(SenderKind::Bounded(tx)), Receiver(rx))
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam-utils` API subset the workspace
+    //! uses, over `std::thread::scope`.
+
+    use std::any::Any;
+
+    /// A scope for spawning borrowing threads. The closure passed to
+    /// [`Scope::spawn`] receives the scope again, matching crossbeam's
+    /// signature (`s.spawn(|_| ...)`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(self.inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Creates a scope in which threads may borrow from the environment.
+    /// All spawned threads are joined before `scope` returns. Unlike
+    /// crossbeam, an unjoined panicking child re-raises the panic here
+    /// instead of surfacing as `Err` — callers in this workspace join every
+    /// handle, where panics surface through `join()` as in crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unbounded_roundtrip_and_iteration() {
+        let (tx, rx) = super::channel::unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounded_reply_channel() {
+        let (tx, rx) = super::channel::bounded(1);
+        tx.send(42u8).unwrap();
+        assert_eq!(rx.recv(), Ok(42));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = super::channel::unbounded();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_handle() {
+        let result = super::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap()).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 7);
+    }
+}

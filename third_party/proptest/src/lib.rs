@@ -1,0 +1,329 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal, API-compatible subset of every external dependency under
+//! `third_party/`. This crate keeps proptest's surface — the `proptest!`
+//! macro, `prop_assert*`/`prop_assume`/`prop_oneof`, `any::<T>()`, range
+//! and regex-literal strategies, `proptest::collection::vec`, `Just`,
+//! `prop_map` — over a deliberately simple engine:
+//!
+//! - deterministic: each test derives its RNG seed from the test name, so
+//!   runs are reproducible without `.proptest-regressions` files (those
+//!   checked-in files are kept as documentation of past failures; the
+//!   string generator here biases toward the same classes of tricky input
+//!   — markup characters, control bytes, combining marks, astral planes,
+//!   case-expanding letters — that produced them);
+//! - no shrinking: on failure the full generated input set is printed;
+//! - `PROPTEST_CASES` overrides the per-test case count (default 64).
+
+// Vendored stand-in: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod strategy;
+
+pub use strategy::{any, AnyOf, Arbitrary, Just, Strategy};
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed; the message explains the failure.
+    Fail(String),
+    /// `prop_assume!` rejected the input; try another case.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds the failure variant from any message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Deterministic RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.0.gen_range(0..bound)
+    }
+
+    /// Uniform draw from `[lo, hi]`.
+    pub fn between(&mut self, lo: usize, hi: usize) -> usize {
+        self.0.gen_range(lo..=hi)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.gen()
+    }
+}
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drives one property: generates inputs, runs the body, panics with a
+/// reproduction report on the first failing case. Called by the expansion
+/// of [`proptest!`]; not part of proptest's public API.
+pub fn run_property<F>(test_name: &str, mut run_one: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let total = cases();
+    let mut executed = 0u64;
+    let mut seed_index = 0u64;
+    // Allow ~10x rejects before giving up, as real proptest does.
+    let max_attempts = total.saturating_mul(10).max(total + 16);
+    while executed < total {
+        if seed_index >= max_attempts {
+            panic!(
+                "proptest `{test_name}`: too many inputs rejected by prop_assume! \
+                 ({executed}/{total} cases ran in {seed_index} attempts)"
+            );
+        }
+        let mut rng = TestRng::for_case(test_name, seed_index);
+        seed_index += 1;
+        let (inputs, outcome) = run_one(&mut rng);
+        match outcome {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{test_name}` failed at case {} (seed index {}):\n  \
+                     inputs: {inputs}\n  cause: {msg}",
+                    executed,
+                    seed_index - 1
+                );
+            }
+        }
+    }
+}
+
+/// Catches panics from a test body, mapping them to `TestCaseError::Fail`
+/// so the failing input is reported. Used by the [`proptest!`] expansion.
+pub fn catch_body<F: FnOnce() -> Result<(), TestCaseError> + std::panic::UnwindSafe>(
+    body: F,
+) -> Result<(), TestCaseError> {
+    match std::panic::catch_unwind(body) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "test body panicked".to_string()
+            };
+            Err(TestCaseError::Fail(format!("panic: {msg}")))
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Size bounds accepted by [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.between(self.size.min, self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface tests use (`use proptest::prelude::*`).
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+// ---- macros ----------------------------------------------------------
+
+/// Defines property tests. Each function in the block runs [`cases`]
+/// times with inputs drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property(concat!(module_path!(), "::", stringify!($name)), |__rng| {
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    let __value = $crate::Strategy::generate(&($strategy), __rng);
+                    if !__inputs.is_empty() { __inputs.push_str(", "); }
+                    __inputs.push_str(&format!(
+                        "{} = {:?}", stringify!($arg), &__value
+                    ));
+                    let $arg = __value;
+                )+
+                let __outcome = $crate::catch_body(::std::panic::AssertUnwindSafe(
+                    move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    }
+                ));
+                (__inputs, __outcome)
+            });
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}` ({})\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), __l, __r
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}` ({})\n  both: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), __l
+        );
+    }};
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}

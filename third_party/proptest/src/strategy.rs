@@ -1,0 +1,570 @@
+//! Strategies: composable value generators.
+
+use crate::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values for property tests.
+///
+/// Unlike real proptest there is no shrink tree: `generate` produces a
+/// plain value. `prop_map` keeps its place-of-use API.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Boxes a strategy as a trait object (used by `prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strategy)
+}
+
+/// Tuples of strategies are themselves strategies producing tuples.
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $index:tt),+))+) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$index.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+impl_tuple_strategy! {
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+}
+
+/// Uniform choice between boxed strategies of a common value type.
+pub struct OneOf<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds from a non-empty list of options.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let index = rng.below(self.options.len());
+        self.options[index].generate(rng)
+    }
+}
+
+// ---- numeric ranges --------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + (rng.next_u64() % (span + 1)) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        // Occasionally emit the exact endpoints: properties over [0, 1]
+        // thresholds care about them.
+        match rng.below(16) {
+            0 => lo,
+            1 => hi,
+            _ => lo + rng.unit_f64() * (hi - lo),
+        }
+    }
+}
+
+// ---- any::<T>() ------------------------------------------------------
+
+/// Types with a default "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias toward boundary values, which find edge-case bugs
+                // that uniform sampling over 2^64 never hits.
+                match rng.below(8) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0 as $t,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(8) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => 1.0,
+            3 => -1.0,
+            _ => f64::from_bits(rng.next_u64() % (0x7FF0u64 << 48)),
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        crate::strategy::interesting_char(rng, /* exclude_newline = */ false)
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyOf<T>(PhantomData<T>);
+
+/// The default strategy for a type: `any::<u32>()` etc.
+pub fn any<T: Arbitrary>() -> AnyOf<T> {
+    AnyOf(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---- regex-literal string strategies ---------------------------------
+
+/// Characters `.` may produce. Weighted toward the inputs that break text
+/// pipelines: markup metacharacters, control bytes, combining marks,
+/// case-expanding letters (İ → i + U+0307), ligatures, astral-plane
+/// characters.
+fn interesting_char(rng: &mut TestRng, exclude_newline: bool) -> char {
+    const MARKUP: &[char] = &['<', '>', '&', '"', '\'', '=', '/', '!', '-'];
+    const CONTROL: &[char] = &['\t', '\r', '\u{0}', '\u{b}', '\u{c}', '\u{7f}', '\u{1b}'];
+    const UNICODE: &[char] = &[
+        '¡', 'é', 'ß', 'İ', 'ı', 'Ω', 'д', '中', 'ẞ', 'ǅ', 'ﬁ', '\u{0301}', '\u{0307}',
+        '\u{00AD}', '\u{200D}', '\u{FEFF}', '𝕏', '\u{82140}', '🦀',
+    ];
+    loop {
+        let c = match rng.below(100) {
+            0..=39 => char::from(rng.between(0x20, 0x7e) as u8),
+            40..=49 => MARKUP[rng.below(MARKUP.len())],
+            50..=57 => CONTROL[rng.below(CONTROL.len())],
+            58..=79 => UNICODE[rng.below(UNICODE.len())],
+            80..=89 => {
+                // Arbitrary BMP scalar.
+                match char::from_u32(rng.below(0xFFFF) as u32) {
+                    Some(c) => c,
+                    None => continue,
+                }
+            }
+            _ => {
+                // Arbitrary astral scalar.
+                match char::from_u32(0x10000 + rng.below(0x100000 - 0x800) as u32) {
+                    Some(c) => c,
+                    None => continue,
+                }
+            }
+        };
+        if exclude_newline && c == '\n' {
+            continue;
+        }
+        return c;
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any char except newline.
+    AnyChar,
+    /// A literal character.
+    Literal(char),
+    /// A character class `[...]`, expanded to its member set.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the regex subset the workspace's tests use: literals, `.`,
+/// positive character classes with ranges, and quantifiers `{n}`, `{m,n}`,
+/// `?`, `*`, `+` (the latter two capped at 8 repetitions).
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::AnyChar,
+            '[' => {
+                let mut members = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in pattern {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek().is_some_and(|&c| c != ']') => {
+                            let start = prev.take().unwrap();
+                            let end = chars.next().unwrap();
+                            assert!(
+                                start <= end,
+                                "invalid class range {start}-{end} in {pattern:?}"
+                            );
+                            for code in start as u32..=end as u32 {
+                                if let Some(ch) = char::from_u32(code) {
+                                    members.push(ch);
+                                }
+                            }
+                        }
+                        Some('\\') => {
+                            let escaped =
+                                chars.next().expect("escape at end of character class");
+                            if let Some(p) = prev.take() {
+                                members.push(p);
+                            }
+                            prev = Some(escaped);
+                        }
+                        Some(other) => {
+                            if let Some(p) = prev.take() {
+                                members.push(p);
+                            }
+                            prev = Some(other);
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    members.push(p);
+                }
+                assert!(!members.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(members)
+            }
+            '\\' => Atom::Literal(chars.next().expect("escape at end of pattern")),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo: usize = lo.trim().parse().expect("quantifier lower bound");
+                        let hi: usize = hi.trim().parse().expect("quantifier upper bound");
+                        assert!(lo <= hi, "inverted quantifier in {pattern:?}");
+                        (lo, hi)
+                    }
+                    None => {
+                        let n: usize = spec.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse_pattern(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = rng.between(piece.min, piece.max);
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::AnyChar => out.push(interesting_char(rng, true)),
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(members) => out.push(members[rng.below(members.len())]),
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 1)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = rng();
+        for _ in 0..1000 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn class_pattern_stays_in_class() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-z0-9-]{1,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 8);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn punctuation_class_parses() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[A-Z,.]{0,20}".generate(&mut rng);
+            assert!(s.chars().all(|c| c.is_ascii_uppercase() || c == ',' || c == '.'));
+        }
+    }
+
+    #[test]
+    fn dot_pattern_has_no_newline_and_hits_unicode() {
+        let mut rng = rng();
+        let mut saw_non_ascii = false;
+        let mut saw_markup = false;
+        for _ in 0..300 {
+            let s = ".{0,40}".generate(&mut rng);
+            assert!(!s.contains('\n'));
+            saw_non_ascii |= s.chars().any(|c| !c.is_ascii());
+            saw_markup |= s.contains('<');
+        }
+        assert!(saw_non_ascii, "dot should produce non-ASCII characters");
+        assert!(saw_markup, "dot should produce markup characters");
+    }
+
+    #[test]
+    fn concatenated_pattern_shapes() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9-]{0,8}".generate(&mut rng);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.len() <= 9);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_options() {
+        let mut rng = rng();
+        let strategy = OneOf::new(vec![
+            boxed(Just("a".to_string())),
+            boxed(Just("b".to_string())),
+            boxed("[0-9]{1}".to_string()),
+        ]);
+        let mut seen_a = false;
+        let mut seen_b = false;
+        let mut seen_digit = false;
+        for _ in 0..200 {
+            match strategy.generate(&mut rng).as_str() {
+                "a" => seen_a = true,
+                "b" => seen_b = true,
+                s => seen_digit |= s.chars().all(|c| c.is_ascii_digit()),
+            }
+        }
+        assert!(seen_a && seen_b && seen_digit);
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = rng();
+        let strategy = (1usize..5).prop_map(|v| v * 10);
+        for _ in 0..50 {
+            let v = strategy.generate(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = rng();
+        let strategy = crate::collection::vec(0u32..10, 2..5);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The self-describing data model all (de)serialization routes through.
+
+use crate::{de, ser, Deserializer, Serialize, Serializer};
+use std::fmt;
+
+/// A JSON-shaped value tree: the intermediate representation between Rust
+/// values and text formats. Map entries preserve insertion order so output
+/// is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Absence of a value (`null`, `None`, unit).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered map with string keys.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// A short human-readable description of the variant, for errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced when converting between Rust values and [`Content`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentError(pub String);
+
+impl fmt::Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl ser::Error for ContentError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+impl de::Error for ContentError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+/// Serializer that materialises a [`Content`] tree.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// Deserializer that reads from a [`Content`] tree.
+pub struct ContentDeserializer(pub Content);
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = ContentError;
+
+    fn deserialize_content(self) -> Result<Content, ContentError> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes any value to a [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+    value.serialize(ContentSerializer)
+}
+
+/// Deserializes any owned value from a [`Content`] tree.
+pub fn from_content<T: de::DeserializeOwned>(content: Content) -> Result<T, ContentError> {
+    T::deserialize(ContentDeserializer(content))
+}
+
+/// Removes and returns the first entry named `key` from a map's entries.
+/// Used by derived `Deserialize` impls.
+pub fn take_entry(entries: &mut Vec<(String, Content)>, key: &str) -> Option<Content> {
+    let index = entries.iter().position(|(k, _)| k == key)?;
+    Some(entries.remove(index).1)
+}
+
+/// Renders a map key for [`Content::Map`]: strings pass through, integers
+/// are stringified (as JSON object keys are).
+pub fn key_to_string(content: Content) -> Result<String, ContentError> {
+    match content {
+        Content::Str(s) => Ok(s),
+        Content::U64(n) => Ok(n.to_string()),
+        Content::I64(n) => Ok(n.to_string()),
+        other => Err(ContentError(format!(
+            "map key must serialize to a string, got {}",
+            other.kind()
+        ))),
+    }
+}

@@ -1,0 +1,483 @@
+//! `Serialize`/`Deserialize` implementations for std types.
+
+use crate::content::{key_to_string, to_content, Content, ContentDeserializer};
+use crate::{de, de::Error as _, Deserialize, Deserializer, Serialize, Serializer};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::{BuildHasher, Hash};
+use std::ops::Range;
+
+fn err<'de, D: Deserializer<'de>, T>(expected: &str, got: &Content) -> Result<T, D::Error> {
+    Err(D::Error::custom(format!(
+        "expected {expected}, got {}",
+        got.kind()
+    )))
+}
+
+// ---- scalars ---------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            other => err::<D, _>("bool", &other),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let value = match content {
+                    Content::U64(n) => n,
+                    Content::I64(n) if n >= 0 => n as u64,
+                    // Stringified integers appear as JSON map keys.
+                    Content::Str(ref s) => match s.parse::<u64>() {
+                        Ok(n) => n,
+                        Err(_) => return err::<D, _>("unsigned integer", &content),
+                    },
+                    other => return err::<D, _>("unsigned integer", &other),
+                };
+                <$t>::try_from(value)
+                    .map_err(|_| D::Error::custom(format!(
+                        "integer {value} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    serializer.serialize_u64(v as u64)
+                } else {
+                    serializer.serialize_i64(v)
+                }
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let value: i64 = match content {
+                    Content::I64(n) => n,
+                    Content::U64(n) => match i64::try_from(n) {
+                        Ok(v) => v,
+                        Err(_) => return err::<D, _>("signed integer", &content),
+                    },
+                    Content::Str(ref s) => match s.parse::<i64>() {
+                        Ok(n) => n,
+                        Err(_) => return err::<D, _>("signed integer", &content),
+                    },
+                    other => return err::<D, _>("signed integer", &other),
+                };
+                <$t>::try_from(value)
+                    .map_err(|_| D::Error::custom(format!(
+                        "integer {value} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            // JSON renders 1.0 as "1"; accept integral content for floats.
+            Content::U64(n) => Ok(n as f64),
+            Content::I64(n) => Ok(n as f64),
+            other => err::<D, _>("float", &other),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.deserialize_content()?;
+        if let Content::Str(ref s) = content {
+            let mut chars = s.chars();
+            if let (Some(c), None) = (chars.next(), chars.next()) {
+                return Ok(c);
+            }
+        }
+        err::<D, _>("single-character string", &content)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => err::<D, _>("string", &other),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(()),
+            other => err::<D, _>("null", &other),
+        }
+    }
+}
+
+// ---- references and boxes -------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+// ---- option ----------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => T::deserialize(ContentDeserializer(other))
+                .map(Some)
+                .map_err(|e| D::Error::custom(e)),
+        }
+    }
+}
+
+// ---- sequences -------------------------------------------------------
+
+fn serialize_seq<S: Serializer, T: Serialize>(
+    serializer: S,
+    items: impl Iterator<Item = T>,
+) -> Result<S::Ok, S::Error> {
+    let mut seq = Vec::new();
+    for item in items {
+        seq.push(to_content(&item).map_err(crate::ser::Error::custom)?);
+    }
+    serializer.serialize_content(Content::Seq(seq))
+}
+
+fn content_seq<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Vec<Content>, D::Error> {
+    match deserializer.deserialize_content()? {
+        Content::Seq(items) => Ok(items),
+        other => err::<D, _>("sequence", &other),
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_seq(serializer, self.iter())
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        content_seq(deserializer)?
+            .into_iter()
+            .map(|c| {
+                T::deserialize(ContentDeserializer(c)).map_err(|e| D::Error::custom(e))
+            })
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_seq(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_seq(serializer, self.iter())
+    }
+}
+
+impl<'de, T: de::DeserializeOwned + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        content_seq(deserializer)?
+            .into_iter()
+            .map(|c| {
+                T::deserialize(ContentDeserializer(c)).map_err(|e| D::Error::custom(e))
+            })
+            .collect()
+    }
+}
+
+impl<T: Serialize, St: BuildHasher> Serialize for HashSet<T, St> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_seq(serializer, self.iter())
+    }
+}
+
+impl<'de, T, St> Deserialize<'de> for HashSet<T, St>
+where
+    T: de::DeserializeOwned + Eq + Hash,
+    St: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        content_seq(deserializer)?
+            .into_iter()
+            .map(|c| {
+                T::deserialize(ContentDeserializer(c)).map_err(|e| D::Error::custom(e))
+            })
+            .collect()
+    }
+}
+
+// ---- tuples (serialized as fixed-length sequences) -------------------
+
+macro_rules! impl_serde_tuple {
+    ($len:literal => $(($idx:tt $t:ident)),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let seq = vec![
+                    $(to_content(&self.$idx).map_err(crate::ser::Error::custom)?,)+
+                ];
+                serializer.serialize_content(Content::Seq(seq))
+            }
+        }
+
+        impl<'de, $($t: de::DeserializeOwned),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let seq = content_seq(deserializer)?;
+                if seq.len() != $len {
+                    return Err(D::Error::custom(format!(
+                        "expected {}-tuple, got sequence of {}", $len, seq.len()
+                    )));
+                }
+                let mut items = seq.into_iter();
+                Ok(($(
+                    $t::deserialize(ContentDeserializer(items.next().unwrap()))
+                        .map_err(|e| D::Error::custom(e))?,
+                )+))
+            }
+        }
+    };
+}
+
+impl_serde_tuple!(1 => (0 T0));
+impl_serde_tuple!(2 => (0 T0), (1 T1));
+impl_serde_tuple!(3 => (0 T0), (1 T1), (2 T2));
+impl_serde_tuple!(4 => (0 T0), (1 T1), (2 T2), (3 T3));
+
+// ---- maps ------------------------------------------------------------
+
+fn serialize_map<S, K, V>(
+    serializer: S,
+    entries: impl Iterator<Item = (K, V)>,
+) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    K: Serialize,
+    V: Serialize,
+{
+    let mut map = Vec::new();
+    for (k, v) in entries {
+        let key = to_content(&k)
+            .and_then(key_to_string)
+            .map_err(crate::ser::Error::custom)?;
+        map.push((key, to_content(&v).map_err(crate::ser::Error::custom)?));
+    }
+    serializer.serialize_content(Content::Map(map))
+}
+
+fn content_map<'de, D: Deserializer<'de>>(
+    deserializer: D,
+) -> Result<Vec<(String, Content)>, D::Error> {
+    match deserializer.deserialize_content()? {
+        Content::Map(entries) => Ok(entries),
+        other => err::<D, _>("map", &other),
+    }
+}
+
+fn map_entries<'de, D, K, V>(deserializer: D) -> Result<Vec<(K, V)>, D::Error>
+where
+    D: Deserializer<'de>,
+    K: de::DeserializeOwned,
+    V: de::DeserializeOwned,
+{
+    content_map(deserializer)?
+        .into_iter()
+        .map(|(k, v)| {
+            let key = K::deserialize(ContentDeserializer(Content::Str(k)))
+                .map_err(|e| D::Error::custom(e))?;
+            let value =
+                V::deserialize(ContentDeserializer(v)).map_err(|e| D::Error::custom(e))?;
+            Ok((key, value))
+        })
+        .collect()
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_map(serializer, self.iter())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: de::DeserializeOwned + Ord,
+    V: de::DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(map_entries::<D, K, V>(deserializer)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, St: BuildHasher> Serialize for HashMap<K, V, St> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sort keys for deterministic output, as serde_json users expect
+        // when diffing persisted state.
+        let mut map = Vec::new();
+        for (k, v) in self.iter() {
+            let key = to_content(k)
+                .and_then(key_to_string)
+                .map_err(crate::ser::Error::custom)?;
+            map.push((key, to_content(v).map_err(crate::ser::Error::custom)?));
+        }
+        map.sort_by(|a, b| a.0.cmp(&b.0));
+        serializer.serialize_content(Content::Map(map))
+    }
+}
+
+impl<'de, K, V, St> Deserialize<'de> for HashMap<K, V, St>
+where
+    K: de::DeserializeOwned + Eq + Hash,
+    V: de::DeserializeOwned,
+    St: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(map_entries::<D, K, V>(deserializer)?.into_iter().collect())
+    }
+}
+
+// ---- ranges ----------------------------------------------------------
+
+impl<T: Serialize> Serialize for Range<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let map = vec![
+            (
+                "start".to_owned(),
+                to_content(&self.start).map_err(crate::ser::Error::custom)?,
+            ),
+            (
+                "end".to_owned(),
+                to_content(&self.end).map_err(crate::ser::Error::custom)?,
+            ),
+        ];
+        serializer.serialize_content(Content::Map(map))
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Range<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut entries = content_map(deserializer)?;
+        let start = crate::content::take_entry(&mut entries, "start")
+            .ok_or_else(|| D::Error::custom("missing field `start` in range"))?;
+        let end = crate::content::take_entry(&mut entries, "end")
+            .ok_or_else(|| D::Error::custom("missing field `end` in range"))?;
+        Ok(Range {
+            start: T::deserialize(ContentDeserializer(start)).map_err(|e| D::Error::custom(e))?,
+            end: T::deserialize(ContentDeserializer(end)).map_err(|e| D::Error::custom(e))?,
+        })
+    }
+}
+
+// ---- content itself --------------------------------------------------
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_content()
+    }
+}

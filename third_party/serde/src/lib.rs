@@ -1,0 +1,130 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal, API-compatible subset of every external dependency under
+//! `third_party/`. Real serde is visitor-based; this stand-in routes all
+//! (de)serialization through a single self-describing data model,
+//! [`content::Content`], which is exactly sufficient for the JSON-shaped
+//! state persistence this workspace does:
+//!
+//! - [`Serialize`] / [`Deserialize`] traits with the standard signatures,
+//!   so the workspace's manual impls (e.g. `Tag`) compile unchanged;
+//! - [`Serializer`] with `serialize_str` etc. as provided methods over one
+//!   required method, `serialize_content`;
+//! - [`Deserializer`] with one required method, `deserialize_content`;
+//! - `ser::Error` / `de::Error` traits with `custom`;
+//! - derive macros re-exported from `serde_derive` (the `derive` feature
+//!   the workspace requests is a no-op gate: derives are always available).
+
+// Vendored stand-in: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+pub mod content;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser {
+    //! Serialization-side error trait.
+
+    /// Trait every serializer error type implements.
+    pub trait Error: Sized + std::fmt::Display + std::fmt::Debug {
+        /// Builds an error from any displayable message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    //! Deserialization-side error trait and owned-deserialize marker.
+
+    /// Trait every deserializer error type implements.
+    pub trait Error: Sized + std::fmt::Display + std::fmt::Debug {
+        /// Builds an error from any displayable message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Marker for types deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data structure deserializable from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value with the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data format that can serialize values.
+///
+/// Unlike real serde's many required methods, the stand-in funnels
+/// everything through [`Serializer::serialize_content`]; the familiar
+/// scalar entry points are provided methods on top of it.
+pub trait Serializer: Sized {
+    /// Output type produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Serializes an already-built [`content::Content`] tree.
+    fn serialize_content(self, content: content::Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(content::Content::Str(v.to_owned()))
+    }
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(content::Content::Bool(v))
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(content::Content::U64(v))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(content::Content::I64(v))
+    }
+
+    /// Serializes a floating-point number.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(content::Content::F64(v))
+    }
+
+    /// Serializes a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(content::Content::Null)
+    }
+
+    /// Serializes `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(content::Content::Null)
+    }
+
+    /// Serializes `Some(value)`.
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        match content::to_content(value) {
+            Ok(c) => self.serialize_content(c),
+            Err(e) => Err(ser::Error::custom(e)),
+        }
+    }
+}
+
+/// A data format that can deserialize values.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Reads the input into a self-describing [`content::Content`] tree.
+    fn deserialize_content(self) -> Result<content::Content, Self::Error>;
+}
+
+mod impls;

@@ -1,0 +1,537 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The registry crates `syn`/`quote` are unavailable (no network), so the
+//! derive parses the item's `TokenStream` by hand and emits impl code as a
+//! string. It supports exactly the shapes this workspace derives:
+//!
+//! - named structs, with `#[serde(default)]` fields and
+//!   `#[serde(transparent)]` containers;
+//! - tuple structs (newtype delegates to the inner type, longer tuples
+//!   serialize as sequences);
+//! - enums with unit, newtype and struct variants, externally tagged
+//!   (`"Variant"` / `{"Variant": payload}`) as in real serde's default.
+//!
+//! Generics are not supported and produce a compile error.
+
+// Vendored stand-in: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- parsed representation ------------------------------------------
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+// ---- parsing ---------------------------------------------------------
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading `#[...]` attributes; returns true if any of them is a
+/// `#[serde(...)]` list containing the ident `flag`.
+fn eat_attrs(iter: &mut TokenIter, flag: &str) -> bool {
+    let mut found = false;
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                let Some(TokenTree::Group(group)) = iter.next() else {
+                    panic!("expected [...] after #");
+                };
+                let mut inner = group.stream().into_iter();
+                let is_serde = matches!(
+                    inner.next(),
+                    Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+                );
+                if is_serde {
+                    if let Some(TokenTree::Group(list)) = inner.next() {
+                        for tok in list.stream() {
+                            if let TokenTree::Ident(id) = tok {
+                                if id.to_string() == flag {
+                                    found = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => return found,
+        }
+    }
+}
+
+/// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn eat_visibility(iter: &mut TokenIter) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(iter: &mut TokenIter, what: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected {what}, got {other:?}"),
+    }
+}
+
+/// Skips the tokens of one type, stopping after the field-separating comma
+/// (consumed) or at end of stream. Tracks `<`/`>` nesting so commas inside
+/// generic arguments don't terminate the field.
+fn skip_type(iter: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    for tok in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while iter.peek().is_some() {
+        let default = eat_attrs(&mut iter, "default");
+        eat_visibility(&mut iter);
+        let name = expect_ident(&mut iter, "field name");
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0;
+    while iter.peek().is_some() {
+        let _ = eat_attrs(&mut iter, "default");
+        eat_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_type(&mut iter);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while iter.peek().is_some() {
+        let _ = eat_attrs(&mut iter, "default");
+        let name = expect_ident(&mut iter, "variant name");
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let transparent = eat_attrs(&mut iter, "transparent");
+    eat_visibility(&mut iter);
+    let keyword = expect_ident(&mut iter, "`struct` or `enum`");
+    let name = expect_ident(&mut iter, "type name");
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive stand-in does not support generic types ({name})");
+        }
+    }
+    let kind = match (keyword.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            Kind::Struct(Fields::Unit)
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream()))
+        }
+        (kw, other) => panic!("unsupported item shape: {kw} {name} followed by {other:?}"),
+    };
+    Input {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+// ---- code generation -------------------------------------------------
+
+const CONTENT: &str = "::serde::content::Content";
+const TO_CONTENT: &str = "::serde::content::to_content";
+const FROM_CONTENT: &str = "::serde::content::from_content";
+const SER_CUSTOM: &str = "::serde::ser::Error::custom";
+const DE_CUSTOM: &str = "::serde::de::Error::custom";
+
+fn push_named_to_map(out: &mut String, fields: &[Field], accessor: &str) {
+    out.push_str(&format!(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, {CONTENT})> = \
+         ::std::vec::Vec::new();\n"
+    ));
+    for field in fields {
+        let name = &field.name;
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{name}\"), \
+             {TO_CONTENT}({accessor}{name}).map_err({SER_CUSTOM})?));\n"
+        ));
+    }
+}
+
+fn push_named_from_map(out: &mut String, type_name: &str, fields: &[Field], map_var: &str) {
+    out.push_str(&format!("::std::result::Result::Ok({type_name} {{\n"));
+    for field in fields {
+        let name = &field.name;
+        let missing = if field.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err({DE_CUSTOM}(\
+                 \"missing field `{name}` in {type_name}\"))"
+            )
+        };
+        out.push_str(&format!(
+            "{name}: match ::serde::content::take_entry(&mut {map_var}, \"{name}\") {{\n\
+             ::std::option::Option::Some(__v) => \
+             {FROM_CONTENT}(__v).map_err({DE_CUSTOM})?,\n\
+             ::std::option::Option::None => {missing},\n}},\n"
+        ));
+    }
+    out.push_str("})\n");
+}
+
+fn variant_ctor(type_name: &str, variant: &str) -> String {
+    format!("{type_name}::{variant}")
+}
+
+fn generate_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            if input.transparent {
+                assert!(
+                    fields.len() == 1,
+                    "#[serde(transparent)] requires exactly one field on {name}"
+                );
+                let field = &fields[0].name;
+                body.push_str(&format!(
+                    "__serializer.serialize_content(\
+                     {TO_CONTENT}(&self.{field}).map_err({SER_CUSTOM})?)"
+                ));
+            } else {
+                push_named_to_map(&mut body, fields, "&self.");
+                body.push_str(&format!(
+                    "__serializer.serialize_content({CONTENT}::Map(__fields))"
+                ));
+            }
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            // Newtype structs delegate to the inner value, transparent or not.
+            body.push_str(&format!(
+                "__serializer.serialize_content(\
+                 {TO_CONTENT}(&self.0).map_err({SER_CUSTOM})?)"
+            ));
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            body.push_str(&format!(
+                "let mut __seq: ::std::vec::Vec<{CONTENT}> = ::std::vec::Vec::new();\n"
+            ));
+            for i in 0..*n {
+                body.push_str(&format!(
+                    "__seq.push({TO_CONTENT}(&self.{i}).map_err({SER_CUSTOM})?);\n"
+                ));
+            }
+            body.push_str(&format!(
+                "__serializer.serialize_content({CONTENT}::Seq(__seq))"
+            ));
+        }
+        Kind::Struct(Fields::Unit) => {
+            body.push_str(&format!(
+                "__serializer.serialize_content({CONTENT}::Str(\
+                 ::std::string::String::from(\"{name}\")))"
+            ));
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for variant in variants {
+                let vname = &variant.name;
+                let ctor = variant_ctor(name, vname);
+                match &variant.fields {
+                    Fields::Unit => body.push_str(&format!(
+                        "{ctor} => __serializer.serialize_content({CONTENT}::Str(\
+                         ::std::string::String::from(\"{vname}\"))),\n"
+                    )),
+                    Fields::Tuple(1) => body.push_str(&format!(
+                        "{ctor}(__f0) => {{\n\
+                         let __v = {TO_CONTENT}(__f0).map_err({SER_CUSTOM})?;\n\
+                         __serializer.serialize_content({CONTENT}::Map(vec![(\
+                         ::std::string::String::from(\"{vname}\"), __v)]))\n}}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> =
+                            (0..*n).map(|i| format!("__f{i}")).collect();
+                        body.push_str(&format!("{ctor}({}) => {{\n", binders.join(", ")));
+                        body.push_str(&format!(
+                            "let mut __seq: ::std::vec::Vec<{CONTENT}> = \
+                             ::std::vec::Vec::new();\n"
+                        ));
+                        for b in &binders {
+                            body.push_str(&format!(
+                                "__seq.push({TO_CONTENT}({b}).map_err({SER_CUSTOM})?);\n"
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "__serializer.serialize_content({CONTENT}::Map(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             {CONTENT}::Seq(__seq))]))\n}}\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        body.push_str(&format!("{ctor} {{ {} }} => {{\n", binders.join(", ")));
+                        push_named_to_map(&mut body, fields, "");
+                        body.push_str(&format!(
+                            "__serializer.serialize_content({CONTENT}::Map(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             {CONTENT}::Map(__fields))]))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    body.push_str(
+        "let __content = ::serde::Deserializer::deserialize_content(__deserializer)?;\n",
+    );
+    match &input.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            if input.transparent {
+                assert!(
+                    fields.len() == 1,
+                    "#[serde(transparent)] requires exactly one field on {name}"
+                );
+                let field = &fields[0].name;
+                body.push_str(&format!(
+                    "::std::result::Result::Ok({name} {{ {field}: \
+                     {FROM_CONTENT}(__content).map_err({DE_CUSTOM})? }})"
+                ));
+            } else {
+                body.push_str(&format!(
+                    "let mut __map = match __content {{\n\
+                     {CONTENT}::Map(__m) => __m,\n\
+                     __other => return ::std::result::Result::Err({DE_CUSTOM}(\
+                     format!(\"expected map for struct {name}, got {{}}\", __other.kind()))),\n\
+                     }};\n"
+                ));
+                push_named_from_map(&mut body, name, fields, "__map");
+            }
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name}(\
+                 {FROM_CONTENT}(__content).map_err({DE_CUSTOM})?))"
+            ));
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            body.push_str(&format!(
+                "let __seq = match __content {{\n\
+                 {CONTENT}::Seq(__s) => __s,\n\
+                 __other => return ::std::result::Result::Err({DE_CUSTOM}(\
+                 format!(\"expected sequence for struct {name}, got {{}}\", __other.kind()))),\n\
+                 }};\n\
+                 if __seq.len() != {n} {{\n\
+                 return ::std::result::Result::Err({DE_CUSTOM}(\
+                 format!(\"expected {n} elements for {name}, got {{}}\", __seq.len())));\n\
+                 }}\n\
+                 let mut __items = __seq.into_iter();\n"
+            ));
+            let elems: Vec<String> = (0..*n)
+                .map(|_| {
+                    format!(
+                        "{FROM_CONTENT}(__items.next().unwrap()).map_err({DE_CUSTOM})?"
+                    )
+                })
+                .collect();
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            ));
+        }
+        Kind::Struct(Fields::Unit) => {
+            body.push_str(&format!("let _ = __content;\n::std::result::Result::Ok({name})"));
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                let ctor = variant_ctor(name, vname);
+                match &variant.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({ctor}),\n"
+                    )),
+                    Fields::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({ctor}(\
+                         {FROM_CONTENT}(__v).map_err({DE_CUSTOM})?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __seq = match __v {{\n\
+                             {CONTENT}::Seq(__s) if __s.len() == {n} => __s,\n\
+                             __other => return ::std::result::Result::Err({DE_CUSTOM}(\
+                             format!(\"expected {n}-element sequence for variant {vname}, \
+                             got {{}}\", __other.kind()))),\n\
+                             }};\n\
+                             let mut __items = __seq.into_iter();\n"
+                        ));
+                        let elems: Vec<String> = (0..*n)
+                            .map(|_| {
+                                format!(
+                                    "{FROM_CONTENT}(__items.next().unwrap())\
+                                     .map_err({DE_CUSTOM})?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "::std::result::Result::Ok({ctor}({}))\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let mut __vm = match __v {{\n\
+                             {CONTENT}::Map(__m) => __m,\n\
+                             __other => return ::std::result::Result::Err({DE_CUSTOM}(\
+                             format!(\"expected map for variant {vname}, got {{}}\", \
+                             __other.kind()))),\n\
+                             }};\n"
+                        ));
+                        push_named_from_map(&mut payload_arms, &ctor, fields, "__vm");
+                        payload_arms.push_str("}\n");
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "match __content {{\n\
+                 {CONTENT}::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err({DE_CUSTOM}(\
+                 format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                 }},\n\
+                 {CONTENT}::Map(mut __m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = __m.remove(0);\n\
+                 match __k.as_str() {{\n\
+                 {payload_arms}\
+                 __other => ::std::result::Result::Err({DE_CUSTOM}(\
+                 format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                 }}\n}}\n\
+                 __other => ::std::result::Result::Err({DE_CUSTOM}(\
+                 format!(\"expected variant of {name}, got {{}}\", __other.kind()))),\n\
+                 }}"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---- entry points ----------------------------------------------------
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

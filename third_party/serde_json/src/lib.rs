@@ -1,0 +1,547 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal, API-compatible subset of every external dependency under
+//! `third_party/`. This crate provides `to_string`/`to_string_pretty`/
+//! `to_vec`/`from_str`/`from_slice` over the vendored serde's
+//! [`serde::content::Content`] data model, with a hand-rolled JSON emitter
+//! and parser (full string escaping including `\uXXXX` surrogate pairs).
+
+// Vendored stand-in: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+use serde::content::{from_content, to_content, Content};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+
+/// Error serializing or deserializing JSON.
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({:?})", self.0)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg)
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg)
+    }
+}
+
+// ---- serialization ---------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) -> Result<(), Error> {
+    if !v.is_finite() {
+        return Err(Error::new("JSON cannot represent NaN or infinity"));
+    }
+    // `{:?}` prints the shortest representation that round-trips, and
+    // always includes a decimal point or exponent for floats.
+    out.push_str(&format!("{v:?}"));
+    Ok(())
+}
+
+fn write_compact(out: &mut String, content: &Content) -> Result<(), Error> {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(n) => out.push_str(&n.to_string()),
+        Content::I64(n) => out.push_str(&n.to_string()),
+        Content::F64(v) => write_f64(out, *v)?,
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item)?;
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, key);
+                out.push(':');
+                write_compact(out, value)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_pretty(out: &mut String, content: &Content, indent: usize) -> Result<(), Error> {
+    const STEP: &str = "  ";
+    match content {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                write_pretty(out, item, indent + 1)?;
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                write_escaped(out, key);
+                out.push_str(": ");
+                write_pretty(out, value, indent + 1)?;
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(out, other)?,
+    }
+    Ok(())
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = to_content(value).map_err(Error::new)?;
+    let mut out = String::new();
+    write_compact(&mut out, &content)?;
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = to_content(value).map_err(Error::new)?;
+    let mut out = String::new();
+    write_pretty(&mut out, &content, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+// ---- parsing ---------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: impl fmt::Display) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Content::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.error(format!("unexpected character `{}`", b as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let value =
+            u16::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(value)
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => {
+                            out.push('"');
+                            self.pos += 1;
+                        }
+                        Some(b'\\') => {
+                            out.push('\\');
+                            self.pos += 1;
+                        }
+                        Some(b'/') => {
+                            out.push('/');
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            out.push('\r');
+                            self.pos += 1;
+                        }
+                        Some(b'b') => {
+                            out.push('\u{8}');
+                            self.pos += 1;
+                        }
+                        Some(b'f') => {
+                            out.push('\u{c}');
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: a low surrogate must follow.
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let second = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                0x10000
+                                    + ((first as u32 - 0xD800) << 10)
+                                    + (second as u32 - 0xDC00)
+                            } else if (0xDC00..0xE000).contains(&first) {
+                                return Err(self.error("unpaired low surrogate"));
+                            } else {
+                                first as u32
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char (input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| self.error("invalid number"))?;
+            Ok(Content::F64(v))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            let v: i64 = stripped
+                .parse::<i64>()
+                .map(|v| -v)
+                .map_err(|_| self.error("integer out of range"))?;
+            Ok(Content::I64(v))
+        } else {
+            let v: u64 = text.parse().map_err(|_| self.error("integer out of range"))?;
+            Ok(Content::U64(v))
+        }
+    }
+}
+
+fn parse(input: &str) -> Result<Content, Error> {
+    let mut parser = Parser::new(input);
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: DeserializeOwned>(input: &str) -> Result<T, Error> {
+    from_content(parse(input)?).map_err(Error::new)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(input: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert_eq!(from_str::<u64>(" 42 ").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("0.5").unwrap(), 0.5);
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let tricky = "line\nbreak \"quoted\" back\\slash \t tab \u{b} control 中 𠅀 emoji";
+        let json = to_string(&tricky.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), tricky);
+    }
+
+    #[test]
+    fn unicode_escape_parsing() {
+        assert_eq!(from_str::<String>(r#""A""#).unwrap(), "A");
+        // Surrogate pair for U+1D11E (musical G clef).
+        assert_eq!(from_str::<String>(r#""𝄞""#).unwrap(), "𝄞");
+        assert!(from_str::<String>(r#""\ud834""#).is_err());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&json).unwrap(), v);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, "{\"a\":1,\"b\":2}");
+        assert_eq!(from_str::<BTreeMap<String, u64>>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn tuples_and_options() {
+        let pairs: Vec<(String, u64)> = vec![("x".into(), 1), ("y".into(), 2)];
+        let json = to_string(&pairs).unwrap();
+        assert_eq!(json, "[[\"x\",1],[\"y\",2]]");
+        assert_eq!(from_str::<Vec<(String, u64)>>(&json).unwrap(), pairs);
+
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+        assert_eq!(to_string(&Some(3u32)).unwrap(), "3");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u32>>("3").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v: Vec<Vec<u32>> = vec![vec![1], vec![], vec![2, 3]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<Vec<u32>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_slice::<u64>(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn float_display_roundtrips() {
+        for v in [0.1f64, 1.0, 1e300, -2.5, 0.3333333333333333] {
+            let json = to_string(&v).unwrap();
+            assert_eq!(from_str::<f64>(&json).unwrap(), v, "json = {json}");
+        }
+        assert!(to_string(&f64::NAN).is_err());
+    }
+}
