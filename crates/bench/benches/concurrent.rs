@@ -1,6 +1,7 @@
 //! Concurrency benches for the sharded store: multi-threaded check
 //! throughput at 1/2/4/8 checker threads against the single-threaded
-//! baseline, and the parallel Algorithm 1 fan-out at 1/2/4/8 workers.
+//! baseline, the parallel Algorithm 1 fan-out at 1/2/4/8 workers, and the
+//! asynchronous pipeline's batch-vs-sequential round-trip comparison.
 //!
 //! Besides the criterion timings, the harness writes the scaling series to
 //! `BENCH_concurrent.json` at the repository root, together with the
@@ -8,9 +9,11 @@
 //! is no parallel speedup to harvest), so the JSON records the hardware
 //! context needed to interpret it.
 
+use browserflow::{AsyncDecider, BrowserFlow, CheckRequest, EnforcementMode};
 use browserflow_corpus::TextGen;
 use browserflow_fingerprint::Fingerprinter;
 use browserflow_store::{FingerprintStore, SegmentId};
+use browserflow_tdm::Service;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -18,6 +21,8 @@ use std::time::Instant;
 
 const STORE_PARAGRAPHS: usize = 1_500;
 const CHECKS_PER_THREAD: usize = 40;
+/// Paragraphs per document-wide recheck in the async round-trip bench.
+const BATCH_PARAGRAPHS: usize = 32;
 
 fn paragraphs(count: usize, seed: u64) -> Vec<String> {
     let mut gen = TextGen::new(seed);
@@ -62,10 +67,67 @@ fn run_checker_batch(
     start.elapsed().as_secs_f64()
 }
 
+/// Measures the asynchronous pipeline's round-trip cost: the same 32
+/// paragraphs checked as 32 sequential blocking `check` calls (32 worker
+/// round-trips) versus one `check_request` batch (a single round-trip
+/// served by one Algorithm 1 fan-out). Keystroke-scale texts and a warmed
+/// decision cache keep the per-paragraph engine work small, so the
+/// measured difference is pipeline overhead — the quantity batching
+/// removes — not fingerprinting throughput.
+/// Returns (sequential_secs, batch_secs) per sweep of all 32 paragraphs.
+fn run_async_roundtrip() -> (f64, f64) {
+    let flow = BrowserFlow::builder()
+        .mode(EnforcementMode::Advisory)
+        .service(Service::new("gdocs", "Google Docs"))
+        .build()
+        .expect("policy builds");
+    let texts: Vec<String> = (0..BATCH_PARAGRAPHS)
+        .map(|i| format!("note {i}: ok"))
+        .collect();
+    let decider = AsyncDecider::spawn(flow);
+    let warm_request = CheckRequest::batch("gdocs", "draft", texts.iter().map(String::as_str));
+    decider
+        .check_request(warm_request.clone())
+        .expect("gdocs registered");
+    for (i, text) in texts.iter().enumerate() {
+        decider
+            .check("gdocs", "draft", i, text.as_str())
+            .expect("gdocs registered");
+    }
+
+    const ROUNDS: usize = 50;
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        for (i, text) in texts.iter().enumerate() {
+            std::hint::black_box(
+                decider
+                    .check("gdocs", "draft", i, text.as_str())
+                    .expect("gdocs registered"),
+            );
+        }
+    }
+    let sequential = start.elapsed().as_secs_f64() / ROUNDS as f64;
+
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        std::hint::black_box(
+            decider
+                .check_request(warm_request.clone())
+                .expect("gdocs registered"),
+        );
+    }
+    let batch = start.elapsed().as_secs_f64() / ROUNDS as f64;
+
+    let stats = decider.stats();
+    assert_eq!(stats.max_batch, BATCH_PARAGRAPHS as u64);
+    (sequential, batch)
+}
+
 fn write_report(
     checker_series: &[(usize, f64)],
     fanout_series: &[(usize, f64)],
     baseline_checks_per_sec: f64,
+    async_roundtrip: (f64, f64),
 ) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -92,13 +154,24 @@ fn write_report(
             )
         })
         .collect();
+    let (seq_secs, batch_secs) = async_roundtrip;
+    let async_json = format!(
+        "{{\"paragraphs\": {BATCH_PARAGRAPHS}, \"sequential_ms\": {:.4}, \
+         \"batch_ms\": {:.4}, \"speedup\": {:.2}}}",
+        seq_secs * 1e3,
+        batch_secs * 1e3,
+        seq_secs / batch_secs
+    );
     let json = format!(
         "{{\n  \"bench\": \"concurrent\",\n  \"host_cores\": {cores},\n  \
          \"store_paragraphs\": {STORE_PARAGRAPHS},\n  \
          \"note\": \"speedups are bounded by host_cores; a flat series on a \
-         single-core host reflects the hardware, not the implementation\",\n  \
+         single-core host reflects the hardware, not the implementation; \
+         async_batch_roundtrip compares 32 sequential blocking checks (32 worker \
+         round-trips) against one batched CheckRequest (1 round-trip)\",\n  \
          \"checker_thread_scaling\": [\n{}\n  ],\n  \
-         \"algorithm1_fanout\": [\n{}\n  ]\n}}\n",
+         \"algorithm1_fanout\": [\n{}\n  ],\n  \
+         \"async_batch_roundtrip\": {async_json}\n}}\n",
         checker_json.join(",\n"),
         fanout_json.join(",\n")
     );
@@ -181,9 +254,27 @@ fn bench_concurrent_checkers(c: &mut Criterion) {
     }
     group.finish();
 
+    // Async pipeline round-trip comparison: warm-up pass, then keep the
+    // best of three (least-noise estimate of the fixed overhead).
+    run_async_roundtrip();
+    let mut best = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        let (seq, batch) = run_async_roundtrip();
+        best = (best.0.min(seq), best.1.min(batch));
+    }
+    let mut group = c.benchmark_group("async-batch-roundtrip");
+    group.bench_function("32-sequential-vs-1-batch", |b| b.iter(run_async_roundtrip));
+    group.finish();
+    println!(
+        "async round-trip: sequential {:.3} ms, batch {:.3} ms, speedup {:.1}x",
+        best.0 * 1e3,
+        best.1 * 1e3,
+        best.0 / best.1
+    );
+
     let (_, base_secs) = checker_series[0];
     let baseline = CHECKS_PER_THREAD as f64 / base_secs;
-    write_report(&checker_series, &fanout_series, baseline);
+    write_report(&checker_series, &fanout_series, baseline, best);
 }
 
 fn quick() -> Criterion {

@@ -2,7 +2,7 @@
 //! decision-cache ablation, and the exact-match DLP baseline comparison.
 
 use browserflow::baseline::ExactMatchDlp;
-use browserflow::{BrowserFlow, EngineConfig};
+use browserflow::{BrowserFlow, CheckRequest, EngineConfig};
 use browserflow_corpus::TextGen;
 use browserflow_tdm::{Service, ServiceId, Tag, TagSet};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -41,16 +41,26 @@ fn bench_check_upload(c: &mut Criterion) {
         let label = if cache { "cached" } else { "uncached" };
         group.bench_function(BenchmarkId::from_parameter(format!("hit-{label}")), |b| {
             b.iter(|| {
-                flow.check_upload(&gdocs, "draft", 0, std::hint::black_box(&secret))
-                    .expect("gdocs registered")
+                flow.check_one(&CheckRequest::paragraph(
+                    &gdocs,
+                    "draft",
+                    0,
+                    std::hint::black_box(secret.as_str()),
+                ))
+                .expect("gdocs registered")
             })
         });
         let mut gen = TextGen::new(5555);
         let novel = gen.paragraph(7);
         group.bench_function(BenchmarkId::from_parameter(format!("miss-{label}")), |b| {
             b.iter(|| {
-                flow.check_upload(&gdocs, "draft2", 0, std::hint::black_box(&novel))
-                    .expect("gdocs registered")
+                flow.check_one(&CheckRequest::paragraph(
+                    &gdocs,
+                    "draft2",
+                    0,
+                    std::hint::black_box(novel.as_str()),
+                ))
+                .expect("gdocs registered")
             })
         });
     }

@@ -59,13 +59,14 @@ fn type_and_measure(decider: &AsyncDecider, document: &str, text: &str, times: &
     while i < chars.len() {
         let end = (i + step).min(chars.len());
         typed.extend(&chars[i..end]);
-        let timed = decider.check(&gdocs, document, 0, &typed);
-        timed.decision.expect("gdocs registered");
+        let timed = decider
+            .check(&gdocs, document, 0, typed.as_str())
+            .expect("gdocs registered");
         times.record(timed.latency);
         // The paragraph's new content is observed (asynchronously in the
         // plug-in; sequentially here to keep the state realistic).
         decider
-            .observe(&gdocs, document, 0, &typed)
+            .observe(&gdocs, document, 0, typed.as_str())
             .expect("gdocs registered");
         i = end;
     }
@@ -143,7 +144,7 @@ fn main() {
             .map(|w| w.trim_matches('.').to_string())
             .collect();
         decider
-            .observe(&gdocs, "w3-doc", 0, &modified_words.join(" "))
+            .observe(&gdocs, "w3-doc", 0, modified_words.join(" "))
             .expect("gdocs registered");
         // Word by word, restore the original.
         let mut current = modified_words.clone();
@@ -151,11 +152,12 @@ fn main() {
         for i in 0..steps {
             current[i] = original_words[i].clone();
             let text = current.join(" ");
-            let timed = decider.check(&gdocs, "w3-doc", 0, &text);
-            timed.decision.expect("gdocs registered");
+            let timed = decider
+                .check(&gdocs, "w3-doc", 0, text.as_str())
+                .expect("gdocs registered");
             w3.record(timed.latency);
             decider
-                .observe(&gdocs, "w3-doc", 0, &text)
+                .observe(&gdocs, "w3-doc", 0, text.as_str())
                 .expect("gdocs registered");
         }
     }
@@ -181,6 +183,21 @@ fn main() {
     println!(
         "(paper shape: 99% of decisions within 200 ms; ~85% under 30 ms thanks to \
          fingerprint-digest caching; overlap workflows W1/W3 slower than W2)"
+    );
+    let stats = decider.stats();
+    println!();
+    println!(
+        "pipeline: submitted={} completed={} coalesced={} rejected={} timeouts={} \
+         batches={} mean_batch={:.2} max_batch={} queue_depth={}",
+        stats.submitted,
+        stats.completed,
+        stats.coalesced,
+        stats.rejected,
+        stats.timeouts,
+        stats.batches,
+        stats.mean_batch(),
+        stats.max_batch,
+        stats.queue_depth,
     );
     drop(decider);
 }

@@ -67,17 +67,21 @@ fn main() {
             let paragraph = &book.paragraphs()[repetition % book.paragraphs().len()];
             let text: String = paragraph.text().chars().take(500).collect();
             let document = format!("paste-target-{repetition}");
-            let timed = decider.check(&gdocs, &document, 0, &text);
-            timed.decision.expect("gdocs registered");
+            let timed = decider
+                .check(&gdocs, document, 0, text)
+                .expect("gdocs registered");
             times.record(timed.latency);
         }
+        let stats = decider.stats();
         println!(
-            "{:>8} {:>14} {:>12.3?} {:>12.3?} {:>12.3?}",
+            "{:>8} {:>14} {:>12.3?} {:>12.3?} {:>12.3?}  (pipeline: {}/{} ok)",
             count,
             hash_count,
             times.percentile(0.50),
             times.percentile(0.95),
-            times.max().unwrap_or_default()
+            times.max().unwrap_or_default(),
+            stats.completed,
+            stats.submitted,
         );
         drop(decider);
     }

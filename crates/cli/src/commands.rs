@@ -1,7 +1,7 @@
 //! Command dispatch and rendering.
 
 use crate::options::{parse_options, CliError, FingerprintOptions};
-use browserflow::BrowserFlow;
+use browserflow::{BrowserFlow, CheckRequest};
 use browserflow_fingerprint::{normalize, FingerprintConfig, Fingerprinter};
 use browserflow_store::{SealedBytes, StoreKey};
 use browserflow_tdm::{Policy, Service, Tag, TagSet};
@@ -308,10 +308,11 @@ fn check_command(args: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
     let mut any_violation = false;
     let segments = browserflow_fingerprint::segment::split_paragraphs(&text);
-    for (index, segment) in segments.iter().enumerate() {
-        let decision = flow
-            .check_upload(&dest.into(), target, index, segment.text)
-            .map_err(|e| CliError::Usage(e.to_string()))?;
+    let request = CheckRequest::batch(dest, target, segments.iter().map(|s| s.text));
+    let decisions = flow
+        .check(&request)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    for (index, decision) in decisions.iter().enumerate() {
         for violation in &decision.violations {
             any_violation = true;
             writeln!(

@@ -309,20 +309,39 @@ impl DisclosureEngine {
         paragraphs: &[&str],
         workers: usize,
     ) -> Vec<Vec<DisclosureMatch>> {
+        let items: Vec<(usize, &str)> = paragraphs.iter().copied().enumerate().collect();
+        self.check_paragraphs_at(doc, &items, workers)
+    }
+
+    /// [`DisclosureEngine::check_paragraphs`] with explicit paragraph
+    /// indices: each `(index, text)` item is checked as if by
+    /// [`DisclosureEngine::check_paragraph`], fanned out over `workers`
+    /// threads, with results in item order. This is the primitive behind
+    /// the unified [`CheckRequest`](crate::CheckRequest) surface, where a
+    /// batch need not start at paragraph 0 or be contiguous.
+    pub fn check_paragraphs_at(
+        &self,
+        doc: &DocKey,
+        paragraphs: &[(usize, &str)],
+        workers: usize,
+    ) -> Vec<Vec<DisclosureMatch>> {
         // Allocate every id up front so worker threads never race on the
         // registry write lock in allocation order.
-        let ids: Vec<SegmentId> = (0..paragraphs.len())
-            .map(|index| self.segment_id(&SegmentKey::paragraph(doc.clone(), index)))
+        let ids: Vec<SegmentId> = paragraphs
+            .iter()
+            .map(|&(index, _)| self.segment_id(&SegmentKey::paragraph(doc.clone(), index)))
             .collect();
         if workers <= 1 || paragraphs.len() < 2 {
             return ids
                 .iter()
                 .zip(paragraphs)
-                .map(|(&id, text)| self.check_paragraph_by_id(id, text))
+                .map(|(&id, &(_, text))| self.check_paragraph_by_id(id, text))
                 .collect();
         }
-        let jobs: Vec<(SegmentId, &str)> =
-            ids.into_iter().zip(paragraphs.iter().copied()).collect();
+        let jobs: Vec<(SegmentId, &str)> = ids
+            .into_iter()
+            .zip(paragraphs.iter().map(|&(_, text)| text))
+            .collect();
         let chunk_len = jobs.len().div_ceil(workers);
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = jobs

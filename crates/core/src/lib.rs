@@ -22,7 +22,7 @@
 //! # Quickstart
 //!
 //! ```rust
-//! use browserflow::{BrowserFlow, EnforcementMode, UploadAction};
+//! use browserflow::{BrowserFlow, CheckRequest, EnforcementMode, UploadAction};
 //! use browserflow_tdm::{Service, Tag, TagSet};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,7 +41,7 @@
 //! flow.observe_paragraph(&"itool".into(), "eval-doc", 0, notes)?;
 //!
 //! // The user pastes it into Google Docs: BrowserFlow blocks the upload.
-//! let decision = flow.check_upload(&"gdocs".into(), "draft", 0, notes)?;
+//! let decision = flow.check_one(&CheckRequest::paragraph("gdocs", "draft", 0, notes))?;
 //! assert_eq!(decision.action, UploadAction::Block);
 //! assert!(!decision.violations.is_empty());
 //! # Ok(())
@@ -58,10 +58,14 @@ mod metrics;
 mod middleware;
 pub mod plugin;
 pub mod report;
+mod request;
 mod short_secret;
 mod state;
 
-pub use asynchronous::{AsyncDecider, TimedDecision};
+pub use asynchronous::{
+    AsyncDecider, DeciderConfig, DeciderError, PendingBatch, PendingDecision, PipelineStats,
+    TimedBatch, TimedDecision, TrySubmitError,
+};
 pub use engine::{
     DisclosureEngine, DisclosureMatch, DocKey, EngineConfig, SegmentKey, SegmentScope,
 };
@@ -70,4 +74,5 @@ pub use middleware::{
     BrowserFlow, BrowserFlowBuilder, BuildError, EnforcementMode, MiddlewareError, ParagraphStatus,
     UploadAction, UploadDecision, Violation, Warning,
 };
+pub use request::{CheckRequest, ParagraphRef};
 pub use state::StateError;

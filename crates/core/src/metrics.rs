@@ -1,6 +1,7 @@
 //! Response-time and concurrency instrumentation for the performance
 //! evaluation (§6.2).
 
+use crate::asynchronous::PipelineStats;
 use crate::engine::DisclosureEngine;
 use browserflow_store::StoreStats;
 use std::time::Duration;
@@ -128,6 +129,9 @@ pub struct ConcurrencyMetrics {
     pub paragraphs: StoreStats,
     /// Stats of the document-granularity store.
     pub documents: StoreStats,
+    /// Health of the asynchronous decision pipeline, when one is running
+    /// (attach with [`ConcurrencyMetrics::with_pipeline`]).
+    pub pipeline: Option<PipelineStats>,
 }
 
 impl ConcurrencyMetrics {
@@ -136,7 +140,15 @@ impl ConcurrencyMetrics {
         Self {
             paragraphs: engine.paragraph_store().stats(),
             documents: engine.document_store().stats(),
+            pipeline: None,
         }
+    }
+
+    /// Attaches a pipeline snapshot (builder style) — typically
+    /// [`AsyncDecider::stats`](crate::AsyncDecider::stats).
+    pub fn with_pipeline(mut self, stats: PipelineStats) -> Self {
+        self.pipeline = Some(stats);
+        self
     }
 
     /// Stored segment fingerprints across both granularities.
@@ -220,5 +232,20 @@ mod tests {
     #[should_panic(expected = "no samples")]
     fn percentile_of_empty_panics() {
         ResponseTimes::new().percentile(0.5);
+    }
+
+    #[test]
+    fn with_pipeline_attaches_stats() {
+        let engine = DisclosureEngine::new(crate::EngineConfig::default());
+        let metrics = ConcurrencyMetrics::of(&engine);
+        assert!(metrics.pipeline.is_none());
+        let stats = PipelineStats {
+            submitted: 5,
+            completed: 3,
+            coalesced: 2,
+            ..PipelineStats::default()
+        };
+        let metrics = metrics.with_pipeline(stats);
+        assert_eq!(metrics.pipeline.unwrap().coalesced, 2);
     }
 }

@@ -8,6 +8,7 @@
 //! takes the appropriate action — permit, warn, block, or encrypt.
 
 use crate::engine::{DisclosureEngine, DisclosureMatch, DocKey, EngineConfig, SegmentKey};
+use crate::request::CheckRequest;
 use crate::short_secret::ShortSecret;
 use browserflow_store::{SegmentId, StoreKey};
 use browserflow_tdm::{Policy, PolicyError, SegmentLabel, Service, ServiceId, Tag, TagSet, UserId};
@@ -421,63 +422,43 @@ impl BrowserFlow {
         Ok(segment)
     }
 
-    /// **Policy enforcement** (Figure 1, §3): text is about to be uploaded
-    /// to paragraph `index` of `document` in `service`. Returns the
-    /// decision; under [`EnforcementMode::Advisory`] a violation is
-    /// recorded in [`BrowserFlow::warnings`].
+    /// **Policy enforcement** (Figure 1, §3) — the unified entry point:
+    /// every paragraph slot of `request` is about to be uploaded to the
+    /// request's service, and all slots are checked as one batch (one
+    /// Algorithm 1 fan-out over up to [`CheckRequest::workers`] threads).
+    ///
+    /// Decisions come back in slot order, and warnings are recorded in
+    /// slot order too, exactly as the equivalent sequence of
+    /// single-paragraph requests would produce; under
+    /// [`EnforcementMode::Advisory`] each violation is recorded in
+    /// [`BrowserFlow::warnings`].
+    ///
+    /// Sync callers use this directly; async callers submit the same
+    /// [`CheckRequest`] through
+    /// [`AsyncDecider::check_request`](crate::AsyncDecider::check_request),
+    /// which serves it in a single worker round-trip.
     ///
     /// # Errors
     ///
-    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
-    pub fn check_upload(
+    /// Returns [`MiddlewareError::Policy`] if the request's service is not
+    /// registered.
+    pub fn check(
         &self,
-        service: &ServiceId,
-        document: &str,
-        index: usize,
-        text: &str,
-    ) -> Result<UploadDecision, MiddlewareError> {
-        self.policy.service(service)?; // validate the destination exists
-        let doc = DocKey::new(service.clone(), document);
-        let matches = self.engine.check_paragraph(&doc, index, text);
-        let mut decision = self.decide(service, &matches)?;
-        let secret_violations = self.short_secret_violations(service, text)?;
-        if !secret_violations.is_empty() {
-            decision.violations.extend(secret_violations);
-            decision.action = self.violation_action();
-        }
-        if !decision.violations.is_empty() {
-            self.warnings.lock().push(Warning {
-                segment: SegmentKey::paragraph(doc, index),
-                destination: service.clone(),
-                violations: decision.violations.clone(),
-            });
-        }
-        Ok(decision)
-    }
-
-    /// Batched paragraph-granularity enforcement: checks every paragraph
-    /// of a pending upload in one call, fanning the disclosure checks out
-    /// over up to `workers` threads (see
-    /// [`DisclosureEngine::check_paragraphs`]). Decisions come back in
-    /// paragraph order, and warnings are recorded in paragraph order too,
-    /// exactly as the equivalent sequence of
-    /// [`BrowserFlow::check_upload`] calls would produce.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
-    pub fn check_upload_batch(
-        &self,
-        service: &ServiceId,
-        document: &str,
-        paragraphs: &[&str],
-        workers: usize,
+        request: &CheckRequest<'_>,
     ) -> Result<Vec<UploadDecision>, MiddlewareError> {
+        let service = request.service();
         self.policy.service(service)?; // validate the destination exists
-        let doc = DocKey::new(service.clone(), document);
-        let all_matches = self.engine.check_paragraphs(&doc, paragraphs, workers);
-        let mut decisions = Vec::with_capacity(paragraphs.len());
-        for (index, (text, matches)) in paragraphs.iter().zip(all_matches.iter()).enumerate() {
+        let doc = DocKey::new(service.clone(), request.document());
+        let items: Vec<(usize, &str)> = request
+            .paragraphs()
+            .iter()
+            .map(|p| (p.index, p.text.as_ref()))
+            .collect();
+        let all_matches = self
+            .engine
+            .check_paragraphs_at(&doc, &items, request.workers());
+        let mut decisions = Vec::with_capacity(items.len());
+        for (&(index, text), matches) in items.iter().zip(all_matches.iter()) {
             let mut decision = self.decide(service, matches)?;
             let secret_violations = self.short_secret_violations(service, text)?;
             if !secret_violations.is_empty() {
@@ -494,6 +475,64 @@ impl BrowserFlow {
             decisions.push(decision);
         }
         Ok(decisions)
+    }
+
+    /// [`BrowserFlow::check`] for single-slot requests: returns the first
+    /// (typically only) decision. An empty request yields an allow
+    /// decision with no violations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::Policy`] if the request's service is not
+    /// registered.
+    pub fn check_one(&self, request: &CheckRequest<'_>) -> Result<UploadDecision, MiddlewareError> {
+        Ok(self
+            .check(request)?
+            .into_iter()
+            .next()
+            .unwrap_or(UploadDecision {
+                action: UploadAction::Allow,
+                violations: Vec::new(),
+            }))
+    }
+
+    /// Single-paragraph enforcement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use BrowserFlow::check_one with a CheckRequest"
+    )]
+    pub fn check_upload(
+        &self,
+        service: &ServiceId,
+        document: &str,
+        index: usize,
+        text: &str,
+    ) -> Result<UploadDecision, MiddlewareError> {
+        self.check_one(&CheckRequest::paragraph(service, document, index, text))
+    }
+
+    /// Batched paragraph-granularity enforcement over paragraphs
+    /// `0..paragraphs.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
+    #[deprecated(since = "0.2.0", note = "use BrowserFlow::check with a CheckRequest")]
+    pub fn check_upload_batch(
+        &self,
+        service: &ServiceId,
+        document: &str,
+        paragraphs: &[&str],
+        workers: usize,
+    ) -> Result<Vec<UploadDecision>, MiddlewareError> {
+        self.check(
+            &CheckRequest::batch(service, document, paragraphs.iter().copied())
+                .with_workers(workers),
+        )
     }
 
     /// Document-granularity enforcement: an entire document is about to be
@@ -848,7 +887,12 @@ mod tests {
     fn clean_upload_is_allowed() {
         let flow = flow(EnforcementMode::Block);
         let decision = flow
-            .check_upload(&"gdocs".into(), "draft", 0, "totally public prose")
+            .check_one(&CheckRequest::paragraph(
+                "gdocs",
+                "draft",
+                0,
+                "totally public prose",
+            ))
             .unwrap();
         assert_eq!(decision.action, UploadAction::Allow);
         assert!(decision.violations.is_empty());
@@ -861,7 +905,7 @@ mod tests {
         flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
             .unwrap();
         let decision = flow
-            .check_upload(&"gdocs".into(), "draft", 0, SECRET)
+            .check_one(&CheckRequest::paragraph("gdocs", "draft", 0, SECRET))
             .unwrap();
         assert_eq!(decision.action, UploadAction::Block);
         assert_eq!(decision.violations.len(), 1);
@@ -875,7 +919,7 @@ mod tests {
         flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
             .unwrap();
         let decision = flow
-            .check_upload(&"gdocs".into(), "draft", 0, SECRET)
+            .check_one(&CheckRequest::paragraph("gdocs", "draft", 0, SECRET))
             .unwrap();
         assert_eq!(decision.action, UploadAction::Warn);
         assert!(decision.releases_plaintext());
@@ -889,7 +933,7 @@ mod tests {
             .unwrap();
         // itool itself is privileged for ti.
         let decision = flow
-            .check_upload(&"itool".into(), "eval-copy", 0, SECRET)
+            .check_one(&CheckRequest::paragraph("itool", "eval-copy", 0, SECRET))
             .unwrap();
         assert_eq!(decision.action, UploadAction::Allow);
     }
@@ -925,7 +969,7 @@ mod tests {
             .unwrap();
         assert!(suppressed);
         let decision = flow
-            .check_upload(&"gdocs".into(), "draft", 0, SECRET)
+            .check_one(&CheckRequest::paragraph("gdocs", "draft", 0, SECRET))
             .unwrap();
         assert_eq!(decision.action, UploadAction::Allow);
         // Audit trail exists.
@@ -943,7 +987,7 @@ mod tests {
             .unwrap();
         // Without a custom tag the flow is permitted.
         let decision = flow
-            .check_upload(&"itool".into(), "copy", 0, SECRET)
+            .check_one(&CheckRequest::paragraph("itool", "copy", 0, SECRET))
             .unwrap();
         assert_eq!(decision.action, UploadAction::Allow);
         // The author protects the paragraph with tn.
@@ -952,11 +996,11 @@ mod tests {
             .unwrap();
         // Now itool (no tn in Lp) is refused; wiki still works.
         let decision = flow
-            .check_upload(&"itool".into(), "copy2", 0, SECRET)
+            .check_one(&CheckRequest::paragraph("itool", "copy2", 0, SECRET))
             .unwrap();
         assert_eq!(decision.action, UploadAction::Block);
         let decision = flow
-            .check_upload(&"wiki".into(), "another", 0, SECRET)
+            .check_one(&CheckRequest::paragraph("wiki", "another", 0, SECRET))
             .unwrap();
         assert_eq!(decision.action, UploadAction::Allow);
     }
@@ -988,7 +1032,7 @@ mod tests {
         assert!(!status.label.implicit_tags().contains(&tag("ti")));
         // Copying B's current text to gdocs violates only tw, not ti.
         let decision = flow
-            .check_upload(&"gdocs".into(), "draft", 0, wiki_own)
+            .check_one(&CheckRequest::paragraph("gdocs", "draft", 0, wiki_own))
             .unwrap();
         assert_eq!(decision.violations.len(), 1);
         let missing = &decision.violations[0].missing_tags;
@@ -1004,7 +1048,7 @@ mod tests {
             Err(MiddlewareError::Policy(_))
         ));
         assert!(matches!(
-            flow.check_upload(&"nope".into(), "d", 0, "text"),
+            flow.check_one(&CheckRequest::paragraph("nope", "d", 0, "text")),
             Err(MiddlewareError::Policy(_))
         ));
     }
@@ -1050,7 +1094,7 @@ mod tests {
         flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
             .unwrap();
         assert_eq!(
-            flow.check_upload(&"gdocs".into(), "d", 0, SECRET)
+            flow.check_one(&CheckRequest::paragraph("gdocs", "d", 0, SECRET))
                 .unwrap()
                 .action,
             UploadAction::Block
@@ -1077,7 +1121,7 @@ second paragraph about travel reimbursements and the                            
             .nth(1)
             .unwrap();
         assert_eq!(
-            flow.check_upload(&"gdocs".into(), "d", 0, second)
+            flow.check_one(&CheckRequest::paragraph("gdocs", "d", 0, second))
                 .unwrap()
                 .action,
             UploadAction::Block
@@ -1100,7 +1144,9 @@ second paragraph about travel reimbursements and the                            
         assert!(!flow.set_paragraph_threshold(&"itool".into(), "never", 0, 0.1));
         // A small quote now violates at the lowered threshold.
         let quote = &SECRET[..SECRET.len() / 4];
-        let decision = flow.check_upload(&"gdocs".into(), "d", 0, quote).unwrap();
+        let decision = flow
+            .check_one(&CheckRequest::paragraph("gdocs", "d", 0, quote))
+            .unwrap();
         assert_eq!(decision.action, UploadAction::Block);
 
         flow.observe_document(&"itool".into(), "eval", SECRET)
@@ -1118,7 +1164,12 @@ second paragraph about travel reimbursements and the                            
         // The secret is far below the fingerprint guarantee threshold, yet
         // embedding it anywhere in an upload is caught.
         let decision = flow
-            .check_upload(&"gdocs".into(), "draft", 0, "token is kx9 q2 z ok?")
+            .check_one(&CheckRequest::paragraph(
+                "gdocs",
+                "draft",
+                0,
+                "token is kx9 q2 z ok?",
+            ))
             .unwrap();
         assert_eq!(decision.action, UploadAction::Block);
         let violation = &decision.violations[0];
@@ -1127,12 +1178,22 @@ second paragraph about travel reimbursements and the                            
         assert!(!violation.matching_spans.is_empty());
         // Uploading it to the owning service is fine.
         let decision = flow
-            .check_upload(&"itool".into(), "notes", 0, "key Kx9#q2!z rotated")
+            .check_one(&CheckRequest::paragraph(
+                "itool",
+                "notes",
+                0,
+                "key Kx9#q2!z rotated",
+            ))
             .unwrap();
         assert_eq!(decision.action, UploadAction::Allow);
         // Unrelated short text is untouched.
         let decision = flow
-            .check_upload(&"gdocs".into(), "draft", 1, "nothing secret here")
+            .check_one(&CheckRequest::paragraph(
+                "gdocs",
+                "draft",
+                1,
+                "nothing secret here",
+            ))
             .unwrap();
         assert_eq!(decision.action, UploadAction::Allow);
     }
@@ -1163,15 +1224,18 @@ second paragraph about travel reimbursements and the                            
         let expected: Vec<UploadDecision> = paragraphs
             .iter()
             .enumerate()
-            .map(|(i, text)| {
+            .map(|(i, &text)| {
                 sequential
-                    .check_upload(&"gdocs".into(), "draft", i, text)
+                    .check_one(&CheckRequest::paragraph("gdocs", "draft", i, text))
                     .unwrap()
             })
             .collect();
         for workers in [1usize, 4] {
             let decisions = batched
-                .check_upload_batch(&"gdocs".into(), "draft", &paragraphs, workers)
+                .check(
+                    &CheckRequest::batch("gdocs", "draft", paragraphs.iter().copied())
+                        .with_workers(workers),
+                )
                 .unwrap();
             assert_eq!(decisions, expected);
         }
@@ -1199,7 +1263,12 @@ second paragraph about travel reimbursements and the                            
                 s.spawn(move || {
                     for i in 0..10 {
                         let decision = flow
-                            .check_upload(&"gdocs".into(), "draft", t * 10 + i, SECRET)
+                            .check_one(&CheckRequest::paragraph(
+                                "gdocs",
+                                "draft",
+                                t * 10 + i,
+                                SECRET,
+                            ))
                             .unwrap();
                         assert_eq!(decision.action, UploadAction::Warn);
                     }
@@ -1219,5 +1288,33 @@ second paragraph about travel reimbursements and the                            
             .check_document_upload(&"gdocs".into(), "draft", &doc_text)
             .unwrap();
         assert_eq!(decision.action, UploadAction::Block);
+    }
+
+    /// The deprecated 0.1 wrappers must keep producing the same decisions
+    /// as the unified request API they forward to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_unified_api() {
+        let flow = flow(EnforcementMode::Block);
+        flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+        let gdocs: ServiceId = "gdocs".into();
+
+        let legacy = flow.check_upload(&gdocs, "draft", 0, SECRET).unwrap();
+        let unified = flow
+            .check_one(&CheckRequest::paragraph(&gdocs, "draft", 0, SECRET))
+            .unwrap();
+        assert_eq!(legacy, unified);
+
+        let paragraphs = [SECRET, "a harmless note about stationery orders"];
+        let legacy_batch = flow
+            .check_upload_batch(&gdocs, "draft", &paragraphs, 2)
+            .unwrap();
+        let unified_batch = flow
+            .check(&CheckRequest::batch(&gdocs, "draft", paragraphs).with_workers(2))
+            .unwrap();
+        assert_eq!(legacy_batch, unified_batch);
+        assert_eq!(legacy_batch[0].action, UploadAction::Block);
+        assert_eq!(legacy_batch[1].action, UploadAction::Allow);
     }
 }

@@ -17,6 +17,7 @@
 //!   of a loaded page Readability-style and registers its paragraphs.
 
 use crate::middleware::{BrowserFlow, UploadAction};
+use crate::request::CheckRequest;
 use browserflow_browser::dom::NodeId;
 use browserflow_browser::services::{DocsApp, NotesApp};
 use browserflow_browser::{extract, Browser, TabId, XhrDisposition};
@@ -170,12 +171,16 @@ impl Plugin {
                 return XhrDisposition::Allow; // not a content mutation
             };
             let flow = state.read();
-            let decision =
-                match flow.check_upload(&binding.service, &binding.document, index, &text) {
-                    Ok(decision) => decision,
-                    // Unregistered service: fail open but do not loop.
-                    Err(_) => return XhrDisposition::Allow,
-                };
+            let decision = match flow.check_one(&CheckRequest::paragraph(
+                &binding.service,
+                &binding.document,
+                index,
+                &text,
+            )) {
+                Ok(decision) => decision,
+                // Unregistered service: fail open but do not loop.
+                Err(_) => return XhrDisposition::Allow,
+            };
             match decision.action {
                 UploadAction::Allow | UploadAction::Warn => XhrDisposition::Allow,
                 UploadAction::Block => XhrDisposition::Block {
@@ -203,7 +208,11 @@ impl Plugin {
                 None => return,
             };
             let flow = state.read();
-            let mut sealed: Vec<(usize, String)> = Vec::new();
+            // All non-hidden fields travel as ONE batch request: a single
+            // policy lookup plus one engine fan-out instead of a check per
+            // field.
+            let mut request = CheckRequest::new(&binding.service, &binding.document);
+            let mut included: Vec<usize> = Vec::new();
             for (index, field) in event
                 .form()
                 .fields
@@ -211,21 +220,26 @@ impl Plugin {
                 .enumerate()
                 .filter(|(_, f)| !f.hidden)
             {
-                let Ok(decision) =
-                    flow.check_upload(&binding.service, &binding.document, index, &field.value)
-                else {
-                    continue;
-                };
+                request = request.with_paragraph(index, field.value.clone());
+                included.push(index);
+            }
+            let Ok(decisions) = flow.check(&request) else {
+                // Unregistered service: fail open.
+                return;
+            };
+            let mut sealed: Vec<(usize, String)> = Vec::new();
+            for (&index, decision) in included.iter().zip(&decisions) {
                 match decision.action {
                     UploadAction::Allow | UploadAction::Warn => {}
                     UploadAction::Block => {
-                        let reason = block_reason(&decision);
+                        let reason = block_reason(decision);
                         drop(flow);
                         event.prevent_default(reason);
                         return;
                     }
                     UploadAction::Encrypt => {
-                        sealed.push((index, flow.seal_body(&field.value)));
+                        let value = &event.form().fields[index].value;
+                        sealed.push((index, flow.seal_body(value)));
                     }
                 }
             }

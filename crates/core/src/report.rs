@@ -86,7 +86,7 @@ pub fn policy_report(flow: &BrowserFlow) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{EnforcementMode, EngineConfig};
+    use crate::{CheckRequest, EnforcementMode, EngineConfig};
     use browserflow_fingerprint::FingerprintConfig;
     use browserflow_tdm::{Service, Tag, TagSet};
 
@@ -113,7 +113,7 @@ mod tests {
         let secret = "a paragraph long enough to fingerprint about interview scores";
         flow.observe_paragraph(&"itool".into(), "eval", 0, secret)
             .unwrap();
-        flow.check_upload(&"gdocs".into(), "draft", 0, secret)
+        flow.check_one(&CheckRequest::paragraph("gdocs", "draft", 0, secret))
             .unwrap();
         flow
     }

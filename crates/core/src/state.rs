@@ -200,7 +200,7 @@ impl BrowserFlow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DocKey, SegmentKey, UploadAction};
+    use crate::{CheckRequest, DocKey, SegmentKey, UploadAction};
     use browserflow_tdm::{Service, Tag, TagSet, UserId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -229,14 +229,16 @@ mod tests {
     #[test]
     fn export_import_roundtrip_preserves_decisions() {
         let flow = sample_flow();
-        let before = flow.check_upload(&"gdocs".into(), "d", 0, SECRET).unwrap();
+        let before = flow
+            .check_one(&CheckRequest::paragraph("gdocs", "d", 0, SECRET))
+            .unwrap();
         assert_eq!(before.action, UploadAction::Block);
 
         let sealed = flow.export_sealed(1);
         let restored =
             BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
         let after = restored
-            .check_upload(&"gdocs".into(), "d2", 0, SECRET)
+            .check_one(&CheckRequest::paragraph("gdocs", "d2", 0, SECRET))
             .unwrap();
         assert_eq!(after.action, UploadAction::Block);
         assert_eq!(after.violations[0].source, before.violations[0].source);
@@ -255,7 +257,7 @@ mod tests {
         // The suppression survives: the upload is now allowed.
         assert_eq!(
             restored
-                .check_upload(&"gdocs".into(), "d", 0, SECRET)
+                .check_one(&CheckRequest::paragraph("gdocs", "d", 0, SECRET))
                 .unwrap()
                 .action,
             UploadAction::Allow
@@ -301,7 +303,12 @@ mod tests {
             BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
         assert_eq!(restored.short_secret_count(), 1);
         let decision = restored
-            .check_upload(&"gdocs".into(), "d", 0, "leaking kx9q2z now")
+            .check_one(&CheckRequest::paragraph(
+                "gdocs",
+                "d",
+                0,
+                "leaking kx9q2z now",
+            ))
             .unwrap();
         assert_eq!(decision.action, UploadAction::Block);
     }
@@ -309,7 +316,8 @@ mod tests {
     #[test]
     fn warning_trail_survives_restore() {
         let flow = sample_flow();
-        flow.check_upload(&"gdocs".into(), "d", 0, SECRET).unwrap();
+        flow.check_one(&CheckRequest::paragraph("gdocs", "d", 0, SECRET))
+            .unwrap();
         assert_eq!(flow.warnings().len(), 1);
         let sealed = flow.export_sealed(7);
         let restored =

@@ -1,6 +1,8 @@
 //! Property-based tests of the disclosure engine and middleware.
 
-use browserflow::{BrowserFlow, DisclosureEngine, DocKey, EnforcementMode, EngineConfig};
+use browserflow::{
+    BrowserFlow, CheckRequest, DisclosureEngine, DocKey, EnforcementMode, EngineConfig,
+};
 use browserflow_fingerprint::FingerprintConfig;
 use browserflow_tdm::{Service, Tag, TagSet};
 use proptest::prelude::*;
@@ -102,7 +104,7 @@ proptest! {
                 .unwrap();
             flow.observe_paragraph(&"internal".into(), "doc", 0, &stored)
                 .unwrap();
-            flow.check_upload(&"external".into(), "out", 0, &probe)
+            flow.check_one(&CheckRequest::paragraph("external", "out", 0, &probe))
                 .unwrap()
         };
         prop_assert_eq!(build(), build());
@@ -127,13 +129,13 @@ proptest! {
             .build()
             .unwrap();
         flow.observe_paragraph(&"internal".into(), "doc", 0, &stored).unwrap();
-        let before = flow.check_upload(&"external".into(), "out", 0, &probe).unwrap();
+        let before = flow.check_one(&CheckRequest::paragraph("external", "out", 0, &probe)).unwrap();
         let sealed = flow.export_sealed(0);
         let restored = BrowserFlow::import_sealed(
             StoreKey::from_bytes([9u8; 32]),
             &sealed,
         ).unwrap();
-        let after = restored.check_upload(&"external".into(), "out2", 0, &probe).unwrap();
+        let after = restored.check_one(&CheckRequest::paragraph("external", "out2", 0, &probe)).unwrap();
         prop_assert_eq!(before.action, after.action);
         prop_assert_eq!(before.violations.len(), after.violations.len());
     }

@@ -41,6 +41,12 @@ impl From<String> for ServiceId {
     }
 }
 
+impl From<&ServiceId> for ServiceId {
+    fn from(s: &ServiceId) -> Self {
+        s.clone()
+    }
+}
+
 /// A cloud service with its two administrator-assigned labels (§3.1):
 ///
 /// - the **privilege label** `Lp`: the highest level of confidential data

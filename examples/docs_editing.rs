@@ -8,7 +8,7 @@
 //! ```
 
 use browserflow::plugin::Plugin;
-use browserflow::{BrowserFlow, EnforcementMode};
+use browserflow::{AsyncDecider, BrowserFlow, DeciderError, EnforcementMode, TrySubmitError};
 use browserflow_browser::services::{static_site, DocsApp};
 use browserflow_browser::Browser;
 use browserflow_tdm::{Service, Tag, TagSet};
@@ -93,6 +93,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             warning.violations.len()
         );
     }
+    drop(state);
+
+    // §6.2: the per-keystroke path runs through the asynchronous pipeline.
+    // A keystroke storm on one paragraph coalesces — only the newest
+    // pending check runs; stale ones resolve as Superseded without
+    // touching the engine.
+    println!("\n-- async keystroke storm through the coalescing pipeline --");
+    let tw = Tag::new("wiki-data")?;
+    let flow = BrowserFlow::builder()
+        .mode(EnforcementMode::Block)
+        .service(
+            Service::new("wiki", "Internal Wiki")
+                .with_privilege(TagSet::from_iter([tw.clone()]))
+                .with_confidentiality(TagSet::from_iter([tw])),
+        )
+        .service(Service::new("gdocs", "Google Docs"))
+        .build()?;
+    flow.observe_paragraph(&"wiki".into(), "candidate-page", 0, secret)?;
+    let decider = AsyncDecider::spawn(flow);
+    let mut pending = Vec::new();
+    for end in (1..=secret.len()).filter(|&e| secret.is_char_boundary(e)) {
+        // One check per keystroke, exactly like the editor integration.
+        match decider.submit_keystroke("gdocs", "draft", 0, &secret[..end]) {
+            Ok(receipt) => pending.push(receipt),
+            // Backpressure: drop the check; a newer keystroke re-covers
+            // the same paragraph slot.
+            Err(TrySubmitError::QueueFull) => {}
+            Err(TrySubmitError::Closed) => break,
+        }
+    }
+    let (mut decided, mut superseded) = (0u32, 0u32);
+    let mut last_action = None;
+    for receipt in pending {
+        match receipt.wait() {
+            Ok(timed) => {
+                decided += 1;
+                last_action = Some(timed.decision.action);
+            }
+            Err(DeciderError::Superseded) => superseded += 1,
+            Err(e) => println!("pipeline error: {e}"),
+        }
+    }
+    let stats = decider.stats();
+    println!(
+        "keystrokes accepted: {}, decided: {decided}, coalesced away: {superseded}",
+        stats.submitted
+    );
+    println!("final decision for the fully-typed paragraph: {last_action:?}");
+    println!(
+        "pipeline stats: coalesced={} rejected={} mean_batch={:.2} queue_depth={}",
+        stats.coalesced,
+        stats.rejected,
+        stats.mean_batch(),
+        stats.queue_depth
+    );
+    decider.shutdown()?;
     Ok(())
 }
 

@@ -8,7 +8,7 @@
 //! cargo run -p browserflow-examples --bin interview_workflow
 //! ```
 
-use browserflow::{BrowserFlow, DocKey, EnforcementMode, SegmentKey, UploadAction};
+use browserflow::{BrowserFlow, CheckRequest, DocKey, EnforcementMode, SegmentKey, UploadAction};
 use browserflow_tdm::{Service, Tag, TagSet, UserId};
 
 fn banner(title: &str) {
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap()
     );
 
-    let to_gdocs = flow.check_upload(&"gdocs".into(), "notes", 0, evaluation)?;
+    let to_gdocs = flow.check_one(&CheckRequest::paragraph("gdocs", "notes", 0, evaluation))?;
     println!("copy evaluation -> Google Docs: {:?}", to_gdocs.action);
     assert_eq!(to_gdocs.action, UploadAction::Block);
 
@@ -57,7 +57,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                       question, calibrate scores against the rubric, and write the \
                       feedback within twenty-four hours of the interview.";
     flow.observe_paragraph(&"wiki".into(), "guidelines", 0, guidelines)?;
-    let blocked = flow.check_upload(&"gdocs".into(), "shared-doc", 0, guidelines)?;
+    let blocked = flow.check_one(&CheckRequest::paragraph(
+        "gdocs",
+        "shared-doc",
+        0,
+        guidelines,
+    ))?;
     println!("copy guidelines -> Google Docs: {:?}", blocked.action);
 
     let key = SegmentKey::paragraph(DocKey::new("wiki", "guidelines"), 0);
@@ -67,7 +72,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &alice,
         "sanitised guidelines approved for candidates",
     )?;
-    let allowed = flow.check_upload(&"gdocs".into(), "shared-doc", 0, guidelines)?;
+    let allowed = flow.check_one(&CheckRequest::paragraph(
+        "gdocs",
+        "shared-doc",
+        0,
+        guidelines,
+    ))?;
     println!("after alice suppresses {tw}: {:?}", allowed.action);
     assert_eq!(allowed.action, UploadAction::Allow);
     for record in flow.policy().audit_log().iter() {
@@ -86,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                  with directors only after the all-hands announcement.";
     flow.observe_paragraph(&"wiki".into(), "reorg", 0, reorg)?;
     // Without a custom tag, the Interview Tool may receive wiki data.
-    let before = flow.check_upload(&"itool".into(), "scratch", 0, reorg)?;
+    let before = flow.check_one(&CheckRequest::paragraph("itool", "scratch", 0, reorg))?;
     println!(
         "copy reorg plan -> Interview Tool (before tn): {:?}",
         before.action
@@ -98,13 +108,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tn.clone(),
         &alice,
     )?;
-    let after = flow.check_upload(&"itool".into(), "scratch", 1, reorg)?;
+    let after = flow.check_one(&CheckRequest::paragraph("itool", "scratch", 1, reorg))?;
     println!(
         "copy reorg plan -> Interview Tool (after tn):  {:?}",
         after.action
     );
     assert_eq!(after.action, UploadAction::Block);
-    let wiki_again = flow.check_upload(&"wiki".into(), "reorg-copy", 0, reorg)?;
+    let wiki_again = flow.check_one(&CheckRequest::paragraph("wiki", "reorg-copy", 0, reorg))?;
     println!(
         "copy reorg plan -> Wiki (Lp auto-updated):     {:?}",
         wiki_again.action
@@ -126,7 +136,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("B after rewrite; label = {}", status.label);
 
     // Copying B to Google Docs now only violates tw — ti has aged out.
-    let decision = flow.check_upload(&"gdocs".into(), "draft2", 0, own_wiki_text)?;
+    let decision = flow.check_one(&CheckRequest::paragraph(
+        "gdocs",
+        "draft2",
+        0,
+        own_wiki_text,
+    ))?;
     println!("copy rewritten B -> Google Docs: {:?}", decision.action);
     for violation in &decision.violations {
         println!(

@@ -11,7 +11,7 @@
 //! cargo run -p browserflow-examples --bin persistence
 //! ```
 
-use browserflow::{BrowserFlow, EnforcementMode, UploadAction};
+use browserflow::{BrowserFlow, CheckRequest, EnforcementMode, UploadAction};
 use browserflow_store::{SealedBytes, StoreKey};
 use browserflow_tdm::{Service, Tag, TagSet};
 
@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flow.register_short_secret(&"hr".into(), "payroll-api-key", "Pk#77!x2")?;
         println!("session 1: indexed {indexed} paragraphs + 1 short secret");
 
-        let decision = flow.check_upload(&"gdocs".into(), "draft", 0, handbook)?;
+        let decision = flow.check_one(&CheckRequest::paragraph("gdocs", "draft", 0, handbook))?;
         println!(
             "session 1: pasting the handbook into Google Docs -> {:?}",
             decision.action
@@ -71,7 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // The restored instance blocks the same leak...
         let severance = handbook.split("\n\n").nth(1).unwrap();
-        let decision = flow.check_upload(&"gdocs".into(), "new-draft", 0, severance)?;
+        let decision =
+            flow.check_one(&CheckRequest::paragraph("gdocs", "new-draft", 0, severance))?;
         println!(
             "session 2: pasting the severance paragraph -> {:?}",
             decision.action
@@ -79,8 +80,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(decision.action, UploadAction::Block);
 
         // ...including the short secret.
-        let decision =
-            flow.check_upload(&"gdocs".into(), "new-draft", 1, "token pk 77 x2 works")?;
+        let decision = flow.check_one(&CheckRequest::paragraph(
+            "gdocs",
+            "new-draft",
+            1,
+            "token pk 77 x2 works",
+        ))?;
         println!(
             "session 2: leaking the payroll key -> {:?}",
             decision.action

@@ -5,7 +5,7 @@
 //! cargo run -p browserflow-examples --bin quickstart
 //! ```
 
-use browserflow::{BrowserFlow, EnforcementMode, UploadAction};
+use browserflow::{BrowserFlow, CheckRequest, EnforcementMode, UploadAction};
 use browserflow_fingerprint::Fingerprinter;
 use browserflow_tdm::{Service, Tag, TagSet};
 
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     flow.observe_paragraph(&"intranet".into(), "m-and-a", 0, memo)?;
 
     // Pasting the (edited!) memo into Google Docs is caught and blocked.
-    let decision = flow.check_upload(&"gdocs".into(), "draft", 0, &leaked)?;
+    let decision = flow.check_one(&CheckRequest::paragraph("gdocs", "draft", 0, &leaked))?;
     println!(
         "\npaste edited memo into Google Docs -> {:?}",
         decision.action
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(decision.action, UploadAction::Block);
 
     // Unrelated text flows freely.
-    let decision = flow.check_upload(&"gdocs".into(), "draft", 1, unrelated)?;
+    let decision = flow.check_one(&CheckRequest::paragraph("gdocs", "draft", 1, unrelated))?;
     println!(
         "paste unrelated text into Google Docs -> {:?}",
         decision.action

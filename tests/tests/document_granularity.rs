@@ -4,7 +4,7 @@
 //! paragraph would disclose the document."
 
 use browserflow::plugin::Plugin;
-use browserflow::{BrowserFlow, DocKey, EnforcementMode, UploadAction};
+use browserflow::{BrowserFlow, CheckRequest, DocKey, EnforcementMode, UploadAction};
 use browserflow_browser::services::DocsApp;
 use browserflow_browser::Browser;
 use browserflow_corpus::TextGen;
@@ -61,7 +61,9 @@ fn one_sentence_per_paragraph_evades_tpar_but_trips_tdoc() {
 
     // Paragraph granularity: each source paragraph is disclosed well below
     // Tpar = 0.5, so the per-paragraph check stays silent.
-    let decision = flow.check_upload(&gdocs, "draft", 0, &leak).unwrap();
+    let decision = flow
+        .check_one(&CheckRequest::paragraph(&gdocs, "draft", 0, &leak))
+        .unwrap();
     assert_eq!(
         decision.action,
         UploadAction::Allow,
@@ -89,7 +91,7 @@ fn full_copy_trips_both_granularities() {
     let gdocs: ServiceId = "gdocs".into();
     let copied = paragraphs[2].clone();
     assert_eq!(
-        flow.check_upload(&gdocs, "draft", 0, &copied)
+        flow.check_one(&CheckRequest::paragraph(&gdocs, "draft", 0, &copied))
             .unwrap()
             .action,
         UploadAction::Block
@@ -171,7 +173,9 @@ fn violations_carry_matching_spans() {
         "totally new framing text before the leak {} and after",
         paragraphs[0]
     );
-    let decision = flow.check_upload(&gdocs, "draft", 0, &framed).unwrap();
+    let decision = flow
+        .check_one(&CheckRequest::paragraph(&gdocs, "draft", 0, &framed))
+        .unwrap();
     assert_eq!(decision.action, UploadAction::Block);
     let spans = &decision.violations[0].matching_spans;
     assert!(!spans.is_empty());

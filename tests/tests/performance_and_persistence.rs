@@ -2,7 +2,9 @@
 //! decisions, decision caching — and the fingerprint-at-rest protections
 //! of §4.4 (encryption, eviction).
 
-use browserflow::{AsyncDecider, BrowserFlow, EnforcementMode, EngineConfig, UploadAction};
+use browserflow::{
+    AsyncDecider, BrowserFlow, CheckRequest, EnforcementMode, EngineConfig, UploadAction,
+};
 use browserflow_corpus::TextGen;
 use browserflow_store::{EncryptionError, StoreKey};
 use browserflow_tdm::{Service, ServiceId, Tag, TagSet};
@@ -43,8 +45,7 @@ fn async_decisions_complete_quickly_against_a_loaded_store() {
     let mut gen = TextGen::new(88);
     for i in 0..50 {
         let text = gen.paragraph(6);
-        let timed = decider.check(&gdocs, "draft", i, &text);
-        assert!(timed.decision.is_ok());
+        let timed = decider.check(&gdocs, "draft", i, text.as_str()).unwrap();
         // Very generous bound — the paper's is 200 ms on 2014 hardware in
         // a browser; a debug-build Rust check on 500 paragraphs must be
         // well under a second.
@@ -54,7 +55,7 @@ fn async_decisions_complete_quickly_against_a_loaded_store() {
             timed.latency
         );
     }
-    decider.shutdown();
+    decider.shutdown().unwrap();
 }
 
 #[test]
@@ -63,10 +64,12 @@ fn cache_serves_repeated_checks_and_counts_hits() {
     let gdocs: ServiceId = "gdocs".into();
     let mut gen = TextGen::new(99);
     let text = gen.paragraph(7);
-    flow.check_upload(&gdocs, "draft", 0, &text).unwrap();
+    flow.check_one(&CheckRequest::paragraph(&gdocs, "draft", 0, &text))
+        .unwrap();
     let (hits_before, misses_before) = flow.engine().cache_stats();
     for _ in 0..10 {
-        flow.check_upload(&gdocs, "draft", 0, &text).unwrap();
+        flow.check_one(&CheckRequest::paragraph(&gdocs, "draft", 0, &text))
+            .unwrap();
     }
     let (hits_after, misses_after) = flow.engine().cache_stats();
     assert_eq!(hits_after - hits_before, 10);
@@ -86,8 +89,12 @@ fn cache_and_nocache_agree_on_decisions() {
         .iter()
         .enumerate()
     {
-        let a = cached.check_upload(&gdocs, "draft", i, text).unwrap();
-        let b = uncached.check_upload(&gdocs, "draft", i, text).unwrap();
+        let a = cached
+            .check_one(&CheckRequest::paragraph(&gdocs, "draft", i, text))
+            .unwrap();
+        let b = uncached
+            .check_one(&CheckRequest::paragraph(&gdocs, "draft", i, text))
+            .unwrap();
         assert_eq!(a.action, b.action, "probe {i}");
         assert_eq!(a.violations.len(), b.violations.len(), "probe {i}");
     }
@@ -106,7 +113,8 @@ fn keystroke_cadence_mostly_hits_the_cache() {
     let mut typed = String::new();
     for &c in &chars {
         typed.push(c);
-        flow.check_upload(&gdocs, "draft", 0, &typed).unwrap();
+        flow.check_one(&CheckRequest::paragraph(&gdocs, "draft", 0, &typed))
+            .unwrap();
     }
     let (hits, misses) = flow.engine().cache_stats();
     let hit_rate = hits as f64 / (hits + misses) as f64;
@@ -128,7 +136,9 @@ fn upload_action_depends_only_on_mode_for_same_state() {
         let gdocs: ServiceId = "gdocs".into();
         let mut gen = TextGen::new(77);
         let known = gen.paragraph(7); // the first indexed paragraph
-        let decision = flow.check_upload(&gdocs, "draft", 0, &known).unwrap();
+        let decision = flow
+            .check_one(&CheckRequest::paragraph(&gdocs, "draft", 0, &known))
+            .unwrap();
         assert_eq!(decision.action, expected, "{mode:?}");
     }
 }
@@ -157,7 +167,7 @@ fn eviction_forgets_old_fingerprints() {
     let mut gen = TextGen::new(77);
     let known = gen.paragraph(7);
     assert_eq!(
-        flow.check_upload(&gdocs, "draft", 0, &known)
+        flow.check_one(&CheckRequest::paragraph(&gdocs, "draft", 0, &known))
             .unwrap()
             .action,
         UploadAction::Warn
@@ -167,6 +177,8 @@ fn eviction_forgets_old_fingerprints() {
     assert!(now > 0);
     let evicted = flow.engine().evict_paragraphs_older_than_now();
     assert!(evicted > 0);
-    let decision = flow.check_upload(&gdocs, "draft2", 0, &known).unwrap();
+    let decision = flow
+        .check_one(&CheckRequest::paragraph(&gdocs, "draft2", 0, &known))
+        .unwrap();
     assert_eq!(decision.action, UploadAction::Allow);
 }

@@ -3,7 +3,7 @@
 //! the exact-match DLP baseline.
 
 use browserflow::baseline::ExactMatchDlp;
-use browserflow::{BrowserFlow, EnforcementMode, UploadAction};
+use browserflow::{BrowserFlow, CheckRequest, EnforcementMode, UploadAction};
 use browserflow_corpus::TextGen;
 use browserflow_tdm::{Service, ServiceId, Tag, TagSet};
 
@@ -32,9 +32,14 @@ fn check(flow: &mut BrowserFlow, text: &str) -> UploadAction {
     static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
     let external: ServiceId = "external".into();
-    flow.check_upload(&external, &format!("probe-{n}"), 0, text)
-        .unwrap()
-        .action
+    flow.check_one(&CheckRequest::paragraph(
+        &external,
+        format!("probe-{n}"),
+        0,
+        text,
+    ))
+    .unwrap()
+    .action
 }
 
 #[test]
@@ -197,7 +202,7 @@ fn figure7_overlap_reports_only_the_authoritative_source() {
         .unwrap();
 
     let decision = flow
-        .check_upload(&"external".into(), "out", 0, &a_text)
+        .check_one(&CheckRequest::paragraph("external", "out", 0, &a_text))
         .unwrap();
     assert_eq!(decision.action, UploadAction::Block);
     assert_eq!(decision.violations.len(), 1, "{:?}", decision.violations);

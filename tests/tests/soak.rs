@@ -205,8 +205,10 @@ fn async_decider_is_safe_under_concurrent_load() {
                 } else {
                     gen.paragraph(4)
                 };
-                let timed = decider.check(&external, &format!("doc-{worker}"), round, &text);
-                let decision = timed.decision.expect("service registered");
+                let timed = decider
+                    .check(&external, format!("doc-{worker}"), round, text.as_str())
+                    .expect("pipeline alive");
+                let decision = timed.decision;
                 if leak {
                     assert_eq!(decision.action, UploadAction::Block);
                 } else {

@@ -2,7 +2,9 @@
 //! destination service) pair under every enforcement mode, plus the
 //! custom-tag and suppression lifecycles driven through the middleware.
 
-use browserflow::{BrowserFlow, DocKey, EnforcementMode, EngineConfig, SegmentKey, UploadAction};
+use browserflow::{
+    BrowserFlow, CheckRequest, DocKey, EnforcementMode, EngineConfig, SegmentKey, UploadAction,
+};
 use browserflow_corpus::TextGen;
 use browserflow_fingerprint::FingerprintConfig;
 use browserflow_tdm::{Service, ServiceId, Tag, TagSet, UserId};
@@ -55,7 +57,7 @@ fn full_source_destination_matrix() {
             let source_id: ServiceId = source.into();
             flow.observe_paragraph(&source_id, "doc", 0, &text).unwrap();
             let decision = flow
-                .check_upload(&destination.into(), "target", 0, &text)
+                .check_one(&CheckRequest::paragraph(destination, "target", 0, &text))
                 .unwrap();
             let expected = if source == destination || source == "gdocs" {
                 UploadAction::Allow
@@ -80,11 +82,13 @@ fn enforcement_modes_map_uniformly_across_the_matrix() {
         let text = paragraph(7);
         flow.observe_paragraph(&"itool".into(), "doc", 0, &text)
             .unwrap();
-        let violating = flow.check_upload(&"wiki".into(), "t", 0, &text).unwrap();
+        let violating = flow
+            .check_one(&CheckRequest::paragraph("wiki", "t", 0, &text))
+            .unwrap();
         assert_eq!(violating.action, expected, "{mode:?}");
         assert!(!violating.violations.is_empty());
         let clean = flow
-            .check_upload(&"wiki".into(), "t", 1, &paragraph(8))
+            .check_one(&CheckRequest::paragraph("wiki", "t", 1, paragraph(8)))
             .unwrap();
         assert_eq!(clean.action, UploadAction::Allow);
         assert!(clean.violations.is_empty());
@@ -111,7 +115,7 @@ fn partial_suppression_of_multi_tag_labels() {
     // Uploading the combined text to gdocs violates both tags (two
     // sources: the itool original and the wiki paragraph).
     let decision = flow
-        .check_upload(&"gdocs".into(), "c", 0, &combined)
+        .check_one(&CheckRequest::paragraph("gdocs", "c", 0, &combined))
         .unwrap();
     let mut missing = TagSet::new();
     for violation in &decision.violations {
@@ -128,7 +132,7 @@ fn partial_suppression_of_multi_tag_labels() {
     flow.suppress_tag(&itool_key, &tag("ti"), &UserId::new("alice"), "ok")
         .unwrap();
     let decision = flow
-        .check_upload(&"gdocs".into(), "c2", 0, &combined)
+        .check_one(&CheckRequest::paragraph("gdocs", "c2", 0, &combined))
         .unwrap();
     let mut missing = TagSet::new();
     for violation in &decision.violations {
@@ -142,7 +146,7 @@ fn partial_suppression_of_multi_tag_labels() {
     flow.suppress_tag(&wiki_key, &tag("ti"), &UserId::new("alice"), "ok")
         .unwrap();
     let decision = flow
-        .check_upload(&"gdocs".into(), "c3", 0, &combined)
+        .check_one(&CheckRequest::paragraph("gdocs", "c3", 0, &combined))
         .unwrap();
     assert_eq!(decision.action, UploadAction::Block);
     let mut missing = TagSet::new();
@@ -169,7 +173,7 @@ fn custom_tag_lifecycle() {
     flow.observe_paragraph(&"itool".into(), "plan", 0, &text)
         .unwrap();
     assert_eq!(
-        flow.check_upload(&"wiki".into(), "t", 0, &text)
+        flow.check_one(&CheckRequest::paragraph("wiki", "t", 0, &text))
             .unwrap()
             .action,
         UploadAction::Allow
@@ -181,7 +185,7 @@ fn custom_tag_lifecycle() {
         .unwrap();
     // The wiki lacks plan-x -> now blocked.
     assert_eq!(
-        flow.check_upload(&"wiki".into(), "t2", 0, &text)
+        flow.check_one(&CheckRequest::paragraph("wiki", "t2", 0, &text))
             .unwrap()
             .action,
         UploadAction::Block
@@ -191,7 +195,7 @@ fn custom_tag_lifecycle() {
         .grant_custom_privilege(&"wiki".into(), &tag("plan-x"), &owner)
         .unwrap();
     assert_eq!(
-        flow.check_upload(&"wiki".into(), "t3", 0, &text)
+        flow.check_one(&CheckRequest::paragraph("wiki", "t3", 0, &text))
             .unwrap()
             .action,
         UploadAction::Allow
@@ -207,7 +211,7 @@ fn custom_tag_lifecycle() {
         .revoke_custom_privilege(&"wiki".into(), &tag("plan-x"), &owner)
         .unwrap());
     assert_eq!(
-        flow.check_upload(&"wiki".into(), "t4", 0, &text)
+        flow.check_one(&CheckRequest::paragraph("wiki", "t4", 0, &text))
             .unwrap()
             .action,
         UploadAction::Block
@@ -221,9 +225,12 @@ fn warning_trail_is_queryable_by_destination() {
     let text = paragraph(41);
     flow.observe_paragraph(&"itool".into(), "doc", 0, &text)
         .unwrap();
-    flow.check_upload(&"wiki".into(), "w", 0, &text).unwrap();
-    flow.check_upload(&"gdocs".into(), "g", 0, &text).unwrap();
-    flow.check_upload(&"gdocs".into(), "g", 1, &text).unwrap();
+    flow.check_one(&CheckRequest::paragraph("wiki", "w", 0, &text))
+        .unwrap();
+    flow.check_one(&CheckRequest::paragraph("gdocs", "g", 0, &text))
+        .unwrap();
+    flow.check_one(&CheckRequest::paragraph("gdocs", "g", 1, &text))
+        .unwrap();
     assert_eq!(flow.warnings().len(), 3);
     assert_eq!(flow.warnings_for(&"gdocs".into()).len(), 2);
     assert_eq!(flow.warnings_for(&"wiki".into()).len(), 1);
@@ -249,13 +256,13 @@ fn admin_relabelling_applies_to_new_observations() {
         .unwrap();
     // Old text keeps its label; new text is public.
     assert_eq!(
-        flow.check_upload(&"gdocs".into(), "t", 0, &text)
+        flow.check_one(&CheckRequest::paragraph("gdocs", "t", 0, &text))
             .unwrap()
             .action,
         UploadAction::Block
     );
     assert_eq!(
-        flow.check_upload(&"gdocs".into(), "t", 1, &fresh)
+        flow.check_one(&CheckRequest::paragraph("gdocs", "t", 1, &fresh))
             .unwrap()
             .action,
         UploadAction::Allow

@@ -70,6 +70,76 @@ pub mod channel {
 
     impl std::error::Error for TryRecvError {}
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and currently at capacity.
+        Full(T),
+        /// The receiver has disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the value that failed to send.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether the failure was a full channel.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+
+        /// Whether the failure was a disconnected receiver.
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, TrySendError::Disconnected(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl<T: Send> std::error::Error for TrySendError<T> {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// No value arrived before the timeout elapsed.
+        Timeout,
+        /// All senders have disconnected and the channel is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => f.write_str("channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     enum SenderKind<T> {
         Unbounded(mpsc::Sender<T>),
         Bounded(mpsc::SyncSender<T>),
@@ -107,6 +177,21 @@ pub mod channel {
                 SenderKind::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
             }
         }
+
+        /// Sends `value` without blocking: fails with
+        /// [`TrySendError::Full`] when a bounded channel is at capacity
+        /// (unbounded channels are never full).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SenderKind::Unbounded(s) => {
+                    s.send(value).map_err(|e| TrySendError::Disconnected(e.0))
+                }
+                SenderKind::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
+        }
     }
 
     /// The receiving half of a channel.
@@ -122,6 +207,15 @@ pub mod channel {
         /// Blocks until a value arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks until a value arrives, the timeout elapses, or all
+        /// senders disconnect.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
 
         /// Receives without blocking.
@@ -235,6 +329,37 @@ mod tests {
         let (tx, rx) = super::channel::bounded(1);
         tx.send(42u8).unwrap();
         assert_eq!(rx.recv(), Ok(42));
+    }
+
+    #[test]
+    fn try_send_reports_full_then_recovers() {
+        use super::channel::TrySendError;
+        let (tx, rx) = super::channel::bounded(1);
+        tx.try_send(1u8).unwrap();
+        let err = tx.try_send(2u8).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3u8).unwrap();
+        drop(rx);
+        assert!(matches!(tx.try_send(4u8), Err(TrySendError::Disconnected(4))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        use super::channel::RecvTimeoutError;
+        let (tx, rx) = super::channel::bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(1)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
