@@ -12,7 +12,7 @@
 use browserflow::{AsyncDecider, BrowserFlow, CheckRequest, EnforcementMode};
 use browserflow_corpus::TextGen;
 use browserflow_fingerprint::Fingerprinter;
-use browserflow_store::{FingerprintStore, SegmentId};
+use browserflow_store::{FingerprintStore, SegmentId, Timestamp};
 use browserflow_tdm::Service;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashSet;
@@ -128,6 +128,7 @@ fn write_report(
     fanout_series: &[(usize, f64)],
     baseline_checks_per_sec: f64,
     async_roundtrip: (f64, f64),
+    store: &FingerprintStore,
 ) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -154,6 +155,31 @@ fn write_report(
             )
         })
         .collect();
+    // One sweep with a cutoff below every observation timestamp: the scan
+    // counters show the cost of an eviction pass without evicting data.
+    store.evict_older_than(Timestamp::ZERO);
+    let stats = store.stats();
+    let shard_list = |counts: &[u64]| {
+        counts
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let store_json = format!(
+        "{{\"shard_count\": {}, \"hash_lock_contention\": {}, \
+         \"segment_lock_contention\": {}, \"hash_shard_contention\": [{}], \
+         \"segment_shard_contention\": [{}], \"eviction_sweeps\": {}, \
+         \"eviction_segments_scanned\": {}, \"eviction_segments_evicted\": {}}}",
+        stats.shard_count,
+        stats.hash_lock_contention,
+        stats.segment_lock_contention,
+        shard_list(&stats.hash_shard_contention),
+        shard_list(&stats.segment_shard_contention),
+        stats.eviction_scans,
+        stats.eviction_scanned,
+        stats.eviction_evicted,
+    );
     let (seq_secs, batch_secs) = async_roundtrip;
     let async_json = format!(
         "{{\"paragraphs\": {BATCH_PARAGRAPHS}, \"sequential_ms\": {:.4}, \
@@ -171,7 +197,8 @@ fn write_report(
          round-trips) against one batched CheckRequest (1 round-trip)\",\n  \
          \"checker_thread_scaling\": [\n{}\n  ],\n  \
          \"algorithm1_fanout\": [\n{}\n  ],\n  \
-         \"async_batch_roundtrip\": {async_json}\n}}\n",
+         \"async_batch_roundtrip\": {async_json},\n  \
+         \"store_counters\": {store_json}\n}}\n",
         checker_json.join(",\n"),
         fanout_json.join(",\n")
     );
@@ -274,7 +301,7 @@ fn bench_concurrent_checkers(c: &mut Criterion) {
 
     let (_, base_secs) = checker_series[0];
     let baseline = CHECKS_PER_THREAD as f64 / base_secs;
-    write_report(&checker_series, &fanout_series, baseline, best);
+    write_report(&checker_series, &fanout_series, baseline, best, &store);
 }
 
 fn quick() -> Criterion {

@@ -1,0 +1,277 @@
+//! Regenerates **BENCH_fingerprint.json**: per-keystroke disclosure-check
+//! latency and heap-allocation counts for the full re-fingerprinting path
+//! ([`DisclosureEngine::check_paragraph`]) versus the incremental edit path
+//! ([`DisclosureEngine::apply_paragraph_edit`]), at paragraph sizes of
+//! 256 / 1 k / 4 k / 16 k characters.
+//!
+//! The binary installs a counting global allocator (the bench crate is the
+//! one workspace member without `#![forbid(unsafe_code)]`), so
+//! "allocations per check" is an exact count, not an estimate. The full
+//! path re-normalises, re-hashes and re-winnows the whole paragraph per
+//! keystroke; the incremental path splices the edit into engine-held
+//! session state and re-processes only the `w + n - 1` dirty window, so
+//! its cost is independent of paragraph length. The run asserts the
+//! incremental path is at least 5x faster at 4 k characters, making it a
+//! CI regression gate. Run with `--release`.
+
+use browserflow::{DisclosureEngine, DocKey, EngineConfig, TextEdit};
+use browserflow_bench::print_header;
+use browserflow_corpus::TextGen;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Paragraph lengths swept (characters).
+const SIZES: [usize; 4] = [256, 1024, 4096, 16384];
+/// Keystrokes measured per paragraph size.
+const KEYSTROKES: usize = 160;
+/// Library paragraphs indexed before measuring, so every check resolves
+/// candidates against a populated store.
+const LIBRARY_PARAGRAPHS: usize = 200;
+/// Measurement passes per path; the fastest is reported.
+const PASSES: usize = 3;
+
+/// Delegates to [`System`] and counts `alloc`/`realloc` calls.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method forwards to `System` with the caller's layout
+// untouched; the counter is a relaxed atomic add and never allocates.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// One measured series: mean latency and exact allocations per check.
+#[derive(Debug, Clone, Copy)]
+struct PathCost {
+    us_per_check: f64,
+    allocs_per_check: u64,
+}
+
+/// One row of the sweep.
+struct SizeResult {
+    paragraph_chars: usize,
+    full: PathCost,
+    incremental: PathCost,
+}
+
+impl SizeResult {
+    fn speedup(&self) -> f64 {
+        self.full.us_per_check / self.incremental.us_per_check
+    }
+}
+
+/// Deterministic text of exactly `len` characters.
+fn base_text(len: usize, gen: &mut TextGen) -> String {
+    let mut text = String::new();
+    while text.chars().count() < len {
+        text.push_str(&gen.sentence());
+        text.push(' ');
+    }
+    text.chars().take(len).collect()
+}
+
+/// An engine whose paragraph store holds the library corpus.
+fn library_engine() -> DisclosureEngine {
+    let engine = DisclosureEngine::new(EngineConfig::default());
+    let mut gen = TextGen::new(41);
+    let library = DocKey::new("library", "corpus");
+    for index in 0..LIBRARY_PARAGRAPHS {
+        engine.observe_paragraph(&library, index, &gen.paragraph(6), None);
+    }
+    engine
+}
+
+/// The keystrokes appended during measurement (deterministic, mostly
+/// letters so the normaliser keeps them).
+fn tail_chars() -> Vec<char> {
+    "the quick brown fox jumps over the lazy dog and keeps typing more prose "
+        .chars()
+        .cycle()
+        .take(KEYSTROKES)
+        .collect()
+}
+
+/// Types `tail` onto `base` re-checking the whole paragraph per keystroke.
+fn full_pass(engine: &DisclosureEngine, doc: &DocKey, base: &str, tail: &[char]) -> PathCost {
+    let mut text = String::with_capacity(base.len() + tail.len() * 4);
+    text.push_str(base);
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for &ch in tail {
+        text.push(ch);
+        std::hint::black_box(engine.check_paragraph(doc, 0, &text));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    PathCost {
+        us_per_check: elapsed * 1e6 / tail.len() as f64,
+        allocs_per_check: allocs / tail.len() as u64,
+    }
+}
+
+/// Types `tail` onto `base` through the keystroke session, one splice per
+/// keystroke. The edits are built outside the timed region — in the
+/// plug-in they arrive ready-made from the editor's mutation events.
+fn incremental_pass(
+    engine: &DisclosureEngine,
+    doc: &DocKey,
+    base: &str,
+    tail: &[char],
+) -> PathCost {
+    engine.reset_keystroke_session(doc, 0);
+    engine
+        .apply_paragraph_edit(doc, 0, &TextEdit::insert(0, base))
+        .expect("fresh session accepts the seed edit");
+    let mut at = base.len();
+    let edits: Vec<TextEdit> = tail
+        .iter()
+        .map(|&ch| {
+            let edit = TextEdit::insert(at, ch.to_string());
+            at += ch.len_utf8();
+            edit
+        })
+        .collect();
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for edit in &edits {
+        std::hint::black_box(
+            engine
+                .apply_paragraph_edit(doc, 0, edit)
+                .expect("sequential edits stay in sync"),
+        );
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    PathCost {
+        us_per_check: elapsed * 1e6 / edits.len() as f64,
+        allocs_per_check: allocs / edits.len() as u64,
+    }
+}
+
+fn best(costs: impl IntoIterator<Item = PathCost>) -> PathCost {
+    costs
+        .into_iter()
+        .min_by(|a, b| a.us_per_check.total_cmp(&b.us_per_check))
+        .expect("at least one pass")
+}
+
+fn measure(size: usize) -> SizeResult {
+    let engine = library_engine();
+    let mut gen = TextGen::new(size as u64 + 1);
+    let base = base_text(size, &mut gen);
+    let tail = tail_chars();
+
+    let full_doc = DocKey::new("gdocs", format!("full-{size}"));
+    full_pass(&engine, &full_doc, &base, &tail); // warm-up
+    let full = best((0..PASSES).map(|_| full_pass(&engine, &full_doc, &base, &tail)));
+
+    let inc_doc = DocKey::new("gdocs", format!("incremental-{size}"));
+    incremental_pass(&engine, &inc_doc, &base, &tail); // warm-up
+    let incremental = best((0..PASSES).map(|_| incremental_pass(&engine, &inc_doc, &base, &tail)));
+
+    SizeResult {
+        paragraph_chars: size,
+        full,
+        incremental,
+    }
+}
+
+fn write_report(results: &[SizeResult]) {
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"paragraph_chars\": {}, \"full_us_per_check\": {:.3}, \
+                 \"incremental_us_per_check\": {:.3}, \"speedup\": {:.2}, \
+                 \"full_allocs_per_check\": {}, \"incremental_allocs_per_check\": {}}}",
+                r.paragraph_chars,
+                r.full.us_per_check,
+                r.incremental.us_per_check,
+                r.speedup(),
+                r.full.allocs_per_check,
+                r.incremental.allocs_per_check
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fingerprint\",\n  \"keystrokes_per_size\": {KEYSTROKES},\n  \
+         \"library_paragraphs\": {LIBRARY_PARAGRAPHS},\n  \
+         \"note\": \"per-keystroke disclosure check; 'full' re-fingerprints the whole \
+         paragraph (DisclosureEngine::check_paragraph), 'incremental' splices one edit \
+         into the keystroke session and re-winnows only the dirty window \
+         (DisclosureEngine::apply_paragraph_edit); allocations counted by a global \
+         counting allocator, so they are exact\",\n  \
+         \"sizes\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fingerprint.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    print_header(
+        "Keystroke fingerprinting: full re-fingerprint vs incremental edit path",
+        &format!(
+            "{KEYSTROKES} keystrokes per size; best of {PASSES} passes; \
+             {LIBRARY_PARAGRAPHS} library paragraphs indexed"
+        ),
+    );
+    println!(
+        "{:>10} {:>14} {:>14} {:>9} {:>12} {:>12}",
+        "chars", "full µs/key", "incr µs/key", "speedup", "full allocs", "incr allocs"
+    );
+    let results: Vec<SizeResult> = SIZES.into_iter().map(measure).collect();
+    for r in &results {
+        println!(
+            "{:>10} {:>14.3} {:>14.3} {:>8.1}x {:>12} {:>12}",
+            r.paragraph_chars,
+            r.full.us_per_check,
+            r.incremental.us_per_check,
+            r.speedup(),
+            r.full.allocs_per_check,
+            r.incremental.allocs_per_check
+        );
+    }
+    println!();
+    println!(
+        "(the incremental path re-hashes only the w + n - 1 dirty window, so its \
+         latency is flat in paragraph length while the full path grows linearly)"
+    );
+    write_report(&results);
+
+    let at_4k = results
+        .iter()
+        .find(|r| r.paragraph_chars == 4096)
+        .expect("4096 is in the sweep");
+    assert!(
+        at_4k.speedup() >= 5.0,
+        "incremental keystroke checks must be >= 5x faster than full \
+         re-fingerprinting at 4 k chars, got {:.1}x",
+        at_4k.speedup()
+    );
+    println!(
+        "regression gate: incremental is {:.1}x faster at 4096 chars (floor: 5x) — ok",
+        at_4k.speedup()
+    );
+}

@@ -8,13 +8,18 @@
 //!   no text with the corpus.
 //! - **W3 modification**: a user edits a previously-modified version of an
 //!   e-book page to make it match the original.
+//! - **W1i creation-with-overlap, incremental**: W1 again, but each
+//!   keystroke is submitted as a [`TextEdit`] splice through the
+//!   incremental session path instead of re-sending the whole paragraph.
 //!
 //! Decisions run asynchronously on a worker thread (as in the plug-in);
 //! each sample is the end-to-end latency from keystroke to decision.
 //! Run with `--release`; set `BF_SCALE=paper` for the 90 MB / ~10 M hash
 //! corpus.
 
-use browserflow::{AsyncDecider, BrowserFlow, EnforcementMode, ResponseTimes};
+use browserflow::{
+    AsyncDecider, BrowserFlow, ConcurrencyMetrics, EnforcementMode, ResponseTimes, TextEdit,
+};
 use browserflow_bench::{print_header, Scale};
 use browserflow_corpus::datasets::EbooksDataset;
 use browserflow_corpus::TextGen;
@@ -68,6 +73,35 @@ fn type_and_measure(decider: &AsyncDecider, document: &str, text: &str, times: &
         decider
             .observe(&gdocs, document, 0, typed.as_str())
             .expect("gdocs registered");
+        i = end;
+    }
+}
+
+/// Like [`type_and_measure`], but each keystroke chunk travels as a
+/// [`TextEdit`] splice through the incremental keystroke session — the
+/// observation is implicit (the session *is* the tracked state).
+fn type_and_measure_incremental(
+    decider: &AsyncDecider,
+    document: &str,
+    text: &str,
+    times: &mut ResponseTimes,
+) {
+    let gdocs: ServiceId = "gdocs".into();
+    let chars: Vec<char> = text.chars().collect();
+    let step = (chars.len() / KEYSTROKES).max(1);
+    let mut at = 0usize;
+    let mut i = 0;
+    while i < chars.len() {
+        let end = (i + step).min(chars.len());
+        let chunk: String = chars[i..end].iter().collect();
+        let edit = TextEdit::insert(at, chunk.as_str());
+        at += chunk.len();
+        let timed = decider
+            .submit_keystroke_edit(&gdocs, document, 0, edit)
+            .expect("queue accepts sequential keystrokes")
+            .wait()
+            .expect("worker replies");
+        times.record(timed.latency);
         i = end;
     }
 }
@@ -162,21 +196,30 @@ fn main() {
         }
     }
 
+    // W1i: the same overlapping page, typed as incremental edit splices.
+    let mut w1i = ResponseTimes::new();
+    type_and_measure_incremental(&decider, "w1i-doc", &page, &mut w1i);
+
     println!();
     report("W1 creation-with-overlap", &w1);
     report("W2 creation-without-overlap", &w2);
     report("W3 modification", &w3);
+    report("W1i incremental edits", &w1i);
 
     println!();
     println!("response-time CDF (ms at cumulative fraction):");
-    println!("{:>10} {:>12} {:>12} {:>12}", "fraction", "W1", "W2", "W3");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "fraction", "W1", "W2", "W3", "W1i"
+    );
     for p in [0.1, 0.25, 0.5, 0.75, 0.85, 0.95, 0.99, 1.0] {
         println!(
-            "{:>10.2} {:>12.3?} {:>12.3?} {:>12.3?}",
+            "{:>10.2} {:>12.3?} {:>12.3?} {:>12.3?} {:>12.3?}",
             p,
             w1.percentile(p),
             w2.percentile(p),
-            w3.percentile(p)
+            w3.percentile(p),
+            w1i.percentile(p)
         );
     }
     println!();
@@ -199,5 +242,34 @@ fn main() {
         stats.max_batch,
         stats.queue_depth,
     );
-    drop(decider);
+
+    let flow = decider.shutdown().expect("pipeline shuts down cleanly");
+    let metrics = ConcurrencyMetrics::of(flow.engine()).with_pipeline(stats);
+    let mode = metrics.fingerprint_mode;
+    println!(
+        "fingerprint mode: full={} incremental={} absorbed={} (incremental fraction {})",
+        mode.full_checks,
+        mode.incremental_checks,
+        mode.incremental_absorbs,
+        mode.incremental_fraction()
+            .map(|f| format!("{:.1}%", f * 100.0))
+            .unwrap_or_else(|| "n/a".into()),
+    );
+    let (sweeps, scanned, evicted) = metrics.eviction_totals();
+    println!(
+        "store locks: contended acquisitions={} across {} hash shards \
+         (per-shard max {}); eviction sweeps={} scanned={} evicted={}",
+        metrics.total_lock_contention(),
+        metrics.paragraphs.shard_count,
+        metrics
+            .paragraphs
+            .hash_shard_contention
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(0),
+        sweeps,
+        scanned,
+        evicted,
+    );
 }

@@ -8,7 +8,7 @@
 //! e-books); `BF_SCALE=paper` reproduces that range, the default a scaled
 //! version. Run with `--release`.
 
-use browserflow::{AsyncDecider, BrowserFlow, EnforcementMode, ResponseTimes};
+use browserflow::{AsyncDecider, BrowserFlow, ConcurrencyMetrics, EnforcementMode, ResponseTimes};
 use browserflow_bench::{print_header, Scale};
 use browserflow_corpus::datasets::EbooksDataset;
 use browserflow_tdm::{Service, ServiceId, Tag, TagSet};
@@ -73,8 +73,15 @@ fn main() {
             times.record(timed.latency);
         }
         let stats = decider.stats();
+        let flow = decider.shutdown().expect("pipeline shuts down cleanly");
+        // Trim segments older than "now" so the sweep counters show the
+        // cost of an eviction pass at this database size.
+        flow.engine().evict_paragraphs_older_than_now();
+        let metrics = ConcurrencyMetrics::of(flow.engine());
+        let (sweeps, scanned, evicted) = metrics.eviction_totals();
         println!(
-            "{:>8} {:>14} {:>12.3?} {:>12.3?} {:>12.3?}  (pipeline: {}/{} ok)",
+            "{:>8} {:>14} {:>12.3?} {:>12.3?} {:>12.3?}  (pipeline {}/{} ok; \
+             contended locks {}; eviction sweeps {} scanned {} evicted {})",
             count,
             hash_count,
             times.percentile(0.50),
@@ -82,8 +89,11 @@ fn main() {
             times.max().unwrap_or_default(),
             stats.completed,
             stats.submitted,
+            metrics.total_lock_contention(),
+            sweeps,
+            scanned,
+            evicted,
         );
-        drop(decider);
     }
     println!();
     println!(

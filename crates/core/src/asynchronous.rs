@@ -37,6 +37,7 @@
 
 use crate::middleware::{BrowserFlow, MiddlewareError, UploadAction, UploadDecision};
 use crate::request::CheckRequest;
+use browserflow_fingerprint::TextEdit;
 use browserflow_tdm::ServiceId;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -215,6 +216,21 @@ struct CheckJob {
     reply: Sender<CheckReply>,
 }
 
+/// A keystroke travelling through the queue as an *edit* instead of the
+/// full paragraph text. Superseded edits are still absorbed into the
+/// middleware's keystroke session (state must see every edit, verdicts
+/// only the newest), so coalescing skips the disclosure evaluation — the
+/// expensive half — without desynchronising the session.
+struct EditJob {
+    service: ServiceId,
+    document: String,
+    index: usize,
+    edit: TextEdit,
+    coalesce: (CoalesceKey, u64),
+    submitted: Instant,
+    reply: Sender<CheckReply>,
+}
+
 enum Request {
     Observe {
         service: ServiceId,
@@ -224,6 +240,7 @@ enum Request {
         reply: Sender<Result<(), DeciderError>>,
     },
     Check(Box<CheckJob>),
+    EditCheck(Box<EditJob>),
 }
 
 #[derive(Debug, Default)]
@@ -522,6 +539,53 @@ impl AsyncDecider {
         Ok(PendingDecision::from(pending))
     }
 
+    /// Submits a coalescing keystroke *edit* for one
+    /// `(service, document, paragraph)` slot — the incremental counterpart
+    /// of [`AsyncDecider::submit_keystroke`].
+    ///
+    /// The edit crosses the queue instead of the whole paragraph text and
+    /// is applied to the middleware's keystroke session
+    /// ([`BrowserFlow::check_keystroke`]) on the worker. When several edits
+    /// for the same slot pile up, only the newest produces a decision;
+    /// older ones are *absorbed* — their splice still reaches the session,
+    /// they just skip the disclosure evaluation — and resolve as
+    /// [`DeciderError::Superseded`]. Never blocks: a full queue refuses
+    /// with [`TrySubmitError::QueueFull`]; a refused edit never touches
+    /// the session, so the caller can resubmit it unchanged.
+    pub fn submit_keystroke_edit(
+        &self,
+        service: impl Into<ServiceId>,
+        document: impl Into<String>,
+        index: usize,
+        edit: TextEdit,
+    ) -> Result<PendingDecision, TrySubmitError> {
+        let service = service.into();
+        let document = document.into();
+        let key: CoalesceKey = (service.clone(), document.clone(), index);
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let (reply, response) = bounded(1);
+        let job = Box::new(EditJob {
+            service,
+            document,
+            index,
+            edit,
+            coalesce: (key.clone(), seq),
+            submitted: Instant::now(),
+            reply,
+        });
+        let pending = PendingBatch {
+            response,
+            shared: Arc::clone(&self.shared),
+        };
+        // Same ordering discipline as `submit_keystroke`: hold the
+        // coalescing map across the enqueue.
+        let mut latest = self.shared.latest.lock();
+        self.try_enqueue(Request::EditCheck(job))?;
+        latest.insert(key, seq);
+        drop(latest);
+        Ok(PendingDecision::from(pending))
+    }
+
     /// Submits a disclosure check and blocks until the timed decision
     /// arrives (or [`DeciderConfig::check_timeout`] elapses).
     pub fn check(
@@ -670,6 +734,52 @@ fn run_worker(flow: BrowserFlow, inbox: Receiver<Request>, shared: Arc<Shared>) 
                 };
                 let _ = job.reply.send(reply);
             }
+            Request::EditCheck(job) => {
+                if closing {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(Err(DeciderError::Closed));
+                    continue;
+                }
+                let (key, seq) = &job.coalesce;
+                let superseded = {
+                    let mut latest = shared.latest.lock();
+                    match latest.get(key) {
+                        Some(&newest) if newest != *seq => true,
+                        _ => {
+                            latest.remove(key);
+                            false
+                        }
+                    }
+                };
+                if superseded {
+                    // The session must see every edit in order; only the
+                    // verdict is skipped. An absorb error (stale session)
+                    // resurfaces on the surviving newest edit.
+                    let _ =
+                        flow.absorb_keystroke(&job.service, &job.document, job.index, &job.edit);
+                    counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(Err(DeciderError::Superseded));
+                    continue;
+                }
+                counters.batches.fetch_add(1, Ordering::Relaxed);
+                counters.batch_paragraphs.fetch_add(1, Ordering::Relaxed);
+                counters.max_batch.fetch_max(1, Ordering::Relaxed);
+                let reply =
+                    match flow.check_keystroke(&job.service, &job.document, job.index, &job.edit) {
+                        Ok(decision) => {
+                            counters.completed.fetch_add(1, Ordering::Relaxed);
+                            Ok(TimedBatch {
+                                decisions: vec![decision],
+                                latency: job.submitted.elapsed(),
+                            })
+                        }
+                        Err(e) => {
+                            counters.failed.fetch_add(1, Ordering::Relaxed);
+                            Err(DeciderError::Middleware(e))
+                        }
+                    };
+                let _ = job.reply.send(reply);
+            }
         }
     }
     flow
@@ -792,6 +902,57 @@ mod tests {
         assert_eq!(stats.coalesced, 2);
         // The stall check and the surviving keystroke completed.
         assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn keystroke_edits_coalesce_but_are_all_absorbed() {
+        let decider = AsyncDecider::spawn(flow());
+        decider.observe("itool", "eval", 0, SECRET).unwrap();
+        // Stall the worker so the edits pile up behind it.
+        let slow = "x ".repeat(100_000);
+        let _stall = decider
+            .submit(CheckRequest::paragraph("gdocs", "stall", 0, slow))
+            .unwrap();
+        // The secret arrives as three consecutive splices; the first two
+        // are superseded but their content must still count.
+        let bytes: Vec<&str> = {
+            let third = SECRET.len() / 3;
+            let mut cuts = vec![third, 2 * third];
+            cuts.retain(|&c| SECRET.is_char_boundary(c));
+            vec![
+                &SECRET[..cuts[0]],
+                &SECRET[cuts[0]..cuts[1]],
+                &SECRET[cuts[1]..],
+            ]
+        };
+        let mut offset = 0;
+        let mut pending = Vec::new();
+        for piece in &bytes {
+            pending.push(
+                decider
+                    .submit_keystroke_edit("gdocs", "draft", 0, TextEdit::insert(offset, *piece))
+                    .unwrap(),
+            );
+            offset += piece.len();
+        }
+        let mut results: Vec<_> = pending.into_iter().map(|p| p.wait()).collect();
+        let last = results.pop().unwrap().unwrap();
+        // Older edits coalesced away...
+        for stale in results {
+            assert_eq!(stale.unwrap_err(), DeciderError::Superseded);
+        }
+        // ...yet the surviving decision sees the whole typed secret.
+        assert_eq!(last.decision.action, UploadAction::Block);
+        let stats = decider.stats();
+        assert_eq!(stats.coalesced, 2);
+        // Session state on the returned middleware holds the full text.
+        let flow = decider.shutdown().unwrap();
+        assert!(flow
+            .engine()
+            .with_keystroke_text(&crate::DocKey::new("gdocs", "draft"), 0, |t| t == SECRET)
+            .unwrap());
+        let (_, incremental, absorbs) = flow.engine().fingerprint_mode();
+        assert_eq!((incremental, absorbs), (1, 2));
     }
 
     #[test]

@@ -1,11 +1,17 @@
 //! The disclosure engine: fingerprinting + the two-granularity stores +
 //! decision caching, keyed by human-meaningful segment keys.
 
-use browserflow_fingerprint::{Fingerprint, FingerprintConfig, Fingerprinter};
-use browserflow_store::{DecisionCache, FingerprintDigest, FingerprintStore, SegmentId};
+use browserflow_fingerprint::{
+    Fingerprint, FingerprintConfig, Fingerprinter, IncrementalFingerprinter, TextEdit,
+};
+use browserflow_store::{
+    DecisionCache, FingerprintDigest, FingerprintStore, IncrementalChecker, SegmentId,
+};
 use browserflow_tdm::ServiceId;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Identifies a document within a service.
 #[derive(
@@ -82,6 +88,34 @@ impl std::fmt::Display for SegmentKey {
     }
 }
 
+/// An edit submitted through the incremental keystroke path does not apply
+/// to the engine's view of the paragraph being edited.
+///
+/// Keystroke sessions replay the editor's edits against engine-held state;
+/// an edit whose byte range is out of bounds or off a `char` boundary for
+/// that state means the two sides diverged (e.g. the editor was reloaded).
+/// The caller should reset the session
+/// ([`DisclosureEngine::reset_keystroke_session`]) and reseed it with the
+/// paragraph's full text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StaleEditError {
+    /// The paragraph whose session rejected the edit.
+    pub key: SegmentKey,
+}
+
+impl fmt::Display for StaleEditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "edit does not apply to the tracked text of {} (session out of sync)",
+            self.key
+        )
+    }
+}
+
+impl std::error::Error for StaleEditError {}
+
 /// A disclosure detected by the engine: a stored source segment whose
 /// disclosure requirement the checked text violates.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,7 +188,27 @@ pub struct DisclosureEngine {
     documents: FingerprintStore,
     registry: RwLock<SegmentRegistry>,
     cache: DecisionCache<Vec<DisclosureMatch>>,
+    /// Per-paragraph incremental state for the keystroke hot path.
+    keystrokes: Mutex<HashMap<SegmentId, KeystrokeState>>,
+    full_checks: AtomicU64,
+    incremental_checks: AtomicU64,
+    incremental_absorbs: AtomicU64,
 }
+
+/// One paragraph's keystroke session: the incrementally maintained
+/// fingerprint of the text under edit plus the incremental Algorithm 1
+/// state feeding on its deltas.
+#[derive(Debug)]
+struct KeystrokeState {
+    fingerprinter: IncrementalFingerprinter,
+    checker: IncrementalChecker,
+    edits_since_compact: u64,
+}
+
+/// Keystroke sessions drop zero-overlap candidates this often (§4.3's
+/// incremental mode accumulates candidates monotonically; compaction keeps
+/// long sessions from re-evaluating dead ones forever).
+const COMPACT_INTERVAL: u64 = 256;
 
 /// The key↔id registry, kept under one lock so both directions stay
 /// consistent when concurrent callers allocate ids.
@@ -175,6 +229,10 @@ impl DisclosureEngine {
             documents: FingerprintStore::new(),
             registry: RwLock::new(SegmentRegistry::default()),
             cache: DecisionCache::new(),
+            keystrokes: Mutex::new(HashMap::new()),
+            full_checks: AtomicU64::new(0),
+            incremental_checks: AtomicU64::new(0),
+            incremental_absorbs: AtomicU64::new(0),
         }
     }
 
@@ -278,6 +336,7 @@ impl DisclosureEngine {
 
     /// [`DisclosureEngine::check_paragraph`] once the id is resolved.
     fn check_paragraph_by_id(&self, id: SegmentId, text: &str) -> Vec<DisclosureMatch> {
+        self.full_checks.fetch_add(1, Ordering::Relaxed);
         let print = self.fingerprinter.fingerprint(text);
         let hashes = print.hash_set();
         if self.config.cache_decisions {
@@ -368,10 +427,159 @@ impl DisclosureEngine {
     pub fn check_document(&self, doc: &DocKey, text: &str) -> Vec<DisclosureMatch> {
         let key = SegmentKey::document(doc.clone());
         let id = self.segment_id(&key);
+        self.full_checks.fetch_add(1, Ordering::Relaxed);
         let print = self.fingerprinter.fingerprint(text);
         let hashes = print.hash_set();
         let reports = self.documents.disclosing_sources_of_hashes(id, &hashes);
         self.resolve_matches(reports, &print, &self.documents)
+    }
+
+    /// Applies one editor edit to the paragraph's keystroke session and
+    /// returns the sources the *edited* text now discloses — the
+    /// incremental counterpart of [`DisclosureEngine::check_paragraph`].
+    ///
+    /// A session starts from empty text the first time a paragraph is
+    /// edited, so the opening edit is typically `TextEdit::insert(0, ..)`
+    /// carrying the paragraph's current content; subsequent keystrokes
+    /// submit just their splice. Per keystroke this re-hashes and
+    /// re-winnows only the dirty window around the edit and feeds the
+    /// resulting `{added, removed}` hash delta into Algorithm 1's
+    /// incremental mode (§4.3), instead of re-fingerprinting the whole
+    /// paragraph. Results are identical to
+    /// [`DisclosureEngine::check_paragraph`] on the full text
+    /// (property-tested); only the counters under
+    /// [`DisclosureEngine::fingerprint_mode`] distinguish the two paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaleEditError`] (leaving the session untouched) when the
+    /// edit does not apply to the session's current text — the caller's
+    /// editor state and the engine diverged. Reset with
+    /// [`DisclosureEngine::reset_keystroke_session`] and reseed.
+    pub fn apply_paragraph_edit(
+        &self,
+        doc: &DocKey,
+        index: usize,
+        edit: &TextEdit,
+    ) -> Result<Vec<DisclosureMatch>, StaleEditError> {
+        let key = SegmentKey::paragraph(doc.clone(), index);
+        let id = self.segment_id(&key);
+        let mut sessions = self.keystrokes.lock();
+        let state = self.edit_session(&mut sessions, id, &key, edit)?;
+        self.incremental_checks.fetch_add(1, Ordering::Relaxed);
+        let delta = state.fingerprinter.apply_edit(edit);
+        let reports = state
+            .checker
+            .update(&self.paragraphs, &delta.added, &delta.removed);
+        state.edits_since_compact += 1;
+        if state.edits_since_compact >= COMPACT_INTERVAL {
+            state.checker.compact(&self.paragraphs);
+            state.edits_since_compact = 0;
+        }
+        if reports.is_empty() {
+            return Ok(Vec::new());
+        }
+        let print = state.fingerprinter.fingerprint();
+        drop(sessions);
+        Ok(self.resolve_matches(reports, &print, &self.paragraphs))
+    }
+
+    /// Applies an edit to the keystroke session *without* evaluating
+    /// disclosure — for edits whose verdict nobody will read (e.g. a
+    /// coalesced keystroke superseded by a newer one). The fingerprint
+    /// delta still reaches the incremental checker, so the session stays
+    /// exactly as if [`DisclosureEngine::apply_paragraph_edit`] had run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaleEditError`] under the same conditions as
+    /// [`DisclosureEngine::apply_paragraph_edit`].
+    pub fn absorb_paragraph_edit(
+        &self,
+        doc: &DocKey,
+        index: usize,
+        edit: &TextEdit,
+    ) -> Result<(), StaleEditError> {
+        let key = SegmentKey::paragraph(doc.clone(), index);
+        let id = self.segment_id(&key);
+        let mut sessions = self.keystrokes.lock();
+        let state = self.edit_session(&mut sessions, id, &key, edit)?;
+        self.incremental_absorbs.fetch_add(1, Ordering::Relaxed);
+        let delta = state.fingerprinter.apply_edit(edit);
+        state
+            .checker
+            .absorb(&self.paragraphs, &delta.added, &delta.removed);
+        state.edits_since_compact += 1;
+        if state.edits_since_compact >= COMPACT_INTERVAL {
+            state.checker.compact(&self.paragraphs);
+            state.edits_since_compact = 0;
+        }
+        Ok(())
+    }
+
+    /// Runs `f` on the keystroke session's current text for a paragraph,
+    /// or returns `None` if no session exists. Borrows the text in place —
+    /// no copy — which is what per-keystroke scans (e.g. short-secret
+    /// matching) want.
+    pub fn with_keystroke_text<R>(
+        &self,
+        doc: &DocKey,
+        index: usize,
+        f: impl FnOnce(&str) -> R,
+    ) -> Option<R> {
+        let key = SegmentKey::paragraph(doc.clone(), index);
+        let id = self.segment_id_readonly(&key)?;
+        let sessions = self.keystrokes.lock();
+        sessions.get(&id).map(|state| f(state.fingerprinter.text()))
+    }
+
+    /// Drops a paragraph's keystroke session (if any), e.g. after the
+    /// editor reloaded the document or a [`StaleEditError`]. The next edit
+    /// starts a fresh session from empty text. Returns whether a session
+    /// existed.
+    pub fn reset_keystroke_session(&self, doc: &DocKey, index: usize) -> bool {
+        let key = SegmentKey::paragraph(doc.clone(), index);
+        let Some(id) = self.segment_id_readonly(&key) else {
+            return false;
+        };
+        self.keystrokes.lock().remove(&id).is_some()
+    }
+
+    /// Number of live keystroke sessions.
+    pub fn keystroke_session_count(&self) -> usize {
+        self.keystrokes.lock().len()
+    }
+
+    /// Validates `edit` against the session for `id` (creating an empty
+    /// session on first use) and hands out the mutable state.
+    fn edit_session<'s>(
+        &self,
+        sessions: &'s mut HashMap<SegmentId, KeystrokeState>,
+        id: SegmentId,
+        key: &SegmentKey,
+        edit: &TextEdit,
+    ) -> Result<&'s mut KeystrokeState, StaleEditError> {
+        let state = sessions.entry(id).or_insert_with(|| KeystrokeState {
+            fingerprinter: IncrementalFingerprinter::new(self.config.fingerprint),
+            checker: IncrementalChecker::new(id),
+            edits_since_compact: 0,
+        });
+        if !edit.applies_to(state.fingerprinter.text()) {
+            return Err(StaleEditError { key: key.clone() });
+        }
+        Ok(state)
+    }
+
+    /// Counters of how checks reached the fingerprinting layer: full
+    /// recomputations vs incremental keystroke edits (checked or merely
+    /// absorbed). Returned as
+    /// `(full_checks, incremental_checks, incremental_absorbs)`.
+    pub fn fingerprint_mode(&self) -> (u64, u64, u64) {
+        (
+            self.full_checks.load(Ordering::Relaxed),
+            self.incremental_checks.load(Ordering::Relaxed),
+            self.incremental_absorbs.load(Ordering::Relaxed),
+        )
     }
 
     fn resolve_matches(
@@ -465,6 +673,10 @@ impl DisclosureEngine {
             documents,
             registry: RwLock::new(registry),
             cache: DecisionCache::new(),
+            keystrokes: Mutex::new(HashMap::new()),
+            full_checks: AtomicU64::new(0),
+            incremental_checks: AtomicU64::new(0),
+            incremental_absorbs: AtomicU64::new(0),
         }
     }
 
@@ -570,6 +782,89 @@ mod tests {
             "wiki/rubric#p3"
         );
         assert_eq!(SegmentKey::document(doc).to_string(), "wiki/rubric");
+    }
+
+    #[test]
+    fn keystroke_session_matches_full_checks() {
+        let engine = engine();
+        let wiki = DocKey::new("wiki", "rubric");
+        engine.observe_paragraph(&wiki, 0, SECRET, None);
+        let gdocs = DocKey::new("gdocs", "draft");
+
+        // Type the secret character by character through the edit path;
+        // every step must agree with the full-text check.
+        let mut typed = String::new();
+        for ch in SECRET.chars() {
+            let at = typed.len();
+            let incremental = engine
+                .apply_paragraph_edit(&gdocs, 0, &TextEdit::insert(at, ch.to_string()))
+                .unwrap();
+            typed.push(ch);
+            let full = engine.check_paragraph(&gdocs, 0, &typed);
+            assert_eq!(incremental, full, "divergence after {:?}", typed.len());
+        }
+        let (full, incremental, absorbs) = engine.fingerprint_mode();
+        assert_eq!(incremental, SECRET.chars().count() as u64);
+        assert_eq!(absorbs, 0);
+        assert!(full >= incremental); // one full check per comparison step
+        assert_eq!(engine.keystroke_session_count(), 1);
+    }
+
+    #[test]
+    fn keystroke_deletions_clear_matches() {
+        let engine = engine();
+        let wiki = DocKey::new("wiki", "rubric");
+        engine.observe_paragraph(&wiki, 0, SECRET, None);
+        let gdocs = DocKey::new("gdocs", "draft");
+        let matches = engine
+            .apply_paragraph_edit(&gdocs, 0, &TextEdit::insert(0, SECRET))
+            .unwrap();
+        assert_eq!(matches.len(), 1);
+        // Delete everything: no disclosure left.
+        let matches = engine
+            .apply_paragraph_edit(&gdocs, 0, &TextEdit::delete(0..SECRET.len()))
+            .unwrap();
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn absorbed_edits_keep_the_session_consistent() {
+        let engine = engine();
+        let wiki = DocKey::new("wiki", "rubric");
+        engine.observe_paragraph(&wiki, 0, SECRET, None);
+        let gdocs = DocKey::new("gdocs", "draft");
+        // Absorb the paste (superseded keystroke), then check a trailing
+        // edit: the verdict reflects the absorbed content too.
+        engine
+            .absorb_paragraph_edit(&gdocs, 0, &TextEdit::insert(0, SECRET))
+            .unwrap();
+        let matches = engine
+            .apply_paragraph_edit(&gdocs, 0, &TextEdit::insert(SECRET.len(), " x"))
+            .unwrap();
+        assert_eq!(matches.len(), 1);
+        let (_, incremental, absorbs) = engine.fingerprint_mode();
+        assert_eq!((incremental, absorbs), (1, 1));
+    }
+
+    #[test]
+    fn stale_edit_is_rejected_and_session_resettable() {
+        let engine = engine();
+        let gdocs = DocKey::new("gdocs", "draft");
+        // Out-of-bounds against the (empty) fresh session.
+        let err = engine
+            .apply_paragraph_edit(&gdocs, 0, &TextEdit::delete(0..4))
+            .unwrap_err();
+        assert_eq!(err.key, SegmentKey::paragraph(gdocs.clone(), 0));
+        // The session survives a stale edit untouched and can be reset.
+        engine
+            .apply_paragraph_edit(&gdocs, 0, &TextEdit::insert(0, "abc"))
+            .unwrap();
+        assert!(engine
+            .with_keystroke_text(&gdocs, 0, |text| text == "abc")
+            .unwrap());
+        assert!(engine.reset_keystroke_session(&gdocs, 0));
+        assert!(!engine.reset_keystroke_session(&gdocs, 0));
+        assert_eq!(engine.with_keystroke_text(&gdocs, 0, str::len), None);
     }
 
     #[test]

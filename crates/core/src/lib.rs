@@ -68,11 +68,16 @@ pub use asynchronous::{
 };
 pub use engine::{
     DisclosureEngine, DisclosureMatch, DocKey, EngineConfig, SegmentKey, SegmentScope,
+    StaleEditError,
 };
-pub use metrics::{ConcurrencyMetrics, ResponseTimes};
+pub use metrics::{ConcurrencyMetrics, FingerprintModeStats, ResponseTimes};
 pub use middleware::{
     BrowserFlow, BrowserFlowBuilder, BuildError, EnforcementMode, MiddlewareError, ParagraphStatus,
     UploadAction, UploadDecision, Violation, Warning,
 };
 pub use request::{CheckRequest, ParagraphRef};
 pub use state::StateError;
+
+// The keystroke hot path speaks in edits and deltas; re-export the types
+// so plug-in callers need not depend on the fingerprint crate directly.
+pub use browserflow_fingerprint::{FingerprintDelta, IncrementalFingerprinter, TextEdit};

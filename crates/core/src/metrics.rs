@@ -108,6 +108,36 @@ impl Extend<Duration> for ResponseTimes {
     }
 }
 
+/// Counters of how disclosure checks reached the fingerprinting layer.
+///
+/// `full` checks re-normalise, re-hash and re-winnow the whole text;
+/// `incremental` checks splice one edit into engine-held state
+/// ([`DisclosureEngine::apply_paragraph_edit`]) and re-process only the
+/// dirty window; `absorbed` edits updated that state without evaluating
+/// disclosure (superseded coalesced keystrokes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct FingerprintModeStats {
+    /// Checks that fingerprinted the whole text from scratch.
+    pub full_checks: u64,
+    /// Keystroke edits checked through the incremental path.
+    pub incremental_checks: u64,
+    /// Keystroke edits absorbed into session state without a verdict.
+    pub incremental_absorbs: u64,
+}
+
+impl FingerprintModeStats {
+    /// Fraction of fingerprinting work served incrementally (checked or
+    /// absorbed), or `None` when nothing ran yet.
+    pub fn incremental_fraction(&self) -> Option<f64> {
+        let incremental = self.incremental_checks + self.incremental_absorbs;
+        let total = self.full_checks + incremental;
+        if total == 0 {
+            return None;
+        }
+        Some(incremental as f64 / total as f64)
+    }
+}
+
 /// A point-in-time snapshot of an engine's concurrency behaviour: per-shard
 /// occupancy, lock contention and the parallel/sequential check split of
 /// both granularity stores.
@@ -129,6 +159,8 @@ pub struct ConcurrencyMetrics {
     pub paragraphs: StoreStats,
     /// Stats of the document-granularity store.
     pub documents: StoreStats,
+    /// How checks reached the fingerprinting layer (full vs incremental).
+    pub fingerprint_mode: FingerprintModeStats,
     /// Health of the asynchronous decision pipeline, when one is running
     /// (attach with [`ConcurrencyMetrics::with_pipeline`]).
     pub pipeline: Option<PipelineStats>,
@@ -137,9 +169,15 @@ pub struct ConcurrencyMetrics {
 impl ConcurrencyMetrics {
     /// Snapshots both stores of `engine`.
     pub fn of(engine: &DisclosureEngine) -> Self {
+        let (full_checks, incremental_checks, incremental_absorbs) = engine.fingerprint_mode();
         Self {
             paragraphs: engine.paragraph_store().stats(),
             documents: engine.document_store().stats(),
+            fingerprint_mode: FingerprintModeStats {
+                full_checks,
+                incremental_checks,
+                incremental_absorbs,
+            },
             pipeline: None,
         }
     }
@@ -163,6 +201,16 @@ impl ConcurrencyMetrics {
             + self.paragraphs.segment_lock_contention
             + self.documents.hash_lock_contention
             + self.documents.segment_lock_contention
+    }
+
+    /// Eviction sweep counters summed across both granularity stores:
+    /// `(sweeps, segments_inspected, segments_evicted)`.
+    pub fn eviction_totals(&self) -> (u64, u64, u64) {
+        (
+            self.paragraphs.eviction_scans + self.documents.eviction_scans,
+            self.paragraphs.eviction_scanned + self.documents.eviction_scanned,
+            self.paragraphs.eviction_evicted + self.documents.eviction_evicted,
+        )
     }
 
     /// Fraction of Algorithm 1 runs that took the parallel fan-out path,
@@ -232,6 +280,41 @@ mod tests {
     #[should_panic(expected = "no samples")]
     fn percentile_of_empty_panics() {
         ResponseTimes::new().percentile(0.5);
+    }
+
+    #[test]
+    fn fingerprint_mode_fraction() {
+        let none = FingerprintModeStats::default();
+        assert_eq!(none.incremental_fraction(), None);
+        let mixed = FingerprintModeStats {
+            full_checks: 1,
+            incremental_checks: 2,
+            incremental_absorbs: 1,
+        };
+        assert_eq!(mixed.incremental_fraction(), Some(0.75));
+    }
+
+    #[test]
+    fn metrics_surface_keystroke_and_eviction_counters() {
+        use crate::{DocKey, EngineConfig};
+        use browserflow_fingerprint::TextEdit;
+        let engine = DisclosureEngine::new(EngineConfig::default());
+        let doc = DocKey::new("gdocs", "draft");
+        engine
+            .apply_paragraph_edit(&doc, 0, &TextEdit::insert(0, "typed text"))
+            .unwrap();
+        engine.check_paragraph(&doc, 1, "full text check");
+        engine.evict_paragraphs_older_than_now();
+        let metrics = ConcurrencyMetrics::of(&engine);
+        assert_eq!(metrics.fingerprint_mode.incremental_checks, 1);
+        assert_eq!(metrics.fingerprint_mode.full_checks, 1);
+        assert_eq!(metrics.fingerprint_mode.incremental_fraction(), Some(0.5));
+        let (sweeps, _, _) = metrics.eviction_totals();
+        assert_eq!(sweeps, 1);
+        assert_eq!(
+            metrics.paragraphs.hash_shard_contention.len(),
+            metrics.paragraphs.shard_count
+        );
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //! compares that label with the destination service's privilege label and
 //! takes the appropriate action — permit, warn, block, or encrypt.
 
-use crate::engine::{DisclosureEngine, DisclosureMatch, DocKey, EngineConfig, SegmentKey};
+use crate::engine::{
+    DisclosureEngine, DisclosureMatch, DocKey, EngineConfig, SegmentKey, StaleEditError,
+};
 use crate::request::CheckRequest;
 use crate::short_secret::ShortSecret;
+use browserflow_fingerprint::TextEdit;
 use browserflow_store::{SegmentId, StoreKey};
 use browserflow_tdm::{Policy, PolicyError, SegmentLabel, Service, ServiceId, Tag, TagSet, UserId};
 use parking_lot::{Mutex, RwLock};
@@ -112,6 +115,9 @@ pub enum MiddlewareError {
         /// The key that failed to resolve.
         key: String,
     },
+    /// A keystroke edit does not apply to the engine's session state (the
+    /// editor and the middleware diverged); reset the session and reseed.
+    StaleEdit(StaleEditError),
 }
 
 impl fmt::Display for MiddlewareError {
@@ -121,6 +127,7 @@ impl fmt::Display for MiddlewareError {
             MiddlewareError::UnknownSegment { key } => {
                 write!(f, "segment {key} has never been observed")
             }
+            MiddlewareError::StaleEdit(e) => write!(f, "{e}"),
         }
     }
 }
@@ -130,7 +137,14 @@ impl std::error::Error for MiddlewareError {
         match self {
             MiddlewareError::Policy(e) => Some(e),
             MiddlewareError::UnknownSegment { .. } => None,
+            MiddlewareError::StaleEdit(e) => Some(e),
         }
+    }
+}
+
+impl From<StaleEditError> for MiddlewareError {
+    fn from(e: StaleEditError) -> Self {
+        MiddlewareError::StaleEdit(e)
     }
 }
 
@@ -494,6 +508,91 @@ impl BrowserFlow {
                 action: UploadAction::Allow,
                 violations: Vec::new(),
             }))
+    }
+
+    /// Keystroke-path enforcement: applies one editor edit to the
+    /// paragraph's incremental session and decides on the *edited* text.
+    ///
+    /// The first edit of a session typically inserts the paragraph's
+    /// current content at offset 0; each subsequent keystroke submits just
+    /// its splice. The engine re-fingerprints only the dirty window around
+    /// the edit (§4.3's incremental Algorithm 1), so the per-keystroke cost
+    /// is bounded by the edit size plus one winnowing window — not the
+    /// paragraph length. Decisions (including short-secret scanning and
+    /// the warning trail) are identical to
+    /// [`BrowserFlow::check_one`] on the full text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::Policy`] if `service` is not registered,
+    /// and [`MiddlewareError::StaleEdit`] if the edit does not apply to the
+    /// session (reset with [`BrowserFlow::reset_keystroke_session`] and
+    /// reseed with the full text).
+    pub fn check_keystroke(
+        &self,
+        service: &ServiceId,
+        document: &str,
+        index: usize,
+        edit: &TextEdit,
+    ) -> Result<UploadDecision, MiddlewareError> {
+        self.policy.service(service)?; // validate the destination exists
+        let doc = DocKey::new(service.clone(), document);
+        let matches = self.engine.apply_paragraph_edit(&doc, index, edit)?;
+        let mut decision = self.decide(service, &matches)?;
+        let secret_violations = self
+            .engine
+            .with_keystroke_text(&doc, index, |text| {
+                self.short_secret_violations(service, text)
+            })
+            .transpose()?
+            .unwrap_or_default();
+        if !secret_violations.is_empty() {
+            decision.violations.extend(secret_violations);
+            decision.action = self.violation_action();
+        }
+        if !decision.violations.is_empty() {
+            self.warnings.lock().push(Warning {
+                segment: SegmentKey::paragraph(doc, index),
+                destination: service.clone(),
+                violations: decision.violations.clone(),
+            });
+        }
+        Ok(decision)
+    }
+
+    /// Applies a keystroke edit to the session *without* producing a
+    /// decision — the bookkeeping half of [`BrowserFlow::check_keystroke`],
+    /// for edits whose verdict nobody will read (a coalesced keystroke
+    /// superseded by a newer one). The session state afterwards is exactly
+    /// as if the full check had run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BrowserFlow::check_keystroke`].
+    pub fn absorb_keystroke(
+        &self,
+        service: &ServiceId,
+        document: &str,
+        index: usize,
+        edit: &TextEdit,
+    ) -> Result<(), MiddlewareError> {
+        self.policy.service(service)?;
+        let doc = DocKey::new(service.clone(), document);
+        self.engine.absorb_paragraph_edit(&doc, index, edit)?;
+        Ok(())
+    }
+
+    /// Drops a paragraph's keystroke session (see
+    /// [`DisclosureEngine::reset_keystroke_session`]). Returns whether a
+    /// session existed.
+    pub fn reset_keystroke_session(
+        &self,
+        service: &ServiceId,
+        document: &str,
+        index: usize,
+    ) -> bool {
+        let doc = DocKey::new(service.clone(), document);
+        self.engine.reset_keystroke_session(&doc, index)
     }
 
     /// Single-paragraph enforcement.
@@ -1209,6 +1308,74 @@ second paragraph about travel reimbursements and the                            
         flow.register_short_secret(&"itool".into(), "noise", "!!!")
             .unwrap();
         assert_eq!(flow.short_secret_count(), 0);
+    }
+
+    #[test]
+    fn keystroke_checks_match_full_checks() {
+        let typed_flow = flow(EnforcementMode::Block);
+        let full_flow = flow(EnforcementMode::Block);
+        for f in [&typed_flow, &full_flow] {
+            f.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+                .unwrap();
+        }
+        let gdocs: ServiceId = "gdocs".into();
+        let mut typed = String::new();
+        for ch in SECRET.chars() {
+            let edit = TextEdit::insert(typed.len(), ch.to_string());
+            let incremental = typed_flow
+                .check_keystroke(&gdocs, "draft", 0, &edit)
+                .unwrap();
+            typed.push(ch);
+            let full = full_flow
+                .check_one(&CheckRequest::paragraph(
+                    "gdocs",
+                    "draft",
+                    0,
+                    typed.as_str(),
+                ))
+                .unwrap();
+            assert_eq!(incremental, full, "divergence at {} chars", typed.len());
+        }
+        // Both paths recorded the same number of warnings.
+        assert_eq!(typed_flow.warnings().len(), full_flow.warnings().len());
+        assert!(!typed_flow.warnings().is_empty());
+    }
+
+    #[test]
+    fn keystroke_path_catches_short_secrets() {
+        let mut flow = flow(EnforcementMode::Block);
+        flow.register_short_secret(&"itool".into(), "ats-api-key", "Kx9#q2!z")
+            .unwrap();
+        let gdocs: ServiceId = "gdocs".into();
+        // Type the secret into a fresh paragraph, one character at a time.
+        let mut text = String::new();
+        let mut blocked = false;
+        for ch in "token kx9 q2 z".chars() {
+            let edit = TextEdit::insert(text.len(), ch.to_string());
+            let decision = flow.check_keystroke(&gdocs, "draft", 0, &edit).unwrap();
+            text.push(ch);
+            blocked = decision.action == UploadAction::Block;
+        }
+        assert!(blocked, "secret embedded via keystrokes must be caught");
+    }
+
+    #[test]
+    fn stale_keystroke_edit_is_a_typed_error() {
+        let flow = flow(EnforcementMode::Block);
+        let gdocs: ServiceId = "gdocs".into();
+        let err = flow
+            .check_keystroke(&gdocs, "draft", 0, &TextEdit::delete(0..9))
+            .unwrap_err();
+        assert!(matches!(err, MiddlewareError::StaleEdit(_)));
+        // Absorb path reports the same error; reset clears the session.
+        flow.check_keystroke(&gdocs, "draft", 0, &TextEdit::insert(0, "abc"))
+            .unwrap();
+        assert!(matches!(
+            flow.absorb_keystroke(&gdocs, "draft", 0, &TextEdit::delete(0..9)),
+            Err(MiddlewareError::StaleEdit(_))
+        ));
+        assert!(flow.reset_keystroke_session(&gdocs, "draft", 0));
+        assert!(!flow.reset_keystroke_session(&gdocs, "draft", 0));
     }
 
     #[test]

@@ -68,6 +68,33 @@ impl SelectedHash {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Fingerprint {
     entries: Vec<SelectedHash>,
+    /// Sorted, deduplicated hash values of `entries`, computed once at
+    /// construction so the similarity measures below never allocate.
+    distinct: Vec<u32>,
+}
+
+fn sorted_distinct(entries: &[SelectedHash]) -> Vec<u32> {
+    let mut distinct: Vec<u32> = entries.iter().map(|e| e.hash).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    distinct
+}
+
+/// Size of the intersection of two sorted, deduplicated slices.
+fn sorted_intersection_len(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
 }
 
 impl Fingerprint {
@@ -78,7 +105,8 @@ impl Fingerprint {
 
     /// Creates a fingerprint from selected hashes (kept in given order).
     pub fn from_entries(entries: Vec<SelectedHash>) -> Self {
-        Self { entries }
+        let distinct = sorted_distinct(&entries);
+        Self { entries, distinct }
     }
 
     /// Number of selected hashes (with multiplicity).
@@ -100,20 +128,30 @@ impl Fingerprint {
     }
 
     /// The set of distinct hash values.
+    ///
+    /// Allocates a fresh `HashSet`; hot paths should prefer
+    /// [`Fingerprint::distinct_hashes`], which borrows the sorted distinct
+    /// values cached at construction.
     pub fn hash_set(&self) -> HashSet<u32> {
-        self.entries.iter().map(|e| e.hash).collect()
+        self.distinct.iter().copied().collect()
+    }
+
+    /// The distinct hash values, sorted ascending.
+    ///
+    /// Computed once when the fingerprint is built; every similarity
+    /// measure below runs off this slice without allocating.
+    pub fn distinct_hashes(&self) -> &[u32] {
+        &self.distinct
     }
 
     /// Number of distinct hash values.
     pub fn distinct_len(&self) -> usize {
-        self.hash_set().len()
+        self.distinct.len()
     }
 
     /// Size of the intersection of distinct hash values with `other`.
     pub fn intersection_size(&self, other: &Fingerprint) -> usize {
-        let mine = self.hash_set();
-        let theirs = other.hash_set();
-        mine.intersection(&theirs).count()
+        sorted_intersection_len(&self.distinct, &other.distinct)
     }
 
     /// Containment of `self` in `other`:
@@ -123,23 +161,20 @@ impl Fingerprint {
     /// `self`'s content is found in `other`. Returns 0.0 when `self` is
     /// empty.
     pub fn containment_in(&self, other: &Fingerprint) -> f64 {
-        let mine = self.hash_set();
-        if mine.is_empty() {
+        if self.distinct.is_empty() {
             return 0.0;
         }
-        let theirs = other.hash_set();
-        mine.intersection(&theirs).count() as f64 / mine.len() as f64
+        self.intersection_size(other) as f64 / self.distinct.len() as f64
     }
 
     /// Broder resemblance (Jaccard index) of the two hash sets.
     pub fn resemblance(&self, other: &Fingerprint) -> f64 {
-        let mine = self.hash_set();
-        let theirs = other.hash_set();
-        let union = mine.union(&theirs).count();
+        let intersection = self.intersection_size(other);
+        let union = self.distinct.len() + other.distinct.len() - intersection;
         if union == 0 {
             return 0.0;
         }
-        mine.intersection(&theirs).count() as f64 / union as f64
+        intersection as f64 / union as f64
     }
 
     /// Byte spans (in the original text of `self`'s segment) of the n-grams
@@ -148,10 +183,9 @@ impl Fingerprint {
     /// Used to highlight which passages of a paragraph disclose content
     /// from another segment.
     pub fn matching_spans(&self, other: &Fingerprint) -> Vec<Range<usize>> {
-        let theirs = other.hash_set();
         self.entries
             .iter()
-            .filter(|e| theirs.contains(&e.hash))
+            .filter(|e| other.distinct.binary_search(&e.hash).is_ok())
             .map(|e| e.span())
             .collect()
     }
@@ -168,9 +202,7 @@ impl<'a> IntoIterator for &'a Fingerprint {
 
 impl FromIterator<SelectedHash> for Fingerprint {
     fn from_iter<I: IntoIterator<Item = SelectedHash>>(iter: I) -> Self {
-        Self {
-            entries: iter.into_iter().collect(),
-        }
+        Self::from_entries(iter.into_iter().collect())
     }
 }
 
@@ -222,6 +254,16 @@ mod tests {
         let b = fp(&[20, 40]);
         let spans = a.matching_spans(&b);
         assert_eq!(spans, vec![1..2]);
+    }
+
+    #[test]
+    fn distinct_hashes_are_sorted_and_deduplicated() {
+        let a = fp(&[5, 1, 5, 3, 1]);
+        assert_eq!(a.distinct_hashes(), &[1, 3, 5]);
+        assert_eq!(a.distinct_len(), 3);
+        assert_eq!(a.hash_set(), [1, 3, 5].into_iter().collect());
+        assert_eq!(a.intersection_size(&fp(&[3, 5, 9])), 2);
+        assert!(fp(&[]).distinct_hashes().is_empty());
     }
 
     #[test]

@@ -1,0 +1,616 @@
+//! Edit-aware incremental fingerprinting (the keystroke hot path).
+//!
+//! Winnowing is *local* (§4.1): whether an n-gram hash is selected depends
+//! only on the hash values within `w - 1` positions of it, and each hash
+//! covers `n` normalised characters — so an edit can only change the
+//! fingerprint inside a bounded neighbourhood of the edited bytes.
+//! [`IncrementalFingerprinter::apply_edit`] exploits this: it splices the
+//! normalised state, re-hashes only the n-grams overlapping the edit and
+//! re-winnows only the affected window span, returning the
+//! `{added, removed}` hash delta that feeds Algorithm 1's incremental mode
+//! (§4.3). The cost per edit is `O(edit + w + n)` hash/winnow work instead
+//! of `O(paragraph)`.
+//!
+//! # Correctness argument
+//!
+//! Let the edit replace normalised characters `[ns, ne)` with `r` new
+//! ones. n-gram hashes whose grams lie entirely before `ns` or entirely at
+//! or after `ne` keep their values (the latter shift position by
+//! `r - (ne - ns)`); only hashes overlapping `[ns, ne)` are recomputed
+//! (the *dirty* range `[d_lo, d_hi)`). Robust winnowing selects position
+//! `p` iff `p` is the rightmost minimum of some window of `w` hashes
+//! containing it — a predicate over hash values at `[p-w+1, p+w-1]`. Hence
+//! selection can change only inside the *trust* range
+//! `[d_lo - (w-1), d_hi + (w-1))`; re-winnowing the trust range padded by
+//! another `w - 1` on each side (so every window touching a trust position
+//! is complete) reproduces the full algorithm's choices exactly. The
+//! degenerate short-sequence path (`len <= w`, a single global minimum) is
+//! not window-local, so whenever either the old or the new hash sequence
+//! is that short the whole (tiny) sequence is re-winnowed. The
+//! `incremental_matches_full` property test exercises this equivalence
+//! over arbitrary edit scripts.
+
+use crate::config::FingerprintConfig;
+use crate::fingerprint::{Fingerprint, SelectedHash};
+use crate::hash::RollingHash;
+use crate::ngram::NgramHash;
+use crate::winnow;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// One text edit: replace `range` (a byte range of the current original
+/// text, on `char` boundaries) with `replacement`.
+///
+/// Insertions use an empty range; deletions an empty replacement. This is
+/// the shape in which browser keystroke events arrive: a caret position or
+/// selection plus the typed (possibly pasted) text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextEdit {
+    /// Byte range of the current text being replaced.
+    pub range: Range<usize>,
+    /// Replacement text (empty for a pure deletion).
+    pub replacement: String,
+}
+
+impl TextEdit {
+    /// An insertion of `text` at byte offset `at`.
+    pub fn insert(at: usize, text: impl Into<String>) -> Self {
+        Self {
+            range: at..at,
+            replacement: text.into(),
+        }
+    }
+
+    /// A deletion of the byte range `range`.
+    pub fn delete(range: Range<usize>) -> Self {
+        Self {
+            range,
+            replacement: String::new(),
+        }
+    }
+
+    /// A replacement of `range` by `text`.
+    pub fn replace(range: Range<usize>, text: impl Into<String>) -> Self {
+        Self {
+            range,
+            replacement: text.into(),
+        }
+    }
+
+    /// Whether this edit applies cleanly to `text`: the range is in
+    /// bounds and falls on `char` boundaries.
+    pub fn applies_to(&self, text: &str) -> bool {
+        self.range.start <= self.range.end
+            && self.range.end <= text.len()
+            && text.is_char_boundary(self.range.start)
+            && text.is_char_boundary(self.range.end)
+    }
+}
+
+/// The change an edit made to a fingerprint's *distinct* hash set.
+///
+/// `added` are values newly present, `removed` values no longer present;
+/// a value whose multiplicity changed without touching zero appears in
+/// neither. Both lists are sorted. This is exactly the delta shape that
+/// `IncrementalChecker::update` (Algorithm 1's incremental mode, §4.3)
+/// consumes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FingerprintDelta {
+    /// Hash values that entered the distinct set.
+    pub added: Vec<u32>,
+    /// Hash values that left the distinct set.
+    pub removed: Vec<u32>,
+}
+
+impl FingerprintDelta {
+    /// Whether the edit left the distinct hash set unchanged.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Incrementally maintained fingerprint state for one paragraph under
+/// edit.
+///
+/// Holds the paragraph's original text, its normalised characters with the
+/// byte-offset map, the full n-gram hash sequence and the winnowed
+/// selection. [`IncrementalFingerprinter::apply_edit`] updates all of it
+/// in time proportional to the edit (plus `w + n`), not the paragraph, and
+/// [`IncrementalFingerprinter::fingerprint`] materialises a
+/// [`Fingerprint`] byte-identical to
+/// [`Fingerprinter::fingerprint`](crate::Fingerprinter::fingerprint) on
+/// the current text.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_fingerprint::{Fingerprinter, IncrementalFingerprinter, TextEdit};
+///
+/// let fp = Fingerprinter::default();
+/// let mut inc = IncrementalFingerprinter::new(*fp.config());
+/// inc.apply_edit(&TextEdit::insert(0, "meeting notes: the acquisition closes in march"));
+/// inc.apply_edit(&TextEdit::insert(14, " (confidential)"));
+/// assert_eq!(inc.fingerprint(), fp.fingerprint(inc.text()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalFingerprinter {
+    config: FingerprintConfig,
+    /// Current original text.
+    text: String,
+    /// Normalised characters of `text`.
+    norm: Vec<char>,
+    /// Byte offset in `text` of each normalised character's source char.
+    offsets: Vec<usize>,
+    /// Byte length in `text` of each normalised character's source char.
+    char_lens: Vec<usize>,
+    /// Karp–Rabin hash of the n-gram starting at each normalised position.
+    hashes: Vec<u32>,
+    /// Winnowed selection: sorted, distinct n-gram positions.
+    selected: Vec<usize>,
+    /// Multiset of the hash values at `selected` positions.
+    counts: HashMap<u32, usize>,
+    edits: u64,
+    // Reusable per-edit scratch; kept in the struct so steady-state edits
+    // do not allocate.
+    rep_norm: Vec<char>,
+    rep_offsets: Vec<usize>,
+    rep_lens: Vec<usize>,
+    dirty_hashes: Vec<u32>,
+    slice_hashes: Vec<NgramHash>,
+    winnow_scratch: Vec<usize>,
+    winnow_out: Vec<NgramHash>,
+    trust_positions: Vec<usize>,
+    dropped_vals: Vec<u32>,
+    added_vals: Vec<u32>,
+    before: HashMap<u32, usize>,
+}
+
+impl IncrementalFingerprinter {
+    /// Starts incremental state for an initially empty paragraph.
+    pub fn new(config: FingerprintConfig) -> Self {
+        Self {
+            config,
+            text: String::new(),
+            norm: Vec::new(),
+            offsets: Vec::new(),
+            char_lens: Vec::new(),
+            hashes: Vec::new(),
+            selected: Vec::new(),
+            counts: HashMap::new(),
+            edits: 0,
+            rep_norm: Vec::new(),
+            rep_offsets: Vec::new(),
+            rep_lens: Vec::new(),
+            dirty_hashes: Vec::new(),
+            slice_hashes: Vec::new(),
+            winnow_scratch: Vec::new(),
+            winnow_out: Vec::new(),
+            trust_positions: Vec::new(),
+            dropped_vals: Vec::new(),
+            added_vals: Vec::new(),
+            before: HashMap::new(),
+        }
+    }
+
+    /// Starts incremental state seeded with `text` (one insert edit).
+    pub fn with_text(config: FingerprintConfig, text: &str) -> Self {
+        let mut inc = Self::new(config);
+        inc.apply_edit(&TextEdit::insert(0, text));
+        inc
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FingerprintConfig {
+        &self.config
+    }
+
+    /// The current original text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Number of edits applied so far.
+    pub fn edit_count(&self) -> u64 {
+        self.edits
+    }
+
+    /// Number of distinct hash values currently selected.
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Materialises the current [`Fingerprint`].
+    ///
+    /// Byte-identical to running the full pipeline
+    /// ([`Fingerprinter::fingerprint`](crate::Fingerprinter::fingerprint))
+    /// on [`IncrementalFingerprinter::text`].
+    pub fn fingerprint(&self) -> Fingerprint {
+        let n = self.config.ngram_len();
+        self.selected
+            .iter()
+            .map(|&p| {
+                let last = p + n - 1;
+                let span = self.offsets[p]..self.offsets[last] + self.char_lens[last];
+                SelectedHash::new(self.hashes[p], p, span)
+            })
+            .collect()
+    }
+
+    /// Applies one edit and returns the distinct-hash delta it caused.
+    ///
+    /// Normalised state is spliced, only n-grams overlapping the edit are
+    /// re-hashed, and only the `w - 1` neighbourhood of the dirty hashes is
+    /// re-winnowed (see the module docs for the locality argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edit range is out of bounds or not on `char`
+    /// boundaries of the current text (check with [`TextEdit::applies_to`]
+    /// when the edit comes from an untrusted source).
+    pub fn apply_edit(&mut self, edit: &TextEdit) -> FingerprintDelta {
+        let (start, end) = (edit.range.start, edit.range.end);
+        assert!(
+            start <= end && end <= self.text.len(),
+            "edit range {start}..{end} out of bounds for text of {} bytes",
+            self.text.len()
+        );
+        assert!(
+            self.text.is_char_boundary(start) && self.text.is_char_boundary(end),
+            "edit range {start}..{end} must fall on char boundaries"
+        );
+        let n = self.config.ngram_len();
+        let w = self.config.window();
+
+        // S1: normalise the replacement and splice the normalised state.
+        // Normalisation is per-character, so normalising the replacement
+        // alone and splicing equals re-normalising the whole new text.
+        self.rep_norm.clear();
+        self.rep_offsets.clear();
+        self.rep_lens.clear();
+        normalize_chars(
+            &edit.replacement,
+            start,
+            &mut self.rep_norm,
+            &mut self.rep_offsets,
+            &mut self.rep_lens,
+        );
+        // Normalised chars sourced from original chars entirely before the
+        // edit keep their offsets; chars starting inside [start, end) are
+        // replaced; chars at or after `end` shift by the byte delta.
+        let ns = self.offsets.partition_point(|&o| o < start);
+        let ne = self.offsets.partition_point(|&o| o < end);
+        let rep_count = self.rep_norm.len();
+        let byte_shift = edit.replacement.len() as isize - (end - start) as isize;
+        self.norm.splice(ns..ne, self.rep_norm.iter().copied());
+        self.offsets
+            .splice(ns..ne, self.rep_offsets.iter().copied());
+        self.char_lens.splice(ns..ne, self.rep_lens.iter().copied());
+        for offset in &mut self.offsets[ns + rep_count..] {
+            *offset = (*offset as isize + byte_shift) as usize;
+        }
+        self.text.replace_range(start..end, &edit.replacement);
+        let new_norm_len = self.norm.len();
+
+        // S2: bound the dirty hash range. Old hashes whose n-gram overlaps
+        // the replaced characters are dropped; the kept suffix shifts.
+        let old_hash_count = self.hashes.len();
+        let new_hash_count = new_norm_len.saturating_sub(n - 1);
+        let hd_lo = ns.saturating_sub(n - 1).min(old_hash_count);
+        let hd_old_hi = ne.min(old_hash_count);
+        let suffix_kept = old_hash_count - hd_old_hi;
+        let d_lo = hd_lo;
+        let d_hi = new_hash_count
+            .checked_sub(suffix_kept)
+            .expect("kept suffix exceeds new hash count");
+        debug_assert!(d_lo <= d_hi, "dirty range inverted: {d_lo}..{d_hi}");
+        self.dirty_hashes.clear();
+        if d_hi > d_lo {
+            let mut rolling = RollingHash::new(n);
+            for &c in &self.norm[d_lo..d_lo + n] {
+                rolling.push(c);
+            }
+            self.dirty_hashes.push(rolling.value());
+            for q in d_lo + 1..d_hi {
+                rolling.roll(self.norm[q - 1], self.norm[q + n - 1]);
+                self.dirty_hashes.push(rolling.value());
+            }
+        }
+
+        // S3/S4: re-winnow. The degenerate short-sequence selection (a
+        // single global minimum) is not window-local, so fall back to a
+        // full (tiny) re-winnow whenever either side is that short.
+        let degenerate = old_hash_count <= w || new_hash_count <= w;
+        let shift = new_hash_count as isize - old_hash_count as isize;
+        self.dropped_vals.clear();
+        self.added_vals.clear();
+        if degenerate {
+            for &p in &self.selected {
+                self.dropped_vals.push(self.hashes[p]);
+            }
+            self.hashes
+                .splice(hd_lo..hd_old_hi, self.dirty_hashes.iter().copied());
+            debug_assert_eq!(self.hashes.len(), new_hash_count);
+            self.slice_hashes.clear();
+            self.slice_hashes.extend(
+                self.hashes
+                    .iter()
+                    .enumerate()
+                    .map(|(position, &hash)| NgramHash { hash, position }),
+            );
+            winnow::winnow_into(
+                &self.slice_hashes,
+                w,
+                &mut self.winnow_scratch,
+                &mut self.winnow_out,
+            );
+            self.selected.clear();
+            for s in &self.winnow_out {
+                self.selected.push(s.position);
+                self.added_vals.push(s.hash);
+            }
+        } else {
+            // Trust range: positions whose selection status may change.
+            let t_lo = d_lo.saturating_sub(w - 1);
+            let t_hi = (d_hi + w - 1).min(new_hash_count);
+            // Old selections before the trust range are kept verbatim, the
+            // ones at or after its old-coordinate end are kept shifted, and
+            // the ones in between are dropped (values read from the old
+            // hash sequence, before the splice).
+            let old_t_hi = t_hi as isize - shift;
+            let keep_prefix = self.selected.partition_point(|&p| p < t_lo);
+            let drop_hi = self.selected.partition_point(|&p| (p as isize) < old_t_hi);
+            for &p in &self.selected[keep_prefix..drop_hi] {
+                self.dropped_vals.push(self.hashes[p]);
+            }
+            self.hashes
+                .splice(hd_lo..hd_old_hi, self.dirty_hashes.iter().copied());
+            debug_assert_eq!(self.hashes.len(), new_hash_count);
+            // Re-winnow the trust range padded by w - 1 on each side so
+            // every window containing a trust position is complete, then
+            // keep only the selections that landed inside the trust range.
+            let e_lo = t_lo.saturating_sub(w - 1);
+            let e_hi = (t_hi + w - 1).min(new_hash_count);
+            self.slice_hashes.clear();
+            self.slice_hashes
+                .extend((e_lo..e_hi).map(|position| NgramHash {
+                    hash: self.hashes[position],
+                    position,
+                }));
+            winnow::winnow_into(
+                &self.slice_hashes,
+                w,
+                &mut self.winnow_scratch,
+                &mut self.winnow_out,
+            );
+            self.trust_positions.clear();
+            for s in &self.winnow_out {
+                if s.position >= t_lo && s.position < t_hi {
+                    self.trust_positions.push(s.position);
+                    self.added_vals.push(s.hash);
+                }
+            }
+            let tail_start = keep_prefix + self.trust_positions.len();
+            self.selected
+                .splice(keep_prefix..drop_hi, self.trust_positions.iter().copied());
+            for p in &mut self.selected[tail_start..] {
+                *p = (*p as isize + shift) as usize;
+            }
+        }
+
+        // Delta over the distinct hash set: compare each touched value's
+        // multiplicity before and after, so a value that merely changed
+        // multiplicity (or was dropped and re-selected) reports nothing.
+        let before = &mut self.before;
+        let counts = &mut self.counts;
+        before.clear();
+        for &v in self.dropped_vals.iter().chain(self.added_vals.iter()) {
+            before
+                .entry(v)
+                .or_insert_with(|| counts.get(&v).copied().unwrap_or(0));
+        }
+        for &v in &self.dropped_vals {
+            let c = counts
+                .get_mut(&v)
+                .expect("dropped value must be in the selected multiset");
+            *c -= 1;
+            if *c == 0 {
+                counts.remove(&v);
+            }
+        }
+        for &v in &self.added_vals {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let mut delta = FingerprintDelta::default();
+        for (&v, &b) in before.iter() {
+            let a = counts.get(&v).copied().unwrap_or(0);
+            if b > 0 && a == 0 {
+                delta.removed.push(v);
+            } else if b == 0 && a > 0 {
+                delta.added.push(v);
+            }
+        }
+        delta.added.sort_unstable();
+        delta.removed.sort_unstable();
+        self.edits += 1;
+        delta
+    }
+}
+
+/// Normalises `text` into parallel char/offset/len vectors, with offsets
+/// rebased by `base` (the byte position the replacement lands at).
+///
+/// Mirrors [`crate::normalize::normalize_into`] exactly, including the
+/// ASCII fast path and the handling of one-to-many lowercase expansions.
+fn normalize_chars(
+    text: &str,
+    base: usize,
+    chars: &mut Vec<char>,
+    offsets: &mut Vec<usize>,
+    lens: &mut Vec<usize>,
+) {
+    if text.is_ascii() {
+        for (i, &b) in text.as_bytes().iter().enumerate() {
+            if b.is_ascii_alphanumeric() {
+                chars.push(b.to_ascii_lowercase() as char);
+                offsets.push(base + i);
+                lens.push(1);
+            }
+        }
+        return;
+    }
+    for (byte_offset, ch) in text.char_indices() {
+        if ch.is_alphanumeric() {
+            for lower in ch.to_lowercase().filter(|c| c.is_alphanumeric()) {
+                chars.push(lower);
+                offsets.push(base + byte_offset);
+                lens.push(ch.len_utf8());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fingerprinter;
+
+    fn config(n: usize, w: usize) -> FingerprintConfig {
+        FingerprintConfig::builder()
+            .ngram_len(n)
+            .window(w)
+            .build()
+            .unwrap()
+    }
+
+    fn check_matches_full(inc: &IncrementalFingerprinter) {
+        let full = Fingerprinter::new(inc.config).fingerprint(inc.text());
+        assert_eq!(
+            inc.fingerprint(),
+            full,
+            "incremental state diverged for text {:?} under n={} w={}",
+            inc.text(),
+            inc.config.ngram_len(),
+            inc.config.window()
+        );
+    }
+
+    #[test]
+    fn seeding_matches_full_pipeline() {
+        let inc = IncrementalFingerprinter::with_text(
+            config(6, 3),
+            "The Quick, Brown Fox! Jumps over the lazy dog again and again.",
+        );
+        check_matches_full(&inc);
+        assert_eq!(inc.edit_count(), 1);
+    }
+
+    #[test]
+    fn empty_and_short_texts() {
+        let mut inc = IncrementalFingerprinter::new(config(6, 3));
+        assert!(inc.fingerprint().is_empty());
+        let delta = inc.apply_edit(&TextEdit::insert(0, "tiny"));
+        assert!(delta.is_empty());
+        check_matches_full(&inc);
+        inc.apply_edit(&TextEdit::insert(4, "-growing to one gram"));
+        check_matches_full(&inc);
+        inc.apply_edit(&TextEdit::delete(0..inc.text().len()));
+        assert!(inc.fingerprint().is_empty());
+        check_matches_full(&inc);
+    }
+
+    #[test]
+    fn keystrokes_at_the_end_match_full() {
+        let mut inc = IncrementalFingerprinter::new(config(6, 3));
+        let mut expected_text = String::new();
+        for ch in "Dear all, the acquisition of Initech will close on March 1st; \
+                   please keep this strictly confidential until the press event."
+            .chars()
+        {
+            let at = inc.text().len();
+            inc.apply_edit(&TextEdit::insert(at, ch.to_string()));
+            expected_text.push(ch);
+            assert_eq!(inc.text(), expected_text);
+            check_matches_full(&inc);
+        }
+    }
+
+    #[test]
+    fn edits_at_start_middle_and_end() {
+        let mut inc = IncrementalFingerprinter::with_text(
+            config(5, 4),
+            "a reasonably long paragraph of text to edit in place repeatedly",
+        );
+        inc.apply_edit(&TextEdit::insert(0, "PREFIX "));
+        check_matches_full(&inc);
+        let mid = inc.text().len() / 2;
+        inc.apply_edit(&TextEdit::replace(mid..mid + 4, "XYZW"));
+        check_matches_full(&inc);
+        let len = inc.text().len();
+        inc.apply_edit(&TextEdit::delete(len - 10..len));
+        check_matches_full(&inc);
+    }
+
+    #[test]
+    fn multibyte_edits_match_full() {
+        let mut inc = IncrementalFingerprinter::with_text(
+            config(4, 3),
+            "Zürich Straße — die Übernahme wird im März bekannt gegeben",
+        );
+        check_matches_full(&inc);
+        // Insert multibyte text at a multibyte boundary.
+        let at = inc.text().find('Ü').unwrap();
+        inc.apply_edit(&TextEdit::insert(at, "größere "));
+        check_matches_full(&inc);
+        // Delete a range containing multibyte chars.
+        let from = inc.text().find('ö').unwrap();
+        let to = from + 'ö'.len_utf8();
+        inc.apply_edit(&TextEdit::delete(from..to));
+        check_matches_full(&inc);
+    }
+
+    #[test]
+    fn delta_tracks_distinct_set() {
+        let fp = Fingerprinter::new(config(6, 3));
+        let mut inc = IncrementalFingerprinter::new(config(6, 3));
+        let mut live: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let edits = [
+            TextEdit::insert(0, "the quick brown fox jumps over the lazy dog"),
+            TextEdit::insert(19, " repeatedly and often "),
+            TextEdit::delete(5..25),
+            TextEdit::replace(0..3, "THE"),
+        ];
+        for edit in &edits {
+            let delta = inc.apply_edit(edit);
+            for &v in &delta.removed {
+                assert!(live.remove(&v), "removed value {v} was not live");
+            }
+            for &v in &delta.added {
+                assert!(live.insert(v), "added value {v} already live");
+            }
+            let expected: std::collections::HashSet<u32> = fp.fingerprint(inc.text()).hash_set();
+            assert_eq!(live, expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_edit_panics() {
+        let mut inc = IncrementalFingerprinter::with_text(config(6, 3), "short");
+        inc.apply_edit(&TextEdit::delete(3..99));
+    }
+
+    #[test]
+    #[should_panic(expected = "char boundaries")]
+    fn non_boundary_edit_panics() {
+        let mut inc = IncrementalFingerprinter::with_text(config(6, 3), "héllo");
+        inc.apply_edit(&TextEdit::delete(1..2));
+    }
+
+    #[test]
+    fn applies_to_validates() {
+        let edit = TextEdit::delete(1..2);
+        assert!(!edit.applies_to("héllo"));
+        assert!(edit.applies_to("hello"));
+        assert!(!TextEdit::insert(9, "x").applies_to("short"));
+    }
+}

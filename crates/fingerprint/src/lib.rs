@@ -43,14 +43,18 @@
 mod config;
 mod fingerprint;
 pub mod hash;
+pub mod incremental;
 pub mod ngram;
 pub mod normalize;
+mod scratch;
 pub mod segment;
 pub mod winnow;
 
 pub use config::{ConfigError, FingerprintConfig, FingerprintConfigBuilder};
 pub use fingerprint::{Fingerprint, SelectedHash};
+pub use incremental::{FingerprintDelta, IncrementalFingerprinter, TextEdit};
 pub use normalize::NormalizedText;
+pub use scratch::FingerprintScratch;
 
 /// Computes [`Fingerprint`]s of text segments under a fixed
 /// [`FingerprintConfig`].
@@ -108,6 +112,33 @@ impl Fingerprinter {
             .into_iter()
             .map(|sel| {
                 let span = normalized.span_of_ngram(sel.position, n);
+                SelectedHash::new(sel.hash, sel.position, span)
+            })
+            .collect();
+        Fingerprint::from_entries(entries)
+    }
+
+    /// Computes the fingerprint of `text` reusing the buffers in `scratch`.
+    ///
+    /// Identical output to [`Fingerprinter::fingerprint`], but after the
+    /// scratch buffers reach steady-state capacity the only allocation per
+    /// call is the returned [`Fingerprint`] itself — the normalised text,
+    /// offset maps, hash sequence and winnowing deque are all reused.
+    pub fn fingerprint_with(&self, text: &str, scratch: &mut FingerprintScratch) -> Fingerprint {
+        let n = self.config.ngram_len();
+        normalize::normalize_into(text, &mut scratch.normalized);
+        ngram::ngram_hashes_into(scratch.normalized.text(), n, &mut scratch.hashes);
+        winnow::winnow_into(
+            &scratch.hashes,
+            self.config.window(),
+            &mut scratch.deque,
+            &mut scratch.selected,
+        );
+        let entries = scratch
+            .selected
+            .iter()
+            .map(|sel| {
+                let span = scratch.normalized.span_of_ngram(sel.position, n);
                 SelectedHash::new(sel.hash, sel.position, span)
             })
             .collect();

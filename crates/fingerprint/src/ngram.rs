@@ -35,37 +35,48 @@ pub struct NgramHash {
 /// assert_eq!(hashes[4].position, 4);
 /// ```
 pub fn ngram_hashes(text: &str, ngram_len: usize) -> Vec<NgramHash> {
+    let mut out = Vec::with_capacity(text.len().saturating_sub(ngram_len.saturating_sub(1)));
+    ngram_hashes_into(text, ngram_len, &mut out);
+    out
+}
+
+/// Computes the Karp–Rabin hash of every n-gram of `text` into `out`,
+/// reusing its buffer.
+///
+/// Behaves exactly like [`ngram_hashes`] but clears and refills an existing
+/// vector instead of allocating a fresh one. The sliding window is tracked
+/// with a pair of `char` iterators (lead and trail, `ngram_len` characters
+/// apart) rather than a ring buffer, so the call performs no allocation at
+/// all.
+///
+/// # Panics
+///
+/// Panics if `ngram_len` is zero.
+pub fn ngram_hashes_into(text: &str, ngram_len: usize, out: &mut Vec<NgramHash>) {
     assert!(ngram_len > 0, "ngram_len must be positive");
-    // Stream the characters through a ring buffer of the current n-gram
-    // instead of materialising a Vec<char> of the whole text — corpora in
-    // the megabyte range are fingerprinted in one call.
-    let mut out = Vec::with_capacity(text.len().saturating_sub(ngram_len - 1));
+    out.clear();
     let mut rolling = RollingHash::new(ngram_len);
-    let mut window: std::collections::VecDeque<char> =
-        std::collections::VecDeque::with_capacity(ngram_len);
-    let mut position = 0usize;
-    for c in text.chars() {
-        if window.len() < ngram_len {
-            window.push_back(c);
-            rolling.push(c);
-            if window.len() == ngram_len {
-                out.push(NgramHash {
-                    hash: rolling.value(),
-                    position: 0,
-                });
-            }
-        } else {
-            let outgoing = window.pop_front().expect("window is full");
-            window.push_back(c);
-            rolling.roll(outgoing, c);
-            position += 1;
-            out.push(NgramHash {
-                hash: rolling.value(),
-                position,
-            });
+    let mut lead = text.chars();
+    for _ in 0..ngram_len {
+        match lead.next() {
+            Some(c) => rolling.push(c),
+            // Text shorter than one n-gram hashes to nothing.
+            None => return,
         }
     }
-    out
+    out.push(NgramHash {
+        hash: rolling.value(),
+        position: 0,
+    });
+    let mut trail = text.chars();
+    for (offset, incoming) in lead.enumerate() {
+        let outgoing = trail.next().expect("trail lags lead by ngram_len chars");
+        rolling.roll(outgoing, incoming);
+        out.push(NgramHash {
+            hash: rolling.value(),
+            position: offset + 1,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +107,17 @@ mod tests {
         for (i, h) in ngram_hashes(text, 7).iter().enumerate() {
             assert_eq!(h.hash, hash_ngram(&chars[i..i + 7]));
         }
+    }
+
+    #[test]
+    fn into_variant_reuses_buffer() {
+        let mut out = Vec::new();
+        ngram_hashes_into("abcdefgh", 3, &mut out);
+        assert_eq!(out, ngram_hashes("abcdefgh", 3));
+        ngram_hashes_into("xy", 3, &mut out);
+        assert!(out.is_empty());
+        ngram_hashes_into("hello", 2, &mut out);
+        assert_eq!(out, ngram_hashes("hello", 2));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 /// // The 'w' of "world" sits at byte 6 of the original.
 /// assert_eq!(n.original_offset(5), Some(6));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NormalizedText {
     text: String,
     /// Byte offset in the original text of each normalised character.
@@ -32,6 +32,12 @@ pub struct NormalizedText {
 }
 
 impl NormalizedText {
+    /// Creates an empty `NormalizedText`, e.g. as a reusable buffer for
+    /// [`normalize_into`].
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
     /// The normalised text: lowercase alphanumeric characters only.
     pub fn text(&self) -> &str {
         &self.text
@@ -79,9 +85,40 @@ impl NormalizedText {
 /// [`char::to_lowercase`]); everything else — punctuation, whitespace,
 /// symbols, control characters — is removed.
 pub fn normalize(text: &str) -> NormalizedText {
-    let mut out = String::with_capacity(text.len());
-    let mut offsets = Vec::with_capacity(text.len());
-    let mut char_lens = Vec::with_capacity(text.len());
+    let mut out = NormalizedText {
+        text: String::with_capacity(text.len()),
+        offsets: Vec::with_capacity(text.len()),
+        char_lens: Vec::with_capacity(text.len()),
+    };
+    normalize_into(text, &mut out);
+    out
+}
+
+/// Normalises `text` into `out`, reusing its buffers.
+///
+/// Behaves exactly like [`normalize`] but clears and refills the buffers of
+/// an existing [`NormalizedText`] instead of allocating fresh ones — the
+/// keystroke hot path calls this once per check with a scratch value.
+///
+/// ASCII inputs (the common case for keystroke-sized paragraphs) take a
+/// byte-wise fast path that skips the `char_indices` bookkeeping and the
+/// per-character `to_lowercase` iterator: for an ASCII alphanumeric byte
+/// `b`, `to_lowercase` yields exactly `b.to_ascii_lowercase()` and the
+/// character is one byte long, so the two paths are equivalent.
+pub fn normalize_into(text: &str, out: &mut NormalizedText) {
+    out.text.clear();
+    out.offsets.clear();
+    out.char_lens.clear();
+    if text.is_ascii() {
+        for (byte_offset, &b) in text.as_bytes().iter().enumerate() {
+            if b.is_ascii_alphanumeric() {
+                out.text.push(b.to_ascii_lowercase() as char);
+                out.offsets.push(byte_offset);
+                out.char_lens.push(1);
+            }
+        }
+        return;
+    }
     for (byte_offset, ch) in text.char_indices() {
         if ch.is_alphanumeric() {
             // A one-to-many lowercase expansion (e.g. 'İ' → 'i' + U+0307)
@@ -90,16 +127,11 @@ pub fn normalize(text: &str) -> NormalizedText {
             // non-idempotent — a second pass would strip them — so only
             // the alphanumeric part of the expansion is retained.
             for lower in ch.to_lowercase().filter(|c| c.is_alphanumeric()) {
-                out.push(lower);
-                offsets.push(byte_offset);
-                char_lens.push(ch.len_utf8());
+                out.text.push(lower);
+                out.offsets.push(byte_offset);
+                out.char_lens.push(ch.len_utf8());
             }
         }
-    }
-    NormalizedText {
-        text: out,
-        offsets,
-        char_lens,
     }
 }
 
@@ -178,6 +210,39 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn span_of_ngram_out_of_range_panics() {
         normalize("abc").span_of_ngram(1, 5);
+    }
+
+    #[test]
+    fn ascii_fast_path_matches_general_path() {
+        // Reference: the general per-char path, written out longhand.
+        let text = "Mixed CASE 123, with-punct! and\ttabs";
+        let mut expect = String::new();
+        let mut expect_offsets = Vec::new();
+        for (byte_offset, ch) in text.char_indices() {
+            if ch.is_alphanumeric() {
+                for lower in ch.to_lowercase().filter(|c| c.is_alphanumeric()) {
+                    expect.push(lower);
+                    expect_offsets.push(byte_offset);
+                }
+            }
+        }
+        let n = normalize(text);
+        assert_eq!(n.text(), expect);
+        for (i, &off) in expect_offsets.iter().enumerate() {
+            assert_eq!(n.original_offset(i), Some(off));
+        }
+        assert_eq!(n.len(), expect_offsets.len());
+    }
+
+    #[test]
+    fn normalize_into_reuses_buffers() {
+        let mut buf = NormalizedText::empty();
+        normalize_into("First, Text! With LOTS of chars 0123456789", &mut buf);
+        normalize_into("Ab, cd!", &mut buf);
+        assert_eq!(buf.text(), "abcd");
+        assert_eq!(buf.original_offset(2), Some(4));
+        assert_eq!(buf.original_offset(4), None);
+        assert_eq!(buf, normalize("Ab, cd!"));
     }
 
     #[test]

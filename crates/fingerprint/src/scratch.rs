@@ -1,0 +1,42 @@
+//! Reusable buffers for allocation-free full-pipeline fingerprinting.
+
+use crate::ngram::NgramHash;
+use crate::normalize::NormalizedText;
+
+/// Reusable normalise/hash/winnow buffers for
+/// [`Fingerprinter::fingerprint_with`](crate::Fingerprinter::fingerprint_with).
+///
+/// A full fingerprint computation allocates a normalised string, an offset
+/// map, the n-gram hash sequence, the winnowing deque and the selection
+/// vector. Holding one `FingerprintScratch` per checker thread (or per
+/// [`IncrementalFingerprinter`](crate::IncrementalFingerprinter) fallback
+/// path) lets repeated checks reuse all of them: after the first few calls
+/// the buffers have grown to steady-state capacity and the only remaining
+/// allocation per check is the returned [`Fingerprint`](crate::Fingerprint)
+/// itself.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_fingerprint::{Fingerprinter, FingerprintScratch};
+///
+/// let fp = Fingerprinter::default();
+/// let mut scratch = FingerprintScratch::new();
+/// let a = fp.fingerprint_with("a paragraph of sensitive interview notes", &mut scratch);
+/// let b = fp.fingerprint("a paragraph of sensitive interview notes");
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FingerprintScratch {
+    pub(crate) normalized: NormalizedText,
+    pub(crate) hashes: Vec<NgramHash>,
+    pub(crate) deque: Vec<usize>,
+    pub(crate) selected: Vec<NgramHash>,
+}
+
+impl FingerprintScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

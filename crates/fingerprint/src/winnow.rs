@@ -15,7 +15,6 @@
 //! self-repetitive text.
 
 use crate::ngram::NgramHash;
-use std::collections::VecDeque;
 
 /// Selects the winnowed subset of `hashes` using windows of `window` hashes.
 ///
@@ -45,9 +44,35 @@ use std::collections::VecDeque;
 /// assert_eq!(values, vec![40, 13]);
 /// ```
 pub fn winnow(hashes: &[NgramHash], window: usize) -> Vec<NgramHash> {
+    let mut scratch = Vec::new();
+    let mut selected = Vec::new();
+    winnow_into(hashes, window, &mut scratch, &mut selected);
+    selected
+}
+
+/// Selects the winnowed subset of `hashes` into `selected`, reusing both
+/// the output buffer and a caller-provided index scratch.
+///
+/// Behaves exactly like [`winnow`] but performs no allocation once the
+/// buffers have grown: `scratch` backs the monotone deque (the front is a
+/// cursor into the vector, so popping from the front is an index bump) and
+/// `selected` is cleared and refilled. The keystroke hot path calls this
+/// once per check with buffers held in a
+/// [`FingerprintScratch`](crate::FingerprintScratch).
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn winnow_into(
+    hashes: &[NgramHash],
+    window: usize,
+    scratch: &mut Vec<usize>,
+    selected: &mut Vec<NgramHash>,
+) {
     assert!(window > 0, "window must be positive");
+    selected.clear();
     if hashes.is_empty() {
-        return Vec::new();
+        return;
     }
     if hashes.len() <= window {
         // Degenerate case: a single window covering everything. Pick the
@@ -58,41 +83,39 @@ pub fn winnow(hashes: &[NgramHash], window: usize) -> Vec<NgramHash> {
                 best = h;
             }
         }
-        return vec![best];
+        selected.push(best);
+        return;
     }
 
     // Sliding-window minimum via a monotone deque of indices. The deque
     // holds candidate indices with strictly increasing hash values front to
     // back; for robust winnowing ties evict earlier candidates (<=), so the
-    // rightmost minimal element wins.
-    let mut selected: Vec<NgramHash> = Vec::new();
-    let mut deque: VecDeque<usize> = VecDeque::new();
+    // rightmost minimal element wins. The deque lives in `scratch` with
+    // `head` as its front cursor: indices before `head` are dead.
+    scratch.clear();
+    let mut head = 0usize;
     for i in 0..hashes.len() {
-        while let Some(&back) = deque.back() {
+        while scratch.len() > head {
+            let back = scratch[scratch.len() - 1];
             if hashes[back].hash >= hashes[i].hash {
-                deque.pop_back();
+                scratch.pop();
             } else {
                 break;
             }
         }
-        deque.push_back(i);
+        scratch.push(i);
         // Window covering positions [i + 1 - window, i].
         if i + 1 >= window {
             let window_start = i + 1 - window;
-            while let Some(&front) = deque.front() {
-                if front < window_start {
-                    deque.pop_front();
-                } else {
-                    break;
-                }
+            while scratch[head] < window_start {
+                head += 1;
             }
-            let min_index = *deque.front().expect("deque holds current element");
+            let min_index = scratch[head];
             if selected.last().map(|s| s.position) != Some(hashes[min_index].position) {
                 selected.push(hashes[min_index]);
             }
         }
     }
-    selected
 }
 
 #[cfg(test)]
@@ -146,6 +169,20 @@ mod tests {
         let picked = winnow(&mk(&[7, 7, 7, 7]), 3);
         let positions: Vec<usize> = picked.iter().map(|p| p.position).collect();
         assert_eq!(positions, vec![2, 3]);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        let values: Vec<u32> = (0..300).map(|i| (i * 2654435761u64 % 251) as u32).collect();
+        let hashes = mk(&values);
+        let mut scratch = Vec::new();
+        let mut selected = Vec::new();
+        for w in [1usize, 2, 5, 30, 299, 300, 400] {
+            winnow_into(&hashes, w, &mut scratch, &mut selected);
+            assert_eq!(selected, winnow(&hashes, w), "window {w}");
+        }
+        winnow_into(&[], 3, &mut scratch, &mut selected);
+        assert!(selected.is_empty());
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Property-based equivalence tests for the incremental fingerprinter:
+//! after any sequence of edits, [`IncrementalFingerprinter`] must hold
+//! byte-identical state to running the full pipeline
+//! ([`Fingerprinter::fingerprint`]) on the edited text, and the reported
+//! `{added, removed}` deltas must replay to the full distinct hash set.
+
+use browserflow_fingerprint::{
+    FingerprintConfig, Fingerprinter, IncrementalFingerprinter, TextEdit,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Configurations under test: the paper's defaults, small values that put
+/// many edits inside a single winnowing window, and degenerate shapes
+/// (window of 1, n-gram of 1, window far larger than the text) that force
+/// the short-sequence winnowing path.
+const CONFIGS: [(usize, usize); 7] = [(15, 30), (6, 3), (4, 2), (1, 1), (1, 5), (3, 50), (2, 1)];
+
+fn config(n: usize, w: usize) -> FingerprintConfig {
+    FingerprintConfig::builder()
+        .ngram_len(n)
+        .window(w)
+        .build()
+        .unwrap()
+}
+
+/// One randomly generated edit: two cut points (reduced modulo the current
+/// char-boundary count, then ordered) and a replacement string.
+type RawEdit = (usize, usize, String);
+
+/// Resolves a raw edit against the current text, always on char
+/// boundaries.
+fn resolve(text: &str, raw: &RawEdit) -> TextEdit {
+    let mut bounds: Vec<usize> = text.char_indices().map(|(i, _)| i).collect();
+    bounds.push(text.len());
+    let mut a = raw.0 % bounds.len();
+    let mut b = raw.1 % bounds.len();
+    if a > b {
+        std::mem::swap(&mut a, &mut b);
+    }
+    TextEdit::replace(bounds[a]..bounds[b], raw.2.clone())
+}
+
+/// Replacement text mixing ASCII prose, digits, punctuation, multibyte
+/// letters and the case-expanding 'İ'.
+fn replacement() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z0-9 ,.!?]{0,12}",
+        "[äöüßéàΑ-Ωа-я]{0,6}",
+        "[a-zİı]{0,4}",
+        Just(String::new()),
+    ]
+}
+
+fn edit_script() -> impl Strategy<Value = Vec<RawEdit>> {
+    proptest::collection::vec((0usize..10_000, 0usize..10_000, replacement()), 1..25)
+}
+
+proptest! {
+    /// The tentpole acceptance property: over arbitrary edit scripts the
+    /// incremental fingerprint is byte-identical (hashes, positions AND
+    /// spans) to a full recomputation, for every configuration including
+    /// degenerate ones.
+    #[test]
+    fn incremental_matches_full(
+        seed in "[a-zA-Z ,.]{0,80}",
+        script in edit_script(),
+        which in 0usize..CONFIGS.len(),
+    ) {
+        let (n, w) = CONFIGS[which];
+        let fp = Fingerprinter::new(config(n, w));
+        let mut inc = IncrementalFingerprinter::new(config(n, w));
+        let mut model = String::new();
+        inc.apply_edit(&TextEdit::insert(0, &seed));
+        model.push_str(&seed);
+        prop_assert_eq!(inc.fingerprint(), fp.fingerprint(&model));
+        for raw in &script {
+            let edit = resolve(&model, raw);
+            model.replace_range(edit.range.clone(), &edit.replacement);
+            inc.apply_edit(&edit);
+            prop_assert_eq!(inc.text(), model.as_str());
+            prop_assert_eq!(
+                inc.fingerprint(),
+                fp.fingerprint(&model),
+                "divergence after edit {:?} (n={}, w={})", edit, n, w
+            );
+        }
+    }
+
+    /// Replaying the per-edit deltas onto a plain set reproduces the full
+    /// pipeline's distinct hash set at every step — the property the
+    /// incremental Algorithm 1 wiring relies on.
+    #[test]
+    fn deltas_replay_to_full_hash_set(
+        seed in "[a-z ]{0,60}",
+        script in edit_script(),
+        which in 0usize..CONFIGS.len(),
+    ) {
+        let (n, w) = CONFIGS[which];
+        let fp = Fingerprinter::new(config(n, w));
+        let mut inc = IncrementalFingerprinter::new(config(n, w));
+        let mut model = String::new();
+        let mut live: HashSet<u32> = HashSet::new();
+        let mut steps: Vec<TextEdit> = vec![TextEdit::insert(0, &seed)];
+        for raw in &script {
+            // Resolve against the text as it will be at that step.
+            let mut preview = model.clone();
+            for e in &steps {
+                preview.replace_range(e.range.clone(), &e.replacement);
+            }
+            steps.push(resolve(&preview, raw));
+        }
+        for edit in &steps {
+            let delta = inc.apply_edit(edit);
+            model.replace_range(edit.range.clone(), &edit.replacement);
+            for &v in &delta.removed {
+                prop_assert!(live.remove(&v), "removed value {} was not live", v);
+            }
+            for &v in &delta.added {
+                prop_assert!(live.insert(v), "added value {} already live", v);
+            }
+            let expected: HashSet<u32> = fp.fingerprint(&model).hash_set();
+            prop_assert_eq!(&live, &expected);
+        }
+    }
+
+    /// Edits pinned to the paragraph boundaries (prepend, append, truncate
+    /// head and tail) — the positions where the dirty-window index
+    /// arithmetic clamps.
+    #[test]
+    fn boundary_edits_match_full(
+        seed in "[a-z ,.]{10,120}",
+        chunks in proptest::collection::vec("[a-zA-Z0-9äö ]{0,10}", 1..16),
+        which in 0usize..CONFIGS.len(),
+    ) {
+        let (n, w) = CONFIGS[which];
+        let fp = Fingerprinter::new(config(n, w));
+        let mut inc = IncrementalFingerprinter::with_text(config(n, w), &seed);
+        let mut model = seed.clone();
+        for (i, chunk) in chunks.iter().enumerate() {
+            let edit = match i % 4 {
+                0 => TextEdit::insert(0, chunk.clone()),
+                1 => TextEdit::insert(model.len(), chunk.clone()),
+                2 => {
+                    // Truncate up to 8 chars off the head.
+                    let cut = model
+                        .char_indices()
+                        .map(|(o, _)| o)
+                        .chain([model.len()])
+                        .take(9)
+                        .last()
+                        .unwrap();
+                    TextEdit::replace(0..cut, chunk.clone())
+                }
+                _ => {
+                    // Truncate up to 8 chars off the tail.
+                    let tail: Vec<usize> = model
+                        .char_indices()
+                        .map(|(o, _)| o)
+                        .rev()
+                        .take(8)
+                        .collect();
+                    let cut = tail.last().copied().unwrap_or(model.len());
+                    TextEdit::replace(cut..model.len(), chunk.clone())
+                }
+            };
+            model.replace_range(edit.range.clone(), &edit.replacement);
+            inc.apply_edit(&edit);
+            prop_assert_eq!(
+                inc.fingerprint(),
+                fp.fingerprint(&model),
+                "divergence at boundary edit {} (n={}, w={})", i, n, w
+            );
+        }
+    }
+
+    /// Single-character typing (the literal keystroke workload) stays
+    /// identical to the full pipeline at every keystroke, including while
+    /// the text is still shorter than one winnowing window.
+    #[test]
+    fn typing_character_by_character_matches_full(
+        text in "[a-zA-Z0-9 ,.!äü]{0,100}",
+        which in 0usize..CONFIGS.len(),
+    ) {
+        let (n, w) = CONFIGS[which];
+        let fp = Fingerprinter::new(config(n, w));
+        let mut inc = IncrementalFingerprinter::new(config(n, w));
+        let mut model = String::new();
+        for ch in text.chars() {
+            let at = model.len();
+            inc.apply_edit(&TextEdit::insert(at, ch.to_string()));
+            model.push(ch);
+            prop_assert_eq!(inc.fingerprint(), fp.fingerprint(&model));
+        }
+    }
+}
+
+/// The `FingerprintScratch` full path is exactly equivalent to the
+/// allocating full path (exercised here against the incremental state as
+/// well, so all three implementations agree).
+#[test]
+fn scratch_full_path_agrees_with_incremental() {
+    use browserflow_fingerprint::FingerprintScratch;
+    let fp = Fingerprinter::default();
+    let mut scratch = FingerprintScratch::new();
+    let mut inc = IncrementalFingerprinter::new(*fp.config());
+    let mut text = String::new();
+    for piece in [
+        "Quarterly earnings will be announced on Thursday; ",
+        "the figures are confidential until then. ",
+        "Please do not forward this paragraph to anyone outside the team.",
+    ] {
+        inc.apply_edit(&TextEdit::insert(text.len(), piece));
+        text.push_str(piece);
+        let full = fp.fingerprint(&text);
+        let with_scratch = fp.fingerprint_with(&text, &mut scratch);
+        assert_eq!(full, with_scratch);
+        assert_eq!(full, inc.fingerprint());
+    }
+}

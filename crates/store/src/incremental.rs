@@ -69,19 +69,15 @@ impl IncrementalChecker {
         self.candidates.len()
     }
 
-    /// Applies a fingerprint delta and returns the sources whose
-    /// disclosure requirement the *current* hash set violates.
+    /// Applies a fingerprint delta *without* evaluating candidates.
     ///
-    /// Only `added` hashes are resolved against `DBhash`; removal never
-    /// introduces candidates. The result is identical to running
-    /// [`FingerprintStore::disclosing_sources_of_hashes`] on the full
-    /// current set.
-    pub fn update(
-        &mut self,
-        store: &FingerprintStore,
-        added: &[u32],
-        removed: &[u32],
-    ) -> Vec<DisclosureReport> {
+    /// This is the cheap half of [`IncrementalChecker::update`]: the hash
+    /// set is brought up to date and newly added hashes are resolved
+    /// against `DBhash` so no candidate is ever missed, but no disclosure
+    /// ratios are computed. Use it for deltas whose verdict nobody will
+    /// read — e.g. coalesced keystrokes superseded by a newer edit — so
+    /// the state stays consistent at a fraction of the cost.
+    pub fn absorb(&mut self, store: &FingerprintStore, added: &[u32], removed: &[u32]) {
         for &hash in removed {
             self.hashes.remove(&hash);
         }
@@ -95,6 +91,28 @@ impl IncrementalChecker {
                 }
             }
         }
+    }
+
+    /// Applies a fingerprint delta and returns the sources whose
+    /// disclosure requirement the *current* hash set violates.
+    ///
+    /// Only `added` hashes are resolved against `DBhash`; removal never
+    /// introduces candidates. The result is identical to running
+    /// [`FingerprintStore::disclosing_sources_of_hashes`] on the full
+    /// current set.
+    pub fn update(
+        &mut self,
+        store: &FingerprintStore,
+        added: &[u32],
+        removed: &[u32],
+    ) -> Vec<DisclosureReport> {
+        self.absorb(store, added, removed);
+        self.evaluate(store)
+    }
+
+    /// Evaluates the accumulated candidates against the current hash set —
+    /// the expensive half of [`IncrementalChecker::update`].
+    pub fn evaluate(&self, store: &FingerprintStore) -> Vec<DisclosureReport> {
         let mut reports: Vec<DisclosureReport> = self
             .candidates
             .iter()
@@ -104,6 +122,30 @@ impl IncrementalChecker {
             .collect();
         crate::disclosure::sort_reports(&mut reports);
         reports
+    }
+
+    /// Drops candidates that can no longer produce a report, returning how
+    /// many were removed.
+    ///
+    /// A candidate is *live* when it is the authoritative first sighting of
+    /// at least one hash in the current set — exactly the candidates the
+    /// full Algorithm 1 would consider. Everything else (sources whose
+    /// overlap dropped to zero after deletions, or segments since evicted
+    /// from the store) is dead weight that [`IncrementalChecker::evaluate`]
+    /// re-inspects on every keystroke. Compacting is equivalence-preserving
+    /// by construction: the retained set is recomputed from the current
+    /// hashes, so subsequent reports are identical (property-tested).
+    pub fn compact(&mut self, store: &FingerprintStore) -> usize {
+        let target = self.target;
+        let live: HashSet<SegmentId> = self
+            .hashes
+            .iter()
+            .filter_map(|&hash| store.oldest_segment_with(hash))
+            .filter(|&owner| owner != target)
+            .collect();
+        let before = self.candidates.len();
+        self.candidates.retain(|candidate| live.contains(candidate));
+        before - self.candidates.len()
     }
 }
 
@@ -166,6 +208,68 @@ mod tests {
             assert_eq!(reports, full);
         }
         assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn absorb_then_evaluate_equals_update() {
+        let (store, hashes) = store_with_secret();
+        let mut a = IncrementalChecker::new(SegmentId::new(2));
+        let mut b = IncrementalChecker::new(SegmentId::new(2));
+        for chunk in hashes.chunks(4) {
+            let via_update = a.update(&store, chunk, &[]);
+            b.absorb(&store, chunk, &[]);
+            assert_eq!(via_update, b.evaluate(&store));
+        }
+    }
+
+    #[test]
+    fn compaction_never_changes_reported_sources() {
+        let fp = Fingerprinter::default();
+        let store = FingerprintStore::new();
+        let other = "minutes of the offsite planning session covering hiring targets \
+                     and the reorganisation of the platform infrastructure teams";
+        let secret_print = fp.fingerprint(SECRET);
+        let other_print = fp.fingerprint(other);
+        store.observe(SegmentId::new(1), &secret_print, 0.4);
+        store.observe(SegmentId::new(2), &other_print, 0.4);
+
+        let secret_hashes: Vec<u32> = secret_print.hash_set().into_iter().collect();
+        let other_hashes: Vec<u32> = other_print.hash_set().into_iter().collect();
+
+        let mut checker = IncrementalChecker::new(SegmentId::new(3));
+        // Paste both sources, then delete the second paste entirely: its
+        // candidate lingers with zero overlap.
+        checker.update(&store, &secret_hashes, &[]);
+        checker.update(&store, &other_hashes, &[]);
+        checker.update(&store, &[], &other_hashes);
+        assert_eq!(checker.candidate_count(), 2);
+
+        let before = checker.evaluate(&store);
+        let dropped = checker.compact(&store);
+        assert_eq!(dropped, 1);
+        assert_eq!(checker.candidate_count(), 1);
+        // Reports are identical before and after compaction, and still
+        // match a full recomputation.
+        assert_eq!(checker.evaluate(&store), before);
+        assert_eq!(
+            checker.evaluate(&store),
+            store.disclosing_sources_of_hashes(SegmentId::new(3), checker.hashes())
+        );
+        // Compacting again is a no-op.
+        assert_eq!(checker.compact(&store), 0);
+    }
+
+    #[test]
+    fn compaction_drops_evicted_sources() {
+        let (store, hashes) = store_with_secret();
+        let mut checker = IncrementalChecker::new(SegmentId::new(2));
+        checker.update(&store, &hashes, &[]);
+        assert_eq!(checker.candidate_count(), 1);
+        // The source is removed from the store (e.g. age-based eviction).
+        store.remove_segment(SegmentId::new(1));
+        assert_eq!(checker.compact(&store), 1);
+        assert_eq!(checker.candidate_count(), 0);
+        assert!(checker.evaluate(&store).is_empty());
     }
 
     #[test]

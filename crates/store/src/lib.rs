@@ -111,10 +111,20 @@ pub struct StoreStats {
     pub hash_lock_contention: u64,
     /// `DBpar` lock acquisitions that had to wait for another holder.
     pub segment_lock_contention: u64,
+    /// Per-shard breakdown of `hash_lock_contention`.
+    pub hash_shard_contention: Vec<u64>,
+    /// Per-shard breakdown of `segment_lock_contention`.
+    pub segment_shard_contention: Vec<u64>,
     /// Algorithm 1 runs that fanned candidates out over worker threads.
     pub parallel_checks: u64,
     /// Algorithm 1 runs evaluated on the calling thread.
     pub sequential_checks: u64,
+    /// Age-based eviction sweeps ([`FingerprintStore::evict_older_than`]).
+    pub eviction_scans: u64,
+    /// Segments inspected across all eviction sweeps.
+    pub eviction_scanned: u64,
+    /// Segments actually evicted across all sweeps.
+    pub eviction_evicted: u64,
 }
 
 impl StoreStats {
@@ -150,6 +160,9 @@ pub struct FingerprintStore {
     segments: ShardedSegmentDb,
     parallel_checks: AtomicU64,
     sequential_checks: AtomicU64,
+    eviction_scans: AtomicU64,
+    eviction_scanned: AtomicU64,
+    eviction_evicted: AtomicU64,
 }
 
 impl FingerprintStore {
@@ -298,11 +311,21 @@ impl FingerprintStore {
 
     /// Evicts every segment last updated strictly before `cutoff`,
     /// returning how many were removed.
+    ///
+    /// Each call counts one eviction sweep in [`StoreStats`]; the number of
+    /// segments the sweep inspected and the number actually evicted are
+    /// accumulated alongside, so long-running deployments can tell how much
+    /// work the periodic cleanup of §4.4 costs.
     pub fn evict_older_than(&self, cutoff: Timestamp) -> usize {
+        self.eviction_scans.fetch_add(1, Ordering::Relaxed);
+        self.eviction_scanned
+            .fetch_add(self.segments.len() as u64, Ordering::Relaxed);
         let victims = self.segments.segments_older_than(cutoff);
         for &segment in &victims {
             self.remove_segment(segment);
         }
+        self.eviction_evicted
+            .fetch_add(victims.len() as u64, Ordering::Relaxed);
         victims.len()
     }
 
@@ -327,8 +350,8 @@ impl FingerprintStore {
         self.segments.ids().into_iter()
     }
 
-    /// A snapshot of the shard-occupancy, lock-contention and
-    /// parallel-vs-sequential check counters.
+    /// A snapshot of the shard-occupancy, lock-contention,
+    /// parallel-vs-sequential check and eviction counters.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
             shard_count: self.hashes.shard_count(),
@@ -336,8 +359,13 @@ impl FingerprintStore {
             segment_shard_sizes: self.segments.shard_sizes(),
             hash_lock_contention: self.hashes.contention_count(),
             segment_lock_contention: self.segments.contention_count(),
+            hash_shard_contention: self.hashes.contention_counts(),
+            segment_shard_contention: self.segments.contention_counts(),
             parallel_checks: self.parallel_checks.load(Ordering::Relaxed),
             sequential_checks: self.sequential_checks.load(Ordering::Relaxed),
+            eviction_scans: self.eviction_scans.load(Ordering::Relaxed),
+            eviction_scanned: self.eviction_scanned.load(Ordering::Relaxed),
+            eviction_evicted: self.eviction_evicted.load(Ordering::Relaxed),
         }
     }
 
@@ -559,6 +587,39 @@ mod tests {
         assert_eq!(store.evict_older_than(cutoff), 1);
         assert!(store.segment(SegmentId::new(1)).is_none());
         assert!(store.segment(SegmentId::new(2)).is_some());
+    }
+
+    #[test]
+    fn eviction_counters_track_sweeps() {
+        let fp = fp();
+        let store = FingerprintStore::new();
+        store.observe(SegmentId::new(1), &fp.fingerprint(SECRET), 0.5);
+        let cutoff = store.now();
+        store.observe(
+            SegmentId::new(2),
+            &fp.fingerprint("some other long enough text to produce a fingerprint"),
+            0.5,
+        );
+        assert_eq!(store.evict_older_than(cutoff), 1);
+        // Second sweep with the same cutoff inspects the survivor and
+        // evicts nothing.
+        assert_eq!(store.evict_older_than(cutoff), 0);
+        let stats = store.stats();
+        assert_eq!(stats.eviction_scans, 2);
+        assert_eq!(stats.eviction_scanned, 3); // 2 segments, then 1.
+        assert_eq!(stats.eviction_evicted, 1);
+        // Per-shard contention vectors line up with the shard count and sum
+        // to the aggregate counters.
+        assert_eq!(stats.hash_shard_contention.len(), stats.shard_count);
+        assert_eq!(stats.segment_shard_contention.len(), stats.shard_count);
+        assert_eq!(
+            stats.hash_shard_contention.iter().sum::<u64>(),
+            stats.hash_lock_contention
+        );
+        assert_eq!(
+            stats.segment_shard_contention.iter().sum::<u64>(),
+            stats.segment_lock_contention
+        );
     }
 
     #[test]

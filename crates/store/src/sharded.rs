@@ -11,9 +11,12 @@
 //! checkers proceed in parallel and writers block only one stripe at a
 //! time.
 //!
-//! Each striped database also counts lock contention: every acquisition
-//! first tries the lock without blocking and bumps a counter when it has to
-//! wait. The counters feed the concurrency metrics in `browserflow-core`.
+//! Each striped database also counts lock contention *per shard*: every
+//! acquisition first tries the lock without blocking and bumps that
+//! shard's counter when it has to wait. The counters feed the concurrency
+//! metrics in `browserflow-core` and show whether contention concentrates
+//! on hot stripes (a skewed hash mix) or spreads evenly (true lock
+//! pressure).
 
 use crate::hash_db::{HashDb, Sighting};
 use crate::segment_db::{SegmentDb, StoredSegment};
@@ -36,11 +39,12 @@ pub(crate) fn default_shard_count() -> usize {
 /// could not be taken without blocking.
 macro_rules! read_shard {
     ($self:expr, $index:expr) => {{
-        let shard = &$self.shards[$index];
+        let index = $index;
+        let shard = &$self.shards[index];
         match shard.try_read() {
             Some(guard) => guard,
             None => {
-                $self.contended.fetch_add(1, Ordering::Relaxed);
+                $self.contended[index].fetch_add(1, Ordering::Relaxed);
                 shard.read()
             }
         }
@@ -51,11 +55,12 @@ macro_rules! read_shard {
 /// could not be taken without blocking.
 macro_rules! write_shard {
     ($self:expr, $index:expr) => {{
-        let shard = &$self.shards[$index];
+        let index = $index;
+        let shard = &$self.shards[index];
         match shard.try_write() {
             Some(guard) => guard,
             None => {
-                $self.contended.fetch_add(1, Ordering::Relaxed);
+                $self.contended[index].fetch_add(1, Ordering::Relaxed);
                 shard.write()
             }
         }
@@ -71,7 +76,8 @@ macro_rules! write_shard {
 pub struct ShardedHashDb {
     shards: Box<[RwLock<HashDb>]>,
     mask: usize,
-    contended: AtomicU64,
+    /// One contended-acquisition counter per shard.
+    contended: Box<[AtomicU64]>,
 }
 
 impl Default for ShardedHashDb {
@@ -91,10 +97,11 @@ impl ShardedHashDb {
     pub fn with_shards(shards: usize) -> Self {
         let count = shards.max(1).next_power_of_two();
         let shards: Vec<RwLock<HashDb>> = (0..count).map(|_| RwLock::new(HashDb::new())).collect();
+        let contended: Vec<AtomicU64> = (0..count).map(|_| AtomicU64::new(0)).collect();
         Self {
             shards: shards.into_boxed_slice(),
             mask: count - 1,
-            contended: AtomicU64::new(0),
+            contended: contended.into_boxed_slice(),
         }
     }
 
@@ -155,9 +162,20 @@ impl ShardedHashDb {
             .collect()
     }
 
-    /// Number of lock acquisitions that had to wait for another holder.
+    /// Total lock acquisitions that had to wait for another holder.
     pub fn contention_count(&self) -> u64 {
-        self.contended.load(Ordering::Relaxed)
+        self.contended
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard contended-acquisition counts.
+    pub fn contention_counts(&self) -> Vec<u64> {
+        self.contended
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -166,7 +184,8 @@ impl ShardedHashDb {
 pub struct ShardedSegmentDb {
     shards: Box<[RwLock<SegmentDb>]>,
     mask: usize,
-    contended: AtomicU64,
+    /// One contended-acquisition counter per shard.
+    contended: Box<[AtomicU64]>,
 }
 
 impl Default for ShardedSegmentDb {
@@ -187,10 +206,11 @@ impl ShardedSegmentDb {
         let count = shards.max(1).next_power_of_two();
         let shards: Vec<RwLock<SegmentDb>> =
             (0..count).map(|_| RwLock::new(SegmentDb::new())).collect();
+        let contended: Vec<AtomicU64> = (0..count).map(|_| AtomicU64::new(0)).collect();
         Self {
             shards: shards.into_boxed_slice(),
             mask: count - 1,
-            contended: AtomicU64::new(0),
+            contended: contended.into_boxed_slice(),
         }
     }
 
@@ -261,9 +281,20 @@ impl ShardedSegmentDb {
             .collect()
     }
 
-    /// Number of lock acquisitions that had to wait for another holder.
+    /// Total lock acquisitions that had to wait for another holder.
     pub fn contention_count(&self) -> u64 {
-        self.contended.load(Ordering::Relaxed)
+        self.contended
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard contended-acquisition counts.
+    pub fn contention_counts(&self) -> Vec<u64> {
+        self.contended
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -328,6 +359,21 @@ mod tests {
         let mut ids = db.ids();
         ids.sort_unstable();
         assert_eq!(ids.len(), 31);
+    }
+
+    #[test]
+    fn per_shard_contention_counts_sum_to_total() {
+        let db = ShardedHashDb::with_shards(4);
+        let counts = db.contention_counts();
+        assert_eq!(counts.len(), db.shard_count());
+        assert_eq!(counts.iter().sum::<u64>(), db.contention_count());
+        // Uncontended single-threaded use never bumps any shard counter.
+        for i in 0..100u32 {
+            db.record_first_sighting(i, SegmentId::new(1), Timestamp::new(0));
+            db.oldest_with(i);
+        }
+        assert_eq!(db.contention_count(), 0);
+        assert!(db.contention_counts().iter().all(|&c| c == 0));
     }
 
     #[test]

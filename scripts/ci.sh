@@ -5,9 +5,13 @@
 #   1. grep gates: no deprecated check_upload wrappers outside their
 #      definition site, no panicking worker expects in the pipeline
 #   2. rustfmt check over the first-party packages
-#   3. clippy with warnings denied over the first-party packages
+#   3. clippy with warnings (and the clippy::perf group) denied over the
+#      first-party packages
 #   4. the tier-1 gate: release build + full test suite
 #   5. the async pipeline integration tests under --release
+#   6. a release-mode smoke run of the keystroke fingerprint bench, which
+#      regenerates BENCH_fingerprint.json and asserts the incremental
+#      path stays >= 5x faster than full re-fingerprinting at 4 k chars
 #
 # The vendored shims under third_party/ are intentionally excluded from
 # the fmt/clippy gates: they mirror upstream crate APIs and are not held
@@ -53,8 +57,8 @@ fi
 echo "==> cargo fmt --check (first-party)"
 cargo fmt "${pkg_flags[@]}" -- --check
 
-echo "==> cargo clippy -D warnings (first-party)"
-cargo clippy "${pkg_flags[@]}" --all-targets -- -D warnings
+echo "==> cargo clippy -D warnings -D clippy::perf (first-party)"
+cargo clippy "${pkg_flags[@]}" --all-targets -- -D warnings -D clippy::perf
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
@@ -64,5 +68,10 @@ cargo test -q
 
 echo "==> pipeline tests under --release"
 cargo test -q -p browserflow-integration --test pipeline --release
+
+echo "==> keystroke fingerprint bench smoke run (release)"
+# Regenerates BENCH_fingerprint.json; the binary itself asserts the
+# incremental path is >= 5x faster at 4 k-char paragraphs.
+cargo run -q --release -p browserflow-bench --bin bench_fingerprint
 
 echo "CI gate passed."
