@@ -12,7 +12,7 @@
 use browserflow::{AsyncDecider, BrowserFlow, CheckRequest, EnforcementMode};
 use browserflow_corpus::TextGen;
 use browserflow_fingerprint::Fingerprinter;
-use browserflow_store::{FingerprintStore, SegmentId, Timestamp};
+use browserflow_store::{codec, FingerprintStore, SegmentId, Timestamp};
 use browserflow_tdm::Service;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashSet;
@@ -23,6 +23,8 @@ const STORE_PARAGRAPHS: usize = 1_500;
 const CHECKS_PER_THREAD: usize = 40;
 /// Paragraphs per document-wide recheck in the async round-trip bench.
 const BATCH_PARAGRAPHS: usize = 32;
+/// Shard count for the v2 persistence round-trip bench.
+const PERSIST_SHARDS: usize = 16;
 
 fn paragraphs(count: usize, seed: u64) -> Vec<String> {
     let mut gen = TextGen::new(seed);
@@ -123,11 +125,39 @@ fn run_async_roundtrip() -> (f64, f64) {
     (sequential, batch)
 }
 
+/// Serialises the store with the sharded v2 codec and times the decode at
+/// one worker versus eight: the per-shard records are independent, so the
+/// parallel load scales with cores. Returns
+/// `(blob_bytes, encode_secs, decode_1_worker_secs, decode_8_workers_secs)`,
+/// each timing the best of three passes.
+fn run_persist_roundtrip(store: &FingerprintStore) -> (usize, f64, f64, f64) {
+    let best_of_3 = |f: &dyn Fn() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+    // Warm-up encode, then the measured passes.
+    let blob = codec::encode_v2_with_shards(store, PERSIST_SHARDS).expect("store fits the format");
+    let encode = best_of_3(&|| {
+        let start = Instant::now();
+        std::hint::black_box(
+            codec::encode_v2_with_shards(store, PERSIST_SHARDS).expect("store fits the format"),
+        );
+        start.elapsed().as_secs_f64()
+    });
+    let decode_at = |workers: usize| {
+        codec::decode_with_workers(&blob, workers).expect("blob decodes");
+        best_of_3(&|| {
+            let start = Instant::now();
+            std::hint::black_box(codec::decode_with_workers(&blob, workers).expect("blob decodes"));
+            start.elapsed().as_secs_f64()
+        })
+    };
+    (blob.len(), encode, decode_at(1), decode_at(8))
+}
+
 fn write_report(
     checker_series: &[(usize, f64)],
     fanout_series: &[(usize, f64)],
     baseline_checks_per_sec: f64,
     async_roundtrip: (f64, f64),
+    persist: (usize, f64, f64, f64),
     store: &FingerprintStore,
 ) {
     let cores = std::thread::available_parallelism()
@@ -188,16 +218,28 @@ fn write_report(
         batch_secs * 1e3,
         seq_secs / batch_secs
     );
+    let (blob_bytes, encode_secs, decode_1, decode_8) = persist;
+    let persist_json = format!(
+        "{{\"shards\": {PERSIST_SHARDS}, \"blob_bytes\": {blob_bytes}, \
+         \"encode_ms\": {:.4}, \"decode_1_worker_ms\": {:.4}, \
+         \"decode_8_workers_ms\": {:.4}, \"parallel_load_speedup\": {:.2}}}",
+        encode_secs * 1e3,
+        decode_1 * 1e3,
+        decode_8 * 1e3,
+        decode_1 / decode_8
+    );
     let json = format!(
         "{{\n  \"bench\": \"concurrent\",\n  \"host_cores\": {cores},\n  \
          \"store_paragraphs\": {STORE_PARAGRAPHS},\n  \
          \"note\": \"speedups are bounded by host_cores; a flat series on a \
          single-core host reflects the hardware, not the implementation; \
          async_batch_roundtrip compares 32 sequential blocking checks (32 worker \
-         round-trips) against one batched CheckRequest (1 round-trip)\",\n  \
+         round-trips) against one batched CheckRequest (1 round-trip); \
+         persist_roundtrip decodes one sharded v2 store blob at 1 vs 8 workers\",\n  \
          \"checker_thread_scaling\": [\n{}\n  ],\n  \
          \"algorithm1_fanout\": [\n{}\n  ],\n  \
          \"async_batch_roundtrip\": {async_json},\n  \
+         \"persist_roundtrip\": {persist_json},\n  \
          \"store_counters\": {store_json}\n}}\n",
         checker_json.join(",\n"),
         fanout_json.join(",\n")
@@ -299,9 +341,35 @@ fn bench_concurrent_checkers(c: &mut Criterion) {
         best.0 / best.1
     );
 
+    // Sharded persistence round-trip: encode once, decode at 1 vs 8
+    // workers over the same v2 blob.
+    let persist = run_persist_roundtrip(&store);
+    let mut group = c.benchmark_group("persist-roundtrip");
+    group.bench_function(format!("decode-{PERSIST_SHARDS}-shards"), |b| {
+        let blob = codec::encode_v2_with_shards(&store, PERSIST_SHARDS).expect("store fits");
+        b.iter(|| codec::decode_with_workers(&blob, 8).expect("blob decodes"))
+    });
+    group.finish();
+    println!(
+        "persist round-trip: {} shards, {} bytes, encode {:.3} ms, decode {:.3} ms (1 worker) \
+         / {:.3} ms (8 workers)",
+        PERSIST_SHARDS,
+        persist.0,
+        persist.1 * 1e3,
+        persist.2 * 1e3,
+        persist.3 * 1e3
+    );
+
     let (_, base_secs) = checker_series[0];
     let baseline = CHECKS_PER_THREAD as f64 / base_secs;
-    write_report(&checker_series, &fanout_series, baseline, best, &store);
+    write_report(
+        &checker_series,
+        &fanout_series,
+        baseline,
+        best,
+        persist,
+        &store,
+    );
 }
 
 fn quick() -> Criterion {

@@ -21,7 +21,10 @@ COMMANDS:
                                      print the tag-suppression audit log
     fingerprint <file>               fingerprint statistics for a text file
     compare <a> <b>                  pairwise disclosure between two files
-    state <file> --key <64-hex>      inspect a sealed middleware state file
+    state <file|dir> --key <64-hex> [--save-dir <dir>]
+                                     inspect a sealed state file or sharded
+                                     state directory; --save-dir re-persists
+                                     the loaded state as a sharded directory
     check --policy <policy.json> --source <svc>:<file> [--source ...]
           --dest <svc> <file>        would uploading <file> to <svc> violate?
     help                             this message
@@ -356,9 +359,11 @@ fn check_command(args: &[String]) -> Result<String, CliError> {
 }
 
 fn state_command(args: &[String]) -> Result<String, CliError> {
-    // Parse `<file> --key <hex>` by hand (the shared options do not apply).
+    // Parse `<file|dir> --key <hex> [--save-dir <dir>]` by hand (the
+    // shared options do not apply).
     let mut path: Option<&str> = None;
     let mut key_hex: Option<&str> = None;
+    let mut save_dir: Option<&str> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -368,21 +373,48 @@ fn state_command(args: &[String]) -> Result<String, CliError> {
                         .ok_or_else(|| CliError::Usage("--key requires a value".into()))?,
                 );
             }
+            "--save-dir" => {
+                save_dir = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage("--save-dir requires a value".into()))?,
+                );
+            }
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown option {flag}")));
             }
             positional => path = Some(positional),
         }
     }
-    let path = path.ok_or_else(|| CliError::Usage("state requires a file argument".into()))?;
+    let path =
+        path.ok_or_else(|| CliError::Usage("state requires a file or directory argument".into()))?;
     let key = parse_key(key_hex.unwrap_or(&"00".repeat(32)))?;
-    let bytes = std::fs::read(path)?;
-    let sealed = SealedBytes::from_bytes(&bytes)
-        .map_err(|e| CliError::Usage(format!("not a sealed state file: {e}")))?;
-    let flow = BrowserFlow::import_sealed(key, &sealed)
-        .map_err(|e| CliError::Usage(format!("cannot open state: {e}")))?;
     let mut out = String::new();
-    writeln!(out, "state file:        {path}").unwrap();
+    let flow = if std::path::Path::new(path).is_dir() {
+        // Sharded state directory: load with torn-write recovery and
+        // report any shards that did not survive.
+        let (flow, report) = BrowserFlow::load_from_dir(key, std::path::Path::new(path))
+            .map_err(|e| CliError::Usage(format!("cannot open state directory: {e}")))?;
+        writeln!(out, "state directory:   {path}").unwrap();
+        writeln!(out, "paragraph shards:  {}", report.paragraphs).unwrap();
+        writeln!(out, "document shards:   {}", report.documents).unwrap();
+        if !report.is_complete() {
+            writeln!(
+                out,
+                "WARNING: some shards were lost to corruption; the listed \
+                 fingerprints are no longer tracked"
+            )
+            .unwrap();
+        }
+        flow
+    } else {
+        let bytes = std::fs::read(path)?;
+        let sealed = SealedBytes::from_bytes(&bytes)
+            .map_err(|e| CliError::Usage(format!("not a sealed state file: {e}")))?;
+        let flow = BrowserFlow::import_sealed(key, &sealed)
+            .map_err(|e| CliError::Usage(format!("cannot open state: {e}")))?;
+        writeln!(out, "state file:        {path}").unwrap();
+        flow
+    };
     writeln!(out, "enforcement mode:  {:?}", flow.mode()).unwrap();
     writeln!(
         out,
@@ -412,6 +444,11 @@ fn state_command(args: &[String]) -> Result<String, CliError> {
     .unwrap();
     out.push('\n');
     out.push_str(&browserflow::report::warning_report(&flow));
+    if let Some(dir) = save_dir {
+        flow.persist_to_dir(std::path::Path::new(dir))
+            .map_err(|e| CliError::Usage(format!("cannot write state directory: {e}")))?;
+        writeln!(out, "\nsaved sharded state directory: {dir}").unwrap();
+    }
     Ok(out)
 }
 
@@ -505,7 +542,7 @@ mod tests {
             "a paragraph long enough to fingerprint and store for inspection",
         )
         .unwrap();
-        let sealed = flow.export_sealed(0);
+        let sealed = flow.export_sealed();
         let path = std::env::temp_dir().join("bfctl-test-state.bin");
         std::fs::write(&path, sealed.to_bytes()).unwrap();
 
@@ -528,7 +565,36 @@ mod tests {
         ])
         .unwrap_err();
         assert!(error.to_string().contains("cannot open state"));
+
+        // --save-dir converts the loaded state into a sharded directory,
+        // which the same command can then inspect (with shard reporting).
+        let state_dir = std::env::temp_dir().join("bfctl-test-state-dir");
+        std::fs::remove_dir_all(&state_dir).ok();
+        let output = run(&[
+            "state".to_string(),
+            path.to_str().unwrap().to_string(),
+            "--key".to_string(),
+            "ab".repeat(32),
+            "--save-dir".to_string(),
+            state_dir.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        assert!(output.contains("saved sharded state directory"), "{output}");
+
+        let output = run(&[
+            "state".to_string(),
+            state_dir.to_str().unwrap().to_string(),
+            "--key".to_string(),
+            "ab".repeat(32),
+        ])
+        .unwrap();
+        assert!(output.contains("state directory:"), "{output}");
+        assert!(output.contains("paragraph shards:"), "{output}");
+        assert!(output.contains("tracked paragraphs: 1"), "{output}");
+        assert!(!output.contains("WARNING"), "{output}");
+
         std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&state_dir).ok();
     }
 
     #[test]

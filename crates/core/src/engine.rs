@@ -5,7 +5,7 @@ use browserflow_fingerprint::{
     Fingerprint, FingerprintConfig, Fingerprinter, IncrementalFingerprinter, TextEdit,
 };
 use browserflow_store::{
-    DecisionCache, FingerprintDigest, FingerprintStore, IncrementalChecker, SegmentId,
+    DecisionCache, FingerprintDigest, FingerprintStore, IncrementalChecker, SegmentId, Timestamp,
 };
 use browserflow_tdm::ServiceId;
 use parking_lot::{Mutex, RwLock};
@@ -203,6 +203,10 @@ struct KeystrokeState {
     fingerprinter: IncrementalFingerprinter,
     checker: IncrementalChecker,
     edits_since_compact: u64,
+    /// Paragraph-store logical time of the session's last validated edit,
+    /// so the eviction sweep can drop sessions idle since before the
+    /// sweep's cutoff.
+    last_activity: Timestamp,
 }
 
 /// Keystroke sessions drop zero-overlap candidates this often (§4.3's
@@ -559,14 +563,17 @@ impl DisclosureEngine {
         key: &SegmentKey,
         edit: &TextEdit,
     ) -> Result<&'s mut KeystrokeState, StaleEditError> {
+        let now = self.paragraphs.now();
         let state = sessions.entry(id).or_insert_with(|| KeystrokeState {
             fingerprinter: IncrementalFingerprinter::new(self.config.fingerprint),
             checker: IncrementalChecker::new(id),
             edits_since_compact: 0,
+            last_activity: now,
         });
         if !edit.applies_to(state.fingerprinter.text()) {
             return Err(StaleEditError { key: key.clone() });
         }
+        state.last_activity = now;
         Ok(state)
     }
 
@@ -680,17 +687,45 @@ impl DisclosureEngine {
         }
     }
 
+    /// Number of entries in the key↔id registry.
+    pub fn registered_segment_count(&self) -> usize {
+        self.registry.read().ids.len()
+    }
+
     /// Evicts every paragraph fingerprint stored before this call (the
     /// periodic old-fingerprint removal of §4.4). Evicted segments are no
     /// longer reported as sources; re-observing re-establishes tracking.
     /// Returns how many segments were evicted.
+    ///
+    /// Derived per-segment state rides along with the sweep: the evicted
+    /// segments' key↔id registry entries are dropped (they would otherwise
+    /// accumulate forever under churn), and keystroke sessions that are
+    /// either attached to a victim or idle since before the cutoff are
+    /// closed, so million-user traffic cannot grow the session map without
+    /// bound.
     pub fn evict_paragraphs_older_than_now(&self) -> usize {
         let cutoff = self.paragraphs.now();
-        let evicted = self.paragraphs.evict_older_than(cutoff);
-        if evicted > 0 {
+        let victims = self.paragraphs.evict_segments_older_than(cutoff);
+        if !victims.is_empty() {
+            let mut registry = self.registry.write();
+            for id in &victims {
+                if let Some(key) = registry.keys.remove(id) {
+                    registry.ids.remove(&key);
+                }
+            }
+        }
+        // A victim's session must go regardless of activity (its store
+        // entry is gone); an idle survivor's session goes too, since no
+        // edit has touched it since before every currently-stored
+        // fingerprint. Sessions touched after the last observation have
+        // `last_activity == cutoff` and survive.
+        self.keystrokes
+            .lock()
+            .retain(|id, state| !victims.contains(id) && state.last_activity >= cutoff);
+        if !victims.is_empty() {
             self.cache.clear();
         }
-        evicted
+        victims.len()
     }
 }
 
@@ -865,6 +900,46 @@ mod tests {
         assert!(engine.reset_keystroke_session(&gdocs, 0));
         assert!(!engine.reset_keystroke_session(&gdocs, 0));
         assert_eq!(engine.with_keystroke_text(&gdocs, 0, str::len), None);
+    }
+
+    #[test]
+    fn eviction_sweep_cleans_registry_and_idle_sessions() {
+        let engine = engine();
+        let wiki = DocKey::new("wiki", "rubric");
+        let gdocs = DocKey::new("gdocs", "draft");
+        engine.observe_paragraph(&wiki, 0, SECRET, None);
+        // An idle keystroke session, last touched before the next store
+        // observation.
+        engine
+            .apply_paragraph_edit(&gdocs, 0, &TextEdit::insert(0, "typed early"))
+            .unwrap();
+        engine.observe_paragraph(
+            &wiki,
+            1,
+            "another paragraph with enough words to fingerprint",
+            None,
+        );
+        // A fresh session, touched after every store observation.
+        engine
+            .apply_paragraph_edit(&gdocs, 1, &TextEdit::insert(0, "typed late"))
+            .unwrap();
+        assert_eq!(engine.registered_segment_count(), 4);
+        assert_eq!(engine.keystroke_session_count(), 2);
+
+        assert_eq!(engine.evict_paragraphs_older_than_now(), 2);
+        // Both evicted paragraphs left the registry; the checked-only
+        // gdocs keys stay (they own no store entry to evict).
+        assert_eq!(engine.registered_segment_count(), 2);
+        assert_eq!(engine.paragraph_count(), 0);
+        assert!(engine
+            .segment_id_readonly(&SegmentKey::paragraph(wiki.clone(), 0))
+            .is_none());
+        // The idle session died with the sweep; the fresh one survives.
+        assert_eq!(engine.keystroke_session_count(), 1);
+        assert!(engine.with_keystroke_text(&gdocs, 0, str::len).is_none());
+        assert!(engine
+            .with_keystroke_text(&gdocs, 1, |text| text == "typed late")
+            .unwrap());
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub use middleware::{
     UploadAction, UploadDecision, Violation, Warning,
 };
 pub use request::{CheckRequest, ParagraphRef};
-pub use state::StateError;
+pub use state::{StateError, StateRestoreReport};
 
 // The keystroke hot path speaks in edits and deltas; re-export the types
 // so plug-in callers need not depend on the fingerprint crate directly.

@@ -18,7 +18,6 @@ use browserflow_tdm::{Policy, PolicyError, SegmentLabel, Service, ServiceId, Tag
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What the enforcement module does when an upload violates the policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -235,7 +234,6 @@ impl BrowserFlowBuilder {
             store_key: self
                 .store_key
                 .unwrap_or_else(|| StoreKey::from_bytes([0u8; 32])),
-            seal_nonce: AtomicU64::new(0),
             short_secrets: Vec::new(),
         })
     }
@@ -245,9 +243,9 @@ impl BrowserFlowBuilder {
 ///
 /// Observation and enforcement (`observe_*`, `check_*`, `seal_body`) take
 /// `&self`: the label map sits behind an [`RwLock`], the warning trail
-/// behind a [`Mutex`], the seal nonce is atomic, and the engine's stores
-/// are internally sharded — so concurrent interception hooks share one
-/// instance without an external lock. Administrative operations
+/// behind a [`Mutex`], seal nonces come from a process-wide counter, and
+/// the engine's stores are internally sharded — so concurrent interception
+/// hooks share one instance without an external lock. Administrative operations
 /// (policy edits, tag suppression, mode changes) still take `&mut self`.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
@@ -259,7 +257,6 @@ pub struct BrowserFlow {
     mode: EnforcementMode,
     warnings: Mutex<Vec<Warning>>,
     store_key: StoreKey,
-    seal_nonce: AtomicU64,
     short_secrets: Vec<ShortSecret>,
 }
 
@@ -860,17 +857,18 @@ impl BrowserFlow {
     ///
     /// The key defaults to a zero key if none was configured (tests);
     /// production deployments set one via
-    /// [`BrowserFlowBuilder::store_key`]. The nonce counter is atomic, so
-    /// concurrent sealers never reuse a nonce.
+    /// [`BrowserFlowBuilder::store_key`]. Nonces come from the
+    /// process-wide counter behind [`StoreKey::seal_auto`], so concurrent
+    /// sealers — and repeated seals of the same body — never reuse a
+    /// keystream.
     pub fn seal_body(&self, body: &str) -> String {
-        let nonce = self.seal_nonce.fetch_add(1, Ordering::Relaxed);
-        let sealed = self.store_key.seal(nonce, body.as_bytes());
+        let sealed = self.store_key.seal_auto(body.as_bytes());
         let mut hex = String::with_capacity(sealed.len() * 2);
         for byte in sealed.ciphertext() {
             use std::fmt::Write as _;
             let _ = write!(hex, "{byte:02x}");
         }
-        format!("bf-sealed:{nonce}:{hex}")
+        format!("bf-sealed:{}:{hex}", sealed.nonce())
     }
 
     /// The action taken for any violation under the current mode.
@@ -899,11 +897,6 @@ impl BrowserFlow {
         entries
     }
 
-    /// The next seal nonce (persistence path).
-    pub(crate) fn seal_nonce_value(&self) -> u64 {
-        self.seal_nonce.load(Ordering::Relaxed)
-    }
-
     /// The store key (persistence path; the zero-key default is
     /// materialised at build time).
     pub(crate) fn store_key_ref(&self) -> &StoreKey {
@@ -911,14 +904,12 @@ impl BrowserFlow {
     }
 
     /// Reassembles a middleware instance from persisted parts.
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_restored(
         engine: DisclosureEngine,
         policy: Policy,
         labels: HashMap<SegmentId, SegmentLabel>,
         mode: EnforcementMode,
         store_key: StoreKey,
-        seal_nonce: u64,
         short_secrets: Vec<ShortSecret>,
     ) -> Self {
         Self {
@@ -928,7 +919,6 @@ impl BrowserFlow {
             mode,
             warnings: Mutex::new(Vec::new()),
             store_key,
-            seal_nonce: AtomicU64::new(seal_nonce),
             short_secrets,
         }
     }
@@ -1166,11 +1156,12 @@ mod tests {
     fn seal_body_produces_printable_payload() {
         let flow = flow(EnforcementMode::Encrypt);
         let sealed = flow.seal_body("secret text");
-        assert!(sealed.starts_with("bf-sealed:0:"));
+        assert!(sealed.starts_with("bf-sealed:"));
         assert!(!sealed.contains("secret"));
-        // Nonces advance.
+        // Sealing the same body twice must draw fresh nonces and so
+        // produce different payloads (keystream reuse regression).
         let sealed2 = flow.seal_body("secret text");
-        assert!(sealed2.starts_with("bf-sealed:1:"));
+        assert_ne!(sealed, sealed2);
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! Persistence of the full middleware state.
 //!
 //! §4.4 requires that long-term fingerprint storage be encrypted at rest.
-//! [`BrowserFlow::export_sealed`] serialises the complete middleware state
-//! — policy (including the audit log), segment labels, the key registry
-//! and both fingerprint stores — and seals it under the store key, so a
-//! deployment survives browser restarts without ever writing plaintext
-//! fingerprints to disk.
+//! Two forms are supported:
 //!
-//! Wire layout (inside the sealed envelope):
+//! - [`BrowserFlow::export_sealed`] — one sealed envelope holding the
+//!   complete middleware state: policy (including the audit log), segment
+//!   labels, the key registry and both fingerprint stores. Convenient for
+//!   small deployments and transport.
+//! - [`BrowserFlow::persist_to_dir`] / [`BrowserFlow::load_from_dir`] —
+//!   a directory layout that persists each store shard as its own sealed,
+//!   atomically written file (see [`browserflow_store::persist`]), so a
+//!   torn write loses one shard instead of everything and large stores
+//!   load in parallel. The registry/policy metadata is sealed into
+//!   `state.bfmeta`, written last.
+//!
+//! Envelope wire layout (inside the seal):
 //!
 //! ```text
 //! u32 json_len | json metadata (policy, labels, keys, config)
@@ -18,9 +25,20 @@
 use crate::engine::{DisclosureEngine, EngineConfig, SegmentKey};
 use crate::middleware::{BrowserFlow, EnforcementMode, Warning};
 use crate::short_secret::ShortSecret;
-use browserflow_store::{codec, CodecError, SealedBytes, SegmentId, StoreKey};
+use browserflow_store::persist::write_atomic;
+use browserflow_store::{
+    codec, CodecError, PersistError, RestoreReport, SealedBytes, SegmentId, StoreKey,
+};
 use browserflow_tdm::{Policy, SegmentLabel};
 use std::fmt;
+use std::path::Path;
+
+/// File holding the sealed registry/policy metadata in a state directory.
+const METADATA_FILE: &str = "state.bfmeta";
+/// Subdirectory holding the paragraph store's sealed shards.
+const PARAGRAPHS_DIR: &str = "paragraphs";
+/// Subdirectory holding the document store's sealed shards.
+const DOCUMENTS_DIR: &str = "documents";
 
 /// Error restoring persisted middleware state.
 #[derive(Debug)]
@@ -32,6 +50,8 @@ pub enum StateError {
     Metadata(serde_json::Error),
     /// The payload structure was invalid (lengths out of range).
     Malformed,
+    /// A state directory could not be read or written.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for StateError {
@@ -40,6 +60,7 @@ impl fmt::Display for StateError {
             StateError::Codec(e) => write!(f, "store payload rejected: {e}"),
             StateError::Metadata(e) => write!(f, "metadata rejected: {e}"),
             StateError::Malformed => write!(f, "state payload is malformed"),
+            StateError::Io(e) => write!(f, "state directory I/O error: {e}"),
         }
     }
 }
@@ -52,6 +73,38 @@ impl From<CodecError> for StateError {
     }
 }
 
+impl From<std::io::Error> for StateError {
+    fn from(e: std::io::Error) -> Self {
+        StateError::Io(e)
+    }
+}
+
+impl From<PersistError> for StateError {
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Io(e) => StateError::Io(e),
+            PersistError::Codec(e) => StateError::Codec(e),
+        }
+    }
+}
+
+/// Per-store [`RestoreReport`]s from [`BrowserFlow::load_from_dir`]: which
+/// shards of each fingerprint store survived the restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateRestoreReport {
+    /// Shard outcome for the paragraph store.
+    pub paragraphs: RestoreReport,
+    /// Shard outcome for the document store.
+    pub documents: RestoreReport,
+}
+
+impl StateRestoreReport {
+    /// Whether every shard of both stores was restored.
+    pub fn is_complete(&self) -> bool {
+        self.paragraphs.is_complete() && self.documents.is_complete()
+    }
+}
+
 #[derive(serde::Serialize, serde::Deserialize)]
 struct Metadata {
     engine: EngineConfig,
@@ -59,7 +112,6 @@ struct Metadata {
     policy: Policy,
     keys: Vec<(SegmentKey, u64)>,
     labels: Vec<(u64, SegmentLabel)>,
-    seal_nonce: u64,
     #[serde(default)]
     short_secrets: Vec<ShortSecret>,
     #[serde(default)]
@@ -114,11 +166,8 @@ fn read_chunk<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], StateErr
 }
 
 impl BrowserFlow {
-    /// Serialises the complete middleware state and seals it under the
-    /// configured store key (a zero key is used if none was configured —
-    /// set one via [`crate::BrowserFlowBuilder::store_key`] in production).
-    pub fn export_sealed(&self, nonce: u64) -> SealedBytes {
-        let metadata = Metadata {
+    fn metadata_snapshot(&self) -> Metadata {
+        Metadata {
             engine: *self.engine().config(),
             mode: self.mode().into(),
             policy: self.policy().clone(),
@@ -133,19 +182,63 @@ impl BrowserFlow {
                 .into_iter()
                 .map(|(id, label)| (id.get(), label))
                 .collect(),
-            seal_nonce: self.seal_nonce_value(),
             short_secrets: self.short_secrets_snapshot(),
             warnings: self.warnings(),
-        };
-        let json = serde_json::to_vec(&metadata).expect("state always serialises");
+        }
+    }
+
+    fn from_metadata(
+        metadata: Metadata,
+        paragraphs: browserflow_store::FingerprintStore,
+        documents: browserflow_store::FingerprintStore,
+        key: StoreKey,
+    ) -> Self {
+        let engine = DisclosureEngine::from_parts(
+            metadata.engine,
+            paragraphs,
+            documents,
+            metadata
+                .keys
+                .into_iter()
+                .map(|(k, id)| (k, SegmentId::new(id)))
+                .collect(),
+        );
+        let mut flow = BrowserFlow::from_restored(
+            engine,
+            metadata.policy,
+            metadata
+                .labels
+                .into_iter()
+                .map(|(id, label)| (SegmentId::new(id), label))
+                .collect(),
+            metadata.mode.into(),
+            key,
+            metadata.short_secrets,
+        );
+        flow.restore_warnings(metadata.warnings);
+        flow
+    }
+
+    /// Serialises the complete middleware state and seals it under the
+    /// configured store key (a zero key is used if none was configured —
+    /// set one via [`crate::BrowserFlowBuilder::store_key`] in production).
+    /// The seal nonce is drawn from the process-wide counter, so repeated
+    /// exports never reuse a keystream.
+    pub fn export_sealed(&self) -> SealedBytes {
+        let json = serde_json::to_vec(&self.metadata_snapshot()).expect("state always serialises");
         let mut payload = Vec::new();
         push_chunk(&mut payload, &json);
         push_chunk(
             &mut payload,
-            &codec::encode(self.engine().paragraph_store()),
+            &codec::encode(self.engine().paragraph_store())
+                .expect("in-memory store fits the format"),
         );
-        push_chunk(&mut payload, &codec::encode(self.engine().document_store()));
-        self.store_key_ref().seal(nonce, &payload)
+        push_chunk(
+            &mut payload,
+            &codec::encode(self.engine().document_store())
+                .expect("in-memory store fits the format"),
+        );
+        self.store_key_ref().seal_auto(&payload)
     }
 
     /// Restores a middleware instance exported with
@@ -169,31 +262,69 @@ impl BrowserFlow {
         let metadata: Metadata = serde_json::from_slice(json).map_err(StateError::Metadata)?;
         let paragraphs = codec::decode(par_bytes)?;
         let documents = codec::decode(doc_bytes)?;
-        let engine = DisclosureEngine::from_parts(
-            metadata.engine,
-            paragraphs,
-            documents,
-            metadata
-                .keys
-                .into_iter()
-                .map(|(k, id)| (k, SegmentId::new(id)))
-                .collect(),
-        );
-        let mut flow = BrowserFlow::from_restored(
-            engine,
-            metadata.policy,
-            metadata
-                .labels
-                .into_iter()
-                .map(|(id, label)| (SegmentId::new(id), label))
-                .collect(),
-            metadata.mode.into(),
+        Ok(Self::from_metadata(metadata, paragraphs, documents, key))
+    }
+
+    /// Persists the complete middleware state to `dir` as a sealed,
+    /// sharded directory: each fingerprint-store shard is its own
+    /// atomically written file, and the registry/policy metadata lands
+    /// last, so a crash at any point leaves a loadable snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Io`] on filesystem failure and
+    /// [`StateError::Codec`] if a store exceeds the format's length
+    /// fields.
+    pub fn persist_to_dir(&self, dir: &Path) -> Result<(), StateError> {
+        let key = self.store_key_ref();
+        browserflow_store::persist_sealed_to_dir(
+            self.engine().paragraph_store(),
             key,
-            metadata.seal_nonce,
-            metadata.short_secrets,
-        );
-        flow.restore_warnings(metadata.warnings);
-        Ok(flow)
+            &dir.join(PARAGRAPHS_DIR),
+        )?;
+        browserflow_store::persist_sealed_to_dir(
+            self.engine().document_store(),
+            key,
+            &dir.join(DOCUMENTS_DIR),
+        )?;
+        let json = serde_json::to_vec(&self.metadata_snapshot()).expect("state always serialises");
+        write_atomic(&dir.join(METADATA_FILE), &key.seal_auto(&json).to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a state directory written by [`BrowserFlow::persist_to_dir`],
+    /// degrading gracefully: store shards that are torn or fail integrity
+    /// are dropped and reported in the [`StateRestoreReport`] while every
+    /// healthy shard loads (in parallel). Fingerprints in lost shards are
+    /// simply no longer tracked — re-observing re-establishes them.
+    ///
+    /// # Errors
+    ///
+    /// Fails hard when the metadata file or a store manifest is missing,
+    /// will not unseal under `key`, or is malformed.
+    pub fn load_from_dir(
+        key: StoreKey,
+        dir: &Path,
+    ) -> Result<(Self, StateRestoreReport), StateError> {
+        let wire = std::fs::read(dir.join(METADATA_FILE))?;
+        let sealed =
+            SealedBytes::from_bytes(&wire).map_err(|e| StateError::Codec(CodecError::Sealed(e)))?;
+        let json = key
+            .unseal(&sealed)
+            .map_err(|e| StateError::Codec(CodecError::Sealed(e)))?;
+        let metadata: Metadata = serde_json::from_slice(&json).map_err(StateError::Metadata)?;
+        let (paragraphs, par_report) =
+            browserflow_store::load_sealed_from_dir(&key, &dir.join(PARAGRAPHS_DIR))?;
+        let (documents, doc_report) =
+            browserflow_store::load_sealed_from_dir(&key, &dir.join(DOCUMENTS_DIR))?;
+        let flow = Self::from_metadata(metadata, paragraphs, documents, key);
+        Ok((
+            flow,
+            StateRestoreReport {
+                paragraphs: par_report,
+                documents: doc_report,
+            },
+        ))
     }
 }
 
@@ -204,6 +335,7 @@ mod tests {
     use browserflow_tdm::{Service, Tag, TagSet, UserId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::path::PathBuf;
 
     const SECRET: &str = "the confidential interview rubric awards extra points for \
                           candidates who ask incisive clarifying questions early";
@@ -226,6 +358,12 @@ mod tests {
         flow
     }
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bf-state-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn export_import_roundtrip_preserves_decisions() {
         let flow = sample_flow();
@@ -234,7 +372,7 @@ mod tests {
             .unwrap();
         assert_eq!(before.action, UploadAction::Block);
 
-        let sealed = flow.export_sealed(1);
+        let sealed = flow.export_sealed();
         let restored =
             BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
         let after = restored
@@ -251,7 +389,7 @@ mod tests {
         let key = SegmentKey::paragraph(DocKey::new("itool", "eval"), 0);
         flow.suppress_tag(&key, &Tag::new("ti").unwrap(), &UserId::new("alice"), "ok")
             .unwrap();
-        let sealed = flow.export_sealed(2);
+        let sealed = flow.export_sealed();
         let restored =
             BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
         // The suppression survives: the upload is now allowed.
@@ -268,7 +406,7 @@ mod tests {
     #[test]
     fn wrong_key_is_rejected() {
         let flow = sample_flow();
-        let sealed = flow.export_sealed(3);
+        let sealed = flow.export_sealed();
         let mut rng = StdRng::seed_from_u64(1);
         assert!(matches!(
             BrowserFlow::import_sealed(StoreKey::generate(&mut rng), &sealed),
@@ -279,7 +417,7 @@ mod tests {
     #[test]
     fn restored_flow_keeps_allocating_fresh_segment_ids() {
         let flow = sample_flow();
-        let sealed = flow.export_sealed(4);
+        let sealed = flow.export_sealed();
         let restored =
             BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
         // New observations must not collide with restored ids.
@@ -298,7 +436,7 @@ mod tests {
         let mut flow = sample_flow();
         flow.register_short_secret(&"itool".into(), "api-key", "Kx9#q2!z")
             .unwrap();
-        let sealed = flow.export_sealed(6);
+        let sealed = flow.export_sealed();
         let restored =
             BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
         assert_eq!(restored.short_secret_count(), 1);
@@ -319,7 +457,7 @@ mod tests {
         flow.check_one(&CheckRequest::paragraph("gdocs", "d", 0, SECRET))
             .unwrap();
         assert_eq!(flow.warnings().len(), 1);
-        let sealed = flow.export_sealed(7);
+        let sealed = flow.export_sealed();
         let restored =
             BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
         assert_eq!(restored.warnings().len(), 1);
@@ -327,15 +465,82 @@ mod tests {
     }
 
     #[test]
-    fn seal_nonce_continues_after_restore() {
+    fn consecutive_exports_never_share_a_ciphertext() {
+        // Nonce-reuse regression: the old API sealed every export under a
+        // caller-chosen nonce; two exports with the same nonce handed an
+        // attacker the XOR of the plaintexts. seal_auto must differ.
         let flow = sample_flow();
-        let first = flow.seal_body("x");
-        assert!(first.starts_with("bf-sealed:0:"));
-        let sealed = flow.export_sealed(5);
-        let restored =
-            BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
-        // Nonce must not be reused after the restart.
-        let next = restored.seal_body("y");
-        assert!(next.starts_with("bf-sealed:1:"), "{next}");
+        let first = flow.export_sealed();
+        let second = flow.export_sealed();
+        assert_ne!(first.nonce(), second.nonce());
+        assert_ne!(first.ciphertext(), second.ciphertext());
+        // Both restore fine.
+        assert!(BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &first).is_ok());
+        assert!(BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &second).is_ok());
+    }
+
+    #[test]
+    fn state_directory_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let flow = sample_flow();
+        flow.persist_to_dir(&dir).unwrap();
+        let (restored, report) =
+            BrowserFlow::load_from_dir(StoreKey::from_bytes([3u8; 32]), &dir).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(
+            restored
+                .check_one(&CheckRequest::paragraph("gdocs", "d", 0, SECRET))
+                .unwrap()
+                .action,
+            UploadAction::Block
+        );
+        assert_eq!(restored.mode(), EnforcementMode::Block);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn state_directory_with_torn_shard_degrades_gracefully() {
+        let dir = temp_dir("torn");
+        let flow = sample_flow();
+        flow.persist_to_dir(&dir).unwrap();
+        // Tear one paragraph-store shard file (truncate its sealed bytes).
+        let shards = dir.join(PARAGRAPHS_DIR);
+        let mut torn = false;
+        for entry in std::fs::read_dir(&shards).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            if name.starts_with("shard-") {
+                let bytes = std::fs::read(&path).unwrap();
+                if bytes.len() > 40 {
+                    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+                    torn = true;
+                    break;
+                }
+            }
+        }
+        assert!(torn, "found a shard with sealed content to tear");
+        let (restored, report) =
+            BrowserFlow::load_from_dir(StoreKey::from_bytes([3u8; 32]), &dir).unwrap();
+        assert_eq!(report.paragraphs.lost_shards.len(), 1);
+        assert!(report.documents.is_complete());
+        assert!(!report.is_complete());
+        // The flow still works; the lost fingerprints are just untracked.
+        restored
+            .check_one(&CheckRequest::paragraph("gdocs", "d", 0, SECRET))
+            .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_key_is_rejected_for_directories() {
+        let dir = temp_dir("wrongkey");
+        let flow = sample_flow();
+        flow.persist_to_dir(&dir).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(matches!(
+            BrowserFlow::load_from_dir(StoreKey::generate(&mut rng), &dir),
+            Err(StateError::Codec(CodecError::Sealed(_)))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -130,7 +130,7 @@ proptest! {
             .unwrap();
         flow.observe_paragraph(&"internal".into(), "doc", 0, &stored).unwrap();
         let before = flow.check_one(&CheckRequest::paragraph("external", "out", 0, &probe)).unwrap();
-        let sealed = flow.export_sealed(0);
+        let sealed = flow.export_sealed();
         let restored = BrowserFlow::import_sealed(
             StoreKey::from_bytes([9u8; 32]),
             &sealed,

@@ -51,16 +51,21 @@ mod disclosure;
 mod encryption;
 pub mod hash_db;
 mod incremental;
+pub mod persist;
 pub mod segment_db;
 pub mod sharded;
 
 pub use cache::{DecisionCache, FingerprintDigest};
 pub use clock::{LogicalClock, Timestamp};
-pub use codec::CodecError;
+pub use codec::{CodecError, RestoreReport, SealedStore};
 pub use disclosure::{disclosure_between, DisclosureReport};
 pub use encryption::{EncryptionError, SealedBytes, StoreKey};
 pub use hash_db::{HashDb, Sighting};
 pub use incremental::IncrementalChecker;
+pub use persist::{
+    load_from_dir, load_sealed_from_dir, persist_sealed_store, persist_sealed_to_dir,
+    persist_to_dir, PersistError,
+};
 pub use segment_db::{SegmentDb, StoredSegment};
 pub use sharded::{ShardedHashDb, ShardedSegmentDb};
 
@@ -317,6 +322,13 @@ impl FingerprintStore {
     /// accumulated alongside, so long-running deployments can tell how much
     /// work the periodic cleanup of §4.4 costs.
     pub fn evict_older_than(&self, cutoff: Timestamp) -> usize {
+        self.evict_segments_older_than(cutoff).len()
+    }
+
+    /// Like [`FingerprintStore::evict_older_than`], but returns the ids of
+    /// the evicted segments so callers holding derived per-segment state
+    /// (registries, keystroke sessions, caches) can clean up alongside.
+    pub fn evict_segments_older_than(&self, cutoff: Timestamp) -> Vec<SegmentId> {
         self.eviction_scans.fetch_add(1, Ordering::Relaxed);
         self.eviction_scanned
             .fetch_add(self.segments.len() as u64, Ordering::Relaxed);
@@ -326,7 +338,7 @@ impl FingerprintStore {
         }
         self.eviction_evicted
             .fetch_add(victims.len() as u64, Ordering::Relaxed);
-        victims.len()
+        victims
     }
 
     /// Number of stored segments.
@@ -337,6 +349,12 @@ impl FingerprintStore {
     /// Number of distinct hashes with a first-sighting record.
     pub fn hash_count(&self) -> usize {
         self.hashes.len()
+    }
+
+    /// Number of lock stripes in the sharded databases (also the shard
+    /// count the v2 codec uses by default).
+    pub fn shard_count(&self) -> usize {
+        self.hashes.shard_count()
     }
 
     /// Read access to a stored segment, as an owned handle: no shard lock

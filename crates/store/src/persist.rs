@@ -1,0 +1,350 @@
+//! Directory-backed store persistence with torn-write recovery.
+//!
+//! The v2 codec's manifest + per-shard records map one-to-one onto files:
+//!
+//! ```text
+//! <dir>/manifest.bfm     (plain)  or  <dir>/manifest.bfm.sealed
+//! <dir>/shard-0000.bfs   (plain)  or  <dir>/shard-0000.bfs.sealed
+//! <dir>/shard-0001.bfs   ...
+//! ```
+//!
+//! Every file is written atomically (temp file in the same directory →
+//! `fsync` → `rename`), shards before the manifest, so a crash at any
+//! point leaves either the previous consistent snapshot or the new one —
+//! never a half-written manifest pointing at nothing. If a crash lands
+//! between shard writes, the old manifest's CRCs disown the new shard
+//! bytes, and [`load_from_dir`] degrades gracefully: the mismatched shards
+//! are reported in the [`RestoreReport`] while every healthy shard loads.
+
+use crate::codec::{self, CodecError, RestoreReport};
+use crate::{FingerprintStore, SealedStore, StoreKey};
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const MANIFEST_FILE: &str = "manifest.bfm";
+const SEALED_SUFFIX: &str = ".sealed";
+
+fn shard_file(index: usize) -> String {
+    format!("shard-{index:04}.bfs")
+}
+
+/// Error persisting or loading a store directory.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The filesystem said no.
+    Io(std::io::Error),
+    /// The on-disk bytes are not a valid store (or the wrong key was
+    /// supplied for a sealed directory).
+    Codec(CodecError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "store persistence I/O error: {e}"),
+            PersistError::Codec(e) => write!(f, "store persistence codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Codec(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<CodecError> for PersistError {
+    fn from(e: CodecError) -> Self {
+        PersistError::Codec(e)
+    }
+}
+
+/// Writes `bytes` to `path` atomically: a temp file in the same directory
+/// is written, fsynced, then renamed over the destination, so readers and
+/// crash recovery only ever observe the old bytes or the new bytes.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), std::io::Error> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Persist the rename itself: fsync the containing directory.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+fn persist_parts(dir: &Path, manifest: &[u8], records: &[Vec<u8>]) -> Result<(), PersistError> {
+    fs::create_dir_all(dir)?;
+    // Shards first, manifest last: until the new manifest lands, loaders
+    // still see the previous snapshot's directory.
+    for (index, record) in records.iter().enumerate() {
+        write_atomic(&dir.join(shard_file(index)), record)?;
+    }
+    write_atomic(&dir.join(MANIFEST_FILE), manifest)?;
+    // Drop shard files beyond the new count left over from a previous,
+    // wider snapshot so they cannot shadow a future layout.
+    let mut stale = records.len();
+    loop {
+        let plain = dir.join(shard_file(stale));
+        let sealed = dir.join(format!("{}{SEALED_SUFFIX}", shard_file(stale)));
+        let removed_plain = fs::remove_file(&plain).is_ok();
+        let removed_sealed = fs::remove_file(&sealed).is_ok();
+        if !removed_plain && !removed_sealed {
+            break;
+        }
+        stale += 1;
+    }
+    Ok(())
+}
+
+/// Persists the store to `dir` as a plain (unsealed) sharded snapshot.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failure and
+/// [`PersistError::Codec`] if the store exceeds the format's length
+/// fields.
+pub fn persist_to_dir(store: &FingerprintStore, dir: &Path) -> Result<(), PersistError> {
+    let (manifest, records) = codec::encode_v2_parts(
+        store,
+        store.shard_count(),
+        crate::disclosure::default_workers(),
+    )?;
+    persist_parts(dir, &manifest, &records)
+}
+
+/// Persists the store to `dir` with every file sealed under `key`
+/// (encrypted at rest, §4.4).
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failure and
+/// [`PersistError::Codec`] if the store exceeds the format's length
+/// fields.
+pub fn persist_sealed_to_dir(
+    store: &FingerprintStore,
+    key: &StoreKey,
+    dir: &Path,
+) -> Result<(), PersistError> {
+    let (manifest, records) = codec::encode_v2_parts(
+        store,
+        store.shard_count(),
+        crate::disclosure::default_workers(),
+    )?;
+    fs::create_dir_all(dir)?;
+    for (index, record) in records.iter().enumerate() {
+        let sealed = key.seal_auto(record).to_bytes();
+        write_atomic(
+            &dir.join(format!("{}{SEALED_SUFFIX}", shard_file(index))),
+            &sealed,
+        )?;
+    }
+    write_atomic(
+        &dir.join(format!("{MANIFEST_FILE}{SEALED_SUFFIX}")),
+        &key.seal_auto(&manifest).to_bytes(),
+    )?;
+    let mut stale = records.len();
+    loop {
+        let plain = dir.join(shard_file(stale));
+        let sealed = dir.join(format!("{}{SEALED_SUFFIX}", shard_file(stale)));
+        let removed_plain = fs::remove_file(&plain).is_ok();
+        let removed_sealed = fs::remove_file(&sealed).is_ok();
+        if !removed_plain && !removed_sealed {
+            break;
+        }
+        stale += 1;
+    }
+    Ok(())
+}
+
+/// Loads a plain snapshot written by [`persist_to_dir`], degrading
+/// gracefully: shards that are missing, truncated, or checksum-failing
+/// are reported as lost in the [`RestoreReport`]; every healthy shard
+/// loads (in parallel).
+///
+/// # Errors
+///
+/// Fails hard only when nothing can be restored at all: the manifest is
+/// unreadable, malformed, or fails its own checksum.
+pub fn load_from_dir(dir: &Path) -> Result<(FingerprintStore, RestoreReport), PersistError> {
+    let manifest_bytes = fs::read(dir.join(MANIFEST_FILE))?;
+    let manifest = codec::parse_manifest_bytes(&manifest_bytes)?;
+    let regions: Vec<Option<Vec<u8>>> = (0..manifest.shards.len())
+        .map(|index| fs::read(dir.join(shard_file(index))).ok())
+        .collect();
+    let (store, report) = codec::assemble_from_parts(
+        &manifest,
+        &regions,
+        crate::disclosure::default_workers(),
+        true,
+    )?;
+    Ok((store, report))
+}
+
+/// Loads a sealed snapshot written by [`persist_sealed_to_dir`]. Shard
+/// files that are missing, unparseable, or fail their integrity tag are
+/// reported as lost; the manifest itself must unseal cleanly.
+///
+/// # Errors
+///
+/// Fails hard when the manifest file is unreadable, will not unseal under
+/// `key`, or is malformed once decrypted.
+pub fn load_sealed_from_dir(
+    key: &StoreKey,
+    dir: &Path,
+) -> Result<(FingerprintStore, RestoreReport), PersistError> {
+    let manifest_wire = fs::read(dir.join(format!("{MANIFEST_FILE}{SEALED_SUFFIX}")))?;
+    let manifest_sealed =
+        crate::SealedBytes::from_bytes(&manifest_wire).map_err(CodecError::Sealed)?;
+    let manifest_bytes = key.unseal(&manifest_sealed).map_err(CodecError::Sealed)?;
+    let manifest = codec::parse_manifest_bytes(&manifest_bytes)?;
+    let regions: Vec<Option<Vec<u8>>> = (0..manifest.shards.len())
+        .map(|index| {
+            let wire = fs::read(dir.join(format!("{}{SEALED_SUFFIX}", shard_file(index)))).ok()?;
+            let sealed = crate::SealedBytes::from_bytes(&wire).ok()?;
+            key.unseal(&sealed).ok()
+        })
+        .collect();
+    let (store, report) = codec::assemble_from_parts(
+        &manifest,
+        &regions,
+        crate::disclosure::default_workers(),
+        true,
+    )?;
+    Ok((store, report))
+}
+
+/// Persists a [`SealedStore`] container (as produced by
+/// [`FingerprintStore::export_sealed`]) into `dir` as one file per entry.
+/// Equivalent to [`persist_sealed_to_dir`] for callers that already hold
+/// the sealed form.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failure.
+pub fn persist_sealed_store(sealed: &SealedStore, dir: &Path) -> Result<(), PersistError> {
+    fs::create_dir_all(dir)?;
+    let (manifest, shards) = sealed.parts();
+    for (index, shard) in shards.iter().enumerate() {
+        write_atomic(
+            &dir.join(format!("{}{SEALED_SUFFIX}", shard_file(index))),
+            &shard.to_bytes(),
+        )?;
+    }
+    write_atomic(
+        &dir.join(format!("{MANIFEST_FILE}{SEALED_SUFFIX}")),
+        &manifest.to_bytes(),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SegmentId;
+    use browserflow_fingerprint::Fingerprinter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bf-persist-{tag}-{}-{:p}",
+            std::process::id(),
+            &tag
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_store() -> FingerprintStore {
+        let fp = Fingerprinter::default();
+        let store = FingerprintStore::new();
+        for i in 0..20u64 {
+            store.observe(
+                SegmentId::new(i + 1),
+                &fp.fingerprint(&format!(
+                    "paragraph number {i} with enough distinct words to fingerprint cleanly"
+                )),
+                0.5,
+            );
+        }
+        store
+    }
+
+    #[test]
+    fn plain_directory_roundtrip() {
+        let dir = temp_dir("plain");
+        let store = sample_store();
+        persist_to_dir(&store, &dir).unwrap();
+        let (loaded, report) = load_from_dir(&dir).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.loaded_shards, store.shard_count());
+        assert_eq!(loaded.segment_count(), store.segment_count());
+        assert_eq!(loaded.hash_count(), store.hash_count());
+        assert_eq!(loaded.now(), store.now());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sealed_directory_roundtrip_and_wrong_key() {
+        let dir = temp_dir("sealed");
+        let mut rng = StdRng::seed_from_u64(11);
+        let key = StoreKey::generate(&mut rng);
+        let store = sample_store();
+        persist_sealed_to_dir(&store, &key, &dir).unwrap();
+        let (loaded, report) = load_sealed_from_dir(&key, &dir).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(loaded.segment_count(), store.segment_count());
+
+        let wrong = StoreKey::generate(&mut rng);
+        assert!(matches!(
+            load_sealed_from_dir(&wrong, &dir),
+            Err(PersistError::Codec(CodecError::Sealed(_)))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_shard_is_reported_lost_not_fatal() {
+        let dir = temp_dir("missing");
+        let store = sample_store();
+        persist_to_dir(&store, &dir).unwrap();
+        fs::remove_file(dir.join(shard_file(0))).unwrap();
+        let (_, report) = load_from_dir(&dir).unwrap();
+        assert_eq!(report.lost_shards, vec![0]);
+        assert_eq!(report.loaded_shards, store.shard_count() - 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repersist_drops_stale_wider_shards() {
+        let dir = temp_dir("stale");
+        let store = sample_store();
+        persist_to_dir(&store, &dir).unwrap();
+        let count = store.shard_count();
+        // Fake a leftover shard from a previous, wider snapshot.
+        fs::write(dir.join(shard_file(count)), b"stale").unwrap();
+        persist_to_dir(&store, &dir).unwrap();
+        assert!(!dir.join(shard_file(count)).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

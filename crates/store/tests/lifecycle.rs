@@ -62,7 +62,10 @@ fn partial_eviction_transfers_nothing_but_forgets_the_victim() {
 #[test]
 fn encode_is_stable_across_identical_stores() {
     // Deterministic serialisation: same construction -> same bytes.
-    assert_eq!(codec::encode(&filled()), codec::encode(&filled()));
+    assert_eq!(
+        codec::encode(&filled()).unwrap(),
+        codec::encode(&filled()).unwrap()
+    );
 }
 
 proptest! {
@@ -76,7 +79,7 @@ proptest! {
     /// Decoding a corrupted valid payload never panics either.
     #[test]
     fn decode_survives_bit_flips(index in 0usize..1000, flip in any::<u8>()) {
-        let mut bytes = codec::encode(&filled());
+        let mut bytes = codec::encode(&filled()).unwrap();
         if !bytes.is_empty() {
             let at = index % bytes.len();
             bytes[at] ^= flip;
@@ -88,7 +91,7 @@ proptest! {
     /// silently-partial store (except truncating nothing).
     #[test]
     fn decode_rejects_truncations(cut in 0usize..1000) {
-        let bytes = codec::encode(&filled());
+        let bytes = codec::encode(&filled()).unwrap();
         let cut = cut % bytes.len();
         if cut < bytes.len() {
             let result = codec::decode(&bytes[..cut]);

@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             decision.action
         );
 
-        let sealed = flow.export_sealed(1);
+        let sealed = flow.export_sealed();
         std::fs::write(&state_path, sealed.to_bytes())?;
         println!(
             "session 1: state sealed to {} ({} bytes, ciphertext only)",
@@ -98,6 +98,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "session 2: opening with the wrong key -> {}",
             wrong.is_err()
         );
+
+        // --- Sharded directory form: torn-write-safe persistence ---------
+        // Each fingerprint-store shard is its own sealed, atomically
+        // written file; a torn write loses one shard, not everything.
+        let state_dir = std::env::temp_dir().join("browserflow-state-dir");
+        flow.persist_to_dir(&state_dir)?;
+        let (reloaded, report) =
+            BrowserFlow::load_from_dir(StoreKey::from_bytes(key_bytes), &state_dir)?;
+        println!(
+            "\nsession 2: sharded directory reload -> {} paragraphs, \
+             paragraph shards: {}, document shards: {}",
+            reloaded.engine().paragraph_count(),
+            report.paragraphs,
+            report.documents
+        );
+        assert!(report.is_complete());
+        std::fs::remove_dir_all(&state_dir).ok();
     }
 
     std::fs::remove_file(&state_path).ok();

@@ -3,13 +3,15 @@
 #
 # Runs, in order:
 #   1. grep gates: no deprecated check_upload wrappers outside their
-#      definition site, no panicking worker expects in the pipeline
+#      definition site, no panicking worker expects in the pipeline, no
+#      explicit-nonce sealing outside the encryption module's own tests
 #   2. rustfmt check over the first-party packages
 #   3. clippy with warnings (and the clippy::perf group) denied over the
 #      first-party packages
 #   4. the tier-1 gate: release build + full test suite
 #   5. the async pipeline integration tests under --release
-#   6. a release-mode smoke run of the keystroke fingerprint bench, which
+#   6. the store persistence corruption matrix (torn-write recovery)
+#   7. a release-mode smoke run of the keystroke fingerprint bench, which
 #      regenerates BENCH_fingerprint.json and asserts the incremental
 #      path stays >= 5x faster than full re-fingerprinting at 4 k chars
 #
@@ -54,6 +56,16 @@ if grep -rn 'expect("worker alive")' crates examples tests; then
     exit 1
 fi
 
+echo "==> grep gate: explicit-nonce sealing stays inside the encryption module"
+# seal_with_nonce exists for deterministic test fixtures only; production
+# sealing must go through the counter-based seal_auto so nonces are never
+# reused under the same key.
+if grep -rn 'seal_with_nonce' crates examples tests --include='*.rs' \
+    | grep -v '^crates/store/src/encryption.rs:'; then
+    echo 'error: seal_with_nonce call outside crates/store/src/encryption.rs — use seal_auto' >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check (first-party)"
 cargo fmt "${pkg_flags[@]}" -- --check
 
@@ -68,6 +80,11 @@ cargo test -q
 
 echo "==> pipeline tests under --release"
 cargo test -q -p browserflow-integration --test pipeline --release
+
+echo "==> persistence corruption matrix"
+# Torn-write recovery: damaging one shard must lose exactly that shard,
+# and a corrupt manifest must fail closed in both strict and lossy modes.
+cargo test -q -p browserflow-store --test persistence
 
 echo "==> keystroke fingerprint bench smoke run (release)"
 # Regenerates BENCH_fingerprint.json; the binary itself asserts the

@@ -148,7 +148,7 @@ fn sealed_fingerprint_data_roundtrips_and_detects_tampering() {
     let mut rng = StdRng::seed_from_u64(5);
     let key = StoreKey::generate(&mut rng);
     let payload = b"serialised DBpar contents".to_vec();
-    let sealed = key.seal(1, &payload);
+    let sealed = key.seal_auto(&payload);
     assert_eq!(key.unseal(&sealed).unwrap(), payload);
 
     let other = StoreKey::generate(&mut rng);

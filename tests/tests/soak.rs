@@ -75,7 +75,7 @@ fn random_workday_never_leaks_tracked_text() {
         if step == 100 {
             let state = plugin.state();
             let mut flow = state.write();
-            let sealed = flow.export_sealed(step as u64);
+            let sealed = flow.export_sealed();
             let restored = browserflow::BrowserFlow::import_sealed(
                 browserflow_store::StoreKey::from_bytes([0u8; 32]),
                 &sealed,
