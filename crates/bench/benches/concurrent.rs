@@ -10,6 +10,7 @@
 //! context needed to interpret it.
 
 use browserflow::{AsyncDecider, BrowserFlow, CheckRequest, EnforcementMode};
+use browserflow_bench::{algorithm1, warn_if_single_core};
 use browserflow_corpus::TextGen;
 use browserflow_fingerprint::Fingerprinter;
 use browserflow_store::{codec, FingerprintStore, SegmentId, Timestamp};
@@ -158,6 +159,7 @@ fn write_report(
     baseline_checks_per_sec: f64,
     async_roundtrip: (f64, f64),
     persist: (usize, f64, f64, f64),
+    algorithm1_results: &[algorithm1::SizeResult],
     store: &FingerprintStore,
 ) {
     let cores = std::thread::available_parallelism()
@@ -218,6 +220,21 @@ fn write_report(
         batch_secs * 1e3,
         seq_secs / batch_secs
     );
+    let algorithm1_json: Vec<String> = algorithm1_results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"paragraphs\": {}, \"target_hashes\": {}, \"reports\": {}, \
+                 \"probe_ms\": {:.4}, \"indexed_ms\": {:.4}, \"speedup\": {:.2}}}",
+                r.paragraphs,
+                r.target_hashes,
+                r.reports,
+                r.probe_ms,
+                r.indexed_ms,
+                r.speedup()
+            )
+        })
+        .collect();
     let (blob_bytes, encode_secs, decode_1, decode_8) = persist;
     let persist_json = format!(
         "{{\"shards\": {PERSIST_SHARDS}, \"blob_bytes\": {blob_bytes}, \
@@ -235,14 +252,19 @@ fn write_report(
          single-core host reflects the hardware, not the implementation; \
          async_batch_roundtrip compares 32 sequential blocking checks (32 worker \
          round-trips) against one batched CheckRequest (1 round-trip); \
-         persist_roundtrip decodes one sharded v2 store blob at 1 vs 8 workers\",\n  \
+         persist_roundtrip decodes one sharded v2 store blob at 1 vs 8 workers; \
+         algorithm1 compares the probe-based pre-index reference against the \
+         authoritative-set index + sorted-slice intersection kernel on identical \
+         stores (speedup is layout-driven, not core-count-driven)\",\n  \
          \"checker_thread_scaling\": [\n{}\n  ],\n  \
          \"algorithm1_fanout\": [\n{}\n  ],\n  \
+         \"algorithm1\": [\n{}\n  ],\n  \
          \"async_batch_roundtrip\": {async_json},\n  \
          \"persist_roundtrip\": {persist_json},\n  \
          \"store_counters\": {store_json}\n}}\n",
         checker_json.join(",\n"),
-        fanout_json.join(",\n")
+        fanout_json.join(",\n"),
+        algorithm1_json.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_concurrent.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -253,6 +275,7 @@ fn write_report(
 }
 
 fn bench_concurrent_checkers(c: &mut Criterion) {
+    warn_if_single_core();
     let fp = Fingerprinter::default();
     let texts = paragraphs(STORE_PARAGRAPHS, 17);
     let store = Arc::new(filled_store(&fp, &texts));
@@ -360,6 +383,19 @@ fn bench_concurrent_checkers(c: &mut Criterion) {
         persist.3 * 1e3
     );
 
+    // Old-vs-new candidate evaluation on dedicated synthetic stores (the
+    // same sweep `bench_algorithm1` gates in CI).
+    let algorithm1_results = algorithm1::run(algorithm1::STORE_SIZES);
+    for r in &algorithm1_results {
+        println!(
+            "algorithm1: {} paragraphs, probe {:.3} ms, indexed {:.3} ms, speedup {:.2}x",
+            r.paragraphs,
+            r.probe_ms,
+            r.indexed_ms,
+            r.speedup()
+        );
+    }
+
     let (_, base_secs) = checker_series[0];
     let baseline = CHECKS_PER_THREAD as f64 / base_secs;
     write_report(
@@ -368,6 +404,7 @@ fn bench_concurrent_checkers(c: &mut Criterion) {
         baseline,
         best,
         persist,
+        &algorithm1_results,
         &store,
     );
 }

@@ -20,7 +20,7 @@
 use browserflow::{
     AsyncDecider, BrowserFlow, ConcurrencyMetrics, EnforcementMode, ResponseTimes, TextEdit,
 };
-use browserflow_bench::{print_header, Scale};
+use browserflow_bench::{print_header, warn_if_single_core, Scale};
 use browserflow_corpus::datasets::EbooksDataset;
 use browserflow_corpus::TextGen;
 use browserflow_tdm::{Service, ServiceId, Tag, TagSet};
@@ -121,6 +121,7 @@ fn report(label: &str, times: &ResponseTimes) {
 }
 
 fn main() {
+    warn_if_single_core();
     let scale = Scale::from_env();
     print_header(
         "Figure 12: Distribution of response times for disclosure decisions",

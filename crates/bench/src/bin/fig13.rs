@@ -9,7 +9,7 @@
 //! version. Run with `--release`.
 
 use browserflow::{AsyncDecider, BrowserFlow, ConcurrencyMetrics, EnforcementMode, ResponseTimes};
-use browserflow_bench::{print_header, Scale};
+use browserflow_bench::{print_header, warn_if_single_core, Scale};
 use browserflow_corpus::datasets::EbooksDataset;
 use browserflow_tdm::{Service, ServiceId, Tag, TagSet};
 
@@ -33,6 +33,7 @@ fn fresh_flow() -> BrowserFlow {
 }
 
 fn main() {
+    warn_if_single_core();
     let scale = Scale::from_env();
     print_header(
         "Figure 13: Response time when varying the size of the hashes database",

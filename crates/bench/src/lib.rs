@@ -142,6 +142,197 @@ pub fn print_header(title: &str, detail: &str) {
     println!("{}", "=".repeat(72));
 }
 
+/// The host's core count as seen by `std::thread::available_parallelism`.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Prints a one-line warning when the host has a single core: every
+/// parallel-scaling series (checker threads, Algorithm 1 fan-out, parallel
+/// decode) is then flat by construction, and the numbers reflect the
+/// hardware rather than the implementation.
+pub fn warn_if_single_core() {
+    if host_cores() == 1 {
+        eprintln!(
+            "warning: single-core host; parallel speedups will be flat — \
+             thread/worker scaling series reflect the hardware, not the implementation"
+        );
+    }
+}
+
+/// Old-vs-new microbench for Algorithm 1's candidate evaluation.
+///
+/// Builds synthetic stores at several paragraph counts and times one
+/// document-wide disclosure check two ways over identical data: the
+/// pre-index reference ([`browserflow_store::probe_disclosing_sources`],
+/// which derives each candidate's authoritative set by probing `DBhash`
+/// once per stored hash) against the production path (incrementally
+/// maintained authoritative index + sorted-slice intersection kernel).
+///
+/// The synthetic corpus models the paper's accidental-disclosure setting:
+/// every paragraph carries [`OWN_HASHES`] hashes of its own plus
+/// [`SHARED_HASHES`] hashes drawn from a common boilerplate pool whose
+/// authoritative owners are the oldest paragraphs. The shared tail is what
+/// the pre-index path pays for — it probes `DBhash` for *every* stored
+/// hash of every candidate — while the indexed path intersects only the
+/// (smaller) authoritative sets.
+pub mod algorithm1 {
+    use browserflow_fingerprint::{Fingerprint, SelectedHash};
+    use browserflow_store::{probe_disclosing_sources, FingerprintStore, SegmentId};
+    use std::collections::HashSet;
+    use std::time::Instant;
+
+    /// Store sizes (paragraph counts) the microbench sweeps.
+    pub const STORE_SIZES: &[usize] = &[1_500, 15_000, 150_000];
+    /// Hashes unique to each paragraph.
+    pub const OWN_HASHES: usize = 48;
+    /// Hashes each paragraph draws from the shared boilerplate pool.
+    pub const SHARED_HASHES: usize = 144;
+    /// Size of the shared boilerplate pool.
+    const POOL: usize = 4_096;
+    /// Paragraphs sampled into the document-wide target check.
+    pub const TARGET_SOURCES: usize = 200;
+    /// Own-hashes each sampled paragraph contributes to the target: the
+    /// document quotes a quarter of each source, the partial-overlap shape
+    /// §4.3's threshold test exists for.
+    pub const TARGET_HASHES_PER_SOURCE: usize = 12;
+    /// Observation threshold; 0.25 of each source is quoted, so 0.2 keeps
+    /// every sampled source reporting.
+    const THRESHOLD: f64 = 0.2;
+    /// Measured passes per implementation (best-of, after one warm-up).
+    const ROUNDS: usize = 3;
+
+    /// One store size's old-vs-new comparison.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeResult {
+        /// Paragraphs stored.
+        pub paragraphs: usize,
+        /// Distinct hashes in the target document.
+        pub target_hashes: usize,
+        /// Sources both implementations report.
+        pub reports: usize,
+        /// Best-of-[`ROUNDS`] wall time of the probe-based reference, ms.
+        pub probe_ms: f64,
+        /// Best-of-[`ROUNDS`] wall time of the indexed production path, ms.
+        pub indexed_ms: f64,
+    }
+
+    impl SizeResult {
+        /// probe/indexed wall-time ratio.
+        pub fn speedup(&self) -> f64 {
+            self.probe_ms / self.indexed_ms
+        }
+    }
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn pool_hash(k: usize) -> u32 {
+        (splitmix64(0x00B0_11E4_0000 + k as u64) >> 32) as u32
+    }
+
+    fn own_hash(paragraph: usize, j: usize) -> u32 {
+        (splitmix64(paragraph as u64 * 1_000_003 + j as u64) >> 32) as u32
+    }
+
+    /// The synthetic fingerprint of one paragraph: its own hashes plus a
+    /// paragraph-dependent slice of the boilerplate pool.
+    fn paragraph_fingerprint(paragraph: usize) -> Fingerprint {
+        let mut entries = Vec::with_capacity(OWN_HASHES + SHARED_HASHES);
+        for j in 0..OWN_HASHES {
+            entries.push(SelectedHash::new(own_hash(paragraph, j), j, j..j + 15));
+        }
+        for k in 0..SHARED_HASHES {
+            let pos = OWN_HASHES + k;
+            let pool_index = (paragraph.wrapping_mul(7) + k.wrapping_mul(13)) % POOL;
+            entries.push(SelectedHash::new(pool_hash(pool_index), pos, pos..pos + 15));
+        }
+        Fingerprint::from_entries(entries)
+    }
+
+    /// Builds the store: `paragraphs` observations at threshold 0.5, in
+    /// id order, so pool hashes are authoritative to the oldest holders.
+    pub fn build_store(paragraphs: usize) -> FingerprintStore {
+        let store = FingerprintStore::new();
+        for i in 0..paragraphs {
+            store.observe(
+                SegmentId::new(i as u64),
+                &paragraph_fingerprint(i),
+                THRESHOLD,
+            );
+        }
+        store
+    }
+
+    /// The target document's hash set: [`TARGET_HASHES_PER_SOURCE`]
+    /// own-hashes from each of [`TARGET_SOURCES`] paragraphs sampled
+    /// evenly across the store — a document quoting part of many stored
+    /// sources at once, so candidate evaluation (not discovery) is the
+    /// dominant cost.
+    pub fn target_hashes(paragraphs: usize) -> HashSet<u32> {
+        let step = (paragraphs / TARGET_SOURCES).max(1);
+        let mut hashes = HashSet::new();
+        for source in (0..paragraphs).step_by(step).take(TARGET_SOURCES) {
+            for j in 0..TARGET_HASHES_PER_SOURCE {
+                hashes.insert(own_hash(source, j));
+            }
+        }
+        hashes
+    }
+
+    /// Runs one store size: builds the store, then times the probe-based
+    /// reference against the indexed path on the identical check, keeping
+    /// the best of [`ROUNDS`] passes each. Panics if the two
+    /// implementations ever disagree on the reports.
+    pub fn run_size(paragraphs: usize) -> SizeResult {
+        let store = build_store(paragraphs);
+        let target = target_hashes(paragraphs);
+        let target_id = SegmentId::new(u64::MAX);
+
+        let best_of = |f: &dyn Fn() -> f64| {
+            f(); // warm-up
+            (0..ROUNDS).map(|_| f()).fold(f64::INFINITY, f64::min)
+        };
+
+        let probe_reports = probe_disclosing_sources(&store, target_id, &target);
+        let indexed_reports = store.disclosing_sources_of_hashes(target_id, &target);
+        assert_eq!(
+            probe_reports, indexed_reports,
+            "probe and indexed implementations must agree"
+        );
+
+        let probe_ms = best_of(&|| {
+            let start = Instant::now();
+            std::hint::black_box(probe_disclosing_sources(&store, target_id, &target));
+            start.elapsed().as_secs_f64() * 1e3
+        });
+        let indexed_ms = best_of(&|| {
+            let start = Instant::now();
+            std::hint::black_box(store.disclosing_sources_of_hashes(target_id, &target));
+            start.elapsed().as_secs_f64() * 1e3
+        });
+
+        SizeResult {
+            paragraphs,
+            target_hashes: target.len(),
+            reports: indexed_reports.len(),
+            probe_ms,
+            indexed_ms,
+        }
+    }
+
+    /// Sweeps `sizes` (use [`STORE_SIZES`]) and returns one result each.
+    pub fn run(sizes: &[usize]) -> Vec<SizeResult> {
+        sizes.iter().map(|&n| run_size(n)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

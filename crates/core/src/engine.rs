@@ -5,11 +5,11 @@ use browserflow_fingerprint::{
     Fingerprint, FingerprintConfig, Fingerprinter, IncrementalFingerprinter, TextEdit,
 };
 use browserflow_store::{
-    DecisionCache, FingerprintDigest, FingerprintStore, IncrementalChecker, SegmentId, Timestamp,
+    DecisionCache, FingerprintDigest, FingerprintStore, FxHashMap, IncrementalChecker, SegmentId,
+    Timestamp,
 };
 use browserflow_tdm::ServiceId;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -189,7 +189,7 @@ pub struct DisclosureEngine {
     registry: RwLock<SegmentRegistry>,
     cache: DecisionCache<Vec<DisclosureMatch>>,
     /// Per-paragraph incremental state for the keystroke hot path.
-    keystrokes: Mutex<HashMap<SegmentId, KeystrokeState>>,
+    keystrokes: Mutex<FxHashMap<SegmentId, KeystrokeState>>,
     full_checks: AtomicU64,
     incremental_checks: AtomicU64,
     incremental_absorbs: AtomicU64,
@@ -218,8 +218,8 @@ const COMPACT_INTERVAL: u64 = 256;
 /// consistent when concurrent callers allocate ids.
 #[derive(Debug, Default)]
 struct SegmentRegistry {
-    ids: HashMap<SegmentKey, SegmentId>,
-    keys: HashMap<SegmentId, SegmentKey>,
+    ids: FxHashMap<SegmentKey, SegmentId>,
+    keys: FxHashMap<SegmentId, SegmentKey>,
     next_id: u64,
 }
 
@@ -233,7 +233,7 @@ impl DisclosureEngine {
             documents: FingerprintStore::new(),
             registry: RwLock::new(SegmentRegistry::default()),
             cache: DecisionCache::new(),
-            keystrokes: Mutex::new(HashMap::new()),
+            keystrokes: Mutex::new(FxHashMap::default()),
             full_checks: AtomicU64::new(0),
             incremental_checks: AtomicU64::new(0),
             incremental_absorbs: AtomicU64::new(0),
@@ -342,18 +342,20 @@ impl DisclosureEngine {
     fn check_paragraph_by_id(&self, id: SegmentId, text: &str) -> Vec<DisclosureMatch> {
         self.full_checks.fetch_add(1, Ordering::Relaxed);
         let print = self.fingerprinter.fingerprint(text);
-        let hashes = print.hash_set();
+        // The cached sorted slice feeds both the digest and Algorithm 1 —
+        // no HashSet is materialised on the check path.
+        let hashes = print.distinct_hashes();
         if self.config.cache_decisions {
-            let digest = FingerprintDigest::of(&hashes);
+            let digest = FingerprintDigest::of_sorted(hashes);
             if let Some(cached) = self.cache.get(id, digest) {
                 return cached;
             }
-            let reports = self.paragraphs.disclosing_sources_of_hashes(id, &hashes);
+            let reports = self.paragraphs.disclosing_sources_of_sorted(id, hashes);
             let result = self.resolve_matches(reports, &print, &self.paragraphs);
             self.cache.put(id, digest, result.clone());
             result
         } else {
-            let reports = self.paragraphs.disclosing_sources_of_hashes(id, &hashes);
+            let reports = self.paragraphs.disclosing_sources_of_sorted(id, hashes);
             self.resolve_matches(reports, &print, &self.paragraphs)
         }
     }
@@ -433,8 +435,9 @@ impl DisclosureEngine {
         let id = self.segment_id(&key);
         self.full_checks.fetch_add(1, Ordering::Relaxed);
         let print = self.fingerprinter.fingerprint(text);
-        let hashes = print.hash_set();
-        let reports = self.documents.disclosing_sources_of_hashes(id, &hashes);
+        let reports = self
+            .documents
+            .disclosing_sources_of_sorted(id, print.distinct_hashes());
         self.resolve_matches(reports, &print, &self.documents)
     }
 
@@ -558,7 +561,7 @@ impl DisclosureEngine {
     /// session on first use) and hands out the mutable state.
     fn edit_session<'s>(
         &self,
-        sessions: &'s mut HashMap<SegmentId, KeystrokeState>,
+        sessions: &'s mut FxHashMap<SegmentId, KeystrokeState>,
         id: SegmentId,
         key: &SegmentKey,
         edit: &TextEdit,
@@ -680,7 +683,7 @@ impl DisclosureEngine {
             documents,
             registry: RwLock::new(registry),
             cache: DecisionCache::new(),
-            keystrokes: Mutex::new(HashMap::new()),
+            keystrokes: Mutex::new(FxHashMap::default()),
             full_checks: AtomicU64::new(0),
             incremental_checks: AtomicU64::new(0),
             incremental_absorbs: AtomicU64::new(0),

@@ -7,35 +7,55 @@
 //! change the winnowed hash set, the cached decision is reused and the
 //! full Algorithm 1 run is skipped.
 
+use crate::fx::FxHashMap;
 use crate::SegmentId;
 use parking_lot::RwLock;
-use std::collections::HashMap;
 use std::collections::HashSet;
+use std::hash::BuildHasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An order-independent digest of a fingerprint's distinct hash set.
 ///
-/// Combines each 32-bit hash through a commutative mix so that insertion
-/// order is irrelevant, and folds in the set size to distinguish e.g.
-/// `{h}` from `{h, h'}` where the mixes cancel.
+/// Combines each 32-bit hash through a commutative mix (a SplitMix64
+/// scramble folded with a wrapping add) so that iteration and insertion
+/// order are irrelevant by construction — audited against the `HashSet`
+/// iteration-order trap and regression-tested — and folds in the set size
+/// to distinguish e.g. `{h}` from `{h, h'}` where the mixes cancel.
+/// [`FingerprintDigest::of`] and [`FingerprintDigest::of_sorted`] produce
+/// identical digests for the same set of hashes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FingerprintDigest(u64);
 
+/// SplitMix64-style scramble of one element.
+fn mix(h: u32) -> u64 {
+    let mut x = h as u64;
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn fold(sum: u64, len: usize) -> u64 {
+    sum.wrapping_add((len as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
 impl FingerprintDigest {
     /// Digests a set of distinct hashes.
-    pub fn of(hashes: &HashSet<u32>) -> Self {
-        let mut acc: u64 = 0;
-        for &h in hashes {
-            // SplitMix64-style scramble of each element, combined with a
-            // commutative wrapping add.
-            let mut x = h as u64;
-            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            x ^= x >> 31;
-            acc = acc.wrapping_add(x);
-        }
-        Self(acc.wrapping_add((hashes.len() as u64).wrapping_mul(0xA24B_AED4_963E_E407)))
+    pub fn of<S: BuildHasher>(hashes: &HashSet<u32, S>) -> Self {
+        let sum = hashes.iter().fold(0u64, |acc, &h| acc.wrapping_add(mix(h)));
+        Self(fold(sum, hashes.len()))
+    }
+
+    /// Digests a slice of *distinct* hashes (typically
+    /// `Fingerprint::distinct_hashes`), avoiding the `HashSet`
+    /// round-trip. Equals [`FingerprintDigest::of`] on the same set.
+    pub fn of_sorted(hashes: &[u32]) -> Self {
+        debug_assert!(
+            hashes.windows(2).all(|w| w[0] < w[1]),
+            "digest input must be sorted and deduplicated"
+        );
+        let sum = hashes.iter().fold(0u64, |acc, &h| acc.wrapping_add(mix(h)));
+        Self(fold(sum, hashes.len()))
     }
 }
 
@@ -61,7 +81,7 @@ impl FingerprintDigest {
 /// ```
 #[derive(Debug, Default)]
 pub struct DecisionCache<T> {
-    entries: RwLock<HashMap<SegmentId, (FingerprintDigest, T)>>,
+    entries: RwLock<FxHashMap<SegmentId, (FingerprintDigest, T)>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -70,7 +90,7 @@ impl<T: Clone> DecisionCache<T> {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self {
-            entries: RwLock::new(HashMap::new()),
+            entries: RwLock::new(FxHashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -131,12 +151,45 @@ mod tests {
     use super::*;
 
     fn digest_of(values: &[u32]) -> FingerprintDigest {
-        FingerprintDigest::of(&values.iter().copied().collect())
+        let set: HashSet<u32> = values.iter().copied().collect();
+        FingerprintDigest::of(&set)
     }
 
     #[test]
     fn digest_is_order_independent() {
         assert_eq!(digest_of(&[1, 2, 3]), digest_of(&[3, 1, 2]));
+    }
+
+    #[test]
+    fn digest_ignores_insertion_order() {
+        // Regression: two sets built in opposite insertion orders (which
+        // can yield different HashSet iteration orders) digest equally.
+        let mut ascending: HashSet<u32> = HashSet::new();
+        let mut descending: HashSet<u32> = HashSet::new();
+        let spread = |i: u32| ((u64::from(i) * 2654435761) % 100003) as u32;
+        for i in 0..1000u32 {
+            ascending.insert(spread(i));
+            descending.insert(spread(999 - i));
+        }
+        assert_eq!(ascending, descending);
+        assert_eq!(
+            FingerprintDigest::of(&ascending),
+            FingerprintDigest::of(&descending)
+        );
+    }
+
+    #[test]
+    fn of_sorted_matches_of() {
+        let values: Vec<u32> = (0..500).map(|i| i * 13 + 1).collect();
+        let set: HashSet<u32> = values.iter().copied().collect();
+        assert_eq!(
+            FingerprintDigest::of(&set),
+            FingerprintDigest::of_sorted(&values)
+        );
+        assert_eq!(
+            FingerprintDigest::of(&HashSet::new()),
+            FingerprintDigest::of_sorted(&[])
+        );
     }
 
     #[test]

@@ -534,7 +534,7 @@ pub fn encode_v1(store: &FingerprintStore) -> Result<Vec<u8>, CodecError> {
 /// worker threads; installation into the shared store is commutative
 /// (explicit timestamps, earliest-sighting-wins).
 struct ShardData {
-    segments: Vec<(SegmentId, HashSet<u32>, f64, Timestamp)>,
+    segments: Vec<(SegmentId, Vec<u32>, f64, Timestamp)>,
     sightings: Vec<(u32, SegmentId, Timestamp)>,
 }
 
@@ -566,10 +566,14 @@ fn parse_shard_record(
         let updated = Timestamp::new(reader.u64()?);
         let hash_count = u64::from(reader.u32()?);
         let hash_count = reader.check_count(hash_count, 4)?;
-        let mut hashes = HashSet::with_capacity(hash_count);
+        let mut hashes = Vec::with_capacity(hash_count);
         for _ in 0..hash_count {
-            hashes.insert(reader.u32()?);
+            hashes.push(reader.u32()?);
         }
+        // Stored-segment invariant: sorted, deduplicated (repeats in the
+        // payload are tolerated, as the old set-based parse did).
+        hashes.sort_unstable();
+        hashes.dedup();
         segments.push((SegmentId::new(raw), hashes, threshold, updated));
     }
     let sighting_count = reader.u64()?;
@@ -686,6 +690,11 @@ pub(crate) fn assemble_from_parts<R: AsRef<[u8]> + Sync>(
         }
     }
     store.restore_clock(Timestamp::new(manifest.clock));
+    // Sightings were replayed in arbitrary shard order, so per-segment
+    // ownership is only known now: rebuild the authoritative index once
+    // (the v2 wire format itself is unchanged — the index is derived
+    // state, recomputed on load rather than persisted).
+    store.rebuild_authoritative_index(workers);
     Ok((store, report))
 }
 
@@ -702,6 +711,7 @@ fn decode_any(
     match version {
         VERSION_V1 => {
             let store = decode_v1(&mut reader)?;
+            store.rebuild_authoritative_index(workers);
             Ok((
                 store,
                 RestoreReport {
@@ -752,10 +762,12 @@ fn decode_v1(reader: &mut Reader) -> Result<FingerprintStore, CodecError> {
         let updated = Timestamp::new(reader.u64()?);
         let hash_count = u64::from(reader.u32()?);
         let hash_count = reader.check_count(hash_count, 4)?;
-        let mut hashes = HashSet::with_capacity(hash_count);
+        let mut hashes = Vec::with_capacity(hash_count);
         for _ in 0..hash_count {
-            hashes.insert(reader.u32()?);
+            hashes.push(reader.u32()?);
         }
+        hashes.sort_unstable();
+        hashes.dedup();
         store.restore_segment(SegmentId::new(raw), hashes, threshold, updated);
     }
 

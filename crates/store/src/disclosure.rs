@@ -5,19 +5,40 @@
 //! numerator to the *authoritative* fingerprint of `A` (hashes first seen
 //! in `A`) so that overlapping stored segments do not multiply-report the
 //! same leaked text (Figure 7).
+//!
+//! Candidate evaluation works entirely on the store's maintained data
+//! layout: each stored segment carries its authoritative set as a sorted
+//! slice, so one evaluation is a single sorted-slice intersection
+//! ([`crate::intersect`]) against the target's (once-sorted) hashes — no
+//! `DBhash` probe and no per-hash `HashSet` lookup. The pre-index
+//! probe-based implementation is kept as [`probe_evaluate_candidate`] /
+//! [`probe_disclosing_sources`] for equivalence property tests and the
+//! old-vs-new `algorithm1` microbench.
 
+use crate::segment_db::StoredSegment;
 use crate::{FingerprintStore, SegmentId};
 use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
 
-/// Below this many candidate sources the fan-out is not worth the thread
-/// startup cost and Algorithm 1 stays on the calling thread.
+/// Below this many candidate sources the fan-out is not worth the pool
+/// hand-off and Algorithm 1 stays on the calling thread.
+///
+/// Re-tuned for the persistent worker pool + intersection kernel (see
+/// DESIGN.md §8): per-candidate evaluation is now so cheap that small
+/// candidate sets finish before a condvar wake-up completes, but the pool
+/// removes the per-check thread-spawn cost that used to dominate, so the
+/// break-even sits at roughly twice the old cutoff's per-candidate work.
 pub(crate) const PARALLEL_CUTOFF: usize = 32;
 
-/// Default worker budget for the candidate fan-out: one per core.
+/// Default worker budget for the candidate fan-out: one per core, read
+/// once — `available_parallelism` is a syscall and this runs per check.
 pub(crate) fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// One source segment reported by Algorithm 1.
@@ -57,8 +78,9 @@ pub fn disclosure_between(a: &HashSet<u32>, b: &HashSet<u32>) -> f64 {
     a.intersection(b).count() as f64 / a.len() as f64
 }
 
-/// Evaluates one candidate source against a target hash set, returning a
-/// report when the candidate's disclosure requirement is violated.
+/// Evaluates one candidate source against a sorted target hash slice,
+/// returning a report when the candidate's disclosure requirement is
+/// violated.
 ///
 /// As in the paper's `computeDisclosure(F_A(p), F(parag))`, both the
 /// numerator and the denominator use the *authoritative* fingerprint
@@ -69,11 +91,41 @@ pub fn disclosure_between(a: &HashSet<u32>, b: &HashSet<u32>) -> f64 {
 /// the borrowed half is still correctly attributed to the older owner.
 ///
 /// A source `p` with threshold `t` is reported when
-/// `|F_A(p) ∩ F(target)| ≥ max(1, t · |F_A(p)|)`. Both counts come out of
-/// a single pass over the stored fingerprint; the paper's quick
-/// length-based discard is subsumed by that pass (a discard on the *full*
-/// fingerprint length would be unsound here, since `|F_A(p)| ≤ |F(p)|`).
+/// `|F_A(p) ∩ F(target)| ≥ max(1, t · |F_A(p)|)`. `F_A(p)` is the
+/// stored segment's maintained authoritative slice; the overlap is one
+/// merge/galloping intersection, so evaluation touches no locks and does
+/// no hashing.
 pub(crate) fn evaluate_candidate(
+    candidate: SegmentId,
+    stored: &StoredSegment,
+    target_sorted: &[u32],
+) -> Option<DisclosureReport> {
+    let threshold = stored.threshold();
+    let authoritative = stored.authoritative();
+    if authoritative.is_empty() {
+        return None;
+    }
+    let overlap = crate::intersect::intersection_count(authoritative, target_sorted);
+    if overlap == 0 || (overlap as f64) < threshold * authoritative.len() as f64 {
+        return None;
+    }
+    Some(DisclosureReport {
+        source: candidate,
+        disclosure: overlap as f64 / authoritative.len() as f64,
+        threshold,
+        shared_hashes: overlap,
+    })
+}
+
+/// The pre-index reference implementation of candidate evaluation: derives
+/// the authoritative set by probing `DBhash` once per stored hash and
+/// tests target membership through a `HashSet`.
+///
+/// Kept (unused by the production paths) so property tests can prove the
+/// indexed layout emits identical reports, and so the `algorithm1`
+/// microbench can measure old-vs-new on the same store.
+#[doc(hidden)]
+pub fn probe_evaluate_candidate(
     store: &FingerprintStore,
     candidate: SegmentId,
     target_hashes: &HashSet<u32>,
@@ -103,6 +155,30 @@ pub(crate) fn evaluate_candidate(
     })
 }
 
+/// The full pre-index Algorithm 1: candidate discovery plus
+/// [`probe_evaluate_candidate`], sequential. Reference for equivalence
+/// tests and the old-vs-new microbench.
+#[doc(hidden)]
+pub fn probe_disclosing_sources(
+    store: &FingerprintStore,
+    target: SegmentId,
+    target_hashes: &HashSet<u32>,
+) -> Vec<DisclosureReport> {
+    let mut candidates: Vec<SegmentId> = target_hashes
+        .iter()
+        .filter_map(|&hash| store.oldest_segment_with(hash))
+        .filter(|&owner| owner != target)
+        .collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    let mut reports: Vec<DisclosureReport> = candidates
+        .into_iter()
+        .filter_map(|candidate| probe_evaluate_candidate(store, candidate, target_hashes))
+        .collect();
+    sort_reports(&mut reports);
+    reports
+}
+
 /// Sorts reports into the deterministic output order: strongest
 /// disclosure first, ties by segment id.
 pub(crate) fn sort_reports(reports: &mut [DisclosureReport]) {
@@ -116,61 +192,73 @@ pub(crate) fn sort_reports(reports: &mut [DisclosureReport]) {
 
 /// Runs Algorithm 1 of the paper over the store.
 ///
-/// For each hash `h` of the target fingerprint, the candidate source is
-/// `oldestParagraphWith(h)` — only the authoritative owner of a hash can
-/// be reported for it, which is precisely the overlap compensation of
-/// §4.3. Candidates are then deduplicated and evaluated with
-/// [`evaluate_candidate`] (see the discussion on
-/// [`FingerprintStore::disclosing_sources`]).
-/// Candidates are evaluated independently, so with enough of them the loop
-/// fans out over `workers` scoped threads, each taking a contiguous slice
-/// of the (sorted, deduplicated) candidate list. Per-candidate results are
-/// concatenated in slice order and sorted with [`sort_reports`] — a total
-/// order on `(disclosure desc, source asc)` — so the output is
-/// byte-identical to the sequential path regardless of worker count or
-/// scheduling (property-tested in `tests/concurrent.rs`).
+/// For each hash `h` of the (sorted, deduplicated) target slice, the
+/// candidate source is `oldestParagraphWith(h)` — only the authoritative
+/// owner of a hash can be reported for it, which is precisely the overlap
+/// compensation of §4.3. Candidates are deduplicated, resolved to owned
+/// `Arc<StoredSegment>` handles once, and evaluated with
+/// [`evaluate_candidate`] — which reads only the handle and the target
+/// slice, so evaluation holds no shard lock.
+///
+/// With enough candidates the evaluation fans out over the persistent
+/// worker pool ([`crate::pool`]): each chunk of handles plus a shared
+/// `Arc` of the target ships as an owned job, so nothing borrows from the
+/// calling check. Per-candidate results are concatenated in chunk order
+/// and sorted with [`sort_reports`] — a total order on `(disclosure desc,
+/// source asc)` — so the output is byte-identical to the sequential path
+/// regardless of worker count or scheduling (property-tested in
+/// `tests/concurrent.rs`).
 pub(crate) fn run_algorithm_1(
     store: &FingerprintStore,
     target: SegmentId,
-    target_hashes: &HashSet<u32>,
+    target_sorted: &[u32],
     workers: usize,
 ) -> Vec<DisclosureReport> {
     // Candidate set: authoritative owners of the target's hashes, sorted
     // so chunk assignment is deterministic.
-    let mut candidates: Vec<SegmentId> = target_hashes
+    let mut candidates: Vec<SegmentId> = target_sorted
         .iter()
         .filter_map(|&hash| store.oldest_segment_with(hash))
         .filter(|&owner| owner != target)
         .collect();
     candidates.sort_unstable();
     candidates.dedup();
+    // The owner of a historical first sighting may no longer store a
+    // fingerprint (removed/evicted); it cannot be a source.
+    let resolved: Vec<(SegmentId, Arc<StoredSegment>)> = candidates
+        .into_iter()
+        .filter_map(|candidate| store.segment(candidate).map(|s| (candidate, s)))
+        .collect();
 
-    let parallel = workers > 1 && candidates.len() >= PARALLEL_CUTOFF;
+    let parallel = workers > 1 && resolved.len() >= PARALLEL_CUTOFF;
     store.count_check(parallel);
     let mut reports: Vec<DisclosureReport> = if parallel {
-        let chunk_len = candidates.len().div_ceil(workers);
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk_len)
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        chunk
-                            .iter()
-                            .filter_map(|&c| evaluate_candidate(store, c, target_hashes))
-                            .collect::<Vec<DisclosureReport>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("candidate evaluation must not panic"))
-                .collect()
-        })
-        .expect("scoped evaluation threads join cleanly")
+        let shared_target: Arc<[u32]> = Arc::from(target_sorted);
+        let chunk_len = resolved.len().div_ceil(workers);
+        let jobs: Vec<_> = resolved
+            .chunks(chunk_len)
+            .map(|chunk| {
+                let chunk = chunk.to_vec();
+                let target = Arc::clone(&shared_target);
+                move || {
+                    chunk
+                        .iter()
+                        .filter_map(|(candidate, stored)| {
+                            evaluate_candidate(*candidate, stored, &target)
+                        })
+                        .collect::<Vec<DisclosureReport>>()
+                }
+            })
+            .collect();
+        crate::pool::WorkerPool::global()
+            .scatter(jobs)
+            .into_iter()
+            .flatten()
+            .collect()
     } else {
-        candidates
+        resolved
             .iter()
-            .filter_map(|&candidate| evaluate_candidate(store, candidate, target_hashes))
+            .filter_map(|(candidate, stored)| evaluate_candidate(*candidate, stored, target_sorted))
             .collect()
     };
     sort_reports(&mut reports);
@@ -188,6 +276,12 @@ mod tests {
         assert_eq!(disclosure_between(&empty, &a), 0.0);
         assert_eq!(disclosure_between(&a, &empty), 0.0);
         assert_eq!(disclosure_between(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn default_workers_is_cached_and_positive() {
+        assert!(default_workers() >= 1);
+        assert_eq!(default_workers(), default_workers());
     }
 
     #[test]
@@ -234,5 +328,27 @@ mod tests {
         assert_eq!(reports.len(), 2);
         assert!(reports[0].disclosure >= reports[1].disclosure);
         assert_eq!(reports[0].source, SegmentId::new(1));
+    }
+
+    #[test]
+    fn indexed_matches_probe_reference() {
+        use browserflow_fingerprint::{FingerprintConfig, Fingerprinter};
+        let fp = Fingerprinter::new(
+            FingerprintConfig::builder()
+                .ngram_len(6)
+                .window(4)
+                .build()
+                .unwrap(),
+        );
+        let store = FingerprintStore::new();
+        let a = "the first confidential paragraph concerning the restructuring schedule";
+        let b = format!("{a} with an appendix describing severance terms in detail");
+        store.observe(SegmentId::new(1), &fp.fingerprint(a), 0.2);
+        store.observe(SegmentId::new(2), &fp.fingerprint(&b), 0.2);
+        let target = fp.fingerprint(&format!("minutes: {b} end"));
+        let indexed = store.disclosing_sources(SegmentId::new(3), &target);
+        let probed = probe_disclosing_sources(&store, SegmentId::new(3), &target.hash_set());
+        assert_eq!(indexed, probed);
+        assert!(!indexed.is_empty());
     }
 }

@@ -1,0 +1,136 @@
+//! A fast, non-cryptographic hasher for the store's hot maps.
+//!
+//! The standard library's default hasher (SipHash-1-3) is keyed and
+//! collision-resistant, which costs ~1ns/word more than Algorithm 1 can
+//! afford: every `oldestParagraphWith(h)` probe and every registry lookup
+//! pays it. This module implements the FxHash algorithm (a word-at-a-time
+//! rotate-xor-multiply, as used by the Rust compiler's internal tables):
+//! on the 4- and 8-byte keys of `DBhash`, `DBpar`, the decision cache and
+//! the engine registries it is a handful of ALU instructions per lookup.
+//!
+//! HashDoS resistance is deliberately traded away. The keys hashed here
+//! are 32-bit winnowing hashes of observed text and engine-assigned
+//! segment ids — BrowserFlow is a client-side tracker (§3), so an
+//! adversary who could craft colliding inputs is already on the wrong
+//! side of the threat model.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// The FxHash multiplication constant (2^64 / golden ratio, made odd).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time rotate-xor-multiply hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// Builds [`FxHasher`]s; zero-sized and unkeyed, so two maps hash
+/// identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_builders() {
+        let a = FxBuildHasher.hash_one(0xDEAD_BEEFu32);
+        let b = FxBuildHasher.hash_one(0xDEAD_BEEFu32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let hashes: HashSet<u64> = (0u32..1000).map(|i| FxBuildHasher.hash_one(i)).collect();
+        assert_eq!(hashes.len(), 1000);
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(7, "seven");
+        map.insert(42, "forty-two");
+        assert_eq!(map.get(&7), Some(&"seven"));
+        assert_eq!(map.len(), 2);
+
+        let set: FxHashSet<u64> = (0..100).collect();
+        assert!(set.contains(&99));
+        assert!(!set.contains(&100));
+    }
+
+    #[test]
+    fn byte_stream_fallback_covers_tail() {
+        // write() must fold partial trailing chunks, not drop them.
+        let mut a = FxHasher::default();
+        a.write(b"abcdefgh-tail");
+        let mut b = FxHasher::default();
+        b.write(b"abcdefgh-tali");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

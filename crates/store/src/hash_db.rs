@@ -6,9 +6,15 @@
 //! later sightings can never become the oldest, and it keeps the database
 //! at one entry per distinct hash, which matters at the 10-million-hash
 //! scale of the paper's Figure 13.
+//!
+//! Recording a sighting reports its [`SightingOutcome`] so the store can
+//! maintain each segment's authoritative hash set incrementally: an
+//! `Installed` or `Displaced` outcome means the observing segment now owns
+//! the hash, and `Displaced` additionally names the previous owner whose
+//! authoritative set must shed it.
 
+use crate::fx::FxHashMap;
 use crate::{SegmentId, Timestamp};
-use std::collections::HashMap;
 
 /// A hash's first sighting: where and when it was first observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +23,18 @@ pub struct Sighting {
     pub segment: SegmentId,
     /// Logical time of that observation.
     pub time: Timestamp,
+}
+
+/// What recording a sighting did to the hash's ownership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SightingOutcome {
+    /// The hash had no sighting; the recording segment became its owner.
+    Installed,
+    /// An earlier-timestamped sighting replaced the named previous owner
+    /// (out-of-order insert, e.g. during eviction replay or restore).
+    Displaced(SegmentId),
+    /// An existing, older sighting by the named segment was kept.
+    Kept(SegmentId),
 }
 
 /// The hash database (`DBhash` of Algorithm 1).
@@ -34,7 +52,7 @@ pub struct Sighting {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct HashDb {
-    first_seen: HashMap<u32, Sighting>,
+    first_seen: FxHashMap<u32, Sighting>,
 }
 
 impl HashDb {
@@ -52,19 +70,35 @@ impl HashDb {
         segment: SegmentId,
         time: Timestamp,
     ) -> bool {
+        !matches!(
+            self.record_sighting(hash, segment, time),
+            SightingOutcome::Kept(_)
+        )
+    }
+
+    /// Like [`HashDb::record_first_sighting`], but reports what happened to
+    /// the hash's ownership, so callers can maintain per-segment
+    /// authoritative sets without re-probing.
+    pub fn record_sighting(
+        &mut self,
+        hash: u32,
+        segment: SegmentId,
+        time: Timestamp,
+    ) -> SightingOutcome {
         match self.first_seen.entry(hash) {
             std::collections::hash_map::Entry::Vacant(entry) => {
                 entry.insert(Sighting { segment, time });
-                true
+                SightingOutcome::Installed
             }
             std::collections::hash_map::Entry::Occupied(mut entry) => {
                 // Out-of-order inserts (possible after eviction replay)
                 // keep the earliest.
                 if time < entry.get().time {
+                    let previous = entry.get().segment;
                     entry.insert(Sighting { segment, time });
-                    true
+                    SightingOutcome::Displaced(previous)
                 } else {
-                    false
+                    SightingOutcome::Kept(entry.get().segment)
                 }
             }
         }
@@ -115,6 +149,24 @@ mod tests {
         let mut db = HashDb::new();
         db.record_first_sighting(7, SegmentId::new(2), Timestamp::new(9));
         assert!(db.record_first_sighting(7, SegmentId::new(1), Timestamp::new(5)));
+        assert_eq!(db.oldest_with(7).unwrap().segment, SegmentId::new(1));
+    }
+
+    #[test]
+    fn outcomes_name_the_parties() {
+        let mut db = HashDb::new();
+        assert_eq!(
+            db.record_sighting(7, SegmentId::new(2), Timestamp::new(9)),
+            SightingOutcome::Installed
+        );
+        assert_eq!(
+            db.record_sighting(7, SegmentId::new(3), Timestamp::new(10)),
+            SightingOutcome::Kept(SegmentId::new(2))
+        );
+        assert_eq!(
+            db.record_sighting(7, SegmentId::new(1), Timestamp::new(5)),
+            SightingOutcome::Displaced(SegmentId::new(2))
+        );
         assert_eq!(db.oldest_with(7).unwrap().segment, SegmentId::new(1));
     }
 

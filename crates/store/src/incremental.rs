@@ -14,8 +14,8 @@
 //! least one current hash — which was added at some point, so the
 //! incremental checker saw it too (this equivalence is property-tested).
 
+use crate::fx::FxHashSet;
 use crate::{DisclosureReport, FingerprintStore, SegmentId};
-use std::collections::HashSet;
 
 /// An incremental evaluation of Algorithm 1 for one segment being edited.
 ///
@@ -40,8 +40,8 @@ use std::collections::HashSet;
 #[derive(Debug, Clone)]
 pub struct IncrementalChecker {
     target: SegmentId,
-    hashes: HashSet<u32>,
-    candidates: HashSet<SegmentId>,
+    hashes: FxHashSet<u32>,
+    candidates: FxHashSet<SegmentId>,
 }
 
 impl IncrementalChecker {
@@ -49,8 +49,8 @@ impl IncrementalChecker {
     pub fn new(target: SegmentId) -> Self {
         Self {
             target,
-            hashes: HashSet::new(),
-            candidates: HashSet::new(),
+            hashes: FxHashSet::default(),
+            candidates: FxHashSet::default(),
         }
     }
 
@@ -60,7 +60,7 @@ impl IncrementalChecker {
     }
 
     /// The current hash set.
-    pub fn hashes(&self) -> &HashSet<u32> {
+    pub fn hashes(&self) -> &FxHashSet<u32> {
         &self.hashes
     }
 
@@ -112,12 +112,19 @@ impl IncrementalChecker {
 
     /// Evaluates the accumulated candidates against the current hash set —
     /// the expensive half of [`IncrementalChecker::update`].
+    ///
+    /// The hash set is sorted once; each candidate is then one sorted-slice
+    /// intersection against its stored authoritative set.
     pub fn evaluate(&self, store: &FingerprintStore) -> Vec<DisclosureReport> {
+        let mut sorted: Vec<u32> = self.hashes.iter().copied().collect();
+        sorted.sort_unstable();
         let mut reports: Vec<DisclosureReport> = self
             .candidates
             .iter()
             .filter_map(|&candidate| {
-                crate::disclosure::evaluate_candidate(store, candidate, &self.hashes)
+                // Candidates may have been evicted since they were resolved.
+                let stored = store.segment(candidate)?;
+                crate::disclosure::evaluate_candidate(candidate, &stored, &sorted)
             })
             .collect();
         crate::disclosure::sort_reports(&mut reports);
@@ -137,7 +144,7 @@ impl IncrementalChecker {
     /// hashes, so subsequent reports are identical (property-tested).
     pub fn compact(&mut self, store: &FingerprintStore) -> usize {
         let target = self.target;
-        let live: HashSet<SegmentId> = self
+        let live: FxHashSet<SegmentId> = self
             .hashes
             .iter()
             .filter_map(|&hash| store.oldest_segment_with(hash))

@@ -1,0 +1,142 @@
+//! Sorted-slice intersection kernel.
+//!
+//! Algorithm 1's inner loop is `|F_A(p) ∩ F(target)|`. With both operands
+//! stored as sorted, deduplicated `u32` slices, the overlap is a linear
+//! merge scan — sequential memory access and no per-element hashing —
+//! instead of one randomized `HashSet` probe per stored hash. When one
+//! side is much smaller than the other (a short paste checked against a
+//! book-sized stored segment), the kernel switches to galloping: for each
+//! element of the small side, exponential search bounds the match position
+//! in the large side, giving `O(small · log(large/small))` instead of
+//! `O(small + large)`.
+
+/// Size ratio beyond which galloping beats the linear merge.
+const GALLOP_RATIO: usize = 16;
+
+/// Number of elements present in both sorted, deduplicated slices.
+///
+/// Both inputs must be strictly increasing; this is the stored-segment
+/// invariant maintained by `SegmentDb` and by
+/// `Fingerprint::distinct_hashes`.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_store::intersection_count;
+///
+/// assert_eq!(intersection_count(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), 2);
+/// assert_eq!(intersection_count(&[], &[1, 2]), 0);
+/// ```
+pub fn intersection_count(a: &[u32], b: &[u32]) -> usize {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "lhs not sorted/dedup");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "rhs not sorted/dedup");
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        gallop_count(small, large)
+    } else {
+        merge_count(small, large)
+    }
+}
+
+/// Linear two-pointer merge; branch-light (the index advances are
+/// unconditional arithmetic on comparison results).
+fn merge_count(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        let x = a[i];
+        let y = b[j];
+        count += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    count
+}
+
+/// For each element of `small`, exponentially widen a window into the
+/// unconsumed tail of `large`, then binary-search it. The search offset
+/// only moves forward, so the whole pass is `O(|small| · log(|large| /
+/// |small|))` amortised.
+fn gallop_count(small: &[u32], large: &[u32]) -> usize {
+    let mut count = 0;
+    let mut offset = 0;
+    for &x in small {
+        let rest = &large[offset..];
+        if rest.is_empty() {
+            break;
+        }
+        let mut bound = 1;
+        while bound < rest.len() && rest[bound - 1] < x {
+            bound <<= 1;
+        }
+        let window = bound.min(rest.len());
+        // First position with an element >= x; it lies inside the window
+        // because either rest[window - 1] >= x or the window is the tail.
+        let pos = rest[..window].partition_point(|&v| v < x);
+        offset += pos;
+        if pos < window && rest[pos] == x {
+            count += 1;
+            offset += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn reference(a: &[u32], b: &[u32]) -> usize {
+        let a: HashSet<u32> = a.iter().copied().collect();
+        let b: HashSet<u32> = b.iter().copied().collect();
+        a.intersection(&b).count()
+    }
+
+    #[test]
+    fn empty_and_disjoint() {
+        assert_eq!(intersection_count(&[], &[]), 0);
+        assert_eq!(intersection_count(&[1], &[]), 0);
+        assert_eq!(intersection_count(&[1, 3, 5], &[2, 4, 6]), 0);
+    }
+
+    #[test]
+    fn subset_and_identity() {
+        let a: Vec<u32> = (0..100).map(|i| i * 3).collect();
+        assert_eq!(intersection_count(&a, &a), a.len());
+        let sub: Vec<u32> = a.iter().copied().step_by(4).collect();
+        assert_eq!(intersection_count(&sub, &a), sub.len());
+    }
+
+    #[test]
+    fn both_kernels_agree_with_reference() {
+        // Small-vs-large exercises galloping, similar sizes the merge.
+        let large: Vec<u32> = (0..5000).map(|i| i * 2).collect();
+        let small: Vec<u32> = (0..50).map(|i| i * 117).collect();
+        assert_eq!(
+            intersection_count(&small, &large),
+            reference(&small, &large)
+        );
+        assert_eq!(gallop_count(&small, &large), merge_count(&small, &large));
+        let similar: Vec<u32> = (0..4000).map(|i| i * 3 + 1).collect();
+        assert_eq!(
+            intersection_count(&similar, &large),
+            reference(&similar, &large)
+        );
+        assert_eq!(
+            gallop_count(&similar, &large),
+            merge_count(&similar, &large)
+        );
+    }
+
+    #[test]
+    fn argument_order_is_irrelevant() {
+        let a: Vec<u32> = (0..1000).map(|i| i * 7).collect();
+        let b: Vec<u32> = (0..10).map(|i| i * 700).collect();
+        assert_eq!(intersection_count(&a, &b), intersection_count(&b, &a));
+    }
+}

@@ -49,9 +49,12 @@ mod clock;
 pub mod codec;
 mod disclosure;
 mod encryption;
+pub mod fx;
 pub mod hash_db;
 mod incremental;
+mod intersect;
 pub mod persist;
+mod pool;
 pub mod segment_db;
 pub mod sharded;
 
@@ -59,9 +62,13 @@ pub use cache::{DecisionCache, FingerprintDigest};
 pub use clock::{LogicalClock, Timestamp};
 pub use codec::{CodecError, RestoreReport, SealedStore};
 pub use disclosure::{disclosure_between, DisclosureReport};
+#[doc(hidden)]
+pub use disclosure::{probe_disclosing_sources, probe_evaluate_candidate};
 pub use encryption::{EncryptionError, SealedBytes, StoreKey};
-pub use hash_db::{HashDb, Sighting};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hash_db::{HashDb, Sighting, SightingOutcome};
 pub use incremental::IncrementalChecker;
+pub use intersect::intersection_count;
 pub use persist::{
     load_from_dir, load_sealed_from_dir, persist_sealed_store, persist_sealed_to_dir,
     persist_to_dir, PersistError,
@@ -71,6 +78,7 @@ pub use sharded::{ShardedHashDb, ShardedSegmentDb};
 
 use browserflow_fingerprint::Fingerprint;
 use std::collections::HashSet;
+use std::hash::BuildHasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -186,14 +194,60 @@ impl FingerprintStore {
     ///
     /// `threshold` is the segment's disclosure threshold `T ∈ [0, 1]`
     /// (clamped).
+    ///
+    /// Alongside the first-sighting records, the observation maintains the
+    /// segment's **authoritative hash set** incrementally: each
+    /// [`SightingOutcome`] says whether the segment now owns the hash, and
+    /// a `Displaced` outcome names the previous owner whose stored
+    /// authoritative set is pruned in place. No per-check `DBhash` probing
+    /// is needed afterwards — candidate evaluation intersects the stored
+    /// sorted slices directly.
     pub fn observe(&self, segment: SegmentId, fingerprint: &Fingerprint, threshold: f64) {
         let now = self.clock.tick();
-        let distinct: HashSet<u32> = fingerprint.hash_set();
-        for &hash in &distinct {
-            self.hashes.record_first_sighting(hash, segment, now);
+        let distinct = fingerprint.distinct_hashes();
+        let epoch_before = self.hashes.displacement_epoch();
+        let mut owned: Vec<u32> = Vec::with_capacity(distinct.len());
+        let mut revoked: Vec<(SegmentId, u32)> = Vec::new();
+        for &hash in distinct {
+            match self.hashes.record_sighting(hash, segment, now) {
+                SightingOutcome::Installed => owned.push(hash),
+                SightingOutcome::Displaced(previous) => {
+                    owned.push(hash);
+                    if previous != segment {
+                        revoked.push((previous, hash));
+                    }
+                }
+                SightingOutcome::Kept(owner) => {
+                    if owner == segment {
+                        owned.push(hash);
+                    }
+                }
+            }
         }
-        self.segments
-            .upsert(segment, distinct, threshold.clamp(0.0, 1.0), now);
+        self.segments.upsert(
+            segment,
+            distinct.to_vec(),
+            owned.clone(),
+            threshold.clamp(0.0, 1.0),
+            now,
+        );
+        for &(previous, hash) in &revoked {
+            self.segments.revoke_authoritative(previous, hash);
+        }
+        // A displacement that raced this observation (ours above, or a
+        // concurrent observer's out-of-order insert between our
+        // `record_sighting` and our `upsert`) may have invalidated
+        // ownership we just wrote. Displacements are rare — the epoch only
+        // moves on out-of-order inserts — so re-validate only when it did.
+        // The re-validation is revoke-only: it never *adds* authority, so
+        // it cannot resurrect a hash another thread revoked concurrently.
+        if self.hashes.displacement_epoch() != epoch_before {
+            for &hash in &owned {
+                if self.oldest_segment_with(hash) != Some(segment) {
+                    self.segments.revoke_authoritative(segment, hash);
+                }
+            }
+        }
     }
 
     /// Updates just the disclosure threshold of an already-observed
@@ -212,16 +266,15 @@ impl FingerprintStore {
     /// The *authoritative* part of a stored segment's fingerprint: the
     /// hashes of its current fingerprint whose first sighting anywhere was
     /// this segment (§4.3).
+    ///
+    /// Served from the incrementally maintained index — no `DBhash`
+    /// probing (equivalence with the probe-based computation is
+    /// property-tested).
     pub fn authoritative_fingerprint(&self, segment: SegmentId) -> HashSet<u32> {
         let Some(stored) = self.segment(segment) else {
             return HashSet::new();
         };
-        stored
-            .hashes()
-            .iter()
-            .copied()
-            .filter(|&h| self.oldest_segment_with(h) == Some(segment))
-            .collect()
+        stored.authoritative().iter().copied().collect()
     }
 
     /// The disclosure `D(source, target)` of stored segment `source`
@@ -235,24 +288,22 @@ impl FingerprintStore {
     /// from older segments (which those segments report themselves).
     ///
     /// Returns 0.0 if the source is unknown or owns no hashes.
-    pub fn disclosure_from(&self, source: SegmentId, target: &HashSet<u32>) -> f64 {
+    pub fn disclosure_from<S: BuildHasher>(
+        &self,
+        source: SegmentId,
+        target: &HashSet<u32, S>,
+    ) -> f64 {
         let Some(stored) = self.segment(source) else {
             return 0.0;
         };
-        let mut authoritative = 0usize;
-        let mut overlap = 0usize;
-        for &hash in stored.hashes() {
-            if self.oldest_segment_with(hash) == Some(source) {
-                authoritative += 1;
-                if target.contains(&hash) {
-                    overlap += 1;
-                }
-            }
-        }
-        if authoritative == 0 {
+        let authoritative = stored.authoritative();
+        if authoritative.is_empty() {
             return 0.0;
         }
-        overlap as f64 / authoritative as f64
+        let mut sorted_target: Vec<u32> = target.iter().copied().collect();
+        sorted_target.sort_unstable();
+        let overlap = intersect::intersection_count(authoritative, &sorted_target);
+        overlap as f64 / authoritative.len() as f64
     }
 
     /// Algorithm 1: the stored source segments whose disclosure
@@ -271,33 +322,50 @@ impl FingerprintStore {
         target: SegmentId,
         fingerprint: &Fingerprint,
     ) -> Vec<DisclosureReport> {
-        self.disclosing_sources_of_hashes(target, &fingerprint.hash_set())
+        // `distinct_hashes` is the cached sorted slice — no allocation and
+        // no re-sorting on the hot path.
+        self.disclosing_sources_of_sorted(target, fingerprint.distinct_hashes())
     }
 
     /// [`FingerprintStore::disclosing_sources`] over a pre-computed set of
-    /// distinct hashes.
-    pub fn disclosing_sources_of_hashes(
+    /// distinct hashes (sorted once internally).
+    pub fn disclosing_sources_of_hashes<S: BuildHasher>(
         &self,
         target: SegmentId,
-        target_hashes: &HashSet<u32>,
+        target_hashes: &HashSet<u32, S>,
     ) -> Vec<DisclosureReport> {
-        disclosure::run_algorithm_1(self, target, target_hashes, disclosure::default_workers())
+        let mut sorted: Vec<u32> = target_hashes.iter().copied().collect();
+        sorted.sort_unstable();
+        self.disclosing_sources_of_sorted(target, &sorted)
+    }
+
+    /// [`FingerprintStore::disclosing_sources`] over a sorted,
+    /// deduplicated slice of distinct hashes — the zero-copy entry point
+    /// for callers that already hold `Fingerprint::distinct_hashes`.
+    pub fn disclosing_sources_of_sorted(
+        &self,
+        target: SegmentId,
+        target_sorted: &[u32],
+    ) -> Vec<DisclosureReport> {
+        disclosure::run_algorithm_1(self, target, target_sorted, disclosure::default_workers())
     }
 
     /// [`FingerprintStore::disclosing_sources_of_hashes`] with an explicit
     /// worker-thread budget for the candidate-evaluation fan-out.
     ///
     /// `workers <= 1` forces the sequential path; larger values fan the
-    /// candidates over that many scoped threads once there are enough
-    /// candidates to amortise thread startup. The output is byte-identical
+    /// candidates over the persistent worker pool once there are enough
+    /// candidates to amortise the hand-off. The output is byte-identical
     /// across worker counts (property-tested).
-    pub fn disclosing_sources_with_workers(
+    pub fn disclosing_sources_with_workers<S: BuildHasher>(
         &self,
         target: SegmentId,
-        target_hashes: &HashSet<u32>,
+        target_hashes: &HashSet<u32, S>,
         workers: usize,
     ) -> Vec<DisclosureReport> {
-        disclosure::run_algorithm_1(self, target, target_hashes, workers)
+        let mut sorted: Vec<u32> = target_hashes.iter().copied().collect();
+        sorted.sort_unstable();
+        disclosure::run_algorithm_1(self, target, &sorted, workers)
     }
 
     /// Removes a segment's stored fingerprint and every first-sighting
@@ -409,26 +477,63 @@ impl FingerprintStore {
     }
 
     /// Restores a segment with an explicit timestamp, bypassing the clock
-    /// (deserialisation path; see [`codec`]).
+    /// (deserialisation path; see [`codec`]). `hashes` must be sorted and
+    /// deduplicated. The authoritative set is left empty: sightings are
+    /// replayed in arbitrary shard order during a restore, so ownership is
+    /// only known once every record landed —
+    /// [`FingerprintStore::rebuild_authoritative_index`] must run after
+    /// the last restore call.
     pub(crate) fn restore_segment(
         &self,
         segment: SegmentId,
-        hashes: HashSet<u32>,
+        hashes: Vec<u32>,
         threshold: f64,
         updated: Timestamp,
     ) {
-        self.segments.upsert(segment, hashes, threshold, updated);
+        self.segments
+            .upsert(segment, hashes, Vec::new(), threshold, updated);
     }
 
     /// Restores a first-sighting record (deserialisation path).
     pub(crate) fn restore_sighting(&self, hash: u32, segment: SegmentId, time: Timestamp) {
-        self.hashes.record_first_sighting(hash, segment, time);
+        self.hashes.record_sighting(hash, segment, time);
     }
 
     /// Restores the clock so future observations are timestamped after
     /// every restored record (deserialisation path).
     pub(crate) fn restore_clock(&self, at_least: Timestamp) {
         self.clock.advance_to(at_least);
+    }
+
+    /// Recomputes every stored segment's authoritative set from `DBhash`
+    /// (one probe per stored hash), fanning segments out over `workers`
+    /// scoped threads. Called once at the end of a restore — the per-check
+    /// paths never probe.
+    pub(crate) fn rebuild_authoritative_index(&self, workers: usize) {
+        let ids = self.segments.ids();
+        let rebuild_one = |id: SegmentId| {
+            let Some(stored) = self.segment(id) else {
+                return;
+            };
+            let owned: Vec<u32> = stored
+                .hashes()
+                .iter()
+                .copied()
+                .filter(|&hash| self.oldest_segment_with(hash) == Some(id))
+                .collect();
+            self.segments.set_authoritative(id, owned);
+        };
+        if workers > 1 && ids.len() >= workers * 4 {
+            let chunk_len = ids.len().div_ceil(workers);
+            crossbeam::thread::scope(|scope| {
+                for chunk in ids.chunks(chunk_len) {
+                    scope.spawn(move |_| chunk.iter().copied().for_each(rebuild_one));
+                }
+            })
+            .expect("index rebuild threads join cleanly");
+        } else {
+            ids.into_iter().for_each(rebuild_one);
+        }
     }
 }
 

@@ -1,0 +1,147 @@
+//! A persistent worker pool for the candidate-evaluation fan-out.
+//!
+//! The parallel path of Algorithm 1 used to spawn fresh scoped threads on
+//! *every* check — at the paper's per-upload check rate that is a
+//! thread-create/join pair per request. The pool spawns
+//! `default_workers()` threads once (lazily, on the first parallel check)
+//! and keeps them parked on a condvar; a check submits its candidate
+//! chunks as owned closures and blocks until all of them report back.
+//!
+//! Jobs must be `'static`: the disclosure module ships owned
+//! `Arc<StoredSegment>` handles and an `Arc<[u32]>` target into each
+//! closure, so no job ever borrows from the submitting check (and none
+//! takes a shard lock — evaluation runs entirely on the handles).
+//! Multiple concurrent checks share the pool; jobs are short and never
+//! block on the pool themselves, so the shared queue cannot deadlock.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+/// The pool: a shared FIFO of jobs drained by long-lived worker threads.
+pub(crate) struct WorkerPool {
+    shared: &'static Shared,
+}
+
+impl WorkerPool {
+    /// The process-wide pool, created on first use with one thread per
+    /// core ([`crate::disclosure::default_workers`]).
+    pub(crate) fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| WorkerPool::start(crate::disclosure::default_workers()))
+    }
+
+    fn start(workers: usize) -> Self {
+        let shared: &'static Shared = Box::leak(Box::new(Shared::default()));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("bf-eval-{i}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn pool worker");
+        }
+        Self { shared }
+    }
+
+    /// Runs `jobs` on the pool and returns their results in submission
+    /// order. Blocks the caller until every job has completed.
+    pub(crate) fn scatter<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            for (index, job) in jobs.into_iter().enumerate() {
+                let tx = tx.clone();
+                queue.push_back(Box::new(move || {
+                    // The receiver outlives every job (the caller blocks on
+                    // it below), so a send failure is unreachable.
+                    let _ = tx.send((index, job()));
+                }));
+            }
+        }
+        drop(tx);
+        if n == 1 {
+            self.shared.available.notify_one();
+        } else {
+            self.shared.available.notify_all();
+        }
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (index, value) = rx.recv().expect("pool worker dropped a job");
+            slots[index] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job reports exactly once"))
+            .collect()
+    }
+}
+
+fn worker_loop(shared: &'static Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .expect("pool queue poisoned while waiting");
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn scatter_preserves_submission_order() {
+        let pool = WorkerPool::global();
+        let jobs: Vec<_> = (0..64usize).map(|i| move || i * i).collect();
+        let results = pool.scatter(jobs);
+        assert_eq!(results, (0..64usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    let jobs: Vec<_> = (0..16usize).map(|i| move || i).collect();
+                    let sum: usize = WorkerPool::global().scatter(jobs).into_iter().sum();
+                    total.fetch_add(sum, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(
+            total.load(Ordering::Relaxed),
+            4 * (0..16usize).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn empty_scatter_returns_immediately() {
+        let results: Vec<u32> = WorkerPool::global().scatter(Vec::<fn() -> u32>::new());
+        assert!(results.is_empty());
+    }
+}

@@ -1,14 +1,24 @@
 //! `DBpar`: segment → last-calculated-fingerprint associations.
+//!
+//! Each stored segment carries *two* sorted `u32` slices: the distinct
+//! hashes of its last fingerprint, and the **authoritative** subset of
+//! those hashes — the ones whose first sighting anywhere was this segment
+//! (§4.3). The authoritative set is maintained incrementally by the store
+//! (on observe, displacement and eviction replay) instead of being
+//! recomputed per check by probing `DBhash` once per hash; candidate
+//! evaluation then reduces to one sorted-slice intersection.
 
+use crate::fx::FxHashMap;
 use crate::{SegmentId, Timestamp};
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-/// A stored segment: its current (distinct) fingerprint hashes, its
-/// disclosure threshold, and when it was last updated.
+/// A stored segment: its current (distinct) fingerprint hashes, the
+/// authoritative subset of those hashes, its disclosure threshold, and
+/// when it was last updated.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoredSegment {
     hashes: Box<[u32]>,
+    authoritative: Box<[u32]>,
     threshold: f64,
     updated: Timestamp,
 }
@@ -17,6 +27,14 @@ impl StoredSegment {
     /// The distinct hashes of the segment's last fingerprint, sorted.
     pub fn hashes(&self) -> &[u32] {
         &self.hashes
+    }
+
+    /// The authoritative hashes `F_A` — the subset of [`hashes`]
+    /// first seen in this segment — sorted.
+    ///
+    /// [`hashes`]: StoredSegment::hashes
+    pub fn authoritative(&self) -> &[u32] {
+        &self.authoritative
     }
 
     /// Whether `hash` is in the segment's current fingerprint.
@@ -35,6 +53,13 @@ impl StoredSegment {
     }
 }
 
+fn assert_sorted_dedup(slice: &[u32], what: &str) {
+    debug_assert!(
+        slice.windows(2).all(|w| w[0] < w[1]),
+        "{what} must be sorted and deduplicated"
+    );
+}
+
 /// The segment database (`DBpar` of Algorithm 1): stores, per segment, the
 /// last fingerprint that has been calculated for it.
 ///
@@ -42,17 +67,18 @@ impl StoredSegment {
 ///
 /// ```rust
 /// use browserflow_store::{SegmentDb, SegmentId, Timestamp};
-/// use std::collections::HashSet;
 ///
 /// let mut db = SegmentDb::new();
-/// db.upsert(SegmentId::new(1), HashSet::from([1, 2, 3]), 0.5, Timestamp::new(0));
-/// assert_eq!(db.get(SegmentId::new(1)).unwrap().hashes(), &[1, 2, 3]);
+/// db.upsert(SegmentId::new(1), vec![1, 2, 3], vec![1, 3], 0.5, Timestamp::new(0));
+/// let stored = db.get(SegmentId::new(1)).unwrap();
+/// assert_eq!(stored.hashes(), &[1, 2, 3]);
+/// assert_eq!(stored.authoritative(), &[1, 3]);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SegmentDb {
     // Segments are reference-counted so a sharded store can hand out owned
     // handles without holding its shard lock across the caller's use.
-    segments: HashMap<SegmentId, Arc<StoredSegment>>,
+    segments: FxHashMap<SegmentId, Arc<StoredSegment>>,
 }
 
 impl SegmentDb {
@@ -62,19 +88,30 @@ impl SegmentDb {
     }
 
     /// Inserts or replaces the stored fingerprint of `segment`.
+    ///
+    /// Both `hashes` and `authoritative` must be sorted and deduplicated,
+    /// with `authoritative ⊆ hashes` (debug-asserted).
     pub fn upsert(
         &mut self,
         segment: SegmentId,
-        hashes: HashSet<u32>,
+        hashes: Vec<u32>,
+        authoritative: Vec<u32>,
         threshold: f64,
         now: Timestamp,
     ) {
-        let mut sorted: Vec<u32> = hashes.into_iter().collect();
-        sorted.sort_unstable();
+        assert_sorted_dedup(&hashes, "segment hashes");
+        assert_sorted_dedup(&authoritative, "authoritative hashes");
+        debug_assert!(
+            authoritative
+                .iter()
+                .all(|h| hashes.binary_search(h).is_ok()),
+            "authoritative set must be a subset of the fingerprint"
+        );
         self.segments.insert(
             segment,
             Arc::new(StoredSegment {
-                hashes: sorted.into_boxed_slice(),
+                hashes: hashes.into_boxed_slice(),
+                authoritative: authoritative.into_boxed_slice(),
                 threshold,
                 updated: now,
             }),
@@ -92,6 +129,38 @@ impl SegmentDb {
             }
             None => false,
         }
+    }
+
+    /// Replaces a segment's authoritative set wholesale (index rebuild
+    /// after restore); `false` if the segment is unknown.
+    pub fn set_authoritative(&mut self, segment: SegmentId, authoritative: Vec<u32>) -> bool {
+        assert_sorted_dedup(&authoritative, "authoritative hashes");
+        match self.segments.get_mut(&segment) {
+            Some(stored) => {
+                Arc::make_mut(stored).authoritative = authoritative.into_boxed_slice();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes `hash` from a segment's authoritative set (the hash's first
+    /// sighting was displaced to an older observation). Returns `true` if
+    /// the hash was present.
+    pub fn revoke_authoritative(&mut self, segment: SegmentId, hash: u32) -> bool {
+        let Some(stored) = self.segments.get_mut(&segment) else {
+            return false;
+        };
+        let Ok(index) = stored.authoritative.binary_search(&hash) else {
+            return false;
+        };
+        // Displacements are rare (eviction replay / racing observers), so a
+        // copy-on-write rebuild of the slice is fine.
+        let inner = Arc::make_mut(stored);
+        let mut authoritative = std::mem::take(&mut inner.authoritative).into_vec();
+        authoritative.remove(index);
+        inner.authoritative = authoritative.into_boxed_slice();
+        true
     }
 
     /// Fetches a stored segment.
@@ -142,11 +211,12 @@ mod tests {
     fn upsert_replaces() {
         let mut db = SegmentDb::new();
         let id = SegmentId::new(1);
-        db.upsert(id, HashSet::from([3, 1, 2]), 0.5, Timestamp::new(0));
+        db.upsert(id, vec![1, 2, 3], vec![1, 2, 3], 0.5, Timestamp::new(0));
         assert_eq!(db.get(id).unwrap().hashes(), &[1, 2, 3]);
-        db.upsert(id, HashSet::from([9]), 0.7, Timestamp::new(1));
+        db.upsert(id, vec![9], vec![], 0.7, Timestamp::new(1));
         let stored = db.get(id).unwrap();
         assert_eq!(stored.hashes(), &[9]);
+        assert_eq!(stored.authoritative(), &[] as &[u32]);
         assert_eq!(stored.threshold(), 0.7);
         assert_eq!(stored.updated(), Timestamp::new(1));
         assert_eq!(db.len(), 1);
@@ -156,7 +226,8 @@ mod tests {
     fn contains_uses_binary_search() {
         let mut db = SegmentDb::new();
         let id = SegmentId::new(1);
-        db.upsert(id, (0..100).map(|i| i * 7).collect(), 0.5, Timestamp::ZERO);
+        let hashes: Vec<u32> = (0..100).map(|i| i * 7).collect();
+        db.upsert(id, hashes.clone(), hashes, 0.5, Timestamp::ZERO);
         let stored = db.get(id).unwrap();
         assert!(stored.contains(21));
         assert!(!stored.contains(22));
@@ -169,10 +240,27 @@ mod tests {
     }
 
     #[test]
+    fn revoke_and_set_authoritative() {
+        let mut db = SegmentDb::new();
+        let id = SegmentId::new(1);
+        db.upsert(id, vec![1, 2, 3, 4], vec![1, 2, 4], 0.5, Timestamp::ZERO);
+        // A handle taken before the revocation keeps its consistent view.
+        let before = db.get_shared(id).unwrap();
+        assert!(db.revoke_authoritative(id, 2));
+        assert!(!db.revoke_authoritative(id, 2));
+        assert!(!db.revoke_authoritative(SegmentId::new(404), 2));
+        assert_eq!(db.get(id).unwrap().authoritative(), &[1, 4]);
+        assert_eq!(before.authoritative(), &[1, 2, 4]);
+        assert!(db.set_authoritative(id, vec![3]));
+        assert_eq!(db.get(id).unwrap().authoritative(), &[3]);
+        assert!(!db.set_authoritative(SegmentId::new(404), vec![]));
+    }
+
+    #[test]
     fn segments_older_than_filters_strictly() {
         let mut db = SegmentDb::new();
-        db.upsert(SegmentId::new(1), HashSet::new(), 0.5, Timestamp::new(0));
-        db.upsert(SegmentId::new(2), HashSet::new(), 0.5, Timestamp::new(5));
+        db.upsert(SegmentId::new(1), vec![], vec![], 0.5, Timestamp::new(0));
+        db.upsert(SegmentId::new(2), vec![], vec![], 0.5, Timestamp::new(5));
         let old = db.segments_older_than(Timestamp::new(5));
         assert_eq!(old, vec![SegmentId::new(1)]);
         assert!(db.segments_older_than(Timestamp::new(0)).is_empty());

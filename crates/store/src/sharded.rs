@@ -18,11 +18,10 @@
 //! on hot stripes (a skewed hash mix) or spreads evenly (true lock
 //! pressure).
 
-use crate::hash_db::{HashDb, Sighting};
+use crate::hash_db::{HashDb, Sighting, SightingOutcome};
 use crate::segment_db::{SegmentDb, StoredSegment};
 use crate::{SegmentId, Timestamp};
 use parking_lot::RwLock;
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -78,6 +77,11 @@ pub struct ShardedHashDb {
     mask: usize,
     /// One contended-acquisition counter per shard.
     contended: Box<[AtomicU64]>,
+    /// Bumped on every ownership displacement (an out-of-order insert that
+    /// replaced an existing first sighting). Observers compare the epoch
+    /// around an observation to detect racing displacements and
+    /// re-validate their authoritative sets; see `FingerprintStore::observe`.
+    displacements: AtomicU64,
 }
 
 impl Default for ShardedHashDb {
@@ -102,6 +106,7 @@ impl ShardedHashDb {
             shards: shards.into_boxed_slice(),
             mask: count - 1,
             contended: contended.into_boxed_slice(),
+            displacements: AtomicU64::new(0),
         }
     }
 
@@ -113,7 +118,33 @@ impl ShardedHashDb {
     /// earlier sighting already exists. Returns `true` if this became the
     /// hash's first sighting.
     pub fn record_first_sighting(&self, hash: u32, segment: SegmentId, time: Timestamp) -> bool {
-        write_shard!(self, self.shard_of(hash)).record_first_sighting(hash, segment, time)
+        !matches!(
+            self.record_sighting(hash, segment, time),
+            SightingOutcome::Kept(_)
+        )
+    }
+
+    /// Like [`ShardedHashDb::record_first_sighting`], but reports what
+    /// happened to the hash's ownership. Displacements bump the
+    /// displacement epoch.
+    pub fn record_sighting(
+        &self,
+        hash: u32,
+        segment: SegmentId,
+        time: Timestamp,
+    ) -> SightingOutcome {
+        let outcome = write_shard!(self, self.shard_of(hash)).record_sighting(hash, segment, time);
+        if matches!(outcome, SightingOutcome::Displaced(_)) {
+            self.displacements.fetch_add(1, Ordering::SeqCst);
+        }
+        outcome
+    }
+
+    /// The current displacement epoch: total ownership displacements so
+    /// far. An unchanged epoch across an observation proves no concurrent
+    /// displacement raced it.
+    pub fn displacement_epoch(&self) -> u64 {
+        self.displacements.load(Ordering::SeqCst)
     }
 
     /// `oldestParagraphWith(h)`: the first sighting of `hash`, if any.
@@ -218,9 +249,34 @@ impl ShardedSegmentDb {
         segment.get() as usize & self.mask
     }
 
-    /// Inserts or replaces the stored fingerprint of `segment`.
-    pub fn upsert(&self, segment: SegmentId, hashes: HashSet<u32>, threshold: f64, now: Timestamp) {
-        write_shard!(self, self.shard_of(segment)).upsert(segment, hashes, threshold, now);
+    /// Inserts or replaces the stored fingerprint of `segment`. Both hash
+    /// lists must be sorted and deduplicated, `authoritative ⊆ hashes`.
+    pub fn upsert(
+        &self,
+        segment: SegmentId,
+        hashes: Vec<u32>,
+        authoritative: Vec<u32>,
+        threshold: f64,
+        now: Timestamp,
+    ) {
+        write_shard!(self, self.shard_of(segment)).upsert(
+            segment,
+            hashes,
+            authoritative,
+            threshold,
+            now,
+        );
+    }
+
+    /// Replaces a segment's authoritative set; `false` if unknown.
+    pub fn set_authoritative(&self, segment: SegmentId, authoritative: Vec<u32>) -> bool {
+        write_shard!(self, self.shard_of(segment)).set_authoritative(segment, authoritative)
+    }
+
+    /// Removes `hash` from a segment's authoritative set; `true` if it was
+    /// present.
+    pub fn revoke_authoritative(&self, segment: SegmentId, hash: u32) -> bool {
+        write_shard!(self, self.shard_of(segment)).revoke_authoritative(segment, hash)
     }
 
     /// Updates a segment's threshold; `false` if unknown.
@@ -341,7 +397,8 @@ mod tests {
         for i in 0..32u64 {
             db.upsert(
                 SegmentId::new(i),
-                HashSet::from([i as u32, i as u32 + 1]),
+                vec![i as u32, i as u32 + 1],
+                vec![i as u32],
                 0.5,
                 Timestamp::new(i),
             );

@@ -27,6 +27,28 @@ fn populated_store(seed_sets: &[Vec<u32>]) -> FingerprintStore {
     store
 }
 
+/// Quiescent consistency of the authoritative-set index: once the racing
+/// threads have joined, every segment's incrementally maintained
+/// authoritative set must equal the pre-index derivation (one `DBhash`
+/// probe per stored hash) — races may only ever delay revocation, never
+/// leave it wrong at rest.
+fn assert_index_quiescent(store: &FingerprintStore) {
+    for id in store.segment_ids() {
+        let stored = store.segment(id).expect("listed segment exists");
+        let probed: HashSet<u32> = stored
+            .hashes()
+            .iter()
+            .copied()
+            .filter(|&h| store.oldest_segment_with(h) == Some(id))
+            .collect();
+        assert_eq!(
+            store.authoritative_fingerprint(id),
+            probed,
+            "authoritative index diverged for segment {id:?} after the race"
+        );
+    }
+}
+
 proptest! {
     /// Parallel Algorithm 1 returns exactly the sequential reports, in the
     /// same order, for every worker count — the determinism contract of
@@ -128,6 +150,7 @@ fn concurrent_writers_and_checkers_converge() {
     let parallel = store.disclosing_sources_with_workers(SegmentId::new(70_000), &probe, 8);
     assert_eq!(sequential, parallel);
     assert_eq!(sequential.len(), total as usize);
+    assert_index_quiescent(&store);
 }
 
 #[test]
@@ -149,4 +172,35 @@ fn concurrent_observers_of_the_same_hash_agree_on_one_owner() {
     assert!(owner.get() < THREADS);
     // All eight segments stored their fingerprint.
     assert_eq!(store.segment_count(), THREADS as usize);
+    // Exactly one segment holds 42 in its authoritative set, and it is
+    // the owner DBhash names.
+    assert_index_quiescent(&store);
+}
+
+#[test]
+fn racing_overlapping_observers_keep_index_consistent() {
+    // Every hash is contested by several threads at once, so ownership is
+    // displaced repeatedly while other observers are mid-flight — the
+    // exact race the displacement-epoch revalidation exists for.
+    const THREADS: u64 = 8;
+    const ROUNDS: u64 = 25;
+    let store = Arc::new(FingerprintStore::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                for r in 0..ROUNDS {
+                    let base = ((t + r) % THREADS) as u32 * 8;
+                    let hashes: Vec<u32> = (base..base + 16).collect();
+                    store.observe(
+                        SegmentId::new(t * ROUNDS + r),
+                        &fingerprint_of(&hashes),
+                        0.4,
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(store.segment_count(), (THREADS * ROUNDS) as usize);
+    assert_index_quiescent(&store);
 }

@@ -170,3 +170,184 @@ mod incremental_equivalence {
         }
     }
 }
+
+mod indexed_evaluation {
+    use browserflow_fingerprint::{Fingerprint, SelectedHash};
+    use browserflow_store::{
+        codec, intersection_count, probe_disclosing_sources, FingerprintStore, SegmentId,
+    };
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn fingerprint_of(hashes: &[u32]) -> Fingerprint {
+        hashes
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| SelectedHash::new(h, i, i..i + 1))
+            .collect()
+    }
+
+    fn sorted_dedup(mut values: Vec<u32>) -> Vec<u32> {
+        values.sort_unstable();
+        values.dedup();
+        values
+    }
+
+    /// The pre-index definition of a segment's authoritative set: one
+    /// `DBhash` probe per stored hash.
+    fn probe_authoritative(store: &FingerprintStore, id: SegmentId) -> HashSet<u32> {
+        let stored = store.segment(id).expect("segment exists");
+        stored
+            .hashes()
+            .iter()
+            .copied()
+            .filter(|&h| store.oldest_segment_with(h) == Some(id))
+            .collect()
+    }
+
+    /// Every segment's incrementally maintained authoritative set must
+    /// equal the probe-derived one.
+    fn assert_index_matches_probe(store: &FingerprintStore) -> Result<(), TestCaseError> {
+        for id in store.segment_ids() {
+            prop_assert_eq!(
+                store.authoritative_fingerprint(id),
+                probe_authoritative(store, id),
+                "authoritative index diverged for segment {:?}",
+                id
+            );
+        }
+        Ok(())
+    }
+
+    /// One random op against the store.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Observe(u64, Vec<u32>),
+        Remove(u64),
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        // Remove is rare-ish: ids 8..40 in the second arm are mapped back
+        // into 0..8, biasing the mix toward observations via the id range.
+        (0u64..40, proptest::collection::vec(0u32..200, 0..24)).prop_map(|(id, hashes)| {
+            if id < 32 {
+                Op::Observe(id % 8, hashes)
+            } else {
+                Op::Remove(id % 8)
+            }
+        })
+    }
+
+    #[test]
+    fn kernel_edge_cases() {
+        assert_eq!(intersection_count(&[], &[]), 0);
+        assert_eq!(intersection_count(&[1, 2, 3], &[]), 0);
+        assert_eq!(intersection_count(&[], &[1, 2, 3]), 0);
+        // Disjoint, interleaved and block-separated.
+        assert_eq!(intersection_count(&[1, 3, 5], &[2, 4, 6]), 0);
+        assert_eq!(intersection_count(&[1, 2, 3], &[100, 200]), 0);
+        // Subset (exercises the galloping path when sizes diverge).
+        let big: Vec<u32> = (0..4096).map(|i| i * 3).collect();
+        let small: Vec<u32> = big.iter().copied().step_by(97).collect();
+        assert_eq!(intersection_count(&small, &big), small.len());
+        assert_eq!(intersection_count(&big, &small), small.len());
+        // Identity.
+        assert_eq!(intersection_count(&big, &big), big.len());
+    }
+
+    proptest! {
+        /// The merge/galloping kernel equals the `HashSet` intersection
+        /// size on arbitrary sorted-dedup inputs, in both argument orders.
+        #[test]
+        fn kernel_matches_hashset_reference(
+            a in proptest::collection::vec(0u32..400, 0..300),
+            b in proptest::collection::vec(0u32..400, 0..300),
+        ) {
+            let a = sorted_dedup(a);
+            let b = sorted_dedup(b);
+            let sa: HashSet<u32> = a.iter().copied().collect();
+            let sb: HashSet<u32> = b.iter().copied().collect();
+            let expected = sa.intersection(&sb).count();
+            prop_assert_eq!(intersection_count(&a, &b), expected);
+            prop_assert_eq!(intersection_count(&b, &a), expected);
+        }
+
+        /// Galloping is forced by blowing one side up; the count still
+        /// equals the set-semantics reference.
+        #[test]
+        fn kernel_gallops_correctly(
+            small in proptest::collection::vec(0u32..10_000, 0..12),
+            seed in 0u32..1000,
+        ) {
+            let small = sorted_dedup(small);
+            let big: Vec<u32> = (0..2_000u32).map(|i| i * 5 + seed % 5).collect();
+            let sb: HashSet<u32> = big.iter().copied().collect();
+            let expected = small.iter().filter(|h| sb.contains(h)).count();
+            prop_assert_eq!(intersection_count(&small, &big), expected);
+            prop_assert_eq!(intersection_count(&big, &small), expected);
+        }
+
+        /// After any sequence of observations (with displacement-heavy
+        /// hash overlap) and removals, the incrementally maintained
+        /// authoritative index equals the per-hash-probe derivation, and
+        /// full Algorithm 1 reports equal the probe-based reference.
+        #[test]
+        fn index_matches_probe_after_random_ops(
+            ops in proptest::collection::vec(op(), 1..40),
+            target in proptest::collection::vec(0u32..200, 0..60),
+        ) {
+            let store = FingerprintStore::new();
+            for op in &ops {
+                match op {
+                    Op::Observe(id, hashes) => {
+                        store.observe(SegmentId::new(*id), &fingerprint_of(hashes), 0.3);
+                    }
+                    Op::Remove(id) => {
+                        store.remove_segment(SegmentId::new(*id));
+                    }
+                }
+            }
+            assert_index_matches_probe(&store)?;
+            let target_id = SegmentId::new(999);
+            let target: HashSet<u32> = target.into_iter().collect();
+            prop_assert_eq!(
+                store.disclosing_sources_of_hashes(target_id, &target),
+                probe_disclosing_sources(&store, target_id, &target)
+            );
+        }
+
+        /// The index is derived state: a v2 encode→decode roundtrip (which
+        /// replays sightings shard by shard, i.e. out of observation
+        /// order) rebuilds an index identical to the probe derivation and
+        /// to the original store's.
+        #[test]
+        fn index_survives_codec_roundtrip(
+            ops in proptest::collection::vec(op(), 1..30),
+            shards in 1usize..8,
+            workers in 1usize..4,
+        ) {
+            let store = FingerprintStore::new();
+            for op in &ops {
+                match op {
+                    Op::Observe(id, hashes) => {
+                        store.observe(SegmentId::new(*id), &fingerprint_of(hashes), 0.3);
+                    }
+                    Op::Remove(id) => {
+                        store.remove_segment(SegmentId::new(*id));
+                    }
+                }
+            }
+            let blob = codec::encode_v2_with_shards(&store, shards).expect("encodes");
+            let restored = codec::decode_with_workers(&blob, workers).expect("decodes");
+            assert_index_matches_probe(&restored)?;
+            let mut ids: Vec<SegmentId> = store.segment_ids().collect();
+            ids.sort_unstable();
+            for id in ids {
+                prop_assert_eq!(
+                    restored.authoritative_fingerprint(id),
+                    store.authoritative_fingerprint(id)
+                );
+            }
+        }
+    }
+}

@@ -4,7 +4,8 @@
 # Runs, in order:
 #   1. grep gates: no deprecated check_upload wrappers outside their
 #      definition site, no panicking worker expects in the pipeline, no
-#      explicit-nonce sealing outside the encryption module's own tests
+#      per-hash DBhash probes inside Algorithm 1's candidate evaluation,
+#      no explicit-nonce sealing outside the encryption module's own tests
 #   2. rustfmt check over the first-party packages
 #   3. clippy with warnings (and the clippy::perf group) denied over the
 #      first-party packages
@@ -14,6 +15,9 @@
 #   7. a release-mode smoke run of the keystroke fingerprint bench, which
 #      regenerates BENCH_fingerprint.json and asserts the incremental
 #      path stays >= 5x faster than full re-fingerprinting at 4 k chars
+#   8. a release-mode smoke run of the algorithm1 microbench, which
+#      asserts the authoritative-index evaluation path stays >= 3x faster
+#      than the probe-based reference on a 150 k-paragraph store
 #
 # The vendored shims under third_party/ are intentionally excluded from
 # the fmt/clippy gates: they mirror upstream crate APIs and are not held
@@ -56,6 +60,18 @@ if grep -rn 'expect("worker alive")' crates examples tests; then
     exit 1
 fi
 
+echo "==> grep gate: evaluate_candidate must not probe DBhash per hash"
+# The hot inner loop of Algorithm 1 works off the incrementally maintained
+# authoritative index; a per-hash oldest_segment_with probe inside
+# evaluate_candidate would reintroduce the pre-index cost the
+# authoritative-set refactor removed (the probe_* reference impls keep the
+# old derivation for equivalence tests and live outside this function).
+if awk '/^pub\(crate\) fn evaluate_candidate\(/,/^}/' \
+    crates/store/src/disclosure.rs | grep -n 'oldest_segment_with'; then
+    echo 'error: evaluate_candidate probes DBhash per hash — use the authoritative index' >&2
+    exit 1
+fi
+
 echo "==> grep gate: explicit-nonce sealing stays inside the encryption module"
 # seal_with_nonce exists for deterministic test fixtures only; production
 # sealing must go through the counter-based seal_auto so nonces are never
@@ -90,5 +106,11 @@ echo "==> keystroke fingerprint bench smoke run (release)"
 # Regenerates BENCH_fingerprint.json; the binary itself asserts the
 # incremental path is >= 5x faster at 4 k-char paragraphs.
 cargo run -q --release -p browserflow-bench --bin bench_fingerprint
+
+echo "==> algorithm1 microbench smoke run (release)"
+# Old-vs-new candidate evaluation at 1.5k/15k/150k paragraphs; the binary
+# asserts the authoritative-index path is >= 3x faster than the
+# probe-based reference on the largest store.
+cargo run -q --release -p browserflow-bench --bin bench_algorithm1
 
 echo "CI gate passed."
