@@ -1,0 +1,516 @@
+//! Regenerates **BENCH_service.json**: end-to-end load test of the `bfd`
+//! multi-tenant disclosure daemon over its Unix socket.
+//!
+//! The harness boots an in-process daemon, registers a zipfian-skewed
+//! tenant population, seeds each tenant with confidential paragraphs,
+//! and then drives tens of thousands of logical editing sessions from a
+//! pool of worker connections. Each session owns one paragraph slot in
+//! one tenant and alternates the daemon's two hot request kinds:
+//!
+//! - **keystroke** — the coalescing per-slot check fired as the user
+//!   types (the common case), and
+//! - **document recheck** — a batched [`Request::Check`] over the
+//!   session's document (the pre-upload sweep).
+//!
+//! Latency is measured client-side around the full framed round trip,
+//! so queueing, admission and wire cost are all included. The run
+//! finishes with the *zero-silent-drop* ledger: every request sent must
+//! come back as a decision, a coalescing supersession, or a structured
+//! backpressure refusal — the daemon is never allowed to lose work
+//! silently — and then drains the daemon gracefully, which must persist
+//! and report every tenant.
+//!
+//! `BF_SCALE=small` (default) keeps the run laptop-friendly;
+//! `BF_SCALE=paper` drives the full 10k-session population harder.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use browserflow_bench::{host_cores, print_header, warn_if_single_core, Scale};
+use browserflow_daemon::{Daemon, DaemonClient, DaemonConfig, ParagraphSlot, Reply, Request};
+use browserflow_tdm::{Policy, Service, Tag, TagSet};
+
+/// Knobs per [`Scale`].
+struct ServiceScale {
+    tenants: usize,
+    sessions: usize,
+    workers: usize,
+    requests: usize,
+    secrets_per_tenant: usize,
+    queue_capacity: u64,
+    max_in_flight: u64,
+}
+
+impl ServiceScale {
+    fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => Self {
+                tenants: 4,
+                sessions: 10_000,
+                workers: 8,
+                requests: 20_000,
+                secrets_per_tenant: 16,
+                queue_capacity: 4,
+                max_in_flight: 32,
+            },
+            Scale::Paper => Self {
+                tenants: 16,
+                sessions: 50_000,
+                workers: 8,
+                requests: 100_000,
+                secrets_per_tenant: 32,
+                queue_capacity: 8,
+                max_in_flight: 64,
+            },
+        }
+    }
+}
+
+/// One logical editing session: a tenant, a document, and the text the
+/// simulated user has typed so far.
+struct Session {
+    tenant: usize,
+    document: String,
+    text: String,
+    /// Leaky sessions paste one of their tenant's confidential
+    /// paragraphs, so their checks exercise the violation path.
+    leaky: bool,
+    typed_words: usize,
+}
+
+/// Client-side reply ledger for the zero-silent-drop accounting.
+#[derive(Default)]
+struct Ledger {
+    sent: u64,
+    decisions: u64,
+    superseded: u64,
+    backpressure: u64,
+    blocked: u64,
+}
+
+/// Deterministic PRNG (splitmix64) so runs are reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+const WORDS: &[&str] = &[
+    "quarterly",
+    "revenue",
+    "forecast",
+    "customer",
+    "meeting",
+    "roadmap",
+    "launch",
+    "draft",
+    "review",
+    "feedback",
+    "release",
+    "metrics",
+    "report",
+    "summary",
+    "update",
+    "planning",
+    "budget",
+    "design",
+    "interview",
+    "candidate",
+    "schedule",
+    "notes",
+    "analysis",
+    "proposal",
+];
+
+fn tenant_id(index: usize) -> String {
+    format!("tenant{index:02}")
+}
+
+fn secret_paragraph(tenant: usize, index: usize) -> String {
+    format!(
+        "confidential paragraph {index} of tenant {tenant}: the negotiated contract terms \
+         include a volume discount schedule and an exclusivity clause that must not appear \
+         in any shared document before the announcement clears legal review"
+    )
+}
+
+fn boilerplate(rng: &mut Rng) -> String {
+    let mut text = String::from("meeting notes:");
+    for _ in 0..18 {
+        text.push(' ');
+        text.push_str(WORDS[rng.below(WORDS.len())]);
+    }
+    text
+}
+
+/// Zipf(1) tenant assignment: tenant `k` gets weight `1/(k+1)`.
+fn zipf_tenant(rng: &mut Rng, tenants: usize) -> usize {
+    let total: f64 = (0..tenants).map(|k| 1.0 / (k + 1) as f64).sum();
+    let mut draw = (rng.next() as f64 / u64::MAX as f64) * total;
+    for k in 0..tenants {
+        draw -= 1.0 / (k + 1) as f64;
+        if draw <= 0.0 {
+            return k;
+        }
+    }
+    tenants - 1
+}
+
+fn tenant_policy_json() -> String {
+    let tag = Tag::new("tenant-confidential").expect("static tag");
+    let mut policy = Policy::new();
+    policy
+        .register(
+            Service::new("itool", "Internal Tool")
+                .with_privilege(TagSet::from_iter([tag.clone()]))
+                .with_confidentiality(TagSet::from_iter([tag])),
+        )
+        .expect("unique id");
+    policy
+        .register(Service::new("gdocs", "External Docs"))
+        .expect("unique id");
+    serde_json::to_string(&policy).expect("policy serialises")
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn expect_reply(reply: &Reply, ledger: &mut Ledger) {
+    match reply {
+        Reply::Decisions { decisions, .. } => {
+            ledger.decisions += 1;
+            if decisions.iter().any(|d| d.action != "allow") {
+                ledger.blocked += 1;
+            }
+        }
+        Reply::Superseded => ledger.superseded += 1,
+        Reply::Backpressure { .. } => ledger.backpressure += 1,
+        Reply::Error { message } => panic!("daemon error reply under load: {message}"),
+        other => panic!("unexpected reply under load: {other:?}"),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    warn_if_single_core();
+    let scale = Scale::from_env();
+    let knobs = ServiceScale::for_scale(scale);
+
+    let socket = std::env::temp_dir().join(format!("bfd-bench-{}.sock", std::process::id()));
+    let daemon = Daemon::bind(DaemonConfig::new(&socket)).expect("bind bench daemon");
+    let daemon_thread = std::thread::spawn(move || daemon.run().expect("daemon run"));
+
+    // Wait for the accept loop, then register the tenant population.
+    let mut admin = loop {
+        if let Ok(mut client) = DaemonClient::connect(&socket) {
+            if client.ping().is_ok() {
+                break client;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    let policy_json = tenant_policy_json();
+    for t in 0..knobs.tenants {
+        let reply = admin
+            .request(&Request::TenantCreate {
+                tenant: tenant_id(t),
+                mode: "block".to_string(),
+                policy_json: policy_json.clone(),
+                max_in_flight: knobs.max_in_flight,
+                queue_capacity: knobs.queue_capacity,
+            })
+            .expect("create tenant");
+        assert!(
+            matches!(reply, Reply::TenantCreated { .. }),
+            "tenant create failed: {reply:?}"
+        );
+    }
+    // Seed every tenant's store with confidential paragraphs.
+    for t in 0..knobs.tenants {
+        let tenant = tenant_id(t);
+        for s in 0..knobs.secrets_per_tenant {
+            admin
+                .observe(&tenant, "itool", "secrets", s, &secret_paragraph(t, s))
+                .expect("seed secret");
+        }
+    }
+
+    // Build the session population with zipfian tenant skew.
+    let mut rng = Rng(0x5E55_1045);
+    let mut sessions: Vec<Session> = (0..knobs.sessions)
+        .map(|i| {
+            let tenant = zipf_tenant(&mut rng, knobs.tenants);
+            let leaky = rng.below(10) == 0;
+            let text = if leaky {
+                secret_paragraph(tenant, rng.below(knobs.secrets_per_tenant))
+            } else {
+                boilerplate(&mut rng)
+            };
+            Session {
+                tenant,
+                document: format!("doc{i}"),
+                text,
+                leaky,
+                typed_words: 0,
+            }
+        })
+        .collect();
+    let leaky_sessions = sessions.iter().filter(|s| s.leaky).count();
+
+    print_header(
+        "bfd service load: multi-tenant daemon under zipfian editing traffic",
+        &format!(
+            "scale = {scale:?}; {} tenants, {} sessions ({} leaky), {} workers, \
+             {} requests; queue_capacity = {}, max_in_flight = {}; host_cores = {}",
+            knobs.tenants,
+            knobs.sessions,
+            leaky_sessions,
+            knobs.workers,
+            knobs.requests,
+            knobs.queue_capacity,
+            knobs.max_in_flight,
+            host_cores()
+        ),
+    );
+
+    // Shard sessions across workers (disjoint slices: one in-flight
+    // request per slot, so coalescing is driven by the daemon, not by
+    // racing writers).
+    let mut shards: Vec<Vec<Session>> = (0..knobs.workers).map(|_| Vec::new()).collect();
+    for (i, session) in sessions.drain(..).enumerate() {
+        shards[i % knobs.workers].push(session);
+    }
+    let per_worker = knobs.requests / knobs.workers;
+
+    let keystroke_latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let recheck_latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let total_sent = Arc::new(AtomicUsize::new(0));
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for (worker, mut shard) in shards.into_iter().enumerate() {
+        let socket = socket.clone();
+        let keystroke_latencies = Arc::clone(&keystroke_latencies);
+        let recheck_latencies = Arc::clone(&recheck_latencies);
+        let total_sent = Arc::clone(&total_sent);
+        handles.push(std::thread::spawn(move || {
+            let mut client = DaemonClient::connect(&socket).expect("worker connect");
+            let mut rng = Rng(0xC0FF_EE00 + worker as u64);
+            let mut ledger = Ledger::default();
+            let mut keystroke_us = Vec::with_capacity(per_worker);
+            let mut recheck_us = Vec::with_capacity(per_worker / 4);
+            for step in 0..per_worker {
+                let slot = step % shard.len();
+                let session = &mut shard[slot];
+                let tenant = tenant_id(session.tenant);
+                ledger.sent += 1;
+                total_sent.fetch_add(1, Ordering::Relaxed);
+                // 1-in-5 requests is a document recheck; the rest are
+                // keystrokes extending the session's paragraph.
+                if step % 5 == 4 {
+                    let paragraphs = vec![ParagraphSlot {
+                        index: 0,
+                        text: session.text.clone(),
+                    }];
+                    let begin = Instant::now();
+                    let reply = client
+                        .check(&tenant, "gdocs", &session.document, paragraphs)
+                        .expect("recheck round trip");
+                    recheck_us.push(begin.elapsed().as_micros() as u64);
+                    expect_reply(&reply, &mut ledger);
+                } else {
+                    session.typed_words += 1;
+                    if session.typed_words > 30 {
+                        session.typed_words = 0;
+                        session.text.truncate(session.text.len().min(40));
+                    }
+                    session.text.push(' ');
+                    session.text.push_str(WORDS[rng.below(WORDS.len())]);
+                    let begin = Instant::now();
+                    let reply = client
+                        .keystroke(&tenant, "gdocs", &session.document, 0, &session.text)
+                        .expect("keystroke round trip");
+                    keystroke_us.push(begin.elapsed().as_micros() as u64);
+                    expect_reply(&reply, &mut ledger);
+                }
+            }
+            keystroke_latencies.lock().unwrap().extend(keystroke_us);
+            recheck_latencies.lock().unwrap().extend(recheck_us);
+            ledger
+        }));
+    }
+
+    let mut ledger = Ledger::default();
+    for handle in handles {
+        let worker_ledger = handle.join().expect("worker thread");
+        ledger.sent += worker_ledger.sent;
+        ledger.decisions += worker_ledger.decisions;
+        ledger.superseded += worker_ledger.superseded;
+        ledger.backpressure += worker_ledger.backpressure;
+        ledger.blocked += worker_ledger.blocked;
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    // --- Zero-silent-drop ledger -------------------------------------
+    let accounted = ledger.decisions + ledger.superseded + ledger.backpressure;
+    assert_eq!(
+        ledger.sent, accounted,
+        "every request must come back as a decision, a supersession, or \
+         structured backpressure — nothing may be dropped silently"
+    );
+    assert!(ledger.decisions > 0, "load produced no decisions");
+    assert!(ledger.blocked > 0, "leaky sessions produced no blocks");
+
+    // Server-side cross-check: rejected counters must agree with the
+    // queue-full refusals the clients saw (quota refusals never reach
+    // the decider, so `rejected` is a lower bound on backpressure).
+    let mut server_completed = 0u64;
+    let mut server_coalesced = 0u64;
+    let mut server_rejected = 0u64;
+    for t in 0..knobs.tenants {
+        match admin
+            .request(&Request::Stats {
+                tenant: tenant_id(t),
+            })
+            .expect("stats")
+        {
+            Reply::Stats { pipeline, .. } => {
+                server_completed += pipeline.completed;
+                server_coalesced += pipeline.coalesced;
+                server_rejected += pipeline.rejected;
+            }
+            other => panic!("unexpected stats reply: {other:?}"),
+        }
+    }
+    assert!(
+        server_rejected <= ledger.backpressure,
+        "daemon counted more queue-full rejections ({server_rejected}) than \
+         clients received backpressure replies ({})",
+        ledger.backpressure
+    );
+
+    // --- Latency + throughput ----------------------------------------
+    let mut keystroke_us = Arc::try_unwrap(keystroke_latencies)
+        .expect("workers joined")
+        .into_inner()
+        .unwrap();
+    let mut recheck_us = Arc::try_unwrap(recheck_latencies)
+        .expect("workers joined")
+        .into_inner()
+        .unwrap();
+    keystroke_us.sort_unstable();
+    recheck_us.sort_unstable();
+    let replies_per_sec = ledger.sent as f64 / wall_s;
+    let decisions_per_sec = ledger.decisions as f64 / wall_s;
+
+    println!(
+        "{:>12} {:>9} {:>9} {:>9} {:>9}",
+        "kind", "count", "p50_us", "p99_us", "max_us"
+    );
+    for (kind, series) in [("keystroke", &keystroke_us), ("recheck", &recheck_us)] {
+        println!(
+            "{:>12} {:>9} {:>9} {:>9} {:>9}",
+            kind,
+            series.len(),
+            percentile(series, 50.0),
+            percentile(series, 99.0),
+            series.last().copied().unwrap_or(0)
+        );
+    }
+    println!(
+        "\nledger: sent {} = decisions {} + superseded {} + backpressure {} \
+         (blocked {}, server rejected {})",
+        ledger.sent,
+        ledger.decisions,
+        ledger.superseded,
+        ledger.backpressure,
+        ledger.blocked,
+        server_rejected
+    );
+    println!(
+        "saturation: {replies_per_sec:.0} replies/s ({decisions_per_sec:.0} decisions/s) \
+         over {wall_s:.2}s"
+    );
+
+    // --- Graceful drain ----------------------------------------------
+    let drained = admin.request(&Request::Drain).expect("drain");
+    let Reply::Drained { reports } = drained else {
+        panic!("expected Drained reply, got {drained:?}");
+    };
+    assert_eq!(
+        reports.len(),
+        knobs.tenants,
+        "drain must report every tenant"
+    );
+    for report in &reports {
+        assert!(
+            report.error.is_empty(),
+            "tenant {} failed to drain: {}",
+            report.tenant,
+            report.error
+        );
+    }
+    daemon_thread.join().expect("daemon thread");
+    std::fs::remove_file(&socket).ok();
+    println!("drain: {} tenants reported, all clean", reports.len());
+
+    // --- BENCH_service.json ------------------------------------------
+    let json = format!(
+        "{{\n  \"bench\": \"service\",\n  \"scale\": \"{scale:?}\",\n  \"host_cores\": {},\n  \
+         \"tenants\": {},\n  \"sessions\": {},\n  \"workers\": {},\n  \
+         \"queue_capacity\": {},\n  \"max_in_flight\": {},\n  \
+         \"ledger\": {{\"sent\": {}, \"decisions\": {}, \"superseded\": {}, \
+         \"backpressure\": {}, \"blocked\": {}, \"silent_drops\": 0}},\n  \
+         \"server\": {{\"completed\": {server_completed}, \"coalesced\": {server_coalesced}, \
+         \"rejected\": {server_rejected}}},\n  \
+         \"latency_us\": {{\n    \"keystroke\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \
+         \"max\": {}}},\n    \"recheck\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \
+         \"max\": {}}}\n  }},\n  \
+         \"saturation\": {{\"wall_s\": {wall_s:.3}, \"replies_per_sec\": {replies_per_sec:.1}, \
+         \"decisions_per_sec\": {decisions_per_sec:.1}}},\n  \
+         \"note\": \"latency is the full client-side framed round trip over a Unix socket, \
+         including admission and queueing; backpressure replies are structured refusals \
+         (zero silent drops: sent == decisions + superseded + backpressure); sessions are \
+         assigned to tenants zipf(1)-skewed; leaky sessions paste tenant secrets and must \
+         produce block decisions\"\n}}\n",
+        host_cores(),
+        knobs.tenants,
+        knobs.sessions,
+        knobs.workers,
+        knobs.queue_capacity,
+        knobs.max_in_flight,
+        ledger.sent,
+        ledger.decisions,
+        ledger.superseded,
+        ledger.backpressure,
+        ledger.blocked,
+        keystroke_us.len(),
+        percentile(&keystroke_us, 50.0),
+        percentile(&keystroke_us, 99.0),
+        keystroke_us.last().copied().unwrap_or(0),
+        recheck_us.len(),
+        percentile(&recheck_us, 50.0),
+        percentile(&recheck_us, 99.0),
+        recheck_us.last().copied().unwrap_or(0),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, json).expect("write BENCH_service.json");
+    println!("wrote {path}");
+    println!("PASS: zero silent drops; every tenant drained cleanly");
+}

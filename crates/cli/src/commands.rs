@@ -1,516 +1,61 @@
-//! Command dispatch and rendering.
+//! Command dispatch: argument vector → handler → typed data → renderer.
+//!
+//! `run` strips the global `--json` flag, routes the command to its
+//! handler (which returns a [`crate::data::Report`]), then renders the
+//! report as text or JSON. Handlers never format output and renderers
+//! never compute — see [`crate::handlers`] and [`crate::render`].
 
-use crate::options::{parse_options, CliError, FingerprintOptions};
-use browserflow::{BrowserFlow, CheckRequest};
-use browserflow_fingerprint::{normalize, FingerprintConfig, Fingerprinter};
-use browserflow_store::{SealedBytes, StoreKey};
-use browserflow_tdm::{Policy, Service, Tag, TagSet};
-use std::fmt::Write as _;
-
-const HELP: &str = "\
-bfctl — BrowserFlow deployment tooling
-
-USAGE:
-    bfctl <command> [arguments]
-
-COMMANDS:
-    policy init                      print a template policy JSON
-    policy validate <policy.json>    parse and sanity-check a policy file
-    policy show <policy.json>        tabulate services and their labels
-    audit <policy.json> [--user U] [--tag T]
-                                     print the tag-suppression audit log
-    fingerprint <file>               fingerprint statistics for a text file
-    compare <a> <b>                  pairwise disclosure between two files
-    state <file|dir> --key <64-hex> [--save-dir <dir>]
-                                     inspect a sealed state file or sharded
-                                     state directory; --save-dir re-persists
-                                     the loaded state as a sharded directory
-    check --policy <policy.json> --source <svc>:<file> [--source ...]
-          --dest <svc> <file>        would uploading <file> to <svc> violate?
-    help                             this message
-
-OPTIONS (fingerprint/compare):
-    --ngram N        n-gram length in characters   (default 15)
-    --window W       winnowing window in hashes    (default 30)
-    --threshold T    disclosure threshold          (default 0.5, compare)
-";
+use crate::daemon::daemon_command;
+use crate::data::Report;
+use crate::handlers::{
+    audit_command, check_command, compare_command, fingerprint_command, policy_command,
+    state_command,
+};
+use crate::options::CliError;
+use crate::render;
 
 /// Runs a `bfctl` invocation and returns the rendered output.
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] for malformed command lines, unreadable files and
-/// invalid policy JSON.
+/// Returns [`CliError`] for malformed command lines, unreadable files,
+/// invalid policy JSON, and daemon-side failures.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    // `--json` is global: accepted anywhere on the command line.
+    let json = args.iter().any(|arg| arg == "--json");
+    let args: Vec<String> = args
+        .iter()
+        .filter(|arg| *arg != "--json")
+        .cloned()
+        .collect();
+    let report = dispatch(&args)?;
+    render::render(&report, json)
+}
+
+fn dispatch(args: &[String]) -> Result<Report, CliError> {
     match args.first().map(String::as_str) {
-        None | Some("help") | Some("--help") | Some("-h") => Ok(HELP.to_string()),
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Report::Help),
         Some("policy") => policy_command(&args[1..]),
         Some("audit") => audit_command(&args[1..]),
         Some("fingerprint") => fingerprint_command(&args[1..]),
         Some("compare") => compare_command(&args[1..]),
         Some("state") => state_command(&args[1..]),
         Some("check") => check_command(&args[1..]),
+        Some("daemon") => daemon_command(&args[1..]),
         Some(other) => Err(CliError::Usage(format!(
             "unknown command {other:?}; run `bfctl help`"
         ))),
     }
 }
 
-fn policy_command(args: &[String]) -> Result<String, CliError> {
-    match args.first().map(String::as_str) {
-        Some("init") => Ok(template_policy_json()),
-        Some("validate") => {
-            let policy = load_policy(args.get(1))?;
-            let mut report = String::new();
-            let services = policy.services().count();
-            let mut tags = std::collections::BTreeSet::new();
-            for service in policy.services() {
-                for tag in service.privilege().iter().chain(service.confidentiality()) {
-                    tags.insert(tag.clone());
-                }
-            }
-            writeln!(report, "policy is valid").unwrap();
-            writeln!(report, "  services: {services}").unwrap();
-            writeln!(report, "  distinct tags: {}", tags.len()).unwrap();
-            writeln!(report, "  audit records: {}", policy.audit_log().len()).unwrap();
-            // Sanity warnings an administrator wants to see.
-            for service in policy.services() {
-                if !service.confidentiality().is_subset(service.privilege()) {
-                    writeln!(
-                        report,
-                        "  warning: {} creates data (Lc={}) it is not privileged to \
-                         receive back (Lp={})",
-                        service.id(),
-                        service.confidentiality(),
-                        service.privilege()
-                    )
-                    .unwrap();
-                }
-            }
-            Ok(report)
-        }
-        Some("show") => {
-            let policy = load_policy(args.get(1))?;
-            let mut out = String::new();
-            writeln!(out, "{:<16} {:<24} {:<24} {:<24}", "id", "name", "Lp", "Lc").unwrap();
-            for service in policy.services() {
-                writeln!(
-                    out,
-                    "{:<16} {:<24} {:<24} {:<24}",
-                    service.id().to_string(),
-                    service.name(),
-                    service.privilege().to_string(),
-                    service.confidentiality().to_string()
-                )
-                .unwrap();
-            }
-            Ok(out)
-        }
-        Some(other) => Err(CliError::Usage(format!(
-            "unknown policy subcommand {other:?}; expected init, validate or show"
-        ))),
-        None => Err(CliError::Usage(
-            "policy requires a subcommand: init, validate or show".into(),
-        )),
-    }
-}
-
-fn audit_command(args: &[String]) -> Result<String, CliError> {
-    let mut path: Option<&String> = None;
-    let mut user_filter: Option<&str> = None;
-    let mut tag_filter: Option<&str> = None;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--user" => {
-                user_filter = Some(
-                    iter.next()
-                        .ok_or_else(|| CliError::Usage("--user requires a value".into()))?,
-                );
-            }
-            "--tag" => {
-                tag_filter = Some(
-                    iter.next()
-                        .ok_or_else(|| CliError::Usage("--tag requires a value".into()))?,
-                );
-            }
-            flag if flag.starts_with("--") => {
-                return Err(CliError::Usage(format!("unknown option {flag}")));
-            }
-            _ => path = Some(arg),
-        }
-    }
-    let policy = load_policy(path)?;
-    let mut out = String::new();
-    let records: Vec<_> = policy
-        .audit_log()
-        .iter()
-        .filter(|r| user_filter.is_none_or(|u| r.user().as_str() == u))
-        .filter(|r| tag_filter.is_none_or(|t| r.tag().name() == t))
-        .collect();
-    if records.is_empty() {
-        writeln!(out, "audit log is empty (after filters)").unwrap();
-        return Ok(out);
-    }
-    writeln!(
-        out,
-        "{:<6} {:<20} {:<16} justification",
-        "seq", "tag", "user"
-    )
-    .unwrap();
-    for record in records {
-        writeln!(
-            out,
-            "{:<6} {:<20} {:<16} {}",
-            record.sequence(),
-            record.tag().to_string(),
-            record.user().to_string(),
-            record.justification()
-        )
-        .unwrap();
-    }
-    Ok(out)
-}
-
-fn fingerprint_command(args: &[String]) -> Result<String, CliError> {
-    let (positional, options) = parse_options(args)?;
-    let [path] = positional.as_slice() else {
-        return Err(CliError::Usage(
-            "fingerprint requires exactly one file argument".into(),
-        ));
-    };
-    let text = std::fs::read_to_string(path)?;
-    let fingerprinter = fingerprinter_for(&options)?;
-    let normalized = normalize::normalize(&text);
-    let print = fingerprinter.fingerprint(&text);
-    let mut out = String::new();
-    writeln!(out, "file:           {path}").unwrap();
-    writeln!(out, "bytes:          {}", text.len()).unwrap();
-    writeln!(out, "normalised:     {} chars", normalized.len()).unwrap();
-    writeln!(out, "n-gram length:  {}", options.ngram).unwrap();
-    writeln!(out, "window:         {}", options.window).unwrap();
-    writeln!(out, "selected:       {} hashes", print.len()).unwrap();
-    writeln!(out, "distinct hashes: {}", print.distinct_len()).unwrap();
-    if normalized.len() >= options.ngram {
-        let grams = normalized.len() - options.ngram + 1;
-        writeln!(
-            out,
-            "density:        {:.4} (expected {:.4})",
-            print.len() as f64 / grams as f64,
-            2.0 / (options.window as f64 + 1.0)
-        )
-        .unwrap();
-    } else {
-        writeln!(
-            out,
-            "density:        n/a (text shorter than one n-gram; fingerprint is empty)"
-        )
-        .unwrap();
-    }
-    Ok(out)
-}
-
-fn compare_command(args: &[String]) -> Result<String, CliError> {
-    let (positional, options) = parse_options(args)?;
-    let [path_a, path_b] = positional.as_slice() else {
-        return Err(CliError::Usage(
-            "compare requires exactly two file arguments".into(),
-        ));
-    };
-    let text_a = std::fs::read_to_string(path_a)?;
-    let text_b = std::fs::read_to_string(path_b)?;
-    let fingerprinter = fingerprinter_for(&options)?;
-    let print_a = fingerprinter.fingerprint(&text_a);
-    let print_b = fingerprinter.fingerprint(&text_b);
-    let a_in_b = print_a.containment_in(&print_b);
-    let b_in_a = print_b.containment_in(&print_a);
-    let mut out = String::new();
-    writeln!(out, "D({path_a} -> {path_b}) = {a_in_b:.3}").unwrap();
-    writeln!(out, "D({path_b} -> {path_a}) = {b_in_a:.3}").unwrap();
-    writeln!(
-        out,
-        "resemblance         = {:.3}",
-        print_a.resemblance(&print_b)
-    )
-    .unwrap();
-    writeln!(out, "threshold           = {:.2}", options.threshold).unwrap();
-    if a_in_b >= options.threshold && a_in_b > 0.0 {
-        writeln!(
-            out,
-            "verdict             = DISCLOSURE: {path_b} discloses {path_a}"
-        )
-        .unwrap();
-    } else if b_in_a >= options.threshold && b_in_a > 0.0 {
-        writeln!(
-            out,
-            "verdict             = DISCLOSURE: {path_a} discloses {path_b}"
-        )
-        .unwrap();
-    } else {
-        writeln!(out, "verdict             = no disclosure at this threshold").unwrap();
-    }
-    Ok(out)
-}
-
-fn check_command(args: &[String]) -> Result<String, CliError> {
-    let mut policy_path: Option<&str> = None;
-    let mut sources: Vec<(&str, &str)> = Vec::new();
-    let mut dest: Option<&str> = None;
-    let mut target: Option<&str> = None;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--policy" => {
-                policy_path = Some(
-                    iter.next()
-                        .ok_or_else(|| CliError::Usage("--policy requires a value".into()))?,
-                );
-            }
-            "--source" => {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| CliError::Usage("--source requires <service>:<file>".into()))?;
-                let (service, file) = value.split_once(':').ok_or_else(|| {
-                    CliError::Usage(format!("--source must be <service>:<file>, got {value:?}"))
-                })?;
-                sources.push((service, file));
-            }
-            "--dest" => {
-                dest = Some(
-                    iter.next()
-                        .ok_or_else(|| CliError::Usage("--dest requires a service id".into()))?,
-                );
-            }
-            flag if flag.starts_with("--") => {
-                return Err(CliError::Usage(format!("unknown option {flag}")));
-            }
-            positional => target = Some(positional),
-        }
-    }
-    let policy_path =
-        policy_path.ok_or_else(|| CliError::Usage("check requires --policy".into()))?;
-    let dest = dest.ok_or_else(|| CliError::Usage("check requires --dest <service>".into()))?;
-    let target = target.ok_or_else(|| CliError::Usage("check requires a target file".into()))?;
-    if sources.is_empty() {
-        return Err(CliError::Usage(
-            "check requires at least one --source <service>:<file>".into(),
-        ));
-    }
-
-    let policy: Policy = serde_json::from_str(&std::fs::read_to_string(policy_path)?)?;
-    let flow = BrowserFlow::builder()
-        .policy(policy)
-        .build()
-        .map_err(|e| CliError::Usage(e.to_string()))?;
-    for (service, file) in &sources {
-        let text = std::fs::read_to_string(file)?;
-        flow.index_text_document(&(*service).into(), file, &text)
-            .map_err(|e| CliError::Usage(e.to_string()))?;
-    }
-    let text = std::fs::read_to_string(target)?;
-    let mut out = String::new();
-    let mut any_violation = false;
-    let segments = browserflow_fingerprint::segment::split_paragraphs(&text);
-    let request = CheckRequest::batch(dest, target, segments.iter().map(|s| s.text));
-    let decisions = flow
-        .check(&request)
-        .map_err(|e| CliError::Usage(e.to_string()))?;
-    for (index, decision) in decisions.iter().enumerate() {
-        for violation in &decision.violations {
-            any_violation = true;
-            writeln!(
-                out,
-                "paragraph {index}: discloses {:>5.1}% of {} (missing {})",
-                violation.disclosure * 100.0,
-                violation.source,
-                violation.missing_tags
-            )
-            .unwrap();
-        }
-    }
-    let document_decision = flow
-        .check_document_upload(&dest.into(), target, &text)
-        .map_err(|e| CliError::Usage(e.to_string()))?;
-    for violation in &document_decision.violations {
-        any_violation = true;
-        writeln!(
-            out,
-            "document: discloses {:>5.1}% of {} (missing {})",
-            violation.disclosure * 100.0,
-            violation.source,
-            violation.missing_tags
-        )
-        .unwrap();
-    }
-    if any_violation {
-        writeln!(
-            out,
-            "verdict: VIOLATION — uploading {target} to {dest} leaks tracked text"
-        )
-        .unwrap();
-    } else {
-        writeln!(
-            out,
-            "verdict: clean — no tracked text from the sources detected"
-        )
-        .unwrap();
-    }
-    Ok(out)
-}
-
-fn state_command(args: &[String]) -> Result<String, CliError> {
-    // Parse `<file|dir> --key <hex> [--save-dir <dir>]` by hand (the
-    // shared options do not apply).
-    let mut path: Option<&str> = None;
-    let mut key_hex: Option<&str> = None;
-    let mut save_dir: Option<&str> = None;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--key" => {
-                key_hex = Some(
-                    iter.next()
-                        .ok_or_else(|| CliError::Usage("--key requires a value".into()))?,
-                );
-            }
-            "--save-dir" => {
-                save_dir = Some(
-                    iter.next()
-                        .ok_or_else(|| CliError::Usage("--save-dir requires a value".into()))?,
-                );
-            }
-            flag if flag.starts_with("--") => {
-                return Err(CliError::Usage(format!("unknown option {flag}")));
-            }
-            positional => path = Some(positional),
-        }
-    }
-    let path =
-        path.ok_or_else(|| CliError::Usage("state requires a file or directory argument".into()))?;
-    let key = parse_key(key_hex.unwrap_or(&"00".repeat(32)))?;
-    let mut out = String::new();
-    let flow = if std::path::Path::new(path).is_dir() {
-        // Sharded state directory: load with torn-write recovery and
-        // report any shards that did not survive.
-        let (flow, report) = BrowserFlow::load_from_dir(key, std::path::Path::new(path))
-            .map_err(|e| CliError::Usage(format!("cannot open state directory: {e}")))?;
-        writeln!(out, "state directory:   {path}").unwrap();
-        writeln!(out, "paragraph shards:  {}", report.paragraphs).unwrap();
-        writeln!(out, "document shards:   {}", report.documents).unwrap();
-        if !report.is_complete() {
-            writeln!(
-                out,
-                "WARNING: some shards were lost to corruption; the listed \
-                 fingerprints are no longer tracked"
-            )
-            .unwrap();
-        }
-        flow
-    } else {
-        let bytes = std::fs::read(path)?;
-        let sealed = SealedBytes::from_bytes(&bytes)
-            .map_err(|e| CliError::Usage(format!("not a sealed state file: {e}")))?;
-        let flow = BrowserFlow::import_sealed(key, &sealed)
-            .map_err(|e| CliError::Usage(format!("cannot open state: {e}")))?;
-        writeln!(out, "state file:        {path}").unwrap();
-        flow
-    };
-    writeln!(out, "enforcement mode:  {:?}", flow.mode()).unwrap();
-    writeln!(
-        out,
-        "services:          {}",
-        flow.policy().services().count()
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "tracked paragraphs: {}",
-        flow.engine().paragraph_count()
-    )
-    .unwrap();
-    writeln!(out, "tracked documents: {}", flow.engine().document_count()).unwrap();
-    writeln!(
-        out,
-        "distinct hashes:   {}",
-        flow.engine().paragraph_hash_count()
-    )
-    .unwrap();
-    writeln!(out, "short secrets:     {}", flow.short_secret_count()).unwrap();
-    writeln!(
-        out,
-        "audit records:     {}",
-        flow.policy().audit_log().len()
-    )
-    .unwrap();
-    out.push('\n');
-    out.push_str(&browserflow::report::warning_report(&flow));
-    if let Some(dir) = save_dir {
-        flow.persist_to_dir(std::path::Path::new(dir))
-            .map_err(|e| CliError::Usage(format!("cannot write state directory: {e}")))?;
-        writeln!(out, "\nsaved sharded state directory: {dir}").unwrap();
-    }
-    Ok(out)
-}
-
-fn parse_key(hex: &str) -> Result<StoreKey, CliError> {
-    let hex = hex.trim();
-    if hex.len() != 64 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
-        return Err(CliError::Usage(
-            "--key must be 64 hexadecimal characters (32 bytes)".into(),
-        ));
-    }
-    let mut bytes = [0u8; 32];
-    for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
-        let high = (chunk[0] as char).to_digit(16).expect("validated hex");
-        let low = (chunk[1] as char).to_digit(16).expect("validated hex");
-        bytes[i] = (high * 16 + low) as u8;
-    }
-    Ok(StoreKey::from_bytes(bytes))
-}
-
-fn fingerprinter_for(options: &FingerprintOptions) -> Result<Fingerprinter, CliError> {
-    let config = FingerprintConfig::builder()
-        .ngram_len(options.ngram)
-        .window(options.window)
-        .build()
-        .map_err(|e| CliError::Usage(e.to_string()))?;
-    Ok(Fingerprinter::new(config))
-}
-
-fn load_policy(path: Option<&String>) -> Result<Policy, CliError> {
-    let path = path.ok_or_else(|| CliError::Usage("expected a policy file argument".into()))?;
-    let json = std::fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&json)?)
-}
-
-/// The `policy init` template: the paper's three-service example.
-fn template_policy_json() -> String {
-    let ti = Tag::new("interview-data").expect("static tag");
-    let tw = Tag::new("wiki-data").expect("static tag");
-    let mut policy = Policy::new();
-    policy
-        .register(
-            Service::new("itool", "Interview Tool")
-                .with_privilege(TagSet::from_iter([ti.clone()]))
-                .with_confidentiality(TagSet::from_iter([ti])),
-        )
-        .expect("unique id");
-    policy
-        .register(
-            Service::new("wiki", "Internal Wiki")
-                .with_privilege(TagSet::from_iter([tw.clone()]))
-                .with_confidentiality(TagSet::from_iter([tw])),
-        )
-        .expect("unique id");
-    policy
-        .register(Service::new("gdocs", "Google Docs"))
-        .expect("unique id");
-    serde_json::to_string_pretty(&policy).expect("policy serialises")
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::run;
+    use crate::handlers::{parse_key, template_policy_json};
+    use crate::options::CliError;
+    use browserflow::BrowserFlow;
+    use browserflow_store::StoreKey;
+    use browserflow_tdm::{Policy, Service, Tag, TagSet};
 
     #[test]
     fn template_policy_has_the_paper_services() {
@@ -555,6 +100,18 @@ mod tests {
         .unwrap();
         assert!(output.contains("enforcement mode:  Block"), "{output}");
         assert!(output.contains("tracked paragraphs: 1"), "{output}");
+
+        // The same inspection as machine-readable JSON.
+        let output = run(&[
+            "--json".to_string(),
+            "state".to_string(),
+            path.to_str().unwrap().to_string(),
+            "--key".to_string(),
+            "ab".repeat(32),
+        ])
+        .unwrap();
+        assert!(output.contains("\"tracked_paragraphs\""), "{output}");
+        assert!(output.contains("\"mode\""), "{output}");
 
         // Wrong key fails cleanly.
         let error = run(&[
@@ -616,8 +173,8 @@ fyi {secret} ok"
         )
         .unwrap();
 
-        let run_check = |target: &std::path::Path| {
-            run(&[
+        let run_check = |target: &std::path::Path, json: bool| {
+            let mut args = vec![
                 "check".to_string(),
                 "--policy".to_string(),
                 policy_path.to_str().unwrap().to_string(),
@@ -626,13 +183,21 @@ fyi {secret} ok"
                 "--dest".to_string(),
                 "gdocs".to_string(),
                 target.to_str().unwrap().to_string(),
-            ])
-            .unwrap()
+            ];
+            if json {
+                args.push("--json".to_string());
+            }
+            run(&args).unwrap()
         };
-        let output = run_check(&target_path);
+        let output = run_check(&target_path, false);
         assert!(output.contains("VIOLATION"), "{output}");
         assert!(output.contains("paragraph 1"), "{output}");
         assert!(output.contains("#interview-data"), "{output}");
+
+        // The same verdict as machine-readable JSON.
+        let output = run_check(&target_path, true);
+        assert!(output.contains("\"violation\": true"), "{output}");
+        assert!(output.contains("\"paragraph\": 1"), "{output}");
 
         // A clean file passes.
         let clean_path = dir.join("bfctl-check-clean.txt");
@@ -641,7 +206,7 @@ fyi {secret} ok"
             "gardening club minutes about tulips and daffodils",
         )
         .unwrap();
-        let output = run_check(&clean_path);
+        let output = run_check(&clean_path, false);
         assert!(output.contains("verdict: clean"), "{output}");
 
         for p in [&policy_path, &source_path, &target_path, &clean_path] {
@@ -725,6 +290,33 @@ fyi {secret} ok"
         ])
         .unwrap();
         assert!(report.contains("warning"), "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_flag_renders_machine_readable_reports() {
+        // `policy init --json` is already JSON and passes through.
+        let template = run(&["policy".into(), "init".into(), "--json".into()]).unwrap();
+        let _policy: Policy = serde_json::from_str(&template).unwrap();
+
+        // `policy validate --json` returns the structured validation.
+        let path = std::env::temp_dir().join("bfctl-json-policy.json");
+        std::fs::write(&path, template_policy_json()).unwrap();
+        let output = run(&[
+            "--json".into(),
+            "policy".into(),
+            "validate".into(),
+            path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(output.contains("\"services\": 3"), "{output}");
+        assert!(output.contains("\"distinct_tags\""), "{output}");
+
+        // Daemon subcommands refuse to run without a socket.
+        assert!(matches!(
+            run(&["daemon".into(), "ping".into()]),
+            Err(CliError::Usage(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,206 @@
+//! `bfctl daemon …` — handlers that talk to a running `bfd` over its
+//! Unix socket.
+//!
+//! Every subcommand is one framed request→reply exchange (except
+//! `observe`, which streams one request per paragraph). Replies come
+//! back as typed [`Report`] data, so `--json` emits the daemon's wire
+//! reply verbatim and the text renderer formats it for humans.
+//! Backpressure replies are data, not errors: a refused check exits 0
+//! with a `Backpressure` report the caller can script against.
+
+use crate::data::{ObserveSummary, Report};
+use crate::options::CliError;
+use browserflow_daemon::{DaemonClient, ParagraphSlot, Reply, Request};
+
+pub(crate) fn daemon_command(args: &[String]) -> Result<Report, CliError> {
+    let parsed = DaemonArgs::parse(args)?;
+    let socket = parsed
+        .socket
+        .ok_or_else(|| CliError::Usage("daemon commands require --socket <path>".into()))?;
+    let mut client = DaemonClient::connect(socket).map_err(|e| CliError::Daemon(e.to_string()))?;
+    let mut positional = parsed.positional.iter().map(String::as_str);
+    let sub = positional.next().ok_or_else(|| {
+        CliError::Usage(
+            "daemon requires a subcommand: ping, create, tenants, observe, check, \
+             keystroke, stats or drain"
+                .into(),
+        )
+    })?;
+    match sub {
+        "ping" => forward(&mut client, &Request::Ping),
+        "tenants" => forward(&mut client, &Request::TenantList),
+        "create" => {
+            let tenant = expect(positional.next(), "create requires a tenant id")?;
+            let policy_path = parsed
+                .policy
+                .ok_or_else(|| CliError::Usage("create requires --policy <file>".into()))?;
+            let policy_json = std::fs::read_to_string(policy_path)?;
+            forward(
+                &mut client,
+                &Request::TenantCreate {
+                    tenant: tenant.to_string(),
+                    mode: parsed.mode.unwrap_or_else(|| "block".to_string()),
+                    policy_json,
+                    max_in_flight: parsed.max_in_flight,
+                    queue_capacity: parsed.queue_capacity,
+                },
+            )
+        }
+        "observe" => {
+            let [tenant, service, document, file] = take4(
+                &mut positional,
+                "observe requires <tenant> <service> <document> <file>",
+            )?;
+            let text = std::fs::read_to_string(file)?;
+            let segments = browserflow_fingerprint::segment::split_paragraphs(&text);
+            let mut observed = 0;
+            for (index, segment) in segments.iter().enumerate() {
+                client
+                    .observe(tenant, service, document, index, segment.text)
+                    .map_err(|e| CliError::Daemon(e.to_string()))?;
+                observed += 1;
+            }
+            Ok(Report::DaemonObserved(ObserveSummary {
+                tenant: tenant.to_string(),
+                observed,
+            }))
+        }
+        "check" => {
+            let [tenant, service, document, file] = take4(
+                &mut positional,
+                "check requires <tenant> <service> <document> <file>",
+            )?;
+            let text = std::fs::read_to_string(file)?;
+            let paragraphs = browserflow_fingerprint::segment::split_paragraphs(&text)
+                .iter()
+                .enumerate()
+                .map(|(index, segment)| ParagraphSlot {
+                    index,
+                    text: segment.text.to_string(),
+                })
+                .collect();
+            let reply = client
+                .check(tenant, service, document, paragraphs)
+                .map_err(|e| CliError::Daemon(e.to_string()))?;
+            reply_to_report(reply)
+        }
+        "keystroke" => {
+            let [tenant, service, document, index] = take4(
+                &mut positional,
+                "keystroke requires <tenant> <service> <document> <index>",
+            )?;
+            let index: usize = index.parse().map_err(|_| {
+                CliError::Usage(format!("keystroke index must be an integer, got {index:?}"))
+            })?;
+            let text = parsed
+                .text
+                .ok_or_else(|| CliError::Usage("keystroke requires --text <text>".into()))?;
+            let reply = client
+                .keystroke(tenant, service, document, index, &text)
+                .map_err(|e| CliError::Daemon(e.to_string()))?;
+            reply_to_report(reply)
+        }
+        "stats" => {
+            let tenant = expect(positional.next(), "stats requires a tenant id")?;
+            forward(
+                &mut client,
+                &Request::Stats {
+                    tenant: tenant.to_string(),
+                },
+            )
+        }
+        "drain" => forward(&mut client, &Request::Drain),
+        other => Err(CliError::Usage(format!(
+            "unknown daemon subcommand {other:?}; run `bfctl help`"
+        ))),
+    }
+}
+
+/// Flags shared by the daemon subcommands.
+struct DaemonArgs {
+    socket: Option<String>,
+    mode: Option<String>,
+    policy: Option<String>,
+    text: Option<String>,
+    max_in_flight: u64,
+    queue_capacity: u64,
+    positional: Vec<String>,
+}
+
+impl DaemonArgs {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut parsed = Self {
+            socket: None,
+            mode: None,
+            policy: None,
+            text: None,
+            max_in_flight: 0,
+            queue_capacity: 0,
+            positional: Vec::new(),
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--socket" => parsed.socket = Some(take_value(&mut iter, "--socket")?),
+                "--mode" => parsed.mode = Some(take_value(&mut iter, "--mode")?),
+                "--policy" => parsed.policy = Some(take_value(&mut iter, "--policy")?),
+                "--text" => parsed.text = Some(take_value(&mut iter, "--text")?),
+                "--max-in-flight" => {
+                    parsed.max_in_flight = take_count(&mut iter, "--max-in-flight")?;
+                }
+                "--queue" => parsed.queue_capacity = take_count(&mut iter, "--queue")?,
+                flag if flag.starts_with("--") => {
+                    return Err(CliError::Usage(format!("unknown option {flag}")));
+                }
+                _ => parsed.positional.push(arg.clone()),
+            }
+        }
+        Ok(parsed)
+    }
+}
+
+fn take_value(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, CliError> {
+    iter.next()
+        .cloned()
+        .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
+}
+
+fn take_count(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, CliError> {
+    let raw = take_value(iter, flag)?;
+    raw.parse::<u64>().map_err(|_| {
+        CliError::Usage(format!(
+            "{flag} requires a non-negative integer, got {raw:?}"
+        ))
+    })
+}
+
+fn expect<'a>(value: Option<&'a str>, message: &str) -> Result<&'a str, CliError> {
+    value.ok_or_else(|| CliError::Usage(message.into()))
+}
+
+fn take4<'a>(
+    iter: &mut impl Iterator<Item = &'a str>,
+    message: &str,
+) -> Result<[&'a str; 4], CliError> {
+    let a = expect(iter.next(), message)?;
+    let b = expect(iter.next(), message)?;
+    let c = expect(iter.next(), message)?;
+    let d = expect(iter.next(), message)?;
+    Ok([a, b, c, d])
+}
+
+/// Sends one request and converts the reply into a report; daemon-side
+/// `Error` replies become [`CliError::Daemon`].
+fn forward(client: &mut DaemonClient, request: &Request) -> Result<Report, CliError> {
+    let reply = client
+        .request(request)
+        .map_err(|e| CliError::Daemon(e.to_string()))?;
+    reply_to_report(reply)
+}
+
+fn reply_to_report(reply: Reply) -> Result<Report, CliError> {
+    match reply {
+        Reply::Error { message } => Err(CliError::Daemon(message)),
+        other => Ok(Report::Daemon(other)),
+    }
+}

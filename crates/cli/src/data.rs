@@ -1,0 +1,246 @@
+//! Typed command results — the "data" layer of the handler → data →
+//! renderer split.
+//!
+//! Every `bfctl` command computes one of these structures before a
+//! single byte of output exists. The renderer ([`crate::render`]) then
+//! turns the same value into either the human-readable report or
+//! machine-readable JSON (`--json`), so the two views can never drift
+//! apart.
+
+use browserflow_daemon::Reply;
+use serde::Serialize;
+
+/// The result of one `bfctl` invocation, ready to render.
+#[derive(Debug)]
+pub enum Report {
+    /// The help screen.
+    Help,
+    /// `policy init`: the template policy, already JSON.
+    PolicyTemplate(String),
+    /// `policy validate`.
+    PolicyValidate(PolicyValidation),
+    /// `policy show`.
+    PolicyShow(PolicyTable),
+    /// `audit`.
+    Audit(AuditTable),
+    /// `fingerprint`.
+    Fingerprint(FingerprintReport),
+    /// `compare`.
+    Compare(CompareReport),
+    /// `check`.
+    Check(CheckReport),
+    /// `state`.
+    State(StateReport),
+    /// A `daemon …` subcommand that forwards one wire reply.
+    Daemon(Reply),
+    /// `daemon observe`: paragraphs streamed into a tenant's flow.
+    DaemonObserved(ObserveSummary),
+}
+
+/// A service whose confidentiality labels exceed its privilege.
+#[derive(Debug, Serialize)]
+pub struct LabelWarning {
+    /// The inconsistent service id.
+    pub service: String,
+    /// Its privilege label (`Lp`).
+    pub privilege: String,
+    /// Its confidentiality label (`Lc`).
+    pub confidentiality: String,
+}
+
+/// `policy validate` summary.
+#[derive(Debug, Serialize)]
+pub struct PolicyValidation {
+    /// Registered services.
+    pub services: usize,
+    /// Distinct tags across all labels.
+    pub distinct_tags: usize,
+    /// Records in the suppression audit log.
+    pub audit_records: usize,
+    /// Label-consistency warnings.
+    pub warnings: Vec<LabelWarning>,
+}
+
+/// One row of `policy show`.
+#[derive(Debug, Serialize)]
+pub struct ServiceRow {
+    /// Service id.
+    pub id: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Privilege label.
+    pub privilege: String,
+    /// Confidentiality label.
+    pub confidentiality: String,
+}
+
+/// `policy show` output.
+#[derive(Debug, Serialize)]
+pub struct PolicyTable {
+    /// One row per service, in policy order.
+    pub services: Vec<ServiceRow>,
+}
+
+/// One suppression audit record.
+#[derive(Debug, Serialize)]
+pub struct AuditRow {
+    /// Monotonic sequence number.
+    pub sequence: u64,
+    /// The suppressed tag.
+    pub tag: String,
+    /// Who suppressed it.
+    pub user: String,
+    /// Their justification.
+    pub justification: String,
+}
+
+/// `audit` output (already filtered).
+#[derive(Debug, Serialize)]
+pub struct AuditTable {
+    /// Matching records in sequence order.
+    pub records: Vec<AuditRow>,
+}
+
+/// Fingerprint density relative to the winnowing expectation.
+#[derive(Debug, Serialize)]
+pub struct DensityReport {
+    /// Selected hashes per n-gram.
+    pub actual: f64,
+    /// The winnowing expectation `2/(w+1)`.
+    pub expected: f64,
+}
+
+/// `fingerprint` statistics.
+#[derive(Debug, Serialize)]
+pub struct FingerprintReport {
+    /// The file that was fingerprinted.
+    pub file: String,
+    /// Raw size in bytes.
+    pub bytes: usize,
+    /// Normalised length in characters.
+    pub normalized_chars: usize,
+    /// n-gram length used.
+    pub ngram: usize,
+    /// Winnowing window used.
+    pub window: usize,
+    /// Hashes the winnowing pass selected.
+    pub selected: usize,
+    /// Distinct hashes among them.
+    pub distinct_hashes: usize,
+    /// Density, absent when the text is shorter than one n-gram.
+    pub density: Option<DensityReport>,
+}
+
+/// A disclosure verdict from `compare`.
+#[derive(Debug, Serialize)]
+pub struct DisclosureVerdict {
+    /// The file doing the disclosing (contains the other's text).
+    pub disclosing: String,
+    /// The file being disclosed.
+    pub disclosed: String,
+}
+
+/// `compare` output.
+#[derive(Debug, Serialize)]
+pub struct CompareReport {
+    /// First file.
+    pub path_a: String,
+    /// Second file.
+    pub path_b: String,
+    /// Containment of `a` in `b`.
+    pub a_in_b: f64,
+    /// Containment of `b` in `a`.
+    pub b_in_a: f64,
+    /// Symmetric resemblance.
+    pub resemblance: f64,
+    /// The threshold applied.
+    pub threshold: f64,
+    /// Present when either direction crossed the threshold.
+    pub disclosure: Option<DisclosureVerdict>,
+}
+
+/// One paragraph-level violation from `check`.
+#[derive(Debug, Serialize)]
+pub struct ParagraphViolation {
+    /// Index of the offending paragraph in the target file.
+    pub paragraph: usize,
+    /// The tracked source it discloses.
+    pub source: String,
+    /// Fraction of the source disclosed (0..=1).
+    pub disclosure: f64,
+    /// Tags the destination lacks, rendered as a label.
+    pub missing_tags: String,
+}
+
+/// One document-level violation from `check`.
+#[derive(Debug, Serialize)]
+pub struct DocumentViolation {
+    /// The tracked source the whole document discloses.
+    pub source: String,
+    /// Fraction of the source disclosed (0..=1).
+    pub disclosure: f64,
+    /// Tags the destination lacks, rendered as a label.
+    pub missing_tags: String,
+}
+
+/// `check` output.
+#[derive(Debug, Serialize)]
+pub struct CheckReport {
+    /// The file whose upload was simulated.
+    pub target: String,
+    /// The destination service.
+    pub dest: String,
+    /// Paragraph-granularity violations.
+    pub paragraph_violations: Vec<ParagraphViolation>,
+    /// Document-granularity violations.
+    pub document_violations: Vec<DocumentViolation>,
+    /// Whether any violation was found.
+    pub violation: bool,
+}
+
+/// Shard recovery summary for a sharded state directory.
+#[derive(Debug, Serialize)]
+pub struct ShardSummary {
+    /// Paragraph-store shard outcome (rendered).
+    pub paragraphs: String,
+    /// Document-store shard outcome (rendered).
+    pub documents: String,
+    /// Whether every shard survived.
+    pub complete: bool,
+}
+
+/// `state` output.
+#[derive(Debug, Serialize)]
+pub struct StateReport {
+    /// The inspected file or directory.
+    pub path: String,
+    /// Present when the path was a sharded state directory.
+    pub shards: Option<ShardSummary>,
+    /// Enforcement mode of the stored flow.
+    pub mode: String,
+    /// Services in the stored policy.
+    pub services: usize,
+    /// Tracked paragraph fingerprints.
+    pub tracked_paragraphs: usize,
+    /// Tracked document fingerprints.
+    pub tracked_documents: usize,
+    /// Distinct paragraph hashes.
+    pub distinct_hashes: usize,
+    /// Registered short secrets.
+    pub short_secrets: usize,
+    /// Suppression audit records.
+    pub audit_records: usize,
+    /// The warning report for the stored flow.
+    pub warnings: String,
+    /// Where `--save-dir` re-persisted the state, when requested.
+    pub saved_dir: Option<String>,
+}
+
+/// `daemon observe` summary.
+#[derive(Debug, Serialize)]
+pub struct ObserveSummary {
+    /// The tenant the paragraphs went to.
+    pub tenant: String,
+    /// Paragraphs observed and fingerprinted.
+    pub observed: usize,
+}

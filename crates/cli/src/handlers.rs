@@ -1,0 +1,399 @@
+//! Command handlers — the first stage of the handler → data → renderer
+//! split.
+//!
+//! Each handler parses its own arguments, does the work, and returns a
+//! typed [`Report`]; nothing here formats output. The renderer decides
+//! how the data looks.
+
+use crate::data::{
+    AuditRow, AuditTable, CheckReport, CompareReport, DensityReport, DisclosureVerdict,
+    DocumentViolation, FingerprintReport, LabelWarning, ParagraphViolation, PolicyTable,
+    PolicyValidation, Report, ServiceRow, ShardSummary, StateReport,
+};
+use crate::options::{parse_options, CliError, FingerprintOptions};
+use browserflow::{BrowserFlow, CheckRequest};
+use browserflow_fingerprint::{normalize, FingerprintConfig, Fingerprinter};
+use browserflow_store::{SealedBytes, StoreKey};
+use browserflow_tdm::{Policy, Service, Tag, TagSet};
+
+pub(crate) fn policy_command(args: &[String]) -> Result<Report, CliError> {
+    match args.first().map(String::as_str) {
+        Some("init") => Ok(Report::PolicyTemplate(template_policy_json())),
+        Some("validate") => {
+            let policy = load_policy(args.get(1))?;
+            let services = policy.services().count();
+            let mut tags = std::collections::BTreeSet::new();
+            for service in policy.services() {
+                for tag in service.privilege().iter().chain(service.confidentiality()) {
+                    tags.insert(tag.clone());
+                }
+            }
+            // Sanity warnings an administrator wants to see.
+            let warnings = policy
+                .services()
+                .filter(|service| !service.confidentiality().is_subset(service.privilege()))
+                .map(|service| LabelWarning {
+                    service: service.id().to_string(),
+                    privilege: service.privilege().to_string(),
+                    confidentiality: service.confidentiality().to_string(),
+                })
+                .collect();
+            Ok(Report::PolicyValidate(PolicyValidation {
+                services,
+                distinct_tags: tags.len(),
+                audit_records: policy.audit_log().len(),
+                warnings,
+            }))
+        }
+        Some("show") => {
+            let policy = load_policy(args.get(1))?;
+            let services = policy
+                .services()
+                .map(|service| ServiceRow {
+                    id: service.id().to_string(),
+                    name: service.name().to_string(),
+                    privilege: service.privilege().to_string(),
+                    confidentiality: service.confidentiality().to_string(),
+                })
+                .collect();
+            Ok(Report::PolicyShow(PolicyTable { services }))
+        }
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown policy subcommand {other:?}; expected init, validate or show"
+        ))),
+        None => Err(CliError::Usage(
+            "policy requires a subcommand: init, validate or show".into(),
+        )),
+    }
+}
+
+pub(crate) fn audit_command(args: &[String]) -> Result<Report, CliError> {
+    let mut path: Option<&String> = None;
+    let mut user_filter: Option<&str> = None;
+    let mut tag_filter: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--user" => {
+                user_filter = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage("--user requires a value".into()))?,
+                );
+            }
+            "--tag" => {
+                tag_filter = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage("--tag requires a value".into()))?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option {flag}")));
+            }
+            _ => path = Some(arg),
+        }
+    }
+    let policy = load_policy(path)?;
+    let records = policy
+        .audit_log()
+        .iter()
+        .filter(|r| user_filter.is_none_or(|u| r.user().as_str() == u))
+        .filter(|r| tag_filter.is_none_or(|t| r.tag().name() == t))
+        .map(|record| AuditRow {
+            sequence: record.sequence(),
+            tag: record.tag().to_string(),
+            user: record.user().to_string(),
+            justification: record.justification().to_string(),
+        })
+        .collect();
+    Ok(Report::Audit(AuditTable { records }))
+}
+
+pub(crate) fn fingerprint_command(args: &[String]) -> Result<Report, CliError> {
+    let (positional, options) = parse_options(args)?;
+    let [path] = positional.as_slice() else {
+        return Err(CliError::Usage(
+            "fingerprint requires exactly one file argument".into(),
+        ));
+    };
+    let text = std::fs::read_to_string(path)?;
+    let fingerprinter = fingerprinter_for(&options)?;
+    let normalized = normalize::normalize(&text);
+    let print = fingerprinter.fingerprint(&text);
+    let density = (normalized.len() >= options.ngram).then(|| {
+        let grams = normalized.len() - options.ngram + 1;
+        DensityReport {
+            actual: print.len() as f64 / grams as f64,
+            expected: 2.0 / (options.window as f64 + 1.0),
+        }
+    });
+    Ok(Report::Fingerprint(FingerprintReport {
+        file: (*path).to_string(),
+        bytes: text.len(),
+        normalized_chars: normalized.len(),
+        ngram: options.ngram,
+        window: options.window,
+        selected: print.len(),
+        distinct_hashes: print.distinct_len(),
+        density,
+    }))
+}
+
+pub(crate) fn compare_command(args: &[String]) -> Result<Report, CliError> {
+    let (positional, options) = parse_options(args)?;
+    let [path_a, path_b] = positional.as_slice() else {
+        return Err(CliError::Usage(
+            "compare requires exactly two file arguments".into(),
+        ));
+    };
+    let text_a = std::fs::read_to_string(path_a)?;
+    let text_b = std::fs::read_to_string(path_b)?;
+    let fingerprinter = fingerprinter_for(&options)?;
+    let print_a = fingerprinter.fingerprint(&text_a);
+    let print_b = fingerprinter.fingerprint(&text_b);
+    let a_in_b = print_a.containment_in(&print_b);
+    let b_in_a = print_b.containment_in(&print_a);
+    let disclosure = if a_in_b >= options.threshold && a_in_b > 0.0 {
+        Some(DisclosureVerdict {
+            disclosing: (*path_b).to_string(),
+            disclosed: (*path_a).to_string(),
+        })
+    } else if b_in_a >= options.threshold && b_in_a > 0.0 {
+        Some(DisclosureVerdict {
+            disclosing: (*path_a).to_string(),
+            disclosed: (*path_b).to_string(),
+        })
+    } else {
+        None
+    };
+    Ok(Report::Compare(CompareReport {
+        path_a: (*path_a).to_string(),
+        path_b: (*path_b).to_string(),
+        a_in_b,
+        b_in_a,
+        resemblance: print_a.resemblance(&print_b),
+        threshold: options.threshold,
+        disclosure,
+    }))
+}
+
+pub(crate) fn check_command(args: &[String]) -> Result<Report, CliError> {
+    let mut policy_path: Option<&str> = None;
+    let mut sources: Vec<(&str, &str)> = Vec::new();
+    let mut dest: Option<&str> = None;
+    let mut target: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--policy" => {
+                policy_path = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage("--policy requires a value".into()))?,
+                );
+            }
+            "--source" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--source requires <service>:<file>".into()))?;
+                let (service, file) = value.split_once(':').ok_or_else(|| {
+                    CliError::Usage(format!("--source must be <service>:<file>, got {value:?}"))
+                })?;
+                sources.push((service, file));
+            }
+            "--dest" => {
+                dest = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage("--dest requires a service id".into()))?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option {flag}")));
+            }
+            positional => target = Some(positional),
+        }
+    }
+    let policy_path =
+        policy_path.ok_or_else(|| CliError::Usage("check requires --policy".into()))?;
+    let dest = dest.ok_or_else(|| CliError::Usage("check requires --dest <service>".into()))?;
+    let target = target.ok_or_else(|| CliError::Usage("check requires a target file".into()))?;
+    if sources.is_empty() {
+        return Err(CliError::Usage(
+            "check requires at least one --source <service>:<file>".into(),
+        ));
+    }
+
+    let policy: Policy = serde_json::from_str(&std::fs::read_to_string(policy_path)?)?;
+    let flow = BrowserFlow::builder()
+        .policy(policy)
+        .build()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    for (service, file) in &sources {
+        let text = std::fs::read_to_string(file)?;
+        flow.index_text_document(&(*service).into(), file, &text)
+            .map_err(|e| CliError::Usage(e.to_string()))?;
+    }
+    let text = std::fs::read_to_string(target)?;
+    let segments = browserflow_fingerprint::segment::split_paragraphs(&text);
+    let request = CheckRequest::batch(dest, target, segments.iter().map(|s| s.text));
+    let decisions = flow
+        .check(&request)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let mut paragraph_violations = Vec::new();
+    for (index, decision) in decisions.iter().enumerate() {
+        for violation in &decision.violations {
+            paragraph_violations.push(ParagraphViolation {
+                paragraph: index,
+                source: violation.source.to_string(),
+                disclosure: violation.disclosure,
+                missing_tags: violation.missing_tags.to_string(),
+            });
+        }
+    }
+    let document_decision = flow
+        .check_document_upload(&dest.into(), target, &text)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let document_violations: Vec<_> = document_decision
+        .violations
+        .iter()
+        .map(|violation| DocumentViolation {
+            source: violation.source.to_string(),
+            disclosure: violation.disclosure,
+            missing_tags: violation.missing_tags.to_string(),
+        })
+        .collect();
+    let violation = !paragraph_violations.is_empty() || !document_violations.is_empty();
+    Ok(Report::Check(CheckReport {
+        target: target.to_string(),
+        dest: dest.to_string(),
+        paragraph_violations,
+        document_violations,
+        violation,
+    }))
+}
+
+pub(crate) fn state_command(args: &[String]) -> Result<Report, CliError> {
+    // Parse `<file|dir> --key <hex> [--save-dir <dir>]` by hand (the
+    // shared options do not apply).
+    let mut path: Option<&str> = None;
+    let mut key_hex: Option<&str> = None;
+    let mut save_dir: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--key" => {
+                key_hex = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage("--key requires a value".into()))?,
+                );
+            }
+            "--save-dir" => {
+                save_dir = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage("--save-dir requires a value".into()))?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option {flag}")));
+            }
+            positional => path = Some(positional),
+        }
+    }
+    let path =
+        path.ok_or_else(|| CliError::Usage("state requires a file or directory argument".into()))?;
+    let key = parse_key(key_hex.unwrap_or(&"00".repeat(32)))?;
+    let (flow, shards) = if std::path::Path::new(path).is_dir() {
+        // Sharded state directory: load with torn-write recovery and
+        // report any shards that did not survive.
+        let (flow, report) = BrowserFlow::load_from_dir(key, std::path::Path::new(path))
+            .map_err(|e| CliError::Usage(format!("cannot open state directory: {e}")))?;
+        let shards = ShardSummary {
+            paragraphs: report.paragraphs.to_string(),
+            documents: report.documents.to_string(),
+            complete: report.is_complete(),
+        };
+        (flow, Some(shards))
+    } else {
+        let bytes = std::fs::read(path)?;
+        let sealed = SealedBytes::from_bytes(&bytes)
+            .map_err(|e| CliError::Usage(format!("not a sealed state file: {e}")))?;
+        let flow = BrowserFlow::import_sealed(key, &sealed)
+            .map_err(|e| CliError::Usage(format!("cannot open state: {e}")))?;
+        (flow, None)
+    };
+    let saved_dir = match save_dir {
+        Some(dir) => {
+            flow.persist_to_dir(std::path::Path::new(dir))
+                .map_err(|e| CliError::Usage(format!("cannot write state directory: {e}")))?;
+            Some(dir.to_string())
+        }
+        None => None,
+    };
+    Ok(Report::State(StateReport {
+        path: path.to_string(),
+        shards,
+        mode: format!("{:?}", flow.mode()),
+        services: flow.policy().services().count(),
+        tracked_paragraphs: flow.engine().paragraph_count(),
+        tracked_documents: flow.engine().document_count(),
+        distinct_hashes: flow.engine().paragraph_hash_count(),
+        short_secrets: flow.short_secret_count(),
+        audit_records: flow.policy().audit_log().len(),
+        warnings: browserflow::report::warning_report(&flow),
+        saved_dir,
+    }))
+}
+
+pub(crate) fn parse_key(hex: &str) -> Result<StoreKey, CliError> {
+    let hex = hex.trim();
+    if hex.len() != 64 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(CliError::Usage(
+            "--key must be 64 hexadecimal characters (32 bytes)".into(),
+        ));
+    }
+    let mut bytes = [0u8; 32];
+    for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
+        let high = (chunk[0] as char).to_digit(16).expect("validated hex");
+        let low = (chunk[1] as char).to_digit(16).expect("validated hex");
+        bytes[i] = (high * 16 + low) as u8;
+    }
+    Ok(StoreKey::from_bytes(bytes))
+}
+
+fn fingerprinter_for(options: &FingerprintOptions) -> Result<Fingerprinter, CliError> {
+    let config = FingerprintConfig::builder()
+        .ngram_len(options.ngram)
+        .window(options.window)
+        .build()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    Ok(Fingerprinter::new(config))
+}
+
+fn load_policy(path: Option<&String>) -> Result<Policy, CliError> {
+    let path = path.ok_or_else(|| CliError::Usage("expected a policy file argument".into()))?;
+    let json = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+/// The `policy init` template: the paper's three-service example.
+pub(crate) fn template_policy_json() -> String {
+    let ti = Tag::new("interview-data").expect("static tag");
+    let tw = Tag::new("wiki-data").expect("static tag");
+    let mut policy = Policy::new();
+    policy
+        .register(
+            Service::new("itool", "Interview Tool")
+                .with_privilege(TagSet::from_iter([ti.clone()]))
+                .with_confidentiality(TagSet::from_iter([ti])),
+        )
+        .expect("unique id");
+    policy
+        .register(
+            Service::new("wiki", "Internal Wiki")
+                .with_privilege(TagSet::from_iter([tw.clone()]))
+                .with_confidentiality(TagSet::from_iter([tw])),
+        )
+        .expect("unique id");
+    policy
+        .register(Service::new("gdocs", "Google Docs"))
+        .expect("unique id");
+    serde_json::to_string_pretty(&policy).expect("policy serialises")
+}

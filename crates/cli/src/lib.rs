@@ -15,7 +15,17 @@
 //! ```
 //!
 //! Options: `--ngram N` (default 15), `--window W` (default 30),
-//! `--threshold T` (default 0.5, `compare` only).
+//! `--threshold T` (default 0.5, `compare` only). The global `--json`
+//! flag renders any command's result as machine-readable JSON.
+//!
+//! `bfctl daemon <sub> --socket <path>` talks to a running `bfd`
+//! disclosure daemon: create tenants, stream observations, run checks
+//! and drain the daemon gracefully.
+//!
+//! Internally every command flows handler → data → renderer: handlers
+//! parse and compute, a typed data value holds the result, and the
+//! renderer formats it — so the text report and the `--json` view can
+//! never disagree.
 //!
 //! The library entry point [`run`] returns the rendered output, which is
 //! what the test suite exercises; the `bfctl` binary prints it.
@@ -24,7 +34,11 @@
 #![forbid(unsafe_code)]
 
 mod commands;
+mod daemon;
+mod data;
+mod handlers;
 mod options;
+mod render;
 
 pub use commands::run;
 pub use options::{CliError, FingerprintOptions};

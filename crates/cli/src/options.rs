@@ -12,6 +12,9 @@ pub enum CliError {
     Io(std::io::Error),
     /// A policy file was not valid JSON / not a valid policy.
     Json(serde_json::Error),
+    /// A `daemon` subcommand failed: the daemon was unreachable, spoke
+    /// a bad frame, or replied with an error.
+    Daemon(String),
 }
 
 impl fmt::Display for CliError {
@@ -20,6 +23,7 @@ impl fmt::Display for CliError {
             CliError::Usage(message) => write!(f, "{message}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Json(e) => write!(f, "invalid policy file: {e}"),
+            CliError::Daemon(message) => write!(f, "daemon: {message}"),
         }
     }
 }

@@ -1,0 +1,387 @@
+//! Renderers — the final stage of the handler → data → renderer split.
+//!
+//! Each [`Report`] renders two ways: the human-readable text `bfctl` has
+//! always printed, or machine-readable JSON when the global `--json`
+//! flag is set. Both views are projections of the same typed data, so a
+//! scripted consumer and a human reader can never disagree about what a
+//! command found.
+
+use crate::data::{
+    AuditTable, CheckReport, CompareReport, FingerprintReport, PolicyTable, PolicyValidation,
+    Report, StateReport,
+};
+use crate::options::CliError;
+use browserflow_daemon::Reply;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+pub(crate) const HELP: &str = "\
+bfctl — BrowserFlow deployment tooling
+
+USAGE:
+    bfctl [--json] <command> [arguments]
+
+COMMANDS:
+    policy init                      print a template policy JSON
+    policy validate <policy.json>    parse and sanity-check a policy file
+    policy show <policy.json>        tabulate services and their labels
+    audit <policy.json> [--user U] [--tag T]
+                                     print the tag-suppression audit log
+    fingerprint <file>               fingerprint statistics for a text file
+    compare <a> <b>                  pairwise disclosure between two files
+    state <file|dir> --key <64-hex> [--save-dir <dir>]
+                                     inspect a sealed state file or sharded
+                                     state directory; --save-dir re-persists
+                                     the loaded state as a sharded directory
+    check --policy <policy.json> --source <svc>:<file> [--source ...]
+          --dest <svc> <file>        would uploading <file> to <svc> violate?
+    daemon <sub> --socket <path>     talk to a running bfd; subcommands:
+                                     ping, tenants, stats <tenant>, drain,
+                                     create <tenant> --policy <file>
+                                            [--mode M] [--max-in-flight N]
+                                            [--queue N]
+                                     observe <tenant> <svc> <doc> <file>
+                                     check <tenant> <svc> <doc> <file>
+                                     keystroke <tenant> <svc> <doc> <idx>
+                                               --text <text>
+    help                             this message
+
+OPTIONS (fingerprint/compare):
+    --ngram N        n-gram length in characters   (default 15)
+    --window W       winnowing window in hashes    (default 30)
+    --threshold T    disclosure threshold          (default 0.5, compare)
+
+GLOBAL OPTIONS:
+    --json           emit the result as machine-readable JSON
+";
+
+/// Renders a report as text, or as JSON when `json` is set.
+pub(crate) fn render(report: &Report, json: bool) -> Result<String, CliError> {
+    if json {
+        render_json(report)
+    } else {
+        Ok(render_text(report))
+    }
+}
+
+// --- JSON -----------------------------------------------------------------
+
+#[derive(Serialize)]
+struct HelpJson {
+    help: String,
+}
+
+fn to_json<T: Serialize>(value: &T) -> Result<String, CliError> {
+    let mut out = serde_json::to_string_pretty(value)?;
+    out.push('\n');
+    Ok(out)
+}
+
+fn render_json(report: &Report) -> Result<String, CliError> {
+    match report {
+        Report::Help => to_json(&HelpJson {
+            help: HELP.to_string(),
+        }),
+        // The template is already JSON; pass it through untouched.
+        Report::PolicyTemplate(json) => Ok(json.clone()),
+        Report::PolicyValidate(v) => to_json(v),
+        Report::PolicyShow(t) => to_json(t),
+        Report::Audit(a) => to_json(a),
+        Report::Fingerprint(f) => to_json(f),
+        Report::Compare(c) => to_json(c),
+        Report::Check(c) => to_json(c),
+        Report::State(s) => to_json(s),
+        Report::Daemon(reply) => to_json(reply),
+        Report::DaemonObserved(o) => to_json(o),
+    }
+}
+
+// --- Text -----------------------------------------------------------------
+
+fn render_text(report: &Report) -> String {
+    match report {
+        Report::Help => HELP.to_string(),
+        Report::PolicyTemplate(json) => json.clone(),
+        Report::PolicyValidate(v) => policy_validate_text(v),
+        Report::PolicyShow(t) => policy_show_text(t),
+        Report::Audit(a) => audit_text(a),
+        Report::Fingerprint(f) => fingerprint_text(f),
+        Report::Compare(c) => compare_text(c),
+        Report::Check(c) => check_text(c),
+        Report::State(s) => state_text(s),
+        Report::Daemon(reply) => daemon_reply_text(reply),
+        Report::DaemonObserved(o) => {
+            format!(
+                "observed {} paragraphs into tenant {}\n",
+                o.observed, o.tenant
+            )
+        }
+    }
+}
+
+fn policy_validate_text(v: &PolicyValidation) -> String {
+    let mut report = String::new();
+    writeln!(report, "policy is valid").unwrap();
+    writeln!(report, "  services: {}", v.services).unwrap();
+    writeln!(report, "  distinct tags: {}", v.distinct_tags).unwrap();
+    writeln!(report, "  audit records: {}", v.audit_records).unwrap();
+    for warning in &v.warnings {
+        writeln!(
+            report,
+            "  warning: {} creates data (Lc={}) it is not privileged to \
+             receive back (Lp={})",
+            warning.service, warning.confidentiality, warning.privilege
+        )
+        .unwrap();
+    }
+    report
+}
+
+fn policy_show_text(table: &PolicyTable) -> String {
+    let mut out = String::new();
+    writeln!(out, "{:<16} {:<24} {:<24} {:<24}", "id", "name", "Lp", "Lc").unwrap();
+    for service in &table.services {
+        writeln!(
+            out,
+            "{:<16} {:<24} {:<24} {:<24}",
+            service.id, service.name, service.privilege, service.confidentiality
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn audit_text(table: &AuditTable) -> String {
+    let mut out = String::new();
+    if table.records.is_empty() {
+        writeln!(out, "audit log is empty (after filters)").unwrap();
+        return out;
+    }
+    writeln!(
+        out,
+        "{:<6} {:<20} {:<16} justification",
+        "seq", "tag", "user"
+    )
+    .unwrap();
+    for record in &table.records {
+        writeln!(
+            out,
+            "{:<6} {:<20} {:<16} {}",
+            record.sequence, record.tag, record.user, record.justification
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn fingerprint_text(f: &FingerprintReport) -> String {
+    let mut out = String::new();
+    writeln!(out, "file:           {}", f.file).unwrap();
+    writeln!(out, "bytes:          {}", f.bytes).unwrap();
+    writeln!(out, "normalised:     {} chars", f.normalized_chars).unwrap();
+    writeln!(out, "n-gram length:  {}", f.ngram).unwrap();
+    writeln!(out, "window:         {}", f.window).unwrap();
+    writeln!(out, "selected:       {} hashes", f.selected).unwrap();
+    writeln!(out, "distinct hashes: {}", f.distinct_hashes).unwrap();
+    match &f.density {
+        Some(density) => writeln!(
+            out,
+            "density:        {:.4} (expected {:.4})",
+            density.actual, density.expected
+        )
+        .unwrap(),
+        None => writeln!(
+            out,
+            "density:        n/a (text shorter than one n-gram; fingerprint is empty)"
+        )
+        .unwrap(),
+    }
+    out
+}
+
+fn compare_text(c: &CompareReport) -> String {
+    let mut out = String::new();
+    writeln!(out, "D({} -> {}) = {:.3}", c.path_a, c.path_b, c.a_in_b).unwrap();
+    writeln!(out, "D({} -> {}) = {:.3}", c.path_b, c.path_a, c.b_in_a).unwrap();
+    writeln!(out, "resemblance         = {:.3}", c.resemblance).unwrap();
+    writeln!(out, "threshold           = {:.2}", c.threshold).unwrap();
+    match &c.disclosure {
+        Some(verdict) => writeln!(
+            out,
+            "verdict             = DISCLOSURE: {} discloses {}",
+            verdict.disclosing, verdict.disclosed
+        )
+        .unwrap(),
+        None => writeln!(out, "verdict             = no disclosure at this threshold").unwrap(),
+    }
+    out
+}
+
+fn check_text(c: &CheckReport) -> String {
+    let mut out = String::new();
+    for violation in &c.paragraph_violations {
+        writeln!(
+            out,
+            "paragraph {}: discloses {:>5.1}% of {} (missing {})",
+            violation.paragraph,
+            violation.disclosure * 100.0,
+            violation.source,
+            violation.missing_tags
+        )
+        .unwrap();
+    }
+    for violation in &c.document_violations {
+        writeln!(
+            out,
+            "document: discloses {:>5.1}% of {} (missing {})",
+            violation.disclosure * 100.0,
+            violation.source,
+            violation.missing_tags
+        )
+        .unwrap();
+    }
+    if c.violation {
+        writeln!(
+            out,
+            "verdict: VIOLATION — uploading {} to {} leaks tracked text",
+            c.target, c.dest
+        )
+        .unwrap();
+    } else {
+        writeln!(
+            out,
+            "verdict: clean — no tracked text from the sources detected"
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn state_text(s: &StateReport) -> String {
+    let mut out = String::new();
+    match &s.shards {
+        Some(shards) => {
+            writeln!(out, "state directory:   {}", s.path).unwrap();
+            writeln!(out, "paragraph shards:  {}", shards.paragraphs).unwrap();
+            writeln!(out, "document shards:   {}", shards.documents).unwrap();
+            if !shards.complete {
+                writeln!(
+                    out,
+                    "WARNING: some shards were lost to corruption; the listed \
+                     fingerprints are no longer tracked"
+                )
+                .unwrap();
+            }
+        }
+        None => writeln!(out, "state file:        {}", s.path).unwrap(),
+    }
+    writeln!(out, "enforcement mode:  {}", s.mode).unwrap();
+    writeln!(out, "services:          {}", s.services).unwrap();
+    writeln!(out, "tracked paragraphs: {}", s.tracked_paragraphs).unwrap();
+    writeln!(out, "tracked documents: {}", s.tracked_documents).unwrap();
+    writeln!(out, "distinct hashes:   {}", s.distinct_hashes).unwrap();
+    writeln!(out, "short secrets:     {}", s.short_secrets).unwrap();
+    writeln!(out, "audit records:     {}", s.audit_records).unwrap();
+    out.push('\n');
+    out.push_str(&s.warnings);
+    if let Some(dir) = &s.saved_dir {
+        writeln!(out, "\nsaved sharded state directory: {dir}").unwrap();
+    }
+    out
+}
+
+fn daemon_reply_text(reply: &Reply) -> String {
+    let mut out = String::new();
+    match reply {
+        Reply::Pong { version } => writeln!(out, "bfd is up ({version})").unwrap(),
+        Reply::TenantCreated { tenant } => writeln!(out, "created tenant {tenant}").unwrap(),
+        Reply::Tenants { tenants } => {
+            writeln!(
+                out,
+                "{:<24} {:>9} {:>13}",
+                "tenant", "in-flight", "max-in-flight"
+            )
+            .unwrap();
+            for t in tenants {
+                writeln!(
+                    out,
+                    "{:<24} {:>9} {:>13}",
+                    t.tenant, t.in_flight, t.max_in_flight
+                )
+                .unwrap();
+            }
+        }
+        Reply::Observed => writeln!(out, "observed").unwrap(),
+        Reply::Decisions {
+            decisions,
+            latency_us,
+        } => {
+            for (index, decision) in decisions.iter().enumerate() {
+                writeln!(out, "paragraph {index}: {}", decision.action).unwrap();
+                for violation in &decision.violations {
+                    writeln!(
+                        out,
+                        "  discloses {:>5.1}% of {} (missing {})",
+                        violation.disclosure * 100.0,
+                        violation.source,
+                        violation.missing_tags.join(" ")
+                    )
+                    .unwrap();
+                }
+            }
+            writeln!(out, "latency: {latency_us}us").unwrap();
+        }
+        Reply::Backpressure {
+            reason,
+            in_flight,
+            limit,
+            retry_after_ms,
+        } => writeln!(
+            out,
+            "refused ({reason}): {in_flight} in flight, limit {limit}; \
+             retry after {retry_after_ms}ms"
+        )
+        .unwrap(),
+        Reply::Superseded => writeln!(out, "superseded by a newer keystroke").unwrap(),
+        Reply::Stats {
+            pipeline,
+            in_flight,
+            max_in_flight,
+        } => {
+            writeln!(out, "queue depth:   {}", pipeline.queue_depth).unwrap();
+            writeln!(out, "submitted:     {}", pipeline.submitted).unwrap();
+            writeln!(out, "completed:     {}", pipeline.completed).unwrap();
+            writeln!(out, "coalesced:     {}", pipeline.coalesced).unwrap();
+            writeln!(out, "rejected:      {}", pipeline.rejected).unwrap();
+            writeln!(out, "failed:        {}", pipeline.failed).unwrap();
+            writeln!(out, "in flight:     {in_flight} / {max_in_flight}").unwrap();
+        }
+        Reply::Drained { reports } => {
+            for report in reports {
+                if report.error.is_empty() {
+                    write!(
+                        out,
+                        "drained tenant {} ({} checks completed)",
+                        report.tenant, report.completed
+                    )
+                    .unwrap();
+                    if report.persisted_to.is_empty() {
+                        out.push('\n');
+                    } else {
+                        writeln!(out, ", persisted to {}", report.persisted_to).unwrap();
+                    }
+                } else {
+                    writeln!(
+                        out,
+                        "tenant {} drain error: {}",
+                        report.tenant, report.error
+                    )
+                    .unwrap();
+                }
+            }
+            writeln!(out, "daemon is shutting down").unwrap();
+        }
+        Reply::Error { message } => writeln!(out, "error: {message}").unwrap(),
+    }
+    out
+}

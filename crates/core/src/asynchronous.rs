@@ -35,6 +35,7 @@
 //! pipeline exposes its health counters through
 //! [`AsyncDecider::stats`].
 
+use crate::engine::{panic_detail, WorkerPanic};
 use crate::middleware::{BrowserFlow, MiddlewareError, UploadAction, UploadDecision};
 use crate::request::CheckRequest;
 use browserflow_fingerprint::TextEdit;
@@ -669,6 +670,20 @@ impl Drop for AsyncDecider {
     }
 }
 
+/// Runs a middleware operation with panic containment: a panicking check
+/// resolves as [`MiddlewareError::WorkerPanic`] instead of unwinding the
+/// decider's worker thread — which would fail every queued and future
+/// request of the tenant with [`DeciderError::Closed`]. parking_lot locks
+/// do not poison and check paths only read the stores, so the middleware
+/// stays consistent across a contained panic.
+fn contain_panic<T>(op: impl FnOnce() -> Result<T, MiddlewareError>) -> Result<T, MiddlewareError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(op)).unwrap_or_else(|payload| {
+        Err(MiddlewareError::WorkerPanic(WorkerPanic {
+            detail: panic_detail(payload.as_ref()),
+        }))
+    })
+}
+
 fn run_worker(flow: BrowserFlow, inbox: Receiver<Request>, shared: Arc<Shared>) -> BrowserFlow {
     let counters = &shared.counters;
     for request in inbox.iter() {
@@ -686,10 +701,11 @@ fn run_worker(flow: BrowserFlow, inbox: Receiver<Request>, shared: Arc<Shared>) 
                     let _ = reply.send(Err(DeciderError::Closed));
                     continue;
                 }
-                let result = flow
-                    .observe_paragraph(&service, &document, index, &text)
-                    .map(|_| ())
-                    .map_err(DeciderError::from);
+                let result = contain_panic(|| {
+                    flow.observe_paragraph(&service, &document, index, &text)
+                        .map(|_| ())
+                })
+                .map_err(DeciderError::from);
                 let _ = reply.send(result);
             }
             Request::Check(job) => {
@@ -713,7 +729,7 @@ fn run_worker(flow: BrowserFlow, inbox: Receiver<Request>, shared: Arc<Shared>) 
                     }
                 }
                 let paragraphs = job.request.len() as u64;
-                let result = flow.check(&job.request);
+                let result = contain_panic(|| flow.check(&job.request));
                 counters.batches.fetch_add(1, Ordering::Relaxed);
                 counters
                     .batch_paragraphs
@@ -755,8 +771,9 @@ fn run_worker(flow: BrowserFlow, inbox: Receiver<Request>, shared: Arc<Shared>) 
                     // The session must see every edit in order; only the
                     // verdict is skipped. An absorb error (stale session)
                     // resurfaces on the surviving newest edit.
-                    let _ =
-                        flow.absorb_keystroke(&job.service, &job.document, job.index, &job.edit);
+                    let _ = contain_panic(|| {
+                        flow.absorb_keystroke(&job.service, &job.document, job.index, &job.edit)
+                    });
                     counters.coalesced.fetch_add(1, Ordering::Relaxed);
                     let _ = job.reply.send(Err(DeciderError::Superseded));
                     continue;
@@ -764,20 +781,21 @@ fn run_worker(flow: BrowserFlow, inbox: Receiver<Request>, shared: Arc<Shared>) 
                 counters.batches.fetch_add(1, Ordering::Relaxed);
                 counters.batch_paragraphs.fetch_add(1, Ordering::Relaxed);
                 counters.max_batch.fetch_max(1, Ordering::Relaxed);
-                let reply =
-                    match flow.check_keystroke(&job.service, &job.document, job.index, &job.edit) {
-                        Ok(decision) => {
-                            counters.completed.fetch_add(1, Ordering::Relaxed);
-                            Ok(TimedBatch {
-                                decisions: vec![decision],
-                                latency: job.submitted.elapsed(),
-                            })
-                        }
-                        Err(e) => {
-                            counters.failed.fetch_add(1, Ordering::Relaxed);
-                            Err(DeciderError::Middleware(e))
-                        }
-                    };
+                let reply = match contain_panic(|| {
+                    flow.check_keystroke(&job.service, &job.document, job.index, &job.edit)
+                }) {
+                    Ok(decision) => {
+                        counters.completed.fetch_add(1, Ordering::Relaxed);
+                        Ok(TimedBatch {
+                            decisions: vec![decision],
+                            latency: job.submitted.elapsed(),
+                        })
+                    }
+                    Err(e) => {
+                        counters.failed.fetch_add(1, Ordering::Relaxed);
+                        Err(DeciderError::Middleware(e))
+                    }
+                };
                 let _ = job.reply.send(reply);
             }
         }
@@ -1070,5 +1088,36 @@ mod tests {
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.queue_depth, 0);
         assert_eq!(stats.mean_batch(), 1.0);
+    }
+
+    #[test]
+    fn worker_thread_survives_a_panicking_check() {
+        use crate::engine::test_hooks;
+        let _guard = test_hooks::lock();
+        let decider = AsyncDecider::spawn(flow());
+        decider.observe("itool", "eval", 0, SECRET).unwrap();
+
+        test_hooks::set_panic_on_marker(true);
+        let poisoned = format!("{SECRET} {}", test_hooks::FAULT_MARKER);
+        let err = decider
+            .check("gdocs", "draft", 0, &poisoned)
+            .expect_err("poisoned check must fail, not hang or abort");
+        assert!(matches!(
+            err,
+            DeciderError::Middleware(MiddlewareError::WorkerPanic(_))
+        ));
+        test_hooks::set_panic_on_marker(false);
+
+        // The decider's worker thread caught the panic in place, so the
+        // pipeline keeps serving: a follow-up check on the same decider
+        // completes with a real decision.
+        let timed = decider.check("gdocs", "draft", 1, SECRET).unwrap();
+        assert_eq!(timed.decision.action, UploadAction::Block);
+        let stats = decider.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+        // Graceful shutdown still hands the flow back.
+        let flow = decider.shutdown().unwrap();
+        assert!(!flow.warnings().is_empty());
     }
 }

@@ -116,6 +116,92 @@ impl fmt::Display for StaleEditError {
 
 impl std::error::Error for StaleEditError {}
 
+/// A worker thread servicing part of a batched check panicked.
+///
+/// One poisoned paragraph check must not take down the process — in a
+/// multi-tenant deployment the same engine serves every tenant's checks.
+/// The panic is caught at the join boundary and surfaced as this typed
+/// error; the stores are sharded and lock-free to readers, so the engine
+/// remains usable for subsequent checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct WorkerPanic {
+    /// The panic payload, when it was a string (the common case).
+    pub detail: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a paragraph-check worker panicked: {}", self.detail)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Test-only fault injection for the check path.
+///
+/// Hidden from docs and disabled by default (one relaxed atomic load on
+/// the check path). Integration tests enable a hook, embed the marker in
+/// a paragraph, and verify that the engine, middleware, decider and
+/// daemon all survive a poisoned check with a typed error instead of a
+/// process abort.
+#[doc(hidden)]
+pub mod test_hooks {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    /// Text marker that triggers the enabled faults.
+    pub const FAULT_MARKER: &str = "\u{7f}bf-fault\u{7f}";
+
+    pub(crate) static PANIC_ON_MARKER: AtomicBool = AtomicBool::new(false);
+    pub(crate) static DELAY_MS_ON_MARKER: AtomicU64 = AtomicU64::new(0);
+
+    /// When enabled, any checked paragraph containing [`FAULT_MARKER`]
+    /// panics inside the check worker.
+    pub fn set_panic_on_marker(enabled: bool) {
+        PANIC_ON_MARKER.store(enabled, Ordering::SeqCst);
+    }
+
+    /// When non-zero, any checked paragraph containing [`FAULT_MARKER`]
+    /// sleeps this many milliseconds before being checked (deterministic
+    /// worker stalls for queue/backpressure tests).
+    pub fn set_delay_ms_on_marker(millis: u64) {
+        DELAY_MS_ON_MARKER.store(millis, Ordering::SeqCst);
+    }
+
+    /// Serialises tests that arm the global hooks, so a disarm in one
+    /// test cannot race another test's marker check.
+    pub fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub(crate) fn apply(text: &str) {
+        let delay = DELAY_MS_ON_MARKER.load(Ordering::Relaxed);
+        let panic_armed = PANIC_ON_MARKER.load(Ordering::Relaxed);
+        if (delay == 0 && !panic_armed) || !text.contains(FAULT_MARKER) {
+            return;
+        }
+        if delay > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(delay));
+        }
+        if panic_armed {
+            panic!("injected test panic");
+        }
+    }
+}
+
 /// A disclosure detected by the engine: a stored source segment whose
 /// disclosure requirement the checked text violates.
 #[derive(Debug, Clone, PartialEq)]
@@ -340,6 +426,7 @@ impl DisclosureEngine {
 
     /// [`DisclosureEngine::check_paragraph`] once the id is resolved.
     fn check_paragraph_by_id(&self, id: SegmentId, text: &str) -> Vec<DisclosureMatch> {
+        test_hooks::apply(text);
         self.full_checks.fetch_add(1, Ordering::Relaxed);
         let print = self.fingerprinter.fingerprint(text);
         // The cached sorted slice feeds both the digest and Algorithm 1 —
@@ -368,12 +455,17 @@ impl DisclosureEngine {
     ///
     /// `workers <= 1`, or fewer than two paragraphs, runs on the calling
     /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkerPanic`] if a paragraph check panicked; the engine
+    /// remains usable for subsequent checks.
     pub fn check_paragraphs(
         &self,
         doc: &DocKey,
         paragraphs: &[&str],
         workers: usize,
-    ) -> Vec<Vec<DisclosureMatch>> {
+    ) -> Result<Vec<Vec<DisclosureMatch>>, WorkerPanic> {
         let items: Vec<(usize, &str)> = paragraphs.iter().copied().enumerate().collect();
         self.check_paragraphs_at(doc, &items, workers)
     }
@@ -384,12 +476,19 @@ impl DisclosureEngine {
     /// threads, with results in item order. This is the primitive behind
     /// the unified [`CheckRequest`](crate::CheckRequest) surface, where a
     /// batch need not start at paragraph 0 or be contiguous.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkerPanic`] if any chunk's check panicked — the panic
+    /// is contained at the join boundary instead of aborting the process
+    /// (a multi-tenant daemon must survive one poisoned check). Every
+    /// remaining chunk is still joined so no worker is leaked.
     pub fn check_paragraphs_at(
         &self,
         doc: &DocKey,
         paragraphs: &[(usize, &str)],
         workers: usize,
-    ) -> Vec<Vec<DisclosureMatch>> {
+    ) -> Result<Vec<Vec<DisclosureMatch>>, WorkerPanic> {
         // Allocate every id up front so worker threads never race on the
         // registry write lock in allocation order.
         let ids: Vec<SegmentId> = paragraphs
@@ -397,11 +496,19 @@ impl DisclosureEngine {
             .map(|&(index, _)| self.segment_id(&SegmentKey::paragraph(doc.clone(), index)))
             .collect();
         if workers <= 1 || paragraphs.len() < 2 {
-            return ids
-                .iter()
-                .zip(paragraphs)
-                .map(|(&id, &(_, text))| self.check_paragraph_by_id(id, text))
-                .collect();
+            // Same containment guarantee on the calling-thread path. The
+            // engine's interior mutability is panic-tolerant here: a check
+            // only reads the stores and updates the (per-entry consistent)
+            // decision cache, and parking_lot locks do not poison.
+            return std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ids.iter()
+                    .zip(paragraphs)
+                    .map(|(&id, &(_, text))| self.check_paragraph_by_id(id, text))
+                    .collect()
+            }))
+            .map_err(|payload| WorkerPanic {
+                detail: panic_detail(payload.as_ref()),
+            });
         }
         let jobs: Vec<(SegmentId, &str)> = ids
             .into_iter()
@@ -420,10 +527,26 @@ impl DisclosureEngine {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("paragraph check must not panic"))
-                .collect()
+            let mut results = Vec::with_capacity(jobs.len());
+            let mut panic: Option<WorkerPanic> = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(chunk) => results.extend(chunk),
+                    Err(payload) => {
+                        // Keep joining the remaining handles so the scope
+                        // exits cleanly; report the first panic.
+                        if panic.is_none() {
+                            panic = Some(WorkerPanic {
+                                detail: panic_detail(payload.as_ref()),
+                            });
+                        }
+                    }
+                }
+            }
+            match panic {
+                None => Ok(results),
+                Some(p) => Err(p),
+            }
         })
         .expect("scoped check threads join cleanly")
     }
@@ -959,5 +1082,33 @@ mod tests {
         // (different digest) — then the lower threshold fires.
         let half_edited = format!("{half} trailing words");
         assert_eq!(engine.check_paragraph(&gdocs, 0, &half_edited).len(), 1);
+    }
+
+    #[test]
+    fn worker_panic_is_a_typed_error_not_an_abort() {
+        let _guard = test_hooks::lock();
+        let engine = engine();
+        let wiki = DocKey::new("wiki", "rubric");
+        engine.observe_paragraph(&wiki, 0, SECRET, None);
+        let gdocs = DocKey::new("gdocs", "draft");
+        let poisoned = format!("{SECRET} {}", test_hooks::FAULT_MARKER);
+        let batch: Vec<(usize, &str)> = vec![(0, SECRET), (1, &poisoned), (2, SECRET)];
+
+        test_hooks::set_panic_on_marker(true);
+        // Single-threaded path: the panic is caught, not propagated.
+        let single = engine.check_paragraphs_at(&gdocs, &batch, 1);
+        assert!(matches!(single, Err(WorkerPanic { .. })));
+        // Fan-out path: every worker handle is joined, the first panic wins.
+        let threaded = engine.check_paragraphs_at(&gdocs, &batch, 3);
+        assert_eq!(threaded.unwrap_err().detail, "injected test panic");
+        test_hooks::set_panic_on_marker(false);
+
+        // The engine survives the poisoned batch: stores and registry are
+        // intact and the same request now succeeds.
+        let ok = engine
+            .check_paragraphs_at(&gdocs, &batch, 3)
+            .expect("engine usable after a contained panic");
+        assert_eq!(ok.len(), 3);
+        assert_eq!(ok[0].len(), 1, "clean paragraph still discloses");
     }
 }

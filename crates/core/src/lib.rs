@@ -61,6 +61,7 @@ pub mod report;
 mod request;
 mod short_secret;
 mod state;
+pub mod tenancy;
 
 pub use asynchronous::{
     AsyncDecider, DeciderConfig, DeciderError, PendingBatch, PendingDecision, PipelineStats,
@@ -68,8 +69,11 @@ pub use asynchronous::{
 };
 pub use engine::{
     DisclosureEngine, DisclosureMatch, DocKey, EngineConfig, SegmentKey, SegmentScope,
-    StaleEditError,
+    StaleEditError, WorkerPanic,
 };
+
+#[doc(hidden)]
+pub use engine::test_hooks;
 pub use metrics::{ConcurrencyMetrics, FingerprintModeStats, ResponseTimes};
 pub use middleware::{
     BrowserFlow, BrowserFlowBuilder, BuildError, EnforcementMode, MiddlewareError, ParagraphStatus,
@@ -77,6 +81,10 @@ pub use middleware::{
 };
 pub use request::{CheckRequest, ParagraphRef};
 pub use state::{StateError, StateRestoreReport};
+pub use tenancy::{
+    AdmissionError, InFlightPermit, RegistryError, Tenant, TenantConfig, TenantDrainReport,
+    TenantId, TenantIdError, TenantRegistry,
+};
 
 // The keystroke hot path speaks in edits and deltas; re-export the types
 // so plug-in callers need not depend on the fingerprint crate directly.

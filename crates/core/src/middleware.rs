@@ -9,6 +9,7 @@
 
 use crate::engine::{
     DisclosureEngine, DisclosureMatch, DocKey, EngineConfig, SegmentKey, StaleEditError,
+    WorkerPanic,
 };
 use crate::request::CheckRequest;
 use crate::short_secret::ShortSecret;
@@ -117,6 +118,9 @@ pub enum MiddlewareError {
     /// A keystroke edit does not apply to the engine's session state (the
     /// editor and the middleware diverged); reset the session and reseed.
     StaleEdit(StaleEditError),
+    /// A check worker panicked; the panic was contained at the join
+    /// boundary and the middleware remains usable.
+    WorkerPanic(WorkerPanic),
 }
 
 impl fmt::Display for MiddlewareError {
@@ -127,6 +131,7 @@ impl fmt::Display for MiddlewareError {
                 write!(f, "segment {key} has never been observed")
             }
             MiddlewareError::StaleEdit(e) => write!(f, "{e}"),
+            MiddlewareError::WorkerPanic(e) => write!(f, "{e}"),
         }
     }
 }
@@ -137,6 +142,7 @@ impl std::error::Error for MiddlewareError {
             MiddlewareError::Policy(e) => Some(e),
             MiddlewareError::UnknownSegment { .. } => None,
             MiddlewareError::StaleEdit(e) => Some(e),
+            MiddlewareError::WorkerPanic(e) => Some(e),
         }
     }
 }
@@ -144,6 +150,12 @@ impl std::error::Error for MiddlewareError {
 impl From<StaleEditError> for MiddlewareError {
     fn from(e: StaleEditError) -> Self {
         MiddlewareError::StaleEdit(e)
+    }
+}
+
+impl From<WorkerPanic> for MiddlewareError {
+    fn from(e: WorkerPanic) -> Self {
+        MiddlewareError::WorkerPanic(e)
     }
 }
 
@@ -467,7 +479,7 @@ impl BrowserFlow {
             .collect();
         let all_matches = self
             .engine
-            .check_paragraphs_at(&doc, &items, request.workers());
+            .check_paragraphs_at(&doc, &items, request.workers())?;
         let mut decisions = Vec::with_capacity(items.len());
         for (&(index, text), matches) in items.iter().zip(all_matches.iter()) {
             let mut decision = self.decide(service, matches)?;
@@ -1474,5 +1486,29 @@ second paragraph about travel reimbursements and the                            
         assert_eq!(legacy_batch, unified_batch);
         assert_eq!(legacy_batch[0].action, UploadAction::Block);
         assert_eq!(legacy_batch[1].action, UploadAction::Allow);
+    }
+
+    #[test]
+    fn batch_check_surfaces_worker_panic_as_typed_error() {
+        use crate::engine::test_hooks;
+        let _guard = test_hooks::lock();
+        let flow = flow(EnforcementMode::Block);
+        flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+
+        test_hooks::set_panic_on_marker(true);
+        let poisoned = format!("{SECRET} {}", test_hooks::FAULT_MARKER);
+        let err = flow
+            .check(&CheckRequest::batch("gdocs", "draft", [SECRET, &poisoned]).with_workers(2))
+            .unwrap_err();
+        assert!(matches!(err, MiddlewareError::WorkerPanic(_)));
+        assert!(err.to_string().contains("worker panicked"));
+        test_hooks::set_panic_on_marker(false);
+
+        // The middleware remains serviceable after the contained panic.
+        let decisions = flow
+            .check(&CheckRequest::batch("gdocs", "draft", [SECRET]).with_workers(2))
+            .unwrap();
+        assert_eq!(decisions[0].action, UploadAction::Block);
     }
 }

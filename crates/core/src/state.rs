@@ -152,17 +152,19 @@ fn push_chunk(out: &mut Vec<u8>, chunk: &[u8]) {
 }
 
 fn read_chunk<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], StateError> {
-    if *pos + 4 > bytes.len() {
-        return Err(StateError::Malformed);
-    }
-    let len = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().unwrap()) as usize;
-    *pos += 4;
-    if *pos + len > bytes.len() {
-        return Err(StateError::Malformed);
-    }
-    let chunk = &bytes[*pos..*pos + len];
-    *pos += len;
-    Ok(chunk)
+    // The envelope is untrusted (sealed state files come off disk): both
+    // the length prefix and the chunk body are taken through checked
+    // arithmetic and `get`, so a truncated buffer fails closed with
+    // `StateError::Malformed` instead of panicking.
+    let mut take = |n: usize| -> Result<&'a [u8], StateError> {
+        let end = pos.checked_add(n).ok_or(StateError::Malformed)?;
+        let slice = bytes.get(*pos..end).ok_or(StateError::Malformed)?;
+        *pos = end;
+        Ok(slice)
+    };
+    let len_bytes = take(4)?;
+    let len = u32::from_le_bytes(len_bytes.try_into().expect("4-byte slice")) as usize;
+    take(len)
 }
 
 impl BrowserFlow {
@@ -411,6 +413,50 @@ mod tests {
         assert!(matches!(
             BrowserFlow::import_sealed(StoreKey::generate(&mut rng), &sealed),
             Err(StateError::Codec(CodecError::Sealed(_)))
+        ));
+    }
+
+    #[test]
+    fn truncated_envelope_fails_closed_for_every_prefix() {
+        // The chunked envelope inside the sealed state file is untrusted
+        // once the AEAD layer is peeled off. Re-seal every strict prefix
+        // of a valid plaintext payload and prove the import path returns
+        // a typed error for each — no length-prefix slice panic.
+        let key = StoreKey::from_bytes([3u8; 32]);
+        let flow = sample_flow();
+        let payload = key.unseal(&flow.export_sealed()).unwrap();
+        assert!(BrowserFlow::import_sealed(key.clone(), &key.seal_auto(&payload)).is_ok());
+        for len in 0..payload.len() {
+            let sealed = key.seal_auto(&payload[..len]);
+            assert!(
+                BrowserFlow::import_sealed(key.clone(), &sealed).is_err(),
+                "import accepted a {len}-byte prefix of {}",
+                payload.len()
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_chunk_length_fails_closed() {
+        // A metadata chunk whose length prefix overflows the cursor (or
+        // simply runs past the buffer) must surface `StateError::Malformed`.
+        let key = StoreKey::from_bytes([3u8; 32]);
+        for hostile in [u32::MAX, u32::MAX - 3, 1 << 30] {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&hostile.to_le_bytes());
+            payload.extend_from_slice(b"tiny");
+            assert!(matches!(
+                BrowserFlow::import_sealed(key.clone(), &key.seal_auto(&payload)),
+                Err(StateError::Malformed)
+            ));
+        }
+        // Trailing garbage after three well-formed chunks is also rejected.
+        let valid = key.unseal(&sample_flow().export_sealed()).unwrap();
+        let mut padded = valid;
+        padded.push(0);
+        assert!(matches!(
+            BrowserFlow::import_sealed(key.clone(), &key.seal_auto(&padded)),
+            Err(StateError::Malformed)
         ));
     }
 

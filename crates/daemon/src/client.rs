@@ -1,0 +1,164 @@
+//! A blocking client for the `bfd` socket protocol (used by `bfctl` and
+//! the service load generator).
+
+use std::fmt;
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::{read_reply, write_request, FrameError, ParagraphSlot, Reply, Request};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach (or stay connected to) the daemon.
+    Io(io::Error),
+    /// The daemon replied with something unreadable, or hung up before
+    /// replying.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "cannot reach bfd: {e}"),
+            Self::Protocol(detail) => write!(f, "protocol error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => Self::Io(io),
+            other => Self::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// One connection to a running `bfd`.
+///
+/// The protocol is strict request→reply, so a client is cheap state: a
+/// stream and nothing else. Clone-free; open more clients for more
+/// concurrency.
+pub struct DaemonClient {
+    stream: UnixStream,
+}
+
+impl DaemonClient {
+    /// Connects to the daemon socket.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(socket_path: impl AsRef<Path>) -> Result<Self, ClientError> {
+        Ok(Self {
+            stream: UnixStream::connect(socket_path)?,
+        })
+    }
+
+    /// Sends one request and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`ClientError::Protocol`] when the daemon
+    /// hangs up before replying.
+    pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        write_request(&mut self.stream, request)?;
+        read_reply(&mut self.stream)?
+            .ok_or_else(|| ClientError::Protocol("daemon closed before replying".to_string()))
+    }
+
+    /// Liveness probe; returns the daemon's protocol version.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected reply.
+    pub fn ping(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Ping)? {
+            Reply::Pong { version } => Ok(version),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Observes a paragraph in a tenant's flow.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a daemon-side error reply.
+    pub fn observe(
+        &mut self,
+        tenant: &str,
+        service: &str,
+        document: &str,
+        index: usize,
+        text: &str,
+    ) -> Result<(), ClientError> {
+        match self.request(&Request::Observe {
+            tenant: tenant.to_string(),
+            service: service.to_string(),
+            document: document.to_string(),
+            index,
+            text: text.to_string(),
+        })? {
+            Reply::Observed => Ok(()),
+            Reply::Error { message } => Err(ClientError::Protocol(message)),
+            other => Err(unexpected("Observed", &other)),
+        }
+    }
+
+    /// Checks a batch of paragraphs; returns the raw reply so callers
+    /// can distinguish decisions from backpressure.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only — backpressure is a successful reply.
+    pub fn check(
+        &mut self,
+        tenant: &str,
+        service: &str,
+        document: &str,
+        paragraphs: Vec<ParagraphSlot>,
+    ) -> Result<Reply, ClientError> {
+        self.request(&Request::Check {
+            tenant: tenant.to_string(),
+            service: service.to_string(),
+            document: document.to_string(),
+            paragraphs,
+        })
+    }
+
+    /// Submits a coalescing keystroke check.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn keystroke(
+        &mut self,
+        tenant: &str,
+        service: &str,
+        document: &str,
+        index: usize,
+        text: &str,
+    ) -> Result<Reply, ClientError> {
+        self.request(&Request::Keystroke {
+            tenant: tenant.to_string(),
+            service: service.to_string(),
+            document: document.to_string(),
+            index,
+            text: text.to_string(),
+        })
+    }
+}
+
+fn unexpected(wanted: &str, got: &Reply) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

@@ -1,0 +1,27 @@
+//! **bfd** — the multi-tenant BrowserFlow disclosure daemon.
+//!
+//! One process serves many tenants, each with an isolated
+//! [`browserflow::BrowserFlow`] (own stores, labels, audit trail) behind
+//! its own bounded decision pipeline. The front-end is a Unix domain
+//! socket speaking length-prefixed JSON frames ([`protocol`]); admission
+//! is backpressure-correct — quota and queue refusals are structured
+//! replies, never silent drops ([`browserflow::tenancy`]).
+//!
+//! - [`server`] — the daemon: accept loop, per-connection handlers,
+//!   graceful drain with per-tenant sealed persistence.
+//! - [`client`] — a blocking client ([`client::DaemonClient`]) used by
+//!   `bfctl` and the service load generator.
+//! - [`protocol`] — the wire format and its fail-closed frame codec.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, DaemonClient};
+pub use protocol::{
+    ParagraphSlot, Reply, Request, WireDecision, WireDrainReport, WireTenant, WireViolation,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+pub use server::{Daemon, DaemonConfig, ShutdownHandle};

@@ -1,0 +1,146 @@
+//! `bfd` — the BrowserFlow disclosure daemon.
+//!
+//! ```text
+//! bfd --socket /run/bfd.sock [--state-dir /var/lib/bfd] [--key <64-hex>]
+//! ```
+//!
+//! Serves the framed-socket protocol until SIGTERM/SIGINT (or an
+//! in-band `drain` request), then drains every tenant gracefully and —
+//! when a state directory is configured — persists each tenant as a
+//! sealed snapshot that the next start restores.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use browserflow_daemon::{Daemon, DaemonConfig};
+use browserflow_store::StoreKey;
+
+/// Set by the signal handler; bridged to the daemon's shutdown handle.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: a relaxed store.
+    SIGNALLED.store(true, Ordering::Relaxed);
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    // POSIX `signal(2)`. The container has no libc crate; declaring the
+    // symbol directly keeps the daemon dependency-free.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+fn install_signal_handlers() {
+    // SAFETY: `signal` is the POSIX API with the documented signature;
+    // the handler only performs an atomic store.
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("bfd: {message}");
+            eprintln!("usage: bfd --socket <path> [--state-dir <dir>] [--key <64-hex>]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let daemon = match Daemon::bind(config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("bfd: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for tenant in daemon.restored_tenants() {
+        eprintln!("bfd: restored tenant {tenant}");
+    }
+
+    install_signal_handlers();
+    let handle = daemon.shutdown_handle();
+    std::thread::spawn(move || loop {
+        if SIGNALLED.load(Ordering::Relaxed) {
+            handle.shutdown();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+
+    eprintln!("bfd: serving");
+    match daemon.run() {
+        Ok(reports) => {
+            for report in &reports {
+                if report.error.is_empty() {
+                    eprintln!(
+                        "bfd: drained tenant {} ({} checks completed){}",
+                        report.tenant,
+                        report.completed,
+                        if report.persisted_to.is_empty() {
+                            String::new()
+                        } else {
+                            format!(", persisted to {}", report.persisted_to)
+                        }
+                    );
+                } else {
+                    eprintln!(
+                        "bfd: tenant {} drain error: {}",
+                        report.tenant, report.error
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bfd: serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
+    let mut socket: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut key_hex: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(take_value(&mut iter, "--socket")?),
+            "--state-dir" => state_dir = Some(take_value(&mut iter, "--state-dir")?),
+            "--key" => key_hex = Some(take_value(&mut iter, "--key")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let socket = socket.ok_or_else(|| "--socket is required".to_string())?;
+    let mut config = DaemonConfig::new(socket);
+    config.state_root = state_dir.map(Into::into);
+    if let Some(hex) = key_hex {
+        config.store_key = StoreKey::from_bytes(parse_key(&hex)?);
+    }
+    Ok(config)
+}
+
+fn take_value(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    iter.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn parse_key(hex: &str) -> Result<[u8; 32], String> {
+    if hex.len() != 64 {
+        return Err(format!("--key must be 64 hex chars, got {}", hex.len()));
+    }
+    let mut key = [0u8; 32];
+    for (i, byte) in key.iter_mut().enumerate() {
+        let pair = &hex[2 * i..2 * i + 2];
+        *byte = u8::from_str_radix(pair, 16).map_err(|_| format!("bad hex in --key: {pair:?}"))?;
+    }
+    Ok(key)
+}

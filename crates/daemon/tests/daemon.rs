@@ -1,0 +1,407 @@
+//! End-to-end tests for `bfd`: tenant isolation, backpressure-correct
+//! admission, and graceful drain with sealed per-tenant persistence.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use browserflow::test_hooks;
+use browserflow_daemon::{Daemon, DaemonClient, DaemonConfig, ParagraphSlot, Reply, Request};
+use browserflow_store::StoreKey;
+use browserflow_tdm::{Policy, Service, Tag, TagSet};
+
+const SECRET: &str = "the confidential interview rubric awards extra points for \
+                      candidates who ask incisive clarifying questions early";
+
+static NEXT_SOCKET: AtomicU32 = AtomicU32::new(0);
+
+fn socket_path(tag: &str) -> PathBuf {
+    let n = NEXT_SOCKET.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("bfd-test-{tag}-{}-{n}.sock", std::process::id()))
+}
+
+fn policy_json() -> String {
+    let ti = Tag::new("interview-data").unwrap();
+    let mut policy = Policy::new();
+    policy
+        .register(
+            Service::new("itool", "Interview Tool")
+                .with_privilege(TagSet::from_iter([ti.clone()]))
+                .with_confidentiality(TagSet::from_iter([ti])),
+        )
+        .unwrap();
+    policy
+        .register(Service::new("gdocs", "Google Docs"))
+        .unwrap();
+    serde_json::to_string(&policy).unwrap()
+}
+
+/// Binds a daemon on a fresh socket, runs it on a background thread,
+/// and waits until the socket accepts connections.
+fn start_daemon(
+    config: DaemonConfig,
+) -> (
+    PathBuf,
+    thread::JoinHandle<Vec<browserflow_daemon::WireDrainReport>>,
+) {
+    let socket = config.socket_path.clone();
+    let daemon = Daemon::bind(config).expect("bind");
+    let handle = thread::spawn(move || daemon.run().expect("daemon run"));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match DaemonClient::connect(&socket) {
+            Ok(mut client) => {
+                client.ping().expect("ping");
+                break;
+            }
+            Err(_) if Instant::now() < deadline => thread::sleep(Duration::from_millis(10)),
+            Err(e) => panic!("daemon never came up: {e}"),
+        }
+    }
+    (socket, handle)
+}
+
+fn create_tenant(client: &mut DaemonClient, tenant: &str, queue_capacity: u64) {
+    let reply = client
+        .request(&Request::TenantCreate {
+            tenant: tenant.to_string(),
+            mode: "block".to_string(),
+            policy_json: policy_json(),
+            max_in_flight: 0,
+            queue_capacity,
+        })
+        .expect("tenant create");
+    assert!(
+        matches!(reply, Reply::TenantCreated { tenant: ref t } if t == tenant),
+        "unexpected reply: {reply:?}"
+    );
+}
+
+fn drain(client: &mut DaemonClient) -> Vec<browserflow_daemon::WireDrainReport> {
+    match client.request(&Request::Drain).expect("drain") {
+        Reply::Drained { reports } => reports,
+        other => panic!("expected Drained, got {other:?}"),
+    }
+}
+
+#[test]
+fn tenants_are_isolated_end_to_end() {
+    let (socket, handle) = start_daemon(DaemonConfig::new(socket_path("isolation")));
+    let mut client = DaemonClient::connect(&socket).unwrap();
+    create_tenant(&mut client, "alice", 0);
+    create_tenant(&mut client, "bob", 0);
+
+    // Alice's secret lives only in Alice's store.
+    client.observe("alice", "itool", "eval", 0, SECRET).unwrap();
+
+    let slot = vec![ParagraphSlot {
+        index: 0,
+        text: SECRET.to_string(),
+    }];
+    match client
+        .check("alice", "gdocs", "draft", slot.clone())
+        .unwrap()
+    {
+        Reply::Decisions { decisions, .. } => {
+            assert_eq!(decisions[0].action, "block");
+            assert!(!decisions[0].violations.is_empty());
+            assert_eq!(decisions[0].violations[0].source, "itool/eval#p0");
+        }
+        other => panic!("expected Decisions, got {other:?}"),
+    }
+    // Bob uploading the identical text is clean: isolation, not policy.
+    match client.check("bob", "gdocs", "draft", slot).unwrap() {
+        Reply::Decisions { decisions, .. } => assert_eq!(decisions[0].action, "allow"),
+        other => panic!("expected Decisions, got {other:?}"),
+    }
+
+    // Tenant listing sees both, sorted.
+    match client.request(&Request::TenantList).unwrap() {
+        Reply::Tenants { tenants } => {
+            let names: Vec<&str> = tenants.iter().map(|t| t.tenant.as_str()).collect();
+            assert_eq!(names, ["alice", "bob"]);
+        }
+        other => panic!("expected Tenants, got {other:?}"),
+    }
+
+    drain(&mut client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn queue_full_is_a_backpressure_reply_with_zero_silent_drops() {
+    let _hooks = test_hooks::lock();
+    let (socket, handle) = start_daemon(DaemonConfig::new(socket_path("backpressure")));
+    let mut client = DaemonClient::connect(&socket).unwrap();
+    create_tenant(&mut client, "alice", 1);
+
+    // Stall the tenant's worker on a marker paragraph so the bounded
+    // queue (capacity 1) fills deterministically.
+    test_hooks::set_delay_ms_on_marker(400);
+    let stall_socket = socket.clone();
+    let staller = thread::spawn(move || {
+        let mut stall_client = DaemonClient::connect(&stall_socket).unwrap();
+        let text = format!("stall {}", test_hooks::FAULT_MARKER);
+        stall_client
+            .check(
+                "alice",
+                "gdocs",
+                "stall-doc",
+                vec![ParagraphSlot { index: 0, text }],
+            )
+            .unwrap()
+    });
+
+    // Give the worker a moment to dequeue the stall request so the
+    // queue slot is genuinely free for exactly one more check.
+    thread::sleep(Duration::from_millis(100));
+
+    // The protocol is strict request→reply, so pressure needs parallel
+    // connections: fan out concurrent checks while the worker is stalled.
+    let hammers: Vec<_> = (0..6)
+        .map(|index| {
+            let socket = socket.clone();
+            thread::spawn(move || {
+                let mut client = DaemonClient::connect(&socket).unwrap();
+                client
+                    .check(
+                        "alice",
+                        "gdocs",
+                        "doc",
+                        vec![ParagraphSlot {
+                            index,
+                            text: "harmless text".to_string(),
+                        }],
+                    )
+                    .unwrap()
+            })
+        })
+        .collect();
+    let replies: Vec<Reply> = hammers.into_iter().map(|h| h.join().unwrap()).collect();
+    test_hooks::set_delay_ms_on_marker(0);
+
+    let mut decisions = 0u32;
+    let mut refusals = Vec::new();
+    for reply in replies {
+        match reply {
+            Reply::Decisions { .. } => decisions += 1,
+            Reply::Backpressure {
+                reason,
+                limit,
+                retry_after_ms,
+                ..
+            } => refusals.push((reason, limit, retry_after_ms)),
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    // Every concurrent check got exactly one structured answer: a real
+    // decision or a backpressure refusal — nothing vanished.
+    assert_eq!(decisions as usize + refusals.len(), 6);
+    assert!(!refusals.is_empty(), "bounded queue never refused");
+    for (reason, limit, retry_after_ms) in &refusals {
+        assert_eq!(reason, "queue-full");
+        assert_eq!(*limit, 1);
+        assert!(*retry_after_ms > 0, "refusal must carry a retry hint");
+    }
+
+    // Zero silent drops: the stalled check also produced its decision.
+    match staller.join().unwrap() {
+        Reply::Decisions { .. } => {}
+        other => panic!("stalled check lost: {other:?}"),
+    }
+    // And the refused check succeeds on retry once pressure clears.
+    let retry = client
+        .check(
+            "alice",
+            "gdocs",
+            "doc",
+            vec![ParagraphSlot {
+                index: 999,
+                text: "harmless text".to_string(),
+            }],
+        )
+        .unwrap();
+    assert!(
+        matches!(retry, Reply::Decisions { .. }),
+        "retry failed: {retry:?}"
+    );
+    let _ = decisions;
+
+    drain(&mut client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn drain_persists_tenants_and_a_new_daemon_restores_them() {
+    let state_root = std::env::temp_dir().join(format!("bfd-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_root);
+    std::fs::create_dir_all(&state_root).unwrap();
+    let key = StoreKey::from_bytes([0x42; 32]);
+
+    let mut config = DaemonConfig::new(socket_path("drain-a"));
+    config.state_root = Some(state_root.clone());
+    config.store_key = key.clone();
+    let (socket, handle) = start_daemon(config);
+    let mut client = DaemonClient::connect(&socket).unwrap();
+    create_tenant(&mut client, "alice", 0);
+    client.observe("alice", "itool", "eval", 0, SECRET).unwrap();
+
+    let reports = drain(&mut client);
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].tenant, "alice");
+    assert!(
+        reports[0].error.is_empty(),
+        "drain error: {}",
+        reports[0].error
+    );
+    assert!(reports[0].persisted_to.ends_with("/alice"));
+    handle.join().unwrap();
+    assert!(state_root.join("alice").is_dir());
+
+    // A fresh daemon over the same state root restores the tenant with
+    // its fingerprints intact.
+    let mut config = DaemonConfig::new(socket_path("drain-b"));
+    config.state_root = Some(state_root.clone());
+    config.store_key = key;
+    let (socket, handle) = start_daemon(config);
+    let mut client = DaemonClient::connect(&socket).unwrap();
+    match client
+        .check(
+            "alice",
+            "gdocs",
+            "draft",
+            vec![ParagraphSlot {
+                index: 0,
+                text: SECRET.to_string(),
+            }],
+        )
+        .unwrap()
+    {
+        Reply::Decisions { decisions, .. } => assert_eq!(decisions[0].action, "block"),
+        other => panic!("expected Decisions after restore, got {other:?}"),
+    }
+    drain(&mut client);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&state_root);
+}
+
+#[test]
+fn admission_after_drain_is_draining_backpressure() {
+    let (socket, handle) = start_daemon(DaemonConfig::new(socket_path("post-drain")));
+    let mut client = DaemonClient::connect(&socket).unwrap();
+    create_tenant(&mut client, "alice", 0);
+
+    // A second connection drains the daemon while the first stays open.
+    let mut drainer = DaemonClient::connect(&socket).unwrap();
+    drain(&mut drainer);
+    handle.join().unwrap();
+    // The daemon has exited; the first client's next request fails at
+    // the transport (socket gone), which the client reports as an error
+    // rather than hanging.
+    let result = client.check(
+        "alice",
+        "gdocs",
+        "draft",
+        vec![ParagraphSlot {
+            index: 0,
+            text: "text".to_string(),
+        }],
+    );
+    assert!(result.is_err() || !matches!(result, Ok(Reply::Decisions { .. })));
+}
+
+#[test]
+fn malformed_and_hostile_frames_get_typed_errors() {
+    use std::io::Write;
+    let (socket, handle) = start_daemon(DaemonConfig::new(socket_path("hostile")));
+
+    // Malformed JSON body: typed error reply, connection stays usable.
+    {
+        let mut stream = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+        let body = b"{definitely not json";
+        stream
+            .write_all(&(body.len() as u32).to_le_bytes())
+            .unwrap();
+        stream.write_all(body).unwrap();
+        let reply = browserflow_daemon::protocol::read_reply(&mut stream)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(reply, Reply::Error { .. }), "got {reply:?}");
+    }
+
+    // Hostile length prefix: typed error, then hangup (stream position
+    // is unrecoverable).
+    {
+        let mut stream = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+        stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        stream.write_all(b"junk").unwrap();
+        let reply = browserflow_daemon::protocol::read_reply(&mut stream)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(reply, Reply::Error { .. }), "got {reply:?}");
+        assert!(browserflow_daemon::protocol::read_reply(&mut stream)
+            .unwrap()
+            .is_none());
+    }
+
+    let mut client = DaemonClient::connect(&socket).unwrap();
+    drain(&mut client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn unknown_tenant_and_bad_create_are_typed_errors() {
+    let (socket, handle) = start_daemon(DaemonConfig::new(socket_path("errors")));
+    let mut client = DaemonClient::connect(&socket).unwrap();
+
+    let reply = client
+        .check(
+            "ghost",
+            "gdocs",
+            "draft",
+            vec![ParagraphSlot {
+                index: 0,
+                text: "text".to_string(),
+            }],
+        )
+        .unwrap();
+    assert!(matches!(reply, Reply::Error { ref message } if message.contains("ghost")));
+
+    let reply = client
+        .request(&Request::TenantCreate {
+            tenant: "../escape".to_string(),
+            mode: "block".to_string(),
+            policy_json: policy_json(),
+            max_in_flight: 0,
+            queue_capacity: 0,
+        })
+        .unwrap();
+    assert!(matches!(reply, Reply::Error { ref message } if message.contains("tenant id")));
+
+    let reply = client
+        .request(&Request::TenantCreate {
+            tenant: "alice".to_string(),
+            mode: "block".to_string(),
+            policy_json: "{broken".to_string(),
+            max_in_flight: 0,
+            queue_capacity: 0,
+        })
+        .unwrap();
+    assert!(matches!(reply, Reply::Error { ref message } if message.contains("policy")));
+
+    create_tenant(&mut client, "alice", 0);
+    let reply = client
+        .request(&Request::TenantCreate {
+            tenant: "alice".to_string(),
+            mode: "block".to_string(),
+            policy_json: policy_json(),
+            max_in_flight: 0,
+            queue_capacity: 0,
+        })
+        .unwrap();
+    assert!(matches!(reply, Reply::Error { ref message } if message.contains("exists")));
+
+    drain(&mut client);
+    handle.join().unwrap();
+}

@@ -219,11 +219,11 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.pos + n > self.bytes.len() {
-            return Err(CodecError::Truncated);
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
+        // `n` comes from untrusted length fields: both the addition and
+        // the slice bounds must fail closed, never panic or wrap.
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(CodecError::Truncated)?;
+        self.pos = end;
         Ok(slice)
     }
 
@@ -896,29 +896,38 @@ impl SealedStore {
     /// entry on unseal.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, crate::EncryptionError> {
         use crate::EncryptionError::MalformedPayload;
-        if bytes.len() < 10 || &bytes[..4] != SEALED_MAGIC {
+        // Untrusted decode surface (the daemon restores tenant state from
+        // disk through here): every length is taken through a checked
+        // cursor so a truncated or hostile container fails closed with
+        // `MalformedPayload` — no slice panic, no wrapping arithmetic.
+        fn take<'a>(
+            bytes: &'a [u8],
+            pos: &mut usize,
+            n: usize,
+        ) -> Result<&'a [u8], crate::EncryptionError> {
+            let end = pos.checked_add(n).ok_or(MalformedPayload)?;
+            let slice = bytes.get(*pos..end).ok_or(MalformedPayload)?;
+            *pos = end;
+            Ok(slice)
+        }
+        let mut pos = 0usize;
+        if take(bytes, &mut pos, 4)? != SEALED_MAGIC {
             return Err(MalformedPayload);
         }
-        if u16::from_le_bytes(bytes[4..6].try_into().unwrap()) != 1 {
+        let version = take(bytes, &mut pos, 2)?;
+        if u16::from_le_bytes(version.try_into().expect("2-byte slice")) != 1 {
             return Err(MalformedPayload);
         }
-        let count = u32::from_le_bytes(bytes[6..10].try_into().unwrap()) as usize;
+        let count_bytes = take(bytes, &mut pos, 4)?;
+        let count = u32::from_le_bytes(count_bytes.try_into().expect("4-byte slice")) as usize;
         if count == 0 || count > 1 + MAX_SHARDS {
             return Err(MalformedPayload);
         }
-        let mut pos = 10usize;
         let mut entries = Vec::with_capacity(count);
         for _ in 0..count {
-            if pos + 4 > bytes.len() {
-                return Err(MalformedPayload);
-            }
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-            pos += 4;
-            if pos + len > bytes.len() {
-                return Err(MalformedPayload);
-            }
-            entries.push(SealedBytes::from_bytes(&bytes[pos..pos + len])?);
-            pos += len;
+            let len_bytes = take(bytes, &mut pos, 4)?;
+            let len = u32::from_le_bytes(len_bytes.try_into().expect("4-byte slice")) as usize;
+            entries.push(SealedBytes::from_bytes(take(bytes, &mut pos, len)?)?);
         }
         if pos != bytes.len() {
             return Err(MalformedPayload);

@@ -266,6 +266,66 @@ fn sealed_shard_tamper_degrades_gracefully() {
     assert_eq!(report.loaded_shards, sealed.shard_count() - 1);
 }
 
+#[test]
+fn truncation_matrix_no_decode_path_panics() {
+    // Fuzz-style truncation sweep over every untrusted decode surface the
+    // daemon relies on when restoring tenant state: every strict prefix of
+    // a valid encoding must come back as a typed error (or a lossy report),
+    // never a slice panic.
+    let store = build_store(&[(1, 0), (2, 5), (9, 11), (42, 13)]);
+    let key = StoreKey::from_bytes([7u8; 32]);
+
+    // Plain v2 blob.
+    let blob = codec::encode(&store).unwrap();
+    for len in 0..blob.len() {
+        assert!(
+            codec::decode(&blob[..len]).is_err(),
+            "strict decode accepted a {len}-byte prefix of {}",
+            blob.len()
+        );
+        // Lossy decode may salvage shards once the manifest is intact,
+        // but must also never panic and never report a torn shard loaded.
+        if let Ok((_, report)) = codec::decode_lossy(&blob[..len]) {
+            assert!(
+                !report.is_complete(),
+                "lossy decode called a {len}-byte prefix complete"
+            );
+        }
+    }
+
+    // Sealed container wire format.
+    let sealed = store.export_sealed(&key).unwrap().to_bytes();
+    for len in 0..sealed.len() {
+        assert!(
+            browserflow_store::SealedStore::from_bytes(&sealed[..len]).is_err(),
+            "SealedStore::from_bytes accepted a {len}-byte prefix of {}",
+            sealed.len()
+        );
+    }
+
+    // Single sealed payload wire format.
+    let one = key.seal_auto(b"short payload").to_bytes();
+    for len in 0..one.len() {
+        assert!(
+            browserflow_store::SealedBytes::from_bytes(&one[..len]).is_err(),
+            "SealedBytes::from_bytes accepted a {len}-byte prefix"
+        );
+    }
+}
+
+#[test]
+fn hostile_length_fields_fail_closed() {
+    // A container whose entry length field points far past the buffer
+    // (and near usize::MAX once added to the cursor) must be rejected,
+    // not panic or allocate unboundedly.
+    let store = build_store(&[(1, 0)]);
+    let key = StoreKey::from_bytes([9u8; 32]);
+    let mut wire = store.export_sealed(&key).unwrap().to_bytes();
+    // First entry length field sits right after magic+version+count.
+    wire[10..14].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(browserflow_store::SealedStore::from_bytes(&wire).is_err());
+}
+
 proptest! {
     /// encode_v2 ∘ decode_v2 == id over arbitrary stores and shard counts.
     #[test]

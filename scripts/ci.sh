@@ -18,6 +18,13 @@
 #   8. a release-mode smoke run of the algorithm1 microbench, which
 #      asserts the authoritative-index evaluation path stays >= 3x faster
 #      than the probe-based reference on a 150 k-paragraph store
+#   9. a daemon smoke test: boot a release bfd on a temp socket, drive it
+#      with bfctl daemon (create -> observe -> check -> stats), SIGTERM
+#      it, and assert clean exit plus a persisted tenant state directory
+#      that a second bfd restores
+#  10. a release-mode smoke run of the multi-tenant service bench, which
+#      regenerates BENCH_service.json and asserts the zero-silent-drop
+#      ledger (sent == decisions + superseded + backpressure)
 #
 # The vendored shims under third_party/ are intentionally excluded from
 # the fmt/clippy gates: they mirror upstream crate APIs and are not held
@@ -32,6 +39,7 @@ FIRST_PARTY=(
     browserflow-corpus
     browserflow-browser
     browserflow
+    browserflow-daemon
     browserflow-cli
     browserflow-bench
     browserflow-examples
@@ -112,5 +120,82 @@ echo "==> algorithm1 microbench smoke run (release)"
 # asserts the authoritative-index path is >= 3x faster than the
 # probe-based reference on the largest store.
 cargo run -q --release -p browserflow-bench --bin bench_algorithm1
+
+echo "==> daemon smoke test (bfd + bfctl daemon, SIGTERM drain, restore)"
+# Boot a release bfd on a temp socket, drive the full tenant lifecycle
+# over the wire, SIGTERM it, and assert a clean drain that persists the
+# tenant — then boot a second bfd on the same state dir and assert it
+# restores the tenant.
+BFD=target/release/bfd
+BFCTL=target/release/bfctl
+SMOKE_DIR=$(mktemp -d)
+SMOKE_SOCK="$SMOKE_DIR/bfd.sock"
+cleanup_smoke() {
+    if [[ -n "${BFD_PID:-}" ]] && kill -0 "$BFD_PID" 2>/dev/null; then
+        kill -TERM "$BFD_PID" 2>/dev/null || true
+        wait "$BFD_PID" 2>/dev/null || true
+    fi
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup_smoke EXIT
+
+"$BFD" --socket "$SMOKE_SOCK" --state-dir "$SMOKE_DIR/state" \
+    2>"$SMOKE_DIR/bfd.log" &
+BFD_PID=$!
+for _ in $(seq 1 100); do
+    if "$BFCTL" daemon --socket "$SMOKE_SOCK" ping >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+"$BFCTL" daemon --socket "$SMOKE_SOCK" ping >/dev/null
+
+"$BFCTL" policy init > "$SMOKE_DIR/policy.json"
+printf 'the quarterly interview notes are confidential\n' > "$SMOKE_DIR/doc.txt"
+"$BFCTL" daemon --socket "$SMOKE_SOCK" --policy "$SMOKE_DIR/policy.json" \
+    create smoke >/dev/null
+"$BFCTL" daemon --socket "$SMOKE_SOCK" observe smoke itool notes \
+    "$SMOKE_DIR/doc.txt" >/dev/null
+"$BFCTL" daemon --socket "$SMOKE_SOCK" check smoke gdocs leak \
+    "$SMOKE_DIR/doc.txt" >/dev/null
+"$BFCTL" daemon --socket "$SMOKE_SOCK" --json stats smoke \
+    | grep -q '"completed"'
+
+kill -TERM "$BFD_PID"
+if ! wait "$BFD_PID"; then
+    echo 'error: bfd did not exit cleanly after SIGTERM' >&2
+    cat "$SMOKE_DIR/bfd.log" >&2
+    exit 1
+fi
+unset BFD_PID
+if [[ ! -d "$SMOKE_DIR/state/smoke" ]]; then
+    echo 'error: SIGTERM drain did not persist tenant state' >&2
+    cat "$SMOKE_DIR/bfd.log" >&2
+    exit 1
+fi
+
+"$BFD" --socket "$SMOKE_SOCK" --state-dir "$SMOKE_DIR/state" \
+    2>"$SMOKE_DIR/bfd2.log" &
+BFD_PID=$!
+for _ in $(seq 1 100); do
+    if "$BFCTL" daemon --socket "$SMOKE_SOCK" ping >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+if ! "$BFCTL" daemon --socket "$SMOKE_SOCK" --json tenants | grep -q '"smoke"'; then
+    echo 'error: restarted bfd did not restore the persisted tenant' >&2
+    cat "$SMOKE_DIR/bfd2.log" >&2
+    exit 1
+fi
+kill -TERM "$BFD_PID"
+wait "$BFD_PID"
+unset BFD_PID
+
+echo "==> multi-tenant service bench smoke run (release)"
+# Regenerates BENCH_service.json; the binary itself asserts the
+# zero-silent-drop ledger (sent == decisions + superseded + backpressure)
+# and that the drain reports every tenant clean.
+cargo run -q --release -p browserflow-bench --bin bench_service
 
 echo "CI gate passed."
