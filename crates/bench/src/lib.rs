@@ -333,6 +333,171 @@ pub mod algorithm1 {
     }
 }
 
+/// Restart-latency microbench for the tiered persistence redesign.
+///
+/// Persists one synthetic store (reusing [`algorithm1`]'s corpus) twice —
+/// as a plain v2 directory and as a v3 cold-shard directory — then times
+/// what a daemon restart actually pays two ways: the open alone, and the
+/// open plus the first document-wide disclosure check. The v2 path decodes
+/// every record into the hot tier; the v3 path validates headers and CRCs
+/// and maps the shard files in place ([`TierMode::Cold`]), so its open
+/// cost is checksum-bound rather than decode-bound.
+///
+/// Every run also asserts that the cold store's disclosure reports are
+/// identical to the in-memory reference the files were persisted from —
+/// the speedup is only meaningful if the mapped tier answers exactly like
+/// the decoded one.
+pub mod tiered {
+    use super::algorithm1;
+    use browserflow_store::{
+        FingerprintStore, PersistOptions, SegmentId, StoreFormat, StoreOpenOptions, StoreStats,
+        TierMode,
+    };
+    use std::path::{Path, PathBuf};
+    use std::time::Instant;
+
+    /// Measured passes per open path (best-of, after one warm-up).
+    const ROUNDS: usize = 3;
+
+    /// One store size's v2-decode vs v3-map restart comparison.
+    #[derive(Debug, Clone)]
+    pub struct SizeResult {
+        /// Paragraphs persisted.
+        pub paragraphs: usize,
+        /// Best-of-[`ROUNDS`] full-decode open of the v2 directory, ms.
+        pub v2_open_ms: f64,
+        /// Best-of-[`ROUNDS`] cold (mapped) open of the v3 directory, ms.
+        pub cold_open_ms: f64,
+        /// v2 open plus first document-wide check, ms (best-of).
+        pub v2_first_check_ms: f64,
+        /// Cold open plus first document-wide check, ms (best-of).
+        pub cold_first_check_ms: f64,
+        /// Sources the check reports (identical hot and cold, asserted).
+        pub reports: usize,
+        /// Store stats of the cold-opened store (occupancy proxy: how much
+        /// of the snapshot is served from mapped files vs decoded memory).
+        pub cold_stats: StoreStats,
+    }
+
+    impl SizeResult {
+        /// v2-decode / v3-map open-time ratio — the CI-gated number.
+        pub fn open_speedup(&self) -> f64 {
+            self.v2_open_ms / self.cold_open_ms
+        }
+
+        /// Restart-to-first-verdict ratio (open + first check).
+        pub fn first_check_speedup(&self) -> f64 {
+            self.v2_first_check_ms / self.cold_first_check_ms
+        }
+    }
+
+    /// A scratch directory under the system temp dir, unique per process.
+    pub fn scratch_dir() -> PathBuf {
+        std::env::temp_dir().join(format!("bf-bench-tiered-{}", std::process::id()))
+    }
+
+    fn timed_ms(f: &dyn Fn()) -> f64 {
+        let start = Instant::now();
+        f();
+        start.elapsed().as_secs_f64() * 1e3
+    }
+
+    fn best_of(f: &dyn Fn()) -> f64 {
+        f(); // warm-up (page cache, allocator)
+        (0..ROUNDS)
+            .map(|_| timed_ms(f))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Runs one store size: builds the corpus, persists it v2 and v3 under
+    /// `scratch`, asserts cold/hot report equivalence, then times the four
+    /// restart paths. Panics on any persistence or equivalence failure.
+    pub fn run_size(paragraphs: usize, scratch: &Path) -> SizeResult {
+        let store = algorithm1::build_store(paragraphs);
+        let target = algorithm1::target_hashes(paragraphs);
+        let target_id = SegmentId::new(u64::MAX);
+        let expected = store.disclosing_sources_of_hashes(target_id, &target);
+
+        let v2_dir = scratch.join(format!("v2-{paragraphs}"));
+        let v3_dir = scratch.join(format!("v3-{paragraphs}"));
+        PersistOptions::new()
+            .persist(&store, &v2_dir)
+            .expect("persist v2 snapshot");
+        PersistOptions::new()
+            .format(StoreFormat::V3)
+            .persist(&store, &v3_dir)
+            .expect("persist v3 snapshot");
+        drop(store);
+
+        let open_v2 = || -> FingerprintStore {
+            StoreOpenOptions::new()
+                .open(&v2_dir)
+                .expect("open v2 snapshot")
+                .0
+        };
+        let open_cold = || -> FingerprintStore {
+            StoreOpenOptions::new()
+                .tier(TierMode::Cold)
+                .open(&v3_dir)
+                .expect("cold-open v3 snapshot")
+                .0
+        };
+
+        // Equivalence gate: the mapped tier must answer exactly like the
+        // decoded reference before any of its timings count.
+        let cold = open_cold();
+        let cold_reports = cold.disclosing_sources_of_hashes(target_id, &target);
+        assert_eq!(
+            expected, cold_reports,
+            "cold-tier disclosure reports must match the hot reference"
+        );
+        let cold_stats = cold.stats();
+        assert!(
+            cold_stats.cold_shards > 0,
+            "v3 cold open must serve at least one mapped shard"
+        );
+        drop(cold);
+
+        let v2_open_ms = best_of(&|| {
+            std::hint::black_box(open_v2().segment_count());
+        });
+        let cold_open_ms = best_of(&|| {
+            std::hint::black_box(open_cold().segment_count());
+        });
+        let v2_first_check_ms = best_of(&|| {
+            let store = open_v2();
+            std::hint::black_box(store.disclosing_sources_of_hashes(target_id, &target));
+        });
+        let cold_first_check_ms = best_of(&|| {
+            let store = open_cold();
+            std::hint::black_box(store.disclosing_sources_of_hashes(target_id, &target));
+        });
+
+        let _ = std::fs::remove_dir_all(&v2_dir);
+        let _ = std::fs::remove_dir_all(&v3_dir);
+
+        SizeResult {
+            paragraphs,
+            v2_open_ms,
+            cold_open_ms,
+            v2_first_check_ms,
+            cold_first_check_ms,
+            reports: expected.len(),
+            cold_stats,
+        }
+    }
+
+    /// Sweeps `sizes` (use [`algorithm1::STORE_SIZES`]) under one scratch
+    /// directory, removing it afterwards.
+    pub fn run(sizes: &[usize]) -> Vec<SizeResult> {
+        let scratch = scratch_dir();
+        std::fs::create_dir_all(&scratch).expect("create bench scratch dir");
+        let results = sizes.iter().map(|&n| run_size(n, &scratch)).collect();
+        let _ = std::fs::remove_dir_all(&scratch);
+        results
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -148,10 +148,55 @@ mod tests {
         assert!(output.contains("state directory:"), "{output}");
         assert!(output.contains("paragraph shards:"), "{output}");
         assert!(output.contains("tracked paragraphs: 1"), "{output}");
+        assert!(output.contains("tier (paragraphs):"), "{output}");
         assert!(!output.contains("WARNING"), "{output}");
+
+        // --save-dir --tiered re-persists as a plain v3 tiered layout;
+        // inspecting that directory shows cold-mapped occupancy.
+        let tiered_dir = std::env::temp_dir().join("bfctl-test-state-tiered");
+        std::fs::remove_dir_all(&tiered_dir).ok();
+        run(&[
+            "state".to_string(),
+            path.to_str().unwrap().to_string(),
+            "--key".to_string(),
+            "ab".repeat(32),
+            "--save-dir".to_string(),
+            tiered_dir.to_str().unwrap().to_string(),
+            "--tiered".to_string(),
+        ])
+        .unwrap();
+        let output = run(&[
+            "state".to_string(),
+            tiered_dir.to_str().unwrap().to_string(),
+            "--key".to_string(),
+            "ab".repeat(32),
+        ])
+        .unwrap();
+        assert!(output.contains("shards cold"), "{output}");
+        assert!(output.contains("tracked paragraphs: 1"), "{output}");
+        let json_output = run(&[
+            "--json".to_string(),
+            "state".to_string(),
+            tiered_dir.to_str().unwrap().to_string(),
+            "--key".to_string(),
+            "ab".repeat(32),
+        ])
+        .unwrap();
+        assert!(json_output.contains("\"cold_shards\""), "{json_output}");
+
+        // --tiered without --save-dir is a usage error.
+        assert!(matches!(
+            run(&[
+                "state".to_string(),
+                path.to_str().unwrap().to_string(),
+                "--tiered".to_string(),
+            ]),
+            Err(CliError::Usage(_))
+        ));
 
         std::fs::remove_file(&path).ok();
         std::fs::remove_dir_all(&state_dir).ok();
+        std::fs::remove_dir_all(&tiered_dir).ok();
     }
 
     #[test]

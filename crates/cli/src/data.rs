@@ -209,6 +209,23 @@ pub struct ShardSummary {
     pub complete: bool,
 }
 
+/// Hot/cold tier occupancy of one fingerprint store.
+#[derive(Debug, Serialize)]
+pub struct TierRow {
+    /// Which store ("paragraphs" or "documents").
+    pub store: String,
+    /// Stripes currently backed by a cold (mmap'd) shard file.
+    pub cold_shards: usize,
+    /// Total stripes in the store.
+    pub shard_count: usize,
+    /// Segment records served in place from cold files.
+    pub cold_segments: usize,
+    /// Segment records resident in the mutable hot tier.
+    pub hot_segments: usize,
+    /// Cold records copied into the hot tier by mutating writes.
+    pub promoted_segments: u64,
+}
+
 /// `state` output.
 #[derive(Debug, Serialize)]
 pub struct StateReport {
@@ -216,6 +233,8 @@ pub struct StateReport {
     pub path: String,
     /// Present when the path was a sharded state directory.
     pub shards: Option<ShardSummary>,
+    /// Per-store tier occupancy (cold-mapped vs hot-resident records).
+    pub tier: Vec<TierRow>,
     /// Enforcement mode of the stored flow.
     pub mode: String,
     /// Services in the stored policy.

@@ -8,7 +8,7 @@
 use crate::data::{
     AuditRow, AuditTable, CheckReport, CompareReport, DensityReport, DisclosureVerdict,
     DocumentViolation, FingerprintReport, LabelWarning, ParagraphViolation, PolicyTable,
-    PolicyValidation, Report, ServiceRow, ShardSummary, StateReport,
+    PolicyValidation, Report, ServiceRow, ShardSummary, StateReport, TierRow,
 };
 use crate::options::{parse_options, CliError, FingerprintOptions};
 use browserflow::{BrowserFlow, CheckRequest};
@@ -271,11 +271,12 @@ pub(crate) fn check_command(args: &[String]) -> Result<Report, CliError> {
 }
 
 pub(crate) fn state_command(args: &[String]) -> Result<Report, CliError> {
-    // Parse `<file|dir> --key <hex> [--save-dir <dir>]` by hand (the
-    // shared options do not apply).
+    // Parse `<file|dir> --key <hex> [--save-dir <dir>] [--tiered]` by
+    // hand (the shared options do not apply).
     let mut path: Option<&str> = None;
     let mut key_hex: Option<&str> = None;
     let mut save_dir: Option<&str> = None;
+    let mut tiered = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -291,11 +292,15 @@ pub(crate) fn state_command(args: &[String]) -> Result<Report, CliError> {
                         .ok_or_else(|| CliError::Usage("--save-dir requires a value".into()))?,
                 );
             }
+            "--tiered" => tiered = true,
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown option {flag}")));
             }
             positional => path = Some(positional),
         }
+    }
+    if tiered && save_dir.is_none() {
+        return Err(CliError::Usage("--tiered requires --save-dir".into()));
     }
     let path =
         path.ok_or_else(|| CliError::Usage("state requires a file or directory argument".into()))?;
@@ -321,15 +326,25 @@ pub(crate) fn state_command(args: &[String]) -> Result<Report, CliError> {
     };
     let saved_dir = match save_dir {
         Some(dir) => {
-            flow.persist_to_dir(std::path::Path::new(dir))
-                .map_err(|e| CliError::Usage(format!("cannot write state directory: {e}")))?;
+            let target = std::path::Path::new(dir);
+            if tiered {
+                flow.persist_tiered_to_dir(target)
+            } else {
+                flow.persist_to_dir(target)
+            }
+            .map_err(|e| CliError::Usage(format!("cannot write state directory: {e}")))?;
             Some(dir.to_string())
         }
         None => None,
     };
+    let tier = vec![
+        tier_row("paragraphs", flow.engine().paragraph_store()),
+        tier_row("documents", flow.engine().document_store()),
+    ];
     Ok(Report::State(StateReport {
         path: path.to_string(),
         shards,
+        tier,
         mode: format!("{:?}", flow.mode()),
         services: flow.policy().services().count(),
         tracked_paragraphs: flow.engine().paragraph_count(),
@@ -340,6 +355,19 @@ pub(crate) fn state_command(args: &[String]) -> Result<Report, CliError> {
         warnings: browserflow::report::warning_report(&flow),
         saved_dir,
     }))
+}
+
+fn tier_row(store: &str, fingerprints: &browserflow_store::FingerprintStore) -> TierRow {
+    let stats = fingerprints.stats();
+    let total = fingerprints.segment_count();
+    TierRow {
+        store: store.to_string(),
+        cold_shards: stats.cold_shards,
+        shard_count: stats.shard_count,
+        cold_segments: stats.cold_segments,
+        hot_segments: total.saturating_sub(stats.cold_segments),
+        promoted_segments: stats.tier_promoted_segments,
+    }
 }
 
 pub(crate) fn parse_key(hex: &str) -> Result<StoreKey, CliError> {

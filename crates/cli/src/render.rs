@@ -29,10 +29,13 @@ COMMANDS:
                                      print the tag-suppression audit log
     fingerprint <file>               fingerprint statistics for a text file
     compare <a> <b>                  pairwise disclosure between two files
-    state <file|dir> --key <64-hex> [--save-dir <dir>]
+    state <file|dir> --key <64-hex> [--save-dir <dir> [--tiered]]
                                      inspect a sealed state file or sharded
-                                     state directory; --save-dir re-persists
-                                     the loaded state as a sharded directory
+                                     state directory (tier occupancy is
+                                     reported); --save-dir re-persists the
+                                     loaded state as a sharded directory,
+                                     with --tiered as a plain v3 tiered
+                                     layout whose cold shards load mmap'd
     check --policy <policy.json> --source <svc>:<file> [--source ...]
           --dest <svc> <file>        would uploading <file> to <svc> violate?
     daemon <sub> --socket <path>     talk to a running bfd; subcommands:
@@ -274,6 +277,14 @@ fn state_text(s: &StateReport) -> String {
             }
         }
         None => writeln!(out, "state file:        {}", s.path).unwrap(),
+    }
+    for row in &s.tier {
+        writeln!(
+            out,
+            "tier ({}):   {}/{} shards cold, {} cold + {} hot segments",
+            row.store, row.cold_shards, row.shard_count, row.cold_segments, row.hot_segments
+        )
+        .unwrap();
     }
     writeln!(out, "enforcement mode:  {}", s.mode).unwrap();
     writeln!(out, "services:          {}", s.services).unwrap();

@@ -62,7 +62,7 @@ pub struct Violation {
     pub matching_spans: Vec<std::ops::Range<usize>>,
 }
 
-/// The outcome of [`BrowserFlow::check_upload`].
+/// The outcome of one checked upload ([`BrowserFlow::check_one`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct UploadDecision {
     /// What to do with the upload.
@@ -602,45 +602,6 @@ impl BrowserFlow {
     ) -> bool {
         let doc = DocKey::new(service.clone(), document);
         self.engine.reset_keystroke_session(&doc, index)
-    }
-
-    /// Single-paragraph enforcement.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use BrowserFlow::check_one with a CheckRequest"
-    )]
-    pub fn check_upload(
-        &self,
-        service: &ServiceId,
-        document: &str,
-        index: usize,
-        text: &str,
-    ) -> Result<UploadDecision, MiddlewareError> {
-        self.check_one(&CheckRequest::paragraph(service, document, index, text))
-    }
-
-    /// Batched paragraph-granularity enforcement over paragraphs
-    /// `0..paragraphs.len()`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
-    #[deprecated(since = "0.2.0", note = "use BrowserFlow::check with a CheckRequest")]
-    pub fn check_upload_batch(
-        &self,
-        service: &ServiceId,
-        document: &str,
-        paragraphs: &[&str],
-        workers: usize,
-    ) -> Result<Vec<UploadDecision>, MiddlewareError> {
-        self.check(
-            &CheckRequest::batch(service, document, paragraphs.iter().copied())
-                .with_workers(workers),
-        )
     }
 
     /// Document-granularity enforcement: an entire document is about to be
@@ -1458,34 +1419,6 @@ second paragraph about travel reimbursements and the                            
             .check_document_upload(&"gdocs".into(), "draft", &doc_text)
             .unwrap();
         assert_eq!(decision.action, UploadAction::Block);
-    }
-
-    /// The deprecated 0.1 wrappers must keep producing the same decisions
-    /// as the unified request API they forward to.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_unified_api() {
-        let flow = flow(EnforcementMode::Block);
-        flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
-            .unwrap();
-        let gdocs: ServiceId = "gdocs".into();
-
-        let legacy = flow.check_upload(&gdocs, "draft", 0, SECRET).unwrap();
-        let unified = flow
-            .check_one(&CheckRequest::paragraph(&gdocs, "draft", 0, SECRET))
-            .unwrap();
-        assert_eq!(legacy, unified);
-
-        let paragraphs = [SECRET, "a harmless note about stationery orders"];
-        let legacy_batch = flow
-            .check_upload_batch(&gdocs, "draft", &paragraphs, 2)
-            .unwrap();
-        let unified_batch = flow
-            .check(&CheckRequest::batch(&gdocs, "draft", paragraphs).with_workers(2))
-            .unwrap();
-        assert_eq!(legacy_batch, unified_batch);
-        assert_eq!(legacy_batch[0].action, UploadAction::Block);
-        assert_eq!(legacy_batch[1].action, UploadAction::Allow);
     }
 
     #[test]

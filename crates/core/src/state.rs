@@ -13,6 +13,17 @@
 //!   torn write loses one shard instead of everything and large stores
 //!   load in parallel. The registry/policy metadata is sealed into
 //!   `state.bfmeta`, written last.
+//! - [`BrowserFlow::persist_tiered_to_dir`] — the same layout, but each
+//!   fingerprint store is written as a plain v3 tiered directory whose
+//!   sealed cold shards the next [`BrowserFlow::load_from_dir`] maps in
+//!   place ([`TierMode::Cold`]) instead of decoding, so restart latency
+//!   and resident memory track the hot set, not the store size. Only the
+//!   `state.bfmeta` metadata stays sealed; use the fully sealed layout
+//!   when fingerprints themselves must be ciphertext at rest.
+//!
+//! [`BrowserFlow::load_from_dir`] auto-detects which layout each store
+//! directory uses, so operators can switch between them snapshot by
+//! snapshot.
 //!
 //! Envelope wire layout (inside the seal):
 //!
@@ -27,7 +38,8 @@ use crate::middleware::{BrowserFlow, EnforcementMode, Warning};
 use crate::short_secret::ShortSecret;
 use browserflow_store::persist::write_atomic;
 use browserflow_store::{
-    codec, CodecError, PersistError, RestoreReport, SealedBytes, SegmentId, StoreKey,
+    codec, CodecError, PersistError, PersistOptions, RestoreReport, SealedBytes, SegmentId,
+    StoreFormat, StoreKey, StoreOpenOptions, TierMode,
 };
 use browserflow_tdm::{Policy, SegmentLabel};
 use std::fmt;
@@ -52,6 +64,8 @@ pub enum StateError {
     Malformed,
     /// A state directory could not be read or written.
     Io(std::io::Error),
+    /// The persistence layer refused the requested option combination.
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for StateError {
@@ -61,6 +75,7 @@ impl fmt::Display for StateError {
             StateError::Metadata(e) => write!(f, "metadata rejected: {e}"),
             StateError::Malformed => write!(f, "state payload is malformed"),
             StateError::Io(e) => write!(f, "state directory I/O error: {e}"),
+            StateError::Unsupported(why) => write!(f, "unsupported persistence option: {why}"),
         }
     }
 }
@@ -84,6 +99,7 @@ impl From<PersistError> for StateError {
         match e {
             PersistError::Io(e) => StateError::Io(e),
             PersistError::Codec(e) => StateError::Codec(e),
+            PersistError::Unsupported(why) => StateError::Unsupported(why),
         }
     }
 }
@@ -279,26 +295,51 @@ impl BrowserFlow {
     /// fields.
     pub fn persist_to_dir(&self, dir: &Path) -> Result<(), StateError> {
         let key = self.store_key_ref();
-        browserflow_store::persist_sealed_to_dir(
-            self.engine().paragraph_store(),
-            key,
-            &dir.join(PARAGRAPHS_DIR),
-        )?;
-        browserflow_store::persist_sealed_to_dir(
-            self.engine().document_store(),
-            key,
-            &dir.join(DOCUMENTS_DIR),
-        )?;
+        let options = PersistOptions::sealed(key.clone());
+        options.persist(self.engine().paragraph_store(), &dir.join(PARAGRAPHS_DIR))?;
+        options.persist(self.engine().document_store(), &dir.join(DOCUMENTS_DIR))?;
+        self.persist_metadata(dir)
+    }
+
+    /// Persists the complete middleware state to `dir` with both
+    /// fingerprint stores written as plain v3 tiered directories, so the
+    /// next [`BrowserFlow::load_from_dir`] maps their cold shards in
+    /// place instead of decoding them — restart cost tracks the hot set,
+    /// not the store size. The registry/policy metadata is still sealed
+    /// into `state.bfmeta`, written last.
+    ///
+    /// Fingerprint records land on disk in the clear; prefer
+    /// [`BrowserFlow::persist_to_dir`] when the store itself must be
+    /// encrypted at rest.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BrowserFlow::persist_to_dir`].
+    pub fn persist_tiered_to_dir(&self, dir: &Path) -> Result<(), StateError> {
+        let options = PersistOptions::new().format(StoreFormat::V3);
+        options.persist(self.engine().paragraph_store(), &dir.join(PARAGRAPHS_DIR))?;
+        options.persist(self.engine().document_store(), &dir.join(DOCUMENTS_DIR))?;
+        self.persist_metadata(dir)
+    }
+
+    fn persist_metadata(&self, dir: &Path) -> Result<(), StateError> {
+        let key = self.store_key_ref();
         let json = serde_json::to_vec(&self.metadata_snapshot()).expect("state always serialises");
         write_atomic(&dir.join(METADATA_FILE), &key.seal_auto(&json).to_bytes())?;
         Ok(())
     }
 
-    /// Loads a state directory written by [`BrowserFlow::persist_to_dir`],
-    /// degrading gracefully: store shards that are torn or fail integrity
-    /// are dropped and reported in the [`StateRestoreReport`] while every
-    /// healthy shard loads (in parallel). Fingerprints in lost shards are
-    /// simply no longer tracked — re-observing re-establishes them.
+    /// Loads a state directory written by [`BrowserFlow::persist_to_dir`]
+    /// or [`BrowserFlow::persist_tiered_to_dir`], degrading gracefully:
+    /// store shards that are torn or fail integrity are dropped and
+    /// reported in the [`StateRestoreReport`] while every healthy shard
+    /// loads (in parallel). Fingerprints in lost shards are simply no
+    /// longer tracked — re-observing re-establishes them.
+    ///
+    /// Each store directory's layout is auto-detected: a plain manifest
+    /// (tiered v3 snapshot) opens with its cold shards mapped in place
+    /// ([`TierMode::Cold`]); a sealed manifest unseals under `key` as
+    /// before.
     ///
     /// # Errors
     ///
@@ -315,10 +356,12 @@ impl BrowserFlow {
             .unseal(&sealed)
             .map_err(|e| StateError::Codec(CodecError::Sealed(e)))?;
         let metadata: Metadata = serde_json::from_slice(&json).map_err(StateError::Metadata)?;
-        let (paragraphs, par_report) =
-            browserflow_store::load_sealed_from_dir(&key, &dir.join(PARAGRAPHS_DIR))?;
-        let (documents, doc_report) =
-            browserflow_store::load_sealed_from_dir(&key, &dir.join(DOCUMENTS_DIR))?;
+        // The open options carry the key for sealed layouts and the cold
+        // tier preference for plain v3 layouts; `open` dispatches on
+        // whatever is actually on disk, so mixed-layout state roots work.
+        let options = StoreOpenOptions::sealed(key.clone()).tier(TierMode::Cold);
+        let (paragraphs, par_report) = options.open(&dir.join(PARAGRAPHS_DIR))?;
+        let (documents, doc_report) = options.open(&dir.join(DOCUMENTS_DIR))?;
         let flow = Self::from_metadata(metadata, paragraphs, documents, key);
         Ok((
             flow,
@@ -541,6 +584,67 @@ mod tests {
             UploadAction::Block
         );
         assert_eq!(restored.mode(), EnforcementMode::Block);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiered_state_directory_roundtrip_maps_cold_shards() {
+        let dir = temp_dir("tiered");
+        let flow = sample_flow();
+        flow.persist_tiered_to_dir(&dir).unwrap();
+        // The store directories hold plain v3 manifests (mapped cold on
+        // load); the metadata stays sealed.
+        assert!(dir.join(PARAGRAPHS_DIR).join("manifest.bfm").is_file());
+        assert!(dir.join(METADATA_FILE).is_file());
+        let (restored, report) =
+            BrowserFlow::load_from_dir(StoreKey::from_bytes([3u8; 32]), &dir).unwrap();
+        assert!(report.is_complete());
+        // The fingerprints are served from cold (mmap'd) shard files.
+        let stats = restored.engine().paragraph_store().stats();
+        assert!(stats.cold_shards > 0, "no cold shards after tiered load");
+        assert_eq!(stats.cold_segments, 1);
+        assert_eq!(
+            restored
+                .check_one(&CheckRequest::paragraph("gdocs", "d", 0, SECRET))
+                .unwrap()
+                .action,
+            UploadAction::Block
+        );
+        assert_eq!(restored.mode(), EnforcementMode::Block);
+        // Metadata under the wrong key is still rejected outright.
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(matches!(
+            BrowserFlow::load_from_dir(StoreKey::generate(&mut rng), &dir),
+            Err(StateError::Codec(CodecError::Sealed(_)))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_layout_state_root_auto_detects_per_store() {
+        // A sealed snapshot re-persisted tiered (or vice versa) must keep
+        // loading: detection is per store directory, not per state root.
+        let dir = temp_dir("mixed");
+        let flow = sample_flow();
+        flow.persist_to_dir(&dir).unwrap();
+        // Overwrite just the paragraph store with a tiered layout.
+        std::fs::remove_dir_all(dir.join(PARAGRAPHS_DIR)).unwrap();
+        PersistOptions::new()
+            .format(StoreFormat::V3)
+            .persist(flow.engine().paragraph_store(), &dir.join(PARAGRAPHS_DIR))
+            .unwrap();
+        let (restored, report) =
+            BrowserFlow::load_from_dir(StoreKey::from_bytes([3u8; 32]), &dir).unwrap();
+        assert!(report.is_complete());
+        assert!(restored.engine().paragraph_store().stats().cold_shards > 0);
+        assert_eq!(restored.engine().document_store().stats().cold_shards, 0);
+        assert_eq!(
+            restored
+                .check_one(&CheckRequest::paragraph("gdocs", "d", 0, SECRET))
+                .unwrap()
+                .action,
+            UploadAction::Block
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -460,6 +460,19 @@ impl TenantRegistry {
     /// Failures are per-tenant and recorded in the reports; one tenant's
     /// broken persistence never aborts another tenant's drain.
     pub fn drain_all(&self, state_root: Option<&Path>) -> Vec<TenantDrainReport> {
+        self.drain_all_with(state_root, false)
+    }
+
+    /// Like [`TenantRegistry::drain_all`], but when `tiered` is set each
+    /// tenant's fingerprint stores are persisted as plain v3 tiered
+    /// directories ([`BrowserFlow::persist_tiered_to_dir`]), so the next
+    /// daemon bind maps the cold shards in place instead of decoding
+    /// every fingerprint up front.
+    pub fn drain_all_with(
+        &self,
+        state_root: Option<&Path>,
+        tiered: bool,
+    ) -> Vec<TenantDrainReport> {
         let tenants: Vec<Arc<Tenant>> = {
             let mut table = self.tenants.write();
             let mut entries: Vec<_> = table.drain().map(|(_, tenant)| tenant).collect();
@@ -480,7 +493,7 @@ impl TenantRegistry {
                     Ok(flow) => {
                         if let Some(root) = state_root {
                             let dir = root.join(tenant.id.as_str());
-                            match persist_tenant(&flow, &dir) {
+                            match persist_tenant(&flow, &dir, tiered) {
                                 Ok(()) => report.persisted_to = Some(dir),
                                 Err(e) => report.error = Some(e.to_string()),
                             }
@@ -494,9 +507,13 @@ impl TenantRegistry {
     }
 }
 
-fn persist_tenant(flow: &BrowserFlow, dir: &Path) -> Result<(), StateError> {
+fn persist_tenant(flow: &BrowserFlow, dir: &Path, tiered: bool) -> Result<(), StateError> {
     std::fs::create_dir_all(dir)?;
-    flow.persist_to_dir(dir)
+    if tiered {
+        flow.persist_tiered_to_dir(dir)
+    } else {
+        flow.persist_to_dir(dir)
+    }
 }
 
 #[cfg(test)]
@@ -709,6 +726,34 @@ mod tests {
             BrowserFlow::load_from_dir(StoreKey::from_bytes([5u8; 32]), &root.join("alice"))
                 .unwrap();
         assert!(report.is_complete());
+        let decision = restored
+            .check_one(&CheckRequest::paragraph("gdocs", "d", 0, SECRET))
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Block);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tiered_drain_persists_cold_mappable_state() {
+        let registry = TenantRegistry::new();
+        let alice = registry
+            .create(tid("alice"), flow(), TenantConfig::default())
+            .unwrap();
+        alice.observe("itool", "eval", 0, SECRET).unwrap();
+
+        let root = std::env::temp_dir().join(format!("bf-tenancy-tiered-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let reports = registry.drain_all_with(Some(&root), true);
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].error.is_none(), "{:?}", reports[0].error);
+
+        // The restored flow serves Alice's fingerprints from mapped cold
+        // shards, and verdicts are unchanged.
+        let (restored, report) =
+            BrowserFlow::load_from_dir(StoreKey::from_bytes([5u8; 32]), &root.join("alice"))
+                .unwrap();
+        assert!(report.is_complete());
+        assert!(restored.engine().paragraph_store().stats().cold_shards > 0);
         let decision = restored
             .check_one(&CheckRequest::paragraph("gdocs", "d", 0, SECRET))
             .unwrap();

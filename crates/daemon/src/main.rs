@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bfd --socket /run/bfd.sock [--state-dir /var/lib/bfd] [--key <64-hex>]
+//!     [--tiered-state]
 //! ```
 //!
 //! Serves the framed-socket protocol until SIGTERM/SIGINT (or an
@@ -48,7 +49,9 @@ fn main() -> ExitCode {
         Ok(config) => config,
         Err(message) => {
             eprintln!("bfd: {message}");
-            eprintln!("usage: bfd --socket <path> [--state-dir <dir>] [--key <64-hex>]");
+            eprintln!(
+                "usage: bfd --socket <path> [--state-dir <dir>] [--key <64-hex>] [--tiered-state]"
+            );
             return ExitCode::from(2);
         }
     };
@@ -109,18 +112,21 @@ fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
     let mut socket: Option<String> = None;
     let mut state_dir: Option<String> = None;
     let mut key_hex: Option<String> = None;
+    let mut tiered_state = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--socket" => socket = Some(take_value(&mut iter, "--socket")?),
             "--state-dir" => state_dir = Some(take_value(&mut iter, "--state-dir")?),
             "--key" => key_hex = Some(take_value(&mut iter, "--key")?),
+            "--tiered-state" => tiered_state = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     let socket = socket.ok_or_else(|| "--socket is required".to_string())?;
     let mut config = DaemonConfig::new(socket);
     config.state_root = state_dir.map(Into::into);
+    config.tiered_state = tiered_state;
     if let Some(hex) = key_hex {
         config.store_key = StoreKey::from_bytes(parse_key(&hex)?);
     }

@@ -47,6 +47,12 @@ pub struct DaemonConfig {
     pub state_root: Option<PathBuf>,
     /// The key sealing all tenant state.
     pub store_key: StoreKey,
+    /// Persist drained tenants as tiered (plain v3) store directories
+    /// whose cold shards the next bind maps in place, instead of fully
+    /// sealed snapshots that must be decoded up front. Restores
+    /// auto-detect the layout either way, so flipping this flag between
+    /// restarts is safe.
+    pub tiered_state: bool,
     /// Admission defaults for tenants that do not override them.
     pub default_tenant: TenantConfig,
 }
@@ -58,6 +64,7 @@ impl DaemonConfig {
             socket_path: socket_path.into(),
             state_root: None,
             store_key: StoreKey::from_bytes([0u8; 32]),
+            tiered_state: false,
             default_tenant: TenantConfig::default(),
         }
     }
@@ -222,7 +229,10 @@ fn drain_once(shared: &Shared) -> Vec<WireDrainReport> {
     }
     let reports: Vec<WireDrainReport> = shared
         .registry
-        .drain_all(shared.config.state_root.as_deref())
+        .drain_all_with(
+            shared.config.state_root.as_deref(),
+            shared.config.tiered_state,
+        )
         .into_iter()
         .map(|report| WireDrainReport {
             tenant: report.tenant.as_str().to_string(),

@@ -42,7 +42,11 @@ use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"BFST";
 const VERSION_V1: u16 = 1;
-const VERSION_V2: u16 = 2;
+pub(crate) const VERSION_V2: u16 = 2;
+/// Manifest version announcing v3 (zero-copy cold shard) record files.
+/// The manifest layout is byte-identical to v2 — only the version field
+/// and the referenced shard format ([`crate::tier`]) differ.
+pub(crate) const VERSION_V3: u16 = 3;
 /// Upper bound on the shard count a payload may declare.
 const MAX_SHARDS: usize = 1 << 16;
 /// Magic for the per-shard sealed container ([`SealedStore`]).
@@ -163,12 +167,17 @@ impl fmt::Display for RestoreReport {
     }
 }
 
-// --- CRC32 (IEEE 802.3 polynomial, table-driven) -------------------------
+// --- CRC32 (IEEE 802.3 polynomial, slicing-by-8) --------------------------
+//
+// Cold-tier opens are checksum-bound (validation is otherwise O(1) header
+// checks plus linear directory scans), so the CRC is the hot loop of the
+// ≥10x cold-open floor: slicing-by-8 processes 8 bytes per iteration with
+// 8 independent table lookups instead of one byte at a time.
 
-const CRC_TABLE: [u32; 256] = crc_table();
+const CRC_TABLES: [[u32; 256]; 8] = crc_tables();
 
-const fn crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -181,16 +190,39 @@ const fn crc_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
 pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
-    for &byte in bytes {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("4-byte chunk")) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().expect("4-byte chunk"));
+        crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &byte in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ u32::from(byte)) & 0xFF) as usize];
     }
     !crc
 }
@@ -200,7 +232,7 @@ pub(crate) fn crc32(bytes: &[u8]) -> u32 {
 /// Narrows a collection length to the format's `u32` field, failing with
 /// [`CodecError::TooLarge`] instead of silently truncating (`as u32` would
 /// corrupt the payload for a segment with more than 2^32 hashes).
-fn len_u32(len: usize) -> Result<u32, CodecError> {
+pub(crate) fn len_u32(len: usize) -> Result<u32, CodecError> {
     u32::try_from(len).map_err(|_| CodecError::TooLarge)
 }
 
@@ -277,8 +309,9 @@ impl<'a> Reader<'a> {
 
 // --- Manifest -------------------------------------------------------------
 
-/// One shard's entry in the v2 manifest.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One shard's entry in the v2/v3 manifest. The `Default` value describes
+/// an empty shard with no record file (`byte_len == 0`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub(crate) struct ShardMeta {
     pub(crate) crc: u32,
     pub(crate) byte_len: u64,
@@ -321,21 +354,43 @@ fn parse_manifest(reader: &mut Reader) -> Result<Manifest, CodecError> {
 }
 
 /// Parses a standalone manifest payload (magic + version + manifest), as
-/// written by the directory persistence layer.
-pub(crate) fn parse_manifest_bytes(bytes: &[u8]) -> Result<Manifest, CodecError> {
+/// written by the directory persistence layer, returning the version tag
+/// (v2 and v3 share the manifest layout; the shard record format they
+/// point at differs) alongside the parsed directory.
+pub(crate) fn parse_manifest_bytes(bytes: &[u8]) -> Result<(u16, Manifest), CodecError> {
     let mut reader = Reader::new(bytes);
     if reader.take(4)? != MAGIC {
         return Err(CodecError::BadMagic);
     }
     let version = reader.u16()?;
-    if version != VERSION_V2 {
+    if version != VERSION_V2 && version != VERSION_V3 {
         return Err(CodecError::UnsupportedVersion { found: version });
     }
     let manifest = parse_manifest(&mut reader)?;
     if !reader.finished() {
         return Err(CodecError::Truncated);
     }
-    Ok(manifest)
+    Ok((version, manifest))
+}
+
+/// Serialises a manifest (magic, version, clock, shard directory,
+/// trailing CRC) — the standalone payload the directory persistence layer
+/// writes, shared by v2 and v3.
+pub(crate) fn encode_manifest(version: u16, clock: u64, shards: &[ShardMeta]) -> Vec<u8> {
+    let mut manifest = Vec::with_capacity(4 + 2 + 8 + 4 + shards.len() * 28 + 4);
+    manifest.extend_from_slice(MAGIC);
+    manifest.extend_from_slice(&version.to_le_bytes());
+    manifest.extend_from_slice(&clock.to_le_bytes());
+    manifest.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+    for shard in shards {
+        manifest.extend_from_slice(&shard.crc.to_le_bytes());
+        manifest.extend_from_slice(&shard.byte_len.to_le_bytes());
+        manifest.extend_from_slice(&shard.segment_count.to_le_bytes());
+        manifest.extend_from_slice(&shard.sighting_count.to_le_bytes());
+    }
+    let crc = crc32(&manifest);
+    manifest.extend_from_slice(&crc.to_le_bytes());
+    manifest
 }
 
 // --- Encoding -------------------------------------------------------------
@@ -438,19 +493,18 @@ pub(crate) fn encode_v2_parts(
     };
     let encoded: Vec<EncodedShard> = encoded.into_iter().collect::<Result<_, _>>()?;
 
-    let mut manifest = Vec::new();
-    manifest.extend_from_slice(MAGIC);
-    manifest.extend_from_slice(&VERSION_V2.to_le_bytes());
-    manifest.extend_from_slice(&store.now().get().to_le_bytes());
-    manifest.extend_from_slice(&len_u32(shard_count)?.to_le_bytes());
-    for shard in &encoded {
-        manifest.extend_from_slice(&crc32(&shard.bytes).to_le_bytes());
-        manifest.extend_from_slice(&len_u64(shard.bytes.len())?.to_le_bytes());
-        manifest.extend_from_slice(&shard.segment_count.to_le_bytes());
-        manifest.extend_from_slice(&shard.sighting_count.to_le_bytes());
-    }
-    let crc = crc32(&manifest);
-    manifest.extend_from_slice(&crc.to_le_bytes());
+    let metas: Vec<ShardMeta> = encoded
+        .iter()
+        .map(|shard| {
+            Ok(ShardMeta {
+                crc: crc32(&shard.bytes),
+                byte_len: len_u64(shard.bytes.len())?,
+                segment_count: shard.segment_count,
+                sighting_count: shard.sighting_count,
+            })
+        })
+        .collect::<Result<_, CodecError>>()?;
+    let manifest = encode_manifest(VERSION_V2, store.now().get(), &metas);
     Ok((manifest, encoded.into_iter().map(|s| s.bytes).collect()))
 }
 
@@ -998,7 +1052,12 @@ impl FingerprintStore {
         lossy: bool,
     ) -> Result<(FingerprintStore, RestoreReport), CodecError> {
         let manifest_bytes = key.unseal(&sealed.manifest).map_err(CodecError::Sealed)?;
-        let manifest = parse_manifest_bytes(&manifest_bytes)?;
+        let (version, manifest) = parse_manifest_bytes(&manifest_bytes)?;
+        if version != VERSION_V2 {
+            // Sealed containers carry v2 records only; cold (v3) shards
+            // are plain so they can be mapped.
+            return Err(CodecError::UnsupportedVersion { found: version });
+        }
         if manifest.shards.len() != sealed.shards.len() {
             return Err(CodecError::Truncated);
         }

@@ -15,7 +15,7 @@
 //! [`probe_disclosing_sources`] for equivalence property tests and the
 //! old-vs-new `algorithm1` microbench.
 
-use crate::segment_db::StoredSegment;
+use crate::tier::SegmentHandle;
 use crate::{FingerprintStore, SegmentId};
 use std::collections::HashSet;
 use std::sync::{Arc, OnceLock};
@@ -94,10 +94,12 @@ pub fn disclosure_between(a: &HashSet<u32>, b: &HashSet<u32>) -> f64 {
 /// `|F_A(p) ∩ F(target)| ≥ max(1, t · |F_A(p)|)`. `F_A(p)` is the
 /// stored segment's maintained authoritative slice; the overlap is one
 /// merge/galloping intersection, so evaluation touches no locks and does
-/// no hashing.
+/// no hashing. The candidate arrives as a [`SegmentHandle`], so a
+/// cold-tier source is intersected *directly against the mapped file
+/// bytes* — the kernel is identical for both tiers.
 pub(crate) fn evaluate_candidate(
     candidate: SegmentId,
-    stored: &StoredSegment,
+    stored: &SegmentHandle,
     target_sorted: &[u32],
 ) -> Option<DisclosureReport> {
     let threshold = stored.threshold();
@@ -195,10 +197,11 @@ pub(crate) fn sort_reports(reports: &mut [DisclosureReport]) {
 /// For each hash `h` of the (sorted, deduplicated) target slice, the
 /// candidate source is `oldestParagraphWith(h)` — only the authoritative
 /// owner of a hash can be reported for it, which is precisely the overlap
-/// compensation of §4.3. Candidates are deduplicated, resolved to owned
-/// `Arc<StoredSegment>` handles once, and evaluated with
-/// [`evaluate_candidate`] — which reads only the handle and the target
-/// slice, so evaluation holds no shard lock.
+/// compensation of §4.3. Candidates are deduplicated, resolved to
+/// [`SegmentHandle`]s once (hot: an `Arc` clone; cold: a zero-copy view
+/// into the mapped shard), and evaluated with [`evaluate_candidate`] —
+/// which reads only the handle and the target slice, so evaluation holds
+/// no shard lock.
 ///
 /// With enough candidates the evaluation fans out over the persistent
 /// worker pool ([`crate::pool`]): each chunk of handles plus a shared
@@ -225,9 +228,9 @@ pub(crate) fn run_algorithm_1(
     candidates.dedup();
     // The owner of a historical first sighting may no longer store a
     // fingerprint (removed/evicted); it cannot be a source.
-    let resolved: Vec<(SegmentId, Arc<StoredSegment>)> = candidates
+    let resolved: Vec<(SegmentId, SegmentHandle)> = candidates
         .into_iter()
-        .filter_map(|candidate| store.segment(candidate).map(|s| (candidate, s)))
+        .filter_map(|candidate| store.segment_handle(candidate).map(|s| (candidate, s)))
         .collect();
 
     let parallel = workers > 1 && resolved.len() >= PARALLEL_CUTOFF;

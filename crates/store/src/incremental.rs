@@ -123,7 +123,8 @@ impl IncrementalChecker {
             .iter()
             .filter_map(|&candidate| {
                 // Candidates may have been evicted since they were resolved.
-                let stored = store.segment(candidate)?;
+                // A handle intersects cold records in place, no copy.
+                let stored = store.segment_handle(candidate)?;
                 crate::disclosure::evaluate_candidate(candidate, &stored, &sorted)
             })
             .collect();

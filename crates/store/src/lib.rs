@@ -42,7 +42,9 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed in exactly one module:
+// `mmap`, which maps cold shard files for the zero-copy read path.
+#![deny(unsafe_code)]
 
 mod cache;
 mod clock;
@@ -53,10 +55,12 @@ pub mod fx;
 pub mod hash_db;
 mod incremental;
 mod intersect;
+mod mmap;
 pub mod persist;
 mod pool;
 pub mod segment_db;
 pub mod sharded;
+mod tier;
 
 pub use cache::{DecisionCache, FingerprintDigest};
 pub use clock::{LogicalClock, Timestamp};
@@ -69,12 +73,15 @@ pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hash_db::{HashDb, Sighting, SightingOutcome};
 pub use incremental::IncrementalChecker;
 pub use intersect::intersection_count;
+#[allow(deprecated)]
 pub use persist::{
     load_from_dir, load_sealed_from_dir, persist_sealed_store, persist_sealed_to_dir,
-    persist_to_dir, PersistError,
+    persist_to_dir,
 };
+pub use persist::{PersistError, PersistOptions, StoreFormat, StoreOpenOptions, TierMode};
 pub use segment_db::{SegmentDb, StoredSegment};
 pub use sharded::{ShardedHashDb, ShardedSegmentDb};
+pub use tier::{SegmentHandle, TierSweep};
 
 use browserflow_fingerprint::Fingerprint;
 use std::collections::HashSet;
@@ -138,6 +145,21 @@ pub struct StoreStats {
     pub eviction_scanned: u64,
     /// Segments actually evicted across all sweeps.
     pub eviction_evicted: u64,
+    /// Stripes currently backed by a cold (mmap'd) shard file.
+    pub cold_shards: usize,
+    /// Cold stripes whose file view is a real `mmap` — the remainder
+    /// fell back to an aligned heap copy (non-unix, or a failed map).
+    pub cold_mapped_shards: usize,
+    /// Live segment records served from cold files.
+    pub cold_segments: usize,
+    /// Live first-sighting records served from cold files.
+    pub cold_sightings: usize,
+    /// Cold segment records copied into the hot tier for mutation.
+    pub tier_promoted_segments: u64,
+    /// Cold sightings displaced into the hot tier by earlier observations.
+    pub tier_promoted_sightings: u64,
+    /// Stripes rewritten as cold files by demotion sweeps.
+    pub tier_demoted_shards: u64,
 }
 
 impl StoreStats {
@@ -176,12 +198,28 @@ pub struct FingerprintStore {
     eviction_scans: AtomicU64,
     eviction_scanned: AtomicU64,
     eviction_evicted: AtomicU64,
+    /// The cold directory this store is attached to, if any: where
+    /// demotion sweeps write shard files and the manifest state they
+    /// maintain. Also serialises demotion sweeps.
+    pub(crate) tier: parking_lot::Mutex<Option<tier::TierState>>,
+    pub(crate) tier_demoted_shards: AtomicU64,
 }
 
 impl FingerprintStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty store with an explicit stripe count (rounded up to
+    /// a power of two, minimum 1). A cold open uses this to match the
+    /// stripe count of the on-disk manifest so shard files attach 1:1.
+    pub fn with_shard_count(shards: usize) -> Self {
+        Self {
+            hashes: ShardedHashDb::with_shards(shards),
+            segments: ShardedSegmentDb::with_shards(shards),
+            ..Self::default()
+        }
     }
 
     /// Records (or re-records after an edit) the fingerprint of `segment`.
@@ -426,9 +464,19 @@ impl FingerprintStore {
     }
 
     /// Read access to a stored segment, as an owned handle: no shard lock
-    /// is held while the caller inspects it.
+    /// is held while the caller inspects it. Cold-tier records are copied
+    /// out — use [`FingerprintStore::segment_handle`] for the zero-copy
+    /// path.
     pub fn segment(&self, segment: SegmentId) -> Option<Arc<StoredSegment>> {
         self.segments.get(segment)
+    }
+
+    /// A zero-copy [`SegmentHandle`] to a stored segment, wherever it
+    /// lives: hot records hand out an `Arc` clone, cold records a view
+    /// straight into the mapped shard file. This is the handle Algorithm 1
+    /// evaluates candidates through.
+    pub fn segment_handle(&self, segment: SegmentId) -> Option<SegmentHandle> {
+        self.segments.get_handle(segment)
     }
 
     /// Iterates over all stored segment ids.
@@ -452,6 +500,13 @@ impl FingerprintStore {
             eviction_scans: self.eviction_scans.load(Ordering::Relaxed),
             eviction_scanned: self.eviction_scanned.load(Ordering::Relaxed),
             eviction_evicted: self.eviction_evicted.load(Ordering::Relaxed),
+            cold_shards: self.segments.cold_shard_count(),
+            cold_mapped_shards: self.segments.cold_mapped_count(),
+            cold_segments: self.segments.cold_live(),
+            cold_sightings: self.hashes.cold_live(),
+            tier_promoted_segments: self.segments.promoted_count(),
+            tier_promoted_sightings: self.hashes.promoted_count(),
+            tier_demoted_shards: self.tier_demoted_shards.load(Ordering::Relaxed),
         }
     }
 

@@ -1,0 +1,244 @@
+//! Read-only file mappings with alignment guarantees for the cold tier.
+//!
+//! The v3 cold-shard format ([`crate::tier`]) is read **in place**: the
+//! segment directory, hash pool and sighting table are interpreted as
+//! `&[u64]` / `&[u32]` slices pointing straight into the file bytes, so a
+//! cold shard opens without a decode pass. That requires two things this
+//! module provides:
+//!
+//! - a mapping whose base address is at least 8-byte aligned. `mmap`
+//!   returns page-aligned addresses; the non-`unix` (or mmap-failure)
+//!   fallback reads the file into a `Vec<u64>`-backed buffer, which the
+//!   allocator aligns to 8 bytes.
+//! - checked reinterpret casts ([`u32_slice`], [`u64_slice`]) that refuse
+//!   misaligned or odd-length input instead of producing UB.
+//!
+//! This is the only module in the crate that uses `unsafe`; the rest of
+//! the crate stays `#![deny(unsafe_code)]`-clean. The mapping is strictly
+//! read-only (`PROT_READ`, private), so sharing `&[u8]` views across
+//! threads is sound — `Mapping` is `Send + Sync` by hand for that reason.
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+#[cfg(unix)]
+mod ffi {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// An immutable, 8-byte-aligned view of a whole file: an `mmap` where the
+/// platform supports it, an aligned heap copy otherwise.
+#[derive(Debug)]
+pub(crate) struct Mapping {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut u8,
+        len: usize,
+    },
+    Heap {
+        buf: Vec<u64>,
+        len: usize,
+    },
+}
+
+// SAFETY: the mapping is read-only for its whole lifetime (PROT_READ,
+// MAP_PRIVATE, never written through), so concurrent shared reads from any
+// thread are sound, as is dropping from a different thread than the opener.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps `path` read-only. Falls back to an aligned heap read when the
+    /// platform has no `mmap`, the file is empty (zero-length maps are
+    /// invalid), or the map call itself fails.
+    pub(crate) fn open(path: &Path) -> io::Result<Self> {
+        #[cfg(unix)]
+        {
+            if let Ok(mapping) = Self::open_mapped(path) {
+                return Ok(mapping);
+            }
+        }
+        Self::open_heap(path)
+    }
+
+    #[cfg(unix)]
+    fn open_mapped(path: &Path) -> io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+
+        let file = File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty file"));
+        }
+        // SAFETY: fd is a valid open file descriptor; len > 0; the result
+        // is checked against MAP_FAILED before use. The mapping outlives
+        // the `File` (POSIX keeps maps valid after close).
+        let ptr = unsafe {
+            ffi::mmap(
+                std::ptr::null_mut(),
+                len,
+                ffi::PROT_READ,
+                ffi::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 || ptr.is_null() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self {
+            inner: Inner::Mapped {
+                ptr: ptr.cast::<u8>(),
+                len,
+            },
+        })
+    }
+
+    /// Reads the file into a `u64`-backed buffer so the bytes start on an
+    /// 8-byte boundary, same as a page-aligned map.
+    fn open_heap(path: &Path) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to read"))?;
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        // SAFETY: buf owns at least `len` initialised bytes; u64 -> u8
+        // reinterpretation of initialised memory is always valid.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), len) };
+        file.read_exact(bytes)?;
+        // Reject files that grew between metadata() and here: the caller
+        // validates exact lengths against the manifest.
+        let mut probe = [0u8; 1];
+        if file.read(&mut probe)? != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file changed while reading",
+            ));
+        }
+        Ok(Self {
+            inner: Inner::Heap { buf, len },
+        })
+    }
+
+    /// The mapped bytes.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            // SAFETY: ptr/len come from a successful mmap that lives until
+            // Drop; the mapping is never written.
+            Inner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Inner::Heap { buf, len } => {
+                // SAFETY: buf holds at least `len` initialised bytes.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), *len) }
+            }
+        }
+    }
+
+    /// Whether the view is a real `mmap` (false: aligned heap copy).
+    pub(crate) fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { .. } => true,
+            Inner::Heap { .. } => false,
+        }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // SAFETY: exactly the region returned by mmap, unmapped once.
+            unsafe {
+                ffi::munmap(ptr.cast(), len);
+            }
+        }
+    }
+}
+
+/// Reinterprets `bytes` as a `u32` slice. Returns `None` (never UB) when
+/// the pointer is misaligned or the length is not a multiple of 4.
+pub(crate) fn u32_slice(bytes: &[u8]) -> Option<&[u32]> {
+    if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<u32>())
+        || !bytes.len().is_multiple_of(4)
+    {
+        return None;
+    }
+    // SAFETY: alignment and length were just checked; u32 has no invalid
+    // bit patterns; the lifetime is tied to `bytes`.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), bytes.len() / 4) })
+}
+
+/// Reinterprets `bytes` as a `u64` slice. Returns `None` (never UB) when
+/// the pointer is misaligned or the length is not a multiple of 8.
+pub(crate) fn u64_slice(bytes: &[u8]) -> Option<&[u64]> {
+    if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<u64>())
+        || !bytes.len().is_multiple_of(8)
+    {
+        return None;
+    }
+    // SAFETY: alignment and length were just checked; u64 has no invalid
+    // bit patterns; the lifetime is tied to `bytes`.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u64>(), bytes.len() / 8) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn mapping_round_trips_file_bytes() {
+        let path = std::env::temp_dir().join(format!("bf-mmap-{}.bin", std::process::id()));
+        let payload: Vec<u8> = (0..=255u8).cycle().take(4096 + 13).collect();
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(&payload).unwrap();
+        }
+        let mapped = Mapping::open(&path).unwrap();
+        assert_eq!(mapped.bytes(), &payload[..]);
+        assert_eq!(mapped.bytes().as_ptr() as usize % 8, 0);
+        let heap = Mapping::open_heap(&path).unwrap();
+        assert_eq!(heap.bytes(), &payload[..]);
+        assert!(!heap.is_mapped());
+        assert_eq!(heap.bytes().as_ptr() as usize % 8, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn casts_refuse_bad_input() {
+        let buf = [0u64; 4];
+        // SAFETY(test): u64 -> u8 view of initialised memory.
+        let bytes = unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), buf.len() * 8) };
+        assert_eq!(u64_slice(bytes).unwrap().len(), 4);
+        assert_eq!(u32_slice(bytes).unwrap().len(), 8);
+        // Odd length.
+        assert!(u64_slice(&bytes[..12]).is_none());
+        assert!(u32_slice(&bytes[..3]).is_none());
+        // Misaligned start.
+        assert!(u64_slice(&bytes[1..9]).is_none());
+        assert!(u32_slice(&bytes[2..6]).is_none());
+    }
+}

@@ -24,6 +24,22 @@ pub struct StoredSegment {
 }
 
 impl StoredSegment {
+    /// Builds a segment record from already-validated parts (the cold
+    /// tier's promotion path; sortedness is attested by the shard CRC).
+    pub(crate) fn from_parts(
+        hashes: Vec<u32>,
+        authoritative: Vec<u32>,
+        threshold: f64,
+        updated: Timestamp,
+    ) -> Self {
+        Self {
+            hashes: hashes.into_boxed_slice(),
+            authoritative: authoritative.into_boxed_slice(),
+            threshold,
+            updated,
+        }
+    }
+
     /// The distinct hashes of the segment's last fingerprint, sorted.
     pub fn hashes(&self) -> &[u32] {
         &self.hashes

@@ -1,25 +1,45 @@
-//! Lock-striped, sharded variants of `DBhash` and `DBpar`.
+//! Lock-striped, sharded variants of `DBhash` and `DBpar`, tiered over an
+//! optional cold overlay.
 //!
 //! §6.2 of the paper measures BrowserFlow against stores holding tens of
 //! millions of hashes; a single engine-wide lock serialises every check
 //! against every observation. [`ShardedHashDb`] and [`ShardedSegmentDb`]
 //! stripe the two databases over `N = next_pow2(cores)` independent
-//! [`RwLock`]-protected shards (clamped to `[8, 64]` so even a one-core
+//! [`RwLock`]-protected stripes (clamped to `[8, 64]` so even a one-core
 //! container exercises real striping), keyed by `hash % N` and
 //! `segment % N` respectively. Checks — which are read-dominated — take
-//! shared locks on exactly the shards their hashes live in, so concurrent
+//! shared locks on exactly the stripes their hashes live in, so concurrent
 //! checkers proceed in parallel and writers block only one stripe at a
 //! time.
 //!
-//! Each striped database also counts lock contention *per shard*: every
-//! acquisition first tries the lock without blocking and bumps that
-//! shard's counter when it has to wait. The counters feed the concurrency
-//! metrics in `browserflow-core` and show whether contention concentrates
-//! on hot stripes (a skewed hash mix) or spreads evenly (true lock
-//! pressure).
+//! # The hot/cold tiers
+//!
+//! Each stripe is a [`HashStripe`] / [`SegmentStripe`]: the mutable
+//! in-memory **hot** database layered over at most one immutable, mmap'd
+//! **cold** shard ([`crate::tier::ColdShard`]). Reads consult hot first and
+//! fall through to the cold file; writes always land hot, with the
+//! touched cold record suppressed by a tombstone:
+//!
+//! - a segment write (upsert, threshold/authoritative edit, removal)
+//!   tombstones the id in [`ColdSegments::dead`] — edits first copy the
+//!   cold record out (*promotion-on-write*);
+//! - an earlier-timestamped sighting of a cold-owned hash installs hot and
+//!   marks the hash [`ColdHashes::shadowed`]; a removed segment's cold
+//!   sightings die with it via [`ColdHashes::dead`]. Shadowed hashes stay
+//!   suppressed even if the displacing hot record is later evicted — the
+//!   pure-hot store would have dropped the record entirely.
+//!
+//! The overlay lives *inside* the stripe lock, so the existing
+//! single-stripe locking discipline (and the per-stripe contention
+//! counters feeding `browserflow-core`'s metrics) carries over unchanged.
+//! Demotion (`FingerprintStore::demote_idle_shards`) is the only operation
+//! that replaces an overlay: it rewrites the merged stripe as a fresh cold
+//! file and swaps it in with empty tombstone sets.
 
+use crate::fx::FxHashSet;
 use crate::hash_db::{HashDb, Sighting, SightingOutcome};
 use crate::segment_db::{SegmentDb, StoredSegment};
+use crate::tier::{ColdShard, SegmentHandle};
 use crate::{SegmentId, Timestamp};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,22 +86,167 @@ macro_rules! write_shard {
     }};
 }
 
-/// `DBhash` striped over `N` lock-protected shards, keyed by `hash % N`.
+// --- Hash stripes ----------------------------------------------------------
+
+/// The cold overlay of one hash stripe: an immutable sighting table plus
+/// the tombstones that hide records superseded or removed since attach.
+#[derive(Debug)]
+pub(crate) struct ColdHashes {
+    shard: Arc<ColdShard>,
+    /// Raw ids of segments whose cold sightings were removed with them.
+    dead: FxHashSet<u64>,
+    /// Hashes whose cold sighting was displaced by an earlier hot record
+    /// (or is otherwise permanently superseded).
+    shadowed: FxHashSet<u32>,
+    /// Live (non-tombstoned) cold sightings, maintained eagerly so
+    /// occupancy reads stay O(1).
+    live: usize,
+}
+
+/// One lock-protected hash stripe: hot `DBhash` over an optional cold
+/// overlay.
+#[derive(Debug, Default)]
+pub(crate) struct HashStripe {
+    hot: HashDb,
+    cold: Option<ColdHashes>,
+}
+
+impl HashStripe {
+    fn cold_live_sighting(&self, hash: u32) -> Option<Sighting> {
+        let cold = self.cold.as_ref()?;
+        if cold.shadowed.contains(&hash) {
+            return None;
+        }
+        let sighting = cold.shard.oldest_with(hash)?;
+        (!cold.dead.contains(&sighting.segment.get())).then_some(sighting)
+    }
+
+    /// Records a sighting against the tier pair. The second value reports
+    /// whether the write displaced (promoted over) a live cold record.
+    pub(crate) fn record_sighting(
+        &mut self,
+        hash: u32,
+        segment: SegmentId,
+        time: Timestamp,
+    ) -> (SightingOutcome, bool) {
+        if self.hot.oldest_with(hash).is_some() {
+            // A hot record always predates (or shadows) any cold one.
+            return (self.hot.record_sighting(hash, segment, time), false);
+        }
+        if let Some(existing) = self.cold_live_sighting(hash) {
+            if time >= existing.time {
+                return (SightingOutcome::Kept(existing.segment), false);
+            }
+            let cold = self.cold.as_mut().expect("cold sighting implies overlay");
+            cold.shadowed.insert(hash);
+            cold.live -= 1;
+            let installed = self.hot.record_sighting(hash, segment, time);
+            debug_assert!(matches!(installed, SightingOutcome::Installed));
+            return (SightingOutcome::Displaced(existing.segment), true);
+        }
+        (self.hot.record_sighting(hash, segment, time), false)
+    }
+
+    pub(crate) fn oldest_with(&self, hash: u32) -> Option<Sighting> {
+        self.hot
+            .oldest_with(hash)
+            .or_else(|| self.cold_live_sighting(hash))
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.hot.len() + self.cold.as_ref().map_or(0, |c| c.live)
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hot plus live cold entries, arbitrary order.
+    pub(crate) fn entries(&self) -> Vec<(u32, Sighting)> {
+        let mut all = self.hot.entries();
+        if let Some(cold) = &self.cold {
+            if cold.live > 0 {
+                for index in 0..cold.shard.sighting_count() {
+                    let (hash, sighting) = cold.shard.sighting_at(index);
+                    if !cold.shadowed.contains(&hash)
+                        && !cold.dead.contains(&sighting.segment.get())
+                    {
+                        all.push((hash, sighting));
+                    }
+                }
+            }
+        }
+        all
+    }
+
+    pub(crate) fn remove_sightings_of(&mut self, segment: SegmentId) {
+        self.hot.remove_sightings_of(segment);
+        if let Some(cold) = &mut self.cold {
+            if cold.dead.insert(segment.get()) {
+                let removed = (0..cold.shard.sighting_count())
+                    .filter(|&index| {
+                        let (hash, sighting) = cold.shard.sighting_at(index);
+                        sighting.segment == segment && !cold.shadowed.contains(&hash)
+                    })
+                    .count();
+                cold.live -= removed;
+            }
+        }
+    }
+
+    /// Replaces the stripe with a freshly sealed cold overlay (the hot
+    /// side and all tombstones are dropped: the file is the merged truth).
+    pub(crate) fn attach_cold(&mut self, shard: Arc<ColdShard>) {
+        let live = shard.sighting_count();
+        self.hot = HashDb::new();
+        self.cold = Some(ColdHashes {
+            shard,
+            dead: FxHashSet::default(),
+            shadowed: FxHashSet::default(),
+            live,
+        });
+    }
+
+    /// Whether the stripe has diverged from its cold file (or has no cold
+    /// file at all while holding data).
+    pub(crate) fn is_dirty(&self) -> bool {
+        !self.hot.is_empty()
+            || self
+                .cold
+                .as_ref()
+                .is_some_and(|c| !c.dead.is_empty() || !c.shadowed.is_empty())
+    }
+
+    pub(crate) fn cold_live(&self) -> usize {
+        self.cold.as_ref().map_or(0, |c| c.live)
+    }
+
+    /// The merged stripe contents sorted by hash — the demotion snapshot.
+    pub(crate) fn merged_sightings(&self) -> Vec<(u32, Sighting)> {
+        let mut all = self.entries();
+        all.sort_unstable_by_key(|(hash, _)| *hash);
+        all
+    }
+}
+
+/// `DBhash` striped over `N` lock-protected stripes, keyed by `hash % N`.
 ///
-/// All operations take `&self`; per-shard exclusion preserves the
+/// All operations take `&self`; per-stripe exclusion preserves the
 /// earliest-sighting-wins invariant of [`HashDb`] because each hash lives
-/// in exactly one shard.
+/// in exactly one stripe (hot or cold).
 #[derive(Debug)]
 pub struct ShardedHashDb {
-    shards: Box<[RwLock<HashDb>]>,
+    shards: Box<[RwLock<HashStripe>]>,
     mask: usize,
-    /// One contended-acquisition counter per shard.
+    /// One contended-acquisition counter per stripe.
     contended: Box<[AtomicU64]>,
     /// Bumped on every ownership displacement (an out-of-order insert that
     /// replaced an existing first sighting). Observers compare the epoch
     /// around an observation to detect racing displacements and
     /// re-validate their authoritative sets; see `FingerprintStore::observe`.
     displacements: AtomicU64,
+    /// Cold sightings displaced into the hot tier since open.
+    promoted: AtomicU64,
 }
 
 impl Default for ShardedHashDb {
@@ -100,13 +265,16 @@ impl ShardedHashDb {
     /// power of two, minimum 1).
     pub fn with_shards(shards: usize) -> Self {
         let count = shards.max(1).next_power_of_two();
-        let shards: Vec<RwLock<HashDb>> = (0..count).map(|_| RwLock::new(HashDb::new())).collect();
+        let shards: Vec<RwLock<HashStripe>> = (0..count)
+            .map(|_| RwLock::new(HashStripe::default()))
+            .collect();
         let contended: Vec<AtomicU64> = (0..count).map(|_| AtomicU64::new(0)).collect();
         Self {
             shards: shards.into_boxed_slice(),
             mask: count - 1,
             contended: contended.into_boxed_slice(),
             displacements: AtomicU64::new(0),
+            promoted: AtomicU64::new(0),
         }
     }
 
@@ -133,7 +301,11 @@ impl ShardedHashDb {
         segment: SegmentId,
         time: Timestamp,
     ) -> SightingOutcome {
-        let outcome = write_shard!(self, self.shard_of(hash)).record_sighting(hash, segment, time);
+        let (outcome, promoted) =
+            write_shard!(self, self.shard_of(hash)).record_sighting(hash, segment, time);
+        if promoted {
+            self.promoted.fetch_add(1, Ordering::Relaxed);
+        }
         if matches!(outcome, SightingOutcome::Displaced(_)) {
             self.displacements.fetch_add(1, Ordering::SeqCst);
         }
@@ -152,7 +324,7 @@ impl ShardedHashDb {
         read_shard!(self, self.shard_of(hash)).oldest_with(hash)
     }
 
-    /// Number of distinct hashes on record.
+    /// Number of distinct hashes on record (hot plus live cold).
     pub fn len(&self) -> usize {
         (0..self.shards.len())
             .map(|i| read_shard!(self, i).len())
@@ -165,7 +337,7 @@ impl ShardedHashDb {
     }
 
     /// A snapshot of all (hash, sighting) entries in arbitrary order. The
-    /// snapshot is per-shard consistent, not globally atomic.
+    /// snapshot is per-stripe consistent, not globally atomic.
     pub fn entries(&self) -> Vec<(u32, Sighting)> {
         let mut all = Vec::new();
         for i in 0..self.shards.len() {
@@ -186,7 +358,7 @@ impl ShardedHashDb {
         self.shards.len()
     }
 
-    /// Per-shard entry counts (occupancy).
+    /// Per-stripe entry counts (hot plus live cold occupancy).
     pub fn shard_sizes(&self) -> Vec<usize> {
         (0..self.shards.len())
             .map(|i| read_shard!(self, i).len())
@@ -201,22 +373,311 @@ impl ShardedHashDb {
             .sum()
     }
 
-    /// Per-shard contended-acquisition counts.
+    /// Per-stripe contended-acquisition counts.
     pub fn contention_counts(&self) -> Vec<u64> {
         self.contended
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Cold sightings displaced into the hot tier since open.
+    pub(crate) fn promoted_count(&self) -> u64 {
+        self.promoted.load(Ordering::Relaxed)
+    }
+
+    /// Live sightings currently served from cold files.
+    pub(crate) fn cold_live(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| read_shard!(self, i).cold_live())
+            .sum()
+    }
+
+    /// Attaches `shard` as stripe `index`'s cold overlay (replacing hot
+    /// contents — the file is the merged truth).
+    pub(crate) fn attach_cold(&self, index: usize, shard: Arc<ColdShard>) {
+        write_shard!(self, index).attach_cold(shard);
+    }
+
+    /// Direct stripe access for the demotion sweep, which must hold the
+    /// matching segment and hash stripe locks together.
+    pub(crate) fn stripe(&self, index: usize) -> &RwLock<HashStripe> {
+        &self.shards[index]
+    }
 }
 
-/// `DBpar` striped over `N` lock-protected shards, keyed by `segment % N`.
+// --- Segment stripes --------------------------------------------------------
+
+/// The cold overlay of one segment stripe.
+#[derive(Debug)]
+pub(crate) struct ColdSegments {
+    shard: Arc<ColdShard>,
+    /// Raw ids tombstoned since attach. Invariant: every member is
+    /// present in the cold directory, so the live count is
+    /// `segment_count - dead.len()`.
+    dead: FxHashSet<u64>,
+}
+
+/// One lock-protected segment stripe: hot `DBpar` over an optional cold
+/// overlay.
+#[derive(Debug, Default)]
+pub(crate) struct SegmentStripe {
+    hot: SegmentDb,
+    cold: Option<ColdSegments>,
+}
+
+impl SegmentStripe {
+    fn cold_live_index(&self, segment: SegmentId) -> Option<usize> {
+        let cold = self.cold.as_ref()?;
+        if cold.dead.contains(&segment.get()) {
+            return None;
+        }
+        cold.shard.find(segment)
+    }
+
+    /// Tombstones `segment` in the cold overlay if it lives there.
+    fn bury_cold(&mut self, segment: SegmentId) {
+        if self.cold_live_index(segment).is_some() {
+            let cold = self.cold.as_mut().expect("cold hit implies overlay");
+            cold.dead.insert(segment.get());
+        }
+    }
+
+    /// Copies a live cold record into the hot tier so it can be mutated.
+    /// Returns the hot copy; the cold original is tombstoned.
+    fn promote(&mut self, segment: SegmentId, index: usize) -> StoredSegment {
+        let cold = self.cold.as_mut().expect("cold index implies overlay");
+        let copy = cold.shard.materialize(index);
+        cold.dead.insert(segment.get());
+        copy
+    }
+
+    pub(crate) fn upsert(
+        &mut self,
+        segment: SegmentId,
+        hashes: Vec<u32>,
+        authoritative: Vec<u32>,
+        threshold: f64,
+        now: Timestamp,
+    ) {
+        self.hot
+            .upsert(segment, hashes, authoritative, threshold, now);
+        self.bury_cold(segment);
+    }
+
+    /// Replaces a segment's authoritative set; `false` if unknown. The
+    /// second value reports whether a cold record was promoted to do it.
+    pub(crate) fn set_authoritative(
+        &mut self,
+        segment: SegmentId,
+        authoritative: Vec<u32>,
+    ) -> (bool, bool) {
+        if self.hot.set_authoritative(segment, authoritative.clone()) {
+            return (true, false);
+        }
+        let Some(index) = self.cold_live_index(segment) else {
+            return (false, false);
+        };
+        let copy = self.promote(segment, index);
+        self.hot.upsert(
+            segment,
+            copy.hashes().to_vec(),
+            authoritative,
+            copy.threshold(),
+            copy.updated(),
+        );
+        (true, true)
+    }
+
+    /// Removes `hash` from a segment's authoritative set; `true` if it was
+    /// present. The second value reports a promotion.
+    pub(crate) fn revoke_authoritative(&mut self, segment: SegmentId, hash: u32) -> (bool, bool) {
+        if self.hot.revoke_authoritative(segment, hash) {
+            return (true, false);
+        }
+        if self.hot.get(segment).is_some() {
+            // Known hot, hash simply absent: no need to consult cold.
+            return (false, false);
+        }
+        let Some(index) = self.cold_live_index(segment) else {
+            return (false, false);
+        };
+        let cold = self.cold.as_ref().expect("cold index implies overlay");
+        if cold
+            .shard
+            .authoritative_at(index)
+            .binary_search(&hash)
+            .is_err()
+        {
+            // Absent from the cold authoritative set: nothing to revoke,
+            // so leave the record cold.
+            return (false, false);
+        }
+        let copy = self.promote(segment, index);
+        let mut authoritative = copy.authoritative().to_vec();
+        if let Ok(position) = authoritative.binary_search(&hash) {
+            authoritative.remove(position);
+        }
+        self.hot.upsert(
+            segment,
+            copy.hashes().to_vec(),
+            authoritative,
+            copy.threshold(),
+            copy.updated(),
+        );
+        (true, true)
+    }
+
+    /// Updates a segment's threshold; `false` if unknown. The second value
+    /// reports a promotion.
+    pub(crate) fn set_threshold(&mut self, segment: SegmentId, threshold: f64) -> (bool, bool) {
+        if self.hot.set_threshold(segment, threshold) {
+            return (true, false);
+        }
+        let Some(index) = self.cold_live_index(segment) else {
+            return (false, false);
+        };
+        let copy = self.promote(segment, index);
+        self.hot.upsert(
+            segment,
+            copy.hashes().to_vec(),
+            copy.authoritative().to_vec(),
+            threshold,
+            copy.updated(),
+        );
+        (true, true)
+    }
+
+    /// A zero-copy handle to the segment, wherever it lives.
+    pub(crate) fn get_handle(&self, segment: SegmentId) -> Option<SegmentHandle> {
+        if let Some(stored) = self.hot.get_shared(segment) {
+            return Some(SegmentHandle::hot(stored));
+        }
+        let index = self.cold_live_index(segment)?;
+        let cold = self.cold.as_ref().expect("cold index implies overlay");
+        Some(SegmentHandle::cold(Arc::clone(&cold.shard), index))
+    }
+
+    /// An owned copy of the segment (cold records are materialised).
+    pub(crate) fn get_shared(&self, segment: SegmentId) -> Option<Arc<StoredSegment>> {
+        if let Some(stored) = self.hot.get_shared(segment) {
+            return Some(stored);
+        }
+        let index = self.cold_live_index(segment)?;
+        let cold = self.cold.as_ref().expect("cold index implies overlay");
+        Some(Arc::new(cold.shard.materialize(index)))
+    }
+
+    pub(crate) fn remove(&mut self, segment: SegmentId) -> bool {
+        let hot = self.hot.remove(segment);
+        if hot {
+            // An id never lives in both tiers, but bury defensively.
+            self.bury_cold(segment);
+            return true;
+        }
+        if self.cold_live_index(segment).is_some() {
+            let cold = self.cold.as_mut().expect("cold hit implies overlay");
+            cold.dead.insert(segment.get());
+            return true;
+        }
+        false
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.hot.len() + self.cold_live_count()
+    }
+
+    fn cold_live_count(&self) -> usize {
+        self.cold
+            .as_ref()
+            .map_or(0, |c| c.shard.segment_count() - c.dead.len())
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn for_each_cold_live(&self, mut f: impl FnMut(usize, SegmentId)) {
+        if let Some(cold) = &self.cold {
+            if cold.shard.segment_count() > cold.dead.len() {
+                for index in 0..cold.shard.segment_count() {
+                    let id = cold.shard.dir_id(index);
+                    if !cold.dead.contains(&id.get()) {
+                        f(index, id);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn ids(&self) -> Vec<SegmentId> {
+        let mut all: Vec<SegmentId> = self.hot.ids().collect();
+        self.for_each_cold_live(|_, id| all.push(id));
+        all
+    }
+
+    pub(crate) fn segments_older_than(&self, cutoff: Timestamp) -> Vec<SegmentId> {
+        let mut all = self.hot.segments_older_than(cutoff);
+        if let Some(cold) = &self.cold {
+            self.for_each_cold_live(|index, id| {
+                if cold.shard.dir_updated(index) < cutoff {
+                    all.push(id);
+                }
+            });
+        }
+        all
+    }
+
+    /// Whether every hot segment is idle (updated strictly before
+    /// `cutoff`). Vacuously true for an empty hot tier.
+    pub(crate) fn hot_is_idle(&self, cutoff: Timestamp) -> bool {
+        self.hot.segments_older_than(cutoff).len() == self.hot.len()
+    }
+
+    /// Whether the stripe has diverged from its cold file.
+    pub(crate) fn is_dirty(&self) -> bool {
+        !self.hot.is_empty() || self.cold.as_ref().is_some_and(|c| !c.dead.is_empty())
+    }
+
+    pub(crate) fn has_cold(&self) -> bool {
+        self.cold.is_some()
+    }
+
+    /// The merged stripe contents sorted by id — the demotion snapshot.
+    pub(crate) fn merged_segments(&self) -> Vec<(SegmentId, Arc<StoredSegment>)> {
+        let hot_ids: Vec<SegmentId> = self.hot.ids().collect();
+        let mut all: Vec<(SegmentId, Arc<StoredSegment>)> = hot_ids
+            .into_iter()
+            .filter_map(|id| self.hot.get_shared(id).map(|s| (id, s)))
+            .collect();
+        if let Some(cold) = &self.cold {
+            self.for_each_cold_live(|index, id| {
+                all.push((id, Arc::new(cold.shard.materialize(index))));
+            });
+        }
+        all.sort_unstable_by_key(|(id, _)| *id);
+        all
+    }
+
+    /// Replaces the stripe with a freshly sealed cold overlay.
+    pub(crate) fn attach_cold(&mut self, shard: Arc<ColdShard>) {
+        self.hot = SegmentDb::new();
+        self.cold = Some(ColdSegments {
+            shard,
+            dead: FxHashSet::default(),
+        });
+    }
+}
+
+/// `DBpar` striped over `N` lock-protected stripes, keyed by `segment % N`.
 #[derive(Debug)]
 pub struct ShardedSegmentDb {
-    shards: Box<[RwLock<SegmentDb>]>,
+    shards: Box<[RwLock<SegmentStripe>]>,
     mask: usize,
-    /// One contended-acquisition counter per shard.
+    /// One contended-acquisition counter per stripe.
     contended: Box<[AtomicU64]>,
+    /// Cold records copied into the hot tier for mutation since open.
+    promoted: AtomicU64,
 }
 
 impl Default for ShardedSegmentDb {
@@ -235,18 +696,26 @@ impl ShardedSegmentDb {
     /// power of two, minimum 1).
     pub fn with_shards(shards: usize) -> Self {
         let count = shards.max(1).next_power_of_two();
-        let shards: Vec<RwLock<SegmentDb>> =
-            (0..count).map(|_| RwLock::new(SegmentDb::new())).collect();
+        let shards: Vec<RwLock<SegmentStripe>> = (0..count)
+            .map(|_| RwLock::new(SegmentStripe::default()))
+            .collect();
         let contended: Vec<AtomicU64> = (0..count).map(|_| AtomicU64::new(0)).collect();
         Self {
             shards: shards.into_boxed_slice(),
             mask: count - 1,
             contended: contended.into_boxed_slice(),
+            promoted: AtomicU64::new(0),
         }
     }
 
     fn shard_of(&self, segment: SegmentId) -> usize {
         segment.get() as usize & self.mask
+    }
+
+    fn count_promotion(&self, promoted: bool) {
+        if promoted {
+            self.promoted.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Inserts or replaces the stored fingerprint of `segment`. Both hash
@@ -270,24 +739,41 @@ impl ShardedSegmentDb {
 
     /// Replaces a segment's authoritative set; `false` if unknown.
     pub fn set_authoritative(&self, segment: SegmentId, authoritative: Vec<u32>) -> bool {
-        write_shard!(self, self.shard_of(segment)).set_authoritative(segment, authoritative)
+        let (found, promoted) =
+            write_shard!(self, self.shard_of(segment)).set_authoritative(segment, authoritative);
+        self.count_promotion(promoted);
+        found
     }
 
     /// Removes `hash` from a segment's authoritative set; `true` if it was
     /// present.
     pub fn revoke_authoritative(&self, segment: SegmentId, hash: u32) -> bool {
-        write_shard!(self, self.shard_of(segment)).revoke_authoritative(segment, hash)
+        let (revoked, promoted) =
+            write_shard!(self, self.shard_of(segment)).revoke_authoritative(segment, hash);
+        self.count_promotion(promoted);
+        revoked
     }
 
     /// Updates a segment's threshold; `false` if unknown.
     pub fn set_threshold(&self, segment: SegmentId, threshold: f64) -> bool {
-        write_shard!(self, self.shard_of(segment)).set_threshold(segment, threshold)
+        let (found, promoted) =
+            write_shard!(self, self.shard_of(segment)).set_threshold(segment, threshold);
+        self.count_promotion(promoted);
+        found
     }
 
-    /// Fetches a stored segment as an owned handle, so no shard lock is
-    /// held while the caller inspects it.
+    /// Fetches a stored segment as an owned handle, so no stripe lock is
+    /// held while the caller inspects it. Cold records are copied out;
+    /// use [`ShardedSegmentDb::get_handle`] for the zero-copy path.
     pub fn get(&self, segment: SegmentId) -> Option<Arc<StoredSegment>> {
         read_shard!(self, self.shard_of(segment)).get_shared(segment)
+    }
+
+    /// Fetches a zero-copy [`SegmentHandle`] to the segment, wherever it
+    /// lives: an `Arc` clone for hot records, a (shard, index) view for
+    /// cold ones.
+    pub fn get_handle(&self, segment: SegmentId) -> Option<SegmentHandle> {
+        read_shard!(self, self.shard_of(segment)).get_handle(segment)
     }
 
     /// Removes a segment; `true` if it was stored.
@@ -295,7 +781,7 @@ impl ShardedSegmentDb {
         write_shard!(self, self.shard_of(segment)).remove(segment)
     }
 
-    /// Number of stored segments.
+    /// Number of stored segments (hot plus live cold).
     pub fn len(&self) -> usize {
         (0..self.shards.len())
             .map(|i| read_shard!(self, i).len())
@@ -307,7 +793,7 @@ impl ShardedSegmentDb {
         (0..self.shards.len()).all(|i| read_shard!(self, i).is_empty())
     }
 
-    /// All stored segment ids (arbitrary order; per-shard consistent).
+    /// All stored segment ids (arbitrary order; per-stripe consistent).
     pub fn ids(&self) -> Vec<SegmentId> {
         let mut all = Vec::new();
         for i in 0..self.shards.len() {
@@ -330,7 +816,7 @@ impl ShardedSegmentDb {
         self.shards.len()
     }
 
-    /// Per-shard entry counts (occupancy).
+    /// Per-stripe entry counts (hot plus live cold occupancy).
     pub fn shard_sizes(&self) -> Vec<usize> {
         (0..self.shards.len())
             .map(|i| read_shard!(self, i).len())
@@ -345,12 +831,54 @@ impl ShardedSegmentDb {
             .sum()
     }
 
-    /// Per-shard contended-acquisition counts.
+    /// Per-stripe contended-acquisition counts.
     pub fn contention_counts(&self) -> Vec<u64> {
         self.contended
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Cold records copied into the hot tier for mutation since open.
+    pub(crate) fn promoted_count(&self) -> u64 {
+        self.promoted.load(Ordering::Relaxed)
+    }
+
+    /// Live segments currently served from cold files.
+    pub(crate) fn cold_live(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| read_shard!(self, i).cold_live_count())
+            .sum()
+    }
+
+    /// Stripes currently backed by a cold file.
+    pub(crate) fn cold_shard_count(&self) -> usize {
+        (0..self.shards.len())
+            .filter(|&i| read_shard!(self, i).has_cold())
+            .count()
+    }
+
+    /// Cold stripes served by a real `mmap` (the rest fell back to an
+    /// aligned heap copy).
+    pub(crate) fn cold_mapped_count(&self) -> usize {
+        (0..self.shards.len())
+            .filter(|&i| {
+                read_shard!(self, i)
+                    .cold
+                    .as_ref()
+                    .is_some_and(|c| c.shard.is_mapped())
+            })
+            .count()
+    }
+
+    /// Attaches `shard` as stripe `index`'s cold overlay.
+    pub(crate) fn attach_cold(&self, index: usize, shard: Arc<ColdShard>) {
+        write_shard!(self, index).attach_cold(shard);
+    }
+
+    /// Direct stripe access for the demotion sweep.
+    pub(crate) fn stripe(&self, index: usize) -> &RwLock<SegmentStripe> {
+        &self.shards[index]
     }
 }
 
@@ -416,6 +944,8 @@ mod tests {
         let mut ids = db.ids();
         ids.sort_unstable();
         assert_eq!(ids.len(), 31);
+        // Hot handles report hot.
+        assert!(!db.get_handle(SegmentId::new(6)).unwrap().is_cold());
     }
 
     #[test]

@@ -1,0 +1,498 @@
+//! The cold tier: sealed, immutable v3 shard files read in place.
+//!
+//! A v3 shard file lays the data of one lock stripe out so the in-memory
+//! read paths — `oldestParagraphWith` binary search, segment lookup, and
+//! the merge/galloping intersection kernel of [`crate::intersect`] — run
+//! **directly against the file bytes** behind an [`crate::mmap::Mapping`].
+//! Nothing is decoded at open; the file is validated once and then served
+//! as-is, so a cold shard opens in time proportional to one checksum pass
+//! instead of a full decode + index rebuild.
+//!
+//! # On-disk layout (little-endian, all sections 8-byte aligned)
+//!
+//! ```text
+//! header (64 bytes):
+//!   magic "BF3S" | u16 version=3 | u16 reserved=0
+//!   u32 shard_index | u32 shard_count
+//!   u32 segment_count | u32 sighting_count
+//!   u64 dir_off (=64) | u64 pool_off | u64 pool_len (u32 count)
+//!   u64 sight_off | u64 total_len
+//! segment directory @dir_off, segment_count x 40 bytes, sorted by id:
+//!   u64 id | f64 threshold (IEEE bits) | u64 updated
+//!   u64 hash_off | hash_len<<32   (u32 indices into the pool)
+//!   u64 auth_off | auth_len<<32
+//! hash pool @pool_off: pool_len x u32 (per-segment hash and
+//!   authoritative slices, each sorted ascending; 4 zero pad bytes when
+//!   pool_len is odd so the sighting table stays 8-aligned)
+//! sightings @sight_off, sighting_count x 24 bytes, sorted by hash:
+//!   u64 hash (upper 32 bits zero) | u64 segment | u64 time
+//! ```
+//!
+//! Unlike v2, the **authoritative subsets are persisted**: a cold open
+//! needs no `rebuild_authoritative_index` pass, and promotion replays the
+//! stored sets instead of re-probing `DBhash`.
+//!
+//! # Validation model
+//!
+//! [`ColdShard::open`] verifies the manifest CRC of the whole file, the
+//! header geometry (offsets, alignment, exact total length), and scans the
+//! segment directory and sighting table: ids and hashes strictly
+//! increasing (binary search soundness), every record keyed into this
+//! shard, every pool range in bounds. Pool *contents* are attested by the
+//! CRC — the writer only emits sorted slices — so no per-hash scan is
+//! needed. Any failure rejects the shard as a whole; the caller records it
+//! in a [`crate::RestoreReport`] and the store fails closed to "that shard
+//! is lost", never to a panic or a wrong verdict from garbage bytes.
+
+use crate::codec::{CodecError, ShardMeta};
+use crate::hash_db::Sighting;
+use crate::mmap::{u32_slice, u64_slice, Mapping};
+use crate::segment_db::StoredSegment;
+use crate::{SegmentId, Timestamp};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+// The zero-copy read path interprets file bytes (written little-endian)
+// through native-endian slices.
+#[cfg(target_endian = "big")]
+compile_error!("the tiered cold store reads little-endian file bytes in place");
+
+/// Magic of a v3 cold shard file.
+pub(crate) const SHARD_MAGIC: &[u8; 4] = b"BF3S";
+/// Version tag shared with the v3 manifest.
+pub(crate) const VERSION_V3: u16 = 3;
+const HEADER_LEN: usize = 64;
+const DIR_ENTRY_WORDS: usize = 5; // 40 bytes
+const SIGHT_ENTRY_WORDS: usize = 3; // 24 bytes
+
+fn align8(value: u64) -> u64 {
+    (value + 7) & !7
+}
+
+// --- Encoding -------------------------------------------------------------
+
+/// Encodes one stripe's merged (hot + cold-live) records as a v3 shard
+/// file. `segments` must be sorted by id and `sightings` by hash, both
+/// strictly (debug-asserted); the store's stripe snapshots provide that.
+///
+/// # Errors
+///
+/// Returns [`CodecError::TooLarge`] when a count exceeds the format's u32
+/// fields.
+pub(crate) fn encode_v3_shard(
+    shard: usize,
+    shard_count: usize,
+    segments: &[(SegmentId, Arc<StoredSegment>)],
+    sightings: &[(u32, Sighting)],
+) -> Result<Vec<u8>, CodecError> {
+    debug_assert!(
+        segments.windows(2).all(|w| w[0].0 < w[1].0),
+        "segments must be sorted by id"
+    );
+    debug_assert!(
+        sightings.windows(2).all(|w| w[0].0 < w[1].0),
+        "sightings must be sorted by hash"
+    );
+    let seg_count = crate::codec::len_u32(segments.len())?;
+    let sight_count = crate::codec::len_u32(sightings.len())?;
+    let pool_len: usize = segments
+        .iter()
+        .map(|(_, s)| s.hashes().len() + s.authoritative().len())
+        .sum();
+    let pool_len = crate::codec::len_u32(pool_len)?;
+
+    let dir_off = HEADER_LEN as u64;
+    let pool_off = dir_off + u64::from(seg_count) * 40;
+    let sight_off = align8(pool_off + u64::from(pool_len) * 4);
+    let total_len = sight_off + u64::from(sight_count) * 24;
+    let mut out = Vec::with_capacity(total_len as usize);
+
+    out.extend_from_slice(SHARD_MAGIC);
+    out.extend_from_slice(&VERSION_V3.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(shard as u32).to_le_bytes());
+    out.extend_from_slice(&(shard_count as u32).to_le_bytes());
+    out.extend_from_slice(&seg_count.to_le_bytes());
+    out.extend_from_slice(&sight_count.to_le_bytes());
+    out.extend_from_slice(&dir_off.to_le_bytes());
+    out.extend_from_slice(&pool_off.to_le_bytes());
+    out.extend_from_slice(&u64::from(pool_len).to_le_bytes());
+    out.extend_from_slice(&sight_off.to_le_bytes());
+    out.extend_from_slice(&total_len.to_le_bytes());
+    debug_assert_eq!(out.len(), HEADER_LEN);
+
+    // Directory, with a running cursor into the pool.
+    let mut cursor: u32 = 0;
+    for (id, segment) in segments {
+        let hash_len = crate::codec::len_u32(segment.hashes().len())?;
+        let auth_len = crate::codec::len_u32(segment.authoritative().len())?;
+        out.extend_from_slice(&id.get().to_le_bytes());
+        out.extend_from_slice(&segment.threshold().to_bits().to_le_bytes());
+        out.extend_from_slice(&segment.updated().get().to_le_bytes());
+        out.extend_from_slice(&(u64::from(cursor) | (u64::from(hash_len) << 32)).to_le_bytes());
+        cursor += hash_len;
+        out.extend_from_slice(&(u64::from(cursor) | (u64::from(auth_len) << 32)).to_le_bytes());
+        cursor += auth_len;
+    }
+
+    // Pool: each segment's hashes then its authoritative subset.
+    for (_, segment) in segments {
+        for &hash in segment.hashes() {
+            out.extend_from_slice(&hash.to_le_bytes());
+        }
+        for &hash in segment.authoritative() {
+            out.extend_from_slice(&hash.to_le_bytes());
+        }
+    }
+    while !(out.len() as u64).is_multiple_of(8) {
+        out.push(0);
+    }
+    debug_assert_eq!(out.len() as u64, sight_off);
+
+    for (hash, sighting) in sightings {
+        out.extend_from_slice(&u64::from(*hash).to_le_bytes());
+        out.extend_from_slice(&sighting.segment.get().to_le_bytes());
+        out.extend_from_slice(&sighting.time.get().to_le_bytes());
+    }
+    debug_assert_eq!(out.len() as u64, total_len);
+    Ok(out)
+}
+
+// --- The validated zero-copy view ----------------------------------------
+
+/// A sealed cold shard: one stripe's immutable records, served straight
+/// from the mapped file bytes.
+#[derive(Debug)]
+pub(crate) struct ColdShard {
+    map: Mapping,
+    seg_count: usize,
+    sight_count: usize,
+    dir_off: usize,
+    pool_off: usize,
+    pool_len: usize,
+    sight_off: usize,
+}
+
+impl ColdShard {
+    /// Maps and validates `path` as shard `shard` of `shard_count`,
+    /// against the manifest entry `meta`. See the module docs for the
+    /// validation model; every failure is a [`CodecError`] naming the
+    /// shard so lossy opens degrade per shard.
+    pub(crate) fn open(
+        path: &Path,
+        shard: usize,
+        shard_count: usize,
+        meta: &ShardMeta,
+    ) -> Result<Self, CodecError> {
+        let map = Mapping::open(path).map_err(|_| CodecError::Truncated)?;
+        let bytes = map.bytes();
+        if bytes.len() as u64 != meta.byte_len {
+            return Err(CodecError::ShardMismatch { shard });
+        }
+        if crate::codec::crc32(bytes) != meta.crc {
+            return Err(CodecError::ShardChecksum { shard });
+        }
+        if bytes.len() < HEADER_LEN {
+            return Err(CodecError::Truncated);
+        }
+        if &bytes[0..4] != SHARD_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let u16_at = |off: usize| u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap());
+        let u32_at = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        let version = u16_at(4);
+        if version != VERSION_V3 {
+            return Err(CodecError::UnsupportedVersion { found: version });
+        }
+        if u32_at(8) as usize != shard || u32_at(12) as usize != shard_count {
+            return Err(CodecError::ShardMismatch { shard });
+        }
+        let seg_count = u32_at(16) as u64;
+        let sight_count = u32_at(20) as u64;
+        if seg_count != meta.segment_count || sight_count != meta.sighting_count {
+            return Err(CodecError::ShardMismatch { shard });
+        }
+        let dir_off = u64_at(24);
+        let pool_off = u64_at(32);
+        let pool_len = u64_at(40);
+        let sight_off = u64_at(48);
+        let total_len = u64_at(56);
+        // Exact geometry: every offset is derived, aligned, and the file
+        // length matches to the byte, so no later slice can go out of
+        // bounds and no reinterpret cast can be misaligned.
+        let expect_pool = seg_count
+            .checked_mul(40)
+            .and_then(|d| d.checked_add(HEADER_LEN as u64));
+        let expect_sight = pool_len
+            .checked_mul(4)
+            .and_then(|p| pool_off.checked_add(p))
+            .map(align8);
+        let expect_total = sight_count
+            .checked_mul(24)
+            .and_then(|s| sight_off.checked_add(s));
+        if dir_off != HEADER_LEN as u64
+            || expect_pool != Some(pool_off)
+            || expect_sight != Some(sight_off)
+            || expect_total != Some(total_len)
+            || total_len != bytes.len() as u64
+        {
+            return Err(CodecError::Truncated);
+        }
+        let cold = Self {
+            seg_count: seg_count as usize,
+            sight_count: sight_count as usize,
+            dir_off: dir_off as usize,
+            pool_off: pool_off as usize,
+            pool_len: pool_len as usize,
+            sight_off: sight_off as usize,
+            map,
+        };
+        // The casts themselves re-check alignment and fail closed.
+        let dir = u64_slice(&cold.map.bytes()[cold.dir_off..cold.pool_off])
+            .ok_or(CodecError::Truncated)?;
+        if u32_slice(&cold.map.bytes()[cold.pool_off..cold.pool_off + cold.pool_len * 4]).is_none()
+        {
+            return Err(CodecError::Truncated);
+        }
+        let sights = u64_slice(&cold.map.bytes()[cold.sight_off..total_len as usize])
+            .ok_or(CodecError::Truncated)?;
+
+        let mask = (shard_count - 1) as u64;
+        // Directory scan: sorted ids, shard membership, in-bounds pool
+        // ranges (binary-search soundness + panic-free slicing).
+        let mut previous_id: Option<u64> = None;
+        for entry in dir.chunks_exact(DIR_ENTRY_WORDS) {
+            let id = entry[0];
+            if id & mask != shard as u64 || previous_id.is_some_and(|p| p >= id) {
+                return Err(CodecError::ShardMismatch { shard });
+            }
+            previous_id = Some(id);
+            for &word in &entry[3..5] {
+                let (off, len) = (word & 0xFFFF_FFFF, word >> 32);
+                if off.checked_add(len).is_none_or(|end| end > pool_len) {
+                    return Err(CodecError::ShardMismatch { shard });
+                }
+            }
+        }
+        // Sighting scan: sorted hashes with clean upper words, shard
+        // membership.
+        let mut previous_hash: Option<u64> = None;
+        for entry in sights.chunks_exact(SIGHT_ENTRY_WORDS) {
+            let hash = entry[0];
+            if hash > u64::from(u32::MAX)
+                || hash & mask != shard as u64
+                || previous_hash.is_some_and(|p| p >= hash)
+            {
+                return Err(CodecError::ShardMismatch { shard });
+            }
+            previous_hash = Some(hash);
+        }
+        Ok(cold)
+    }
+
+    fn dir_words(&self) -> &[u64] {
+        u64_slice(&self.map.bytes()[self.dir_off..self.pool_off])
+            .expect("cold shard geometry validated at open")
+    }
+
+    fn pool(&self) -> &[u32] {
+        u32_slice(&self.map.bytes()[self.pool_off..self.pool_off + self.pool_len * 4])
+            .expect("cold shard geometry validated at open")
+    }
+
+    fn sight_words(&self) -> &[u64] {
+        u64_slice(&self.map.bytes()[self.sight_off..self.sight_off + self.sight_count * 24])
+            .expect("cold shard geometry validated at open")
+    }
+
+    /// Number of segment records in the file (live or tombstoned).
+    pub(crate) fn segment_count(&self) -> usize {
+        self.seg_count
+    }
+
+    /// Number of first-sighting records in the file.
+    pub(crate) fn sighting_count(&self) -> usize {
+        self.sight_count
+    }
+
+    /// Whether the view is a real `mmap` (false: aligned heap copy).
+    pub(crate) fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// Binary-searches the segment directory for `id`.
+    pub(crate) fn find(&self, id: SegmentId) -> Option<usize> {
+        let dir = self.dir_words();
+        let raw = id.get();
+        let mut lo = 0usize;
+        let mut hi = self.seg_count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match dir[mid * DIR_ENTRY_WORDS].cmp(&raw) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+
+    /// The id of directory entry `index`.
+    pub(crate) fn dir_id(&self, index: usize) -> SegmentId {
+        SegmentId::new(self.dir_words()[index * DIR_ENTRY_WORDS])
+    }
+
+    /// The threshold of directory entry `index`.
+    pub(crate) fn dir_threshold(&self, index: usize) -> f64 {
+        f64::from_bits(self.dir_words()[index * DIR_ENTRY_WORDS + 1])
+    }
+
+    /// The last-update time of directory entry `index`.
+    pub(crate) fn dir_updated(&self, index: usize) -> Timestamp {
+        Timestamp::new(self.dir_words()[index * DIR_ENTRY_WORDS + 2])
+    }
+
+    fn pool_range(&self, word: u64) -> &[u32] {
+        let off = (word & 0xFFFF_FFFF) as usize;
+        let len = (word >> 32) as usize;
+        &self.pool()[off..off + len]
+    }
+
+    /// The sorted fingerprint hashes of directory entry `index`, straight
+    /// from the file bytes.
+    pub(crate) fn hashes_at(&self, index: usize) -> &[u32] {
+        self.pool_range(self.dir_words()[index * DIR_ENTRY_WORDS + 3])
+    }
+
+    /// The sorted authoritative subset of directory entry `index`.
+    pub(crate) fn authoritative_at(&self, index: usize) -> &[u32] {
+        self.pool_range(self.dir_words()[index * DIR_ENTRY_WORDS + 4])
+    }
+
+    /// Copies directory entry `index` out into an owned [`StoredSegment`]
+    /// (the promotion path).
+    pub(crate) fn materialize(&self, index: usize) -> StoredSegment {
+        StoredSegment::from_parts(
+            self.hashes_at(index).to_vec(),
+            self.authoritative_at(index).to_vec(),
+            self.dir_threshold(index),
+            self.dir_updated(index),
+        )
+    }
+
+    /// `oldestParagraphWith(h)` over the file's sighting table.
+    pub(crate) fn oldest_with(&self, hash: u32) -> Option<Sighting> {
+        let words = self.sight_words();
+        let raw = u64::from(hash);
+        let mut lo = 0usize;
+        let mut hi = self.sight_count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match words[mid * SIGHT_ENTRY_WORDS].cmp(&raw) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    return Some(Sighting {
+                        segment: SegmentId::new(words[mid * SIGHT_ENTRY_WORDS + 1]),
+                        time: Timestamp::new(words[mid * SIGHT_ENTRY_WORDS + 2]),
+                    })
+                }
+            }
+        }
+        None
+    }
+
+    /// The `index`-th sighting record (ascending hash order).
+    pub(crate) fn sighting_at(&self, index: usize) -> (u32, Sighting) {
+        let words = self.sight_words();
+        (
+            words[index * SIGHT_ENTRY_WORDS] as u32,
+            Sighting {
+                segment: SegmentId::new(words[index * SIGHT_ENTRY_WORDS + 1]),
+                time: Timestamp::new(words[index * SIGHT_ENTRY_WORDS + 2]),
+            },
+        )
+    }
+}
+
+// --- Handles and tier bookkeeping -----------------------------------------
+
+/// A zero-copy handle to a stored segment: either an owned in-memory
+/// record (hot tier) or a view into a mapped cold shard. Candidate
+/// evaluation reads hashes, authoritative set and threshold through the
+/// same accessors either way, so Algorithm 1 never copies cold data.
+#[derive(Debug, Clone)]
+pub struct SegmentHandle(Repr);
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Hot(Arc<StoredSegment>),
+    Cold(Arc<ColdShard>, usize),
+}
+
+impl SegmentHandle {
+    pub(crate) fn hot(segment: Arc<StoredSegment>) -> Self {
+        Self(Repr::Hot(segment))
+    }
+
+    pub(crate) fn cold(shard: Arc<ColdShard>, index: usize) -> Self {
+        Self(Repr::Cold(shard, index))
+    }
+
+    /// The segment's sorted distinct fingerprint hashes.
+    pub fn hashes(&self) -> &[u32] {
+        match &self.0 {
+            Repr::Hot(s) => s.hashes(),
+            Repr::Cold(shard, index) => shard.hashes_at(*index),
+        }
+    }
+
+    /// The segment's sorted authoritative subset (`F_A`, §4.3).
+    pub fn authoritative(&self) -> &[u32] {
+        match &self.0 {
+            Repr::Hot(s) => s.authoritative(),
+            Repr::Cold(shard, index) => shard.authoritative_at(*index),
+        }
+    }
+
+    /// The segment's disclosure threshold.
+    pub fn threshold(&self) -> f64 {
+        match &self.0 {
+            Repr::Hot(s) => s.threshold(),
+            Repr::Cold(shard, index) => shard.dir_threshold(*index),
+        }
+    }
+
+    /// Logical time of the segment's last fingerprint update.
+    pub fn updated(&self) -> Timestamp {
+        match &self.0 {
+            Repr::Hot(s) => s.updated(),
+            Repr::Cold(shard, index) => shard.dir_updated(*index),
+        }
+    }
+
+    /// Whether the handle reads from a mapped cold shard.
+    pub fn is_cold(&self) -> bool {
+        matches!(self.0, Repr::Cold(..))
+    }
+}
+
+/// Outcome of one [`crate::FingerprintStore::demote_idle_shards`] sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TierSweep {
+    /// Stripes rewritten as cold shard files this sweep.
+    pub demoted_shards: usize,
+    /// Segment records those stripes now serve from cold files.
+    pub demoted_segments: usize,
+    /// First-sighting records those stripes now serve from cold files.
+    pub demoted_sightings: usize,
+}
+
+/// The store's attachment to a cold directory: where demoted shards are
+/// written and the manifest entries describing the current on-disk state.
+#[derive(Debug)]
+pub(crate) struct TierState {
+    pub(crate) dir: PathBuf,
+    pub(crate) metas: Vec<ShardMeta>,
+}

@@ -1,17 +1,21 @@
-//! v2 persistence tests: proptest round-trips over arbitrary stores and
+//! Persistence tests: proptest round-trips over arbitrary stores and
 //! shard counts, the corruption matrix (torn shards, flipped manifest
-//! CRCs, swapped shard records), v1 back-compat, and the sealed-export
+//! CRCs, swapped shard records) for both the v2 and the v3 (cold,
+//! mmap'd) formats, v1 back-compat, cross-version opens through the
+//! unified [`StoreOpenOptions`] entry point, and the sealed-export
 //! nonce-reuse regression.
 //!
 //! `scripts/ci.sh` runs this file explicitly as the corruption gate.
 
 use browserflow_fingerprint::Fingerprinter;
 use browserflow_store::{
-    codec, load_from_dir, persist_to_dir, CodecError, FingerprintStore, SegmentId, StoreKey,
+    codec, CodecError, FingerprintStore, PersistError, PersistOptions, SegmentId, StoreFormat,
+    StoreKey, StoreOpenOptions, TierMode,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 
 const WORDS: [&str; 16] = [
     "acquisition",
@@ -198,7 +202,7 @@ fn torn_directory_loads_healthy_shards_and_reports_the_torn_one() {
     let dir = std::env::temp_dir().join(format!("bf-torn-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let store = build_store(&[(1, 0), (2, 3), (3, 5), (4, 7), (5, 9), (6, 11)]);
-    persist_to_dir(&store, &dir).unwrap();
+    PersistOptions::new().persist(&store, &dir).unwrap();
 
     // Find a shard file with content and tear it.
     let mut torn_index = None;
@@ -213,7 +217,7 @@ fn torn_directory_loads_healthy_shards_and_reports_the_torn_one() {
     }
     let torn_index = torn_index.expect("at least one shard holds data");
 
-    let (loaded, report) = load_from_dir(&dir).unwrap();
+    let (loaded, report) = StoreOpenOptions::new().open(&dir).unwrap();
     assert_eq!(report.lost_shards, vec![torn_index]);
     assert_eq!(report.loaded_shards, store.shard_count() - 1);
     assert!(report.lost_segments > 0);
@@ -324,6 +328,273 @@ fn hostile_length_fields_fail_closed() {
     // First entry length field sits right after magic+version+count.
     wire[10..14].copy_from_slice(&u32::MAX.to_le_bytes());
     assert!(browserflow_store::SealedStore::from_bytes(&wire).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// v3 (cold/mmap) corruption matrix
+// ---------------------------------------------------------------------------
+
+/// Reference CRC-32 (reflected, 0xEDB88320) — used to re-sign manifests
+/// after deliberate tampering so geometry checks are exercised *past* the
+/// checksum gate.
+fn crc32_ref(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn v3_temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bf-v3mx-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn shard_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:04}.bfs"))
+}
+
+/// Patches shard `index`'s manifest entry (crc at +0, byte_len at +4) and
+/// re-signs the manifest CRC, simulating an adversary — or a buggy writer —
+/// that produces internally *consistent* metadata for damaged bytes.
+fn resign_manifest(dir: &Path, index: usize, crc: u32, byte_len: u64) {
+    let path = dir.join("manifest.bfm");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let count = u32::from_le_bytes(bytes[14..18].try_into().unwrap()) as usize;
+    assert!(index < count);
+    let entry = 18 + index * 28;
+    bytes[entry..entry + 4].copy_from_slice(&crc.to_le_bytes());
+    bytes[entry + 4..entry + 12].copy_from_slice(&byte_len.to_le_bytes());
+    let crc_pos = 18 + count * 28;
+    let manifest_crc = crc32_ref(&bytes[..crc_pos]);
+    bytes[crc_pos..crc_pos + 4].copy_from_slice(&manifest_crc.to_le_bytes());
+    std::fs::write(&path, bytes).unwrap();
+}
+
+fn v3_fixture(tag: &str) -> (FingerprintStore, PathBuf, Vec<usize>) {
+    let specs: Vec<(u64, usize)> = (1..=48).map(|i| (i, i as usize)).collect();
+    let store = build_store(&specs);
+    let dir = v3_temp_dir(tag);
+    PersistOptions::new()
+        .format(StoreFormat::V3)
+        .persist(&store, &dir)
+        .unwrap();
+    let populated: Vec<usize> = (0..store.shard_count())
+        .filter(|&index| std::fs::metadata(shard_path(&dir, index)).unwrap().len() > 64)
+        .collect();
+    assert!(!populated.is_empty());
+    (store, dir, populated)
+}
+
+/// After a lossy cold open, every surviving segment must answer exactly
+/// like the reference and every lost segment must be absent — damaged
+/// shards fail closed, they never produce wrong verdicts.
+fn assert_fails_closed(reference: &FingerprintStore, opened: &FingerprintStore) {
+    let mut ids: Vec<SegmentId> = reference.segment_ids().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let expected = reference.segment(id).unwrap();
+        // An absent segment was lost with its shard: closed, not wrong.
+        if let Some(handle) = opened.segment_handle(id) {
+            assert_eq!(handle.hashes(), expected.hashes());
+            assert_eq!(handle.authoritative(), expected.authoritative());
+            assert_eq!(handle.threshold(), expected.threshold());
+        }
+    }
+}
+
+#[test]
+fn v3_bit_flips_fail_closed_per_shard() {
+    let (store, dir, populated) = v3_fixture("flip");
+    for &index in &populated {
+        let path = shard_path(&dir, index);
+        let original = std::fs::read(&path).unwrap();
+        // Flip a byte in each region of the file: header, directory/pool,
+        // and the tail (sighting records).
+        for position in [8, original.len() / 2, original.len() - 8] {
+            let mut damaged = original.clone();
+            damaged[position] ^= 0xA5;
+            std::fs::write(&path, &damaged).unwrap();
+            for tier in [TierMode::Cold, TierMode::Hot] {
+                let (opened, report) = StoreOpenOptions::new().tier(tier).open(&dir).unwrap();
+                assert_eq!(
+                    report.lost_shards,
+                    vec![index],
+                    "shard {index} @ {position}"
+                );
+                assert_eq!(report.loaded_shards, store.shard_count() - 1);
+                assert!(report.lost_segments > 0);
+                assert_fails_closed(&store, &opened);
+            }
+        }
+        std::fs::write(&path, &original).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn v3_truncation_fails_closed_per_shard() {
+    let (store, dir, populated) = v3_fixture("trunc");
+    for &index in &populated {
+        let path = shard_path(&dir, index);
+        let original = std::fs::read(&path).unwrap();
+        for keep in [0, 1, 63, 64, original.len() / 2, original.len() - 1] {
+            std::fs::write(&path, &original[..keep]).unwrap();
+            let (opened, report) = StoreOpenOptions::new()
+                .tier(TierMode::Cold)
+                .open(&dir)
+                .unwrap();
+            assert_eq!(report.lost_shards, vec![index], "shard {index} keep {keep}");
+            assert_fails_closed(&store, &opened);
+        }
+        std::fs::write(&path, &original).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn v3_misaligned_lengths_fail_closed_even_with_consistent_metadata() {
+    // The nasty corner for a zero-copy reader: the manifest agrees with
+    // the file bytes (CRC and length re-signed), but the length no longer
+    // matches the geometry the header declares — including lengths that
+    // break the 8-byte alignment a mapped view relies on. Open must
+    // reject the shard via its geometry validation, not trust the CRC.
+    let (store, dir, populated) = v3_fixture("align");
+    let index = populated[0];
+    let path = shard_path(&dir, index);
+    let original = std::fs::read(&path).unwrap();
+    let manifest = std::fs::read(dir.join("manifest.bfm")).unwrap();
+
+    // (a) Shave 4 bytes: length is no longer a multiple of 8.
+    // (b) Shave a whole trailing record: aligned, but short of the header.
+    // (c) Append 8 zero bytes: aligned, but long of the header.
+    let mut variants: Vec<Vec<u8>> = vec![
+        original[..original.len() - 4].to_vec(),
+        original[..original.len() - 24].to_vec(),
+    ];
+    let mut padded = original.clone();
+    padded.extend_from_slice(&[0u8; 8]);
+    variants.push(padded);
+
+    for (case, damaged) in variants.iter().enumerate() {
+        std::fs::write(&path, damaged).unwrap();
+        resign_manifest(&dir, index, crc32_ref(damaged), damaged.len() as u64);
+        let (opened, report) = StoreOpenOptions::new()
+            .tier(TierMode::Cold)
+            .open(&dir)
+            .unwrap();
+        assert!(
+            report.lost_shards.contains(&index),
+            "case {case}: consistent-but-misaligned shard must be rejected"
+        );
+        assert_fails_closed(&store, &opened);
+        // Restore pristine state for the next variant.
+        std::fs::write(&path, &original).unwrap();
+        std::fs::write(dir.join("manifest.bfm"), &manifest).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn v3_manifest_corruption_is_fatal_not_a_panic() {
+    let (_, dir, _) = v3_fixture("manifest");
+    let path = dir.join("manifest.bfm");
+    let original = std::fs::read(&path).unwrap();
+    // Flip the trailing CRC: nothing can be trusted.
+    let mut damaged = original.clone();
+    let last = damaged.len() - 1;
+    damaged[last] ^= 0xFF;
+    std::fs::write(&path, &damaged).unwrap();
+    assert!(matches!(
+        StoreOpenOptions::new().tier(TierMode::Cold).open(&dir),
+        Err(PersistError::Codec(CodecError::ManifestChecksum))
+    ));
+    // Every strict prefix is a typed error as well, never a panic.
+    for keep in 0..original.len() {
+        std::fs::write(&path, &original[..keep]).unwrap();
+        assert!(StoreOpenOptions::new()
+            .tier(TierMode::Cold)
+            .open(&dir)
+            .is_err());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-version opens through the unified entry point
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_historic_snapshot_format_opens_through_store_open_options() {
+    let store = build_store(&[(1, 0), (2, 3), (3, 5), (4, 7), (5, 9)]);
+    let mut rng = StdRng::seed_from_u64(21);
+    let key = StoreKey::generate(&mut rng);
+    let base = std::env::temp_dir().join(format!("bf-xver-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+
+    // Single-file payloads: v1 blob, v2 blob, sealed container.
+    let v1_file = base.join("store.v1.bfst");
+    std::fs::write(&v1_file, codec::encode_v1(&store).unwrap()).unwrap();
+    let v2_file = base.join("store.v2.bfst");
+    std::fs::write(&v2_file, codec::encode(&store).unwrap()).unwrap();
+    let sealed_file = base.join("store.bfss");
+    std::fs::write(&sealed_file, store.export_sealed(&key).unwrap().to_bytes()).unwrap();
+
+    // Directory payloads: plain v2, sealed v2, plain v3.
+    let v2_dir = base.join("dir-v2");
+    PersistOptions::new().persist(&store, &v2_dir).unwrap();
+    let sealed_dir = base.join("dir-sealed");
+    PersistOptions::sealed(key.clone())
+        .persist(&store, &sealed_dir)
+        .unwrap();
+    let v3_dir = base.join("dir-v3");
+    PersistOptions::new()
+        .format(StoreFormat::V3)
+        .persist(&store, &v3_dir)
+        .unwrap();
+
+    let opts = StoreOpenOptions::sealed(key.clone());
+    for (label, path) in [
+        ("v1 file", &v1_file),
+        ("v2 file", &v2_file),
+        ("sealed file", &sealed_file),
+        ("v2 dir", &v2_dir),
+        ("sealed dir", &sealed_dir),
+        ("v3 dir", &v3_dir),
+    ] {
+        // Both tier modes must open every payload (cold only takes effect
+        // for the v3 directory; the rest decode hot).
+        for tier in [TierMode::Hot, TierMode::Cold] {
+            let (opened, report) = opts.clone().tier(tier).open(path).unwrap();
+            assert!(report.is_complete(), "{label} ({tier:?}): {report}");
+            assert_eq!(
+                opened.segment_count(),
+                store.segment_count(),
+                "{label} ({tier:?})"
+            );
+            assert_eq!(
+                opened.hash_count(),
+                store.hash_count(),
+                "{label} ({tier:?})"
+            );
+            assert_equivalent(&store, &opened);
+        }
+    }
+
+    // Sealed payloads without a key are a typed refusal, not garbage.
+    for path in [&sealed_file, &sealed_dir] {
+        assert!(matches!(
+            StoreOpenOptions::new().open(path),
+            Err(PersistError::Unsupported(_))
+        ));
+    }
+    std::fs::remove_dir_all(&base).unwrap();
 }
 
 proptest! {

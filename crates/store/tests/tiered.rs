@@ -1,0 +1,345 @@
+//! Tiered (hot/cold) store tests: v3 round-trips through both tier
+//! modes, promotion-on-write, demotion sweeps, and the property that a
+//! cold-opened store answers Algorithm 1 byte-identically to the hot
+//! reference it was persisted from.
+
+use browserflow_fingerprint::Fingerprinter;
+use browserflow_store::{
+    DisclosureReport, FingerprintStore, PersistError, PersistOptions, SegmentId, StoreFormat,
+    StoreOpenOptions, TierMode, Timestamp,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+const WORDS: [&str; 16] = [
+    "acquisition",
+    "initech",
+    "margin",
+    "outlook",
+    "reorganisation",
+    "timeline",
+    "incident",
+    "postmortem",
+    "remediation",
+    "quarterly",
+    "earnings",
+    "zurich",
+    "press",
+    "event",
+    "subsidiaries",
+    "patents",
+];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bf-tiered-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn segment_text(seed: usize) -> String {
+    let words: Vec<&str> = (0..12)
+        .map(|i| WORDS[(seed + i * 3) % WORDS.len()])
+        .collect();
+    words.join(" ")
+}
+
+fn build_store(specs: &[(u64, usize)]) -> FingerprintStore {
+    let fp = Fingerprinter::default();
+    let store = FingerprintStore::new();
+    for &(id, seed) in specs {
+        store.observe(
+            SegmentId::new(id),
+            &fp.fingerprint(&segment_text(seed)),
+            (seed % 10) as f64 / 10.0,
+        );
+    }
+    store
+}
+
+fn assert_equivalent(a: &FingerprintStore, b: &FingerprintStore) {
+    assert_eq!(a.segment_count(), b.segment_count());
+    assert_eq!(a.hash_count(), b.hash_count());
+    assert_eq!(a.now(), b.now());
+    let mut ids: Vec<SegmentId> = a.segment_ids().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let sa = a.segment(id).unwrap();
+        let sb = b.segment(id).unwrap();
+        assert_eq!(sa.hashes(), sb.hashes());
+        assert_eq!(sa.threshold(), sb.threshold());
+        assert_eq!(sa.updated(), sb.updated());
+        // v3 persists the authoritative subset, so it must survive both
+        // tier modes exactly.
+        assert_eq!(sa.authoritative(), sb.authoritative());
+    }
+}
+
+fn persist_v3(store: &FingerprintStore, dir: &std::path::Path) {
+    PersistOptions::new()
+        .format(StoreFormat::V3)
+        .persist(store, dir)
+        .unwrap();
+}
+
+fn open_cold(dir: &std::path::Path) -> FingerprintStore {
+    let (store, report) = StoreOpenOptions::new()
+        .tier(TierMode::Cold)
+        .open(dir)
+        .unwrap();
+    assert!(report.is_complete(), "cold open lost shards: {report}");
+    store
+}
+
+#[test]
+fn v3_roundtrip_cold_and_hot_modes_are_equivalent() {
+    let dir = temp_dir("roundtrip");
+    let specs: Vec<(u64, usize)> = (1..=40).map(|i| (i, i as usize)).collect();
+    let store = build_store(&specs);
+    persist_v3(&store, &dir);
+
+    let cold = open_cold(&dir);
+    assert_equivalent(&store, &cold);
+    let stats = cold.stats();
+    assert!(stats.cold_shards > 0, "cold open must attach mapped shards");
+    assert_eq!(stats.cold_segments, store.segment_count());
+    assert_eq!(stats.cold_sightings, store.hash_count());
+    assert_eq!(stats.tier_promoted_segments, 0);
+
+    // Hot mode decodes the same files fully into memory.
+    let (hot, report) = StoreOpenOptions::new().open(&dir).unwrap();
+    assert!(report.is_complete());
+    assert_equivalent(&store, &hot);
+    assert_eq!(hot.stats().cold_shards, 0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cold_segment_handles_read_the_mapped_file() {
+    let dir = temp_dir("handles");
+    let store = build_store(&[(1, 2), (2, 5), (3, 9)]);
+    persist_v3(&store, &dir);
+    let cold = open_cold(&dir);
+    for id in [1u64, 2, 3] {
+        let handle = cold.segment_handle(SegmentId::new(id)).unwrap();
+        assert!(handle.is_cold(), "segment {id} should be served cold");
+        let reference = store.segment(SegmentId::new(id)).unwrap();
+        assert_eq!(handle.hashes(), reference.hashes());
+        assert_eq!(handle.authoritative(), reference.authoritative());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn promotion_on_write_keeps_verdicts_and_counts() {
+    let dir = temp_dir("promotion");
+    let fp = Fingerprinter::default();
+    let specs: Vec<(u64, usize)> = (1..=16).map(|i| (i, i as usize)).collect();
+    let store = build_store(&specs);
+    persist_v3(&store, &dir);
+    let cold = open_cold(&dir);
+
+    // Mutations against cold records promote them into the hot tier…
+    assert!(cold.set_threshold(SegmentId::new(3), 0.9));
+    let refreshed = segment_text(99);
+    cold.observe(SegmentId::new(5), &fp.fingerprint(&refreshed), 0.4);
+    let stats = cold.stats();
+    assert!(
+        stats.tier_promoted_segments >= 1,
+        "threshold change must promote, got {}",
+        stats.tier_promoted_segments
+    );
+    assert!(!cold.segment_handle(SegmentId::new(3)).unwrap().is_cold());
+    assert!(!cold.segment_handle(SegmentId::new(5)).unwrap().is_cold());
+    assert_eq!(cold.segment(SegmentId::new(3)).unwrap().threshold(), 0.9);
+
+    // …while a pure-hot store given the same history agrees on verdicts.
+    let reference = build_store(&specs);
+    assert!(reference.set_threshold(SegmentId::new(3), 0.9));
+    reference.observe(SegmentId::new(5), &fp.fingerprint(&refreshed), 0.4);
+    let probe = fp.fingerprint(&segment_text(7));
+    assert_eq!(
+        cold.disclosing_sources(SegmentId::new(999), &probe),
+        reference.disclosing_sources(SegmentId::new(999), &probe),
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn removal_of_cold_segments_tombstones_without_rewrite() {
+    let dir = temp_dir("remove");
+    let store = build_store(&[(1, 1), (2, 4), (3, 8), (4, 12)]);
+    persist_v3(&store, &dir);
+    let cold = open_cold(&dir);
+    assert!(cold.remove_segment(SegmentId::new(2)));
+    assert!(!cold.remove_segment(SegmentId::new(2)));
+    assert_eq!(cold.segment_count(), 3);
+    assert!(cold.segment_handle(SegmentId::new(2)).is_none());
+    assert!(cold.oldest_segment_with(u32::MAX).is_none());
+    // The file on disk is untouched; only the overlay changed.
+    let reopened = open_cold(&dir);
+    assert_eq!(reopened.segment_count(), 4);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn eviction_sweep_covers_cold_records() {
+    let dir = temp_dir("evict");
+    let specs: Vec<(u64, usize)> = (1..=10).map(|i| (i, i as usize)).collect();
+    let store = build_store(&specs);
+    let cutoff = store.now();
+    persist_v3(&store, &dir);
+    let cold = open_cold(&dir);
+    // Every record is strictly older than the post-build clock, so an
+    // age sweep at `cutoff` tombstones every cold record.
+    let evicted = cold.evict_older_than(cutoff);
+    assert_eq!(evicted, specs.len());
+    assert_eq!(cold.segment_count(), 0);
+    assert_eq!(cold.hash_count(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn demote_idle_shards_drains_hot_into_cold_files() {
+    let dir = temp_dir("demote");
+    let specs: Vec<(u64, usize)> = (1..=32).map(|i| (i, i as usize)).collect();
+    let store = build_store(&specs);
+    store.attach_tier(&dir).unwrap();
+    // Attaching twice is an error, as is attaching over a snapshot.
+    assert!(matches!(
+        store.attach_tier(&dir),
+        Err(PersistError::Unsupported(_))
+    ));
+
+    // Everything is idle relative to a future cutoff: the sweep demotes
+    // every dirty stripe.
+    let sweep = store
+        .demote_idle_shards(Timestamp::new(store.now().get() + 1))
+        .unwrap();
+    assert!(sweep.demoted_shards > 0);
+    assert_eq!(sweep.demoted_segments, specs.len());
+    let stats = store.stats();
+    assert_eq!(stats.cold_segments, specs.len());
+    assert_eq!(stats.tier_demoted_shards, sweep.demoted_shards as u64);
+    assert_eq!(stats.total_entries(), specs.len());
+
+    // A second sweep with nothing dirty is a no-op.
+    let again = store
+        .demote_idle_shards(Timestamp::new(store.now().get() + 1))
+        .unwrap();
+    assert_eq!(again.demoted_shards, 0);
+
+    // The directory is now a complete cold snapshot.
+    let reopened = open_cold(&dir);
+    assert_equivalent(&store, &reopened);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn demotion_skips_stripes_with_fresh_hot_writes() {
+    let dir = temp_dir("demote-busy");
+    let fp = Fingerprinter::default();
+    let store = build_store(&[(1, 1), (2, 2)]);
+    let cutoff = store.now(); // strictly after segments 1 and 2
+    store.attach_tier(&dir).unwrap();
+    // Segment 3 lands at/after the cutoff: its stripe must stay hot.
+    store.observe(SegmentId::new(3), &fp.fingerprint(&segment_text(3)), 0.5);
+    let sweep = store.demote_idle_shards(cutoff).unwrap();
+    let stats = store.stats();
+    assert!(
+        stats.cold_segments <= 2,
+        "the fresh segment must not be demoted"
+    );
+    assert_eq!(stats.total_entries(), 3, "no record may be lost");
+    assert!(sweep.demoted_segments <= 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn demotion_after_cold_open_rewrites_only_dirty_stripes() {
+    let dir = temp_dir("demote-cycle");
+    let fp = Fingerprinter::default();
+    let specs: Vec<(u64, usize)> = (1..=24).map(|i| (i, i as usize)).collect();
+    let store = build_store(&specs);
+    persist_v3(&store, &dir);
+
+    let cold = open_cold(&dir);
+    // Touch one segment; only its stripe (and the hash stripes the new
+    // fingerprint dirtied) should be rewritten by the sweep.
+    cold.observe(SegmentId::new(7), &fp.fingerprint(&segment_text(70)), 0.3);
+    let sweep = cold
+        .demote_idle_shards(Timestamp::new(cold.now().get() + 1))
+        .unwrap();
+    assert!(sweep.demoted_shards >= 1);
+    assert!(
+        sweep.demoted_shards < cold.shard_count(),
+        "a single write must not force a full rewrite"
+    );
+    // After the sweep the store is fully cold again and reopens equal.
+    let reopened = open_cold(&dir);
+    assert_equivalent(&cold, &reopened);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn demotion_without_tier_is_rejected() {
+    let store = build_store(&[(1, 1)]);
+    assert!(matches!(
+        store.demote_idle_shards(Timestamp::new(u64::MAX)),
+        Err(PersistError::Unsupported(_))
+    ));
+}
+
+proptest! {
+    /// Algorithm 1 verdicts from a cold-opened v3 snapshot are
+    /// byte-identical to the hot store they were persisted from — the
+    /// acceptance property pinning the mmap'd intersection path to the
+    /// in-memory reference.
+    #[test]
+    fn cold_checks_match_hot_reference(
+        specs in proptest::collection::vec((1u64..200, 0usize..16), 1..24),
+        probe_seed in 0usize..16,
+        mutate in proptest::collection::vec((1u64..200, 0usize..16), 0..4),
+    ) {
+        let dir = temp_dir(&format!("prop-{probe_seed}-{}", specs.len()));
+        let fp = Fingerprinter::default();
+        let hot = build_store(&specs);
+        persist_v3(&hot, &dir);
+        let cold = open_cold(&dir);
+
+        let probe = fp.fingerprint(&segment_text(probe_seed));
+        let target = SegmentId::new(10_000);
+        let from_hot: Vec<DisclosureReport> = hot.disclosing_sources(target, &probe);
+        let from_cold: Vec<DisclosureReport> = cold.disclosing_sources(target, &probe);
+        prop_assert_eq!(&from_hot, &from_cold);
+
+        // And the equivalence survives promotion: replay extra writes on
+        // both sides, then compare again.
+        for &(id, seed) in &mutate {
+            let fingerprint = fp.fingerprint(&segment_text(seed + 7));
+            hot.observe(SegmentId::new(id), &fingerprint, 0.2);
+            cold.observe(SegmentId::new(id), &fingerprint, 0.2);
+        }
+        let from_hot: Vec<DisclosureReport> = hot.disclosing_sources(target, &probe);
+        let from_cold: Vec<DisclosureReport> = cold.disclosing_sources(target, &probe);
+        prop_assert_eq!(&from_hot, &from_cold);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// persist(v3) ∘ open is the identity for both tier modes.
+    #[test]
+    fn v3_roundtrip_is_identity(
+        specs in proptest::collection::vec((1u64..200, 0usize..16), 0..24),
+    ) {
+        let dir = temp_dir(&format!("prop-rt-{}", specs.len()));
+        let store = build_store(&specs);
+        persist_v3(&store, &dir);
+        let cold = open_cold(&dir);
+        assert_equivalent(&store, &cold);
+        let (hot, report) = StoreOpenOptions::new().open(&dir).unwrap();
+        prop_assert!(report.is_complete());
+        assert_equivalent(&store, &hot);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

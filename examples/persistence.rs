@@ -115,6 +115,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert!(report.is_complete());
         std::fs::remove_dir_all(&state_dir).ok();
+
+        // --- Tiered directory form: mmap'd cold restarts ------------------
+        // Fingerprint shards are written as alignment-safe v3 files that
+        // the next start validates and maps in place instead of decoding —
+        // restart cost becomes checksum-bound, not decode-bound. Shard
+        // files are plaintext in this form (mapped bytes cannot be
+        // ciphertext); only the policy metadata stays sealed, so prefer
+        // `persist_to_dir` when fingerprints themselves must be encrypted
+        // at rest.
+        let tiered_dir = std::env::temp_dir().join("browserflow-state-tiered");
+        flow.persist_tiered_to_dir(&tiered_dir)?;
+        let (tiered, _) = BrowserFlow::load_from_dir(StoreKey::from_bytes(key_bytes), &tiered_dir)?;
+        let stats = tiered.engine().paragraph_store().stats();
+        println!(
+            "\nsession 2: tiered reload -> {} paragraphs, {}/{} shards cold \
+             ({} mmap'd), {} segments served from mapped files",
+            tiered.engine().paragraph_count(),
+            stats.cold_shards,
+            stats.shard_count,
+            stats.cold_mapped_shards,
+            stats.cold_segments
+        );
+        assert!(stats.cold_shards > 0);
+
+        // Cold records answer identically: the severance leak still blocks.
+        let decision = tiered.check_one(&CheckRequest::paragraph(
+            "gdocs",
+            "cold-draft",
+            0,
+            severance,
+        ))?;
+        println!(
+            "session 2: severance paragraph against the cold tier -> {:?}",
+            decision.action
+        );
+        assert_eq!(decision.action, UploadAction::Block);
+        std::fs::remove_dir_all(&tiered_dir).ok();
     }
 
     std::fs::remove_file(&state_path).ok();

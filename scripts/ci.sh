@@ -2,10 +2,11 @@
 # CI gate for the BrowserFlow workspace.
 #
 # Runs, in order:
-#   1. grep gates: no deprecated check_upload wrappers outside their
-#      definition site, no panicking worker expects in the pipeline, no
-#      per-hash DBhash probes inside Algorithm 1's candidate evaluation,
-#      no explicit-nonce sealing outside the encryption module's own tests
+#   1. grep gates: deprecated persistence free functions stay quarantined
+#      in their definition site, no panicking worker expects in the
+#      pipeline, no per-hash DBhash probes inside Algorithm 1's candidate
+#      evaluation, no explicit-nonce sealing outside the encryption
+#      module's own tests
 #   2. rustfmt check over the first-party packages
 #   3. clippy with warnings (and the clippy::perf group) denied over the
 #      first-party packages
@@ -18,11 +19,15 @@
 #   8. a release-mode smoke run of the algorithm1 microbench, which
 #      asserts the authoritative-index evaluation path stays >= 3x faster
 #      than the probe-based reference on a 150 k-paragraph store
-#   9. a daemon smoke test: boot a release bfd on a temp socket, drive it
+#   9. a release-mode smoke run of the tiered-persistence microbench,
+#      which regenerates BENCH_tiered.json and asserts a v3 cold (mapped)
+#      open stays >= 10x faster than a v2 full decode on a
+#      150 k-paragraph store, with cold reports identical to hot
+#  10. a daemon smoke test: boot a release bfd on a temp socket, drive it
 #      with bfctl daemon (create -> observe -> check -> stats), SIGTERM
 #      it, and assert clean exit plus a persisted tenant state directory
 #      that a second bfd restores
-#  10. a release-mode smoke run of the multi-tenant service bench, which
+#  11. a release-mode smoke run of the multi-tenant service bench, which
 #      regenerates BENCH_service.json and asserts the zero-silent-drop
 #      ledger (sent == decisions + superseded + backpressure)
 #
@@ -51,14 +56,24 @@ for pkg in "${FIRST_PARTY[@]}"; do
     pkg_flags+=(-p "$pkg")
 done
 
-echo "==> grep gate: deprecated check_upload wrappers stay quarantined"
-# The deprecated wrappers live (and are exercised by one compat test) in
-# crates/core/src/middleware.rs only; every other first-party call site
-# must use the unified CheckRequest API.
-if grep -rn '\.check_upload(\|\.check_upload_batch(' \
-    crates examples tests --include='*.rs' \
-    | grep -v '^crates/core/src/middleware.rs:'; then
-    echo 'error: deprecated check_upload/check_upload_batch call outside crates/core/src/middleware.rs' >&2
+echo "==> grep gate: deprecated persistence shims stay quarantined"
+# The 0.7.0 builder redesign left the old persistence free functions as
+# #[deprecated] shims in crates/store/src/persist.rs (exercised there by
+# one compat test, re-exported once from lib.rs). Every other first-party
+# call site must use PersistOptions / StoreOpenOptions — a new
+# allow(deprecated) anywhere else is someone dodging the migration.
+if grep -rn 'allow(deprecated)' crates examples tests --include='*.rs' \
+    | grep -v '^crates/store/src/persist.rs:' \
+    | grep -v '^crates/store/src/lib.rs:'; then
+    echo 'error: allow(deprecated) outside crates/store/src/{persist,lib}.rs — use the builder API' >&2
+    exit 1
+fi
+# The PR 2 check_upload/check_upload_batch wrappers are gone entirely; no
+# call site or reintroduced definition may bring them back (doc-comment
+# history and the bench_check_upload group name are fine).
+if grep -rn '\.check_upload(\|\.check_upload_batch(\|fn check_upload' \
+    crates examples tests --include='*.rs'; then
+    echo 'error: check_upload/check_upload_batch was removed in 0.7.0 — use BrowserFlow::check_one/check_batch' >&2
     exit 1
 fi
 
@@ -120,6 +135,12 @@ echo "==> algorithm1 microbench smoke run (release)"
 # asserts the authoritative-index path is >= 3x faster than the
 # probe-based reference on the largest store.
 cargo run -q --release -p browserflow-bench --bin bench_algorithm1
+
+echo "==> tiered-persistence microbench smoke run (release)"
+# Regenerates BENCH_tiered.json; the binary asserts cold-tier disclosure
+# reports match the hot reference and that a v3 cold (mapped) open is
+# >= 10x faster than a v2 full decode on the 150 k-paragraph store.
+cargo run -q --release -p browserflow-bench --bin bench_tiered
 
 echo "==> daemon smoke test (bfd + bfctl daemon, SIGTERM drain, restore)"
 # Boot a release bfd on a temp socket, drive the full tenant lifecycle

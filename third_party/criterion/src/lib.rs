@@ -228,8 +228,8 @@ where
 
     // Choose iterations per sample so all samples fit the measurement time.
     let budget_per_sample = config.measurement_time / config.sample_size as u32;
-    let iters_per_sample = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
-        .clamp(1, 1 << 24) as u64;
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
 
     let mut samples_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
     for _ in 0..config.sample_size {

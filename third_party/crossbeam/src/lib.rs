@@ -111,9 +111,7 @@ pub mod channel {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             match self {
                 TrySendError::Full(_) => f.write_str("sending on a full channel"),
-                TrySendError::Disconnected(_) => {
-                    f.write_str("sending on a disconnected channel")
-                }
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
             }
         }
     }
@@ -342,7 +340,10 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         tx.try_send(3u8).unwrap();
         drop(rx);
-        assert!(matches!(tx.try_send(4u8), Err(TrySendError::Disconnected(4))));
+        assert!(matches!(
+            tx.try_send(4u8),
+            Err(TrySendError::Disconnected(4))
+        ));
     }
 
     #[test]
@@ -386,7 +387,9 @@ mod tests {
     #[test]
     fn nested_spawn_from_scope_handle() {
         let result = super::thread::scope(|s| {
-            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap()).join().unwrap()
+            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
         })
         .unwrap();
         assert_eq!(result, 7);

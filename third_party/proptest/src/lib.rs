@@ -212,7 +212,9 @@ pub mod prelude {
 
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 // ---- macros ----------------------------------------------------------

@@ -285,8 +285,25 @@ fn interesting_char(rng: &mut TestRng, exclude_newline: bool) -> char {
     const MARKUP: &[char] = &['<', '>', '&', '"', '\'', '=', '/', '!', '-'];
     const CONTROL: &[char] = &['\t', '\r', '\u{0}', '\u{b}', '\u{c}', '\u{7f}', '\u{1b}'];
     const UNICODE: &[char] = &[
-        '¡', 'é', 'ß', 'İ', 'ı', 'Ω', 'д', '中', 'ẞ', 'ǅ', 'ﬁ', '\u{0301}', '\u{0307}',
-        '\u{00AD}', '\u{200D}', '\u{FEFF}', '𝕏', '\u{82140}', '🦀',
+        '¡',
+        'é',
+        'ß',
+        'İ',
+        'ı',
+        'Ω',
+        'д',
+        '中',
+        'ẞ',
+        'ǅ',
+        'ﬁ',
+        '\u{0301}',
+        '\u{0307}',
+        '\u{00AD}',
+        '\u{200D}',
+        '\u{FEFF}',
+        '𝕏',
+        '\u{82140}',
+        '🦀',
     ];
     loop {
         let c = match rng.below(100) {
@@ -363,8 +380,7 @@ fn parse_pattern(pattern: &str) -> Vec<Piece> {
                             }
                         }
                         Some('\\') => {
-                            let escaped =
-                                chars.next().expect("escape at end of character class");
+                            let escaped = chars.next().expect("escape at end of character class");
                             if let Some(p) = prev.take() {
                                 members.push(p);
                             }
@@ -497,7 +513,9 @@ mod tests {
         let mut rng = rng();
         for _ in 0..200 {
             let s = "[A-Z,.]{0,20}".generate(&mut rng);
-            assert!(s.chars().all(|c| c.is_ascii_uppercase() || c == ',' || c == '.'));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c == ',' || c == '.'));
         }
     }
 

@@ -258,9 +258,7 @@ impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Vec<T> {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         content_seq(deserializer)?
             .into_iter()
-            .map(|c| {
-                T::deserialize(ContentDeserializer(c)).map_err(|e| D::Error::custom(e))
-            })
+            .map(|c| T::deserialize(ContentDeserializer(c)).map_err(|e| D::Error::custom(e)))
             .collect()
     }
 }
@@ -281,9 +279,7 @@ impl<'de, T: de::DeserializeOwned + Ord> Deserialize<'de> for BTreeSet<T> {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         content_seq(deserializer)?
             .into_iter()
-            .map(|c| {
-                T::deserialize(ContentDeserializer(c)).map_err(|e| D::Error::custom(e))
-            })
+            .map(|c| T::deserialize(ContentDeserializer(c)).map_err(|e| D::Error::custom(e)))
             .collect()
     }
 }
@@ -302,9 +298,7 @@ where
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         content_seq(deserializer)?
             .into_iter()
-            .map(|c| {
-                T::deserialize(ContentDeserializer(c)).map_err(|e| D::Error::custom(e))
-            })
+            .map(|c| T::deserialize(ContentDeserializer(c)).map_err(|e| D::Error::custom(e)))
             .collect()
     }
 }
@@ -386,8 +380,7 @@ where
         .map(|(k, v)| {
             let key = K::deserialize(ContentDeserializer(Content::Str(k)))
                 .map_err(|e| D::Error::custom(e))?;
-            let value =
-                V::deserialize(ContentDeserializer(v)).map_err(|e| D::Error::custom(e))?;
+            let value = V::deserialize(ContentDeserializer(v)).map_err(|e| D::Error::custom(e))?;
             Ok((key, value))
         })
         .collect()

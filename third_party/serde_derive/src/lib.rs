@@ -202,9 +202,7 @@ fn parse_input(input: TokenStream) -> Input {
         ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
             Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
         }
-        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
-            Kind::Struct(Fields::Unit)
-        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
         ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
             Kind::Enum(parse_variants(g.stream()))
         }
@@ -330,8 +328,7 @@ fn generate_serialize(input: &Input) -> String {
                          ::std::string::String::from(\"{vname}\"), __v)]))\n}}\n"
                     )),
                     Fields::Tuple(n) => {
-                        let binders: Vec<String> =
-                            (0..*n).map(|i| format!("__f{i}")).collect();
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
                         body.push_str(&format!("{ctor}({}) => {{\n", binders.join(", ")));
                         body.push_str(&format!(
                             "let mut __seq: ::std::vec::Vec<{CONTENT}> = \
@@ -349,8 +346,7 @@ fn generate_serialize(input: &Input) -> String {
                         ));
                     }
                     Fields::Named(fields) => {
-                        let binders: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         body.push_str(&format!("{ctor} {{ {} }} => {{\n", binders.join(", ")));
                         push_named_to_map(&mut body, fields, "");
                         body.push_str(&format!(
@@ -375,9 +371,7 @@ fn generate_serialize(input: &Input) -> String {
 fn generate_deserialize(input: &Input) -> String {
     let name = &input.name;
     let mut body = String::new();
-    body.push_str(
-        "let __content = ::serde::Deserializer::deserialize_content(__deserializer)?;\n",
-    );
+    body.push_str("let __content = ::serde::Deserializer::deserialize_content(__deserializer)?;\n");
     match &input.kind {
         Kind::Struct(Fields::Named(fields)) => {
             if input.transparent {
@@ -421,11 +415,7 @@ fn generate_deserialize(input: &Input) -> String {
                  let mut __items = __seq.into_iter();\n"
             ));
             let elems: Vec<String> = (0..*n)
-                .map(|_| {
-                    format!(
-                        "{FROM_CONTENT}(__items.next().unwrap()).map_err({DE_CUSTOM})?"
-                    )
-                })
+                .map(|_| format!("{FROM_CONTENT}(__items.next().unwrap()).map_err({DE_CUSTOM})?"))
                 .collect();
             body.push_str(&format!(
                 "::std::result::Result::Ok({name}({}))",
@@ -433,7 +423,9 @@ fn generate_deserialize(input: &Input) -> String {
             ));
         }
         Kind::Struct(Fields::Unit) => {
-            body.push_str(&format!("let _ = __content;\n::std::result::Result::Ok({name})"));
+            body.push_str(&format!(
+                "let _ = __content;\n::std::result::Result::Ok({name})"
+            ));
         }
         Kind::Enum(variants) => {
             let mut unit_arms = String::new();

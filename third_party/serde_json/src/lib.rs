@@ -299,8 +299,7 @@ impl<'a> Parser<'a> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| self.error("invalid \\u escape"))?;
-        let value =
-            u16::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        let value = u16::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
         self.pos = end;
         Ok(value)
     }
@@ -362,9 +361,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&second) {
                                     return Err(self.error("invalid low surrogate"));
                                 }
-                                0x10000
-                                    + ((first as u32 - 0xD800) << 10)
-                                    + (second as u32 - 0xDC00)
+                                0x10000 + ((first as u32 - 0xD800) << 10) + (second as u32 - 0xDC00)
                             } else if (0xDC00..0xE000).contains(&first) {
                                 return Err(self.error("unpaired low surrogate"));
                             } else {
@@ -429,7 +426,9 @@ impl<'a> Parser<'a> {
                 .map_err(|_| self.error("integer out of range"))?;
             Ok(Content::I64(v))
         } else {
-            let v: u64 = text.parse().map_err(|_| self.error("integer out of range"))?;
+            let v: u64 = text
+                .parse()
+                .map_err(|_| self.error("integer out of range"))?;
             Ok(Content::U64(v))
         }
     }
