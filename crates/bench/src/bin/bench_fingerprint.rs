@@ -2,7 +2,10 @@
 //! latency and heap-allocation counts for the full re-fingerprinting path
 //! ([`DisclosureEngine::check_paragraph`]) versus the incremental edit path
 //! ([`DisclosureEngine::apply_paragraph_edit`]), at paragraph sizes of
-//! 256 / 1 k / 4 k / 16 k characters.
+//! 256 / 1 k / 4 k / 16 k characters — with the full path measured twice,
+//! once pinned to the scalar fingerprint kernel and once on the
+//! runtime-detected SIMD kernel, plus a corpus bulk-ingest series
+//! ([`DisclosureEngine::observe_paragraphs`]) under the same split.
 //!
 //! The binary installs a counting global allocator (the bench crate is the
 //! one workspace member without `#![forbid(unsafe_code)]`), so
@@ -10,13 +13,21 @@
 //! path re-normalises, re-hashes and re-winnows the whole paragraph per
 //! keystroke; the incremental path splices the edit into engine-held
 //! session state and re-processes only the `w + n - 1` dirty window, so
-//! its cost is independent of paragraph length. The run asserts the
-//! incremental path is at least 5x faster at 4 k characters, making it a
-//! CI regression gate. Run with `--release`.
+//! its cost is independent of paragraph length.
+//!
+//! Regression gates (CI):
+//! - incremental ≥ 5x faster than the (SIMD) full path at 4 k chars;
+//! - SIMD full path ≥ `BF_SIMD_FLOOR`x (default 2) faster than the
+//!   scalar full path at 4 k and 16 k chars — skipped with a loud
+//!   warning when the host has no SIMD kernel;
+//! - the kernel the engine reports must match what each pass requested.
+//!
+//! Run with `--release`.
 
 use browserflow::{DisclosureEngine, DocKey, EngineConfig, TextEdit};
 use browserflow_bench::print_header;
 use browserflow_corpus::TextGen;
+use browserflow_fingerprint::{detected_kernel, force_scalar, KernelKind};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -30,6 +41,10 @@ const KEYSTROKES: usize = 160;
 const LIBRARY_PARAGRAPHS: usize = 200;
 /// Measurement passes per path; the fastest is reported.
 const PASSES: usize = 3;
+/// Corpus paragraphs ingested per bulk pass.
+const BULK_PARAGRAPHS: usize = 600;
+/// Sentences per bulk corpus paragraph (~500 chars each).
+const BULK_SENTENCES: usize = 6;
 
 /// Delegates to [`System`] and counts `alloc`/`realloc` calls.
 struct CountingAllocator;
@@ -64,9 +79,12 @@ struct PathCost {
     allocs_per_check: u64,
 }
 
-/// One row of the sweep.
+/// One row of the keystroke sweep.
 struct SizeResult {
     paragraph_chars: usize,
+    /// Full path pinned to the scalar kernel.
+    full_scalar: PathCost,
+    /// Full path on the native (runtime-detected) kernel.
     full: PathCost,
     incremental: PathCost,
 }
@@ -75,6 +93,50 @@ impl SizeResult {
     fn speedup(&self) -> f64 {
         self.full.us_per_check / self.incremental.us_per_check
     }
+
+    fn simd_speedup(&self) -> f64 {
+        self.full_scalar.us_per_check / self.full.us_per_check
+    }
+}
+
+/// The corpus bulk-ingest series (scalar vs native kernel).
+struct BulkResult {
+    paragraphs: usize,
+    total_chars: usize,
+    scalar_us_per_paragraph: f64,
+    native_us_per_paragraph: f64,
+}
+
+impl BulkResult {
+    fn simd_speedup(&self) -> f64 {
+        self.scalar_us_per_paragraph / self.native_us_per_paragraph
+    }
+
+    fn native_paragraphs_per_sec(&self) -> f64 {
+        1e6 / self.native_us_per_paragraph
+    }
+}
+
+/// Pins the fingerprint kernel and asserts the engine reports exactly the
+/// kernel that was requested (the bench is CI's check that dispatch and
+/// stats agree).
+fn pin_kernel(engine: &DisclosureEngine, scalar: bool) {
+    force_scalar(scalar);
+    let requested = if scalar || scalar_env_forced() {
+        KernelKind::Scalar
+    } else {
+        detected_kernel()
+    };
+    let reported = engine.fingerprint_kernel();
+    assert_eq!(
+        reported, requested,
+        "engine reports kernel {reported} but the bench requested {requested}"
+    );
+}
+
+/// Whether `BF_FORCE_SCALAR` pinned the whole process to scalar.
+fn scalar_env_forced() -> bool {
+    std::env::var("BF_FORCE_SCALAR").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
 }
 
 /// Deterministic text of exactly `len` characters.
@@ -179,6 +241,11 @@ fn measure(size: usize) -> SizeResult {
     let tail = tail_chars();
 
     let full_doc = DocKey::new("gdocs", format!("full-{size}"));
+    pin_kernel(&engine, true);
+    full_pass(&engine, &full_doc, &base, &tail); // warm-up
+    let full_scalar = best((0..PASSES).map(|_| full_pass(&engine, &full_doc, &base, &tail)));
+
+    pin_kernel(&engine, false);
     full_pass(&engine, &full_doc, &base, &tail); // warm-up
     let full = best((0..PASSES).map(|_| full_pass(&engine, &full_doc, &base, &tail)));
 
@@ -188,21 +255,68 @@ fn measure(size: usize) -> SizeResult {
 
     SizeResult {
         paragraph_chars: size,
+        full_scalar,
         full,
         incremental,
     }
 }
 
-fn write_report(results: &[SizeResult]) {
+/// One timed bulk ingest of `texts` into a fresh engine.
+fn bulk_pass(texts: &[String]) -> f64 {
+    let engine = DisclosureEngine::new(EngineConfig::default());
+    let doc = DocKey::new("wiki", "bulk-ingest");
+    let start = Instant::now();
+    let ids = engine.observe_paragraphs(
+        &doc,
+        texts.iter().enumerate().map(|(i, t)| (i, t.as_str())),
+        None,
+    );
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(ids.len(), texts.len());
+    elapsed * 1e6 / texts.len() as f64
+}
+
+fn measure_bulk() -> BulkResult {
+    let mut gen = TextGen::new(97);
+    let texts: Vec<String> = (0..BULK_PARAGRAPHS)
+        .map(|_| gen.paragraph(BULK_SENTENCES))
+        .collect();
+    let total_chars = texts.iter().map(|t| t.chars().count()).sum();
+
+    let engine = DisclosureEngine::new(EngineConfig::default());
+    pin_kernel(&engine, true);
+    bulk_pass(&texts); // warm-up
+    let scalar = (0..PASSES)
+        .map(|_| bulk_pass(&texts))
+        .fold(f64::INFINITY, f64::min);
+
+    pin_kernel(&engine, false);
+    bulk_pass(&texts); // warm-up
+    let native = (0..PASSES)
+        .map(|_| bulk_pass(&texts))
+        .fold(f64::INFINITY, f64::min);
+
+    BulkResult {
+        paragraphs: BULK_PARAGRAPHS,
+        total_chars,
+        scalar_us_per_paragraph: scalar,
+        native_us_per_paragraph: native,
+    }
+}
+
+fn write_report(results: &[SizeResult], bulk: &BulkResult, kernel: KernelKind) {
     let rows: Vec<String> = results
         .iter()
         .map(|r| {
             format!(
                 "    {{\"paragraph_chars\": {}, \"full_us_per_check\": {:.3}, \
+                 \"full_scalar_us_per_check\": {:.3}, \"simd_speedup\": {:.2}, \
                  \"incremental_us_per_check\": {:.3}, \"speedup\": {:.2}, \
                  \"full_allocs_per_check\": {}, \"incremental_allocs_per_check\": {}}}",
                 r.paragraph_chars,
                 r.full.us_per_check,
+                r.full_scalar.us_per_check,
+                r.simd_speedup(),
                 r.incremental.us_per_check,
                 r.speedup(),
                 r.full.allocs_per_check,
@@ -211,15 +325,27 @@ fn write_report(results: &[SizeResult]) {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"fingerprint\",\n  \"keystrokes_per_size\": {KEYSTROKES},\n  \
+        "{{\n  \"bench\": \"fingerprint\",\n  \"kernel\": \"{}\",\n  \
+         \"keystrokes_per_size\": {KEYSTROKES},\n  \
          \"library_paragraphs\": {LIBRARY_PARAGRAPHS},\n  \
          \"note\": \"per-keystroke disclosure check; 'full' re-fingerprints the whole \
-         paragraph (DisclosureEngine::check_paragraph), 'incremental' splices one edit \
-         into the keystroke session and re-winnows only the dirty window \
-         (DisclosureEngine::apply_paragraph_edit); allocations counted by a global \
-         counting allocator, so they are exact\",\n  \
-         \"sizes\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+         paragraph (DisclosureEngine::check_paragraph) on the runtime-detected kernel, \
+         'full_scalar' is the same path pinned to the scalar kernel (BF_FORCE_SCALAR), \
+         'incremental' splices one edit into the keystroke session and re-winnows only \
+         the dirty window (DisclosureEngine::apply_paragraph_edit); allocations counted \
+         by a global counting allocator, so they are exact\",\n  \
+         \"sizes\": [\n{}\n  ],\n  \
+         \"bulk_ingest\": {{\"paragraphs\": {}, \"total_chars\": {}, \
+         \"scalar_us_per_paragraph\": {:.3}, \"native_us_per_paragraph\": {:.3}, \
+         \"simd_speedup\": {:.2}, \"native_paragraphs_per_sec\": {:.0}}}\n}}\n",
+        kernel.name(),
+        rows.join(",\n"),
+        bulk.paragraphs,
+        bulk.total_chars,
+        bulk.scalar_us_per_paragraph,
+        bulk.native_us_per_paragraph,
+        bulk.simd_speedup(),
+        bulk.native_paragraphs_per_sec(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fingerprint.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -229,24 +355,45 @@ fn write_report(results: &[SizeResult]) {
     }
 }
 
+fn simd_floor() -> f64 {
+    std::env::var("BF_SIMD_FLOOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0)
+}
+
 fn main() {
+    let native_kernel = if scalar_env_forced() {
+        KernelKind::Scalar
+    } else {
+        detected_kernel()
+    };
     print_header(
-        "Keystroke fingerprinting: full re-fingerprint vs incremental edit path",
+        "Keystroke fingerprinting: scalar vs SIMD full path vs incremental edit path",
         &format!(
             "{KEYSTROKES} keystrokes per size; best of {PASSES} passes; \
-             {LIBRARY_PARAGRAPHS} library paragraphs indexed"
+             {LIBRARY_PARAGRAPHS} library paragraphs indexed; native kernel: {native_kernel}"
         ),
     );
     println!(
-        "{:>10} {:>14} {:>14} {:>9} {:>12} {:>12}",
-        "chars", "full µs/key", "incr µs/key", "speedup", "full allocs", "incr allocs"
+        "{:>10} {:>14} {:>14} {:>9} {:>14} {:>9} {:>11} {:>11}",
+        "chars",
+        "scalar µs/key",
+        "simd µs/key",
+        "simd ×",
+        "incr µs/key",
+        "incr ×",
+        "full allocs",
+        "incr allocs"
     );
     let results: Vec<SizeResult> = SIZES.into_iter().map(measure).collect();
     for r in &results {
         println!(
-            "{:>10} {:>14.3} {:>14.3} {:>8.1}x {:>12} {:>12}",
+            "{:>10} {:>14.3} {:>14.3} {:>8.1}x {:>14.3} {:>8.1}x {:>11} {:>11}",
             r.paragraph_chars,
+            r.full_scalar.us_per_check,
             r.full.us_per_check,
+            r.simd_speedup(),
             r.incremental.us_per_check,
             r.speedup(),
             r.full.allocs_per_check,
@@ -254,11 +401,22 @@ fn main() {
         );
     }
     println!();
+    let bulk = measure_bulk();
+    println!(
+        "bulk ingest: {} corpus paragraphs ({} chars): scalar {:.1} µs/para, \
+         native {:.1} µs/para ({:.1}x, {:.0} paragraphs/s)",
+        bulk.paragraphs,
+        bulk.total_chars,
+        bulk.scalar_us_per_paragraph,
+        bulk.native_us_per_paragraph,
+        bulk.simd_speedup(),
+        bulk.native_paragraphs_per_sec()
+    );
     println!(
         "(the incremental path re-hashes only the w + n - 1 dirty window, so its \
          latency is flat in paragraph length while the full path grows linearly)"
     );
-    write_report(&results);
+    write_report(&results, &bulk, native_kernel);
 
     let at_4k = results
         .iter()
@@ -274,4 +432,32 @@ fn main() {
         "regression gate: incremental is {:.1}x faster at 4096 chars (floor: 5x) — ok",
         at_4k.speedup()
     );
+
+    if !native_kernel.is_simd() {
+        eprintln!(
+            "WARNING: no SIMD kernel available on this host (native kernel: \
+             {native_kernel}) — the BF_SIMD_FLOOR >= {:.1}x gate at 4k/16k chars was \
+             SKIPPED, not passed",
+            simd_floor()
+        );
+        return;
+    }
+    let floor = simd_floor();
+    for &chars in &[4096usize, 16384] {
+        let row = results
+            .iter()
+            .find(|r| r.paragraph_chars == chars)
+            .expect("gated size is in the sweep");
+        assert!(
+            row.simd_speedup() >= floor,
+            "SIMD full path must be >= {floor:.1}x faster than scalar at {chars} chars \
+             (BF_SIMD_FLOOR), got {:.2}x",
+            row.simd_speedup()
+        );
+        println!(
+            "regression gate: SIMD full path is {:.1}x faster than scalar at {chars} \
+             chars (floor: {floor:.1}x) — ok",
+            row.simd_speedup()
+        );
+    }
 }

@@ -2,7 +2,8 @@
 //! decision caching, keyed by human-meaningful segment keys.
 
 use browserflow_fingerprint::{
-    Fingerprint, FingerprintConfig, Fingerprinter, IncrementalFingerprinter, TextEdit,
+    Fingerprint, FingerprintConfig, FingerprintScratch, Fingerprinter, IncrementalFingerprinter,
+    KernelKind, TextEdit,
 };
 use browserflow_store::{
     DecisionCache, FingerprintDigest, FingerprintStore, FxHashMap, IncrementalChecker, SegmentId,
@@ -382,6 +383,39 @@ impl DisclosureEngine {
         id
     }
 
+    /// Bulk-ingests many paragraphs of one document, reusing a single
+    /// fingerprint scratch across the whole batch.
+    ///
+    /// Semantically identical to calling
+    /// [`DisclosureEngine::observe_paragraph`] per `(index, text)` pair,
+    /// but the normalise/hash/winnow buffers are allocated once and the
+    /// SIMD bulk kernel (see [`DisclosureEngine::fingerprint_kernel`])
+    /// runs over each paragraph with warm scratch — the shape corpus
+    /// ingest and restore-verify use.
+    pub fn observe_paragraphs<'a, I>(
+        &self,
+        doc: &DocKey,
+        paragraphs: I,
+        threshold: Option<f64>,
+    ) -> Vec<SegmentId>
+    where
+        I: IntoIterator<Item = (usize, &'a str)>,
+    {
+        let threshold = threshold.unwrap_or(self.config.default_tpar);
+        let mut scratch = FingerprintScratch::new();
+        paragraphs
+            .into_iter()
+            .map(|(index, text)| {
+                let key = SegmentKey::paragraph(doc.clone(), index);
+                let id = self.segment_id(&key);
+                let print = self.fingerprinter.fingerprint_with(text, &mut scratch);
+                self.paragraphs.observe(id, &print, threshold);
+                self.cache.invalidate(id);
+                id
+            })
+            .collect()
+    }
+
     /// Records (or re-records) a whole document's fingerprint.
     pub fn observe_document(&self, doc: &DocKey, text: &str, threshold: Option<f64>) -> SegmentId {
         let key = SegmentKey::document(doc.clone());
@@ -715,6 +749,13 @@ impl DisclosureEngine {
         )
     }
 
+    /// Which fingerprint kernel this engine's checks dispatch to (scalar
+    /// reference or a runtime-detected SIMD path); surfaced through
+    /// [`FingerprintModeStats`](crate::FingerprintModeStats).
+    pub fn fingerprint_kernel(&self) -> KernelKind {
+        browserflow_fingerprint::active_kernel()
+    }
+
     fn resolve_matches(
         &self,
         reports: Vec<browserflow_store::DisclosureReport>,
@@ -884,6 +925,48 @@ mod tests {
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].source, SegmentKey::paragraph(wiki, 0));
         assert!(matches[0].disclosure > 0.99);
+    }
+
+    #[test]
+    fn batched_observe_matches_sequential() {
+        let singles = engine();
+        let batched = engine();
+        let doc = DocKey::new("wiki", "handbook");
+        let paragraphs: Vec<(usize, String)> = (0..12)
+            .map(|i| {
+                (
+                    i,
+                    format!("{SECRET} with paragraph-specific suffix number {i}"),
+                )
+            })
+            .collect();
+        let mut single_ids = Vec::new();
+        for (i, text) in &paragraphs {
+            single_ids.push(singles.observe_paragraph(&doc, *i, text, None));
+        }
+        let batch_ids = batched.observe_paragraphs(
+            &doc,
+            paragraphs.iter().map(|(i, t)| (*i, t.as_str())),
+            None,
+        );
+        assert_eq!(batch_ids, single_ids);
+        // Both ingests must answer checks identically.
+        let probe = DocKey::new("gdocs", "draft");
+        for (_, text) in &paragraphs {
+            let a = singles.check_paragraph(&probe, 0, text);
+            let b = batched.check_paragraph(&probe, 0, text);
+            assert_eq!(a.len(), b.len());
+            assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn kernel_is_surfaced() {
+        let engine = engine();
+        assert_eq!(
+            engine.fingerprint_kernel(),
+            browserflow_fingerprint::active_kernel()
+        );
     }
 
     #[test]

@@ -123,6 +123,9 @@ pub struct FingerprintModeStats {
     pub incremental_checks: u64,
     /// Keystroke edits absorbed into session state without a verdict.
     pub incremental_absorbs: u64,
+    /// Which fingerprint kernel the engine dispatches to (scalar
+    /// reference, or a runtime-detected SIMD path).
+    pub kernel: browserflow_fingerprint::KernelKind,
 }
 
 impl FingerprintModeStats {
@@ -177,6 +180,7 @@ impl ConcurrencyMetrics {
                 full_checks,
                 incremental_checks,
                 incremental_absorbs,
+                kernel: engine.fingerprint_kernel(),
             },
             pipeline: None,
         }
@@ -290,6 +294,7 @@ mod tests {
             full_checks: 1,
             incremental_checks: 2,
             incremental_absorbs: 1,
+            ..Default::default()
         };
         assert_eq!(mixed.incremental_fraction(), Some(0.75));
     }

@@ -212,17 +212,29 @@ impl Paragraph {
     /// by spaces, terminated with a period. (Sentence-internal punctuation
     /// is irrelevant — fingerprint normalisation strips it.)
     pub fn text(&self) -> String {
-        let mut text = self
-            .tokens
-            .iter()
-            .map(|t| t.word.as_str())
-            .collect::<Vec<_>>()
-            .join(" ");
-        if let Some(first) = text.get_mut(0..1) {
+        let mut text = String::new();
+        self.text_into(&mut text);
+        text
+    }
+
+    /// Renders the paragraph into a reusable buffer (cleared first).
+    ///
+    /// The bulk-ingest shape: rendering thousands of corpus paragraphs
+    /// into one recycled `String` keeps the fingerprint pipeline's
+    /// steady-state allocation profile flat.
+    pub fn text_into(&self, out: &mut String) {
+        out.clear();
+        let start = out.len();
+        for (i, token) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&token.word);
+        }
+        if let Some(first) = out.get_mut(start..start + 1) {
             first.make_ascii_uppercase();
         }
-        text.push('.');
-        text
+        out.push('.');
     }
 }
 
@@ -340,6 +352,17 @@ mod tests {
         p.tokens_mut()[1] = Token::fresh("x");
         p.tokens_mut()[2] = Token::fresh("y");
         assert_eq!(p.base_survival(), 0.5);
+    }
+
+    #[test]
+    fn text_into_reuses_buffer_and_matches_text() {
+        let mut buf = String::from("stale contents from the previous paragraph");
+        let p = Paragraph::from_base_words(0, ["hello", "world"]);
+        p.text_into(&mut buf);
+        assert_eq!(buf, p.text());
+        let empty = Paragraph::fresh(Vec::<String>::new());
+        empty.text_into(&mut buf);
+        assert_eq!(buf, empty.text());
     }
 
     #[test]

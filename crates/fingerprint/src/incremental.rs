@@ -34,7 +34,7 @@ use crate::config::FingerprintConfig;
 use crate::fingerprint::{Fingerprint, SelectedHash};
 use crate::hash::RollingHash;
 use crate::ngram::NgramHash;
-use crate::winnow;
+use crate::winnow::{self, WindowMinScratch};
 use std::collections::HashMap;
 use std::ops::Range;
 
@@ -156,8 +156,7 @@ pub struct IncrementalFingerprinter {
     rep_offsets: Vec<usize>,
     rep_lens: Vec<usize>,
     dirty_hashes: Vec<u32>,
-    slice_hashes: Vec<NgramHash>,
-    winnow_scratch: Vec<usize>,
+    winnow_scratch: WindowMinScratch,
     winnow_out: Vec<NgramHash>,
     trust_positions: Vec<usize>,
     dropped_vals: Vec<u32>,
@@ -182,8 +181,7 @@ impl IncrementalFingerprinter {
             rep_offsets: Vec::new(),
             rep_lens: Vec::new(),
             dirty_hashes: Vec::new(),
-            slice_hashes: Vec::new(),
-            winnow_scratch: Vec::new(),
+            winnow_scratch: WindowMinScratch::default(),
             winnow_out: Vec::new(),
             trust_positions: Vec::new(),
             dropped_vals: Vec::new(),
@@ -330,15 +328,9 @@ impl IncrementalFingerprinter {
             self.hashes
                 .splice(hd_lo..hd_old_hi, self.dirty_hashes.iter().copied());
             debug_assert_eq!(self.hashes.len(), new_hash_count);
-            self.slice_hashes.clear();
-            self.slice_hashes.extend(
-                self.hashes
-                    .iter()
-                    .enumerate()
-                    .map(|(position, &hash)| NgramHash { hash, position }),
-            );
-            winnow::winnow_into(
-                &self.slice_hashes,
+            winnow::winnow_hashes_into(
+                &self.hashes,
+                0,
                 w,
                 &mut self.winnow_scratch,
                 &mut self.winnow_out,
@@ -370,14 +362,9 @@ impl IncrementalFingerprinter {
             // keep only the selections that landed inside the trust range.
             let e_lo = t_lo.saturating_sub(w - 1);
             let e_hi = (t_hi + w - 1).min(new_hash_count);
-            self.slice_hashes.clear();
-            self.slice_hashes
-                .extend((e_lo..e_hi).map(|position| NgramHash {
-                    hash: self.hashes[position],
-                    position,
-                }));
-            winnow::winnow_into(
-                &self.slice_hashes,
+            winnow::winnow_hashes_into(
+                &self.hashes[e_lo..e_hi],
+                e_lo,
                 w,
                 &mut self.winnow_scratch,
                 &mut self.winnow_out,

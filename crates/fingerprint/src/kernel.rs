@@ -1,0 +1,1422 @@
+//! Vectorized fingerprinting kernels with runtime dispatch.
+//!
+//! The bulk fingerprint path (corpus ingest, the `full` check path,
+//! keystroke-session compaction) is pure fingerprinting time: every
+//! paragraph is normalised, Karp–Rabin-hashed per n-gram and winnowed.
+//! This module vectorizes the two inner loops:
+//!
+//! - **Lane-parallel Karp–Rabin** ([`ngram_hashes_bulk`]): instead of the
+//!   serial one-position-at-a-time roll, the kernel keeps `L` consecutive
+//!   hashes in one vector register and advances all of them by `L`
+//!   positions per step using the identity
+//!   `h[p+L] = h[p]·B^L + Σ_j (c[p+n+j] − B^n·c[p+j])·B^{L−1−j}`
+//!   (all mod 2³², `j = 0..L`). Every multiplier `B^k (mod 2³²)` is
+//!   precomputed once per call, so one step is `L` shifted loads and
+//!   `2L+1` lane-wise wrapping multiplies producing `L` finished hashes.
+//!   Wrapping mod-2³² arithmetic is what makes this vectorize cleanly:
+//!   u32 lanes wrap exactly like the scalar `wrapping_mul`/`wrapping_add`
+//!   reference, so no lane ever needs a carry or a reduction step.
+//! - **Sliding-window minimum** ([`window_min_emit`]): robust winnowing
+//!   selects the rightmost minimal hash of every window of `w` hashes.
+//!   The kernel packs each hash and its position into one ordering key
+//!   (`hash · 2³² + (2³² − 1 − position)`), computes block-wise
+//!   suffix/prefix minima (van Herk–Gil-Werman two-pass) and emits a
+//!   selection whenever the windowed minimum key changes. Minimising the
+//!   packed key is *exactly* the robust-winnowing selection rule: a
+//!   smaller hash always wins, and among equal hashes the larger
+//!   position (smaller complement) wins — the rightmost tie-break.
+//!
+//! # Dispatch
+//!
+//! [`active_kernel`] picks the widest available implementation at
+//! runtime: AVX2 (8 hash lanes) or SSE4.1 (4 lanes) on x86-64 via
+//! `is_x86_feature_detected!`, NEON (4 lanes) on aarch64, and the
+//! portable scalar path everywhere else. The scalar path is always
+//! compiled and serves as the property-test oracle; setting the
+//! `BF_FORCE_SCALAR=1` environment variable (or calling [`force_scalar`])
+//! pins dispatch to it at runtime so CI can exercise both paths in one
+//! binary.
+//!
+//! ASCII inputs take a `u8` fast lane that piggybacks on the
+//! [`normalize`](crate::normalize) fast path: the normalised text of an
+//! ASCII paragraph is itself ASCII, so the kernel widens raw bytes into
+//! u32 lanes in-register instead of decoding UTF-8 char-by-char.
+//! Non-ASCII text is decoded once into a reusable `u32` scratch buffer
+//! and takes the same vector kernels.
+//!
+//! This module is the one place in the crate that uses `unsafe` (the
+//! `std::arch` intrinsics); every unsafe block is feature-gated by the
+//! runtime dispatch above and the surrounding slice arithmetic is
+//! bounds-checked in debug builds.
+
+use crate::hash::BASE;
+use crate::ngram::NgramHash;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Which fingerprint kernel implementation is executing.
+///
+/// Reported through `FingerprintModeStats` and the fingerprint bench so
+/// operators can see whether a deployment is actually running the
+/// vectorized path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum KernelKind {
+    /// Portable scalar reference path (always available; the oracle).
+    Scalar,
+    /// x86-64 SSE4.1: 4 hash lanes.
+    Sse41,
+    /// x86-64 AVX2: 8 hash lanes + vectorized window minimum.
+    Avx2,
+    /// aarch64 NEON: 4 hash lanes.
+    Neon,
+}
+
+impl KernelKind {
+    /// Stable lowercase name (`"scalar"`, `"sse4.1"`, `"avx2"`, `"neon"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Sse41 => "sse4.1",
+            KernelKind::Avx2 => "avx2",
+            KernelKind::Neon => "neon",
+        }
+    }
+
+    /// Whether this kernel uses SIMD instructions at all.
+    pub fn is_simd(self) -> bool {
+        self != KernelKind::Scalar
+    }
+}
+
+impl Default for KernelKind {
+    /// The scalar reference path — the conservative default for stats
+    /// structs built before any fingerprinting ran.
+    fn default() -> Self {
+        KernelKind::Scalar
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+static DETECTED: OnceLock<KernelKind> = OnceLock::new();
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// The widest kernel the host CPU supports, ignoring overrides.
+pub fn detected_kernel() -> KernelKind {
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return KernelKind::Avx2;
+            }
+            if std::arch::is_x86_feature_detected!("sse4.1") {
+                return KernelKind::Sse41;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                return KernelKind::Neon;
+            }
+        }
+        KernelKind::Scalar
+    })
+}
+
+/// Whether the scalar override is active (either `BF_FORCE_SCALAR=1` in
+/// the environment at first use, or a [`force_scalar`] call).
+fn scalar_forced() -> bool {
+    static ENV_FORCED: OnceLock<bool> = OnceLock::new();
+    FORCE_SCALAR.load(Ordering::Relaxed)
+        || *ENV_FORCED.get_or_init(|| {
+            std::env::var("BF_FORCE_SCALAR")
+                .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        })
+}
+
+/// Pins dispatch to the scalar kernel (`true`) or restores runtime
+/// detection (`false`).
+///
+/// Used by benches and CI to measure scalar-vs-SIMD in one process; the
+/// `BF_FORCE_SCALAR=1` environment variable has the same effect without
+/// code changes. Note `force_scalar(false)` does not undo the
+/// environment override.
+pub fn force_scalar(force: bool) {
+    FORCE_SCALAR.store(force, Ordering::Relaxed);
+}
+
+/// The kernel the next bulk fingerprint call will run.
+pub fn active_kernel() -> KernelKind {
+    if scalar_forced() {
+        KernelKind::Scalar
+    } else {
+        detected_kernel()
+    }
+}
+
+/// Below this many n-gram hashes the vector kernels are not worth their
+/// setup cost and the scalar path runs regardless of dispatch.
+const MIN_SIMD_HASHES: usize = 32;
+
+/// Below this many hashes the windowed-minimum pass stays on the
+/// monotone-deque scalar path.
+const MIN_SIMD_WINNOW: usize = 64;
+
+// --- Bulk Karp–Rabin hashing ---------------------------------------------
+
+/// Computes the Karp–Rabin hash of every n-gram of normalised `text`
+/// into `out` (`out[p]` is the hash of the n-gram starting at normalised
+/// character `p`), using the active kernel.
+///
+/// `chars` is a reusable scratch buffer for the non-ASCII decode; both
+/// vectors are cleared and refilled, so steady-state calls do not
+/// allocate. Produces exactly the hash values of
+/// [`ngram_hashes`](crate::ngram::ngram_hashes) (the scalar oracle), in
+/// the same order.
+///
+/// # Panics
+///
+/// Panics if `ngram_len` is zero.
+pub fn ngram_hashes_bulk(text: &str, ngram_len: usize, chars: &mut Vec<u32>, out: &mut Vec<u32>) {
+    assert!(ngram_len > 0, "ngram_len must be positive");
+    out.clear();
+    if text.is_ascii() {
+        hashes_dispatch_u8(text.as_bytes(), ngram_len, out);
+    } else {
+        chars.clear();
+        chars.extend(text.chars().map(|c| c as u32));
+        hashes_dispatch_u32(chars, ngram_len, out);
+    }
+}
+
+/// SIMD fast lane of the ASCII normalisation path: classifies,
+/// lowercases and left-packs a prefix of `bytes` (appending normalised
+/// characters to `text` and their byte offsets to `offsets`), returning
+/// how many input bytes were consumed. Returns `0` when no vector
+/// normaliser is available (scalar hosts, forced-scalar dispatch, or
+/// inputs too short to be worth it) — the caller's scalar loop then
+/// handles the remainder.
+///
+/// The caller guarantees `bytes` is ASCII and has reserved
+/// `bytes.len()` spare capacity in both buffers (the kernel writes whole
+/// vectors past the logical end and advances the length by the number of
+/// kept characters).
+pub(crate) fn normalize_ascii_prefix(
+    bytes: &[u8],
+    text: &mut String,
+    offsets: &mut Vec<u32>,
+) -> usize {
+    if bytes.len() < MIN_SIMD_HASHES {
+        return 0;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if active_kernel() == KernelKind::Avx2 {
+        return x86::normalize_ascii_avx2(bytes, text, offsets);
+    }
+    let _ = (text, offsets);
+    0
+}
+
+/// Precomputed powers of [`BASE`] shared by every lane kernel.
+struct Powers {
+    /// `BASE^L`: advances a hash by `L` positions.
+    base_l: u32,
+    /// `lo[j] = BASE^(L-1-j)`: multiplier of the j-th incoming character.
+    lo: [u32; 8],
+    /// `hi[j] = BASE^(n+L-1-j)`: multiplier of the j-th outgoing character.
+    hi: [u32; 8],
+}
+
+impl Powers {
+    fn new(n: usize, lanes: usize) -> Self {
+        debug_assert!(lanes <= 8);
+        // powers[k] = BASE^k mod 2³²; n is arbitrary so the table is built
+        // by plain accumulation (n + L wrapping multiplies, once per call).
+        let max = n + lanes;
+        let mut powers = vec![1u32; max + 1];
+        let mut acc = 1u32;
+        for p in powers.iter_mut().skip(1) {
+            acc = acc.wrapping_mul(BASE);
+            *p = acc;
+        }
+        let mut lo = [0u32; 8];
+        let mut hi = [0u32; 8];
+        for (j, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate().take(lanes) {
+            *l = powers[lanes - 1 - j];
+            *h = powers[n + lanes - 1 - j];
+        }
+        Self {
+            base_l: powers[lanes],
+            lo,
+            hi,
+        }
+    }
+}
+
+/// Primes `out[0..count]` with scalar rolling hashes starting from
+/// character `start` (used to seed the vector lanes and finish tails).
+fn scalar_fill<T: Copy + Into<u32>>(
+    chars: &[T],
+    n: usize,
+    range: std::ops::Range<usize>,
+    out: &mut [u32],
+) {
+    for p in range {
+        let mut h = 0u32;
+        for &c in &chars[p..p + n] {
+            h = h.wrapping_mul(BASE).wrapping_add(c.into());
+        }
+        out[p] = h;
+    }
+}
+
+/// Portable scalar bulk hashing: one rolling hash, no UTF-8 decode.
+fn scalar_hashes<T: Copy + Into<u32>>(chars: &[T], n: usize, out: &mut Vec<u32>) {
+    let Some(m) = chars.len().checked_sub(n - 1).filter(|&m| m > 0) else {
+        return;
+    };
+    let high = {
+        let mut acc = 1u32;
+        for _ in 0..n - 1 {
+            acc = acc.wrapping_mul(BASE);
+        }
+        acc
+    };
+    let mut h = 0u32;
+    for &c in &chars[..n] {
+        h = h.wrapping_mul(BASE).wrapping_add(c.into());
+    }
+    out.push(h);
+    for p in 1..m {
+        let outgoing: u32 = chars[p - 1].into();
+        let incoming: u32 = chars[p + n - 1].into();
+        h = h
+            .wrapping_sub(outgoing.wrapping_mul(high))
+            .wrapping_mul(BASE)
+            .wrapping_add(incoming);
+        out.push(h);
+    }
+}
+
+fn hashes_dispatch_u8(chars: &[u8], n: usize, out: &mut Vec<u32>) {
+    let m = chars.len().saturating_sub(n - 1);
+    if m < MIN_SIMD_HASHES {
+        return scalar_hashes(chars, n, out);
+    }
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 => x86::hashes_u8_avx2(chars, n, m, out),
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Sse41 => x86::hashes_u8_sse41(chars, n, m, out),
+        #[cfg(target_arch = "aarch64")]
+        KernelKind::Neon => neon::hashes_u8_neon(chars, n, m, out),
+        _ => scalar_hashes(chars, n, out),
+    }
+}
+
+fn hashes_dispatch_u32(chars: &[u32], n: usize, out: &mut Vec<u32>) {
+    let m = chars.len().saturating_sub(n - 1);
+    if m < MIN_SIMD_HASHES {
+        return scalar_hashes(chars, n, out);
+    }
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 => x86::hashes_u32_avx2(chars, n, m, out),
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Sse41 => x86::hashes_u32_sse41(chars, n, m, out),
+        #[cfg(target_arch = "aarch64")]
+        KernelKind::Neon => neon::hashes_u32_neon(chars, n, m, out),
+        _ => scalar_hashes(chars, n, out),
+    }
+}
+
+// --- Sliding-window minimum (winnowing selection) -------------------------
+
+/// Reusable buffers for the block-wise two-pass window minimum.
+#[derive(Debug, Clone, Default)]
+pub struct WindowMinScratch {
+    /// Per-block suffix minima of the packed ordering keys (the only
+    /// materialised pass intermediate: keys are packed on the fly in
+    /// both passes, and the prefix minimum is carried in registers).
+    /// The combine pass then overwrites it in place with the windowed
+    /// minima.
+    sfx: Vec<u64>,
+    /// Monotone-deque index scratch for the scalar fallback.
+    pub(crate) deque: Vec<usize>,
+}
+
+/// Packs a hash and its position into one ordering key whose minimum is
+/// the robust-winnowing selection: smaller hash first, rightmost position
+/// on ties (larger position ⇒ smaller complement ⇒ smaller key).
+#[inline]
+fn pack_key(hash: u32, position: usize) -> u64 {
+    ((hash as u64) << 32) | (u32::MAX - position as u32) as u64
+}
+
+/// Decodes a packed key back to `(hash, position)`.
+#[inline]
+fn unpack_key(key: u64) -> (u32, usize) {
+    ((key >> 32) as u32, (u32::MAX - (key as u32)) as usize)
+}
+
+/// Sign bias for stored keys: flipping the top bit maps unsigned `u64`
+/// order onto signed `i64` order, the only 64-bit comparison x86 SIMD
+/// offers (`cmpgt_epi64`). Every key held in [`WindowMinScratch`] buffers
+/// is biased; [`unpack_biased`] undoes it at emission time.
+const KEY_SIGN: u64 = 1 << 63;
+
+/// Identity element of the biased-key minimum: the largest biased key in
+/// signed order.
+const KEY_IDENT: u64 = i64::MAX as u64;
+
+/// Packs straight into the biased domain.
+#[inline]
+fn pack_key_biased(hash: u32, position: usize) -> u64 {
+    pack_key(hash, position) ^ KEY_SIGN
+}
+
+/// Decodes a biased key back to `(hash, position)`.
+#[inline]
+fn unpack_biased(key: u64) -> (u32, usize) {
+    unpack_key(key ^ KEY_SIGN)
+}
+
+/// Minimum of two biased keys (signed comparison ⇔ unsigned key order).
+#[inline]
+fn bmin(a: u64, b: u64) -> u64 {
+    if (a as i64) <= (b as i64) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Selects the winnowed subset of `hashes` (the hash at index `i` is the
+/// n-gram at position `base + i`) into `selected`, using windows of
+/// `window` consecutive hashes and robust rightmost-tie-break semantics —
+/// byte-identical to [`winnow_into`](crate::winnow::winnow_into) over the
+/// same values and positions.
+///
+/// Dispatches between the monotone-deque scalar path (small inputs, or
+/// scalar kernel) and the block-wise two-pass minimum (large inputs on a
+/// SIMD kernel). `selected` is cleared and refilled; `scratch` buffers
+/// are reused across calls.
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn window_min_emit(
+    hashes: &[u32],
+    base: usize,
+    window: usize,
+    scratch: &mut WindowMinScratch,
+    selected: &mut Vec<NgramHash>,
+) {
+    assert!(window > 0, "window must be positive");
+    selected.clear();
+    let m = hashes.len();
+    if m == 0 {
+        return;
+    }
+    if m <= window {
+        // Degenerate: one window covering everything; rightmost minimum.
+        let mut best = 0usize;
+        for (i, &h) in hashes.iter().enumerate() {
+            if h <= hashes[best] {
+                best = i;
+            }
+        }
+        selected.push(NgramHash {
+            hash: hashes[best],
+            position: base + best,
+        });
+        return;
+    }
+    let use_simd = m >= MIN_SIMD_WINNOW
+        && window >= 2
+        && m < u32::MAX as usize
+        && base + m <= u32::MAX as usize
+        && active_kernel().is_simd();
+    if use_simd {
+        window_min_two_pass(hashes, base, window, scratch, selected);
+    } else {
+        window_min_deque(hashes, base, window, scratch, selected);
+    }
+}
+
+/// Monotone-deque sliding minimum (the scalar reference, identical to the
+/// classic `winnow_into` scan but over raw hash values + base offset).
+fn window_min_deque(
+    hashes: &[u32],
+    base: usize,
+    window: usize,
+    scratch: &mut WindowMinScratch,
+    selected: &mut Vec<NgramHash>,
+) {
+    let deque = &mut scratch.deque;
+    deque.clear();
+    let mut head = 0usize;
+    let mut last_pos = usize::MAX;
+    for i in 0..hashes.len() {
+        while deque.len() > head {
+            let back = deque[deque.len() - 1];
+            if hashes[back] >= hashes[i] {
+                deque.pop();
+            } else {
+                break;
+            }
+        }
+        deque.push(i);
+        if i + 1 >= window {
+            let window_start = i + 1 - window;
+            while deque[head] < window_start {
+                head += 1;
+            }
+            let min_index = deque[head];
+            if last_pos != min_index {
+                last_pos = min_index;
+                selected.push(NgramHash {
+                    hash: hashes[min_index],
+                    position: base + min_index,
+                });
+            }
+        }
+    }
+}
+
+/// Block-wise two-pass window minimum over packed keys.
+///
+/// Positions are split into blocks of `window`. A backward pass computes
+/// per-block suffix minima into the only materialised buffer; a fused
+/// forward pass carries the per-block *prefix* minimum in a register,
+/// combines `min(sfx[i−w+1], pfx[i])` per window — the two operands
+/// exactly tile the window because `i − (i−w+1) = w−1 < w` spans at most
+/// two adjacent blocks — and emits whenever the windowed minimum key
+/// changes (keys are position-unique, so "key changed" is precisely
+/// "selected position changed", matching the deque's
+/// consecutive-position dedup).
+///
+/// Both passes pack keys from the raw hashes on the fly: re-packing is a
+/// couple of ALU ops per element, far cheaper than streaming separate
+/// `keys` and `pfx` u64 arrays through the cache would be.
+fn window_min_two_pass(
+    hashes: &[u32],
+    base: usize,
+    window: usize,
+    scratch: &mut WindowMinScratch,
+    selected: &mut Vec<NgramHash>,
+) {
+    let m = hashes.len();
+    let w = window;
+    // The suffix pass overwrites every slot, so the buffer is only
+    // resized, never zero-filled: steady-state calls touch each cache
+    // line once instead of paying a memset first.
+    let sfx = &mut scratch.sfx;
+    if sfx.len() < m {
+        sfx.resize(m, KEY_IDENT);
+    } else {
+        sfx.truncate(m);
+    }
+    #[cfg(target_arch = "x86_64")]
+    if active_kernel() == KernelKind::Avx2 {
+        x86::suffix_min_avx2(hashes, sfx, w);
+        x86::combine_emit_avx2(hashes, sfx, w, base, selected);
+        return;
+    }
+    suffix_min_scalar(hashes, sfx, w);
+    combine_emit_scalar(hashes, sfx, w, base, selected);
+}
+
+/// Backward per-block suffix minima (portable).
+fn suffix_min_scalar(hashes: &[u32], sfx: &mut [u64], w: usize) {
+    let m = hashes.len();
+    let mut block_start = (m - 1) / w * w;
+    loop {
+        let block_end = (block_start + w).min(m);
+        let mut run = KEY_IDENT;
+        for i in (block_start..block_end).rev() {
+            run = bmin(run, pack_key_biased(hashes[i], i));
+            sfx[i] = run;
+        }
+        if block_start == 0 {
+            break;
+        }
+        block_start -= w;
+    }
+}
+
+/// Fused forward pass (portable): per-block prefix minimum carried in a
+/// register, combined with the suffix buffer, emitting on change.
+///
+/// The block boundary is a countdown, not `i % w` — a hardware divide
+/// per element would dwarf the minimum itself. The first full window's
+/// unconditional emission falls out of seeding the previous selection
+/// with the identity key: no window of `w ≥ 2` keys can select
+/// `KEY_IDENT` (= hash `u32::MAX` at position 0), because any window
+/// containing position 0 also contains position 1, whose key is smaller
+/// whenever both hashes are `u32::MAX`.
+fn combine_emit_scalar(
+    hashes: &[u32],
+    sfx: &[u64],
+    w: usize,
+    base: usize,
+    selected: &mut Vec<NgramHash>,
+) {
+    let mut run = KEY_IDENT;
+    let mut prev = KEY_IDENT;
+    let mut left = w;
+    for (i, &h) in hashes.iter().enumerate() {
+        if left == 0 {
+            run = KEY_IDENT;
+            left = w;
+        }
+        left -= 1;
+        run = bmin(run, pack_key_biased(h, i));
+        if i + 1 >= w {
+            let combined = bmin(sfx[i + 1 - w], run);
+            if combined != prev {
+                prev = combined;
+                let (hash, pos) = unpack_biased(combined);
+                selected.push(NgramHash {
+                    hash,
+                    position: base + pos,
+                });
+            }
+        }
+    }
+}
+
+// --- x86-64 kernels -------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    //! AVX2 / SSE4.1 lane kernels. Every function is gated by the runtime
+    //! dispatch in the parent module; the `unsafe` here is the `std::arch`
+    //! intrinsic contract (the target feature is known present) plus raw
+    //! pointer loads whose bounds are established by the loop structure
+    //! and asserted in debug builds.
+
+    use super::{
+        bmin, pack_key_biased, scalar_fill, scalar_hashes, unpack_biased, NgramHash, Powers,
+        KEY_IDENT,
+    };
+    use std::arch::x86_64::*;
+
+    /// Generates the lane-parallel bulk hash kernels: `$name` hashing
+    /// `$elem` characters with `$lanes` u32 lanes under `$feature`.
+    macro_rules! bulk_hash_kernel {
+        ($name:ident, $elem:ty, $lanes:literal, $feature:literal,
+         $vec:ty, $load:expr, $set1:expr, $loadv:expr, $storev:expr,
+         $mul:expr, $add:expr, $sub:expr) => {
+            pub(super) fn $name(chars: &[$elem], n: usize, m: usize, out: &mut Vec<u32>) {
+                const L: usize = $lanes;
+                // The vector loop needs a full lane seed plus one whole
+                // step of lookahead; anything shorter runs scalar.
+                if m < 2 * L {
+                    return scalar_hashes(chars, n, out);
+                }
+                out.resize(m, 0);
+                scalar_fill(chars, n, 0..L, out);
+                // SAFETY: the target feature was runtime-detected by
+                // `active_kernel` before dispatching here.
+                unsafe { $name::<L>(chars, n, m, out) };
+                // Tail positions not covered by full vector steps.
+                let done = L + (m - L) / L * L;
+                scalar_fill(chars, n, done..m, out);
+
+                #[target_feature(enable = $feature)]
+                unsafe fn $name<const L2: usize>(
+                    chars: &[$elem],
+                    n: usize,
+                    m: usize,
+                    out: &mut [u32],
+                ) {
+                    let powers = Powers::new(n, L2);
+                    let base_l = $set1(powers.base_l as i32);
+                    let mut lo = [$set1(0); L2];
+                    let mut hi = [$set1(0); L2];
+                    for j in 0..L2 {
+                        lo[j] = $set1(powers.lo[j] as i32);
+                        hi[j] = $set1(powers.hi[j] as i32);
+                    }
+                    let mut p0 = 0usize;
+                    // Producing out[p0+L .. p0+2L] reads characters up to
+                    // p0 + n + 2L - 2 = (p0 + 2L - 1) + n - 1 <= len - 1,
+                    // i.e. requires p0 + 2L - 1 <= m - 1.
+                    while p0 + 2 * L2 <= m {
+                        debug_assert!(p0 + n + 2 * L2 - 2 < chars.len());
+                        let h: $vec = $loadv(out.as_ptr().add(p0));
+                        let mut d = $set1(0);
+                        for j in 0..L2 {
+                            let incoming: $vec = $load(chars.as_ptr().add(p0 + n + j));
+                            let outgoing: $vec = $load(chars.as_ptr().add(p0 + j));
+                            d = $add(d, $mul(incoming, lo[j]));
+                            d = $sub(d, $mul(outgoing, hi[j]));
+                        }
+                        let next = $add($mul(h, base_l), d);
+                        $storev(out.as_mut_ptr().add(p0 + L2), next);
+                        p0 += L2;
+                    }
+                }
+            }
+        };
+    }
+
+    /// Widening 8-byte load: 8 ASCII chars to 8 u32 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_u8x8_avx2(ptr: *const u8) -> __m256i {
+        _mm256_cvtepu8_epi32(_mm_loadl_epi64(ptr as *const __m128i))
+    }
+
+    /// Widening 4-byte load: 4 ASCII chars to 4 u32 lanes.
+    #[inline]
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn load_u8x4_sse41(ptr: *const u8) -> __m128i {
+        _mm_cvtepu8_epi32(_mm_cvtsi32_si128((ptr as *const i32).read_unaligned()))
+    }
+
+    bulk_hash_kernel!(
+        hashes_u8_avx2,
+        u8,
+        8,
+        "avx2",
+        __m256i,
+        |p: *const u8| load_u8x8_avx2(p),
+        |v: i32| _mm256_set1_epi32(v),
+        |p: *const u32| _mm256_loadu_si256(p as *const __m256i),
+        |p: *mut u32, v: __m256i| _mm256_storeu_si256(p as *mut __m256i, v),
+        |a, b| _mm256_mullo_epi32(a, b),
+        |a, b| _mm256_add_epi32(a, b),
+        |a, b| _mm256_sub_epi32(a, b)
+    );
+
+    bulk_hash_kernel!(
+        hashes_u32_avx2,
+        u32,
+        8,
+        "avx2",
+        __m256i,
+        |p: *const u32| _mm256_loadu_si256(p as *const __m256i),
+        |v: i32| _mm256_set1_epi32(v),
+        |p: *const u32| _mm256_loadu_si256(p as *const __m256i),
+        |p: *mut u32, v: __m256i| _mm256_storeu_si256(p as *mut __m256i, v),
+        |a, b| _mm256_mullo_epi32(a, b),
+        |a, b| _mm256_add_epi32(a, b),
+        |a, b| _mm256_sub_epi32(a, b)
+    );
+
+    bulk_hash_kernel!(
+        hashes_u8_sse41,
+        u8,
+        4,
+        "sse4.1",
+        __m128i,
+        |p: *const u8| load_u8x4_sse41(p),
+        |v: i32| _mm_set1_epi32(v),
+        |p: *const u32| _mm_loadu_si128(p as *const __m128i),
+        |p: *mut u32, v: __m128i| _mm_storeu_si128(p as *mut __m128i, v),
+        |a, b| _mm_mullo_epi32(a, b),
+        |a, b| _mm_add_epi32(a, b),
+        |a, b| _mm_sub_epi32(a, b)
+    );
+
+    bulk_hash_kernel!(
+        hashes_u32_sse41,
+        u32,
+        4,
+        "sse4.1",
+        __m128i,
+        |p: *const u32| _mm_loadu_si128(p as *const __m128i),
+        |v: i32| _mm_set1_epi32(v),
+        |p: *const u32| _mm_loadu_si128(p as *const __m128i),
+        |p: *mut u32, v: __m128i| _mm_storeu_si128(p as *mut __m128i, v),
+        |a, b| _mm_mullo_epi32(a, b),
+        |a, b| _mm_add_epi32(a, b),
+        |a, b| _mm_sub_epi32(a, b)
+    );
+
+    /// Left-pack permutations: `NORM_PERM[mask]` maps the `k`-th set bit
+    /// of `mask` to lane `k` under `vpermd`, compressing kept lanes to
+    /// the front of the vector.
+    static NORM_PERM: [[u32; 8]; 256] = {
+        let mut lut = [[0u32; 8]; 256];
+        let mut mask = 0usize;
+        while mask < 256 {
+            let mut out = 0usize;
+            let mut lane = 0usize;
+            while lane < 8 {
+                if mask & (1 << lane) != 0 {
+                    lut[mask][out] = lane as u32;
+                    out += 1;
+                }
+                lane += 1;
+            }
+            mask += 1;
+        }
+        lut
+    };
+
+    /// AVX2 ASCII normalisation: 8 bytes per step are widened to u32
+    /// lanes, classified (`[a-z0-9]` after setting the lowercase bit —
+    /// the bit is a no-op on digits), left-packed through [`NORM_PERM`]
+    /// and narrowed back to bytes. Offsets ride the same permutation on
+    /// an iota vector. Returns the number of input bytes consumed (a
+    /// multiple of 8; the caller's scalar loop finishes the tail).
+    pub(super) fn normalize_ascii_avx2(
+        bytes: &[u8],
+        text: &mut String,
+        offsets: &mut Vec<u32>,
+    ) -> usize {
+        #[target_feature(enable = "avx2")]
+        unsafe fn inner(bytes: &[u8], text: &mut Vec<u8>, offsets: &mut Vec<u32>) -> usize {
+            let n = bytes.len();
+            text.reserve(n + 8);
+            offsets.reserve(n + 8);
+            let tstart = text.len();
+            let ostart = offsets.len();
+            let tptr = text.as_mut_ptr();
+            let optr = offsets.as_mut_ptr();
+            let mut tlen = tstart;
+            let mut olen = ostart;
+            let iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+            let lower_bit = _mm256_set1_epi32(0x20);
+            let ch_a = _mm256_set1_epi32('a' as i32);
+            let c26 = _mm256_set1_epi32(26);
+            let ch_0 = _mm256_set1_epi32('0' as i32);
+            let c10 = _mm256_set1_epi32(10);
+            let minus1 = _mm256_set1_epi32(-1);
+            // Per 128-bit half: gather byte 0 of each u32 lane.
+            #[rustfmt::skip]
+            let narrow = _mm256_setr_epi8(
+                0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+                0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+            );
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let w =
+                    _mm256_cvtepu8_epi32(_mm_loadl_epi64(bytes.as_ptr().add(i) as *const __m128i));
+                let lower = _mm256_or_si256(w, lower_bit);
+                // Letter: lower - 'a' in [0, 26). Digit: b - '0' in [0, 10).
+                // All lane values are < 256, so signed compares are exact.
+                let lt = _mm256_sub_epi32(lower, ch_a);
+                let letter =
+                    _mm256_and_si256(_mm256_cmpgt_epi32(lt, minus1), _mm256_cmpgt_epi32(c26, lt));
+                let dt = _mm256_sub_epi32(w, ch_0);
+                let digit =
+                    _mm256_and_si256(_mm256_cmpgt_epi32(dt, minus1), _mm256_cmpgt_epi32(c10, dt));
+                let keep = _mm256_or_si256(letter, digit);
+                let mask = _mm256_movemask_ps(_mm256_castsi256_ps(keep)) as usize;
+                let kept = mask.count_ones() as usize;
+                let perm = _mm256_loadu_si256(NORM_PERM[mask].as_ptr() as *const __m256i);
+                let offs = _mm256_add_epi32(iota, _mm256_set1_epi32(i as i32));
+                _mm256_storeu_si256(
+                    optr.add(olen) as *mut __m256i,
+                    _mm256_permutevar8x32_epi32(offs, perm),
+                );
+                olen += kept;
+                let packed = _mm256_shuffle_epi8(_mm256_permutevar8x32_epi32(lower, perm), narrow);
+                let lo = _mm_cvtsi128_si32(_mm256_castsi256_si128(packed)) as u32 as u64;
+                let hi = _mm_cvtsi128_si32(_mm256_extracti128_si256(packed, 1)) as u32 as u64;
+                (tptr.add(tlen) as *mut u64).write_unaligned((hi << 32) | lo);
+                tlen += kept;
+                i += 8;
+            }
+            text.set_len(tlen);
+            offsets.set_len(olen);
+            i
+        }
+
+        // SAFETY: AVX2 presence was runtime-detected before dispatch; the
+        // bytes appended to the String are lowercase ASCII alphanumerics,
+        // so it stays valid UTF-8.
+        unsafe { inner(bytes, text.as_mut_vec(), offsets) }
+    }
+
+    /// Minimum of two biased-key vectors: the keys carry the sign bias,
+    /// so the signed `cmpgt` *is* the unsigned key comparison.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn min64(a: __m256i, b: __m256i) -> __m256i {
+        _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b))
+    }
+
+    /// The complemented-position key halves for the four positions
+    /// starting at `i`. Loops keep this vector live and step it by ±4
+    /// per chunk — rebuilding it each chunk would cost a GPR→vector
+    /// broadcast per iteration.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn pc_at(i: usize) -> __m256i {
+        _mm256_sub_epi64(
+            _mm256_set1_epi64x(u32::MAX as i64 - i as i64),
+            _mm256_setr_epi64x(0, 1, 2, 3),
+        )
+    }
+
+    /// Packs the biased ordering keys of four consecutive positions
+    /// starting at `i` straight from the raw hashes: xoring the hash's
+    /// top bit *before* the zero-extending widen lands the sign bias at
+    /// bit 63 of the u64 key, and the caller-maintained complemented
+    /// position (`pc`, = [`pc_at`]`(i)`) occupies the low half. Cheaper
+    /// than materialising a key array: four ALU ops replace a 32-byte
+    /// store + reload per chunk.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn pack4(hashes: &[u32], i: usize, pc: __m256i) -> __m256i {
+        debug_assert!(i + 4 <= hashes.len());
+        let x = _mm_loadu_si128(hashes.as_ptr().add(i) as *const __m128i);
+        let hx = _mm_xor_si128(x, _mm_set1_epi32(i32::MIN));
+        _mm256_or_si256(_mm256_slli_epi64(_mm256_cvtepu32_epi64(hx), 32), pc)
+    }
+
+    /// Within-chunk suffix scan: `s[k] = min(v[k..4])` via two shift/min
+    /// steps with the identity shifted into the vacated lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn suffix_scan(v: __m256i, ident: __m256i) -> __m256i {
+        let t = min64(
+            v,
+            _mm256_blend_epi32(
+                _mm256_permute4x64_epi64(v, 0b11_11_10_01),
+                ident,
+                0b1100_0000,
+            ),
+        );
+        min64(
+            t,
+            _mm256_blend_epi32(
+                _mm256_permute4x64_epi64(t, 0b11_10_11_10),
+                ident,
+                0b1111_0000,
+            ),
+        )
+    }
+
+    /// Within-chunk prefix scan: `s[k] = min(v[0..=k])` — the mirror of
+    /// [`suffix_scan`].
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn prefix_scan(v: __m256i, ident: __m256i) -> __m256i {
+        let t = min64(
+            v,
+            _mm256_blend_epi32(
+                _mm256_permute4x64_epi64(v, 0b10_01_00_00),
+                ident,
+                0b0000_0011,
+            ),
+        );
+        min64(
+            t,
+            _mm256_blend_epi32(
+                _mm256_permute4x64_epi64(t, 0b01_00_00_00),
+                ident,
+                0b0000_1111,
+            ),
+        )
+    }
+
+    /// Per-block suffix minima: within each 4-key chunk a two-step
+    /// shift/min folds higher lanes into lower ones, then the running
+    /// block minimum is folded in and re-broadcast. That carry is the
+    /// chunk loop's only cross-iteration dependency (≈8 cycles of
+    /// min + permute latency per 4 keys), so two independent blocks are
+    /// processed interleaved: their carry chains overlap and the pass
+    /// runs at port throughput instead of chain latency.
+    pub(super) fn suffix_min_avx2(hashes: &[u32], sfx: &mut [u64], w: usize) {
+        #[target_feature(enable = "avx2")]
+        unsafe fn single(hashes: &[u32], sfx: &mut [u64], start: usize, end: usize) {
+            let ident = _mm256_set1_epi64x(i64::MAX);
+            let chunks = (end - start) / 4;
+            // Scalar remainder at the top of the block seeds the carry.
+            let mut run = KEY_IDENT;
+            for i in (start + chunks * 4..end).rev() {
+                run = bmin(run, pack_key_biased(hashes[i], i));
+                sfx[i] = run;
+            }
+            let mut carry = _mm256_set1_epi64x(run as i64);
+            if chunks > 0 {
+                let four = _mm256_set1_epi64x(4);
+                let mut pc = pc_at(start + (chunks - 1) * 4);
+                for c in (0..chunks).rev() {
+                    let ci = start + c * 4;
+                    let s = min64(suffix_scan(pack4(hashes, ci, pc), ident), carry);
+                    _mm256_storeu_si256(sfx.as_mut_ptr().add(ci) as *mut __m256i, s);
+                    carry = _mm256_permute4x64_epi64(s, 0b00_00_00_00);
+                    pc = _mm256_add_epi64(pc, four);
+                }
+            }
+        }
+
+        #[target_feature(enable = "avx2")]
+        unsafe fn pair(hashes: &[u32], sfx: &mut [u64], sa: usize, w: usize) {
+            let ident = _mm256_set1_epi64x(i64::MAX);
+            let sb = sa + w;
+            let chunks = w / 4;
+            let mut run_a = KEY_IDENT;
+            let mut run_b = KEY_IDENT;
+            for off in (chunks * 4..w).rev() {
+                run_a = bmin(run_a, pack_key_biased(hashes[sa + off], sa + off));
+                sfx[sa + off] = run_a;
+                run_b = bmin(run_b, pack_key_biased(hashes[sb + off], sb + off));
+                sfx[sb + off] = run_b;
+            }
+            let mut carry_a = _mm256_set1_epi64x(run_a as i64);
+            let mut carry_b = _mm256_set1_epi64x(run_b as i64);
+            if chunks > 0 {
+                let four = _mm256_set1_epi64x(4);
+                let mut pc_a = pc_at(sa + (chunks - 1) * 4);
+                let mut pc_b = pc_at(sb + (chunks - 1) * 4);
+                for c in (0..chunks).rev() {
+                    let ca = sa + c * 4;
+                    let cb = sb + c * 4;
+                    let s_a = min64(suffix_scan(pack4(hashes, ca, pc_a), ident), carry_a);
+                    let s_b = min64(suffix_scan(pack4(hashes, cb, pc_b), ident), carry_b);
+                    _mm256_storeu_si256(sfx.as_mut_ptr().add(ca) as *mut __m256i, s_a);
+                    _mm256_storeu_si256(sfx.as_mut_ptr().add(cb) as *mut __m256i, s_b);
+                    carry_a = _mm256_permute4x64_epi64(s_a, 0b00_00_00_00);
+                    carry_b = _mm256_permute4x64_epi64(s_b, 0b00_00_00_00);
+                    pc_a = _mm256_add_epi64(pc_a, four);
+                    pc_b = _mm256_add_epi64(pc_b, four);
+                }
+            }
+        }
+
+        #[target_feature(enable = "avx2")]
+        unsafe fn inner(hashes: &[u32], sfx: &mut [u64], w: usize) {
+            let m = hashes.len();
+            // The last block (possibly partial) runs alone, then enough
+            // singles to leave an even number of full blocks below, then
+            // interleaved pairs down to block 0.
+            let mut bs = (m - 1) / w * w;
+            single(hashes, sfx, bs, m);
+            if (bs / w) % 2 == 1 {
+                bs -= w;
+                single(hashes, sfx, bs, bs + w);
+            }
+            while bs >= 2 * w {
+                bs -= 2 * w;
+                pair(hashes, sfx, bs, w);
+            }
+        }
+
+        // SAFETY: AVX2 presence was runtime-detected before dispatch.
+        unsafe { inner(hashes, sfx, w) }
+    }
+
+    /// Forward pass + emission. For every window the block prefix
+    /// minimum is built in-register (within-chunk scan plus the block
+    /// carry) and combined with the suffix buffer; the combined minima
+    /// are written *in place* over `sfx` — slot `i+1−w` is read and
+    /// rewritten by exactly the window ending at `i`, so the overwrite
+    /// is safe in any processing order. Freeing the pass from in-order
+    /// emission lets two independent blocks interleave, hiding the
+    /// carry-chain latency exactly as in [`suffix_min_avx2`]. A final
+    /// linear scan emits a selection wherever consecutive windowed
+    /// minima differ (expected density `2/(w+1)`, so most 4-wide chunks
+    /// take the all-equal fast path).
+    ///
+    /// Block 0 is a scalar warm-up — only its last position completes a
+    /// window — and the first full window always emits.
+    pub(super) fn combine_emit_avx2(
+        hashes: &[u32],
+        sfx: &mut [u64],
+        w: usize,
+        base: usize,
+        selected: &mut Vec<NgramHash>,
+    ) {
+        #[target_feature(enable = "avx2")]
+        unsafe fn single(hashes: &[u32], sfx: &mut [u64], w: usize, start: usize, end: usize) {
+            let ident = _mm256_set1_epi64x(i64::MAX);
+            let chunks = (end - start) / 4;
+            let mut carry = ident;
+            let mut ci = start;
+            if chunks > 0 {
+                let four = _mm256_set1_epi64x(4);
+                let mut pc = pc_at(start);
+                for _ in 0..chunks {
+                    let s = min64(prefix_scan(pack4(hashes, ci, pc), ident), carry);
+                    carry = _mm256_permute4x64_epi64(s, 0b11_11_11_11);
+                    let j = ci + 1 - w;
+                    let c = min64(s, _mm256_loadu_si256(sfx.as_ptr().add(j) as *const __m256i));
+                    _mm256_storeu_si256(sfx.as_mut_ptr().add(j) as *mut __m256i, c);
+                    pc = _mm256_sub_epi64(pc, four);
+                    ci += 4;
+                }
+            }
+            let mut run = _mm256_extract_epi64(carry, 0) as u64;
+            for i in ci..end {
+                run = bmin(run, pack_key_biased(hashes[i], i));
+                sfx[i + 1 - w] = bmin(sfx[i + 1 - w], run);
+            }
+        }
+
+        #[target_feature(enable = "avx2")]
+        unsafe fn pair(hashes: &[u32], sfx: &mut [u64], sa: usize, w: usize) {
+            let ident = _mm256_set1_epi64x(i64::MAX);
+            let sb = sa + w;
+            let chunks = w / 4;
+            let mut carry_a = ident;
+            let mut carry_b = ident;
+            if chunks > 0 {
+                let four = _mm256_set1_epi64x(4);
+                let mut pc_a = pc_at(sa);
+                let mut pc_b = pc_at(sb);
+                for c in 0..chunks {
+                    let ca = sa + c * 4;
+                    let cb = sb + c * 4;
+                    let s_a = min64(prefix_scan(pack4(hashes, ca, pc_a), ident), carry_a);
+                    let s_b = min64(prefix_scan(pack4(hashes, cb, pc_b), ident), carry_b);
+                    carry_a = _mm256_permute4x64_epi64(s_a, 0b11_11_11_11);
+                    carry_b = _mm256_permute4x64_epi64(s_b, 0b11_11_11_11);
+                    let ja = ca + 1 - w;
+                    let jb = cb + 1 - w;
+                    let c_a = min64(
+                        s_a,
+                        _mm256_loadu_si256(sfx.as_ptr().add(ja) as *const __m256i),
+                    );
+                    let c_b = min64(
+                        s_b,
+                        _mm256_loadu_si256(sfx.as_ptr().add(jb) as *const __m256i),
+                    );
+                    _mm256_storeu_si256(sfx.as_mut_ptr().add(ja) as *mut __m256i, c_a);
+                    _mm256_storeu_si256(sfx.as_mut_ptr().add(jb) as *mut __m256i, c_b);
+                    pc_a = _mm256_sub_epi64(pc_a, four);
+                    pc_b = _mm256_sub_epi64(pc_b, four);
+                }
+            }
+            let mut run_a = _mm256_extract_epi64(carry_a, 0) as u64;
+            let mut run_b = _mm256_extract_epi64(carry_b, 0) as u64;
+            for off in chunks * 4..w {
+                let ia = sa + off;
+                let ib = sb + off;
+                run_a = bmin(run_a, pack_key_biased(hashes[ia], ia));
+                sfx[ia + 1 - w] = bmin(sfx[ia + 1 - w], run_a);
+                run_b = bmin(run_b, pack_key_biased(hashes[ib], ib));
+                sfx[ib + 1 - w] = bmin(sfx[ib + 1 - w], run_b);
+            }
+        }
+
+        /// Emission scan over the windowed minima `c` (`c[j]` = minimum
+        /// of the window ending at `j+w−1`): the first window always
+        /// emits, every later one iff its minimum key differs from its
+        /// predecessor's. (A branch-free left-packing variant measured
+        /// consistently slower here: real-text change density is low
+        /// enough that the per-chunk branch predicts well.)
+        #[target_feature(enable = "avx2")]
+        unsafe fn emit_changes(c: &[u64], base: usize, selected: &mut Vec<NgramHash>) {
+            let (hash, pos) = unpack_biased(c[0]);
+            selected.push(NgramHash {
+                hash,
+                position: base + pos,
+            });
+            let len = c.len();
+            let mut j = 1;
+            while j + 4 <= len {
+                let v = _mm256_loadu_si256(c.as_ptr().add(j) as *const __m256i);
+                let u = _mm256_loadu_si256(c.as_ptr().add(j - 1) as *const __m256i);
+                if _mm256_movemask_epi8(_mm256_cmpeq_epi64(v, u)) != -1 {
+                    for k in j..j + 4 {
+                        if c[k] != c[k - 1] {
+                            let (hash, pos) = unpack_biased(c[k]);
+                            selected.push(NgramHash {
+                                hash,
+                                position: base + pos,
+                            });
+                        }
+                    }
+                }
+                j += 4;
+            }
+            while j < len {
+                if c[j] != c[j - 1] {
+                    let (hash, pos) = unpack_biased(c[j]);
+                    selected.push(NgramHash {
+                        hash,
+                        position: base + pos,
+                    });
+                }
+                j += 1;
+            }
+        }
+
+        #[target_feature(enable = "avx2")]
+        unsafe fn inner(
+            hashes: &[u32],
+            sfx: &mut [u64],
+            w: usize,
+            base: usize,
+            selected: &mut Vec<NgramHash>,
+        ) {
+            let m = hashes.len();
+            // Block 0 warm-up: the only window it completes ends at w−1.
+            let mut run = KEY_IDENT;
+            for (i, &h) in hashes.iter().enumerate().take(w) {
+                run = bmin(run, pack_key_biased(h, i));
+            }
+            sfx[0] = bmin(sfx[0], run);
+            // Pairs of full blocks, then the stragglers (the last block
+            // may be partial).
+            let mut bs = w;
+            while bs + 2 * w <= m {
+                pair(hashes, sfx, bs, w);
+                bs += 2 * w;
+            }
+            while bs < m {
+                let be = (bs + w).min(m);
+                single(hashes, sfx, w, bs, be);
+                bs = be;
+            }
+            emit_changes(&sfx[..m - w + 1], base, selected);
+        }
+
+        // SAFETY: AVX2 presence was runtime-detected before dispatch.
+        unsafe { inner(hashes, sfx, w, base, selected) }
+    }
+}
+
+// --- aarch64 kernels ------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon {
+    //! NEON lane kernels: 4 u32 hash lanes. The windowed-minimum combine
+    //! pass stays scalar on aarch64 (NEON has no 64-bit integer min);
+    //! the hash kernel is where the bulk of the win lives.
+
+    use super::{scalar_fill, scalar_hashes, Powers};
+    use std::arch::aarch64::*;
+
+    macro_rules! neon_hash_kernel {
+        ($name:ident, $elem:ty, $load:expr) => {
+            pub(super) fn $name(chars: &[$elem], n: usize, m: usize, out: &mut Vec<u32>) {
+                const L: usize = 4;
+                if m < 2 * L {
+                    return scalar_hashes(chars, n, out);
+                }
+                out.resize(m, 0);
+                scalar_fill(chars, n, 0..L, out);
+                // SAFETY: NEON presence was runtime-detected by
+                // `active_kernel` before dispatching here.
+                unsafe { inner(chars, n, m, out) };
+                let done = L + (m - L) / L * L;
+                scalar_fill(chars, n, done..m, out);
+
+                #[target_feature(enable = "neon")]
+                unsafe fn inner(chars: &[$elem], n: usize, m: usize, out: &mut [u32]) {
+                    const L: usize = 4;
+                    let powers = Powers::new(n, L);
+                    let base_l = vdupq_n_u32(powers.base_l);
+                    let mut p0 = 0usize;
+                    while p0 + 2 * L <= m {
+                        debug_assert!(p0 + n + 2 * L - 2 < chars.len());
+                        let h = vld1q_u32(out.as_ptr().add(p0));
+                        let mut d = vdupq_n_u32(0);
+                        for j in 0..L {
+                            let incoming = $load(chars.as_ptr().add(p0 + n + j));
+                            let outgoing = $load(chars.as_ptr().add(p0 + j));
+                            d = vaddq_u32(d, vmulq_u32(incoming, vdupq_n_u32(powers.lo[j])));
+                            d = vsubq_u32(d, vmulq_u32(outgoing, vdupq_n_u32(powers.hi[j])));
+                        }
+                        let next = vaddq_u32(vmulq_u32(h, base_l), d);
+                        vst1q_u32(out.as_mut_ptr().add(p0 + L), next);
+                        p0 += L;
+                    }
+                }
+            }
+        };
+    }
+
+    /// Widening 4-byte load: 4 ASCII chars to 4 u32 lanes.
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn load_u8x4(ptr: *const u8) -> uint32x4_t {
+        let bytes = vld1_u8([*ptr, *ptr.add(1), *ptr.add(2), *ptr.add(3), 0, 0, 0, 0].as_ptr());
+        vmovl_u16(vget_low_u16(vmovl_u8(bytes)))
+    }
+
+    neon_hash_kernel!(hashes_u8_neon, u8, |p: *const u8| load_u8x4(p));
+    neon_hash_kernel!(hashes_u32_neon, u32, |p: *const u32| vld1q_u32(p));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ngram::ngram_hashes;
+    use crate::winnow::winnow_into;
+
+    fn oracle_hashes(text: &str, n: usize) -> Vec<u32> {
+        ngram_hashes(text, n).into_iter().map(|h| h.hash).collect()
+    }
+
+    fn bulk(text: &str, n: usize) -> Vec<u32> {
+        let mut chars = Vec::new();
+        let mut out = Vec::new();
+        ngram_hashes_bulk(text, n, &mut chars, &mut out);
+        out
+    }
+
+    #[test]
+    fn kernel_names_are_stable() {
+        assert_eq!(KernelKind::Scalar.name(), "scalar");
+        assert_eq!(KernelKind::Avx2.name(), "avx2");
+        assert!(!KernelKind::Scalar.is_simd());
+        assert!(KernelKind::Neon.is_simd());
+        assert_eq!(KernelKind::Sse41.to_string(), "sse4.1");
+    }
+
+    /// Serializes tests that toggle the global scalar override. All
+    /// kernels produce identical results, so concurrent toggles cannot
+    /// corrupt outputs — but assertions about which kernel is active
+    /// would race without this.
+    fn force_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap()
+    }
+
+    #[test]
+    fn force_scalar_overrides_dispatch() {
+        let _guard = force_lock();
+        force_scalar(true);
+        assert_eq!(active_kernel(), KernelKind::Scalar);
+        force_scalar(false);
+        if std::env::var("BF_FORCE_SCALAR").is_err() {
+            assert_eq!(active_kernel(), detected_kernel());
+        }
+    }
+
+    #[test]
+    fn bulk_matches_oracle_on_ascii() {
+        let text: String = "the quick brown fox jumps over the lazy dog "
+            .chars()
+            .cycle()
+            .take(1000)
+            .collect();
+        for n in [1, 2, 3, 7, 15, 16, 31, 64] {
+            assert_eq!(bulk(&text, n), oracle_hashes(&text, n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn bulk_matches_oracle_on_unicode() {
+        let text: String = "ζeta συστηματα ünïcode München twentyfoursevenλ "
+            .chars()
+            .cycle()
+            .take(700)
+            .collect();
+        for n in [1, 4, 15, 33] {
+            assert_eq!(bulk(&text, n), oracle_hashes(&text, n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn bulk_matches_oracle_at_simd_block_edges() {
+        // Straddle every alignment of the 8-lane step and its scalar tail.
+        let base = "abcdefghijklmnopqrstuvwxyz0123456789";
+        for len in 0..200usize {
+            let text: String = base.chars().cycle().take(len).collect();
+            for n in [1, 5, 15] {
+                assert_eq!(bulk(&text, n), oracle_hashes(&text, n), "len={len} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes_hash_to_nothing() {
+        assert!(bulk("", 3).is_empty());
+        assert!(bulk("ab", 3).is_empty());
+        assert_eq!(bulk("abc", 3).len(), 1);
+    }
+
+    #[test]
+    fn forced_scalar_bulk_is_identical() {
+        let _guard = force_lock();
+        let text: String = "lorem ipsum dolor sit amet consectetur adipiscing elit "
+            .chars()
+            .cycle()
+            .take(2000)
+            .collect();
+        let native = bulk(&text, 15);
+        force_scalar(true);
+        let scalar = bulk(&text, 15);
+        force_scalar(false);
+        assert_eq!(native, scalar);
+    }
+
+    fn oracle_winnow(hashes: &[u32], base: usize, w: usize) -> Vec<NgramHash> {
+        let tagged: Vec<NgramHash> = hashes
+            .iter()
+            .enumerate()
+            .map(|(i, &hash)| NgramHash {
+                hash,
+                position: base + i,
+            })
+            .collect();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        winnow_into(&tagged, w, &mut scratch, &mut out);
+        out
+    }
+
+    fn kernel_winnow(hashes: &[u32], base: usize, w: usize) -> Vec<NgramHash> {
+        let mut scratch = WindowMinScratch::default();
+        let mut out = Vec::new();
+        window_min_emit(hashes, base, w, &mut scratch, &mut out);
+        out
+    }
+
+    fn pseudo_random(len: usize, modulus: u32, seed: u64) -> Vec<u32> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as u32) % modulus
+            })
+            .collect()
+    }
+
+    #[test]
+    fn window_min_matches_deque_oracle() {
+        for &len in &[0usize, 1, 2, 5, 63, 64, 65, 127, 200, 1000] {
+            // Low-modulus values force heavy ties; high exercise the
+            // general case.
+            for &modulus in &[3u32, 17, u32::MAX] {
+                let values = pseudo_random(len, modulus, len as u64 + modulus as u64);
+                for &w in &[1usize, 2, 3, 9, 30, 64, 200] {
+                    assert_eq!(
+                        kernel_winnow(&values, 7, w),
+                        oracle_winnow(&values, 7, w),
+                        "len={len} modulus={modulus} w={w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_min_forced_scalar_matches() {
+        let _guard = force_lock();
+        let values = pseudo_random(500, 11, 99);
+        let native = kernel_winnow(&values, 0, 9);
+        force_scalar(true);
+        let scalar = kernel_winnow(&values, 0, 9);
+        force_scalar(false);
+        assert_eq!(native, scalar);
+    }
+
+    #[test]
+    fn pack_key_orders_rightmost_ties_first() {
+        // Equal hashes: the later position packs to the smaller key.
+        assert!(pack_key(7, 5) < pack_key(7, 4));
+        // Smaller hash always wins regardless of position.
+        assert!(pack_key(6, 0) < pack_key(7, 1000));
+        assert_eq!(unpack_key(pack_key(42, 17)), (42, 17));
+    }
+}

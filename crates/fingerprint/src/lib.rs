@@ -38,12 +38,16 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied everywhere except the `kernel` module, whose
+// `std::arch` SIMD intrinsics require it; each site is feature-gated by
+// runtime dispatch and documented.
+#![deny(unsafe_code)]
 
 mod config;
 mod fingerprint;
 pub mod hash;
 pub mod incremental;
+pub mod kernel;
 pub mod ngram;
 pub mod normalize;
 mod scratch;
@@ -53,6 +57,7 @@ pub mod winnow;
 pub use config::{ConfigError, FingerprintConfig, FingerprintConfigBuilder};
 pub use fingerprint::{Fingerprint, SelectedHash};
 pub use incremental::{FingerprintDelta, IncrementalFingerprinter, TextEdit};
+pub use kernel::{active_kernel, detected_kernel, force_scalar, KernelKind};
 pub use normalize::NormalizedText;
 pub use scratch::FingerprintScratch;
 
@@ -94,28 +99,33 @@ impl Fingerprinter {
     /// length produce an *empty* fingerprint; the paper accepts this as a
     /// systematic source of false negatives for very short paragraphs
     /// (§4.4, §6.1).
+    ///
+    /// Pipeline buffers come from a per-thread scratch (see
+    /// [`FingerprintScratch`]), so repeated calls on one thread reach the
+    /// same steady-state allocation profile as
+    /// [`Fingerprinter::fingerprint_with`]: only the returned
+    /// [`Fingerprint`] is allocated.
     pub fn fingerprint(&self, text: &str) -> Fingerprint {
-        let normalized = normalize::normalize(text);
-        self.fingerprint_normalized(&normalized)
+        SHARED_SCRATCH.with(|cell| self.fingerprint_with(text, &mut cell.borrow_mut()))
     }
 
     /// Computes the fingerprint of already-normalised text.
     ///
     /// Useful when the caller needs the [`NormalizedText`] for other
     /// purposes (e.g. span attribution) and wants to avoid normalising
-    /// twice.
+    /// twice. Runs the same kernel-dispatched bulk pipeline as
+    /// [`Fingerprinter::fingerprint_with`], on the per-thread scratch.
     pub fn fingerprint_normalized(&self, normalized: &NormalizedText) -> Fingerprint {
-        let n = self.config.ngram_len();
-        let hashes = ngram::ngram_hashes(normalized.text(), n);
-        let selected = winnow::winnow(&hashes, self.config.window());
-        let entries = selected
-            .into_iter()
-            .map(|sel| {
-                let span = normalized.span_of_ngram(sel.position, n);
-                SelectedHash::new(sel.hash, sel.position, span)
-            })
-            .collect();
-        Fingerprint::from_entries(entries)
+        SHARED_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            self.select_normalized(
+                normalized,
+                &mut scratch.chars,
+                &mut scratch.hash_values,
+                &mut scratch.window_min,
+                &mut scratch.selected,
+            )
+        })
     }
 
     /// Computes the fingerprint of `text` reusing the buffers in `scratch`.
@@ -123,27 +133,52 @@ impl Fingerprinter {
     /// Identical output to [`Fingerprinter::fingerprint`], but after the
     /// scratch buffers reach steady-state capacity the only allocation per
     /// call is the returned [`Fingerprint`] itself — the normalised text,
-    /// offset maps, hash sequence and winnowing deque are all reused.
+    /// offset maps, bulk hash buffer and window-minimum scratch are all
+    /// reused. The hash and winnow stages run on the runtime-dispatched
+    /// SIMD kernel (see [`kernel`]); [`active_kernel`] reports which one.
     pub fn fingerprint_with(&self, text: &str, scratch: &mut FingerprintScratch) -> Fingerprint {
-        let n = self.config.ngram_len();
         normalize::normalize_into(text, &mut scratch.normalized);
-        ngram::ngram_hashes_into(scratch.normalized.text(), n, &mut scratch.hashes);
-        winnow::winnow_into(
-            &scratch.hashes,
-            self.config.window(),
-            &mut scratch.deque,
+        self.select_normalized(
+            &scratch.normalized,
+            &mut scratch.chars,
+            &mut scratch.hash_values,
+            &mut scratch.window_min,
             &mut scratch.selected,
-        );
-        let entries = scratch
-            .selected
+        )
+    }
+
+    /// Hash + winnow + span attribution over already-normalised text, with
+    /// every buffer supplied by the caller.
+    fn select_normalized(
+        &self,
+        normalized: &NormalizedText,
+        chars: &mut Vec<u32>,
+        hash_values: &mut Vec<u32>,
+        window_min: &mut winnow::WindowMinScratch,
+        selected: &mut Vec<ngram::NgramHash>,
+    ) -> Fingerprint {
+        let n = self.config.ngram_len();
+        kernel::ngram_hashes_bulk(normalized.text(), n, chars, hash_values);
+        winnow::winnow_hashes_into(hash_values, 0, self.config.window(), window_min, selected);
+        let entries = selected
             .iter()
             .map(|sel| {
-                let span = scratch.normalized.span_of_ngram(sel.position, n);
+                let span = normalized.span_of_ngram(sel.position, n);
                 SelectedHash::new(sel.hash, sel.position, span)
             })
             .collect();
         Fingerprint::from_entries(entries)
     }
+}
+
+std::thread_local! {
+    /// Per-thread pipeline buffers backing the allocating entry points
+    /// ([`Fingerprinter::fingerprint`] and
+    /// [`Fingerprinter::fingerprint_normalized`]): the bulk hash and
+    /// window-minimum buffers grow to paragraph size once and are then
+    /// reused by every check on the thread.
+    static SHARED_SCRATCH: std::cell::RefCell<FingerprintScratch> =
+        std::cell::RefCell::new(FingerprintScratch::new());
 }
 
 #[cfg(test)]

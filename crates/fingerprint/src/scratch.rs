@@ -1,5 +1,6 @@
 //! Reusable buffers for allocation-free full-pipeline fingerprinting.
 
+use crate::kernel::WindowMinScratch;
 use crate::ngram::NgramHash;
 use crate::normalize::NormalizedText;
 
@@ -7,13 +8,16 @@ use crate::normalize::NormalizedText;
 /// [`Fingerprinter::fingerprint_with`](crate::Fingerprinter::fingerprint_with).
 ///
 /// A full fingerprint computation allocates a normalised string, an offset
-/// map, the n-gram hash sequence, the winnowing deque and the selection
-/// vector. Holding one `FingerprintScratch` per checker thread (or per
+/// map, the n-gram hash sequence and the winnowing selection buffers.
+/// Holding one `FingerprintScratch` per checker thread (or per
 /// [`IncrementalFingerprinter`](crate::IncrementalFingerprinter) fallback
 /// path) lets repeated checks reuse all of them: after the first few calls
 /// the buffers have grown to steady-state capacity and the only remaining
 /// allocation per check is the returned [`Fingerprint`](crate::Fingerprint)
-/// itself.
+/// itself. The buffers feed the runtime-dispatched SIMD kernel
+/// ([`kernel`](crate::kernel)): `chars` holds the decoded code points of
+/// non-ASCII text, `hash_values` the bulk per-position hashes, and
+/// `window_min` the packed-key buffers of the vectorized sliding minimum.
 ///
 /// # Example
 ///
@@ -29,8 +33,9 @@ use crate::normalize::NormalizedText;
 #[derive(Debug, Clone, Default)]
 pub struct FingerprintScratch {
     pub(crate) normalized: NormalizedText,
-    pub(crate) hashes: Vec<NgramHash>,
-    pub(crate) deque: Vec<usize>,
+    pub(crate) chars: Vec<u32>,
+    pub(crate) hash_values: Vec<u32>,
+    pub(crate) window_min: WindowMinScratch,
     pub(crate) selected: Vec<NgramHash>,
 }
 

@@ -14,7 +14,10 @@
 //! rightmost minimal hash, which minimises fingerprint churn on
 //! self-repetitive text.
 
+use crate::kernel;
 use crate::ngram::NgramHash;
+
+pub use crate::kernel::WindowMinScratch;
 
 /// Selects the winnowed subset of `hashes` using windows of `window` hashes.
 ///
@@ -22,6 +25,11 @@ use crate::ngram::NgramHash;
 /// with no duplicate positions. If the sequence is shorter than the window,
 /// the single overall minimum is returned (so that no non-empty hash
 /// sequence winnows to nothing).
+///
+/// This is a documentation/example convenience: it allocates two fresh
+/// vectors on every call. Production paths go through [`winnow_into`]
+/// (the scalar reference) or [`winnow_hashes_into`] (kernel-dispatched)
+/// with reused scratch buffers.
 ///
 /// # Panics
 ///
@@ -118,6 +126,46 @@ pub fn winnow_into(
     }
 }
 
+/// Selects the winnowed subset of raw hash values into `selected`, where
+/// the hash at index `i` belongs to the n-gram at position `base + i`.
+///
+/// Semantics are identical to [`winnow_into`] over the equivalent
+/// [`NgramHash`] sequence (robust rightmost tie-break, consecutive
+/// position dedup, degenerate single-window minimum), but the input is a
+/// plain `&[u32]` — the layout the bulk hashing kernel produces — and the
+/// implementation dispatches to the vectorized sliding-window minimum on
+/// SIMD-capable hosts. The `base` offset lets the incremental
+/// fingerprinter re-winnow a dirty sub-range of its hash sequence without
+/// materialising position-tagged copies.
+///
+/// `selected` is cleared and refilled; `scratch` buffers are reused, so
+/// steady-state calls perform no allocation.
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+///
+/// # Example
+///
+/// ```rust
+/// use browserflow_fingerprint::winnow::{winnow_hashes_into, WindowMinScratch};
+///
+/// let mut scratch = WindowMinScratch::default();
+/// let mut selected = Vec::new();
+/// winnow_hashes_into(&[52, 40, 53, 13, 22], 0, 3, &mut scratch, &mut selected);
+/// let values: Vec<u32> = selected.iter().map(|p| p.hash).collect();
+/// assert_eq!(values, vec![40, 13]);
+/// ```
+pub fn winnow_hashes_into(
+    hashes: &[u32],
+    base: usize,
+    window: usize,
+    scratch: &mut WindowMinScratch,
+    selected: &mut Vec<NgramHash>,
+) {
+    kernel::window_min_emit(hashes, base, window, scratch, selected);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +231,28 @@ mod tests {
         }
         winnow_into(&[], 3, &mut scratch, &mut selected);
         assert!(selected.is_empty());
+    }
+
+    #[test]
+    fn hashes_variant_matches_ngram_variant() {
+        let values: Vec<u32> = (0..700).map(|i| (i * 2654435761u64 % 97) as u32).collect();
+        let tagged: Vec<NgramHash> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &hash)| NgramHash {
+                hash,
+                position: 11 + i,
+            })
+            .collect();
+        let mut deque = Vec::new();
+        let mut reference = Vec::new();
+        let mut scratch = WindowMinScratch::default();
+        let mut selected = Vec::new();
+        for w in [1usize, 2, 5, 30, 64, 699, 700, 900] {
+            winnow_into(&tagged, w, &mut deque, &mut reference);
+            winnow_hashes_into(&values, 11, w, &mut scratch, &mut selected);
+            assert_eq!(selected, reference, "window {w}");
+        }
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! SIMD kernel ≡ scalar oracle equivalence properties.
+//!
+//! The runtime-dispatched kernels ([`browserflow_fingerprint::kernel`])
+//! must produce byte-identical fingerprints — hash values *and* positions
+//! — to the scalar reference pipeline (`ngram_hashes` + `winnow_into`)
+//! over arbitrary Unicode text and all `n`/`w` configurations. CI runs
+//! this suite twice: once with `BF_FORCE_SCALAR=1` (scalar vs scalar, a
+//! self-check) and once natively (SIMD vs scalar, the real property).
+//!
+//! Tests that toggle [`force_scalar`] serialize on a process-local mutex:
+//! the override is global, and although every kernel must produce the
+//! same answer (so a concurrent toggle cannot change results), assertions
+//! about *which* kernel is active would race.
+
+use browserflow_fingerprint::ngram::{ngram_hashes, NgramHash};
+use browserflow_fingerprint::winnow::{winnow_hashes_into, winnow_into, WindowMinScratch};
+use browserflow_fingerprint::{
+    active_kernel, force_scalar, kernel, normalize, FingerprintConfig, Fingerprinter,
+};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Scalar reference: the original char-iterator rolling hash plus the
+/// monotone-deque winnow, producing `(hash, position)` pairs.
+fn scalar_reference(text: &str, n: usize, w: usize) -> Vec<(u32, usize)> {
+    let normalized = normalize::normalize(text);
+    let hashes = ngram_hashes(normalized.text(), n);
+    let mut scratch = Vec::new();
+    let mut selected = Vec::new();
+    winnow_into(&hashes, w, &mut scratch, &mut selected);
+    selected.iter().map(|s| (s.hash, s.position)).collect()
+}
+
+/// Kernel path: the dispatched bulk pipeline, via the public
+/// `Fingerprinter` entry point.
+fn kernel_pipeline(text: &str, n: usize, w: usize) -> Vec<(u32, usize)> {
+    let fp = Fingerprinter::new(
+        FingerprintConfig::builder()
+            .ngram_len(n)
+            .window(w)
+            .build()
+            .unwrap(),
+    );
+    fp.fingerprint(text)
+        .iter()
+        .map(|e| (e.hash(), e.position()))
+        .collect()
+}
+
+proptest! {
+    /// The tentpole property: identical fingerprints (hashes and
+    /// positions) between the active kernel and the scalar oracle over
+    /// arbitrary Unicode input and arbitrary configs.
+    #[test]
+    fn kernel_matches_scalar_oracle(text in ".{0,400}", n in 1usize..40, w in 1usize..40) {
+        prop_assert_eq!(kernel_pipeline(&text, n, w), scalar_reference(&text, n, w));
+    }
+
+    /// Same property on long ASCII prose — exercises the `u8` fast lane
+    /// with many full vector blocks.
+    #[test]
+    fn kernel_matches_oracle_on_long_ascii(
+        words in proptest::collection::vec("[a-zA-Z0-9]{1,12}", 0..200),
+        n in 1usize..32,
+        w in 1usize..40,
+    ) {
+        let text = words.join(" ");
+        prop_assert_eq!(kernel_pipeline(&text, n, w), scalar_reference(&text, n, w));
+    }
+
+    /// Bulk hashing alone matches the char-iterator rolling hash.
+    #[test]
+    fn bulk_hashes_match_rolling_reference(text in ".{0,300}", n in 1usize..32) {
+        let normalized = normalize::normalize(&text);
+        let reference: Vec<u32> = ngram_hashes(normalized.text(), n)
+            .into_iter()
+            .map(|h| h.hash)
+            .collect();
+        let mut chars = Vec::new();
+        let mut out = Vec::new();
+        kernel::ngram_hashes_bulk(normalized.text(), n, &mut chars, &mut out);
+        prop_assert_eq!(out, reference);
+    }
+
+    /// The dispatched window minimum matches the deque oracle on
+    /// arbitrary hash values, including heavy-tie regimes.
+    #[test]
+    fn window_min_matches_deque(
+        values in proptest::collection::vec(any::<u32>(), 0..500),
+        modulus in prop_oneof![Just(2u32), Just(5), Just(1000), Just(u32::MAX)],
+        w in 1usize..50,
+        base in 0usize..1000,
+    ) {
+        let values: Vec<u32> = values.iter().map(|v| v % modulus).collect();
+        let tagged: Vec<NgramHash> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &hash)| NgramHash { hash, position: base + i })
+            .collect();
+        let mut deque = Vec::new();
+        let mut reference = Vec::new();
+        winnow_into(&tagged, w, &mut deque, &mut reference);
+        let mut scratch = WindowMinScratch::default();
+        let mut selected = Vec::new();
+        winnow_hashes_into(&values, base, w, &mut scratch, &mut selected);
+        prop_assert_eq!(selected, reference);
+    }
+}
+
+/// Mixed ASCII/multibyte text whose *normalized* length straddles the
+/// SIMD block edges (8-lane AVX2 steps, 4-lane SSE4.1/NEON steps, the
+/// lane-seed prefix and the scalar tail), checked on every available
+/// kernel.
+#[test]
+fn block_boundary_mixed_text_every_kernel() {
+    let _guard = FORCE_LOCK.lock().unwrap();
+    // One multibyte char every 7 chars so ASCII runs hit lane boundaries
+    // at every alignment; 'ß' lowercases to itself, 'Σ' to 'σ'.
+    let unit = "abcdefß hijklΣ ";
+    for norm_len in [
+        0usize, 1, 7, 8, 9, 14, 15, 16, 17, 23, 24, 25, 31, 32, 33, 47, 48, 49, 63, 64, 65, 127,
+        128, 129,
+    ] {
+        let text: String = unit
+            .chars()
+            .cycle()
+            .take(norm_len + norm_len / 6 + 2)
+            .collect();
+        for (n, w) in [(1usize, 1usize), (3, 2), (15, 30), (16, 8), (31, 4)] {
+            let reference = scalar_reference(&text, n, w);
+            for forced in [true, false] {
+                force_scalar(forced);
+                assert_eq!(
+                    kernel_pipeline(&text, n, w),
+                    reference,
+                    "kernel {} diverged at norm_len={norm_len} n={n} w={w}",
+                    active_kernel()
+                );
+            }
+        }
+    }
+    force_scalar(false);
+}
+
+/// Degenerate sizes — empty, shorter than `n`, shorter than `w + n − 1`
+/// — on every available kernel.
+#[test]
+fn degenerate_sizes_every_kernel() {
+    let _guard = FORCE_LOCK.lock().unwrap();
+    let (n, w) = (15usize, 30usize);
+    let cases = [
+        String::new(),
+        "a".repeat(n - 1),     // shorter than n: empty fingerprint
+        "b".repeat(n),         // exactly one n-gram
+        "c".repeat(w + n - 2), // one short of a full window
+        "däéf".repeat(n),      // multibyte, several grams, < w hashes
+    ];
+    for text in &cases {
+        let reference = scalar_reference(text, n, w);
+        for forced in [true, false] {
+            force_scalar(forced);
+            assert_eq!(
+                kernel_pipeline(text, n, w),
+                reference,
+                "kernel {} diverged on degenerate {:?}",
+                active_kernel(),
+                text.chars().take(8).collect::<String>()
+            );
+        }
+    }
+    force_scalar(false);
+}
+
+/// The forced-scalar override and the env-independent dispatch report.
+#[test]
+fn force_scalar_toggle_is_observable() {
+    let _guard = FORCE_LOCK.lock().unwrap();
+    force_scalar(true);
+    assert_eq!(active_kernel(), browserflow_fingerprint::KernelKind::Scalar);
+    force_scalar(false);
+    // With the override off, dispatch reports whatever the host supports
+    // (unless BF_FORCE_SCALAR pinned it at process start).
+    if std::env::var("BF_FORCE_SCALAR").is_err() {
+        assert_eq!(active_kernel(), browserflow_fingerprint::detected_kernel());
+    }
+}

@@ -57,7 +57,10 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-pub(crate) const MANIFEST_FILE: &str = "manifest.bfm";
+/// File name of the snapshot manifest inside a persisted store directory.
+/// Public so external tooling (corruption drills, the fuzz harness) can
+/// address snapshot files without re-deriving the layout.
+pub const MANIFEST_FILE: &str = "manifest.bfm";
 const SEALED_SUFFIX: &str = ".sealed";
 /// Magic of the single-file sealed container ([`SealedStore`]).
 const SEALED_FILE_MAGIC: &[u8; 4] = b"BFSS";

@@ -1,0 +1,102 @@
+//! Fuzz target: incremental fingerprint maintenance vs full recompute.
+//!
+//! The input bytes are decoded as an edit script — a fingerprint config,
+//! an initial text, then a sequence of insert/delete/replace operations
+//! with positions snapped to `char` boundaries — and replayed against an
+//! [`IncrementalFingerprinter`]. After every edit the incrementally
+//! maintained fingerprint must equal a from-scratch fingerprint of the
+//! same text: any panic inside the incremental splice, and any
+//! divergence in selected hashes, positions or spans, fails the run.
+//!
+//! The word table mixes ASCII with multi-byte and case-expanding
+//! characters ('ü', 'ß', 'İ') so the script exercises the offset maps
+//! and the non-trivial lowercasing paths, not just the ASCII fast lane.
+
+use browserflow_fingerprint::{
+    FingerprintConfig, Fingerprinter, IncrementalFingerprinter, TextEdit,
+};
+use libfuzzer_sys::fuzz_target;
+
+/// Replacement vocabulary: index with any byte.
+const WORDS: [&str; 16] = [
+    "alpha",
+    "bravo",
+    "charlie",
+    "delta",
+    "echo",
+    "zürich",
+    "straße",
+    "İstanbul",
+    "x",
+    "42",
+    " spaced out ",
+    "CAPS",
+    "...",
+    "",
+    "naïve",
+    "日本語",
+];
+
+/// Largest text the script may grow; bounds per-iteration cost.
+const MAX_TEXT: usize = 4096;
+
+/// Snaps `at` (mod `len + 1`) down to the nearest `char` boundary.
+fn snap(text: &str, at: usize) -> usize {
+    let mut pos = at % (text.len() + 1);
+    while !text.is_char_boundary(pos) {
+        pos -= 1;
+    }
+    pos
+}
+
+fuzz_target!(|data: &[u8]| {
+    if data.len() < 3 {
+        return;
+    }
+    let n = 2 + (data[0] as usize) % 10; // 2..=11
+    let w = 1 + (data[1] as usize) % 40; // 1..=40
+    let config = FingerprintConfig::builder()
+        .ngram_len(n)
+        .window(w)
+        .build()
+        .expect("nonzero n and w are valid");
+    let seed_reps = (data[2] as usize) % 4;
+    let initial = "The quick brown fox jumps over the lazy dog. ".repeat(seed_reps);
+
+    let reference = Fingerprinter::new(config);
+    let mut inc = IncrementalFingerprinter::with_text(config, &initial);
+
+    for op in data[3..].chunks_exact(5) {
+        let (kind, a, b, c, d) = (op[0], op[1], op[2], op[3], op[4]);
+        let text = inc.text();
+        let start = snap(text, a as usize * 251 + b as usize);
+        let edit = match kind % 3 {
+            0 => {
+                if text.len() >= MAX_TEXT {
+                    continue;
+                }
+                let mut insertion = String::new();
+                for k in 0..1 + (d as usize) % 3 {
+                    insertion.push_str(WORDS[(c as usize + k) % WORDS.len()]);
+                }
+                TextEdit::insert(start, insertion)
+            }
+            1 => {
+                let end = snap(text, start + 1 + (c as usize) % 64).max(start);
+                TextEdit::delete(start..end)
+            }
+            _ => {
+                let end = snap(text, start + 1 + (c as usize) % 64).max(start);
+                TextEdit::replace(start..end, WORDS[d as usize % WORDS.len()])
+            }
+        };
+        assert!(edit.applies_to(inc.text()), "script built an invalid edit");
+        inc.apply_edit(&edit);
+        assert_eq!(
+            inc.fingerprint(),
+            reference.fingerprint(inc.text()),
+            "incremental fingerprint diverged after {edit:?} on {:?}",
+            inc.text()
+        );
+    }
+});

@@ -1,0 +1,74 @@
+//! Shared fixtures for the fuzz targets.
+//!
+//! The store-codec target needs realistic persisted snapshots to corrupt;
+//! building them is expensive relative to one fuzz iteration, so they are
+//! constructed once per process and the per-iteration work is a single
+//! file overwrite plus an open.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use browserflow_fingerprint::Fingerprinter;
+use browserflow_store::persist::MANIFEST_FILE;
+use browserflow_store::{FingerprintStore, PersistOptions, SegmentId, StoreFormat};
+
+/// Builds the small but non-trivial store every snapshot fixture persists:
+/// enough segments to span multiple shards, with overlapping text so the
+/// hash side of the codec sees shared and unique values.
+pub fn sample_store() -> FingerprintStore {
+    let fp = Fingerprinter::default();
+    let store = FingerprintStore::new();
+    for i in 0..24u64 {
+        let text = format!(
+            "fuzz corpus paragraph number {i} with enough distinct words to \
+             fingerprint cleanly and a shared clause that repeats verbatim \
+             across every paragraph of the fixture"
+        );
+        store.observe(SegmentId::new(i + 1), &fp.fingerprint(&text), 0.5);
+    }
+    store
+}
+
+/// A persisted snapshot directory plus the paths the fuzzer overwrites.
+pub struct SnapshotFixture {
+    /// Snapshot directory (manifest + shards).
+    pub dir: PathBuf,
+    /// Path of the first shard file, sorted by name.
+    pub shard: PathBuf,
+    /// Path of the manifest file.
+    pub manifest: PathBuf,
+}
+
+impl SnapshotFixture {
+    /// Persists [`sample_store`] in `format` under a fresh process-scoped
+    /// temp directory tagged `tag`.
+    pub fn create(tag: &str, format: StoreFormat) -> Self {
+        let dir = std::env::temp_dir().join(format!("bf-fuzz-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = sample_store();
+        PersistOptions::new()
+            .format(format)
+            .persist(&store, &dir)
+            .expect("fixture snapshot persists");
+        let shard = first_shard(&dir);
+        let manifest = dir.join(MANIFEST_FILE);
+        Self {
+            dir,
+            shard,
+            manifest,
+        }
+    }
+}
+
+/// First (by name) non-manifest file of a snapshot directory.
+pub fn first_shard(dir: &Path) -> PathBuf {
+    let mut shards: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("snapshot dir readable")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.is_file() && p.file_name().map(|n| n.to_string_lossy() != MANIFEST_FILE) == Some(true)
+        })
+        .collect();
+    shards.sort();
+    shards.into_iter().next().expect("snapshot has shards")
+}

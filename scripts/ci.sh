@@ -13,21 +13,34 @@
 #   4. the tier-1 gate: release build + full test suite
 #   5. the async pipeline integration tests under --release
 #   6. the store persistence corruption matrix (torn-write recovery)
-#   7. a release-mode smoke run of the keystroke fingerprint bench, which
+#   7. the fingerprint test suite twice more: pinned to the portable
+#      scalar kernel (BF_FORCE_SCALAR=1) and on the runtime-detected
+#      native kernel, so the SIMD and scalar paths both pass the full
+#      unit + proptest suite on every host
+#   8. a bounded fuzz smoke of both fuzz targets (store codec on
+#      arbitrary bytes; incremental-vs-full fingerprint equivalence):
+#      through `cargo fuzz` when a nightly toolchain with cargo-fuzz is
+#      installed, otherwise directly against the vendored
+#      libfuzzer-sys stand-in binaries
+#   9. a release-mode smoke run of the keystroke fingerprint bench, which
 #      regenerates BENCH_fingerprint.json and asserts the incremental
-#      path stays >= 5x faster than full re-fingerprinting at 4 k chars
-#   8. a release-mode smoke run of the algorithm1 microbench, which
+#      path stays >= 5x faster than full re-fingerprinting at 4 k chars,
+#      that the SIMD full path stays >= BF_SIMD_FLOOR (default 2x)
+#      faster than the scalar full path at 4 k and 16 k chars (skipped
+#      with a loud warning on SIMD-less hosts), and that the engine
+#      reports exactly the kernel each pass requested
+#  10. a release-mode smoke run of the algorithm1 microbench, which
 #      asserts the authoritative-index evaluation path stays >= 3x faster
 #      than the probe-based reference on a 150 k-paragraph store
-#   9. a release-mode smoke run of the tiered-persistence microbench,
+#  11. a release-mode smoke run of the tiered-persistence microbench,
 #      which regenerates BENCH_tiered.json and asserts a v3 cold (mapped)
 #      open stays >= 10x faster than a v2 full decode on a
 #      150 k-paragraph store, with cold reports identical to hot
-#  10. a daemon smoke test: boot a release bfd on a temp socket, drive it
+#  12. a daemon smoke test: boot a release bfd on a temp socket, drive it
 #      with bfctl daemon (create -> observe -> check -> stats), SIGTERM
 #      it, and assert clean exit plus a persisted tenant state directory
 #      that a second bfd restores
-#  11. a release-mode smoke run of the multi-tenant service bench, which
+#  13. a release-mode smoke run of the multi-tenant service bench, which
 #      regenerates BENCH_service.json and asserts the zero-silent-drop
 #      ledger (sent == decisions + superseded + backpressure)
 #
@@ -49,6 +62,7 @@ FIRST_PARTY=(
     browserflow-bench
     browserflow-examples
     browserflow-integration
+    browserflow-fuzz
 )
 
 pkg_flags=()
@@ -125,10 +139,42 @@ echo "==> persistence corruption matrix"
 # and a corrupt manifest must fail closed in both strict and lossy modes.
 cargo test -q -p browserflow-store --test persistence
 
+echo "==> fingerprint suite on the scalar kernel (BF_FORCE_SCALAR=1)"
+# The proptest equivalence suites (winnow vs deque oracle, SIMD vs scalar
+# hashes, incremental vs full) must pass with the portable kernel pinned…
+BF_FORCE_SCALAR=1 cargo test -q -p browserflow-fingerprint
+echo "==> fingerprint suite on the native kernel"
+# …and again on whatever kernel this host dispatches to natively.
+cargo test -q -p browserflow-fingerprint
+
+echo "==> bounded fuzz smoke (store codec, incremental edits)"
+# Prefers real cargo-fuzz (nightly + sanitizer + coverage feedback) when
+# installed; otherwise falls back to the vendored libfuzzer-sys stand-in,
+# which replays the checked-in seed corpora and runs bounded mutation
+# rounds. A panic in either target fails the gate.
+if cargo +nightly fuzz --version >/dev/null 2>&1; then
+    cargo +nightly fuzz run fuzz_store_codec -- -runs=512
+    cargo +nightly fuzz run fuzz_incremental_edits -- -runs=512
+else
+    echo 'WARNING: cargo-fuzz/nightly not installed — running the fuzz targets' >&2
+    echo 'WARNING: against the vendored libfuzzer-sys stand-in (no sanitizer,' >&2
+    echo 'WARNING: no coverage feedback). Install cargo-fuzz for real fuzzing.' >&2
+    cargo run -q --release -p browserflow-fuzz --bin fuzz_store_codec -- \
+        -runs=2048 fuzz/corpus/fuzz_store_codec
+    cargo run -q --release -p browserflow-fuzz --bin fuzz_incremental_edits -- \
+        -runs=2048 fuzz/corpus/fuzz_incremental_edits
+fi
+
 echo "==> keystroke fingerprint bench smoke run (release)"
 # Regenerates BENCH_fingerprint.json; the binary itself asserts the
-# incremental path is >= 5x faster at 4 k-char paragraphs.
+# incremental path is >= 5x faster at 4 k-char paragraphs, the SIMD gate
+# (>= BF_SIMD_FLOOR, default 2x, at 4 k and 16 k chars, skipped loudly
+# on SIMD-less hosts), and that the engine reports exactly the kernel
+# each pass requested (pin_kernel).
 cargo run -q --release -p browserflow-bench --bin bench_fingerprint
+# The emitted report must carry the kernel column the comparisons were
+# measured on.
+grep -q '"kernel": "' BENCH_fingerprint.json
 
 echo "==> algorithm1 microbench smoke run (release)"
 # Old-vs-new candidate evaluation at 1.5k/15k/150k paragraphs; the binary

@@ -1,0 +1,249 @@
+//! Offline stand-in for the `libfuzzer-sys` crate.
+//!
+//! The build environment has no network access and no nightly toolchain,
+//! so the workspace vendors a minimal, API-compatible subset of
+//! `libfuzzer-sys` that lets the `fuzz/` targets build and run as plain
+//! stable binaries. `fuzz_target!(|data: &[u8]| { ... })` expands to a
+//! `main` that drives the body with:
+//!
+//! 1. every file found in the corpus directories passed as positional
+//!    arguments (and any positional *file* argument, for single-input
+//!    reproduction — the same calling convention as real libFuzzer), then
+//! 2. `-runs=N` mutation rounds (default 4096): a seed is picked at
+//!    random and mutated by a deterministic xorshift RNG — byte flips,
+//!    bit flips, truncation, duplication, insertion, deletion and
+//!    two-seed splicing — so the loop explores inputs near the corpus as
+//!    well as free-form garbage.
+//!
+//! A panic in the body escapes the harness and fails the process, which
+//! is exactly the crash signal real libFuzzer reports; there is no
+//! coverage feedback and no corpus minimisation. Dash-prefixed arguments
+//! other than `-runs=`, `-seed=` and `-max_len=` are accepted and
+//! ignored so that a real `cargo fuzz run` invocation (which passes
+//! `-artifact_prefix=` and friends) still works against these binaries.
+
+// Vendored stand-in: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Declares the fuzz entry point. Mirrors the upstream macro's closure
+/// form over `&[u8]`; the typed-`Arbitrary` form is intentionally not
+/// supported (no `arbitrary` crate in the tree).
+#[macro_export]
+macro_rules! fuzz_target {
+    (|$data:ident: &[u8]| $body:expr) => {
+        fn main() {
+            $crate::driver(|$data: &[u8]| {
+                $body
+            });
+        }
+    };
+    (|$data:ident| $body:expr) => {
+        $crate::fuzz_target!(|$data: &[u8]| $body);
+    };
+}
+
+/// Splitmix-style step used to seed and advance the mutation RNG.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn rand_below(state: &mut u64, bound: usize) -> usize {
+    if bound == 0 {
+        0
+    } else {
+        (xorshift(state) % bound as u64) as usize
+    }
+}
+
+/// One mutation round: start from `base` and apply 1–4 random edits.
+fn mutate(state: &mut u64, base: &[u8], max_len: usize) -> Vec<u8> {
+    let mut out = base.to_vec();
+    let edits = 1 + rand_below(state, 4);
+    for _ in 0..edits {
+        match rand_below(state, 7) {
+            // Flip one whole byte.
+            0 if !out.is_empty() => {
+                let at = rand_below(state, out.len());
+                out[at] = xorshift(state) as u8;
+            }
+            // Flip one bit.
+            1 if !out.is_empty() => {
+                let at = rand_below(state, out.len());
+                out[at] ^= 1 << rand_below(state, 8);
+            }
+            // Truncate.
+            2 if !out.is_empty() => {
+                out.truncate(rand_below(state, out.len()));
+            }
+            // Insert a short random run.
+            3 => {
+                let at = rand_below(state, out.len() + 1);
+                let n = 1 + rand_below(state, 8);
+                for k in 0..n {
+                    out.insert(at + k, xorshift(state) as u8);
+                }
+            }
+            // Delete a short range.
+            4 if !out.is_empty() => {
+                let at = rand_below(state, out.len());
+                let n = (1 + rand_below(state, 8)).min(out.len() - at);
+                out.drain(at..at + n);
+            }
+            // Duplicate a range to somewhere else.
+            5 if !out.is_empty() => {
+                let at = rand_below(state, out.len());
+                let n = (1 + rand_below(state, 16)).min(out.len() - at);
+                let chunk: Vec<u8> = out[at..at + n].to_vec();
+                let dest = rand_below(state, out.len() + 1);
+                for (k, b) in chunk.into_iter().enumerate() {
+                    out.insert(dest + k, b);
+                }
+            }
+            // Overwrite with random bytes (also covers the empty case).
+            _ => {
+                let n = 1 + rand_below(state, 16);
+                let at = rand_below(state, out.len() + 1);
+                for k in 0..n {
+                    if at + k < out.len() {
+                        out[at + k] = xorshift(state) as u8;
+                    } else {
+                        out.push(xorshift(state) as u8);
+                    }
+                }
+            }
+        }
+    }
+    out.truncate(max_len);
+    out
+}
+
+/// Crosses two seeds at random cut points.
+fn splice(state: &mut u64, a: &[u8], b: &[u8], max_len: usize) -> Vec<u8> {
+    let cut_a = rand_below(state, a.len() + 1);
+    let cut_b = rand_below(state, b.len() + 1);
+    let mut out = Vec::with_capacity(cut_a + b.len() - cut_b);
+    out.extend_from_slice(&a[..cut_a]);
+    out.extend_from_slice(&b[cut_b..]);
+    out.truncate(max_len);
+    out
+}
+
+/// The `main` body behind [`fuzz_target!`]: corpus replay + mutation loop.
+pub fn driver(run_one: impl Fn(&[u8])) {
+    let mut runs: u64 = 4096;
+    let mut seed: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut max_len: usize = 1 << 16;
+    let mut corpus_dirs: Vec<PathBuf> = Vec::new();
+    let mut repro_files: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("-runs=") {
+            runs = v.parse().expect("-runs=N takes an integer");
+        } else if let Some(v) = arg.strip_prefix("-seed=") {
+            seed = v.parse().expect("-seed=N takes an integer");
+        } else if let Some(v) = arg.strip_prefix("-max_len=") {
+            max_len = v.parse().expect("-max_len=N takes an integer");
+        } else if arg.starts_with('-') {
+            // Ignore the rest of libFuzzer's flag surface.
+        } else {
+            let path = PathBuf::from(&arg);
+            if path.is_dir() {
+                corpus_dirs.push(path);
+            } else if path.is_file() {
+                repro_files.push(path);
+            } else {
+                eprintln!("warning: ignoring missing corpus path {arg}");
+            }
+        }
+    }
+
+    let mut seeds: Vec<Vec<u8>> = Vec::new();
+    for dir in &corpus_dirs {
+        let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+            .unwrap_or_else(|e| panic!("cannot read corpus dir {}: {e}", dir.display()))
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file())
+            .collect();
+        entries.sort();
+        for path in entries {
+            seeds.push(fs::read(&path).expect("readable corpus file"));
+        }
+    }
+    for path in &repro_files {
+        seeds.push(fs::read(path).expect("readable repro file"));
+    }
+
+    // Replay phase: every seed and repro input runs verbatim first, so a
+    // crashing input saved from an earlier run reproduces immediately.
+    for input in &seeds {
+        run_one(input);
+    }
+    if !repro_files.is_empty() {
+        eprintln!("replayed {} file(s); exiting (repro mode)", seeds.len());
+        return;
+    }
+
+    let mut state = seed | 1;
+    for round in 0..runs {
+        let input = if seeds.is_empty() {
+            mutate(&mut state, &[], max_len)
+        } else if seeds.len() >= 2 && rand_below(&mut state, 4) == 0 {
+            let a = rand_below(&mut state, seeds.len());
+            let b = rand_below(&mut state, seeds.len());
+            let crossed = splice(&mut state, &seeds[a], &seeds[b], max_len);
+            mutate(&mut state, &crossed, max_len)
+        } else {
+            let at = rand_below(&mut state, seeds.len());
+            mutate(&mut state, &seeds[at], max_len)
+        };
+        run_one(&input);
+        if (round + 1) % 1024 == 0 {
+            eprintln!("#{}\truns", round + 1);
+        }
+    }
+    eprintln!(
+        "Done: {} seed replays + {runs} mutation runs, no crash",
+        seeds.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_respects_max_len() {
+        let mut state = 7;
+        for _ in 0..200 {
+            let out = mutate(&mut state, &[0u8; 64], 32);
+            assert!(out.len() <= 32);
+        }
+    }
+
+    #[test]
+    fn splice_is_bounded_by_inputs() {
+        let mut state = 9;
+        let a = vec![1u8; 10];
+        let b = vec![2u8; 10];
+        for _ in 0..100 {
+            let out = splice(&mut state, &a, &b, 64);
+            assert!(out.len() <= 20);
+        }
+    }
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = 42;
+        let mut b = 42;
+        for _ in 0..10 {
+            assert_eq!(xorshift(&mut a), xorshift(&mut b));
+        }
+    }
+}
