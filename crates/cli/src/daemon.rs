@@ -22,7 +22,7 @@ pub(crate) fn daemon_command(args: &[String]) -> Result<Report, CliError> {
     let sub = positional.next().ok_or_else(|| {
         CliError::Usage(
             "daemon requires a subcommand: ping, create, tenants, observe, check, \
-             keystroke, stats or drain"
+             keystroke, stats, lineage, alerts or drain"
                 .into(),
         )
     })?;
@@ -105,6 +105,24 @@ pub(crate) fn daemon_command(args: &[String]) -> Result<Report, CliError> {
             forward(
                 &mut client,
                 &Request::Stats {
+                    tenant: tenant.to_string(),
+                },
+            )
+        }
+        "lineage" => {
+            let tenant = expect(positional.next(), "lineage requires a tenant id")?;
+            forward(
+                &mut client,
+                &Request::Lineage {
+                    tenant: tenant.to_string(),
+                },
+            )
+        }
+        "alerts" => {
+            let tenant = expect(positional.next(), "alerts requires a tenant id")?;
+            forward(
+                &mut client,
+                &Request::Alerts {
                     tenant: tenant.to_string(),
                 },
             )

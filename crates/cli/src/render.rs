@@ -47,6 +47,8 @@ COMMANDS:
                                      check <tenant> <svc> <doc> <file>
                                      keystroke <tenant> <svc> <doc> <idx>
                                                --text <text>
+                                     lineage <tenant>   cross-service flow edges
+                                     alerts <tenant>    exfiltration alerts
     help                             this message
 
 OPTIONS (fingerprint/compare):
@@ -347,10 +349,16 @@ fn daemon_reply_text(reply: &Reply) -> String {
             in_flight,
             limit,
             retry_after_ms,
+            terminal,
         } => writeln!(
             out,
             "refused ({reason}): {in_flight} in flight, limit {limit}; \
-             retry after {retry_after_ms}ms"
+             retry after {retry_after_ms}ms{}",
+            if *terminal {
+                " (terminal: this instance will not accept the request)"
+            } else {
+                ""
+            }
         )
         .unwrap(),
         Reply::Superseded => writeln!(out, "superseded by a newer keystroke").unwrap(),
@@ -366,6 +374,63 @@ fn daemon_reply_text(reply: &Reply) -> String {
             writeln!(out, "rejected:      {}", pipeline.rejected).unwrap();
             writeln!(out, "failed:        {}", pipeline.failed).unwrap();
             writeln!(out, "in flight:     {in_flight} / {max_in_flight}").unwrap();
+        }
+        Reply::Lineage { edges, clock } => {
+            if edges.is_empty() {
+                writeln!(out, "no cross-service flows recorded (clock {clock})").unwrap();
+            } else {
+                writeln!(
+                    out,
+                    "{:<6} {:<12} {:<24} {:<12} {:<24} operation",
+                    "clock", "source", "segment", "sink", "into"
+                )
+                .unwrap();
+                for edge in edges {
+                    writeln!(
+                        out,
+                        "{:<6} {:<12} {:<24} {:<12} {:<24} {}",
+                        edge.clock, edge.source, edge.segment, edge.sink, edge.into, edge.operation
+                    )
+                    .unwrap();
+                }
+                writeln!(out, "{} edges, graph clock {clock}", edges.len()).unwrap();
+            }
+        }
+        Reply::Alerts { alerts } => {
+            if alerts.is_empty() {
+                writeln!(out, "no exfiltration alerts").unwrap();
+            } else {
+                for alert in alerts {
+                    writeln!(
+                        out,
+                        "alert {}: {} hops into {} ({}, discloses {:>5.1}%, missing {})",
+                        alert.id,
+                        alert.hops.len(),
+                        alert.sink,
+                        alert.segment,
+                        alert.disclosure * 100.0,
+                        alert.missing_tags.join(" ")
+                    )
+                    .unwrap();
+                    for (index, hop) in alert.hops.iter().enumerate() {
+                        writeln!(
+                            out,
+                            "  hop {index}: {} -> {} ({} via {}, clock {})",
+                            hop.source, hop.sink, hop.segment, hop.operation, hop.clock
+                        )
+                        .unwrap();
+                    }
+                    writeln!(
+                        out,
+                        "  receipt: action={} warning#{} audit-len={} hop-clocks={:?}",
+                        alert.receipt.action,
+                        alert.receipt.warning_index,
+                        alert.receipt.audit_len,
+                        alert.receipt.hop_clocks
+                    )
+                    .unwrap();
+                }
+            }
         }
         Reply::Drained { reports } => {
             for report in reports {
@@ -395,4 +460,80 @@ fn daemon_reply_text(reply: &Reply) -> String {
         Reply::Error { message } => writeln!(out, "error: {message}").unwrap(),
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browserflow::{ContainmentReceipt, ExfiltrationAlert, FlowEdge, FlowOperation};
+
+    fn edge(source: &str, sink: &str, clock: u64) -> FlowEdge {
+        FlowEdge {
+            source: source.to_string(),
+            sink: sink.to_string(),
+            segment: format!("{source}/doc#p0"),
+            into: format!("{sink}/doc#p0"),
+            operation: FlowOperation::Observe,
+            clock,
+        }
+    }
+
+    #[test]
+    fn lineage_reply_renders_edges_and_clock() {
+        let reply = Reply::Lineage {
+            edges: vec![edge("itool", "gdocs", 0), edge("gdocs", "wiki", 1)],
+            clock: 2,
+        };
+        let text = daemon_reply_text(&reply);
+        assert!(text.contains("itool"), "{text}");
+        assert!(text.contains("2 edges, graph clock 2"), "{text}");
+
+        let empty = daemon_reply_text(&Reply::Lineage {
+            edges: Vec::new(),
+            clock: 0,
+        });
+        assert!(empty.contains("no cross-service flows"), "{empty}");
+    }
+
+    #[test]
+    fn alerts_reply_renders_hops_and_receipt() {
+        let reply = Reply::Alerts {
+            alerts: vec![ExfiltrationAlert {
+                id: 0,
+                sink: "itool".to_string(),
+                segment: "itool/notes#p0".to_string(),
+                missing_tags: vec!["interview-data".to_string()],
+                disclosure: 0.8,
+                hops: vec![edge("gdocs", "wiki", 0), edge("wiki", "itool", 1)],
+                clock: 2,
+                receipt: ContainmentReceipt {
+                    alert_id: 0,
+                    action: "block".to_string(),
+                    hop_clocks: vec![0, 1],
+                    warning_index: 0,
+                    audit_len: 0,
+                },
+            }],
+        };
+        let text = daemon_reply_text(&reply);
+        assert!(text.contains("alert 0: 2 hops into itool"), "{text}");
+        assert!(text.contains("hop 0: gdocs -> wiki"), "{text}");
+        assert!(text.contains("receipt: action=block"), "{text}");
+
+        let empty = daemon_reply_text(&Reply::Alerts { alerts: Vec::new() });
+        assert!(empty.contains("no exfiltration alerts"), "{empty}");
+    }
+
+    #[test]
+    fn terminal_backpressure_is_labelled() {
+        let text = daemon_reply_text(&Reply::Backpressure {
+            reason: "draining".to_string(),
+            in_flight: 0,
+            limit: 0,
+            retry_after_ms: 1000,
+            terminal: true,
+        });
+        assert!(text.contains("retry after 1000ms"), "{text}");
+        assert!(text.contains("terminal"), "{text}");
+    }
 }

@@ -242,6 +242,10 @@ enum Request {
     },
     Check(Box<CheckJob>),
     EditCheck(Box<EditJob>),
+    /// Runs a read-only closure against the worker's middleware (lineage
+    /// queries, stats, background snapshots) in queue order; the closure
+    /// carries its own reply channel.
+    Inspect(Box<dyn FnOnce(&BrowserFlow) + Send>),
 }
 
 #[derive(Debug, Default)]
@@ -600,6 +604,27 @@ impl AsyncDecider {
         self.check_request(request).map(TimedBatch::into_single)
     }
 
+    /// Runs a closure against the worker's middleware and waits for its
+    /// result. The closure runs on the worker thread in queue order —
+    /// after every check already queued — with shared (`&`) access, so it
+    /// can read lineage, alerts, warnings, or persist a snapshot without
+    /// draining the decider.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeciderError::Closed`] if the decider is shutting down or
+    /// the closure panicked (the panic is contained on the worker).
+    pub fn with_flow<T: Send + 'static>(
+        &self,
+        f: impl FnOnce(&BrowserFlow) -> T + Send + 'static,
+    ) -> Result<T, DeciderError> {
+        let (reply, response) = bounded(1);
+        self.enqueue(Request::Inspect(Box::new(move |flow: &BrowserFlow| {
+            let _ = reply.send(f(flow));
+        })))?;
+        response.recv().map_err(|_| DeciderError::Closed)
+    }
+
     /// Submits a [`CheckRequest`] and blocks until the whole batch
     /// resolves (or [`DeciderConfig::check_timeout`] elapses). The batch
     /// crosses the queue as one message and is served by a single
@@ -797,6 +822,17 @@ fn run_worker(flow: BrowserFlow, inbox: Receiver<Request>, shared: Arc<Shared>) 
                     }
                 };
                 let _ = job.reply.send(reply);
+            }
+            Request::Inspect(job) => {
+                if closing {
+                    // Dropping the closure drops its reply sender; the
+                    // caller's recv resolves as Closed.
+                    continue;
+                }
+                let _ = contain_panic(|| {
+                    job(&flow);
+                    Ok(())
+                });
             }
         }
     }

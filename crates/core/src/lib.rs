@@ -54,6 +54,7 @@
 mod asynchronous;
 pub mod baseline;
 mod engine;
+pub mod lineage;
 mod metrics;
 mod middleware;
 pub mod plugin;
@@ -74,6 +75,10 @@ pub use engine::{
 
 #[doc(hidden)]
 pub use engine::test_hooks;
+pub use lineage::{
+    ContainmentReceipt, ExfiltrationAlert, ExfiltrationSentinel, FlowEdge, FlowOperation,
+    LineageGraph, SentinelConfig,
+};
 pub use metrics::{ConcurrencyMetrics, FingerprintModeStats, ResponseTimes};
 pub use middleware::{
     BrowserFlow, BrowserFlowBuilder, BuildError, EnforcementMode, MiddlewareError, ParagraphStatus,

@@ -11,6 +11,10 @@ use crate::engine::{
     DisclosureEngine, DisclosureMatch, DocKey, EngineConfig, SegmentKey, StaleEditError,
     WorkerPanic,
 };
+use crate::lineage::{
+    ContainmentReceipt, ExfiltrationAlert, ExfiltrationSentinel, FlowOperation, LineageCodecError,
+    LineageGraph, SentinelConfig,
+};
 use crate::request::CheckRequest;
 use crate::short_secret::ShortSecret;
 use browserflow_fingerprint::TextEdit;
@@ -19,6 +23,7 @@ use browserflow_tdm::{Policy, PolicyError, SegmentLabel, Service, ServiceId, Tag
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What the enforcement module does when an upload violates the policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -191,6 +196,7 @@ pub struct BrowserFlowBuilder {
     engine: EngineConfig,
     mode: EnforcementMode,
     store_key: Option<StoreKey>,
+    sentinel: SentinelConfig,
 }
 
 impl BrowserFlowBuilder {
@@ -227,6 +233,13 @@ impl BrowserFlowBuilder {
         self
     }
 
+    /// Tunes the exfiltration sentinel (chain-length floor, walk depth,
+    /// alert retention).
+    pub fn sentinel(mut self, config: SentinelConfig) -> Self {
+        self.sentinel = config;
+        self
+    }
+
     /// Builds the middleware.
     ///
     /// # Errors
@@ -247,6 +260,10 @@ impl BrowserFlowBuilder {
                 .store_key
                 .unwrap_or_else(|| StoreKey::from_bytes([0u8; 32])),
             short_secrets: Vec::new(),
+            lineage: LineageGraph::new(),
+            sentinel: ExfiltrationSentinel::new(self.sentinel),
+            alerts: Mutex::new(Vec::new()),
+            alert_seq: AtomicU64::new(0),
         })
     }
 }
@@ -270,6 +287,10 @@ pub struct BrowserFlow {
     warnings: Mutex<Vec<Warning>>,
     store_key: StoreKey,
     short_secrets: Vec<ShortSecret>,
+    lineage: LineageGraph,
+    sentinel: ExfiltrationSentinel,
+    alerts: Mutex<Vec<ExfiltrationAlert>>,
+    alert_seq: AtomicU64,
 }
 
 impl BrowserFlow {
@@ -328,6 +349,39 @@ impl BrowserFlow {
         self.warnings.lock().clear();
     }
 
+    /// The cross-service lineage graph (append-only flow-edge record).
+    pub fn lineage(&self) -> &LineageGraph {
+        &self.lineage
+    }
+
+    /// Alerts raised by the exfiltration sentinel, oldest first.
+    pub fn alerts(&self) -> Vec<ExfiltrationAlert> {
+        self.alerts.lock().clone()
+    }
+
+    /// Serialises the lineage graph and alert trail into the deterministic
+    /// snapshot format ([`crate::lineage::encode_snapshot`]): identical
+    /// state always yields identical bytes, so drain → restore round-trips
+    /// are byte-for-byte.
+    pub fn lineage_snapshot(&self) -> Vec<u8> {
+        crate::lineage::encode_snapshot(&self.lineage, &self.alerts.lock())
+    }
+
+    /// Restores the lineage graph and alert trail from snapshot bytes
+    /// (persistence path). Fails closed on damaged snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Returns the codec error when the snapshot is truncated, corrupt,
+    /// or from an unknown format version; the flow is left unchanged.
+    pub fn restore_lineage(&mut self, bytes: &[u8]) -> Result<(), LineageCodecError> {
+        let (graph, alerts) = crate::lineage::decode_snapshot(bytes)?;
+        self.alert_seq = AtomicU64::new(alerts.iter().map(|a| a.id).max().unwrap_or(0));
+        self.lineage = graph;
+        *self.alerts.lock() = alerts;
+        Ok(())
+    }
+
     /// **Policy lookup** (Figure 1, §3): text appeared (or changed) in a
     /// paragraph of `document` in `service`.
     ///
@@ -364,6 +418,19 @@ impl BrowserFlow {
         }
         let segment = self.engine.observe_paragraph(&doc, index, text, None);
         self.labels.write().insert(segment, label.clone());
+        // Lineage: tracked text from another service landed here.
+        let into_key = SegmentKey::paragraph(doc, index);
+        for m in &matches {
+            if m.source.doc.service != *service {
+                self.lineage.record(
+                    m.source.doc.service.as_str(),
+                    service.as_str(),
+                    m.source.to_string(),
+                    into_key.to_string(),
+                    FlowOperation::Observe,
+                );
+            }
+        }
         // Flag when the paragraph's own service lacks privilege for it.
         let flagged = !self.policy.check_release(&label, service)?.is_permitted();
         Ok(ParagraphStatus {
@@ -488,13 +555,21 @@ impl BrowserFlow {
                 decision.violations.extend(secret_violations);
                 decision.action = self.violation_action();
             }
+            let slot_key = SegmentKey::paragraph(doc.clone(), index);
             if !decision.violations.is_empty() {
                 self.warnings.lock().push(Warning {
-                    segment: SegmentKey::paragraph(doc.clone(), index),
+                    segment: slot_key.clone(),
                     destination: service.clone(),
                     violations: decision.violations.clone(),
                 });
             }
+            self.record_flows_and_alerts(
+                service,
+                &slot_key,
+                matches,
+                &decision,
+                FlowOperation::Check,
+            );
             decisions.push(decision);
         }
         Ok(decisions)
@@ -559,13 +634,21 @@ impl BrowserFlow {
             decision.violations.extend(secret_violations);
             decision.action = self.violation_action();
         }
+        let slot_key = SegmentKey::paragraph(doc, index);
         if !decision.violations.is_empty() {
             self.warnings.lock().push(Warning {
-                segment: SegmentKey::paragraph(doc, index),
+                segment: slot_key.clone(),
                 destination: service.clone(),
                 violations: decision.violations.clone(),
             });
         }
+        self.record_flows_and_alerts(
+            service,
+            &slot_key,
+            &matches,
+            &decision,
+            FlowOperation::Keystroke,
+        );
         Ok(decision)
     }
 
@@ -625,13 +708,21 @@ impl BrowserFlow {
             decision.violations.extend(secret_violations);
             decision.action = self.violation_action();
         }
+        let slot_key = SegmentKey::document(doc);
         if !decision.violations.is_empty() {
             self.warnings.lock().push(Warning {
-                segment: SegmentKey::document(doc),
+                segment: slot_key.clone(),
                 destination: service.clone(),
                 violations: decision.violations.clone(),
             });
         }
+        self.record_flows_and_alerts(
+            service,
+            &slot_key,
+            &matches,
+            &decision,
+            FlowOperation::Upload,
+        );
         Ok(decision)
     }
 
@@ -666,6 +757,101 @@ impl BrowserFlow {
             self.violation_action()
         };
         Ok(UploadDecision { action, violations })
+    }
+
+    /// Lineage bookkeeping for a completed check: records a flow edge for
+    /// every cross-service source the checked text disclosed, then — when
+    /// the check violated — walks the graph backwards from each violating
+    /// edge and raises an [`ExfiltrationAlert`] for every multi-hop chain,
+    /// with a [`ContainmentReceipt`] tying it to the warning trail and the
+    /// policy audit log.
+    fn record_flows_and_alerts(
+        &self,
+        service: &ServiceId,
+        sink_segment: &SegmentKey,
+        matches: &[DisclosureMatch],
+        decision: &UploadDecision,
+        operation: FlowOperation,
+    ) {
+        let into = sink_segment.to_string();
+        for m in matches {
+            if m.source.doc.service != *service {
+                self.lineage.record(
+                    m.source.doc.service.as_str(),
+                    service.as_str(),
+                    m.source.to_string(),
+                    into.clone(),
+                    operation,
+                );
+            }
+        }
+        if decision.violations.is_empty() {
+            return;
+        }
+        let action = match decision.action {
+            UploadAction::Allow => "allow",
+            UploadAction::Warn => "warn",
+            UploadAction::Block => "block",
+            UploadAction::Encrypt => "encrypt",
+        };
+        // The warning for this violating check was just recorded.
+        let warning_index = (self.warnings.lock().len().max(1) - 1) as u64;
+        let audit_len = self.policy.audit_log().len() as u64;
+        let config = self.sentinel.config();
+        for violation in &decision.violations {
+            if violation.source.doc.service == *service {
+                continue;
+            }
+            // Short-secret violations have no recorded flow edge; lookup
+            // fails and they stay ordinary warnings.
+            let Some(final_hop) = self.lineage.lookup(
+                violation.source.doc.service.as_str(),
+                service.as_str(),
+                &violation.source.to_string(),
+                &into,
+                operation,
+            ) else {
+                continue;
+            };
+            let Some(hops) = self.sentinel.trace(&self.lineage, &final_hop) else {
+                continue;
+            };
+            let hop_clocks: Vec<u64> = hops.iter().map(|h| h.clock).collect();
+            let mut alerts = self.alerts.lock();
+            // One alert per distinct chain into a sink segment; keystroke
+            // storms and re-checks of the same flow raise nothing new.
+            if alerts
+                .iter()
+                .any(|a| a.segment == into && a.receipt.hop_clocks == hop_clocks)
+            {
+                continue;
+            }
+            let id = self.alert_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            let alert = ExfiltrationAlert {
+                id,
+                sink: service.as_str().to_string(),
+                segment: into.clone(),
+                missing_tags: violation
+                    .missing_tags
+                    .iter()
+                    .map(|t| t.name().to_string())
+                    .collect(),
+                disclosure: violation.disclosure,
+                hops,
+                clock: self.lineage.clock(),
+                receipt: ContainmentReceipt {
+                    alert_id: id,
+                    action: action.to_string(),
+                    hop_clocks,
+                    warning_index,
+                    audit_len,
+                },
+            };
+            if alerts.len() >= config.max_alerts {
+                alerts.remove(0);
+            }
+            alerts.push(alert);
+        }
     }
 
     /// Sets a tracked paragraph's disclosure threshold `Tpar` (§4.2:
@@ -893,6 +1079,10 @@ impl BrowserFlow {
             warnings: Mutex::new(Vec::new()),
             store_key,
             short_secrets,
+            lineage: LineageGraph::new(),
+            sentinel: ExfiltrationSentinel::default(),
+            alerts: Mutex::new(Vec::new()),
+            alert_seq: AtomicU64::new(0),
         }
     }
 
@@ -1419,6 +1609,66 @@ second paragraph about travel reimbursements and the                            
             .check_document_upload(&"gdocs".into(), "draft", &doc_text)
             .unwrap();
         assert_eq!(decision.action, UploadAction::Block);
+    }
+
+    #[test]
+    fn sentinel_raises_alert_with_receipt_for_multi_hop_chain() {
+        let flow = flow(EnforcementMode::Block);
+        let secret = SECRET;
+        // Hop 1: itool secret lands in a wiki memo with extra framing (the
+        // memo becomes authoritative for its own rendition).
+        flow.observe_paragraph(&"itool".into(), "eval", 0, secret)
+            .unwrap();
+        let memo = format!("{secret} as summarised for the quarterly hiring wiki page");
+        flow.observe_paragraph(&"wiki".into(), "memo", 0, &memo)
+            .unwrap();
+        assert_eq!(flow.lineage().len(), 1);
+        // Hop 2: the memo is uploaded to gdocs — violating check.
+        let decision = flow
+            .check_one(&CheckRequest::paragraph("gdocs", "draft", 0, &memo))
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Block);
+
+        let alerts = flow.alerts();
+        assert_eq!(alerts.len(), 1);
+        let alert = &alerts[0];
+        assert_eq!(alert.sink, "gdocs");
+        assert_eq!(alert.segment, "gdocs/draft#p0");
+        assert_eq!(alert.hops.len(), 2);
+        // Origin first: itool → wiki, then wiki → gdocs.
+        assert_eq!(alert.hops[0].source, "itool");
+        assert_eq!(alert.hops[0].sink, "wiki");
+        assert_eq!(alert.hops[1].source, "wiki");
+        assert_eq!(alert.hops[1].sink, "gdocs");
+        assert!(alert.missing_tags.iter().any(|t| t == "ti"));
+        // The receipt references every hop and ties into the report trail.
+        assert_eq!(alert.receipt.alert_id, alert.id);
+        assert_eq!(alert.receipt.action, "block");
+        assert_eq!(
+            alert.receipt.hop_clocks,
+            alert.hops.iter().map(|h| h.clock).collect::<Vec<_>>()
+        );
+        let warning = &flow.warnings()[alert.receipt.warning_index as usize];
+        assert_eq!(warning.segment.to_string(), alert.segment);
+
+        // Re-checking the same flow raises nothing new.
+        flow.check_one(&CheckRequest::paragraph("gdocs", "draft", 0, &memo))
+            .unwrap();
+        assert_eq!(flow.alerts().len(), 1);
+    }
+
+    #[test]
+    fn single_hop_violation_raises_no_alert() {
+        let flow = flow(EnforcementMode::Block);
+        flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+        let decision = flow
+            .check_one(&CheckRequest::paragraph("gdocs", "draft", 0, SECRET))
+            .unwrap();
+        // The direct paste violates — ordinary warning, no chain alert.
+        assert_eq!(decision.action, UploadAction::Block);
+        assert_eq!(flow.warnings().len(), 1);
+        assert!(flow.alerts().is_empty());
     }
 
     #[test]

@@ -132,6 +132,10 @@ struct Metadata {
     short_secrets: Vec<ShortSecret>,
     #[serde(default)]
     warnings: Vec<Warning>,
+    /// Lineage graph + alert trail, as the deterministic snapshot bytes of
+    /// [`crate::lineage::encode_snapshot`] (empty in pre-lineage states).
+    #[serde(default)]
+    lineage: Vec<u8>,
 }
 
 /// Serde-friendly enforcement-mode representation.
@@ -202,6 +206,7 @@ impl BrowserFlow {
                 .collect(),
             short_secrets: self.short_secrets_snapshot(),
             warnings: self.warnings(),
+            lineage: self.lineage_snapshot(),
         }
     }
 
@@ -210,7 +215,7 @@ impl BrowserFlow {
         paragraphs: browserflow_store::FingerprintStore,
         documents: browserflow_store::FingerprintStore,
         key: StoreKey,
-    ) -> Self {
+    ) -> Result<Self, StateError> {
         let engine = DisclosureEngine::from_parts(
             metadata.engine,
             paragraphs,
@@ -234,7 +239,11 @@ impl BrowserFlow {
             metadata.short_secrets,
         );
         flow.restore_warnings(metadata.warnings);
-        flow
+        if !metadata.lineage.is_empty() {
+            flow.restore_lineage(&metadata.lineage)
+                .map_err(|_| StateError::Malformed)?;
+        }
+        Ok(flow)
     }
 
     /// Serialises the complete middleware state and seals it under the
@@ -280,7 +289,7 @@ impl BrowserFlow {
         let metadata: Metadata = serde_json::from_slice(json).map_err(StateError::Metadata)?;
         let paragraphs = codec::decode(par_bytes)?;
         let documents = codec::decode(doc_bytes)?;
-        Ok(Self::from_metadata(metadata, paragraphs, documents, key))
+        Self::from_metadata(metadata, paragraphs, documents, key)
     }
 
     /// Persists the complete middleware state to `dir` as a sealed,
@@ -362,7 +371,7 @@ impl BrowserFlow {
         let options = StoreOpenOptions::sealed(key.clone()).tier(TierMode::Cold);
         let (paragraphs, par_report) = options.open(&dir.join(PARAGRAPHS_DIR))?;
         let (documents, doc_report) = options.open(&dir.join(DOCUMENTS_DIR))?;
-        let flow = Self::from_metadata(metadata, paragraphs, documents, key);
+        let flow = Self::from_metadata(metadata, paragraphs, documents, key)?;
         Ok((
             flow,
             StateRestoreReport {
@@ -551,6 +560,88 @@ mod tests {
             BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
         assert_eq!(restored.warnings().len(), 1);
         assert_eq!(restored.warnings()[0].destination.as_str(), "gdocs");
+    }
+
+    #[test]
+    fn lineage_graph_survives_restore_byte_for_byte() {
+        let ti = Tag::new("ti").unwrap();
+        let flow = BrowserFlow::builder()
+            .mode(EnforcementMode::Block)
+            .store_key(StoreKey::from_bytes([3u8; 32]))
+            .service(
+                Service::new("itool", "Interview Tool")
+                    .with_privilege(TagSet::from_iter([ti.clone()]))
+                    .with_confidentiality(TagSet::from_iter([ti])),
+            )
+            .service(Service::new("gdocs", "Google Docs"))
+            .service(Service::new("wiki", "Wiki"))
+            .build()
+            .unwrap();
+        // A two-hop covert chain: the itool secret lands in a gdocs draft
+        // with extra framing (hop 1, observe — the draft becomes
+        // authoritative for its own rendition), then the draft is uploaded
+        // to wiki (hop 2, a violating check) — the sentinel raises an
+        // alert referencing both hops.
+        flow.observe_paragraph(&"itool".into(), "eval", 0, SECRET)
+            .unwrap();
+        let draft = format!(
+            "{SECRET} — drafting notes: we should summarise this rubric for \
+             the hiring committee and circulate before the next debrief"
+        );
+        flow.observe_paragraph(&"gdocs".into(), "draft", 0, &draft)
+            .unwrap();
+        flow.check_one(&CheckRequest::paragraph("wiki", "page", 0, &draft))
+            .unwrap();
+        assert!(!flow.lineage().is_empty());
+        assert!(!flow.alerts().is_empty());
+        let snapshot = flow.lineage_snapshot();
+
+        let sealed = flow.export_sealed();
+        let restored =
+            BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed).unwrap();
+        // Byte-for-byte: the restored instance reproduces the exact
+        // snapshot, so drain → restore loses nothing and changes nothing.
+        assert_eq!(restored.lineage_snapshot(), snapshot);
+        assert_eq!(restored.lineage().edges(), flow.lineage().edges());
+        assert_eq!(restored.alerts(), flow.alerts());
+
+        // The directory layout round-trips identically.
+        let dir = temp_dir("lineage");
+        flow.persist_to_dir(&dir).unwrap();
+        let (from_dir, report) =
+            BrowserFlow::load_from_dir(StoreKey::from_bytes([3u8; 32]), &dir).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(from_dir.lineage_snapshot(), snapshot);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_lineage_snapshot_fails_closed_on_import() {
+        let flow = sample_flow();
+        flow.observe_paragraph(&"gdocs".into(), "draft", 0, SECRET)
+            .unwrap();
+        // Build a metadata snapshot with a damaged lineage blob and seal it
+        // into an otherwise valid envelope: import must reject it as
+        // malformed state, not panic or silently drop the graph.
+        let mut metadata = flow.metadata_snapshot();
+        assert!(!metadata.lineage.is_empty());
+        metadata.lineage[10] ^= 0x5A;
+        let json = serde_json::to_vec(&metadata).unwrap();
+        let mut payload = Vec::new();
+        push_chunk(&mut payload, &json);
+        push_chunk(
+            &mut payload,
+            &codec::encode(flow.engine().paragraph_store()).unwrap(),
+        );
+        push_chunk(
+            &mut payload,
+            &codec::encode(flow.engine().document_store()).unwrap(),
+        );
+        let sealed = StoreKey::from_bytes([3u8; 32]).seal_auto(&payload);
+        assert!(matches!(
+            BrowserFlow::import_sealed(StoreKey::from_bytes([3u8; 32]), &sealed),
+            Err(StateError::Malformed)
+        ));
     }
 
     #[test]

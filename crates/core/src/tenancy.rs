@@ -334,6 +334,40 @@ impl Tenant {
         decider.observe(service.into(), document.into(), index, text.into())
     }
 
+    /// Runs a read-only closure against the tenant's [`BrowserFlow`] on
+    /// its worker thread, in queue order with the pending checks, and
+    /// returns the closure's result.
+    ///
+    /// This is the daemon's inspection hook: lineage queries, alert
+    /// listings and background snapshots all go through here so they see
+    /// a consistent flow without draining the tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`DeciderError::Closed`] when the tenant is draining.
+    pub fn with_flow<T: Send + 'static>(
+        &self,
+        f: impl FnOnce(&BrowserFlow) -> T + Send + 'static,
+    ) -> Result<T, DeciderError> {
+        let guard = self.decider.read();
+        let decider = guard.as_ref().ok_or(DeciderError::Closed)?;
+        decider.with_flow(f)
+    }
+
+    /// Persists the tenant's current state to `dir` *without* draining:
+    /// the snapshot runs on the worker thread in queue order, so it is a
+    /// consistent cut, and the tenant keeps serving afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Unsupported`] when the tenant is draining; otherwise
+    /// whatever persistence reports.
+    pub fn snapshot_to(&self, dir: &Path, tiered: bool) -> Result<(), StateError> {
+        let dir = dir.to_path_buf();
+        self.with_flow(move |flow| persist_tenant(flow, &dir, tiered))
+            .map_err(|_| StateError::Unsupported("tenant is draining"))?
+    }
+
     /// A snapshot of the tenant's pipeline counters, or `None` once the
     /// tenant has drained.
     pub fn stats(&self) -> Option<PipelineStats> {
@@ -502,6 +536,38 @@ impl TenantRegistry {
                     Err(e) => report.error = Some(e.to_string()),
                 }
                 Some(report)
+            })
+            .collect()
+    }
+
+    /// Snapshots every live tenant to `state_root/<tenant-id>` *without*
+    /// draining anyone: each snapshot runs on that tenant's worker in
+    /// queue order, so every cut is internally consistent and service
+    /// continues uninterrupted.
+    ///
+    /// Tenants that are mid-drain are skipped (their drain persists them).
+    /// Failures are per-tenant; one tenant's broken persistence never
+    /// blocks another's snapshot.
+    pub fn snapshot_all_with(
+        &self,
+        state_root: &Path,
+        tiered: bool,
+    ) -> Vec<(TenantId, Result<PathBuf, StateError>)> {
+        let tenants: Vec<Arc<Tenant>> = {
+            let table = self.tenants.read();
+            let mut entries: Vec<_> = table.values().cloned().collect();
+            entries.sort_by(|a, b| a.id.cmp(&b.id));
+            entries
+        };
+        tenants
+            .into_iter()
+            .filter_map(|tenant| {
+                let dir = state_root.join(tenant.id.as_str());
+                match tenant.snapshot_to(&dir, tiered) {
+                    Ok(()) => Some((tenant.id.clone(), Ok(dir))),
+                    Err(StateError::Unsupported(_)) => None,
+                    Err(e) => Some((tenant.id.clone(), Err(e))),
+                }
             })
             .collect()
     }
@@ -758,6 +824,49 @@ mod tests {
             .check_one(&CheckRequest::paragraph("gdocs", "d", 0, SECRET))
             .unwrap();
         assert_eq!(decision.action, UploadAction::Block);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn background_snapshot_persists_without_draining() {
+        let registry = TenantRegistry::new();
+        let alice = registry
+            .create(tid("alice"), flow(), TenantConfig::default())
+            .unwrap();
+        alice.observe("itool", "eval", 0, SECRET).unwrap();
+
+        let root = std::env::temp_dir().join(format!("bf-tenancy-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let results = registry.snapshot_all_with(&root, false);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].1.is_ok(), "{:?}", results[0].1);
+
+        // The tenant keeps serving: snapshot is non-destructive.
+        let (pending, _permit) = alice
+            .try_check(CheckRequest::paragraph("gdocs", "draft", 0, SECRET))
+            .unwrap();
+        assert_eq!(
+            pending.wait().unwrap().decisions[0].action,
+            UploadAction::Block
+        );
+
+        // The snapshot alone round-trips the observation.
+        let (restored, report) =
+            BrowserFlow::load_from_dir(StoreKey::from_bytes([5u8; 32]), &root.join("alice"))
+                .unwrap();
+        assert!(report.is_complete());
+        let decision = restored
+            .check_one(&CheckRequest::paragraph("gdocs", "d", 0, SECRET))
+            .unwrap();
+        assert_eq!(decision.action, UploadAction::Block);
+
+        // A second sweep overwrites in place (periodic operation), and a
+        // drained tenant is skipped rather than reported as a failure.
+        let results = registry.snapshot_all_with(&root, false);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].1.is_ok(), "{:?}", results[0].1);
+        registry.drain_all(None);
+        assert!(alice.snapshot_to(&root.join("alice"), false).is_err());
         let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -136,6 +136,44 @@ impl DaemonClient {
         })
     }
 
+    /// Fetches a tenant's cross-service lineage graph.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`ClientError::Protocol`] on a daemon-side
+    /// error reply.
+    pub fn lineage(
+        &mut self,
+        tenant: &str,
+    ) -> Result<(Vec<browserflow::FlowEdge>, u64), ClientError> {
+        match self.request(&Request::Lineage {
+            tenant: tenant.to_string(),
+        })? {
+            Reply::Lineage { edges, clock } => Ok((edges, clock)),
+            Reply::Error { message } => Err(ClientError::Protocol(message)),
+            other => Err(unexpected("Lineage", &other)),
+        }
+    }
+
+    /// Fetches a tenant's exfiltration alerts.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`ClientError::Protocol`] on a daemon-side
+    /// error reply.
+    pub fn alerts(
+        &mut self,
+        tenant: &str,
+    ) -> Result<Vec<browserflow::ExfiltrationAlert>, ClientError> {
+        match self.request(&Request::Alerts {
+            tenant: tenant.to_string(),
+        })? {
+            Reply::Alerts { alerts } => Ok(alerts),
+            Reply::Error { message } => Err(ClientError::Protocol(message)),
+            other => Err(unexpected("Alerts", &other)),
+        }
+    }
+
     /// Submits a coalescing keystroke check.
     ///
     /// # Errors

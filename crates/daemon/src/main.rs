@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bfd --socket /run/bfd.sock [--state-dir /var/lib/bfd] [--key <64-hex>]
-//!     [--tiered-state]
+//!     [--tiered-state] [--snapshot-interval <ms>]
 //! ```
 //!
 //! Serves the framed-socket protocol until SIGTERM/SIGINT (or an
@@ -50,7 +50,8 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("bfd: {message}");
             eprintln!(
-                "usage: bfd --socket <path> [--state-dir <dir>] [--key <64-hex>] [--tiered-state]"
+                "usage: bfd --socket <path> [--state-dir <dir>] [--key <64-hex>] \
+                 [--tiered-state] [--snapshot-interval <ms>]"
             );
             return ExitCode::from(2);
         }
@@ -113,6 +114,7 @@ fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
     let mut state_dir: Option<String> = None;
     let mut key_hex: Option<String> = None;
     let mut tiered_state = false;
+    let mut snapshot_interval_ms: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -120,13 +122,27 @@ fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
             "--state-dir" => state_dir = Some(take_value(&mut iter, "--state-dir")?),
             "--key" => key_hex = Some(take_value(&mut iter, "--key")?),
             "--tiered-state" => tiered_state = true,
+            "--snapshot-interval" => {
+                let value = take_value(&mut iter, "--snapshot-interval")?;
+                let ms: u64 = value.parse().map_err(|_| {
+                    format!("--snapshot-interval expects milliseconds, got {value:?}")
+                })?;
+                if ms == 0 {
+                    return Err("--snapshot-interval must be at least 1 ms".to_string());
+                }
+                snapshot_interval_ms = Some(ms);
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     let socket = socket.ok_or_else(|| "--socket is required".to_string())?;
+    if snapshot_interval_ms.is_some() && state_dir.is_none() {
+        return Err("--snapshot-interval requires --state-dir".to_string());
+    }
     let mut config = DaemonConfig::new(socket);
     config.state_root = state_dir.map(Into::into);
     config.tiered_state = tiered_state;
+    config.snapshot_interval = snapshot_interval_ms.map(Duration::from_millis);
     if let Some(hex) = key_hex {
         config.store_key = StoreKey::from_bytes(parse_key(&hex)?);
     }

@@ -273,6 +273,18 @@ pub enum Request {
         /// The tenant.
         tenant: String,
     },
+    /// The tenant's cross-service lineage graph: every recorded flow
+    /// edge, read consistently on the tenant's worker.
+    Lineage {
+        /// The tenant.
+        tenant: String,
+    },
+    /// The tenant's exfiltration alerts (multi-hop covert chains the
+    /// sentinel confirmed), with their containment receipts.
+    Alerts {
+        /// The tenant.
+        tenant: String,
+    },
     /// Graceful drain: finish queued work, persist every tenant, reply
     /// with the per-tenant reports, then shut the daemon down.
     Drain,
@@ -355,7 +367,11 @@ pub enum Reply {
         latency_us: u64,
     },
     /// The request was refused at admission — *backpressure, not loss*.
-    /// The check did not run; retry after `retry_after_ms`.
+    /// The check did not run. Transient refusals (`quota-exceeded`,
+    /// `queue-full`) clear if retried after `retry_after_ms`; a
+    /// `terminal` refusal (`draining`) will never succeed against this
+    /// daemon instance, so `retry_after_ms` is the suggested delay
+    /// before probing for a *restarted* daemon instead.
     Backpressure {
         /// `quota-exceeded`, `queue-full` or `draining`.
         reason: String,
@@ -363,9 +379,14 @@ pub enum Reply {
         in_flight: u64,
         /// The limit that refused (quota or queue capacity).
         limit: u64,
-        /// Suggested retry delay (0 when the tenant is draining for
-        /// good).
+        /// Suggested retry delay — always non-zero; see `terminal` for
+        /// whether a retry can succeed here at all.
         retry_after_ms: u64,
+        /// `true` when the refusal is permanent for this daemon
+        /// instance (the tenant is draining for good). Absent frames
+        /// from older peers decode as `false`.
+        #[serde(default)]
+        terminal: bool,
     },
     /// A newer keystroke for the same slot superseded this check before
     /// it ran (normal coalescing, not an error).
@@ -378,6 +399,20 @@ pub enum Reply {
         in_flight: u64,
         /// The tenant's quota.
         max_in_flight: u64,
+    },
+    /// The tenant's lineage graph.
+    Lineage {
+        /// Every recorded flow edge, in deterministic (content-key)
+        /// order.
+        edges: Vec<browserflow::FlowEdge>,
+        /// The graph's logical clock (edges recorded so far).
+        clock: u64,
+    },
+    /// The tenant's exfiltration alerts.
+    Alerts {
+        /// Confirmed multi-hop covert chains, oldest first, each with
+        /// its containment receipt.
+        alerts: Vec<browserflow::ExfiltrationAlert>,
     },
     /// Drain finished; the daemon exits after this reply.
     Drained {
@@ -429,6 +464,7 @@ mod tests {
                 in_flight: 7,
                 limit: 8,
                 retry_after_ms: 25,
+                terminal: false,
             },
         )
         .unwrap();
@@ -440,6 +476,7 @@ mod tests {
                 in_flight: 7,
                 limit: 8,
                 retry_after_ms: 25,
+                terminal: false,
             }
         );
     }

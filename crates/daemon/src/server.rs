@@ -35,6 +35,10 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 const QUOTA_RETRY_MS: u64 = 10;
 /// Suggested client retry delay for a full decider queue.
 const QUEUE_RETRY_MS: u64 = 25;
+/// Suggested delay before probing for a *restarted* daemon after a
+/// terminal `draining` refusal: a retry against this instance can never
+/// succeed, so the hint is deliberately coarse.
+const DRAIN_RETRY_MS: u64 = 1000;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -55,6 +59,13 @@ pub struct DaemonConfig {
     pub tiered_state: bool,
     /// Admission defaults for tenants that do not override them.
     pub default_tenant: TenantConfig,
+    /// When set (and a state root is configured), every live tenant is
+    /// snapshotted to the state root at this interval *without*
+    /// draining — a `kill -9` then loses at most one interval of
+    /// observations instead of everything since the last drain. Tiered
+    /// stores also get their idle shards demoted to cold files during
+    /// the sweep.
+    pub snapshot_interval: Option<Duration>,
 }
 
 impl DaemonConfig {
@@ -66,6 +77,7 @@ impl DaemonConfig {
             store_key: StoreKey::from_bytes([0u8; 32]),
             tiered_state: false,
             default_tenant: TenantConfig::default(),
+            snapshot_interval: None,
         }
     }
 }
@@ -141,6 +153,7 @@ impl Daemon {
     /// end that connection.
     pub fn run(self) -> io::Result<Vec<WireDrainReport>> {
         let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+        let mut last_sweep = std::time::Instant::now();
         while !self.shared.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _addr)) => {
@@ -153,6 +166,12 @@ impl Daemon {
                 Err(e) => return Err(e),
             }
             handlers.retain(|h| !h.is_finished());
+            if let Some(interval) = self.shared.config.snapshot_interval {
+                if last_sweep.elapsed() >= interval {
+                    snapshot_sweep(&self.shared);
+                    last_sweep = std::time::Instant::now();
+                }
+            }
         }
         // Stop admitting, drain every tenant (queued work finishes, so
         // handler threads blocked on pending decisions get real replies),
@@ -246,6 +265,41 @@ fn drain_once(shared: &Shared) -> Vec<WireDrainReport> {
         .collect();
     *cached = Some(reports.clone());
     reports
+}
+
+/// One periodic durability sweep: snapshots every live tenant to the
+/// state root without draining (each cut runs on that tenant's worker in
+/// queue order, so it is internally consistent), and — for tiered stores
+/// with an attached cold tier — demotes idle shards to cold files so hot
+/// memory tracks the working set instead of the tenant's history.
+fn snapshot_sweep(shared: &Shared) {
+    let Some(root) = shared.config.state_root.as_deref() else {
+        return;
+    };
+    for (tenant, result) in shared
+        .registry
+        .snapshot_all_with(root, shared.config.tiered_state)
+    {
+        if let Err(e) = result {
+            eprintln!("bfd: snapshot of tenant {tenant} failed: {e}");
+        }
+    }
+    if shared.config.tiered_state {
+        for id in shared.registry.list() {
+            let Some(tenant) = shared.registry.get(id.as_str()) else {
+                continue;
+            };
+            // Unsupported (no tier attached — e.g. a tenant created hot
+            // this run) is the normal case to skip silently; the full
+            // snapshot above already covered it.
+            let _ = tenant.with_flow(|flow| {
+                let engine = flow.engine();
+                for store in [engine.paragraph_store(), engine.document_store()] {
+                    let _ = store.demote_idle_shards(store.now());
+                }
+            });
+        }
+    }
 }
 
 // --- Connection handling --------------------------------------------------
@@ -440,6 +494,18 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
             },
             None => draining_reply(),
         }),
+        Request::Lineage { tenant } => with_tenant(shared, &tenant, |tenant| {
+            match tenant.with_flow(|flow| (flow.lineage().edges(), flow.lineage().clock())) {
+                Ok((edges, clock)) => Reply::Lineage { edges, clock },
+                Err(_) => draining_reply(),
+            }
+        }),
+        Request::Alerts { tenant } => with_tenant(shared, &tenant, |tenant| {
+            match tenant.with_flow(BrowserFlow::alerts) {
+                Ok(alerts) => Reply::Alerts { alerts },
+                Err(_) => draining_reply(),
+            }
+        }),
         Request::Drain => {
             shared.shutdown.store(true, Ordering::SeqCst);
             Reply::Drained {
@@ -523,6 +589,10 @@ fn tenant_create(
 fn with_tenant(shared: &Shared, name: &str, op: impl FnOnce(&Tenant) -> Reply) -> Reply {
     match shared.registry.get(name) {
         Some(tenant) => op(&tenant),
+        // The drain empties the tenant table, so a miss during shutdown
+        // is the drain, not a typo: answer with the terminal refusal
+        // instead of a misleading "no tenant" error.
+        None if shared.shutdown.load(Ordering::SeqCst) => draining_reply(),
         None => Reply::Error {
             message: format!("no tenant named {name}"),
         },
@@ -592,12 +662,14 @@ fn backpressure_reply(tenant: &Tenant, refusal: AdmissionError) -> Reply {
             in_flight: in_flight as u64,
             limit: max_in_flight as u64,
             retry_after_ms: QUOTA_RETRY_MS,
+            terminal: false,
         },
         AdmissionError::QueueFull { queue_capacity } => Reply::Backpressure {
             reason: "queue-full".to_string(),
             in_flight: tenant.in_flight() as u64,
             limit: queue_capacity as u64,
             retry_after_ms: QUEUE_RETRY_MS,
+            terminal: false,
         },
         AdmissionError::Draining => draining_reply(),
         // `AdmissionError` is non-exhaustive from outside the core
@@ -607,16 +679,22 @@ fn backpressure_reply(tenant: &Tenant, refusal: AdmissionError) -> Reply {
             in_flight: tenant.in_flight() as u64,
             limit: 0,
             retry_after_ms: QUEUE_RETRY_MS,
+            terminal: false,
         },
     }
 }
 
 fn draining_reply() -> Reply {
+    // Draining is terminal for this instance: `terminal` tells honest
+    // clients to stop retrying here, and the non-zero hint paces the
+    // ones that instead poll for a restarted daemon. (A zero hint used
+    // to invite an immediate-retry busy loop against a dying socket.)
     Reply::Backpressure {
         reason: "draining".to_string(),
         in_flight: 0,
         limit: 0,
-        retry_after_ms: 0,
+        retry_after_ms: DRAIN_RETRY_MS,
+        terminal: true,
     }
 }
 

@@ -190,8 +190,9 @@ fn queue_full_is_a_backpressure_reply_with_zero_silent_drops() {
                 reason,
                 limit,
                 retry_after_ms,
+                terminal,
                 ..
-            } => refusals.push((reason, limit, retry_after_ms)),
+            } => refusals.push((reason, limit, retry_after_ms, terminal)),
             other => panic!("unexpected reply: {other:?}"),
         }
     }
@@ -199,10 +200,14 @@ fn queue_full_is_a_backpressure_reply_with_zero_silent_drops() {
     // decision or a backpressure refusal — nothing vanished.
     assert_eq!(decisions as usize + refusals.len(), 6);
     assert!(!refusals.is_empty(), "bounded queue never refused");
-    for (reason, limit, retry_after_ms) in &refusals {
+    for (reason, limit, retry_after_ms, terminal) in &refusals {
         assert_eq!(reason, "queue-full");
         assert_eq!(*limit, 1);
         assert!(*retry_after_ms > 0, "refusal must carry a retry hint");
+        assert!(
+            !terminal,
+            "a full queue is transient backpressure, not a terminal refusal"
+        );
     }
 
     // Zero silent drops: the stalled check also produced its decision.
@@ -230,6 +235,119 @@ fn queue_full_is_a_backpressure_reply_with_zero_silent_drops() {
 
     drain(&mut client);
     handle.join().unwrap();
+}
+
+#[test]
+fn draining_refusal_is_terminal_with_a_real_backoff_hint() {
+    let _hooks = test_hooks::lock();
+    let (socket, handle) = start_daemon(DaemonConfig::new(socket_path("draining")));
+    let mut client = DaemonClient::connect(&socket).unwrap();
+    create_tenant(&mut client, "alice", 0);
+
+    // Stall the tenant's worker so the drain (which waits for queued
+    // work) holds the tenant in its "decider taken, not yet drained"
+    // window long enough to probe it.
+    test_hooks::set_delay_ms_on_marker(400);
+    let stall_socket = socket.clone();
+    let staller = thread::spawn(move || {
+        let mut stall_client = DaemonClient::connect(&stall_socket).unwrap();
+        let text = format!("stall {}", test_hooks::FAULT_MARKER);
+        stall_client
+            .check(
+                "alice",
+                "gdocs",
+                "stall-doc",
+                vec![ParagraphSlot { index: 0, text }],
+            )
+            .unwrap()
+    });
+    thread::sleep(Duration::from_millis(100));
+    let drain_socket = socket.clone();
+    let drainer = thread::spawn(move || {
+        let mut drain_client = DaemonClient::connect(&drain_socket).unwrap();
+        drain(&mut drain_client)
+    });
+    thread::sleep(Duration::from_millis(100));
+
+    // Admission during the drain: the refusal must say so terminally —
+    // a retry against this instance can never succeed — and still carry
+    // a non-zero pacing hint (a zero hint invites a busy loop).
+    let reply = client
+        .check(
+            "alice",
+            "gdocs",
+            "draft",
+            vec![ParagraphSlot {
+                index: 0,
+                text: "harmless".to_string(),
+            }],
+        )
+        .unwrap();
+    match reply {
+        Reply::Backpressure {
+            reason,
+            retry_after_ms,
+            terminal,
+            ..
+        } => {
+            assert_eq!(reason, "draining");
+            assert!(terminal, "draining must be flagged terminal");
+            assert!(
+                retry_after_ms > 0,
+                "draining must not advertise an immediate retry"
+            );
+        }
+        other => panic!("expected draining backpressure, got {other:?}"),
+    }
+    test_hooks::set_delay_ms_on_marker(0);
+
+    // Zero silent drops even across the drain: the stalled check still
+    // resolved with a real decision.
+    assert!(matches!(staller.join().unwrap(), Reply::Decisions { .. }));
+    drainer.join().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn snapshot_sweep_persists_tenants_without_drain() {
+    let state_root = std::env::temp_dir().join(format!("bfd-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_root);
+    std::fs::create_dir_all(&state_root).unwrap();
+    let key = StoreKey::from_bytes([0x17; 32]);
+
+    let mut config = DaemonConfig::new(socket_path("sweep"));
+    config.state_root = Some(state_root.clone());
+    config.store_key = key.clone();
+    config.snapshot_interval = Some(Duration::from_millis(50));
+    let (socket, handle) = start_daemon(config);
+    let mut client = DaemonClient::connect(&socket).unwrap();
+    create_tenant(&mut client, "alice", 0);
+    client.observe("alice", "itool", "eval", 0, SECRET).unwrap();
+
+    // Wait out a few sweep intervals; the daemon keeps serving — no
+    // drain — yet the state root must become a loadable snapshot. This
+    // is the `kill -9` durability bound: at most one interval is lost.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let restored = loop {
+        match browserflow::BrowserFlow::load_from_dir(key.clone(), &state_root.join("alice")) {
+            Ok((flow, report)) if report.is_complete() => break flow,
+            _ if Instant::now() < deadline => thread::sleep(Duration::from_millis(25)),
+            Ok(_) => panic!("snapshot stayed incomplete past the deadline"),
+            Err(e) => panic!("no loadable snapshot appeared: {e}"),
+        }
+    };
+    let decision = restored
+        .check_one(&browserflow::CheckRequest::paragraph(
+            "gdocs", "d", 0, SECRET,
+        ))
+        .unwrap();
+    assert_eq!(decision.action, browserflow::UploadAction::Block);
+
+    // The daemon never stopped serving while sweeping.
+    client.ping().unwrap();
+    drain(&mut client);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&state_root);
 }
 
 #[test]
@@ -281,6 +399,109 @@ fn drain_persists_tenants_and_a_new_daemon_restores_them() {
         Reply::Decisions { decisions, .. } => assert_eq!(decisions[0].action, "block"),
         other => panic!("expected Decisions after restore, got {other:?}"),
     }
+    drain(&mut client);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&state_root);
+}
+
+fn three_service_policy_json() -> String {
+    let ti = Tag::new("interview-data").unwrap();
+    let mut policy = Policy::new();
+    policy
+        .register(
+            Service::new("itool", "Interview Tool")
+                .with_privilege(TagSet::from_iter([ti.clone()]))
+                .with_confidentiality(TagSet::from_iter([ti])),
+        )
+        .unwrap();
+    policy
+        .register(Service::new("gdocs", "Google Docs"))
+        .unwrap();
+    policy
+        .register(Service::new("wiki", "Company Wiki"))
+        .unwrap();
+    serde_json::to_string(&policy).unwrap()
+}
+
+#[test]
+fn lineage_and_alerts_survive_drain_and_restore_over_the_wire() {
+    let state_root = std::env::temp_dir().join(format!("bfd-lineage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_root);
+    std::fs::create_dir_all(&state_root).unwrap();
+    let key = StoreKey::from_bytes([0x29; 32]);
+
+    let mut config = DaemonConfig::new(socket_path("lineage-a"));
+    config.state_root = Some(state_root.clone());
+    config.store_key = key.clone();
+    let (socket, handle) = start_daemon(config);
+    let mut client = DaemonClient::connect(&socket).unwrap();
+    let reply = client
+        .request(&Request::TenantCreate {
+            tenant: "alice".to_string(),
+            mode: "block".to_string(),
+            policy_json: three_service_policy_json(),
+            max_in_flight: 0,
+            queue_capacity: 0,
+        })
+        .unwrap();
+    assert!(matches!(reply, Reply::TenantCreated { .. }));
+
+    // A covert chain: the secret is born in the interview tool, drafted
+    // (with the user's own framing — that is what makes the middle hop
+    // authoritative) in Google Docs, then pasted into the wiki.
+    client.observe("alice", "itool", "eval", 0, SECRET).unwrap();
+    let draft = format!(
+        "{SECRET} — drafting notes: summarise this rubric for the hiring \
+         committee and circulate before the next debrief"
+    );
+    client
+        .observe("alice", "gdocs", "draft", 0, &draft)
+        .unwrap();
+    match client
+        .check(
+            "alice",
+            "wiki",
+            "page",
+            vec![ParagraphSlot {
+                index: 0,
+                text: draft.clone(),
+            }],
+        )
+        .unwrap()
+    {
+        Reply::Decisions { decisions, .. } => assert_eq!(decisions[0].action, "block"),
+        other => panic!("expected Decisions, got {other:?}"),
+    }
+
+    // The lineage reply carries the cross-service edges and the alerts
+    // reply the confirmed multi-hop chain with its receipt.
+    let (edges, clock) = client.lineage("alice").unwrap();
+    assert!(clock >= 2, "expected at least two recorded edges");
+    assert!(edges
+        .iter()
+        .any(|e| e.source == "itool" && e.sink == "gdocs"));
+    assert!(edges
+        .iter()
+        .any(|e| e.source == "gdocs" && e.sink == "wiki"));
+    let alerts = client.alerts("alice").unwrap();
+    assert_eq!(alerts.len(), 1, "alerts: {alerts:?}");
+    assert!(alerts[0].hops.len() >= 2);
+    assert_eq!(alerts[0].receipt.action, "block");
+
+    drain(&mut client);
+    handle.join().unwrap();
+
+    // A fresh daemon restores the tenant with graph and alerts intact.
+    let mut config = DaemonConfig::new(socket_path("lineage-b"));
+    config.state_root = Some(state_root.clone());
+    config.store_key = key;
+    let (socket, handle) = start_daemon(config);
+    let mut client = DaemonClient::connect(&socket).unwrap();
+    let (restored_edges, restored_clock) = client.lineage("alice").unwrap();
+    assert_eq!(restored_edges, edges);
+    assert_eq!(restored_clock, clock);
+    let restored_alerts = client.alerts("alice").unwrap();
+    assert_eq!(restored_alerts, alerts);
     drain(&mut client);
     handle.join().unwrap();
     let _ = std::fs::remove_dir_all(&state_root);

@@ -696,9 +696,14 @@ impl FingerprintStore {
     /// The eviction sweep's demotion half: rewrites every *idle* dirty
     /// stripe (no hot segment updated at or after `cutoff`) as a sealed
     /// cold shard file and re-attaches the mapping, dropping the stripe's
-    /// hot memory. The manifest is rewritten once at the end, so a crash
-    /// mid-sweep leaves the previous manifest disowning the newer shard
-    /// bytes — the standard torn-write story.
+    /// hot memory. Stripes that are still hot but whose cold file carries
+    /// promotion shadows — records superseded by promoted hot copies —
+    /// get a *compaction* rewrite instead: the file is rewritten with
+    /// only the live cold records, the hot tier stays put, and the bytes
+    /// dropped are reported as [`TierSweep::reclaimed_bytes`]. The
+    /// manifest is rewritten once at the end, so a crash mid-sweep leaves
+    /// the previous manifest disowning the newer shard bytes — the
+    /// standard torn-write story.
     ///
     /// Requires a cold tier (a cold open or [`attach_tier`]).
     ///
@@ -727,6 +732,30 @@ impl FingerprintStore {
             let mut hashes = self.hashes.stripe(index).write();
             let dirty = segments.is_dirty() || hashes.is_dirty();
             if !dirty || !segments.hot_is_idle(cutoff) {
+                // The stripe stays hot, but its cold file may still carry
+                // records superseded by promoted hot copies (promotion
+                // shadows). Rewrite the file cold-live-only — the hot tier
+                // is untouched — and account the bytes dropped.
+                if !segments.cold_has_tombstones() && !hashes.cold_has_tombstones() {
+                    continue;
+                }
+                let live_segments = segments.cold_live_segments();
+                let live_sightings = hashes.cold_live_sightings();
+                let bytes = crate::tier::encode_v3_shard(
+                    index,
+                    shard_count,
+                    &live_segments,
+                    &live_sightings,
+                )?;
+                let path = state.dir.join(shard_file(index));
+                write_atomic(&path, &bytes)?;
+                let meta = shard_meta_for(&bytes, live_segments.len(), live_sightings.len())?;
+                let cold = Arc::new(ColdShard::open(&path, index, shard_count, &meta)?);
+                segments.replace_cold(Arc::clone(&cold));
+                hashes.replace_cold(cold);
+                sweep.reclaimed_bytes += state.metas[index].byte_len.saturating_sub(meta.byte_len);
+                state.metas[index] = meta;
+                sweep.compacted_shards += 1;
                 continue;
             }
             let merged_segments = segments.merged_segments();
@@ -743,12 +772,13 @@ impl FingerprintStore {
             let cold = Arc::new(ColdShard::open(&path, index, shard_count, &meta)?);
             segments.attach_cold(Arc::clone(&cold));
             hashes.attach_cold(cold);
+            sweep.reclaimed_bytes += state.metas[index].byte_len.saturating_sub(meta.byte_len);
             state.metas[index] = meta;
             sweep.demoted_shards += 1;
             sweep.demoted_segments += merged_segments.len();
             sweep.demoted_sightings += merged_sightings.len();
         }
-        if sweep.demoted_shards > 0 {
+        if sweep.demoted_shards > 0 || sweep.compacted_shards > 0 {
             let manifest =
                 codec::encode_manifest(codec::VERSION_V3, self.now().get(), &state.metas);
             write_atomic(&state.dir.join(MANIFEST_FILE), &manifest)?;

@@ -227,6 +227,45 @@ impl HashStripe {
         all.sort_unstable_by_key(|(hash, _)| *hash);
         all
     }
+
+    /// Whether the cold overlay carries tombstones — sightings shadowed
+    /// by promoted hot copies or dead with their segment — that a
+    /// compaction rewrite would drop from the shard file.
+    pub(crate) fn cold_has_tombstones(&self) -> bool {
+        self.cold
+            .as_ref()
+            .is_some_and(|c| !c.dead.is_empty() || !c.shadowed.is_empty())
+    }
+
+    /// The *live* cold sightings only, sorted by hash — the compaction
+    /// snapshot. Hot records are deliberately excluded: compaction
+    /// rewrites the cold file in place while the hot tier stays put.
+    pub(crate) fn cold_live_sightings(&self) -> Vec<(u32, Sighting)> {
+        let mut all = Vec::new();
+        if let Some(cold) = &self.cold {
+            for index in 0..cold.shard.sighting_count() {
+                let (hash, sighting) = cold.shard.sighting_at(index);
+                if !cold.shadowed.contains(&hash) && !cold.dead.contains(&sighting.segment.get()) {
+                    all.push((hash, sighting));
+                }
+            }
+        }
+        all.sort_unstable_by_key(|(hash, _)| *hash);
+        all
+    }
+
+    /// Swaps in a compacted cold overlay, keeping the hot tier in place.
+    /// The new file already excludes every tombstoned record, so both
+    /// tombstone sets reset to empty.
+    pub(crate) fn replace_cold(&mut self, shard: Arc<ColdShard>) {
+        let live = shard.sighting_count();
+        self.cold = Some(ColdHashes {
+            shard,
+            dead: FxHashSet::default(),
+            shadowed: FxHashSet::default(),
+            live,
+        });
+    }
 }
 
 /// `DBhash` striped over `N` lock-protected stripes, keyed by `hash % N`.
@@ -657,6 +696,37 @@ impl SegmentStripe {
         }
         all.sort_unstable_by_key(|(id, _)| *id);
         all
+    }
+
+    /// Whether the cold overlay carries tombstones (records superseded by
+    /// promoted hot copies or removed outright) that a compaction rewrite
+    /// would drop from the shard file.
+    pub(crate) fn cold_has_tombstones(&self) -> bool {
+        self.cold.as_ref().is_some_and(|c| !c.dead.is_empty())
+    }
+
+    /// The *live* cold records only, sorted by id — the compaction
+    /// snapshot. Hot records are deliberately excluded: compaction
+    /// rewrites the cold file in place while the hot tier stays put.
+    pub(crate) fn cold_live_segments(&self) -> Vec<(SegmentId, Arc<StoredSegment>)> {
+        let mut all = Vec::new();
+        if let Some(cold) = &self.cold {
+            self.for_each_cold_live(|index, id| {
+                all.push((id, Arc::new(cold.shard.materialize(index))));
+            });
+        }
+        all.sort_unstable_by_key(|(id, _)| *id);
+        all
+    }
+
+    /// Swaps in a compacted cold overlay, keeping the hot tier in place.
+    /// The new file already excludes every tombstoned record, so the dead
+    /// set resets to empty.
+    pub(crate) fn replace_cold(&mut self, shard: Arc<ColdShard>) {
+        self.cold = Some(ColdSegments {
+            shard,
+            dead: FxHashSet::default(),
+        });
     }
 
     /// Replaces the stripe with a freshly sealed cold overlay.

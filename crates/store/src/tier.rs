@@ -487,6 +487,12 @@ pub struct TierSweep {
     pub demoted_segments: usize,
     /// First-sighting records those stripes now serve from cold files.
     pub demoted_sightings: usize,
+    /// Still-hot stripes whose cold shard file was rewritten to drop
+    /// records superseded by promoted hot copies (promotion shadows).
+    pub compacted_shards: usize,
+    /// On-disk bytes reclaimed this sweep by dropping superseded cold
+    /// records (old shard file size minus new, summed over rewrites).
+    pub reclaimed_bytes: u64,
 }
 
 /// The store's attachment to a cold directory: where demoted shards are

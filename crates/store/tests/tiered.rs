@@ -282,6 +282,62 @@ fn demotion_after_cold_open_rewrites_only_dirty_stripes() {
 }
 
 #[test]
+fn sweep_compacts_promotion_shadows_in_busy_stripes() {
+    let dir = temp_dir("compact");
+    let fp = Fingerprinter::default();
+    let specs: Vec<(u64, usize)> = (1..=32).map(|i| (i, i as usize)).collect();
+    let store = build_store(&specs);
+    persist_v3(&store, &dir);
+
+    let cold = open_cold(&dir);
+    // The next observation stamps exactly this instant, so it lands
+    // at-or-after the cutoff and keeps its stripe busy.
+    let cutoff = cold.now();
+    // Re-observing a cold segment promotes it: a fresh hot copy shadows
+    // the cold record, which becomes a tombstone in the overlay but dead
+    // bytes in the shard file.
+    cold.observe(SegmentId::new(7), &fp.fingerprint(&segment_text(70)), 0.3);
+
+    // The write landed at/after the cutoff, so demotion must skip the
+    // stripe — but the sweep compacts the shadowed record out of the file
+    // and reports the bytes it dropped.
+    let sweep = cold.demote_idle_shards(cutoff).unwrap();
+    assert!(
+        sweep.compacted_shards >= 1,
+        "promotion shadow must trigger a compaction rewrite: {sweep:?}"
+    );
+    assert!(
+        sweep.reclaimed_bytes > 0,
+        "dropping a superseded record must reclaim bytes: {sweep:?}"
+    );
+
+    // The live store is untouched: the hot copy still serves reads and
+    // no record was lost.
+    assert_eq!(cold.segment_count(), specs.len());
+    let refreshed = fp.fingerprint(&segment_text(70));
+    assert_eq!(
+        cold.segment(SegmentId::new(7)).unwrap().hashes(),
+        refreshed.distinct_hashes()
+    );
+
+    // Tombstones were consumed by the rewrite: sweeping again with the
+    // same cutoff finds nothing left to compact.
+    let again = cold.demote_idle_shards(cutoff).unwrap();
+    assert_eq!(again.compacted_shards, 0, "{again:?}");
+    assert_eq!(again.reclaimed_bytes, 0, "{again:?}");
+
+    // Once the stripe goes idle a normal demotion folds the hot copy in,
+    // and the directory round-trips the post-promotion state exactly.
+    let full = cold
+        .demote_idle_shards(Timestamp::new(cold.now().get() + 1))
+        .unwrap();
+    assert!(full.demoted_shards >= 1);
+    let reopened = open_cold(&dir);
+    assert_equivalent(&cold, &reopened);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn demotion_without_tier_is_rejected() {
     let store = build_store(&[(1, 1)]);
     assert!(matches!(

@@ -40,7 +40,17 @@
 #      with bfctl daemon (create -> observe -> check -> stats), SIGTERM
 #      it, and assert clean exit plus a persisted tenant state directory
 #      that a second bfd restores
-#  13. a release-mode smoke run of the multi-tenant service bench, which
+#  13. a kill -9 durability smoke: boot bfd with --snapshot-interval,
+#      drive a cross-service flow, wait past one interval, kill -9 the
+#      daemon, and assert a rebinding bfd restores the tenant with the
+#      check still blocking and the lineage graph intact (at most one
+#      interval of work may be lost)
+#  14. the exfiltration-sentinel covert-flow corpus, which regenerates
+#      BENCH_sentinel.json and gates on recall >= 0.9 and precision
+#      >= 0.8 (override with BF_SENTINEL_RECALL_FLOOR /
+#      BF_SENTINEL_PRECISION_FLOOR); skipped loudly if the release
+#      binary is absent
+#  15. a release-mode smoke run of the multi-tenant service bench, which
 #      regenerates BENCH_service.json and asserts the zero-silent-drop
 #      ledger (sent == decisions + superseded + backpressure)
 #
@@ -203,6 +213,9 @@ cleanup_smoke() {
         wait "$BFD_PID" 2>/dev/null || true
     fi
     rm -rf "$SMOKE_DIR"
+    if [[ -n "${KILL_DIR:-}" ]]; then
+        rm -rf "$KILL_DIR"
+    fi
 }
 trap cleanup_smoke EXIT
 
@@ -258,6 +271,85 @@ fi
 kill -TERM "$BFD_PID"
 wait "$BFD_PID"
 unset BFD_PID
+
+echo "==> kill -9 durability smoke (bfd --snapshot-interval)"
+# The background snapshot sweep must bound data loss to one interval:
+# after a hard kill (no drain), a rebinding daemon restores the tenant
+# from the last sweep — the check still blocks and the lineage edge from
+# the pre-kill flow is still there.
+KILL_DIR=$(mktemp -d)
+KILL_SOCK="$KILL_DIR/bfd.sock"
+"$BFD" --socket "$KILL_SOCK" --state-dir "$KILL_DIR/state" \
+    --snapshot-interval 200 2>"$KILL_DIR/bfd.log" &
+BFD_PID=$!
+for _ in $(seq 1 100); do
+    if "$BFCTL" daemon --socket "$KILL_SOCK" ping >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+"$BFCTL" policy init > "$KILL_DIR/policy.json"
+printf 'the acquisition shortlist is strictly confidential material\n' \
+    > "$KILL_DIR/doc.txt"
+"$BFCTL" daemon --socket "$KILL_SOCK" --policy "$KILL_DIR/policy.json" \
+    create hardkill >/dev/null
+"$BFCTL" daemon --socket "$KILL_SOCK" observe hardkill itool notes \
+    "$KILL_DIR/doc.txt" >/dev/null
+"$BFCTL" daemon --socket "$KILL_SOCK" check hardkill gdocs leak \
+    "$KILL_DIR/doc.txt" | grep -qi block
+# Wait past one snapshot interval so the sweep has persisted the tenant,
+# then kill without any chance to drain.
+sleep 1.5
+kill -9 "$BFD_PID"
+wait "$BFD_PID" 2>/dev/null || true
+unset BFD_PID
+if [[ ! -d "$KILL_DIR/state/hardkill" ]]; then
+    echo 'error: snapshot sweep did not persist tenant state before kill -9' >&2
+    cat "$KILL_DIR/bfd.log" >&2
+    rm -rf "$KILL_DIR"
+    exit 1
+fi
+"$BFD" --socket "$KILL_SOCK" --state-dir "$KILL_DIR/state" \
+    2>"$KILL_DIR/bfd2.log" &
+BFD_PID=$!
+for _ in $(seq 1 100); do
+    if "$BFCTL" daemon --socket "$KILL_SOCK" ping >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+if ! "$BFCTL" daemon --socket "$KILL_SOCK" check hardkill gdocs leak2 \
+    "$KILL_DIR/doc.txt" | grep -qi block; then
+    echo 'error: restored tenant no longer blocks the tracked text after kill -9' >&2
+    cat "$KILL_DIR/bfd2.log" >&2
+    exit 1
+fi
+if ! "$BFCTL" daemon --socket "$KILL_SOCK" --json lineage hardkill \
+    | grep -q '"clock"'; then
+    echo 'error: restored tenant lost its lineage graph after kill -9' >&2
+    cat "$KILL_DIR/bfd2.log" >&2
+    exit 1
+fi
+kill -TERM "$BFD_PID"
+wait "$BFD_PID"
+unset BFD_PID
+rm -rf "$KILL_DIR"
+
+echo "==> exfiltration-sentinel covert-flow corpus (release)"
+# Gates on detection quality over the scripted covert-flow scenarios;
+# the binary asserts recall >= BF_SENTINEL_RECALL_FLOOR (default 0.9)
+# and precision >= BF_SENTINEL_PRECISION_FLOOR (default 0.8) and exits
+# non-zero when either floor is missed.
+SENTINEL=target/release/bench_sentinel
+if [[ -x "$SENTINEL" ]]; then
+    "$SENTINEL"
+    grep -q '"recall"' BENCH_sentinel.json
+    grep -q '"precision"' BENCH_sentinel.json
+else
+    echo 'WARNING: target/release/bench_sentinel is not built — the sentinel' >&2
+    echo 'WARNING: covert-flow corpus gate was SKIPPED. Run cargo build --release' >&2
+    echo 'WARNING: and re-run ci.sh for full coverage.' >&2
+fi
 
 echo "==> multi-tenant service bench smoke run (release)"
 # Regenerates BENCH_service.json; the binary itself asserts the

@@ -1,0 +1,195 @@
+//! Cross-service lineage tracking and the exfiltration sentinel, end to
+//! end through the simulated browser and plug-in.
+//!
+//! The covert chain under test is the issue's running example: a public
+//! Google Docs draft picks up wiki-confidential material as it is
+//! archived on the internal wiki, and the wiki rendition is then pasted
+//! into the interview tool — three services, two boundary crossings,
+//! one violating upload. The sentinel must reconstruct the whole chain
+//! and issue a containment receipt referencing every hop.
+
+use browserflow::plugin::Plugin;
+use browserflow::{BrowserFlow, EnforcementMode, EngineConfig, FlowOperation};
+use browserflow_browser::services::{static_site, DocsApp, WikiApp};
+use browserflow_browser::Browser;
+use browserflow_fingerprint::FingerprintConfig;
+use browserflow_tdm::{Service, Tag, TagSet};
+
+const ITOOL: &str = "https://itool.internal";
+const WIKI: &str = "https://wiki.internal";
+const GDOCS: &str = "https://docs.google.example";
+
+const DRAFT: &str = "Hiring debrief draft: the panel leaned positive on candidate 4711, with the \
+     systems round carrying the decision and the coding round a close second.";
+
+fn tag(name: &str) -> Tag {
+    Tag::new(name).unwrap()
+}
+
+fn plugin(mode: EnforcementMode) -> Plugin {
+    let flow = BrowserFlow::builder()
+        .mode(mode)
+        .engine(EngineConfig {
+            fingerprint: FingerprintConfig::builder()
+                .ngram_len(8)
+                .window(6)
+                .build()
+                .unwrap(),
+            ..EngineConfig::default()
+        })
+        .service(
+            Service::new("itool", "Interview Tool")
+                .with_privilege(TagSet::from_iter([tag("ti")]))
+                .with_confidentiality(TagSet::from_iter([tag("ti")])),
+        )
+        .service(
+            Service::new("wiki", "Internal Wiki")
+                .with_privilege(TagSet::from_iter([tag("tw")]))
+                .with_confidentiality(TagSet::from_iter([tag("tw")])),
+        )
+        .service(Service::new("gdocs", "Google Docs"))
+        .build()
+        .unwrap();
+    let plugin = Plugin::new(flow);
+    plugin.bind_origin(ITOOL, "itool", "itool-page");
+    plugin.bind_origin(WIKI, "wiki", "wiki-page");
+    plugin.bind_origin(GDOCS, "gdocs", "gdocs-doc");
+    plugin
+}
+
+/// Drives the docs → wiki → interview-tool chain through the browser and
+/// returns the wiki rendition that was finally pasted into the tool.
+fn run_covert_chain(plugin: &Plugin, browser: &mut Browser) -> String {
+    // Hop 0 origin: a public draft typed into Google Docs (tracked, but
+    // carrying no tags yet).
+    let docs_tab = browser.open_tab(GDOCS);
+    let mut docs = DocsApp::attach(browser, docs_tab);
+    plugin.watch_docs(browser, &docs);
+    docs.create_paragraph(browser);
+    assert!(docs.type_text(browser, 0, DRAFT).is_delivered());
+
+    // Hop 1: the draft is archived on the internal wiki with the
+    // archivist's own framing, so the wiki page becomes authoritative
+    // for its rendition and the content picks up the wiki's tag.
+    let archived = format!("{DRAFT} (archived on the interview-process wiki)");
+    let wiki_page = static_site::article_page("Debrief", std::slice::from_ref(&archived));
+    let wiki_tab = browser.open_tab_with_html(WIKI, &wiki_page);
+    assert_eq!(plugin.observe_page(browser, wiki_tab), 1);
+
+    // Hop 2: the wiki rendition is pasted into the interview tool's
+    // feedback form — the tool is not privileged for wiki content.
+    let itool_tab = browser.open_tab(ITOOL);
+    let form = WikiApp::attach(browser, itool_tab);
+    browser.copy(&archived);
+    let pasted = browser.paste().unwrap();
+    form.set_content(browser, &pasted);
+    assert!(!form.save(browser).is_delivered());
+    assert_eq!(browser.backend(ITOOL).upload_count(), 0);
+    archived
+}
+
+#[test]
+fn three_hop_chain_raises_alert_with_receipt_referencing_every_hop() {
+    let plugin = plugin(EnforcementMode::Block);
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+    run_covert_chain(&plugin, &mut browser);
+
+    let state = plugin.state();
+    let flow = state.read();
+
+    // The lineage graph recorded both boundary crossings.
+    let edges = flow.lineage().edges();
+    assert!(
+        edges
+            .iter()
+            .any(|e| e.source == "gdocs" && e.sink == "wiki"),
+        "missing gdocs→wiki edge: {edges:?}"
+    );
+    assert!(
+        edges
+            .iter()
+            .any(|e| e.source == "wiki" && e.sink == "itool"),
+        "missing wiki→itool edge: {edges:?}"
+    );
+
+    // One structured alert for the violating upload, chain origin first.
+    let alerts = flow.alerts();
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    let alert = &alerts[0];
+    assert_eq!(alert.sink, "itool");
+    assert_eq!(alert.hops.len(), 2);
+    assert_eq!(alert.hops[0].source, "gdocs");
+    assert_eq!(alert.hops[0].sink, "wiki");
+    assert_eq!(alert.hops[0].operation, FlowOperation::Observe);
+    assert_eq!(alert.hops[1].source, "wiki");
+    assert_eq!(alert.hops[1].sink, "itool");
+    assert!(alert.missing_tags.iter().any(|t| t == "tw"));
+
+    // The containment receipt references every hop in the chain and ties
+    // into the report and audit trails.
+    let receipt = &alert.receipt;
+    assert_eq!(receipt.alert_id, alert.id);
+    assert_eq!(receipt.action, "block");
+    assert_eq!(
+        receipt.hop_clocks,
+        alert.hops.iter().map(|h| h.clock).collect::<Vec<_>>()
+    );
+    let warning = &flow.warnings()[receipt.warning_index as usize];
+    assert_eq!(warning.segment.to_string(), alert.segment);
+    assert_eq!(receipt.audit_len, flow.policy().audit_log().len() as u64);
+}
+
+#[test]
+fn lineage_survives_state_roundtrip_byte_for_byte() {
+    let plugin = plugin(EnforcementMode::Block);
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+    run_covert_chain(&plugin, &mut browser);
+
+    let state = plugin.state();
+    let flow = state.read();
+    let snapshot = flow.lineage_snapshot();
+    assert!(!snapshot.is_empty());
+
+    let mut restored = BrowserFlow::builder()
+        .policy(flow.policy().clone())
+        .build()
+        .unwrap();
+    restored.restore_lineage(&snapshot).unwrap();
+    assert_eq!(restored.lineage().edges(), flow.lineage().edges());
+    assert_eq!(restored.lineage().clock(), flow.lineage().clock());
+    assert_eq!(restored.lineage_snapshot(), snapshot);
+}
+
+#[test]
+fn advisory_mode_alert_reports_warn_action_and_delivers() {
+    let plugin = plugin(EnforcementMode::Advisory);
+    let mut browser = Browser::new();
+    plugin.install(&mut browser);
+
+    let docs_tab = browser.open_tab(GDOCS);
+    let mut docs = DocsApp::attach(&mut browser, docs_tab);
+    plugin.watch_docs(&mut browser, &docs);
+    docs.create_paragraph(&mut browser);
+    assert!(docs.type_text(&mut browser, 0, DRAFT).is_delivered());
+
+    let archived = format!("{DRAFT} (archived on the interview-process wiki)");
+    let wiki_page = static_site::article_page("Debrief", std::slice::from_ref(&archived));
+    let wiki_tab = browser.open_tab_with_html(WIKI, &wiki_page);
+    plugin.observe_page(&browser, wiki_tab);
+
+    let itool_tab = browser.open_tab(ITOOL);
+    let form = WikiApp::attach(&mut browser, itool_tab);
+    form.set_content(&mut browser, &archived);
+    // Advisory mode releases the upload but still raises the alert, and
+    // the receipt records the weaker enforcement.
+    assert!(form.save(&mut browser).is_delivered());
+
+    let state = plugin.state();
+    let flow = state.read();
+    let alerts = flow.alerts();
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    assert_eq!(alerts[0].receipt.action, "warn");
+    assert_eq!(alerts[0].hops.len(), 2);
+}
