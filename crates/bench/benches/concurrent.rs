@@ -34,9 +34,16 @@ fn paragraphs(count: usize, seed: u64) -> Vec<String> {
 
 fn filled_store(fp: &Fingerprinter, texts: &[String]) -> FingerprintStore {
     let store = FingerprintStore::new();
-    for (i, text) in texts.iter().enumerate() {
-        store.observe(SegmentId::new(i as u64), &fp.fingerprint(text), 0.5);
-    }
+    // Seed through the corpus-shaped batched path (proptest-pinned
+    // outcome-identical to the per-paragraph loop), so the batch
+    // counters in `store_counters` reflect a real ingest.
+    let prints: Vec<_> = texts.iter().map(|text| fp.fingerprint(text)).collect();
+    let entries: Vec<_> = prints
+        .iter()
+        .enumerate()
+        .map(|(i, print)| (SegmentId::new(i as u64), print, 0.5))
+        .collect();
+    store.observe_batch(&entries);
     store
 }
 
@@ -202,7 +209,9 @@ fn write_report(
         "{{\"shard_count\": {}, \"hash_lock_contention\": {}, \
          \"segment_lock_contention\": {}, \"hash_shard_contention\": [{}], \
          \"segment_shard_contention\": [{}], \"eviction_sweeps\": {}, \
-         \"eviction_segments_scanned\": {}, \"eviction_segments_evicted\": {}}}",
+         \"eviction_segments_scanned\": {}, \"eviction_segments_evicted\": {}, \
+         \"batched_observes\": {}, \"batch_hashes_recorded\": {}, \
+         \"batch_lock_acquisitions\": {}}}",
         stats.shard_count,
         stats.hash_lock_contention,
         stats.segment_lock_contention,
@@ -211,6 +220,9 @@ fn write_report(
         stats.eviction_scans,
         stats.eviction_scanned,
         stats.eviction_evicted,
+        stats.batched_observes,
+        stats.batch_hashes_recorded,
+        stats.batch_lock_acquisitions,
     );
     let (seq_secs, batch_secs) = async_roundtrip;
     let async_json = format!(

@@ -46,6 +46,12 @@ const BULK_PARAGRAPHS: usize = 600;
 /// Sentences per bulk corpus paragraph (~500 chars each).
 const BULK_SENTENCES: usize = 6;
 
+/// Allocation ceiling per observed paragraph for both observe paths
+/// (batched and single-call). The steady-state cost is the fingerprint's
+/// output buffers plus the store's record inserts; a fresh
+/// `FingerprintScratch` per call would blow well past this.
+const OBSERVE_ALLOC_CEILING: u64 = 20;
+
 /// Delegates to [`System`] and counts `alloc`/`realloc` calls.
 struct CountingAllocator;
 
@@ -105,6 +111,12 @@ struct BulkResult {
     total_chars: usize,
     scalar_us_per_paragraph: f64,
     native_us_per_paragraph: f64,
+    /// Exact allocations per paragraph of the batched observe path
+    /// (`DisclosureEngine::observe_paragraphs`), native kernel.
+    batched_allocs_per_paragraph: u64,
+    /// Exact allocations per paragraph of the per-call observe path
+    /// (`DisclosureEngine::observe_paragraph`), native kernel.
+    single_allocs_per_paragraph: u64,
 }
 
 impl BulkResult {
@@ -261,10 +273,12 @@ fn measure(size: usize) -> SizeResult {
     }
 }
 
-/// One timed bulk ingest of `texts` into a fresh engine.
-fn bulk_pass(texts: &[String]) -> f64 {
+/// One timed bulk ingest of `texts` into a fresh engine; also returns
+/// the exact allocations per paragraph.
+fn bulk_pass(texts: &[String]) -> (f64, u64) {
     let engine = DisclosureEngine::new(EngineConfig::default());
     let doc = DocKey::new("wiki", "bulk-ingest");
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
     let start = Instant::now();
     let ids = engine.observe_paragraphs(
         &doc,
@@ -272,8 +286,26 @@ fn bulk_pass(texts: &[String]) -> f64 {
         None,
     );
     let elapsed = start.elapsed().as_secs_f64();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
     assert_eq!(ids.len(), texts.len());
-    elapsed * 1e6 / texts.len() as f64
+    (
+        elapsed * 1e6 / texts.len() as f64,
+        allocs / texts.len() as u64,
+    )
+}
+
+/// One ingest of `texts` through the per-call observe path; returns the
+/// exact allocations per paragraph. Guards the observe paths' use of the
+/// shared fingerprint scratch: a fresh scratch per call would show up
+/// here as a step change in the count.
+fn single_observe_allocs(texts: &[String]) -> u64 {
+    let engine = DisclosureEngine::new(EngineConfig::default());
+    let doc = DocKey::new("wiki", "single-ingest");
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    for (index, text) in texts.iter().enumerate() {
+        engine.observe_paragraph(&doc, index, text, None);
+    }
+    (ALLOCATIONS.load(Ordering::Relaxed) - allocs_before) / texts.len() as u64
 }
 
 fn measure_bulk() -> BulkResult {
@@ -287,20 +319,31 @@ fn measure_bulk() -> BulkResult {
     pin_kernel(&engine, true);
     bulk_pass(&texts); // warm-up
     let scalar = (0..PASSES)
-        .map(|_| bulk_pass(&texts))
+        .map(|_| bulk_pass(&texts).0)
         .fold(f64::INFINITY, f64::min);
 
     pin_kernel(&engine, false);
     bulk_pass(&texts); // warm-up
-    let native = (0..PASSES)
-        .map(|_| bulk_pass(&texts))
-        .fold(f64::INFINITY, f64::min);
+    let mut native = f64::INFINITY;
+    let mut batched_allocs = u64::MAX;
+    for _ in 0..PASSES {
+        let (us, allocs) = bulk_pass(&texts);
+        native = native.min(us);
+        batched_allocs = batched_allocs.min(allocs);
+    }
+    single_observe_allocs(&texts); // warm-up
+    let single_allocs = (0..PASSES)
+        .map(|_| single_observe_allocs(&texts))
+        .min()
+        .expect("at least one pass");
 
     BulkResult {
         paragraphs: BULK_PARAGRAPHS,
         total_chars,
         scalar_us_per_paragraph: scalar,
         native_us_per_paragraph: native,
+        batched_allocs_per_paragraph: batched_allocs,
+        single_allocs_per_paragraph: single_allocs,
     }
 }
 
@@ -337,7 +380,8 @@ fn write_report(results: &[SizeResult], bulk: &BulkResult, kernel: KernelKind) {
          \"sizes\": [\n{}\n  ],\n  \
          \"bulk_ingest\": {{\"paragraphs\": {}, \"total_chars\": {}, \
          \"scalar_us_per_paragraph\": {:.3}, \"native_us_per_paragraph\": {:.3}, \
-         \"simd_speedup\": {:.2}, \"native_paragraphs_per_sec\": {:.0}}}\n}}\n",
+         \"simd_speedup\": {:.2}, \"native_paragraphs_per_sec\": {:.0}, \
+         \"batched_allocs_per_paragraph\": {}, \"single_allocs_per_paragraph\": {}}}\n}}\n",
         kernel.name(),
         rows.join(",\n"),
         bulk.paragraphs,
@@ -346,6 +390,8 @@ fn write_report(results: &[SizeResult], bulk: &BulkResult, kernel: KernelKind) {
         bulk.native_us_per_paragraph,
         bulk.simd_speedup(),
         bulk.native_paragraphs_per_sec(),
+        bulk.batched_allocs_per_paragraph,
+        bulk.single_allocs_per_paragraph,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fingerprint.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -413,10 +459,29 @@ fn main() {
         bulk.native_paragraphs_per_sec()
     );
     println!(
+        "observe allocations: {} per paragraph batched (observe_paragraphs), \
+         {} per paragraph single-call (observe_paragraph) — both ride the shared \
+         fingerprint scratch",
+        bulk.batched_allocs_per_paragraph, bulk.single_allocs_per_paragraph
+    );
+    println!(
         "(the incremental path re-hashes only the w + n - 1 dirty window, so its \
          latency is flat in paragraph length while the full path grows linearly)"
     );
     write_report(&results, &bulk, native_kernel);
+
+    // The observe paths reuse the thread-local fingerprint scratch; a
+    // regression to a fresh scratch per call adds a step change (several
+    // buffer allocations per paragraph) that this ceiling catches.
+    assert!(
+        bulk.single_allocs_per_paragraph <= OBSERVE_ALLOC_CEILING
+            && bulk.batched_allocs_per_paragraph <= OBSERVE_ALLOC_CEILING,
+        "observe paths must stay on the shared fingerprint scratch: expected <= {} \
+         allocations per paragraph, measured {} batched / {} single-call",
+        OBSERVE_ALLOC_CEILING,
+        bulk.batched_allocs_per_paragraph,
+        bulk.single_allocs_per_paragraph
+    );
 
     let at_4k = results
         .iter()

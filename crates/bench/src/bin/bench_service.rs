@@ -4,8 +4,10 @@
 //! The harness boots an in-process daemon, registers a zipfian-skewed
 //! tenant population, seeds each tenant with confidential paragraphs,
 //! and then drives tens of thousands of logical editing sessions from a
-//! pool of worker connections. Each session owns one paragraph slot in
-//! one tenant and alternates the daemon's two hot request kinds:
+//! pool of worker connections. Each session first lands its starting
+//! document in one [`Request::ObserveBatch`] frame (the open-document
+//! ingest, measured as the **ingest** series), then owns one paragraph
+//! slot in one tenant and alternates the daemon's two hot request kinds:
 //!
 //! - **keystroke** — the coalescing per-slot check fired as the user
 //!   types (the common case), and
@@ -13,7 +15,8 @@
 //!   session's document (the pre-upload sweep).
 //!
 //! Latency is measured client-side around the full framed round trip,
-//! so queueing, admission and wire cost are all included. The run
+//! so queueing, admission and wire cost are all included; the warm-up
+//! ingests complete behind a barrier before the load clock starts. The run
 //! finishes with the *zero-silent-drop* ledger: every request sent must
 //! come back as a decision, a coalescing supersession, or a structured
 //! backpressure refusal — the daemon is never allowed to lose work
@@ -298,19 +301,41 @@ fn main() {
     }
     let per_worker = knobs.requests / knobs.workers;
 
+    let ingest_latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
     let keystroke_latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
     let recheck_latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
     let total_sent = Arc::new(AtomicUsize::new(0));
+    // Workers finish their warm-up ingests, then rendezvous here so the
+    // load clock measures only the keystroke/recheck phase.
+    let barrier = Arc::new(std::sync::Barrier::new(knobs.workers + 1));
 
-    let started = Instant::now();
     let mut handles = Vec::new();
     for (worker, mut shard) in shards.into_iter().enumerate() {
         let socket = socket.clone();
+        let ingest_latencies = Arc::clone(&ingest_latencies);
         let keystroke_latencies = Arc::clone(&keystroke_latencies);
         let recheck_latencies = Arc::clone(&recheck_latencies);
         let total_sent = Arc::clone(&total_sent);
+        let barrier = Arc::clone(&barrier);
         handles.push(std::thread::spawn(move || {
             let mut client = DaemonClient::connect(&socket).expect("worker connect");
+            // Open-document ingest: each session's starting text lands
+            // through one ObserveBatch frame before any keystrokes fire.
+            let mut ingest_us = Vec::with_capacity(shard.len());
+            for session in &shard {
+                let tenant = tenant_id(session.tenant);
+                let paragraphs = vec![ParagraphSlot {
+                    index: 0,
+                    text: session.text.clone(),
+                }];
+                let begin = Instant::now();
+                client
+                    .observe_batch(&tenant, "gdocs", &session.document, paragraphs)
+                    .expect("warm-up ingest round trip");
+                ingest_us.push(begin.elapsed().as_micros() as u64);
+            }
+            ingest_latencies.lock().unwrap().extend(ingest_us);
+            barrier.wait();
             let mut rng = Rng(0xC0FF_EE00 + worker as u64);
             let mut ledger = Ledger::default();
             let mut keystroke_us = Vec::with_capacity(per_worker);
@@ -355,6 +380,9 @@ fn main() {
             ledger
         }));
     }
+
+    barrier.wait();
+    let started = Instant::now();
 
     let mut ledger = Ledger::default();
     for handle in handles {
@@ -406,6 +434,10 @@ fn main() {
     );
 
     // --- Latency + throughput ----------------------------------------
+    let mut ingest_us = Arc::try_unwrap(ingest_latencies)
+        .expect("workers joined")
+        .into_inner()
+        .unwrap();
     let mut keystroke_us = Arc::try_unwrap(keystroke_latencies)
         .expect("workers joined")
         .into_inner()
@@ -414,6 +446,7 @@ fn main() {
         .expect("workers joined")
         .into_inner()
         .unwrap();
+    ingest_us.sort_unstable();
     keystroke_us.sort_unstable();
     recheck_us.sort_unstable();
     let replies_per_sec = ledger.sent as f64 / wall_s;
@@ -423,7 +456,11 @@ fn main() {
         "{:>12} {:>9} {:>9} {:>9} {:>9}",
         "kind", "count", "p50_us", "p99_us", "max_us"
     );
-    for (kind, series) in [("keystroke", &keystroke_us), ("recheck", &recheck_us)] {
+    for (kind, series) in [
+        ("ingest", &ingest_us),
+        ("keystroke", &keystroke_us),
+        ("recheck", &recheck_us),
+    ] {
         println!(
             "{:>12} {:>9} {:>9} {:>9} {:>9}",
             kind,
@@ -479,13 +516,16 @@ fn main() {
          \"backpressure\": {}, \"blocked\": {}, \"silent_drops\": 0}},\n  \
          \"server\": {{\"completed\": {server_completed}, \"coalesced\": {server_coalesced}, \
          \"rejected\": {server_rejected}}},\n  \
-         \"latency_us\": {{\n    \"keystroke\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \
+         \"latency_us\": {{\n    \"ingest\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \
+         \"max\": {}}},\n    \"keystroke\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \
          \"max\": {}}},\n    \"recheck\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \
          \"max\": {}}}\n  }},\n  \
          \"saturation\": {{\"wall_s\": {wall_s:.3}, \"replies_per_sec\": {replies_per_sec:.1}, \
          \"decisions_per_sec\": {decisions_per_sec:.1}}},\n  \
          \"note\": \"latency is the full client-side framed round trip over a Unix socket, \
-         including admission and queueing; backpressure replies are structured refusals \
+         including admission and queueing; ingest is the per-session open-document \
+         ObserveBatch warm-up, completed behind a barrier before the load clock starts; \
+         backpressure replies are structured refusals \
          (zero silent drops: sent == decisions + superseded + backpressure); sessions are \
          assigned to tenants zipf(1)-skewed; leaky sessions paste tenant secrets and must \
          produce block decisions\"\n}}\n",
@@ -500,6 +540,10 @@ fn main() {
         ledger.superseded,
         ledger.backpressure,
         ledger.blocked,
+        ingest_us.len(),
+        percentile(&ingest_us, 50.0),
+        percentile(&ingest_us, 99.0),
+        ingest_us.last().copied().unwrap_or(0),
         keystroke_us.len(),
         percentile(&keystroke_us, 50.0),
         percentile(&keystroke_us, 99.0),

@@ -273,4 +273,10 @@ fn main() {
         scanned,
         evicted,
     );
+    let (batched, batch_hashes, batch_locks) = metrics.batch_totals();
+    println!(
+        "batched ingest: observations={batched} hashes_recorded={batch_hashes} \
+         lock_acquisitions={batch_locks} (per-observation ingest would have paid \
+         one round-trip per hash)",
+    );
 }

@@ -53,10 +53,16 @@ fn main() {
         let flow = fresh_flow();
         for (book_index, book) in books.iter().take(count).enumerate() {
             let doc = format!("book-{book_index}");
-            for (par_index, paragraph) in book.paragraphs().iter().enumerate() {
-                flow.index_paragraph(&library, &doc, par_index, &paragraph.text())
-                    .expect("library registered");
-            }
+            // Whole books land through the batched ingest pipeline (one
+            // stripe-lock round-trip per touched stripe).
+            let texts: Vec<String> = book.paragraphs().iter().map(|p| p.text()).collect();
+            let slots: Vec<(usize, &str)> = texts
+                .iter()
+                .enumerate()
+                .map(|(par_index, text)| (par_index, text.as_str()))
+                .collect();
+            flow.observe_paragraphs(&library, &doc, &slots)
+                .expect("library registered");
         }
         let hash_count = flow.engine().paragraph_hash_count();
         let decider = AsyncDecider::spawn(flow);
@@ -80,9 +86,11 @@ fn main() {
         flow.engine().evict_paragraphs_older_than_now();
         let metrics = ConcurrencyMetrics::of(flow.engine());
         let (sweeps, scanned, evicted) = metrics.eviction_totals();
+        let (batched, _, batch_locks) = metrics.batch_totals();
         println!(
             "{:>8} {:>14} {:>12.3?} {:>12.3?} {:>12.3?}  (pipeline {}/{} ok; \
-             contended locks {}; eviction sweeps {} scanned {} evicted {})",
+             contended locks {}; batch ingest {} obs {} locks; \
+             eviction sweeps {} scanned {} evicted {})",
             count,
             hash_count,
             times.percentile(0.50),
@@ -91,6 +99,8 @@ fn main() {
             stats.completed,
             stats.submitted,
             metrics.total_lock_contention(),
+            batched,
+            batch_locks,
             sweeps,
             scanned,
             evicted,

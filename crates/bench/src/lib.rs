@@ -256,6 +256,18 @@ pub mod algorithm1 {
         Fingerprint::from_entries(entries)
     }
 
+    /// The synthetic fingerprints of paragraphs `0..paragraphs`, in id
+    /// order (the corpus [`build_store`] observes, materialised for
+    /// callers that need the same fingerprints more than once).
+    pub fn paragraph_fingerprints(paragraphs: usize) -> Vec<Fingerprint> {
+        (0..paragraphs).map(paragraph_fingerprint).collect()
+    }
+
+    /// The corpus's observation threshold (what [`build_store`] passes).
+    pub const fn threshold() -> f64 {
+        THRESHOLD
+    }
+
     /// Builds the store: `paragraphs` observations at threshold 0.5, in
     /// id order, so pool hashes are authoritative to the oldest holders.
     pub fn build_store(paragraphs: usize) -> FingerprintStore {
@@ -328,6 +340,145 @@ pub mod algorithm1 {
     }
 
     /// Sweeps `sizes` (use [`STORE_SIZES`]) and returns one result each.
+    pub fn run(sizes: &[usize]) -> Vec<SizeResult> {
+        sizes.iter().map(|&n| run_size(n)).collect()
+    }
+}
+
+/// Bulk-ingest microbench: the per-paragraph `observe` loop against one
+/// [`FingerprintStore::observe_batch`] call over the same corpus.
+///
+/// Reuses [`algorithm1`]'s synthetic corpus so the hash distribution
+/// (own hashes plus a shared boilerplate pool) matches the rest of the
+/// evaluation. Each pass ingests into a fresh store; the batched store is
+/// asserted observation-equivalent to the sequential one (same clock,
+/// same sighting count, same segment count, same disclosure reports on
+/// the Algorithm 1 target) before any timing is reported.
+///
+/// Two metrics come out per store size:
+///
+/// - wall time (best-of after a warm-up), where the batched path's win is
+///   host-dependent — on a single core both paths are bound by the same
+///   per-hash map work, so expect parity there and real wins only with
+///   cores to spread stripes over;
+/// - stripe lock round-trips, where the win is *deterministic*: the
+///   per-paragraph loop pays one `DBhash` round-trip per hash plus one
+///   `DBpar` round-trip per paragraph, while the batched pass pays one
+///   per touched stripe. This is the ratio the CI floor gates.
+pub mod ingest {
+    use super::algorithm1;
+    use browserflow_fingerprint::Fingerprint;
+    use browserflow_store::{FingerprintStore, SegmentId};
+    use std::time::Instant;
+
+    /// Measured passes per implementation (best-of, after one warm-up).
+    const ROUNDS: usize = 3;
+
+    /// One store size's per-paragraph vs batched comparison.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeResult {
+        /// Paragraphs ingested per pass.
+        pub paragraphs: usize,
+        /// First-sighting records each pass writes.
+        pub hashes_recorded: u64,
+        /// Best-of wall time of the per-paragraph `observe` loop, ms.
+        pub per_paragraph_ms: f64,
+        /// Best-of wall time of one `observe_batch` call, ms.
+        pub batched_ms: f64,
+        /// Stripe lock round-trips the per-paragraph loop pays (one per
+        /// hash sighting plus one per segment upsert).
+        pub per_paragraph_locks: u64,
+        /// Stripe lock round-trips the batched pass paid (measured via
+        /// the store's `batch_lock_acquisitions` counter).
+        pub batched_locks: u64,
+    }
+
+    impl SizeResult {
+        /// Wall-time ratio (>1 means batched is faster).
+        pub fn wall_speedup(&self) -> f64 {
+            self.per_paragraph_ms / self.batched_ms
+        }
+
+        /// Lock round-trip ratio (>1 means batched takes fewer).
+        pub fn lock_reduction(&self) -> f64 {
+            self.per_paragraph_locks as f64 / self.batched_locks as f64
+        }
+    }
+
+    fn sequential_pass(prints: &[Fingerprint]) -> (FingerprintStore, f64) {
+        let store = FingerprintStore::new();
+        let start = Instant::now();
+        for (i, print) in prints.iter().enumerate() {
+            store.observe(SegmentId::new(i as u64), print, algorithm1::threshold());
+        }
+        (store, start.elapsed().as_secs_f64() * 1e3)
+    }
+
+    fn batched_pass(prints: &[Fingerprint]) -> (FingerprintStore, f64) {
+        let store = FingerprintStore::new();
+        let entries: Vec<(SegmentId, &Fingerprint, f64)> = prints
+            .iter()
+            .enumerate()
+            .map(|(i, print)| (SegmentId::new(i as u64), print, algorithm1::threshold()))
+            .collect();
+        let start = Instant::now();
+        store.observe_batch(&entries);
+        (store, start.elapsed().as_secs_f64() * 1e3)
+    }
+
+    fn assert_equivalent(batched: &FingerprintStore, sequential: &FingerprintStore, n: usize) {
+        assert_eq!(batched.now(), sequential.now(), "clock advance differs");
+        let b = batched.stats();
+        let s = sequential.stats();
+        assert_eq!(b.total_hashes(), s.total_hashes(), "DBhash size differs");
+        assert_eq!(b.total_entries(), s.total_entries(), "DBpar size differs");
+        let target = algorithm1::target_hashes(n);
+        let target_id = SegmentId::new(u64::MAX);
+        assert_eq!(
+            batched.disclosing_sources_of_hashes(target_id, &target),
+            sequential.disclosing_sources_of_hashes(target_id, &target),
+            "disclosure reports differ between batched and sequential ingest"
+        );
+    }
+
+    /// Runs one store size; panics if batched ingest is not
+    /// observation-equivalent to the sequential loop.
+    pub fn run_size(paragraphs: usize) -> SizeResult {
+        let prints = algorithm1::paragraph_fingerprints(paragraphs);
+        let hashes_recorded: u64 = prints
+            .iter()
+            .map(|p| p.distinct_hashes().len() as u64)
+            .sum();
+
+        // Warm-up pass of each shape, with the equivalence check on the
+        // warm-up stores (every later pass repeats identical work).
+        let (sequential_store, _) = sequential_pass(&prints);
+        let (batched_store, _) = batched_pass(&prints);
+        assert_equivalent(&batched_store, &sequential_store, paragraphs);
+        let batched_locks = batched_store.stats().batch_lock_acquisitions;
+        drop(sequential_store);
+        drop(batched_store);
+
+        let mut per_paragraph_ms = f64::INFINITY;
+        let mut batched_ms = f64::INFINITY;
+        for _ in 0..ROUNDS {
+            per_paragraph_ms = per_paragraph_ms.min(sequential_pass(&prints).1);
+            batched_ms = batched_ms.min(batched_pass(&prints).1);
+        }
+
+        SizeResult {
+            paragraphs,
+            hashes_recorded,
+            per_paragraph_ms,
+            batched_ms,
+            // One DBhash round-trip per sighting, one DBpar round-trip
+            // per upsert; the corpus is displacement-free, so no revokes.
+            per_paragraph_locks: hashes_recorded + paragraphs as u64,
+            batched_locks,
+        }
+    }
+
+    /// Sweeps `sizes` (use [`algorithm1::STORE_SIZES`]).
     pub fn run(sizes: &[usize]) -> Vec<SizeResult> {
         sizes.iter().map(|&n| run_size(n)).collect()
     }

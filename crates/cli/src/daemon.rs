@@ -1,10 +1,12 @@
 //! `bfctl daemon …` — handlers that talk to a running `bfd` over its
 //! Unix socket.
 //!
-//! Every subcommand is one framed request→reply exchange (except
-//! `observe`, which streams one request per paragraph). Replies come
-//! back as typed [`Report`] data, so `--json` emits the daemon's wire
-//! reply verbatim and the text renderer formats it for humans.
+//! Every subcommand is one framed request→reply exchange; `observe`
+//! ships the whole document's paragraph slots in a single
+//! `ObserveBatch` frame so ingest cost does not scale with round
+//! trips. Replies come back as typed [`Report`] data, so `--json`
+//! emits the daemon's wire reply verbatim and the text renderer
+//! formats it for humans.
 //! Backpressure replies are data, not errors: a refused check exits 0
 //! with a `Backpressure` report the caller can script against.
 
@@ -16,6 +18,7 @@ pub(crate) fn daemon_command(args: &[String]) -> Result<Report, CliError> {
     let parsed = DaemonArgs::parse(args)?;
     let socket = parsed
         .socket
+        .as_deref()
         .ok_or_else(|| CliError::Usage("daemon commands require --socket <path>".into()))?;
     let mut client = DaemonClient::connect(socket).map_err(|e| CliError::Daemon(e.to_string()))?;
     let mut positional = parsed.positional.iter().map(String::as_str);
@@ -47,19 +50,23 @@ pub(crate) fn daemon_command(args: &[String]) -> Result<Report, CliError> {
             )
         }
         "observe" => {
-            let [tenant, service, document, file] = take4(
-                &mut positional,
-                "observe requires <tenant> <service> <document> <file>",
-            )?;
-            let text = std::fs::read_to_string(file)?;
-            let segments = browserflow_fingerprint::segment::split_paragraphs(&text);
-            let mut observed = 0;
-            for (index, segment) in segments.iter().enumerate() {
-                client
-                    .observe(tenant, service, document, index, segment.text)
-                    .map_err(|e| CliError::Daemon(e.to_string()))?;
-                observed += 1;
-            }
+            let tenant = expect(positional.next(), "observe requires a tenant id")?;
+            let service = expect(positional.next(), "observe requires a service id")?;
+            let document = expect(positional.next(), "observe requires a document id")?;
+            let text = read_document_text(&parsed, positional.next())?;
+            let paragraphs: Vec<ParagraphSlot> =
+                browserflow_fingerprint::segment::split_paragraphs(&text)
+                    .iter()
+                    .enumerate()
+                    .map(|(index, segment)| ParagraphSlot {
+                        index,
+                        text: segment.text.to_string(),
+                    })
+                    .collect();
+            let observed = paragraphs.len();
+            client
+                .observe_batch(tenant, service, document, paragraphs)
+                .map_err(|e| CliError::Daemon(e.to_string()))?;
             Ok(Report::DaemonObserved(ObserveSummary {
                 tenant: tenant.to_string(),
                 observed,
@@ -134,12 +141,35 @@ pub(crate) fn daemon_command(args: &[String]) -> Result<Report, CliError> {
     }
 }
 
+/// Resolves the document body for `observe`: `--file <path>`,
+/// `--stdin`, or a trailing positional path (the historical form).
+fn read_document_text(parsed: &DaemonArgs, trailing: Option<&str>) -> Result<String, CliError> {
+    if parsed.stdin {
+        if parsed.file.is_some() || trailing.is_some() {
+            return Err(CliError::Usage(
+                "observe takes --stdin or a file, not both".into(),
+            ));
+        }
+        let mut text = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)?;
+        return Ok(text);
+    }
+    let path = parsed
+        .file
+        .as_deref()
+        .or(trailing)
+        .ok_or_else(|| CliError::Usage("observe requires --file <path> or --stdin".into()))?;
+    Ok(std::fs::read_to_string(path)?)
+}
+
 /// Flags shared by the daemon subcommands.
 struct DaemonArgs {
     socket: Option<String>,
     mode: Option<String>,
     policy: Option<String>,
     text: Option<String>,
+    file: Option<String>,
+    stdin: bool,
     max_in_flight: u64,
     queue_capacity: u64,
     positional: Vec<String>,
@@ -152,6 +182,8 @@ impl DaemonArgs {
             mode: None,
             policy: None,
             text: None,
+            file: None,
+            stdin: false,
             max_in_flight: 0,
             queue_capacity: 0,
             positional: Vec::new(),
@@ -163,6 +195,8 @@ impl DaemonArgs {
                 "--mode" => parsed.mode = Some(take_value(&mut iter, "--mode")?),
                 "--policy" => parsed.policy = Some(take_value(&mut iter, "--policy")?),
                 "--text" => parsed.text = Some(take_value(&mut iter, "--text")?),
+                "--file" => parsed.file = Some(take_value(&mut iter, "--file")?),
+                "--stdin" => parsed.stdin = true,
                 "--max-in-flight" => {
                     parsed.max_in_flight = take_count(&mut iter, "--max-in-flight")?;
                 }

@@ -33,7 +33,7 @@ pub enum Report {
     State(StateReport),
     /// A `daemon …` subcommand that forwards one wire reply.
     Daemon(Reply),
-    /// `daemon observe`: paragraphs streamed into a tenant's flow.
+    /// `daemon observe`: a document batch-ingested into a tenant's flow.
     DaemonObserved(ObserveSummary),
 }
 

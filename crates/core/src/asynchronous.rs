@@ -240,6 +240,12 @@ enum Request {
         text: String,
         reply: Sender<Result<(), DeciderError>>,
     },
+    ObserveBatch {
+        service: ServiceId,
+        document: String,
+        paragraphs: Vec<(usize, String)>,
+        reply: Sender<Result<usize, DeciderError>>,
+    },
     Check(Box<CheckJob>),
     EditCheck(Box<EditJob>),
     /// Runs a read-only closure against the worker's middleware (lineage
@@ -498,6 +504,25 @@ impl AsyncDecider {
         response.recv().map_err(|_| DeciderError::Closed)?
     }
 
+    /// Bulk-ingests a document's paragraph slots on the worker in **one**
+    /// queue round-trip ([`BrowserFlow::observe_paragraphs`]) and waits
+    /// for completion. Returns the number of paragraphs observed.
+    pub fn observe_batch(
+        &self,
+        service: impl Into<ServiceId>,
+        document: impl Into<String>,
+        paragraphs: Vec<(usize, String)>,
+    ) -> Result<usize, DeciderError> {
+        let (reply, response) = bounded(1);
+        self.enqueue(Request::ObserveBatch {
+            service: service.into(),
+            document: document.into(),
+            paragraphs,
+            reply,
+        })?;
+        response.recv().map_err(|_| DeciderError::Closed)?
+    }
+
     /// Submits a [`CheckRequest`] without waiting for the reply. Blocks
     /// only for queue space (backpressure).
     pub fn submit(&self, request: CheckRequest<'_>) -> Result<PendingBatch, DeciderError> {
@@ -729,6 +754,26 @@ fn run_worker(flow: BrowserFlow, inbox: Receiver<Request>, shared: Arc<Shared>) 
                 let result = contain_panic(|| {
                     flow.observe_paragraph(&service, &document, index, &text)
                         .map(|_| ())
+                })
+                .map_err(DeciderError::from);
+                let _ = reply.send(result);
+            }
+            Request::ObserveBatch {
+                service,
+                document,
+                paragraphs,
+                reply,
+            } => {
+                if closing {
+                    let _ = reply.send(Err(DeciderError::Closed));
+                    continue;
+                }
+                let result = contain_panic(|| {
+                    let slots: Vec<(usize, &str)> = paragraphs
+                        .iter()
+                        .map(|(index, text)| (*index, text.as_str()))
+                        .collect();
+                    flow.observe_paragraphs(&service, &document, &slots)
                 })
                 .map_err(DeciderError::from);
                 let _ = reply.send(result);

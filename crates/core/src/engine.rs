@@ -2,9 +2,9 @@
 //! decision caching, keyed by human-meaningful segment keys.
 
 use browserflow_fingerprint::{
-    Fingerprint, FingerprintConfig, FingerprintScratch, Fingerprinter, IncrementalFingerprinter,
-    KernelKind, TextEdit,
+    Fingerprint, FingerprintConfig, Fingerprinter, IncrementalFingerprinter, KernelKind, TextEdit,
 };
+use browserflow_store::pool::WorkerPool;
 use browserflow_store::{
     DecisionCache, FingerprintDigest, FingerprintStore, FxHashMap, IncrementalChecker, SegmentId,
     Timestamp,
@@ -13,6 +13,11 @@ use browserflow_tdm::ServiceId;
 use parking_lot::{Mutex, RwLock};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Minimum batch size before bulk ingest fans fingerprinting out over the
+/// worker pool — below this the pool hand-off costs more than it saves
+/// (mirrors the candidate-evaluation cutoff in `browserflow-store`).
+const INGEST_PARALLEL_CUTOFF: usize = 32;
 
 /// Identifies a document within a service.
 #[derive(
@@ -383,15 +388,19 @@ impl DisclosureEngine {
         id
     }
 
-    /// Bulk-ingests many paragraphs of one document, reusing a single
-    /// fingerprint scratch across the whole batch.
+    /// Bulk-ingests many paragraphs of one document through the batched
+    /// store path.
     ///
     /// Semantically identical to calling
     /// [`DisclosureEngine::observe_paragraph`] per `(index, text)` pair,
-    /// but the normalise/hash/winnow buffers are allocated once and the
-    /// SIMD bulk kernel (see [`DisclosureEngine::fingerprint_kernel`])
-    /// runs over each paragraph with warm scratch — the shape corpus
-    /// ingest and restore-verify use.
+    /// but mechanically batched end to end: fingerprinting fans the
+    /// paragraphs out over the persistent worker pool (each worker runs
+    /// the SIMD bulk kernel against its own thread-local scratch, see
+    /// [`DisclosureEngine::fingerprint_kernel`]), and all observations
+    /// land through one [`FingerprintStore::observe_batch`] call — one
+    /// stripe-lock round-trip per touched stripe instead of one per hash.
+    /// This is the shape corpus ingest, document indexing and
+    /// restore-verify use.
     pub fn observe_paragraphs<'a, I>(
         &self,
         doc: &DocKey,
@@ -402,17 +411,57 @@ impl DisclosureEngine {
         I: IntoIterator<Item = (usize, &'a str)>,
     {
         let threshold = threshold.unwrap_or(self.config.default_tpar);
-        let mut scratch = FingerprintScratch::new();
-        paragraphs
-            .into_iter()
-            .map(|(index, text)| {
-                let key = SegmentKey::paragraph(doc.clone(), index);
-                let id = self.segment_id(&key);
-                let print = self.fingerprinter.fingerprint_with(text, &mut scratch);
-                self.paragraphs.observe(id, &print, threshold);
-                self.cache.invalidate(id);
-                id
+        let items: Vec<(usize, &'a str)> = paragraphs.into_iter().collect();
+        let ids: Vec<SegmentId> = items
+            .iter()
+            .map(|&(index, _)| self.segment_id(&SegmentKey::paragraph(doc.clone(), index)))
+            .collect();
+        let prints = self.fingerprint_batch(&items);
+        let entries: Vec<(SegmentId, &Fingerprint, f64)> = ids
+            .iter()
+            .zip(prints.iter())
+            .map(|(&id, print)| (id, print, threshold))
+            .collect();
+        self.paragraphs.observe_batch(&entries);
+        for &id in &ids {
+            self.cache.invalidate(id);
+        }
+        ids
+    }
+
+    /// Fingerprints a batch of texts, fanning chunks out over the
+    /// persistent worker pool once the batch is large enough to amortise
+    /// the hand-off. Every pool worker fingerprints through its own
+    /// thread-local scratch, so the bulk kernels run in parallel without
+    /// per-call buffer allocations; results come back in input order.
+    fn fingerprint_batch(&self, items: &[(usize, &str)]) -> Vec<Fingerprint> {
+        let workers = WorkerPool::worker_count();
+        if items.len() < INGEST_PARALLEL_CUTOFF || workers <= 1 {
+            return items
+                .iter()
+                .map(|&(_, text)| self.fingerprinter.fingerprint(text))
+                .collect();
+        }
+        // Pool jobs must be `'static`, so each chunk ships owned copies of
+        // its texts (one copy per paragraph — dwarfed by hashing cost).
+        let chunk_len = items.len().div_ceil(workers);
+        let jobs: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| {
+                let fingerprinter = self.fingerprinter.clone();
+                let texts: Vec<String> = chunk.iter().map(|&(_, text)| text.to_owned()).collect();
+                move || {
+                    texts
+                        .iter()
+                        .map(|text| fingerprinter.fingerprint(text))
+                        .collect::<Vec<Fingerprint>>()
+                }
             })
+            .collect();
+        WorkerPool::global()
+            .scatter(jobs)
+            .into_iter()
+            .flatten()
             .collect()
     }
 

@@ -171,6 +171,42 @@ impl LineageGraph {
         Some(FlowEdge { clock, ..edge })
     }
 
+    /// Records a batch of flow edges under **one** lock acquisition,
+    /// drawing consecutive clock values in batch order (the lock is held
+    /// across the whole batch, so no other recorder can interleave its
+    /// clocks). Duplicates — against the stored graph or an earlier entry
+    /// of the same batch — are skipped without consuming a clock, exactly
+    /// as repeated [`LineageGraph::record`] calls would skip them.
+    /// Returns the edges that were actually stored.
+    pub fn record_batch(
+        &self,
+        batch: Vec<(String, String, String, String, FlowOperation)>,
+    ) -> Vec<FlowEdge> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let mut stored = Vec::with_capacity(batch.len());
+        let mut edges = self.edges.lock();
+        for (source, sink, segment, into, operation) in batch {
+            let edge = FlowEdge {
+                source,
+                sink,
+                segment,
+                into,
+                operation,
+                clock: 0,
+            };
+            let key = edge_key(&edge);
+            if edges.contains_key(&key) {
+                continue;
+            }
+            let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            edges.insert(key, clock);
+            stored.push(FlowEdge { clock, ..edge });
+        }
+        stored
+    }
+
     /// Replays an edge that already carries a clock (restore path).
     /// Order-insensitive per clock: merging the same edges in any order
     /// produces the same graph, because a duplicate keeps the *smallest*

@@ -207,6 +207,20 @@ impl ConcurrencyMetrics {
             + self.documents.segment_lock_contention
     }
 
+    /// Batched-ingest counters summed across both granularity stores:
+    /// `(observations, hashes_recorded, lock_acquisitions)`. The
+    /// per-observation path would have paid one lock round-trip per hash
+    /// plus one per segment write, so `hashes_recorded` minus
+    /// `lock_acquisitions` approximates the round-trips the batch path
+    /// saved.
+    pub fn batch_totals(&self) -> (u64, u64, u64) {
+        (
+            self.paragraphs.batched_observes + self.documents.batched_observes,
+            self.paragraphs.batch_hashes_recorded + self.documents.batch_hashes_recorded,
+            self.paragraphs.batch_lock_acquisitions + self.documents.batch_lock_acquisitions,
+        )
+    }
+
     /// Eviction sweep counters summed across both granularity stores:
     /// `(sweeps, segments_inspected, segments_evicted)`.
     pub fn eviction_totals(&self) -> (u64, u64, u64) {
@@ -309,8 +323,19 @@ mod tests {
             .apply_paragraph_edit(&doc, 0, &TextEdit::insert(0, "typed text"))
             .unwrap();
         engine.check_paragraph(&doc, 1, "full text check");
+        engine.observe_paragraphs(
+            &doc,
+            [
+                (2usize, "one batched paragraph"),
+                (3, "another one entirely"),
+            ],
+            None,
+        );
         engine.evict_paragraphs_older_than_now();
         let metrics = ConcurrencyMetrics::of(&engine);
+        let (batched, _batch_hashes, batch_locks) = metrics.batch_totals();
+        assert_eq!(batched, 2);
+        assert!(batch_locks >= 1, "the batch upserts take at least one lock");
         assert_eq!(metrics.fingerprint_mode.incremental_checks, 1);
         assert_eq!(metrics.fingerprint_mode.full_checks, 1);
         assert_eq!(metrics.fingerprint_mode.incremental_fraction(), Some(0.5));

@@ -418,19 +418,24 @@ impl BrowserFlow {
         }
         let segment = self.engine.observe_paragraph(&doc, index, text, None);
         self.labels.write().insert(segment, label.clone());
-        // Lineage: tracked text from another service landed here.
+        // Lineage: tracked text from another service landed here. All
+        // edges of this observation append as one batch — a single graph
+        // lock round-trip with consecutive clocks.
         let into_key = SegmentKey::paragraph(doc, index);
-        for m in &matches {
-            if m.source.doc.service != *service {
-                self.lineage.record(
-                    m.source.doc.service.as_str(),
-                    service.as_str(),
+        let edges: Vec<_> = matches
+            .iter()
+            .filter(|m| m.source.doc.service != *service)
+            .map(|m| {
+                (
+                    m.source.doc.service.as_str().to_string(),
+                    service.as_str().to_string(),
                     m.source.to_string(),
                     into_key.to_string(),
                     FlowOperation::Observe,
-                );
-            }
-        }
+                )
+            })
+            .collect();
+        self.lineage.record_batch(edges);
         // Flag when the paragraph's own service lacks privilege for it.
         let flagged = !self.policy.check_release(&label, service)?.is_permitted();
         Ok(ParagraphStatus {
@@ -447,6 +452,12 @@ impl BrowserFlow {
     /// independent granularities, for callers without a DOM — clipboard
     /// payloads, file uploads, `bfctl` inputs).
     ///
+    /// All paragraphs ingest through the batched path
+    /// ([`DisclosureEngine::observe_paragraphs`]): fingerprinting fans out
+    /// over the worker pool and the store takes one stripe-lock round-trip
+    /// per touched stripe — semantically identical to indexing each
+    /// paragraph with [`BrowserFlow::index_paragraph`] in order.
+    ///
     /// Returns the number of paragraphs indexed.
     ///
     /// # Errors
@@ -459,9 +470,20 @@ impl BrowserFlow {
         text: &str,
     ) -> Result<usize, MiddlewareError> {
         self.policy.service(service)?;
+        let label = self.policy.initial_label(service)?;
         let segments = browserflow_fingerprint::segment::split_paragraphs(text);
-        for (index, segment) in segments.iter().enumerate() {
-            self.index_paragraph(service, document, index, segment.text)?;
+        let doc = DocKey::new(service.clone(), document);
+        let items: Vec<(usize, &str)> = segments
+            .iter()
+            .enumerate()
+            .map(|(index, segment)| (index, segment.text))
+            .collect();
+        let ids = self.engine.observe_paragraphs(&doc, items, None);
+        {
+            let mut labels = self.labels.write();
+            for &id in &ids {
+                labels.insert(id, label.clone());
+            }
         }
         self.observe_document(service, document, text)?;
         Ok(segments.len())
@@ -491,6 +513,41 @@ impl BrowserFlow {
         let segment = self.engine.observe_paragraph(&doc, index, text, None);
         self.labels.write().insert(segment, label);
         Ok(segment)
+    }
+
+    /// Bulk-ingests pre-split paragraph slots of one document — the
+    /// batched counterpart of [`BrowserFlow::index_paragraph`], and what
+    /// the daemon's `ObserveBatch` request lands on.
+    ///
+    /// Like `index_paragraph`, this is the fast provisioning path: each
+    /// slot gets the service's confidentiality label and its fingerprint
+    /// stored *without* a per-paragraph disclosure lookup first.
+    /// Mechanically it rides the batched pipeline end to end —
+    /// pool-parallel fingerprinting into one
+    /// [`observe_batch`](browserflow_store::FingerprintStore::observe_batch)
+    /// — so a whole document costs one stripe-lock round-trip per touched
+    /// stripe. Returns the number of paragraphs observed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::Policy`] if `service` is not registered.
+    pub fn observe_paragraphs(
+        &self,
+        service: &ServiceId,
+        document: &str,
+        paragraphs: &[(usize, &str)],
+    ) -> Result<usize, MiddlewareError> {
+        self.policy.service(service)?;
+        let label = self.policy.initial_label(service)?;
+        let doc = DocKey::new(service.clone(), document);
+        let ids = self
+            .engine
+            .observe_paragraphs(&doc, paragraphs.iter().copied(), None);
+        let mut labels = self.labels.write();
+        for &id in &ids {
+            labels.insert(id, label.clone());
+        }
+        Ok(ids.len())
     }
 
     /// Observes a whole document (document-granularity tracking, §4.1).
@@ -774,17 +831,20 @@ impl BrowserFlow {
         operation: FlowOperation,
     ) {
         let into = sink_segment.to_string();
-        for m in matches {
-            if m.source.doc.service != *service {
-                self.lineage.record(
-                    m.source.doc.service.as_str(),
-                    service.as_str(),
+        let edges: Vec<_> = matches
+            .iter()
+            .filter(|m| m.source.doc.service != *service)
+            .map(|m| {
+                (
+                    m.source.doc.service.as_str().to_string(),
+                    service.as_str().to_string(),
                     m.source.to_string(),
                     into.clone(),
                     operation,
-                );
-            }
-        }
+                )
+            })
+            .collect();
+        self.lineage.record_batch(edges);
         if decision.violations.is_empty() {
             return;
         }

@@ -334,6 +334,26 @@ impl Tenant {
         decider.observe(service.into(), document.into(), index, text.into())
     }
 
+    /// Bulk-ingests a document's paragraph slots on the tenant's worker
+    /// in one queue round-trip
+    /// ([`AsyncDecider::observe_batch`](crate::AsyncDecider::observe_batch)),
+    /// waiting for completion. Returns the number of paragraphs observed.
+    ///
+    /// # Errors
+    ///
+    /// [`DeciderError::Closed`] when the tenant is draining; otherwise
+    /// whatever the pipeline reports.
+    pub fn observe_batch(
+        &self,
+        service: impl Into<browserflow_tdm::ServiceId>,
+        document: impl Into<String>,
+        paragraphs: Vec<(usize, String)>,
+    ) -> Result<usize, DeciderError> {
+        let guard = self.decider.read();
+        let decider = guard.as_ref().ok_or(DeciderError::Closed)?;
+        decider.observe_batch(service.into(), document.into(), paragraphs)
+    }
+
     /// Runs a read-only closure against the tenant's [`BrowserFlow`] on
     /// its worker thread, in queue order with the pending checks, and
     /// returns the closure's result.

@@ -115,6 +115,31 @@ impl DaemonClient {
         }
     }
 
+    /// Observes a whole document's paragraph slots in one frame (the
+    /// bulk-ingest counterpart of [`DaemonClient::observe`]).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a daemon-side error reply.
+    pub fn observe_batch(
+        &mut self,
+        tenant: &str,
+        service: &str,
+        document: &str,
+        paragraphs: Vec<ParagraphSlot>,
+    ) -> Result<(), ClientError> {
+        match self.request(&Request::ObserveBatch {
+            tenant: tenant.to_string(),
+            service: service.to_string(),
+            document: document.to_string(),
+            paragraphs,
+        })? {
+            Reply::Observed => Ok(()),
+            Reply::Error { message } => Err(ClientError::Protocol(message)),
+            other => Err(unexpected("Observed", &other)),
+        }
+    }
+
     /// Checks a batch of paragraphs; returns the raw reply so callers
     /// can distinguish decisions from backpressure.
     ///

@@ -244,6 +244,20 @@ pub enum Request {
         /// Paragraph text.
         text: String,
     },
+    /// Observes (stores) a whole document's paragraph slots in one frame —
+    /// the bulk-ingest counterpart of [`Request::Observe`]. The server
+    /// lands all slots through the batched store path (one stripe-lock
+    /// round-trip per touched stripe) and replies [`Reply::Observed`].
+    ObserveBatch {
+        /// The tenant.
+        tenant: String,
+        /// Service the document lives in.
+        service: String,
+        /// Document id.
+        document: String,
+        /// The paragraph slots to observe.
+        paragraphs: Vec<ParagraphSlot>,
+    },
     /// Checks a batch of paragraphs for disclosure before upload.
     Check {
         /// The tenant.

@@ -449,6 +449,22 @@ fn handle_request(shared: &Shared, request: Request) -> Reply {
                 Err(e) => error_reply(&e),
             }
         }),
+        Request::ObserveBatch {
+            tenant,
+            service,
+            document,
+            paragraphs,
+        } => with_tenant(shared, &tenant, |tenant| {
+            let slots: Vec<(usize, String)> = paragraphs
+                .into_iter()
+                .map(|slot| (slot.index, slot.text))
+                .collect();
+            match tenant.observe_batch(service.as_str(), document, slots) {
+                Ok(_) => Reply::Observed,
+                Err(DeciderError::Closed) => draining_reply(),
+                Err(e) => error_reply(&e),
+            }
+        }),
         Request::Check {
             tenant,
             service,

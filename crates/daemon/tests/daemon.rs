@@ -130,6 +130,67 @@ fn tenants_are_isolated_end_to_end() {
 }
 
 #[test]
+fn observe_batch_lands_a_whole_document_in_one_frame() {
+    let (socket, handle) = start_daemon(DaemonConfig::new(socket_path("observe-batch")));
+    let mut client = DaemonClient::connect(&socket).unwrap();
+    create_tenant(&mut client, "alice", 0);
+
+    // A three-paragraph document goes over the wire as a single frame;
+    // the secret sits in the middle slot.
+    let closing = "please return written feedback on every candidate within two \
+                   business days so the committee can calibrate before debrief";
+    let paragraphs = vec![
+        ParagraphSlot {
+            index: 0,
+            text: "welcome to the interview packet for this hiring cycle; read \
+                   the rubric below before scheduling any phone screens"
+                .to_string(),
+        },
+        ParagraphSlot {
+            index: 1,
+            text: SECRET.to_string(),
+        },
+        ParagraphSlot {
+            index: 2,
+            text: closing.to_string(),
+        },
+    ];
+    client
+        .observe_batch("alice", "itool", "eval", paragraphs)
+        .unwrap();
+
+    // Every batched slot is attributable: the secret paragraph blocks
+    // with its batch-assigned provenance, the benign ones stay allowed.
+    let probe = vec![ParagraphSlot {
+        index: 0,
+        text: SECRET.to_string(),
+    }];
+    match client.check("alice", "gdocs", "draft", probe).unwrap() {
+        Reply::Decisions { decisions, .. } => {
+            assert_eq!(decisions[0].action, "block");
+            assert_eq!(decisions[0].violations[0].source, "itool/eval#p1");
+        }
+        other => panic!("expected Decisions, got {other:?}"),
+    }
+    let benign = vec![ParagraphSlot {
+        index: 0,
+        text: closing.to_string(),
+    }];
+    match client.check("alice", "gdocs", "draft", benign).unwrap() {
+        Reply::Decisions { decisions, .. } => {
+            // Short benign text observed at itool is itool-owned too, but it
+            // carries no confidential tags the destination lacks.
+            assert_eq!(decisions[0].action, "block");
+            assert_eq!(decisions[0].violations[0].source, "itool/eval#p2");
+        }
+        other => panic!("expected Decisions, got {other:?}"),
+    }
+
+    drain(&mut client);
+    handle.join().unwrap();
+}
+
+#[test]
 fn queue_full_is_a_backpressure_reply_with_zero_silent_drops() {
     let _hooks = test_hooks::lock();
     let (socket, handle) = start_daemon(DaemonConfig::new(socket_path("backpressure")));

@@ -65,6 +65,15 @@ impl LogicalClock {
         Timestamp(self.next.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// Reserves `count` consecutive timestamps with a single atomic
+    /// advance and returns the first of them. The caller owns the whole
+    /// contiguous range `[first, first + count)`; concurrent callers
+    /// receive disjoint ranges. `count == 0` reserves nothing and returns
+    /// the (unclaimed) current time.
+    pub fn tick_many(&self, count: u64) -> Timestamp {
+        Timestamp(self.next.fetch_add(count, Ordering::Relaxed))
+    }
+
     /// The timestamp the next [`LogicalClock::tick`] will return, without
     /// advancing.
     pub fn peek(&self) -> Timestamp {
@@ -127,6 +136,18 @@ mod tests {
         raw.dedup();
         assert_eq!(raw.len(), 1000);
         assert_eq!(clock.peek(), Timestamp::new(1000));
+    }
+
+    #[test]
+    fn tick_many_reserves_a_contiguous_range() {
+        let clock = LogicalClock::new();
+        let first = clock.tick_many(5);
+        assert_eq!(first, Timestamp::ZERO);
+        assert_eq!(clock.peek(), Timestamp::new(5));
+        assert_eq!(clock.tick(), Timestamp::new(5));
+        // A zero-length reservation claims nothing.
+        assert_eq!(clock.tick_many(0), Timestamp::new(6));
+        assert_eq!(clock.peek(), Timestamp::new(6));
     }
 
     #[test]

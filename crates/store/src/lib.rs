@@ -57,7 +57,7 @@ mod incremental;
 mod intersect;
 mod mmap;
 pub mod persist;
-mod pool;
+pub mod pool;
 pub mod segment_db;
 pub mod sharded;
 mod tier;
@@ -80,7 +80,7 @@ pub use persist::{
 };
 pub use persist::{PersistError, PersistOptions, StoreFormat, StoreOpenOptions, TierMode};
 pub use segment_db::{SegmentDb, StoredSegment};
-pub use sharded::{ShardedHashDb, ShardedSegmentDb};
+pub use sharded::{BatchSightings, SegmentWrite, ShardedHashDb, ShardedSegmentDb};
 pub use tier::{SegmentHandle, TierSweep};
 
 use browserflow_fingerprint::Fingerprint;
@@ -160,6 +160,16 @@ pub struct StoreStats {
     pub tier_promoted_sightings: u64,
     /// Stripes rewritten as cold files by demotion sweeps.
     pub tier_demoted_shards: u64,
+    /// Observations ingested through [`FingerprintStore::observe_batch`]
+    /// (each batch entry counts once, mirroring `observe` call counts).
+    pub batched_observes: u64,
+    /// Stripe lock round-trips taken by batched ingest passes. The
+    /// per-observation path pays one round-trip per hash plus one per
+    /// segment write; the difference against `batch_hashes_recorded` is
+    /// the acquisitions the batching saved.
+    pub batch_lock_acquisitions: u64,
+    /// First-sighting records written through batched ingest passes.
+    pub batch_hashes_recorded: u64,
 }
 
 impl StoreStats {
@@ -203,6 +213,9 @@ pub struct FingerprintStore {
     /// maintain. Also serialises demotion sweeps.
     pub(crate) tier: parking_lot::Mutex<Option<tier::TierState>>,
     pub(crate) tier_demoted_shards: AtomicU64,
+    batched_observes: AtomicU64,
+    batch_lock_acquisitions: AtomicU64,
+    batch_hashes_recorded: AtomicU64,
 }
 
 impl FingerprintStore {
@@ -286,6 +299,129 @@ impl FingerprintStore {
                 }
             }
         }
+    }
+
+    /// Records a whole batch of observations with one stripe lock
+    /// round-trip per touched stripe instead of one per hash.
+    ///
+    /// Semantically this is the sequential loop
+    /// `for (s, f, t) in entries { store.observe(s, f, t) }` — each entry
+    /// draws its own logical timestamp (one atomic clock advance reserves
+    /// the whole contiguous range), duplicate segments resolve
+    /// last-write-wins exactly as repeated `observe` calls do, and
+    /// first-sighting ownership, authoritative sets and revocations come
+    /// out identical (property-tested). The difference is purely
+    /// mechanical: sightings are grouped by hash stripe and `DBpar` writes
+    /// by segment stripe, so each stripe lock is taken once per batch, and
+    /// the displacement-epoch revalidation runs once over the whole batch
+    /// instead of once per entry.
+    ///
+    /// The end-of-batch revalidation is equivalent to the per-entry one
+    /// for a single writer: batch timestamps strictly increase, so within
+    /// the batch a hash's ownership can only move *from* a pre-batch
+    /// (cold) record *to* the first batch entry carrying it — never away
+    /// from a batch entry — leaving every per-entry check with the same
+    /// view the end-of-batch check has. Under concurrency it keeps the
+    /// same conservative revoke-only guarantee as [`FingerprintStore::observe`].
+    pub fn observe_batch(&self, entries: &[(SegmentId, &Fingerprint, f64)]) {
+        if entries.is_empty() {
+            return;
+        }
+        let base = self.clock.tick_many(entries.len() as u64);
+        let epoch_before = self.hashes.displacement_epoch();
+
+        // One `(segment, timestamp)` row per entry plus compact
+        // `(hash, entry)` pairs — `spans` maps the pair range back to its
+        // entry.
+        let meta: Vec<(SegmentId, Timestamp)> = entries
+            .iter()
+            .enumerate()
+            .map(|(index, (segment, _, _))| (*segment, Timestamp::new(base.get() + index as u64)))
+            .collect();
+        let total: usize = entries
+            .iter()
+            .map(|(_, f, _)| f.distinct_hashes().len())
+            .sum();
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(total);
+        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(entries.len());
+        for (index, (_, fingerprint, _)) in entries.iter().enumerate() {
+            let start = pairs.len();
+            for &hash in fingerprint.distinct_hashes() {
+                pairs.push((hash, index as u32));
+            }
+            spans.push((start, pairs.len()));
+        }
+        let sighted = self.hashes.record_sightings_indexed(&pairs, &meta);
+        let hash_locks = sighted.locks;
+
+        // Turn the ownership bitmap into the same `DBpar` write sequence
+        // the sequential loop would issue: upsert, then that entry's
+        // revocations, then the next entry. Bucketing preserves
+        // per-segment order, so interleavings against duplicate segments
+        // resolve identically.
+        let mut writes: Vec<SegmentWrite> = Vec::with_capacity(entries.len());
+        let mut displaced = sighted.displaced.iter().peekable();
+        for (index, (segment, fingerprint, threshold)) in entries.iter().enumerate() {
+            let (start, end) = spans[index];
+            let mut owned: Vec<u32> = Vec::with_capacity(end - start);
+            for (&(hash, _), &is_owned) in pairs[start..end].iter().zip(&sighted.owned[start..end])
+            {
+                if is_owned {
+                    owned.push(hash);
+                }
+            }
+            writes.push(SegmentWrite::Upsert {
+                segment: *segment,
+                hashes: fingerprint.distinct_hashes().to_vec(),
+                authoritative: owned,
+                threshold: threshold.clamp(0.0, 1.0),
+                now: meta[index].1,
+            });
+            // Displacements arrive in submission order, so this entry's
+            // are exactly the next ones that fall inside its span.
+            while let Some(&&(at, previous)) = displaced.peek() {
+                if at as usize >= end {
+                    break;
+                }
+                displaced.next();
+                if previous != *segment {
+                    writes.push(SegmentWrite::Revoke {
+                        segment: previous,
+                        hash: pairs[at as usize].0,
+                    });
+                }
+            }
+        }
+        let mut segment_locks = self.segments.apply_writes_batch(writes);
+
+        // Revalidation, once over the whole batch (see the doc comment for
+        // why this matches the per-entry check for a single writer).
+        if self.hashes.displacement_epoch() != epoch_before {
+            let mut revalidations: Vec<SegmentWrite> = Vec::new();
+            for (index, (segment, _, _)) in entries.iter().enumerate() {
+                let (start, end) = spans[index];
+                for (&(hash, _), &is_owned) in
+                    pairs[start..end].iter().zip(&sighted.owned[start..end])
+                {
+                    if is_owned && self.oldest_segment_with(hash) != Some(*segment) {
+                        revalidations.push(SegmentWrite::Revoke {
+                            segment: *segment,
+                            hash,
+                        });
+                    }
+                }
+            }
+            if !revalidations.is_empty() {
+                segment_locks += self.segments.apply_writes_batch(revalidations);
+            }
+        }
+
+        self.batched_observes
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        self.batch_lock_acquisitions
+            .fetch_add(hash_locks + segment_locks, Ordering::Relaxed);
+        self.batch_hashes_recorded
+            .fetch_add(pairs.len() as u64, Ordering::Relaxed);
     }
 
     /// Updates just the disclosure threshold of an already-observed
@@ -507,6 +643,9 @@ impl FingerprintStore {
             tier_promoted_segments: self.segments.promoted_count(),
             tier_promoted_sightings: self.hashes.promoted_count(),
             tier_demoted_shards: self.tier_demoted_shards.load(Ordering::Relaxed),
+            batched_observes: self.batched_observes.load(Ordering::Relaxed),
+            batch_lock_acquisitions: self.batch_lock_acquisitions.load(Ordering::Relaxed),
+            batch_hashes_recorded: self.batch_hashes_recorded.load(Ordering::Relaxed),
         }
     }
 
@@ -797,6 +936,67 @@ mod tests {
         assert_eq!(
             stats.segment_shard_contention.iter().sum::<u64>(),
             stats.segment_lock_contention
+        );
+    }
+
+    #[test]
+    fn observe_batch_matches_sequential_observes() {
+        let fp = fp();
+        let texts = [
+            SECRET,
+            "notes from the meeting follow with some of the acquisition details repeated",
+            "completely unrelated prose about gardening tulips and daffodils in spring",
+            SECRET, // duplicate content: ownership stays with the first entry
+        ];
+        let prints: Vec<_> = texts.iter().map(|t| fp.fingerprint(t)).collect();
+        let sequential = FingerprintStore::new();
+        for (i, print) in prints.iter().enumerate() {
+            sequential.observe(SegmentId::new(i as u64 + 1), print, 0.5);
+        }
+        let batched = FingerprintStore::new();
+        let entries: Vec<(SegmentId, &Fingerprint, f64)> = prints
+            .iter()
+            .enumerate()
+            .map(|(i, print)| (SegmentId::new(i as u64 + 1), print, 0.5))
+            .collect();
+        batched.observe_batch(&entries);
+
+        assert_eq!(batched.now(), sequential.now());
+        assert_eq!(batched.hash_count(), sequential.hash_count());
+        for i in 1..=texts.len() as u64 {
+            assert_eq!(
+                batched.authoritative_fingerprint(SegmentId::new(i)),
+                sequential.authoritative_fingerprint(SegmentId::new(i)),
+                "authoritative set of segment {i} diverged"
+            );
+        }
+        let probe = fp.fingerprint(SECRET);
+        assert_eq!(
+            batched.disclosing_sources(SegmentId::new(99), &probe),
+            sequential.disclosing_sources(SegmentId::new(99), &probe)
+        );
+
+        let stats = batched.stats();
+        assert_eq!(stats.batched_observes, texts.len() as u64);
+        assert!(stats.batch_hashes_recorded > 0);
+        assert!(stats.batch_lock_acquisitions > 0);
+        assert!(stats.batch_lock_acquisitions < stats.batch_hashes_recorded);
+        // The sequential store never used the batched path.
+        assert_eq!(sequential.stats().batched_observes, 0);
+    }
+
+    #[test]
+    fn observe_batch_of_one_and_empty() {
+        let fp = fp();
+        let store = FingerprintStore::new();
+        store.observe_batch(&[]);
+        assert_eq!(store.now(), Timestamp::ZERO);
+        let print = fp.fingerprint(SECRET);
+        store.observe_batch(&[(SegmentId::new(1), &print, 0.5)]);
+        assert_eq!(store.segment_count(), 1);
+        assert_eq!(
+            store.authoritative_fingerprint(SegmentId::new(1)),
+            print.hash_set()
         );
     }
 

@@ -27,14 +27,19 @@ struct Shared {
 }
 
 /// The pool: a shared FIFO of jobs drained by long-lived worker threads.
-pub(crate) struct WorkerPool {
+///
+/// Besides the candidate-evaluation fan-out, batched document ingest
+/// (`browserflow-core`) scatters per-paragraph fingerprinting jobs here —
+/// each worker thread carries its own thread-local scratch, so bulk
+/// fingerprinting parallelises without per-call allocations.
+pub struct WorkerPool {
     shared: &'static Shared,
 }
 
 impl WorkerPool {
     /// The process-wide pool, created on first use with one thread per
-    /// core ([`crate::disclosure::default_workers`]).
-    pub(crate) fn global() -> &'static WorkerPool {
+    /// core ([`WorkerPool::worker_count`]).
+    pub fn global() -> &'static WorkerPool {
         static POOL: OnceLock<WorkerPool> = OnceLock::new();
         POOL.get_or_init(|| WorkerPool::start(crate::disclosure::default_workers()))
     }
@@ -50,9 +55,14 @@ impl WorkerPool {
         Self { shared }
     }
 
+    /// The number of worker threads the global pool runs (one per core).
+    pub fn worker_count() -> usize {
+        crate::disclosure::default_workers()
+    }
+
     /// Runs `jobs` on the pool and returns their results in submission
     /// order. Blocks the caller until every job has completed.
-    pub(crate) fn scatter<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    pub fn scatter<T, F>(&self, jobs: Vec<F>) -> Vec<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,

@@ -268,6 +268,27 @@ impl HashStripe {
     }
 }
 
+/// Compact result of [`ShardedHashDb::record_sightings_batch`].
+///
+/// Deliberately *not* a per-sighting [`SightingOutcome`] vector: the
+/// batch path only needs "does the sighted segment own this hash" per
+/// sighting plus the (rare) displacements, and a one-byte-per-sighting
+/// bitmap keeps the writeback near-sequential where a 16-byte outcome
+/// vector would stride a cache line per store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSightings {
+    /// For each input sighting (same order), whether the sighted segment
+    /// owns the hash after its sighting — `true` exactly when the
+    /// per-sighting path would have yielded `Installed`, `Displaced(_)`,
+    /// or `Kept(owner)` with `owner` equal to the sighted segment.
+    pub owned: Vec<bool>,
+    /// `(input index, previous owner)` for every sighting that displaced
+    /// an existing owner, in submission order.
+    pub displaced: Vec<(u32, SegmentId)>,
+    /// Stripe locks taken (one per touched stripe).
+    pub locks: u64,
+}
+
 /// `DBhash` striped over `N` lock-protected stripes, keyed by `hash % N`.
 ///
 /// All operations take `&self`; per-stripe exclusion preserves the
@@ -349,6 +370,119 @@ impl ShardedHashDb {
             self.displacements.fetch_add(1, Ordering::SeqCst);
         }
         outcome
+    }
+
+    /// Records a whole batch of sightings, taking each touched stripe lock
+    /// **once** instead of once per hash.
+    ///
+    /// Sightings are partitioned into contiguous per-stripe runs with a
+    /// stable counting sort, so all sightings of any given hash are
+    /// processed in the order they appear in `sightings` —
+    /// outcome-identical to calling [`ShardedHashDb::record_sighting`] for
+    /// each tuple in order (per-hash state is independent across hashes,
+    /// and every occurrence of a hash lands in the same stripe run). The
+    /// contiguous layout matters for throughput as much as the lock
+    /// batching: each stripe's pass streams its inputs sequentially and
+    /// keeps that stripe's map cache-resident instead of striding across
+    /// the whole batch once per stripe. Promotion and displacement
+    /// counters advance exactly as the per-sighting path would advance
+    /// them.
+    pub fn record_sightings_batch(
+        &self,
+        sightings: &[(u32, SegmentId, Timestamp)],
+    ) -> BatchSightings {
+        let pairs: Vec<(u32, u32)> = sightings
+            .iter()
+            .enumerate()
+            .map(|(index, &(hash, _, _))| (hash, index as u32))
+            .collect();
+        let meta: Vec<(SegmentId, Timestamp)> = sightings
+            .iter()
+            .map(|&(_, segment, time)| (segment, time))
+            .collect();
+        self.record_sightings_indexed(&pairs, &meta)
+    }
+
+    /// The core of [`ShardedHashDb::record_sightings_batch`], with the
+    /// per-entry metadata factored out: `pairs` carries `(hash, entry)`
+    /// where `entry` indexes into `meta`'s `(segment, timestamp)` rows.
+    ///
+    /// Bulk callers whose entries each carry many hashes (a fingerprint's
+    /// worth) use this directly — 8 bytes per sighting instead of a
+    /// 24-byte triple keeps the partitioning pass memory-bound work to a
+    /// third. Semantics are exactly the general form's: sighting `i` of
+    /// `pairs` behaves like `record_sighting(pairs[i].0, meta[entry].0,
+    /// meta[entry].1)` issued in submission order.
+    pub fn record_sightings_indexed(
+        &self,
+        pairs: &[(u32, u32)],
+        meta: &[(SegmentId, Timestamp)],
+    ) -> BatchSightings {
+        let shard_count = self.shards.len();
+        let mut counts = vec![0u32; shard_count];
+        let mut stripe_of: Vec<u16> = Vec::with_capacity(pairs.len());
+        for &(hash, _) in pairs {
+            let stripe = self.shard_of(hash);
+            stripe_of.push(stripe as u16);
+            counts[stripe] += 1;
+        }
+        let mut bounds = vec![0u32; shard_count + 1];
+        for stripe in 0..shard_count {
+            bounds[stripe + 1] = bounds[stripe] + counts[stripe];
+        }
+        // Stable counting sort into contiguous per-stripe runs of
+        // `(hash, submission index, entry)`.
+        let mut cursor: Vec<u32> = bounds[..shard_count].to_vec();
+        let mut ordered: Vec<(u32, u32, u32)> = vec![(0, 0, 0); pairs.len()];
+        for (index, &(hash, entry)) in pairs.iter().enumerate() {
+            let stripe = stripe_of[index] as usize;
+            ordered[cursor[stripe] as usize] = (hash, index as u32, entry);
+            cursor[stripe] += 1;
+        }
+
+        let mut owned = vec![false; pairs.len()];
+        let mut displaced: Vec<(u32, SegmentId)> = Vec::new();
+        let mut locks = 0u64;
+        let mut promotions = 0u64;
+        for stripe in 0..shard_count {
+            let (start, end) = (bounds[stripe] as usize, bounds[stripe + 1] as usize);
+            if start == end {
+                continue;
+            }
+            locks += 1;
+            let mut guard = write_shard!(self, stripe);
+            for &(hash, index, entry) in &ordered[start..end] {
+                let (segment, time) = meta[entry as usize];
+                let (outcome, promoted) = guard.record_sighting(hash, segment, time);
+                if promoted {
+                    promotions += 1;
+                }
+                owned[index as usize] = match outcome {
+                    SightingOutcome::Installed => true,
+                    SightingOutcome::Displaced(previous) => {
+                        displaced.push((index, previous));
+                        true
+                    }
+                    SightingOutcome::Kept(owner) => owner == segment,
+                };
+            }
+        }
+        if promotions > 0 {
+            self.promoted.fetch_add(promotions, Ordering::Relaxed);
+        }
+        if !displaced.is_empty() {
+            self.displacements
+                .fetch_add(displaced.len() as u64, Ordering::SeqCst);
+        }
+        // Stripe runs interleave submissions, so displacements come out in
+        // stripe order; restore submission order for callers that replay
+        // them as revocations.
+        displaced.sort_unstable_by_key(|&(index, _)| index);
+        BatchSightings {
+            owned,
+            displaced,
+            locks,
+        }
     }
 
     /// The current displacement epoch: total ownership displacements so
@@ -739,6 +873,42 @@ impl SegmentStripe {
     }
 }
 
+/// One deferred `DBpar` write inside a batched ingest pass
+/// ([`ShardedSegmentDb::apply_writes_batch`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegmentWrite {
+    /// Insert or replace a segment's stored fingerprint
+    /// ([`ShardedSegmentDb::upsert`]).
+    Upsert {
+        /// The segment being written.
+        segment: SegmentId,
+        /// Sorted, deduplicated fingerprint hashes.
+        hashes: Vec<u32>,
+        /// Sorted authoritative subset (`authoritative ⊆ hashes`).
+        authoritative: Vec<u32>,
+        /// The segment's disclosure threshold.
+        threshold: f64,
+        /// The observation's logical timestamp.
+        now: Timestamp,
+    },
+    /// Remove `hash` from a segment's authoritative set
+    /// ([`ShardedSegmentDb::revoke_authoritative`]).
+    Revoke {
+        /// The segment losing authority.
+        segment: SegmentId,
+        /// The hash being revoked.
+        hash: u32,
+    },
+}
+
+impl SegmentWrite {
+    fn segment(&self) -> SegmentId {
+        match self {
+            SegmentWrite::Upsert { segment, .. } | SegmentWrite::Revoke { segment, .. } => *segment,
+        }
+    }
+}
+
 /// `DBpar` striped over `N` lock-protected stripes, keyed by `segment % N`.
 #[derive(Debug)]
 pub struct ShardedSegmentDb {
@@ -805,6 +975,80 @@ impl ShardedSegmentDb {
             threshold,
             now,
         );
+    }
+
+    /// Applies a batch of deferred writes, taking each touched stripe lock
+    /// **once** instead of once per write.
+    ///
+    /// Writes are bucketed by stripe in submission order, so all writes
+    /// against any given segment apply in the order they appear in
+    /// `writes` — outcome-identical to issuing them one by one (writes to
+    /// different segments commute, and every write against a segment lands
+    /// in the same stripe bucket). Returns the number of stripe locks
+    /// taken; the promotion counter advances exactly as the per-write path
+    /// would advance it.
+    pub fn apply_writes_batch(&self, mut writes: Vec<SegmentWrite>) -> u64 {
+        // Stable counting sort of write *indices* by stripe: the enum
+        // values stay in place (their heap payloads never move) and each
+        // stripe's pass pulls its writes out with `mem::replace`, so
+        // grouping costs index traffic only, not a payload shuffle.
+        let shard_count = self.shards.len();
+        let mut counts = vec![0u32; shard_count];
+        let stripe_of: Vec<u16> = writes
+            .iter()
+            .map(|write| {
+                let stripe = self.shard_of(write.segment());
+                counts[stripe] += 1;
+                stripe as u16
+            })
+            .collect();
+        let mut bounds = vec![0u32; shard_count + 1];
+        for stripe in 0..shard_count {
+            bounds[stripe + 1] = bounds[stripe] + counts[stripe];
+        }
+        let mut cursor: Vec<u32> = bounds[..shard_count].to_vec();
+        let mut order: Vec<u32> = vec![0; writes.len()];
+        for (index, &stripe) in stripe_of.iter().enumerate() {
+            let at = &mut cursor[stripe as usize];
+            order[*at as usize] = index as u32;
+            *at += 1;
+        }
+        let placeholder = || SegmentWrite::Revoke {
+            segment: SegmentId::new(u64::MAX),
+            hash: 0,
+        };
+        let mut locks = 0u64;
+        let mut promotions = 0u64;
+        for stripe in 0..shard_count {
+            let (start, end) = (bounds[stripe] as usize, bounds[stripe + 1] as usize);
+            if start == end {
+                continue;
+            }
+            locks += 1;
+            let mut guard = write_shard!(self, stripe);
+            for &index in &order[start..end] {
+                let write = std::mem::replace(&mut writes[index as usize], placeholder());
+                match write {
+                    SegmentWrite::Upsert {
+                        segment,
+                        hashes,
+                        authoritative,
+                        threshold,
+                        now,
+                    } => guard.upsert(segment, hashes, authoritative, threshold, now),
+                    SegmentWrite::Revoke { segment, hash } => {
+                        let (_, promoted) = guard.revoke_authoritative(segment, hash);
+                        if promoted {
+                            promotions += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if promotions > 0 {
+            self.promoted.fetch_add(promotions, Ordering::Relaxed);
+        }
+        locks
     }
 
     /// Replaces a segment's authoritative set; `false` if unknown.
@@ -1031,6 +1275,100 @@ mod tests {
         }
         assert_eq!(db.contention_count(), 0);
         assert!(db.contention_counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn batched_sightings_match_sequential_and_count_locks() {
+        let sequential = ShardedHashDb::with_shards(8);
+        let batched = ShardedHashDb::with_shards(8);
+        let sightings: Vec<(u32, SegmentId, Timestamp)> = (0..200u32)
+            .map(|i| {
+                (
+                    i % 37,
+                    SegmentId::new(u64::from(i % 5)),
+                    Timestamp::new(u64::from(i)),
+                )
+            })
+            .collect();
+        let expected: Vec<SightingOutcome> = sightings
+            .iter()
+            .map(|&(h, s, t)| sequential.record_sighting(h, s, t))
+            .collect();
+        let sighted = batched.record_sightings_batch(&sightings);
+        let expected_owned: Vec<bool> = expected
+            .iter()
+            .zip(&sightings)
+            .map(|(outcome, &(_, segment, _))| match *outcome {
+                SightingOutcome::Installed | SightingOutcome::Displaced(_) => true,
+                SightingOutcome::Kept(owner) => owner == segment,
+            })
+            .collect();
+        let expected_displaced: Vec<(u32, SegmentId)> = expected
+            .iter()
+            .enumerate()
+            .filter_map(|(index, outcome)| match *outcome {
+                SightingOutcome::Displaced(previous) => Some((index as u32, previous)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sighted.owned, expected_owned);
+        assert_eq!(sighted.displaced, expected_displaced);
+        assert_eq!(batched.len(), sequential.len());
+        for h in 0..37 {
+            assert_eq!(batched.oldest_with(h), sequential.oldest_with(h));
+        }
+        // 37 distinct hashes over 8 stripes touch every stripe, but each
+        // lock is taken once — far fewer round-trips than 200 sightings.
+        assert_eq!(sighted.locks, 8);
+        assert_eq!(
+            batched.displacement_epoch(),
+            sequential.displacement_epoch()
+        );
+    }
+
+    #[test]
+    fn batched_segment_writes_match_sequential() {
+        let sequential = ShardedSegmentDb::with_shards(8);
+        let batched = ShardedSegmentDb::with_shards(8);
+        let mut writes: Vec<SegmentWrite> = Vec::new();
+        for i in 0..16u64 {
+            writes.push(SegmentWrite::Upsert {
+                segment: SegmentId::new(i % 6),
+                hashes: vec![i as u32, i as u32 + 1, i as u32 + 2],
+                authoritative: vec![i as u32],
+                threshold: 0.25 + (i as f64) / 32.0,
+                now: Timestamp::new(i),
+            });
+            writes.push(SegmentWrite::Revoke {
+                segment: SegmentId::new(i % 6),
+                hash: i as u32,
+            });
+        }
+        for write in &writes {
+            match write.clone() {
+                SegmentWrite::Upsert {
+                    segment,
+                    hashes,
+                    authoritative,
+                    threshold,
+                    now,
+                } => sequential.upsert(segment, hashes, authoritative, threshold, now),
+                SegmentWrite::Revoke { segment, hash } => {
+                    sequential.revoke_authoritative(segment, hash);
+                }
+            }
+        }
+        let locks = batched.apply_writes_batch(writes);
+        assert!(locks <= 6, "6 distinct segments need at most 6 stripes");
+        assert_eq!(batched.len(), sequential.len());
+        for i in 0..6u64 {
+            let a = batched.get(SegmentId::new(i)).unwrap();
+            let b = sequential.get(SegmentId::new(i)).unwrap();
+            assert_eq!(a.hashes(), b.hashes());
+            assert_eq!(a.authoritative(), b.authoritative());
+            assert_eq!(a.threshold(), b.threshold());
+            assert_eq!(a.updated(), b.updated());
+        }
     }
 
     #[test]

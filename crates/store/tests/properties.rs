@@ -130,6 +130,172 @@ proptest! {
     }
 }
 
+mod batched_ingest_equivalence {
+    use browserflow_fingerprint::{Fingerprint, SelectedHash};
+    use browserflow_store::{
+        FingerprintStore, SegmentId, ShardedHashDb, SightingOutcome, Timestamp,
+    };
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn fingerprint_of(hashes: &[u32]) -> Fingerprint {
+        hashes
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| SelectedHash::new(h, i, i..i + 1))
+            .collect()
+    }
+
+    /// One batch entry: a segment id from a deliberately small range (so
+    /// duplicate segments are common), a hash set from a small universe
+    /// (so cross-segment collisions are common), and a threshold.
+    fn entry() -> impl Strategy<Value = (u64, Vec<u32>, f64)> {
+        (
+            0u64..8,
+            proptest::collection::vec(0u32..200, 0..24),
+            0.0f64..=1.0,
+        )
+    }
+
+    /// Both stores must agree on every observable surface Algorithm 1
+    /// reads: first sightings, authoritative sets, stored records and
+    /// disclosure reports.
+    fn assert_stores_agree(
+        batched: &FingerprintStore,
+        sequential: &FingerprintStore,
+        probe: &[u32],
+    ) -> Result<(), TestCaseError> {
+        prop_assert_eq!(batched.now(), sequential.now());
+        let sort = |mut v: Vec<(u32, browserflow_store::Sighting)>| {
+            v.sort_unstable_by_key(|&(h, s)| (h, s.segment, s.time));
+            v
+        };
+        prop_assert_eq!(sort(batched.sightings()), sort(sequential.sightings()));
+        let mut ids: Vec<SegmentId> = sequential.segment_ids().collect();
+        ids.sort_unstable();
+        let mut batched_ids: Vec<SegmentId> = batched.segment_ids().collect();
+        batched_ids.sort_unstable();
+        prop_assert_eq!(&batched_ids, &ids);
+        for id in ids {
+            prop_assert_eq!(
+                batched.authoritative_fingerprint(id),
+                sequential.authoritative_fingerprint(id),
+                "authoritative set diverged for {:?}",
+                id
+            );
+            let a = batched.segment(id).expect("stored");
+            let b = sequential.segment(id).expect("stored");
+            prop_assert_eq!(a.hashes(), b.hashes());
+            prop_assert_eq!(a.authoritative(), b.authoritative());
+            prop_assert_eq!(a.threshold(), b.threshold());
+            prop_assert_eq!(a.updated(), b.updated());
+        }
+        let target: HashSet<u32> = probe.iter().copied().collect();
+        prop_assert_eq!(
+            batched.disclosing_sources_of_hashes(SegmentId::new(999), &target),
+            sequential.disclosing_sources_of_hashes(SegmentId::new(999), &target)
+        );
+        Ok(())
+    }
+
+    proptest! {
+        /// `observe_batch` over an arbitrary entry sequence — duplicate
+        /// segments and colliding hashes included — leaves `DBhash`,
+        /// authoritative sets and subsequent disclosure reports identical
+        /// to sequential `observe` calls in the same order.
+        #[test]
+        fn observe_batch_equals_sequential_observes(
+            entries in proptest::collection::vec(entry(), 0..24),
+            probe in proptest::collection::vec(0u32..200, 0..40),
+        ) {
+            let prints: Vec<(SegmentId, Fingerprint, f64)> = entries
+                .iter()
+                .map(|(id, hashes, t)| (SegmentId::new(*id), fingerprint_of(hashes), *t))
+                .collect();
+            let sequential = FingerprintStore::new();
+            for (id, print, threshold) in &prints {
+                sequential.observe(*id, print, *threshold);
+            }
+            let batched = FingerprintStore::new();
+            let refs: Vec<(SegmentId, &Fingerprint, f64)> =
+                prints.iter().map(|(id, p, t)| (*id, p, *t)).collect();
+            batched.observe_batch(&refs);
+            assert_stores_agree(&batched, &sequential, &probe)?;
+        }
+
+        /// Splitting the same sequence into consecutive `observe_batch`
+        /// calls (arbitrary chunking, interleaving batch sizes of one)
+        /// changes nothing either.
+        #[test]
+        fn chunked_batches_equal_sequential_observes(
+            entries in proptest::collection::vec(entry(), 0..24),
+            chunk in 1usize..6,
+            probe in proptest::collection::vec(0u32..200, 0..40),
+        ) {
+            let prints: Vec<(SegmentId, Fingerprint, f64)> = entries
+                .iter()
+                .map(|(id, hashes, t)| (SegmentId::new(*id), fingerprint_of(hashes), *t))
+                .collect();
+            let sequential = FingerprintStore::new();
+            for (id, print, threshold) in &prints {
+                sequential.observe(*id, print, *threshold);
+            }
+            let batched = FingerprintStore::new();
+            let refs: Vec<(SegmentId, &Fingerprint, f64)> =
+                prints.iter().map(|(id, p, t)| (*id, p, *t)).collect();
+            for piece in refs.chunks(chunk) {
+                batched.observe_batch(piece);
+            }
+            assert_stores_agree(&batched, &sequential, &probe)?;
+        }
+
+        /// At the `DBhash` level the batched pass must reproduce the
+        /// sequential outcomes even for *displacement-inducing* inputs:
+        /// arbitrary timestamps make later tuples steal ownership with
+        /// earlier times, exactly what racing observers produce.
+        #[test]
+        fn batched_sightings_equal_sequential_with_displacements(
+            tuples in proptest::collection::vec((0u32..100, 0u64..8, 0u64..50), 0..80),
+        ) {
+            let sightings: Vec<(u32, SegmentId, Timestamp)> = tuples
+                .iter()
+                .map(|&(h, s, t)| (h, SegmentId::new(s), Timestamp::new(t)))
+                .collect();
+            let sequential = ShardedHashDb::with_shards(8);
+            let expected: Vec<_> = sightings
+                .iter()
+                .map(|&(h, s, t)| sequential.record_sighting(h, s, t))
+                .collect();
+            let batched = ShardedHashDb::with_shards(8);
+            let sighted = batched.record_sightings_batch(&sightings);
+            // The compact form must agree with the sequential outcomes:
+            // ownership bit per sighting, displacements in submission order.
+            let expected_owned: Vec<bool> = expected
+                .iter()
+                .zip(&sightings)
+                .map(|(outcome, &(_, segment, _))| match *outcome {
+                    SightingOutcome::Installed | SightingOutcome::Displaced(_) => true,
+                    SightingOutcome::Kept(owner) => owner == segment,
+                })
+                .collect();
+            let expected_displaced: Vec<(u32, SegmentId)> = expected
+                .iter()
+                .enumerate()
+                .filter_map(|(index, outcome)| match *outcome {
+                    SightingOutcome::Displaced(previous) => Some((index as u32, previous)),
+                    _ => None,
+                })
+                .collect();
+            prop_assert_eq!(sighted.owned, expected_owned);
+            prop_assert_eq!(sighted.displaced, expected_displaced);
+            prop_assert_eq!(batched.displacement_epoch(), sequential.displacement_epoch());
+            for h in 0..100 {
+                prop_assert_eq!(batched.oldest_with(h), sequential.oldest_with(h));
+            }
+        }
+    }
+}
+
 mod incremental_equivalence {
     use browserflow_fingerprint::{Fingerprint, SelectedHash};
     use browserflow_store::{FingerprintStore, IncrementalChecker, SegmentId};

@@ -36,21 +36,28 @@
 #      which regenerates BENCH_tiered.json and asserts a v3 cold (mapped)
 #      open stays >= 10x faster than a v2 full decode on a
 #      150 k-paragraph store, with cold reports identical to hot
-#  12. a daemon smoke test: boot a release bfd on a temp socket, drive it
-#      with bfctl daemon (create -> observe -> check -> stats), SIGTERM
-#      it, and assert clean exit plus a persisted tenant state directory
-#      that a second bfd restores
-#  13. a kill -9 durability smoke: boot bfd with --snapshot-interval,
+#  12. a release-mode smoke run of the batched-ingest microbench, which
+#      regenerates BENCH_ingest.json and asserts batched ingest takes
+#      >= BF_INGEST_FLOOR (default 3x) fewer stripe lock round-trips
+#      than the per-paragraph observe loop at 15 k paragraphs, after
+#      checking the two ingest shapes observation-equivalent; skipped
+#      loudly if the release binary is absent
+#  13. a daemon smoke test: boot a release bfd on a temp socket, drive it
+#      with bfctl daemon (create -> observe -> check -> stats) including
+#      a multi-paragraph --stdin observe that ships one ObserveBatch
+#      frame, SIGTERM it, and assert clean exit plus a persisted tenant
+#      state directory that a second bfd restores
+#  14. a kill -9 durability smoke: boot bfd with --snapshot-interval,
 #      drive a cross-service flow, wait past one interval, kill -9 the
 #      daemon, and assert a rebinding bfd restores the tenant with the
 #      check still blocking and the lineage graph intact (at most one
 #      interval of work may be lost)
-#  14. the exfiltration-sentinel covert-flow corpus, which regenerates
+#  15. the exfiltration-sentinel covert-flow corpus, which regenerates
 #      BENCH_sentinel.json and gates on recall >= 0.9 and precision
 #      >= 0.8 (override with BF_SENTINEL_RECALL_FLOOR /
 #      BF_SENTINEL_PRECISION_FLOOR); skipped loudly if the release
 #      binary is absent
-#  15. a release-mode smoke run of the multi-tenant service bench, which
+#  16. a release-mode smoke run of the multi-tenant service bench, which
 #      regenerates BENCH_service.json and asserts the zero-silent-drop
 #      ledger (sent == decisions + superseded + backpressure)
 #
@@ -198,6 +205,22 @@ echo "==> tiered-persistence microbench smoke run (release)"
 # >= 10x faster than a v2 full decode on the 150 k-paragraph store.
 cargo run -q --release -p browserflow-bench --bin bench_tiered
 
+echo "==> batched-ingest microbench smoke run (release)"
+# Regenerates BENCH_ingest.json; the binary asserts batched ingest pays
+# >= BF_INGEST_FLOOR (default 3x) fewer stripe lock round-trips than the
+# per-paragraph observe loop at 15 k paragraphs (wall time is reported
+# but not gated — single-core hosts see parity), after asserting both
+# ingest shapes produce identical disclosure reports.
+INGEST=target/release/bench_ingest
+if [[ -x "$INGEST" ]]; then
+    "$INGEST"
+    grep -q '"lock_reduction"' BENCH_ingest.json
+else
+    echo 'WARNING: target/release/bench_ingest is not built — the batched-ingest' >&2
+    echo 'WARNING: lock-reduction gate was SKIPPED. Run cargo build --release' >&2
+    echo 'WARNING: and re-run ci.sh for full coverage.' >&2
+fi
+
 echo "==> daemon smoke test (bfd + bfctl daemon, SIGTERM drain, restore)"
 # Boot a release bfd on a temp socket, drive the full tenant lifecycle
 # over the wire, SIGTERM it, and assert a clean drain that persists the
@@ -236,6 +259,22 @@ printf 'the quarterly interview notes are confidential\n' > "$SMOKE_DIR/doc.txt"
     create smoke >/dev/null
 "$BFCTL" daemon --socket "$SMOKE_SOCK" observe smoke itool notes \
     "$SMOKE_DIR/doc.txt" >/dev/null
+# A multi-paragraph document over --stdin travels as one ObserveBatch
+# frame; the tracked middle paragraph must then block on another service.
+printf 'the opening paragraph sets out the background of the review\n\n%s\n\n%s\n' \
+    'the candidate compensation discussion is strictly confidential' \
+    'the closing paragraph thanks everyone for their patience here' \
+    > "$SMOKE_DIR/memo.txt"
+"$BFCTL" daemon --socket "$SMOKE_SOCK" observe smoke itool memo \
+    --stdin < "$SMOKE_DIR/memo.txt" >/dev/null
+printf 'the candidate compensation discussion is strictly confidential\n' \
+    > "$SMOKE_DIR/probe.txt"
+if ! "$BFCTL" daemon --socket "$SMOKE_SOCK" check smoke gdocs paste \
+    "$SMOKE_DIR/probe.txt" | grep -qi block; then
+    echo 'error: paragraph ingested via ObserveBatch does not block on gdocs' >&2
+    cat "$SMOKE_DIR/bfd.log" >&2
+    exit 1
+fi
 "$BFCTL" daemon --socket "$SMOKE_SOCK" check smoke gdocs leak \
     "$SMOKE_DIR/doc.txt" >/dev/null
 "$BFCTL" daemon --socket "$SMOKE_SOCK" --json stats smoke \
